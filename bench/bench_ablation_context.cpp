@@ -1,0 +1,116 @@
+/// Ablation (DESIGN.md): what happens when the context K changes mid-run?
+///
+/// The paper assumes K constant ("the context is usually assumed to be
+/// constant during the tuning process").  This harness breaks that
+/// assumption on the string-matching case study: after half of the
+/// iterations the query pattern switches from the paper's 39-char phrase to
+/// a 3-char pattern, which moves the optimal matcher (long patterns favor
+/// SSEF/EBOM; very short ones favor Hash3/ShiftOr).  It compares the
+/// paper's best-ever ε-Greedy against the windowed variant and the
+/// inherently windowed Sliding-Window AUC.
+
+#include "stringmatch/corpus.hpp"
+#include "stringmatch/parallel.hpp"
+#include "stringmatch_experiment.hpp"
+#include "support/clock.hpp"
+
+using namespace atk;
+
+namespace {
+
+struct ContextRun {
+    std::vector<double> costs;
+    std::vector<std::size_t> late_counts;  // selections after the switch
+};
+
+ContextRun run_with_switch(bench::StringMatchContext& context,
+                           std::unique_ptr<NominalStrategy> strategy,
+                           std::size_t iterations, std::uint64_t seed) {
+    std::vector<TunableAlgorithm> algorithms;
+    for (const auto& matcher : context.matchers)
+        algorithms.push_back(TunableAlgorithm::untunable(matcher->name()));
+    TwoPhaseTuner tuner(std::move(strategy), std::move(algorithms), seed);
+
+    const std::string long_pattern(sm::query_phrase());
+    const std::string short_pattern = "the";
+    ContextRun run;
+    run.late_counts.assign(context.matchers.size(), 0);
+    for (std::size_t i = 0; i < iterations; ++i) {
+        const bool switched = i >= iterations / 2;
+        const std::string& pattern = switched ? short_pattern : long_pattern;
+        const Trial trial = tuner.next();
+        Stopwatch watch;
+        (void)sm::parallel_count(*context.matchers[trial.algorithm], context.corpus,
+                                 pattern, *context.pool);
+        const Millis elapsed = std::max(1e-6, watch.elapsed_ms());
+        tuner.report(trial, elapsed);
+        run.costs.push_back(elapsed);
+        if (switched) ++run.late_counts[trial.algorithm];
+    }
+    return run;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Cli cli("bench_ablation_context",
+            "Ablation: context change mid-run (pattern switch)");
+    bench::add_stringmatch_options(cli);
+    if (!cli.parse(argc, argv)) return 1;
+
+    bench::print_header(
+        "Ablation — context change (query pattern switches mid-run)",
+        "39-char phrase for the first half, 3-char pattern for the second");
+
+    bench::StringMatchContext context = bench::make_stringmatch_context(cli);
+    const std::size_t reps = bench::stringmatch_reps(cli);
+    const std::size_t iters = std::max<std::size_t>(40, bench::stringmatch_iters(cli));
+    std::printf("corpus: %zu bytes, %zu reps x %zu iterations (switch at %zu)\n\n",
+                context.corpus.size(), reps, iters, iters / 2);
+
+    struct Candidate {
+        std::string label;
+        std::function<std::unique_ptr<NominalStrategy>()> make;
+    };
+    const std::vector<Candidate> candidates{
+        {"e-Greedy (10%) best-ever [paper]",
+         [] { return std::make_unique<EpsilonGreedy>(0.10); }},
+        {"e-Greedy (10%) windowed (w=16)",
+         [] { return std::make_unique<EpsilonGreedy>(0.10, 16); }},
+        {"Sliding-Window AUC", [] { return std::make_unique<SlidingWindowAuc>(16); }},
+        {"Optimum Weighted", [] { return std::make_unique<OptimumWeighted>(); }},
+    };
+
+    Table table({"strategy", "mean cost before switch [ms]",
+                 "mean cost after switch [ms]", "post-switch top pick"});
+    for (const auto& candidate : candidates) {
+        std::vector<double> before;
+        std::vector<double> after;
+        std::vector<std::size_t> late_totals(context.matchers.size(), 0);
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+            const ContextRun run =
+                run_with_switch(context, candidate.make(), iters, rep + 1);
+            for (std::size_t i = 0; i < run.costs.size(); ++i)
+                (i < iters / 2 ? before : after).push_back(run.costs[i]);
+            for (std::size_t a = 0; a < late_totals.size(); ++a)
+                late_totals[a] += run.late_counts[a];
+        }
+        const std::size_t top = static_cast<std::size_t>(
+            std::max_element(late_totals.begin(), late_totals.end()) -
+            late_totals.begin());
+        table.row()
+            .text(candidate.label)
+            .num(mean(before), 3)
+            .num(mean(after), 3)
+            .text(context.matchers[top]->name());
+        std::printf("  [done] %s\n", candidate.label.c_str());
+    }
+    std::printf("\n");
+    table.print();
+
+    std::printf(
+        "\nExpected shape: the paper's best-ever e-Greedy keeps exploiting the\n"
+        "pre-switch winner via its stale record; the windowed variants adapt to\n"
+        "the new context and reach a lower post-switch mean.\n");
+    return 0;
+}

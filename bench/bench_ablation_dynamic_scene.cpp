@@ -1,0 +1,93 @@
+/// Ablation (paper Section I: "this variation can occur during application
+/// runtime"): the paper's raytracing case study renders a *static* scene.
+/// Here the camera sways inside the cathedral while the tuner runs, so the ray
+/// distribution — and with it the cost landscape over builders and
+/// configurations — drifts continuously.  Compares the paper's strategies
+/// under a static and an orbiting camera.
+
+#include <cmath>
+#include <numbers>
+
+#include "raytrace_experiment.hpp"
+
+using namespace atk;
+
+namespace {
+
+double run_dynamic(bench::RaytraceContext& context, const bench::StrategySpec& strategy,
+                   std::size_t frames, std::uint64_t seed, bool orbit,
+                   double* late_mean) {
+    TwoPhaseTuner tuner(strategy.make(), rt::make_tunable_builders(context.builders),
+                        seed);
+    double total = 0.0;
+    double late = 0.0;
+    for (std::size_t frame = 0; frame < frames; ++frame) {
+        if (orbit) {
+            // Sway +-0.15 rad so the camera stays inside the nave; one full
+            // sway cycle per repetition.
+            const float phase = 2.0f * std::numbers::pi_v<float> *
+                                static_cast<float>(frame) / static_cast<float>(frames);
+            context.pipeline->orbit_camera(0.15f * std::sin(phase));
+        }
+        const Trial trial = tuner.next();
+        const auto& builder = *context.builders[trial.algorithm];
+        const Millis elapsed = std::max(
+            1e-6, context.pipeline->render_frame(builder, builder.decode(trial.config)));
+        tuner.report(trial, elapsed);
+        total += elapsed;
+        if (frame >= frames * 2 / 3) late += elapsed;
+    }
+    context.pipeline->orbit_camera(0.0f);  // restore for the next run
+    *late_mean = late / static_cast<double>(frames - frames * 2 / 3);
+    return total / static_cast<double>(frames);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Cli cli("bench_ablation_dynamic_scene",
+            "Ablation: swaying camera (drifting context) vs static scene");
+    bench::add_raytrace_options(cli);
+    if (!cli.parse(argc, argv)) return 1;
+
+    bench::print_header("Ablation — dynamic scene (swaying camera)",
+                        "context drifts continuously instead of staying constant");
+
+    bench::RaytraceContext context = bench::make_raytrace_context(cli);
+    const std::size_t reps = bench::raytrace_reps(cli);
+    const std::size_t frames = bench::raytrace_frames(cli);
+    std::printf("%zu reps x %zu frames (one sway cycle per repetition)\n\n", reps,
+                frames);
+
+    Table table({"strategy", "static mean [ms]", "orbit mean [ms]",
+                 "orbit late mean [ms]"});
+    for (const auto& strategy : bench::paper_strategies()) {
+        double static_total = 0.0;
+        double orbit_total = 0.0;
+        double orbit_late_total = 0.0;
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+            double late = 0.0;
+            static_total += run_dynamic(context, strategy, frames, rep + 1, false, &late);
+            orbit_total += run_dynamic(context, strategy, frames, rep + 1, true, &late);
+            orbit_late_total += late;
+        }
+        table.row()
+            .text(strategy.name)
+            .num(static_total / static_cast<double>(reps), 3)
+            .num(orbit_total / static_cast<double>(reps), 3)
+            .num(orbit_late_total / static_cast<double>(reps), 3);
+        std::printf("  [done] %s\n", strategy.name.c_str());
+    }
+    std::printf("\n");
+    table.print();
+
+    std::printf(
+        "\nExpected shape: with the drifting view, per-frame costs vary and the\n"
+        "cost landscape under the tuner moves; the interesting comparison is\n"
+        "within the orbit columns — strategies whose estimates age out\n"
+        "(Sliding-Window AUC, Optimum/Gradient Weighted) track the drift,\n"
+        "while best-ever e-Greedy exploits a frozen estimate. Static-vs-orbit\n"
+        "absolute differences also reflect visibility changes, not only\n"
+        "tuning quality.\n");
+    return 0;
+}

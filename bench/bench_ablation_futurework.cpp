@@ -1,0 +1,109 @@
+/// Ablation (paper Sections IV-C and VI, "future work"): the strategy
+/// combinations the paper anticipates, raced on the two failure modes of
+/// plain ε-Greedy — a crossover workload (an initially-slower algorithm
+/// tunes past the early leader) and a converged steady state (where
+/// continued exploration is pure overhead).
+
+#include "harness.hpp"
+
+using namespace atk;
+
+namespace {
+
+std::vector<TunableAlgorithm> crossover_workload() {
+    std::vector<TunableAlgorithm> algorithms;
+    algorithms.push_back(TunableAlgorithm::untunable("quickstart"));
+    TunableAlgorithm slowburner;
+    slowburner.name = "slowburner";
+    slowburner.space.add(Parameter::ratio("x", 0, 100));
+    slowburner.initial = Configuration{{10}};
+    slowburner.searcher = std::make_unique<NelderMeadSearcher>();
+    algorithms.push_back(std::move(slowburner));
+    return algorithms;
+}
+
+Cost measure_crossover(const Trial& trial) {
+    if (trial.algorithm == 0) return 20.0;  // immediately decent, flat
+    const double x = static_cast<double>(trial.config[0]);
+    return 8.0 + 0.3 * std::abs(x - 85.0);  // 30.5 at start, 8 when tuned
+}
+
+struct Outcome {
+    double late_mean = 0.0;       // mean cost of the final third
+    double winner_share = 0.0;    // share of late iterations on algorithm 1
+};
+
+Outcome race(const std::function<std::unique_ptr<NominalStrategy>()>& factory,
+             std::size_t iterations, std::size_t reps) {
+    Outcome outcome;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+        TwoPhaseTuner tuner(factory(), crossover_workload(), rep + 1);
+        const TuningTrace trace = tuner.run(measure_crossover, iterations);
+        const std::size_t from = iterations * 2 / 3;
+        double late = 0.0;
+        std::size_t winner = 0;
+        for (std::size_t i = from; i < iterations; ++i) {
+            late += trace[i].cost;
+            if (trace[i].algorithm == 1) ++winner;
+        }
+        outcome.late_mean += late / static_cast<double>(iterations - from);
+        outcome.winner_share +=
+            static_cast<double>(winner) / static_cast<double>(iterations - from);
+    }
+    outcome.late_mean /= static_cast<double>(reps);
+    outcome.winner_share /= static_cast<double>(reps);
+    return outcome;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Cli cli("bench_ablation_futurework",
+            "Ablation: the paper's anticipated strategy combinations");
+    cli.add_int("reps", 20, "repetitions per strategy")
+        .add_int("iters", 300, "tuning iterations per run");
+    if (!cli.parse(argc, argv)) return 1;
+    const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
+    const auto iters = static_cast<std::size_t>(cli.get_int("iters"));
+
+    bench::print_header(
+        "Ablation — future-work strategy combinations",
+        "crossover workload: flat 20 ms vs 30.5 ms tuning down to 8 ms");
+    std::printf("%zu reps x %zu iterations; late = final third\n\n", reps, iters);
+
+    struct Candidate {
+        std::string label;
+        std::function<std::unique_ptr<NominalStrategy>()> make;
+    };
+    const std::vector<Candidate> candidates{
+        {"e-Greedy (10%) [paper]", [] { return std::make_unique<EpsilonGreedy>(0.10); }},
+        {"e-Greedy (20%) [paper]", [] { return std::make_unique<EpsilonGreedy>(0.20); }},
+        {"Gradient Weighted [paper]",
+         [] { return std::make_unique<GradientWeighted>(16); }},
+        {"Gradient-Greedy (10%) [combined]",
+         [] { return std::make_unique<GradientGreedy>(0.10, 16); }},
+        {"Decaying e-Greedy (20%, 0.02)",
+         [] { return std::make_unique<DecayingEpsilonGreedy>(0.20, 0.02); }},
+        {"Softmax (t=0.1)", [] { return std::make_unique<Softmax>(0.1); }},
+        {"Sliding-Window AUC [paper]",
+         [] { return std::make_unique<SlidingWindowAuc>(16); }},
+    };
+
+    Table table({"strategy", "late mean [ms]", "late winner share"});
+    for (const auto& candidate : candidates) {
+        const Outcome outcome = race(candidate.make, iters, reps);
+        table.row()
+            .text(candidate.label)
+            .num(outcome.late_mean, 2)
+            .num(outcome.winner_share, 2);
+    }
+    table.print();
+
+    std::printf(
+        "\nExpected shape: all greedy-family strategies find the crossover\n"
+        "(winner share near 1) and approach the 8 ms optimum; pure Gradient\n"
+        "Weighted keeps sampling both algorithms (the paper's 'special case,\n"
+        "not applicable in practice'); the decaying schedule shaves the\n"
+        "residual exploration tax off plain e-Greedy.\n");
+    return 0;
+}

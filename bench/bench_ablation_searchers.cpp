@@ -1,0 +1,96 @@
+/// Ablation (DESIGN.md): the paper fixes Nelder-Mead as the phase-one
+/// searcher "because it often shows very quick convergence".  This harness
+/// swaps in every other applicable searcher under the same ε-Greedy phase
+/// two and measures convergence on the raytracing case study (small scene).
+
+#include "raytrace_experiment.hpp"
+
+using namespace atk;
+
+namespace {
+
+struct SearcherSpec {
+    std::string name;
+    std::function<std::unique_ptr<Searcher>()> make;
+};
+
+std::vector<SearcherSpec> phase_one_searchers() {
+    return {
+        {"NelderMead", [] { return std::make_unique<NelderMeadSearcher>(); }},
+        {"HillClimbing", [] { return std::make_unique<HillClimbingSearcher>(); }},
+        {"SimulatedAnnealing",
+         [] { return std::make_unique<SimulatedAnnealingSearcher>(); }},
+        {"ParticleSwarm", [] { return std::make_unique<ParticleSwarmSearcher>(); }},
+        {"Genetic", [] { return std::make_unique<GeneticSearcher>(); }},
+        {"DifferentialEvolution",
+         [] { return std::make_unique<DifferentialEvolutionSearcher>(); }},
+        {"Random", [] { return std::make_unique<RandomSearcher>(); }},
+    };
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Cli cli("bench_ablation_searchers",
+            "Ablation: phase-one searcher swap on the raytracing case study");
+    bench::add_raytrace_options(cli);
+    if (!cli.parse(argc, argv)) return 1;
+
+    bench::print_header("Ablation — phase-one searcher choice",
+                        "e-Greedy(10%) phase two, searcher swapped per run");
+
+    bench::RaytraceContext context = bench::make_raytrace_context(cli);
+    const std::size_t reps = bench::raytrace_reps(cli);
+    const std::size_t frames = bench::raytrace_frames(cli);
+    std::printf("%zu reps x %zu frames\n\n", reps, frames);
+
+    Table table({"searcher", "best frame [ms]", "mean late frame [ms]",
+                 "first frame [ms]"});
+    for (const auto& spec : phase_one_searchers()) {
+        double best_total = 0.0;
+        double late_total = 0.0;
+        double first_total = 0.0;
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+            std::vector<TunableAlgorithm> algorithms;
+            for (const auto& builder : context.builders) {
+                TunableAlgorithm a;
+                a.name = builder->name();
+                a.space = builder->tuning_space();
+                a.initial = builder->default_config();
+                a.searcher = spec.make();
+                algorithms.push_back(std::move(a));
+            }
+            TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.10),
+                                std::move(algorithms), rep + 1);
+            const TuningTrace trace = tuner.run(
+                [&](const Trial& trial) {
+                    const auto& builder = *context.builders[trial.algorithm];
+                    return std::max(1e-6,
+                                    context.pipeline->render_frame(
+                                        builder, builder.decode(trial.config)));
+                },
+                frames);
+            best_total += tuner.best_cost();
+            first_total += trace[0].cost;
+            double late = 0.0;
+            const std::size_t from = frames * 2 / 3;
+            for (std::size_t i = from; i < frames; ++i) late += trace[i].cost;
+            late_total += late / static_cast<double>(frames - from);
+        }
+        table.row()
+            .text(spec.name)
+            .num(best_total / static_cast<double>(reps), 3)
+            .num(late_total / static_cast<double>(reps), 3)
+            .num(first_total / static_cast<double>(reps), 3);
+        std::printf("  [done] %s\n", spec.name.c_str());
+    }
+    std::printf("\n");
+    table.print();
+
+    std::printf(
+        "\nExpected shape: Nelder-Mead reaches a low late-frame cost within the\n"
+        "frame budget (the paper's rationale); population methods (PSO, GA, DE)\n"
+        "pay for their exploration under the short online horizon; Random\n"
+        "establishes the no-search baseline.\n");
+    return 0;
+}

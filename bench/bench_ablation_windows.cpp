@@ -1,0 +1,127 @@
+/// Ablation (DESIGN.md): sensitivity of the windowed strategies to their
+/// window size, and of ε-Greedy to ε.  The paper fixes window = 16 and
+/// ε ∈ {5,10,20}% without justification; this harness sweeps both on a
+/// deterministic synthetic workload where algorithm 1 tunes from 23 ms down
+/// to 8 ms and three competitors stay at 40/26/120 ms.
+
+#include "harness.hpp"
+
+using namespace atk;
+
+namespace {
+
+struct Synthetic {
+    double base;
+    double opt;
+    double slope;
+};
+
+const std::vector<Synthetic> kAlgos{
+    {40.0, 50.0, 0.00}, {8.0, 80.0, 0.50}, {20.0, 20.0, 0.20}, {120.0, 50.0, 1.00}};
+
+std::vector<TunableAlgorithm> make_algorithms() {
+    std::vector<TunableAlgorithm> algorithms;
+    for (std::size_t i = 0; i < kAlgos.size(); ++i) {
+        TunableAlgorithm a;
+        a.name = "algo" + std::to_string(i);
+        a.space.add(Parameter::ratio("x", 0, 100));
+        a.initial = Configuration{{50}};
+        a.searcher = std::make_unique<NelderMeadSearcher>();
+        algorithms.push_back(std::move(a));
+    }
+    return algorithms;
+}
+
+/// Mean cost of the final third of a tuning run (regret proxy).
+double late_cost(std::unique_ptr<NominalStrategy> strategy, std::size_t iterations,
+                 std::uint64_t seed) {
+    TwoPhaseTuner tuner(std::move(strategy), make_algorithms(), seed);
+    const TuningTrace trace = tuner.run(
+        [&](const Trial& trial) {
+            const auto& algo = kAlgos[trial.algorithm];
+            const double x = static_cast<double>(trial.config[0]);
+            return algo.base + algo.slope * std::abs(x - algo.opt);
+        },
+        iterations);
+    double total = 0.0;
+    const std::size_t from = iterations * 2 / 3;
+    for (std::size_t i = from; i < iterations; ++i) total += trace[i].cost;
+    return total / static_cast<double>(iterations - from);
+}
+
+double averaged_late_cost(const std::function<std::unique_ptr<NominalStrategy>()>& make,
+                          std::size_t iterations, std::size_t reps) {
+    double total = 0.0;
+    for (std::size_t rep = 0; rep < reps; ++rep)
+        total += late_cost(make(), iterations, rep + 1);
+    return total / static_cast<double>(reps);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Cli cli("bench_ablation_windows",
+            "Ablation: window-size and epsilon sensitivity of the strategies");
+    cli.add_int("reps", 20, "repetitions per configuration")
+        .add_int("iters", 300, "tuning iterations per run");
+    if (!cli.parse(argc, argv)) return 1;
+    const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
+    const auto iters = static_cast<std::size_t>(cli.get_int("iters"));
+
+    bench::print_header("Ablation — strategy hyper-parameters",
+                        "synthetic 4-algorithm workload, optimum 8 ms after tuning");
+    std::printf("%zu reps x %zu iterations; value = mean cost of final third [ms]\n\n",
+                reps, iters);
+
+    {
+        Table table({"window", "Gradient Weighted", "Sliding-Window AUC"});
+        for (const std::size_t window : {2u, 4u, 8u, 16u, 32u, 64u}) {
+            table.row()
+                .integer(static_cast<long long>(window))
+                .num(averaged_late_cost(
+                         [&] { return std::make_unique<GradientWeighted>(window); },
+                         iters, reps),
+                     2)
+                .num(averaged_late_cost(
+                         [&] { return std::make_unique<SlidingWindowAuc>(window); },
+                         iters, reps),
+                     2);
+        }
+        std::printf("Window-size sweep (paper fixes 16):\n");
+        table.print();
+    }
+
+    {
+        Table table({"epsilon", "e-Greedy late cost"});
+        for (const double epsilon : {0.01, 0.05, 0.10, 0.20, 0.35, 0.50}) {
+            table.row()
+                .num(epsilon, 2)
+                .num(averaged_late_cost(
+                         [&] { return std::make_unique<EpsilonGreedy>(epsilon); },
+                         iters, reps),
+                     2);
+        }
+        std::printf("\nEpsilon sweep (paper uses 0.05/0.10/0.20):\n");
+        table.print();
+    }
+
+    {
+        Table table({"temperature", "Softmax late cost"});
+        for (const double t : {0.02, 0.05, 0.1, 0.2, 0.5, 1.0}) {
+            table.row()
+                .num(t, 2)
+                .num(averaged_late_cost([&] { return std::make_unique<Softmax>(t); },
+                                        iters, reps),
+                     2);
+        }
+        std::printf("\nSoftmax temperature sweep (the paper's discussed alternative):\n");
+        table.print();
+    }
+
+    std::printf(
+        "\nExpected shape: e-Greedy's late cost grows roughly linearly with\n"
+        "epsilon (exploration tax); the windowed strategies are fairly\n"
+        "insensitive to the window size on this workload, supporting the\n"
+        "paper's unexplained choice of 16.\n");
+    return 0;
+}

@@ -1,0 +1,166 @@
+/// Baseline comparison (paper Sections II-B and V): PetaBricks/Nitro solve
+/// algorithmic choice by *converting* the nominal parameter into an
+/// input-feature model trained offline, instead of tuning it online.  This
+/// harness implements that baseline (k-NN over pattern features, trained by
+/// exhaustive offline measurement) and races four selectors on an
+/// input-varying string-matching workload:
+///
+///   oracle         — per-query exhaustive best (lower bound, not a policy)
+///   feature model  — offline-trained on other patterns (Nitro-style)
+///   online tuner   — ε-Greedy, pays exploration at runtime (this paper)
+///   Hybrid         — the hand-crafted pattern-length heuristic
+///   fixed best     — the single algorithm that is best on average
+
+#include "core/feature_model.hpp"
+#include "stringmatch/corpus.hpp"
+#include "stringmatch/parallel.hpp"
+#include "stringmatch_experiment.hpp"
+#include "support/clock.hpp"
+
+using namespace atk;
+
+namespace {
+
+/// Features the Nitro paper would call user-defined: pattern length and its
+/// distinct-character count.
+FeatureVector features_of(const std::string& pattern) {
+    std::vector<bool> seen(256, false);
+    double distinct = 0.0;
+    for (const char c : pattern)
+        if (!seen[static_cast<unsigned char>(c)]) {
+            seen[static_cast<unsigned char>(c)] = true;
+            distinct += 1.0;
+        }
+    return {static_cast<double>(pattern.size()), distinct};
+}
+
+std::vector<std::string> sample_patterns(const std::string& corpus, Rng& rng,
+                                         std::size_t count) {
+    // Real substrings of the corpus, lengths spanning every matcher regime.
+    std::vector<std::string> patterns;
+    const std::size_t lengths[] = {2, 3, 5, 8, 12, 16, 24, 32, 48, 64};
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t len = lengths[i % std::size(lengths)];
+        const std::size_t pos = rng.index(corpus.size() - len);
+        patterns.push_back(corpus.substr(pos, len));
+    }
+    return patterns;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Cli cli("bench_baseline_feature_model",
+            "Baseline: offline feature model (PetaBricks/Nitro style) vs online tuning");
+    cli.add_int("corpus-bytes", 2 * 1024 * 1024, "corpus size")
+        .add_int("train-patterns", 40, "offline training workloads")
+        .add_int("test-patterns", 20, "unseen evaluation workloads")
+        .add_int("queries-per-pattern", 30, "repeated queries per test pattern")
+        .add_int("threads", 0, "worker threads (0 = hardware)")
+        .add_int("seed", 99, "pattern sampling seed");
+    if (!cli.parse(argc, argv)) return 1;
+
+    bench::print_header("Baseline — input-feature model vs online tuning",
+                        "workload: repeated queries with per-pattern contexts");
+
+    const std::string corpus = sm::bible_like_corpus(
+        static_cast<std::size_t>(cli.get_int("corpus-bytes")), 2016, 2);
+    auto matchers = sm::make_all_matchers_with_hybrid();
+    const std::size_t hybrid_index = matchers.size() - 1;
+    ThreadPool pool(static_cast<std::size_t>(cli.get_int("threads")));
+    Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+    auto time_query = [&](std::size_t algorithm, const std::string& pattern) {
+        Stopwatch watch;
+        (void)sm::parallel_count(*matchers[algorithm], corpus, pattern, pool);
+        return std::max(1e-6, watch.elapsed_ms());
+    };
+
+    // --- Offline training phase (the baseline's cost, reported below).
+    Stopwatch training_watch;
+    std::vector<TrainingWorkload> training;
+    for (auto& pattern : sample_patterns(
+             corpus, rng, static_cast<std::size_t>(cli.get_int("train-patterns")))) {
+        TrainingWorkload workload;
+        workload.features = features_of(pattern);
+        workload.measure = [&, pattern](std::size_t a) { return time_query(a, pattern); };
+        training.push_back(std::move(workload));
+    }
+    const FeatureModel model =
+        train_feature_model(training, matchers.size(), 3, /*repetitions=*/3);
+    const double training_ms = training_watch.elapsed_ms();
+
+    // --- Evaluation on unseen patterns.
+    const auto queries =
+        static_cast<std::size_t>(cli.get_int("queries-per-pattern"));
+    double total_oracle = 0.0;
+    double total_model = 0.0;
+    double total_online = 0.0;
+    double total_hybrid = 0.0;
+    std::vector<double> per_algorithm_total(matchers.size(), 0.0);
+
+    const auto test_patterns = sample_patterns(
+        corpus, rng, static_cast<std::size_t>(cli.get_int("test-patterns")));
+    for (const auto& pattern : test_patterns) {
+        // Oracle & fixed-algorithm reference costs for this pattern.
+        std::vector<double> direct(matchers.size());
+        for (std::size_t a = 0; a < matchers.size(); ++a) {
+            direct[a] = std::min(time_query(a, pattern), time_query(a, pattern));
+            per_algorithm_total[a] += direct[a] * static_cast<double>(queries);
+        }
+        total_oracle +=
+            *std::min_element(direct.begin(), direct.end()) * static_cast<double>(queries);
+
+        // Feature model: one prediction, then exploit for all queries.
+        const std::size_t predicted = model.predict(features_of(pattern));
+        for (std::size_t q = 0; q < queries; ++q)
+            total_model += time_query(predicted, pattern);
+
+        // Online tuner: fresh tuning run per pattern context.
+        std::vector<TunableAlgorithm> algorithms;
+        for (const auto& matcher : matchers)
+            algorithms.push_back(TunableAlgorithm::untunable(matcher->name()));
+        TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.10), std::move(algorithms),
+                            rng());
+        for (std::size_t q = 0; q < queries; ++q) {
+            const Trial trial = tuner.next();
+            const Millis elapsed = time_query(trial.algorithm, pattern);
+            tuner.report(trial, elapsed);
+            total_online += elapsed;
+        }
+
+        // Hand-crafted heuristic.
+        for (std::size_t q = 0; q < queries; ++q)
+            total_hybrid += time_query(hybrid_index, pattern);
+    }
+
+    const double total_queries =
+        static_cast<double>(test_patterns.size()) * static_cast<double>(queries);
+    const double best_fixed =
+        *std::min_element(per_algorithm_total.begin(), per_algorithm_total.end());
+
+    Table table({"selector", "mean query [ms]", "vs oracle", "offline cost [ms]"});
+    auto add = [&](const std::string& name, double total, double offline) {
+        table.row()
+            .text(name)
+            .num(total / total_queries, 4)
+            .num(total / total_oracle, 2)
+            .num(offline, 1);
+    };
+    add("oracle (per-query best)", total_oracle, 0.0);
+    add("feature model (Nitro-style)", total_model, training_ms);
+    add("online e-Greedy (this paper)", total_online, 0.0);
+    add("Hybrid heuristic", total_hybrid, 0.0);
+    add("best fixed algorithm", best_fixed, 0.0);
+    std::printf("\n%zu test patterns x %zu queries, %zu training patterns\n\n",
+                test_patterns.size(), queries, training.size());
+    table.print();
+
+    std::printf(
+        "\nExpected shape: the feature model lands near the oracle but paid an\n"
+        "offline training phase and needed feature engineering; the online\n"
+        "tuner gets close while paying only in-run exploration (its gap shrinks\n"
+        "with more queries per context); any single fixed algorithm is worse\n"
+        "than either — the reason algorithmic choice needs tuning at all.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/// Reproduces Figure 1 ("String Matching: Performance of the parallel string
+/// matching algorithms"): a per-algorithm boxplot of untuned search times
+/// for the Revelation phrase on the Bible-like corpus.
+
+#include "stringmatch/corpus.hpp"
+#include "stringmatch/parallel.hpp"
+#include "stringmatch_experiment.hpp"
+#include "support/clock.hpp"
+
+using namespace atk;
+
+int main(int argc, char** argv) {
+    Cli cli("bench_fig1_string_untuned",
+            "Figure 1: untuned per-algorithm string matching performance");
+    bench::add_stringmatch_options(cli);
+    if (!cli.parse(argc, argv)) return 1;
+
+    bench::StringMatchContext context = bench::make_stringmatch_context(cli);
+    bench::print_header("Figure 1 — String Matching: untuned algorithm performance",
+                        "query: \"" + context.pattern + "\"");
+    const std::size_t reps = bench::stringmatch_reps(cli);
+    std::printf("corpus: %zu bytes, %zu repetitions, %zu threads\n\n",
+                context.corpus.size(), reps, context.pool->thread_count());
+
+    Table table({"algorithm", "min", "q1", "median", "q3", "max", "mean", "stddev"});
+    CsvWriter csv({"algorithm", "repetition", "time_ms"});
+    for (const auto& matcher : context.matchers) {
+        std::vector<double> times;
+        std::size_t occurrences = 0;
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+            Stopwatch watch;
+            occurrences = sm::parallel_count(*matcher, context.corpus, context.pattern,
+                                             *context.pool);
+            times.push_back(watch.elapsed_ms());
+            csv.add_row({matcher->name(), std::to_string(rep),
+                         format_num(times.back(), 4)});
+        }
+        const BoxStats stats = summarize(times);
+        table.row()
+            .text(matcher->name())
+            .num(stats.min, 3)
+            .num(stats.q1, 3)
+            .num(stats.median, 3)
+            .num(stats.q3, 3)
+            .num(stats.max, 3)
+            .num(stats.mean, 3)
+            .num(stats.stddev, 3);
+        if (occurrences == 0)
+            std::fprintf(stderr, "warning: %s found no occurrences\n",
+                         matcher->name().c_str());
+    }
+    std::printf("(all times in ms; boxplot columns as in the paper's Figure 1)\n\n");
+    table.print();
+    const std::string path = bench::results_path("fig1_string_untuned.csv");
+    if (csv.write_file(path)) std::printf("\n[csv] %s\n", path.c_str());
+
+    std::printf(
+        "\nExpected shape (paper): SSEF, EBOM, Hash3 and Hybrid are the fast\n"
+        "group; Boyer-Moore, KMP and ShiftOr are the slow group with larger\n"
+        "spread.\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/// google-benchmark microbenchmarks of the four kD-tree builders: build
+/// time per algorithm and scene size, plus traversal throughput of the
+/// resulting trees.  Complements Figure 5 with absolute substrate numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "raytrace/builder.hpp"
+#include "raytrace/renderer.hpp"
+
+namespace {
+
+using namespace atk;
+using namespace atk::rt;
+
+const Scene& cathedral() {
+    static const Scene scene = make_cathedral();
+    return scene;
+}
+
+const char* builder_name(int index) {
+    static const char* names[] = {"Inplace", "Lazy", "Nested", "Wald-Havran"};
+    return names[index];
+}
+
+void BM_TreeBuild(benchmark::State& state) {
+    static ThreadPool pool;
+    const auto builder = make_builder(builder_name(static_cast<int>(state.range(0))));
+    const BuildConfig config = builder->decode(builder->default_config());
+    for (auto _ : state) {
+        KdTree tree = builder->build(cathedral(), config, pool);
+        benchmark::DoNotOptimize(tree.node_count());
+    }
+    state.SetLabel(builder->name());
+}
+BENCHMARK(BM_TreeBuild)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void BM_TreeBuildSoup(benchmark::State& state) {
+    static ThreadPool pool;
+    const auto scene = make_soup(static_cast<std::size_t>(state.range(1)), 3);
+    const auto builder = make_builder(builder_name(static_cast<int>(state.range(0))));
+    const BuildConfig config = builder->decode(builder->default_config());
+    for (auto _ : state) {
+        KdTree tree = builder->build(scene, config, pool);
+        benchmark::DoNotOptimize(tree.node_count());
+    }
+    state.SetLabel(std::string(builder->name()) + " n=" +
+                   std::to_string(state.range(1)));
+}
+BENCHMARK(BM_TreeBuildSoup)
+    ->ArgsProduct({{0, 1, 2, 3}, {1000, 8000}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RenderFrame(benchmark::State& state) {
+    static ThreadPool pool;
+    const auto builder = make_builder(builder_name(static_cast<int>(state.range(0))));
+    const BuildConfig config = builder->decode(builder->default_config());
+    const KdTree tree = builder->build(cathedral(), config, pool);
+    const Camera camera(cathedral().camera_position, cathedral().camera_target, 60.0f,
+                        96, 72);
+    for (auto _ : state) {
+        const Image image = render(cathedral(), tree, camera, pool);
+        benchmark::DoNotOptimize(image.checksum());
+    }
+    state.SetLabel(std::string(builder->name()) + " render-only");
+}
+BENCHMARK(BM_RenderFrame)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void BM_SahBinsSweep(benchmark::State& state) {
+    // Build cost as a function of the tunable bin count (Nested builder).
+    static ThreadPool pool;
+    const auto builder = make_builder("Nested");
+    BuildConfig config = builder->decode(builder->default_config());
+    config.sah_bins = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        KdTree tree = builder->build(cathedral(), config, pool);
+        benchmark::DoNotOptimize(tree.node_count());
+    }
+    state.SetLabel("bins=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_SahBinsSweep)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+/// google-benchmark microbenchmarks of the seven matchers + Hybrid:
+/// throughput over corpus size and pattern length, sequential vs parallel.
+/// Complements Figure 1 with per-algorithm scaling data.
+
+#include <benchmark/benchmark.h>
+
+#include "stringmatch/corpus.hpp"
+#include "stringmatch/matcher.hpp"
+#include "stringmatch/parallel.hpp"
+
+namespace {
+
+using namespace atk;
+using namespace atk::sm;
+
+const std::vector<std::unique_ptr<Matcher>>& matchers() {
+    static const auto instance = make_all_matchers_with_hybrid();
+    return instance;
+}
+
+const std::string& corpus() {
+    static const std::string text = bible_like_corpus(1 << 20, 2016, 4);
+    return text;
+}
+
+void matcher_args(benchmark::internal::Benchmark* bench) {
+    // {matcher index, pattern length}
+    for (int m = 0; m < 8; ++m)
+        for (const int pattern_len : {4, 16, 39})
+            bench->Args({m, pattern_len});
+}
+
+void BM_MatcherSequential(benchmark::State& state) {
+    const auto& matcher = *matchers()[static_cast<std::size_t>(state.range(0))];
+    const auto pattern_len = static_cast<std::size_t>(state.range(1));
+    const std::string pattern(query_phrase().substr(0, pattern_len));
+    std::size_t found = 0;
+    for (auto _ : state) {
+        found = matcher.count(corpus(), pattern);
+        benchmark::DoNotOptimize(found);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(corpus().size()));
+    state.SetLabel(matcher.name() + " m=" + std::to_string(pattern_len));
+}
+BENCHMARK(BM_MatcherSequential)->Apply(matcher_args)->Unit(benchmark::kMillisecond);
+
+void BM_MatcherParallel(benchmark::State& state) {
+    static ThreadPool pool;
+    const auto& matcher = *matchers()[static_cast<std::size_t>(state.range(0))];
+    const std::string pattern(query_phrase());
+    std::size_t found = 0;
+    for (auto _ : state) {
+        found = parallel_count(matcher, corpus(), pattern, pool);
+        benchmark::DoNotOptimize(found);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(corpus().size()));
+    state.SetLabel(matcher.name() + " parallel");
+}
+BENCHMARK(BM_MatcherParallel)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
+void BM_DnaCorpus(benchmark::State& state) {
+    // Small-alphabet stress: the paper's second corpus (human genome).
+    static const std::string pattern = "GATTACAGATTACAGATTACAGATTACAGATT";
+    static const std::string text = dna_corpus(1 << 20, pattern, 7, 4);
+    const auto& matcher = *matchers()[static_cast<std::size_t>(state.range(0))];
+    std::size_t found = 0;
+    for (auto _ : state) {
+        found = matcher.count(text, pattern);
+        benchmark::DoNotOptimize(found);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(text.size()));
+    state.SetLabel(matcher.name() + " dna");
+}
+BENCHMARK(BM_DnaCorpus)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+/// Reproduces Table I ("Parameter Classes"): Stevens' typology as realized
+/// by the live atk::Parameter type system, including the subsumption of
+/// properties across classes.
+
+#include "core/parameter.hpp"
+#include "harness.hpp"
+
+using namespace atk;
+
+int main() {
+    bench::print_header("Table I — Parameter Classes",
+                        "Stevens' typology as realized by atk::Parameter");
+
+    // The paper's four example parameters, built with the real API.
+    struct RowSpec {
+        Parameter param;
+        const char* property;
+        const char* example;
+    };
+    const RowSpec rows[] = {
+        {Parameter::nominal("algorithm", {"Boyer-Moore", "EBOM", "SSEF"}), "Labels",
+         "Choice of algorithm"},
+        {Parameter::ordinal("buffer", {"small", "medium", "large"}), "Order",
+         "Choice of buffer sizes from a set {small, medium, large}"},
+        {Parameter::interval("buffer_pct", 0, 100), "Distance",
+         "Percentage of a maximum buffer size"},
+        {Parameter::ratio("threads", 1, 16), "Natural Zero, Equality of Ratios",
+         "Number of threads"},
+    };
+
+    Table table({"Class", "Distinguishing Property", "Example", "order?", "distance?",
+                 "zero?"});
+    for (const auto& row : rows) {
+        table.row()
+            .text(to_string(row.param.cls()))
+            .text(row.property)
+            .text(row.example)
+            .text(row.param.has_order() ? "yes" : "no")
+            .text(row.param.has_distance() ? "yes" : "no")
+            .text(row.param.has_natural_zero() ? "yes" : "no");
+    }
+    table.print();
+
+    std::printf(
+        "\nEach class subsumes the properties of all previous classes, which is\n"
+        "what the search strategies check: distance-based searchers reject the\n"
+        "Nominal 'algorithm' parameter above — the paper's core observation.\n");
+    return 0;
+}

@@ -1,0 +1,24 @@
+/// Reproduces Table II ("Specifications of the benchmark system") for the
+/// machine this reproduction actually runs on, next to the paper's values.
+
+#include "harness.hpp"
+#include "support/sysinfo.hpp"
+
+using namespace atk;
+
+int main() {
+    bench::print_header("Table II — Specifications of the benchmark system",
+                        "this host vs. the paper's machine");
+
+    const SystemInfo info = query_system_info();
+    Table table({"", "paper", "this reproduction"});
+    table.row().text("Processor").text("Intel Xeon E5-1620v2").text(
+        info.cpu_model.empty() ? "(unknown)" : info.cpu_model);
+    table.row().text("Speed").text("3.70GHz").text(
+        info.cpu_mhz > 0 ? format_num(info.cpu_mhz / 1000.0, 2) + "GHz" : "(unknown)");
+    table.row().text("Threads").text("8").integer(info.threads);
+    table.row().text("RAM").text("64GB").text(format_bytes(info.ram_bytes));
+    table.row().text("OS").text("(not reported)").text(info.os);
+    table.print();
+    return 0;
+}

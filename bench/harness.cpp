@@ -1,0 +1,147 @@
+#include "harness.hpp"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+
+#include "support/sparkline.hpp"
+
+namespace atk::bench {
+
+std::vector<StrategySpec> paper_strategies() {
+    return {
+        {"e-Greedy (5%)", [] { return std::make_unique<EpsilonGreedy>(0.05); }},
+        {"e-Greedy (10%)", [] { return std::make_unique<EpsilonGreedy>(0.10); }},
+        {"e-Greedy (20%)", [] { return std::make_unique<EpsilonGreedy>(0.20); }},
+        {"Gradient Weighted", [] { return std::make_unique<GradientWeighted>(16); }},
+        {"Optimum Weighted", [] { return std::make_unique<OptimumWeighted>(); }},
+        {"Sliding-Window AUC", [] { return std::make_unique<SlidingWindowAuc>(16); }},
+    };
+}
+
+std::vector<double> StrategySeries::median_per_iteration() const {
+    return columnwise_median(cost_rows);
+}
+
+std::vector<double> StrategySeries::mean_per_iteration() const {
+    return columnwise_mean(cost_rows);
+}
+
+BoxStats StrategySeries::count_stats(std::size_t algorithm) const {
+    std::vector<double> counts;
+    counts.reserve(count_rows.size());
+    for (const auto& row : count_rows)
+        counts.push_back(static_cast<double>(row.at(algorithm)));
+    return summarize(counts);
+}
+
+std::vector<StrategySeries> run_all_strategies(
+    const std::function<RunResult(const StrategySpec&, std::uint64_t seed)>& run,
+    std::size_t reps) {
+    std::vector<StrategySeries> all;
+    for (const auto& spec : paper_strategies()) {
+        StrategySeries series;
+        series.strategy = spec.name;
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+            RunResult result = run(spec, rep + 1);
+            series.cost_rows.push_back(std::move(result.costs));
+            series.count_rows.push_back(std::move(result.counts));
+        }
+        all.push_back(std::move(series));
+        std::printf("  [done] %s (%zu repetitions)\n", spec.name.c_str(), reps);
+    }
+    return all;
+}
+
+void print_series_table(const std::string& title,
+                        const std::vector<StrategySeries>& series,
+                        const std::function<std::vector<double>(const StrategySeries&)>&
+                            reduce,
+                        std::size_t max_iterations) {
+    std::printf("\n%s\n", title.c_str());
+    std::vector<std::string> headers{"iter"};
+    std::vector<std::vector<double>> columns;
+    for (const auto& s : series) {
+        headers.push_back(s.strategy);
+        columns.push_back(reduce(s));
+    }
+    Table table(headers);
+    const std::size_t iterations =
+        columns.empty() ? 0 : std::min(max_iterations, columns.front().size());
+    for (std::size_t i = 0; i < iterations; ++i) {
+        auto row = table.row();
+        row.integer(static_cast<long long>(i));
+        for (const auto& column : columns) row.num(column[i], 3);
+    }
+    table.print();
+
+    // Terminal rendering of the figure's curves (shared scale).
+    std::vector<LabeledSeries> chart;
+    for (std::size_t s = 0; s < series.size(); ++s) {
+        LabeledSeries entry;
+        entry.label = series[s].strategy;
+        entry.values.assign(columns[s].begin(),
+                            columns[s].begin() +
+                                static_cast<std::ptrdiff_t>(iterations));
+        chart.push_back(std::move(entry));
+    }
+    std::printf("\n%s", sparkline_chart(chart, "ms").c_str());
+}
+
+void print_histogram_table(const std::string& title,
+                           const std::vector<StrategySeries>& series,
+                           const std::vector<std::string>& algorithm_names) {
+    std::printf("\n%s\n(median selections per repetition [q1..q3])\n", title.c_str());
+    std::vector<std::string> headers{"algorithm"};
+    for (const auto& s : series) headers.push_back(s.strategy);
+    Table table(headers);
+    for (std::size_t a = 0; a < algorithm_names.size(); ++a) {
+        auto row = table.row();
+        row.text(algorithm_names[a]);
+        for (const auto& s : series) {
+            const BoxStats stats = s.count_stats(a);
+            row.text(format_num(stats.median, 0) + " [" + format_num(stats.q1, 0) +
+                     ".." + format_num(stats.q3, 0) + "]");
+        }
+    }
+    table.print();
+}
+
+std::string results_path(const std::string& filename) {
+    ::mkdir("results", 0755);  // EEXIST is fine
+    return "results/" + filename;
+}
+
+std::string write_series_csv(const std::string& filename,
+                             const std::vector<StrategySeries>& series,
+                             const std::function<std::vector<double>(
+                                 const StrategySeries&)>& reduce) {
+    std::vector<std::string> headers{"iteration"};
+    std::vector<std::vector<double>> columns;
+    for (const auto& s : series) {
+        headers.push_back(s.strategy);
+        columns.push_back(reduce(s));
+    }
+    CsvWriter csv(headers);
+    const std::size_t iterations = columns.empty() ? 0 : columns.front().size();
+    for (std::size_t i = 0; i < iterations; ++i) {
+        std::vector<std::string> row{std::to_string(i)};
+        for (const auto& column : columns) row.push_back(format_num(column[i], 4));
+        csv.add_row(std::move(row));
+    }
+    const std::string path = results_path(filename);
+    if (!csv.write_file(path)) {
+        std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+        return {};
+    }
+    std::printf("\n[csv] %s\n", path.c_str());
+    return path;
+}
+
+void print_header(const std::string& experiment, const std::string& description) {
+    std::printf("==============================================================\n");
+    std::printf("%s\n%s\n", experiment.c_str(), description.c_str());
+    std::printf("==============================================================\n");
+}
+
+} // namespace atk::bench

@@ -1,0 +1,86 @@
+#pragma once
+
+/// Shared machinery for the figure/table reproduction harnesses.  Every
+/// bench binary prints the same rows/series the paper reports and writes
+/// the raw series as CSV next to the binary (results/<name>.csv) for
+/// re-plotting.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/autotune.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/statistics.hpp"
+#include "support/table.hpp"
+
+namespace atk::bench {
+
+/// Factory for one of the paper's six evaluated strategies.
+struct StrategySpec {
+    std::string name;
+    std::function<std::unique_ptr<NominalStrategy>()> make;
+};
+
+/// The six strategies of the paper's evaluation, in legend order:
+/// ε-Greedy (5 %, 10 %, 20 %), Gradient Weighted, Optimum Weighted,
+/// Sliding-Window AUC.
+[[nodiscard]] std::vector<StrategySpec> paper_strategies();
+
+/// One repetition of an online-tuning experiment: per-iteration costs and
+/// per-algorithm choice counts.
+struct RunResult {
+    std::vector<double> costs;          // cost per iteration
+    std::vector<std::size_t> counts;    // selections per algorithm
+};
+
+/// Cross-repetition aggregate for one strategy.
+struct StrategySeries {
+    std::string strategy;
+    std::vector<std::vector<double>> cost_rows;        // [rep][iteration]
+    std::vector<std::vector<std::size_t>> count_rows;  // [rep][algorithm]
+
+    [[nodiscard]] std::vector<double> median_per_iteration() const;
+    [[nodiscard]] std::vector<double> mean_per_iteration() const;
+    /// Boxplot of the per-repetition counts of one algorithm.
+    [[nodiscard]] BoxStats count_stats(std::size_t algorithm) const;
+};
+
+/// Runs `reps` independent repetitions of `run` (seeded 1..reps) for every
+/// paper strategy.
+[[nodiscard]] std::vector<StrategySeries> run_all_strategies(
+    const std::function<RunResult(const StrategySpec&, std::uint64_t seed)>& run,
+    std::size_t reps);
+
+/// Prints a per-iteration series table: one row per iteration (capped at
+/// `max_iterations`), one column per strategy.
+void print_series_table(const std::string& title,
+                        const std::vector<StrategySeries>& series,
+                        const std::function<std::vector<double>(const StrategySeries&)>&
+                            reduce,
+                        std::size_t max_iterations);
+
+/// Prints a per-algorithm × per-strategy histogram table (median count with
+/// quartiles, the textual form of the paper's count boxplots).
+void print_histogram_table(const std::string& title,
+                           const std::vector<StrategySeries>& series,
+                           const std::vector<std::string>& algorithm_names);
+
+/// Writes the per-iteration reduction of every strategy to CSV
+/// (columns: iteration, then one per strategy). Returns the path written,
+/// or an empty string on failure (reported, non-fatal).
+std::string write_series_csv(const std::string& filename,
+                             const std::vector<StrategySeries>& series,
+                             const std::function<std::vector<double>(
+                                 const StrategySeries&)>& reduce);
+
+/// Standard bench preamble: prints the experiment id & context line.
+void print_header(const std::string& experiment, const std::string& description);
+
+/// Creates the results/ directory (next to the cwd) if needed; returns
+/// "results/<filename>".
+[[nodiscard]] std::string results_path(const std::string& filename);
+
+} // namespace atk::bench

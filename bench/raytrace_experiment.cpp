@@ -1,0 +1,93 @@
+#include "raytrace_experiment.hpp"
+
+namespace atk::bench {
+
+std::vector<std::string> RaytraceContext::algorithm_names() const {
+    std::vector<std::string> names;
+    for (const auto& builder : builders) names.push_back(builder->name());
+    return names;
+}
+
+void add_raytrace_options(Cli& cli) {
+    cli.add_int("reps", 10, "experiment repetitions (paper: 100)")
+        .add_int("frames", 50, "frames (= tuning iterations) per repetition (paper: 100)")
+        .add_int("width", 96, "image width")
+        .add_int("height", 72, "image height")
+        .add_int("floor-tiles", 12, "cathedral floor tessellation")
+        .add_int("column-segments", 10, "cathedral column tessellation")
+        .add_int("vault-segments", 16, "cathedral vault tessellation")
+        .add_int("clutter", 24, "cathedral clutter boxes")
+        .add_int("threads", 0, "worker threads (0 = hardware)")
+        .add_flag("paper", "paper-scale parameters (100 reps x 100 frames, finer scene)");
+}
+
+RaytraceContext make_raytrace_context(const Cli& cli) {
+    const bool paper = cli.get_flag("paper");
+    rt::CathedralParams params;
+    params.floor_tiles = static_cast<int>(cli.get_int("floor-tiles")) * (paper ? 2 : 1);
+    params.column_segments =
+        static_cast<int>(cli.get_int("column-segments")) * (paper ? 2 : 1);
+    params.vault_segments =
+        static_cast<int>(cli.get_int("vault-segments")) * (paper ? 2 : 1);
+    params.clutter = static_cast<int>(cli.get_int("clutter")) * (paper ? 2 : 1);
+
+    RaytraceContext context;
+    context.pipeline = std::make_unique<rt::RaytracePipeline>(
+        rt::make_cathedral(params), static_cast<int>(cli.get_int("width")),
+        static_cast<int>(cli.get_int("height")),
+        static_cast<std::size_t>(cli.get_int("threads")));
+    context.builders = rt::make_all_builders();
+    std::printf("scene: %zu triangles, %dx%d px\n",
+                context.pipeline->scene().triangles.size(),
+                static_cast<int>(cli.get_int("width")),
+                static_cast<int>(cli.get_int("height")));
+    return context;
+}
+
+std::size_t raytrace_reps(const Cli& cli) {
+    return cli.get_flag("paper") ? 100 : static_cast<std::size_t>(cli.get_int("reps"));
+}
+
+std::size_t raytrace_frames(const Cli& cli) {
+    return cli.get_flag("paper") ? 100 : static_cast<std::size_t>(cli.get_int("frames"));
+}
+
+RunResult run_raytrace_tuning(RaytraceContext& context, const StrategySpec& strategy,
+                              std::size_t frames, std::uint64_t seed) {
+    TwoPhaseTuner tuner(strategy.make(), rt::make_tunable_builders(context.builders),
+                        seed);
+    const TuningTrace trace = tuner.run(
+        [&](const Trial& trial) {
+            const auto& builder = *context.builders[trial.algorithm];
+            return std::max(1e-6, context.pipeline->render_frame(
+                                      builder, builder.decode(trial.config)));
+        },
+        frames);
+
+    RunResult result;
+    result.costs = trace.costs();
+    result.counts = trace.choice_counts(context.builders.size());
+    return result;
+}
+
+std::vector<double> run_single_builder_timeline(RaytraceContext& context,
+                                                std::size_t builder_index,
+                                                std::size_t frames, std::uint64_t seed) {
+    const auto& builder = *context.builders[builder_index];
+    NelderMeadSearcher searcher;
+    const SearchSpace space = builder.tuning_space();  // must outlive the searcher
+    searcher.reset(space, builder.default_config());
+    Rng rng(seed);
+    std::vector<double> timeline;
+    timeline.reserve(frames);
+    for (std::size_t frame = 0; frame < frames; ++frame) {
+        const Configuration config = searcher.propose(rng);
+        const Millis cost = std::max(
+            1e-6, context.pipeline->render_frame(builder, builder.decode(config)));
+        searcher.feedback(config, cost);
+        timeline.push_back(cost);
+    }
+    return timeline;
+}
+
+} // namespace atk::bench

@@ -1,0 +1,45 @@
+#pragma once
+
+/// Case study 2 experiment runner (paper Section IV-B): a two-stage
+/// raytracing pipeline renders a static cathedral scene (the Sibenik
+/// stand-in, see DESIGN.md) for N frames; per frame the online tuner picks a
+/// kD-tree construction algorithm (phase two) and its parameter
+/// configuration (phase one, Nelder-Mead).
+
+#include <memory>
+
+#include "harness.hpp"
+#include "raytrace/pipeline.hpp"
+
+namespace atk::bench {
+
+struct RaytraceContext {
+    std::unique_ptr<rt::RaytracePipeline> pipeline;
+    std::vector<std::unique_ptr<rt::KdBuilder>> builders;
+
+    [[nodiscard]] std::vector<std::string> algorithm_names() const;
+};
+
+/// Standard CLI options shared by the Figure 5-8 harnesses.
+void add_raytrace_options(Cli& cli);
+
+/// Builds scene/pipeline/builders from parsed options (honoring --paper).
+[[nodiscard]] RaytraceContext make_raytrace_context(const Cli& cli);
+
+/// One combined-tuning run (Figures 6-8): per frame, phase two selects the
+/// builder and phase one (Nelder-Mead) its configuration.
+[[nodiscard]] RunResult run_raytrace_tuning(RaytraceContext& context,
+                                            const StrategySpec& strategy,
+                                            std::size_t frames, std::uint64_t seed);
+
+/// Per-builder Nelder-Mead-only timeline (Figure 5): tunes one builder in
+/// isolation for `frames` frames starting at the hand-crafted default.
+[[nodiscard]] std::vector<double> run_single_builder_timeline(RaytraceContext& context,
+                                                              std::size_t builder,
+                                                              std::size_t frames,
+                                                              std::uint64_t seed);
+
+[[nodiscard]] std::size_t raytrace_reps(const Cli& cli);
+[[nodiscard]] std::size_t raytrace_frames(const Cli& cli);
+
+} // namespace atk::bench

@@ -1,0 +1,79 @@
+#include "stringmatch_experiment.hpp"
+
+#include "core/tuner.hpp"
+#include "stringmatch/corpus.hpp"
+#include "stringmatch/parallel.hpp"
+#include "support/clock.hpp"
+
+namespace atk::bench {
+
+std::vector<std::string> StringMatchContext::algorithm_names() const {
+    std::vector<std::string> names;
+    for (const auto& matcher : matchers) names.push_back(matcher->name());
+    return names;
+}
+
+void add_stringmatch_options(Cli& cli) {
+    cli.add_int("reps", 10, "experiment repetitions (paper: 100)")
+        .add_int("iters", 50, "tuning iterations per repetition (paper: 200)")
+        .add_int("corpus-bytes", 2 * 1024 * 1024, "synthetic corpus size")
+        .add_int("threads", 0, "worker threads (0 = hardware)")
+        .add_int("seed", 2016, "corpus generator seed")
+        .add_string("corpus", "bible",
+                    "corpus kind: bible (Revelation phrase) | dna (32-char motif)")
+        .add_flag("paper", "use the paper-scale parameters (100 reps x 200 iters, 4 MB)");
+}
+
+StringMatchContext make_stringmatch_context(const Cli& cli) {
+    StringMatchContext context;
+    const bool paper = cli.get_flag("paper");
+    const std::size_t bytes =
+        paper ? 4 * 1024 * 1024 : static_cast<std::size_t>(cli.get_int("corpus-bytes"));
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    if (cli.get_string("corpus") == "dna") {
+        // The paper's second corpus (human genome): 4-letter alphabet.
+        context.pattern = "GATTACAGATTACAGATTACAGATTACAGATT";
+        context.corpus = sm::dna_corpus(bytes, context.pattern, seed, 1);
+    } else {
+        context.pattern = std::string(sm::query_phrase());
+        context.corpus = sm::bible_like_corpus(bytes, seed, 1);
+    }
+    context.matchers = sm::make_all_matchers_with_hybrid();
+    context.pool = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(cli.get_int("threads")));
+    return context;
+}
+
+std::size_t stringmatch_reps(const Cli& cli) {
+    return cli.get_flag("paper") ? 100 : static_cast<std::size_t>(cli.get_int("reps"));
+}
+
+std::size_t stringmatch_iters(const Cli& cli) {
+    return cli.get_flag("paper") ? 200 : static_cast<std::size_t>(cli.get_int("iters"));
+}
+
+RunResult run_stringmatch_tuning(StringMatchContext& context,
+                                 const StrategySpec& strategy, std::size_t iterations,
+                                 std::uint64_t seed) {
+    std::vector<TunableAlgorithm> algorithms;
+    for (const auto& matcher : context.matchers)
+        algorithms.push_back(TunableAlgorithm::untunable(matcher->name()));
+
+    TwoPhaseTuner tuner(strategy.make(), std::move(algorithms), seed);
+    const TuningTrace trace = tuner.run(
+        [&](const Trial& trial) {
+            Stopwatch watch;
+            (void)sm::parallel_count(*context.matchers[trial.algorithm], context.corpus,
+                                     context.pattern, *context.pool,
+                                     context.partitions);
+            return std::max(1e-6, watch.elapsed_ms());
+        },
+        iterations);
+
+    RunResult result;
+    result.costs = trace.costs();
+    result.counts = trace.choice_counts(context.matchers.size());
+    return result;
+}
+
+} // namespace atk::bench

@@ -1,0 +1,47 @@
+#pragma once
+
+/// Case study 1 experiment runner (paper Section IV-A): online tuning of the
+/// algorithmic choice across the eight parallel string matchers, searching
+/// the Revelation phrase in a Bible-like corpus.  The matchers expose no
+/// tunable parameters, so phase one is trivial and the strategies are
+/// observed in isolation.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "stringmatch/matcher.hpp"
+#include "support/thread_pool.hpp"
+
+namespace atk::bench {
+
+struct StringMatchContext {
+    std::string corpus;
+    std::string pattern;
+    std::vector<std::unique_ptr<sm::Matcher>> matchers;
+    std::unique_ptr<ThreadPool> pool;
+    std::size_t partitions = 0;
+
+    [[nodiscard]] std::vector<std::string> algorithm_names() const;
+};
+
+/// Standard CLI options shared by the Figure 1-4 harnesses.
+void add_stringmatch_options(Cli& cli);
+
+/// Builds corpus/matchers/pool from parsed options (honoring --paper).
+[[nodiscard]] StringMatchContext make_stringmatch_context(const Cli& cli);
+
+/// One complete tuning run (Figure 2/3/4 inner loop): `iters` iterations of
+/// select-algorithm → search corpus → report time.
+[[nodiscard]] RunResult run_stringmatch_tuning(StringMatchContext& context,
+                                               const StrategySpec& strategy,
+                                               std::size_t iterations,
+                                               std::uint64_t seed);
+
+/// Effective iteration/repetition counts for a parsed CLI (--paper selects
+/// the full 100 x 200 of the paper).
+[[nodiscard]] std::size_t stringmatch_reps(const Cli& cli);
+[[nodiscard]] std::size_t stringmatch_iters(const Cli& cli);
+
+} // namespace atk::bench

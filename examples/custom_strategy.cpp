@@ -1,0 +1,120 @@
+/// Extending the library: a user-defined phase-two strategy.
+///
+/// The NominalStrategy interface is the library's extension point for the
+/// paper's future-work direction ("combining the techniques presented here").
+/// This example implements UCB1 — the classic bandit rule balancing the best
+/// observed mean against an exploration bonus — plugs it into the tuner
+/// unchanged, and races it against ε-Greedy on a crossover workload where an
+/// initially-slower algorithm tunes past the early leader (the situation the
+/// paper's Section IV-C worries about).
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "core/autotune.hpp"
+
+using namespace atk;
+
+namespace {
+
+/// UCB1 over inverse runtimes: pick argmax of mean(1/m) + c*sqrt(ln N / n_A).
+class Ucb1Strategy final : public NominalStrategy {
+public:
+    explicit Ucb1Strategy(double exploration = 0.02) : exploration_(exploration) {}
+
+    [[nodiscard]] std::string name() const override { return "UCB1"; }
+
+    void reset(std::size_t choices) override {
+        sums_.assign(choices, 0.0);
+        counts_.assign(choices, 0);
+        total_ = 0;
+    }
+
+    std::size_t select(Rng&) override {
+        // Untried arms first (in order), then the UCB maximizer.
+        for (std::size_t a = 0; a < counts_.size(); ++a)
+            if (counts_[a] == 0) return a;
+        std::size_t best = 0;
+        double best_score = -std::numeric_limits<double>::infinity();
+        for (std::size_t a = 0; a < counts_.size(); ++a) {
+            const double mean = sums_[a] / static_cast<double>(counts_[a]);
+            const double bonus = exploration_ * std::sqrt(std::log(static_cast<double>(
+                                                              total_)) /
+                                                          static_cast<double>(counts_[a]));
+            if (mean + bonus > best_score) {
+                best_score = mean + bonus;
+                best = a;
+            }
+        }
+        return best;
+    }
+
+    void report(std::size_t choice, Cost cost) override {
+        sums_.at(choice) += 1.0 / cost;  // reward = inverse runtime
+        counts_.at(choice) += 1;
+        ++total_;
+    }
+
+    [[nodiscard]] std::vector<double> weights() const override {
+        // Deterministic policy: weight 1 on the arm select() would pick.
+        std::vector<double> w(counts_.size(), 1e-9);
+        Rng dummy(0);
+        w[const_cast<Ucb1Strategy*>(this)->select(dummy)] = 1.0;
+        return w;
+    }
+
+private:
+    double exploration_;
+    std::vector<double> sums_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/// Crossover workload: "sprinter" is fast immediately; "miler" starts slower
+/// but its parameter tunes it well past the sprinter.
+std::vector<TunableAlgorithm> make_workload() {
+    std::vector<TunableAlgorithm> algorithms;
+    algorithms.push_back(TunableAlgorithm::untunable("sprinter"));
+    TunableAlgorithm miler;
+    miler.name = "miler";
+    miler.space.add(Parameter::ratio("stride", 0, 100));
+    miler.initial = Configuration{{20}};
+    miler.searcher = std::make_unique<NelderMeadSearcher>();
+    algorithms.push_back(std::move(miler));
+    return algorithms;
+}
+
+Cost run_workload(const Trial& trial) {
+    if (trial.algorithm == 0) return 20.0;  // sprinter: 20 ms forever
+    const double x = static_cast<double>(trial.config[0]);
+    return 8.0 + 0.25 * std::abs(x - 90.0);  // miler: 25.5 ms at start, 8 ms tuned
+}
+
+double race(std::unique_ptr<NominalStrategy> strategy, const char* label) {
+    TwoPhaseTuner tuner(std::move(strategy), make_workload(), 3);
+    const TuningTrace trace =
+        tuner.run([](const Trial& t) { return run_workload(t); }, 300);
+    double late = 0.0;
+    for (std::size_t i = 200; i < trace.size(); ++i) late += trace[i].cost;
+    late /= 100.0;
+    const auto counts = trace.choice_counts(2);
+    std::printf("%-14s late mean %6.2f ms | sprinter=%3zu miler=%3zu | best %.2f ms\n",
+                label, late, counts[0], counts[1], tuner.best_cost());
+    return late;
+}
+
+} // namespace
+
+int main() {
+    std::printf("crossover workload: sprinter flat 20 ms, miler 25.5 -> 8 ms tuned\n\n");
+    race(std::make_unique<EpsilonGreedy>(0.10), "e-Greedy (10%)");
+    race(std::make_unique<Ucb1Strategy>(), "UCB1 (custom)");
+    race(std::make_unique<GradientWeighted>(), "GradWeighted");
+    race(std::make_unique<OptimumWeighted>(), "OptWeighted");
+    std::printf(
+        "\nBoth greedy-style strategies must discover the miler's tuned optimum\n"
+        "despite its bad start — the paper's crossover concern. The custom UCB1\n"
+        "shows the NominalStrategy interface is the intended extension point.\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/// Offline tuning, FFTW/ATLAS style (paper Sections II-A and V): at
+/// "installation time" there is no amortization pressure, so the driver may
+/// spend a whole evaluation budget, restart from random points, and even
+/// enumerate the algorithms exhaustively — the paper's observation that
+/// exhaustive search is perfectly valid for a purely nominal space when
+/// tuning offline.
+///
+/// The workload is case study 2's kD-tree construction: find, once, the best
+/// builder and configuration for a given scene, then "install" it.
+
+#include <cstdio>
+
+#include "core/autotune.hpp"
+#include "raytrace/pipeline.hpp"
+#include "support/cli.hpp"
+
+using namespace atk;
+
+int main(int argc, char** argv) {
+    Cli cli("offline_install", "install-time tuning of the kD-tree builder");
+    cli.add_int("budget", 40, "evaluation budget per algorithm")
+        .add_int("restarts", 1, "random restarts per algorithm")
+        .add_int("width", 96, "probe image width")
+        .add_int("height", 72, "probe image height")
+        .add_int("threads", 0, "worker threads (0 = hardware)");
+    if (!cli.parse(argc, argv)) return 1;
+
+    rt::RaytracePipeline pipeline(rt::make_cathedral(),
+                                  static_cast<int>(cli.get_int("width")),
+                                  static_cast<int>(cli.get_int("height")),
+                                  static_cast<std::size_t>(cli.get_int("threads")));
+    const auto builders = rt::make_all_builders();
+    std::printf("probing %zu triangles at %lldx%lld px\n\n",
+                pipeline.scene().triangles.size(),
+                static_cast<long long>(cli.get_int("width")),
+                static_cast<long long>(cli.get_int("height")));
+
+    // Describe the per-algorithm problem for the offline driver.
+    std::vector<OfflineAlgorithm> algorithms;
+    for (const auto& builder : builders) {
+        OfflineAlgorithm algorithm;
+        algorithm.name = builder->name();
+        algorithm.space = builder->tuning_space();
+        algorithm.initial = builder->default_config();
+        algorithms.push_back(std::move(algorithm));
+    }
+
+    OfflineTuner::Options options;
+    options.max_evaluations = static_cast<std::size_t>(cli.get_int("budget"));
+    options.restarts = static_cast<std::size_t>(cli.get_int("restarts"));
+
+    std::size_t frames_rendered = 0;
+    const auto result = offline_two_phase_minimize(
+        algorithms, [] { return std::make_unique<NelderMeadSearcher>(); },
+        [&](std::size_t a, const Configuration& config) {
+            ++frames_rendered;
+            return std::max(1e-6, pipeline.render_frame(*builders[a],
+                                                        builders[a]->decode(config)));
+        },
+        options);
+
+    std::printf("installed configuration after %zu probe frames:\n", frames_rendered);
+    std::printf("  algorithm: %s\n", builders[result.algorithm]->name().c_str());
+    std::printf("  config:    %s\n",
+                builders[result.algorithm]
+                    ->tuning_space()
+                    .describe(result.config)
+                    .c_str());
+    std::printf("  frame:     %.2f ms\n", result.cost);
+
+    // Sanity: replay the installed configuration.
+    const Millis replay = pipeline.render_frame(
+        *builders[result.algorithm], builders[result.algorithm]->decode(result.config));
+    std::printf("  replay:    %.2f ms\n", replay);
+    return 0;
+}

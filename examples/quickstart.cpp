@@ -1,0 +1,83 @@
+/// Quickstart: online-autotuning of algorithmic choice in ~40 lines.
+///
+/// Scenario: an application repeatedly runs an operation for which three
+/// algorithm implementations exist.  "bubble" is fast only after its buffer
+/// parameter is tuned; "merge" is a solid default; "flashy" looks great on
+/// paper but is slow here.  The TwoPhaseTuner picks the algorithm per
+/// iteration (ε-Greedy) and tunes the chosen algorithm's own parameters
+/// (Nelder-Mead) at the same time.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/autotune.hpp"
+
+using namespace atk;
+
+namespace {
+
+/// A stand-in for "run the operation and time it": deterministic cost
+/// models so the quickstart produces the same story on every machine.
+Cost run_operation(const Trial& trial) {
+    const double x =
+        trial.config.empty() ? 0.0 : static_cast<double>(trial.config[0]);
+    switch (trial.algorithm) {
+        case 0:  return 12.0 + 0.4 * std::abs(x - 70.0);  // "bubble": tune me!
+        case 1:  return 25.0;                             // "merge": flat
+        default: return 60.0 + 0.1 * std::abs(x - 10.0);  // "flashy": hopeless
+    }
+}
+
+} // namespace
+
+int main() {
+    // 1. Describe the algorithms and their tuning spaces (T_A per algorithm).
+    std::vector<TunableAlgorithm> algorithms;
+
+    TunableAlgorithm bubble;
+    bubble.name = "bubble";
+    bubble.space.add(Parameter::ratio("buffer", 0, 100));
+    bubble.initial = Configuration{{10}};
+    bubble.searcher = std::make_unique<NelderMeadSearcher>();
+    algorithms.push_back(std::move(bubble));
+
+    algorithms.push_back(TunableAlgorithm::untunable("merge"));
+
+    TunableAlgorithm flashy;
+    flashy.name = "flashy";
+    flashy.space.add(Parameter::ratio("buffer", 0, 100));
+    flashy.initial = Configuration{{50}};
+    flashy.searcher = std::make_unique<NelderMeadSearcher>();
+    algorithms.push_back(std::move(flashy));
+
+    // 2. Pick a phase-two strategy for the (nominal!) algorithmic choice.
+    TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.10), std::move(algorithms),
+                        /*seed=*/42);
+
+    // 3. The application's hot loop: ask, run, report.
+    for (int iteration = 0; iteration < 150; ++iteration) {
+        const Trial trial = tuner.next();
+        const Cost cost = run_operation(trial);  // really: Stopwatch around work
+        tuner.report(trial, cost);
+        if (iteration % 25 == 0) {
+            std::printf("iter %3d: ran %-6s %-14s -> %5.1f ms\n", iteration,
+                        tuner.algorithm(trial.algorithm).name.c_str(),
+                        tuner.algorithm(trial.algorithm)
+                            .space.describe(trial.config)
+                            .c_str(),
+                        cost);
+        }
+    }
+
+    // 4. Inspect what the tuner learned.
+    const Trial& best = tuner.best_trial();
+    std::printf("\nbest: %s %s at %.1f ms (true optimum: bubble{buffer=70} = 12 ms)\n",
+                tuner.algorithm(best.algorithm).name.c_str(),
+                tuner.algorithm(best.algorithm).space.describe(best.config).c_str(),
+                tuner.best_cost());
+
+    const auto counts = tuner.trace().choice_counts(tuner.algorithm_count());
+    std::printf("selections: bubble=%zu merge=%zu flashy=%zu\n", counts[0], counts[1],
+                counts[2]);
+    return tuner.best_trial().algorithm == 0 ? 0 : 1;
+}

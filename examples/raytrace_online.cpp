@@ -1,0 +1,62 @@
+/// Case study 2 as an application: render a static cathedral scene for N
+/// frames; every frame the online tuner selects an SAH kD-tree construction
+/// algorithm (phase two, ε-Greedy) and a configuration of its parameters
+/// (phase one, Nelder-Mead).  Writes the final frame as a PGM image.
+
+#include <cstdio>
+
+#include "core/autotune.hpp"
+#include "raytrace/pipeline.hpp"
+#include "support/cli.hpp"
+
+using namespace atk;
+
+int main(int argc, char** argv) {
+    Cli cli("raytrace_online", "online-autotuned two-stage raytracer");
+    cli.add_int("frames", 60, "frames to render")
+        .add_int("width", 160, "image width")
+        .add_int("height", 120, "image height")
+        .add_int("threads", 0, "worker threads (0 = hardware)")
+        .add_double("epsilon", 0.10, "e-Greedy exploration rate")
+        .add_string("output", "raytrace_online.pgm", "final frame output path");
+    if (!cli.parse(argc, argv)) return 1;
+
+    rt::RaytracePipeline pipeline(rt::make_cathedral(),
+                                  static_cast<int>(cli.get_int("width")),
+                                  static_cast<int>(cli.get_int("height")),
+                                  static_cast<std::size_t>(cli.get_int("threads")));
+    auto builders = rt::make_all_builders();
+    std::printf("scene: %zu triangles, %lldx%lld px\n\n",
+                pipeline.scene().triangles.size(),
+                static_cast<long long>(cli.get_int("width")),
+                static_cast<long long>(cli.get_int("height")));
+
+    TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(cli.get_double("epsilon")),
+                        rt::make_tunable_builders(builders), 11);
+
+    const auto frames = static_cast<std::size_t>(cli.get_int("frames"));
+    double first_frame = 0.0;
+    for (std::size_t frame = 0; frame < frames; ++frame) {
+        const Trial trial = tuner.next();
+        const auto& builder = *builders[trial.algorithm];
+        const Millis elapsed = std::max(
+            1e-6, pipeline.render_frame(builder, builder.decode(trial.config)));
+        tuner.report(trial, elapsed);
+        if (frame == 0) first_frame = elapsed;
+        if (frame < 5 || frame % 10 == 0)
+            std::printf("frame %3zu: %-12s %-60s %8.2f ms\n", frame,
+                        builder.name().c_str(),
+                        builder.tuning_space().describe(trial.config).c_str(), elapsed);
+    }
+
+    const Trial& best = tuner.best_trial();
+    std::printf("\nbest frame: %s %s at %.2f ms (first frame was %.2f ms)\n",
+                builders[best.algorithm]->name().c_str(),
+                builders[best.algorithm]->tuning_space().describe(best.config).c_str(),
+                tuner.best_cost(), first_frame);
+
+    const std::string output = cli.get_string("output");
+    if (pipeline.last_image().write_pgm(output))
+        std::printf("final frame written to %s\n", output.c_str());
+    return 0;
+}

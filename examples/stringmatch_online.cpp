@@ -1,0 +1,73 @@
+/// Case study 1 as an application: a text-search service that receives the
+/// same query repeatedly (the paper's online scenario — pattern and corpus
+/// arrive at invocation time, so no offline tuning was possible) and uses
+/// the online tuner to pick the fastest of the eight parallel matchers.
+
+#include <cstdio>
+
+#include "core/autotune.hpp"
+#include "stringmatch/corpus.hpp"
+#include "stringmatch/matcher.hpp"
+#include "stringmatch/parallel.hpp"
+#include "support/cli.hpp"
+#include "support/clock.hpp"
+
+using namespace atk;
+
+int main(int argc, char** argv) {
+    Cli cli("stringmatch_online", "online-autotuned parallel text search");
+    cli.add_int("corpus-bytes", 2 * 1024 * 1024, "corpus size")
+        .add_int("iterations", 60, "number of repeated queries")
+        .add_int("threads", 0, "worker threads (0 = hardware)")
+        .add_double("epsilon", 0.10, "e-Greedy exploration rate")
+        .add_string("corpus", "bible", "corpus kind: bible | dna")
+        .add_string("pattern", "", "query (default: the paper's phrase / a DNA motif)");
+    if (!cli.parse(argc, argv)) return 1;
+
+    // Inputs arrive at program invocation — exactly the paper's setup.
+    const bool dna = cli.get_string("corpus") == "dna";
+    std::string pattern = cli.get_string("pattern");
+    if (pattern.empty())
+        pattern = dna ? "GATTACAGATTACAGATTACAGATTACA" : std::string(sm::query_phrase());
+    const auto bytes = static_cast<std::size_t>(cli.get_int("corpus-bytes"));
+    const std::string corpus = dna ? sm::dna_corpus(bytes, pattern, 2016, 3)
+                                   : sm::bible_like_corpus(bytes, 2016, 3);
+
+    auto matchers = sm::make_all_matchers_with_hybrid();
+    ThreadPool pool(static_cast<std::size_t>(cli.get_int("threads")));
+    std::printf("corpus: %zu bytes (%s), query: \"%s\", %zu threads\n\n", corpus.size(),
+                dna ? "dna" : "bible-like", pattern.c_str(), pool.thread_count());
+
+    std::vector<TunableAlgorithm> algorithms;
+    for (const auto& matcher : matchers)
+        algorithms.push_back(TunableAlgorithm::untunable(matcher->name()));
+    TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(cli.get_double("epsilon")),
+                        std::move(algorithms), 7);
+
+    const auto iterations = static_cast<std::size_t>(cli.get_int("iterations"));
+    std::size_t occurrences = 0;
+    double total_ms = 0.0;
+    for (std::size_t i = 0; i < iterations; ++i) {
+        const Trial trial = tuner.next();
+        Stopwatch watch;
+        occurrences = sm::parallel_count(*matchers[trial.algorithm], corpus, pattern,
+                                         pool);
+        const Millis elapsed = std::max(1e-6, watch.elapsed_ms());
+        tuner.report(trial, elapsed);
+        total_ms += elapsed;
+        if (i < 10 || i % 10 == 0)
+            std::printf("query %3zu: %-18s %8.3f ms (%zu occurrences)\n", i,
+                        matchers[trial.algorithm]->name().c_str(), elapsed, occurrences);
+    }
+
+    const Trial& best = tuner.best_trial();
+    std::printf("\nafter %zu queries (%.1f ms total): settled on %s (best %.3f ms)\n",
+                iterations, total_ms, matchers[best.algorithm]->name().c_str(),
+                tuner.best_cost());
+    std::printf("selection counts:");
+    const auto counts = tuner.trace().choice_counts(matchers.size());
+    for (std::size_t a = 0; a < matchers.size(); ++a)
+        std::printf(" %s=%zu", matchers[a]->name().c_str(), counts[a]);
+    std::printf("\n");
+    return 0;
+}

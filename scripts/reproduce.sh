@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper, plus the ablations.
+#
+# Usage:
+#   scripts/reproduce.sh            # container-scale defaults (~5 min)
+#   scripts/reproduce.sh --paper    # paper-scale (100 reps; hours)
+#
+# Output: stdout (tables) and build/results/*.csv (raw series).
+set -euo pipefail
+
+scale_flag="${1:-}"
+build_dir="$(dirname "$0")/../build"
+
+if [[ ! -d "$build_dir" ]]; then
+    echo "error: build/ not found — run: cmake -B build -G Ninja && cmake --build build" >&2
+    exit 1
+fi
+
+cd "$build_dir"
+
+run() {
+    echo
+    echo "############################################################"
+    echo "## $*"
+    echo "############################################################"
+    "$@"
+}
+
+run ./bench/bench_table1_parameter_classes
+run ./bench/bench_table2_system
+run ./bench/bench_fig1_string_untuned $scale_flag
+run ./bench/bench_fig2_string_median $scale_flag
+run ./bench/bench_fig3_string_mean $scale_flag
+run ./bench/bench_fig4_string_histogram $scale_flag
+run ./bench/bench_fig5_raytrace_timeline $scale_flag
+run ./bench/bench_fig6_raytrace_median $scale_flag
+run ./bench/bench_fig7_raytrace_mean $scale_flag
+run ./bench/bench_fig8_raytrace_histogram $scale_flag
+run ./bench/bench_ablation_windows
+run ./bench/bench_ablation_searchers $scale_flag
+run ./bench/bench_ablation_context $scale_flag
+run ./bench/bench_ablation_futurework
+run ./bench/bench_ablation_dynamic_scene $scale_flag
+run ./bench/bench_baseline_feature_model
+run ./bench/bench_sweep_pattern_length
+run ./bench/bench_fig1_string_untuned --corpus dna   # the paper's DNA corpus
+run ./bench/bench_micro_matchers --benchmark_min_time=0.05s
+run ./bench/bench_micro_kdtree --benchmark_min_time=0.05s
+
+echo
+echo "done — raw series in $(pwd)/results/"

@@ -1,0 +1,28 @@
+#pragma once
+
+/// Umbrella header for the algotune autotuning library: include this to get
+/// the complete public API — parameter typology, search spaces, phase-one
+/// searchers, phase-two nominal strategies, and the two-phase online tuner.
+
+#include "core/feature_model.hpp"
+#include "core/measurement.hpp"
+#include "core/nominal/combined.hpp"
+#include "core/nominal/epsilon_greedy.hpp"
+#include "core/nominal/gradient_weighted.hpp"
+#include "core/nominal/optimum_weighted.hpp"
+#include "core/nominal/sliding_auc.hpp"
+#include "core/nominal/softmax.hpp"
+#include "core/nominal/strategy.hpp"
+#include "core/parameter.hpp"
+#include "core/search/differential_evolution.hpp"
+#include "core/search/exhaustive.hpp"
+#include "core/search/genetic.hpp"
+#include "core/search/hill_climbing.hpp"
+#include "core/search/nelder_mead.hpp"
+#include "core/search/particle_swarm.hpp"
+#include "core/search/searcher.hpp"
+#include "core/search/simulated_annealing.hpp"
+#include "core/offline.hpp"
+#include "core/search_space.hpp"
+#include "core/trace.hpp"
+#include "core/tuner.hpp"

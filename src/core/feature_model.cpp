@@ -1,0 +1,105 @@
+#include "core/feature_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace atk {
+
+FeatureModel::FeatureModel(std::size_t k) : k_(k) {
+    if (k == 0) throw std::invalid_argument("FeatureModel: k must be >= 1");
+}
+
+void FeatureModel::add_sample(FeatureVector features, std::size_t algorithm) {
+    if (samples_.empty()) {
+        dimension_ = features.size();
+        feature_min_ = features;
+        feature_max_ = features;
+    }
+    if (features.size() != dimension_)
+        throw std::invalid_argument("FeatureModel: feature dimension mismatch");
+    for (std::size_t d = 0; d < dimension_; ++d) {
+        feature_min_[d] = std::min(feature_min_[d], features[d]);
+        feature_max_[d] = std::max(feature_max_[d], features[d]);
+    }
+    samples_.push_back(Sample{std::move(features), algorithm});
+}
+
+double FeatureModel::distance(const FeatureVector& a, const FeatureVector& b) const {
+    // Euclidean distance over min-max normalized features so no dimension
+    // dominates by scale (pattern length vs. alphabet size, say).
+    double sum = 0.0;
+    for (std::size_t d = 0; d < dimension_; ++d) {
+        const double range = feature_max_[d] - feature_min_[d];
+        const double delta = range > 0.0 ? (a[d] - b[d]) / range : 0.0;
+        sum += delta * delta;
+    }
+    return std::sqrt(sum);
+}
+
+std::size_t FeatureModel::vote(const FeatureVector& features,
+                               std::size_t exclude_index) const {
+    // Partial sort of sample indices by distance; k is tiny, samples few.
+    std::vector<std::size_t> order;
+    order.reserve(samples_.size());
+    for (std::size_t i = 0; i < samples_.size(); ++i)
+        if (i != exclude_index) order.push_back(i);
+    const std::size_t take = std::min(k_, order.size());
+    std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(take),
+                      order.end(), [&](std::size_t x, std::size_t y) {
+                          return distance(features, samples_[x].features) <
+                                 distance(features, samples_[y].features);
+                      });
+
+    std::vector<std::size_t> votes;
+    for (std::size_t i = 0; i < take; ++i) {
+        const std::size_t label = samples_[order[i]].algorithm;
+        if (votes.size() <= label) votes.resize(label + 1, 0);
+        ++votes[label];
+    }
+    return static_cast<std::size_t>(std::max_element(votes.begin(), votes.end()) -
+                                    votes.begin());
+}
+
+std::size_t FeatureModel::predict(const FeatureVector& features) const {
+    if (samples_.empty()) throw std::logic_error("FeatureModel: predict() untrained");
+    if (features.size() != dimension_)
+        throw std::logic_error("FeatureModel: feature dimension mismatch");
+    return vote(features, samples_.size());  // exclude nothing
+}
+
+double FeatureModel::self_accuracy() const {
+    if (samples_.size() < 2) return 1.0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < samples_.size(); ++i)
+        if (vote(samples_[i].features, i) == samples_[i].algorithm) ++correct;
+    return static_cast<double>(correct) / static_cast<double>(samples_.size());
+}
+
+FeatureModel train_feature_model(const std::vector<TrainingWorkload>& workloads,
+                                 std::size_t algorithm_count, std::size_t k,
+                                 std::size_t repetitions) {
+    if (algorithm_count == 0)
+        throw std::invalid_argument("train_feature_model: no algorithms");
+    if (repetitions == 0)
+        throw std::invalid_argument("train_feature_model: zero repetitions");
+    FeatureModel model(k);
+    for (const auto& workload : workloads) {
+        std::size_t best = 0;
+        Cost best_cost = std::numeric_limits<Cost>::infinity();
+        for (std::size_t a = 0; a < algorithm_count; ++a) {
+            Cost cost = std::numeric_limits<Cost>::infinity();
+            for (std::size_t rep = 0; rep < repetitions; ++rep)
+                cost = std::min(cost, workload.measure(a));
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = a;
+            }
+        }
+        model.add_sample(workload.features, best);
+    }
+    return model;
+}
+
+} // namespace atk

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/measurement.hpp"
+
+namespace atk {
+
+/// Workload description for input-sensitive algorithm selection: a vector
+/// of user-defined numeric features (pattern length, matrix sparsity, ...),
+/// the device the Nitro framework and PetaBricks use to turn the *nominal*
+/// algorithmic choice into something a model can handle (paper Sections
+/// II-B and V).
+using FeatureVector = std::vector<double>;
+
+/// The state-of-the-art baseline the paper positions itself against:
+/// an offline-trained input-feature classifier (k-nearest-neighbor over
+/// normalized features, majority vote) that predicts the best algorithm
+/// for an unseen input.
+///
+/// Strengths and weaknesses relative to the paper's online tuner are
+/// exactly the published ones: the model adapts instantly to *input*
+/// changes it was trained for, but needs an offline training phase, user
+/// feature engineering, and cannot react to contexts outside its training
+/// distribution — while the online tuner needs none of that but pays
+/// exploration cost at runtime (benchmarked in
+/// bench_baseline_feature_model).
+class FeatureModel {
+public:
+    /// k = neighbors consulted for the majority vote.
+    explicit FeatureModel(std::size_t k = 3);
+
+    /// Adds one labeled training sample: for this feature vector,
+    /// `algorithm` was (measured to be) the best choice.
+    /// All samples must share the same dimensionality; throws otherwise.
+    void add_sample(FeatureVector features, std::size_t algorithm);
+
+    [[nodiscard]] std::size_t sample_count() const noexcept { return samples_.size(); }
+    [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
+
+    /// Predicts the best algorithm for an unseen input.
+    /// Throws std::logic_error when untrained or on dimension mismatch.
+    [[nodiscard]] std::size_t predict(const FeatureVector& features) const;
+
+    /// Leave-one-out training accuracy — a quick self-check that the
+    /// features actually separate the labels.
+    [[nodiscard]] double self_accuracy() const;
+
+private:
+    struct Sample {
+        FeatureVector features;
+        std::size_t algorithm;
+    };
+
+    [[nodiscard]] double distance(const FeatureVector& a, const FeatureVector& b) const;
+    [[nodiscard]] std::size_t vote(const FeatureVector& features,
+                                   std::size_t exclude_index) const;
+
+    std::size_t k_;
+    std::size_t dimension_ = 0;
+    std::vector<Sample> samples_;
+    // Per-dimension min/max for normalization, maintained incrementally.
+    FeatureVector feature_min_;
+    FeatureVector feature_max_;
+};
+
+/// One training workload: its features plus a way to run any algorithm on
+/// it and obtain a cost.
+struct TrainingWorkload {
+    FeatureVector features;
+    std::function<Cost(std::size_t algorithm)> measure;
+};
+
+/// Offline training à la Nitro: measures every algorithm on every training
+/// workload (optionally multiple repetitions, best-of), labels each
+/// workload with its fastest algorithm, and returns the fitted model.
+[[nodiscard]] FeatureModel train_feature_model(
+    const std::vector<TrainingWorkload>& workloads, std::size_t algorithm_count,
+    std::size_t k = 3, std::size_t repetitions = 1);
+
+} // namespace atk

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "core/search_space.hpp"
+
+namespace atk {
+
+/// A measurement value m_K(C): the paper assumes time in milliseconds, but
+/// any cost to be minimized works (energy, failure rate, ...).
+using Cost = double;
+
+/// The measurement function m_K: T → R for a fixed context K. In online
+/// tuning this is "run the operation with configuration C and time it"; in
+/// tests it is a synthetic function.
+using MeasurementFunction = std::function<Cost(const Configuration&)>;
+
+/// One observed sample of the tuning loop.
+struct Sample {
+    std::size_t iteration = 0;
+    Configuration config;
+    Cost cost = 0.0;
+};
+
+} // namespace atk

@@ -1,0 +1,128 @@
+#include "core/nominal/combined.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace atk {
+
+// ---- GradientGreedy -------------------------------------------------------
+
+GradientGreedy::GradientGreedy(double epsilon, std::size_t window_size)
+    : epsilon_(epsilon), gradient_(window_size) {
+    if (epsilon < 0.0 || epsilon > 1.0)
+        throw std::invalid_argument("GradientGreedy: epsilon must be in [0, 1]");
+}
+
+std::string GradientGreedy::name() const {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "Gradient-Greedy (%g%%)", epsilon_ * 100.0);
+    return buf;
+}
+
+void GradientGreedy::reset(std::size_t choices) {
+    if (choices == 0)
+        throw std::invalid_argument("GradientGreedy: need at least one choice");
+    gradient_.reset(choices);
+    best_cost_.assign(choices, std::numeric_limits<Cost>::infinity());
+    init_cursor_ = 0;
+    exploring_ = false;
+}
+
+std::size_t GradientGreedy::best_choice() const {
+    return static_cast<std::size_t>(
+        std::min_element(best_cost_.begin(), best_cost_.end()) - best_cost_.begin());
+}
+
+std::size_t GradientGreedy::select(Rng& rng) {
+    if (best_cost_.empty()) throw std::logic_error("GradientGreedy: select() before reset()");
+    exploring_ = rng.chance(epsilon_);
+    if (exploring_) {
+        // Exploration follows the gradient weights: prefer algorithms whose
+        // phase-one tuning still improves.
+        return rng.weighted_index(gradient_.weights());
+    }
+    if (init_cursor_ < best_cost_.size()) return init_cursor_;
+    return best_choice();
+}
+
+void GradientGreedy::report(std::size_t choice, Cost cost) {
+    best_cost_.at(choice) = std::min(best_cost_.at(choice), cost);
+    gradient_.report(choice, cost);
+    if (!exploring_ && init_cursor_ < best_cost_.size() && choice == init_cursor_)
+        ++init_cursor_;
+}
+
+std::vector<double> GradientGreedy::weights() const {
+    auto w = gradient_.weights();
+    double total = 0.0;
+    for (const double x : w) total += x;
+    for (double& x : w) x = epsilon_ * x / total;
+    const std::size_t greedy =
+        init_cursor_ < best_cost_.size() ? init_cursor_ : best_choice();
+    w[greedy] += 1.0 - epsilon_;
+    return w;
+}
+
+// ---- DecayingEpsilonGreedy -----------------------------------------------
+
+DecayingEpsilonGreedy::DecayingEpsilonGreedy(double initial_epsilon, double decay_rate)
+    : initial_epsilon_(initial_epsilon), decay_rate_(decay_rate) {
+    if (initial_epsilon < 0.0 || initial_epsilon > 1.0)
+        throw std::invalid_argument("DecayingEpsilonGreedy: epsilon must be in [0, 1]");
+    if (decay_rate < 0.0)
+        throw std::invalid_argument("DecayingEpsilonGreedy: decay rate must be >= 0");
+}
+
+std::string DecayingEpsilonGreedy::name() const {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "Decaying e-Greedy (%g%%, %g)",
+                  initial_epsilon_ * 100.0, decay_rate_);
+    return buf;
+}
+
+double DecayingEpsilonGreedy::current_epsilon() const noexcept {
+    return initial_epsilon_ / (1.0 + static_cast<double>(iteration_) * decay_rate_);
+}
+
+void DecayingEpsilonGreedy::reset(std::size_t choices) {
+    if (choices == 0)
+        throw std::invalid_argument("DecayingEpsilonGreedy: need at least one choice");
+    best_cost_.assign(choices, std::numeric_limits<Cost>::infinity());
+    init_cursor_ = 0;
+    iteration_ = 0;
+    exploring_ = false;
+}
+
+std::size_t DecayingEpsilonGreedy::best_choice() const {
+    return static_cast<std::size_t>(
+        std::min_element(best_cost_.begin(), best_cost_.end()) - best_cost_.begin());
+}
+
+std::size_t DecayingEpsilonGreedy::select(Rng& rng) {
+    if (best_cost_.empty())
+        throw std::logic_error("DecayingEpsilonGreedy: select() before reset()");
+    exploring_ = rng.chance(current_epsilon());
+    if (exploring_) return rng.index(best_cost_.size());
+    if (init_cursor_ < best_cost_.size()) return init_cursor_;
+    return best_choice();
+}
+
+void DecayingEpsilonGreedy::report(std::size_t choice, Cost cost) {
+    best_cost_.at(choice) = std::min(best_cost_.at(choice), cost);
+    if (!exploring_ && init_cursor_ < best_cost_.size() && choice == init_cursor_)
+        ++init_cursor_;
+    ++iteration_;
+}
+
+std::vector<double> DecayingEpsilonGreedy::weights() const {
+    const std::size_t n = best_cost_.size();
+    const double epsilon = current_epsilon();
+    std::vector<double> w(n, epsilon / static_cast<double>(n));
+    const std::size_t greedy = init_cursor_ < n ? init_cursor_ : best_choice();
+    w[greedy] += 1.0 - epsilon;
+    return w;
+}
+
+} // namespace atk

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <memory>
+
+#include "core/nominal/gradient_weighted.hpp"
+#include "core/nominal/strategy.hpp"
+
+namespace atk {
+
+/// The combination the paper's Section IV-C anticipates as future work:
+/// ε-Greedy convergence speed with Gradient-Weighted crossover detection.
+///
+/// With probability 1-ε the strategy exploits the best-known algorithm,
+/// exactly like ε-Greedy.  The ε exploration mass, however, is not spread
+/// uniformly but proportionally to the Gradient-Weighted weights, so
+/// exploration prefers algorithms whose phase-one tuning is still making
+/// progress — the ones that could overtake the current best.  When all
+/// gradients are flat the exploration term degenerates to uniform and the
+/// strategy behaves exactly like classic ε-Greedy.
+class GradientGreedy final : public NominalStrategy {
+public:
+    GradientGreedy(double epsilon = 0.10, std::size_t window_size = 16);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
+
+    void reset(std::size_t choices) override;
+    std::size_t select(Rng& rng) override;
+    void report(std::size_t choice, Cost cost) override;
+    [[nodiscard]] std::vector<double> weights() const override;
+
+private:
+    [[nodiscard]] std::size_t best_choice() const;
+
+    double epsilon_;
+    GradientWeighted gradient_;         // supplies the exploration weights
+    std::vector<Cost> best_cost_;
+    std::size_t init_cursor_ = 0;
+    bool exploring_ = false;
+};
+
+/// ε-Greedy with a decaying exploration rate: ε_i = ε0 / (1 + i·rate).
+///
+/// Online tuning must amortize the cost of exploration (paper Section
+/// II-B); once the tuning of all algorithms has converged, continued
+/// uniform exploration is pure overhead.  Decay schedules are the standard
+/// bandit remedy, at the price of slower reaction to late crossovers.
+class DecayingEpsilonGreedy final : public NominalStrategy {
+public:
+    DecayingEpsilonGreedy(double initial_epsilon = 0.20, double decay_rate = 0.02);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] double current_epsilon() const noexcept;
+
+    void reset(std::size_t choices) override;
+    std::size_t select(Rng& rng) override;
+    void report(std::size_t choice, Cost cost) override;
+    [[nodiscard]] std::vector<double> weights() const override;
+
+private:
+    [[nodiscard]] std::size_t best_choice() const;
+
+    double initial_epsilon_;
+    double decay_rate_;
+    std::vector<Cost> best_cost_;
+    std::size_t init_cursor_ = 0;
+    std::size_t iteration_ = 0;
+    bool exploring_ = false;
+};
+
+} // namespace atk

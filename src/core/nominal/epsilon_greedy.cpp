@@ -1,0 +1,94 @@
+#include "core/nominal/epsilon_greedy.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace atk {
+
+EpsilonGreedy::EpsilonGreedy(double epsilon, std::size_t best_window)
+    : epsilon_(epsilon), best_window_(best_window) {
+    if (epsilon < 0.0 || epsilon > 1.0)
+        throw std::invalid_argument("EpsilonGreedy: epsilon must be in [0, 1]");
+}
+
+std::string EpsilonGreedy::name() const {
+    char buf[48];
+    if (best_window_ == 0) {
+        std::snprintf(buf, sizeof buf, "e-Greedy (%g%%)", epsilon_ * 100.0);
+    } else {
+        std::snprintf(buf, sizeof buf, "e-Greedy (%g%%, w=%zu)", epsilon_ * 100.0,
+                      best_window_);
+    }
+    return buf;
+}
+
+void EpsilonGreedy::reset(std::size_t choices) {
+    if (choices == 0) throw std::invalid_argument("EpsilonGreedy: need at least one choice");
+    best_cost_.assign(choices, std::numeric_limits<Cost>::infinity());
+    recent_.assign(choices, {});
+    recent_next_.assign(choices, 0);
+    tried_.assign(choices, false);
+    init_cursor_ = 0;
+    exploring_ = false;
+}
+
+bool EpsilonGreedy::initializing() const noexcept {
+    return init_cursor_ < tried_.size();
+}
+
+Cost EpsilonGreedy::best_estimate(std::size_t choice) const {
+    if (best_window_ == 0) return best_cost_[choice];
+    const auto& ring = recent_[choice];
+    if (ring.empty()) return std::numeric_limits<Cost>::infinity();
+    return *std::min_element(ring.begin(), ring.end());
+}
+
+std::size_t EpsilonGreedy::best_choice() const {
+    std::size_t best = 0;
+    Cost best_cost = std::numeric_limits<Cost>::infinity();
+    for (std::size_t c = 0; c < tried_.size(); ++c) {
+        const Cost estimate = best_estimate(c);
+        if (estimate < best_cost) {
+            best_cost = estimate;
+            best = c;
+        }
+    }
+    return best;
+}
+
+std::size_t EpsilonGreedy::select(Rng& rng) {
+    if (tried_.empty()) throw std::logic_error("EpsilonGreedy: select() before reset()");
+    exploring_ = rng.chance(epsilon_);
+    if (exploring_) return rng.index(tried_.size());
+    if (initializing()) return init_cursor_;
+    return best_choice();
+}
+
+void EpsilonGreedy::report(std::size_t choice, Cost cost) {
+    best_cost_.at(choice) = std::min(best_cost_.at(choice), cost);
+    if (best_window_ > 0) {
+        auto& ring = recent_.at(choice);
+        if (ring.size() < best_window_) {
+            ring.push_back(cost);
+        } else {
+            ring[recent_next_[choice]] = cost;
+            recent_next_[choice] = (recent_next_[choice] + 1) % best_window_;
+        }
+    }
+    tried_.at(choice) = true;
+    // The deterministic initialization order advances only when its own pick
+    // was executed, so every algorithm is tried (at least) once in order.
+    if (!exploring_ && initializing() && choice == init_cursor_) ++init_cursor_;
+}
+
+std::vector<double> EpsilonGreedy::weights() const {
+    const std::size_t n = tried_.size();
+    std::vector<double> w(n, epsilon_ / static_cast<double>(n));
+    const std::size_t greedy = initializing() ? init_cursor_ : best_choice();
+    w[greedy] += 1.0 - epsilon_;
+    return w;
+}
+
+} // namespace atk

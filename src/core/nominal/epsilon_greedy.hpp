@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "core/nominal/strategy.hpp"
+
+namespace atk {
+
+/// The ε-Greedy strategy (paper Section III-A).
+///
+/// With probability 1-ε selects the currently best performing algorithm
+/// (smallest observed cost); otherwise explores an algorithm uniformly at
+/// random.  Initialization tries every algorithm exactly once in
+/// deterministic order — "although this is still subject to the
+/// ε-randomness" — which is visible as the staircase in the first |𝒜|
+/// samples of the paper's Figure 2.
+///
+/// The paper evaluates ε ∈ {5 %, 10 %, 20 %}.
+class EpsilonGreedy final : public NominalStrategy {
+public:
+    /// `best_window` controls the "currently best performing" estimate:
+    /// 0 (the paper's behavior) means the best cost *ever* observed per
+    /// algorithm; a positive value restricts the estimate to each
+    /// algorithm's most recent `best_window` samples, which lets the
+    /// strategy adapt when the context K changes mid-run (input size,
+    /// system load) and stale best-ever values would otherwise pin the
+    /// greedy arm forever.
+    explicit EpsilonGreedy(double epsilon, std::size_t best_window = 0);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
+    [[nodiscard]] std::size_t best_window() const noexcept { return best_window_; }
+
+    void reset(std::size_t choices) override;
+    std::size_t select(Rng& rng) override;
+    void report(std::size_t choice, Cost cost) override;
+
+    /// 1-ε mass on the current best (split over ties), ε spread uniformly.
+    [[nodiscard]] std::vector<double> weights() const override;
+
+    /// True while the deterministic round-robin initialization is running.
+    [[nodiscard]] bool initializing() const noexcept;
+
+private:
+    [[nodiscard]] std::size_t best_choice() const;
+    [[nodiscard]] Cost best_estimate(std::size_t choice) const;
+
+    double epsilon_;
+    std::size_t best_window_;
+    std::vector<Cost> best_cost_;               // best-ever (window == 0)
+    std::vector<std::vector<Cost>> recent_;     // ring buffers (window > 0)
+    std::vector<std::size_t> recent_next_;      // ring cursor per choice
+    std::vector<bool> tried_;     // visited during initialization
+    std::size_t init_cursor_ = 0; // next algorithm in the deterministic order
+    bool exploring_ = false;      // did the last select() take the ε branch?
+};
+
+} // namespace atk

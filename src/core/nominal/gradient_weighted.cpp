@@ -1,0 +1,26 @@
+#include "core/nominal/gradient_weighted.hpp"
+
+#include <stdexcept>
+
+namespace atk {
+
+GradientWeighted::GradientWeighted(std::size_t window_size) : window_size_(window_size) {
+    if (window_size < 2)
+        throw std::invalid_argument("GradientWeighted: window must hold >= 2 samples");
+}
+
+double GradientWeighted::weight_of(std::size_t choice) const {
+    const auto& all = samples(choice);
+    double gradient = 0.0;
+    if (all.size() >= 2) {
+        const std::size_t first =
+            all.size() > window_size_ ? all.size() - window_size_ : 0;
+        const auto& s0 = all[first];
+        const auto& s1 = all.back();
+        const double span = static_cast<double>(s1.iteration - s0.iteration);
+        if (span > 0.0) gradient = (1.0 / s1.cost - 1.0 / s0.cost) / span;
+    }
+    return gradient >= -1.0 ? gradient + 2.0 : -1.0 / gradient;
+}
+
+} // namespace atk

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "core/nominal/strategy.hpp"
+
+namespace atk {
+
+/// The Gradient-Weighted strategy (paper Section III-B).
+///
+/// Chooses algorithm A with probability proportional to a weight derived
+/// from the performance *gradient* over A's latest window of samples
+/// [i0, i1]:
+///
+///     G_A = (m⁻¹_{A,i1} − m⁻¹_{A,i0}) / (i1 − i0)
+///     w_A = G_A + 2      if G_A ≥ −1
+///         = −1 / G_A     otherwise
+///
+/// Performance is interpreted inversely to the measured time (bigger is
+/// better), so a *positive* gradient means the algorithm has been getting
+/// faster — this strategy prefers algorithms that still make tuning
+/// progress, which the paper proposes as a complement to ε-Greedy around
+/// crossover points.  w_A is always positive, so no algorithm is excluded.
+///
+/// The window [i0, i1] spans the algorithm's own most recent `window_size`
+/// samples; i0/i1 are the global tuning iterations at which those samples
+/// were observed.  With fewer than two samples the gradient is defined as 0
+/// (w = 2), which also reproduces the paper's observation that with no
+/// tunable parameters (zero gradient everywhere) the strategy degenerates to
+/// uniform random selection.
+class GradientWeighted final : public WeightedStrategyBase {
+public:
+    /// The paper's case studies use an iteration window of 16.
+    explicit GradientWeighted(std::size_t window_size = 16);
+
+    [[nodiscard]] std::string name() const override { return "Gradient Weighted"; }
+    [[nodiscard]] std::size_t window_size() const noexcept { return window_size_; }
+
+protected:
+    [[nodiscard]] double weight_of(std::size_t choice) const override;
+
+private:
+    std::size_t window_size_;
+};
+
+} // namespace atk

@@ -1,0 +1,14 @@
+#include "core/nominal/optimum_weighted.hpp"
+
+#include <algorithm>
+
+namespace atk {
+
+double OptimumWeighted::weight_of(std::size_t choice) const {
+    double best_inverse = 0.0;
+    for (const auto& sample : samples(choice))
+        best_inverse = std::max(best_inverse, 1.0 / sample.cost);
+    return best_inverse;
+}
+
+} // namespace atk

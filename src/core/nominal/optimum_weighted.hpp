@@ -1,0 +1,22 @@
+#pragma once
+
+#include "core/nominal/strategy.hpp"
+
+namespace atk {
+
+/// The Optimum-Weighted strategy (paper Section III-C).
+///
+/// Chooses algorithm A with probability relative to its best observed
+/// performance: w_A = max_i 1/m_{A,i}.  The weight is strictly positive,
+/// so no algorithm is ever excluded; algorithms whose best time is close to
+/// the overall best are selected with nearly equal frequency — the effect
+/// the paper observes in Figures 4 and 8.
+class OptimumWeighted final : public WeightedStrategyBase {
+public:
+    [[nodiscard]] std::string name() const override { return "Optimum Weighted"; }
+
+protected:
+    [[nodiscard]] double weight_of(std::size_t choice) const override;
+};
+
+} // namespace atk

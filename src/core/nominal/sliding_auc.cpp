@@ -1,0 +1,20 @@
+#include "core/nominal/sliding_auc.hpp"
+
+#include <stdexcept>
+
+namespace atk {
+
+SlidingWindowAuc::SlidingWindowAuc(std::size_t window_size) : window_size_(window_size) {
+    if (window_size == 0)
+        throw std::invalid_argument("SlidingWindowAuc: window must hold >= 1 sample");
+}
+
+double SlidingWindowAuc::weight_of(std::size_t choice) const {
+    const auto& all = samples(choice);
+    const std::size_t first = all.size() > window_size_ ? all.size() - window_size_ : 0;
+    double area = 0.0;
+    for (std::size_t i = first; i < all.size(); ++i) area += 1.0 / all[i].cost;
+    return area / static_cast<double>(all.size() - first);
+}
+
+} // namespace atk

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "core/nominal/strategy.hpp"
+
+namespace atk {
+
+/// The Sliding-Window Area-Under-The-Curve strategy (paper Section III-D),
+/// motivated by the AUC Bandit meta-heuristic of OpenTuner.
+///
+/// The weight is the area under the algorithm's (inverse) performance curve
+/// within a sliding window of its latest samples:
+///
+///     w_A = ( Σ_{i=i0}^{i1} m⁻¹_{A,i} ) / (i1 − i0)
+///
+/// i.e. the average inverse runtime over the window.  Like the other
+/// weighted strategies, w_A > 0 always, and P_A = w_A / Σ w_{A'}.
+class SlidingWindowAuc final : public WeightedStrategyBase {
+public:
+    /// The paper's case studies use a window size of 16.
+    explicit SlidingWindowAuc(std::size_t window_size = 16);
+
+    [[nodiscard]] std::string name() const override { return "Sliding-Window AUC"; }
+    [[nodiscard]] std::size_t window_size() const noexcept { return window_size_; }
+
+protected:
+    [[nodiscard]] double weight_of(std::size_t choice) const override;
+
+private:
+    std::size_t window_size_;
+};
+
+} // namespace atk

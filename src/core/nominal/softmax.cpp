@@ -1,0 +1,35 @@
+#include "core/nominal/softmax.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace atk {
+
+Softmax::Softmax(double temperature) : temperature_(temperature) {
+    if (temperature <= 0.0)
+        throw std::invalid_argument("Softmax: temperature must be > 0");
+}
+
+std::string Softmax::name() const {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "Softmax (t=%g)", temperature_);
+    return buf;
+}
+
+double Softmax::weight_of(std::size_t choice) const {
+    // Normalize by the best inverse runtime over all tried algorithms so the
+    // exponent is scale-free: the overall best algorithm has q = 1.
+    double overall_best = 0.0;
+    for (std::size_t c = 0; c < choices(); ++c)
+        for (const auto& sample : samples(c))
+            overall_best = std::max(overall_best, 1.0 / sample.cost);
+    double my_best = 0.0;
+    for (const auto& sample : samples(choice))
+        my_best = std::max(my_best, 1.0 / sample.cost);
+    const double q = overall_best > 0.0 ? my_best / overall_best : 0.0;
+    return std::exp(q / temperature_);
+}
+
+} // namespace atk

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "core/nominal/strategy.hpp"
+
+namespace atk {
+
+/// Soft-max (Gibbs/Boltzmann) action selection, the Reinforcement-Learning
+/// alternative to ε-Greedy the paper discusses in Section III-A.
+///
+/// The probability of choosing algorithm A is
+///
+///     P_A ∝ exp( q_A / τ ),   q_A = best observed inverse runtime of A
+///                                   normalized to the overall best,
+///
+/// with temperature τ controlling exploration.  The paper deliberately does
+/// NOT use it in the case studies — soft-max avoids bad actions, while the
+/// two-phase tuner wants bad algorithms to keep getting (rare) chances so
+/// phase-one tuning can improve them — but it is provided here as the
+/// natural extension point and for the ablation benches.
+class Softmax final : public WeightedStrategyBase {
+public:
+    explicit Softmax(double temperature = 0.2);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] double temperature() const noexcept { return temperature_; }
+
+protected:
+    [[nodiscard]] double weight_of(std::size_t choice) const override;
+
+private:
+    double temperature_;
+};
+
+} // namespace atk

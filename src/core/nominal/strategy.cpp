@@ -1,0 +1,83 @@
+#include "core/nominal/strategy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace atk {
+
+void WeightedStrategyBase::reset(std::size_t choices) {
+    if (choices == 0)
+        throw std::invalid_argument(name() + ": need at least one choice");
+    history_.assign(choices, {});
+    iteration_ = 0;
+}
+
+std::vector<double> WeightedStrategyBase::weights() const {
+    std::vector<double> w(history_.size(), 0.0);
+    double max_tried = 0.0;
+    for (std::size_t c = 0; c < history_.size(); ++c) {
+        if (!history_[c].empty()) {
+            w[c] = weight_of(c);
+            max_tried = std::max(max_tried, w[c]);
+        }
+    }
+    // Optimistic initialization: untried choices get the largest tried
+    // weight, or 1 when nothing has been tried yet. Keeps all weights > 0.
+    const double untried = max_tried > 0.0 ? max_tried : 1.0;
+    for (std::size_t c = 0; c < history_.size(); ++c)
+        if (history_[c].empty()) w[c] = untried;
+    return w;
+}
+
+std::size_t WeightedStrategyBase::select(Rng& rng) {
+    if (history_.empty()) throw std::logic_error(name() + ": select() before reset()");
+    if (iteration_ == 0) return 0;  // deterministic start, as in the paper
+    const auto w = weights();
+    return rng.weighted_index(w);
+}
+
+void WeightedStrategyBase::report(std::size_t choice, Cost cost) {
+    if (cost <= 0.0)
+        throw std::invalid_argument(name() + ": cost must be positive (it is a runtime)");
+    history_.at(choice).push_back(TimedSample{iteration_, cost});
+    ++iteration_;
+}
+
+void RandomChoice::reset(std::size_t choices) {
+    if (choices == 0) throw std::invalid_argument("RandomChoice: need at least one choice");
+    choices_ = choices;
+}
+
+std::size_t RandomChoice::select(Rng& rng) {
+    if (choices_ == 0) throw std::logic_error("RandomChoice: select() before reset()");
+    return rng.index(choices_);
+}
+
+std::vector<double> RandomChoice::weights() const {
+    return std::vector<double>(choices_, 1.0);
+}
+
+void ExhaustiveChoice::reset(std::size_t choices) {
+    if (choices == 0) throw std::invalid_argument("ExhaustiveChoice: need at least one choice");
+    best_.assign(choices, std::numeric_limits<Cost>::infinity());
+    cursor_ = 0;
+}
+
+std::size_t ExhaustiveChoice::select(Rng&) {
+    if (best_.empty()) throw std::logic_error("ExhaustiveChoice: select() before reset()");
+    if (cursor_ < best_.size()) return cursor_;
+    return static_cast<std::size_t>(
+        std::min_element(best_.begin(), best_.end()) - best_.begin());
+}
+
+void ExhaustiveChoice::report(std::size_t choice, Cost cost) {
+    best_.at(choice) = std::min(best_.at(choice), cost);
+    if (cursor_ < best_.size() && choice == cursor_) ++cursor_;
+}
+
+std::vector<double> ExhaustiveChoice::weights() const {
+    return std::vector<double>(best_.size(), 1.0);
+}
+
+} // namespace atk

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/measurement.hpp"
+#include "support/rng.hpp"
+
+namespace atk {
+
+/// Phase-two strategy: selects which algorithm A ∈ 𝒜 runs in each tuning
+/// iteration (paper Section III).  The algorithmic choice is a Nominal
+/// parameter — labels without order, distance or zero — so none of the
+/// classic searchers apply; these strategies are the paper's contribution.
+///
+/// Protocol per tuning iteration i:
+///   1. select() returns the chosen algorithm index;
+///   2. the tuner runs that algorithm (with its phase-one configuration);
+///   3. report() feeds back the measured cost m_{A,i}.
+class NominalStrategy {
+public:
+    virtual ~NominalStrategy() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Prepares for `choices` alternatives (>= 1); clears all history.
+    virtual void reset(std::size_t choices) = 0;
+
+    /// Chooses the algorithm for this iteration.
+    virtual std::size_t select(Rng& rng) = 0;
+
+    /// Reports the cost observed for `choice` in the iteration it was selected.
+    virtual void report(std::size_t choice, Cost cost) = 0;
+
+    /// Current selection weights (uniform for strategies without weights);
+    /// exposed for tests and the bench harnesses. All entries are > 0 —
+    /// the paper's invariant that no algorithm is ever excluded.
+    [[nodiscard]] virtual std::vector<double> weights() const = 0;
+};
+
+/// Shared bookkeeping for the weight-based strategies (Gradient-Weighted,
+/// Optimum-Weighted, Sliding-Window AUC): a per-choice history of observed
+/// costs, selection proportional to per-choice weights, and the paper's
+/// convention that the very first iteration deterministically runs
+/// algorithm 0 ("they start with a deterministic configuration").
+///
+/// Untried algorithms cannot have a data-derived weight; they optimistically
+/// receive the maximum weight over the tried algorithms, which keeps every
+/// weight strictly positive and guarantees eventual exploration.
+class WeightedStrategyBase : public NominalStrategy {
+public:
+    void reset(std::size_t choices) override;
+    std::size_t select(Rng& rng) override;
+    void report(std::size_t choice, Cost cost) override;
+    [[nodiscard]] std::vector<double> weights() const override;
+
+protected:
+    struct TimedSample {
+        std::size_t iteration;  ///< global tuning iteration of the observation
+        Cost cost;
+    };
+
+    /// Weight of one choice from its sample history; called only for
+    /// choices with at least one sample. Must return a value > 0.
+    [[nodiscard]] virtual double weight_of(std::size_t choice) const = 0;
+
+    [[nodiscard]] const std::vector<TimedSample>& samples(std::size_t choice) const {
+        return history_.at(choice);
+    }
+    [[nodiscard]] std::size_t choices() const noexcept { return history_.size(); }
+    [[nodiscard]] std::size_t iterations() const noexcept { return iteration_; }
+
+private:
+    std::vector<std::vector<TimedSample>> history_;
+    std::size_t iteration_ = 0;
+};
+
+/// Uniform random choice every iteration; the baseline a genetic algorithm
+/// decays to when algorithmic choice is the single parameter (Section III-E).
+class RandomChoice final : public NominalStrategy {
+public:
+    [[nodiscard]] std::string name() const override { return "Random"; }
+    void reset(std::size_t choices) override;
+    std::size_t select(Rng& rng) override;
+    void report(std::size_t, Cost) override {}
+    [[nodiscard]] std::vector<double> weights() const override;
+
+private:
+    std::size_t choices_ = 0;
+};
+
+/// Tries every algorithm once in order, then always exploits the best —
+/// exhaustive search specialized to a purely nominal space (Section II-B).
+class ExhaustiveChoice final : public NominalStrategy {
+public:
+    [[nodiscard]] std::string name() const override { return "Exhaustive"; }
+    void reset(std::size_t choices) override;
+    std::size_t select(Rng& rng) override;
+    void report(std::size_t choice, Cost cost) override;
+    [[nodiscard]] std::vector<double> weights() const override;
+
+private:
+    std::vector<Cost> best_;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace atk

@@ -1,0 +1,76 @@
+#include "core/offline.hpp"
+
+#include <stdexcept>
+
+namespace atk {
+
+OfflineTuner::OfflineTuner(std::unique_ptr<Searcher> searcher)
+    : OfflineTuner(std::move(searcher), Options{}) {}
+
+OfflineTuner::OfflineTuner(std::unique_ptr<Searcher> searcher, Options options)
+    : searcher_(std::move(searcher)), options_(options) {
+    if (!searcher_) throw std::invalid_argument("OfflineTuner: null searcher");
+    if (options_.max_evaluations == 0)
+        throw std::invalid_argument("OfflineTuner: zero evaluation budget");
+}
+
+OfflineTuner::Result OfflineTuner::minimize(const SearchSpace& space,
+                                            const Configuration& initial,
+                                            const MeasurementFunction& measure) {
+    Rng rng(options_.seed);
+    Result result;
+    result.best = initial;
+    result.best_cost = std::numeric_limits<Cost>::infinity();
+
+    Configuration start = initial;
+    for (std::size_t attempt = 0; attempt <= options_.restarts; ++attempt) {
+        searcher_->reset(space, start);
+        std::size_t attempt_evaluations = 0;
+        // Even an immediately-converged searcher (empty space, Fixed) must
+        // measure its one configuration, otherwise the result is vacuous.
+        while (result.evaluations < options_.max_evaluations &&
+               (attempt_evaluations == 0 || !searcher_->converged())) {
+            const Configuration config = searcher_->propose(rng);
+            const Cost cost = measure(config);
+            searcher_->feedback(config, cost);
+            ++result.evaluations;
+            ++attempt_evaluations;
+            if (cost < result.best_cost) {
+                result.best_cost = cost;
+                result.best = config;
+            }
+        }
+        result.converged = searcher_->converged();
+        if (result.evaluations >= options_.max_evaluations) break;
+        if (attempt < options_.restarts) {
+            start = space.random(rng);
+            ++result.restarts_used;
+        }
+    }
+    return result;
+}
+
+OfflineAlgorithmResult offline_two_phase_minimize(
+    const std::vector<OfflineAlgorithm>& algorithms,
+    const std::function<std::unique_ptr<Searcher>()>& make_searcher,
+    const std::function<Cost(std::size_t, const Configuration&)>& measure,
+    OfflineTuner::Options options) {
+    if (algorithms.empty())
+        throw std::invalid_argument("offline_two_phase_minimize: no algorithms");
+    OfflineAlgorithmResult best;
+    best.cost = std::numeric_limits<Cost>::infinity();
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+        OfflineTuner tuner(make_searcher(), options);
+        const OfflineTuner::Result result = tuner.minimize(
+            algorithms[a].space, algorithms[a].initial,
+            [&](const Configuration& config) { return measure(a, config); });
+        if (result.best_cost < best.cost) {
+            best.algorithm = a;
+            best.config = result.best;
+            best.cost = result.best_cost;
+        }
+    }
+    return best;
+}
+
+} // namespace atk

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <memory>
+
+#include "core/measurement.hpp"
+#include "core/search/searcher.hpp"
+#include "core/tuner.hpp"
+
+namespace atk {
+
+/// Offline tuning driver (paper Section II-A: "the technique we develop
+/// here is applicable to offline tuning as well" — the FFTW/ATLAS
+/// install-time scenario).
+///
+/// Unlike the online TwoPhaseTuner, the driver owns the measurement loop:
+/// it evaluates configurations until the searcher converges or a budget is
+/// exhausted, optionally restarting from random points to escape local
+/// minima.  Restarts matter offline because there is no amortization
+/// pressure — wasted evaluations only cost installation time.
+class OfflineTuner {
+public:
+    struct Options {
+        std::size_t max_evaluations = 1000;  ///< total budget across restarts
+        std::size_t restarts = 0;            ///< additional random restarts
+        std::uint64_t seed = 0x5EEDBA5EULL;
+    };
+
+    struct Result {
+        Configuration best;
+        Cost best_cost = 0.0;
+        std::size_t evaluations = 0;   ///< measurements actually spent
+        std::size_t restarts_used = 0; ///< restarts actually performed
+        bool converged = false;        ///< final searcher state
+    };
+
+    explicit OfflineTuner(std::unique_ptr<Searcher> searcher);
+    OfflineTuner(std::unique_ptr<Searcher> searcher, Options options);
+
+    /// Minimizes `measure` over `space` starting from `initial`.
+    /// Throws std::invalid_argument for an invalid initial configuration or
+    /// a space the searcher cannot manipulate.
+    Result minimize(const SearchSpace& space, const Configuration& initial,
+                    const MeasurementFunction& measure);
+
+private:
+    std::unique_ptr<Searcher> searcher_;
+    Options options_;
+};
+
+/// Offline variant of the paper's full two-phase problem: exhaustively
+/// tries every algorithm (offline has no amortization constraint, making
+/// exhaustive phase-two optimal per Section II-B) and minimizes each
+/// algorithm's own space with a fresh copy of the searcher.
+struct OfflineAlgorithmResult {
+    std::size_t algorithm = 0;
+    Configuration config;
+    Cost cost = 0.0;
+};
+
+/// Per-algorithm description for offline two-phase tuning.
+struct OfflineAlgorithm {
+    std::string name;
+    SearchSpace space;
+    Configuration initial;
+};
+
+/// Minimizes over algorithms x configurations; `make_searcher` supplies a
+/// fresh phase-one searcher per algorithm; `measure(algorithm, config)` is
+/// the two-phase measurement function m_A(C).
+[[nodiscard]] OfflineAlgorithmResult offline_two_phase_minimize(
+    const std::vector<OfflineAlgorithm>& algorithms,
+    const std::function<std::unique_ptr<Searcher>()>& make_searcher,
+    const std::function<Cost(std::size_t, const Configuration&)>& measure,
+    OfflineTuner::Options options = {});
+
+} // namespace atk

@@ -1,0 +1,108 @@
+#include "core/parameter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace atk {
+
+const char* to_string(ParamClass cls) noexcept {
+    switch (cls) {
+        case ParamClass::Nominal: return "Nominal";
+        case ParamClass::Ordinal: return "Ordinal";
+        case ParamClass::Interval: return "Interval";
+        case ParamClass::Ratio: return "Ratio";
+    }
+    return "?";
+}
+
+Parameter::Parameter(std::string name, ParamClass cls, std::int64_t min, std::int64_t max,
+                     std::int64_t step, std::vector<std::string> labels)
+    : name_(std::move(name)),
+      cls_(cls),
+      min_(min),
+      max_(max),
+      step_(step),
+      labels_(std::move(labels)) {
+    if (name_.empty()) throw std::invalid_argument("Parameter: empty name");
+    if (min_ > max_) throw std::invalid_argument("Parameter '" + name_ + "': min > max");
+    if (step_ <= 0) throw std::invalid_argument("Parameter '" + name_ + "': step must be > 0");
+}
+
+Parameter Parameter::nominal(std::string name, std::vector<std::string> labels) {
+    if (labels.empty())
+        throw std::invalid_argument("Parameter::nominal('" + name + "'): no labels");
+    const auto count = static_cast<std::int64_t>(labels.size());
+    return Parameter(std::move(name), ParamClass::Nominal, 0, count - 1, 1,
+                     std::move(labels));
+}
+
+Parameter Parameter::ordinal(std::string name, std::vector<std::string> ordered_labels) {
+    if (ordered_labels.empty())
+        throw std::invalid_argument("Parameter::ordinal('" + name + "'): no labels");
+    const auto count = static_cast<std::int64_t>(ordered_labels.size());
+    return Parameter(std::move(name), ParamClass::Ordinal, 0, count - 1, 1,
+                     std::move(ordered_labels));
+}
+
+Parameter Parameter::interval(std::string name, std::int64_t min, std::int64_t max,
+                              std::int64_t step) {
+    return Parameter(std::move(name), ParamClass::Interval, min, max, step, {});
+}
+
+Parameter Parameter::ratio(std::string name, std::int64_t min, std::int64_t max,
+                           std::int64_t step) {
+    if (min < 0)
+        throw std::invalid_argument("Parameter::ratio('" + name +
+                                    "'): ratio scale has a natural zero; min must be >= 0");
+    return Parameter(std::move(name), ParamClass::Ratio, min, max, step, {});
+}
+
+std::uint64_t Parameter::cardinality() const noexcept {
+    return static_cast<std::uint64_t>((max_ - min_) / step_) + 1;
+}
+
+bool Parameter::contains(std::int64_t v) const noexcept {
+    return v >= min_ && v <= max_ && (v - min_) % step_ == 0;
+}
+
+std::int64_t Parameter::clamp(std::int64_t v) const noexcept {
+    if (v <= min_) return min_;
+    if (v >= max_) return max_ - (max_ - min_) % step_;
+    const std::int64_t offset = v - min_;
+    const std::int64_t down = offset / step_ * step_;
+    // Round to the nearest lattice point, ties toward the larger value.
+    const std::int64_t snapped =
+        (offset - down) * 2 >= step_ ? down + step_ : down;
+    const std::int64_t result = min_ + snapped;
+    return result > max_ ? result - step_ : result;
+}
+
+std::string Parameter::label(std::int64_t v) const {
+    if (!labels_.empty()) {
+        if (v < 0 || v >= static_cast<std::int64_t>(labels_.size()))
+            throw std::out_of_range("Parameter::label('" + name_ + "'): bad index");
+        return labels_[static_cast<std::size_t>(v)];
+    }
+    return std::to_string(v);
+}
+
+double Parameter::to_unit(std::int64_t v) const {
+    if (!has_distance())
+        throw std::logic_error("Parameter::to_unit('" + name_ +
+                               "'): class " + to_string(cls_) + " has no distance");
+    if (min_ == max_) return 0.0;
+    return static_cast<double>(v - min_) / static_cast<double>(max_ - min_);
+}
+
+std::int64_t Parameter::from_unit(double u) const {
+    if (!has_distance())
+        throw std::logic_error("Parameter::from_unit('" + name_ +
+                               "'): class " + to_string(cls_) + " has no distance");
+    if (u < 0.0) u = 0.0;
+    if (u > 1.0) u = 1.0;
+    const double raw =
+        static_cast<double>(min_) + u * static_cast<double>(max_ - min_);
+    return clamp(static_cast<std::int64_t>(std::llround(raw)));
+}
+
+} // namespace atk

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atk {
+
+/// Stevens' typology of scales, as used by the paper (Table I) to classify
+/// tuning parameters.  Each class subsumes the properties of all previous
+/// classes:
+///
+///   Nominal  — labels only                       (e.g. choice of algorithm)
+///   Ordinal  — adds order                        (e.g. small/medium/large)
+///   Interval — adds distance                     (e.g. % of a buffer size)
+///   Ratio    — adds a natural zero               (e.g. number of threads)
+enum class ParamClass : std::uint8_t { Nominal, Ordinal, Interval, Ratio };
+
+/// Name of a parameter class ("Nominal", ...).
+const char* to_string(ParamClass cls) noexcept;
+
+/// One tunable parameter: a named, finite domain with a measurement class.
+///
+/// Values are represented as int64 throughout the tuner:
+///  - Nominal/Ordinal parameters store a label index in [0, labels).
+///  - Interval/Ratio parameters store the actual value in [min, max],
+///    restricted to min + k*step.
+///
+/// The class predicates (has_order / has_distance / has_natural_zero) are
+/// what the search strategies check: distance-based searchers such as
+/// Nelder-Mead refuse spaces with parameters lacking distance, which is the
+/// paper's central observation about why algorithmic choice needs dedicated
+/// strategies.
+class Parameter {
+public:
+    /// Unordered, label-only parameter (e.g. the algorithmic choice itself).
+    static Parameter nominal(std::string name, std::vector<std::string> labels);
+
+    /// Ordered labels without meaningful distances.
+    static Parameter ordinal(std::string name, std::vector<std::string> ordered_labels);
+
+    /// Numeric parameter with distances but no natural zero.
+    static Parameter interval(std::string name, std::int64_t min, std::int64_t max,
+                              std::int64_t step = 1);
+
+    /// Numeric parameter with a natural zero (counts, sizes, thread numbers).
+    static Parameter ratio(std::string name, std::int64_t min, std::int64_t max,
+                           std::int64_t step = 1);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] ParamClass cls() const noexcept { return cls_; }
+
+    [[nodiscard]] bool has_order() const noexcept { return cls_ != ParamClass::Nominal; }
+    [[nodiscard]] bool has_distance() const noexcept {
+        return cls_ == ParamClass::Interval || cls_ == ParamClass::Ratio;
+    }
+    [[nodiscard]] bool has_natural_zero() const noexcept {
+        return cls_ == ParamClass::Ratio;
+    }
+
+    /// Smallest representable value (0 for labeled classes).
+    [[nodiscard]] std::int64_t min_value() const noexcept { return min_; }
+    /// Largest representable value (labels-1 for labeled classes).
+    [[nodiscard]] std::int64_t max_value() const noexcept { return max_; }
+    /// Lattice step between adjacent values (1 for labeled classes).
+    [[nodiscard]] std::int64_t step() const noexcept { return step_; }
+
+    /// Number of distinct values.
+    [[nodiscard]] std::uint64_t cardinality() const noexcept;
+
+    /// True if v lies in [min, max] and on the step lattice.
+    [[nodiscard]] bool contains(std::int64_t v) const noexcept;
+
+    /// Nearest valid value: clamps to [min, max] and snaps to the lattice.
+    [[nodiscard]] std::int64_t clamp(std::int64_t v) const noexcept;
+
+    /// Label text for a labeled parameter value; the numeral otherwise.
+    [[nodiscard]] std::string label(std::int64_t v) const;
+
+    /// Maps a valid value onto [0, 1] (requires has_distance()).
+    [[nodiscard]] double to_unit(std::int64_t v) const;
+    /// Maps u in [0, 1] (clamped) back onto the nearest valid value
+    /// (requires has_distance()).
+    [[nodiscard]] std::int64_t from_unit(double u) const;
+
+private:
+    Parameter(std::string name, ParamClass cls, std::int64_t min, std::int64_t max,
+              std::int64_t step, std::vector<std::string> labels);
+
+    std::string name_;
+    ParamClass cls_;
+    std::int64_t min_;
+    std::int64_t max_;
+    std::int64_t step_;
+    std::vector<std::string> labels_;  // empty for numeric classes
+};
+
+} // namespace atk

@@ -1,0 +1,99 @@
+#include "core/search/differential_evolution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/search/unit_space.hpp"
+
+namespace atk {
+
+void DifferentialEvolutionSearcher::validate_space(const SearchSpace& space) const {
+    if (!space.all_have_distance())
+        throw std::invalid_argument(
+            "DifferentialEvolution requires Interval/Ratio parameters: agent "
+            "updates are built from coordinate differences, undefined for "
+            "Nominal/Ordinal parameters");
+}
+
+void DifferentialEvolutionSearcher::do_reset() {
+    agents_.clear();
+    trial_.clear();
+    cursor_ = 0;
+    initialized_ = false;
+    in_initial_eval_ = true;
+    have_pass_best_ = false;
+    improved_this_pass_ = false;
+    stale_count_ = 0;
+}
+
+Configuration DifferentialEvolutionSearcher::do_propose(Rng& rng) {
+    const std::size_t d = space().dimension();
+    if (!initialized_) {
+        const std::size_t count = std::max<std::size_t>(4, options_.population);
+        agents_.resize(count);
+        agents_[0].position = config_to_unit(space(), initial());
+        for (std::size_t a = 1; a < count; ++a)
+            agents_[a].position = config_to_unit(space(), space().random(rng));
+        initialized_ = true;
+        cursor_ = 0;
+        in_initial_eval_ = true;
+    }
+    if (in_initial_eval_) {
+        trial_ = agents_[cursor_].position;
+        return unit_to_config(space(), trial_);
+    }
+    // DE/rand/1/bin: mutant v = a + F * (b - c) from three distinct agents
+    // (all different from the current one), then binomial crossover.
+    std::size_t ia, ib, ic;
+    do { ia = rng.index(agents_.size()); } while (ia == cursor_);
+    do { ib = rng.index(agents_.size()); } while (ib == cursor_ || ib == ia);
+    do { ic = rng.index(agents_.size()); } while (ic == cursor_ || ic == ia || ic == ib);
+    const auto& a = agents_[ia].position;
+    const auto& b = agents_[ib].position;
+    const auto& c = agents_[ic].position;
+    trial_ = agents_[cursor_].position;
+    const std::size_t forced = rng.index(d);  // at least one mutant coordinate
+    for (std::size_t i = 0; i < d; ++i) {
+        if (i == forced || rng.chance(options_.crossover_probability)) {
+            trial_[i] = std::clamp(a[i] + options_.differential_weight * (b[i] - c[i]),
+                                   0.0, 1.0);
+        }
+    }
+    return unit_to_config(space(), trial_);
+}
+
+void DifferentialEvolutionSearcher::do_feedback(const Configuration&, Cost cost) {
+    auto& agent = agents_[cursor_];
+    if (in_initial_eval_) {
+        agent.cost = cost;
+    } else if (cost <= agent.cost) {
+        agent.position = trial_;
+        agent.cost = cost;
+    }
+    if (!have_pass_best_ || cost < pass_best_ - 1e-4 * std::abs(pass_best_))
+        improved_this_pass_ = true;
+    if (!have_pass_best_ || cost < pass_best_) {
+        pass_best_ = cost;
+        have_pass_best_ = true;
+    }
+    ++cursor_;
+    if (cursor_ == agents_.size()) {
+        cursor_ = 0;
+        in_initial_eval_ = false;
+        if (improved_this_pass_) {
+            stale_count_ = 0;
+        } else {
+            ++stale_count_;
+        }
+        improved_this_pass_ = false;
+    }
+}
+
+bool DifferentialEvolutionSearcher::do_converged() const {
+    if (options_.max_evaluations != 0 && evaluations() >= options_.max_evaluations)
+        return true;
+    return stale_count_ >= options_.stale_passes;
+}
+
+} // namespace atk

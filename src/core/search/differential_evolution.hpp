@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "core/search/searcher.hpp"
+
+namespace atk {
+
+/// Differential evolution, DE/rand/1/bin (paper Section II-A.5, Storn &
+/// Price).  Each agent is updated from the difference of three randomly
+/// selected other agents; every dimension is probabilistically taken from
+/// the mutant vector.
+///
+/// Requires distances on all parameters — agent updates are built from
+/// coordinate differences, which Nominal/Ordinal parameters do not define.
+class DifferentialEvolutionSearcher final : public Searcher {
+public:
+    struct Options {
+        std::size_t population = 10;       ///< >= 4 agents required by rand/1
+        double differential_weight = 0.7;  ///< F
+        double crossover_probability = 0.9;///< CR
+        /// Converged after this many full passes without best improvement.
+        std::size_t stale_passes = 5;
+        std::size_t max_evaluations = 0;   ///< 0 = unbounded
+    };
+
+    DifferentialEvolutionSearcher() = default;
+    explicit DifferentialEvolutionSearcher(Options options) : options_(options) {}
+
+    [[nodiscard]] std::string name() const override { return "DifferentialEvolution"; }
+
+protected:
+    void validate_space(const SearchSpace& space) const override;
+    void do_reset() override;
+    Configuration do_propose(Rng& rng) override;
+    void do_feedback(const Configuration& config, Cost cost) override;
+    [[nodiscard]] bool do_converged() const override;
+
+private:
+    struct Agent {
+        std::vector<double> position;
+        Cost cost = 0.0;
+    };
+
+    Options options_;
+    std::vector<Agent> agents_;
+    std::vector<double> trial_;   // candidate awaiting evaluation
+    std::size_t cursor_ = 0;      // agent being challenged
+    bool initialized_ = false;
+    bool in_initial_eval_ = true; // first pass evaluates the seed population
+    Cost pass_best_ = 0.0;
+    bool have_pass_best_ = false;
+    bool improved_this_pass_ = false;
+    std::size_t stale_count_ = 0;
+};
+
+} // namespace atk

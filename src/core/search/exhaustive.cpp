@@ -1,0 +1,23 @@
+#include "core/search/exhaustive.hpp"
+
+namespace atk {
+
+void ExhaustiveSearcher::do_reset() {
+    cursor_ = space().lowest();
+    done_ = false;
+}
+
+Configuration ExhaustiveSearcher::do_propose(Rng&) {
+    return *cursor_;  // non-empty space guaranteed by the base class
+}
+
+void ExhaustiveSearcher::do_feedback(const Configuration&, Cost) {
+    cursor_ = space().next_lexicographic(*cursor_);
+    if (!cursor_) done_ = true;
+}
+
+bool ExhaustiveSearcher::do_converged() const {
+    return done_;
+}
+
+} // namespace atk

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <optional>
+
+#include "core/search/searcher.hpp"
+
+namespace atk {
+
+/// Exhaustive search (paper Section II-A.7): systematically tries every
+/// configuration in lexicographic lattice order, then exploits the best.
+/// Handles every parameter class — the paper's "obvious first choice" for
+/// purely nominal spaces — but, as Section II-B argues, always pays for the
+/// worst configuration too, which is what makes it inadequate online.
+class ExhaustiveSearcher final : public Searcher {
+public:
+    [[nodiscard]] std::string name() const override { return "Exhaustive"; }
+
+protected:
+    void do_reset() override;
+    Configuration do_propose(Rng& rng) override;
+    void do_feedback(const Configuration& config, Cost cost) override;
+    [[nodiscard]] bool do_converged() const override;
+
+private:
+    std::optional<Configuration> cursor_;
+    bool done_ = false;
+};
+
+/// Random search (paper Section II-A.7): independently samples a uniform
+/// configuration every iteration, forever.  Never reports convergence.
+class RandomSearcher final : public Searcher {
+public:
+    [[nodiscard]] std::string name() const override { return "Random"; }
+
+protected:
+    void do_reset() override {}
+    Configuration do_propose(Rng& rng) override { return space().random(rng); }
+    void do_feedback(const Configuration&, Cost) override {}
+    [[nodiscard]] bool do_converged() const override { return false; }
+};
+
+} // namespace atk

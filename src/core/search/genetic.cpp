@@ -1,0 +1,101 @@
+#include "core/search/genetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atk {
+
+void GeneticSearcher::do_reset() {
+    population_.clear();
+    pending_.clear();
+    cursor_ = 0;
+    initialized_ = false;
+    stale_count_ = 0;
+}
+
+Configuration GeneticSearcher::do_propose(Rng& rng) {
+    if (!initialized_) {
+        pending_.clear();
+        pending_.push_back(initial());
+        while (pending_.size() < std::max<std::size_t>(2, options_.population))
+            pending_.push_back(space().random(rng));
+        cursor_ = 0;
+        initialized_ = true;
+    }
+    if (cursor_ >= pending_.size()) breed_next_generation(rng);
+    return pending_[cursor_];
+}
+
+void GeneticSearcher::do_feedback(const Configuration& config, Cost cost) {
+    population_.push_back(Individual{config, cost});
+    ++cursor_;
+}
+
+const GeneticSearcher::Individual& GeneticSearcher::tournament_pick(Rng& rng) const {
+    const Individual* winner = &population_[rng.index(population_.size())];
+    for (std::size_t round = 1; round < options_.tournament; ++round) {
+        const Individual& challenger = population_[rng.index(population_.size())];
+        if (challenger.cost < winner->cost) winner = &challenger;
+    }
+    return *winner;
+}
+
+Configuration GeneticSearcher::crossover(const Configuration& a, const Configuration& b,
+                                         Rng& rng) const {
+    // Single random crossover point, as described in the paper: the child
+    // interleaves the two parents at that point.
+    const std::size_t d = a.size();
+    if (d <= 1) return rng.chance(0.5) ? a : b;
+    const std::size_t point = 1 + rng.index(d - 1);
+    std::vector<std::int64_t> genes(d);
+    for (std::size_t i = 0; i < d; ++i) genes[i] = i < point ? a[i] : b[i];
+    return Configuration(std::move(genes));
+}
+
+void GeneticSearcher::mutate(Configuration& genome, Rng& rng) const {
+    for (std::size_t i = 0; i < genome.size(); ++i) {
+        if (!rng.chance(options_.mutation_rate)) continue;
+        const auto& p = space().param(i);
+        const auto steps = static_cast<std::int64_t>(p.cardinality()) - 1;
+        genome[i] = p.min_value() + rng.uniform_int(0, steps) * p.step();
+    }
+}
+
+void GeneticSearcher::breed_next_generation(Rng& rng) {
+    // Keep only the most recent generation for selection pressure.
+    std::stable_sort(population_.begin(), population_.end(),
+                     [](const Individual& x, const Individual& y) { return x.cost < y.cost; });
+    const Cost new_best = population_.front().cost;
+    if (stale_count_ == 0 && generation_best_ == 0.0) {
+        generation_best_ = new_best;  // first generation
+    } else if (new_best < generation_best_ - 1e-4 * std::abs(generation_best_)) {
+        generation_best_ = new_best;
+        stale_count_ = 0;
+    } else {
+        ++stale_count_;
+    }
+
+    pending_.clear();
+    const std::size_t size = std::max<std::size_t>(2, options_.population);
+    const std::size_t elites = std::min(options_.elites, population_.size());
+    for (std::size_t e = 0; e < elites && pending_.size() < size; ++e)
+        pending_.push_back(population_[e].genome);
+    while (pending_.size() < size) {
+        Configuration child = rng.chance(options_.crossover_rate)
+                                  ? crossover(tournament_pick(rng).genome,
+                                              tournament_pick(rng).genome, rng)
+                                  : tournament_pick(rng).genome;
+        mutate(child, rng);
+        pending_.push_back(std::move(child));
+    }
+    population_.clear();
+    cursor_ = 0;
+}
+
+bool GeneticSearcher::do_converged() const {
+    if (options_.max_evaluations != 0 && evaluations() >= options_.max_evaluations)
+        return true;
+    return stale_count_ >= options_.stale_generations;
+}
+
+} // namespace atk

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <vector>
+
+#include "core/search/searcher.hpp"
+
+namespace atk {
+
+/// Generational genetic algorithm (paper Section II-A.4).  New
+/// configurations are obtained through mutation (randomly re-drawing one or
+/// more parameter values) or crossover (interleaving two parents at a random
+/// crossover point), with tournament selection and elitism.
+///
+/// This is the only classic technique that can manipulate Nominal
+/// parameters — mutation and crossover need neither order nor distance —
+/// which is why the paper singles it out in Section II-B.  (It also notes
+/// that with algorithmic choice as the *single* parameter a GA decays to
+/// random search; see GeneticSearcher's behavior on 1-dimensional nominal
+/// spaces, which is exactly that.)
+class GeneticSearcher final : public Searcher {
+public:
+    struct Options {
+        std::size_t population = 12;
+        std::size_t tournament = 3;     ///< tournament size for parent selection
+        double crossover_rate = 0.9;    ///< probability of crossover vs. cloning
+        double mutation_rate = 0.15;    ///< per-gene probability of re-drawing
+        std::size_t elites = 1;         ///< best individuals copied verbatim
+        /// Converged after this many generations without best improvement.
+        std::size_t stale_generations = 5;
+        std::size_t max_evaluations = 0;  ///< 0 = unbounded
+    };
+
+    GeneticSearcher() = default;
+    explicit GeneticSearcher(Options options) : options_(options) {}
+
+    [[nodiscard]] std::string name() const override { return "Genetic"; }
+
+protected:
+    // Accepts every parameter class, including Nominal.
+    void do_reset() override;
+    Configuration do_propose(Rng& rng) override;
+    void do_feedback(const Configuration& config, Cost cost) override;
+    [[nodiscard]] bool do_converged() const override;
+
+private:
+    struct Individual {
+        Configuration genome;
+        Cost cost = 0.0;
+    };
+
+    void breed_next_generation(Rng& rng);
+    [[nodiscard]] const Individual& tournament_pick(Rng& rng) const;
+    [[nodiscard]] Configuration crossover(const Configuration& a, const Configuration& b,
+                                          Rng& rng) const;
+    void mutate(Configuration& genome, Rng& rng) const;
+
+    Options options_;
+    std::vector<Individual> population_;   // evaluated individuals
+    std::vector<Configuration> pending_;   // genomes awaiting evaluation
+    std::size_t cursor_ = 0;
+    bool initialized_ = false;
+    Cost generation_best_ = 0.0;
+    std::size_t stale_count_ = 0;
+};
+
+} // namespace atk

@@ -1,0 +1,67 @@
+#include "core/search/hill_climbing.hpp"
+
+#include <stdexcept>
+
+namespace atk {
+
+void HillClimbingSearcher::validate_space(const SearchSpace& space) const {
+    if (!space.all_have_order())
+        throw std::invalid_argument(
+            "HillClimbing requires ordered parameters: Nominal parameters define "
+            "no neighborhood to climb through");
+}
+
+void HillClimbingSearcher::do_reset() {
+    current_ = initial();
+    have_current_ = false;
+    frontier_.clear();
+    frontier_index_ = 0;
+    have_best_neighbor_ = false;
+    converged_flag_ = false;
+}
+
+void HillClimbingSearcher::open_neighborhood() {
+    frontier_ = space().neighbors(current_);
+    frontier_index_ = 0;
+    have_best_neighbor_ = false;
+    if (frontier_.empty()) converged_flag_ = true;  // isolated point
+}
+
+Configuration HillClimbingSearcher::do_propose(Rng&) {
+    if (!have_current_) return current_;
+    return frontier_.at(frontier_index_);
+}
+
+void HillClimbingSearcher::do_feedback(const Configuration& config, Cost cost) {
+    if (options_.max_evaluations != 0 && evaluations() >= options_.max_evaluations) {
+        converged_flag_ = true;
+        return;
+    }
+    if (!have_current_) {
+        current_cost_ = cost;
+        have_current_ = true;
+        open_neighborhood();
+        return;
+    }
+    if (!have_best_neighbor_ || cost < best_neighbor_cost_) {
+        best_neighbor_ = config;
+        best_neighbor_cost_ = cost;
+        have_best_neighbor_ = true;
+    }
+    ++frontier_index_;
+    if (frontier_index_ < frontier_.size()) return;
+    // Neighborhood fully evaluated: greedily move, or stop at a local optimum.
+    if (have_best_neighbor_ && best_neighbor_cost_ < current_cost_) {
+        current_ = best_neighbor_;
+        current_cost_ = best_neighbor_cost_;
+        open_neighborhood();
+    } else {
+        converged_flag_ = true;
+    }
+}
+
+bool HillClimbingSearcher::do_converged() const {
+    return converged_flag_;
+}
+
+} // namespace atk

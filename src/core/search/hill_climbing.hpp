@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "core/search/searcher.hpp"
+
+namespace atk {
+
+/// Greedy hill climbing (paper Section II-A.1): evaluates all lattice
+/// neighbors of the current configuration and moves to the best strictly
+/// improving one; converges when no neighbor improves.
+///
+/// Requires an order on every parameter (Ordinal or better) to define the
+/// neighborhood; rejects Nominal parameters at reset().
+class HillClimbingSearcher final : public Searcher {
+public:
+    struct Options {
+        std::size_t max_evaluations = 0;  ///< 0 = unbounded
+    };
+
+    HillClimbingSearcher() = default;
+    explicit HillClimbingSearcher(Options options) : options_(options) {}
+
+    [[nodiscard]] std::string name() const override { return "HillClimbing"; }
+
+protected:
+    void validate_space(const SearchSpace& space) const override;
+    void do_reset() override;
+    Configuration do_propose(Rng& rng) override;
+    void do_feedback(const Configuration& config, Cost cost) override;
+    [[nodiscard]] bool do_converged() const override;
+
+private:
+    void open_neighborhood();
+
+    Options options_;
+    Configuration current_;
+    Cost current_cost_ = 0.0;
+    bool have_current_ = false;
+    std::vector<Configuration> frontier_;  // neighbors awaiting evaluation
+    std::size_t frontier_index_ = 0;
+    Configuration best_neighbor_;
+    Cost best_neighbor_cost_ = 0.0;
+    bool have_best_neighbor_ = false;
+    bool converged_flag_ = false;
+};
+
+} // namespace atk

@@ -1,0 +1,181 @@
+#include "core/search/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/search/unit_space.hpp"
+
+namespace atk {
+
+void NelderMeadSearcher::validate_space(const SearchSpace& space) const {
+    if (!space.all_have_distance())
+        throw std::invalid_argument(
+            "NelderMead requires Interval/Ratio parameters: the simplex geometry "
+            "needs a notion of distance, which Nominal/Ordinal parameters lack");
+}
+
+void NelderMeadSearcher::do_reset() {
+    simplex_.clear();
+    centroid_.clear();
+    pending_.clear();
+    reflected_point_.clear();
+    phase_ = Phase::BuildSimplex;
+    build_index_ = 0;
+    shrink_index_ = 0;
+    converged_flag_ = false;
+}
+
+std::vector<double> NelderMeadSearcher::affine(const std::vector<double>& from,
+                                               const std::vector<double>& to,
+                                               double t) const {
+    std::vector<double> out(from.size());
+    for (std::size_t i = 0; i < from.size(); ++i) {
+        out[i] = std::clamp(from[i] + t * (to[i] - from[i]), 0.0, 1.0);
+    }
+    return out;
+}
+
+void NelderMeadSearcher::order_simplex() {
+    std::stable_sort(simplex_.begin(), simplex_.end(),
+                     [](const Vertex& a, const Vertex& b) { return a.cost < b.cost; });
+}
+
+void NelderMeadSearcher::begin_iteration() {
+    order_simplex();
+    check_convergence();
+    if (converged_flag_) return;
+    const std::size_t d = space().dimension();
+    centroid_.assign(d, 0.0);
+    for (std::size_t v = 0; v + 1 < simplex_.size(); ++v)
+        for (std::size_t i = 0; i < d; ++i) centroid_[i] += simplex_[v].point[i];
+    for (double& c : centroid_) c /= static_cast<double>(simplex_.size() - 1);
+    phase_ = Phase::Reflect;
+}
+
+void NelderMeadSearcher::check_convergence() {
+    if (options_.max_evaluations != 0 && evaluations() >= options_.max_evaluations) {
+        converged_flag_ = true;
+        return;
+    }
+    if (simplex_.size() < 2) return;
+    const Cost best = simplex_.front().cost;
+    const Cost worst = simplex_.back().cost;
+    const double spread = std::abs(worst - best) /
+                          std::max(1e-12, std::abs(best));
+    double extent = 0.0;
+    for (const auto& v : simplex_)
+        for (std::size_t i = 0; i < v.point.size(); ++i)
+            extent = std::max(extent, std::abs(v.point[i] - simplex_.front().point[i]));
+    if (spread < options_.cost_tolerance && extent < options_.extent_tolerance)
+        converged_flag_ = true;
+}
+
+Configuration NelderMeadSearcher::do_propose(Rng&) {
+    const std::size_t d = space().dimension();
+    switch (phase_) {
+        case Phase::BuildSimplex: {
+            std::vector<double> point = config_to_unit(space(), initial());
+            if (build_index_ > 0) {
+                const std::size_t axis = build_index_ - 1;
+                point[axis] += options_.initial_step;
+                if (point[axis] > 1.0) point[axis] -= 2.0 * options_.initial_step;
+                point[axis] = std::clamp(point[axis], 0.0, 1.0);
+            }
+            pending_ = std::move(point);
+            break;
+        }
+        case Phase::Reflect:
+            pending_ = affine(simplex_.back().point, centroid_, 1.0 + options_.alpha);
+            break;
+        case Phase::Expand:
+            pending_ = affine(centroid_, reflected_point_, options_.gamma);
+            break;
+        case Phase::ContractOutside:
+            pending_ = affine(centroid_, reflected_point_, options_.rho);
+            break;
+        case Phase::ContractInside:
+            pending_ = affine(centroid_, simplex_.back().point, options_.rho);
+            break;
+        case Phase::Shrink: {
+            const auto& best_point = simplex_.front().point;
+            pending_ = affine(best_point, simplex_[shrink_index_].point, options_.sigma);
+            break;
+        }
+    }
+    if (pending_.size() != d) throw std::logic_error("NelderMead: internal state corrupt");
+    return unit_to_config(space(), pending_);
+}
+
+void NelderMeadSearcher::accept_worst_replacement(std::vector<double> point, Cost cost) {
+    simplex_.back() = Vertex{std::move(point), cost};
+    begin_iteration();
+}
+
+void NelderMeadSearcher::do_feedback(const Configuration&, Cost cost) {
+    switch (phase_) {
+        case Phase::BuildSimplex: {
+            simplex_.push_back(Vertex{pending_, cost});
+            ++build_index_;
+            if (simplex_.size() == space().dimension() + 1) begin_iteration();
+            return;
+        }
+        case Phase::Reflect: {
+            reflected_point_ = pending_;
+            reflected_cost_ = cost;
+            const Cost best = simplex_.front().cost;
+            const Cost second_worst = simplex_[simplex_.size() - 2].cost;
+            const Cost worst = simplex_.back().cost;
+            if (cost < best) {
+                phase_ = Phase::Expand;
+            } else if (cost < second_worst) {
+                accept_worst_replacement(std::move(reflected_point_), cost);
+            } else if (cost < worst) {
+                phase_ = Phase::ContractOutside;
+            } else {
+                phase_ = Phase::ContractInside;
+            }
+            return;
+        }
+        case Phase::Expand: {
+            if (cost < reflected_cost_) {
+                accept_worst_replacement(pending_, cost);
+            } else {
+                accept_worst_replacement(std::move(reflected_point_), reflected_cost_);
+            }
+            return;
+        }
+        case Phase::ContractOutside: {
+            if (cost <= reflected_cost_) {
+                accept_worst_replacement(pending_, cost);
+            } else {
+                phase_ = Phase::Shrink;
+                shrink_index_ = 1;
+            }
+            return;
+        }
+        case Phase::ContractInside: {
+            if (cost < simplex_.back().cost) {
+                accept_worst_replacement(pending_, cost);
+            } else {
+                phase_ = Phase::Shrink;
+                shrink_index_ = 1;
+            }
+            return;
+        }
+        case Phase::Shrink: {
+            simplex_[shrink_index_] = Vertex{pending_, cost};
+            ++shrink_index_;
+            if (shrink_index_ == simplex_.size()) begin_iteration();
+            return;
+        }
+    }
+}
+
+bool NelderMeadSearcher::do_converged() const {
+    if (options_.max_evaluations != 0 && evaluations() >= options_.max_evaluations)
+        return true;
+    return converged_flag_;
+}
+
+} // namespace atk

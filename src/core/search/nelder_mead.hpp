@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/search/searcher.hpp"
+
+namespace atk {
+
+/// Nelder-Mead downhill simplex (the paper's phase-one workhorse, used in
+/// both case studies).
+///
+/// Operates on the unit cube [0,1]^J; every proposed vertex is snapped onto
+/// the parameter lattice before evaluation.  The usual reflect / expand /
+/// contract / shrink transitions are implemented as an ask-tell state
+/// machine so the online tuning loop drives one evaluation per iteration.
+///
+/// Requires all parameters to have distance (Interval or Ratio); rejects
+/// Nominal and Ordinal parameters at reset() — the inadequacy the paper's
+/// Section II-B describes.
+class NelderMeadSearcher final : public Searcher {
+public:
+    struct Options {
+        double alpha = 1.0;        ///< reflection coefficient
+        double gamma = 2.0;        ///< expansion coefficient
+        double rho = 0.5;          ///< contraction coefficient
+        double sigma = 0.5;        ///< shrink coefficient
+        double initial_step = 0.25;///< offset of the initial simplex vertices
+        /// Converged when the relative cost spread across the simplex AND
+        /// the simplex extent both drop below these tolerances.
+        double cost_tolerance = 1e-3;
+        double extent_tolerance = 1e-3;
+        std::size_t max_evaluations = 0;  ///< 0 = unbounded
+    };
+
+    NelderMeadSearcher() = default;
+    explicit NelderMeadSearcher(Options options) : options_(options) {}
+
+    [[nodiscard]] std::string name() const override { return "NelderMead"; }
+
+protected:
+    void validate_space(const SearchSpace& space) const override;
+    void do_reset() override;
+    Configuration do_propose(Rng& rng) override;
+    void do_feedback(const Configuration& config, Cost cost) override;
+    [[nodiscard]] bool do_converged() const override;
+
+private:
+    enum class Phase { BuildSimplex, Reflect, Expand, ContractOutside, ContractInside, Shrink };
+
+    struct Vertex {
+        std::vector<double> point;
+        Cost cost = 0.0;
+    };
+
+    void order_simplex();
+    void begin_iteration();
+    [[nodiscard]] std::vector<double> affine(const std::vector<double>& from,
+                                             const std::vector<double>& to,
+                                             double t) const;
+    void accept_worst_replacement(std::vector<double> point, Cost cost);
+    void check_convergence();
+
+    Options options_;
+    std::vector<Vertex> simplex_;
+    std::vector<double> centroid_;   // of all vertices but the worst
+    std::vector<double> pending_;    // continuous point awaiting feedback
+    Cost reflected_cost_ = 0.0;
+    std::vector<double> reflected_point_;
+    Phase phase_ = Phase::BuildSimplex;
+    std::size_t build_index_ = 0;    // next simplex vertex to evaluate
+    std::size_t shrink_index_ = 0;   // next shrunk vertex to evaluate
+    bool converged_flag_ = false;
+};
+
+} // namespace atk

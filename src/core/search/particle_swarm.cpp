@@ -1,0 +1,109 @@
+#include "core/search/particle_swarm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/search/unit_space.hpp"
+
+namespace atk {
+
+void ParticleSwarmSearcher::validate_space(const SearchSpace& space) const {
+    if (!space.all_have_distance())
+        throw std::invalid_argument(
+            "ParticleSwarm requires Interval/Ratio parameters: particle velocity "
+            "is a difference vector, undefined for Nominal/Ordinal parameters");
+}
+
+void ParticleSwarmSearcher::do_reset() {
+    swarm_.clear();
+    global_best_.clear();
+    have_global_best_ = false;
+    cursor_ = 0;
+    initialized_ = false;
+    stale_count_ = 0;
+    improved_this_sweep_ = false;
+    needs_advance_ = false;
+}
+
+Configuration ParticleSwarmSearcher::do_propose(Rng& rng) {
+    if (!initialized_) {
+        const std::size_t d = space().dimension();
+        std::size_t count = options_.particles;
+        if (count == 0) count = std::min<std::size_t>(10, 4 + 2 * d);
+        count = std::max<std::size_t>(2, count);
+        swarm_.resize(count);
+        for (std::size_t p = 0; p < count; ++p) {
+            auto& particle = swarm_[p];
+            // Particle 0 starts at the caller's initial configuration so the
+            // hand-crafted default is always part of the swarm.
+            particle.position = p == 0 ? config_to_unit(space(), initial())
+                                       : config_to_unit(space(), space().random(rng));
+            particle.velocity.assign(d, 0.0);
+            for (double& v : particle.velocity)
+                v = rng.uniform_real(-options_.max_velocity / 2, options_.max_velocity / 2);
+            particle.best_position = particle.position;
+        }
+        initialized_ = true;
+        cursor_ = 0;
+    }
+    if (needs_advance_) {
+        advance_swarm(rng);
+        needs_advance_ = false;
+    }
+    return unit_to_config(space(), swarm_[cursor_].position);
+}
+
+void ParticleSwarmSearcher::advance_swarm(Rng& rng) {
+    for (auto& particle : swarm_) {
+        for (std::size_t i = 0; i < particle.position.size(); ++i) {
+            const double r1 = rng.uniform_real();
+            const double r2 = rng.uniform_real();
+            double v = options_.inertia * particle.velocity[i] +
+                       options_.cognitive * r1 *
+                           (particle.best_position[i] - particle.position[i]) +
+                       options_.social * r2 * (global_best_[i] - particle.position[i]);
+            v = std::clamp(v, -options_.max_velocity, options_.max_velocity);
+            particle.velocity[i] = v;
+            particle.position[i] = std::clamp(particle.position[i] + v, 0.0, 1.0);
+        }
+    }
+    if (!improved_this_sweep_) {
+        ++stale_count_;
+    } else {
+        stale_count_ = 0;
+    }
+    improved_this_sweep_ = false;
+}
+
+void ParticleSwarmSearcher::do_feedback(const Configuration&, Cost cost) {
+    auto& particle = swarm_[cursor_];
+    if (!particle.evaluated || cost < particle.best_cost) {
+        particle.best_cost = cost;
+        particle.best_position = particle.position;
+        particle.evaluated = true;
+    }
+    if (!have_global_best_ ||
+        cost < global_best_cost_ - 1e-4 * std::abs(global_best_cost_)) {
+        improved_this_sweep_ = true;
+    }
+    if (!have_global_best_ || cost < global_best_cost_) {
+        global_best_cost_ = cost;
+        global_best_ = particle.position;
+        have_global_best_ = true;
+    }
+    ++cursor_;
+    if (cursor_ == swarm_.size()) {
+        cursor_ = 0;
+        needs_advance_ = true;  // swarm update happens at the next propose(),
+                                // which is where the caller's Rng is available
+    }
+}
+
+bool ParticleSwarmSearcher::do_converged() const {
+    if (options_.max_evaluations != 0 && evaluations() >= options_.max_evaluations)
+        return true;
+    return initialized_ && stale_count_ >= options_.stale_sweeps;
+}
+
+} // namespace atk

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <vector>
+
+#include "core/search/searcher.hpp"
+
+namespace atk {
+
+/// Particle swarm optimization (paper Section II-A.3, Kennedy & Eberhart).
+/// A set of candidate solutions ("particles") moves through the unit cube;
+/// each particle is pulled toward its personal best and the global best by
+/// an individual velocity.  One particle is evaluated per tuning iteration.
+///
+/// Requires distances on all parameters (velocity is a difference vector).
+class ParticleSwarmSearcher final : public Searcher {
+public:
+    struct Options {
+        std::size_t particles = 0;  ///< 0 selects min(10, 4 + 2*J)
+        double inertia = 0.7;
+        double cognitive = 1.4;     ///< pull toward personal best
+        double social = 1.4;        ///< pull toward global best
+        double max_velocity = 0.5;  ///< per-axis velocity clamp (unit cube)
+        /// Converged after this many full sweeps without global-best
+        /// improvement (relative improvement below 1e-4 counts as none).
+        std::size_t stale_sweeps = 5;
+        std::size_t max_evaluations = 0;  ///< 0 = unbounded
+    };
+
+    ParticleSwarmSearcher() = default;
+    explicit ParticleSwarmSearcher(Options options) : options_(options) {}
+
+    [[nodiscard]] std::string name() const override { return "ParticleSwarm"; }
+
+protected:
+    void validate_space(const SearchSpace& space) const override;
+    void do_reset() override;
+    Configuration do_propose(Rng& rng) override;
+    void do_feedback(const Configuration& config, Cost cost) override;
+    [[nodiscard]] bool do_converged() const override;
+
+private:
+    struct Particle {
+        std::vector<double> position;
+        std::vector<double> velocity;
+        std::vector<double> best_position;
+        Cost best_cost = 0.0;
+        bool evaluated = false;
+    };
+
+    void advance_swarm(Rng& rng);
+
+    Options options_;
+    std::vector<Particle> swarm_;
+    std::vector<double> global_best_;
+    Cost global_best_cost_ = 0.0;
+    bool have_global_best_ = false;
+    std::size_t cursor_ = 0;          // particle being evaluated
+    bool initialized_ = false;
+    std::size_t stale_count_ = 0;
+    bool improved_this_sweep_ = false;
+    bool needs_advance_ = false;
+};
+
+} // namespace atk

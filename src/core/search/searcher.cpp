@@ -1,0 +1,63 @@
+#include "core/search/searcher.hpp"
+
+#include <stdexcept>
+
+namespace atk {
+
+void Searcher::reset(const SearchSpace& space, const Configuration& initial) {
+    validate_space(space);
+    if (!space.contains(initial))
+        throw std::invalid_argument(name() + ": initial configuration not in search space");
+    space_ = &space;
+    initial_ = initial;
+    best_ = initial;
+    best_cost_ = std::numeric_limits<Cost>::infinity();
+    evaluations_ = 0;
+    has_best_ = false;
+    awaiting_feedback_ = false;
+    do_reset();
+}
+
+Configuration Searcher::propose(Rng& rng) {
+    if (space_ == nullptr) throw std::logic_error(name() + ": propose() before reset()");
+    if (awaiting_feedback_)
+        throw std::logic_error(name() + ": propose() called twice without feedback()");
+    awaiting_feedback_ = true;
+    if (space_->empty()) return Configuration{};
+    if (converged()) return best();
+    return do_propose(rng);
+}
+
+void Searcher::feedback(const Configuration& config, Cost cost) {
+    if (space_ == nullptr) throw std::logic_error(name() + ": feedback() before reset()");
+    if (!awaiting_feedback_)
+        throw std::logic_error(name() + ": feedback() without a pending propose()");
+    awaiting_feedback_ = false;
+    ++evaluations_;
+    if (!has_best_ || cost < best_cost_) {
+        best_ = config;
+        best_cost_ = cost;
+        has_best_ = true;
+    }
+    if (!space_->empty() && !do_converged()) do_feedback(config, cost);
+}
+
+bool Searcher::converged() const {
+    if (space_ == nullptr) return false;
+    if (space_->empty()) return true;
+    return do_converged();
+}
+
+const Configuration& Searcher::best() const {
+    if (!has_best_ && space_ != nullptr) return initial_;
+    return best_;
+}
+
+void Searcher::validate_space(const SearchSpace&) const {}
+
+const SearchSpace& Searcher::space() const {
+    if (space_ == nullptr) throw std::logic_error(name() + ": no space; call reset() first");
+    return *space_;
+}
+
+} // namespace atk

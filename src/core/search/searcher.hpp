@@ -1,0 +1,92 @@
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "core/measurement.hpp"
+#include "core/search_space.hpp"
+#include "support/rng.hpp"
+
+namespace atk {
+
+/// Phase-one search strategy: approximates Copt,A = argmin_{C ∈ T_A} m_A(C)
+/// for a single algorithm's parameter space (paper Section III).
+///
+/// Searchers use an ask-tell protocol so that the *online* tuning loop stays
+/// in control of execution: the application asks for a configuration
+/// (propose), runs its operation, and tells the searcher the measured cost
+/// (feedback).  propose/feedback must strictly alternate.
+///
+/// Each searcher validates the parameter classes it can manipulate when
+/// reset() is called — e.g. Nelder-Mead requires a notion of distance and
+/// therefore rejects spaces containing Nominal parameters.  This mirrors the
+/// paper's analysis of why classic techniques cannot tune algorithmic
+/// choice.
+///
+/// The SearchSpace passed to reset() must outlive all subsequent calls.
+class Searcher {
+public:
+    virtual ~Searcher() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Starts (or restarts) a search over `space` from `initial`.
+    /// Throws std::invalid_argument if the space contains parameter classes
+    /// the searcher cannot manipulate, or if `initial` is not in the space.
+    void reset(const SearchSpace& space, const Configuration& initial);
+
+    /// Next configuration to evaluate.  After convergence, keeps proposing
+    /// the best-known configuration — an online tuner never stops measuring.
+    Configuration propose(Rng& rng);
+
+    /// Reports the cost of the configuration returned by the last propose().
+    void feedback(const Configuration& config, Cost cost);
+
+    /// True once the searcher's termination criterion is met.  A converged
+    /// searcher still accepts propose/feedback (pure exploitation).
+    [[nodiscard]] bool converged() const;
+
+    [[nodiscard]] bool has_best() const noexcept { return has_best_; }
+    [[nodiscard]] const Configuration& best() const;
+    [[nodiscard]] Cost best_cost() const noexcept { return best_cost_; }
+    [[nodiscard]] std::size_t evaluations() const noexcept { return evaluations_; }
+
+protected:
+    virtual void do_reset() = 0;
+    virtual Configuration do_propose(Rng& rng) = 0;
+    virtual void do_feedback(const Configuration& config, Cost cost) = 0;
+    [[nodiscard]] virtual bool do_converged() const = 0;
+
+    /// Default accepts any space; subclasses override to enforce the
+    /// parameter-class requirements of their search geometry.
+    virtual void validate_space(const SearchSpace& space) const;
+
+    [[nodiscard]] const SearchSpace& space() const;
+    [[nodiscard]] const Configuration& initial() const noexcept { return initial_; }
+
+private:
+    const SearchSpace* space_ = nullptr;
+    Configuration initial_;
+    Configuration best_;
+    Cost best_cost_ = std::numeric_limits<Cost>::infinity();
+    std::size_t evaluations_ = 0;
+    bool has_best_ = false;
+    bool awaiting_feedback_ = false;
+};
+
+/// Degenerate searcher for algorithms without tunable parameters (the
+/// string matchers of case study 1): always proposes the initial
+/// configuration and reports itself converged immediately.
+class FixedSearcher final : public Searcher {
+public:
+    [[nodiscard]] std::string name() const override { return "Fixed"; }
+
+protected:
+    void do_reset() override {}
+    Configuration do_propose(Rng&) override { return initial(); }
+    void do_feedback(const Configuration&, Cost) override {}
+    [[nodiscard]] bool do_converged() const override { return true; }
+};
+
+} // namespace atk

@@ -1,0 +1,53 @@
+#include "core/search/simulated_annealing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace atk {
+
+void SimulatedAnnealingSearcher::validate_space(const SearchSpace& space) const {
+    if (!space.all_have_order())
+        throw std::invalid_argument(
+            "SimulatedAnnealing requires ordered parameters: Nominal parameters "
+            "define no neighborhood to anneal through");
+}
+
+void SimulatedAnnealingSearcher::do_reset() {
+    current_ = initial();
+    have_current_ = false;
+    temperature_ = options_.initial_temperature;
+}
+
+Configuration SimulatedAnnealingSearcher::do_propose(Rng& rng) {
+    if (!have_current_) return current_;
+    auto neighborhood = space().neighbors(current_);
+    if (neighborhood.empty()) return current_;
+    accept_roll_ = rng.uniform_real();
+    return neighborhood[rng.index(neighborhood.size())];
+}
+
+void SimulatedAnnealingSearcher::do_feedback(const Configuration& config, Cost cost) {
+    if (!have_current_) {
+        current_cost_ = cost;
+        have_current_ = true;
+        return;
+    }
+    const double relative_delta =
+        (cost - current_cost_) / std::max(std::abs(current_cost_), 1e-12);
+    const bool accept =
+        relative_delta <= 0.0 ||
+        accept_roll_ < std::exp(-relative_delta / std::max(temperature_, 1e-12));
+    if (accept) {
+        current_ = config;
+        current_cost_ = cost;
+    }
+    temperature_ *= options_.cooling_rate;
+}
+
+bool SimulatedAnnealingSearcher::do_converged() const {
+    if (options_.max_evaluations != 0 && evaluations() >= options_.max_evaluations)
+        return true;
+    return temperature_ < options_.min_temperature;
+}
+
+} // namespace atk

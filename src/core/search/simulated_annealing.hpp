@@ -1,0 +1,44 @@
+#pragma once
+
+#include "core/search/searcher.hpp"
+
+namespace atk {
+
+/// Simulated annealing (paper Section II-A.6): hill climbing with a
+/// temperature-controlled chance of accepting a worse neighbor, reducing the
+/// probability of getting stuck in a local minimum.
+///
+/// Acceptance uses the *relative* cost increase so the schedule is
+/// scale-free: P(accept worse) = exp(-((f' - f)/max(f, ε)) / T).
+/// Requires ordered parameters, like hill climbing.
+class SimulatedAnnealingSearcher final : public Searcher {
+public:
+    struct Options {
+        double initial_temperature = 1.0;
+        double cooling_rate = 0.95;       ///< multiplied in after every step
+        double min_temperature = 1e-3;    ///< converged below this
+        std::size_t max_evaluations = 0;  ///< 0 = unbounded
+    };
+
+    SimulatedAnnealingSearcher() = default;
+    explicit SimulatedAnnealingSearcher(Options options) : options_(options) {}
+
+    [[nodiscard]] std::string name() const override { return "SimulatedAnnealing"; }
+
+protected:
+    void validate_space(const SearchSpace& space) const override;
+    void do_reset() override;
+    Configuration do_propose(Rng& rng) override;
+    void do_feedback(const Configuration& config, Cost cost) override;
+    [[nodiscard]] bool do_converged() const override;
+
+private:
+    Options options_;
+    Configuration current_;
+    Cost current_cost_ = 0.0;
+    bool have_current_ = false;
+    double temperature_ = 1.0;
+    double accept_roll_ = 0.0;  // uniform draw made at propose time
+};
+
+} // namespace atk

@@ -1,0 +1,25 @@
+#include "core/search/unit_space.hpp"
+
+#include <stdexcept>
+
+namespace atk {
+
+std::vector<double> config_to_unit(const SearchSpace& space, const Configuration& config) {
+    if (config.size() != space.dimension())
+        throw std::invalid_argument("config_to_unit: dimension mismatch");
+    std::vector<double> point(config.size());
+    for (std::size_t i = 0; i < config.size(); ++i)
+        point[i] = space.param(i).to_unit(config[i]);
+    return point;
+}
+
+Configuration unit_to_config(const SearchSpace& space, std::span<const double> point) {
+    if (point.size() != space.dimension())
+        throw std::invalid_argument("unit_to_config: dimension mismatch");
+    std::vector<std::int64_t> values(point.size());
+    for (std::size_t i = 0; i < point.size(); ++i)
+        values[i] = space.param(i).from_unit(point[i]);
+    return Configuration(std::move(values));
+}
+
+} // namespace atk

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/search_space.hpp"
+
+namespace atk {
+
+/// Helpers for searchers that operate geometrically: configurations are
+/// mapped into the unit cube [0,1]^J (one axis per parameter), searched in
+/// continuous space, and snapped back onto the parameter lattice when a
+/// trial configuration is proposed.  Requires every parameter to have a
+/// distance (Interval or Ratio) — callers enforce this in validate_space().
+[[nodiscard]] std::vector<double> config_to_unit(const SearchSpace& space,
+                                                 const Configuration& config);
+
+/// Inverse mapping; components outside [0,1] are clamped.
+[[nodiscard]] Configuration unit_to_config(const SearchSpace& space,
+                                           std::span<const double> point);
+
+} // namespace atk

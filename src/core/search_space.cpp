@@ -1,0 +1,139 @@
+#include "core/search_space.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace atk {
+
+SearchSpace& SearchSpace::add(Parameter param) {
+    if (index_of(param.name()))
+        throw std::invalid_argument("SearchSpace::add: duplicate parameter '" +
+                                    param.name() + "'");
+    params_.push_back(std::move(param));
+    return *this;
+}
+
+std::optional<std::size_t> SearchSpace::index_of(const std::string& name) const noexcept {
+    for (std::size_t i = 0; i < params_.size(); ++i)
+        if (params_[i].name() == name) return i;
+    return std::nullopt;
+}
+
+std::uint64_t SearchSpace::cardinality() const noexcept {
+    std::uint64_t total = 1;
+    for (const auto& p : params_) {
+        const std::uint64_t card = p.cardinality();
+        if (total > std::numeric_limits<std::uint64_t>::max() / card)
+            return std::numeric_limits<std::uint64_t>::max();
+        total *= card;
+    }
+    return total;
+}
+
+bool SearchSpace::has_nominal() const noexcept {
+    for (const auto& p : params_)
+        if (p.cls() == ParamClass::Nominal) return true;
+    return false;
+}
+
+bool SearchSpace::all_have_distance() const noexcept {
+    for (const auto& p : params_)
+        if (!p.has_distance()) return false;
+    return true;
+}
+
+bool SearchSpace::all_have_order() const noexcept {
+    for (const auto& p : params_)
+        if (!p.has_order()) return false;
+    return true;
+}
+
+bool SearchSpace::contains(const Configuration& config) const noexcept {
+    if (config.size() != params_.size()) return false;
+    for (std::size_t i = 0; i < params_.size(); ++i)
+        if (!params_[i].contains(config[i])) return false;
+    return true;
+}
+
+Configuration SearchSpace::clamp(Configuration config) const {
+    if (config.size() != params_.size())
+        throw std::invalid_argument("SearchSpace::clamp: dimension mismatch");
+    for (std::size_t i = 0; i < params_.size(); ++i)
+        config[i] = params_[i].clamp(config[i]);
+    return config;
+}
+
+Configuration SearchSpace::lowest() const {
+    std::vector<std::int64_t> values(params_.size());
+    for (std::size_t i = 0; i < params_.size(); ++i) values[i] = params_[i].min_value();
+    return Configuration(std::move(values));
+}
+
+Configuration SearchSpace::midpoint() const {
+    std::vector<std::int64_t> values(params_.size());
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        const auto& p = params_[i];
+        values[i] = p.clamp(p.min_value() + (p.max_value() - p.min_value()) / 2);
+    }
+    return Configuration(std::move(values));
+}
+
+Configuration SearchSpace::random(Rng& rng) const {
+    std::vector<std::int64_t> values(params_.size());
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        const auto& p = params_[i];
+        const auto steps = static_cast<std::int64_t>(p.cardinality()) - 1;
+        values[i] = p.min_value() + rng.uniform_int(0, steps) * p.step();
+    }
+    return Configuration(std::move(values));
+}
+
+std::vector<Configuration> SearchSpace::neighbors(const Configuration& config) const {
+    if (config.size() != params_.size())
+        throw std::invalid_argument("SearchSpace::neighbors: dimension mismatch");
+    std::vector<Configuration> result;
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        const auto& p = params_[i];
+        if (!p.has_order()) continue;
+        if (config[i] - p.step() >= p.min_value()) {
+            Configuration down = config;
+            down[i] -= p.step();
+            result.push_back(std::move(down));
+        }
+        if (config[i] + p.step() <= p.max_value()) {
+            Configuration up = config;
+            up[i] += p.step();
+            result.push_back(std::move(up));
+        }
+    }
+    return result;
+}
+
+std::optional<Configuration> SearchSpace::next_lexicographic(Configuration config) const {
+    if (config.size() != params_.size())
+        throw std::invalid_argument("SearchSpace::next_lexicographic: dimension mismatch");
+    for (std::size_t i = params_.size(); i-- > 0;) {
+        const auto& p = params_[i];
+        if (config[i] + p.step() <= p.max_value()) {
+            config[i] += p.step();
+            return config;
+        }
+        config[i] = p.min_value();
+    }
+    return std::nullopt;  // wrapped around: config was the last one
+}
+
+std::string SearchSpace::describe(const Configuration& config) const {
+    if (config.size() != params_.size())
+        throw std::invalid_argument("SearchSpace::describe: dimension mismatch");
+    if (params_.empty()) return "{}";
+    std::string out = "{";
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += params_[i].name() + "=" + params_[i].label(config[i]);
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace atk

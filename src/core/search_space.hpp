@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/parameter.hpp"
+#include "support/rng.hpp"
+
+namespace atk {
+
+class SearchSpace;
+
+/// A point in a search space: one value per parameter, in parameter order.
+///
+/// Configurations are plain value types; they do not hold a reference to
+/// their space.  All space-dependent operations (validation, printing,
+/// neighbor enumeration) live on SearchSpace.
+class Configuration {
+public:
+    Configuration() = default;
+    explicit Configuration(std::vector<std::int64_t> values)
+        : values_(std::move(values)) {}
+
+    [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+    [[nodiscard]] std::int64_t operator[](std::size_t i) const { return values_.at(i); }
+    std::int64_t& operator[](std::size_t i) { return values_.at(i); }
+
+    [[nodiscard]] const std::vector<std::int64_t>& values() const noexcept {
+        return values_;
+    }
+
+    friend bool operator==(const Configuration&, const Configuration&) = default;
+
+private:
+    std::vector<std::int64_t> values_;
+};
+
+/// The cartesian product T = τ₀ × τ₁ × … × τ_{J-1} of tuning parameters, as
+/// defined in the paper's Section II-A.  A space may be empty (J = 0), which
+/// models algorithms without tunable parameters — the string matchers of
+/// case study 1.
+class SearchSpace {
+public:
+    SearchSpace() = default;
+
+    /// Appends a parameter; names must be unique within the space.
+    SearchSpace& add(Parameter param);
+
+    [[nodiscard]] std::size_t dimension() const noexcept { return params_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return params_.empty(); }
+
+    [[nodiscard]] const Parameter& param(std::size_t i) const { return params_.at(i); }
+    [[nodiscard]] const std::vector<Parameter>& params() const noexcept { return params_; }
+
+    /// Index of the parameter with the given name, if any.
+    [[nodiscard]] std::optional<std::size_t> index_of(const std::string& name) const noexcept;
+
+    /// Total number of configurations (product of parameter cardinalities);
+    /// saturates at uint64 max. 1 for the empty space.
+    [[nodiscard]] std::uint64_t cardinality() const noexcept;
+
+    /// True if any parameter lacks an order (i.e. is Nominal).
+    [[nodiscard]] bool has_nominal() const noexcept;
+    /// True if every parameter has a distance (Interval or Ratio).
+    [[nodiscard]] bool all_have_distance() const noexcept;
+    /// True if every parameter has an order (no Nominal parameters).
+    [[nodiscard]] bool all_have_order() const noexcept;
+
+    /// True if the configuration has one valid value per parameter.
+    [[nodiscard]] bool contains(const Configuration& config) const noexcept;
+
+    /// Snaps every component to the nearest valid value.
+    /// Throws std::invalid_argument on dimension mismatch.
+    [[nodiscard]] Configuration clamp(Configuration config) const;
+
+    /// Configuration with every parameter at its minimum value.
+    [[nodiscard]] Configuration lowest() const;
+    /// Configuration with every parameter at the midpoint of its domain.
+    [[nodiscard]] Configuration midpoint() const;
+
+    /// Uniformly random valid configuration.
+    [[nodiscard]] Configuration random(Rng& rng) const;
+
+    /// All lattice neighbors of `config`: for each *ordered* parameter, the
+    /// value one step up and one step down (when in range).  Nominal
+    /// parameters contribute no neighbors — they have no notion of
+    /// adjacency, which is exactly why neighborhood-based searchers cannot
+    /// manipulate them.
+    [[nodiscard]] std::vector<Configuration> neighbors(const Configuration& config) const;
+
+    /// Lexicographic successor over the value lattice, or nullopt when
+    /// `config` is the last configuration. Basis of exhaustive search.
+    [[nodiscard]] std::optional<Configuration> next_lexicographic(Configuration config) const;
+
+    /// "name=value" list, using labels for labeled parameters.
+    [[nodiscard]] std::string describe(const Configuration& config) const;
+
+private:
+    std::vector<Parameter> params_;
+};
+
+} // namespace atk

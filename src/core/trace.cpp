@@ -1,0 +1,25 @@
+#include "core/trace.hpp"
+
+namespace atk {
+
+std::vector<double> TuningTrace::costs() const {
+    std::vector<double> out;
+    out.reserve(entries_.size());
+    for (const auto& entry : entries_) out.push_back(entry.cost);
+    return out;
+}
+
+std::vector<std::size_t> TuningTrace::choice_counts(std::size_t algorithms) const {
+    std::vector<std::size_t> counts(algorithms, 0);
+    for (const auto& entry : entries_) counts.at(entry.algorithm) += 1;
+    return counts;
+}
+
+std::vector<double> TuningTrace::costs_of(std::size_t algorithm) const {
+    std::vector<double> out;
+    for (const auto& entry : entries_)
+        if (entry.algorithm == algorithm) out.push_back(entry.cost);
+    return out;
+}
+
+} // namespace atk

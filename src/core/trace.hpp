@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/measurement.hpp"
+
+namespace atk {
+
+/// One tuning-loop iteration as recorded by the TwoPhaseTuner.
+struct TraceEntry {
+    std::size_t iteration = 0;
+    std::size_t algorithm = 0;   ///< phase-two choice
+    Configuration config;        ///< phase-one configuration that ran
+    Cost cost = 0.0;             ///< measured m_{A,i}
+};
+
+/// Record of a complete tuning run.  The bench harnesses aggregate many
+/// traces (one per experiment repetition) into the paper's per-iteration
+/// median/mean curves and choice histograms.
+class TuningTrace {
+public:
+    void record(TraceEntry entry) { entries_.push_back(std::move(entry)); }
+
+    [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+    [[nodiscard]] const TraceEntry& operator[](std::size_t i) const { return entries_.at(i); }
+    [[nodiscard]] const std::vector<TraceEntry>& entries() const noexcept { return entries_; }
+
+    /// Cost of each iteration, in order — one row of a figure-2/3 style plot.
+    [[nodiscard]] std::vector<double> costs() const;
+
+    /// How often each of `algorithms` choices was selected (figure 4/8 data).
+    [[nodiscard]] std::vector<std::size_t> choice_counts(std::size_t algorithms) const;
+
+    /// Samples of one algorithm only, in iteration order.
+    [[nodiscard]] std::vector<double> costs_of(std::size_t algorithm) const;
+
+private:
+    std::vector<TraceEntry> entries_;
+};
+
+} // namespace atk

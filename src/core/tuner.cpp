@@ -1,0 +1,80 @@
+#include "core/tuner.hpp"
+
+#include <stdexcept>
+
+namespace atk {
+
+TunableAlgorithm TunableAlgorithm::untunable(std::string name) {
+    TunableAlgorithm algorithm;
+    algorithm.name = std::move(name);
+    algorithm.initial = Configuration{};
+    algorithm.searcher = std::make_unique<FixedSearcher>();
+    return algorithm;
+}
+
+TwoPhaseTuner::TwoPhaseTuner(std::unique_ptr<NominalStrategy> strategy,
+                             std::vector<TunableAlgorithm> algorithms,
+                             std::uint64_t seed)
+    : strategy_(std::move(strategy)), algorithms_(std::move(algorithms)), rng_(seed) {
+    if (!strategy_) throw std::invalid_argument("TwoPhaseTuner: null strategy");
+    if (algorithms_.empty())
+        throw std::invalid_argument("TwoPhaseTuner: need at least one algorithm");
+    for (auto& algorithm : algorithms_) {
+        if (!algorithm.searcher) algorithm.searcher = std::make_unique<FixedSearcher>();
+        // reset() validates that the searcher can manipulate the space's
+        // parameter classes and that the initial configuration is valid.
+        algorithm.searcher->reset(algorithm.space, algorithm.initial);
+    }
+    strategy_->reset(algorithms_.size());
+}
+
+Trial TwoPhaseTuner::next() {
+    if (awaiting_report_)
+        throw std::logic_error("TwoPhaseTuner: next() called twice without report()");
+    awaiting_report_ = true;
+    // Phase two: nominal selection of the algorithm.
+    const std::size_t choice = strategy_->select(rng_);
+    // Phase one: configuration proposal inside the chosen algorithm's space.
+    pending_ = Trial{choice, algorithms_.at(choice).searcher->propose(rng_)};
+    return pending_;
+}
+
+void TwoPhaseTuner::report(const Trial& trial, Cost cost) {
+    if (!awaiting_report_)
+        throw std::logic_error("TwoPhaseTuner: report() without a pending next()");
+    if (trial.algorithm != pending_.algorithm || !(trial.config == pending_.config))
+        throw std::invalid_argument("TwoPhaseTuner: report() for a different trial");
+    if (!(cost > 0.0))
+        throw std::invalid_argument("TwoPhaseTuner: cost must be positive");
+    awaiting_report_ = false;
+
+    algorithms_.at(trial.algorithm).searcher->feedback(trial.config, cost);
+    strategy_->report(trial.algorithm, cost);
+
+    if (!has_best_ || cost < best_cost_) {
+        best_trial_ = trial;
+        best_cost_ = cost;
+        has_best_ = true;
+    }
+    trace_.record(TraceEntry{iteration_, trial.algorithm, trial.config, cost});
+    ++iteration_;
+}
+
+TuningTrace TwoPhaseTuner::run(const std::function<Cost(const Trial&)>& measure,
+                               std::size_t iterations) {
+    const std::size_t start = trace_.size();
+    for (std::size_t i = 0; i < iterations; ++i) {
+        const Trial trial = next();
+        report(trial, measure(trial));
+    }
+    TuningTrace slice;
+    for (std::size_t i = start; i < trace_.size(); ++i) slice.record(trace_[i]);
+    return slice;
+}
+
+const Trial& TwoPhaseTuner::best_trial() const {
+    if (!has_best_) throw std::logic_error("TwoPhaseTuner: no samples reported yet");
+    return best_trial_;
+}
+
+} // namespace atk

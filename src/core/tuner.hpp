@@ -1,0 +1,98 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/measurement.hpp"
+#include "core/nominal/strategy.hpp"
+#include "core/search/searcher.hpp"
+#include "core/trace.hpp"
+#include "support/rng.hpp"
+
+namespace atk {
+
+/// One tunable algorithm A ∈ 𝒜: its own parameter space T_A, the phase-one
+/// searcher that explores T_A, and the starting configuration (the paper's
+/// raytracer starts every builder from a hand-crafted best-practice config).
+struct TunableAlgorithm {
+    std::string name;
+    SearchSpace space;                   ///< may be empty (no tunable params)
+    Configuration initial;               ///< must be valid in `space`
+    std::unique_ptr<Searcher> searcher;  ///< nullptr selects FixedSearcher
+
+    static TunableAlgorithm untunable(std::string name);
+};
+
+/// A phase-two + phase-one decision for one tuning iteration.
+struct Trial {
+    std::size_t algorithm = 0;
+    Configuration config;
+};
+
+/// The paper's two-phase online tuner (Section III).
+///
+/// In every tuning iteration i the tuner first selects an algorithm A with
+/// one of the phase-two nominal strategies, then asks A's phase-one searcher
+/// for a configuration C_i ∈ T_A.  After the application has executed A with
+/// C_i, report() feeds the runtime sample m_{A,i} back into both phases.
+/// This interleaving runs indefinitely or until a user-defined criterion —
+/// exactly the loop of an online-autotuned application.
+///
+/// Usage:
+///
+///     TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.10),
+///                         std::move(algorithms), /*seed=*/42);
+///     for (;;) {                       // the application's hot loop
+///       const Trial trial = tuner.next();
+///       Stopwatch watch;
+///       run(trial);                    // the repeated operation
+///       tuner.report(trial, watch.elapsed_ms());
+///     }
+class TwoPhaseTuner {
+public:
+    TwoPhaseTuner(std::unique_ptr<NominalStrategy> strategy,
+                  std::vector<TunableAlgorithm> algorithms,
+                  std::uint64_t seed = 0x243F6A8885A308D3ULL);
+
+    /// Phase-two selection followed by phase-one proposal.
+    [[nodiscard]] Trial next();
+
+    /// Reports the measured cost (> 0) of the trial returned by the last
+    /// next(). next()/report() must strictly alternate.
+    void report(const Trial& trial, Cost cost);
+
+    /// Convenience: runs `iterations` complete tuning iterations against a
+    /// measurement function and returns the recorded trace.
+    TuningTrace run(const std::function<Cost(const Trial&)>& measure,
+                    std::size_t iterations);
+
+    [[nodiscard]] std::size_t iteration() const noexcept { return iteration_; }
+    [[nodiscard]] std::size_t algorithm_count() const noexcept { return algorithms_.size(); }
+    [[nodiscard]] const TunableAlgorithm& algorithm(std::size_t i) const {
+        return algorithms_.at(i);
+    }
+    [[nodiscard]] const NominalStrategy& strategy() const noexcept { return *strategy_; }
+
+    /// Best trial observed so far (throws std::logic_error before the first
+    /// report).
+    [[nodiscard]] const Trial& best_trial() const;
+    [[nodiscard]] Cost best_cost() const noexcept { return best_cost_; }
+
+    /// Full record of all iterations so far.
+    [[nodiscard]] const TuningTrace& trace() const noexcept { return trace_; }
+
+private:
+    std::unique_ptr<NominalStrategy> strategy_;
+    std::vector<TunableAlgorithm> algorithms_;
+    Rng rng_;
+    std::size_t iteration_ = 0;
+    bool awaiting_report_ = false;
+    Trial pending_;
+    Trial best_trial_;
+    Cost best_cost_ = 0.0;
+    bool has_best_ = false;
+    TuningTrace trace_;
+};
+
+} // namespace atk

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/search_space.hpp"
+#include "raytrace/kdtree.hpp"
+#include "raytrace/sah.hpp"
+#include "raytrace/scene.hpp"
+#include "support/thread_pool.hpp"
+
+namespace atk::rt {
+
+/// Decoded build parameters — the phase-one tuning knobs of case study 2.
+/// The paper: "The parallelization depth as well as the parameters of the
+/// SAH heuristic are tunable parameters in all algorithms. The Lazy
+/// algorithm adds another parameter, controlling the eager construction
+/// cutoff."
+struct BuildConfig {
+    int parallel_depth = 4;   ///< tree depth down to which work is parallelized
+    SahParams sah{};          ///< traversal/intersection cost (tunable)
+    int sah_bins = 32;        ///< split candidates per axis (binned builders)
+    int eager_cutoff = 6;     ///< Lazy only: depth where eager construction stops
+    int max_depth = 0;        ///< 0 = auto (8 + 1.3 log2 n)
+    int min_prims = 4;        ///< leaf threshold
+};
+
+/// One SAH kD-tree construction algorithm: Inplace, Lazy, Nested or
+/// Wald-Havran.  Each exposes its own tuning space T_A (they differ —
+/// Wald-Havran's exact sweep has no bin count; Lazy adds the cutoff), a
+/// hand-crafted default configuration ("created based on best practices of
+/// the relevant literature", the paper's tuning starting point), and the
+/// decode from tuner Configuration to BuildConfig.
+class KdBuilder {
+public:
+    virtual ~KdBuilder() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Builds the tree over the scene using `pool` for parallel work.
+    [[nodiscard]] virtual KdTree build(const Scene& scene, const BuildConfig& config,
+                                       ThreadPool& pool) const = 0;
+
+    /// The algorithm's tuning parameter space T_A.
+    [[nodiscard]] virtual SearchSpace tuning_space() const;
+
+    /// The hand-crafted starting configuration within tuning_space().
+    [[nodiscard]] virtual Configuration default_config() const;
+
+    /// Maps a point of tuning_space() onto build parameters.
+    [[nodiscard]] virtual BuildConfig decode(const Configuration& config) const;
+};
+
+/// The four construction algorithms in the paper's naming order:
+/// Inplace, Lazy, Nested, Wald-Havran.
+[[nodiscard]] std::vector<std::unique_ptr<KdBuilder>> make_all_builders();
+
+/// Builder by paper name ("Inplace", "Lazy", "Nested", "Wald-Havran");
+/// throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<KdBuilder> make_builder(const std::string& name);
+
+} // namespace atk::rt

@@ -1,0 +1,121 @@
+#include <stdexcept>
+
+#include "raytrace/builders_detail.hpp"
+#include "raytrace/wald_havran.hpp"
+
+namespace atk::rt {
+
+SearchSpace KdBuilder::tuning_space() const {
+    // The common knobs of all four algorithms (paper Section IV-B):
+    // parallelization depth and the SAH heuristic's parameters.
+    SearchSpace space;
+    space.add(Parameter::ratio("parallel_depth", 0, 8));
+    space.add(Parameter::interval("sah_traversal_cost", 1, 60));
+    space.add(Parameter::interval("sah_intersection_cost", 1, 60));
+    return space;
+}
+
+Configuration KdBuilder::default_config() const {
+    // Hand-crafted starting point "based on best practices of the relevant
+    // literature": moderate task depth, pbrt-style cost ratio.
+    return Configuration{{4, 15, 20}};
+}
+
+BuildConfig KdBuilder::decode(const Configuration& config) const {
+    const SearchSpace space = tuning_space();
+    if (config.size() != space.dimension())
+        throw std::invalid_argument(name() + ": configuration/space dimension mismatch");
+    BuildConfig build;
+    auto value = [&](const char* param_name) {
+        return config[*space.index_of(param_name)];
+    };
+    build.parallel_depth = static_cast<int>(value("parallel_depth"));
+    build.sah.traversal_cost = static_cast<float>(value("sah_traversal_cost"));
+    build.sah.intersection_cost = static_cast<float>(value("sah_intersection_cost"));
+    if (space.index_of("sah_bins")) build.sah_bins = static_cast<int>(value("sah_bins"));
+    if (space.index_of("eager_cutoff"))
+        build.eager_cutoff = static_cast<int>(value("eager_cutoff"));
+    return build;
+}
+
+namespace {
+
+/// Binned-SAH builders sharing the recursive machinery; they differ in how
+/// primitives map to threads (see builders_detail.hpp).
+class BinnedBuilderBase : public KdBuilder {
+public:
+    SearchSpace tuning_space() const override {
+        SearchSpace space = KdBuilder::tuning_space();
+        space.add(Parameter::ratio("sah_bins", 4, 64, 4));
+        return space;
+    }
+
+    Configuration default_config() const override { return Configuration{{4, 15, 20, 32}}; }
+};
+
+class InplaceBuilder final : public BinnedBuilderBase {
+public:
+    std::string name() const override { return "Inplace"; }
+
+    KdTree build(const Scene& scene, const BuildConfig& config,
+                 ThreadPool& pool) const override {
+        return detail::build_binned_tree(scene, config, pool,
+                                         /*data_parallel_binning=*/true,
+                                         /*node_tasks=*/false, /*lazy=*/false);
+    }
+};
+
+class NestedBuilder final : public BinnedBuilderBase {
+public:
+    std::string name() const override { return "Nested"; }
+
+    KdTree build(const Scene& scene, const BuildConfig& config,
+                 ThreadPool& pool) const override {
+        return detail::build_binned_tree(scene, config, pool,
+                                         /*data_parallel_binning=*/false,
+                                         /*node_tasks=*/true, /*lazy=*/false);
+    }
+};
+
+class LazyBuilder final : public BinnedBuilderBase {
+public:
+    std::string name() const override { return "Lazy"; }
+
+    SearchSpace tuning_space() const override {
+        SearchSpace space = BinnedBuilderBase::tuning_space();
+        space.add(Parameter::ratio("eager_cutoff", 0, 12));
+        return space;
+    }
+
+    Configuration default_config() const override {
+        return Configuration{{4, 15, 20, 32, 6}};
+    }
+
+    KdTree build(const Scene& scene, const BuildConfig& config,
+                 ThreadPool& pool) const override {
+        return detail::build_binned_tree(scene, config, pool,
+                                         /*data_parallel_binning=*/false,
+                                         /*node_tasks=*/true, /*lazy=*/true);
+    }
+};
+
+} // namespace
+
+std::vector<std::unique_ptr<KdBuilder>> make_all_builders() {
+    std::vector<std::unique_ptr<KdBuilder>> builders;
+    builders.push_back(std::make_unique<InplaceBuilder>());
+    builders.push_back(std::make_unique<LazyBuilder>());
+    builders.push_back(std::make_unique<NestedBuilder>());
+    builders.push_back(std::make_unique<WaldHavranBuilder>());
+    return builders;
+}
+
+std::unique_ptr<KdBuilder> make_builder(const std::string& name) {
+    if (name == "Inplace") return std::make_unique<InplaceBuilder>();
+    if (name == "Lazy") return std::make_unique<LazyBuilder>();
+    if (name == "Nested") return std::make_unique<NestedBuilder>();
+    if (name == "Wald-Havran") return std::make_unique<WaldHavranBuilder>();
+    throw std::invalid_argument("make_builder: unknown builder '" + name + "'");
+}
+
+} // namespace atk::rt

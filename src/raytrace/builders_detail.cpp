@@ -1,0 +1,165 @@
+#include "raytrace/builders_detail.hpp"
+
+#include <algorithm>
+
+namespace atk::rt::detail {
+
+std::vector<Aabb> compute_prim_bounds(const Scene& scene) {
+    std::vector<Aabb> bounds;
+    bounds.reserve(scene.triangles.size());
+    for (const auto& tri : scene.triangles) bounds.push_back(tri.bounds());
+    return bounds;
+}
+
+std::vector<std::uint32_t> all_prims(std::size_t count) {
+    std::vector<std::uint32_t> prims(count);
+    for (std::size_t i = 0; i < count; ++i) prims[i] = static_cast<std::uint32_t>(i);
+    return prims;
+}
+
+std::unique_ptr<TempNode> build_recursive(std::vector<std::uint32_t> prims,
+                                          const Aabb& bounds, int depth,
+                                          std::span<const Aabb> prim_bounds,
+                                          const RecursiveOptions& options) {
+    auto node = std::make_unique<TempNode>();
+    node->bounds = bounds;
+    node->depth = depth;
+
+    if (options.lazy_cutoff >= 0 && depth >= options.lazy_cutoff &&
+        prims.size() > static_cast<std::size_t>(options.min_prims)) {
+        node->lazy = true;
+        node->prims = std::move(prims);
+        return node;
+    }
+
+    if (prims.size() <= static_cast<std::size_t>(options.min_prims) ||
+        depth >= options.max_depth) {
+        node->prims = std::move(prims);
+        return node;
+    }
+
+    ThreadPool* binning_pool =
+        options.data_parallel_binning && depth <= options.parallel_depth ? options.pool
+                                                                         : nullptr;
+    const SplitDecision split = find_best_split_binned(prims, prim_bounds, bounds,
+                                                       options.sah, options.bins,
+                                                       binning_pool);
+    if (split.make_leaf) {
+        node->prims = std::move(prims);
+        return node;
+    }
+
+    std::vector<std::uint32_t> left_prims;
+    std::vector<std::uint32_t> right_prims;
+    partition_prims(prims, prim_bounds, split.axis, split.position, left_prims,
+                    right_prims);
+    // Degenerate split (straddle-heavy node where the plane separates
+    // nothing): stop rather than recurse forever on identical sets.
+    if (left_prims.size() == prims.size() && right_prims.size() == prims.size()) {
+        node->prims = std::move(prims);
+        return node;
+    }
+    prims.clear();
+    prims.shrink_to_fit();
+
+    Aabb left_bounds = bounds;
+    Aabb right_bounds = bounds;
+    left_bounds.hi.component(split.axis) = split.position;
+    right_bounds.lo.component(split.axis) = split.position;
+
+    node->axis = split.axis;
+    node->split = split.position;
+
+    const bool spawn = !options.data_parallel_binning && options.pool != nullptr &&
+                       depth < options.parallel_depth;
+    if (spawn) {
+        // Nested parallelism: each child subtree is a pool task (the
+        // Wald-Havran and Nested builders' "tree nodes to tasks" mapping).
+        ThreadPool::TaskGroup group(*options.pool);
+        group.submit([&, lp = std::move(left_prims), lb = left_bounds]() mutable {
+            node->left = build_recursive(std::move(lp), lb, depth + 1, prim_bounds,
+                                         options);
+        });
+        node->right = build_recursive(std::move(right_prims), right_bounds, depth + 1,
+                                      prim_bounds, options);
+        group.wait_all();
+    } else {
+        node->left = build_recursive(std::move(left_prims), left_bounds, depth + 1,
+                                     prim_bounds, options);
+        node->right = build_recursive(std::move(right_prims), right_bounds, depth + 1,
+                                      prim_bounds, options);
+    }
+    return node;
+}
+
+namespace {
+
+std::uint32_t flatten_node(KdTree& tree, const TempNode& node) {
+    if (node.lazy) {
+        return tree.add_lazy(std::vector<std::uint32_t>(node.prims), node.bounds,
+                             node.depth);
+    }
+    if (node.axis < 0) {
+        return tree.add_leaf(node.prims);
+    }
+    const std::uint32_t id = tree.add_interior_placeholder(node.axis, node.split);
+    const std::uint32_t left = flatten_node(tree, *node.left);
+    const std::uint32_t right = flatten_node(tree, *node.right);
+    tree.set_children(id, left, right);
+    return id;
+}
+
+} // namespace
+
+void flatten(KdTree& tree, const TempNode& root) {
+    flatten_node(tree, root);
+}
+
+KdTree build_binned_tree(const Scene& scene, const BuildConfig& config, ThreadPool& pool,
+                         bool data_parallel_binning, bool node_tasks, bool lazy) {
+    auto prim_bounds = std::make_shared<std::vector<Aabb>>(compute_prim_bounds(scene));
+
+    Aabb scene_bounds;
+    for (const auto& b : *prim_bounds) scene_bounds.expand(b);
+
+    RecursiveOptions options;
+    options.sah = config.sah;
+    options.bins = config.sah_bins;
+    options.max_depth = config.max_depth > 0 ? config.max_depth
+                                             : auto_max_depth(scene.triangles.size());
+    options.min_prims = config.min_prims;
+    options.parallel_depth = config.parallel_depth;
+    options.data_parallel_binning = data_parallel_binning;
+    options.lazy_cutoff = lazy ? config.eager_cutoff : -1;
+    options.pool = &pool;
+
+    auto root = build_recursive(all_prims(scene.triangles.size()), scene_bounds, 0,
+                                *prim_bounds, options);
+
+    KdTree tree;
+    tree.set_bounds(scene_bounds);
+    if (lazy) {
+        // Expansion during rendering: continue the same recursion, but
+        // sequentially (the pool is busy with render rows at that point)
+        // and without further laziness.
+        RecursiveOptions expand_options = options;
+        expand_options.pool = nullptr;
+        expand_options.parallel_depth = 0;
+        expand_options.data_parallel_binning = false;
+        expand_options.lazy_cutoff = -1;
+        tree.set_expander([prim_bounds, expand_options](std::vector<std::uint32_t> prims,
+                                                        const Aabb& bounds, int depth) {
+            auto sub_root =
+                build_recursive(std::move(prims), bounds, depth, *prim_bounds,
+                                expand_options);
+            KdTree subtree;
+            subtree.set_bounds(bounds);
+            flatten(subtree, *sub_root);
+            return subtree;
+        });
+    }
+    flatten(tree, *root);
+    return tree;
+}
+
+} // namespace atk::rt::detail

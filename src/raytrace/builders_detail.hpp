@@ -1,0 +1,71 @@
+#pragma once
+
+/// Internal machinery shared by the binned construction algorithms
+/// (Inplace, Lazy, Nested).  Each algorithm differs only in *how work maps
+/// to threads* — exactly the distinction the paper draws — so the recursive
+/// SAH build is written once and parameterized:
+///
+///   Inplace      — data parallelism: the binning pass over primitives is
+///                  chunked across the pool; recursion itself is sequential.
+///   Nested       — nested task parallelism: each child subtree becomes a
+///                  pool task down to `parallel_depth`.
+///   Lazy         — like Nested above the eager cutoff; below it, nodes are
+///                  emitted as lazy slots expanded on first traversal.
+///
+/// Builders first construct a pointer-based TempNode tree (subtree tasks
+/// can then run without contending on a shared node array) and flatten it
+/// into the KdTree's index-based storage afterwards.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "raytrace/builder.hpp"
+#include "raytrace/kdtree.hpp"
+#include "raytrace/sah.hpp"
+
+namespace atk::rt::detail {
+
+struct TempNode {
+    int axis = -1;  ///< -1: leaf (or lazy)
+    float split = 0.0f;
+    std::unique_ptr<TempNode> left;
+    std::unique_ptr<TempNode> right;
+    std::vector<std::uint32_t> prims;  ///< leaf / lazy payload
+    bool lazy = false;
+    Aabb bounds;  ///< needed by lazy slots
+    int depth = 0;
+};
+
+struct RecursiveOptions {
+    SahParams sah{};
+    int bins = 32;
+    int max_depth = 20;
+    int min_prims = 4;
+    int parallel_depth = 0;            ///< spawn subtree tasks above this depth
+    bool data_parallel_binning = false;
+    int lazy_cutoff = -1;              ///< emit lazy nodes at this depth (-1: never)
+    ThreadPool* pool = nullptr;        ///< required if any parallelism is on
+};
+
+/// Recursive binned-SAH construction over the primitive id list.
+[[nodiscard]] std::unique_ptr<TempNode> build_recursive(std::vector<std::uint32_t> prims,
+                                                        const Aabb& bounds, int depth,
+                                                        std::span<const Aabb> prim_bounds,
+                                                        const RecursiveOptions& options);
+
+/// Flattens a TempNode tree into `tree` (pre-order; root becomes node 0).
+void flatten(KdTree& tree, const TempNode& root);
+
+/// Computes all primitive AABBs.
+[[nodiscard]] std::vector<Aabb> compute_prim_bounds(const Scene& scene);
+
+/// Identity primitive id list [0, n).
+[[nodiscard]] std::vector<std::uint32_t> all_prims(std::size_t count);
+
+/// Full binned-tree construction used by Inplace/Nested/Lazy.
+[[nodiscard]] KdTree build_binned_tree(const Scene& scene, const BuildConfig& config,
+                                       ThreadPool& pool, bool data_parallel_binning,
+                                       bool node_tasks, bool lazy);
+
+} // namespace atk::rt::detail

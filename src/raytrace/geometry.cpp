@@ -1,0 +1,46 @@
+#include "raytrace/geometry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace atk::rt {
+
+std::optional<std::pair<float, float>> Aabb::intersect(const Ray& ray, float t_min,
+                                                       float t_max) const {
+    for (int axis = 0; axis < 3; ++axis) {
+        const float inv = ray.inv_direction[axis];
+        float t0 = (lo[axis] - ray.origin[axis]) * inv;
+        float t1 = (hi[axis] - ray.origin[axis]) * inv;
+        if (inv < 0.0f) std::swap(t0, t1);
+        t_min = std::max(t_min, t0);
+        t_max = std::min(t_max, t1);
+        if (t_min > t_max) return std::nullopt;
+    }
+    return std::make_pair(t_min, t_max);
+}
+
+std::optional<Hit> intersect_triangle(const Ray& ray, const Triangle& tri, float t_min,
+                                      float t_max) {
+    constexpr float kEpsilon = 1e-9f;
+    const Vec3 edge1 = tri.b - tri.a;
+    const Vec3 edge2 = tri.c - tri.a;
+    const Vec3 pvec = cross(ray.direction, edge2);
+    const float det = dot(edge1, pvec);
+    if (det > -kEpsilon && det < kEpsilon) return std::nullopt;  // parallel
+    const float inv_det = 1.0f / det;
+    const Vec3 tvec = ray.origin - tri.a;
+    const float u = dot(tvec, pvec) * inv_det;
+    if (u < 0.0f || u > 1.0f) return std::nullopt;
+    const Vec3 qvec = cross(tvec, edge1);
+    const float v = dot(ray.direction, qvec) * inv_det;
+    if (v < 0.0f || u + v > 1.0f) return std::nullopt;
+    const float t = dot(edge2, qvec) * inv_det;
+    if (t <= t_min || t >= t_max) return std::nullopt;
+    Hit hit;
+    hit.t = t;
+    hit.u = u;
+    hit.v = v;
+    return hit;
+}
+
+} // namespace atk::rt

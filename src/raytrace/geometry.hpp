@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "raytrace/vec3.hpp"
+
+namespace atk::rt {
+
+/// A ray with precomputed reciprocal direction for slab tests.
+struct Ray {
+    Vec3 origin;
+    Vec3 direction;       ///< need not be normalized
+    Vec3 inv_direction;   ///< 1/direction componentwise (inf where 0)
+
+    Ray(const Vec3& o, const Vec3& d)
+        : origin(o),
+          direction(d),
+          inv_direction{1.0f / d.x, 1.0f / d.y, 1.0f / d.z} {}
+};
+
+/// Axis-aligned bounding box.
+struct Aabb {
+    Vec3 lo{std::numeric_limits<float>::max(), std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max()};
+    Vec3 hi{std::numeric_limits<float>::lowest(), std::numeric_limits<float>::lowest(),
+            std::numeric_limits<float>::lowest()};
+
+    [[nodiscard]] bool valid() const { return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z; }
+
+    void expand(const Vec3& p) {
+        lo = min3(lo, p);
+        hi = max3(hi, p);
+    }
+    void expand(const Aabb& b) {
+        lo = min3(lo, b.lo);
+        hi = max3(hi, b.hi);
+    }
+
+    [[nodiscard]] Vec3 extent() const { return hi - lo; }
+
+    /// Surface area; the quantity the SAH weighs subtree probabilities with.
+    [[nodiscard]] float surface_area() const {
+        if (!valid()) return 0.0f;
+        const Vec3 e = extent();
+        return 2.0f * (e.x * e.y + e.y * e.z + e.z * e.x);
+    }
+
+    /// Slab test: intersection parameter interval of ray with the box,
+    /// clipped to [t_min, t_max]; empty optional when the ray misses.
+    [[nodiscard]] std::optional<std::pair<float, float>> intersect(const Ray& ray,
+                                                                   float t_min,
+                                                                   float t_max) const;
+};
+
+/// Triangle primitive.
+struct Triangle {
+    Vec3 a, b, c;
+
+    [[nodiscard]] Aabb bounds() const {
+        Aabb box;
+        box.expand(a);
+        box.expand(b);
+        box.expand(c);
+        return box;
+    }
+
+    [[nodiscard]] Vec3 centroid() const { return (a + b + c) / 3.0f; }
+
+    [[nodiscard]] Vec3 normal() const { return normalize(cross(b - a, c - a)); }
+};
+
+/// Result of a ray/triangle or ray/scene query.
+struct Hit {
+    float t = std::numeric_limits<float>::max();
+    std::uint32_t triangle = std::numeric_limits<std::uint32_t>::max();
+    float u = 0.0f;   ///< barycentric
+    float v = 0.0f;
+
+    [[nodiscard]] bool valid() const {
+        return triangle != std::numeric_limits<std::uint32_t>::max();
+    }
+};
+
+/// Möller-Trumbore ray/triangle intersection; returns the hit parameter t in
+/// (t_min, t_max) or nullopt. Watertight enough for the rendering substrate.
+[[nodiscard]] std::optional<Hit> intersect_triangle(const Ray& ray, const Triangle& tri,
+                                                    float t_min, float t_max);
+
+} // namespace atk::rt

@@ -1,0 +1,240 @@
+#include "raytrace/kdtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace atk::rt {
+
+std::uint32_t KdTree::add_leaf(std::span<const std::uint32_t> prims) {
+    KdNode node;
+    node.kind = KdNode::Kind::Leaf;
+    node.first = static_cast<std::uint32_t>(prim_indices_.size());
+    node.count = static_cast<std::uint32_t>(prims.size());
+    prim_indices_.insert(prim_indices_.end(), prims.begin(), prims.end());
+    nodes_.push_back(node);
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+std::uint32_t KdTree::add_interior(int axis, float split, std::uint32_t left,
+                                   std::uint32_t right) {
+    KdNode node;
+    node.kind = KdNode::Kind::Interior;
+    node.axis = static_cast<std::uint8_t>(axis);
+    node.split = split;
+    node.left = left;
+    node.right = right;
+    nodes_.push_back(node);
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+std::uint32_t KdTree::add_lazy(std::vector<std::uint32_t> prims, const Aabb& bounds,
+                               int depth) {
+    auto slot = std::make_unique<LazySlot>();
+    slot->prims = std::move(prims);
+    slot->bounds = bounds;
+    slot->depth = depth;
+    slots_.push_back(std::move(slot));
+
+    KdNode node;
+    node.kind = KdNode::Kind::Lazy;
+    node.lazy_slot = static_cast<std::uint32_t>(slots_.size() - 1);
+    nodes_.push_back(node);
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+std::size_t KdTree::leaf_count() const noexcept {
+    std::size_t count = 0;
+    for (const auto& node : nodes_)
+        if (node.kind == KdNode::Kind::Leaf) ++count;
+    return count;
+}
+
+std::size_t KdTree::expanded_slot_count() const noexcept {
+    std::size_t count = 0;
+    for (const auto& slot : slots_)
+        if (slot->built.load(std::memory_order_acquire) != nullptr) ++count;
+    return count;
+}
+
+const KdTree& KdTree::expand(const KdNode& node) const {
+    LazySlot& slot = *slots_[node.lazy_slot];
+    const KdTree* built = slot.built.load(std::memory_order_acquire);
+    if (built != nullptr) return *built;
+    const std::lock_guard guard(slot.build_mutex);
+    built = slot.built.load(std::memory_order_relaxed);
+    if (built != nullptr) return *built;
+    if (!expander_)
+        throw std::logic_error("KdTree: lazy node without an installed expander");
+    slot.subtree = std::make_unique<KdTree>(
+        expander_(std::move(slot.prims), slot.bounds, slot.depth));
+    slot.built.store(slot.subtree.get(), std::memory_order_release);
+    return *slot.subtree;
+}
+
+namespace {
+
+struct StackEntry {
+    std::uint32_t node;
+    float t_enter;
+    float t_exit;
+};
+
+} // namespace
+
+Hit KdTree::closest_hit(const Ray& ray, std::span<const Triangle> triangles, float t_min,
+                        float t_max) const {
+    if (nodes_.empty()) return {};
+    const auto clip = bounds_.intersect(ray, t_min, t_max);
+    if (!clip) return {};
+    return traverse(ray, triangles, clip->first, clip->second, t_min);
+}
+
+Hit KdTree::traverse(const Ray& ray, std::span<const Triangle> triangles, float t_enter,
+                     float t_exit, float t_min) const {
+    Hit best;
+    StackEntry stack[64];
+    int top = 0;
+    stack[top++] = StackEntry{0, t_enter, t_exit};
+
+    while (top > 0) {
+        StackEntry entry = stack[--top];
+        if (entry.t_enter > best.t) continue;  // already found something closer
+        std::uint32_t current = entry.node;
+        float near_t = entry.t_enter;
+        float far_t = entry.t_exit;
+
+        while (nodes_[current].kind == KdNode::Kind::Interior) {
+            const KdNode& node = nodes_[current];
+            const int axis = node.axis;
+            const float origin = ray.origin[axis];
+            const float t_split = (node.split - origin) * ray.inv_direction[axis];
+            // Which child does the ray start in?
+            const bool left_first =
+                origin < node.split ||
+                (origin == node.split && ray.direction[axis] <= 0.0f);
+            const std::uint32_t near_child = left_first ? node.left : node.right;
+            const std::uint32_t far_child = left_first ? node.right : node.left;
+            if (std::isnan(t_split) || t_split > far_t || t_split <= 0.0f) {
+                current = near_child;
+            } else if (t_split < near_t) {
+                current = far_child;
+            } else {
+                if (top < 64) {
+                    stack[top++] = StackEntry{far_child, t_split, far_t};
+                }
+                current = near_child;
+                far_t = t_split;
+            }
+        }
+
+        const KdNode& node = nodes_[current];
+        if (node.kind == KdNode::Kind::Leaf) {
+            for (std::uint32_t k = 0; k < node.count; ++k) {
+                const std::uint32_t prim = prim_indices_[node.first + k];
+                if (auto hit = intersect_triangle(ray, triangles[prim], t_min, best.t)) {
+                    best = *hit;
+                    best.triangle = prim;
+                }
+            }
+        } else {  // lazy
+            const KdTree& subtree = expand(node);
+            const Hit hit = subtree.traverse(ray, triangles, near_t, far_t, t_min);
+            if (hit.valid() && hit.t < best.t) best = hit;
+        }
+        // Front-to-back order: a hit within the current cell is final.
+        if (best.valid() && best.t <= far_t) break;
+    }
+    return best;
+}
+
+bool KdTree::any_hit(const Ray& ray, std::span<const Triangle> triangles, float t_min,
+                     float t_max) const {
+    if (nodes_.empty()) return false;
+    const auto clip = bounds_.intersect(ray, t_min, t_max);
+    if (!clip) return false;
+    return traverse_any(ray, triangles, clip->first, clip->second, t_min, t_max);
+}
+
+bool KdTree::traverse_any(const Ray& ray, std::span<const Triangle> triangles,
+                          float t_enter, float t_exit, float t_min, float t_limit) const {
+    StackEntry stack[64];
+    int top = 0;
+    stack[top++] = StackEntry{0, t_enter, t_exit};
+
+    while (top > 0) {
+        StackEntry entry = stack[--top];
+        std::uint32_t current = entry.node;
+        float near_t = entry.t_enter;
+        float far_t = entry.t_exit;
+
+        while (nodes_[current].kind == KdNode::Kind::Interior) {
+            const KdNode& node = nodes_[current];
+            const int axis = node.axis;
+            const float origin = ray.origin[axis];
+            const float t_split = (node.split - origin) * ray.inv_direction[axis];
+            const bool left_first =
+                origin < node.split ||
+                (origin == node.split && ray.direction[axis] <= 0.0f);
+            const std::uint32_t near_child = left_first ? node.left : node.right;
+            const std::uint32_t far_child = left_first ? node.right : node.left;
+            if (std::isnan(t_split) || t_split > far_t || t_split <= 0.0f) {
+                current = near_child;
+            } else if (t_split < near_t) {
+                current = far_child;
+            } else {
+                if (top < 64) {
+                    stack[top++] = StackEntry{far_child, t_split, far_t};
+                }
+                current = near_child;
+                far_t = t_split;
+            }
+        }
+
+        const KdNode& node = nodes_[current];
+        if (node.kind == KdNode::Kind::Leaf) {
+            for (std::uint32_t k = 0; k < node.count; ++k) {
+                const std::uint32_t prim = prim_indices_[node.first + k];
+                if (intersect_triangle(ray, triangles[prim], t_min, t_limit)) return true;
+            }
+        } else {  // lazy
+            const KdTree& subtree = expand(node);
+            if (subtree.traverse_any(ray, triangles, near_t, far_t, t_min, t_limit))
+                return true;
+        }
+    }
+    return false;
+}
+
+bool KdTree::validate() const {
+    if (nodes_.empty()) return true;
+    std::vector<bool> visited(nodes_.size(), false);
+    std::vector<std::uint32_t> work{0};
+    std::size_t reached = 0;
+    while (!work.empty()) {
+        const std::uint32_t id = work.back();
+        work.pop_back();
+        if (id >= nodes_.size() || visited[id]) return false;  // bad link or cycle
+        visited[id] = true;
+        ++reached;
+        const KdNode& node = nodes_[id];
+        switch (node.kind) {
+            case KdNode::Kind::Interior:
+                if (node.axis > 2) return false;
+                work.push_back(node.left);
+                work.push_back(node.right);
+                break;
+            case KdNode::Kind::Leaf:
+                if (static_cast<std::size_t>(node.first) + node.count >
+                    prim_indices_.size())
+                    return false;
+                break;
+            case KdNode::Kind::Lazy:
+                if (node.lazy_slot >= slots_.size()) return false;
+                break;
+        }
+    }
+    return reached == nodes_.size();
+}
+
+} // namespace atk::rt

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "raytrace/geometry.hpp"
+
+namespace atk::rt {
+
+class KdTree;
+
+/// A deferred subtree of the Lazy builder: holds the primitive set and
+/// bounds of an unbuilt node.  The subtree is constructed on first traversal
+/// contact (double-checked locking; concurrent rendering threads block only
+/// while the expansion they need is running).
+struct LazySlot {
+    std::vector<std::uint32_t> prims;
+    Aabb bounds;
+    int depth = 0;
+
+    std::mutex build_mutex;
+    std::atomic<const KdTree*> built{nullptr};
+    std::unique_ptr<KdTree> subtree;  // owned storage behind `built`
+};
+
+/// One node of the kD-tree; a tagged plain struct (clarity over packing —
+/// this is a research codebase, not a production renderer).
+struct KdNode {
+    enum class Kind : std::uint8_t { Leaf, Interior, Lazy };
+    Kind kind = Kind::Leaf;
+    std::uint8_t axis = 0;       ///< interior: split axis
+    float split = 0.0f;          ///< interior: split position
+    std::uint32_t left = 0;      ///< interior: child node ids
+    std::uint32_t right = 0;
+    std::uint32_t first = 0;     ///< leaf: offset into prim_indices
+    std::uint32_t count = 0;     ///< leaf: number of prims
+    std::uint32_t lazy_slot = 0; ///< lazy: index into the slot table
+};
+
+/// SAH kD-tree: the acceleration structure of case study 2.  Built by one
+/// of the four construction algorithms (Inplace, Lazy, Nested, Wald-Havran),
+/// traversed by the renderer for closest-hit (primary rays) and any-hit
+/// (shadow / ambient-occlusion rays) queries.
+///
+/// Lazy nodes are expanded during traversal through the expander callback
+/// installed by the Lazy builder; expansion mutates internal state behind a
+/// per-slot mutex, so traversal is thread-safe but the tree is neither
+/// copyable nor assignable.
+class KdTree {
+public:
+    /// Builds subtrees for lazy slots; installed by the Lazy builder.
+    using Expander =
+        std::function<KdTree(std::vector<std::uint32_t> prims, const Aabb& bounds,
+                             int depth)>;
+
+    KdTree() = default;
+    KdTree(KdTree&&) noexcept = default;
+    KdTree& operator=(KdTree&&) noexcept = default;
+    KdTree(const KdTree&) = delete;
+    KdTree& operator=(const KdTree&) = delete;
+
+    /// Closest intersection along the ray, or an invalid Hit.
+    [[nodiscard]] Hit closest_hit(const Ray& ray, std::span<const Triangle> triangles,
+                                  float t_min = 1e-4f,
+                                  float t_max = std::numeric_limits<float>::max()) const;
+
+    /// True if anything blocks the ray within (t_min, t_max).
+    [[nodiscard]] bool any_hit(const Ray& ray, std::span<const Triangle> triangles,
+                               float t_min, float t_max) const;
+
+    [[nodiscard]] const Aabb& bounds() const noexcept { return bounds_; }
+    [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+    [[nodiscard]] std::size_t leaf_count() const noexcept;
+    [[nodiscard]] std::size_t prim_reference_count() const noexcept {
+        return prim_indices_.size();
+    }
+    [[nodiscard]] std::size_t lazy_slot_count() const noexcept { return slots_.size(); }
+    [[nodiscard]] std::size_t expanded_slot_count() const noexcept;
+    [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+
+    /// Structural validation: every node reachable, child links acyclic,
+    /// leaf ranges inside the prim array.  Used by tests.
+    [[nodiscard]] bool validate() const;
+
+    // --- Construction interface (used by the builders) ------------------
+
+    void set_bounds(const Aabb& bounds) { bounds_ = bounds; }
+    void set_expander(Expander expander) { expander_ = std::move(expander); }
+
+    /// Appends a node and returns its id.
+    std::uint32_t add_leaf(std::span<const std::uint32_t> prims);
+    std::uint32_t add_interior(int axis, float split, std::uint32_t left,
+                               std::uint32_t right);
+    /// Pre-order construction support: append the interior node first, then
+    /// patch its child links once the children have been appended.
+    std::uint32_t add_interior_placeholder(int axis, float split) {
+        return add_interior(axis, split, 0, 0);
+    }
+    void set_children(std::uint32_t id, std::uint32_t left, std::uint32_t right) {
+        nodes_.at(id).left = left;
+        nodes_.at(id).right = right;
+    }
+    std::uint32_t add_lazy(std::vector<std::uint32_t> prims, const Aabb& bounds,
+                           int depth);
+
+    [[nodiscard]] const KdNode& node(std::size_t i) const { return nodes_.at(i); }
+    /// Leaf prim-list entry (introspection for tests/debugging).
+    [[nodiscard]] std::uint32_t prim_index(std::size_t i) const {
+        return prim_indices_.at(i);
+    }
+
+private:
+    /// Traversal over [t_enter, t_exit]; `root` selects the subtree entry.
+    Hit traverse(const Ray& ray, std::span<const Triangle> triangles, float t_enter,
+                 float t_exit, float t_min) const;
+    bool traverse_any(const Ray& ray, std::span<const Triangle> triangles, float t_enter,
+                      float t_exit, float t_min, float t_limit) const;
+
+    /// Returns the expanded subtree of a lazy node, building it if needed.
+    const KdTree& expand(const KdNode& node) const;
+
+    Aabb bounds_;
+    std::vector<KdNode> nodes_;
+    std::vector<std::uint32_t> prim_indices_;
+    // unique_ptr: LazySlot holds a mutex and must stay address-stable.
+    std::vector<std::unique_ptr<LazySlot>> slots_;
+    Expander expander_;
+};
+
+} // namespace atk::rt

@@ -1,0 +1,55 @@
+#include "raytrace/pipeline.hpp"
+
+#include <cmath>
+
+#include "support/clock.hpp"
+
+namespace atk::rt {
+
+RaytracePipeline::RaytracePipeline(Scene scene, int image_width, int image_height,
+                                   std::size_t threads)
+    : scene_(std::move(scene)),
+      pool_(threads),
+      camera_(scene_.camera_position, scene_.camera_target, scene_.vertical_fov_deg,
+              image_width, image_height),
+      image_width_(image_width),
+      image_height_(image_height) {}
+
+void RaytracePipeline::orbit_camera(float radians) {
+    // Rotate the scene's own camera position around the vertical axis
+    // through the look-at target; the target and height stay fixed.
+    const Vec3 pivot = scene_.camera_target;
+    const Vec3 offset = scene_.camera_position - pivot;
+    const float sin_a = std::sin(radians);
+    const float cos_a = std::cos(radians);
+    const Vec3 rotated{offset.x * cos_a - offset.z * sin_a, offset.y,
+                       offset.x * sin_a + offset.z * cos_a};
+    camera_ = Camera(pivot + rotated, pivot, scene_.vertical_fov_deg, image_width_,
+                     image_height_);
+}
+
+Millis RaytracePipeline::render_frame(const KdBuilder& builder,
+                                      const BuildConfig& config) {
+    Stopwatch watch;
+    const KdTree tree = builder.build(scene_, config, pool_);
+    image_ = render(scene_, tree, camera_, pool_, &stats_);
+    return watch.elapsed_ms();
+}
+
+std::vector<TunableAlgorithm> make_tunable_builders(
+    const std::vector<std::unique_ptr<KdBuilder>>& builders,
+    NelderMeadSearcher::Options nm_options) {
+    std::vector<TunableAlgorithm> algorithms;
+    algorithms.reserve(builders.size());
+    for (const auto& builder : builders) {
+        TunableAlgorithm algorithm;
+        algorithm.name = builder->name();
+        algorithm.space = builder->tuning_space();
+        algorithm.initial = builder->default_config();
+        algorithm.searcher = std::make_unique<NelderMeadSearcher>(nm_options);
+        algorithms.push_back(std::move(algorithm));
+    }
+    return algorithms;
+}
+
+} // namespace atk::rt

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+
+#include "core/search/nelder_mead.hpp"
+#include "core/tuner.hpp"
+#include "raytrace/builder.hpp"
+#include "raytrace/renderer.hpp"
+#include "support/clock.hpp"
+
+namespace atk::rt {
+
+/// The two-stage rendering pipeline of case study 2: per frame, (1) an SAH
+/// kD-tree is constructed by the selected algorithm with the selected
+/// configuration, and (2) the frame is rendered through it.  The measured
+/// frame time covers both stages — for the Lazy builder this naturally
+/// charges on-demand subtree expansion to the frame that triggered it.
+class RaytracePipeline {
+public:
+    RaytracePipeline(Scene scene, int image_width, int image_height,
+                     std::size_t threads = 0);
+
+    /// Builds with the given algorithm/config and renders one frame;
+    /// returns the frame time in milliseconds.
+    Millis render_frame(const KdBuilder& builder, const BuildConfig& config);
+
+    /// Moves the camera along an orbit around the scene center (angle in
+    /// radians; 0 restores the scene's own camera pose).  The paper renders
+    /// a *static* scene; this models its introduction's point that the
+    /// context can vary during runtime — a moving camera changes which
+    /// parts of the tree rays traverse, drifting the cost landscape under
+    /// the tuner (used by bench_ablation_dynamic_scene).
+    void orbit_camera(float radians);
+
+    [[nodiscard]] const Scene& scene() const noexcept { return scene_; }
+    [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+    [[nodiscard]] const Image& last_image() const noexcept { return image_; }
+    [[nodiscard]] const RenderStats& last_stats() const noexcept { return stats_; }
+
+private:
+    Scene scene_;
+    ThreadPool pool_;
+    Camera camera_;
+    Image image_;
+    RenderStats stats_;
+    int image_width_;
+    int image_height_;
+};
+
+/// Wires the four construction algorithms into phase-one tunable algorithms
+/// (each with its own space, the hand-crafted default start, and a
+/// Nelder-Mead searcher — the paper's choice for this step).
+[[nodiscard]] std::vector<TunableAlgorithm> make_tunable_builders(
+    const std::vector<std::unique_ptr<KdBuilder>>& builders,
+    NelderMeadSearcher::Options nm_options = {});
+
+} // namespace atk::rt

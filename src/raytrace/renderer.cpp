@@ -1,0 +1,115 @@
+#include "raytrace/renderer.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <numbers>
+
+namespace atk::rt {
+
+Camera::Camera(const Vec3& position, const Vec3& target, float vertical_fov_deg,
+               int width, int height)
+    : position_(position), width_(width), height_(height) {
+    forward_ = normalize(target - position);
+    const Vec3 world_up{0.0f, 1.0f, 0.0f};
+    // Right-handed viewer basis: for forward +z and up +y this gives
+    // right = +x, so screen x grows toward the viewer's right (no mirror).
+    right_ = normalize(cross(world_up, forward_));
+    if (length(right_) == 0.0f) right_ = Vec3{1.0f, 0.0f, 0.0f};  // looking straight up
+    up_ = cross(forward_, right_);
+    tan_half_fov_ =
+        std::tan(vertical_fov_deg * std::numbers::pi_v<float> / 360.0f);
+    aspect_ = static_cast<float>(width) / static_cast<float>(height);
+}
+
+Ray Camera::primary_ray(int px, int py) const {
+    const float ndc_x = (2.0f * (static_cast<float>(px) + 0.5f) / width_ - 1.0f) *
+                        tan_half_fov_ * aspect_;
+    const float ndc_y =
+        (1.0f - 2.0f * (static_cast<float>(py) + 0.5f) / height_) * tan_half_fov_;
+    return Ray(position_, normalize(forward_ + right_ * ndc_x + up_ * ndc_y));
+}
+
+std::uint64_t Image::checksum() const {
+    // FNV-1a over quantized pixels: stable against floating-point noise in
+    // the last bits while still catching real image changes.
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (const float v : pixels) {
+        const auto q = static_cast<std::uint16_t>(
+            std::clamp(v, 0.0f, 1.0f) * 65535.0f);
+        hash ^= q & 0xFF;
+        hash *= 1099511628211ULL;
+        hash ^= q >> 8;
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+bool Image::write_pgm(const std::string& path) const {
+    std::ofstream file(path, std::ios::binary);
+    if (!file) return false;
+    file << "P5\n" << width << " " << height << "\n255\n";
+    for (const float v : pixels)
+        file.put(static_cast<char>(std::clamp(v, 0.0f, 1.0f) * 255.0f));
+    return static_cast<bool>(file);
+}
+
+Image render(const Scene& scene, const KdTree& tree, const Camera& camera,
+             ThreadPool& pool, RenderStats* stats) {
+    Image image;
+    image.width = camera.width();
+    image.height = camera.height();
+    image.pixels.assign(static_cast<std::size_t>(image.width) * image.height, 0.0f);
+
+    std::atomic<std::size_t> primary_hits{0};
+    std::atomic<std::size_t> shadow_rays{0};
+    std::atomic<std::size_t> shadowed{0};
+
+    const std::span<const Triangle> triangles(scene.triangles);
+    pool.parallel_for(0, static_cast<std::size_t>(image.height),
+                      [&](std::size_t row_begin, std::size_t row_end) {
+        std::size_t local_hits = 0;
+        std::size_t local_shadow_rays = 0;
+        std::size_t local_shadowed = 0;
+        for (std::size_t y = row_begin; y < row_end; ++y) {
+            for (int x = 0; x < image.width; ++x) {
+                const Ray ray = camera.primary_ray(x, static_cast<int>(y));
+                const Hit hit = tree.closest_hit(ray, triangles);
+                float value = 0.05f;  // background
+                if (hit.valid()) {
+                    ++local_hits;
+                    const Triangle& tri = triangles[hit.triangle];
+                    const Vec3 point = ray.origin + ray.direction * hit.t;
+                    Vec3 normal = tri.normal();
+                    if (dot(normal, ray.direction) > 0.0f) normal = -normal;
+                    const Vec3 to_light = scene.light - point;
+                    const float light_distance = length(to_light);
+                    const Vec3 light_dir = to_light / light_distance;
+                    const float lambert = std::max(0.0f, dot(normal, light_dir));
+                    // Occlusion ray toward the light (the paper's second
+                    // stage "ambient occlusion" test).
+                    ++local_shadow_rays;
+                    const Ray shadow(point + normal * 1e-3f, light_dir);
+                    const bool blocked =
+                        tree.any_hit(shadow, triangles, 1e-3f, light_distance);
+                    if (blocked) ++local_shadowed;
+                    value = blocked ? 0.1f + 0.1f * lambert : 0.15f + 0.85f * lambert;
+                }
+                image.pixels[y * image.width + x] = value;
+            }
+        }
+        primary_hits += local_hits;
+        shadow_rays += local_shadow_rays;
+        shadowed += local_shadowed;
+    });
+
+    if (stats != nullptr) {
+        stats->primary_rays = image.pixels.size();
+        stats->primary_hits = primary_hits.load();
+        stats->shadow_rays = shadow_rays.load();
+        stats->shadowed = shadowed.load();
+    }
+    return image;
+}
+
+} // namespace atk::rt

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "raytrace/kdtree.hpp"
+#include "raytrace/scene.hpp"
+#include "support/thread_pool.hpp"
+
+namespace atk::rt {
+
+/// Pinhole camera generating primary rays through pixel centers.
+class Camera {
+public:
+    Camera(const Vec3& position, const Vec3& target, float vertical_fov_deg, int width,
+           int height);
+
+    [[nodiscard]] Ray primary_ray(int px, int py) const;
+    [[nodiscard]] int width() const noexcept { return width_; }
+    [[nodiscard]] int height() const noexcept { return height_; }
+
+private:
+    Vec3 position_;
+    Vec3 forward_;
+    Vec3 right_;
+    Vec3 up_;
+    float tan_half_fov_;
+    float aspect_;
+    int width_;
+    int height_;
+};
+
+/// Grayscale framebuffer; value in [0,1] per pixel.
+struct Image {
+    int width = 0;
+    int height = 0;
+    std::vector<float> pixels;
+
+    [[nodiscard]] float at(int x, int y) const {
+        return pixels[static_cast<std::size_t>(y) * width + x];
+    }
+
+    /// Deterministic content digest for regression tests.
+    [[nodiscard]] std::uint64_t checksum() const;
+
+    /// Writes a binary PGM (for eyeballing example output).
+    bool write_pgm(const std::string& path) const;
+};
+
+/// Statistics of one rendered frame.
+struct RenderStats {
+    std::size_t primary_rays = 0;
+    std::size_t shadow_rays = 0;
+    std::size_t primary_hits = 0;
+    std::size_t shadowed = 0;
+};
+
+/// The second pipeline stage of case study 2: rays are cast from the camera
+/// into the scene and tested for intersection; on a hit, a second ray is
+/// cast toward the light source to test for occlusion (the paper's ambient
+/// occlusion test).  Rows are rendered in parallel on the pool.
+///
+/// Traversal of a Lazy-built tree expands subtrees on demand, so for the
+/// Lazy builder part of the construction cost is charged to rendering —
+/// exactly the trade-off that makes the eager cutoff worth tuning.
+[[nodiscard]] Image render(const Scene& scene, const KdTree& tree, const Camera& camera,
+                           ThreadPool& pool, RenderStats* stats = nullptr);
+
+} // namespace atk::rt

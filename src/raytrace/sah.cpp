@@ -1,0 +1,153 @@
+#include "raytrace/sah.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+namespace atk::rt {
+
+float sah_split_cost(const Aabb& node_bounds, int axis, float position,
+                     std::size_t n_left, std::size_t n_right, const SahParams& params) {
+    Aabb left = node_bounds;
+    Aabb right = node_bounds;
+    left.hi.component(axis) = position;
+    right.lo.component(axis) = position;
+    const float area = node_bounds.surface_area();
+    if (area <= 0.0f) return std::numeric_limits<float>::max();
+    const float p_left = left.surface_area() / area;
+    const float p_right = right.surface_area() / area;
+    return params.traversal_cost +
+           params.intersection_cost * (p_left * static_cast<float>(n_left) +
+                                       p_right * static_cast<float>(n_right));
+}
+
+int auto_max_depth(std::size_t prim_count) noexcept {
+    if (prim_count == 0) return 1;
+    return static_cast<int>(
+        std::round(8.0 + 1.3 * std::log2(static_cast<double>(prim_count))));
+}
+
+namespace {
+
+struct Histogram {
+    std::vector<std::uint32_t> starts;  // prims whose bounds begin in bin b
+    std::vector<std::uint32_t> ends;    // prims whose bounds end in bin b
+
+    explicit Histogram(int bins) : starts(bins, 0), ends(bins, 0) {}
+
+    void merge(const Histogram& other) {
+        for (std::size_t b = 0; b < starts.size(); ++b) {
+            starts[b] += other.starts[b];
+            ends[b] += other.ends[b];
+        }
+    }
+};
+
+} // namespace
+
+SplitDecision find_best_split_binned(std::span<const std::uint32_t> prims,
+                                     std::span<const Aabb> prim_bounds,
+                                     const Aabb& node_bounds, const SahParams& params,
+                                     int bins, ThreadPool* pool) {
+    SplitDecision decision;
+    decision.cost = params.intersection_cost * static_cast<float>(prims.size());
+    if (prims.size() < 2) return decision;
+    bins = std::max(2, bins);
+
+    for (int axis = 0; axis < 3; ++axis) {
+        const float lo = node_bounds.lo[axis];
+        const float width = node_bounds.hi[axis] - lo;
+        if (width <= 0.0f) continue;
+        const float inv_bin_width = static_cast<float>(bins) / width;
+        auto bin_of = [&](float x) {
+            return std::clamp(static_cast<int>((x - lo) * inv_bin_width), 0, bins - 1);
+        };
+
+        Histogram histogram(bins);
+        auto accumulate = [&](Histogram& h, std::size_t begin, std::size_t end) {
+            for (std::size_t k = begin; k < end; ++k) {
+                const Aabb& b = prim_bounds[prims[k]];
+                h.starts[bin_of(b.lo[axis])] += 1;
+                h.ends[bin_of(b.hi[axis])] += 1;
+            }
+        };
+        if (pool != nullptr && prims.size() >= 4096) {
+            // Data-parallel binning: per-chunk histograms, merged under a lock.
+            std::mutex merge_mutex;
+            pool->parallel_for(
+                0, prims.size(),
+                [&](std::size_t begin, std::size_t end) {
+                    Histogram local(bins);
+                    accumulate(local, begin, end);
+                    const std::lock_guard guard(merge_mutex);
+                    histogram.merge(local);
+                },
+                2048);
+        } else {
+            accumulate(histogram, 0, prims.size());
+        }
+
+        // Sweep the interior bin boundaries. After bin k, the boundary sits
+        // at lo + (k+1)/bins * width; prims whose bounds start at or before
+        // it overlap the left side, prims ending after it overlap the right.
+        std::size_t n_left = 0;
+        std::size_t n_ended = 0;
+        for (int k = 0; k + 1 < bins; ++k) {
+            n_left += histogram.starts[k];
+            n_ended += histogram.ends[k];
+            const std::size_t n_right = prims.size() - n_ended;
+            const float position =
+                lo + width * static_cast<float>(k + 1) / static_cast<float>(bins);
+            const float cost =
+                sah_split_cost(node_bounds, axis, position, n_left, n_right, params);
+            if (cost < decision.cost) {
+                decision.make_leaf = false;
+                decision.axis = axis;
+                decision.position = position;
+                decision.cost = cost;
+            }
+        }
+    }
+
+    if (!decision.make_leaf) {
+        // Snap the plane to the nearest primitive boundary within half a bin
+        // width: splits through the middle of axis-aligned geometry duplicate
+        // every crossed primitive into both children, while a plane exactly
+        // on a boundary separates cleanly (the cheap cousin of Wald-Havran's
+        // exact "perfect splits").
+        const int axis = decision.axis;
+        const float node_lo = node_bounds.lo[axis];
+        const float node_hi = node_bounds.hi[axis];
+        const float tolerance = (node_hi - node_lo) / (2.0f * static_cast<float>(bins));
+        float best_candidate = decision.position;
+        float best_distance = tolerance;
+        for (const std::uint32_t prim : prims) {
+            for (const float edge :
+                 {prim_bounds[prim].lo[axis], prim_bounds[prim].hi[axis]}) {
+                if (edge <= node_lo || edge >= node_hi) continue;
+                const float distance = std::abs(edge - decision.position);
+                if (distance < best_distance) {
+                    best_distance = distance;
+                    best_candidate = edge;
+                }
+            }
+        }
+        decision.position = best_candidate;
+    }
+    return decision;
+}
+
+void partition_prims(std::span<const std::uint32_t> prims, std::span<const Aabb> prim_bounds,
+                     int axis, float position, std::vector<std::uint32_t>& left,
+                     std::vector<std::uint32_t>& right) {
+    left.clear();
+    right.clear();
+    for (const std::uint32_t prim : prims) {
+        const Aabb& b = prim_bounds[prim];
+        const bool planar = b.lo[axis] == position && b.hi[axis] == position;
+        if (b.lo[axis] < position || planar) left.push_back(prim);
+        if (b.hi[axis] > position) right.push_back(prim);
+    }
+}
+
+} // namespace atk::rt

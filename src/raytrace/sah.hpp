@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "raytrace/geometry.hpp"
+#include "support/thread_pool.hpp"
+
+namespace atk::rt {
+
+/// Parameters of the Surface Area Heuristic, the cost model every builder
+/// minimizes.  Both costs are tunable parameters in the case study (the
+/// paper: "the parameters of the SAH heuristic are tunable parameters in
+/// all algorithms"); only their ratio matters for the tree shape, which
+/// makes the pair a gently redundant — and therefore realistic — tuning
+/// space.
+struct SahParams {
+    float traversal_cost = 15.0f;     ///< C_t: cost of one traversal step
+    float intersection_cost = 20.0f;  ///< C_i: cost of one ray/prim test
+};
+
+/// Outcome of split-plane selection for one node.
+struct SplitDecision {
+    bool make_leaf = true;
+    int axis = -1;
+    float position = 0.0f;
+    float cost = 0.0f;  ///< estimated SAH cost of the chosen action
+};
+
+/// SAH cost of splitting `node_bounds` at (axis, position) with n_left /
+/// n_right primitives overlapping each side.
+[[nodiscard]] float sah_split_cost(const Aabb& node_bounds, int axis, float position,
+                                   std::size_t n_left, std::size_t n_right,
+                                   const SahParams& params);
+
+/// Binned SAH split selection (used by the Inplace, Lazy and Nested
+/// builders): `bins` equal-width bins per axis; candidate planes are the
+/// interior bin boundaries.  Returns make_leaf when no candidate beats the
+/// cost of a leaf (C_i * n).
+///
+/// When `pool` is non-null the binning pass over the primitives runs
+/// data-parallel on the pool with per-chunk histograms merged afterwards —
+/// this is the Inplace builder's way of mapping primitives to threads.
+[[nodiscard]] SplitDecision find_best_split_binned(std::span<const std::uint32_t> prims,
+                                                   std::span<const Aabb> prim_bounds,
+                                                   const Aabb& node_bounds,
+                                                   const SahParams& params, int bins,
+                                                   ThreadPool* pool = nullptr);
+
+/// Partitions `prims` by the chosen plane. A primitive goes left if its
+/// bounds start strictly below the plane (or lie completely in the plane),
+/// right if they end strictly above it; straddling primitives go to both.
+void partition_prims(std::span<const std::uint32_t> prims, std::span<const Aabb> prim_bounds,
+                     int axis, float position, std::vector<std::uint32_t>& left,
+                     std::vector<std::uint32_t>& right);
+
+/// Standard automatic depth limit: 8 + 1.3·log2(n), the rule of thumb the
+/// literature (and the original application) uses.
+[[nodiscard]] int auto_max_depth(std::size_t prim_count) noexcept;
+
+} // namespace atk::rt

@@ -1,0 +1,149 @@
+#include "raytrace/scene.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/rng.hpp"
+
+namespace atk::rt {
+namespace {
+
+/// Appends the two triangles of a quad (a,b,c,d counter-clockwise).
+void add_quad(std::vector<Triangle>& out, const Vec3& a, const Vec3& b, const Vec3& c,
+              const Vec3& d) {
+    out.push_back(Triangle{a, b, c});
+    out.push_back(Triangle{a, c, d});
+}
+
+/// Appends an axis-aligned box (12 triangles).
+void add_box(std::vector<Triangle>& out, const Vec3& lo, const Vec3& hi) {
+    const Vec3 v000{lo.x, lo.y, lo.z}, v100{hi.x, lo.y, lo.z};
+    const Vec3 v010{lo.x, hi.y, lo.z}, v110{hi.x, hi.y, lo.z};
+    const Vec3 v001{lo.x, lo.y, hi.z}, v101{hi.x, lo.y, hi.z};
+    const Vec3 v011{lo.x, hi.y, hi.z}, v111{hi.x, hi.y, hi.z};
+    add_quad(out, v000, v100, v110, v010);  // front  (z = lo)
+    add_quad(out, v101, v001, v011, v111);  // back   (z = hi)
+    add_quad(out, v001, v000, v010, v011);  // left   (x = lo)
+    add_quad(out, v100, v101, v111, v110);  // right  (x = hi)
+    add_quad(out, v010, v110, v111, v011);  // top    (y = hi)
+    add_quad(out, v001, v101, v100, v000);  // bottom (y = lo)
+}
+
+/// Appends a vertical cylinder approximated by `segments` side quads.
+void add_column(std::vector<Triangle>& out, const Vec3& base, float radius, float height,
+                int segments) {
+    const float tau = 2.0f * std::numbers::pi_v<float>;
+    for (int s = 0; s < segments; ++s) {
+        const float a0 = tau * static_cast<float>(s) / static_cast<float>(segments);
+        const float a1 = tau * static_cast<float>(s + 1) / static_cast<float>(segments);
+        const Vec3 p0{base.x + radius * std::cos(a0), base.y, base.z + radius * std::sin(a0)};
+        const Vec3 p1{base.x + radius * std::cos(a1), base.y, base.z + radius * std::sin(a1)};
+        const Vec3 q0{p0.x, base.y + height, p0.z};
+        const Vec3 q1{p1.x, base.y + height, p1.z};
+        add_quad(out, p0, p1, q1, q0);
+    }
+}
+
+} // namespace
+
+Aabb Scene::bounds() const {
+    Aabb box;
+    for (const auto& tri : triangles) box.expand(tri.bounds());
+    return box;
+}
+
+Scene make_cathedral(const CathedralParams& p) {
+    Scene scene;
+    auto& tris = scene.triangles;
+    const float hw = p.width / 2.0f;
+    const float hd = p.depth / 2.0f;
+
+    // Tessellated floor: floor_tiles x floor_tiles*(depth/width) quads.
+    const int tiles_x = p.floor_tiles;
+    const int tiles_z = std::max(1, static_cast<int>(p.floor_tiles * p.depth / p.width));
+    for (int i = 0; i < tiles_x; ++i) {
+        for (int j = 0; j < tiles_z; ++j) {
+            const float x0 = -hw + p.width * static_cast<float>(i) / tiles_x;
+            const float x1 = -hw + p.width * static_cast<float>(i + 1) / tiles_x;
+            const float z0 = -hd + p.depth * static_cast<float>(j) / tiles_z;
+            const float z1 = -hd + p.depth * static_cast<float>(j + 1) / tiles_z;
+            add_quad(tris, {x0, 0, z0}, {x1, 0, z0}, {x1, 0, z1}, {x0, 0, z1});
+        }
+    }
+
+    // Side walls (sparse geometry — two quads each).
+    const float wall_h = p.height * 0.7f;
+    add_quad(tris, {-hw, 0, -hd}, {-hw, 0, hd}, {-hw, wall_h, hd}, {-hw, wall_h, -hd});
+    add_quad(tris, {hw, 0, hd}, {hw, 0, -hd}, {hw, wall_h, -hd}, {hw, wall_h, hd});
+    add_quad(tris, {-hw, 0, hd}, {hw, 0, hd}, {hw, wall_h, hd}, {-hw, wall_h, hd});
+
+    // Two rows of columns (dense geometry).
+    for (int c = 0; c < p.columns_per_side; ++c) {
+        const float z =
+            -hd + p.depth * (static_cast<float>(c) + 0.5f) / p.columns_per_side;
+        add_column(tris, {-hw * 0.55f, 0, z}, 0.45f, wall_h, p.column_segments);
+        add_column(tris, {hw * 0.55f, 0, z}, 0.45f, wall_h, p.column_segments);
+        // Capitals.
+        add_box(tris, {-hw * 0.55f - 0.6f, wall_h, z - 0.6f},
+                {-hw * 0.55f + 0.6f, wall_h + 0.3f, z + 0.6f});
+        add_box(tris, {hw * 0.55f - 0.6f, wall_h, z - 0.6f},
+                {hw * 0.55f + 0.6f, wall_h + 0.3f, z + 0.6f});
+    }
+
+    // Vaulted ceiling: half-cylinder along z, tessellated.
+    const float tau = std::numbers::pi_v<float>;
+    for (int s = 0; s < p.vault_segments; ++s) {
+        const float a0 = tau * static_cast<float>(s) / p.vault_segments;
+        const float a1 = tau * static_cast<float>(s + 1) / p.vault_segments;
+        const float vault_r = hw;
+        const float y0 = wall_h + (p.height - wall_h) * std::sin(a0);
+        const float y1 = wall_h + (p.height - wall_h) * std::sin(a1);
+        const float x0 = -vault_r * std::cos(a0);
+        const float x1 = -vault_r * std::cos(a1);
+        for (int j = 0; j < p.vault_segments; ++j) {
+            const float z0 = -hd + p.depth * static_cast<float>(j) / p.vault_segments;
+            const float z1 = -hd + p.depth * static_cast<float>(j + 1) / p.vault_segments;
+            add_quad(tris, {x0, y0, z0}, {x1, y1, z0}, {x1, y1, z1}, {x0, y0, z1});
+        }
+    }
+
+    // Clutter: pews / debris boxes, denser toward the middle aisle.
+    Rng rng(p.seed);
+    for (int k = 0; k < p.clutter; ++k) {
+        const float cx = static_cast<float>(rng.uniform_real(-hw * 0.45, hw * 0.45));
+        const float cz = static_cast<float>(rng.uniform_real(-hd * 0.9, hd * 0.9));
+        const float sx = static_cast<float>(rng.uniform_real(0.3, 1.2));
+        const float sy = static_cast<float>(rng.uniform_real(0.3, 0.9));
+        const float sz = static_cast<float>(rng.uniform_real(0.3, 1.8));
+        add_box(tris, {cx - sx / 2, 0, cz - sz / 2}, {cx + sx / 2, sy, cz + sz / 2});
+    }
+
+    scene.light = Vec3{0.0f, p.height * 0.85f, -p.depth * 0.1f};
+    scene.camera_position = Vec3{0.0f, p.height * 0.35f, -hd * 0.9f};
+    scene.camera_target = Vec3{0.0f, p.height * 0.3f, hd};
+    return scene;
+}
+
+Scene make_soup(std::size_t triangles, std::uint64_t seed, float extent) {
+    Scene scene;
+    Rng rng(seed);
+    scene.triangles.reserve(triangles);
+    for (std::size_t i = 0; i < triangles; ++i) {
+        const Vec3 center{static_cast<float>(rng.uniform_real(-extent, extent)),
+                          static_cast<float>(rng.uniform_real(-extent, extent)),
+                          static_cast<float>(rng.uniform_real(-extent, extent))};
+        auto jitter = [&] {
+            return Vec3{static_cast<float>(rng.uniform_real(-0.5, 0.5)),
+                        static_cast<float>(rng.uniform_real(-0.5, 0.5)),
+                        static_cast<float>(rng.uniform_real(-0.5, 0.5))};
+        };
+        scene.triangles.push_back(
+            Triangle{center + jitter(), center + jitter(), center + jitter()});
+    }
+    scene.light = Vec3{0.0f, extent * 1.5f, 0.0f};
+    scene.camera_position = Vec3{0.0f, 0.0f, -extent * 2.5f};
+    scene.camera_target = Vec3{0.0f, 0.0f, 0.0f};
+    return scene;
+}
+
+} // namespace atk::rt

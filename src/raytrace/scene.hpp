@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "raytrace/geometry.hpp"
+
+namespace atk::rt {
+
+/// A renderable scene: triangle soup plus a point light and a camera pose.
+struct Scene {
+    std::vector<Triangle> triangles;
+    Vec3 light{0.0f, 9.0f, 0.0f};
+    Vec3 camera_position{0.0f, 3.0f, -14.0f};
+    Vec3 camera_target{0.0f, 2.5f, 0.0f};
+    float vertical_fov_deg = 60.0f;
+
+    [[nodiscard]] Aabb bounds() const;
+};
+
+/// Parameters of the procedural cathedral-interior generator, the stand-in
+/// for the paper's Sibenik scene (see DESIGN.md for the substitution
+/// rationale): a nave with a tessellated floor, two rows of columns,
+/// a vaulted quad-strip ceiling and scattered clutter boxes.  Non-uniform
+/// triangle density — dense columns, sparse walls — is what differentiates
+/// the SAH builders, so the generator deliberately mixes densities.
+struct CathedralParams {
+    float width = 16.0f;       ///< x extent of the nave
+    float height = 12.0f;      ///< y extent to the vault apex
+    float depth = 40.0f;       ///< z extent of the nave
+    int floor_tiles = 12;      ///< tessellation of the floor per side
+    int columns_per_side = 5;
+    int column_segments = 10;  ///< radial tessellation of each column
+    int vault_segments = 16;   ///< arches along the ceiling
+    int clutter = 24;          ///< random boxes on the floor (pews, debris)
+    std::uint64_t seed = 1402; ///< clutter placement
+};
+
+/// Builds the cathedral scene; triangle count grows with the tessellation
+/// parameters (defaults yield roughly 5-6k triangles).
+[[nodiscard]] Scene make_cathedral(const CathedralParams& params = {});
+
+/// Uniform random triangle soup in the unit-ish cube — degenerate workload
+/// where all SAH builders behave alike; used by tests and ablations.
+[[nodiscard]] Scene make_soup(std::size_t triangles, std::uint64_t seed = 7,
+                              float extent = 10.0f);
+
+} // namespace atk::rt

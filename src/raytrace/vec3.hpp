@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cmath>
+
+namespace atk::rt {
+
+/// Minimal 3-component float vector for the raytracing substrate.
+struct Vec3 {
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+    constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+    constexpr Vec3& operator+=(const Vec3& o) {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+
+    constexpr float operator[](int axis) const { return axis == 0 ? x : axis == 1 ? y : z; }
+
+    float& component(int axis) { return axis == 0 ? x : axis == 1 ? y : z; }
+};
+
+constexpr Vec3 operator*(float s, const Vec3& v) { return v * s; }
+
+constexpr float dot(const Vec3& a, const Vec3& b) {
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+    return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+inline float length(const Vec3& v) { return std::sqrt(dot(v, v)); }
+
+inline Vec3 normalize(const Vec3& v) {
+    const float len = length(v);
+    return len > 0.0f ? v / len : v;
+}
+
+constexpr Vec3 min3(const Vec3& a, const Vec3& b) {
+    return {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y, a.z < b.z ? a.z : b.z};
+}
+
+constexpr Vec3 max3(const Vec3& a, const Vec3& b) {
+    return {a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y, a.z > b.z ? a.z : b.z};
+}
+
+} // namespace atk::rt

@@ -1,0 +1,222 @@
+#include "raytrace/wald_havran.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "raytrace/builders_detail.hpp"
+
+namespace atk::rt {
+namespace {
+
+/// One boundary of a primitive's bounds on one axis.  End events sort
+/// before start events at equal positions so that the sweep sees a
+/// primitive leave the right side before new primitives join the left.
+struct Event {
+    float pos;
+    std::uint32_t prim;
+    std::uint8_t type;  // 0 = end, 1 = start
+
+    friend bool operator<(const Event& a, const Event& b) {
+        if (a.pos != b.pos) return a.pos < b.pos;
+        return a.type < b.type;
+    }
+};
+
+using EventLists = std::array<std::vector<Event>, 3>;
+
+enum : std::uint8_t { kSideNone = 0, kSideLeft = 1, kSideRight = 2, kSideBoth = 3 };
+
+struct WhContext {
+    std::span<const Aabb> prim_bounds;
+    SahParams sah;
+    int max_depth;
+    int min_prims;
+    int parallel_depth;
+    ThreadPool* pool;
+};
+
+struct WhSplit {
+    bool make_leaf = true;
+    int axis = -1;
+    float position = 0.0f;
+};
+
+/// Exact SAH sweep over the sorted event lists.
+WhSplit sweep_best_split(const EventLists& events, const Aabb& bounds, std::size_t n,
+                         const WhContext& ctx) {
+    WhSplit best;
+    float best_cost = ctx.sah.intersection_cost * static_cast<float>(n);
+    for (int axis = 0; axis < 3; ++axis) {
+        const auto& list = events[axis];
+        std::size_t n_left = 0;
+        std::size_t n_right = n;
+        std::size_t i = 0;
+        while (i < list.size()) {
+            const float p = list[i].pos;
+            std::size_t ends = 0;
+            std::size_t starts = 0;
+            std::size_t planar = 0;
+            while (i < list.size() && list[i].pos == p && list[i].type == 0) {
+                const Aabb& b = ctx.prim_bounds[list[i].prim];
+                if (b.lo[axis] == b.hi[axis]) ++planar;
+                ++ends;
+                ++i;
+            }
+            while (i < list.size() && list[i].pos == p && list[i].type == 1) {
+                ++starts;
+                ++i;
+            }
+            n_right -= ends;
+            if (p > bounds.lo[axis] && p < bounds.hi[axis]) {
+                // Planar primitives exactly at p side with the left child,
+                // matching partition_prims' convention.
+                const float cost = sah_split_cost(bounds, axis, p, n_left + planar,
+                                                  n_right, ctx.sah);
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    best.make_leaf = false;
+                    best.axis = axis;
+                    best.position = p;
+                }
+            }
+            n_left += starts;
+        }
+    }
+    return best;
+}
+
+/// Every primitive contributes exactly one start event per axis, so the
+/// axis-0 start events enumerate the node's primitive set.
+std::vector<std::uint32_t> prims_of(const EventLists& events) {
+    std::vector<std::uint32_t> prims;
+    for (const auto& event : events[0])
+        if (event.type == 1) prims.push_back(event.prim);
+    return prims;
+}
+
+/// O(n log n) recursion: classify primitives against the chosen plane, then
+/// produce child event lists by stable filtering (order is preserved, so no
+/// re-sorting is needed below the root).
+std::unique_ptr<detail::TempNode> build_wh(EventLists events, const Aabb& bounds,
+                                           int depth, std::size_t n,
+                                           const WhContext& ctx,
+                                           std::vector<std::uint8_t>& side_scratch) {
+    auto node = std::make_unique<detail::TempNode>();
+    node->bounds = bounds;
+    node->depth = depth;
+
+    if (n <= static_cast<std::size_t>(ctx.min_prims) || depth >= ctx.max_depth) {
+        node->prims = prims_of(events);
+        return node;
+    }
+    const WhSplit split = sweep_best_split(events, bounds, n, ctx);
+    if (split.make_leaf) {
+        node->prims = prims_of(events);
+        return node;
+    }
+
+    // Classification (same convention as partition_prims).
+    std::size_t n_left = 0;
+    std::size_t n_right = 0;
+    for (const auto& event : events[0]) {
+        if (event.type != 1) continue;
+        const Aabb& b = ctx.prim_bounds[event.prim];
+        const bool planar = b.lo[split.axis] == split.position &&
+                            b.hi[split.axis] == split.position;
+        std::uint8_t side = kSideNone;
+        if (b.lo[split.axis] < split.position || planar) side |= kSideLeft;
+        if (b.hi[split.axis] > split.position) side |= kSideRight;
+        side_scratch[event.prim] = side;
+        if (side & kSideLeft) ++n_left;
+        if (side & kSideRight) ++n_right;
+    }
+    if (n_left == n && n_right == n) {  // split separates nothing
+        node->prims = prims_of(events);
+        return node;
+    }
+
+    EventLists left_events;
+    EventLists right_events;
+    for (int axis = 0; axis < 3; ++axis) {
+        left_events[axis].reserve(events[axis].size() / 2);
+        right_events[axis].reserve(events[axis].size() / 2);
+        for (const auto& event : events[axis]) {
+            const std::uint8_t side = side_scratch[event.prim];
+            if (side & kSideLeft) left_events[axis].push_back(event);
+            if (side & kSideRight) right_events[axis].push_back(event);
+        }
+        events[axis].clear();
+        events[axis].shrink_to_fit();
+    }
+
+    Aabb left_bounds = bounds;
+    Aabb right_bounds = bounds;
+    left_bounds.hi.component(split.axis) = split.position;
+    right_bounds.lo.component(split.axis) = split.position;
+
+    node->axis = split.axis;
+    node->split = split.position;
+
+    if (ctx.pool != nullptr && depth < ctx.parallel_depth) {
+        // Tree nodes map to tasks (the paper's Wald-Havran parallelization).
+        ThreadPool::TaskGroup group(*ctx.pool);
+        group.submit([&, le = std::move(left_events), lb = left_bounds]() mutable {
+            // A spawned subtree gets its own classification scratch: sibling
+            // tasks share straddling primitives and would race otherwise.
+            std::vector<std::uint8_t> local_scratch(side_scratch.size(), kSideNone);
+            node->left = build_wh(std::move(le), lb, depth + 1, n_left, ctx,
+                                  local_scratch);
+        });
+        node->right = build_wh(std::move(right_events), right_bounds, depth + 1, n_right,
+                               ctx, side_scratch);
+        group.wait_all();
+    } else {
+        node->left =
+            build_wh(std::move(left_events), left_bounds, depth + 1, n_left, ctx,
+                     side_scratch);
+        node->right = build_wh(std::move(right_events), right_bounds, depth + 1, n_right,
+                               ctx, side_scratch);
+    }
+    return node;
+}
+
+} // namespace
+
+KdTree WaldHavranBuilder::build(const Scene& scene, const BuildConfig& config,
+                                ThreadPool& pool) const {
+    const auto prim_bounds = detail::compute_prim_bounds(scene);
+
+    Aabb scene_bounds;
+    for (const auto& b : prim_bounds) scene_bounds.expand(b);
+
+    // Root event lists, sorted once: O(n log n).
+    EventLists events;
+    for (int axis = 0; axis < 3; ++axis) {
+        auto& list = events[axis];
+        list.reserve(prim_bounds.size() * 2);
+        for (std::uint32_t prim = 0; prim < prim_bounds.size(); ++prim) {
+            list.push_back(Event{prim_bounds[prim].lo[axis], prim, 1});
+            list.push_back(Event{prim_bounds[prim].hi[axis], prim, 0});
+        }
+        std::sort(list.begin(), list.end());
+    }
+
+    WhContext ctx{prim_bounds,
+                  config.sah,
+                  config.max_depth > 0 ? config.max_depth
+                                       : auto_max_depth(scene.triangles.size()),
+                  config.min_prims,
+                  config.parallel_depth,
+                  &pool};
+
+    std::vector<std::uint8_t> scratch(scene.triangles.size(), kSideNone);
+    auto root = build_wh(std::move(events), scene_bounds, 0, scene.triangles.size(), ctx,
+                         scratch);
+
+    KdTree tree;
+    tree.set_bounds(scene_bounds);
+    detail::flatten(tree, *root);
+    return tree;
+}
+
+} // namespace atk::rt

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "raytrace/builder.hpp"
+
+namespace atk::rt {
+
+/// The Wald-Havran O(n log n) construction algorithm ("On building fast
+/// kd-trees for ray tracing, and on doing that in O(N log N)", 2006).
+///
+/// Instead of binning, the exact SAH minimum is found by sweeping sorted
+/// event lists (the boundaries of every primitive's bounds per axis).  The
+/// lists are sorted once at the root; child lists are produced by stable
+/// filtering, preserving order — that is what makes the algorithm
+/// O(n log n) overall.  Parallelism maps tree nodes to pool tasks down to
+/// the tunable parallelization depth, the paper's "tree nodes to OpenMP
+/// Tasks" mapping.
+///
+/// Its tuning space has no bin-count parameter (the sweep is exact), so
+/// T_WaldHavran differs from the other builders' spaces — the situation the
+/// paper's two-phase formulation is designed for.
+class WaldHavranBuilder final : public KdBuilder {
+public:
+    [[nodiscard]] std::string name() const override { return "Wald-Havran"; }
+
+    [[nodiscard]] KdTree build(const Scene& scene, const BuildConfig& config,
+                               ThreadPool& pool) const override;
+};
+
+} // namespace atk::rt

@@ -1,0 +1,91 @@
+#include "stringmatch/boyer_moore.hpp"
+
+#include <array>
+
+namespace atk::sm {
+namespace {
+
+/// suffixes[i] = length of the longest suffix of pattern ending at i that is
+/// also a suffix of the whole pattern (Crochemore & Lecroq's `suff`).
+std::vector<std::size_t> suffix_lengths(std::string_view p) {
+    const auto m = static_cast<std::ptrdiff_t>(p.size());
+    std::vector<std::size_t> suff(p.size(), 0);
+    suff[p.size() - 1] = p.size();
+    std::ptrdiff_t g = m - 1;
+    std::ptrdiff_t f = m - 1;
+    for (std::ptrdiff_t i = m - 2; i >= 0; --i) {
+        if (i > g && static_cast<std::ptrdiff_t>(suff[i + m - 1 - f]) < i - g) {
+            suff[i] = suff[i + m - 1 - f];
+        } else {
+            if (i < g) g = i;
+            f = i;
+            while (g >= 0 && p[g] == p[g + m - 1 - f]) --g;
+            suff[i] = static_cast<std::size_t>(f - g);
+        }
+    }
+    return suff;
+}
+
+} // namespace
+
+std::vector<std::size_t> bm_good_suffix_table(std::string_view pattern) {
+    const std::size_t m = pattern.size();
+    std::vector<std::size_t> shift(m, m);
+    if (m == 0) return shift;
+    if (m == 1) {
+        shift[0] = 1;
+        return shift;
+    }
+    const auto suff = suffix_lengths(pattern);
+    // Case 1: the matched suffix re-occurs as a prefix of the pattern.
+    std::size_t j = 0;
+    for (std::size_t i = m; i-- > 0;) {
+        if (suff[i] == i + 1) {
+            for (; j < m - 1 - i; ++j)
+                if (shift[j] == m) shift[j] = m - 1 - i;
+        }
+    }
+    // Case 2: the matched suffix re-occurs somewhere inside the pattern.
+    for (std::size_t i = 0; i + 1 < m; ++i) shift[m - 1 - suff[i]] = m - 1 - i;
+    return shift;
+}
+
+std::vector<std::size_t> BoyerMooreMatcher::find_all(std::string_view text,
+                                                     std::string_view pattern) const {
+    std::vector<std::size_t> out;
+    const std::size_t m = pattern.size();
+    const std::size_t n = text.size();
+    if (m == 0 || m > n) return out;
+
+    // Bad-character rule: distance from the rightmost occurrence of each
+    // character (excluding the final position) to the pattern end.
+    std::array<std::size_t, 256> bad_char;
+    bad_char.fill(m);
+    for (std::size_t i = 0; i + 1 < m; ++i)
+        bad_char[static_cast<unsigned char>(pattern[i])] = m - 1 - i;
+
+    const auto good_suffix = bm_good_suffix_table(pattern);
+
+    std::size_t pos = 0;
+    while (pos <= n - m) {
+        std::size_t i = m;
+        while (i > 0 && pattern[i - 1] == text[pos + i - 1]) --i;
+        if (i == 0) {
+            out.push_back(pos);
+            pos += good_suffix[0];
+        } else {
+            const std::size_t mismatch = i - 1;  // pattern index of the mismatch
+            const std::size_t bc =
+                bad_char[static_cast<unsigned char>(text[pos + mismatch])];
+            // The bad-character skip aligns the text char with its rightmost
+            // pattern occurrence; it can suggest moving backwards, in which
+            // case it contributes the minimal shift of 1.
+            const std::size_t bc_shift =
+                bc + mismatch + 1 > m ? bc + mismatch + 1 - m : 1;
+            pos += std::max(good_suffix[mismatch], bc_shift);
+        }
+    }
+    return out;
+}
+
+} // namespace atk::sm

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "stringmatch/matcher.hpp"
+
+namespace atk::sm {
+
+/// Boyer-Moore with both classic precomputed heuristics: the bad-character
+/// rule (skip by the rightmost occurrence of the mismatching text character
+/// in the pattern) and the good-suffix rule (skip by the next re-occurrence
+/// of the already-matched suffix).  The scan compares right-to-left within
+/// each window and advances by the larger of the two skips.
+class BoyerMooreMatcher final : public Matcher {
+public:
+    [[nodiscard]] std::string name() const override { return "Boyer-Moore"; }
+    [[nodiscard]] std::vector<std::size_t> find_all(std::string_view text,
+                                                    std::string_view pattern) const override;
+};
+
+/// Good-suffix shift table: good_suffix[j] = safe window shift when the
+/// mismatch happened at pattern index j (all of pattern[j+1..m-1] matched).
+/// Exposed for tests.
+[[nodiscard]] std::vector<std::size_t> bm_good_suffix_table(std::string_view pattern);
+
+} // namespace atk::sm

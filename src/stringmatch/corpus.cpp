@@ -1,0 +1,145 @@
+#include "stringmatch/corpus.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace atk::sm {
+namespace {
+
+// Scripture-style public-domain English used to train the character model.
+// The wording is the well-known King James phrasing of a handful of famous
+// verses; a few KB suffices for an order-2 character model of 17th-century
+// English prose.
+constexpr const char* kSeedText =
+    "in the beginning god created the heaven and the earth "
+    "and the earth was without form and void and darkness was upon the face "
+    "of the deep and the spirit of god moved upon the face of the waters "
+    "and god said let there be light and there was light "
+    "and god saw the light that it was good and god divided the light from "
+    "the darkness and god called the light day and the darkness he called "
+    "night and the evening and the morning were the first day "
+    "and god said let there be a firmament in the midst of the waters and "
+    "let it divide the waters from the waters "
+    "the lord is my shepherd i shall not want he maketh me to lie down in "
+    "green pastures he leadeth me beside the still waters he restoreth my "
+    "soul he leadeth me in the paths of righteousness for his name s sake "
+    "yea though i walk through the valley of the shadow of death i will "
+    "fear no evil for thou art with me thy rod and thy staff they comfort "
+    "me thou preparest a table before me in the presence of mine enemies "
+    "thou anointest my head with oil my cup runneth over "
+    "surely goodness and mercy shall follow me all the days of my life and "
+    "i will dwell in the house of the lord for ever "
+    "and he carried me away in the spirit to a great and high mountain and "
+    "shewed me that great city the holy jerusalem descending out of heaven "
+    "from god having the glory of god and her light was like unto a stone "
+    "most precious even like a jasper stone clear as crystal "
+    "for god so loved the world that he gave his only begotten son that "
+    "whosoever believeth in him should not perish but have everlasting life "
+    "blessed are the poor in spirit for theirs is the kingdom of heaven "
+    "blessed are they that mourn for they shall be comforted blessed are "
+    "the meek for they shall inherit the earth blessed are they which do "
+    "hunger and thirst after righteousness for they shall be filled "
+    "blessed are the merciful for they shall obtain mercy blessed are the "
+    "pure in heart for they shall see god blessed are the peacemakers for "
+    "they shall be called the children of god "
+    "to every thing there is a season and a time to every purpose under "
+    "the heaven a time to be born and a time to die a time to plant and a "
+    "time to pluck up that which is planted a time to kill and a time to "
+    "heal a time to break down and a time to build up a time to weep and a "
+    "time to laugh a time to mourn and a time to dance "
+    "vanity of vanities saith the preacher vanity of vanities all is "
+    "vanity what profit hath a man of all his labour which he taketh under "
+    "the sun one generation passeth away and another generation cometh but "
+    "the earth abideth for ever the sun also ariseth and the sun goeth "
+    "down and hasteth to his place where he arose ";
+
+} // namespace
+
+std::string_view query_phrase() noexcept {
+    return "the spirit to a great and high mountain";
+}
+
+std::string_view corpus_seed_text() noexcept {
+    return kSeedText;
+}
+
+std::string bible_like_corpus(std::size_t bytes, std::uint64_t seed,
+                              std::size_t planted_occurrences) {
+    const std::string_view train = kSeedText;
+
+    // Order-2 character Markov model: successors[ctx] lists every character
+    // following the two-character context ctx in the training text.
+    // Sampling uniformly from the successor list reproduces the empirical
+    // conditional distribution including duplicates.
+    std::vector<std::vector<char>> successors(256 * 256);
+    auto context = [](char a, char b) {
+        return (static_cast<std::size_t>(static_cast<unsigned char>(a)) << 8) |
+               static_cast<unsigned char>(b);
+    };
+    for (std::size_t i = 2; i < train.size(); ++i)
+        successors[context(train[i - 2], train[i - 1])].push_back(train[i]);
+
+    Rng rng(seed);
+    std::string text;
+    text.reserve(bytes + 64);
+    text += "th";
+    while (text.size() < bytes) {
+        const auto& options = successors[context(text[text.size() - 2], text.back())];
+        if (options.empty()) {
+            text += ' ';  // dead-end context (cannot happen with ctx from train)
+            continue;
+        }
+        text += options[rng.index(options.size())];
+    }
+    text.resize(bytes);
+
+    // Plant the query phrase at deterministic, evenly spread positions.
+    const std::string_view phrase = query_phrase();
+    if (planted_occurrences > 0 && bytes >= phrase.size()) {
+        const std::size_t stride = bytes / planted_occurrences;
+        for (std::size_t k = 0; k < planted_occurrences; ++k) {
+            const std::size_t pos =
+                std::min(bytes - phrase.size(), k * stride + stride / 2);
+            text.replace(pos, phrase.size(), phrase);
+        }
+    }
+    return text;
+}
+
+std::string dna_corpus(std::size_t bytes, std::string_view pattern, std::uint64_t seed,
+                       std::size_t planted_occurrences) {
+    for (char c : pattern)
+        if (c != 'a' && c != 'c' && c != 'g' && c != 't' && c != 'A' && c != 'C' &&
+            c != 'G' && c != 'T')
+            throw std::invalid_argument("dna_corpus: pattern must be over ACGT");
+
+    // Human-genome-like base composition: ~41 % G+C.
+    constexpr std::array<char, 100> kBases = [] {
+        std::array<char, 100> bases{};
+        std::size_t i = 0;
+        while (i < 30) bases[i++] = 'A';  // 30 % A
+        while (i < 50) bases[i++] = 'C';  // 20 % C
+        while (i < 71) bases[i++] = 'G';  // 21 % G
+        while (i < 100) bases[i++] = 'T'; // 29 % T
+        return bases;
+    }();
+
+    Rng rng(seed);
+    std::string text(bytes, 'A');
+    for (auto& c : text) c = kBases[rng.index(kBases.size())];
+
+    if (planted_occurrences > 0 && bytes >= pattern.size() && !pattern.empty()) {
+        const std::size_t stride = bytes / planted_occurrences;
+        for (std::size_t k = 0; k < planted_occurrences; ++k) {
+            const std::size_t pos =
+                std::min(bytes - pattern.size(), k * stride + stride / 2);
+            text.replace(pos, pattern.size(), pattern);
+        }
+    }
+    return text;
+}
+
+} // namespace atk::sm

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace atk::sm {
+
+/// The query phrase the paper's case study searches for in the Bible text
+/// (from Revelation 21:10).
+[[nodiscard]] std::string_view query_phrase() noexcept;
+
+/// Synthetic replacement for the King James Bible corpus (see DESIGN.md):
+/// an order-2 character Markov chain trained on an embedded sample of
+/// public-domain scripture-style English generates `bytes` characters, and
+/// the query phrase is planted `planted_occurrences` times at deterministic
+/// positions (it may additionally occur by chance, as in real text).
+///
+/// Deterministic in (bytes, seed, planted_occurrences).
+[[nodiscard]] std::string bible_like_corpus(std::size_t bytes, std::uint64_t seed = 2016,
+                                            std::size_t planted_occurrences = 1);
+
+/// Synthetic replacement for the human-genome corpus: ACGT with the
+/// empirical GC bias of the human genome (~41 % G+C), with `pattern`
+/// planted `planted_occurrences` times.
+[[nodiscard]] std::string dna_corpus(std::size_t bytes, std::string_view pattern,
+                                     std::uint64_t seed = 2016,
+                                     std::size_t planted_occurrences = 1);
+
+/// The embedded training sample (exposed so tests can validate statistics).
+[[nodiscard]] std::string_view corpus_seed_text() noexcept;
+
+} // namespace atk::sm

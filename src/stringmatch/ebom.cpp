@@ -1,0 +1,86 @@
+#include "stringmatch/ebom.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace atk::sm {
+
+FactorOracle::FactorOracle(std::string_view word)
+    : states_(word.size() + 1),
+      transitions_(states_ * 256, -1) {
+    // Allauzen, Crochemore & Raffinot's on-line construction: supply links
+    // S(i) point to the state reached by the longest repeated suffix.
+    std::vector<std::int32_t> supply(states_, -1);
+    for (std::size_t i = 1; i < states_; ++i) {
+        const auto c = static_cast<unsigned char>(word[i - 1]);
+        transitions_[(i - 1) * 256 + c] = static_cast<std::int32_t>(i);
+        std::int32_t k = supply[i - 1];
+        while (k >= 0 && step(k, c) < 0) {
+            transitions_[static_cast<std::size_t>(k) * 256 + c] =
+                static_cast<std::int32_t>(i);
+            k = supply[k];
+        }
+        supply[i] = k < 0 ? 0 : step(k, c);
+    }
+}
+
+bool FactorOracle::accepts(std::string_view word) const {
+    std::int32_t state = 0;
+    for (char ch : word) {
+        state = step(state, static_cast<unsigned char>(ch));
+        if (state < 0) return false;
+    }
+    return true;
+}
+
+std::vector<std::size_t> EbomMatcher::find_all(std::string_view text,
+                                               std::string_view pattern) const {
+    const std::size_t m = pattern.size();
+    const std::size_t n = text.size();
+    if (m < 2) return naive_find_all(text, pattern);
+    std::vector<std::size_t> out;
+    if (m > n) return out;
+
+    std::string reversed(pattern.rbegin(), pattern.rend());
+    const FactorOracle oracle(reversed);
+
+    // Extended first-transition table: state after consuming the window's
+    // last two characters (read backwards), or -1 when that pair cannot end
+    // a pattern factor. One lookup replaces the two most-executed steps.
+    std::vector<std::int32_t> first_two(256 * 256, -1);
+    for (std::size_t a = 0; a < 256; ++a) {
+        const std::int32_t s1 = oracle.step(0, static_cast<unsigned char>(a));
+        if (s1 < 0) continue;
+        for (std::size_t b = 0; b < 256; ++b) {
+            first_two[(a << 8) | b] = oracle.step(s1, static_cast<unsigned char>(b));
+        }
+    }
+
+    std::size_t pos = 0;
+    const std::size_t last = n - m;
+    while (pos <= last) {
+        const auto c_last = static_cast<unsigned char>(text[pos + m - 1]);
+        const auto c_prev = static_cast<unsigned char>(text[pos + m - 2]);
+        std::int32_t state = first_two[(static_cast<std::size_t>(c_last) << 8) | c_prev];
+        std::size_t j = m - 2;  // next window offset to read (backwards)
+        while (state >= 0 && j > 0) {
+            --j;
+            state = oracle.step(state, static_cast<unsigned char>(text[pos + j]));
+        }
+        if (state >= 0) {
+            // All m window characters were accepted by the oracle of the
+            // reversed pattern; the only accepted word of length m is the
+            // reversed pattern itself, so this is a certain match.
+            out.push_back(pos);
+            pos += 1;
+        } else {
+            // The oracle died after reading the window suffix starting at
+            // offset j: that suffix is not a factor, so no occurrence can
+            // contain it. Jump past it.
+            pos += j + 1;
+        }
+    }
+    return out;
+}
+
+} // namespace atk::sm

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "stringmatch/matcher.hpp"
+
+namespace atk::sm {
+
+/// EBOM — Extended Backward Oracle Matching (Faro & Lecroq).
+///
+/// The precomputation builds the factor oracle of the *reversed* pattern:
+/// an automaton that accepts at least all factors of it, with the key
+/// property that the only accepted word of length m is the reversed pattern
+/// itself.  Each window is read right to left through the oracle; surviving
+/// all m characters therefore proves a match without extra verification,
+/// and falling out of the oracle after k characters allows a shift of
+/// m - k + 1... specifically past the failed suffix.
+///
+/// The "Extended" part is a 256×256 first-transition table that consumes
+/// the last *two* window characters in a single lookup, which skips most
+/// windows of natural-language text immediately — making EBOM one of the
+/// four fastest algorithms in the paper's Figure 1.
+class EbomMatcher final : public Matcher {
+public:
+    [[nodiscard]] std::string name() const override { return "EBOM"; }
+    [[nodiscard]] std::vector<std::size_t> find_all(std::string_view text,
+                                                    std::string_view pattern) const override;
+};
+
+/// Factor oracle over bytes.  States are numbered 0..m; state 0 is initial.
+/// Exposed for tests of the oracle properties.
+class FactorOracle {
+public:
+    /// Builds the oracle of `word` (not reversed — callers reverse).
+    explicit FactorOracle(std::string_view word);
+
+    /// Transition; -1 if undefined.
+    [[nodiscard]] std::int32_t step(std::int32_t state, unsigned char c) const {
+        return transitions_[static_cast<std::size_t>(state) * 256 + c];
+    }
+
+    /// True iff the oracle accepts `word` starting from the initial state
+    /// (every prefix path must exist; all states are accepting).
+    [[nodiscard]] bool accepts(std::string_view word) const;
+
+    [[nodiscard]] std::size_t state_count() const noexcept { return states_; }
+
+private:
+    std::size_t states_;
+    std::vector<std::int32_t> transitions_;  // states_ x 256, -1 = undefined
+};
+
+} // namespace atk::sm

@@ -1,0 +1,61 @@
+#include "stringmatch/fsbndm.hpp"
+
+#include <array>
+#include <cstdint>
+
+namespace atk::sm {
+
+std::vector<std::size_t> FsbndmMatcher::find_all(std::string_view text,
+                                                 std::string_view pattern) const {
+    const std::size_t m = pattern.size();
+    const std::size_t n = text.size();
+    if (m < 2) return naive_find_all(text, pattern);
+    std::vector<std::size_t> out;
+    if (m > n) return out;
+
+    // Filter length: the extended pattern (filter + forward wildcard) must
+    // fit a 64-bit word.
+    const std::size_t f = m < 63 ? m : 62;
+
+    // B[c]: bit f-i set iff filter[i] == c (i 0-based), bit 0 set for every
+    // character — the forward wildcard position.
+    std::array<std::uint64_t, 256> masks;
+    masks.fill(1ULL);
+    for (std::size_t i = 0; i < f; ++i)
+        masks[static_cast<unsigned char>(pattern[i])] |= 1ULL << (f - i);
+
+    const std::uint64_t accept_bit = 1ULL << f;
+
+    std::size_t pos = 0;
+    const std::size_t last = n - m;
+    while (pos <= last) {
+        // Startup: read the forward character (one past the filter window;
+        // bit 0 of every mask makes it a wildcard when it exists) and the
+        // window's last character in one combined step.
+        const std::uint64_t forward =
+            pos + f < n ? masks[static_cast<unsigned char>(text[pos + f])] : ~0ULL;
+        std::uint64_t state =
+            (forward << 1) & masks[static_cast<unsigned char>(text[pos + f - 1])];
+        std::size_t j = f - 1;  // next filter offset to read (backwards)
+        while (state != 0 && j > 0) {
+            --j;
+            state = (state << 1) & masks[static_cast<unsigned char>(text[pos + j])];
+        }
+        if (state & accept_bit) {
+            // The filter matched completely at pos.
+            if (f == m || matches_at(text, pattern, pos)) out.push_back(pos);
+            pos += 1;
+        } else if (state != 0) {
+            // Some factor alignment survived to the window start but it is
+            // not a full match; conservative shift.
+            pos += 1;
+        } else {
+            // Died after reading offset j: text[pos+j ..] is no factor of
+            // the extended pattern, jump past it.
+            pos += j + 1;
+        }
+    }
+    return out;
+}
+
+} // namespace atk::sm

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "stringmatch/matcher.hpp"
+
+namespace atk::sm {
+
+/// FSBNDM — Forward Simplified BNDM (Faro & Lecroq).
+///
+/// Bit-parallel backward scanning of each window, like BNDM, but simplified
+/// (no prefix bookkeeping) and extended with a *forward* character: the
+/// window is conceptually the pattern plus one wildcard character after it,
+/// so the startup test reads the character just beyond the window together
+/// with the window's last character in two AND operations.  On natural
+/// text the startup test alone discards most windows with a shift of m.
+///
+/// The state word needs m+1 bits; patterns longer than 62 characters are
+/// filtered on their first 62 characters and verified on filter hits.
+class FsbndmMatcher final : public Matcher {
+public:
+    [[nodiscard]] std::string name() const override { return "FSBNDM"; }
+    [[nodiscard]] std::vector<std::size_t> find_all(std::string_view text,
+                                                    std::string_view pattern) const override;
+};
+
+} // namespace atk::sm

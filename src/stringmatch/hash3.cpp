@@ -1,0 +1,53 @@
+#include "stringmatch/hash3.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace atk::sm {
+namespace {
+
+constexpr std::size_t kTableBits = 13;  // 8192 buckets, like Lecroq's 2^13
+constexpr std::size_t kTableSize = 1u << kTableBits;
+
+/// Hash of the 3-gram ending at `s` (reads s[-2], s[-1], s[0]).
+inline std::uint32_t gram_hash(const char* s) noexcept {
+    const auto a = static_cast<unsigned char>(s[-2]);
+    const auto b = static_cast<unsigned char>(s[-1]);
+    const auto c = static_cast<unsigned char>(s[0]);
+    return ((a * 131u + b) * 131u + c) & (kTableSize - 1);
+}
+
+} // namespace
+
+std::vector<std::size_t> Hash3Matcher::find_all(std::string_view text,
+                                                std::string_view pattern) const {
+    const std::size_t m = pattern.size();
+    const std::size_t n = text.size();
+    if (m < 3) return naive_find_all(text, pattern);
+    std::vector<std::size_t> out;
+    if (m > n) return out;
+
+    // shift[h]: how far the window may jump when the 3-gram at the window
+    // end hashes to h.  Default: a full m-2 (the 3-gram does not occur in
+    // the pattern at all).
+    std::vector<std::uint32_t> shift(kTableSize, static_cast<std::uint32_t>(m - 2));
+    for (std::size_t i = 2; i < m; ++i) {
+        const std::uint32_t h = gram_hash(pattern.data() + i);
+        shift[h] = static_cast<std::uint32_t>(m - 1 - i);
+    }
+
+    std::size_t end = m - 1;  // text index aligned with the pattern's last char
+    while (end < n) {
+        const std::uint32_t jump = shift[gram_hash(text.data() + end)];
+        if (jump == 0) {
+            const std::size_t pos = end + 1 - m;
+            if (matches_at(text, pattern, pos)) out.push_back(pos);
+            ++end;
+        } else {
+            end += jump;
+        }
+    }
+    return out;
+}
+
+} // namespace atk::sm

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "stringmatch/matcher.hpp"
+
+namespace atk::sm {
+
+/// Hash3 (Lecroq's HASHq family with q = 3): a Wu-Manber style q-gram
+/// shift matcher.
+///
+/// The precomputation hashes every 3-gram of the pattern and records, per
+/// hash bucket, the distance from the bucket's rightmost occurrence to the
+/// pattern end.  The scan jumps through the text by the shift of the 3-gram
+/// ending at the current window end; a shift of zero means the window end
+/// *may* align with the pattern end and is verified explicitly.
+///
+/// Patterns shorter than 3 characters fall back to the naive scan.
+class Hash3Matcher final : public Matcher {
+public:
+    [[nodiscard]] std::string name() const override { return "Hash3"; }
+    [[nodiscard]] std::vector<std::size_t> find_all(std::string_view text,
+                                                    std::string_view pattern) const override;
+};
+
+} // namespace atk::sm

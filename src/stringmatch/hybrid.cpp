@@ -1,0 +1,33 @@
+#include "stringmatch/hybrid.hpp"
+
+#include "stringmatch/ebom.hpp"
+#include "stringmatch/fsbndm.hpp"
+#include "stringmatch/hash3.hpp"
+#include "stringmatch/kmp.hpp"
+#include "stringmatch/ssef.hpp"
+
+namespace atk::sm {
+
+HybridMatcher::HybridMatcher()
+    : kmp_(std::make_unique<KmpMatcher>()),
+      hash3_(std::make_unique<Hash3Matcher>()),
+      fsbndm_(std::make_unique<FsbndmMatcher>()),
+      ebom_(std::make_unique<EbomMatcher>()),
+      ssef_(std::make_unique<SsefMatcher>()) {}
+
+HybridMatcher::~HybridMatcher() = default;
+
+const Matcher& HybridMatcher::delegate_for(std::size_t pattern_length) const {
+    if (pattern_length < 3) return *kmp_;
+    if (pattern_length < 8) return *hash3_;
+    if (pattern_length < 16) return *fsbndm_;
+    if (pattern_length < 32) return *ebom_;
+    return *ssef_;
+}
+
+std::vector<std::size_t> HybridMatcher::find_all(std::string_view text,
+                                                 std::string_view pattern) const {
+    return delegate_for(pattern.size()).find_all(text, pattern);
+}
+
+} // namespace atk::sm

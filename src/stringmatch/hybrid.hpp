@@ -1,0 +1,42 @@
+#pragma once
+
+#include <memory>
+
+#include "stringmatch/matcher.hpp"
+
+namespace atk::sm {
+
+/// The heuristic-based Hybrid matcher of the paper: chooses one of the
+/// seven algorithms based on the pattern length.  The thresholds encode the
+/// usual regime boundaries of exact matching on natural-language text:
+///
+///   m < 3    — Knuth-Morris-Pratt (q-gram and long filters unavailable)
+///   3..7     — Hash3 (3-gram shifts dominate for short patterns)
+///   8..15    — FSBNDM (bit-parallel window tests)
+///   16..31   — EBOM (oracle skips grow with m)
+///   m >= 32  — SSEF (block filtering amortizes over long patterns)
+///
+/// The Hybrid is itself one of the eight alternatives in the case study —
+/// it is a hand-crafted heuristic, exactly the kind of a-priori choice the
+/// paper's online tuner is designed to replace.
+class HybridMatcher final : public Matcher {
+public:
+    HybridMatcher();
+    ~HybridMatcher() override;
+
+    [[nodiscard]] std::string name() const override { return "Hybrid"; }
+    [[nodiscard]] std::vector<std::size_t> find_all(std::string_view text,
+                                                    std::string_view pattern) const override;
+
+    /// The algorithm the heuristic picks for a pattern of length m.
+    [[nodiscard]] const Matcher& delegate_for(std::size_t pattern_length) const;
+
+private:
+    std::unique_ptr<Matcher> kmp_;
+    std::unique_ptr<Matcher> hash3_;
+    std::unique_ptr<Matcher> fsbndm_;
+    std::unique_ptr<Matcher> ebom_;
+    std::unique_ptr<Matcher> ssef_;
+};
+
+} // namespace atk::sm

@@ -1,0 +1,34 @@
+#include "stringmatch/kmp.hpp"
+
+namespace atk::sm {
+
+std::vector<std::size_t> kmp_failure_function(std::string_view pattern) {
+    std::vector<std::size_t> fail(pattern.size(), 0);
+    std::size_t k = 0;
+    for (std::size_t i = 1; i < pattern.size(); ++i) {
+        while (k > 0 && pattern[i] != pattern[k]) k = fail[k - 1];
+        if (pattern[i] == pattern[k]) ++k;
+        fail[i] = k;
+    }
+    return fail;
+}
+
+std::vector<std::size_t> KmpMatcher::find_all(std::string_view text,
+                                              std::string_view pattern) const {
+    std::vector<std::size_t> out;
+    const std::size_t m = pattern.size();
+    if (m == 0 || m > text.size()) return out;
+    const auto fail = kmp_failure_function(pattern);
+    std::size_t k = 0;  // chars of pattern currently matched
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        while (k > 0 && text[i] != pattern[k]) k = fail[k - 1];
+        if (text[i] == pattern[k]) ++k;
+        if (k == m) {
+            out.push_back(i + 1 - m);
+            k = fail[k - 1];
+        }
+    }
+    return out;
+}
+
+} // namespace atk::sm

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "stringmatch/matcher.hpp"
+
+namespace atk::sm {
+
+/// Knuth-Morris-Pratt.  Precomputes the failure (longest proper
+/// prefix-suffix) function of the pattern, then scans the text left to right
+/// in O(n + m) with no backtracking.  The classic baseline: its lack of a
+/// skip-ahead heuristic makes it the slowest of the seven on natural text,
+/// matching the paper's Figure 1.
+class KmpMatcher final : public Matcher {
+public:
+    [[nodiscard]] std::string name() const override { return "Knuth-Morris-Pratt"; }
+    [[nodiscard]] std::vector<std::size_t> find_all(std::string_view text,
+                                                    std::string_view pattern) const override;
+};
+
+/// Failure function: fail[i] = length of the longest proper prefix of
+/// pattern[0..i] that is also a suffix of it. Exposed for tests.
+[[nodiscard]] std::vector<std::size_t> kmp_failure_function(std::string_view pattern);
+
+} // namespace atk::sm

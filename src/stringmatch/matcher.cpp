@@ -1,0 +1,46 @@
+#include "stringmatch/matcher.hpp"
+
+#include "stringmatch/boyer_moore.hpp"
+#include "stringmatch/ebom.hpp"
+#include "stringmatch/fsbndm.hpp"
+#include "stringmatch/hash3.hpp"
+#include "stringmatch/hybrid.hpp"
+#include "stringmatch/kmp.hpp"
+#include "stringmatch/shift_or.hpp"
+#include "stringmatch/ssef.hpp"
+
+namespace atk::sm {
+
+bool matches_at(std::string_view text, std::string_view pattern, std::size_t pos) noexcept {
+    if (pattern.empty() || pos + pattern.size() > text.size()) return false;
+    return text.compare(pos, pattern.size(), pattern) == 0;
+}
+
+std::vector<std::size_t> naive_find_all(std::string_view text, std::string_view pattern) {
+    std::vector<std::size_t> out;
+    if (pattern.empty() || pattern.size() > text.size()) return out;
+    const std::size_t last = text.size() - pattern.size();
+    for (std::size_t pos = 0; pos <= last; ++pos)
+        if (matches_at(text, pattern, pos)) out.push_back(pos);
+    return out;
+}
+
+std::vector<std::unique_ptr<Matcher>> make_all_matchers() {
+    std::vector<std::unique_ptr<Matcher>> matchers;
+    matchers.push_back(std::make_unique<BoyerMooreMatcher>());
+    matchers.push_back(std::make_unique<EbomMatcher>());
+    matchers.push_back(std::make_unique<FsbndmMatcher>());
+    matchers.push_back(std::make_unique<Hash3Matcher>());
+    matchers.push_back(std::make_unique<KmpMatcher>());
+    matchers.push_back(std::make_unique<ShiftOrMatcher>());
+    matchers.push_back(std::make_unique<SsefMatcher>());
+    return matchers;
+}
+
+std::vector<std::unique_ptr<Matcher>> make_all_matchers_with_hybrid() {
+    auto matchers = make_all_matchers();
+    matchers.push_back(std::make_unique<HybridMatcher>());
+    return matchers;
+}
+
+} // namespace atk::sm

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atk::sm {
+
+/// Exact single-pattern string matcher.
+///
+/// All seven algorithms of the paper's first case study implement this
+/// interface.  They follow the same two-phase pattern the paper describes:
+/// a precomputation on the pattern, then an iterated skip-ahead scan of the
+/// text.  Precomputation happens *inside* find_all — "any precomputation is
+/// part of the algorithm's runtime" — so measured times include it.
+///
+/// find_all returns the start index of every (possibly overlapping)
+/// occurrence, in increasing order.
+class Matcher {
+public:
+    virtual ~Matcher() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    [[nodiscard]] virtual std::vector<std::size_t> find_all(std::string_view text,
+                                                            std::string_view pattern) const = 0;
+
+    /// Number of occurrences; default counts find_all().
+    [[nodiscard]] virtual std::size_t count(std::string_view text,
+                                            std::string_view pattern) const {
+        return find_all(text, pattern).size();
+    }
+};
+
+/// Reference implementation: straightforward O(n·m) scan.  Used by the test
+/// suite as ground truth and by sophisticated matchers to verify filter hits.
+[[nodiscard]] std::vector<std::size_t> naive_find_all(std::string_view text,
+                                                      std::string_view pattern);
+
+/// True iff pattern occurs in text at position `pos`.
+[[nodiscard]] bool matches_at(std::string_view text, std::string_view pattern,
+                              std::size_t pos) noexcept;
+
+/// Factory for the seven parallel string matching algorithms of the paper
+/// (Boyer-Moore, EBOM, FSBNDM, Hash3, Knuth-Morris-Pratt, ShiftOr, SSEF),
+/// in the deterministic order the paper's plots use.
+[[nodiscard]] std::vector<std::unique_ptr<Matcher>> make_all_matchers();
+
+/// Same set plus the pattern-length-based Hybrid matcher appended
+/// (the paper's Figures 1 and 4 show all eight).
+[[nodiscard]] std::vector<std::unique_ptr<Matcher>> make_all_matchers_with_hybrid();
+
+} // namespace atk::sm

@@ -1,0 +1,55 @@
+#include "stringmatch/parallel.hpp"
+
+#include <algorithm>
+
+namespace atk::sm {
+
+std::vector<std::size_t> parallel_find_all(const Matcher& matcher, std::string_view text,
+                                           std::string_view pattern, ThreadPool& pool,
+                                           std::size_t partitions) {
+    const std::size_t m = pattern.size();
+    const std::size_t n = text.size();
+    if (m == 0 || m > n) return {};
+    if (partitions == 0) partitions = pool.thread_count() + 1;
+    // A partition must be able to hold at least one occurrence start.
+    partitions = std::min(partitions, std::max<std::size_t>(1, n / m));
+    if (partitions <= 1) return matcher.find_all(text, pattern);
+
+    const std::size_t chunk = (n + partitions - 1) / partitions;
+    std::vector<std::vector<std::size_t>> results(partitions);
+    {
+        ThreadPool::TaskGroup group(pool);
+        for (std::size_t p = 0; p < partitions; ++p) {
+            group.submit([&, p] {
+                const std::size_t begin = p * chunk;          // starts owned by p
+                const std::size_t end = std::min(n, begin + chunk);
+                if (begin >= end) return;
+                // Extend by m-1 so straddling occurrences are visible, but
+                // only keep those starting before `end`.
+                const std::size_t slice_end = std::min(n, end + m - 1);
+                auto found =
+                    matcher.find_all(text.substr(begin, slice_end - begin), pattern);
+                auto& mine = results[p];
+                mine.reserve(found.size());
+                for (const std::size_t rel : found) {
+                    const std::size_t pos = begin + rel;
+                    if (pos < end) mine.push_back(pos);
+                }
+            });
+        }
+        group.wait_all();
+    }
+
+    std::vector<std::size_t> merged;
+    for (auto& part : results)
+        merged.insert(merged.end(), part.begin(), part.end());
+    return merged;
+}
+
+std::size_t parallel_count(const Matcher& matcher, std::string_view text,
+                           std::string_view pattern, ThreadPool& pool,
+                           std::size_t partitions) {
+    return parallel_find_all(matcher, text, pattern, pool, partitions).size();
+}
+
+} // namespace atk::sm

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "stringmatch/matcher.hpp"
+#include "support/thread_pool.hpp"
+
+namespace atk::sm {
+
+/// Parallelization of the matchers, as in the paper: the input text is
+/// partitioned into one chunk per thread, each chunk is processed by one
+/// thread running the sequential algorithm, and per-chunk results are
+/// concatenated.
+///
+/// Chunks overlap by pattern-length-1 characters so occurrences straddling
+/// a boundary are found exactly once: each chunk reports only occurrences
+/// *starting* inside its own partition.
+///
+/// Results are in increasing position order (chunks are ordered and
+/// per-chunk results are sorted by construction of the sequential scans;
+/// SSEF sorts explicitly).
+[[nodiscard]] std::vector<std::size_t> parallel_find_all(const Matcher& matcher,
+                                                         std::string_view text,
+                                                         std::string_view pattern,
+                                                         ThreadPool& pool,
+                                                         std::size_t partitions = 0);
+
+/// Count-only variant.
+[[nodiscard]] std::size_t parallel_count(const Matcher& matcher, std::string_view text,
+                                         std::string_view pattern, ThreadPool& pool,
+                                         std::size_t partitions = 0);
+
+} // namespace atk::sm

@@ -1,0 +1,36 @@
+#include "stringmatch/shift_or.hpp"
+
+#include <array>
+#include <cstdint>
+
+namespace atk::sm {
+
+std::vector<std::size_t> ShiftOrMatcher::find_all(std::string_view text,
+                                                  std::string_view pattern) const {
+    std::vector<std::size_t> out;
+    const std::size_t m = pattern.size();
+    const std::size_t n = text.size();
+    if (m == 0 || m > n) return out;
+
+    // Filter on at most 64 leading characters; verify the tail (if any).
+    const std::size_t f = m < 64 ? m : 64;
+    std::array<std::uint64_t, 256> masks;
+    masks.fill(~0ULL);
+    for (std::size_t i = 0; i < f; ++i)
+        masks[static_cast<unsigned char>(pattern[i])] &= ~(1ULL << i);
+
+    const std::uint64_t accept_bit = 1ULL << (f - 1);
+    std::uint64_t state = ~0ULL;
+    for (std::size_t j = 0; j < n; ++j) {
+        state = (state << 1) | masks[static_cast<unsigned char>(text[j])];
+        if ((state & accept_bit) == 0) {
+            const std::size_t pos = j + 1 - f;
+            if (f == m || matches_at(text, pattern, pos)) {
+                if (pos + m <= n) out.push_back(pos);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace atk::sm

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "stringmatch/matcher.hpp"
+
+namespace atk::sm {
+
+/// Shift-Or (Baeza-Yates & Gonnet): bit-parallel scanning.
+///
+/// The precomputation builds, for each character c, a complemented mask B[c]
+/// whose bit i is 0 iff pattern[i] == c.  The scan keeps a state word D in
+/// which bit i is 0 iff the last i+1 text characters match pattern[0..i];
+/// each step is one shift and one OR: D = (D << 1) | B[text[j]].
+/// Bit m-1 clear signals an occurrence.
+///
+/// Patterns longer than 64 characters are handled by filtering on the first
+/// 64 characters and verifying the remainder on each filter hit.
+class ShiftOrMatcher final : public Matcher {
+public:
+    [[nodiscard]] std::string name() const override { return "ShiftOr"; }
+    [[nodiscard]] std::vector<std::size_t> find_all(std::string_view text,
+                                                    std::string_view pattern) const override;
+};
+
+} // namespace atk::sm

@@ -1,0 +1,108 @@
+#include "stringmatch/ssef.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace atk::sm {
+namespace {
+
+constexpr std::size_t kBlock = 16;
+
+#if defined(__SSE2__)
+/// 16-bit fingerprint: bit k = `bit` of byte s[k]. Unaligned load + shift
+/// the filter bit into the sign position + movemask.
+inline std::uint16_t fingerprint(const char* s, unsigned bit) noexcept {
+    const __m128i chunk = _mm_loadu_si128(reinterpret_cast<const __m128i*>(s));
+    // Shifting each 64-bit lane left by (7 - bit) moves bit `bit` of every
+    // byte to that byte's bit 7; movemask then gathers the 16 sign bits.
+    const __m128i shifted = _mm_slli_epi64(chunk, static_cast<int>(7 - bit));
+    return static_cast<std::uint16_t>(_mm_movemask_epi8(shifted));
+}
+#else
+inline std::uint16_t fingerprint(const char* s, unsigned bit) noexcept {
+    std::uint16_t fp = 0;
+    for (std::size_t k = 0; k < kBlock; ++k)
+        fp |= static_cast<std::uint16_t>(
+                  (static_cast<unsigned char>(s[k]) >> bit) & 1u)
+              << k;
+    return fp;
+}
+#endif
+
+} // namespace
+
+SsefMatcher::SsefMatcher(unsigned filter_bit) : filter_bit_(filter_bit) {
+    if (filter_bit > 7 && filter_bit != kAutoBit)
+        throw std::invalid_argument("SsefMatcher: filter bit must be in [0, 7] or auto");
+}
+
+unsigned SsefMatcher::choose_filter_bit(std::string_view pattern) noexcept {
+    // The fingerprint discriminates best when the sampled bit is ~50/50
+    // across the data; the pattern is the only sample we have of it.
+    unsigned best_bit = 3;
+    std::size_t best_balance = pattern.size() + 1;
+    for (unsigned bit = 0; bit < 8; ++bit) {
+        std::size_t ones = 0;
+        for (const char ch : pattern)
+            ones += (static_cast<unsigned char>(ch) >> bit) & 1u;
+        const std::size_t balance =
+            ones * 2 > pattern.size() ? ones * 2 - pattern.size()
+                                      : pattern.size() - ones * 2;
+        if (balance < best_balance) {
+            best_balance = balance;
+            best_bit = bit;
+        }
+    }
+    return best_bit;
+}
+
+std::vector<std::size_t> SsefMatcher::find_all(std::string_view text,
+                                               std::string_view pattern) const {
+    const std::size_t m = pattern.size();
+    const std::size_t n = text.size();
+    if (m < kBlock) return naive_find_all(text, pattern);
+    std::vector<std::size_t> out;
+    if (m > n) return out;
+    const unsigned filter_bit =
+        filter_bit_ == kAutoBit ? choose_filter_bit(pattern) : filter_bit_;
+
+    // Bucket table over 16-bit fingerprints: chained lists of pattern
+    // offsets whose 16-byte window produces that fingerprint.
+    const std::size_t windows = m - kBlock + 1;
+    std::vector<std::int32_t> head(1u << 16, -1);
+    std::vector<std::int32_t> next(windows, -1);
+    for (std::size_t a = 0; a < windows; ++a) {
+        const std::uint16_t fp = fingerprint(pattern.data() + a, filter_bit);
+        next[a] = head[fp];
+        head[fp] = static_cast<std::int32_t>(a);
+    }
+
+    // Sample a block every `step` positions: any occurrence (length m)
+    // then fully covers at least one sampled block.
+    const std::size_t step = m - kBlock + 1;
+    for (std::size_t block = 0; block + kBlock <= n; block += step) {
+        const std::uint16_t fp = fingerprint(text.data() + block, filter_bit);
+        for (std::int32_t a = head[fp]; a >= 0; a = next[a]) {
+            // Candidate: pattern window a aligns with this block, so the
+            // pattern would start at block - a.
+            if (static_cast<std::size_t>(a) > block) continue;
+            const std::size_t pos = block - static_cast<std::size_t>(a);
+            if (matches_at(text, pattern, pos)) out.push_back(pos);
+        }
+    }
+
+    // Verification order follows bucket chains, so sort + dedup: distinct
+    // sampled blocks can re-discover the same occurrence when step < m-15.
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+} // namespace atk::sm

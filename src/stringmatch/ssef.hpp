@@ -1,0 +1,44 @@
+#pragma once
+
+#include "stringmatch/matcher.hpp"
+
+namespace atk::sm {
+
+/// SSEF — SIMD filter matching for long patterns (Külekci).
+///
+/// The text is sampled in 16-byte blocks.  For each block, one chosen bit
+/// of every byte is gathered into a 16-bit fingerprint with SSE2
+/// (`_mm_movemask_epi8` after shifting the filter bit into the sign
+/// position).  The precomputation stores the fingerprint of every 16-byte
+/// window of the *pattern* in a 65536-bucket table; a block whose
+/// fingerprint hits a bucket yields candidate alignments that are verified
+/// directly.  Sampling blocks every m-15 positions guarantees every
+/// occurrence fully covers at least one sampled block.
+///
+/// Like the original (which requires m >= 32), this is a long-pattern
+/// filter; patterns shorter than 16 characters are delegated to the naive
+/// scan.  On non-x86 builds a portable bit-gather replaces the SSE2
+/// intrinsic — same filter, scalar gather (documented in DESIGN.md).
+class SsefMatcher final : public Matcher {
+public:
+    /// Auto-selects the filter bit per pattern: the bit whose value is most
+    /// balanced across the pattern bytes discriminates best (on ASCII text
+    /// that is typically bit 3; on an ACGT alphabet bits 1/2 — a fixed bit
+    /// would degenerate the filter there).
+    static constexpr unsigned kAutoBit = 8;
+
+    /// Pass a bit index in [0, 7] to force it (as the original allows).
+    explicit SsefMatcher(unsigned filter_bit = kAutoBit);
+
+    [[nodiscard]] std::string name() const override { return "SSEF"; }
+    [[nodiscard]] std::vector<std::size_t> find_all(std::string_view text,
+                                                    std::string_view pattern) const override;
+
+    /// The balance-based bit choice for a pattern (exposed for tests).
+    [[nodiscard]] static unsigned choose_filter_bit(std::string_view pattern) noexcept;
+
+private:
+    unsigned filter_bit_;
+};
+
+} // namespace atk::sm

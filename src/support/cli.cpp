@@ -1,0 +1,128 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace atk {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+Cli& Cli::add_int(const std::string& name, std::int64_t default_value, std::string help) {
+    const std::string text = std::to_string(default_value);
+    options_[name] = Option{Kind::Int, text, text, std::move(help)};
+    order_.push_back(name);
+    return *this;
+}
+
+Cli& Cli::add_double(const std::string& name, double default_value, std::string help) {
+    const std::string text = std::to_string(default_value);
+    options_[name] = Option{Kind::Double, text, text, std::move(help)};
+    order_.push_back(name);
+    return *this;
+}
+
+Cli& Cli::add_string(const std::string& name, std::string default_value, std::string help) {
+    options_[name] = Option{Kind::String, default_value, default_value, std::move(help)};
+    order_.push_back(name);
+    return *this;
+}
+
+Cli& Cli::add_flag(const std::string& name, std::string help) {
+    options_[name] = Option{Kind::Flag, "0", "0", std::move(help)};
+    order_.push_back(name);
+    return *this;
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            print_usage();
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            std::fprintf(stderr, "error: unexpected positional argument '%s'\n", arg.c_str());
+            print_usage();
+            return false;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        if (const auto eq = name.find('='); eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_value = true;
+        }
+        const auto it = options_.find(name);
+        if (it == options_.end()) {
+            std::fprintf(stderr, "error: unknown option '--%s'\n", name.c_str());
+            print_usage();
+            return false;
+        }
+        Option& opt = it->second;
+        if (opt.kind == Kind::Flag) {
+            if (has_value) {
+                std::fprintf(stderr, "error: flag '--%s' takes no value\n", name.c_str());
+                return false;
+            }
+            opt.value = "1";
+            continue;
+        }
+        if (!has_value) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: option '--%s' needs a value\n", name.c_str());
+                return false;
+            }
+            value = argv[++i];
+        }
+        try {
+            if (opt.kind == Kind::Int) (void)std::stoll(value);
+            if (opt.kind == Kind::Double) (void)std::stod(value);
+        } catch (const std::exception&) {
+            std::fprintf(stderr, "error: bad value '%s' for '--%s'\n", value.c_str(),
+                         name.c_str());
+            return false;
+        }
+        opt.value = value;
+    }
+    return true;
+}
+
+const Cli::Option& Cli::require(const std::string& name, Kind kind) const {
+    const auto it = options_.find(name);
+    if (it == options_.end() || it->second.kind != kind)
+        throw std::logic_error("Cli: option '" + name + "' not registered with this type");
+    return it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+    return std::stoll(require(name, Kind::Int).value);
+}
+
+double Cli::get_double(const std::string& name) const {
+    return std::stod(require(name, Kind::Double).value);
+}
+
+const std::string& Cli::get_string(const std::string& name) const {
+    return require(name, Kind::String).value;
+}
+
+bool Cli::get_flag(const std::string& name) const {
+    return require(name, Kind::Flag).value == "1";
+}
+
+void Cli::print_usage() const {
+    std::printf("%s — %s\n\nOptions:\n", program_.c_str(), description_.c_str());
+    for (const auto& name : order_) {
+        const Option& opt = options_.at(name);
+        if (opt.kind == Kind::Flag) {
+            std::printf("  --%-22s %s\n", name.c_str(), opt.help.c_str());
+        } else {
+            std::printf("  --%-22s %s (default: %s)\n", (name + " <v>").c_str(),
+                        opt.help.c_str(), opt.default_value.c_str());
+        }
+    }
+}
+
+} // namespace atk

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace atk {
+
+/// Minimal command-line option parser shared by all bench harnesses and
+/// examples.  Supports `--key value`, `--key=value` and boolean `--flag`
+/// forms.  Every option must be registered with a default and a help line;
+/// unknown options abort with a usage message so typos in experiment
+/// parameters cannot silently fall back to defaults.
+class Cli {
+public:
+    Cli(std::string program, std::string description);
+
+    Cli& add_int(const std::string& name, std::int64_t default_value, std::string help);
+    Cli& add_double(const std::string& name, double default_value, std::string help);
+    Cli& add_string(const std::string& name, std::string default_value, std::string help);
+    Cli& add_flag(const std::string& name, std::string help);
+
+    /// Parses argv. Returns false (after printing usage) on `--help` or on a
+    /// parse error; callers should then exit.
+    bool parse(int argc, const char* const* argv);
+
+    [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+    [[nodiscard]] double get_double(const std::string& name) const;
+    [[nodiscard]] const std::string& get_string(const std::string& name) const;
+    [[nodiscard]] bool get_flag(const std::string& name) const;
+
+    void print_usage() const;
+
+private:
+    enum class Kind { Int, Double, String, Flag };
+    struct Option {
+        Kind kind;
+        std::string value;  // textual; parsed on access
+        std::string default_value;
+        std::string help;
+    };
+
+    const Option& require(const std::string& name, Kind kind) const;
+
+    std::string program_;
+    std::string description_;
+    std::map<std::string, Option> options_;
+    std::vector<std::string> order_;
+};
+
+} // namespace atk

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace atk {
+
+/// Milliseconds as a double; the unit the paper reports all figures in.
+using Millis = double;
+
+/// Wall-clock stopwatch over std::chrono::steady_clock.
+class Stopwatch {
+public:
+    Stopwatch() noexcept : start_(std::chrono::steady_clock::now()) {}
+
+    /// Restarts the stopwatch.
+    void reset() noexcept { start_ = std::chrono::steady_clock::now(); }
+
+    /// Elapsed time since construction or the last reset(), in milliseconds.
+    [[nodiscard]] Millis elapsed_ms() const noexcept {
+        const auto d = std::chrono::steady_clock::now() - start_;
+        return std::chrono::duration<double, std::milli>(d).count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Manually advanced clock for deterministic unit tests of time-dependent
+/// components (e.g. verifying that a tuner attributes the measured duration
+/// to the algorithm it selected).
+class VirtualClock {
+public:
+    [[nodiscard]] Millis now() const noexcept { return now_; }
+    void advance(Millis delta) noexcept { now_ += delta; }
+
+private:
+    Millis now_ = 0.0;
+};
+
+} // namespace atk

@@ -1,0 +1,48 @@
+#include "support/csv.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace atk {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size())
+        throw std::invalid_argument("CsvWriter::add_row: cell count != header count");
+    rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"') out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+std::string CsvWriter::to_string() const {
+    std::string out;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out += escape(cells[c]);
+            if (c + 1 < cells.size()) out += ',';
+        }
+        out += '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+    return out;
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+    std::ofstream file(path);
+    if (!file) return false;
+    file << to_string();
+    return static_cast<bool>(file);
+}
+
+} // namespace atk

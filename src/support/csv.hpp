@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace atk {
+
+/// Writes experiment series to CSV so that figure data can be re-plotted
+/// outside the harness.  Quotes cells containing separators per RFC 4180.
+class CsvWriter {
+public:
+    explicit CsvWriter(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Serializes to a CSV string.
+    [[nodiscard]] std::string to_string() const;
+
+    /// Writes to a file; creates parent directories are NOT created — the
+    /// caller chooses the location. Returns false on I/O failure.
+    bool write_file(const std::string& path) const;
+
+private:
+    static std::string escape(const std::string& cell);
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace atk

@@ -1,0 +1,113 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace atk {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+    const std::uint64_t range =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+    // Lemire's multiply-and-shift rejection method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * range;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < range) {
+        const std::uint64_t threshold = (0 - range) % range;
+        while (low < threshold) {
+            x = (*this)();
+            m = static_cast<__uint128_t>(x) * range;
+            low = static_cast<std::uint64_t>(m);
+        }
+    }
+    return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+std::size_t Rng::index(std::size_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::index: n == 0");
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+double Rng::uniform_real(double lo, double hi) noexcept {
+    // 53 high bits give a uniform double in [0, 1).
+    const double unit = static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    return lo + unit * (hi - lo);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return mean + stddev * cached_normal_;
+    }
+    double u, v, s;
+    do {
+        u = uniform_real(-1.0, 1.0);
+        v = uniform_real(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_normal_ = v * factor;
+    has_cached_normal_ = true;
+    return mean + stddev * (u * factor);
+}
+
+bool Rng::chance(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform_real() < p;
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0) throw std::invalid_argument("Rng::weighted_index: negative weight");
+        total += w;
+    }
+    if (!(total > 0.0))
+        throw std::invalid_argument("Rng::weighted_index: weight sum not positive");
+    double target = uniform_real(0.0, total);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        target -= weights[i];
+        if (target < 0.0) return i;
+    }
+    return weights.size() - 1;  // numeric edge: target landed on the total
+}
+
+Rng Rng::split() noexcept {
+    return Rng((*this)());
+}
+
+} // namespace atk

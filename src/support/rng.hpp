@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace atk {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256++).
+///
+/// All stochastic components of the library (search strategies, workload
+/// generators, corpus synthesis) draw from this generator so that every
+/// experiment is reproducible from a single 64-bit seed.  The class
+/// satisfies std::uniform_random_bit_generator and can therefore also be
+/// plugged into standard <random> distributions.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the state via SplitMix64 as recommended by the xoshiro authors,
+    /// so that low-entropy seeds (0, 1, 2, ...) still yield well-mixed state.
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    /// Next raw 64-bit value.
+    result_type operator()() noexcept;
+
+    /// Uniform integer in the closed interval [lo, hi].  Uses Lemire's
+    /// unbiased bounded generation. Throws std::invalid_argument if lo > hi.
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    /// Uniform index in [0, n). Throws std::invalid_argument if n == 0.
+    std::size_t index(std::size_t n);
+
+    /// Uniform real in the half-open interval [lo, hi).
+    double uniform_real(double lo = 0.0, double hi = 1.0) noexcept;
+
+    /// Standard normal variate (Marsaglia polar method).
+    double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+    /// Bernoulli trial with success probability p (clamped to [0, 1]).
+    bool chance(double p) noexcept;
+
+    /// Uniformly chosen element of a non-empty span.
+    template <typename T>
+    const T& pick(std::span<const T> items) {
+        if (items.empty()) throw std::invalid_argument("Rng::pick: empty span");
+        return items[index(items.size())];
+    }
+
+    /// Samples an index proportionally to the given non-negative weights.
+    /// Throws std::invalid_argument if the weight sum is not positive.
+    std::size_t weighted_index(std::span<const double> weights);
+
+    /// Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& items) {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            using std::swap;
+            swap(items[i - 1], items[index(i)]);
+        }
+    }
+
+    /// Derives an independent child generator; used to give each repetition
+    /// of an experiment its own stream without correlating the streams.
+    Rng split() noexcept;
+
+private:
+    std::uint64_t state_[4];
+    // Cached second variate of the polar method.
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+};
+
+} // namespace atk

@@ -1,0 +1,72 @@
+#include "support/sparkline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace atk {
+namespace {
+
+// Eight block elements from U+2581 to U+2588.
+const char* const kBlocks[] = {"▁", "▂", "▃", "▄",
+                               "▅", "▆", "▇", "█"};
+
+} // namespace
+
+std::string sparkline(std::span<const double> values, double lo, double hi) {
+    std::string out;
+    if (values.empty()) return out;
+    const double range = hi - lo;
+    for (const double v : values) {
+        int level = 0;
+        if (range > 0.0) {
+            level = static_cast<int>((v - lo) / range * 8.0);
+            level = std::clamp(level, 0, 7);
+        } else {
+            level = 3;  // flat series: mid-height
+        }
+        out += kBlocks[level];
+    }
+    return out;
+}
+
+std::string sparkline(std::span<const double> values) {
+    double lo = std::numeric_limits<double>::max();
+    double hi = std::numeric_limits<double>::lowest();
+    for (const double v : values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    if (values.empty()) return {};
+    return sparkline(values, lo, hi);
+}
+
+std::string sparkline_chart(const std::vector<LabeledSeries>& series,
+                            const std::string& unit) {
+    double lo = std::numeric_limits<double>::max();
+    double hi = std::numeric_limits<double>::lowest();
+    std::size_t label_width = 0;
+    for (const auto& s : series) {
+        label_width = std::max(label_width, s.label.size());
+        for (const double v : s.values) {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+    }
+    if (series.empty() || hi < lo) return {};
+
+    std::string out;
+    for (const auto& s : series) {
+        out += s.label;
+        out.append(label_width - s.label.size() + 2, ' ');
+        out += sparkline(s.values, lo, hi);
+        out += '\n';
+    }
+    char scale[96];
+    std::snprintf(scale, sizeof scale, "%*s  scale: %.3g .. %.3g %s\n",
+                  static_cast<int>(label_width), "", lo, hi, unit.c_str());
+    out += scale;
+    return out;
+}
+
+} // namespace atk

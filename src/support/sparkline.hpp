@@ -1,0 +1,32 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace atk {
+
+/// Renders a numeric series as a Unicode sparkline ("▂▃▅▇█…"), the
+/// terminal-native way the bench harnesses visualize the paper's figure
+/// curves.  Values are mapped linearly between `lo` and `hi` onto eight
+/// block heights; out-of-range values are clamped.
+[[nodiscard]] std::string sparkline(std::span<const double> values, double lo,
+                                    double hi);
+
+/// Auto-scaled variant: lo/hi taken from the series itself (flat series
+/// render as a mid-height line).
+[[nodiscard]] std::string sparkline(std::span<const double> values);
+
+/// A labeled multi-series chart on a shared scale: one sparkline row per
+/// series, labels left-aligned, with a "lo .. hi" scale note. This is the
+/// textual rendering of a figure with several curves (e.g. Figure 2's six
+/// strategies).
+struct LabeledSeries {
+    std::string label;
+    std::vector<double> values;
+};
+
+[[nodiscard]] std::string sparkline_chart(const std::vector<LabeledSeries>& series,
+                                          const std::string& unit = "");
+
+} // namespace atk

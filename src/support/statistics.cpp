@@ -1,0 +1,98 @@
+#include "support/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace atk {
+
+double mean(std::span<const double> values) noexcept {
+    if (values.empty()) return 0.0;
+    double sum = 0.0;
+    for (double v : values) sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) noexcept {
+    if (values.size() < 2) return 0.0;
+    const double m = mean(values);
+    double acc = 0.0;
+    for (double v : values) acc += (v - m) * (v - m);
+    return acc / static_cast<double>(values.size() - 1);
+}
+
+double stddev(std::span<const double> values) noexcept {
+    return std::sqrt(variance(values));
+}
+
+double quantile(std::span<const double> values, double q) {
+    if (values.empty()) throw std::invalid_argument("quantile: empty input");
+    if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> values) {
+    return quantile(values, 0.5);
+}
+
+BoxStats summarize(std::span<const double> values) {
+    if (values.empty()) throw std::invalid_argument("summarize: empty input");
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    auto at = [&](double q) {
+        const double pos = q * static_cast<double>(sorted.size() - 1);
+        const auto lo = static_cast<std::size_t>(pos);
+        const auto hi = std::min(lo + 1, sorted.size() - 1);
+        const double frac = pos - static_cast<double>(lo);
+        return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+    };
+    BoxStats s;
+    s.min = sorted.front();
+    s.q1 = at(0.25);
+    s.median = at(0.5);
+    s.q3 = at(0.75);
+    s.max = sorted.back();
+    s.mean = mean(values);
+    s.stddev = stddev(values);
+    s.count = values.size();
+    return s;
+}
+
+namespace {
+
+std::vector<double> columnwise(const std::vector<std::vector<double>>& rows,
+                               double (*reduce)(std::span<const double>)) {
+    if (rows.empty()) return {};
+    const std::size_t cols = rows.front().size();
+    for (const auto& row : rows)
+        if (row.size() != cols)
+            throw std::invalid_argument("columnwise: ragged rows");
+    std::vector<double> column(rows.size());
+    std::vector<double> out(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+        for (std::size_t r = 0; r < rows.size(); ++r) column[r] = rows[r][c];
+        out[c] = reduce(column);
+    }
+    return out;
+}
+
+double median_adapter(std::span<const double> v) { return median(v); }
+double mean_adapter(std::span<const double> v) { return mean(v); }
+
+} // namespace
+
+std::vector<double> columnwise_median(const std::vector<std::vector<double>>& rows) {
+    return columnwise(rows, median_adapter);
+}
+
+std::vector<double> columnwise_mean(const std::vector<std::vector<double>>& rows) {
+    return columnwise(rows, mean_adapter);
+}
+
+} // namespace atk

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace atk {
+
+/// Five-number summary plus mean/stddev — exactly what a boxplot (the
+/// presentation used by the paper's Figures 1, 4 and 8) requires.
+struct BoxStats {
+    double min = 0.0;
+    double q1 = 0.0;
+    double median = 0.0;
+    double q3 = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+    std::size_t count = 0;
+};
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(std::span<const double> values) noexcept;
+
+/// Sample variance with Bessel's correction; 0 for fewer than two values.
+double variance(std::span<const double> values) noexcept;
+
+/// Sample standard deviation; 0 for fewer than two values.
+double stddev(std::span<const double> values) noexcept;
+
+/// Median (copies and partially sorts). Throws std::invalid_argument on empty.
+double median(std::span<const double> values);
+
+/// Quantile in [0,1] with linear interpolation between order statistics
+/// (type-7 estimator, the default of R and NumPy).
+/// Throws std::invalid_argument on empty input or q outside [0,1].
+double quantile(std::span<const double> values, double q);
+
+/// Full boxplot summary. Throws std::invalid_argument on empty input.
+BoxStats summarize(std::span<const double> values);
+
+/// Element-wise median across rows: result[i] = median over r of rows[r][i].
+/// All rows must have equal length. Used to build the paper's
+/// median-per-iteration curves (Figures 2 and 6).
+std::vector<double> columnwise_median(const std::vector<std::vector<double>>& rows);
+
+/// Element-wise mean across rows (Figures 3 and 7).
+std::vector<double> columnwise_mean(const std::vector<std::vector<double>>& rows);
+
+} // namespace atk

@@ -1,0 +1,73 @@
+#include "support/sysinfo.hpp"
+
+#include <sys/utsname.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace atk {
+namespace {
+
+std::string trim(const std::string& s) {
+    const auto begin = s.find_first_not_of(" \t");
+    if (begin == std::string::npos) return {};
+    const auto end = s.find_last_not_of(" \t");
+    return s.substr(begin, end - begin + 1);
+}
+
+} // namespace
+
+SystemInfo query_system_info() {
+    SystemInfo info;
+    info.threads = std::max(1u, std::thread::hardware_concurrency());
+
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+        const auto colon = line.find(':');
+        if (colon == std::string::npos) continue;
+        const std::string key = trim(line.substr(0, colon));
+        const std::string value = trim(line.substr(colon + 1));
+        if (key == "model name" && info.cpu_model.empty()) info.cpu_model = value;
+        if (key == "cpu MHz" && info.cpu_mhz == 0.0) {
+            try {
+                info.cpu_mhz = std::stod(value);
+            } catch (const std::exception&) {
+            }
+        }
+    }
+
+    std::ifstream meminfo("/proc/meminfo");
+    while (std::getline(meminfo, line)) {
+        if (line.rfind("MemTotal:", 0) == 0) {
+            std::istringstream stream(line.substr(9));
+            std::uint64_t kib = 0;
+            stream >> kib;
+            info.ram_bytes = kib * 1024;
+            break;
+        }
+    }
+
+    utsname names{};
+    if (uname(&names) == 0) {
+        info.os = std::string(names.sysname) + " " + names.release;
+    }
+    return info;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+    const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+    double value = static_cast<double>(bytes);
+    std::size_t unit = 0;
+    while (value >= 1024.0 && unit + 1 < std::size(units)) {
+        value /= 1024.0;
+        ++unit;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.1f %s", value, units[unit]);
+    return buf;
+}
+
+} // namespace atk

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace atk {
+
+/// Host description used to regenerate the paper's Table II
+/// ("Specifications of the benchmark system") for the current machine.
+struct SystemInfo {
+    std::string cpu_model;     ///< e.g. "Intel Xeon E5-1620v2"
+    double cpu_mhz = 0.0;      ///< nominal frequency if the kernel exposes it
+    std::uint32_t threads = 0; ///< hardware threads visible to this process
+    std::uint64_t ram_bytes = 0;
+    std::string os;            ///< kernel identification string
+};
+
+/// Reads /proc and uname. Fields that cannot be determined stay at their
+/// default values; this never throws.
+SystemInfo query_system_info();
+
+/// Human-readable byte count ("64.0 GB").
+std::string format_bytes(std::uint64_t bytes);
+
+} // namespace atk

@@ -1,0 +1,71 @@
+#include "support/table.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace atk {
+
+std::string format_num(double value, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+    return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size())
+        throw std::invalid_argument("Table::add_row: cell count != header count");
+    rows_.push_back(std::move(cells));
+}
+
+Table::RowBuilder::~RowBuilder() {
+    table_.add_row(std::move(cells_));
+}
+
+Table::RowBuilder& Table::RowBuilder::text(const std::string& value) {
+    cells_.push_back(value);
+    return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::num(double value, int precision) {
+    cells_.push_back(format_num(value, precision));
+    return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::integer(long long value) {
+    cells_.push_back(std::to_string(value));
+    return *this;
+}
+
+std::string Table::to_string() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::string out;
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out += cells[c];
+            if (c + 1 < cells.size())
+                out.append(widths[c] - cells[c].size() + 2, ' ');
+        }
+        out += '\n';
+    };
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out.append(total, '-');
+    out += '\n';
+    for (const auto& row : rows_) emit_row(row);
+    return out;
+}
+
+void Table::print() const {
+    std::fputs(to_string().c_str(), stdout);
+}
+
+} // namespace atk

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace atk {
+
+/// Column-aligned plain-text table used by the bench harnesses to print the
+/// rows/series of each paper table and figure.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Appends a row; must have the same number of cells as the header.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience row builder for mixed numeric/text content.
+    class RowBuilder {
+    public:
+        explicit RowBuilder(Table& table) : table_(table) {}
+        ~RowBuilder();
+        RowBuilder(const RowBuilder&) = delete;
+        RowBuilder& operator=(const RowBuilder&) = delete;
+
+        RowBuilder& text(const std::string& value);
+        RowBuilder& num(double value, int precision = 2);
+        RowBuilder& integer(long long value);
+
+    private:
+        Table& table_;
+        std::vector<std::string> cells_;
+    };
+
+    RowBuilder row() { return RowBuilder(*this); }
+
+    /// Renders the table with a separator under the header.
+    [[nodiscard]] std::string to_string() const;
+
+    /// Prints to stdout.
+    void print() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for harness output).
+std::string format_num(double value, int precision = 2);
+
+} // namespace atk

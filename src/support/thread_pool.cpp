@@ -1,0 +1,121 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace atk {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) {
+        threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+ThreadPool::TaskGroup::~TaskGroup() {
+    try {
+        wait_all();
+    } catch (...) {
+        // Destructors must not throw; explicit wait_all() observes errors.
+    }
+}
+
+void ThreadPool::TaskGroup::submit(std::function<void()> task) {
+    {
+        std::lock_guard lock(pool_.mutex_);
+        ++pending_;
+        pool_.queue_.push_back(Task{std::move(task), this});
+    }
+    pool_.wake_.notify_one();
+}
+
+void ThreadPool::TaskGroup::wait_all() {
+    std::unique_lock lock(pool_.mutex_);
+    while (pending_ > 0) {
+        // Help drain the queue instead of sleeping: with nested submission
+        // this thread may be the only one able to make progress.
+        if (!pool_.run_one(lock)) {
+            done_.wait(lock, [this, &lock]() -> bool {
+                return pending_ == 0 || !pool_.queue_.empty();
+            });
+        }
+    }
+    if (first_error_) {
+        const std::exception_ptr error = std::exchange(first_error_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+bool ThreadPool::run_one(std::unique_lock<std::mutex>& lock) {
+    if (queue_.empty()) return false;
+    Task task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+        task.fn();
+    } catch (...) {
+        error = std::current_exception();
+    }
+    lock.lock();
+    if (task.group != nullptr) {
+        if (error && !task.group->first_error_) task.group->first_error_ = error;
+        finish(task.group);
+    }
+    return true;
+}
+
+void ThreadPool::finish(TaskGroup* group) {
+    // Caller holds mutex_.
+    if (--group->pending_ == 0) group->done_.notify_all();
+}
+
+void ThreadPool::worker_loop() {
+    std::unique_lock lock(mutex_);
+    for (;;) {
+        wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) return;
+        run_one(lock);
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t, std::size_t)>& body,
+                              std::size_t min_chunk) {
+    if (begin >= end) return;
+    const std::size_t n = end - begin;
+    min_chunk = std::max<std::size_t>(1, min_chunk);
+    const std::size_t max_chunks = thread_count() + 1;
+    const std::size_t chunks = std::min(max_chunks, (n + min_chunk - 1) / min_chunk);
+    if (chunks <= 1) {
+        body(begin, end);
+        return;
+    }
+    const std::size_t step = (n + chunks - 1) / chunks;
+    TaskGroup group(*this);
+    std::size_t lo = begin;
+    // Reserve the last chunk for the calling thread: on a one-worker pool
+    // this halves queueing overhead and keeps the caller busy.
+    for (std::size_t c = 0; c + 1 < chunks; ++c) {
+        const std::size_t hi = std::min(end, lo + step);
+        group.submit([&body, lo, hi] { body(lo, hi); });
+        lo = hi;
+    }
+    if (lo < end) body(lo, end);
+    group.wait_all();
+}
+
+} // namespace atk

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace atk {
+
+/// Fixed-size worker pool.
+///
+/// Both case-study substrates (text partitioning in string matching,
+/// node-parallel kD-tree construction and row-parallel rendering) share one
+/// pool so that the tunable "threads" / "parallel depth" parameters control
+/// real concurrency rather than spawning unbounded std::threads per frame.
+///
+/// The pool intentionally supports nested submission: a task running on a
+/// worker may submit subtasks and wait for them via wait_all() on a
+/// TaskGroup, which *helps* execute queued tasks while waiting instead of
+/// blocking a worker slot (work-stealing on the shared queue). This is what
+/// makes the recursive Nested/Wald-Havran builders deadlock-free even on a
+/// single-core pool.
+class ThreadPool {
+public:
+    /// Creates `threads` workers; 0 selects hardware_concurrency() (min 1).
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+    /// Groups tasks so a caller can wait on exactly the tasks it submitted.
+    ///
+    /// Exceptions thrown by a task are captured; the *first* one is
+    /// rethrown from wait_all() on the waiting thread (remaining tasks of
+    /// the group still run to completion first, keeping the pool sound).
+    class TaskGroup {
+    public:
+        explicit TaskGroup(ThreadPool& pool) noexcept : pool_(pool) {}
+        /// Waits, but swallows a pending task exception (destructors must
+        /// not throw); call wait_all() explicitly to observe failures.
+        ~TaskGroup();
+
+        TaskGroup(const TaskGroup&) = delete;
+        TaskGroup& operator=(const TaskGroup&) = delete;
+
+        /// Enqueues a task belonging to this group.
+        void submit(std::function<void()> task);
+
+        /// Blocks until all tasks of this group finished, executing queued
+        /// pool tasks in the meantime (so nested groups cannot deadlock).
+        /// Rethrows the first exception any task of this group threw.
+        void wait_all();
+
+    private:
+        friend class ThreadPool;
+        ThreadPool& pool_;
+        std::size_t pending_ = 0;  // guarded by pool_.mutex_
+        std::exception_ptr first_error_;  // guarded by pool_.mutex_
+        std::condition_variable done_;
+    };
+
+    /// Splits [begin, end) into roughly even chunks (at most thread_count()
+    /// plus the calling thread) and runs `body(chunk_begin, chunk_end)` for
+    /// each, blocking until all chunks are done. Executes inline when the
+    /// range is small or the pool has a single worker.
+    void parallel_for(std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t, std::size_t)>& body,
+                      std::size_t min_chunk = 1);
+
+private:
+    struct Task {
+        std::function<void()> fn;
+        TaskGroup* group = nullptr;
+    };
+
+    void worker_loop();
+    bool run_one(std::unique_lock<std::mutex>& lock);
+    void finish(TaskGroup* group);
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::deque<Task> queue_;
+    std::vector<std::thread> workers_;
+    bool stop_ = false;
+};
+
+} // namespace atk

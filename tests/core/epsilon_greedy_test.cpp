@@ -1,0 +1,128 @@
+#include "core/nominal/epsilon_greedy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atk {
+namespace {
+
+TEST(EpsilonGreedy, RejectsOutOfRangeEpsilon) {
+    EXPECT_THROW(EpsilonGreedy(-0.1), std::invalid_argument);
+    EXPECT_THROW(EpsilonGreedy(1.1), std::invalid_argument);
+    EXPECT_NO_THROW(EpsilonGreedy(0.0));
+    EXPECT_NO_THROW(EpsilonGreedy(1.0));
+}
+
+TEST(EpsilonGreedy, NameMatchesThePaper) {
+    EXPECT_EQ(EpsilonGreedy(0.05).name(), "e-Greedy (5%)");
+    EXPECT_EQ(EpsilonGreedy(0.10).name(), "e-Greedy (10%)");
+    EXPECT_EQ(EpsilonGreedy(0.20).name(), "e-Greedy (20%)");
+}
+
+TEST(EpsilonGreedy, ZeroEpsilonInitializesInDeterministicOrder) {
+    // "The e-Greedy variants initialize by trying every individual algorithm
+    // exactly once in deterministic order" — with ε = 0 the order is pure.
+    EpsilonGreedy strategy(0.0);
+    strategy.reset(7);
+    Rng rng(1);
+    for (std::size_t i = 0; i < 7; ++i) {
+        EXPECT_TRUE(strategy.initializing());
+        const std::size_t choice = strategy.select(rng);
+        EXPECT_EQ(choice, i);
+        strategy.report(choice, 10.0 + static_cast<double>(choice));
+    }
+    EXPECT_FALSE(strategy.initializing());
+}
+
+TEST(EpsilonGreedy, ZeroEpsilonExploitsAfterInitialization) {
+    EpsilonGreedy strategy(0.0);
+    strategy.reset(4);
+    Rng rng(2);
+    const double costs[4] = {40.0, 10.0, 30.0, 20.0};
+    for (int i = 0; i < 4; ++i) {
+        const std::size_t c = strategy.select(rng);
+        strategy.report(c, costs[c]);
+    }
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(strategy.select(rng), 1u);  // the 10ms algorithm, always
+        strategy.report(1, 10.0);
+    }
+}
+
+TEST(EpsilonGreedy, InitializationIsSubjectToEpsilonRandomness) {
+    // With large ε some of the first |A| picks are exploration; still, every
+    // algorithm must be visited once by the deterministic cursor eventually.
+    EpsilonGreedy strategy(0.5);
+    strategy.reset(5);
+    Rng rng(3);
+    std::vector<int> counts(5, 0);
+    int iterations = 0;
+    while (strategy.initializing() && iterations < 1000) {
+        const std::size_t c = strategy.select(rng);
+        ++counts[c];
+        strategy.report(c, 10.0);
+        ++iterations;
+    }
+    EXPECT_FALSE(strategy.initializing());
+    for (const int c : counts) EXPECT_GE(c, 1);
+}
+
+TEST(EpsilonGreedy, ExplorationRateMatchesEpsilon) {
+    EpsilonGreedy strategy(0.20);
+    strategy.reset(4);
+    Rng rng(4);
+    const double costs[4] = {40.0, 10.0, 30.0, 20.0};
+    // Run past initialization.
+    for (int i = 0; i < 4; ++i) {
+        const std::size_t c = strategy.select(rng);
+        strategy.report(c, costs[c]);
+    }
+    int non_best = 0;
+    constexpr int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i) {
+        const std::size_t c = strategy.select(rng);
+        if (c != 1) ++non_best;
+        strategy.report(c, costs[c]);
+    }
+    // Non-best selections happen at rate ε * 3/4 (exploring can pick best too).
+    EXPECT_NEAR(non_best / static_cast<double>(kDraws), 0.20 * 0.75, 0.01);
+}
+
+TEST(EpsilonGreedy, SwitchesWhenABetterAlgorithmAppears) {
+    // Phase-one tuning can make a previously slow algorithm the fastest;
+    // ε-greedy must pick up the change through its exploration samples.
+    EpsilonGreedy strategy(0.2);
+    strategy.reset(2);
+    Rng rng(5);
+    // Algorithm 1 starts slower but improves below algorithm 0 over time.
+    double cost1 = 30.0;
+    std::size_t late_picks_of_1 = 0;
+    for (int i = 0; i < 600; ++i) {
+        const std::size_t c = strategy.select(rng);
+        if (c == 0) {
+            strategy.report(0, 20.0);
+        } else {
+            strategy.report(1, cost1);
+            cost1 = std::max(5.0, cost1 - 1.0);  // tuning progress
+        }
+        if (i >= 400 && c == 1) ++late_picks_of_1;
+    }
+    // After the crossover, algorithm 1 (5ms) dominates selection.
+    EXPECT_GT(late_picks_of_1, 150u);
+}
+
+TEST(EpsilonGreedy, WeightsSumToOne) {
+    EpsilonGreedy strategy(0.1);
+    strategy.reset(5);
+    Rng rng(6);
+    for (int i = 0; i < 20; ++i) {
+        const auto w = strategy.weights();
+        double sum = 0.0;
+        for (const double x : w) sum += x;
+        EXPECT_NEAR(sum, 1.0, 1e-12);
+        const std::size_t c = strategy.select(rng);
+        strategy.report(c, 10.0 + static_cast<double>(c));
+    }
+}
+
+} // namespace
+} // namespace atk

@@ -1,0 +1,130 @@
+#include "core/feature_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace atk {
+namespace {
+
+TEST(FeatureModel, ValidatesConstruction) {
+    EXPECT_THROW(FeatureModel(0), std::invalid_argument);
+    EXPECT_NO_THROW(FeatureModel(1));
+}
+
+TEST(FeatureModel, RejectsInconsistentDimensions) {
+    FeatureModel model;
+    model.add_sample({1.0, 2.0}, 0);
+    EXPECT_THROW(model.add_sample({1.0}, 0), std::invalid_argument);
+    EXPECT_THROW((void)model.predict({1.0, 2.0, 3.0}), std::logic_error);
+}
+
+TEST(FeatureModel, PredictBeforeTrainingThrows) {
+    const FeatureModel model;
+    EXPECT_THROW((void)model.predict({1.0}), std::logic_error);
+}
+
+TEST(FeatureModel, SingleSampleAlwaysPredictsItsLabel) {
+    FeatureModel model(3);
+    model.add_sample({5.0}, 2);
+    EXPECT_EQ(model.predict({5.0}), 2u);
+    EXPECT_EQ(model.predict({-100.0}), 2u);
+}
+
+TEST(FeatureModel, NearestNeighborSeparatesRegimes) {
+    // 1-D regime split like the Hybrid matcher's: short patterns label 0,
+    // long patterns label 1.
+    FeatureModel model(1);
+    for (double m : {2.0, 4.0, 6.0, 8.0}) model.add_sample({m}, 0);
+    for (double m : {40.0, 60.0, 80.0, 100.0}) model.add_sample({m}, 1);
+    EXPECT_EQ(model.predict({3.0}), 0u);
+    EXPECT_EQ(model.predict({7.0}), 0u);
+    EXPECT_EQ(model.predict({90.0}), 1u);
+    EXPECT_EQ(model.predict({55.0}), 1u);
+}
+
+TEST(FeatureModel, MajorityVoteOverridesSingleMislabeledNeighbor) {
+    FeatureModel model(3);
+    model.add_sample({10.0}, 0);
+    model.add_sample({10.5}, 1);  // mislabeled outlier
+    model.add_sample({11.0}, 0);
+    model.add_sample({9.5}, 0);
+    EXPECT_EQ(model.predict({10.4}), 0u);
+}
+
+TEST(FeatureModel, NormalizationPreventsScaleDomination) {
+    // Dimension 0 varies over [0, 1e6], dimension 1 over [0, 1]; only
+    // dimension 1 carries the label. Without normalization dimension 0
+    // would drown it.
+    FeatureModel model(1);
+    Rng rng(3);
+    for (int i = 0; i < 40; ++i) {
+        const double noisy = rng.uniform_real(0.0, 1e6);
+        const double signal = rng.chance(0.5) ? 0.1 : 0.9;
+        model.add_sample({noisy, signal}, signal > 0.5 ? 1u : 0u);
+    }
+    EXPECT_EQ(model.predict({123456.0, 0.12}), 0u);
+    EXPECT_EQ(model.predict({987654.0, 0.88}), 1u);
+}
+
+TEST(FeatureModel, SelfAccuracyOnCleanlySeparableData) {
+    FeatureModel model(3);
+    for (double x = 0.0; x < 10.0; x += 1.0) model.add_sample({x}, 0);
+    for (double x = 100.0; x < 110.0; x += 1.0) model.add_sample({x}, 1);
+    EXPECT_GT(model.self_accuracy(), 0.95);
+}
+
+TEST(FeatureModel, SelfAccuracyOnRandomLabelsIsPoor) {
+    FeatureModel model(3);
+    Rng rng(7);
+    for (int i = 0; i < 60; ++i)
+        model.add_sample({rng.uniform_real(0.0, 1.0)}, rng.index(4));
+    EXPECT_LT(model.self_accuracy(), 0.6);
+}
+
+TEST(TrainFeatureModel, LabelsEachWorkloadWithItsFastestAlgorithm) {
+    // Three algorithms; algorithm a is best iff features[0] falls in its
+    // third of [0, 30).
+    std::vector<TrainingWorkload> workloads;
+    for (double x = 0.5; x < 30.0; x += 1.0) {
+        TrainingWorkload workload;
+        workload.features = {x};
+        workload.measure = [x](std::size_t a) {
+            const double center = 5.0 + 10.0 * static_cast<double>(a);
+            return 1.0 + std::abs(x - center);
+        };
+        workloads.push_back(std::move(workload));
+    }
+    const FeatureModel model = train_feature_model(workloads, 3, 1);
+    EXPECT_EQ(model.sample_count(), 30u);
+    EXPECT_EQ(model.predict({2.0}), 0u);
+    EXPECT_EQ(model.predict({15.0}), 1u);
+    EXPECT_EQ(model.predict({28.0}), 2u);
+    EXPECT_GT(model.self_accuracy(), 0.9);
+}
+
+TEST(TrainFeatureModel, ValidatesArguments) {
+    EXPECT_THROW(train_feature_model({}, 0), std::invalid_argument);
+    EXPECT_THROW(train_feature_model({}, 2, 3, 0), std::invalid_argument);
+    // No workloads is legal, just yields an untrained model.
+    const FeatureModel model = train_feature_model({}, 2);
+    EXPECT_EQ(model.sample_count(), 0u);
+}
+
+TEST(TrainFeatureModel, RepetitionsTakeBestOf) {
+    // A noisy measurement where the true best only wins on its best rep.
+    int calls = 0;
+    std::vector<TrainingWorkload> workloads(1);
+    workloads[0].features = {1.0};
+    workloads[0].measure = [&calls](std::size_t a) {
+        ++calls;
+        if (a == 0) return 10.0;
+        // Algorithm 1: noisy 5..15, best-of-5 almost surely < 10.
+        return 5.0 + static_cast<double>((calls * 7) % 11);
+    };
+    const FeatureModel model = train_feature_model(workloads, 2, 1, 5);
+    EXPECT_EQ(model.predict({1.0}), 1u);
+}
+
+} // namespace
+} // namespace atk

@@ -1,0 +1,142 @@
+#include "core/search/nelder_mead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace atk {
+namespace {
+
+SearchSpace space_2d() {
+    SearchSpace space;
+    space.add(Parameter::interval("x", 0, 100));
+    space.add(Parameter::interval("y", 0, 100));
+    return space;
+}
+
+Cost run_to_convergence(NelderMeadSearcher& nm, const SearchSpace& space,
+                        const Configuration& start, const MeasurementFunction& f,
+                        std::size_t budget = 2000) {
+    nm.reset(space, start);
+    Rng rng(1);
+    for (std::size_t i = 0; i < budget && !nm.converged(); ++i) {
+        const Configuration c = nm.propose(rng);
+        nm.feedback(c, f(c));
+    }
+    return nm.best_cost();
+}
+
+TEST(NelderMead, FindsMinimumOfQuadratic) {
+    NelderMeadSearcher nm;
+    const SearchSpace space = space_2d();
+    const auto f = [](const Configuration& c) {
+        const double dx = static_cast<double>(c[0]) - 70.0;
+        const double dy = static_cast<double>(c[1]) - 20.0;
+        return 1.0 + dx * dx + dy * dy;
+    };
+    const Cost best = run_to_convergence(nm, space, Configuration{{10, 90}}, f);
+    EXPECT_TRUE(nm.converged());
+    // Integer lattice: optimum is exactly reachable.
+    EXPECT_LE(best, 1.0 + 2.0 * 9.0);  // within 3 lattice steps per axis
+    EXPECT_NEAR(static_cast<double>(nm.best()[0]), 70.0, 5.0);
+    EXPECT_NEAR(static_cast<double>(nm.best()[1]), 20.0, 5.0);
+}
+
+TEST(NelderMead, FindsMinimumInOneDimension) {
+    NelderMeadSearcher nm;
+    SearchSpace space;
+    space.add(Parameter::ratio("n", 1, 1000));
+    const auto f = [](const Configuration& c) {
+        const double d = static_cast<double>(c[0]) - 333.0;
+        return 5.0 + d * d;
+    };
+    const Cost best = run_to_convergence(nm, space, Configuration{{1000}}, f);
+    EXPECT_NEAR(best, 5.0, 200.0);
+    EXPECT_NEAR(static_cast<double>(nm.best()[0]), 333.0, 15.0);
+}
+
+TEST(NelderMead, HandlesRosenbrockValley) {
+    // Banana valley: hard for greedy methods, classic Nelder-Mead benchmark.
+    NelderMeadSearcher nm;
+    const SearchSpace space = space_2d();
+    const auto f = [](const Configuration& c) {
+        const double x = static_cast<double>(c[0]) / 50.0;  // map to [0, 2]
+        const double y = static_cast<double>(c[1]) / 50.0;
+        const double a = 1.0 - x;
+        const double b = y - x * x;
+        return 1.0 + a * a + 20.0 * b * b;
+    };
+    const Cost start_cost = f(Configuration{{0, 100}});
+    const Cost best = run_to_convergence(nm, space, Configuration{{0, 100}}, f, 4000);
+    EXPECT_LT(best, start_cost / 5.0);
+}
+
+TEST(NelderMead, RespectsMaxEvaluations) {
+    NelderMeadSearcher::Options options;
+    options.max_evaluations = 25;
+    NelderMeadSearcher nm(options);
+    const SearchSpace space = space_2d();
+    nm.reset(space, space.midpoint());
+    Rng rng(2);
+    for (int i = 0; i < 100 && !nm.converged(); ++i) {
+        const Configuration c = nm.propose(rng);
+        nm.feedback(c, 1.0 + static_cast<double>(c[0]));
+    }
+    EXPECT_TRUE(nm.converged());
+    EXPECT_LE(nm.evaluations(), 26u);
+}
+
+TEST(NelderMead, InitialSimplexStartsAtTheHandCraftedConfig) {
+    // The paper's raytracer relies on the tuner starting from a hand-crafted
+    // configuration; the very first proposal must be exactly that config.
+    NelderMeadSearcher nm;
+    const SearchSpace space = space_2d();
+    const Configuration start{{42, 13}};
+    nm.reset(space, start);
+    Rng rng(3);
+    EXPECT_EQ(nm.propose(rng), start);
+}
+
+TEST(NelderMead, SimplexVertexCountIsDimensionPlusOne) {
+    NelderMeadSearcher nm;
+    const SearchSpace space = space_2d();
+    nm.reset(space, space.midpoint());
+    Rng rng(4);
+    std::set<std::vector<std::int64_t>> initial_vertices;
+    for (int i = 0; i < 3; ++i) {
+        const Configuration c = nm.propose(rng);
+        initial_vertices.insert(c.values());
+        nm.feedback(c, 1.0 + static_cast<double>(i));
+    }
+    EXPECT_EQ(initial_vertices.size(), 3u);  // d+1 distinct vertices for d=2
+}
+
+TEST(NelderMead, RejectsNominalAndOrdinal) {
+    NelderMeadSearcher nm;
+    SearchSpace with_nominal;
+    with_nominal.add(Parameter::interval("x", 0, 9));
+    with_nominal.add(Parameter::nominal("algo", {"a", "b"}));
+    EXPECT_THROW(nm.reset(with_nominal, with_nominal.lowest()), std::invalid_argument);
+
+    SearchSpace with_ordinal;
+    with_ordinal.add(Parameter::ordinal("size", {"s", "m", "l"}));
+    EXPECT_THROW(nm.reset(with_ordinal, with_ordinal.lowest()), std::invalid_argument);
+}
+
+TEST(NelderMead, NoisyMeasurementsDoNotCrash) {
+    NelderMeadSearcher nm;
+    const SearchSpace space = space_2d();
+    nm.reset(space, space.midpoint());
+    Rng rng(5);
+    Rng noise(6);
+    for (int i = 0; i < 500; ++i) {
+        const Configuration c = nm.propose(rng);
+        const double dx = static_cast<double>(c[0]) - 50.0;
+        nm.feedback(c, 10.0 + dx * dx + noise.uniform_real(0.0, 5.0));
+    }
+    EXPECT_TRUE(space.contains(nm.best()));
+}
+
+} // namespace
+} // namespace atk

@@ -1,0 +1,133 @@
+// Contract tests for every phase-two nominal strategy (the paper's core
+// contribution), run as a parameterized suite.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <numeric>
+
+#include "core/autotune.hpp"
+
+namespace atk {
+namespace {
+
+struct StrategyCase {
+    std::string label;
+    std::function<std::unique_ptr<NominalStrategy>()> make;
+    bool converges_to_best;  // Random/GradientWeighted deliberately do not
+};
+
+class StrategyContract : public ::testing::TestWithParam<StrategyCase> {
+protected:
+    /// Fixed per-algorithm costs: algorithm 2 is clearly the fastest.
+    static constexpr double kCosts[5] = {50.0, 30.0, 10.0, 40.0, 25.0};
+
+    static std::vector<std::size_t> run(NominalStrategy& strategy, std::size_t choices,
+                                        std::size_t iterations, std::uint64_t seed) {
+        strategy.reset(choices);
+        Rng rng(seed);
+        std::vector<std::size_t> counts(choices, 0);
+        for (std::size_t i = 0; i < iterations; ++i) {
+            const std::size_t choice = strategy.select(rng);
+            EXPECT_LT(choice, choices);
+            ++counts[choice];
+            strategy.report(choice, kCosts[choice]);
+        }
+        return counts;
+    }
+};
+
+TEST_P(StrategyContract, SelectsOnlyValidIndices) {
+    auto strategy = GetParam().make();
+    run(*strategy, 5, 200, 1);
+}
+
+TEST_P(StrategyContract, EveryAlgorithmIsEventuallySelected) {
+    // The paper's invariant: all weights stay positive, so no algorithm is
+    // ever excluded from selection.
+    auto strategy = GetParam().make();
+    const auto counts = run(*strategy, 5, 2000, 2);
+    for (std::size_t c = 0; c < counts.size(); ++c)
+        EXPECT_GT(counts[c], 0u) << "algorithm " << c << " was never selected";
+}
+
+TEST_P(StrategyContract, WeightsAreAlwaysStrictlyPositive) {
+    auto strategy = GetParam().make();
+    strategy->reset(5);
+    Rng rng(3);
+    for (int i = 0; i < 300; ++i) {
+        const auto weights = strategy->weights();
+        ASSERT_EQ(weights.size(), 5u);
+        for (const double w : weights) EXPECT_GT(w, 0.0);
+        const std::size_t choice = strategy->select(rng);
+        strategy->report(choice, kCosts[choice]);
+    }
+}
+
+TEST_P(StrategyContract, PrefersTheFastestAlgorithm) {
+    if (!GetParam().converges_to_best)
+        GTEST_SKIP() << "strategy intentionally spreads selection";
+    auto strategy = GetParam().make();
+    const auto counts = run(*strategy, 5, 1000, 4);
+    const std::size_t winner = static_cast<std::size_t>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    EXPECT_EQ(winner, 2u);  // the 10ms algorithm
+    EXPECT_GT(counts[2], 1000u / 2);
+}
+
+TEST_P(StrategyContract, SingleChoiceAlwaysSelectsIt) {
+    auto strategy = GetParam().make();
+    const auto counts = run(*strategy, 1, 50, 5);
+    EXPECT_EQ(counts[0], 50u);
+}
+
+TEST_P(StrategyContract, ResetClearsHistory) {
+    auto strategy = GetParam().make();
+    run(*strategy, 3, 100, 6);
+    strategy->reset(4);  // different cardinality
+    EXPECT_EQ(strategy->weights().size(), 4u);
+    Rng rng(7);
+    EXPECT_LT(strategy->select(rng), 4u);
+}
+
+TEST_P(StrategyContract, RejectsZeroChoices) {
+    auto strategy = GetParam().make();
+    EXPECT_THROW(strategy->reset(0), std::invalid_argument);
+}
+
+TEST_P(StrategyContract, DeterministicGivenSeed) {
+    auto a = GetParam().make();
+    auto b = GetParam().make();
+    const auto counts_a = run(*a, 5, 300, 99);
+    const auto counts_b = run(*b, 5, 300, 99);
+    EXPECT_EQ(counts_a, counts_b);
+}
+
+std::vector<StrategyCase> all_strategies() {
+    return {
+        {"eGreedy5", [] { return std::make_unique<EpsilonGreedy>(0.05); }, true},
+        {"eGreedy10", [] { return std::make_unique<EpsilonGreedy>(0.10); }, true},
+        {"eGreedy20", [] { return std::make_unique<EpsilonGreedy>(0.20); }, true},
+        {"GradientWeighted", [] { return std::make_unique<GradientWeighted>(); }, false},
+        {"OptimumWeighted", [] { return std::make_unique<OptimumWeighted>(); }, false},
+        {"SlidingWindowAUC", [] { return std::make_unique<SlidingWindowAuc>(); }, false},
+        {"Softmax", [] { return std::make_unique<Softmax>(0.1); }, true},
+        {"RandomChoice", [] { return std::make_unique<RandomChoice>(); }, false},
+        {"ExhaustiveChoice", [] { return std::make_unique<ExhaustiveChoice>(); }, true},
+        {"eGreedyWindowed", [] { return std::make_unique<EpsilonGreedy>(0.10, 16); },
+         true},
+        {"GradientGreedy", [] { return std::make_unique<GradientGreedy>(0.10); }, true},
+        {"DecayingEpsilonGreedy",
+         [] { return std::make_unique<DecayingEpsilonGreedy>(0.20, 0.02); }, true},
+    };
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyContract,
+                         ::testing::ValuesIn(all_strategies()),
+                         [](const ::testing::TestParamInfo<StrategyCase>& info) {
+                             return info.param.label;
+                         });
+
+} // namespace
+} // namespace atk

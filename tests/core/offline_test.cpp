@@ -1,0 +1,132 @@
+#include "core/offline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/autotune.hpp"
+
+namespace atk {
+namespace {
+
+SearchSpace bowl_space() {
+    SearchSpace space;
+    space.add(Parameter::interval("x", -100, 100));
+    space.add(Parameter::interval("y", -100, 100));
+    return space;
+}
+
+Cost bowl(const Configuration& c) {
+    const double dx = static_cast<double>(c[0]) - 40.0;
+    const double dy = static_cast<double>(c[1]) + 60.0;
+    return 2.0 + dx * dx + dy * dy;
+}
+
+TEST(OfflineTuner, RejectsInvalidConstruction) {
+    EXPECT_THROW(OfflineTuner(nullptr), std::invalid_argument);
+    OfflineTuner::Options options;
+    options.max_evaluations = 0;
+    EXPECT_THROW(OfflineTuner(std::make_unique<NelderMeadSearcher>(), options),
+                 std::invalid_argument);
+}
+
+TEST(OfflineTuner, MinimizesConvexFunction) {
+    OfflineTuner tuner(std::make_unique<NelderMeadSearcher>());
+    const SearchSpace space = bowl_space();
+    const auto result = tuner.minimize(space, space.lowest(), bowl);
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(static_cast<double>(result.best[0]), 40.0, 5.0);
+    EXPECT_NEAR(static_cast<double>(result.best[1]), -60.0, 5.0);
+    EXPECT_GT(result.evaluations, 0u);
+    EXPECT_LE(result.evaluations, 1000u);
+}
+
+TEST(OfflineTuner, RespectsEvaluationBudget) {
+    OfflineTuner::Options options;
+    options.max_evaluations = 30;
+    OfflineTuner tuner(std::make_unique<RandomSearcher>(), options);  // never converges
+    const SearchSpace space = bowl_space();
+    const auto result = tuner.minimize(space, space.lowest(), bowl);
+    EXPECT_EQ(result.evaluations, 30u);
+    EXPECT_FALSE(result.converged);
+}
+
+TEST(OfflineTuner, RestartsEscapeLocalMinima) {
+    // Two-valley function: hill climbing from the start deterministically
+    // lands in the shallow valley; random restarts must find the deep one.
+    const auto two_valley = [](const Configuration& c) {
+        const double x = static_cast<double>(c[0]);
+        return 5.0 + std::min(std::abs(x + 80.0) + 20.0, std::abs(x - 80.0));
+    };
+    SearchSpace space;
+    space.add(Parameter::interval("x", -100, 100));
+
+    OfflineTuner::Options no_restarts;
+    no_restarts.max_evaluations = 2000;
+    OfflineTuner single(std::make_unique<HillClimbingSearcher>(), no_restarts);
+    const auto stuck = single.minimize(space, Configuration{{-100}}, two_valley);
+    EXPECT_NEAR(stuck.best_cost, 25.0, 0.1);  // shallow valley floor
+
+    OfflineTuner::Options with_restarts = no_restarts;
+    with_restarts.restarts = 8;
+    OfflineTuner multi(std::make_unique<HillClimbingSearcher>(), with_restarts);
+    const auto escaped = multi.minimize(space, Configuration{{-100}}, two_valley);
+    EXPECT_NEAR(escaped.best_cost, 5.0, 0.1);  // deep valley floor
+    EXPECT_GT(escaped.restarts_used, 0u);
+}
+
+TEST(OfflineTuner, KeepsBestAcrossRestarts) {
+    // Even if later restarts do worse, the result reports the global best.
+    OfflineTuner::Options options;
+    options.max_evaluations = 400;
+    options.restarts = 4;
+    OfflineTuner tuner(std::make_unique<HillClimbingSearcher>(), options);
+    const SearchSpace space = bowl_space();
+    const auto result = tuner.minimize(space, space.midpoint(), bowl);
+    EXPECT_DOUBLE_EQ(result.best_cost, bowl(result.best));
+    EXPECT_LE(result.best_cost, bowl(space.midpoint()));
+}
+
+TEST(OfflineTwoPhase, FindsOptimalAlgorithmAndConfig) {
+    std::vector<OfflineAlgorithm> algorithms(3);
+    for (std::size_t a = 0; a < 3; ++a) {
+        algorithms[a].name = "algo" + std::to_string(a);
+        algorithms[a].space.add(Parameter::ratio("x", 0, 100));
+        algorithms[a].initial = Configuration{{0}};
+    }
+    // Algorithm 2 has the best tuned optimum (cost 3 at x = 25).
+    const auto measure = [](std::size_t a, const Configuration& c) {
+        const double x = static_cast<double>(c[0]);
+        switch (a) {
+            case 0: return 10.0 + std::abs(x - 50.0);
+            case 1: return 7.0 + std::abs(x - 90.0);
+            default: return 3.0 + std::abs(x - 25.0);
+        }
+    };
+    const auto result = offline_two_phase_minimize(
+        algorithms, [] { return std::make_unique<NelderMeadSearcher>(); }, measure);
+    EXPECT_EQ(result.algorithm, 2u);
+    EXPECT_NEAR(static_cast<double>(result.config[0]), 25.0, 5.0);
+    EXPECT_NEAR(result.cost, 3.0, 2.0);
+}
+
+TEST(OfflineTwoPhase, RejectsEmptyAlgorithmList) {
+    EXPECT_THROW(offline_two_phase_minimize(
+                     {}, [] { return std::make_unique<NelderMeadSearcher>(); },
+                     [](std::size_t, const Configuration&) { return 1.0; }),
+                 std::invalid_argument);
+}
+
+TEST(OfflineTwoPhase, WorksWithEmptyParameterSpaces) {
+    // Purely nominal problem: offline exhaustive over algorithms only.
+    std::vector<OfflineAlgorithm> algorithms(4);
+    for (std::size_t a = 0; a < 4; ++a) algorithms[a].name = std::to_string(a);
+    const auto result = offline_two_phase_minimize(
+        algorithms, [] { return std::make_unique<FixedSearcher>(); },
+        [](std::size_t a, const Configuration&) {
+            return a == 2 ? 1.0 : 10.0 + static_cast<double>(a);
+        });
+    EXPECT_EQ(result.algorithm, 2u);
+    EXPECT_DOUBLE_EQ(result.cost, 1.0);
+}
+
+} // namespace
+} // namespace atk

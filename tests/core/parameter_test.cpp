@@ -1,0 +1,170 @@
+#include "core/parameter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atk {
+namespace {
+
+// ---- Stevens' typology (the paper's Table I) ---------------------------
+
+TEST(ParameterClasses, NominalHasLabelsOnly) {
+    const auto p = Parameter::nominal("algorithm", {"EBOM", "Hash3", "SSEF"});
+    EXPECT_EQ(p.cls(), ParamClass::Nominal);
+    EXPECT_FALSE(p.has_order());
+    EXPECT_FALSE(p.has_distance());
+    EXPECT_FALSE(p.has_natural_zero());
+}
+
+TEST(ParameterClasses, OrdinalAddsOrder) {
+    const auto p = Parameter::ordinal("buffer", {"small", "medium", "large"});
+    EXPECT_EQ(p.cls(), ParamClass::Ordinal);
+    EXPECT_TRUE(p.has_order());
+    EXPECT_FALSE(p.has_distance());
+    EXPECT_FALSE(p.has_natural_zero());
+}
+
+TEST(ParameterClasses, IntervalAddsDistance) {
+    const auto p = Parameter::interval("buffer_pct", -50, 50);
+    EXPECT_EQ(p.cls(), ParamClass::Interval);
+    EXPECT_TRUE(p.has_order());
+    EXPECT_TRUE(p.has_distance());
+    EXPECT_FALSE(p.has_natural_zero());
+}
+
+TEST(ParameterClasses, RatioAddsNaturalZero) {
+    const auto p = Parameter::ratio("threads", 1, 16);
+    EXPECT_EQ(p.cls(), ParamClass::Ratio);
+    EXPECT_TRUE(p.has_order());
+    EXPECT_TRUE(p.has_distance());
+    EXPECT_TRUE(p.has_natural_zero());
+}
+
+TEST(ParameterClasses, EachClassSubsumesThePrevious) {
+    // The distinguishing property of each class implies all previous ones.
+    const auto nominal = Parameter::nominal("n", {"a"});
+    const auto ordinal = Parameter::ordinal("o", {"a", "b"});
+    const auto interval = Parameter::interval("i", 0, 1);
+    const auto ratio = Parameter::ratio("r", 0, 1);
+    EXPECT_LE(nominal.has_order(), ordinal.has_order());
+    EXPECT_LE(ordinal.has_distance(), interval.has_distance());
+    EXPECT_LE(interval.has_natural_zero(), ratio.has_natural_zero());
+}
+
+TEST(ParameterClasses, ToStringNames) {
+    EXPECT_STREQ(to_string(ParamClass::Nominal), "Nominal");
+    EXPECT_STREQ(to_string(ParamClass::Ordinal), "Ordinal");
+    EXPECT_STREQ(to_string(ParamClass::Interval), "Interval");
+    EXPECT_STREQ(to_string(ParamClass::Ratio), "Ratio");
+}
+
+// ---- Construction validation -------------------------------------------
+
+TEST(Parameter, RejectsEmptyName) {
+    EXPECT_THROW(Parameter::interval("", 0, 1), std::invalid_argument);
+}
+
+TEST(Parameter, RejectsEmptyLabelSet) {
+    EXPECT_THROW(Parameter::nominal("x", {}), std::invalid_argument);
+    EXPECT_THROW(Parameter::ordinal("x", {}), std::invalid_argument);
+}
+
+TEST(Parameter, RejectsInvertedRange) {
+    EXPECT_THROW(Parameter::interval("x", 5, 4), std::invalid_argument);
+}
+
+TEST(Parameter, RejectsNonPositiveStep) {
+    EXPECT_THROW(Parameter::interval("x", 0, 10, 0), std::invalid_argument);
+    EXPECT_THROW(Parameter::interval("x", 0, 10, -2), std::invalid_argument);
+}
+
+TEST(Parameter, RatioRejectsNegativeMin) {
+    EXPECT_THROW(Parameter::ratio("x", -1, 5), std::invalid_argument);
+}
+
+// ---- Domain queries ------------------------------------------------------
+
+TEST(Parameter, CardinalityCountsLatticePoints) {
+    EXPECT_EQ(Parameter::interval("x", 0, 10).cardinality(), 11u);
+    EXPECT_EQ(Parameter::interval("x", 0, 10, 5).cardinality(), 3u);
+    EXPECT_EQ(Parameter::interval("x", 0, 10, 4).cardinality(), 3u);  // 0,4,8
+    EXPECT_EQ(Parameter::nominal("x", {"a", "b", "c"}).cardinality(), 3u);
+    EXPECT_EQ(Parameter::interval("x", 7, 7).cardinality(), 1u);
+}
+
+TEST(Parameter, ContainsChecksRangeAndLattice) {
+    const auto p = Parameter::interval("x", 2, 10, 4);  // {2, 6, 10}
+    EXPECT_TRUE(p.contains(2));
+    EXPECT_TRUE(p.contains(6));
+    EXPECT_TRUE(p.contains(10));
+    EXPECT_FALSE(p.contains(4));
+    EXPECT_FALSE(p.contains(1));
+    EXPECT_FALSE(p.contains(11));
+}
+
+TEST(Parameter, ClampSnapsToNearestLatticePoint) {
+    const auto p = Parameter::interval("x", 0, 10, 4);  // {0, 4, 8}
+    EXPECT_EQ(p.clamp(-5), 0);
+    EXPECT_EQ(p.clamp(1), 0);
+    EXPECT_EQ(p.clamp(2), 4);  // ties round up
+    EXPECT_EQ(p.clamp(5), 4);
+    EXPECT_EQ(p.clamp(7), 8);
+    EXPECT_EQ(p.clamp(9), 8);
+    EXPECT_EQ(p.clamp(100), 8);  // the largest lattice point, not max
+}
+
+TEST(Parameter, ClampIdempotentOnValidValues) {
+    const auto p = Parameter::interval("x", -6, 9, 3);
+    for (std::int64_t v = p.min_value(); v <= p.max_value(); v += p.step())
+        EXPECT_EQ(p.clamp(v), v);
+}
+
+TEST(Parameter, LabelForLabeledClasses) {
+    const auto p = Parameter::nominal("algo", {"BM", "KMP"});
+    EXPECT_EQ(p.label(0), "BM");
+    EXPECT_EQ(p.label(1), "KMP");
+    EXPECT_THROW(p.label(2), std::out_of_range);
+    EXPECT_THROW(p.label(-1), std::out_of_range);
+}
+
+TEST(Parameter, LabelForNumericClassesIsTheNumeral) {
+    EXPECT_EQ(Parameter::ratio("n", 0, 9).label(7), "7");
+}
+
+// ---- Unit-interval mapping (used by geometric searchers) -----------------
+
+TEST(Parameter, UnitMappingRoundTrips) {
+    const auto p = Parameter::interval("x", 10, 50, 5);
+    for (std::int64_t v = 10; v <= 50; v += 5)
+        EXPECT_EQ(p.from_unit(p.to_unit(v)), v);
+}
+
+TEST(Parameter, UnitMappingEndpoints) {
+    const auto p = Parameter::ratio("x", 4, 20);
+    EXPECT_DOUBLE_EQ(p.to_unit(4), 0.0);
+    EXPECT_DOUBLE_EQ(p.to_unit(20), 1.0);
+    EXPECT_EQ(p.from_unit(0.0), 4);
+    EXPECT_EQ(p.from_unit(1.0), 20);
+}
+
+TEST(Parameter, FromUnitClampsOutOfRange) {
+    const auto p = Parameter::ratio("x", 0, 10);
+    EXPECT_EQ(p.from_unit(-0.5), 0);
+    EXPECT_EQ(p.from_unit(1.5), 10);
+}
+
+TEST(Parameter, UnitMappingRequiresDistance) {
+    const auto p = Parameter::nominal("algo", {"a", "b"});
+    EXPECT_THROW((void)p.to_unit(0), std::logic_error);
+    EXPECT_THROW((void)p.from_unit(0.5), std::logic_error);
+    const auto q = Parameter::ordinal("size", {"s", "m", "l"});
+    EXPECT_THROW((void)q.to_unit(1), std::logic_error);
+}
+
+TEST(Parameter, UnitMappingOfSingletonDomain) {
+    const auto p = Parameter::interval("x", 5, 5);
+    EXPECT_DOUBLE_EQ(p.to_unit(5), 0.0);
+    EXPECT_EQ(p.from_unit(0.7), 5);
+}
+
+} // namespace
+} // namespace atk

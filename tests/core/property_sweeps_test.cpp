@@ -1,0 +1,186 @@
+// Property-based sweeps (parameterized over seeds): invariants that must
+// hold for *randomly generated* search spaces and workloads, not just the
+// hand-picked fixtures of the unit tests.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/autotune.hpp"
+
+namespace atk {
+namespace {
+
+/// Generates a random space of 1-4 parameters with mixed classes.
+SearchSpace random_space(Rng& rng, bool allow_nominal) {
+    SearchSpace space;
+    const std::size_t dims = 1 + rng.index(4);
+    for (std::size_t d = 0; d < dims; ++d) {
+        const std::string name = "p" + std::to_string(d);
+        const int kind = allow_nominal ? static_cast<int>(rng.index(4))
+                                       : 2 + static_cast<int>(rng.index(2));
+        switch (kind) {
+            case 0: {
+                std::vector<std::string> labels;
+                for (std::size_t l = 0; l < 2 + rng.index(4); ++l)
+                    labels.push_back("l" + std::to_string(l));
+                space.add(Parameter::nominal(name, labels));
+                break;
+            }
+            case 1: {
+                std::vector<std::string> labels;
+                for (std::size_t l = 0; l < 2 + rng.index(4); ++l)
+                    labels.push_back("o" + std::to_string(l));
+                space.add(Parameter::ordinal(name, labels));
+                break;
+            }
+            case 2: {
+                const std::int64_t lo = rng.uniform_int(-50, 20);
+                const std::int64_t hi = lo + rng.uniform_int(0, 60);
+                space.add(Parameter::interval(name, lo, hi, 1 + rng.uniform_int(0, 4)));
+                break;
+            }
+            default: {
+                const std::int64_t lo = rng.uniform_int(0, 20);
+                const std::int64_t hi = lo + rng.uniform_int(0, 60);
+                space.add(Parameter::ratio(name, lo, hi, 1 + rng.uniform_int(0, 4)));
+                break;
+            }
+        }
+    }
+    return space;
+}
+
+class SpaceProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpaceProperties, RandomConfigurationsAreAlwaysValid) {
+    Rng rng(GetParam());
+    for (int round = 0; round < 20; ++round) {
+        const SearchSpace space = random_space(rng, true);
+        for (int i = 0; i < 50; ++i) {
+            const Configuration config = space.random(rng);
+            ASSERT_TRUE(space.contains(config)) << space.describe(config);
+        }
+    }
+}
+
+TEST_P(SpaceProperties, ClampAlwaysLandsInSpaceAndIsIdempotent) {
+    Rng rng(GetParam());
+    for (int round = 0; round < 20; ++round) {
+        const SearchSpace space = random_space(rng, true);
+        for (int i = 0; i < 50; ++i) {
+            std::vector<std::int64_t> raw(space.dimension());
+            for (auto& v : raw) v = rng.uniform_int(-1000, 1000);
+            const Configuration clamped = space.clamp(Configuration{raw});
+            ASSERT_TRUE(space.contains(clamped));
+            ASSERT_EQ(space.clamp(clamped), clamped);
+        }
+    }
+}
+
+TEST_P(SpaceProperties, NeighborhoodIsSymmetric) {
+    Rng rng(GetParam());
+    for (int round = 0; round < 10; ++round) {
+        const SearchSpace space = random_space(rng, true);
+        const Configuration a = space.random(rng);
+        for (const Configuration& b : space.neighbors(a)) {
+            const auto back = space.neighbors(b);
+            ASSERT_NE(std::find(back.begin(), back.end(), a), back.end())
+                << space.describe(a) << " <-> " << space.describe(b);
+        }
+    }
+}
+
+TEST_P(SpaceProperties, LexicographicEnumerationMatchesCardinality) {
+    Rng rng(GetParam());
+    for (int round = 0; round < 5; ++round) {
+        SearchSpace space;
+        // Keep it small enough to enumerate.
+        space.add(Parameter::interval("a", 0, static_cast<std::int64_t>(rng.index(6)),
+                                      1));
+        space.add(Parameter::ratio("b", 1, 1 + static_cast<std::int64_t>(rng.index(5)),
+                                   1 + static_cast<std::int64_t>(rng.index(2))));
+        std::set<std::vector<std::int64_t>> seen;
+        std::optional<Configuration> cursor = space.lowest();
+        while (cursor) {
+            ASSERT_TRUE(seen.insert(cursor->values()).second);
+            cursor = space.next_lexicographic(*cursor);
+        }
+        EXPECT_EQ(seen.size(), space.cardinality());
+    }
+}
+
+TEST_P(SpaceProperties, UnitRoundTripForDistanceParameters) {
+    Rng rng(GetParam());
+    for (int round = 0; round < 20; ++round) {
+        const SearchSpace space = random_space(rng, false);  // numeric only
+        const Configuration config = space.random(rng);
+        for (std::size_t i = 0; i < space.dimension(); ++i) {
+            const auto& p = space.param(i);
+            ASSERT_EQ(p.from_unit(p.to_unit(config[i])), config[i])
+                << p.name() << "=" << config[i];
+        }
+    }
+}
+
+class SearcherSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SearcherSweep, SearchersImproveOnRandomQuadratics) {
+    Rng rng(GetParam());
+    for (int round = 0; round < 3; ++round) {
+        SearchSpace space;
+        space.add(Parameter::interval("x", -100, 100));
+        space.add(Parameter::interval("y", -100, 100));
+        const double ox = static_cast<double>(rng.uniform_int(-80, 80));
+        const double oy = static_cast<double>(rng.uniform_int(-80, 80));
+        const double sx = rng.uniform_real(0.2, 3.0);
+        const double sy = rng.uniform_real(0.2, 3.0);
+        const auto f = [&](const Configuration& c) {
+            const double dx = static_cast<double>(c[0]) - ox;
+            const double dy = static_cast<double>(c[1]) - oy;
+            return 1.0 + sx * dx * dx + sy * dy * dy;
+        };
+        std::vector<std::unique_ptr<Searcher>> searchers;
+        searchers.push_back(std::make_unique<NelderMeadSearcher>());
+        searchers.push_back(std::make_unique<HillClimbingSearcher>());
+        searchers.push_back(std::make_unique<DifferentialEvolutionSearcher>());
+        for (auto& searcher : searchers) {
+            const Configuration start{{-100, -100}};
+            searcher->reset(space, start);
+            Rng run_rng(GetParam() * 31 + round);
+            for (int i = 0; i < 2000; ++i) {
+                const Configuration c = searcher->propose(run_rng);
+                searcher->feedback(c, f(c));
+            }
+            EXPECT_LT(searcher->best_cost(), f(start) / 10.0)
+                << searcher->name() << " optimum at (" << ox << "," << oy << ")";
+        }
+    }
+}
+
+TEST_P(SearcherSweep, TunerAlwaysFindsTheDominantAlgorithm) {
+    // Random 3-5 algorithm problems with one clearly dominant choice.
+    Rng rng(GetParam() * 7919 + 13);
+    const std::size_t count = 3 + rng.index(3);
+    const std::size_t winner = rng.index(count);
+    std::vector<double> base(count);
+    for (std::size_t a = 0; a < count; ++a)
+        base[a] = a == winner ? 5.0 : 15.0 + rng.uniform_real(0.0, 40.0);
+
+    std::vector<TunableAlgorithm> algorithms;
+    for (std::size_t a = 0; a < count; ++a)
+        algorithms.push_back(TunableAlgorithm::untunable("a" + std::to_string(a)));
+    TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.1), std::move(algorithms),
+                        GetParam());
+    tuner.run([&](const Trial& t) { return base[t.algorithm]; }, 200);
+    EXPECT_EQ(tuner.best_trial().algorithm, winner);
+    const auto counts = tuner.trace().choice_counts(count);
+    EXPECT_GT(counts[winner], 120u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpaceProperties,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+INSTANTIATE_TEST_SUITE_P(Seeds, SearcherSweep, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+} // namespace
+} // namespace atk

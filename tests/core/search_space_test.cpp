@@ -1,0 +1,159 @@
+#include "core/search_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace atk {
+namespace {
+
+SearchSpace mixed_space() {
+    SearchSpace space;
+    space.add(Parameter::ratio("threads", 1, 4));
+    space.add(Parameter::interval("cost", 10, 30, 10));
+    space.add(Parameter::nominal("algo", {"a", "b"}));
+    return space;
+}
+
+TEST(SearchSpace, EmptySpaceProperties) {
+    const SearchSpace space;
+    EXPECT_TRUE(space.empty());
+    EXPECT_EQ(space.dimension(), 0u);
+    EXPECT_EQ(space.cardinality(), 1u);  // exactly one (empty) configuration
+    EXPECT_TRUE(space.contains(Configuration{}));
+    EXPECT_TRUE(space.all_have_distance());
+    EXPECT_FALSE(space.has_nominal());
+}
+
+TEST(SearchSpace, DimensionAndLookup) {
+    const SearchSpace space = mixed_space();
+    EXPECT_EQ(space.dimension(), 3u);
+    EXPECT_EQ(space.index_of("cost"), 1u);
+    EXPECT_EQ(space.index_of("missing"), std::nullopt);
+    EXPECT_EQ(space.param(2).name(), "algo");
+}
+
+TEST(SearchSpace, RejectsDuplicateNames) {
+    SearchSpace space;
+    space.add(Parameter::ratio("x", 0, 1));
+    EXPECT_THROW(space.add(Parameter::interval("x", 0, 5)), std::invalid_argument);
+}
+
+TEST(SearchSpace, CardinalityIsProductOfParameters) {
+    EXPECT_EQ(mixed_space().cardinality(), 4u * 3u * 2u);
+}
+
+TEST(SearchSpace, ClassPredicates) {
+    const SearchSpace space = mixed_space();
+    EXPECT_TRUE(space.has_nominal());
+    EXPECT_FALSE(space.all_have_distance());
+    EXPECT_FALSE(space.all_have_order());
+
+    SearchSpace numeric;
+    numeric.add(Parameter::ratio("a", 0, 1)).add(Parameter::interval("b", 0, 1));
+    EXPECT_FALSE(numeric.has_nominal());
+    EXPECT_TRUE(numeric.all_have_distance());
+    EXPECT_TRUE(numeric.all_have_order());
+}
+
+TEST(SearchSpace, ContainsValidatesEveryComponent) {
+    const SearchSpace space = mixed_space();
+    EXPECT_TRUE(space.contains(Configuration{{1, 10, 0}}));
+    EXPECT_TRUE(space.contains(Configuration{{4, 30, 1}}));
+    EXPECT_FALSE(space.contains(Configuration{{0, 10, 0}}));   // threads below min
+    EXPECT_FALSE(space.contains(Configuration{{1, 15, 0}}));   // off lattice
+    EXPECT_FALSE(space.contains(Configuration{{1, 10, 2}}));   // label out of range
+    EXPECT_FALSE(space.contains(Configuration{{1, 10}}));      // wrong dimension
+}
+
+TEST(SearchSpace, ClampProducesContainedConfig) {
+    const SearchSpace space = mixed_space();
+    const auto clamped = space.clamp(Configuration{{99, 14, -3}});
+    EXPECT_TRUE(space.contains(clamped));
+    EXPECT_EQ(clamped[0], 4);
+    EXPECT_EQ(clamped[1], 10);
+    EXPECT_EQ(clamped[2], 0);
+}
+
+TEST(SearchSpace, ClampRejectsWrongDimension) {
+    EXPECT_THROW(mixed_space().clamp(Configuration{{1}}), std::invalid_argument);
+}
+
+TEST(SearchSpace, LowestAndMidpoint) {
+    const SearchSpace space = mixed_space();
+    EXPECT_EQ(space.lowest(), Configuration({1, 10, 0}));
+    const auto mid = space.midpoint();
+    EXPECT_TRUE(space.contains(mid));
+    EXPECT_EQ(mid[0], 2);   // (1+4)/2 rounded onto lattice
+    EXPECT_EQ(mid[1], 20);
+}
+
+TEST(SearchSpace, RandomConfigsAreValidAndCoverSpace) {
+    const SearchSpace space = mixed_space();
+    Rng rng(99);
+    std::set<std::vector<std::int64_t>> seen;
+    for (int i = 0; i < 500; ++i) {
+        const auto config = space.random(rng);
+        ASSERT_TRUE(space.contains(config)) << space.describe(config);
+        seen.insert(config.values());
+    }
+    EXPECT_EQ(seen.size(), space.cardinality());  // 24 configs, 500 draws
+}
+
+TEST(SearchSpace, NeighborsStepOrderedParametersOnly) {
+    const SearchSpace space = mixed_space();
+    const Configuration center{{2, 20, 0}};
+    const auto neighborhood = space.neighbors(center);
+    // threads: 1 and 3; cost: 10 and 30; algo (nominal): none.
+    ASSERT_EQ(neighborhood.size(), 4u);
+    for (const auto& n : neighborhood) {
+        EXPECT_TRUE(space.contains(n));
+        EXPECT_EQ(n[2], 0);  // the nominal component never changes
+    }
+}
+
+TEST(SearchSpace, NeighborsRespectBounds) {
+    const SearchSpace space = mixed_space();
+    const auto at_corner = space.neighbors(Configuration{{1, 10, 1}});
+    // threads can only go up, cost can only go up.
+    EXPECT_EQ(at_corner.size(), 2u);
+}
+
+TEST(SearchSpace, PurelyNominalSpaceHasNoNeighbors) {
+    SearchSpace space;
+    space.add(Parameter::nominal("algo", {"a", "b", "c"}));
+    EXPECT_TRUE(space.neighbors(Configuration{{1}}).empty());
+}
+
+TEST(SearchSpace, NextLexicographicEnumeratesAllExactlyOnce) {
+    const SearchSpace space = mixed_space();
+    std::set<std::vector<std::int64_t>> seen;
+    std::optional<Configuration> cursor = space.lowest();
+    while (cursor) {
+        EXPECT_TRUE(space.contains(*cursor));
+        EXPECT_TRUE(seen.insert(cursor->values()).second) << "duplicate config";
+        cursor = space.next_lexicographic(*cursor);
+    }
+    EXPECT_EQ(seen.size(), space.cardinality());
+}
+
+TEST(SearchSpace, DescribeUsesLabels) {
+    const SearchSpace space = mixed_space();
+    const std::string text = space.describe(Configuration{{2, 20, 1}});
+    EXPECT_NE(text.find("threads=2"), std::string::npos);
+    EXPECT_NE(text.find("algo=b"), std::string::npos);
+}
+
+TEST(Configuration, EqualityAndAccess) {
+    Configuration a{{1, 2, 3}};
+    Configuration b{{1, 2, 3}};
+    Configuration c{{1, 2, 4}};
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    a[2] = 4;
+    EXPECT_EQ(a, c);
+    EXPECT_THROW(a[5], std::out_of_range);
+}
+
+} // namespace
+} // namespace atk

@@ -1,0 +1,208 @@
+// Contract tests every phase-one searcher must satisfy, run as a
+// parameterized suite over all eight implementations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "core/autotune.hpp"
+
+namespace atk {
+namespace {
+
+struct SearcherCase {
+    std::string label;
+    std::function<std::unique_ptr<Searcher>()> make;
+    bool needs_distance;  // rejects ordinal+nominal
+    bool needs_order;     // rejects nominal
+    bool can_converge;    // random search never does
+    bool explores = true; // FixedSearcher never leaves the initial config
+};
+
+class SearcherContract : public ::testing::TestWithParam<SearcherCase> {
+protected:
+    static SearchSpace numeric_space() {
+        SearchSpace space;
+        space.add(Parameter::ratio("x", 0, 40));
+        space.add(Parameter::interval("y", -20, 20));
+        return space;
+    }
+
+    /// Convex bowl with minimum at (x=30, y=-10); cost floor is 1 so the
+    /// value is usable as a runtime.
+    static Cost bowl(const Configuration& c) {
+        const double dx = static_cast<double>(c[0]) - 30.0;
+        const double dy = static_cast<double>(c[1]) + 10.0;
+        return 1.0 + dx * dx + dy * dy;
+    }
+};
+
+TEST_P(SearcherContract, ProposesOnlyValidConfigurations) {
+    const SearchSpace space = numeric_space();
+    auto searcher = GetParam().make();
+    searcher->reset(space, space.midpoint());
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        const Configuration c = searcher->propose(rng);
+        ASSERT_TRUE(space.contains(c)) << "iteration " << i;
+        searcher->feedback(c, bowl(c));
+    }
+}
+
+TEST_P(SearcherContract, TracksTheBestObservedSample) {
+    const SearchSpace space = numeric_space();
+    auto searcher = GetParam().make();
+    searcher->reset(space, space.midpoint());
+    Rng rng(2);
+    Cost best_seen = std::numeric_limits<Cost>::infinity();
+    for (int i = 0; i < 150; ++i) {
+        const Configuration c = searcher->propose(rng);
+        const Cost cost = bowl(c);
+        best_seen = std::min(best_seen, cost);
+        searcher->feedback(c, cost);
+        EXPECT_DOUBLE_EQ(searcher->best_cost(), best_seen);
+        EXPECT_DOUBLE_EQ(bowl(searcher->best()), best_seen);
+    }
+    EXPECT_EQ(searcher->evaluations(), 150u);
+}
+
+TEST_P(SearcherContract, ImprovesOnConvexBowl) {
+    if (!GetParam().explores) GTEST_SKIP() << "does not explore by design";
+    const SearchSpace space = numeric_space();
+    auto searcher = GetParam().make();
+    const Configuration start = space.lowest();  // cost 1 + 900 + 100
+    searcher->reset(space, start);
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        const Configuration c = searcher->propose(rng);
+        searcher->feedback(c, bowl(c));
+    }
+    // Every searcher must at least substantially improve on the start.
+    EXPECT_LT(searcher->best_cost(), bowl(start) / 4.0);
+}
+
+TEST_P(SearcherContract, ProtocolViolationsThrow) {
+    const SearchSpace space = numeric_space();
+    auto searcher = GetParam().make();
+    Rng rng(4);
+    EXPECT_THROW(searcher->propose(rng), std::logic_error);  // before reset
+
+    searcher->reset(space, space.midpoint());
+    EXPECT_THROW(searcher->feedback(space.midpoint(), 1.0), std::logic_error);
+    const Configuration c = searcher->propose(rng);
+    EXPECT_THROW(searcher->propose(rng), std::logic_error);  // double propose
+    searcher->feedback(c, bowl(c));
+}
+
+TEST_P(SearcherContract, RejectsInitialConfigOutsideSpace) {
+    const SearchSpace space = numeric_space();
+    auto searcher = GetParam().make();
+    EXPECT_THROW(searcher->reset(space, Configuration{{-5, 0}}), std::invalid_argument);
+    EXPECT_THROW(searcher->reset(space, Configuration{{0}}), std::invalid_argument);
+}
+
+TEST_P(SearcherContract, EmptySpaceIsImmediatelyConverged) {
+    const SearchSpace empty;
+    auto searcher = GetParam().make();
+    searcher->reset(empty, Configuration{});
+    EXPECT_TRUE(searcher->converged());
+    Rng rng(5);
+    for (int i = 0; i < 5; ++i) {
+        const Configuration c = searcher->propose(rng);
+        EXPECT_TRUE(c.empty());
+        searcher->feedback(c, 1.0);
+    }
+}
+
+TEST_P(SearcherContract, NominalSpaceRejection) {
+    SearchSpace space;
+    space.add(Parameter::nominal("algo", {"a", "b", "c"}));
+    auto searcher = GetParam().make();
+    if (GetParam().needs_order || GetParam().needs_distance) {
+        EXPECT_THROW(searcher->reset(space, Configuration{{0}}), std::invalid_argument);
+    } else {
+        EXPECT_NO_THROW(searcher->reset(space, Configuration{{0}}));
+    }
+}
+
+TEST_P(SearcherContract, OrdinalSpaceRejection) {
+    SearchSpace space;
+    space.add(Parameter::ordinal("size", {"s", "m", "l", "xl"}));
+    auto searcher = GetParam().make();
+    if (GetParam().needs_distance) {
+        EXPECT_THROW(searcher->reset(space, Configuration{{0}}), std::invalid_argument);
+    } else {
+        EXPECT_NO_THROW(searcher->reset(space, Configuration{{0}}));
+    }
+}
+
+TEST_P(SearcherContract, ConvergedSearcherKeepsProposingBest) {
+    const SearchSpace space = numeric_space();
+    auto searcher = GetParam().make();
+    searcher->reset(space, space.midpoint());
+    Rng rng(6);
+    for (int i = 0; i < 3000 && !searcher->converged(); ++i) {
+        const Configuration c = searcher->propose(rng);
+        searcher->feedback(c, bowl(c));
+    }
+    if (GetParam().can_converge) {
+        ASSERT_TRUE(searcher->converged()) << "did not converge within 3000 iterations";
+        // Post-convergence: pure exploitation of the best configuration.
+        for (int i = 0; i < 10; ++i) {
+            const Configuration c = searcher->propose(rng);
+            EXPECT_EQ(c, searcher->best());
+            searcher->feedback(c, bowl(c));
+        }
+    } else {
+        EXPECT_FALSE(searcher->converged());
+    }
+}
+
+TEST_P(SearcherContract, ResetClearsState) {
+    const SearchSpace space = numeric_space();
+    auto searcher = GetParam().make();
+    searcher->reset(space, space.midpoint());
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i) {
+        const Configuration c = searcher->propose(rng);
+        searcher->feedback(c, bowl(c));
+    }
+    searcher->reset(space, space.midpoint());
+    EXPECT_EQ(searcher->evaluations(), 0u);
+    EXPECT_FALSE(searcher->has_best());
+}
+
+std::vector<SearcherCase> all_searchers() {
+    return {
+        {"NelderMead", [] { return std::make_unique<NelderMeadSearcher>(); }, true, true,
+         true},
+        {"HillClimbing", [] { return std::make_unique<HillClimbingSearcher>(); }, false,
+         true, true},
+        {"SimulatedAnnealing",
+         [] { return std::make_unique<SimulatedAnnealingSearcher>(); }, false, true, true},
+        {"ParticleSwarm", [] { return std::make_unique<ParticleSwarmSearcher>(); }, true,
+         true, true},
+        {"Genetic", [] { return std::make_unique<GeneticSearcher>(); }, false, false,
+         true},
+        {"DifferentialEvolution",
+         [] { return std::make_unique<DifferentialEvolutionSearcher>(); }, true, true,
+         true},
+        {"Exhaustive", [] { return std::make_unique<ExhaustiveSearcher>(); }, false,
+         false, true},
+        {"Random", [] { return std::make_unique<RandomSearcher>(); }, false, false,
+         false},
+        {"Fixed", [] { return std::make_unique<FixedSearcher>(); }, false, false, true,
+         /*explores=*/false},
+    };
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSearchers, SearcherContract,
+                         ::testing::ValuesIn(all_searchers()),
+                         [](const ::testing::TestParamInfo<SearcherCase>& info) {
+                             return info.param.label;
+                         });
+
+} // namespace
+} // namespace atk

@@ -1,0 +1,287 @@
+// Behavior tests specific to individual phase-one searchers (the generic
+// protocol is covered by searcher_contract_test.cpp).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/autotune.hpp"
+
+namespace atk {
+namespace {
+
+SearchSpace line_space(std::int64_t hi = 100) {
+    SearchSpace space;
+    space.add(Parameter::ratio("x", 0, hi));
+    return space;
+}
+
+Cost vshape(const Configuration& c) {
+    return 1.0 + std::abs(static_cast<double>(c[0]) - 60.0);
+}
+
+template <typename S>
+void drive(S& searcher, const MeasurementFunction& f, std::size_t iters, Rng& rng) {
+    for (std::size_t i = 0; i < iters; ++i) {
+        const Configuration c = searcher.propose(rng);
+        searcher.feedback(c, f(c));
+    }
+}
+
+// ---- Hill climbing -------------------------------------------------------
+
+TEST(HillClimbing, WalksToTheGlobalOptimumOnUnimodalFunction) {
+    HillClimbingSearcher hc;
+    const SearchSpace space = line_space();
+    hc.reset(space, Configuration{{0}});
+    Rng rng(1);
+    drive(hc, vshape, 300, rng);
+    EXPECT_TRUE(hc.converged());
+    EXPECT_EQ(hc.best()[0], 60);
+    EXPECT_DOUBLE_EQ(hc.best_cost(), 1.0);
+}
+
+TEST(HillClimbing, StopsAtLocalOptimum) {
+    // Two-valley function: 10 and 80 are local minima; start near the worse.
+    HillClimbingSearcher hc;
+    const SearchSpace space = line_space();
+    const auto f = [](const Configuration& c) {
+        const double x = static_cast<double>(c[0]);
+        return 5.0 + std::min(std::abs(x - 10.0) + 3.0, std::abs(x - 80.0));
+    };
+    hc.reset(space, Configuration{{5}});
+    Rng rng(2);
+    drive(hc, f, 300, rng);
+    EXPECT_TRUE(hc.converged());
+    EXPECT_EQ(hc.best()[0], 10);  // trapped in the closer, worse valley
+}
+
+TEST(HillClimbing, AcceptsOrdinalParameters) {
+    HillClimbingSearcher hc;
+    SearchSpace space;
+    space.add(Parameter::ordinal("size", {"xs", "s", "m", "l", "xl"}));
+    hc.reset(space, Configuration{{0}});
+    Rng rng(3);
+    // Order matters even without distance: cost decreases along the order.
+    drive(hc, [](const Configuration& c) { return 10.0 - static_cast<double>(c[0]); },
+          50, rng);
+    EXPECT_EQ(hc.best()[0], 4);
+}
+
+TEST(HillClimbing, SingletonSpaceConvergesImmediately) {
+    HillClimbingSearcher hc;
+    SearchSpace space;
+    space.add(Parameter::ratio("x", 5, 5));
+    hc.reset(space, Configuration{{5}});
+    Rng rng(4);
+    const Configuration c = hc.propose(rng);
+    hc.feedback(c, 1.0);
+    EXPECT_TRUE(hc.converged());
+}
+
+// ---- Simulated annealing -------------------------------------------------
+
+TEST(SimulatedAnnealing, EscapesLocalOptimum) {
+    // The deep minimum at 24 is behind a barrier from the start at 2; plain
+    // hill climbing locks onto the local minimum at 3 in every run.
+    SimulatedAnnealingSearcher::Options options;
+    options.initial_temperature = 2.0;
+    options.cooling_rate = 0.995;
+    const auto f = [](const Configuration& c) {
+        const double x = static_cast<double>(c[0]);
+        return 5.0 + std::min(std::abs(x - 3.0) + 3.0, std::abs(x - 24.0));
+    };
+    int escaped = 0;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        SimulatedAnnealingSearcher sa(options);
+        const SearchSpace space = line_space(30);
+        sa.reset(space, Configuration{{2}});
+        Rng rng(seed);
+        drive(sa, f, 2000, rng);
+        if (sa.best_cost() < 8.0) ++escaped;  // found the deep valley (cost 5)
+    }
+    EXPECT_GE(escaped, 5);
+
+    // Control: hill climbing from the same start never escapes.
+    HillClimbingSearcher hc;
+    const SearchSpace space = line_space(30);
+    hc.reset(space, Configuration{{2}});
+    Rng rng(42);
+    drive(hc, f, 200, rng);
+    EXPECT_EQ(hc.best()[0], 3);
+}
+
+TEST(SimulatedAnnealing, ConvergesWhenTemperatureFloors) {
+    SimulatedAnnealingSearcher::Options options;
+    options.initial_temperature = 1.0;
+    options.cooling_rate = 0.5;
+    options.min_temperature = 0.01;
+    SimulatedAnnealingSearcher sa(options);
+    const SearchSpace space = line_space();
+    sa.reset(space, space.midpoint());
+    Rng rng(5);
+    drive(sa, vshape, 20, rng);  // 0.5^7 < 0.01
+    EXPECT_TRUE(sa.converged());
+}
+
+// ---- Particle swarm --------------------------------------------------------
+
+TEST(ParticleSwarm, SwarmIncludesTheInitialConfiguration) {
+    ParticleSwarmSearcher pso;
+    const SearchSpace space = line_space();
+    const Configuration start{{37}};
+    pso.reset(space, start);
+    Rng rng(6);
+    EXPECT_EQ(pso.propose(rng), start);  // particle 0 = hand-crafted start
+}
+
+TEST(ParticleSwarm, ConcentratesNearOptimum) {
+    ParticleSwarmSearcher pso;
+    const SearchSpace space = line_space(1000);
+    pso.reset(space, Configuration{{0}});
+    Rng rng(7);
+    const auto f = [](const Configuration& c) {
+        const double d = static_cast<double>(c[0]) - 700.0;
+        return 1.0 + d * d;
+    };
+    drive(pso, f, 600, rng);
+    EXPECT_NEAR(static_cast<double>(pso.best()[0]), 700.0, 30.0);
+}
+
+// ---- Genetic ----------------------------------------------------------------
+
+TEST(Genetic, OptimizesMixedNominalNumericSpace) {
+    // The GA is the one classic searcher that can handle nominal genes:
+    // cost depends on picking label "b" AND driving x to 25.
+    GeneticSearcher ga;
+    SearchSpace space;
+    space.add(Parameter::nominal("algo", {"a", "b", "c", "d"}));
+    space.add(Parameter::ratio("x", 0, 50));
+    ga.reset(space, Configuration{{0, 0}});
+    Rng rng(8);
+    const auto f = [](const Configuration& c) {
+        const double penalty = c[0] == 1 ? 0.0 : 50.0;
+        return 1.0 + penalty + std::abs(static_cast<double>(c[1]) - 25.0);
+    };
+    drive(ga, f, 600, rng);
+    EXPECT_EQ(ga.best()[0], 1);
+    EXPECT_NEAR(static_cast<double>(ga.best()[1]), 25.0, 5.0);
+}
+
+TEST(Genetic, SingleNominalParameterDecaysToRandomSearch) {
+    // The paper's Section III-E: with algorithmic choice as the only gene,
+    // mutation/crossover degenerate — the GA must still sample all labels.
+    GeneticSearcher::Options options;
+    options.mutation_rate = 0.5;
+    GeneticSearcher ga(options);
+    SearchSpace space;
+    space.add(Parameter::nominal("algo", {"a", "b", "c", "d", "e"}));
+    ga.reset(space, Configuration{{0}});
+    Rng rng(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 200; ++i) {
+        const Configuration c = ga.propose(rng);
+        seen.insert(c[0]);
+        ga.feedback(c, 1.0 + static_cast<double>(c[0]));
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Genetic, ElitismPreservesBestGenome) {
+    GeneticSearcher::Options options;
+    options.population = 6;
+    options.elites = 1;
+    options.stale_generations = 1000;  // keep breeding
+    GeneticSearcher ga(options);
+    const SearchSpace space = line_space();
+    ga.reset(space, Configuration{{60}});  // optimum seeded into generation 0
+    Rng rng(10);
+    drive(ga, vshape, 120, rng);
+    // The elite (x=60, cost 1) can never be lost.
+    EXPECT_DOUBLE_EQ(ga.best_cost(), 1.0);
+}
+
+// ---- Differential evolution ---------------------------------------------
+
+TEST(DifferentialEvolution, ConvergesOnQuadratic) {
+    DifferentialEvolutionSearcher de;
+    SearchSpace space;
+    space.add(Parameter::interval("x", -500, 500));
+    space.add(Parameter::interval("y", -500, 500));
+    de.reset(space, Configuration{{-500, 500}});
+    Rng rng(11);
+    const auto f = [](const Configuration& c) {
+        const double dx = static_cast<double>(c[0]) - 120.0;
+        const double dy = static_cast<double>(c[1]) + 300.0;
+        return 1.0 + dx * dx + dy * dy;
+    };
+    drive(de, f, 1500, rng);
+    EXPECT_NEAR(static_cast<double>(de.best()[0]), 120.0, 50.0);
+    EXPECT_NEAR(static_cast<double>(de.best()[1]), -300.0, 50.0);
+}
+
+TEST(DifferentialEvolution, AgentsNeverRegress) {
+    // Selection keeps an agent only if the trial is no worse: the best cost
+    // is monotonically non-increasing across passes.
+    DifferentialEvolutionSearcher de;
+    const SearchSpace space = line_space();
+    de.reset(space, space.midpoint());
+    Rng rng(12);
+    Cost last_best = std::numeric_limits<Cost>::infinity();
+    for (int i = 0; i < 400; ++i) {
+        const Configuration c = de.propose(rng);
+        de.feedback(c, vshape(c));
+        EXPECT_LE(de.best_cost(), last_best);
+        last_best = de.best_cost();
+    }
+}
+
+// ---- Exhaustive & random ----------------------------------------------------
+
+TEST(Exhaustive, VisitsEveryConfigurationExactlyOnce) {
+    ExhaustiveSearcher ex;
+    SearchSpace space;
+    space.add(Parameter::ratio("a", 0, 3));
+    space.add(Parameter::nominal("b", {"x", "y", "z"}));
+    ex.reset(space, space.lowest());
+    Rng rng(13);
+    std::set<std::vector<std::int64_t>> seen;
+    while (!ex.converged()) {
+        const Configuration c = ex.propose(rng);
+        EXPECT_TRUE(seen.insert(c.values()).second);
+        ex.feedback(c, 1.0 + static_cast<double>(c[0]) + static_cast<double>(c[1]));
+    }
+    EXPECT_EQ(seen.size(), 12u);
+    EXPECT_EQ(ex.best(), space.lowest());
+}
+
+TEST(Exhaustive, GuaranteesGlobalOptimum) {
+    ExhaustiveSearcher ex;
+    const SearchSpace space = line_space(30);
+    ex.reset(space, space.lowest());
+    Rng rng(14);
+    const auto f = [](const Configuration& c) {
+        // adversarial: optimum hidden at 23
+        return c[0] == 23 ? 0.5 : 2.0 + static_cast<double>((c[0] * 7919) % 97);
+    };
+    drive(ex, f, 40, rng);
+    EXPECT_DOUBLE_EQ(ex.best_cost(), 0.5);
+}
+
+TEST(Random, SamplesBroadlyAndNeverConverges) {
+    RandomSearcher random;
+    const SearchSpace space = line_space(9);
+    random.reset(space, space.lowest());
+    Rng rng(15);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 300; ++i) {
+        const Configuration c = random.propose(rng);
+        seen.insert(c[0]);
+        random.feedback(c, 1.0);
+    }
+    EXPECT_EQ(seen.size(), 10u);
+    EXPECT_FALSE(random.converged());
+}
+
+} // namespace
+} // namespace atk

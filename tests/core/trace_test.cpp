@@ -1,0 +1,53 @@
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atk {
+namespace {
+
+TuningTrace sample_trace() {
+    TuningTrace trace;
+    trace.record(TraceEntry{0, 0, Configuration{}, 10.0});
+    trace.record(TraceEntry{1, 1, Configuration{}, 20.0});
+    trace.record(TraceEntry{2, 0, Configuration{}, 8.0});
+    trace.record(TraceEntry{3, 2, Configuration{}, 30.0});
+    trace.record(TraceEntry{4, 0, Configuration{}, 7.0});
+    return trace;
+}
+
+TEST(TuningTrace, CostsInIterationOrder) {
+    const auto costs = sample_trace().costs();
+    EXPECT_EQ(costs, (std::vector<double>{10.0, 20.0, 8.0, 30.0, 7.0}));
+}
+
+TEST(TuningTrace, ChoiceCountsHistogram) {
+    const auto counts = sample_trace().choice_counts(3);
+    EXPECT_EQ(counts, (std::vector<std::size_t>{3, 1, 1}));
+}
+
+TEST(TuningTrace, ChoiceCountsRejectsOutOfRangeAlgorithm) {
+    EXPECT_THROW(sample_trace().choice_counts(2), std::out_of_range);
+}
+
+TEST(TuningTrace, CostsOfSingleAlgorithm) {
+    const auto costs = sample_trace().costs_of(0);
+    EXPECT_EQ(costs, (std::vector<double>{10.0, 8.0, 7.0}));
+    EXPECT_TRUE(sample_trace().costs_of(7).empty());
+}
+
+TEST(TuningTrace, EmptyTrace) {
+    const TuningTrace trace;
+    EXPECT_TRUE(trace.empty());
+    EXPECT_TRUE(trace.costs().empty());
+    EXPECT_EQ(trace.choice_counts(4), (std::vector<std::size_t>{0, 0, 0, 0}));
+}
+
+TEST(TuningTrace, IndexAccess) {
+    const auto trace = sample_trace();
+    EXPECT_EQ(trace[3].algorithm, 2u);
+    EXPECT_DOUBLE_EQ(trace[3].cost, 30.0);
+    EXPECT_THROW(trace[99], std::out_of_range);
+}
+
+} // namespace
+} // namespace atk

@@ -1,0 +1,155 @@
+#include "core/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/autotune.hpp"
+
+namespace atk {
+namespace {
+
+/// Two synthetic "algorithms": A has no parameters and constant cost 30;
+/// B has one parameter x in [0, 50] with cost 10 + |x - 40| (optimum 10).
+std::vector<TunableAlgorithm> two_algorithms() {
+    std::vector<TunableAlgorithm> algorithms;
+    algorithms.push_back(TunableAlgorithm::untunable("A"));
+
+    TunableAlgorithm b;
+    b.name = "B";
+    b.space.add(Parameter::ratio("x", 0, 50));
+    b.initial = Configuration{{0}};
+    b.searcher = std::make_unique<NelderMeadSearcher>();
+    algorithms.push_back(std::move(b));
+    return algorithms;
+}
+
+Cost measure(const Trial& trial) {
+    if (trial.algorithm == 0) return 30.0;
+    return 10.0 + std::abs(static_cast<double>(trial.config[0]) - 40.0);
+}
+
+TEST(TwoPhaseTuner, RejectsInvalidConstruction) {
+    EXPECT_THROW(TwoPhaseTuner(nullptr, two_algorithms()), std::invalid_argument);
+    EXPECT_THROW(TwoPhaseTuner(std::make_unique<EpsilonGreedy>(0.1), {}),
+                 std::invalid_argument);
+}
+
+TEST(TwoPhaseTuner, RejectsSearcherIncompatibleWithSpace) {
+    std::vector<TunableAlgorithm> algorithms;
+    TunableAlgorithm bad;
+    bad.name = "bad";
+    bad.space.add(Parameter::nominal("inner", {"x", "y"}));
+    bad.initial = Configuration{{0}};
+    bad.searcher = std::make_unique<NelderMeadSearcher>();  // needs distance
+    algorithms.push_back(std::move(bad));
+    EXPECT_THROW(TwoPhaseTuner(std::make_unique<EpsilonGreedy>(0.1), std::move(algorithms)),
+                 std::invalid_argument);
+}
+
+TEST(TwoPhaseTuner, NullSearcherBecomesFixed) {
+    std::vector<TunableAlgorithm> algorithms;
+    TunableAlgorithm a;
+    a.name = "A";
+    a.initial = Configuration{};
+    a.searcher = nullptr;
+    algorithms.push_back(std::move(a));
+    TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.0), std::move(algorithms));
+    const Trial trial = tuner.next();
+    EXPECT_TRUE(trial.config.empty());
+}
+
+TEST(TwoPhaseTuner, ProtocolEnforced) {
+    TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.1), two_algorithms());
+    EXPECT_THROW(tuner.report(Trial{}, 1.0), std::logic_error);
+    const Trial trial = tuner.next();
+    EXPECT_THROW(tuner.next(), std::logic_error);
+    EXPECT_THROW(tuner.report(trial, -1.0), std::invalid_argument);
+    Trial other = trial;
+    other.algorithm = 1 - other.algorithm;
+    EXPECT_THROW(tuner.report(other, 1.0), std::invalid_argument);
+    tuner.report(trial, measure(trial));
+    EXPECT_EQ(tuner.iteration(), 1u);
+}
+
+TEST(TwoPhaseTuner, ProposedConfigsBelongToTheChosenAlgorithmSpace) {
+    TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.2), two_algorithms());
+    for (int i = 0; i < 100; ++i) {
+        const Trial trial = tuner.next();
+        const auto& algorithm = tuner.algorithm(trial.algorithm);
+        EXPECT_TRUE(algorithm.space.contains(trial.config));
+        tuner.report(trial, measure(trial));
+    }
+}
+
+TEST(TwoPhaseTuner, FindsGlobalOptimumAcrossAlgorithmAndParameters) {
+    // The combined problem of the paper's Section III: Copt contains both
+    // the optimal algorithm (B) and the optimal parameter setting (x = 40).
+    TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.2), two_algorithms(), 7);
+    tuner.run(measure, 400);
+    EXPECT_EQ(tuner.best_trial().algorithm, 1u);
+    EXPECT_NEAR(static_cast<double>(tuner.best_trial().config[0]), 40.0, 5.0);
+    EXPECT_LT(tuner.best_cost(), 16.0);
+}
+
+TEST(TwoPhaseTuner, PhaseOneTuningHappensPerAlgorithm) {
+    // Each algorithm's searcher only ever sees its own samples: B's searcher
+    // must converge toward x = 40 even while A is selected in between.
+    TwoPhaseTuner tuner(std::make_unique<RandomChoice>(), two_algorithms(), 11);
+    tuner.run(measure, 600);
+    const auto& b = tuner.algorithm(1);
+    EXPECT_NEAR(static_cast<double>(b.searcher->best()[0]), 40.0, 8.0);
+}
+
+TEST(TwoPhaseTuner, TraceRecordsEveryIteration) {
+    TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.1), two_algorithms(), 3);
+    const TuningTrace slice = tuner.run(measure, 50);
+    EXPECT_EQ(slice.size(), 50u);
+    EXPECT_EQ(tuner.trace().size(), 50u);
+    for (std::size_t i = 0; i < slice.size(); ++i) {
+        EXPECT_EQ(slice[i].iteration, i);
+        EXPECT_GT(slice[i].cost, 0.0);
+        EXPECT_LT(slice[i].algorithm, 2u);
+    }
+    // A second run() returns only the new slice.
+    const TuningTrace more = tuner.run(measure, 20);
+    EXPECT_EQ(more.size(), 20u);
+    EXPECT_EQ(tuner.trace().size(), 70u);
+    EXPECT_EQ(more[0].iteration, 50u);
+}
+
+TEST(TwoPhaseTuner, BestTrialThrowsBeforeFirstReport) {
+    TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.1), two_algorithms());
+    EXPECT_THROW(tuner.best_trial(), std::logic_error);
+}
+
+TEST(TwoPhaseTuner, DeterministicForFixedSeed) {
+    auto run_once = [](std::uint64_t seed) {
+        TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.2), two_algorithms(), seed);
+        std::vector<std::size_t> choices;
+        for (int i = 0; i < 100; ++i) {
+            const Trial trial = tuner.next();
+            choices.push_back(trial.algorithm);
+            tuner.report(trial, measure(trial));
+        }
+        return choices;
+    };
+    EXPECT_EQ(run_once(5), run_once(5));
+    EXPECT_NE(run_once(5), run_once(6));
+}
+
+TEST(TwoPhaseTuner, WorksWithEveryNominalStrategy) {
+    std::vector<std::unique_ptr<NominalStrategy>> strategies;
+    strategies.push_back(std::make_unique<EpsilonGreedy>(0.1));
+    strategies.push_back(std::make_unique<GradientWeighted>());
+    strategies.push_back(std::make_unique<OptimumWeighted>());
+    strategies.push_back(std::make_unique<SlidingWindowAuc>());
+    for (auto& strategy : strategies) {
+        TwoPhaseTuner tuner(std::move(strategy), two_algorithms(), 17);
+        tuner.run(measure, 200);
+        // Global optimum cost is 10 (B tuned); even the slow strategies must
+        // have discovered a configuration beating A's constant 30.
+        EXPECT_LT(tuner.best_cost(), 30.0);
+    }
+}
+
+} // namespace
+} // namespace atk

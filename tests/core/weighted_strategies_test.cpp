@@ -1,0 +1,227 @@
+// Numeric verification of the weight formulas in the paper's Section III
+// (B: Gradient-Weighted, C: Optimum-Weighted, D: Sliding-Window AUC).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/nominal/gradient_weighted.hpp"
+#include "core/nominal/optimum_weighted.hpp"
+#include "core/nominal/sliding_auc.hpp"
+#include "core/nominal/softmax.hpp"
+
+namespace atk {
+namespace {
+
+// ---- Gradient-Weighted ---------------------------------------------------
+
+TEST(GradientWeighted, RejectsDegenerateWindow) {
+    EXPECT_THROW(GradientWeighted(0), std::invalid_argument);
+    EXPECT_THROW(GradientWeighted(1), std::invalid_argument);
+    EXPECT_NO_THROW(GradientWeighted(2));
+    EXPECT_EQ(GradientWeighted(16).window_size(), 16u);
+}
+
+TEST(GradientWeighted, ZeroGradientGivesWeightTwo) {
+    // Constant samples → G = 0 → w = G + 2 = 2 (the paper's observation that
+    // the strategy degenerates to uniform random selection on untuned
+    // algorithms).
+    GradientWeighted strategy;
+    strategy.reset(2);
+    Rng rng(1);
+    for (int i = 0; i < 10; ++i) {
+        const std::size_t c = strategy.select(rng);
+        strategy.report(c, 25.0);
+    }
+    for (const double w : strategy.weights()) EXPECT_DOUBLE_EQ(w, 2.0);
+}
+
+TEST(GradientWeighted, ImprovingAlgorithmGetsWeightAboveTwo) {
+    GradientWeighted strategy;
+    strategy.reset(2);
+    // Algorithm 0 improves from 20ms to 10ms over iterations 0..2:
+    // G = (1/10 - 1/20) / 2 = 0.025 → w = 2.025.
+    strategy.report(0, 20.0);
+    strategy.report(0, 15.0);
+    strategy.report(0, 10.0);
+    const auto w = strategy.weights();
+    EXPECT_NEAR(w[0], 2.0 + (0.1 - 0.05) / 2.0, 1e-12);
+}
+
+TEST(GradientWeighted, DegradingAlgorithmGetsWeightBelowTwo) {
+    GradientWeighted strategy;
+    strategy.reset(1);
+    // 10ms → 20ms over one iteration: G = (0.05 - 0.1)/1 = -0.05 ≥ -1
+    // → w = 1.95.
+    strategy.report(0, 10.0);
+    strategy.report(0, 20.0);
+    EXPECT_NEAR(strategy.weights()[0], 1.95, 1e-12);
+}
+
+TEST(GradientWeighted, SteepDegradationUsesReciprocalBranch) {
+    GradientWeighted strategy;
+    strategy.reset(1);
+    // 0.1ms → 10ms in one iteration: G = (0.1 - 10)/1 = -9.9 < -1
+    // → w = -1/G = 0.10101...; still strictly positive.
+    strategy.report(0, 0.1);
+    strategy.report(0, 10.0);
+    EXPECT_NEAR(strategy.weights()[0], 1.0 / 9.9, 1e-9);
+    EXPECT_GT(strategy.weights()[0], 0.0);
+}
+
+TEST(GradientWeighted, WindowLimitsTheGradientSpan) {
+    GradientWeighted strategy(4);
+    strategy.reset(1);
+    // Early huge improvement followed by constant samples: once the window
+    // slides past the improvement, the gradient flattens back to 0 → w = 2.
+    strategy.report(0, 100.0);
+    for (int i = 0; i < 10; ++i) strategy.report(0, 10.0);
+    EXPECT_DOUBLE_EQ(strategy.weights()[0], 2.0);
+}
+
+TEST(GradientWeighted, GradientUsesGlobalIterationSpan) {
+    GradientWeighted strategy;
+    strategy.reset(2);
+    // Algorithm 0 sampled at global iterations 0 and 3 (others in between):
+    // G = (1/10 - 1/20) / (3 - 0).
+    strategy.report(0, 20.0);  // iteration 0
+    strategy.report(1, 50.0);  // iteration 1
+    strategy.report(1, 50.0);  // iteration 2
+    strategy.report(0, 10.0);  // iteration 3
+    EXPECT_NEAR(strategy.weights()[0], 2.0 + (0.1 - 0.05) / 3.0, 1e-12);
+}
+
+// ---- Optimum-Weighted -------------------------------------------------------
+
+TEST(OptimumWeighted, WeightIsBestInverseRuntime) {
+    OptimumWeighted strategy;
+    strategy.reset(2);
+    strategy.report(0, 25.0);
+    strategy.report(0, 10.0);  // best
+    strategy.report(0, 40.0);
+    strategy.report(1, 5.0);
+    const auto w = strategy.weights();
+    EXPECT_DOUBLE_EQ(w[0], 1.0 / 10.0);
+    EXPECT_DOUBLE_EQ(w[1], 1.0 / 5.0);
+}
+
+TEST(OptimumWeighted, SelectionProbabilityIsNormalizedWeight) {
+    OptimumWeighted strategy;
+    strategy.reset(2);
+    strategy.report(0, 10.0);  // w = 0.1
+    strategy.report(1, 30.0);  // w = 1/30
+    Rng rng(7);
+    int first = 0;
+    constexpr int kDraws = 30000;
+    for (int i = 0; i < kDraws; ++i)
+        if (strategy.select(rng) == 0) ++first;
+    // P(0) = 0.1 / (0.1 + 1/30) = 0.75.
+    EXPECT_NEAR(first / static_cast<double>(kDraws), 0.75, 0.01);
+}
+
+TEST(OptimumWeighted, SimilarOptimaGiveNearUniformSelection) {
+    // The paper's Figure 8 analysis: when the best times of all algorithms
+    // are close, Optimum-Weighted cannot discriminate between them.
+    OptimumWeighted strategy;
+    strategy.reset(4);
+    for (std::size_t c = 0; c < 4; ++c)
+        strategy.report(c, 20.0 + 0.1 * static_cast<double>(c));
+    const auto w = strategy.weights();
+    for (std::size_t c = 1; c < 4; ++c) EXPECT_NEAR(w[c] / w[0], 1.0, 0.02);
+}
+
+// ---- Sliding-Window AUC ---------------------------------------------------
+
+TEST(SlidingAuc, RejectsZeroWindow) {
+    EXPECT_THROW(SlidingWindowAuc(0), std::invalid_argument);
+    EXPECT_EQ(SlidingWindowAuc(16).window_size(), 16u);
+}
+
+TEST(SlidingAuc, WeightIsMeanInversePerformanceOverWindow) {
+    SlidingWindowAuc strategy(3);
+    strategy.reset(1);
+    strategy.report(0, 1000.0);  // slides out of the window below
+    strategy.report(0, 10.0);
+    strategy.report(0, 20.0);
+    strategy.report(0, 40.0);
+    const double expected = (1.0 / 10.0 + 1.0 / 20.0 + 1.0 / 40.0) / 3.0;
+    EXPECT_NEAR(strategy.weights()[0], expected, 1e-12);
+}
+
+TEST(SlidingAuc, ReactsToRecentImprovement) {
+    SlidingWindowAuc strategy(4);
+    strategy.reset(2);
+    // Both algorithms were equally slow historically, but algorithm 1 got
+    // fast recently: its windowed weight must now dominate.
+    for (int i = 0; i < 8; ++i) {
+        strategy.report(0, 50.0);
+        strategy.report(1, i < 4 ? 50.0 : 10.0);
+    }
+    const auto w = strategy.weights();
+    EXPECT_GT(w[1], 3.0 * w[0]);
+}
+
+// ---- Softmax (the paper's discussed RL alternative) -------------------------
+
+TEST(Softmax, RejectsNonPositiveTemperature) {
+    EXPECT_THROW(Softmax(0.0), std::invalid_argument);
+    EXPECT_THROW(Softmax(-1.0), std::invalid_argument);
+}
+
+TEST(Softmax, LowTemperatureConcentratesOnBest) {
+    Softmax strategy(0.05);
+    strategy.reset(3);
+    strategy.report(0, 30.0);
+    strategy.report(1, 10.0);
+    strategy.report(2, 28.0);
+    const auto w = strategy.weights();
+    EXPECT_GT(w[1], 100.0 * w[0]);
+    EXPECT_GT(w[1], 100.0 * w[2]);
+}
+
+TEST(Softmax, HighTemperatureApproachesUniform) {
+    Softmax strategy(50.0);
+    strategy.reset(3);
+    strategy.report(0, 30.0);
+    strategy.report(1, 10.0);
+    strategy.report(2, 28.0);
+    const auto w = strategy.weights();
+    EXPECT_NEAR(w[0] / w[1], 1.0, 0.05);
+    EXPECT_NEAR(w[2] / w[1], 1.0, 0.05);
+}
+
+// ---- Shared base behavior ---------------------------------------------------
+
+TEST(WeightedStrategyBase, FirstIterationIsDeterministicallyAlgorithmZero) {
+    // "they start with a deterministic configuration" — iteration 0 runs
+    // algorithm 0 for all weighted strategies.
+    std::vector<std::unique_ptr<NominalStrategy>> strategies;
+    strategies.push_back(std::make_unique<GradientWeighted>());
+    strategies.push_back(std::make_unique<OptimumWeighted>());
+    strategies.push_back(std::make_unique<SlidingWindowAuc>());
+    for (const auto& strategy : strategies) {
+        strategy->reset(5);
+        Rng rng(123);
+        EXPECT_EQ(strategy->select(rng), 0u) << strategy->name();
+    }
+}
+
+TEST(WeightedStrategyBase, UntriedChoicesGetOptimisticWeight) {
+    OptimumWeighted strategy;
+    strategy.reset(3);
+    strategy.report(0, 10.0);  // tried: w = 0.1
+    const auto w = strategy.weights();
+    EXPECT_DOUBLE_EQ(w[1], 0.1);  // untried = max tried
+    EXPECT_DOUBLE_EQ(w[2], 0.1);
+}
+
+TEST(WeightedStrategyBase, RejectsNonPositiveCosts) {
+    OptimumWeighted strategy;
+    strategy.reset(1);
+    EXPECT_THROW(strategy.report(0, 0.0), std::invalid_argument);
+    EXPECT_THROW(strategy.report(0, -5.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace atk

@@ -1,0 +1,138 @@
+// Integration of the baseline components (feature model, offline tuner)
+// with the real case-study substrates.
+
+#include <gtest/gtest.h>
+
+#include "core/autotune.hpp"
+#include "raytrace/pipeline.hpp"
+#include "stringmatch/corpus.hpp"
+#include "stringmatch/matcher.hpp"
+#include "stringmatch/parallel.hpp"
+#include "support/clock.hpp"
+
+namespace atk {
+namespace {
+
+TEST(FeatureModelIntegration, LearnsPatternLengthRegimesOnRealMatchers) {
+    // Train a Nitro-style model on real measurements over the matchers and
+    // check it predicts sensible algorithms for unseen pattern lengths:
+    // the predicted choice must be within 2x of the measured best.
+    const std::string corpus = sm::bible_like_corpus(300000, 7, 0);
+    auto matchers = sm::make_all_matchers();  // the seven, no Hybrid
+    ThreadPool pool(2);
+    Rng rng(5);
+
+    auto time_query = [&](std::size_t a, const std::string& pattern) {
+        Stopwatch watch;
+        (void)sm::parallel_count(*matchers[a], corpus, pattern, pool);
+        return std::max(1e-6, watch.elapsed_ms());
+    };
+
+    std::vector<TrainingWorkload> training;
+    for (const std::size_t len : {2u, 4u, 8u, 16u, 32u, 64u}) {
+        for (int i = 0; i < 3; ++i) {
+            const std::string pattern =
+                corpus.substr(rng.index(corpus.size() - len), len);
+            TrainingWorkload workload;
+            workload.features = {static_cast<double>(len)};
+            workload.measure = [&, pattern](std::size_t a) {
+                return time_query(a, pattern);
+            };
+            training.push_back(std::move(workload));
+        }
+    }
+    const FeatureModel model = train_feature_model(training, matchers.size(), 3, 2);
+    EXPECT_EQ(model.sample_count(), training.size());
+
+    for (const std::size_t len : {6u, 24u, 48u}) {
+        const std::string pattern = corpus.substr(rng.index(corpus.size() - len), len);
+        const std::size_t predicted = model.predict({static_cast<double>(len)});
+        ASSERT_LT(predicted, matchers.size());
+        std::vector<double> direct(matchers.size());
+        for (std::size_t a = 0; a < matchers.size(); ++a)
+            direct[a] = std::min(time_query(a, pattern), time_query(a, pattern));
+        const double best = *std::min_element(direct.begin(), direct.end());
+        EXPECT_LT(direct[predicted], std::max(2.5 * best, best + 1.0))
+            << "m=" << len << " predicted " << matchers[predicted]->name();
+    }
+}
+
+TEST(OfflineIntegration, OfflineAndOnlineAgreeOnTheWinningBuilder) {
+    // Offline exhaustive-over-algorithms tuning and a long online run must
+    // converge to builders whose frame times are within noise of each other.
+    rt::CathedralParams params;
+    params.floor_tiles = 6;
+    params.columns_per_side = 3;
+    params.column_segments = 6;
+    params.vault_segments = 8;
+    params.clutter = 8;
+    rt::RaytracePipeline pipeline(rt::make_cathedral(params), 32, 24, 2);
+    const auto builders = rt::make_all_builders();
+
+    std::vector<OfflineAlgorithm> offline_algorithms;
+    for (const auto& builder : builders) {
+        OfflineAlgorithm algorithm;
+        algorithm.name = builder->name();
+        algorithm.space = builder->tuning_space();
+        algorithm.initial = builder->default_config();
+        offline_algorithms.push_back(std::move(algorithm));
+    }
+    OfflineTuner::Options options;
+    options.max_evaluations = 25;
+    const auto offline = offline_two_phase_minimize(
+        offline_algorithms, [] { return std::make_unique<NelderMeadSearcher>(); },
+        [&](std::size_t a, const Configuration& config) {
+            return std::max(1e-6, pipeline.render_frame(*builders[a],
+                                                        builders[a]->decode(config)));
+        },
+        options);
+
+    TwoPhaseTuner online(std::make_unique<EpsilonGreedy>(0.15),
+                         rt::make_tunable_builders(builders), 3);
+    online.run(
+        [&](const Trial& trial) {
+            const auto& builder = *builders[trial.algorithm];
+            return std::max(1e-6, pipeline.render_frame(builder,
+                                                        builder.decode(trial.config)));
+        },
+        60);
+
+    // Replay both winners back-to-back; they must be comparable (within 2x —
+    // generous because single-frame timings on shared hosts are noisy).
+    const Millis offline_frame = pipeline.render_frame(
+        *builders[offline.algorithm], builders[offline.algorithm]->decode(offline.config));
+    const auto& online_best = online.best_trial();
+    const Millis online_frame = pipeline.render_frame(
+        *builders[online_best.algorithm],
+        builders[online_best.algorithm]->decode(online_best.config));
+    EXPECT_LT(offline_frame, 2.0 * online_frame + 2.0);
+    EXPECT_LT(online_frame, 2.0 * offline_frame + 2.0);
+}
+
+TEST(OfflineIntegration, ExhaustivePhaseTwoBeatsAnyMisconfiguredFixedChoice) {
+    // Offline tuning over the string matchers (purely nominal: Fixed
+    // searcher) must find a matcher no slower than the known-slow KMP.
+    const std::string corpus = sm::bible_like_corpus(200000, 9, 1);
+    auto matchers = sm::make_all_matchers();
+    ThreadPool pool(2);
+
+    std::vector<OfflineAlgorithm> algorithms(matchers.size());
+    for (std::size_t a = 0; a < matchers.size(); ++a)
+        algorithms[a].name = matchers[a]->name();
+    const auto result = offline_two_phase_minimize(
+        algorithms, [] { return std::make_unique<FixedSearcher>(); },
+        [&](std::size_t a, const Configuration&) {
+            Stopwatch watch;
+            (void)sm::parallel_count(*matchers[a], corpus, sm::query_phrase(), pool);
+            return std::max(1e-6, watch.elapsed_ms());
+        });
+
+    Stopwatch watch;
+    (void)sm::parallel_count(*matchers[4], corpus, sm::query_phrase(), pool);  // KMP
+    const Millis kmp = watch.elapsed_ms();
+    EXPECT_LE(result.cost, kmp);
+    EXPECT_NE(matchers[result.algorithm]->name(), "Knuth-Morris-Pratt");
+}
+
+} // namespace
+} // namespace atk

@@ -1,0 +1,97 @@
+// Miniature of the paper's case study 2: combined tuning of the kD-tree
+// construction algorithm (phase two) and its parameters (phase one).
+
+#include <gtest/gtest.h>
+
+#include "core/autotune.hpp"
+#include "raytrace/pipeline.hpp"
+
+namespace atk {
+namespace {
+
+class RaytraceTuning : public ::testing::Test {
+protected:
+    RaytraceTuning() : pipeline_(small_scene(), 32, 24, 2), builders_(rt::make_all_builders()) {}
+
+    static rt::Scene small_scene() {
+        rt::CathedralParams params;
+        params.floor_tiles = 6;
+        params.columns_per_side = 3;
+        params.column_segments = 6;
+        params.vault_segments = 8;
+        params.clutter = 8;
+        return rt::make_cathedral(params);
+    }
+
+    Cost measure(const Trial& trial) {
+        const auto& builder = *builders_[trial.algorithm];
+        const rt::BuildConfig config = builder.decode(trial.config);
+        return std::max(1e-3, pipeline_.render_frame(builder, config));
+    }
+
+    rt::RaytracePipeline pipeline_;
+    std::vector<std::unique_ptr<rt::KdBuilder>> builders_;
+};
+
+TEST_F(RaytraceTuning, FirstProposalPerBuilderIsTheHandCraftedDefault) {
+    // Figure 5's "leap on the first tuning iteration" presumes every builder
+    // starts from its hand-crafted configuration.
+    auto algorithms = rt::make_tunable_builders(builders_);
+    TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.0), std::move(algorithms), 1);
+    const Trial first = tuner.next();
+    EXPECT_EQ(first.config, builders_[first.algorithm]->default_config());
+}
+
+TEST_F(RaytraceTuning, CombinedTuningRunsAndImproves) {
+    auto algorithms = rt::make_tunable_builders(builders_);
+    TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.2), std::move(algorithms), 5);
+    const TuningTrace trace =
+        tuner.run([&](const Trial& t) { return measure(t); }, 40);
+    ASSERT_EQ(trace.size(), 40u);
+    // The best found frame time must beat the median of the first few
+    // frames (tuning progress, robust to timing noise).
+    std::vector<double> first_frames;
+    for (std::size_t i = 0; i < 8; ++i) first_frames.push_back(trace[i].cost);
+    std::sort(first_frames.begin(), first_frames.end());
+    EXPECT_LE(tuner.best_cost(), first_frames[4]);
+}
+
+TEST_F(RaytraceTuning, EveryProposedConfigurationIsDecodableAndValid) {
+    auto algorithms = rt::make_tunable_builders(builders_);
+    TwoPhaseTuner tuner(std::make_unique<SlidingWindowAuc>(), std::move(algorithms), 9);
+    for (int i = 0; i < 30; ++i) {
+        const Trial trial = tuner.next();
+        const auto& builder = *builders_[trial.algorithm];
+        ASSERT_TRUE(builder.tuning_space().contains(trial.config));
+        const rt::BuildConfig config = builder.decode(trial.config);
+        EXPECT_GE(config.parallel_depth, 0);
+        EXPECT_GT(config.sah.traversal_cost, 0.0f);
+        EXPECT_GT(config.sah.intersection_cost, 0.0f);
+        tuner.report(trial, measure(trial));
+    }
+}
+
+TEST_F(RaytraceTuning, RenderedImagesStayIdenticalUnderTuning) {
+    // Tuning changes the tree, never the image: the frame produced with any
+    // configuration of any builder must equal the reference frame.
+    std::uint64_t reference = 0;
+    bool have_reference = false;
+    auto algorithms = rt::make_tunable_builders(builders_);
+    TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.3), std::move(algorithms), 11);
+    for (int i = 0; i < 12; ++i) {
+        const Trial trial = tuner.next();
+        tuner.report(trial, measure(trial));
+        const std::uint64_t checksum = pipeline_.last_image().checksum();
+        if (!have_reference) {
+            reference = checksum;
+            have_reference = true;
+        } else {
+            EXPECT_EQ(checksum, reference)
+                << "builder " << builders_[trial.algorithm]->name() << " config "
+                << builders_[trial.algorithm]->tuning_space().describe(trial.config);
+        }
+    }
+}
+
+} // namespace
+} // namespace atk

@@ -1,0 +1,97 @@
+// Miniature of the paper's case study 1: online tuning of the algorithmic
+// choice across the eight parallel string matchers (no phase-one params).
+
+#include <gtest/gtest.h>
+
+#include "core/autotune.hpp"
+#include "stringmatch/corpus.hpp"
+#include "stringmatch/matcher.hpp"
+#include "stringmatch/parallel.hpp"
+#include "support/clock.hpp"
+
+namespace atk {
+namespace {
+
+class StringMatchTuning : public ::testing::Test {
+protected:
+    void SetUp() override {
+        text_ = sm::bible_like_corpus(400000, 2016, 2);
+        matchers_ = sm::make_all_matchers_with_hybrid();
+    }
+
+    std::vector<TunableAlgorithm> make_algorithms() const {
+        std::vector<TunableAlgorithm> algorithms;
+        for (const auto& matcher : matchers_)
+            algorithms.push_back(TunableAlgorithm::untunable(matcher->name()));
+        return algorithms;
+    }
+
+    Cost measure(const Trial& trial) {
+        Stopwatch watch;
+        const std::size_t count = sm::parallel_count(*matchers_[trial.algorithm], text_,
+                                                     sm::query_phrase(), pool_);
+        EXPECT_EQ(count, 2u);  // every algorithm agrees on the result
+        return std::max(1e-3, watch.elapsed_ms());
+    }
+
+    std::string text_;
+    std::vector<std::unique_ptr<sm::Matcher>> matchers_;
+    ThreadPool pool_{2};
+};
+
+TEST_F(StringMatchTuning, MatchersHaveNoTunableParameters) {
+    // Case study 1's defining property: the search space is purely nominal.
+    for (const auto& algorithm : make_algorithms()) {
+        EXPECT_TRUE(algorithm.space.empty());
+    }
+}
+
+TEST_F(StringMatchTuning, EpsilonGreedyInitializationTriesEachMatcherOnce) {
+    TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.0), make_algorithms(), 1);
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < matchers_.size(); ++i) {
+        const Trial trial = tuner.next();
+        order.push_back(trial.algorithm);
+        tuner.report(trial, measure(trial));
+    }
+    // Deterministic order 0..7 — the staircase of the paper's Figure 2.
+    for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST_F(StringMatchTuning, TunerSettlesOnAFastMatcher) {
+    TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.1), make_algorithms(), 7);
+    tuner.run([&](const Trial& t) { return measure(t); }, 60);
+
+    // Measure each matcher directly to get the ground-truth ranking.
+    std::vector<double> direct(matchers_.size());
+    for (std::size_t a = 0; a < matchers_.size(); ++a) {
+        Stopwatch watch;
+        (void)sm::parallel_count(*matchers_[a], text_, sm::query_phrase(), pool_);
+        direct[a] = watch.elapsed_ms();
+    }
+    const double best_direct = *std::min_element(direct.begin(), direct.end());
+    const std::size_t chosen = tuner.best_trial().algorithm;
+    // The tuned choice is within 3x of the ground-truth best (timing noise
+    // on shared CI machines makes exact rank assertions flaky).
+    EXPECT_LT(direct[chosen], std::max(3.0 * best_direct, best_direct + 2.0))
+        << "chose " << matchers_[chosen]->name();
+}
+
+TEST_F(StringMatchTuning, AllStrategiesCompleteAndRecordFullTraces) {
+    std::vector<std::unique_ptr<NominalStrategy>> strategies;
+    strategies.push_back(std::make_unique<EpsilonGreedy>(0.05));
+    strategies.push_back(std::make_unique<GradientWeighted>());
+    strategies.push_back(std::make_unique<OptimumWeighted>());
+    strategies.push_back(std::make_unique<SlidingWindowAuc>());
+    for (auto& strategy : strategies) {
+        TwoPhaseTuner tuner(std::move(strategy), make_algorithms(), 3);
+        const TuningTrace trace = tuner.run([&](const Trial& t) { return measure(t); }, 30);
+        EXPECT_EQ(trace.size(), 30u);
+        std::size_t total = 0;
+        for (const std::size_t c : trace.choice_counts(matchers_.size())) total += c;
+        EXPECT_EQ(total, 30u);
+    }
+}
+
+} // namespace
+} // namespace atk

@@ -1,0 +1,116 @@
+// The builders' tuning metadata: spaces, defaults, decode — the glue that
+// exposes case study 2 to the autotuner.
+
+#include <gtest/gtest.h>
+
+#include "raytrace/builder.hpp"
+
+namespace atk::rt {
+namespace {
+
+TEST(Builders, FactoryProducesThePapersFourAlgorithms) {
+    const auto builders = make_all_builders();
+    ASSERT_EQ(builders.size(), 4u);
+    EXPECT_EQ(builders[0]->name(), "Inplace");
+    EXPECT_EQ(builders[1]->name(), "Lazy");
+    EXPECT_EQ(builders[2]->name(), "Nested");
+    EXPECT_EQ(builders[3]->name(), "Wald-Havran");
+}
+
+TEST(Builders, FactoryByNameRejectsUnknown) {
+    EXPECT_THROW(make_builder("Bogus"), std::invalid_argument);
+    EXPECT_EQ(make_builder("Lazy")->name(), "Lazy");
+}
+
+TEST(Builders, AllTuningSpacesAreNumericOnly) {
+    // Phase one uses Nelder-Mead, so every T_A must consist of parameters
+    // with distance (Interval/Ratio) — the two-phase split in action.
+    for (const auto& builder : make_all_builders()) {
+        const SearchSpace space = builder->tuning_space();
+        EXPECT_TRUE(space.all_have_distance()) << builder->name();
+        EXPECT_FALSE(space.has_nominal()) << builder->name();
+    }
+}
+
+TEST(Builders, CommonKnobsPresentInEverySpace) {
+    for (const auto& builder : make_all_builders()) {
+        const SearchSpace space = builder->tuning_space();
+        EXPECT_TRUE(space.index_of("parallel_depth")) << builder->name();
+        EXPECT_TRUE(space.index_of("sah_traversal_cost")) << builder->name();
+        EXPECT_TRUE(space.index_of("sah_intersection_cost")) << builder->name();
+    }
+}
+
+TEST(Builders, SpacesDifferAcrossAlgorithms) {
+    // "distinct algorithms do not necessarily share tuning parameters":
+    // the binned builders have a bin count, Wald-Havran does not, Lazy adds
+    // the eager construction cutoff.
+    const auto builders = make_all_builders();
+    const SearchSpace inplace = builders[0]->tuning_space();
+    const SearchSpace lazy = builders[1]->tuning_space();
+    const SearchSpace nested = builders[2]->tuning_space();
+    const SearchSpace wald = builders[3]->tuning_space();
+
+    EXPECT_TRUE(inplace.index_of("sah_bins"));
+    EXPECT_TRUE(nested.index_of("sah_bins"));
+    EXPECT_FALSE(wald.index_of("sah_bins"));
+
+    EXPECT_TRUE(lazy.index_of("eager_cutoff"));
+    EXPECT_FALSE(inplace.index_of("eager_cutoff"));
+    EXPECT_FALSE(wald.index_of("eager_cutoff"));
+
+    EXPECT_EQ(wald.dimension(), 3u);
+    EXPECT_EQ(inplace.dimension(), 4u);
+    EXPECT_EQ(lazy.dimension(), 5u);
+}
+
+TEST(Builders, DefaultConfigIsInsideTheSpace) {
+    // The hand-crafted best-practice start must be a valid point of T_A.
+    for (const auto& builder : make_all_builders()) {
+        const SearchSpace space = builder->tuning_space();
+        const Configuration start = builder->default_config();
+        EXPECT_TRUE(space.contains(start))
+            << builder->name() << ": " << space.describe(start);
+    }
+}
+
+TEST(Builders, DecodeMapsNamedParameters) {
+    const auto builder = make_builder("Lazy");
+    const SearchSpace space = builder->tuning_space();
+    Configuration config = builder->default_config();
+    config[*space.index_of("parallel_depth")] = 7;
+    config[*space.index_of("sah_traversal_cost")] = 33;
+    config[*space.index_of("sah_intersection_cost")] = 44;
+    config[*space.index_of("sah_bins")] = 8;
+    config[*space.index_of("eager_cutoff")] = 2;
+    const BuildConfig build = builder->decode(config);
+    EXPECT_EQ(build.parallel_depth, 7);
+    EXPECT_FLOAT_EQ(build.sah.traversal_cost, 33.0f);
+    EXPECT_FLOAT_EQ(build.sah.intersection_cost, 44.0f);
+    EXPECT_EQ(build.sah_bins, 8);
+    EXPECT_EQ(build.eager_cutoff, 2);
+}
+
+TEST(Builders, DecodeRejectsWrongDimension) {
+    const auto builder = make_builder("Inplace");
+    EXPECT_THROW(builder->decode(Configuration{{1, 2}}), std::invalid_argument);
+}
+
+TEST(Builders, EveryConfigInSpaceProducesAWorkingBuild) {
+    // Property sweep: random tuner configurations must never break a build.
+    const Scene scene = make_soup(300, 21);
+    ThreadPool pool(2);
+    Rng rng(77);
+    for (const auto& builder : make_all_builders()) {
+        const SearchSpace space = builder->tuning_space();
+        for (int round = 0; round < 5; ++round) {
+            const Configuration config = space.random(rng);
+            const KdTree tree = builder->build(scene, builder->decode(config), pool);
+            EXPECT_TRUE(tree.validate())
+                << builder->name() << " with " << space.describe(config);
+        }
+    }
+}
+
+} // namespace
+} // namespace atk::rt

@@ -1,0 +1,172 @@
+#include "raytrace/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atk::rt {
+namespace {
+
+TEST(Vec3, BasicAlgebra) {
+    const Vec3 a{1, 2, 3};
+    const Vec3 b{4, 5, 6};
+    EXPECT_EQ((a + b).x, 5.0f);
+    EXPECT_EQ((b - a).z, 3.0f);
+    EXPECT_EQ((a * 2.0f).y, 4.0f);
+    EXPECT_EQ((2.0f * a).y, 4.0f);
+    EXPECT_EQ((-a).x, -1.0f);
+    EXPECT_FLOAT_EQ(dot(a, b), 32.0f);
+}
+
+TEST(Vec3, CrossProductIsOrthogonal) {
+    const Vec3 a{1, 0, 0};
+    const Vec3 b{0, 1, 0};
+    const Vec3 c = cross(a, b);
+    EXPECT_FLOAT_EQ(c.x, 0.0f);
+    EXPECT_FLOAT_EQ(c.y, 0.0f);
+    EXPECT_FLOAT_EQ(c.z, 1.0f);
+    const Vec3 d{0.3f, -1.2f, 2.0f};
+    const Vec3 e{1.5f, 0.4f, -0.7f};
+    const Vec3 f = cross(d, e);
+    EXPECT_NEAR(dot(f, d), 0.0f, 1e-5f);
+    EXPECT_NEAR(dot(f, e), 0.0f, 1e-5f);
+}
+
+TEST(Vec3, NormalizeGivesUnitLength) {
+    const Vec3 v = normalize(Vec3{3, 4, 0});
+    EXPECT_NEAR(length(v), 1.0f, 1e-6f);
+    EXPECT_NEAR(v.x, 0.6f, 1e-6f);
+    // Zero vector stays zero instead of producing NaNs.
+    const Vec3 zero = normalize(Vec3{0, 0, 0});
+    EXPECT_EQ(zero.x, 0.0f);
+}
+
+TEST(Vec3, IndexAccess) {
+    const Vec3 v{7, 8, 9};
+    EXPECT_EQ(v[0], 7.0f);
+    EXPECT_EQ(v[1], 8.0f);
+    EXPECT_EQ(v[2], 9.0f);
+}
+
+TEST(Aabb, ExpandGrowsToContain) {
+    Aabb box;
+    EXPECT_FALSE(box.valid());
+    box.expand(Vec3{1, 2, 3});
+    EXPECT_TRUE(box.valid());
+    box.expand(Vec3{-1, 5, 0});
+    EXPECT_EQ(box.lo.x, -1.0f);
+    EXPECT_EQ(box.hi.y, 5.0f);
+    EXPECT_EQ(box.lo.z, 0.0f);
+}
+
+TEST(Aabb, SurfaceAreaOfUnitCube) {
+    Aabb box;
+    box.expand(Vec3{0, 0, 0});
+    box.expand(Vec3{1, 1, 1});
+    EXPECT_FLOAT_EQ(box.surface_area(), 6.0f);
+}
+
+TEST(Aabb, SurfaceAreaOfDegenerateBox) {
+    Aabb flat;
+    flat.expand(Vec3{0, 0, 0});
+    flat.expand(Vec3{2, 3, 0});  // zero depth
+    EXPECT_FLOAT_EQ(flat.surface_area(), 2.0f * 2.0f * 3.0f);
+    const Aabb invalid;
+    EXPECT_FLOAT_EQ(invalid.surface_area(), 0.0f);
+}
+
+TEST(Aabb, RaySlabIntersection) {
+    Aabb box;
+    box.expand(Vec3{-1, -1, -1});
+    box.expand(Vec3{1, 1, 1});
+    const Ray hit(Vec3{-5, 0, 0}, Vec3{1, 0, 0});
+    const auto interval = box.intersect(hit, 0.0f, 100.0f);
+    ASSERT_TRUE(interval.has_value());
+    EXPECT_FLOAT_EQ(interval->first, 4.0f);
+    EXPECT_FLOAT_EQ(interval->second, 6.0f);
+
+    const Ray miss(Vec3{-5, 3, 0}, Vec3{1, 0, 0});
+    EXPECT_FALSE(box.intersect(miss, 0.0f, 100.0f).has_value());
+
+    const Ray away(Vec3{-5, 0, 0}, Vec3{-1, 0, 0});
+    EXPECT_FALSE(box.intersect(away, 0.0f, 100.0f).has_value());
+}
+
+TEST(Aabb, RayStartingInsideBox) {
+    Aabb box;
+    box.expand(Vec3{-1, -1, -1});
+    box.expand(Vec3{1, 1, 1});
+    const Ray ray(Vec3{0, 0, 0}, Vec3{0, 0, 1});
+    const auto interval = box.intersect(ray, 0.0f, 100.0f);
+    ASSERT_TRUE(interval.has_value());
+    EXPECT_FLOAT_EQ(interval->first, 0.0f);
+    EXPECT_FLOAT_EQ(interval->second, 1.0f);
+}
+
+TEST(Triangle, BoundsAndCentroid) {
+    const Triangle tri{Vec3{0, 0, 0}, Vec3{3, 0, 0}, Vec3{0, 3, 3}};
+    const Aabb box = tri.bounds();
+    EXPECT_EQ(box.lo.x, 0.0f);
+    EXPECT_EQ(box.hi.x, 3.0f);
+    EXPECT_EQ(box.hi.z, 3.0f);
+    const Vec3 c = tri.centroid();
+    EXPECT_FLOAT_EQ(c.x, 1.0f);
+    EXPECT_FLOAT_EQ(c.y, 1.0f);
+    EXPECT_FLOAT_EQ(c.z, 1.0f);
+}
+
+TEST(Triangle, NormalIsUnitAndPerpendicular) {
+    const Triangle tri{Vec3{0, 0, 0}, Vec3{1, 0, 0}, Vec3{0, 1, 0}};
+    const Vec3 n = tri.normal();
+    EXPECT_NEAR(length(n), 1.0f, 1e-6f);
+    EXPECT_NEAR(n.z, 1.0f, 1e-6f);
+}
+
+TEST(MollerTrumbore, HitInsideTriangle) {
+    const Triangle tri{Vec3{0, 0, 5}, Vec3{4, 0, 5}, Vec3{0, 4, 5}};
+    const Ray ray(Vec3{1, 1, 0}, Vec3{0, 0, 1});
+    const auto hit = intersect_triangle(ray, tri, 0.0f, 100.0f);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_FLOAT_EQ(hit->t, 5.0f);
+    // Barycentrics reconstruct the hit point: p = a + u*(b-a) + v*(c-a).
+    EXPECT_NEAR(hit->u, 0.25f, 1e-6f);
+    EXPECT_NEAR(hit->v, 0.25f, 1e-6f);
+}
+
+TEST(MollerTrumbore, MissOutsideEdges) {
+    const Triangle tri{Vec3{0, 0, 5}, Vec3{4, 0, 5}, Vec3{0, 4, 5}};
+    EXPECT_FALSE(intersect_triangle(Ray(Vec3{3, 3, 0}, Vec3{0, 0, 1}), tri, 0, 100));
+    EXPECT_FALSE(intersect_triangle(Ray(Vec3{-1, 1, 0}, Vec3{0, 0, 1}), tri, 0, 100));
+    EXPECT_FALSE(intersect_triangle(Ray(Vec3{1, -1, 0}, Vec3{0, 0, 1}), tri, 0, 100));
+}
+
+TEST(MollerTrumbore, ParallelRayMisses) {
+    const Triangle tri{Vec3{0, 0, 5}, Vec3{4, 0, 5}, Vec3{0, 4, 5}};
+    const Ray ray(Vec3{1, 1, 0}, Vec3{1, 0, 0});  // parallel to the plane
+    EXPECT_FALSE(intersect_triangle(ray, tri, 0.0f, 100.0f).has_value());
+}
+
+TEST(MollerTrumbore, RespectsParameterInterval) {
+    const Triangle tri{Vec3{0, 0, 5}, Vec3{4, 0, 5}, Vec3{0, 4, 5}};
+    const Ray ray(Vec3{1, 1, 0}, Vec3{0, 0, 1});
+    EXPECT_FALSE(intersect_triangle(ray, tri, 0.0f, 4.0f));    // beyond t_max
+    EXPECT_FALSE(intersect_triangle(ray, tri, 6.0f, 100.0f));  // before t_min
+    EXPECT_TRUE(intersect_triangle(ray, tri, 4.9f, 5.1f));
+}
+
+TEST(MollerTrumbore, BackfaceIsStillHit) {
+    // The renderer treats triangles as two-sided; intersection must not cull.
+    const Triangle tri{Vec3{0, 0, 5}, Vec3{4, 0, 5}, Vec3{0, 4, 5}};
+    const Ray ray(Vec3{1, 1, 10}, Vec3{0, 0, -1});
+    const auto hit = intersect_triangle(ray, tri, 0.0f, 100.0f);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_FLOAT_EQ(hit->t, 5.0f);
+}
+
+TEST(Hit, ValidityFlag) {
+    Hit hit;
+    EXPECT_FALSE(hit.valid());
+    hit.triangle = 3;
+    EXPECT_TRUE(hit.valid());
+}
+
+} // namespace
+} // namespace atk::rt

@@ -1,0 +1,157 @@
+// Traversal correctness of trees produced by every construction algorithm,
+// cross-checked against brute force on multiple scenes.
+
+#include <gtest/gtest.h>
+
+#include "raytrace/builder.hpp"
+#include "raytrace/renderer.hpp"
+#include "support/rng.hpp"
+
+namespace atk::rt {
+namespace {
+
+Hit brute_force(const Ray& ray, std::span<const Triangle> triangles) {
+    Hit best;
+    for (std::uint32_t i = 0; i < triangles.size(); ++i) {
+        if (auto hit = intersect_triangle(ray, triangles[i], 1e-4f, best.t)) {
+            best = *hit;
+            best.triangle = i;
+        }
+    }
+    return best;
+}
+
+class KdTreePerBuilder : public ::testing::TestWithParam<std::string> {
+protected:
+    KdTree build(const Scene& scene, int parallel_depth = 2) {
+        const auto builder = make_builder(GetParam());
+        BuildConfig config = builder->decode(builder->default_config());
+        config.parallel_depth = parallel_depth;
+        return builder->build(scene, config, pool_);
+    }
+
+    void expect_matches_brute_force(const Scene& scene, const KdTree& tree,
+                                    std::size_t rays, std::uint64_t seed) {
+        Rng rng(seed);
+        const Aabb box = scene.bounds();
+        for (std::size_t i = 0; i < rays; ++i) {
+            const Vec3 origin{
+                static_cast<float>(rng.uniform_real(box.lo.x - 2, box.hi.x + 2)),
+                static_cast<float>(rng.uniform_real(box.lo.y - 2, box.hi.y + 2)),
+                static_cast<float>(rng.uniform_real(box.lo.z - 2, box.hi.z + 2))};
+            Vec3 direction{static_cast<float>(rng.uniform_real(-1, 1)),
+                           static_cast<float>(rng.uniform_real(-1, 1)),
+                           static_cast<float>(rng.uniform_real(-1, 1))};
+            if (length(direction) < 1e-3f) direction = Vec3{1, 0, 0};
+            const Ray ray(origin, normalize(direction));
+            const Hit expected = brute_force(ray, scene.triangles);
+            const Hit actual = tree.closest_hit(ray, scene.triangles);
+            ASSERT_EQ(actual.valid(), expected.valid()) << "ray " << i;
+            if (expected.valid()) ASSERT_NEAR(actual.t, expected.t, 1e-3f) << "ray " << i;
+            // any_hit must agree with existence of a closest hit.
+            const bool any = tree.any_hit(ray, scene.triangles, 1e-4f,
+                                          std::numeric_limits<float>::max());
+            ASSERT_EQ(any, expected.valid()) << "ray " << i;
+        }
+    }
+
+    ThreadPool pool_{3};
+};
+
+TEST_P(KdTreePerBuilder, MatchesBruteForceOnSoup) {
+    const Scene scene = make_soup(800, 5);
+    const KdTree tree = build(scene);
+    EXPECT_TRUE(tree.validate());
+    expect_matches_brute_force(scene, tree, 300, 1);
+}
+
+TEST_P(KdTreePerBuilder, MatchesBruteForceOnCathedral) {
+    const Scene scene = make_cathedral();
+    const KdTree tree = build(scene);
+    EXPECT_TRUE(tree.validate());
+    expect_matches_brute_force(scene, tree, 300, 2);
+}
+
+TEST_P(KdTreePerBuilder, SequentialAndParallelBuildsTraverseIdentically) {
+    const Scene scene = make_cathedral();
+    const KdTree sequential = build(scene, /*parallel_depth=*/0);
+    const KdTree parallel = build(scene, /*parallel_depth=*/6);
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const Ray ray(Vec3{0, 4, -18},
+                      normalize(Vec3{static_cast<float>(rng.uniform_real(-1, 1)),
+                                     static_cast<float>(rng.uniform_real(-0.5, 1)),
+                                     1.0f}));
+        const Hit a = sequential.closest_hit(ray, scene.triangles);
+        const Hit b = parallel.closest_hit(ray, scene.triangles);
+        ASSERT_EQ(a.valid(), b.valid());
+        if (a.valid()) ASSERT_NEAR(a.t, b.t, 1e-4f);
+    }
+}
+
+TEST_P(KdTreePerBuilder, SingleTriangleScene) {
+    Scene scene;
+    scene.triangles.push_back(Triangle{{0, 0, 5}, {1, 0, 5}, {0, 1, 5}});
+    const KdTree tree = build(scene);
+    EXPECT_TRUE(tree.validate());
+    const Ray hit_ray(Vec3{0.2f, 0.2f, 0}, Vec3{0, 0, 1});
+    EXPECT_TRUE(tree.closest_hit(hit_ray, scene.triangles).valid());
+    const Ray miss_ray(Vec3{5, 5, 0}, Vec3{0, 0, 1});
+    EXPECT_FALSE(tree.closest_hit(miss_ray, scene.triangles).valid());
+}
+
+TEST_P(KdTreePerBuilder, AxisAlignedPlanarGeometry) {
+    // Degenerate (zero-extent) prim bounds stress the planar-prim rules.
+    Scene scene;
+    for (int i = 0; i < 32; ++i) {
+        const float x = static_cast<float>(i % 8);
+        const float y = static_cast<float>(i / 8);
+        // All triangles in the z = 3 plane.
+        scene.triangles.push_back(
+            Triangle{{x, y, 3}, {x + 0.9f, y, 3}, {x, y + 0.9f, 3}});
+    }
+    const KdTree tree = build(scene);
+    EXPECT_TRUE(tree.validate());
+    expect_matches_brute_force(scene, tree, 200, 4);
+}
+
+TEST_P(KdTreePerBuilder, AnyHitRespectsDistanceLimit) {
+    Scene scene;
+    scene.triangles.push_back(Triangle{{0, 0, 5}, {1, 0, 5}, {0, 1, 5}});
+    const KdTree tree = build(scene);
+    const Ray ray(Vec3{0.2f, 0.2f, 0}, Vec3{0, 0, 1});
+    EXPECT_TRUE(tree.any_hit(ray, scene.triangles, 1e-4f, 10.0f));
+    EXPECT_FALSE(tree.any_hit(ray, scene.triangles, 1e-4f, 4.0f));   // too short
+    EXPECT_FALSE(tree.any_hit(ray, scene.triangles, 6.0f, 10.0f));   // starts past
+}
+
+TEST_P(KdTreePerBuilder, EmptySceneNeverHits) {
+    const Scene scene;
+    const KdTree tree = build(scene);
+    const Ray ray(Vec3{0, 0, 0}, Vec3{0, 0, 1});
+    EXPECT_FALSE(tree.closest_hit(ray, scene.triangles).valid());
+    EXPECT_FALSE(tree.any_hit(ray, scene.triangles, 0.0f, 100.0f));
+}
+
+TEST_P(KdTreePerBuilder, TreeQualityIsReasonable) {
+    const Scene scene = make_cathedral();
+    const KdTree tree = build(scene);
+    EXPECT_GT(tree.node_count(), 10u);
+    // Duplication from straddling prims stays bounded. Wald-Havran's exact
+    // splits reach ~1.8x on the cathedral; the binned builders sit around 7x
+    // (sloped vault quads keep straddling bin-aligned planes) — anything
+    // beyond 10x indicates a regression in split selection.
+    EXPECT_LT(tree.prim_reference_count(), 10 * scene.triangles.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBuilders, KdTreePerBuilder,
+                         ::testing::Values("Inplace", "Lazy", "Nested", "Wald-Havran"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                             std::string id = info.param;
+                             for (char& c : id)
+                                 if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                             return id;
+                         });
+
+} // namespace
+} // namespace atk::rt

@@ -1,0 +1,117 @@
+// Behavior specific to the Lazy builder: deferred subtrees, on-demand
+// expansion, thread safety, and the eager-cutoff tuning knob.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "raytrace/builder.hpp"
+#include "raytrace/renderer.hpp"
+
+namespace atk::rt {
+namespace {
+
+KdTree build_lazy(const Scene& scene, ThreadPool& pool, int eager_cutoff) {
+    const auto builder = make_builder("Lazy");
+    BuildConfig config = builder->decode(builder->default_config());
+    config.eager_cutoff = eager_cutoff;
+    return builder->build(scene, config, pool);
+}
+
+TEST(LazyBuilder, ProducesLazySlotsBelowCutoff) {
+    ThreadPool pool(2);
+    const Scene scene = make_cathedral();
+    const KdTree tree = build_lazy(scene, pool, 4);
+    EXPECT_GT(tree.lazy_slot_count(), 0u);
+    EXPECT_EQ(tree.expanded_slot_count(), 0u);  // nothing touched yet
+}
+
+TEST(LazyBuilder, CutoffZeroDefersEverything) {
+    ThreadPool pool(2);
+    const Scene scene = make_cathedral();
+    const KdTree tree = build_lazy(scene, pool, 0);
+    // Root itself is deferred: one slot, a single-node tree.
+    EXPECT_EQ(tree.lazy_slot_count(), 1u);
+    EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(LazyBuilder, DeepCutoffBuildsEagerly) {
+    ThreadPool pool(2);
+    const Scene scene = make_cathedral();
+    const KdTree tree = build_lazy(scene, pool, 64);  // beyond max depth
+    EXPECT_EQ(tree.lazy_slot_count(), 0u);
+}
+
+TEST(LazyBuilder, TraversalExpandsOnlyTouchedSubtrees) {
+    ThreadPool pool(2);
+    const Scene scene = make_cathedral();
+    const KdTree tree = build_lazy(scene, pool, 3);
+    const std::size_t slots = tree.lazy_slot_count();
+    ASSERT_GT(slots, 2u);
+    // One ray touches only the subtrees along its own path.
+    const Ray ray(scene.camera_position,
+                  normalize(scene.camera_target - scene.camera_position));
+    (void)tree.closest_hit(ray, scene.triangles);
+    const std::size_t expanded = tree.expanded_slot_count();
+    EXPECT_GT(expanded, 0u);
+    EXPECT_LT(expanded, slots);
+}
+
+TEST(LazyBuilder, ExpandedTraversalMatchesEagerTree) {
+    ThreadPool pool(2);
+    const Scene scene = make_cathedral();
+    const KdTree lazy = build_lazy(scene, pool, 2);
+    const KdTree eager = build_lazy(scene, pool, 64);
+    Rng rng(31);
+    for (int i = 0; i < 300; ++i) {
+        const Vec3 dir = normalize(Vec3{static_cast<float>(rng.uniform_real(-1, 1)),
+                                        static_cast<float>(rng.uniform_real(-0.3, 1)),
+                                        static_cast<float>(rng.uniform_real(0.2, 1))});
+        const Ray ray(Vec3{0, 3, -17}, dir);
+        const Hit a = lazy.closest_hit(ray, scene.triangles);
+        const Hit b = eager.closest_hit(ray, scene.triangles);
+        ASSERT_EQ(a.valid(), b.valid()) << "ray " << i;
+        if (a.valid()) ASSERT_NEAR(a.t, b.t, 1e-4f);
+    }
+}
+
+TEST(LazyBuilder, ConcurrentExpansionIsSafeAndConsistent) {
+    ThreadPool pool(4);
+    const Scene scene = make_cathedral();
+    const KdTree tree = build_lazy(scene, pool, 1);
+    // Many threads traverse simultaneously, racing on first-touch expansion.
+    const Camera camera(scene.camera_position, scene.camera_target, 60.0f, 64, 48);
+    std::atomic<std::size_t> hits{0};
+    {
+        ThreadPool::TaskGroup group(pool);
+        for (int t = 0; t < 8; ++t) {
+            group.submit([&] {
+                std::size_t local = 0;
+                for (int y = 0; y < 48; ++y)
+                    for (int x = 0; x < 64; ++x) {
+                        const Ray ray = camera.primary_ray(x, y);
+                        if (tree.closest_hit(ray, scene.triangles).valid()) ++local;
+                    }
+                hits += local;
+            });
+        }
+        group.wait_all();
+    }
+    // All 8 sweeps must agree (count divisible by 8) and be non-trivial.
+    EXPECT_EQ(hits.load() % 8, 0u);
+    EXPECT_GT(hits.load(), 0u);
+}
+
+TEST(LazyBuilder, FrameTimeSheddingShiftsCostToFirstRender) {
+    // The structural property behind the eager-cutoff tunable: a lazy tree
+    // leaves construction work to the renderer, so the *tree build* itself
+    // touches fewer nodes than an eager build of the same scene.
+    ThreadPool pool(2);
+    const Scene scene = make_cathedral();
+    const KdTree lazy = build_lazy(scene, pool, 2);
+    const KdTree eager = build_lazy(scene, pool, 64);
+    EXPECT_LT(lazy.node_count(), eager.node_count());
+}
+
+} // namespace
+} // namespace atk::rt

@@ -1,0 +1,158 @@
+#include "raytrace/renderer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "raytrace/builder.hpp"
+#include "raytrace/pipeline.hpp"
+
+namespace atk::rt {
+namespace {
+
+class RendererTest : public ::testing::Test {
+protected:
+    KdTree build(const Scene& scene) {
+        const auto builder = make_builder("Nested");
+        return builder->build(scene, builder->decode(builder->default_config()), pool_);
+    }
+
+    ThreadPool pool_{3};
+};
+
+TEST_F(RendererTest, CameraShootsThroughPixelCenters) {
+    const Camera camera(Vec3{0, 0, 0}, Vec3{0, 0, 1}, 90.0f, 100, 100);
+    // Center pixel looks straight ahead.
+    const Ray center = camera.primary_ray(50, 50);
+    EXPECT_NEAR(center.direction.z, 1.0f, 0.02f);
+    // Corners diverge symmetrically.
+    const Ray top_left = camera.primary_ray(0, 0);
+    const Ray bottom_right = camera.primary_ray(99, 99);
+    EXPECT_NEAR(top_left.direction.x, -bottom_right.direction.x, 0.02f);
+    EXPECT_NEAR(top_left.direction.y, -bottom_right.direction.y, 0.02f);
+    EXPECT_GT(top_left.direction.y, 0.0f);   // screen up = world up
+    EXPECT_LT(top_left.direction.x, 0.0f);
+}
+
+TEST_F(RendererTest, RendersHitsAndBackground) {
+    // A quad in front of the camera covering ~half the view.
+    Scene scene;
+    scene.triangles.push_back(Triangle{{-5, -5, 5}, {5, -5, 5}, {5, 0, 5}});
+    scene.triangles.push_back(Triangle{{-5, -5, 5}, {5, 0, 5}, {-5, 0, 5}});
+    scene.light = Vec3{0, 8, 0};
+    const Camera camera(Vec3{0, 0, 0}, Vec3{0, 0, 1}, 90.0f, 40, 40);
+    const KdTree tree = build(scene);
+    RenderStats stats;
+    const Image image = render(scene, tree, camera, pool_, &stats);
+    EXPECT_EQ(stats.primary_rays, 1600u);
+    EXPECT_GT(stats.primary_hits, 500u);
+    EXPECT_LT(stats.primary_hits, 1100u);
+    EXPECT_EQ(stats.shadow_rays, stats.primary_hits);
+    // Bottom half lit geometry, top half background.
+    EXPECT_GT(image.at(20, 30), 0.1f);
+    EXPECT_FLOAT_EQ(image.at(20, 5), 0.05f);
+}
+
+TEST_F(RendererTest, OcclusionDarkensShadowedGeometry) {
+    // Floor with a blocker between floor and light: the area under the
+    // blocker must be darker than the open area.
+    Scene scene;
+    // Floor quad y=0, x,z in [-10, 10].
+    scene.triangles.push_back(Triangle{{-10, 0, -10}, {10, 0, -10}, {10, 0, 10}});
+    scene.triangles.push_back(Triangle{{-10, 0, -10}, {10, 0, 10}, {-10, 0, 10}});
+    // Blocker quad above x in [0, 6].
+    scene.triangles.push_back(Triangle{{0, 3, -6}, {6, 3, -6}, {6, 3, 6}});
+    scene.triangles.push_back(Triangle{{0, 3, -6}, {6, 3, 6}, {0, 3, 6}});
+    scene.light = Vec3{3, 6, 0};
+    const Camera camera(Vec3{0, 8, -12}, Vec3{0, 0, 0}, 60.0f, 60, 60);
+    const KdTree tree = build(scene);
+    RenderStats stats;
+    const Image image = render(scene, tree, camera, pool_, &stats);
+    EXPECT_GT(stats.shadowed, 0u);
+    EXPECT_LT(stats.shadowed, stats.shadow_rays);
+}
+
+TEST_F(RendererTest, DeterministicAcrossRunsAndThreadCounts) {
+    const Scene scene = make_cathedral();
+    const KdTree tree = build(scene);
+    const Camera camera(scene.camera_position, scene.camera_target, 60.0f, 48, 36);
+    const Image a = render(scene, tree, camera, pool_);
+    const Image b = render(scene, tree, camera, pool_);
+    EXPECT_EQ(a.checksum(), b.checksum());
+    ThreadPool single(1);
+    const Image c = render(scene, tree, camera, single);
+    EXPECT_EQ(a.checksum(), c.checksum());
+}
+
+TEST_F(RendererTest, AllBuildersRenderTheSameImage) {
+    const Scene scene = make_cathedral();
+    const Camera camera(scene.camera_position, scene.camera_target, 60.0f, 48, 36);
+    std::uint64_t reference = 0;
+    for (const auto& builder : make_all_builders()) {
+        const KdTree tree =
+            builder->build(scene, builder->decode(builder->default_config()), pool_);
+        const Image image = render(scene, tree, camera, pool_);
+        if (reference == 0) {
+            reference = image.checksum();
+        } else {
+            EXPECT_EQ(image.checksum(), reference) << builder->name();
+        }
+    }
+}
+
+TEST_F(RendererTest, PgmOutputIsWellFormed) {
+    Image image;
+    image.width = 4;
+    image.height = 2;
+    image.pixels = {0.0f, 0.5f, 1.0f, 2.0f, -1.0f, 0.25f, 0.75f, 0.1f};
+    const std::string path = ::testing::TempDir() + "atk_render_test.pgm";
+    ASSERT_TRUE(image.write_pgm(path));
+    std::ifstream file(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(file)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content.substr(0, 9), "P5\n4 2\n25");  // header "P5\n4 2\n255\n"
+    EXPECT_EQ(content.size(), 11 + 8u);
+    std::remove(path.c_str());
+}
+
+TEST_F(RendererTest, PipelineMeasuresPositiveFrameTimes) {
+    RaytracePipeline pipeline(make_cathedral(), 32, 24, 2);
+    const auto builder = make_builder("Wald-Havran");
+    const Millis frame =
+        pipeline.render_frame(*builder, builder->decode(builder->default_config()));
+    EXPECT_GT(frame, 0.0);
+    EXPECT_EQ(pipeline.last_stats().primary_rays, 32u * 24u);
+}
+
+TEST_F(RendererTest, MakeTunableBuildersWiresSpacesAndDefaults) {
+    const auto builders = make_all_builders();
+    const auto algorithms = make_tunable_builders(builders);
+    ASSERT_EQ(algorithms.size(), 4u);
+    for (std::size_t i = 0; i < algorithms.size(); ++i) {
+        EXPECT_EQ(algorithms[i].name, builders[i]->name());
+        EXPECT_TRUE(algorithms[i].space.contains(algorithms[i].initial));
+        EXPECT_NE(algorithms[i].searcher, nullptr);
+    }
+}
+
+
+TEST_F(RendererTest, OrbitCameraChangesViewAndRestores) {
+    RaytracePipeline pipeline(make_cathedral(), 48, 36, 2);
+    const auto builder = make_builder("Nested");
+    const BuildConfig config = builder->decode(builder->default_config());
+    (void)pipeline.render_frame(*builder, config);
+    const std::uint64_t front = pipeline.last_image().checksum();
+
+    pipeline.orbit_camera(3.14159265f);  // opposite side of the nave
+    (void)pipeline.render_frame(*builder, config);
+    const std::uint64_t back = pipeline.last_image().checksum();
+    EXPECT_NE(front, back);
+
+    pipeline.orbit_camera(0.0f);  // exact restore of the scene camera
+    (void)pipeline.render_frame(*builder, config);
+    EXPECT_EQ(pipeline.last_image().checksum(), front);
+}
+
+} // namespace
+} // namespace atk::rt

@@ -1,0 +1,161 @@
+#include "raytrace/sah.hpp"
+
+#include <gtest/gtest.h>
+
+#include "raytrace/scene.hpp"
+
+namespace atk::rt {
+namespace {
+
+Aabb unit_box(const Vec3& lo, const Vec3& hi) {
+    Aabb box;
+    box.expand(lo);
+    box.expand(hi);
+    return box;
+}
+
+TEST(SahCost, LeafVsSplitTradeoff) {
+    // Splitting an empty half away must beat a leaf over many prims.
+    const Aabb node = unit_box({0, 0, 0}, {2, 1, 1});
+    SahParams params;
+    params.traversal_cost = 1.0f;
+    params.intersection_cost = 10.0f;
+    const float split_cost = sah_split_cost(node, 0, 1.0f, 100, 0, params);
+    const float leaf_cost = params.intersection_cost * 100;
+    EXPECT_LT(split_cost, leaf_cost);
+}
+
+TEST(SahCost, BalancedSplitOfUniformDensityBeatsSkewed) {
+    // Under uniform primitive density, counts scale with volume; the mid
+    // split then minimizes the expected cost, while a skewed plane leaves a
+    // large, densely populated child.
+    const Aabb node = unit_box({0, 0, 0}, {2, 1, 1});
+    SahParams params;
+    const float mid = sah_split_cost(node, 0, 1.0f, 50, 50, params);
+    const float skewed = sah_split_cost(node, 0, 0.2f, 10, 90, params);
+    EXPECT_LT(mid, skewed);
+}
+
+TEST(SahCost, TraversalCostRaisesSplitCost) {
+    const Aabb node = unit_box({0, 0, 0}, {1, 1, 1});
+    SahParams cheap{1.0f, 10.0f};
+    SahParams pricey{50.0f, 10.0f};
+    EXPECT_LT(sah_split_cost(node, 0, 0.5f, 5, 5, cheap),
+              sah_split_cost(node, 0, 0.5f, 5, 5, pricey));
+}
+
+TEST(AutoMaxDepth, GrowsLogarithmically) {
+    EXPECT_EQ(auto_max_depth(0), 1);
+    EXPECT_EQ(auto_max_depth(1), 8);
+    EXPECT_GE(auto_max_depth(1000), 18);
+    EXPECT_LE(auto_max_depth(1000), 22);
+    EXPECT_GT(auto_max_depth(1 << 20), auto_max_depth(1 << 10));
+}
+
+class BinnedSplit : public ::testing::Test {
+protected:
+    /// Two clusters of axis-aligned boxes separated along x.
+    void make_clusters() {
+        prims_.clear();
+        bounds_ = Aabb{};
+        for (int i = 0; i < 50; ++i) {
+            const float x = (i < 25) ? 0.0f + 0.01f * i : 10.0f + 0.01f * i;
+            Aabb b = unit_box({x, 0, 0}, {x + 0.5f, 1, 1});
+            prim_bounds_.push_back(b);
+            prims_.push_back(static_cast<std::uint32_t>(prim_bounds_.size() - 1));
+            bounds_.expand(b);
+        }
+    }
+
+    std::vector<std::uint32_t> prims_;
+    std::vector<Aabb> prim_bounds_;
+    Aabb bounds_;
+};
+
+TEST_F(BinnedSplit, SeparatesObviousClusters) {
+    make_clusters();
+    const SplitDecision d =
+        find_best_split_binned(prims_, prim_bounds_, bounds_, SahParams{}, 16);
+    ASSERT_FALSE(d.make_leaf);
+    EXPECT_EQ(d.axis, 0);
+    EXPECT_GT(d.position, 1.0f);
+    EXPECT_LT(d.position, 10.0f);
+}
+
+TEST_F(BinnedSplit, PartitionAgreesWithDecision) {
+    make_clusters();
+    const SplitDecision d =
+        find_best_split_binned(prims_, prim_bounds_, bounds_, SahParams{}, 16);
+    std::vector<std::uint32_t> left;
+    std::vector<std::uint32_t> right;
+    partition_prims(prims_, prim_bounds_, d.axis, d.position, left, right);
+    EXPECT_EQ(left.size(), 25u);
+    EXPECT_EQ(right.size(), 25u);
+}
+
+TEST_F(BinnedSplit, SingletonIsALeaf) {
+    prim_bounds_.push_back(unit_box({0, 0, 0}, {1, 1, 1}));
+    prims_.push_back(0);
+    bounds_ = prim_bounds_[0];
+    const SplitDecision d =
+        find_best_split_binned(prims_, prim_bounds_, bounds_, SahParams{}, 16);
+    EXPECT_TRUE(d.make_leaf);
+}
+
+TEST_F(BinnedSplit, DataParallelBinningMatchesSequential) {
+    // The Inplace builder's histogram merge must not change the decision.
+    prims_.clear();
+    prim_bounds_.clear();
+    bounds_ = Aabb{};
+    Scene soup = make_soup(8000, 17);
+    for (std::uint32_t i = 0; i < soup.triangles.size(); ++i) {
+        prim_bounds_.push_back(soup.triangles[i].bounds());
+        prims_.push_back(i);
+        bounds_.expand(prim_bounds_.back());
+    }
+    const SplitDecision seq =
+        find_best_split_binned(prims_, prim_bounds_, bounds_, SahParams{}, 32, nullptr);
+    ThreadPool pool(4);
+    const SplitDecision par =
+        find_best_split_binned(prims_, prim_bounds_, bounds_, SahParams{}, 32, &pool);
+    EXPECT_EQ(seq.make_leaf, par.make_leaf);
+    EXPECT_EQ(seq.axis, par.axis);
+    EXPECT_FLOAT_EQ(seq.position, par.position);
+    EXPECT_FLOAT_EQ(seq.cost, par.cost);
+}
+
+TEST(PartitionPrims, StraddlersGoToBothSides) {
+    std::vector<Aabb> bounds{unit_box({0, 0, 0}, {2, 1, 1})};
+    std::vector<std::uint32_t> prims{0};
+    std::vector<std::uint32_t> left;
+    std::vector<std::uint32_t> right;
+    partition_prims(prims, bounds, 0, 1.0f, left, right);
+    EXPECT_EQ(left, (std::vector<std::uint32_t>{0}));
+    EXPECT_EQ(right, (std::vector<std::uint32_t>{0}));
+}
+
+TEST(PartitionPrims, PlanarPrimGoesLeft) {
+    std::vector<Aabb> bounds{unit_box({1, 0, 0}, {1, 1, 1})};  // flat at x=1
+    std::vector<std::uint32_t> prims{0};
+    std::vector<std::uint32_t> left;
+    std::vector<std::uint32_t> right;
+    partition_prims(prims, bounds, 0, 1.0f, left, right);
+    EXPECT_EQ(left.size(), 1u);
+    EXPECT_TRUE(right.empty());
+}
+
+TEST(PartitionPrims, BoundaryTouchingPrimsAreExclusive) {
+    // A prim ending exactly at the plane is left-only; one starting there is
+    // right-only.
+    std::vector<Aabb> bounds{unit_box({0, 0, 0}, {1, 1, 1}),
+                             unit_box({1, 0, 0}, {2, 1, 1})};
+    std::vector<std::uint32_t> prims{0, 1};
+    std::vector<std::uint32_t> left;
+    std::vector<std::uint32_t> right;
+    partition_prims(prims, bounds, 0, 1.0f, left, right);
+    EXPECT_EQ(left, (std::vector<std::uint32_t>{0}));
+    EXPECT_EQ(right, (std::vector<std::uint32_t>{1}));
+}
+
+} // namespace
+} // namespace atk::rt

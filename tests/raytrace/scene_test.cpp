@@ -1,0 +1,99 @@
+#include "raytrace/scene.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atk::rt {
+namespace {
+
+TEST(Scene, CathedralHasSubstantialGeometry) {
+    const Scene scene = make_cathedral();
+    EXPECT_GT(scene.triangles.size(), 1000u);
+    EXPECT_TRUE(scene.bounds().valid());
+}
+
+TEST(Scene, CathedralIsDeterministic) {
+    const Scene a = make_cathedral();
+    const Scene b = make_cathedral();
+    ASSERT_EQ(a.triangles.size(), b.triangles.size());
+    for (std::size_t i = 0; i < a.triangles.size(); ++i) {
+        EXPECT_EQ(a.triangles[i].a.x, b.triangles[i].a.x);
+        EXPECT_EQ(a.triangles[i].c.z, b.triangles[i].c.z);
+    }
+}
+
+TEST(Scene, CathedralTriangleCountScalesWithTessellation) {
+    CathedralParams coarse;
+    coarse.floor_tiles = 4;
+    coarse.column_segments = 4;
+    coarse.vault_segments = 6;
+    coarse.clutter = 4;
+    CathedralParams fine;
+    fine.floor_tiles = 24;
+    fine.column_segments = 24;
+    fine.vault_segments = 32;
+    fine.clutter = 60;
+    EXPECT_GT(make_cathedral(fine).triangles.size(),
+              4u * make_cathedral(coarse).triangles.size());
+}
+
+TEST(Scene, CathedralGeometryStaysWithinNave) {
+    CathedralParams params;
+    const Scene scene = make_cathedral(params);
+    const Aabb box = scene.bounds();
+    EXPECT_GE(box.lo.y, -1e-3f);  // nothing below the floor
+    EXPECT_LE(box.hi.y, params.height + 0.5f);
+    EXPECT_NEAR(box.hi.x - box.lo.x, params.width, 1.0f);
+    EXPECT_NEAR(box.hi.z - box.lo.z, params.depth, 1.0f);
+}
+
+TEST(Scene, CathedralCameraAndLightInsideBounds) {
+    const Scene scene = make_cathedral();
+    const Aabb box = scene.bounds();
+    EXPECT_GT(scene.light.y, 0.0f);
+    EXPECT_LT(scene.light.y, box.hi.y);
+    EXPECT_GE(scene.camera_position.z, box.lo.z);
+    EXPECT_LE(scene.camera_position.z, box.hi.z);
+}
+
+TEST(Scene, CathedralDensityIsNonUniform) {
+    // The SAH-relevant property of the stand-in scene (DESIGN.md): columns
+    // concentrate many triangles in small volumes while walls are sparse.
+    const Scene scene = make_cathedral();
+    const Aabb box = scene.bounds();
+    const float mid_x = (box.lo.x + box.hi.x) / 2;
+    // Count triangles whose centroid lies in the left quarter vs the middle.
+    std::size_t left = 0;
+    std::size_t middle = 0;
+    const float quarter = (box.hi.x - box.lo.x) / 4;
+    for (const auto& tri : scene.triangles) {
+        const float cx = tri.centroid().x;
+        if (cx < box.lo.x + quarter) ++left;
+        if (std::abs(cx - mid_x) < quarter / 2) ++middle;
+    }
+    EXPECT_GT(left, 0u);
+    EXPECT_GT(middle, 0u);
+}
+
+TEST(Scene, SoupHasExactCountAndSeedControl) {
+    const Scene a = make_soup(500, 1);
+    EXPECT_EQ(a.triangles.size(), 500u);
+    const Scene b = make_soup(500, 1);
+    EXPECT_EQ(a.triangles[7].a.x, b.triangles[7].a.x);
+    const Scene c = make_soup(500, 2);
+    EXPECT_NE(a.triangles[7].a.x, c.triangles[7].a.x);
+}
+
+TEST(Scene, SoupStaysWithinExtent) {
+    const Scene scene = make_soup(1000, 3, 5.0f);
+    const Aabb box = scene.bounds();
+    EXPECT_GE(box.lo.x, -6.0f);
+    EXPECT_LE(box.hi.x, 6.0f);
+}
+
+TEST(Scene, EmptySceneBounds) {
+    const Scene scene = make_soup(0, 1);
+    EXPECT_FALSE(scene.bounds().valid());
+}
+
+} // namespace
+} // namespace atk::rt

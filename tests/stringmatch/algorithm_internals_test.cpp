@@ -1,0 +1,195 @@
+// White-box tests of algorithm-specific preprocessing structures.
+
+#include <gtest/gtest.h>
+
+#include "stringmatch/boyer_moore.hpp"
+#include "stringmatch/ebom.hpp"
+#include "stringmatch/hybrid.hpp"
+#include "stringmatch/ssef.hpp"
+#include "stringmatch/kmp.hpp"
+
+namespace atk::sm {
+namespace {
+
+// ---- KMP failure function -------------------------------------------------
+
+TEST(KmpInternals, FailureFunctionOfClassicExample) {
+    // "ababaca": the textbook example.
+    const auto fail = kmp_failure_function("ababaca");
+    EXPECT_EQ(fail, (std::vector<std::size_t>{0, 0, 1, 2, 3, 0, 1}));
+}
+
+TEST(KmpInternals, FailureFunctionOfRepetitivePattern) {
+    const auto fail = kmp_failure_function("aaaa");
+    EXPECT_EQ(fail, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(KmpInternals, FailureFunctionOfDistinctChars) {
+    const auto fail = kmp_failure_function("abcd");
+    EXPECT_EQ(fail, (std::vector<std::size_t>{0, 0, 0, 0}));
+}
+
+TEST(KmpInternals, FailureValuesAreProperPrefixLengths) {
+    const std::string pattern = "abacabadabacaba";
+    const auto fail = kmp_failure_function(pattern);
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+        ASSERT_LE(fail[i], i);  // proper prefix
+        // The prefix of length fail[i] is a suffix of pattern[0..i].
+        const std::size_t k = fail[i];
+        EXPECT_EQ(pattern.substr(0, k), pattern.substr(i + 1 - k, k));
+    }
+}
+
+// ---- Boyer-Moore good-suffix table ----------------------------------------
+
+TEST(BoyerMooreInternals, GoodSuffixShiftsArePositiveAndBounded) {
+    for (const std::string pattern : {"abcbab", "aaaa", "abcd", "gcagagag", "a"}) {
+        const auto table = bm_good_suffix_table(pattern);
+        ASSERT_EQ(table.size(), pattern.size());
+        for (const std::size_t shift : table) {
+            EXPECT_GE(shift, 1u);
+            EXPECT_LE(shift, pattern.size());
+        }
+    }
+}
+
+TEST(BoyerMooreInternals, GoodSuffixOfTextbookPattern) {
+    // Classic worked example "gcagagag" from Crochemore & Lecroq's handbook.
+    const auto table = bm_good_suffix_table("gcagagag");
+    EXPECT_EQ(table, (std::vector<std::size_t>{7, 7, 7, 2, 7, 4, 7, 1}));
+}
+
+TEST(BoyerMooreInternals, GoodSuffixShiftIsSound) {
+    // Soundness: shifting by good_suffix[j] never skips an occurrence.
+    // Verified indirectly by conformance tests, directly here for a
+    // pathological periodic pattern.
+    const std::string pattern = "aabaab";
+    const auto table = bm_good_suffix_table(pattern);
+    // Full match may shift by the period (3), not more.
+    EXPECT_LE(table[0], 3u);
+}
+
+// ---- Factor oracle (EBOM) -----------------------------------------------
+
+TEST(FactorOracle, AcceptsEveryFactor) {
+    const std::string word = "abbbaab";
+    const FactorOracle oracle(word);
+    for (std::size_t start = 0; start < word.size(); ++start)
+        for (std::size_t len = 1; len + start <= word.size(); ++len)
+            EXPECT_TRUE(oracle.accepts(word.substr(start, len)))
+                << "factor " << word.substr(start, len);
+}
+
+TEST(FactorOracle, RejectsStringsOverForeignAlphabet) {
+    const FactorOracle oracle("abab");
+    EXPECT_FALSE(oracle.accepts("abc"));
+    EXPECT_FALSE(oracle.accepts("z"));
+}
+
+TEST(FactorOracle, OnlyAcceptedWordOfFullLengthIsTheWordItself) {
+    // The property EBOM's verification-free matching rests on.
+    const std::string word = "abbab";
+    const FactorOracle oracle(word);
+    // Enumerate all |Σ|^m strings over the word's alphabet.
+    const std::string alphabet = "ab";
+    std::size_t accepted_full_length = 0;
+    std::string candidate(word.size(), 'a');
+    const std::size_t total = 1u << word.size();  // 2^5
+    for (std::size_t bits = 0; bits < total; ++bits) {
+        for (std::size_t i = 0; i < word.size(); ++i)
+            candidate[i] = alphabet[(bits >> i) & 1];
+        if (oracle.accepts(candidate)) {
+            ++accepted_full_length;
+            EXPECT_EQ(candidate, word);
+        }
+    }
+    EXPECT_EQ(accepted_full_length, 1u);
+}
+
+TEST(FactorOracle, HasLinearlyManyStates) {
+    const FactorOracle oracle("mississippi");
+    EXPECT_EQ(oracle.state_count(), 12u);  // m + 1
+}
+
+
+// ---- SSEF filter bit ------------------------------------------------------
+
+TEST(SsefInternals, RejectsInvalidForcedBit) {
+    EXPECT_THROW(SsefMatcher(9), std::invalid_argument);
+    EXPECT_NO_THROW(SsefMatcher(0));
+    EXPECT_NO_THROW(SsefMatcher(7));
+    EXPECT_NO_THROW(SsefMatcher());  // auto
+}
+
+TEST(SsefInternals, AutoBitPicksBalancedBit) {
+    // On ACGT (A=0x41 C=0x43 G=0x47 T=0x54) bit 3 is constant-zero and must
+    // never be chosen, while bit 1 or 2 splits the alphabet 2/2.
+    const std::string dna = "GATTACAGATTACAGATTACAGATTACAGATT";
+    const unsigned bit = SsefMatcher::choose_filter_bit(dna);
+    EXPECT_NE(bit, 3u);
+    std::size_t ones = 0;
+    for (const char c : dna) ones += (static_cast<unsigned char>(c) >> bit) & 1u;
+    // Balanced within 25% of half.
+    EXPECT_NEAR(static_cast<double>(ones), dna.size() / 2.0, dna.size() / 4.0);
+}
+
+TEST(SsefInternals, EveryForcedBitIsStillCorrect) {
+    // A degenerate filter bit only hurts speed, never correctness.
+    const std::string text = "xyxyxyab" + std::string(200, 'q') +
+                             "the spirit to a great and high mountain" +
+                             std::string(100, 'z');
+    const std::string pattern = "the spirit to a great and high mountain";
+    const auto expected = naive_find_all(text, pattern);
+    for (unsigned bit = 0; bit < 8; ++bit) {
+        const SsefMatcher matcher(bit);
+        EXPECT_EQ(matcher.find_all(text, pattern), expected) << "bit " << bit;
+    }
+}
+
+// ---- Hybrid delegation ------------------------------------------------------
+
+TEST(Hybrid, DelegatesByPatternLength) {
+    const HybridMatcher hybrid;
+    EXPECT_EQ(hybrid.delegate_for(1).name(), "Knuth-Morris-Pratt");
+    EXPECT_EQ(hybrid.delegate_for(2).name(), "Knuth-Morris-Pratt");
+    EXPECT_EQ(hybrid.delegate_for(3).name(), "Hash3");
+    EXPECT_EQ(hybrid.delegate_for(7).name(), "Hash3");
+    EXPECT_EQ(hybrid.delegate_for(8).name(), "FSBNDM");
+    EXPECT_EQ(hybrid.delegate_for(15).name(), "FSBNDM");
+    EXPECT_EQ(hybrid.delegate_for(16).name(), "EBOM");
+    EXPECT_EQ(hybrid.delegate_for(31).name(), "EBOM");
+    EXPECT_EQ(hybrid.delegate_for(32).name(), "SSEF");
+    EXPECT_EQ(hybrid.delegate_for(1000).name(), "SSEF");
+}
+
+TEST(Hybrid, ResultEqualsDelegateResult) {
+    const HybridMatcher hybrid;
+    const std::string text = "she sells sea shells by the sea shore";
+    for (const std::string pattern : {"s", "sea", "sea shell", "sells sea shells by"}) {
+        EXPECT_EQ(hybrid.find_all(text, pattern),
+                  hybrid.delegate_for(pattern.size()).find_all(text, pattern));
+    }
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+TEST(Registry, SevenAlgorithmsInPaperOrder) {
+    const auto matchers = make_all_matchers();
+    ASSERT_EQ(matchers.size(), 7u);
+    EXPECT_EQ(matchers[0]->name(), "Boyer-Moore");
+    EXPECT_EQ(matchers[1]->name(), "EBOM");
+    EXPECT_EQ(matchers[2]->name(), "FSBNDM");
+    EXPECT_EQ(matchers[3]->name(), "Hash3");
+    EXPECT_EQ(matchers[4]->name(), "Knuth-Morris-Pratt");
+    EXPECT_EQ(matchers[5]->name(), "ShiftOr");
+    EXPECT_EQ(matchers[6]->name(), "SSEF");
+}
+
+TEST(Registry, HybridVariantAppendsTheHeuristicMatcher) {
+    const auto matchers = make_all_matchers_with_hybrid();
+    ASSERT_EQ(matchers.size(), 8u);
+    EXPECT_EQ(matchers.back()->name(), "Hybrid");
+}
+
+} // namespace
+} // namespace atk::sm

@@ -1,0 +1,98 @@
+#include "stringmatch/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "stringmatch/matcher.hpp"
+
+namespace atk::sm {
+namespace {
+
+TEST(Corpus, QueryPhraseIsThePapersRevelationPhrase) {
+    EXPECT_EQ(query_phrase(), "the spirit to a great and high mountain");
+    EXPECT_EQ(query_phrase().size(), 39u);
+}
+
+TEST(Corpus, SeedTextContainsTheQueryPhrase) {
+    // The training sample includes the verse the phrase comes from, so the
+    // generated text's statistics match the pattern's character statistics.
+    EXPECT_NE(corpus_seed_text().find(query_phrase()), std::string_view::npos);
+}
+
+TEST(Corpus, BibleLikeCorpusHasRequestedSize) {
+    EXPECT_EQ(bible_like_corpus(1000, 1, 0).size(), 1000u);
+    EXPECT_EQ(bible_like_corpus(123456, 1, 3).size(), 123456u);
+}
+
+TEST(Corpus, DeterministicForSameSeed) {
+    EXPECT_EQ(bible_like_corpus(50000, 42, 1), bible_like_corpus(50000, 42, 1));
+    EXPECT_NE(bible_like_corpus(50000, 42, 1), bible_like_corpus(50000, 43, 1));
+}
+
+TEST(Corpus, PlantsTheRequestedNumberOfOccurrences) {
+    for (const std::size_t planted : {1u, 3u, 7u}) {
+        const auto text = bible_like_corpus(300000, 7, planted);
+        const auto found = naive_find_all(text, query_phrase());
+        // Planting guarantees at least `planted`; chance occurrences of a
+        // 39-char phrase are effectively impossible in 300 kB.
+        EXPECT_EQ(found.size(), planted);
+    }
+}
+
+TEST(Corpus, ZeroPlantedMeansAbsent) {
+    const auto text = bible_like_corpus(200000, 3, 0);
+    EXPECT_TRUE(naive_find_all(text, query_phrase()).empty());
+}
+
+TEST(Corpus, GeneratedTextIsEnglishLike) {
+    const auto text = bible_like_corpus(100000, 5, 0);
+    // Lowercase letters and spaces only (the training text's alphabet)...
+    std::size_t spaces = 0;
+    for (const char c : text) {
+        EXPECT_TRUE((c >= 'a' && c <= 'z') || c == ' ') << "byte " << int(c);
+        if (c == ' ') ++spaces;
+    }
+    // ...with a word structure: space frequency between 10% and 30%.
+    const double space_ratio = static_cast<double>(spaces) / text.size();
+    EXPECT_GT(space_ratio, 0.10);
+    EXPECT_LT(space_ratio, 0.30);
+    // 'e' and 't' are frequent, as in English.
+    std::array<std::size_t, 26> letter_counts{};
+    for (const char c : text)
+        if (c >= 'a' && c <= 'z') ++letter_counts[c - 'a'];
+    EXPECT_GT(letter_counts['e' - 'a'], text.size() / 50);
+    EXPECT_GT(letter_counts['t' - 'a'], text.size() / 50);
+}
+
+TEST(Corpus, DnaCorpusAlphabetAndComposition) {
+    const auto text = dna_corpus(200000, "ACGT", 11, 0);
+    ASSERT_EQ(text.size(), 200000u);
+    std::size_t gc = 0;
+    for (const char c : text) {
+        ASSERT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T');
+        if (c == 'C' || c == 'G') ++gc;
+    }
+    // Human-like GC content around 41%.
+    EXPECT_NEAR(static_cast<double>(gc) / text.size(), 0.41, 0.02);
+}
+
+TEST(Corpus, DnaCorpusPlantsPattern) {
+    const std::string pattern = "GATTACAGATTACAGATTACA";
+    const auto text = dna_corpus(100000, pattern, 13, 5);
+    EXPECT_GE(naive_find_all(text, pattern).size(), 5u);
+}
+
+TEST(Corpus, DnaCorpusRejectsNonAcgtPattern) {
+    EXPECT_THROW(dna_corpus(1000, "GATTACA!", 1, 1), std::invalid_argument);
+}
+
+TEST(Corpus, TinyCorpusEdgeCases) {
+    EXPECT_EQ(bible_like_corpus(0, 1, 0).size(), 0u);
+    EXPECT_EQ(bible_like_corpus(1, 1, 0).size(), 1u);
+    // Too small to hold the phrase: no planting, no crash.
+    EXPECT_EQ(bible_like_corpus(10, 1, 3).size(), 10u);
+}
+
+} // namespace
+} // namespace atk::sm

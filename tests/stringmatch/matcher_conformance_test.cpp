@@ -1,0 +1,149 @@
+// Conformance: every matcher must report exactly the same occurrences as
+// the naive reference on a battery of adversarial and randomized inputs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "stringmatch/matcher.hpp"
+#include "support/rng.hpp"
+
+namespace atk::sm {
+namespace {
+
+struct MatcherCase {
+    std::string label;
+    std::function<std::unique_ptr<Matcher>()> make;
+};
+
+class MatcherConformance : public ::testing::TestWithParam<MatcherCase> {
+protected:
+    void expect_reference(std::string_view text, std::string_view pattern) {
+        const auto matcher = GetParam().make();
+        EXPECT_EQ(matcher->find_all(text, pattern), naive_find_all(text, pattern))
+            << "text size " << text.size() << ", pattern '" << pattern << "'";
+    }
+};
+
+TEST_P(MatcherConformance, EmptyPatternMatchesNothing) {
+    expect_reference("hello world", "");
+}
+
+TEST_P(MatcherConformance, PatternLongerThanTextMatchesNothing) {
+    expect_reference("abc", "abcd");
+}
+
+TEST_P(MatcherConformance, ExactWholeTextMatch) {
+    expect_reference("needle", "needle");
+}
+
+TEST_P(MatcherConformance, SingleCharacterPattern) {
+    expect_reference("abracadabra", "a");
+    expect_reference("bbbbbb", "a");
+}
+
+TEST_P(MatcherConformance, MatchAtTextBoundaries) {
+    expect_reference("xabcyyyabcx", "x");
+    expect_reference("abc-middle-abc", "abc");
+}
+
+TEST_P(MatcherConformance, OverlappingOccurrences) {
+    expect_reference("aaaaaaa", "aaa");       // 5 overlapping matches
+    expect_reference("abababab", "abab");     // overlap with period 2
+    expect_reference("aabaabaabaab", "aabaab");
+}
+
+TEST_P(MatcherConformance, PeriodicPatternOnPeriodicText) {
+    const std::string text(300, 'a');
+    expect_reference(text, std::string(25, 'a'));
+    expect_reference(text, std::string(65, 'a'));  // past the 64-bit window
+}
+
+TEST_P(MatcherConformance, NoMatchOnSimilarButDifferentText) {
+    expect_reference("the quick brown fox jumps over the lazy dog", "quirk");
+    expect_reference("aaaaaaaaaaaaaaab", "aaaaaaab");
+}
+
+TEST_P(MatcherConformance, BinaryAlphabetStress) {
+    Rng rng(2024);
+    for (int round = 0; round < 40; ++round) {
+        std::string text(500, '0');
+        for (auto& c : text) c = rng.chance(0.5) ? '0' : '1';
+        std::string pattern(1 + rng.index(20), '0');
+        for (auto& c : pattern) c = rng.chance(0.5) ? '0' : '1';
+        expect_reference(text, pattern);
+    }
+}
+
+TEST_P(MatcherConformance, HighBytesAndNulBytes) {
+    std::string text;
+    for (int i = 0; i < 400; ++i) text += static_cast<char>((i * 37) % 256);
+    const std::string pattern = text.substr(123, 9);  // includes bytes > 127
+    expect_reference(text, pattern);
+
+    std::string with_nul("ab\0cd ab\0cd ab\0cd", 17);
+    std::string nul_pat("b\0c", 3);
+    expect_reference(with_nul, nul_pat);
+}
+
+TEST_P(MatcherConformance, LongPatterns) {
+    Rng rng(7);
+    std::string text(5000, 'x');
+    for (auto& c : text) c = static_cast<char>('a' + rng.index(4));
+    for (const std::size_t m : {33u, 64u, 65u, 100u, 200u}) {
+        const std::string pattern = text.substr(1234, m);
+        expect_reference(text, pattern);
+    }
+}
+
+TEST_P(MatcherConformance, RandomizedCrossCheck) {
+    Rng rng(GetParam().label.size());  // distinct but deterministic per matcher
+    for (int round = 0; round < 60; ++round) {
+        const int alphabet = 2 + static_cast<int>(rng.index(25));
+        std::string text(100 + rng.index(2000), ' ');
+        for (auto& c : text) c = static_cast<char>('a' + rng.index(alphabet));
+        std::string pattern(1 + rng.index(80), ' ');
+        for (auto& c : pattern) c = static_cast<char>('a' + rng.index(alphabet));
+        if (rng.chance(0.6) && pattern.size() <= text.size()) {
+            const std::size_t pos = rng.index(text.size() - pattern.size() + 1);
+            text.replace(pos, pattern.size(), pattern);
+        }
+        expect_reference(text, pattern);
+    }
+}
+
+TEST_P(MatcherConformance, CountEqualsFindAllSize) {
+    const auto matcher = GetParam().make();
+    const std::string text = "the cat sat on the mat with the hat";
+    EXPECT_EQ(matcher->count(text, "the"), matcher->find_all(text, "the").size());
+    EXPECT_EQ(matcher->count(text, "the"), 3u);
+}
+
+std::vector<MatcherCase> all_matcher_cases() {
+    std::vector<MatcherCase> cases;
+    auto matchers = make_all_matchers_with_hybrid();
+    // Capture by name so each case constructs a fresh instance.
+    for (const auto& m : matchers) {
+        const std::string name = m->name();
+        cases.push_back(MatcherCase{
+            name, [name]() -> std::unique_ptr<Matcher> {
+                auto all = make_all_matchers_with_hybrid();
+                for (auto& candidate : all)
+                    if (candidate->name() == name) return std::move(candidate);
+                throw std::logic_error("matcher not found: " + name);
+            }});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMatchers, MatcherConformance,
+                         ::testing::ValuesIn(all_matcher_cases()),
+                         [](const ::testing::TestParamInfo<MatcherCase>& info) {
+                             std::string id = info.param.label;
+                             for (char& c : id)
+                                 if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                             return id;
+                         });
+
+} // namespace
+} // namespace atk::sm

@@ -1,0 +1,87 @@
+#include "stringmatch/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stringmatch/corpus.hpp"
+#include "support/rng.hpp"
+
+namespace atk::sm {
+namespace {
+
+class ParallelMatch : public ::testing::Test {
+protected:
+    ThreadPool pool_{4};
+};
+
+TEST_F(ParallelMatch, AgreesWithSequentialOnEveryMatcher) {
+    const std::string text = bible_like_corpus(200000, 5, 4);
+    const auto pattern = query_phrase();
+    const auto reference = naive_find_all(text, pattern);
+    ASSERT_GE(reference.size(), 4u);
+    for (const auto& matcher : make_all_matchers_with_hybrid()) {
+        EXPECT_EQ(parallel_find_all(*matcher, text, pattern, pool_), reference)
+            << matcher->name();
+    }
+}
+
+TEST_F(ParallelMatch, BoundaryStraddlingOccurrencesFoundExactlyOnce) {
+    // Construct a text where occurrences straddle every chunk boundary:
+    // 8 partitions over 8*50 chars, pattern planted across each boundary.
+    const std::size_t partitions = 8;
+    const std::size_t chunk = 50;
+    std::string text(partitions * chunk, 'x');
+    const std::string pattern = "abcdefgh";
+    for (std::size_t p = 1; p < partitions; ++p)
+        text.replace(p * chunk - pattern.size() / 2, pattern.size(), pattern);
+    const auto reference = naive_find_all(text, pattern);
+    ASSERT_EQ(reference.size(), partitions - 1);
+    const auto matchers = make_all_matchers();
+    for (const auto& matcher : matchers) {
+        EXPECT_EQ(parallel_find_all(*matcher, text, pattern, pool_, partitions),
+                  reference)
+            << matcher->name();
+    }
+}
+
+TEST_F(ParallelMatch, ResultsAreInIncreasingPositionOrder) {
+    const std::string text = bible_like_corpus(100000, 9, 6);
+    const auto matchers = make_all_matchers();
+    const auto positions =
+        parallel_find_all(*matchers[1], text, query_phrase(), pool_);
+    for (std::size_t i = 1; i < positions.size(); ++i)
+        EXPECT_LT(positions[i - 1], positions[i]);
+}
+
+TEST_F(ParallelMatch, SinglePartitionEqualsSequential) {
+    const std::string text = bible_like_corpus(50000, 11, 2);
+    const auto matchers = make_all_matchers();
+    const auto& matcher = *matchers[0];
+    EXPECT_EQ(parallel_find_all(matcher, text, query_phrase(), pool_, 1),
+              matcher.find_all(text, query_phrase()));
+}
+
+TEST_F(ParallelMatch, MorePartitionsThanPossibleStartsIsSafe) {
+    const std::string text = "abcabc";
+    const auto matchers = make_all_matchers();
+    const auto& matcher = *matchers[0];
+    EXPECT_EQ(parallel_find_all(matcher, text, "abc", pool_, 64),
+              naive_find_all(text, "abc"));
+}
+
+TEST_F(ParallelMatch, EmptyAndOversizedPatterns) {
+    const auto matchers = make_all_matchers();
+    const auto& matcher = *matchers[0];
+    EXPECT_TRUE(parallel_find_all(matcher, "abc", "", pool_).empty());
+    EXPECT_TRUE(parallel_find_all(matcher, "abc", "abcd", pool_).empty());
+}
+
+TEST_F(ParallelMatch, CountMatchesFindAll) {
+    const std::string text = bible_like_corpus(80000, 13, 5);
+    const auto matchers = make_all_matchers();
+    const auto& matcher = *matchers[3];
+    EXPECT_EQ(parallel_count(matcher, text, query_phrase(), pool_),
+              parallel_find_all(matcher, text, query_phrase(), pool_).size());
+}
+
+} // namespace
+} // namespace atk::sm

@@ -1,0 +1,104 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atk {
+namespace {
+
+Cli make_cli() {
+    Cli cli("prog", "test program");
+    cli.add_int("iters", 100, "iterations")
+        .add_double("epsilon", 0.1, "exploration rate")
+        .add_string("corpus", "bible", "corpus name")
+        .add_flag("paper", "paper-scale parameters");
+    return cli;
+}
+
+TEST(Cli, DefaultsApplyWithoutArguments) {
+    Cli cli = make_cli();
+    const char* argv[] = {"prog"};
+    ASSERT_TRUE(cli.parse(1, argv));
+    EXPECT_EQ(cli.get_int("iters"), 100);
+    EXPECT_DOUBLE_EQ(cli.get_double("epsilon"), 0.1);
+    EXPECT_EQ(cli.get_string("corpus"), "bible");
+    EXPECT_FALSE(cli.get_flag("paper"));
+}
+
+TEST(Cli, ParsesSpaceSeparatedValues) {
+    Cli cli = make_cli();
+    const char* argv[] = {"prog", "--iters", "42", "--epsilon", "0.25"};
+    ASSERT_TRUE(cli.parse(5, argv));
+    EXPECT_EQ(cli.get_int("iters"), 42);
+    EXPECT_DOUBLE_EQ(cli.get_double("epsilon"), 0.25);
+}
+
+TEST(Cli, ParsesEqualsForm) {
+    Cli cli = make_cli();
+    const char* argv[] = {"prog", "--iters=7", "--corpus=dna"};
+    ASSERT_TRUE(cli.parse(3, argv));
+    EXPECT_EQ(cli.get_int("iters"), 7);
+    EXPECT_EQ(cli.get_string("corpus"), "dna");
+}
+
+TEST(Cli, ParsesFlags) {
+    Cli cli = make_cli();
+    const char* argv[] = {"prog", "--paper"};
+    ASSERT_TRUE(cli.parse(2, argv));
+    EXPECT_TRUE(cli.get_flag("paper"));
+}
+
+TEST(Cli, RejectsUnknownOption) {
+    Cli cli = make_cli();
+    const char* argv[] = {"prog", "--bogus", "1"};
+    EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(Cli, RejectsMissingValue) {
+    Cli cli = make_cli();
+    const char* argv[] = {"prog", "--iters"};
+    EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, RejectsNonNumericValue) {
+    Cli cli = make_cli();
+    const char* argv[] = {"prog", "--iters", "many"};
+    EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(Cli, RejectsValueOnFlag) {
+    Cli cli = make_cli();
+    const char* argv[] = {"prog", "--paper=yes"};
+    EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+    Cli cli = make_cli();
+    const char* argv[] = {"prog", "positional"};
+    EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+    Cli cli = make_cli();
+    const char* argv[] = {"prog", "--help"};
+    EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, TypeMismatchOnAccessThrows) {
+    Cli cli = make_cli();
+    const char* argv[] = {"prog"};
+    ASSERT_TRUE(cli.parse(1, argv));
+    EXPECT_THROW(cli.get_int("epsilon"), std::logic_error);
+    EXPECT_THROW(cli.get_flag("iters"), std::logic_error);
+    EXPECT_THROW(cli.get_string("nope"), std::logic_error);
+}
+
+TEST(Cli, NegativeNumbersParse) {
+    Cli cli("p", "d");
+    cli.add_int("offset", 0, "signed value");
+    const char* argv[] = {"p", "--offset", "-12"};
+    ASSERT_TRUE(cli.parse(3, argv));
+    EXPECT_EQ(cli.get_int("offset"), -12);
+}
+
+} // namespace
+} // namespace atk

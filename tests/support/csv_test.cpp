@@ -1,0 +1,52 @@
+#include "support/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace atk {
+namespace {
+
+TEST(Csv, BasicSerialization) {
+    CsvWriter csv({"iteration", "cost"});
+    csv.add_row({"0", "1.5"});
+    csv.add_row({"1", "1.2"});
+    EXPECT_EQ(csv.to_string(), "iteration,cost\n0,1.5\n1,1.2\n");
+}
+
+TEST(Csv, EscapesSeparatorsAndQuotes) {
+    CsvWriter csv({"name"});
+    csv.add_row({"a,b"});
+    csv.add_row({"say \"hi\""});
+    csv.add_row({"line\nbreak"});
+    const std::string out = csv.to_string();
+    EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+    EXPECT_NE(out.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(Csv, RejectsWrongColumnCount) {
+    CsvWriter csv({"a", "b"});
+    EXPECT_THROW(csv.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Csv, WritesFile) {
+    CsvWriter csv({"x"});
+    csv.add_row({"42"});
+    const std::string path = ::testing::TempDir() + "atk_csv_test.csv";
+    ASSERT_TRUE(csv.write_file(path));
+    std::ifstream file(path);
+    std::string content((std::istreambuf_iterator<char>(file)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "x\n42\n");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, WriteToBadPathFails) {
+    CsvWriter csv({"x"});
+    EXPECT_FALSE(csv.write_file("/nonexistent-dir/impossible.csv"));
+}
+
+} // namespace
+} // namespace atk

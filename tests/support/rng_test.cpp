@@ -1,0 +1,168 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace atk {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a() == b()) ++equal;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, LowEntropySeedsAreWellMixed) {
+    // SplitMix64 seeding: consecutive small seeds must not produce
+    // correlated first outputs.
+    std::set<std::uint64_t> firsts;
+    for (std::uint64_t seed = 0; seed < 64; ++seed) firsts.insert(Rng(seed)());
+    EXPECT_EQ(firsts.size(), 64u);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniform_int(-5, 17);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 17);
+    }
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+    Rng rng(7);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(3, 3), 3);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+    Rng rng(7);
+    EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversFullRangeEventually) {
+    Rng rng(11);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 9));
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntIsApproximatelyUniform) {
+    Rng rng(13);
+    std::array<int, 8> counts{};
+    constexpr int kDraws = 80000;
+    for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_int(0, 7)];
+    // Each bucket expects 10000; allow 5% deviation (far beyond 5 sigma).
+    for (const int c : counts) EXPECT_NEAR(c, kDraws / 8, kDraws / 8 / 20);
+}
+
+TEST(Rng, IndexRejectsZero) {
+    Rng rng(7);
+    EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformRealStaysInHalfOpenInterval) {
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniform_real(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+    Rng rng(17);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    constexpr int kDraws = 50000;
+    for (int i = 0; i < kDraws; ++i) {
+        const double v = rng.normal(10.0, 2.0);
+        sum += v;
+        sum_sq += v * v;
+    }
+    const double mean = sum / kDraws;
+    const double var = sum_sq / kDraws - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ChanceExtremes) {
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+    Rng rng(19);
+    int hits = 0;
+    constexpr int kDraws = 50000;
+    for (int i = 0; i < kDraws; ++i)
+        if (rng.chance(0.3)) ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+    Rng rng(23);
+    const std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+    std::array<int, 4> counts{};
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) ++counts[rng.weighted_index(weights)];
+    EXPECT_EQ(counts[2], 0);  // zero weight is never selected
+    EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.3, 0.01);
+    EXPECT_NEAR(counts[3] / static_cast<double>(kDraws), 0.6, 0.01);
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+    Rng rng(23);
+    const std::vector<double> zero{0.0, 0.0};
+    const std::vector<double> negative{1.0, -0.5};
+    EXPECT_THROW(rng.weighted_index(zero), std::invalid_argument);
+    EXPECT_THROW(rng.weighted_index(negative), std::invalid_argument);
+    EXPECT_THROW(rng.weighted_index(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Rng, PickReturnsElementsFromSpan) {
+    Rng rng(29);
+    const std::vector<int> items{4, 8, 15};
+    for (int i = 0; i < 100; ++i) {
+        const int v = rng.pick(std::span<const int>(items));
+        EXPECT_TRUE(v == 4 || v == 8 || v == 15);
+    }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+    Rng rng(31);
+    std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+    auto shuffled = items;
+    rng.shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, items);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+    Rng parent(37);
+    Rng child = parent.split();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (parent() == child()) ++equal;
+    EXPECT_LT(equal, 3);
+}
+
+} // namespace
+} // namespace atk

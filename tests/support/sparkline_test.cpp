@@ -1,0 +1,72 @@
+#include "support/sparkline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atk {
+namespace {
+
+TEST(Sparkline, EmptySeriesRendersEmpty) {
+    EXPECT_TRUE(sparkline({}).empty());
+}
+
+TEST(Sparkline, MonotoneRampUsesFullRange) {
+    const std::vector<double> ramp{0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0};
+    const std::string out = sparkline(ramp);
+    // Eight blocks, strictly the ramp of all eight levels.
+    EXPECT_EQ(out, "▁▂▃▄▅▆▇█");
+}
+
+TEST(Sparkline, FlatSeriesRendersMidHeight) {
+    const std::vector<double> flat{5.0, 5.0, 5.0};
+    const std::string out = sparkline(flat);
+    EXPECT_EQ(out, "▄▄▄");
+}
+
+TEST(Sparkline, ExplicitScaleClampsOutliers) {
+    const std::vector<double> values{-100.0, 0.0, 10.0, 1000.0};
+    const std::string out = sparkline(values, 0.0, 10.0);
+    // First char clamped to the lowest block, last to the highest.
+    EXPECT_EQ(out.substr(0, 3), "▁");
+    EXPECT_EQ(out.substr(out.size() - 3), "█");
+}
+
+TEST(Sparkline, OneCharacterPerValue) {
+    const std::vector<double> values{1.0, 2.0, 3.0, 4.0, 5.0};
+    // Each block is 3 UTF-8 bytes.
+    EXPECT_EQ(sparkline(values).size(), values.size() * 3);
+}
+
+TEST(SparklineChart, SharedScaleAcrossSeries) {
+    // Series A spans 0..10, series B is flat at 10: B must render at the
+    // top of the *shared* scale, not mid-height.
+    std::vector<LabeledSeries> chart{
+        {"A", {0.0, 5.0, 10.0}},
+        {"B", {10.0, 10.0, 10.0}},
+    };
+    const std::string out = sparkline_chart(chart, "ms");
+    const auto b_line_start = out.find("B  ");
+    ASSERT_NE(b_line_start, std::string::npos);
+    EXPECT_EQ(out.substr(b_line_start + 3, 3), "█");
+    EXPECT_NE(out.find("scale: 0 .. 10 ms"), std::string::npos);
+}
+
+TEST(SparklineChart, LabelsAreAligned) {
+    std::vector<LabeledSeries> chart{
+        {"short", {1.0, 2.0}},
+        {"a-much-longer-label", {2.0, 1.0}},
+    };
+    const std::string out = sparkline_chart(chart);
+    // Both sparklines start at the same column.
+    const auto line_end_1 = out.find('\n');
+    const std::string line1 = out.substr(0, line_end_1);
+    const auto line_end_2 = out.find('\n', line_end_1 + 1);
+    const std::string line2 = out.substr(line_end_1 + 1, line_end_2 - line_end_1 - 1);
+    EXPECT_EQ(line1.find("▁"), line2.find("█"));
+}
+
+TEST(SparklineChart, EmptyChartRendersEmpty) {
+    EXPECT_TRUE(sparkline_chart({}).empty());
+}
+
+} // namespace
+} // namespace atk

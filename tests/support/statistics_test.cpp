@@ -1,0 +1,119 @@
+#include "support/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace atk {
+namespace {
+
+TEST(Statistics, MeanOfKnownValues) {
+    const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Statistics, MeanOfEmptyIsZero) {
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Statistics, VarianceUsesBesselCorrection) {
+    const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    // Population variance is 4; sample variance is 4 * 8/7.
+    EXPECT_NEAR(variance(v), 4.0 * 8.0 / 7.0, 1e-12);
+}
+
+TEST(Statistics, VarianceOfSingletonIsZero) {
+    EXPECT_DOUBLE_EQ(variance(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(Statistics, StddevIsSqrtOfVariance) {
+    const std::vector<double> v{1.0, 5.0};
+    EXPECT_NEAR(stddev(v) * stddev(v), variance(v), 1e-12);
+}
+
+TEST(Statistics, MedianOddCount) {
+    const std::vector<double> v{9.0, 1.0, 5.0};
+    EXPECT_DOUBLE_EQ(median(v), 5.0);
+}
+
+TEST(Statistics, MedianEvenCountInterpolates) {
+    const std::vector<double> v{1.0, 2.0, 3.0, 10.0};
+    EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(Statistics, MedianThrowsOnEmpty) {
+    EXPECT_THROW(median(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Statistics, QuantileEndpoints) {
+    const std::vector<double> v{3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 3.0);
+}
+
+TEST(Statistics, QuantileInterpolatesType7) {
+    const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    // R type-7: q(0.25) over 4 values = 1 + 0.75*(2-1).
+    EXPECT_DOUBLE_EQ(quantile(v, 0.25), 1.75);
+}
+
+TEST(Statistics, QuantileRejectsBadArguments) {
+    const std::vector<double> v{1.0};
+    EXPECT_THROW(quantile(v, -0.1), std::invalid_argument);
+    EXPECT_THROW(quantile(v, 1.1), std::invalid_argument);
+    EXPECT_THROW(quantile(std::vector<double>{}, 0.5), std::invalid_argument);
+}
+
+TEST(Statistics, SummarizeFiveNumberSummary) {
+    const std::vector<double> v{7.0, 1.0, 3.0, 5.0, 9.0};
+    const BoxStats s = summarize(v);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.q1, 3.0);
+    EXPECT_DOUBLE_EQ(s.median, 5.0);
+    EXPECT_DOUBLE_EQ(s.q3, 7.0);
+    EXPECT_DOUBLE_EQ(s.max, 9.0);
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_EQ(s.count, 5u);
+}
+
+TEST(Statistics, SummarizeMatchesQuantiles) {
+    const std::vector<double> v{2.0, 8.0, 4.0, 6.0, 1.0, 9.0, 5.0};
+    const BoxStats s = summarize(v);
+    EXPECT_DOUBLE_EQ(s.q1, quantile(v, 0.25));
+    EXPECT_DOUBLE_EQ(s.median, quantile(v, 0.5));
+    EXPECT_DOUBLE_EQ(s.q3, quantile(v, 0.75));
+}
+
+TEST(Statistics, ColumnwiseMedianPerIteration) {
+    const std::vector<std::vector<double>> rows{
+        {1.0, 10.0, 100.0},
+        {2.0, 20.0, 200.0},
+        {3.0, 30.0, 300.0},
+    };
+    const auto med = columnwise_median(rows);
+    ASSERT_EQ(med.size(), 3u);
+    EXPECT_DOUBLE_EQ(med[0], 2.0);
+    EXPECT_DOUBLE_EQ(med[1], 20.0);
+    EXPECT_DOUBLE_EQ(med[2], 200.0);
+}
+
+TEST(Statistics, ColumnwiseMeanPerIteration) {
+    const std::vector<std::vector<double>> rows{{1.0, 4.0}, {3.0, 8.0}};
+    const auto avg = columnwise_mean(rows);
+    ASSERT_EQ(avg.size(), 2u);
+    EXPECT_DOUBLE_EQ(avg[0], 2.0);
+    EXPECT_DOUBLE_EQ(avg[1], 6.0);
+}
+
+TEST(Statistics, ColumnwiseRejectsRaggedRows) {
+    const std::vector<std::vector<double>> rows{{1.0, 2.0}, {3.0}};
+    EXPECT_THROW(columnwise_median(rows), std::invalid_argument);
+}
+
+TEST(Statistics, ColumnwiseOfEmptyIsEmpty) {
+    EXPECT_TRUE(columnwise_median({}).empty());
+    EXPECT_TRUE(columnwise_mean({}).empty());
+}
+
+} // namespace
+} // namespace atk

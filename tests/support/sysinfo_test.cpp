@@ -1,0 +1,28 @@
+#include "support/sysinfo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atk {
+namespace {
+
+TEST(SysInfo, ReportsAtLeastOneThread) {
+    const SystemInfo info = query_system_info();
+    EXPECT_GE(info.threads, 1u);
+}
+
+TEST(SysInfo, ReportsLinuxFields) {
+    const SystemInfo info = query_system_info();
+    // On the Linux CI hosts this runs on, /proc must be readable.
+    EXPECT_FALSE(info.os.empty());
+    EXPECT_GT(info.ram_bytes, 0u);
+}
+
+TEST(SysInfo, FormatBytesUnits) {
+    EXPECT_EQ(format_bytes(512), "512.0 B");
+    EXPECT_EQ(format_bytes(2048), "2.0 KB");
+    EXPECT_EQ(format_bytes(3ULL * 1024 * 1024), "3.0 MB");
+    EXPECT_EQ(format_bytes(64ULL * 1024 * 1024 * 1024), "64.0 GB");
+}
+
+} // namespace
+} // namespace atk

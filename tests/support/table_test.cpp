@@ -1,0 +1,55 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atk {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+    Table table({"name", "time"});
+    table.row().text("fast").num(1.5);
+    table.row().text("slow").num(10.25);
+    const std::string out = table.to_string();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("fast"), std::string::npos);
+    EXPECT_NE(out.find("1.50"), std::string::npos);
+    EXPECT_NE(out.find("10.25"), std::string::npos);
+}
+
+TEST(Table, ColumnsAreAligned) {
+    Table table({"a", "b"});
+    table.row().text("short").text("x");
+    table.row().text("a-much-longer-cell").text("y");
+    const std::string out = table.to_string();
+    // Both data rows must place column b at the same offset.
+    const auto first_newline = out.find('\n');
+    const auto second_newline = out.find('\n', first_newline + 1);
+    const std::string row1 =
+        out.substr(second_newline + 1, out.find('\n', second_newline + 1) - second_newline - 1);
+    const auto row2_start = out.find('\n', second_newline + 1) + 1;
+    const std::string row2 = out.substr(row2_start, out.find('\n', row2_start) - row2_start);
+    EXPECT_EQ(row1.find('x'), row2.find('y'));
+}
+
+TEST(Table, RejectsWrongCellCount) {
+    Table table({"a", "b"});
+    EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, IntegerAndPrecisionFormatting) {
+    Table table({"v"});
+    table.row().integer(1234567);
+    table.row().num(3.14159, 4);
+    const std::string out = table.to_string();
+    EXPECT_NE(out.find("1234567"), std::string::npos);
+    EXPECT_NE(out.find("3.1416"), std::string::npos);
+}
+
+TEST(FormatNum, FixedPrecision) {
+    EXPECT_EQ(format_num(1.005, 2), "1.00");  // bankers-agnostic snprintf
+    EXPECT_EQ(format_num(2.5, 0), "2");
+    EXPECT_EQ(format_num(-1.75, 1), "-1.8");
+}
+
+} // namespace
+} // namespace atk

@@ -1,0 +1,185 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace atk {
+namespace {
+
+TEST(ThreadPool, DefaultsToAtLeastOneThread) {
+    ThreadPool pool;
+    EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    {
+        ThreadPool::TaskGroup group(pool);
+        for (int i = 0; i < 100; ++i) group.submit([&] { ++counter; });
+        group.wait_all();
+    }
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, TaskGroupDestructorWaits) {
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    {
+        ThreadPool::TaskGroup group(pool);
+        for (int i = 0; i < 50; ++i) group.submit([&] { ++counter; });
+        // no explicit wait_all: the destructor must block
+    }
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, NestedSubmissionDoesNotDeadlock) {
+    // A task submits subtasks and waits for them — on a 1-thread pool this
+    // only works because wait_all() helps drain the queue.
+    ThreadPool pool(1);
+    std::atomic<int> counter{0};
+    ThreadPool::TaskGroup outer(pool);
+    outer.submit([&] {
+        ThreadPool::TaskGroup inner(pool);
+        for (int i = 0; i < 10; ++i) inner.submit([&] { ++counter; });
+        inner.wait_all();
+        ++counter;
+    });
+    outer.wait_all();
+    EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ThreadPool, DeeplyNestedRecursionCompletes) {
+    ThreadPool pool(2);
+    std::atomic<int> leaves{0};
+    // Binary recursion of depth 6 entirely via pool tasks.
+    std::function<void(int)> recurse = [&](int depth) {
+        if (depth == 0) {
+            ++leaves;
+            return;
+        }
+        ThreadPool::TaskGroup group(pool);
+        group.submit([&, depth] { recurse(depth - 1); });
+        recurse(depth - 1);
+        group.wait_all();
+    };
+    recurse(6);
+    EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> touched(1000);
+    pool.parallel_for(0, touched.size(), [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) ++touched[i];
+    });
+    for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+    ThreadPool pool(2);
+    int calls = 0;
+    pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { ++calls; });
+    pool.parallel_for(7, 3, [&](std::size_t, std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ParallelForRespectsMinChunk) {
+    ThreadPool pool(8);
+    std::atomic<int> chunks{0};
+    pool.parallel_for(
+        0, 10, [&](std::size_t, std::size_t) { ++chunks; }, /*min_chunk=*/10);
+    EXPECT_EQ(chunks.load(), 1);  // too small to split
+}
+
+TEST(ThreadPool, ParallelForComputesCorrectSum) {
+    ThreadPool pool(4);
+    std::vector<int> data(10000);
+    std::iota(data.begin(), data.end(), 0);
+    std::atomic<long long> total{0};
+    pool.parallel_for(0, data.size(), [&](std::size_t b, std::size_t e) {
+        long long local = 0;
+        for (std::size_t i = b; i < e; ++i) local += data[i];
+        total += local;
+    });
+    EXPECT_EQ(total.load(), 10000LL * 9999 / 2);
+}
+
+TEST(ThreadPool, ManyGroupsInterleave) {
+    ThreadPool pool(2);
+    std::atomic<int> a{0};
+    std::atomic<int> b{0};
+    ThreadPool::TaskGroup ga(pool);
+    ThreadPool::TaskGroup gb(pool);
+    for (int i = 0; i < 20; ++i) {
+        ga.submit([&] { ++a; });
+        gb.submit([&] { ++b; });
+    }
+    ga.wait_all();
+    gb.wait_all();
+    EXPECT_EQ(a.load(), 20);
+    EXPECT_EQ(b.load(), 20);
+}
+
+
+TEST(ThreadPool, TaskExceptionPropagatesToWaitAll) {
+    ThreadPool pool(2);
+    ThreadPool::TaskGroup group(pool);
+    group.submit([] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(group.wait_all(), std::runtime_error);
+    // The group is reusable after the error was observed.
+    std::atomic<int> counter{0};
+    group.submit([&] { ++counter; });
+    EXPECT_NO_THROW(group.wait_all());
+    EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, FirstOfManyExceptionsWins) {
+    ThreadPool pool(2);
+    ThreadPool::TaskGroup group(pool);
+    for (int i = 0; i < 10; ++i)
+        group.submit([i] { throw std::runtime_error("boom " + std::to_string(i)); });
+    EXPECT_THROW(group.wait_all(), std::runtime_error);
+}
+
+TEST(ThreadPool, SiblingsStillRunAfterAFailure) {
+    // A failing task must not cancel its siblings: all work completes
+    // before wait_all reports the error.
+    ThreadPool pool(2);
+    std::atomic<int> completed{0};
+    ThreadPool::TaskGroup group(pool);
+    for (int i = 0; i < 20; ++i) {
+        group.submit([&, i] {
+            if (i == 3) throw std::runtime_error("one bad apple");
+            ++completed;
+        });
+    }
+    EXPECT_THROW(group.wait_all(), std::runtime_error);
+    EXPECT_EQ(completed.load(), 19);
+}
+
+TEST(ThreadPool, DestructorSwallowsPendingException) {
+    ThreadPool pool(2);
+    {
+        ThreadPool::TaskGroup group(pool);
+        group.submit([] { throw std::runtime_error("unobserved"); });
+        // No explicit wait_all: the destructor must not throw or terminate.
+    }
+    SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForPropagatesWorkerExceptions) {
+    ThreadPool pool(3);
+    EXPECT_THROW(pool.parallel_for(0, 1000,
+                                   [](std::size_t b, std::size_t) {
+                                       if (b > 0) throw std::runtime_error("chunk died");
+                                   }),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace atk
