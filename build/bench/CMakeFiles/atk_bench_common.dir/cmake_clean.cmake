@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atk_bench_common.dir/harness.cpp.o"
+  "CMakeFiles/atk_bench_common.dir/harness.cpp.o.d"
+  "CMakeFiles/atk_bench_common.dir/raytrace_experiment.cpp.o"
+  "CMakeFiles/atk_bench_common.dir/raytrace_experiment.cpp.o.d"
+  "CMakeFiles/atk_bench_common.dir/stringmatch_experiment.cpp.o"
+  "CMakeFiles/atk_bench_common.dir/stringmatch_experiment.cpp.o.d"
+  "libatk_bench_common.a"
+  "libatk_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atk_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

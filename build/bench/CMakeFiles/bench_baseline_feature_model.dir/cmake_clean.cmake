@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_feature_model.dir/bench_baseline_feature_model.cpp.o"
+  "CMakeFiles/bench_baseline_feature_model.dir/bench_baseline_feature_model.cpp.o.d"
+  "bench_baseline_feature_model"
+  "bench_baseline_feature_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_feature_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_string_untuned.dir/bench_fig1_string_untuned.cpp.o"
+  "CMakeFiles/bench_fig1_string_untuned.dir/bench_fig1_string_untuned.cpp.o.d"
+  "bench_fig1_string_untuned"
+  "bench_fig1_string_untuned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_string_untuned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_string_median.dir/bench_fig2_string_median.cpp.o"
+  "CMakeFiles/bench_fig2_string_median.dir/bench_fig2_string_median.cpp.o.d"
+  "bench_fig2_string_median"
+  "bench_fig2_string_median.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_string_median.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_string_mean.dir/bench_fig3_string_mean.cpp.o"
+  "CMakeFiles/bench_fig3_string_mean.dir/bench_fig3_string_mean.cpp.o.d"
+  "bench_fig3_string_mean"
+  "bench_fig3_string_mean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_string_mean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

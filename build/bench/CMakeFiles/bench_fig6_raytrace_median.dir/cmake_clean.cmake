@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_raytrace_median.dir/bench_fig6_raytrace_median.cpp.o"
+  "CMakeFiles/bench_fig6_raytrace_median.dir/bench_fig6_raytrace_median.cpp.o.d"
+  "bench_fig6_raytrace_median"
+  "bench_fig6_raytrace_median.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_raytrace_median.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

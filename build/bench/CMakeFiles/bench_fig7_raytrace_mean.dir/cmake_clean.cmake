@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_raytrace_mean.dir/bench_fig7_raytrace_mean.cpp.o"
+  "CMakeFiles/bench_fig7_raytrace_mean.dir/bench_fig7_raytrace_mean.cpp.o.d"
+  "bench_fig7_raytrace_mean"
+  "bench_fig7_raytrace_mean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_raytrace_mean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

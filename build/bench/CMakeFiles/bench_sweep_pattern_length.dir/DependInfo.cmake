@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sweep_pattern_length.cpp" "bench/CMakeFiles/bench_sweep_pattern_length.dir/bench_sweep_pattern_length.cpp.o" "gcc" "bench/CMakeFiles/bench_sweep_pattern_length.dir/bench_sweep_pattern_length.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/atk_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stringmatch/CMakeFiles/atk_stringmatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/raytrace/CMakeFiles/atk_raytrace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/atk_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_pattern_length.dir/bench_sweep_pattern_length.cpp.o"
+  "CMakeFiles/bench_sweep_pattern_length.dir/bench_sweep_pattern_length.cpp.o.d"
+  "bench_sweep_pattern_length"
+  "bench_sweep_pattern_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_pattern_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

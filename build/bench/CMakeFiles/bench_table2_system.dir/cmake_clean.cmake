@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_system.dir/bench_table2_system.cpp.o"
+  "CMakeFiles/bench_table2_system.dir/bench_table2_system.cpp.o.d"
+  "bench_table2_system"
+  "bench_table2_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

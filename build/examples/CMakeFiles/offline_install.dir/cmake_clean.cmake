@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_install.dir/offline_install.cpp.o"
+  "CMakeFiles/offline_install.dir/offline_install.cpp.o.d"
+  "offline_install"
+  "offline_install.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_install.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

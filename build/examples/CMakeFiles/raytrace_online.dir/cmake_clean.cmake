@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raytrace_online.dir/raytrace_online.cpp.o"
+  "CMakeFiles/raytrace_online.dir/raytrace_online.cpp.o.d"
+  "raytrace_online"
+  "raytrace_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raytrace_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stringmatch_online.dir/stringmatch_online.cpp.o"
+  "CMakeFiles/stringmatch_online.dir/stringmatch_online.cpp.o.d"
+  "stringmatch_online"
+  "stringmatch_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stringmatch_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for stringmatch_online.
+# This may be replaced when dependencies are built.

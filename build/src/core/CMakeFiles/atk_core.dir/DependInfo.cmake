@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/feature_model.cpp" "src/core/CMakeFiles/atk_core.dir/feature_model.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/feature_model.cpp.o.d"
+  "/root/repo/src/core/nominal/combined.cpp" "src/core/CMakeFiles/atk_core.dir/nominal/combined.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/nominal/combined.cpp.o.d"
+  "/root/repo/src/core/nominal/epsilon_greedy.cpp" "src/core/CMakeFiles/atk_core.dir/nominal/epsilon_greedy.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/nominal/epsilon_greedy.cpp.o.d"
+  "/root/repo/src/core/nominal/gradient_weighted.cpp" "src/core/CMakeFiles/atk_core.dir/nominal/gradient_weighted.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/nominal/gradient_weighted.cpp.o.d"
+  "/root/repo/src/core/nominal/optimum_weighted.cpp" "src/core/CMakeFiles/atk_core.dir/nominal/optimum_weighted.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/nominal/optimum_weighted.cpp.o.d"
+  "/root/repo/src/core/nominal/sliding_auc.cpp" "src/core/CMakeFiles/atk_core.dir/nominal/sliding_auc.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/nominal/sliding_auc.cpp.o.d"
+  "/root/repo/src/core/nominal/softmax.cpp" "src/core/CMakeFiles/atk_core.dir/nominal/softmax.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/nominal/softmax.cpp.o.d"
+  "/root/repo/src/core/nominal/strategy.cpp" "src/core/CMakeFiles/atk_core.dir/nominal/strategy.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/nominal/strategy.cpp.o.d"
+  "/root/repo/src/core/offline.cpp" "src/core/CMakeFiles/atk_core.dir/offline.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/offline.cpp.o.d"
+  "/root/repo/src/core/parameter.cpp" "src/core/CMakeFiles/atk_core.dir/parameter.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/parameter.cpp.o.d"
+  "/root/repo/src/core/search/differential_evolution.cpp" "src/core/CMakeFiles/atk_core.dir/search/differential_evolution.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/search/differential_evolution.cpp.o.d"
+  "/root/repo/src/core/search/exhaustive.cpp" "src/core/CMakeFiles/atk_core.dir/search/exhaustive.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/search/exhaustive.cpp.o.d"
+  "/root/repo/src/core/search/genetic.cpp" "src/core/CMakeFiles/atk_core.dir/search/genetic.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/search/genetic.cpp.o.d"
+  "/root/repo/src/core/search/hill_climbing.cpp" "src/core/CMakeFiles/atk_core.dir/search/hill_climbing.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/search/hill_climbing.cpp.o.d"
+  "/root/repo/src/core/search/nelder_mead.cpp" "src/core/CMakeFiles/atk_core.dir/search/nelder_mead.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/search/nelder_mead.cpp.o.d"
+  "/root/repo/src/core/search/particle_swarm.cpp" "src/core/CMakeFiles/atk_core.dir/search/particle_swarm.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/search/particle_swarm.cpp.o.d"
+  "/root/repo/src/core/search/searcher.cpp" "src/core/CMakeFiles/atk_core.dir/search/searcher.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/search/searcher.cpp.o.d"
+  "/root/repo/src/core/search/simulated_annealing.cpp" "src/core/CMakeFiles/atk_core.dir/search/simulated_annealing.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/search/simulated_annealing.cpp.o.d"
+  "/root/repo/src/core/search/unit_space.cpp" "src/core/CMakeFiles/atk_core.dir/search/unit_space.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/search/unit_space.cpp.o.d"
+  "/root/repo/src/core/search_space.cpp" "src/core/CMakeFiles/atk_core.dir/search_space.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/search_space.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/atk_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "src/core/CMakeFiles/atk_core.dir/tuner.cpp.o" "gcc" "src/core/CMakeFiles/atk_core.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/atk_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raytrace/builders.cpp" "src/raytrace/CMakeFiles/atk_raytrace.dir/builders.cpp.o" "gcc" "src/raytrace/CMakeFiles/atk_raytrace.dir/builders.cpp.o.d"
+  "/root/repo/src/raytrace/builders_detail.cpp" "src/raytrace/CMakeFiles/atk_raytrace.dir/builders_detail.cpp.o" "gcc" "src/raytrace/CMakeFiles/atk_raytrace.dir/builders_detail.cpp.o.d"
+  "/root/repo/src/raytrace/geometry.cpp" "src/raytrace/CMakeFiles/atk_raytrace.dir/geometry.cpp.o" "gcc" "src/raytrace/CMakeFiles/atk_raytrace.dir/geometry.cpp.o.d"
+  "/root/repo/src/raytrace/kdtree.cpp" "src/raytrace/CMakeFiles/atk_raytrace.dir/kdtree.cpp.o" "gcc" "src/raytrace/CMakeFiles/atk_raytrace.dir/kdtree.cpp.o.d"
+  "/root/repo/src/raytrace/pipeline.cpp" "src/raytrace/CMakeFiles/atk_raytrace.dir/pipeline.cpp.o" "gcc" "src/raytrace/CMakeFiles/atk_raytrace.dir/pipeline.cpp.o.d"
+  "/root/repo/src/raytrace/renderer.cpp" "src/raytrace/CMakeFiles/atk_raytrace.dir/renderer.cpp.o" "gcc" "src/raytrace/CMakeFiles/atk_raytrace.dir/renderer.cpp.o.d"
+  "/root/repo/src/raytrace/sah.cpp" "src/raytrace/CMakeFiles/atk_raytrace.dir/sah.cpp.o" "gcc" "src/raytrace/CMakeFiles/atk_raytrace.dir/sah.cpp.o.d"
+  "/root/repo/src/raytrace/scene.cpp" "src/raytrace/CMakeFiles/atk_raytrace.dir/scene.cpp.o" "gcc" "src/raytrace/CMakeFiles/atk_raytrace.dir/scene.cpp.o.d"
+  "/root/repo/src/raytrace/wald_havran.cpp" "src/raytrace/CMakeFiles/atk_raytrace.dir/wald_havran.cpp.o" "gcc" "src/raytrace/CMakeFiles/atk_raytrace.dir/wald_havran.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/atk_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atk_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

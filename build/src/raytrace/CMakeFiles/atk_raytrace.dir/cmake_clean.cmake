@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atk_raytrace.dir/builders.cpp.o"
+  "CMakeFiles/atk_raytrace.dir/builders.cpp.o.d"
+  "CMakeFiles/atk_raytrace.dir/builders_detail.cpp.o"
+  "CMakeFiles/atk_raytrace.dir/builders_detail.cpp.o.d"
+  "CMakeFiles/atk_raytrace.dir/geometry.cpp.o"
+  "CMakeFiles/atk_raytrace.dir/geometry.cpp.o.d"
+  "CMakeFiles/atk_raytrace.dir/kdtree.cpp.o"
+  "CMakeFiles/atk_raytrace.dir/kdtree.cpp.o.d"
+  "CMakeFiles/atk_raytrace.dir/pipeline.cpp.o"
+  "CMakeFiles/atk_raytrace.dir/pipeline.cpp.o.d"
+  "CMakeFiles/atk_raytrace.dir/renderer.cpp.o"
+  "CMakeFiles/atk_raytrace.dir/renderer.cpp.o.d"
+  "CMakeFiles/atk_raytrace.dir/sah.cpp.o"
+  "CMakeFiles/atk_raytrace.dir/sah.cpp.o.d"
+  "CMakeFiles/atk_raytrace.dir/scene.cpp.o"
+  "CMakeFiles/atk_raytrace.dir/scene.cpp.o.d"
+  "CMakeFiles/atk_raytrace.dir/wald_havran.cpp.o"
+  "CMakeFiles/atk_raytrace.dir/wald_havran.cpp.o.d"
+  "libatk_raytrace.a"
+  "libatk_raytrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atk_raytrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

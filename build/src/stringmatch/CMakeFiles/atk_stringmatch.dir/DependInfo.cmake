@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stringmatch/boyer_moore.cpp" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/boyer_moore.cpp.o" "gcc" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/boyer_moore.cpp.o.d"
+  "/root/repo/src/stringmatch/corpus.cpp" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/corpus.cpp.o" "gcc" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/corpus.cpp.o.d"
+  "/root/repo/src/stringmatch/ebom.cpp" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/ebom.cpp.o" "gcc" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/ebom.cpp.o.d"
+  "/root/repo/src/stringmatch/fsbndm.cpp" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/fsbndm.cpp.o" "gcc" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/fsbndm.cpp.o.d"
+  "/root/repo/src/stringmatch/hash3.cpp" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/hash3.cpp.o" "gcc" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/hash3.cpp.o.d"
+  "/root/repo/src/stringmatch/hybrid.cpp" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/hybrid.cpp.o" "gcc" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/hybrid.cpp.o.d"
+  "/root/repo/src/stringmatch/kmp.cpp" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/kmp.cpp.o" "gcc" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/kmp.cpp.o.d"
+  "/root/repo/src/stringmatch/matcher.cpp" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/matcher.cpp.o" "gcc" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/matcher.cpp.o.d"
+  "/root/repo/src/stringmatch/parallel.cpp" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/parallel.cpp.o" "gcc" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/parallel.cpp.o.d"
+  "/root/repo/src/stringmatch/shift_or.cpp" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/shift_or.cpp.o" "gcc" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/shift_or.cpp.o.d"
+  "/root/repo/src/stringmatch/ssef.cpp" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/ssef.cpp.o" "gcc" "src/stringmatch/CMakeFiles/atk_stringmatch.dir/ssef.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/atk_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

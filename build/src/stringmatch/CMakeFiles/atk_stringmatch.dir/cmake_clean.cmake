@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atk_stringmatch.dir/boyer_moore.cpp.o"
+  "CMakeFiles/atk_stringmatch.dir/boyer_moore.cpp.o.d"
+  "CMakeFiles/atk_stringmatch.dir/corpus.cpp.o"
+  "CMakeFiles/atk_stringmatch.dir/corpus.cpp.o.d"
+  "CMakeFiles/atk_stringmatch.dir/ebom.cpp.o"
+  "CMakeFiles/atk_stringmatch.dir/ebom.cpp.o.d"
+  "CMakeFiles/atk_stringmatch.dir/fsbndm.cpp.o"
+  "CMakeFiles/atk_stringmatch.dir/fsbndm.cpp.o.d"
+  "CMakeFiles/atk_stringmatch.dir/hash3.cpp.o"
+  "CMakeFiles/atk_stringmatch.dir/hash3.cpp.o.d"
+  "CMakeFiles/atk_stringmatch.dir/hybrid.cpp.o"
+  "CMakeFiles/atk_stringmatch.dir/hybrid.cpp.o.d"
+  "CMakeFiles/atk_stringmatch.dir/kmp.cpp.o"
+  "CMakeFiles/atk_stringmatch.dir/kmp.cpp.o.d"
+  "CMakeFiles/atk_stringmatch.dir/matcher.cpp.o"
+  "CMakeFiles/atk_stringmatch.dir/matcher.cpp.o.d"
+  "CMakeFiles/atk_stringmatch.dir/parallel.cpp.o"
+  "CMakeFiles/atk_stringmatch.dir/parallel.cpp.o.d"
+  "CMakeFiles/atk_stringmatch.dir/shift_or.cpp.o"
+  "CMakeFiles/atk_stringmatch.dir/shift_or.cpp.o.d"
+  "CMakeFiles/atk_stringmatch.dir/ssef.cpp.o"
+  "CMakeFiles/atk_stringmatch.dir/ssef.cpp.o.d"
+  "libatk_stringmatch.a"
+  "libatk_stringmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atk_stringmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

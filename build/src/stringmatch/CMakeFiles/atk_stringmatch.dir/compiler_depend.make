@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for atk_stringmatch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atk_support.dir/cli.cpp.o"
+  "CMakeFiles/atk_support.dir/cli.cpp.o.d"
+  "CMakeFiles/atk_support.dir/csv.cpp.o"
+  "CMakeFiles/atk_support.dir/csv.cpp.o.d"
+  "CMakeFiles/atk_support.dir/rng.cpp.o"
+  "CMakeFiles/atk_support.dir/rng.cpp.o.d"
+  "CMakeFiles/atk_support.dir/sparkline.cpp.o"
+  "CMakeFiles/atk_support.dir/sparkline.cpp.o.d"
+  "CMakeFiles/atk_support.dir/statistics.cpp.o"
+  "CMakeFiles/atk_support.dir/statistics.cpp.o.d"
+  "CMakeFiles/atk_support.dir/sysinfo.cpp.o"
+  "CMakeFiles/atk_support.dir/sysinfo.cpp.o.d"
+  "CMakeFiles/atk_support.dir/table.cpp.o"
+  "CMakeFiles/atk_support.dir/table.cpp.o.d"
+  "CMakeFiles/atk_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/atk_support.dir/thread_pool.cpp.o.d"
+  "libatk_support.a"
+  "libatk_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atk_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/combined_strategies_test.cpp" "tests/CMakeFiles/test_core.dir/core/combined_strategies_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/combined_strategies_test.cpp.o.d"
+  "/root/repo/tests/core/epsilon_greedy_test.cpp" "tests/CMakeFiles/test_core.dir/core/epsilon_greedy_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/epsilon_greedy_test.cpp.o.d"
+  "/root/repo/tests/core/feature_model_test.cpp" "tests/CMakeFiles/test_core.dir/core/feature_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/feature_model_test.cpp.o.d"
+  "/root/repo/tests/core/nelder_mead_test.cpp" "tests/CMakeFiles/test_core.dir/core/nelder_mead_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/nelder_mead_test.cpp.o.d"
+  "/root/repo/tests/core/nominal_strategy_test.cpp" "tests/CMakeFiles/test_core.dir/core/nominal_strategy_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/nominal_strategy_test.cpp.o.d"
+  "/root/repo/tests/core/offline_test.cpp" "tests/CMakeFiles/test_core.dir/core/offline_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/offline_test.cpp.o.d"
+  "/root/repo/tests/core/parameter_test.cpp" "tests/CMakeFiles/test_core.dir/core/parameter_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/parameter_test.cpp.o.d"
+  "/root/repo/tests/core/property_sweeps_test.cpp" "tests/CMakeFiles/test_core.dir/core/property_sweeps_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/property_sweeps_test.cpp.o.d"
+  "/root/repo/tests/core/search_space_test.cpp" "tests/CMakeFiles/test_core.dir/core/search_space_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/search_space_test.cpp.o.d"
+  "/root/repo/tests/core/searcher_contract_test.cpp" "tests/CMakeFiles/test_core.dir/core/searcher_contract_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/searcher_contract_test.cpp.o.d"
+  "/root/repo/tests/core/searchers_test.cpp" "tests/CMakeFiles/test_core.dir/core/searchers_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/searchers_test.cpp.o.d"
+  "/root/repo/tests/core/trace_test.cpp" "tests/CMakeFiles/test_core.dir/core/trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/trace_test.cpp.o.d"
+  "/root/repo/tests/core/tuner_test.cpp" "tests/CMakeFiles/test_core.dir/core/tuner_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/tuner_test.cpp.o.d"
+  "/root/repo/tests/core/weighted_strategies_test.cpp" "tests/CMakeFiles/test_core.dir/core/weighted_strategies_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/weighted_strategies_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/atk_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stringmatch/CMakeFiles/atk_stringmatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/raytrace/CMakeFiles/atk_raytrace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/combined_strategies_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/combined_strategies_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/epsilon_greedy_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/epsilon_greedy_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/feature_model_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/feature_model_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/nelder_mead_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/nelder_mead_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/nominal_strategy_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/nominal_strategy_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/offline_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/offline_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/parameter_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/parameter_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/property_sweeps_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/property_sweeps_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/search_space_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/search_space_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/searcher_contract_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/searcher_contract_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/searchers_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/searchers_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/trace_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/trace_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/tuner_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/tuner_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/weighted_strategies_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/weighted_strategies_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/raytrace/builder_test.cpp" "tests/CMakeFiles/test_raytrace.dir/raytrace/builder_test.cpp.o" "gcc" "tests/CMakeFiles/test_raytrace.dir/raytrace/builder_test.cpp.o.d"
+  "/root/repo/tests/raytrace/geometry_test.cpp" "tests/CMakeFiles/test_raytrace.dir/raytrace/geometry_test.cpp.o" "gcc" "tests/CMakeFiles/test_raytrace.dir/raytrace/geometry_test.cpp.o.d"
+  "/root/repo/tests/raytrace/kdtree_test.cpp" "tests/CMakeFiles/test_raytrace.dir/raytrace/kdtree_test.cpp.o" "gcc" "tests/CMakeFiles/test_raytrace.dir/raytrace/kdtree_test.cpp.o.d"
+  "/root/repo/tests/raytrace/lazy_test.cpp" "tests/CMakeFiles/test_raytrace.dir/raytrace/lazy_test.cpp.o" "gcc" "tests/CMakeFiles/test_raytrace.dir/raytrace/lazy_test.cpp.o.d"
+  "/root/repo/tests/raytrace/renderer_test.cpp" "tests/CMakeFiles/test_raytrace.dir/raytrace/renderer_test.cpp.o" "gcc" "tests/CMakeFiles/test_raytrace.dir/raytrace/renderer_test.cpp.o.d"
+  "/root/repo/tests/raytrace/sah_test.cpp" "tests/CMakeFiles/test_raytrace.dir/raytrace/sah_test.cpp.o" "gcc" "tests/CMakeFiles/test_raytrace.dir/raytrace/sah_test.cpp.o.d"
+  "/root/repo/tests/raytrace/scene_test.cpp" "tests/CMakeFiles/test_raytrace.dir/raytrace/scene_test.cpp.o" "gcc" "tests/CMakeFiles/test_raytrace.dir/raytrace/scene_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/atk_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stringmatch/CMakeFiles/atk_stringmatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/raytrace/CMakeFiles/atk_raytrace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raytrace.dir/raytrace/builder_test.cpp.o"
+  "CMakeFiles/test_raytrace.dir/raytrace/builder_test.cpp.o.d"
+  "CMakeFiles/test_raytrace.dir/raytrace/geometry_test.cpp.o"
+  "CMakeFiles/test_raytrace.dir/raytrace/geometry_test.cpp.o.d"
+  "CMakeFiles/test_raytrace.dir/raytrace/kdtree_test.cpp.o"
+  "CMakeFiles/test_raytrace.dir/raytrace/kdtree_test.cpp.o.d"
+  "CMakeFiles/test_raytrace.dir/raytrace/lazy_test.cpp.o"
+  "CMakeFiles/test_raytrace.dir/raytrace/lazy_test.cpp.o.d"
+  "CMakeFiles/test_raytrace.dir/raytrace/renderer_test.cpp.o"
+  "CMakeFiles/test_raytrace.dir/raytrace/renderer_test.cpp.o.d"
+  "CMakeFiles/test_raytrace.dir/raytrace/sah_test.cpp.o"
+  "CMakeFiles/test_raytrace.dir/raytrace/sah_test.cpp.o.d"
+  "CMakeFiles/test_raytrace.dir/raytrace/scene_test.cpp.o"
+  "CMakeFiles/test_raytrace.dir/raytrace/scene_test.cpp.o.d"
+  "test_raytrace"
+  "test_raytrace.pdb"
+  "test_raytrace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raytrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

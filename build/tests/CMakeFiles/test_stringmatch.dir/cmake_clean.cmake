@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stringmatch.dir/stringmatch/algorithm_internals_test.cpp.o"
+  "CMakeFiles/test_stringmatch.dir/stringmatch/algorithm_internals_test.cpp.o.d"
+  "CMakeFiles/test_stringmatch.dir/stringmatch/corpus_test.cpp.o"
+  "CMakeFiles/test_stringmatch.dir/stringmatch/corpus_test.cpp.o.d"
+  "CMakeFiles/test_stringmatch.dir/stringmatch/matcher_conformance_test.cpp.o"
+  "CMakeFiles/test_stringmatch.dir/stringmatch/matcher_conformance_test.cpp.o.d"
+  "CMakeFiles/test_stringmatch.dir/stringmatch/parallel_match_test.cpp.o"
+  "CMakeFiles/test_stringmatch.dir/stringmatch/parallel_match_test.cpp.o.d"
+  "test_stringmatch"
+  "test_stringmatch.pdb"
+  "test_stringmatch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stringmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/cli_test.cpp" "tests/CMakeFiles/test_support.dir/support/cli_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/cli_test.cpp.o.d"
+  "/root/repo/tests/support/csv_test.cpp" "tests/CMakeFiles/test_support.dir/support/csv_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/csv_test.cpp.o.d"
+  "/root/repo/tests/support/rng_test.cpp" "tests/CMakeFiles/test_support.dir/support/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/rng_test.cpp.o.d"
+  "/root/repo/tests/support/sparkline_test.cpp" "tests/CMakeFiles/test_support.dir/support/sparkline_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/sparkline_test.cpp.o.d"
+  "/root/repo/tests/support/statistics_test.cpp" "tests/CMakeFiles/test_support.dir/support/statistics_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/statistics_test.cpp.o.d"
+  "/root/repo/tests/support/sysinfo_test.cpp" "tests/CMakeFiles/test_support.dir/support/sysinfo_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/sysinfo_test.cpp.o.d"
+  "/root/repo/tests/support/table_test.cpp" "tests/CMakeFiles/test_support.dir/support/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/table_test.cpp.o.d"
+  "/root/repo/tests/support/thread_pool_test.cpp" "tests/CMakeFiles/test_support.dir/support/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/atk_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stringmatch/CMakeFiles/atk_stringmatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/raytrace/CMakeFiles/atk_raytrace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support.dir/support/cli_test.cpp.o"
+  "CMakeFiles/test_support.dir/support/cli_test.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/csv_test.cpp.o"
+  "CMakeFiles/test_support.dir/support/csv_test.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/rng_test.cpp.o"
+  "CMakeFiles/test_support.dir/support/rng_test.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/sparkline_test.cpp.o"
+  "CMakeFiles/test_support.dir/support/sparkline_test.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/statistics_test.cpp.o"
+  "CMakeFiles/test_support.dir/support/statistics_test.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/sysinfo_test.cpp.o"
+  "CMakeFiles/test_support.dir/support/sysinfo_test.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/table_test.cpp.o"
+  "CMakeFiles/test_support.dir/support/table_test.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/thread_pool_test.cpp.o"
+  "CMakeFiles/test_support.dir/support/thread_pool_test.cpp.o.d"
+  "test_support"
+  "test_support.pdb"
+  "test_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
