@@ -12,6 +12,7 @@
 
 #include "core/autotune.hpp"
 #include "raytrace/pipeline.hpp"
+#include "runtime/snapshot.hpp"
 #include "support/cli.hpp"
 
 using namespace atk;
@@ -22,7 +23,12 @@ int main(int argc, char** argv) {
         .add_int("restarts", 1, "random restarts per algorithm")
         .add_int("width", 96, "probe image width")
         .add_int("height", 72, "probe image height")
-        .add_int("threads", 0, "worker threads (0 = hardware)");
+        .add_int("threads", 0, "worker threads (0 = hardware)")
+        .add_string("install-out", "",
+                    "write the result as a runtime install snapshot "
+                    "(consumed by TuningService::restore_from)")
+        .add_string("session", "raytrace/cathedral",
+                    "session name the installed seed applies to");
     if (!cli.parse(argc, argv)) return 1;
 
     rt::RaytracePipeline pipeline(rt::make_cathedral(),
@@ -72,5 +78,23 @@ int main(int argc, char** argv) {
     const Millis replay = pipeline.render_frame(
         *builders[result.algorithm], builders[result.algorithm]->decode(result.config));
     std::printf("  replay:    %.2f ms\n", replay);
+
+    // Optionally persist the result in the runtime snapshot format, so an
+    // online TuningService warm-starts from this install-time verdict
+    // (examples/runtime_service.cpp --restore consumes it).
+    const std::string install_out = cli.get_string("install-out");
+    if (!install_out.empty()) {
+        runtime::InstallRecord record;
+        record.session = cli.get_string("session");
+        record.algorithm = result.algorithm;
+        record.config = result.config;
+        record.cost = result.cost;
+        if (!runtime::write_install_snapshot(install_out, {record})) {
+            std::fprintf(stderr, "error: cannot write %s\n", install_out.c_str());
+            return 1;
+        }
+        std::printf("  snapshot:  %s (session '%s')\n", install_out.c_str(),
+                    record.session.c_str());
+    }
     return 0;
 }

@@ -1,0 +1,187 @@
+/// The runtime layer end to end: one TuningService, two workload contexts
+/// (sessions), four client threads reporting measurements concurrently, a
+/// snapshot to disk, and a "process restart" that resumes tuning with
+/// identical strategy weights.
+///
+///     ./runtime_service                       # tune, snapshot, resume
+///     ./runtime_service --restore seed.state  # warm-start from an install
+///                                             # snapshot (see offline_install
+///                                             # --install-out)
+///
+/// The two synthetic workloads have different winners: context "batch"
+/// favors the untunable algorithm A, context "interactive" favors B — but
+/// only once phase one has tuned B's block size toward 40.  Watch the
+/// selections diverge per session in the final metrics dump.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/autotune.hpp"
+#include "raytrace/pipeline.hpp"
+#include "runtime/runtime.hpp"
+#include "support/cli.hpp"
+
+using namespace atk;
+using namespace atk::runtime;
+
+namespace {
+
+std::vector<TunableAlgorithm> make_algorithms() {
+    std::vector<TunableAlgorithm> algorithms;
+    algorithms.push_back(TunableAlgorithm::untunable("A"));
+
+    TunableAlgorithm b;
+    b.name = "B";
+    b.space.add(Parameter::ratio("block", 0, 80));
+    b.initial = Configuration{{0}};
+    b.searcher = std::make_unique<NelderMeadSearcher>();
+    algorithms.push_back(std::move(b));
+    return algorithms;
+}
+
+/// The kD-tree builder choice of case study 2, shaped exactly like
+/// examples/offline_install.cpp describes it — which is what lets its
+/// install snapshots seed `raytrace/...` sessions here.
+std::vector<TunableAlgorithm> make_raytrace_algorithms() {
+    std::vector<TunableAlgorithm> algorithms;
+    for (const auto& builder : rt::make_all_builders()) {
+        TunableAlgorithm algorithm;
+        algorithm.name = builder->name();
+        algorithm.space = builder->tuning_space();
+        algorithm.initial = builder->default_config();
+        algorithm.searcher = std::make_unique<NelderMeadSearcher>();
+        algorithms.push_back(std::move(algorithm));
+    }
+    return algorithms;
+}
+
+/// Deterministic per name — a snapshot restore requirement.
+TunerFactory make_factory() {
+    return [](const std::string& session) {
+        const bool raytrace = session.rfind("raytrace/", 0) == 0;
+        return std::make_unique<TwoPhaseTuner>(
+            std::make_unique<EpsilonGreedy>(0.10),
+            raytrace ? make_raytrace_algorithms() : make_algorithms(),
+            std::hash<std::string>{}(session));
+    };
+}
+
+/// The "application": cost model per context, plus real (busy-wait) work so
+/// the aggregator keeps pace with the clients the same way it would with an
+/// actual workload between begin() and report().
+Cost run_workload(const std::string& session, const Trial& trial) {
+    Cost cost;
+    if (session == "batch") {
+        cost = trial.algorithm == 0
+                   ? 5.0
+                   : 25.0 + std::abs(static_cast<double>(trial.config[0]) - 40.0);
+    } else {  // "interactive"
+        cost = trial.algorithm == 0
+                   ? 20.0
+                   : 2.0 + std::abs(static_cast<double>(trial.config[0]) - 40.0) / 4.0;
+    }
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::microseconds(20);
+    while (std::chrono::steady_clock::now() < until) {}
+    return cost;
+}
+
+void print_sessions(TuningService& service, const char* label) {
+    std::printf("%s\n", label);
+    for (const auto& name : service.session_names()) {
+        const auto session = service.find(name);
+        const auto weights = session->strategy_weights();
+        std::printf("  %-12s iterations=%-4zu best=%.2f ms (algorithm %zu)  weights=[",
+                    name.c_str(), session->iterations(), session->best_cost(),
+                    session->has_best() ? session->best_trial().algorithm : 0);
+        for (std::size_t w = 0; w < weights.size(); ++w)
+            std::printf("%s%.4f", w ? ", " : "", weights[w]);
+        std::printf("]\n");
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Cli cli("runtime_service", "concurrent multi-session tuning service demo");
+    cli.add_int("clients", 4, "client threads")
+        .add_int("iterations", 300, "workload iterations per client")
+        .add_string("snapshot", "runtime_service.state", "snapshot file path")
+        .add_string("restore", "", "warm-start from this snapshot before tuning");
+    if (!cli.parse(argc, argv)) return 1;
+
+    const auto clients = static_cast<std::size_t>(cli.get_int("clients"));
+    const auto iterations = static_cast<std::size_t>(cli.get_int("iterations"));
+    const std::string snapshot = cli.get_string("snapshot");
+    const std::vector<std::string> sessions{"batch", "interactive"};
+
+    ServiceOptions options;
+    options.block_when_full = true;  // demo: never lose a sample
+    TuningService service(make_factory(), options);
+
+    const std::string restore = cli.get_string("restore");
+    if (!restore.empty()) {
+        try {
+            service.restore_from(restore);
+        } catch (const std::exception& error) {
+            std::fprintf(stderr, "error: %s\n", error.what());
+            return 1;
+        }
+        print_sessions(service, "warm-started from install snapshot:");
+    }
+
+    std::printf("tuning %zu sessions with %zu client threads x %zu iterations...\n",
+                sessions.size(), clients, iterations);
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < clients; ++t) {
+        workers.emplace_back([&, t] {
+            for (std::size_t i = 0; i < iterations; ++i) {
+                const auto& name = sessions[(t + i) % sessions.size()];
+                const Ticket ticket = service.begin(name);
+                const Cost cost = run_workload(name, ticket.trial);
+                service.report(name, ticket, cost);
+            }
+        });
+    }
+    for (auto& worker : workers) worker.join();
+    service.flush();
+
+    print_sessions(service, "\nconverged sessions:");
+    std::printf("\nruntime metrics:\n%s\n", service.metrics().render().c_str());
+
+    if (!service.snapshot_to(snapshot)) {
+        std::fprintf(stderr, "error: cannot write %s\n", snapshot.c_str());
+        return 1;
+    }
+    std::printf("snapshot written to %s\n", snapshot.c_str());
+    const auto weights_batch = service.find("batch")->strategy_weights();
+    const auto weights_interactive = service.find("interactive")->strategy_weights();
+    service.stop();
+
+    // --- "process restart": a fresh service resumes from the snapshot. ---
+    std::printf("\nrestarting from snapshot...\n");
+    TuningService resumed(make_factory(), options);
+    resumed.restore_from(snapshot);
+    print_sessions(resumed, "restored sessions:");
+
+    const bool identical = resumed.find("batch")->strategy_weights() == weights_batch &&
+                           resumed.find("interactive")->strategy_weights() ==
+                               weights_interactive;
+    std::printf("strategy weights after restore: %s\n",
+                identical ? "identical" : "MISMATCH");
+
+    // The resumed service picks up tuning where the old process stopped.
+    for (std::size_t i = 0; i < 20; ++i) {
+        for (const auto& name : sessions) {
+            const Ticket ticket = resumed.begin(name);
+            resumed.report(name, ticket, run_workload(name, ticket.trial));
+        }
+        resumed.flush();
+    }
+    print_sessions(resumed, "\nafter 20 more iterations per session:");
+    resumed.stop();
+    return identical ? 0 : 1;
+}

@@ -24,5 +24,6 @@
 #include "core/search/simulated_annealing.hpp"
 #include "core/offline.hpp"
 #include "core/search_space.hpp"
+#include "core/state_io.hpp"
 #include "core/trace.hpp"
 #include "core/tuner.hpp"

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/state_io.hpp"
+
 namespace atk {
 
 // ---- GradientGreedy -------------------------------------------------------
@@ -65,6 +67,23 @@ std::vector<double> GradientGreedy::weights() const {
     return w;
 }
 
+void GradientGreedy::save_state(StateWriter& out) const {
+    out.put_u64(best_cost_.size());
+    out.put_u64(init_cursor_);
+    out.put_u64(exploring_ ? 1 : 0);
+    for (const Cost cost : best_cost_) out.put_f64(cost);
+    gradient_.save_state(out);
+}
+
+void GradientGreedy::restore_state(StateReader& in) {
+    if (in.get_u64() != best_cost_.size())
+        throw std::invalid_argument("GradientGreedy: snapshot choice count mismatch");
+    init_cursor_ = static_cast<std::size_t>(in.get_u64());
+    exploring_ = in.get_u64() != 0;
+    for (auto& cost : best_cost_) cost = in.get_f64();
+    gradient_.restore_state(in);
+}
+
 // ---- DecayingEpsilonGreedy -----------------------------------------------
 
 DecayingEpsilonGreedy::DecayingEpsilonGreedy(double initial_epsilon, double decay_rate)
@@ -114,6 +133,24 @@ void DecayingEpsilonGreedy::report(std::size_t choice, Cost cost) {
     if (!exploring_ && init_cursor_ < best_cost_.size() && choice == init_cursor_)
         ++init_cursor_;
     ++iteration_;
+}
+
+void DecayingEpsilonGreedy::save_state(StateWriter& out) const {
+    out.put_u64(best_cost_.size());
+    out.put_u64(init_cursor_);
+    out.put_u64(iteration_);
+    out.put_u64(exploring_ ? 1 : 0);
+    for (const Cost cost : best_cost_) out.put_f64(cost);
+}
+
+void DecayingEpsilonGreedy::restore_state(StateReader& in) {
+    if (in.get_u64() != best_cost_.size())
+        throw std::invalid_argument(
+            "DecayingEpsilonGreedy: snapshot choice count mismatch");
+    init_cursor_ = static_cast<std::size_t>(in.get_u64());
+    iteration_ = static_cast<std::size_t>(in.get_u64());
+    exploring_ = in.get_u64() != 0;
+    for (auto& cost : best_cost_) cost = in.get_f64();
 }
 
 std::vector<double> DecayingEpsilonGreedy::weights() const {

@@ -28,6 +28,8 @@ public:
     std::size_t select(Rng& rng) override;
     void report(std::size_t choice, Cost cost) override;
     [[nodiscard]] std::vector<double> weights() const override;
+    void save_state(StateWriter& out) const override;
+    void restore_state(StateReader& in) override;
 
 private:
     [[nodiscard]] std::size_t best_choice() const;
@@ -56,6 +58,8 @@ public:
     std::size_t select(Rng& rng) override;
     void report(std::size_t choice, Cost cost) override;
     [[nodiscard]] std::vector<double> weights() const override;
+    void save_state(StateWriter& out) const override;
+    void restore_state(StateReader& in) override;
 
 private:
     [[nodiscard]] std::size_t best_choice() const;

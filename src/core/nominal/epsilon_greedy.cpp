@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/state_io.hpp"
+
 namespace atk {
 
 EpsilonGreedy::EpsilonGreedy(double epsilon, std::size_t best_window)
@@ -81,6 +83,37 @@ void EpsilonGreedy::report(std::size_t choice, Cost cost) {
     // The deterministic initialization order advances only when its own pick
     // was executed, so every algorithm is tried (at least) once in order.
     if (!exploring_ && initializing() && choice == init_cursor_) ++init_cursor_;
+}
+
+void EpsilonGreedy::save_state(StateWriter& out) const {
+    out.put_u64(tried_.size());
+    out.put_u64(init_cursor_);
+    out.put_u64(exploring_ ? 1 : 0);
+    for (std::size_t c = 0; c < tried_.size(); ++c) {
+        out.put_u64(tried_[c] ? 1 : 0);
+        out.put_f64(best_cost_[c]);
+        out.put_u64(recent_next_[c]);
+        out.put_u64(recent_[c].size());
+        for (const Cost cost : recent_[c]) out.put_f64(cost);
+    }
+}
+
+void EpsilonGreedy::restore_state(StateReader& in) {
+    const std::uint64_t choices = in.get_u64();
+    if (choices != tried_.size())
+        throw std::invalid_argument("EpsilonGreedy: snapshot choice count mismatch");
+    init_cursor_ = static_cast<std::size_t>(in.get_u64());
+    exploring_ = in.get_u64() != 0;
+    for (std::size_t c = 0; c < tried_.size(); ++c) {
+        tried_[c] = in.get_u64() != 0;
+        best_cost_[c] = in.get_f64();
+        recent_next_[c] = static_cast<std::size_t>(in.get_u64());
+        const std::uint64_t ring_size = in.get_u64();
+        if (ring_size > best_window_)
+            throw std::invalid_argument("EpsilonGreedy: snapshot window mismatch");
+        recent_[c].assign(ring_size, 0.0);
+        for (auto& cost : recent_[c]) cost = in.get_f64();
+    }
 }
 
 std::vector<double> EpsilonGreedy::weights() const {

@@ -38,6 +38,11 @@ public:
     /// 1-ε mass on the current best (split over ties), ε spread uniformly.
     [[nodiscard]] std::vector<double> weights() const override;
 
+    /// Persists the per-choice best estimates, recency rings and the
+    /// initialization cursor (everything select() depends on).
+    void save_state(StateWriter& out) const override;
+    void restore_state(StateReader& in) override;
+
     /// True while the deterministic round-robin initialization is running.
     [[nodiscard]] bool initializing() const noexcept;
 

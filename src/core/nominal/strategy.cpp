@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/state_io.hpp"
+
 namespace atk {
 
 void WeightedStrategyBase::reset(std::size_t choices) {
@@ -44,6 +46,39 @@ void WeightedStrategyBase::report(std::size_t choice, Cost cost) {
     ++iteration_;
 }
 
+void WeightedStrategyBase::save_state(StateWriter& out) const {
+    out.put_u64(iteration_);
+    out.put_u64(history_.size());
+    for (const auto& samples : history_) {
+        out.put_u64(samples.size());
+        for (const auto& sample : samples) {
+            out.put_u64(sample.iteration);
+            out.put_f64(sample.cost);
+        }
+    }
+}
+
+void WeightedStrategyBase::restore_state(StateReader& in) {
+    const std::uint64_t iteration = in.get_u64();
+    const std::uint64_t choices = in.get_u64();
+    if (choices != history_.size())
+        throw std::invalid_argument(name() + ": snapshot has " + std::to_string(choices) +
+                                    " choices, strategy has " +
+                                    std::to_string(history_.size()));
+    for (auto& samples : history_) {
+        samples.clear();
+        const std::uint64_t count = in.get_u64();
+        samples.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            TimedSample sample;
+            sample.iteration = static_cast<std::size_t>(in.get_u64());
+            sample.cost = in.get_f64();
+            samples.push_back(sample);
+        }
+    }
+    iteration_ = static_cast<std::size_t>(iteration);
+}
+
 void RandomChoice::reset(std::size_t choices) {
     if (choices == 0) throw std::invalid_argument("RandomChoice: need at least one choice");
     choices_ = choices;
@@ -78,6 +113,21 @@ void ExhaustiveChoice::report(std::size_t choice, Cost cost) {
 
 std::vector<double> ExhaustiveChoice::weights() const {
     return std::vector<double>(best_.size(), 1.0);
+}
+
+void ExhaustiveChoice::save_state(StateWriter& out) const {
+    out.put_u64(cursor_);
+    out.put_u64(best_.size());
+    for (const Cost cost : best_) out.put_f64(cost);
+}
+
+void ExhaustiveChoice::restore_state(StateReader& in) {
+    const std::uint64_t cursor = in.get_u64();
+    const std::uint64_t choices = in.get_u64();
+    if (choices != best_.size())
+        throw std::invalid_argument("ExhaustiveChoice: snapshot choice count mismatch");
+    for (auto& cost : best_) cost = in.get_f64();
+    cursor_ = static_cast<std::size_t>(cursor);
 }
 
 } // namespace atk

@@ -9,6 +9,9 @@
 
 namespace atk {
 
+class StateWriter;
+class StateReader;
+
 /// Phase-two strategy: selects which algorithm A ∈ 𝒜 runs in each tuning
 /// iteration (paper Section III).  The algorithmic choice is a Nominal
 /// parameter — labels without order, distance or zero — so none of the
@@ -37,6 +40,20 @@ public:
     /// exposed for tests and the bench harnesses. All entries are > 0 —
     /// the paper's invariant that no algorithm is ever excluded.
     [[nodiscard]] virtual std::vector<double> weights() const = 0;
+
+    /// Serializes the strategy's mutable state (sample histories, cursors)
+    /// so a runtime snapshot can warm-start a restarted process.  The
+    /// default is empty: a strategy whose behaviour is fully determined by
+    /// reset() (e.g. RandomChoice) has nothing to persist.  Configuration
+    /// constants (ε, window sizes) are NOT serialized — they belong to
+    /// construction, and save/restore must happen between identically
+    /// constructed instances.
+    virtual void save_state(StateWriter&) const {}
+
+    /// Restores state written by save_state() on an identically constructed
+    /// and reset() strategy.  Throws std::invalid_argument when the stream
+    /// does not match this strategy's shape (e.g. different choice count).
+    virtual void restore_state(StateReader&) {}
 };
 
 /// Shared bookkeeping for the weight-based strategies (Gradient-Weighted,
@@ -54,6 +71,12 @@ public:
     std::size_t select(Rng& rng) override;
     void report(std::size_t choice, Cost cost) override;
     [[nodiscard]] std::vector<double> weights() const override;
+
+    /// Persists the full per-choice sample history, which is what every
+    /// weighted strategy derives its weights from — round-tripping it
+    /// reproduces weights() exactly.
+    void save_state(StateWriter& out) const override;
+    void restore_state(StateReader& in) override;
 
 protected:
     struct TimedSample {
@@ -99,6 +122,8 @@ public:
     std::size_t select(Rng& rng) override;
     void report(std::size_t choice, Cost cost) override;
     [[nodiscard]] std::vector<double> weights() const override;
+    void save_state(StateWriter& out) const override;
+    void restore_state(StateReader& in) override;
 
 private:
     std::vector<Cost> best_;

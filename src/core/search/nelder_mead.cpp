@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/search/unit_space.hpp"
+#include "core/state_io.hpp"
 
 namespace atk {
 
@@ -169,6 +170,64 @@ void NelderMeadSearcher::do_feedback(const Configuration&, Cost cost) {
             if (shrink_index_ == simplex_.size()) begin_iteration();
             return;
         }
+    }
+}
+
+namespace {
+
+void save_unit_vector(StateWriter& out, const std::vector<double>& v) {
+    out.put_u64(v.size());
+    for (const double x : v) out.put_f64(x);
+}
+
+std::vector<double> restore_unit_vector(StateReader& in) {
+    std::vector<double> v(in.get_u64());
+    for (auto& x : v) x = in.get_f64();
+    return v;
+}
+
+} // namespace
+
+void NelderMeadSearcher::do_save_state(StateWriter& out) const {
+    out.put_u64(static_cast<std::uint64_t>(phase_));
+    out.put_u64(build_index_);
+    out.put_u64(shrink_index_);
+    out.put_u64(converged_flag_ ? 1 : 0);
+    out.put_f64(reflected_cost_);
+    save_unit_vector(out, centroid_);
+    save_unit_vector(out, pending_);
+    save_unit_vector(out, reflected_point_);
+    out.put_u64(simplex_.size());
+    for (const auto& vertex : simplex_) {
+        save_unit_vector(out, vertex.point);
+        out.put_f64(vertex.cost);
+    }
+}
+
+void NelderMeadSearcher::do_restore_state(StateReader& in) {
+    const std::uint64_t phase = in.get_u64();
+    if (phase > static_cast<std::uint64_t>(Phase::Shrink))
+        throw std::invalid_argument("NelderMead: snapshot has invalid phase");
+    phase_ = static_cast<Phase>(phase);
+    build_index_ = static_cast<std::size_t>(in.get_u64());
+    shrink_index_ = static_cast<std::size_t>(in.get_u64());
+    converged_flag_ = in.get_u64() != 0;
+    reflected_cost_ = in.get_f64();
+    centroid_ = restore_unit_vector(in);
+    pending_ = restore_unit_vector(in);
+    reflected_point_ = restore_unit_vector(in);
+    simplex_.clear();
+    const std::uint64_t vertices = in.get_u64();
+    if (vertices > space().dimension() + 1)
+        throw std::invalid_argument("NelderMead: snapshot simplex larger than space");
+    simplex_.reserve(vertices);
+    for (std::uint64_t v = 0; v < vertices; ++v) {
+        Vertex vertex;
+        vertex.point = restore_unit_vector(in);
+        if (vertex.point.size() != space().dimension())
+            throw std::invalid_argument("NelderMead: snapshot vertex dimension mismatch");
+        vertex.cost = in.get_f64();
+        simplex_.push_back(std::move(vertex));
     }
 }
 

@@ -45,6 +45,12 @@ protected:
     void do_feedback(const Configuration& config, Cost cost) override;
     [[nodiscard]] bool do_converged() const override;
 
+    /// Round-trips the entire ask-tell state machine — simplex vertices and
+    /// costs, centroid, phase, pending/reflected points — so a restored
+    /// tuner continues the simplex walk exactly where the snapshot left it.
+    void do_save_state(StateWriter& out) const override;
+    void do_restore_state(StateReader& in) override;
+
 private:
     enum class Phase { BuildSimplex, Reflect, Expand, ContractOutside, ContractInside, Shrink };
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/state_io.hpp"
+
 namespace atk {
 
 void Searcher::reset(const SearchSpace& space, const Configuration& initial) {
@@ -51,6 +53,32 @@ bool Searcher::converged() const {
 const Configuration& Searcher::best() const {
     if (!has_best_ && space_ != nullptr) return initial_;
     return best_;
+}
+
+void Searcher::save_state(StateWriter& out) const {
+    out.put_u64(evaluations_);
+    out.put_u64(has_best_ ? 1 : 0);
+    out.put_u64(awaiting_feedback_ ? 1 : 0);
+    out.put_f64(best_cost_);
+    out.put_u64(best_.size());
+    for (std::size_t i = 0; i < best_.size(); ++i) out.put_i64(best_[i]);
+    do_save_state(out);
+}
+
+void Searcher::restore_state(StateReader& in) {
+    if (space_ == nullptr)
+        throw std::logic_error(name() + ": restore_state() before reset()");
+    evaluations_ = static_cast<std::size_t>(in.get_u64());
+    has_best_ = in.get_u64() != 0;
+    awaiting_feedback_ = in.get_u64() != 0;
+    best_cost_ = in.get_f64();
+    const std::uint64_t dimension = in.get_u64();
+    std::vector<std::int64_t> values(dimension);
+    for (auto& value : values) value = in.get_i64();
+    best_ = Configuration(std::move(values));
+    if (has_best_ && !space_->empty() && !space_->contains(best_))
+        throw std::invalid_argument(name() + ": snapshot best not in search space");
+    do_restore_state(in);
 }
 
 void Searcher::validate_space(const SearchSpace&) const {}

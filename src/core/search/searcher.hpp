@@ -10,6 +10,9 @@
 
 namespace atk {
 
+class StateWriter;
+class StateReader;
+
 /// Phase-one search strategy: approximates Copt,A = argmin_{C ∈ T_A} m_A(C)
 /// for a single algorithm's parameter space (paper Section III).
 ///
@@ -52,6 +55,20 @@ public:
     [[nodiscard]] Cost best_cost() const noexcept { return best_cost_; }
     [[nodiscard]] std::size_t evaluations() const noexcept { return evaluations_; }
 
+    /// Serializes the search progress (best-known configuration, evaluation
+    /// count, ask-tell phase) plus whatever internal state the concrete
+    /// searcher exports via do_save_state().  Searchers that do not override
+    /// the do_*_state() hooks restore to a *warm* start: the best-known
+    /// configuration and cost survive the round-trip, the internal search
+    /// trajectory restarts from reset() — a degraded but always-consistent
+    /// resume.  NelderMeadSearcher (the paper's phase-one workhorse)
+    /// round-trips its full simplex.
+    void save_state(StateWriter& out) const;
+
+    /// Restores state written by save_state().  reset() must have been
+    /// called with the same space/initial before restoring.
+    void restore_state(StateReader& in);
+
 protected:
     virtual void do_reset() = 0;
     virtual Configuration do_propose(Rng& rng) = 0;
@@ -61,6 +78,11 @@ protected:
     /// Default accepts any space; subclasses override to enforce the
     /// parameter-class requirements of their search geometry.
     virtual void validate_space(const SearchSpace& space) const;
+
+    /// Subclass state hooks for save_state()/restore_state(); the defaults
+    /// persist nothing beyond the base bookkeeping.
+    virtual void do_save_state(StateWriter&) const {}
+    virtual void do_restore_state(StateReader&) {}
 
     [[nodiscard]] const SearchSpace& space() const;
     [[nodiscard]] const Configuration& initial() const noexcept { return initial_; }

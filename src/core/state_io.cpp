@@ -1,0 +1,95 @@
+#include "core/state_io.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace atk {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& what) {
+    throw std::invalid_argument("StateReader: " + what);
+}
+
+} // namespace
+
+void StateWriter::put_u64(std::uint64_t value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "u %" PRIu64 "\n", value);
+    out_ += buffer;
+}
+
+void StateWriter::put_i64(std::int64_t value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "i %" PRId64 "\n", value);
+    out_ += buffer;
+}
+
+void StateWriter::put_f64(double value) {
+    // %a is exact for every finite double and prints inf/nan symbolically,
+    // both of which strtod() parses back bit-identically.
+    char buffer[48];
+    std::snprintf(buffer, sizeof buffer, "f %a\n", value);
+    out_ += buffer;
+}
+
+void StateWriter::put_str(const std::string& value) {
+    if (value.find('\n') != std::string::npos || value.find('\r') != std::string::npos)
+        throw std::invalid_argument("StateWriter: string tokens must be single-line");
+    out_ += "s ";
+    out_ += value;
+    out_ += '\n';
+}
+
+StateReader::StateReader(std::string text) : text_(std::move(text)) {}
+
+std::string StateReader::next_line(char expected_tag) {
+    if (at_end()) malformed("unexpected end of state stream");
+    std::size_t eol = text_.find('\n', pos_);
+    if (eol == std::string::npos) eol = text_.size();
+    const std::string line = text_.substr(pos_, eol - pos_);
+    pos_ = eol + 1;
+    if (line.size() < 2 || line[1] != ' ')
+        malformed("malformed token line '" + line + "'");
+    if (line[0] != expected_tag)
+        malformed(std::string("expected token '") + expected_tag + "' but found '" +
+                  line[0] + "'");
+    return line.substr(2);
+}
+
+std::uint64_t StateReader::get_u64() {
+    const std::string payload = next_line('u');
+    errno = 0;
+    char* end = nullptr;
+    const std::uint64_t value = std::strtoull(payload.c_str(), &end, 10);
+    if (errno != 0 || end == payload.c_str() || *end != '\0')
+        malformed("bad u64 payload '" + payload + "'");
+    return value;
+}
+
+std::int64_t StateReader::get_i64() {
+    const std::string payload = next_line('i');
+    errno = 0;
+    char* end = nullptr;
+    const std::int64_t value = std::strtoll(payload.c_str(), &end, 10);
+    if (errno != 0 || end == payload.c_str() || *end != '\0')
+        malformed("bad i64 payload '" + payload + "'");
+    return value;
+}
+
+double StateReader::get_f64() {
+    const std::string payload = next_line('f');
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(payload.c_str(), &end);
+    if (end == payload.c_str() || *end != '\0')
+        malformed("bad f64 payload '" + payload + "'");
+    return value;
+}
+
+std::string StateReader::get_str() { return next_line('s'); }
+
+} // namespace atk

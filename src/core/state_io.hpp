@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atk {
+
+/// Tagged-token serialization for tuner state snapshots.
+///
+/// The runtime layer persists per-session tuner state (strategy histories,
+/// phase-one simplex state, best-known configurations) so a restarted
+/// process warm-starts instead of re-exploring.  The format is line-based
+/// text with one tagged token per line:
+///
+///     u <decimal>        unsigned 64-bit
+///     i <decimal>        signed 64-bit
+///     f <hexfloat>       double, written as C99 hexfloat (exact round-trip,
+///                        including inf; no decimal rounding drift)
+///     s <bytes>          string, rest of line verbatim (no newlines)
+///
+/// Tags are checked on read: a reader that expects a different token kind
+/// than the writer produced throws std::invalid_argument immediately, which
+/// turns version/layout drift between writer and reader into a loud error
+/// instead of silently mis-assigned state.
+class StateWriter {
+public:
+    void put_u64(std::uint64_t value);
+    void put_i64(std::int64_t value);
+    void put_f64(double value);
+    /// `value` must not contain '\n' or '\r'; throws std::invalid_argument.
+    void put_str(const std::string& value);
+
+    /// The serialized token stream so far.
+    [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+private:
+    std::string out_;
+};
+
+/// Sequential reader over a StateWriter token stream.  get_*() throws
+/// std::invalid_argument on tag mismatch, malformed payload, or exhausted
+/// input — state restoration is all-or-nothing.
+class StateReader {
+public:
+    explicit StateReader(std::string text);
+
+    [[nodiscard]] std::uint64_t get_u64();
+    [[nodiscard]] std::int64_t get_i64();
+    [[nodiscard]] double get_f64();
+    [[nodiscard]] std::string get_str();
+
+    /// True when every token has been consumed.
+    [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+
+private:
+    /// Returns the payload of the next line after checking its tag.
+    std::string next_line(char expected_tag);
+
+    std::string text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace atk

@@ -24,6 +24,11 @@ public:
 
     [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
     [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+    /// Checked access, deliberately: traces are aggregated across
+    /// repetitions by the bench harnesses, where a silent out-of-bounds read
+    /// would corrupt figure data. Unlike std::vector::operator[], indexing
+    /// past size() throws std::out_of_range (hence the signature is not
+    /// noexcept); it never returns a dangling reference.
     [[nodiscard]] const TraceEntry& operator[](std::size_t i) const { return entries_.at(i); }
     [[nodiscard]] const std::vector<TraceEntry>& entries() const noexcept { return entries_; }
 

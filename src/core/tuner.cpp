@@ -1,6 +1,9 @@
 #include "core/tuner.hpp"
 
+#include <array>
 #include <stdexcept>
+
+#include "core/state_io.hpp"
 
 namespace atk {
 
@@ -58,6 +61,93 @@ void TwoPhaseTuner::report(const Trial& trial, Cost cost) {
     }
     trace_.record(TraceEntry{iteration_, trial.algorithm, trial.config, cost});
     ++iteration_;
+}
+
+void TwoPhaseTuner::observe(const Trial& trial, Cost cost) {
+    if (trial.algorithm >= algorithms_.size())
+        throw std::invalid_argument("TwoPhaseTuner: observe() of unknown algorithm");
+    if (!(cost > 0.0))
+        throw std::invalid_argument("TwoPhaseTuner: cost must be positive");
+    strategy_->report(trial.algorithm, cost);
+    if (!has_best_ || cost < best_cost_) {
+        best_trial_ = trial;
+        best_cost_ = cost;
+        has_best_ = true;
+    }
+    trace_.record(TraceEntry{iteration_, trial.algorithm, trial.config, cost});
+    ++iteration_;
+}
+
+namespace {
+
+void save_trial(StateWriter& out, const Trial& trial) {
+    out.put_u64(trial.algorithm);
+    out.put_u64(trial.config.size());
+    for (std::size_t i = 0; i < trial.config.size(); ++i) out.put_i64(trial.config[i]);
+}
+
+Trial restore_trial(StateReader& in, std::size_t algorithm_count) {
+    Trial trial;
+    trial.algorithm = static_cast<std::size_t>(in.get_u64());
+    if (trial.algorithm >= algorithm_count)
+        throw std::invalid_argument("TwoPhaseTuner: snapshot trial algorithm out of range");
+    std::vector<std::int64_t> values(in.get_u64());
+    for (auto& value : values) value = in.get_i64();
+    trial.config = Configuration(std::move(values));
+    return trial;
+}
+
+} // namespace
+
+void TwoPhaseTuner::save_state(StateWriter& out) const {
+    for (const std::uint64_t word : rng_.state()) out.put_u64(word);
+    out.put_u64(iteration_);
+    out.put_u64(awaiting_report_ ? 1 : 0);
+    save_trial(out, pending_);
+    out.put_u64(has_best_ ? 1 : 0);
+    out.put_f64(best_cost_);
+    save_trial(out, best_trial_);
+    out.put_str(strategy_->name());
+    strategy_->save_state(out);
+    out.put_u64(algorithms_.size());
+    for (const auto& algorithm : algorithms_) {
+        out.put_str(algorithm.name);
+        algorithm.searcher->save_state(out);
+    }
+}
+
+void TwoPhaseTuner::restore_state(StateReader& in) {
+    std::array<std::uint64_t, 4> rng_state;
+    for (auto& word : rng_state) word = in.get_u64();
+    const auto iteration = static_cast<std::size_t>(in.get_u64());
+    const bool awaiting = in.get_u64() != 0;
+    Trial pending = restore_trial(in, algorithms_.size());
+    const bool has_best = in.get_u64() != 0;
+    const Cost best_cost = in.get_f64();
+    Trial best_trial = restore_trial(in, algorithms_.size());
+    const std::string strategy_name = in.get_str();
+    if (strategy_name != strategy_->name())
+        throw std::invalid_argument("TwoPhaseTuner: snapshot strategy is '" +
+                                    strategy_name + "', tuner has '" +
+                                    strategy_->name() + "'");
+    strategy_->restore_state(in);
+    if (in.get_u64() != algorithms_.size())
+        throw std::invalid_argument("TwoPhaseTuner: snapshot algorithm count mismatch");
+    for (auto& algorithm : algorithms_) {
+        const std::string algorithm_name = in.get_str();
+        if (algorithm_name != algorithm.name)
+            throw std::invalid_argument("TwoPhaseTuner: snapshot algorithm '" +
+                                        algorithm_name + "' does not match '" +
+                                        algorithm.name + "'");
+        algorithm.searcher->restore_state(in);
+    }
+    rng_.set_state(rng_state);
+    iteration_ = iteration;
+    awaiting_report_ = awaiting;
+    pending_ = std::move(pending);
+    has_best_ = has_best;
+    best_cost_ = best_cost;
+    best_trial_ = std::move(best_trial);
 }
 
 TuningTrace TwoPhaseTuner::run(const std::function<Cost(const Trial&)>& measure,

@@ -12,6 +12,9 @@
 
 namespace atk {
 
+class StateWriter;
+class StateReader;
+
 /// One tunable algorithm A ∈ 𝒜: its own parameter space T_A, the phase-one
 /// searcher that explores T_A, and the starting configuration (the paper's
 /// raytracer starts every builder from a hand-crafted best-practice config).
@@ -62,6 +65,18 @@ public:
     /// next(). next()/report() must strictly alternate.
     void report(const Trial& trial, Cost cost);
 
+    /// Out-of-band observation: feeds a completed measurement of any
+    /// (algorithm, configuration) pair into the phase-two strategy, the
+    /// best-known tracking and the trace WITHOUT the next()/report()
+    /// pairing.  The phase-one searcher is deliberately not updated — its
+    /// ask-tell protocol owns which configuration is pending.
+    ///
+    /// This is what lets a concurrent runtime ingest late measurements
+    /// (clients that ran a recommendation the tuner has since moved past)
+    /// and warm-start seeds from offline installs instead of dropping them.
+    /// Callable at any time, including between next() and report().
+    void observe(const Trial& trial, Cost cost);
+
     /// Convenience: runs `iterations` complete tuning iterations against a
     /// measurement function and returns the recorded trace.
     TuningTrace run(const std::function<Cost(const Trial&)>& measure,
@@ -81,6 +96,27 @@ public:
 
     /// Full record of all iterations so far.
     [[nodiscard]] const TuningTrace& trace() const noexcept { return trace_; }
+
+    /// True between next() and report() — the tuner has an outstanding
+    /// trial that has not been measured yet.
+    [[nodiscard]] bool awaiting_report() const noexcept { return awaiting_report_; }
+
+    /// The outstanding trial (valid only while awaiting_report()).
+    [[nodiscard]] const Trial& pending_trial() const noexcept { return pending_; }
+
+    /// Serializes the complete tuning state — RNG stream, iteration count,
+    /// pending trial, best-known trial, phase-two strategy state and each
+    /// algorithm's phase-one searcher state — so a restarted process resumes
+    /// with identical strategy weights and search position.  The trace is
+    /// NOT serialized (it grows without bound and is re-derivable from
+    /// logged measurements); a restored tuner starts with an empty trace
+    /// but a non-zero iteration().  May be called while awaiting_report().
+    void save_state(StateWriter& out) const;
+
+    /// Restores state written by save_state() on a tuner constructed with
+    /// the same strategy type/configuration and the same algorithm list.
+    /// Throws std::invalid_argument on shape mismatch.
+    void restore_state(StateReader& in);
 
 private:
     std::unique_ptr<NominalStrategy> strategy_;

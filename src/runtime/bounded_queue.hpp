@@ -1,0 +1,118 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace atk::runtime {
+
+/// Bounded multi-producer / single-consumer (MPSC by use, MPMC by
+/// construction) queue carrying completed measurements from client threads
+/// to the aggregator.
+///
+/// The bound is the backpressure mechanism of the tuning runtime: a full
+/// queue means the aggregator cannot keep up with measurement traffic, and
+/// the producer chooses between try_push() (drop the measurement — tuning
+/// quality degrades gracefully, the hot path never stalls) and push()
+/// (block — no sample loss, hot path pays the wait).
+///
+/// close() wakes everyone: producers fail fast, the consumer drains what is
+/// left and then sees end-of-stream (nullopt).
+template <typename T>
+class BoundedQueue {
+public:
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+        if (capacity == 0)
+            throw std::invalid_argument("BoundedQueue: capacity must be positive");
+    }
+
+    BoundedQueue(const BoundedQueue&) = delete;
+    BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+    /// Non-blocking producer; false when full or closed.
+    bool try_push(T value) {
+        {
+            std::lock_guard lock(mutex_);
+            if (closed_ || items_.size() >= capacity_) return false;
+            items_.push_back(std::move(value));
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Blocking producer; waits for space. False when the queue is closed
+    /// (the value is discarded).
+    bool push(T value) {
+        {
+            std::unique_lock lock(mutex_);
+            not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+            if (closed_) return false;
+            items_.push_back(std::move(value));
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Blocking consumer; nullopt once the queue is closed and drained.
+    std::optional<T> pop() {
+        std::optional<T> value;
+        {
+            std::unique_lock lock(mutex_);
+            not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+            if (items_.empty()) return std::nullopt;  // closed and drained
+            value.emplace(std::move(items_.front()));
+            items_.pop_front();
+        }
+        not_full_.notify_one();
+        return value;
+    }
+
+    /// Non-blocking consumer.
+    std::optional<T> try_pop() {
+        std::optional<T> value;
+        {
+            std::lock_guard lock(mutex_);
+            if (items_.empty()) return std::nullopt;
+            value.emplace(std::move(items_.front()));
+            items_.pop_front();
+        }
+        not_full_.notify_one();
+        return value;
+    }
+
+    /// Ends the stream: producers fail, the consumer drains then stops.
+    void close() {
+        {
+            std::lock_guard lock(mutex_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    [[nodiscard]] bool closed() const {
+        std::lock_guard lock(mutex_);
+        return closed_;
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        std::lock_guard lock(mutex_);
+        return items_.size();
+    }
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace atk::runtime

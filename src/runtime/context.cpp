@@ -1,0 +1,20 @@
+#include "runtime/context.hpp"
+
+#include <cmath>
+
+namespace atk::runtime {
+
+std::string context_key(std::string_view prefix, const FeatureVector& features) {
+    std::string key(prefix);
+    for (const double feature : features) {
+        key += '/';
+        if (!(feature > 0.0) || !std::isfinite(feature)) {
+            key += '_';  // zero/negative/NaN: one shared out-of-domain bucket
+        } else {
+            key += std::to_string(static_cast<long>(std::floor(std::log2(feature))));
+        }
+    }
+    return key;
+}
+
+} // namespace atk::runtime

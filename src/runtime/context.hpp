@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/feature_model.hpp"
+
+namespace atk::runtime {
+
+/// Derives a stable session name from a workload's FeatureVector.
+///
+/// The paper's context K (input size, pattern length, hardware load) is
+/// what the feature-model baseline describes with numeric features; the
+/// runtime reuses the same vectors to *key sessions*: workloads that fall
+/// into the same feature buckets share one tuner (and therefore amortize
+/// each other's exploration), while workloads in different regimes tune
+/// independently instead of fighting over one set of weights.
+///
+/// Each feature is discretized to its power-of-two bucket
+/// (floor(log2(value)); values <= 0 map to a dedicated bucket), which
+/// matches how the case-study features behave: matcher choice flips with
+/// the *order of magnitude* of pattern length, not with ±1 characters.
+///
+///     context_key("match", {8, 4'000'000}) == "match/3/21"
+[[nodiscard]] std::string context_key(std::string_view prefix,
+                                      const FeatureVector& features);
+
+} // namespace atk::runtime

@@ -1,0 +1,160 @@
+#include "runtime/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "support/sparkline.hpp"
+
+namespace atk::runtime {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+    if (bounds_.empty()) throw std::invalid_argument("Histogram: need at least one bound");
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+        std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end())
+        throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+    counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double value) {
+    std::lock_guard lock(mutex_);
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+std::uint64_t Histogram::count() const {
+    std::lock_guard lock(mutex_);
+    return count_;
+}
+
+double Histogram::sum() const {
+    std::lock_guard lock(mutex_);
+    return sum_;
+}
+
+double Histogram::min() const {
+    std::lock_guard lock(mutex_);
+    return min_;
+}
+
+double Histogram::max() const {
+    std::lock_guard lock(mutex_);
+    return max_;
+}
+
+double Histogram::mean() const {
+    std::lock_guard lock(mutex_);
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::quantile(double q) const {
+    q = std::clamp(q, 0.0, 1.0);
+    std::lock_guard lock(mutex_);
+    if (count_ == 0) return 0.0;
+    const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        cumulative += counts_[b];
+        if (cumulative > target) {
+            return b < bounds_.size() ? bounds_[b] : max_;
+        }
+    }
+    return max_;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+    std::lock_guard lock(mutex_);
+    return counts_;
+}
+
+std::vector<double> default_latency_buckets_ms() {
+    std::vector<double> bounds;
+    for (double b = 0.001; b < 5000.0; b *= 4.0) bounds.push_back(b);
+    return bounds;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    std::lock_guard lock(mutex_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    std::lock_guard lock(mutex_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+    std::lock_guard lock(mutex_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+    return *slot;
+}
+
+CsvWriter MetricsRegistry::to_csv() const {
+    std::lock_guard lock(mutex_);
+    CsvWriter csv({"metric", "type", "field", "value"});
+    for (const auto& [name, counter] : counters_) {
+        csv.add_row({name, "counter", "value", std::to_string(counter->value())});
+    }
+    for (const auto& [name, gauge] : gauges_) {
+        csv.add_row({name, "gauge", "value", format_num(gauge->value(), 6)});
+    }
+    for (const auto& [name, histogram] : histograms_) {
+        csv.add_row({name, "histogram", "count", std::to_string(histogram->count())});
+        csv.add_row({name, "histogram", "sum", format_num(histogram->sum(), 6)});
+        csv.add_row({name, "histogram", "mean", format_num(histogram->mean(), 6)});
+        csv.add_row({name, "histogram", "p50", format_num(histogram->quantile(0.5), 6)});
+        csv.add_row({name, "histogram", "p90", format_num(histogram->quantile(0.9), 6)});
+        csv.add_row({name, "histogram", "p99", format_num(histogram->quantile(0.99), 6)});
+        if (histogram->count() > 0) {
+            csv.add_row({name, "histogram", "min", format_num(histogram->min(), 6)});
+            csv.add_row({name, "histogram", "max", format_num(histogram->max(), 6)});
+        }
+        const auto counts = histogram->bucket_counts();
+        const auto& bounds = histogram->bounds();
+        for (std::size_t b = 0; b < counts.size(); ++b) {
+            const std::string field =
+                b < bounds.size() ? "le_" + format_num(bounds[b], 3) : "overflow";
+            csv.add_row({name, "histogram", field, std::to_string(counts[b])});
+        }
+    }
+    return csv;
+}
+
+std::string MetricsRegistry::render() const {
+    std::lock_guard lock(mutex_);
+    Table table({"metric", "type", "value", "detail"});
+    for (const auto& [name, counter] : counters_) {
+        table.row().text(name).text("counter").integer(
+            static_cast<long long>(counter->value())).text("");
+    }
+    for (const auto& [name, gauge] : gauges_) {
+        table.row().text(name).text("gauge").num(gauge->value(), 3).text("");
+    }
+    for (const auto& [name, histogram] : histograms_) {
+        const auto counts = histogram->bucket_counts();
+        std::vector<double> series(counts.size());
+        for (std::size_t b = 0; b < counts.size(); ++b)
+            series[b] = static_cast<double>(counts[b]);
+        std::string detail = "n=" + std::to_string(histogram->count()) +
+                             " p50=" + format_num(histogram->quantile(0.5), 3) +
+                             " p90=" + format_num(histogram->quantile(0.9), 3) + " " +
+                             sparkline(series);
+        table.row().text(name).text("histogram").num(histogram->mean(), 3).text(detail);
+    }
+    return table.to_string();
+}
+
+} // namespace atk::runtime

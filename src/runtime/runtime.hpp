@@ -1,0 +1,12 @@
+#pragma once
+
+/// Umbrella header for the atk_runtime serving layer: multi-session
+/// concurrent tuning service, async measurement ingestion, warm-start
+/// snapshot persistence, context keying and runtime metrics.
+
+#include "runtime/bounded_queue.hpp"
+#include "runtime/context.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/service.hpp"
+#include "runtime/session.hpp"
+#include "runtime/snapshot.hpp"

@@ -1,0 +1,186 @@
+#include "runtime/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/state_io.hpp"
+
+namespace atk::runtime {
+
+TuningService::TuningService(TunerFactory factory, ServiceOptions options)
+    : factory_(std::move(factory)),
+      options_(std::move(options)),
+      queue_(options_.queue_capacity),
+      aggregator_pool_(1) {
+    if (!factory_) throw std::invalid_argument("TuningService: null factory");
+    if (options_.shard_count == 0)
+        throw std::invalid_argument("TuningService: shard_count must be positive");
+    shards_.reserve(options_.shard_count);
+    for (std::size_t s = 0; s < options_.shard_count; ++s)
+        shards_.push_back(std::make_unique<Shard>());
+    drain_group_ = std::make_unique<ThreadPool::TaskGroup>(aggregator_pool_);
+    drain_group_->submit([this] { drain_loop(); });
+}
+
+TuningService::~TuningService() { stop(); }
+
+void TuningService::stop() {
+    {
+        std::lock_guard lock(flush_mutex_);
+        if (stopped_) return;
+        stopped_ = true;
+    }
+    queue_.close();
+    drain_group_->wait_all();
+}
+
+TuningService::Shard& TuningService::shard_for(const std::string& name) const {
+    const std::size_t hash = std::hash<std::string>{}(name);
+    return *shards_[hash % shards_.size()];
+}
+
+std::shared_ptr<TuningSession> TuningService::session(const std::string& name) {
+    Shard& shard = shard_for(name);
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.sessions.find(name);
+    if (it != shard.sessions.end()) return it->second;
+    auto tuner = factory_(name);
+    if (!tuner) throw std::invalid_argument("TuningService: factory returned null tuner");
+    auto created = std::make_shared<TuningSession>(name, std::move(tuner));
+    shard.sessions.emplace(name, created);
+    metrics_.counter("sessions_created").increment();
+    return created;
+}
+
+std::shared_ptr<TuningSession> TuningService::find(const std::string& name) const {
+    const Shard& shard = shard_for(name);
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.sessions.find(name);
+    return it == shard.sessions.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> TuningService::session_names() const {
+    std::vector<std::string> names;
+    for (const auto& shard : shards_) {
+        std::lock_guard lock(shard->mutex);
+        for (const auto& [name, unused] : shard->sessions) names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+std::size_t TuningService::session_count() const {
+    std::size_t count = 0;
+    for (const auto& shard : shards_) {
+        std::lock_guard lock(shard->mutex);
+        count += shard->sessions.size();
+    }
+    return count;
+}
+
+Ticket TuningService::begin(const std::string& session_name) {
+    return session(session_name)->begin();
+}
+
+bool TuningService::report(const std::string& session_name, const Ticket& ticket,
+                           Cost cost) {
+    Event event{session_name, ticket, cost, std::chrono::steady_clock::now()};
+    enqueued_.fetch_add(1, std::memory_order_relaxed);
+    const bool accepted =
+        options_.block_when_full ? queue_.push(std::move(event))
+                                 : queue_.try_push(std::move(event));
+    if (!accepted) {
+        enqueued_.fetch_sub(1, std::memory_order_relaxed);
+        metrics_.counter("reports_dropped").increment();
+        return false;
+    }
+    metrics_.counter("reports_enqueued").increment();
+    metrics_.gauge("queue_depth").set(static_cast<double>(queue_.size()));
+    return true;
+}
+
+void TuningService::flush() {
+    std::unique_lock lock(flush_mutex_);
+    flush_cv_.wait(lock, [this] {
+        return processed_ >= enqueued_.load(std::memory_order_relaxed) || stopped_;
+    });
+}
+
+void TuningService::drain_loop() {
+    while (auto event = queue_.pop()) {
+        if (options_.ingest_hook) options_.ingest_hook();
+        process(*event);
+        {
+            std::lock_guard lock(flush_mutex_);
+            ++processed_;
+        }
+        flush_cv_.notify_all();
+    }
+    // Queue closed: wake flush() waiters unconditionally.
+    flush_cv_.notify_all();
+}
+
+void TuningService::process(const Event& event) {
+    metrics_.gauge("queue_depth").set(static_cast<double>(queue_.size()));
+    const auto session_ptr = find(event.session);
+    if (!session_ptr) {
+        // Possible only for hand-built tickets: begin() always creates.
+        metrics_.counter("reports_orphaned").increment();
+        return;
+    }
+    const IngestResult result = session_ptr->ingest(event.ticket, event.cost);
+    metrics_.counter(result.fresh ? "reports_fresh" : "reports_stale").increment();
+    metrics_.counter("session." + event.session + ".selections." +
+                     std::to_string(result.algorithm))
+        .increment();
+    metrics_.gauge("session." + event.session + ".iterations")
+        .set(static_cast<double>(result.iteration));
+    if (result.improved) {
+        // "Convergence iteration" proxy: the last iteration that still
+        // improved the session best — flat afterwards means converged.
+        metrics_.gauge("session." + event.session + ".last_improvement_iteration")
+            .set(static_cast<double>(result.iteration));
+    }
+    const auto waited = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - event.enqueued)
+                            .count();
+    metrics_.histogram("ingest_latency_ms").observe(waited);
+}
+
+bool TuningService::install(const InstallRecord& record) {
+    const bool applied =
+        session(record.session)->install(record.algorithm, record.config, record.cost);
+    metrics_.counter(applied ? "installs_applied" : "installs_rejected").increment();
+    return applied;
+}
+
+bool TuningService::snapshot_to(const std::string& path) {
+    flush();
+    StateWriter out;
+    const auto names = session_names();
+    write_snapshot_header(out, names.size(), 0);
+    for (const auto& name : names) {
+        out.put_str(name);
+        find(name)->save_state(out);
+    }
+    return write_state_file(path, out.str());
+}
+
+std::size_t TuningService::restore_from(const std::string& path) {
+    const auto payload = read_state_file(path);
+    if (!payload)
+        throw std::invalid_argument("TuningService: cannot read snapshot '" + path + "'");
+    StateReader in(*payload);
+    const SnapshotHeader header = read_snapshot_header(in);
+    for (std::uint64_t s = 0; s < header.session_count; ++s) {
+        const std::string name = in.get_str();
+        session(name)->restore_state(in);
+    }
+    for (std::uint64_t r = 0; r < header.install_count; ++r) {
+        install(read_install_record(in));
+    }
+    metrics_.counter("snapshots_restored").increment();
+    return static_cast<std::size_t>(header.session_count);
+}
+
+} // namespace atk::runtime

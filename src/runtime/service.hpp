@@ -1,0 +1,170 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/bounded_queue.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/session.hpp"
+#include "runtime/snapshot.hpp"
+#include "support/thread_pool.hpp"
+
+namespace atk::runtime {
+
+/// Builds the tuner for a newly created session.  Called with the session
+/// name so the factory can vary algorithms/strategy per workload context;
+/// must return a fresh, non-null TwoPhaseTuner.  For snapshots to restore,
+/// the factory must be deterministic per name (same strategy type and
+/// configuration, same algorithm list) across process runs.
+using TunerFactory =
+    std::function<std::unique_ptr<TwoPhaseTuner>(const std::string& session)>;
+
+struct ServiceOptions {
+    /// Bound of the measurement queue — the backpressure knob.
+    std::size_t queue_capacity = 1024;
+    /// Number of independent session-map shards; sessions hashing to
+    /// different shards never contend on lookup.
+    std::size_t shard_count = 8;
+    /// Full-queue policy: true → report() blocks until the aggregator frees
+    /// space (no sample loss); false → report() drops the measurement,
+    /// bumps `reports_dropped` and returns false (hot path never stalls).
+    bool block_when_full = false;
+    /// Test hook: runs on the aggregator thread before each event is
+    /// processed.  Lets tests stall ingestion deterministically to exercise
+    /// backpressure; leave empty in production.
+    std::function<void()> ingest_hook;
+};
+
+/// The serving core of the tuning runtime: owns many named TuningSessions
+/// behind a sharded mutex map, a bounded MPSC measurement queue, and one
+/// background aggregator (running on a support/thread_pool) that performs
+/// all tuner bookkeeping off the clients' hot path.
+///
+/// Client protocol, from any number of threads:
+///
+///     TuningService service(factory);
+///     auto ticket = service.begin("stringmatch/8/21");   // pick trial
+///     run(ticket.trial);                                  // the operation
+///     service.report("stringmatch/8/21", ticket, elapsed_ms);
+///
+/// begin() is one uncontended mutex acquisition; report() is one bounded
+/// queue push.  Neither touches strategy weights, simplex state or metrics
+/// histograms — the aggregator does, serialized per session.
+///
+/// Tuning progress requires clients to *see* updated recommendations: a
+/// client that reports and immediately begins again may still get the
+/// recommendation it just measured if the aggregator has not processed the
+/// measurement yet.  That is by design — with real workloads the time spent
+/// running the trial dwarfs aggregation, so recommendations stay fresh.  A
+/// client whose workload is near-free (benchmarks, tests) can outrun the
+/// aggregator indefinitely, turning every report into a stale observation of
+/// generation one; such clients should pace themselves with flush().
+///
+/// snapshot_to()/restore_from() persist every session's tuner state (and
+/// accept offline InstallRecords) so a restarted process warm-starts with
+/// identical strategy weights instead of re-exploring.
+class TuningService {
+public:
+    explicit TuningService(TunerFactory factory, ServiceOptions options = {});
+    ~TuningService();
+
+    TuningService(const TuningService&) = delete;
+    TuningService& operator=(const TuningService&) = delete;
+
+    /// Current recommendation of `session`, creating the session on first
+    /// use via the factory.
+    Ticket begin(const std::string& session);
+
+    /// Enqueues a completed measurement (cost > 0, in ms or any positive
+    /// unit).  Returns false when the measurement was dropped: full queue
+    /// under the drop policy, or stopped service.  A ticket for a session
+    /// name that was never begun is accepted here but discarded by the
+    /// aggregator (counted as `reports_orphaned`).
+    bool report(const std::string& session, const Ticket& ticket, Cost cost);
+
+    /// Blocks until every measurement enqueued so far has been processed.
+    void flush();
+
+    /// Closes the queue and joins the aggregator after it drained the
+    /// backlog.  Idempotent; implied by the destructor.  After stop(),
+    /// report() returns false and begin() keeps serving recommendations.
+    void stop();
+
+    /// Session lookup; nullptr when the name was never begun/restored.
+    [[nodiscard]] std::shared_ptr<TuningSession> find(const std::string& name) const;
+
+    /// Find-or-create (what begin() uses internally).
+    std::shared_ptr<TuningSession> session(const std::string& name);
+
+    [[nodiscard]] std::vector<std::string> session_names() const;
+    [[nodiscard]] std::size_t session_count() const;
+
+    [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+    [[nodiscard]] const MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+    /// Applies an offline-tuned seed measurement (creates the session if
+    /// needed).  Returns false — and bumps `installs_rejected` — when the
+    /// record does not fit the session's tuner; seeds are advisory, so a
+    /// snapshot written against a different factory degrades to a warning
+    /// counter instead of failing the restore.  See snapshot.hpp.
+    bool install(const InstallRecord& record);
+
+    /// flush() + atomically writes all sessions to `path`.
+    /// Returns false on I/O failure.
+    bool snapshot_to(const std::string& path);
+
+    /// Restores sessions (and applies install records) from a snapshot
+    /// written by snapshot_to() or write_install_snapshot().  Sessions are
+    /// created through the factory, then overwritten with the persisted
+    /// state.  Returns the number of sessions restored; throws
+    /// std::invalid_argument on a malformed or mismatched snapshot.
+    std::size_t restore_from(const std::string& path);
+
+private:
+    struct Shard {
+        mutable std::mutex mutex;
+        std::unordered_map<std::string, std::shared_ptr<TuningSession>> sessions;
+    };
+
+    struct Event {
+        std::string session;
+        Ticket ticket;
+        Cost cost = 0.0;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    [[nodiscard]] Shard& shard_for(const std::string& name) const;
+    void drain_loop();
+    void process(const Event& event);
+
+    TunerFactory factory_;
+    ServiceOptions options_;
+    MetricsRegistry metrics_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    BoundedQueue<Event> queue_;
+
+    // flush() coordination: producers count enqueues, the aggregator
+    // publishes its progress under flush_mutex_.
+    std::atomic<std::uint64_t> enqueued_{0};
+    std::mutex flush_mutex_;
+    std::condition_variable flush_cv_;
+    std::uint64_t processed_ = 0;  // guarded by flush_mutex_
+
+    bool stopped_ = false;  // guarded by flush_mutex_
+
+    // Declared last so the pool outlives nothing it needs; the aggregator
+    // task is joined explicitly in stop() before members are destroyed.
+    ThreadPool aggregator_pool_;
+    std::unique_ptr<ThreadPool::TaskGroup> drain_group_;
+};
+
+} // namespace atk::runtime

@@ -1,0 +1,104 @@
+#include "runtime/session.hpp"
+
+#include <stdexcept>
+
+#include "core/state_io.hpp"
+
+namespace atk::runtime {
+
+TuningSession::TuningSession(std::string name, std::unique_ptr<TwoPhaseTuner> tuner)
+    : name_(std::move(name)), tuner_(std::move(tuner)) {
+    if (!tuner_) throw std::invalid_argument("TuningSession: null tuner");
+    recommendation_ = tuner_->next();
+    sequence_ = 1;
+}
+
+Ticket TuningSession::begin() const {
+    std::lock_guard lock(mutex_);
+    return Ticket{sequence_, recommendation_};
+}
+
+IngestResult TuningSession::ingest(const Ticket& ticket, Cost cost) {
+    std::lock_guard lock(mutex_);
+    IngestResult result;
+    result.algorithm = ticket.trial.algorithm;
+    const Cost previous_best = tuner_->best_cost();
+    const bool had_best = previous_best > 0.0;
+    if (ticket.sequence == sequence_) {
+        // First measurement of the current generation: complete the strict
+        // next()/report() cycle and open the next recommendation.
+        tuner_->report(recommendation_, cost);
+        recommendation_ = tuner_->next();
+        ++sequence_;
+        result.fresh = true;
+    } else {
+        // A concurrent client raced us, or the report arrived late: the
+        // sample is still a valid measurement of (algorithm, config).
+        tuner_->observe(ticket.trial, cost);
+    }
+    result.improved = !had_best || tuner_->best_cost() < previous_best;
+    result.iteration = tuner_->iteration();
+    return result;
+}
+
+bool TuningSession::install(std::size_t algorithm, Configuration config, Cost cost) {
+    std::lock_guard lock(mutex_);
+    if (algorithm >= tuner_->algorithm_count() || cost <= 0.0 ||
+        !tuner_->algorithm(algorithm).space.contains(config))
+        return false;
+    tuner_->observe(Trial{algorithm, std::move(config)}, cost);
+    return true;
+}
+
+std::vector<double> TuningSession::strategy_weights() const {
+    std::lock_guard lock(mutex_);
+    return tuner_->strategy().weights();
+}
+
+std::size_t TuningSession::iterations() const {
+    std::lock_guard lock(mutex_);
+    return tuner_->iteration();
+}
+
+bool TuningSession::has_best() const {
+    std::lock_guard lock(mutex_);
+    // Costs are strictly positive, so a zero best marks "nothing reported".
+    return tuner_->best_cost() > 0.0;
+}
+
+Cost TuningSession::best_cost() const {
+    std::lock_guard lock(mutex_);
+    return tuner_->best_cost();
+}
+
+Trial TuningSession::best_trial() const {
+    std::lock_guard lock(mutex_);
+    return tuner_->best_trial();
+}
+
+std::size_t TuningSession::algorithm_count() const {
+    std::lock_guard lock(mutex_);
+    return tuner_->algorithm_count();
+}
+
+void TuningSession::save_state(StateWriter& out) const {
+    std::lock_guard lock(mutex_);
+    out.put_u64(sequence_);
+    tuner_->save_state(out);
+}
+
+void TuningSession::restore_state(StateReader& in) {
+    std::lock_guard lock(mutex_);
+    sequence_ = in.get_u64();
+    tuner_->restore_state(in);
+    if (tuner_->awaiting_report()) {
+        recommendation_ = tuner_->pending_trial();
+    } else {
+        // Snapshot of a quiescent tuner (e.g. hand-built): open a fresh
+        // recommendation so begin() has something to hand out.
+        recommendation_ = tuner_->next();
+        ++sequence_;
+    }
+}
+
+} // namespace atk::runtime

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/tuner.hpp"
+
+namespace atk::runtime {
+
+/// What a client holds between begin() and report(): the recommendation it
+/// was handed plus the generation it was issued under.  Tickets are plain
+/// values — they survive the session moving on to newer recommendations,
+/// and a late report is still attributed to the trial that actually ran.
+struct Ticket {
+    std::uint64_t sequence = 0;  ///< recommendation generation at issue time
+    Trial trial;                 ///< the (algorithm, configuration) the client ran
+};
+
+/// How the aggregator classified one ingested measurement.
+struct IngestResult {
+    bool fresh = false;       ///< closed the current recommendation (full
+                              ///  next()/report() cycle: searcher + strategy)
+    bool improved = false;    ///< established a new session-best cost
+    std::size_t iteration = 0;///< tuner iteration after ingestion
+    std::size_t algorithm = 0;///< algorithm the measurement belongs to
+};
+
+/// One named tuning session: a TwoPhaseTuner plus the concurrency protocol
+/// that lets many clients share it.
+///
+/// The core tuner is deliberately single-threaded with a strict
+/// next()/report() alternation; the session bridges that to N concurrent
+/// clients with a *recommendation generation* scheme: the tuner always has
+/// exactly one outstanding trial (the current recommendation), every
+/// begin() hands that trial out, and the first measurement that comes back
+/// for the current generation closes the cycle (tuner.report + tuner.next
+/// → new generation).  Measurements from superseded generations are still
+/// learned from via TwoPhaseTuner::observe() — phase-two strategy and
+/// best-known tracking — so concurrent clients never poison the searcher
+/// protocol and never lose their samples.
+///
+/// All methods are thread-safe; the per-session mutex is the unit of
+/// sharding in TuningService, so independent sessions never contend.
+class TuningSession {
+public:
+    /// Takes ownership of a freshly constructed tuner and immediately opens
+    /// the first recommendation.
+    TuningSession(std::string name, std::unique_ptr<TwoPhaseTuner> tuner);
+
+    TuningSession(const TuningSession&) = delete;
+    TuningSession& operator=(const TuningSession&) = delete;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// Current recommendation; cheap (one uncontended lock, no tuner work).
+    [[nodiscard]] Ticket begin() const;
+
+    /// Feeds one completed measurement back (aggregator side).
+    IngestResult ingest(const Ticket& ticket, Cost cost);
+
+    /// Warm-start seed: records (algorithm, config, cost) as an observed
+    /// measurement, e.g. from an offline install snapshot.  Seeds are
+    /// advisory, not state — one that does not fit this session's tuner
+    /// (algorithm out of range, config outside the space, cost <= 0) is
+    /// rejected (returns false) instead of poisoning the session.
+    bool install(std::size_t algorithm, Configuration config, Cost cost);
+
+    // ---- introspection (each takes the session lock briefly) ----
+    [[nodiscard]] std::vector<double> strategy_weights() const;
+    [[nodiscard]] std::size_t iterations() const;
+    [[nodiscard]] bool has_best() const;
+    [[nodiscard]] Cost best_cost() const;
+    [[nodiscard]] Trial best_trial() const;  ///< throws before first sample
+    [[nodiscard]] std::size_t algorithm_count() const;
+
+    /// Serializes sequence number + full tuner state (strategy weights,
+    /// simplex, RNG stream, pending recommendation).
+    void save_state(StateWriter& out) const;
+
+    /// Restores onto a session whose tuner was constructed identically.
+    void restore_state(StateReader& in);
+
+private:
+    const std::string name_;
+    mutable std::mutex mutex_;
+    std::unique_ptr<TwoPhaseTuner> tuner_;
+    std::uint64_t sequence_ = 0;
+    Trial recommendation_;
+};
+
+} // namespace atk::runtime

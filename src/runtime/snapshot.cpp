@@ -1,0 +1,85 @@
+#include "runtime/snapshot.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace atk::runtime {
+
+void write_snapshot_header(StateWriter& out, std::uint64_t session_count,
+                           std::uint64_t install_count) {
+    out.put_str(kSnapshotMagic);
+    out.put_u64(kSnapshotVersion);
+    out.put_u64(session_count);
+    out.put_u64(install_count);
+}
+
+SnapshotHeader read_snapshot_header(StateReader& in) {
+    const std::string magic = in.get_str();
+    if (magic != kSnapshotMagic)
+        throw std::invalid_argument("snapshot: bad magic '" + magic + "'");
+    SnapshotHeader header;
+    header.version = in.get_u64();
+    if (header.version != kSnapshotVersion)
+        throw std::invalid_argument("snapshot: unsupported version " +
+                                    std::to_string(header.version));
+    header.session_count = in.get_u64();
+    header.install_count = in.get_u64();
+    return header;
+}
+
+void write_install_record(StateWriter& out, const InstallRecord& record) {
+    out.put_str(record.session);
+    out.put_u64(record.algorithm);
+    out.put_u64(record.config.size());
+    for (std::size_t i = 0; i < record.config.size(); ++i) out.put_i64(record.config[i]);
+    out.put_f64(record.cost);
+}
+
+InstallRecord read_install_record(StateReader& in) {
+    InstallRecord record;
+    record.session = in.get_str();
+    record.algorithm = static_cast<std::size_t>(in.get_u64());
+    std::vector<std::int64_t> values(in.get_u64());
+    for (auto& value : values) value = in.get_i64();
+    record.config = Configuration(std::move(values));
+    record.cost = in.get_f64();
+    return record;
+}
+
+bool write_state_file(const std::string& path, const std::string& payload) {
+    const std::string temp = path + ".tmp";
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out) return false;
+        out << payload;
+        if (!out.flush()) {
+            std::remove(temp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(temp.c_str(), path.c_str()) != 0) {
+        std::remove(temp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::optional<std::string> read_state_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+bool write_install_snapshot(const std::string& path,
+                            const std::vector<InstallRecord>& records) {
+    StateWriter out;
+    write_snapshot_header(out, 0, records.size());
+    for (const auto& record : records) write_install_record(out, record);
+    return write_state_file(path, out.str());
+}
+
+} // namespace atk::runtime

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/measurement.hpp"
+#include "core/state_io.hpp"
+
+namespace atk::runtime {
+
+/// On-disk snapshot format, versioned so future layout changes can refuse
+/// (or migrate) old files instead of mis-reading them.
+///
+/// A snapshot archive is a StateWriter token stream:
+///
+///     s atk-runtime-snapshot        magic
+///     u <version>                   currently 1
+///     u <session count>
+///       per session: s <name> followed by TuningSession::save_state()
+///     u <install count>
+///       per install: InstallRecord (see below)
+///
+/// Install records carry *offline-tuned* best configurations (the
+/// FFTW/ATLAS install-time scenario, produced by examples/offline_install)
+/// into the online runtime: at restore they are fed to the session as
+/// observed measurements, warm-starting both the phase-two strategy and the
+/// best-known configuration without fabricating tuner-internal state.
+inline constexpr char kSnapshotMagic[] = "atk-runtime-snapshot";
+inline constexpr std::uint64_t kSnapshotVersion = 1;
+
+/// One offline-installed seed measurement for a named session.
+struct InstallRecord {
+    std::string session;
+    std::size_t algorithm = 0;
+    Configuration config;
+    Cost cost = 0.0;
+};
+
+/// Archive header helpers; read_snapshot_header throws
+/// std::invalid_argument on a wrong magic or unsupported version.
+void write_snapshot_header(StateWriter& out, std::uint64_t session_count,
+                           std::uint64_t install_count);
+struct SnapshotHeader {
+    std::uint64_t version = 0;
+    std::uint64_t session_count = 0;
+    std::uint64_t install_count = 0;
+};
+[[nodiscard]] SnapshotHeader read_snapshot_header(StateReader& in);
+
+void write_install_record(StateWriter& out, const InstallRecord& record);
+[[nodiscard]] InstallRecord read_install_record(StateReader& in);
+
+/// Writes `payload` to `path` via a sibling temp file + rename, so a crash
+/// mid-write never leaves a truncated snapshot where a good one was.
+/// Returns false on I/O failure.
+bool write_state_file(const std::string& path, const std::string& payload);
+
+/// Whole-file read; nullopt when the file cannot be opened.
+[[nodiscard]] std::optional<std::string> read_state_file(const std::string& path);
+
+/// Convenience for offline installers: a snapshot containing no sessions,
+/// only install records (see examples/offline_install.cpp).
+bool write_install_snapshot(const std::string& path,
+                            const std::vector<InstallRecord>& records);
+
+} // namespace atk::runtime

@@ -24,6 +24,16 @@ Rng::Rng(std::uint64_t seed) noexcept {
     for (auto& word : state_) word = splitmix64(sm);
 }
 
+std::array<std::uint64_t, 4> Rng::state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+}
+
+void Rng::set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = state[i];
+    has_cached_normal_ = false;
+    cached_normal_ = 0.0;
+}
+
 Rng::result_type Rng::operator()() noexcept {
     const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
     const std::uint64_t t = state_[1] << 17;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -70,6 +71,16 @@ public:
     /// Derives an independent child generator; used to give each repetition
     /// of an experiment its own stream without correlating the streams.
     Rng split() noexcept;
+
+    /// The four xoshiro256++ state words; together with set_state() this
+    /// lets a tuner snapshot resume the exact random stream after a restart.
+    [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept;
+
+    /// Restores a state captured by state().  Drops a cached normal()
+    /// variate, so the first normal() draw after restoring may differ from
+    /// the stream that would have continued without the snapshot; all
+    /// uniform draws are bit-exact.
+    void set_state(const std::array<std::uint64_t, 4>& state) noexcept;
 
 private:
     std::uint64_t state_[4];

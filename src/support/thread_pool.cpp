@@ -47,6 +47,11 @@ void ThreadPool::TaskGroup::wait_all() {
         // Help drain the queue instead of sleeping: with nested submission
         // this thread may be the only one able to make progress.
         if (!pool_.run_one(lock)) {
+            // Note submit() notifies wake_ (the workers), not done_, so the
+            // queue clause below can miss a wakeup — that is fine: it is
+            // only an opportunistic "help out" fast path, and a worker will
+            // take the task instead.  The wakeup this wait *depends* on —
+            // pending_ reaching 0 — is always delivered by finish().
             done_.wait(lock, [this, &lock]() -> bool {
                 return pending_ == 0 || !pool_.queue_.empty();
             });

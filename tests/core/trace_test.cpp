@@ -49,5 +49,16 @@ TEST(TuningTrace, IndexAccess) {
     EXPECT_THROW(trace[99], std::out_of_range);
 }
 
+TEST(TuningTrace, IndexAccessIsCheckedAtTheBoundary) {
+    // operator[] is documented as *checked* access (unlike std::vector):
+    // indexing at size() or beyond throws std::out_of_range instead of
+    // returning a dangling reference, including on an empty trace.
+    const auto trace = sample_trace();
+    EXPECT_NO_THROW(trace[trace.size() - 1]);
+    EXPECT_THROW(trace[trace.size()], std::out_of_range);
+    const TuningTrace empty;
+    EXPECT_THROW(empty[0], std::out_of_range);
+}
+
 } // namespace
 } // namespace atk

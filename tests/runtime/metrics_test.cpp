@@ -1,0 +1,132 @@
+#include "runtime/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace atk::runtime {
+namespace {
+
+TEST(Counter, IncrementsFromManyThreads) {
+    Counter counter;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 1000; ++i) counter.increment();
+        });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(counter.value(), 4000u);
+    counter.increment(10);
+    EXPECT_EQ(counter.value(), 4010u);
+}
+
+TEST(Gauge, KeepsLastValue) {
+    Gauge gauge;
+    EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+    gauge.set(3.5);
+    gauge.set(-1.25);
+    EXPECT_DOUBLE_EQ(gauge.value(), -1.25);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+    EXPECT_THROW(Histogram({}), std::invalid_argument);
+    EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, EmptyStatistics) {
+    Histogram histogram({1.0, 10.0});
+    EXPECT_EQ(histogram.count(), 0u);
+    EXPECT_DOUBLE_EQ(histogram.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(histogram.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+    EXPECT_EQ(histogram.min(), std::numeric_limits<double>::infinity());
+    EXPECT_EQ(histogram.max(), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Histogram, BucketsAndQuantiles) {
+    Histogram histogram({1.0, 10.0, 100.0});
+    histogram.observe(0.5);    // bucket <=1
+    histogram.observe(5.0);    // bucket <=10
+    histogram.observe(7.0);    // bucket <=10
+    histogram.observe(50.0);   // bucket <=100
+    histogram.observe(500.0);  // overflow
+
+    EXPECT_EQ(histogram.count(), 5u);
+    EXPECT_DOUBLE_EQ(histogram.sum(), 562.5);
+    EXPECT_DOUBLE_EQ(histogram.mean(), 112.5);
+    EXPECT_DOUBLE_EQ(histogram.min(), 0.5);
+    EXPECT_DOUBLE_EQ(histogram.max(), 500.0);
+    EXPECT_EQ(histogram.bucket_counts(), (std::vector<std::uint64_t>{1, 2, 1, 1}));
+
+    // Quantiles report bucket upper bounds; overflow reports the seen max.
+    EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(histogram.quantile(0.75), 100.0);
+    EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 500.0);
+}
+
+TEST(Histogram, BoundaryValueLandsInItsBucket) {
+    Histogram histogram({1.0, 10.0});
+    histogram.observe(1.0);  // inclusive upper bound
+    EXPECT_EQ(histogram.bucket_counts(), (std::vector<std::uint64_t>{1, 0, 0}));
+}
+
+TEST(MetricsRegistry, ReturnsStableReferences) {
+    MetricsRegistry registry;
+    Counter& a = registry.counter("a");
+    a.increment();
+    Counter& again = registry.counter("a");
+    EXPECT_EQ(&a, &again);
+    EXPECT_EQ(again.value(), 1u);
+
+    Histogram& h = registry.histogram("h", {1.0, 2.0});
+    // Bounds are honored only on first creation.
+    Histogram& h_again = registry.histogram("h", {5.0});
+    EXPECT_EQ(&h, &h_again);
+    EXPECT_EQ(h_again.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsRegistry, CsvExportIsLongFormatAndSorted) {
+    MetricsRegistry registry;
+    registry.counter("zeta").increment(3);
+    registry.gauge("alpha").set(1.5);
+    registry.histogram("mid", {1.0}).observe(0.5);
+
+    registry.counter("beta").increment();
+
+    const std::string csv = registry.to_csv().to_string();
+    EXPECT_NE(csv.find("metric,type,field,value"), std::string::npos);
+    EXPECT_NE(csv.find("zeta,counter,value,3"), std::string::npos);
+    EXPECT_NE(csv.find("alpha,gauge,value,1.5"), std::string::npos);
+    EXPECT_NE(csv.find("mid,histogram,count,1"), std::string::npos);
+    // Within an instrument type, rows come out sorted by metric name.
+    EXPECT_LT(csv.find("beta,counter"), csv.find("zeta,counter"));
+}
+
+TEST(MetricsRegistry, RenderMentionsEveryInstrument) {
+    MetricsRegistry registry;
+    registry.counter("reports").increment(7);
+    registry.gauge("depth").set(2.0);
+    auto& histogram = registry.histogram("latency", {1.0, 10.0});
+    histogram.observe(0.5);
+    histogram.observe(5.0);
+
+    const std::string rendered = registry.render();
+    EXPECT_NE(rendered.find("reports"), std::string::npos);
+    EXPECT_NE(rendered.find("depth"), std::string::npos);
+    EXPECT_NE(rendered.find("latency"), std::string::npos);
+}
+
+TEST(DefaultLatencyBuckets, StrictlyIncreasing) {
+    const auto bounds = default_latency_buckets_ms();
+    ASSERT_GE(bounds.size(), 4u);
+    for (std::size_t i = 1; i < bounds.size(); ++i) EXPECT_LT(bounds[i - 1], bounds[i]);
+    EXPECT_NO_THROW(Histogram{bounds});
+}
+
+} // namespace
+} // namespace atk::runtime

@@ -1,0 +1,224 @@
+#include "runtime/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/service.hpp"
+
+#include "core/autotune.hpp"
+
+namespace atk::runtime {
+namespace {
+
+TEST(BoundedQueue, RejectsZeroCapacity) {
+    EXPECT_THROW(BoundedQueue<int>(0), std::invalid_argument);
+}
+
+TEST(BoundedQueue, FifoOrder) {
+    BoundedQueue<int> queue(4);
+    EXPECT_TRUE(queue.try_push(1));
+    EXPECT_TRUE(queue.try_push(2));
+    EXPECT_TRUE(queue.try_push(3));
+    EXPECT_EQ(queue.size(), 3u);
+    EXPECT_EQ(queue.pop(), std::optional<int>(1));
+    EXPECT_EQ(queue.pop(), std::optional<int>(2));
+    EXPECT_EQ(queue.pop(), std::optional<int>(3));
+    EXPECT_EQ(queue.try_pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, TryPushFailsWhenFull) {
+    BoundedQueue<int> queue(2);
+    EXPECT_TRUE(queue.try_push(1));
+    EXPECT_TRUE(queue.try_push(2));
+    EXPECT_FALSE(queue.try_push(3));  // full: dropped, not blocked
+    EXPECT_EQ(queue.size(), 2u);
+    (void)queue.pop();
+    EXPECT_TRUE(queue.try_push(3));  // space freed
+}
+
+TEST(BoundedQueue, BlockingPushWaitsForConsumer) {
+    BoundedQueue<int> queue(1);
+    EXPECT_TRUE(queue.try_push(1));
+
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        EXPECT_TRUE(queue.push(2));  // blocks until the pop below
+        pushed.store(true);
+    });
+
+    EXPECT_EQ(queue.pop(), std::optional<int>(1));
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    EXPECT_EQ(queue.pop(), std::optional<int>(2));
+}
+
+TEST(BoundedQueue, CloseUnblocksProducerAndConsumer) {
+    BoundedQueue<int> queue(1);
+    EXPECT_TRUE(queue.try_push(1));
+
+    std::thread producer([&] {
+        EXPECT_FALSE(queue.push(2));  // unblocked by close, value discarded
+    });
+    std::thread closer([&] { queue.close(); });
+    closer.join();
+    producer.join();
+
+    // The consumer still drains what was accepted before the close...
+    EXPECT_EQ(queue.pop(), std::optional<int>(1));
+    // ...then sees end-of-stream instead of blocking forever.
+    EXPECT_EQ(queue.pop(), std::nullopt);
+    EXPECT_FALSE(queue.try_push(3));
+    EXPECT_TRUE(queue.closed());
+}
+
+TEST(BoundedQueue, ManyProducersAllItemsArrive) {
+    BoundedQueue<int> queue(8);
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 200;
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&queue, p] {
+            for (int i = 0; i < kPerProducer; ++i) queue.push(p * kPerProducer + i);
+        });
+    }
+
+    std::vector<int> seen;
+    std::thread consumer([&] {
+        while (auto value = queue.pop()) seen.push_back(*value);
+    });
+
+    for (auto& producer : producers) producer.join();
+    queue.close();
+    consumer.join();
+
+    ASSERT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+    std::sort(seen.begin(), seen.end());
+    for (int i = 0; i < kProducers * kPerProducer; ++i) EXPECT_EQ(seen[i], i);
+}
+
+std::vector<TunableAlgorithm> two_fixed_algorithms() {
+    std::vector<TunableAlgorithm> algorithms;
+    algorithms.push_back(TunableAlgorithm::untunable("A"));
+    algorithms.push_back(TunableAlgorithm::untunable("B"));
+    return algorithms;
+}
+
+TunerFactory fixed_factory() {
+    return [](const std::string&) {
+        return std::make_unique<TwoPhaseTuner>(std::make_unique<EpsilonGreedy>(0.1),
+                                               two_fixed_algorithms(), /*seed=*/7);
+    };
+}
+
+/// Backpressure end to end: stall the aggregator via the test hook, fill the
+/// bounded queue, and watch the drop policy kick in exactly at the bound.
+TEST(ServiceBackpressure, DropPolicyDropsWhenQueueIsFull) {
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    bool aggregator_stalled = false;
+    bool release = false;
+
+    ServiceOptions options;
+    options.queue_capacity = 2;
+    options.block_when_full = false;  // drop policy
+    options.ingest_hook = [&] {
+        std::unique_lock lock(gate_mutex);
+        aggregator_stalled = true;
+        gate_cv.notify_all();
+        gate_cv.wait(lock, [&] { return release; });
+    };
+
+    TuningService service(fixed_factory(), options);
+    const Ticket ticket = service.begin("s");
+
+    // First report: popped by the aggregator, which then parks in the hook.
+    ASSERT_TRUE(service.report("s", ticket, 1.0));
+    {
+        std::unique_lock lock(gate_mutex);
+        gate_cv.wait(lock, [&] { return aggregator_stalled; });
+    }
+
+    // Queue (capacity 2) fills while the aggregator is stalled...
+    ASSERT_TRUE(service.report("s", ticket, 2.0));
+    ASSERT_TRUE(service.report("s", ticket, 3.0));
+    // ...and the next report is dropped, not blocked.
+    EXPECT_FALSE(service.report("s", ticket, 4.0));
+    EXPECT_EQ(service.metrics().counter("reports_dropped").value(), 1u);
+
+    {
+        std::lock_guard lock(gate_mutex);
+        release = true;
+    }
+    gate_cv.notify_all();
+    service.flush();
+
+    // Everything accepted was processed; the dropped one never reached the
+    // session.
+    EXPECT_EQ(service.metrics().counter("reports_enqueued").value(), 3u);
+    EXPECT_EQ(service.metrics().counter("reports_fresh").value() +
+                  service.metrics().counter("reports_stale").value(),
+              3u);
+    service.stop();
+}
+
+/// Same stall, blocking policy: report() waits for space instead of dropping.
+TEST(ServiceBackpressure, BlockPolicyNeverLosesSamples) {
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    bool aggregator_stalled = false;
+    bool release = false;
+
+    ServiceOptions options;
+    options.queue_capacity = 2;
+    options.block_when_full = true;
+    options.ingest_hook = [&] {
+        std::unique_lock lock(gate_mutex);
+        aggregator_stalled = true;
+        gate_cv.notify_all();
+        gate_cv.wait(lock, [&] { return release; });
+    };
+
+    TuningService service(fixed_factory(), options);
+    const Ticket ticket = service.begin("s");
+
+    ASSERT_TRUE(service.report("s", ticket, 1.0));
+    {
+        std::unique_lock lock(gate_mutex);
+        gate_cv.wait(lock, [&] { return aggregator_stalled; });
+    }
+    ASSERT_TRUE(service.report("s", ticket, 2.0));
+    ASSERT_TRUE(service.report("s", ticket, 3.0));
+
+    // This producer must block on the full queue until the gate opens.
+    std::atomic<bool> fourth_done{false};
+    std::thread blocked_producer([&] {
+        EXPECT_TRUE(service.report("s", ticket, 4.0));
+        fourth_done.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(fourth_done.load());
+
+    {
+        std::lock_guard lock(gate_mutex);
+        release = true;
+    }
+    gate_cv.notify_all();
+    blocked_producer.join();
+    EXPECT_TRUE(fourth_done.load());
+
+    service.flush();
+    EXPECT_EQ(service.metrics().counter("reports_dropped").value(), 0u);
+    EXPECT_EQ(service.metrics().counter("reports_fresh").value() +
+                  service.metrics().counter("reports_stale").value(),
+              4u);
+    service.stop();
+}
+
+} // namespace
+} // namespace atk::runtime

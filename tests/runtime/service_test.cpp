@@ -1,0 +1,256 @@
+#include "runtime/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/autotune.hpp"
+#include "runtime/context.hpp"
+
+namespace atk::runtime {
+namespace {
+
+std::string temp_path(const std::string& name) {
+    return ::testing::TempDir() + "atk_" + name + ".state";
+}
+
+/// Two algorithms per session; which one wins depends on the session name,
+/// so a multi-session test can check that each session converges to *its*
+/// optimum rather than to a shared one.
+Cost measure(const std::string& session, const Trial& trial) {
+    const bool fast_is_a = session.back() % 2 == 0;
+    if (trial.algorithm == (fast_is_a ? 0u : 1u)) return 5.0;
+    return 25.0 + std::abs(static_cast<double>(trial.config.empty() ? 0 : trial.config[0]) -
+                           40.0);
+}
+
+std::vector<TunableAlgorithm> two_algorithms() {
+    std::vector<TunableAlgorithm> algorithms;
+    algorithms.push_back(TunableAlgorithm::untunable("A"));
+
+    TunableAlgorithm b;
+    b.name = "B";
+    b.space.add(Parameter::ratio("x", 0, 50));
+    b.initial = Configuration{{0}};
+    b.searcher = std::make_unique<NelderMeadSearcher>();
+    algorithms.push_back(std::move(b));
+    return algorithms;
+}
+
+/// Deterministic per session name (a snapshot restore requirement); varies
+/// the phase-two strategy per session to exercise heterogeneous services.
+TunerFactory heterogeneous_factory() {
+    return [](const std::string& session) {
+        std::unique_ptr<NominalStrategy> strategy;
+        if (session.back() % 2 == 0)
+            strategy = std::make_unique<EpsilonGreedy>(0.10);
+        else
+            strategy = std::make_unique<SlidingWindowAuc>(16);
+        return std::make_unique<TwoPhaseTuner>(std::move(strategy), two_algorithms(),
+                                               /*seed=*/std::hash<std::string>{}(session));
+    };
+}
+
+TEST(TuningService, RejectsBadConstruction) {
+    EXPECT_THROW(TuningService(nullptr), std::invalid_argument);
+    ServiceOptions no_shards;
+    no_shards.shard_count = 0;
+    EXPECT_THROW(TuningService(heterogeneous_factory(), no_shards),
+                 std::invalid_argument);
+}
+
+TEST(TuningService, ConcurrentSessionCreationIsRaceFree) {
+    TuningService service(heterogeneous_factory());
+    const std::vector<std::string> names{"w0", "w1", "w2", "w3"};
+
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 8; ++t) {
+        clients.emplace_back([&service, &names, t] {
+            for (int i = 0; i < 50; ++i) {
+                const auto& name = names[(t + i) % names.size()];
+                const Ticket ticket = service.begin(name);
+                EXPECT_LT(ticket.trial.algorithm, 2u);
+            }
+        });
+    }
+    for (auto& client : clients) client.join();
+
+    // Every name maps to exactly one session no matter how many threads
+    // raced on first use.
+    EXPECT_EQ(service.session_count(), names.size());
+    EXPECT_EQ(service.metrics().counter("sessions_created").value(), names.size());
+    EXPECT_EQ(service.session_names(), names);
+    service.stop();
+}
+
+TEST(TuningService, OrphanReportsAreCountedNotCrashed) {
+    TuningService service(heterogeneous_factory());
+    Ticket forged;
+    forged.sequence = 1;
+    EXPECT_TRUE(service.report("never-begun", forged, 1.0));  // accepted...
+    service.flush();
+    // ...but discarded by the aggregator: no session was created for it.
+    EXPECT_EQ(service.metrics().counter("reports_orphaned").value(), 1u);
+    EXPECT_EQ(service.session_count(), 0u);
+    service.stop();
+}
+
+TEST(TuningService, ReportAfterStopIsRejected) {
+    TuningService service(heterogeneous_factory());
+    const Ticket ticket = service.begin("s");
+    service.stop();
+    EXPECT_FALSE(service.report("s", ticket, 1.0));
+    // begin() keeps serving the last recommendation after stop().
+    EXPECT_EQ(service.begin("s").trial.algorithm, ticket.trial.algorithm);
+}
+
+TEST(TuningService, InstallSeedsTheSession) {
+    TuningService service(heterogeneous_factory());
+    InstallRecord record;
+    record.session = "w0";
+    record.algorithm = 0;
+    record.config = Configuration{};
+    record.cost = 5.0;
+    EXPECT_TRUE(service.install(record));
+
+    const auto session = service.find("w0");
+    ASSERT_NE(session, nullptr);
+    EXPECT_TRUE(session->has_best());
+    EXPECT_DOUBLE_EQ(session->best_cost(), 5.0);
+    EXPECT_EQ(service.metrics().counter("installs_applied").value(), 1u);
+    service.stop();
+}
+
+TEST(TuningService, ForeignInstallRecordsAreRejectedNotFatal) {
+    TuningService service(heterogeneous_factory());
+    // A seed written against a different factory: algorithm index out of
+    // range for the two-algorithm tuners this service builds.
+    InstallRecord foreign;
+    foreign.session = "w0";
+    foreign.algorithm = 7;
+    foreign.config = Configuration{{1, 2, 3}};
+    foreign.cost = 5.0;
+    EXPECT_FALSE(service.install(foreign));
+    EXPECT_EQ(service.metrics().counter("installs_rejected").value(), 1u);
+    EXPECT_FALSE(service.find("w0")->has_best());
+
+    // Config outside algorithm B's space is rejected the same way.
+    InstallRecord bad_config;
+    bad_config.session = "w0";
+    bad_config.algorithm = 1;
+    bad_config.config = Configuration{{999}};
+    bad_config.cost = 5.0;
+    EXPECT_FALSE(service.install(bad_config));
+    EXPECT_EQ(service.metrics().counter("installs_rejected").value(), 2u);
+    service.stop();
+}
+
+/// The PR's acceptance scenario: ≥4 client threads reporting into ≥2
+/// sessions concurrently; both sessions converge to their own optimum; the
+/// service snapshots to disk; a fresh service restores and resumes with
+/// identical strategy weights.
+TEST(TuningService, AcceptanceConcurrentConvergeSnapshotResume) {
+    const std::string path = temp_path("service_acceptance");
+    const std::vector<std::string> sessions{"w0", "w1"};
+
+    ServiceOptions options;
+    options.block_when_full = true;  // no sample loss in the demo
+    TuningService service(heterogeneous_factory(), options);
+
+    constexpr int kClients = 4;
+    constexpr int kIterations = 150;
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kClients; ++t) {
+        clients.emplace_back([&service, &sessions, t] {
+            for (int i = 0; i < kIterations; ++i) {
+                const auto& name = sessions[(t + i) % sessions.size()];
+                const Ticket ticket = service.begin(name);
+                ASSERT_TRUE(service.report(name, ticket, measure(name, ticket.trial)));
+                // The synthetic "workload" above costs nothing, so an
+                // unpaced client outruns the aggregator and only ever sees
+                // the generation-one recommendation (see TuningService
+                // docs).  Real clients pay the trial's runtime here instead.
+                if (i % 4 == 3) service.flush();
+            }
+        });
+    }
+    for (auto& client : clients) client.join();
+    service.flush();
+
+    // Both sessions learned their own optimum (cost 5 on different
+    // algorithms) and nothing was dropped under the blocking policy.
+    for (const auto& name : sessions) {
+        const auto session = service.find(name);
+        ASSERT_NE(session, nullptr);
+        EXPECT_TRUE(session->has_best());
+        EXPECT_DOUBLE_EQ(session->best_cost(), 5.0);
+        EXPECT_EQ(session->best_trial().algorithm, name.back() % 2 == 0 ? 0u : 1u);
+        EXPECT_GE(session->iterations(), static_cast<std::size_t>(kIterations));
+    }
+    EXPECT_EQ(service.metrics().counter("reports_dropped").value(), 0u);
+    EXPECT_EQ(service.metrics().counter("reports_fresh").value() +
+                  service.metrics().counter("reports_stale").value(),
+              static_cast<std::uint64_t>(kClients * kIterations));
+
+    ASSERT_TRUE(service.snapshot_to(path));
+    const auto weights_before_w0 = service.find("w0")->strategy_weights();
+    const auto weights_before_w1 = service.find("w1")->strategy_weights();
+    service.stop();
+
+    // "Process restart": a brand-new service restores from disk.
+    TuningService resumed(heterogeneous_factory());
+    EXPECT_EQ(resumed.restore_from(path), sessions.size());
+    EXPECT_EQ(resumed.session_count(), sessions.size());
+    EXPECT_EQ(resumed.find("w0")->strategy_weights(), weights_before_w0);
+    EXPECT_EQ(resumed.find("w1")->strategy_weights(), weights_before_w1);
+    EXPECT_DOUBLE_EQ(resumed.find("w0")->best_cost(), 5.0);
+    EXPECT_DOUBLE_EQ(resumed.find("w1")->best_cost(), 5.0);
+
+    // The resumed service keeps tuning where the old one left off.
+    const Ticket ticket = resumed.begin("w0");
+    ASSERT_TRUE(resumed.report("w0", ticket, measure("w0", ticket.trial)));
+    resumed.flush();
+    EXPECT_GT(resumed.find("w0")->iterations(),
+              static_cast<std::size_t>(kIterations));
+    resumed.stop();
+}
+
+TEST(TuningService, RestoreFromMissingFileThrows) {
+    TuningService service(heterogeneous_factory());
+    EXPECT_THROW(service.restore_from(temp_path("no_such_snapshot")),
+                 std::invalid_argument);
+    service.stop();
+}
+
+// ------------------------------------------------------------- context keys
+
+TEST(ContextKey, BucketsByPowerOfTwo) {
+    EXPECT_EQ(context_key("match", FeatureVector{8, 4'000'000}), "match/3/21");
+    EXPECT_EQ(context_key("match", FeatureVector{9, 4'000'000}), "match/3/21");
+    EXPECT_EQ(context_key("match", FeatureVector{16, 4'000'000}), "match/4/21");
+    EXPECT_EQ(context_key("rt", FeatureVector{}), "rt");
+    EXPECT_EQ(context_key("rt", FeatureVector{1}), "rt/0");
+}
+
+TEST(ContextKey, NonPositiveAndNanGetTheUnderscoreBucket) {
+    EXPECT_EQ(context_key("k", FeatureVector{0}), "k/_");
+    EXPECT_EQ(context_key("k", FeatureVector{-3}), "k/_");
+    EXPECT_EQ(context_key("k", FeatureVector{std::nan("")}), "k/_");
+}
+
+TEST(ContextKey, DistinguishesWorkloadRegimes) {
+    // Different orders of magnitude tune independently; near-identical
+    // workloads share a session (and each other's exploration).
+    const auto small = context_key("match", FeatureVector{4, 1000});
+    const auto small_again = context_key("match", FeatureVector{5, 900});
+    const auto large = context_key("match", FeatureVector{4, 4'000'000});
+    EXPECT_EQ(small, small_again);
+    EXPECT_NE(small, large);
+}
+
+} // namespace
+} // namespace atk::runtime

@@ -1,0 +1,300 @@
+#include "runtime/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "core/autotune.hpp"
+#include "runtime/session.hpp"
+
+namespace atk::runtime {
+namespace {
+
+std::string temp_path(const std::string& name) {
+    return ::testing::TempDir() + "atk_" + name + ".state";
+}
+
+// ---------------------------------------------------------------- state_io
+
+TEST(StateIo, RoundTripsEveryTokenKind) {
+    StateWriter out;
+    out.put_u64(std::numeric_limits<std::uint64_t>::max());
+    out.put_i64(-42);
+    out.put_f64(0.1);  // not representable in binary — hexfloat must be exact
+    out.put_f64(std::numeric_limits<double>::infinity());
+    out.put_str("hello with spaces");
+    out.put_str("");
+
+    StateReader in(out.str());
+    EXPECT_EQ(in.get_u64(), std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(in.get_i64(), -42);
+    EXPECT_EQ(in.get_f64(), 0.1);  // bit-exact, not just approximately equal
+    EXPECT_EQ(in.get_f64(), std::numeric_limits<double>::infinity());
+    EXPECT_EQ(in.get_str(), "hello with spaces");
+    EXPECT_EQ(in.get_str(), "");
+    EXPECT_TRUE(in.at_end());
+}
+
+TEST(StateIo, TagMismatchThrows) {
+    StateWriter out;
+    out.put_u64(5);
+    StateReader in(out.str());
+    EXPECT_THROW((void)in.get_str(), std::invalid_argument);  // wrote u, read s
+}
+
+TEST(StateIo, ExhaustedInputThrows) {
+    StateReader in("");
+    EXPECT_THROW((void)in.get_u64(), std::invalid_argument);
+}
+
+TEST(StateIo, RejectsStringsWithNewlines) {
+    StateWriter out;
+    EXPECT_THROW(out.put_str("a\nb"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- state files
+
+TEST(StateFile, WriteThenReadBack) {
+    const std::string path = temp_path("file_roundtrip");
+    ASSERT_TRUE(write_state_file(path, "payload\nwith lines\n"));
+    const auto read_back = read_state_file(path);
+    ASSERT_TRUE(read_back.has_value());
+    EXPECT_EQ(*read_back, "payload\nwith lines\n");
+}
+
+TEST(StateFile, MissingFileIsNullopt) {
+    EXPECT_EQ(read_state_file(temp_path("never_written")), std::nullopt);
+}
+
+TEST(StateFile, UnwritableDirectoryReportsFailure) {
+    EXPECT_FALSE(write_state_file("/nonexistent-dir/sub/snapshot.state", "x"));
+}
+
+// ---------------------------------------------------------- archive header
+
+TEST(SnapshotArchive, HeaderRoundTrip) {
+    StateWriter out;
+    write_snapshot_header(out, 3, 2);
+    StateReader in(out.str());
+    const SnapshotHeader header = read_snapshot_header(in);
+    EXPECT_EQ(header.version, kSnapshotVersion);
+    EXPECT_EQ(header.session_count, 3u);
+    EXPECT_EQ(header.install_count, 2u);
+}
+
+TEST(SnapshotArchive, WrongMagicThrows) {
+    StateWriter out;
+    out.put_str("not-a-snapshot");
+    out.put_u64(1);
+    StateReader in(out.str());
+    EXPECT_THROW((void)read_snapshot_header(in), std::invalid_argument);
+}
+
+TEST(SnapshotArchive, FutureVersionThrows) {
+    StateWriter out;
+    out.put_str(kSnapshotMagic);
+    out.put_u64(kSnapshotVersion + 1);
+    out.put_u64(0);
+    out.put_u64(0);
+    StateReader in(out.str());
+    EXPECT_THROW((void)read_snapshot_header(in), std::invalid_argument);
+}
+
+TEST(SnapshotArchive, InstallRecordRoundTrip) {
+    InstallRecord record;
+    record.session = "match/3/21";
+    record.algorithm = 2;
+    record.config = Configuration{{7, 0, 3}};
+    record.cost = 1.25;
+
+    StateWriter out;
+    write_install_record(out, record);
+    StateReader in(out.str());
+    const InstallRecord read_back = read_install_record(in);
+    EXPECT_EQ(read_back.session, record.session);
+    EXPECT_EQ(read_back.algorithm, record.algorithm);
+    EXPECT_EQ(read_back.config, record.config);
+    EXPECT_DOUBLE_EQ(read_back.cost, record.cost);
+}
+
+// ------------------------------------------------------ tuner state resume
+
+std::vector<TunableAlgorithm> two_algorithms() {
+    std::vector<TunableAlgorithm> algorithms;
+    algorithms.push_back(TunableAlgorithm::untunable("A"));
+
+    TunableAlgorithm b;
+    b.name = "B";
+    b.space.add(Parameter::ratio("x", 0, 50));
+    b.initial = Configuration{{0}};
+    b.searcher = std::make_unique<NelderMeadSearcher>();
+    algorithms.push_back(std::move(b));
+    return algorithms;
+}
+
+Cost measure(const Trial& trial) {
+    if (trial.algorithm == 0) return 30.0;
+    return 10.0 + std::abs(static_cast<double>(trial.config[0]) - 40.0);
+}
+
+TwoPhaseTuner make_tuner() {
+    return TwoPhaseTuner(std::make_unique<GradientWeighted>(8), two_algorithms(),
+                         /*seed=*/123);
+}
+
+/// The acceptance property behind warm starts: a tuner restored from a
+/// snapshot is indistinguishable from the tuner that wrote it — not just the
+/// same weights at restore time, but the same *future*: both make identical
+/// choices forever after (same RNG stream, same simplex, same histories).
+TEST(TunerState, RestoredTunerContinuesIdentically) {
+    TwoPhaseTuner original = make_tuner();
+    original.run(measure, 40);
+
+    StateWriter out;
+    original.save_state(out);
+
+    TwoPhaseTuner restored = make_tuner();
+    StateReader in(out.str());
+    restored.restore_state(in);
+    EXPECT_TRUE(in.at_end());
+
+    EXPECT_EQ(restored.iteration(), original.iteration());
+    EXPECT_EQ(restored.strategy().weights(), original.strategy().weights());
+    EXPECT_DOUBLE_EQ(restored.best_cost(), original.best_cost());
+    EXPECT_EQ(restored.best_trial().algorithm, original.best_trial().algorithm);
+    EXPECT_EQ(restored.best_trial().config, original.best_trial().config);
+
+    for (int i = 0; i < 25; ++i) {
+        const Trial a = original.next();
+        const Trial b = restored.next();
+        EXPECT_EQ(a.algorithm, b.algorithm) << "diverged at continuation step " << i;
+        EXPECT_EQ(a.config, b.config) << "diverged at continuation step " << i;
+        original.report(a, measure(a));
+        restored.report(b, measure(b));
+    }
+    EXPECT_EQ(restored.strategy().weights(), original.strategy().weights());
+}
+
+TEST(TunerState, SaveWhileAwaitingReportResumesThePendingTrial) {
+    TwoPhaseTuner original = make_tuner();
+    original.run(measure, 10);
+    const Trial pending = original.next();  // snapshot mid-cycle
+
+    StateWriter out;
+    original.save_state(out);
+
+    TwoPhaseTuner restored = make_tuner();
+    StateReader in(out.str());
+    restored.restore_state(in);
+
+    ASSERT_TRUE(restored.awaiting_report());
+    EXPECT_EQ(restored.pending_trial().algorithm, pending.algorithm);
+    EXPECT_EQ(restored.pending_trial().config, pending.config);
+    restored.report(pending, measure(pending));
+    original.report(pending, measure(pending));
+    EXPECT_EQ(restored.strategy().weights(), original.strategy().weights());
+}
+
+TEST(TunerState, RestoreRejectsMismatchedShape) {
+    TwoPhaseTuner original = make_tuner();
+    original.run(measure, 5);
+    StateWriter out;
+    original.save_state(out);
+
+    // Different strategy type than the one that wrote the snapshot.
+    TwoPhaseTuner wrong_strategy(std::make_unique<EpsilonGreedy>(0.1), two_algorithms(),
+                                 123);
+    StateReader in_a(out.str());
+    EXPECT_THROW(wrong_strategy.restore_state(in_a), std::invalid_argument);
+
+    // Different algorithm list.
+    std::vector<TunableAlgorithm> one;
+    one.push_back(TunableAlgorithm::untunable("A"));
+    TwoPhaseTuner wrong_algorithms(std::make_unique<GradientWeighted>(8), std::move(one),
+                                   123);
+    StateReader in_b(out.str());
+    EXPECT_THROW(wrong_algorithms.restore_state(in_b), std::invalid_argument);
+}
+
+// -------------------------------------------------------- session round-trip
+
+std::unique_ptr<TwoPhaseTuner> make_session_tuner() {
+    return std::make_unique<TwoPhaseTuner>(std::make_unique<SlidingWindowAuc>(12),
+                                           two_algorithms(), /*seed=*/99);
+}
+
+TEST(SessionState, ReportAfterSnapshotRestoreIsEquivalent) {
+    TuningSession original("s", make_session_tuner());
+    for (int i = 0; i < 30; ++i) {
+        const Ticket ticket = original.begin();
+        (void)original.ingest(ticket, measure(ticket.trial));
+    }
+
+    StateWriter out;
+    original.save_state(out);
+
+    TuningSession restored("s", make_session_tuner());
+    StateReader in(out.str());
+    restored.restore_state(in);
+
+    EXPECT_EQ(restored.strategy_weights(), original.strategy_weights());
+    EXPECT_EQ(restored.iterations(), original.iterations());
+    EXPECT_DOUBLE_EQ(restored.best_cost(), original.best_cost());
+
+    // Both sessions hand out the same recommendation and react identically
+    // to the same stream of measurements.
+    for (int i = 0; i < 20; ++i) {
+        const Ticket a = original.begin();
+        const Ticket b = restored.begin();
+        EXPECT_EQ(a.trial.algorithm, b.trial.algorithm);
+        EXPECT_EQ(a.trial.config, b.trial.config);
+        const Cost cost = measure(a.trial);
+        (void)original.ingest(a, cost);
+        (void)restored.ingest(b, cost);
+    }
+    EXPECT_EQ(restored.strategy_weights(), original.strategy_weights());
+}
+
+TEST(SessionState, StaleTicketsAreObservedNotLost) {
+    TuningSession session("s", make_session_tuner());
+    const Ticket stale = session.begin();
+
+    // Another client closes the generation first.
+    const IngestResult fresh = session.ingest(session.begin(), measure(stale.trial));
+    EXPECT_TRUE(fresh.fresh);
+
+    // The stale ticket still contributes a measurement (strategy + best),
+    // it just cannot close the already-superseded generation.
+    const std::size_t before = session.iterations();
+    const IngestResult late = session.ingest(stale, measure(stale.trial));
+    EXPECT_FALSE(late.fresh);
+    EXPECT_EQ(session.iterations(), before + 1);
+}
+
+TEST(InstallSnapshot, SeedsSessionsThroughObserve) {
+    const std::string path = temp_path("install_snapshot");
+    std::vector<InstallRecord> records;
+    records.push_back(InstallRecord{"s", 1, Configuration{{40}}, 10.0});
+    ASSERT_TRUE(write_install_snapshot(path, records));
+
+    // Read it back the way TuningService::restore_from does.
+    const auto payload = read_state_file(path);
+    ASSERT_TRUE(payload.has_value());
+    StateReader in(*payload);
+    const SnapshotHeader header = read_snapshot_header(in);
+    EXPECT_EQ(header.session_count, 0u);
+    ASSERT_EQ(header.install_count, 1u);
+    const InstallRecord record = read_install_record(in);
+
+    TuningSession session(record.session, make_session_tuner());
+    session.install(record.algorithm, record.config, record.cost);
+    EXPECT_TRUE(session.has_best());
+    EXPECT_DOUBLE_EQ(session.best_cost(), 10.0);
+    EXPECT_EQ(session.best_trial().algorithm, 1u);
+}
+
+} // namespace
+} // namespace atk::runtime
