@@ -1,0 +1,116 @@
+/// Overhead of the observability layer (obs/):
+///
+///   1. a Span while tracing is disabled — the cost every instrumented hot
+///      path pays in production when nobody is tracing (the acceptance bar:
+///      one relaxed atomic load + branch, low single-digit ns),
+///   2. a Span while tracing is enabled (ring-buffer push + two clock reads),
+///   3. a full TwoPhaseTuner next()/report() iteration untraced, traced and
+///      traced+audited, showing the end-to-end tax on the tuning loop.
+///
+/// Numbers land in EXPERIMENTS.md ("Observability overhead").
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/autotune.hpp"
+#include "harness.hpp"
+#include "obs/obs.hpp"
+#include "support/clock.hpp"
+
+using namespace atk;
+
+namespace {
+
+template <typename F>
+double ns_per_op(std::size_t iterations, F&& op) {
+    Stopwatch watch;
+    for (std::size_t i = 0; i < iterations; ++i) op();
+    return watch.elapsed_ms() * 1.0e6 / static_cast<double>(iterations);
+}
+
+std::unique_ptr<TwoPhaseTuner> make_tuner() {
+    std::vector<TunableAlgorithm> algorithms;
+    algorithms.push_back(TunableAlgorithm::untunable("A"));
+    TunableAlgorithm b;
+    b.name = "B";
+    b.space.add(Parameter::ratio("block", 0, 80));
+    b.initial = Configuration{{0}};
+    b.searcher = std::make_unique<NelderMeadSearcher>();
+    algorithms.push_back(std::move(b));
+    return std::make_unique<TwoPhaseTuner>(std::make_unique<EpsilonGreedy>(0.10),
+                                           std::move(algorithms), 42);
+}
+
+double tuner_iteration_ns(TwoPhaseTuner& tuner, std::size_t iterations) {
+    return ns_per_op(iterations, [&] {
+        const Trial trial = tuner.next();
+        tuner.report(trial, 1.0 + static_cast<double>(trial.algorithm));
+    });
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Cli cli("bench_obs_overhead", "span tracing / audit trail overhead");
+    cli.add_int("iterations", 2000000, "operations per measurement")
+        .add_int("tuner_iterations", 200000, "tuner next/report pairs");
+    if (!cli.parse(argc, argv)) return 1;
+    const auto iterations = static_cast<std::size_t>(cli.get_int("iterations"));
+    const auto tuner_iterations =
+        static_cast<std::size_t>(cli.get_int("tuner_iterations"));
+
+    bench::print_header("obs-overhead",
+                        "cost of spans (disabled/enabled) and of instrumenting "
+                        "the tuner iteration path");
+
+    const double baseline = ns_per_op(iterations, [] {});
+
+    obs::Tracer::enable(false);
+    const double span_disabled =
+        ns_per_op(iterations, [] { obs::Span span("bench.span"); });
+
+    obs::Tracer::enable(true);
+    const double span_enabled =
+        ns_per_op(iterations, [] { obs::Span span("bench.span"); });
+    obs::Tracer::enable(false);
+    obs::Tracer::clear();
+
+    auto plain = make_tuner();
+    const double tuner_plain = tuner_iteration_ns(*plain, tuner_iterations);
+
+    obs::Tracer::enable(true);
+    auto traced = make_tuner();
+    const double tuner_traced = tuner_iteration_ns(*traced, tuner_iterations);
+
+    obs::DecisionAuditTrail trail(1024);
+    auto audited = make_tuner();
+    audited->set_decision_hook([&](const DecisionEvent& event) {
+        obs::Decision decision;
+        decision.iteration = event.iteration;
+        decision.algorithm = event.algorithm;
+        decision.algorithm_name = event.algorithm_name;
+        decision.explored = event.explored;
+        decision.step_kind = event.step_kind;
+        decision.weights = event.weights;
+        trail.record(std::move(decision));
+    });
+    const double tuner_audited = tuner_iteration_ns(*audited, tuner_iterations);
+    obs::Tracer::enable(false);
+    obs::Tracer::clear();
+
+    Table table({"measurement", "ns/op", "delta vs baseline"});
+    const auto row = [&](const char* name, double ns, double reference) {
+        table.row().text(name).num(ns, 2).num(ns - reference, 2);
+    };
+    row("empty loop", baseline, baseline);
+    row("span, tracing disabled", span_disabled, baseline);
+    row("span, tracing enabled", span_enabled, baseline);
+    row("tuner iteration, untraced", tuner_plain, tuner_plain);
+    row("tuner iteration, traced", tuner_traced, tuner_plain);
+    row("tuner iteration, traced+audited", tuner_audited, tuner_plain);
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf("audit window now holds %zu decisions (capacity 1024)\n",
+                trail.size());
+    return 0;
+}

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/autotune.hpp"
+#include "harness.hpp"
 #include "runtime/runtime.hpp"
 #include "support/clock.hpp"
 #include "support/cli.hpp"
@@ -102,6 +103,7 @@ int main(int argc, char** argv) {
     const auto sessions = static_cast<std::size_t>(cli.get_int("sessions"));
     const auto capacity = static_cast<std::size_t>(cli.get_int("capacity"));
 
+    bench::init_trace_from_env();
     std::printf("bench_runtime_throughput: %zu reports/thread, %zu sessions, "
                 "queue capacity %zu\n\n",
                 reports, sessions, capacity);

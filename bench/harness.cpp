@@ -3,7 +3,9 @@
 #include <sys/stat.h>
 
 #include <cstdio>
+#include <cstdlib>
 
+#include "obs/span.hpp"
 #include "support/sparkline.hpp"
 
 namespace atk::bench {
@@ -138,10 +140,28 @@ std::string write_series_csv(const std::string& filename,
     return path;
 }
 
+void init_trace_from_env() {
+    // ATK_TRACE=<path> turns on span tracing for any harness run and dumps
+    // a Chrome trace-event file at exit — every tuner the bench drives is
+    // already instrumented, so no per-harness wiring is needed.
+    static bool trace_hooked = false;
+    if (const char* trace_path = std::getenv("ATK_TRACE");
+        trace_path != nullptr && *trace_path != '\0' && !trace_hooked) {
+        trace_hooked = true;
+        obs::Tracer::enable();
+        static std::string path = trace_path;
+        std::atexit([] {
+            if (obs::write_chrome_trace(path, obs::Tracer::snapshot()))
+                std::printf("[trace] %s\n", path.c_str());
+        });
+    }
+}
+
 void print_header(const std::string& experiment, const std::string& description) {
     std::printf("==============================================================\n");
     std::printf("%s\n%s\n", experiment.c_str(), description.c_str());
     std::printf("==============================================================\n");
+    init_trace_from_env();
 }
 
 } // namespace atk::bench

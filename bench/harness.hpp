@@ -79,6 +79,11 @@ std::string write_series_csv(const std::string& filename,
 /// Standard bench preamble: prints the experiment id & context line.
 void print_header(const std::string& experiment, const std::string& description);
 
+/// ATK_TRACE=<path> enables span tracing for this process and registers an
+/// atexit Chrome-trace dump.  Called by print_header(); benches with their
+/// own banner call it directly.  Idempotent.
+void init_trace_from_env();
+
 /// Creates the results/ directory (next to the cwd) if needed; returns
 /// "results/<filename>".
 [[nodiscard]] std::string results_path(const std::string& filename);

@@ -8,6 +8,16 @@
 ///                                             # snapshot (see offline_install
 ///                                             # --install-out)
 ///
+/// Observability wiring (the atk_obs layer, on by default):
+///   - span tracing of the tuner/service hot path, exported as Chrome
+///     trace-event JSON (--trace; load it in Perfetto or chrome://tracing)
+///   - a per-session decision audit trail, exported as JSON Lines (--audit)
+///   - a background TelemetryExporter that keeps a Prometheus text file
+///     fresh while the service runs (--prom)
+/// Inspect the artifacts offline:
+///     atk_obs_inspect --trace runtime_service.trace.json
+///     atk_obs_inspect --audit runtime_service.audit.jsonl --explain 7
+///
 /// The two synthetic workloads have different winners: context "batch"
 /// favors the untunable algorithm A, context "interactive" favors B — but
 /// only once phase one has tuned B's block size toward 40.  Watch the
@@ -15,6 +25,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -110,17 +121,38 @@ int main(int argc, char** argv) {
     cli.add_int("clients", 4, "client threads")
         .add_int("iterations", 300, "workload iterations per client")
         .add_string("snapshot", "runtime_service.state", "snapshot file path")
-        .add_string("restore", "", "warm-start from this snapshot before tuning");
+        .add_string("restore", "", "warm-start from this snapshot before tuning")
+        .add_string("trace", "runtime_service.trace.json",
+                    "Chrome trace-event output ('' disables tracing)")
+        .add_string("audit", "runtime_service.audit.jsonl",
+                    "decision audit JSONL output ('' disables auditing)")
+        .add_string("prom", "runtime_service.prom",
+                    "Prometheus textfile kept fresh by the exporter ('' disables)");
     if (!cli.parse(argc, argv)) return 1;
 
     const auto clients = static_cast<std::size_t>(cli.get_int("clients"));
     const auto iterations = static_cast<std::size_t>(cli.get_int("iterations"));
     const std::string snapshot = cli.get_string("snapshot");
+    const std::string trace_path = cli.get_string("trace");
+    const std::string audit_path = cli.get_string("audit");
+    const std::string prom_path = cli.get_string("prom");
     const std::vector<std::string> sessions{"batch", "interactive"};
+
+    if (!trace_path.empty()) obs::Tracer::enable();
 
     ServiceOptions options;
     options.block_when_full = true;  // demo: never lose a sample
+    if (!audit_path.empty()) options.audit_capacity = 4096;
     TuningService service(make_factory(), options);
+
+    // Keeps a Prometheus textfile and a trace snapshot fresh while the
+    // service runs — what a scrape-based collector would read.
+    obs::TelemetryExporterOptions exporter_options;
+    exporter_options.interval = std::chrono::milliseconds(200);
+    exporter_options.metrics_path = prom_path;
+    exporter_options.trace_path = trace_path;
+    auto exporter = std::make_unique<obs::TelemetryExporter>(&service.metrics(),
+                                                             exporter_options);
 
     const std::string restore = cli.get_string("restore");
     if (!restore.empty()) {
@@ -157,6 +189,29 @@ int main(int argc, char** argv) {
         return 1;
     }
     std::printf("snapshot written to %s\n", snapshot.c_str());
+
+    // Final observability artifacts for offline inspection.
+    if (!audit_path.empty() && service.write_audit_jsonl(audit_path)) {
+        std::printf("decision audit written to %s "
+                    "(atk_obs_inspect --audit %s --explain <iter>)\n",
+                    audit_path.c_str(), audit_path.c_str());
+        const auto* trail = service.find("interactive")->audit();
+        if (trail != nullptr && trail->size() > 0) {
+            const auto last = trail->decisions().back();
+            std::printf("\nwhy the last 'interactive' pick? "
+                        "(audit explain, iteration %zu)\n%s\n",
+                        last.iteration, trail->explain(last.iteration).c_str());
+        }
+    }
+    exporter->stop();  // final prom + trace flush
+    exporter.reset();
+    if (!trace_path.empty())
+        std::printf("span trace written to %s (Perfetto-loadable; "
+                    "atk_obs_inspect --trace %s)\n",
+                    trace_path.c_str(), trace_path.c_str());
+    if (!prom_path.empty())
+        std::printf("prometheus metrics written to %s\n", prom_path.c_str());
+
     const auto weights_batch = service.find("batch")->strategy_weights();
     const auto weights_interactive = service.find("interactive")->strategy_weights();
     service.stop();

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# The tier-1 gate plus the concurrency gate, in one command:
+#
+#   1. plain build + full ctest suite (what CI treats as tier 1),
+#   2. a -DATK_SANITIZE=thread build running the runtime + obs tests —
+#      the two layers with real cross-thread traffic (lock-free span
+#      rings, ingestion queues, the background telemetry exporter).
+#
+# Usage:
+#   scripts/check.sh          # both stages
+#   scripts/check.sh --fast   # stage 1 only
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+fast="${1:-}"
+
+echo "== stage 1: tier-1 build + full test suite =="
+cmake -B "$repo/build" -S "$repo"
+cmake --build "$repo/build" -j "$jobs"
+(cd "$repo/build" && ctest --output-on-failure -j "$jobs")
+
+if [[ "$fast" == "--fast" ]]; then
+    echo "ok (fast mode: thread-sanitizer stage skipped)"
+    exit 0
+fi
+
+echo
+echo "== stage 2: ThreadSanitizer build, runtime + obs tests =="
+cmake -B "$repo/build-tsan" -S "$repo" -DATK_SANITIZE=thread
+cmake --build "$repo/build-tsan" -j "$jobs" --target test_runtime test_obs
+"$repo/build-tsan/tests/test_runtime"
+"$repo/build-tsan/tests/test_obs"
+
+echo
+echo "ok: tier-1 suite green, runtime+obs TSan-clean"

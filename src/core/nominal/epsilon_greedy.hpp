@@ -46,6 +46,11 @@ public:
     /// True while the deterministic round-robin initialization is running.
     [[nodiscard]] bool initializing() const noexcept;
 
+    /// Whether the last select() took the ε branch (uniform exploration).
+    [[nodiscard]] bool last_select_explored() const noexcept override {
+        return exploring_;
+    }
+
 private:
     [[nodiscard]] std::size_t best_choice() const;
     [[nodiscard]] Cost best_estimate(std::size_t choice) const;

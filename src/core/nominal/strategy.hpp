@@ -41,6 +41,12 @@ public:
     /// the paper's invariant that no algorithm is ever excluded.
     [[nodiscard]] virtual std::vector<double> weights() const = 0;
 
+    /// True when the most recent select() took an explicit exploration
+    /// branch (ε-Greedy's ε-roll).  Strategies whose selection is inherently
+    /// stochastic-weighted (Softmax, the weighted family) or deterministic
+    /// keep the default `false`.  Consumed by the decision audit trail.
+    [[nodiscard]] virtual bool last_select_explored() const noexcept { return false; }
+
     /// Serializes the strategy's mutable state (sample histories, cursors)
     /// so a runtime snapshot can warm-start a restarted process.  The
     /// default is empty: a strategy whose behaviour is fully determined by

@@ -16,6 +16,18 @@ void NelderMeadSearcher::validate_space(const SearchSpace& space) const {
             "needs a notion of distance, which Nominal/Ordinal parameters lack");
 }
 
+std::string NelderMeadSearcher::step_kind() const {
+    switch (phase_) {
+        case Phase::BuildSimplex: return "build-simplex";
+        case Phase::Reflect: return "reflect";
+        case Phase::Expand: return "expand";
+        case Phase::ContractOutside: return "contract-outside";
+        case Phase::ContractInside: return "contract-inside";
+        case Phase::Shrink: return "shrink";
+    }
+    return {};
+}
+
 void NelderMeadSearcher::do_reset() {
     simplex_.clear();
     centroid_.clear();

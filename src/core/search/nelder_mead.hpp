@@ -38,6 +38,10 @@ public:
 
     [[nodiscard]] std::string name() const override { return "NelderMead"; }
 
+    /// Current simplex transition: "build-simplex", "reflect", "expand",
+    /// "contract-outside", "contract-inside" or "shrink".
+    [[nodiscard]] std::string step_kind() const override;
+
 protected:
     void validate_space(const SearchSpace& space) const override;
     void do_reset() override;

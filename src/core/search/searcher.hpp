@@ -34,6 +34,11 @@ public:
 
     [[nodiscard]] virtual std::string name() const = 0;
 
+    /// Label of the search step the last propose() performed ("reflect",
+    /// "expand", ... for Nelder-Mead; "" for searchers without named steps).
+    /// Consumed by the decision audit trail — purely observational.
+    [[nodiscard]] virtual std::string step_kind() const { return {}; }
+
     /// Starts (or restarts) a search over `space` from `initial`.
     /// Throws std::invalid_argument if the space contains parameter classes
     /// the searcher cannot manipulate, or if `initial` is not in the space.

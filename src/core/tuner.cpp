@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/state_io.hpp"
+#include "obs/span.hpp"
 
 namespace atk {
 
@@ -35,10 +36,24 @@ Trial TwoPhaseTuner::next() {
     if (awaiting_report_)
         throw std::logic_error("TwoPhaseTuner: next() called twice without report()");
     awaiting_report_ = true;
-    // Phase two: nominal selection of the algorithm.
-    const std::size_t choice = strategy_->select(rng_);
-    // Phase one: configuration proposal inside the chosen algorithm's space.
-    pending_ = Trial{choice, algorithms_.at(choice).searcher->propose(rng_)};
+    std::size_t choice;
+    {
+        // Phase two: nominal selection of the algorithm.
+        obs::Span span("tuner.phase2_select");
+        choice = strategy_->select(rng_);
+    }
+    {
+        // Phase one: configuration proposal inside the chosen algorithm's space.
+        obs::Span span("tuner.phase1_propose");
+        pending_ = Trial{choice, algorithms_.at(choice).searcher->propose(rng_)};
+    }
+    if (decision_hook_) {
+        const TunableAlgorithm& algorithm = algorithms_[choice];
+        decision_hook_(DecisionEvent{iteration_, choice, algorithm.name,
+                                     strategy_->last_select_explored(),
+                                     algorithm.searcher->step_kind(),
+                                     strategy_->weights(), pending_.config});
+    }
     return pending_;
 }
 
@@ -51,6 +66,7 @@ void TwoPhaseTuner::report(const Trial& trial, Cost cost) {
         throw std::invalid_argument("TwoPhaseTuner: cost must be positive");
     awaiting_report_ = false;
 
+    obs::Span span("tuner.report");
     algorithms_.at(trial.algorithm).searcher->feedback(trial.config, cost);
     strategy_->report(trial.algorithm, cost);
 
@@ -68,6 +84,7 @@ void TwoPhaseTuner::observe(const Trial& trial, Cost cost) {
         throw std::invalid_argument("TwoPhaseTuner: observe() of unknown algorithm");
     if (!(cost > 0.0))
         throw std::invalid_argument("TwoPhaseTuner: cost must be positive");
+    obs::Span span("tuner.observe");
     strategy_->report(trial.algorithm, cost);
     if (!has_best_ || cost < best_cost_) {
         best_trial_ = trial;

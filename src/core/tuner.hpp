@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +32,20 @@ struct TunableAlgorithm {
 struct Trial {
     std::size_t algorithm = 0;
     Configuration config;
+};
+
+/// Everything next() decided in one tuning iteration, delivered to the
+/// decision hook the moment the trial is formed — the raw material of the
+/// observability layer's audit trail.  Reference members alias tuner
+/// internals and are only valid for the duration of the hook call.
+struct DecisionEvent {
+    std::size_t iteration = 0;           ///< iteration this trial belongs to
+    std::size_t algorithm = 0;           ///< phase-two choice
+    const std::string& algorithm_name;
+    bool explored = false;               ///< strategy's exploration roll
+    std::string step_kind;               ///< phase-one step label ("" = none)
+    std::vector<double> weights;         ///< strategy weights() at decision time
+    const Configuration& config;         ///< phase-one proposal
 };
 
 /// The paper's two-phase online tuner (Section III).
@@ -97,6 +112,16 @@ public:
     /// Full record of all iterations so far.
     [[nodiscard]] const TuningTrace& trace() const noexcept { return trace_; }
 
+    /// Installs (or clears, with nullptr) the observer called by every
+    /// next() with the decision's full context: strategy weights, the
+    /// exploration roll, the chosen algorithm and the phase-one step kind.
+    /// Costs nothing when unset beyond a null check; weights() is only
+    /// copied while a hook is installed.  The hook runs synchronously on
+    /// the thread calling next() and must not re-enter the tuner.
+    void set_decision_hook(std::function<void(const DecisionEvent&)> hook) {
+        decision_hook_ = std::move(hook);
+    }
+
     /// True between next() and report() — the tuner has an outstanding
     /// trial that has not been measured yet.
     [[nodiscard]] bool awaiting_report() const noexcept { return awaiting_report_; }
@@ -121,6 +146,7 @@ public:
 private:
     std::unique_ptr<NominalStrategy> strategy_;
     std::vector<TunableAlgorithm> algorithms_;
+    std::function<void(const DecisionEvent&)> decision_hook_;
     Rng rng_;
     std::size_t iteration_ = 0;
     bool awaiting_report_ = false;

@@ -1,0 +1,249 @@
+#include "obs/audit.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace atk::obs {
+
+std::vector<double> selection_probabilities(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (const double w : weights) total += w;
+    if (!(total > 0.0)) {
+        return std::vector<double>(weights.size(),
+                                   weights.empty() ? 0.0
+                                                   : 1.0 / static_cast<double>(
+                                                               weights.size()));
+    }
+    std::vector<double> probabilities(weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i)
+        probabilities[i] = weights[i] / total;
+    return probabilities;
+}
+
+DecisionAuditTrail::DecisionAuditTrail(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+void DecisionAuditTrail::record(Decision decision) {
+    if (decision.probabilities.empty() && !decision.weights.empty())
+        decision.probabilities = selection_probabilities(decision.weights);
+    std::lock_guard lock(mutex_);
+    window_.push_back(std::move(decision));
+    if (window_.size() > capacity_) window_.pop_front();
+    ++recorded_;
+}
+
+std::size_t DecisionAuditTrail::size() const {
+    std::lock_guard lock(mutex_);
+    return window_.size();
+}
+
+std::uint64_t DecisionAuditTrail::recorded_total() const {
+    std::lock_guard lock(mutex_);
+    return recorded_;
+}
+
+std::optional<Decision> DecisionAuditTrail::find(std::size_t iteration) const {
+    std::lock_guard lock(mutex_);
+    // Iterations are recorded in increasing order; newest are at the back.
+    for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+        if (it->iteration == iteration) return *it;
+    }
+    return std::nullopt;
+}
+
+std::vector<Decision> DecisionAuditTrail::decisions() const {
+    std::lock_guard lock(mutex_);
+    return {window_.begin(), window_.end()};
+}
+
+std::string explain_decision(const Decision& decision) {
+    std::ostringstream out;
+    char buf[64];
+    out << "iteration " << decision.iteration;
+    if (!decision.session.empty()) out << " [session " << decision.session << "]";
+    out << "\n  chosen algorithm:      #" << decision.algorithm;
+    if (!decision.algorithm_name.empty()) out << " (" << decision.algorithm_name << ")";
+    out << "\n  exploration roll:      "
+        << (decision.explored ? "explore (epsilon branch)" : "exploit (greedy/weighted)");
+    if (!decision.step_kind.empty())
+        out << "\n  phase-one step:        " << decision.step_kind;
+    const auto row = [&](const char* label, const std::vector<double>& values) {
+        out << "\n  " << label << "[";
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            std::snprintf(buf, sizeof buf, "%s%.6f", i ? ", " : "", values[i]);
+            out << buf;
+        }
+        out << "]";
+    };
+    row("strategy weights:      ", decision.weights);
+    row("selection probability: ", decision.probabilities);
+    if (!decision.config.empty()) {
+        out << "\n  configuration:         [";
+        for (std::size_t i = 0; i < decision.config.size(); ++i)
+            out << (i ? ", " : "") << decision.config[i];
+        out << "]";
+    }
+    out << "\n";
+    return out.str();
+}
+
+std::string DecisionAuditTrail::explain(std::size_t iteration) const {
+    const auto decision = find(iteration);
+    if (!decision) {
+        std::ostringstream out;
+        out << "iteration " << iteration << ": no decision recorded (never audited, "
+            << "or evicted from the " << capacity_ << "-entry window)\n";
+        return out.str();
+    }
+    return explain_decision(*decision);
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& text) {
+    out += '"';
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default: out += c; break;
+        }
+    }
+    out += '"';
+}
+
+void append_double_array(std::string& out, const std::vector<double>& values) {
+    char buf[48];
+    out += '[';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        // %.17g round-trips every finite double exactly through strtod.
+        std::snprintf(buf, sizeof buf, "%s%.17g", i ? "," : "", values[i]);
+        out += buf;
+    }
+    out += ']';
+}
+
+} // namespace
+
+std::string decisions_to_jsonl(const std::vector<Decision>& decisions) {
+    std::string out;
+    char buf[96];
+    for (const Decision& d : decisions) {
+        out += "{\"session\":";
+        append_json_string(out, d.session);
+        std::snprintf(buf, sizeof buf, ",\"iteration\":%zu,\"algorithm\":%zu",
+                      d.iteration, d.algorithm);
+        out += buf;
+        out += ",\"algorithm_name\":";
+        append_json_string(out, d.algorithm_name);
+        out += d.explored ? ",\"explored\":true" : ",\"explored\":false";
+        out += ",\"step_kind\":";
+        append_json_string(out, d.step_kind);
+        out += ",\"weights\":";
+        append_double_array(out, d.weights);
+        out += ",\"probabilities\":";
+        append_double_array(out, d.probabilities);
+        out += ",\"config\":[";
+        for (std::size_t i = 0; i < d.config.size(); ++i) {
+            std::snprintf(buf, sizeof buf, "%s%lld", i ? "," : "",
+                          static_cast<long long>(d.config[i]));
+            out += buf;
+        }
+        out += "]}\n";
+    }
+    return out;
+}
+
+std::string DecisionAuditTrail::to_jsonl() const { return decisions_to_jsonl(decisions()); }
+
+bool write_audit_file(const std::string& path, const std::string& text, bool append) {
+    std::ofstream file(path, std::ios::binary |
+                                 (append ? std::ios::app : std::ios::trunc));
+    if (!file) return false;
+    file << text;
+    return static_cast<bool>(file);
+}
+
+namespace {
+
+std::string extract_string(const std::string& line, const std::string& key) {
+    const std::string needle = "\"" + key + "\":\"";
+    const auto at = line.find(needle);
+    if (at == std::string::npos) return {};
+    std::string value;
+    for (std::size_t i = at + needle.size(); i < line.size(); ++i) {
+        const char c = line[i];
+        if (c == '\\' && i + 1 < line.size()) {
+            const char next = line[++i];
+            value += next == 'n' ? '\n' : next == 't' ? '\t' : next;
+        } else if (c == '"') {
+            return value;
+        } else {
+            value += c;
+        }
+    }
+    return value;
+}
+
+std::optional<double> extract_number(const std::string& line, const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    const auto at = line.find(needle);
+    if (at == std::string::npos) return std::nullopt;
+    return std::strtod(line.c_str() + at + needle.size(), nullptr);
+}
+
+bool extract_bool(const std::string& line, const std::string& key) {
+    return line.find("\"" + key + "\":true") != std::string::npos;
+}
+
+std::vector<double> extract_double_array(const std::string& line,
+                                         const std::string& key) {
+    const std::string needle = "\"" + key + "\":[";
+    const auto at = line.find(needle);
+    if (at == std::string::npos) return {};
+    std::vector<double> values;
+    const char* cursor = line.c_str() + at + needle.size();
+    while (*cursor != '\0' && *cursor != ']') {
+        char* end = nullptr;
+        const double value = std::strtod(cursor, &end);
+        if (end == cursor) break;
+        values.push_back(value);
+        cursor = end;
+        if (*cursor == ',') ++cursor;
+    }
+    return values;
+}
+
+} // namespace
+
+std::optional<std::vector<Decision>> load_audit_file(const std::string& path) {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) return std::nullopt;
+    std::vector<Decision> decisions;
+    std::string line;
+    while (std::getline(file, line)) {
+        const auto iteration = extract_number(line, "iteration");
+        const auto algorithm = extract_number(line, "algorithm");
+        if (!iteration || !algorithm) continue;
+        Decision d;
+        d.session = extract_string(line, "session");
+        d.iteration = static_cast<std::size_t>(*iteration);
+        d.algorithm = static_cast<std::size_t>(*algorithm);
+        d.algorithm_name = extract_string(line, "algorithm_name");
+        d.explored = extract_bool(line, "explored");
+        d.step_kind = extract_string(line, "step_kind");
+        d.weights = extract_double_array(line, "weights");
+        d.probabilities = extract_double_array(line, "probabilities");
+        for (const double v : extract_double_array(line, "config"))
+            d.config.push_back(static_cast<std::int64_t>(v));
+        decisions.push_back(std::move(d));
+    }
+    return decisions;
+}
+
+} // namespace atk::obs

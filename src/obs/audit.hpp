@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace atk::obs {
+
+/// Everything the two-phase tuner knew and decided in one tuning iteration —
+/// the record that makes "why did it pick algorithm 2 here?" answerable.
+struct Decision {
+    std::string session;              ///< owning session name ("" standalone)
+    std::size_t iteration = 0;        ///< tuner iteration the trial belongs to
+    std::size_t algorithm = 0;        ///< phase-two choice
+    std::string algorithm_name;
+    bool explored = false;            ///< did the strategy take its exploration roll?
+    std::string step_kind;            ///< phase-one step ("reflect", ...; "" = fixed)
+    std::vector<double> weights;      ///< strategy weights() at decision time
+    std::vector<double> probabilities;///< weights normalized to sum 1
+    std::vector<std::int64_t> config; ///< phase-one configuration values
+};
+
+/// Normalizes strategy weights into selection probabilities.  Weights are
+/// strictly positive by the NominalStrategy contract; a defensive uniform
+/// fallback covers degenerate inputs.
+[[nodiscard]] std::vector<double> selection_probabilities(
+    const std::vector<double>& weights);
+
+/// Bounded log of per-iteration tuning decisions.  Capacity-limited (oldest
+/// dropped first) so a long-lived session cannot grow without bound; all
+/// methods are thread-safe.
+class DecisionAuditTrail {
+public:
+    explicit DecisionAuditTrail(std::size_t capacity = 1024);
+
+    /// Records one decision; fills `probabilities` from `weights` when the
+    /// caller left it empty.
+    void record(Decision decision);
+
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+    [[nodiscard]] std::uint64_t recorded_total() const;  ///< incl. evicted
+
+    /// Decision of a tuner iteration still in the window; nullopt when the
+    /// iteration was never recorded or has been evicted.
+    [[nodiscard]] std::optional<Decision> find(std::size_t iteration) const;
+
+    /// Oldest-first copy of the current window.
+    [[nodiscard]] std::vector<Decision> decisions() const;
+
+    /// Human-readable rendering of one iteration's decision: weights, derived
+    /// probabilities, the exploration roll, the chosen algorithm and the
+    /// phase-one step.  Explains the eviction/not-recorded case too.
+    [[nodiscard]] std::string explain(std::size_t iteration) const;
+
+    /// Appends the current window as JSON Lines (one decision per line).
+    /// Doubles are printed with round-trip precision: a loaded decision's
+    /// weights/probabilities compare bit-equal to the recorded ones.
+    [[nodiscard]] std::string to_jsonl() const;
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::deque<Decision> window_;
+    std::uint64_t recorded_ = 0;
+};
+
+/// Renders one decision the way DecisionAuditTrail::explain does.
+[[nodiscard]] std::string explain_decision(const Decision& decision);
+
+/// Serializes decisions as JSON Lines (what to_jsonl uses).
+[[nodiscard]] std::string decisions_to_jsonl(const std::vector<Decision>& decisions);
+
+/// Appends `text` (typically to_jsonl output) to `path`; false on I/O error.
+bool write_audit_file(const std::string& path, const std::string& text,
+                      bool append = false);
+
+/// Parses a JSON-Lines audit file written by decisions_to_jsonl.  Returns
+/// std::nullopt when the file cannot be read; malformed lines are skipped.
+[[nodiscard]] std::optional<std::vector<Decision>> load_audit_file(
+    const std::string& path);
+
+} // namespace atk::obs

@@ -1,0 +1,63 @@
+#include "obs/exporter.hpp"
+
+#include <fstream>
+
+#include "obs/span.hpp"
+
+namespace atk::obs {
+
+TelemetryExporter::TelemetryExporter(const MetricsRegistry* metrics,
+                                     TelemetryExporterOptions options)
+    : metrics_(metrics), options_(std::move(options)) {
+    thread_ = std::thread([this] { loop(); });
+}
+
+TelemetryExporter::~TelemetryExporter() { stop(); }
+
+bool TelemetryExporter::flush_now() {
+    bool ok = true;
+    if (metrics_ != nullptr && !options_.metrics_path.empty()) {
+        std::ofstream file(options_.metrics_path, std::ios::binary | std::ios::trunc);
+        if (file) {
+            file << metrics_->to_prometheus();
+        }
+        ok = static_cast<bool>(file) && ok;
+    }
+    if (!options_.trace_path.empty()) {
+        ok = write_chrome_trace(options_.trace_path, Tracer::snapshot()) && ok;
+    }
+    {
+        std::lock_guard lock(mutex_);
+        ++flushes_;
+    }
+    return ok;
+}
+
+void TelemetryExporter::loop() {
+    std::unique_lock lock(mutex_);
+    while (!stopping_) {
+        if (cv_.wait_for(lock, options_.interval, [this] { return stopping_; }))
+            break;
+        lock.unlock();
+        flush_now();
+        lock.lock();
+    }
+}
+
+void TelemetryExporter::stop() {
+    {
+        std::lock_guard lock(mutex_);
+        if (stopping_ && !thread_.joinable()) return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    flush_now();  // the final state always reaches the files
+}
+
+std::uint64_t TelemetryExporter::flush_count() const {
+    std::lock_guard lock(mutex_);
+    return flushes_;
+}
+
+} // namespace atk::obs

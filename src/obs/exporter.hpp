@@ -1,0 +1,61 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace atk::obs {
+
+struct TelemetryExporterOptions {
+    /// Time between background flushes.
+    std::chrono::milliseconds interval{1000};
+    /// Prometheus text-format file rewritten on every flush ("" disables) —
+    /// the file a node-exporter-style textfile collector would scrape.
+    std::string metrics_path;
+    /// Chrome trace-event JSON snapshot rewritten on every flush ("" disables).
+    std::string trace_path;
+};
+
+/// Background telemetry flusher: a single thread that periodically writes
+/// the metrics registry (Prometheus text format) and the span tracer's
+/// current buffer (Chrome trace JSON) to files, so a live TuningService can
+/// be inspected without any in-process hook.  Started by the constructor,
+/// stopped (with one final flush) by stop()/the destructor.
+class TelemetryExporter {
+public:
+    /// `metrics` may be nullptr when only traces are exported; it must
+    /// outlive the exporter otherwise.
+    TelemetryExporter(const MetricsRegistry* metrics, TelemetryExporterOptions options);
+    ~TelemetryExporter();
+
+    TelemetryExporter(const TelemetryExporter&) = delete;
+    TelemetryExporter& operator=(const TelemetryExporter&) = delete;
+
+    /// Runs one export cycle synchronously on the calling thread.
+    /// Returns false when any configured target failed to write.
+    bool flush_now();
+
+    /// Final flush, then joins the background thread.  Idempotent.
+    void stop();
+
+    /// Completed export cycles (background + flush_now).
+    [[nodiscard]] std::uint64_t flush_count() const;
+
+private:
+    void loop();
+
+    const MetricsRegistry* metrics_;
+    TelemetryExporterOptions options_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    std::uint64_t flushes_ = 0;
+    std::thread thread_;
+};
+
+} // namespace atk::obs

@@ -1,4 +1,4 @@
-#include "runtime/metrics.hpp"
+#include "obs/metrics.hpp"
 
 #include <algorithm>
 #include <limits>
@@ -6,7 +6,7 @@
 
 #include "support/sparkline.hpp"
 
-namespace atk::runtime {
+namespace atk::obs {
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)),
@@ -98,7 +98,12 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
     std::lock_guard lock(mutex_);
     auto& slot = histograms_[name];
-    if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+    if (!slot) {
+        slot = std::make_unique<Histogram>(std::move(bounds));
+    } else if (slot->bounds() != bounds) {
+        throw std::invalid_argument("MetricsRegistry: histogram '" + name +
+                                    "' already exists with different bounds");
+    }
     return *slot;
 }
 
@@ -157,4 +162,4 @@ std::string MetricsRegistry::render() const {
     return table.to_string();
 }
 
-} // namespace atk::runtime
+} // namespace atk::obs

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+namespace atk::obs {
+
+/// Monotonically increasing event count (reports ingested, drops, ...).
+/// Lock-free; safe to bump from any client thread on the hot path.
+class Counter {
+public:
+    void increment(std::uint64_t delta = 1) noexcept {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (queue depth, iteration counts).
+class Gauge {
+public:
+    void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+    [[nodiscard]] double value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Bucketed distribution (ingestion latency, per-iteration cost).  Buckets
+/// are cumulative-style upper bounds; values above the last bound land in
+/// an implicit overflow bucket.  Mutex-guarded: histograms are recorded off
+/// the client hot path (by the aggregator thread), so contention is nil.
+class Histogram {
+public:
+    /// `bounds` must be strictly increasing and non-empty.
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double value);
+
+    [[nodiscard]] std::uint64_t count() const;
+    [[nodiscard]] double sum() const;
+    [[nodiscard]] double min() const;  ///< +inf when empty
+    [[nodiscard]] double max() const;  ///< -inf when empty
+    [[nodiscard]] double mean() const; ///< 0 when empty
+
+    /// Upper bound of the bucket containing the q-quantile (q in [0, 1]);
+    /// the overflow bucket reports the observed max.  0 when empty.
+    [[nodiscard]] double quantile(double q) const;
+
+    [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+    /// Per-bucket counts including the trailing overflow bucket.
+    [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+
+private:
+    std::vector<double> bounds_;
+    mutable std::mutex mutex_;
+    std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow)
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_;
+    double max_;
+};
+
+/// Exponential default buckets for millisecond latencies: 0.001 .. ~4000.
+[[nodiscard]] std::vector<double> default_latency_buckets_ms();
+
+/// Named metric registry for the tuning runtime.  Lookup creates on first
+/// use and returns a stable reference (instruments never move once
+/// created), so call sites can cache `Counter&` across the process
+/// lifetime.  Export goes through the existing support reporters — CSV for
+/// offline analysis, table + sparkline for terminal dashboards — plus the
+/// Prometheus text format for scrape-style collection (obs/prometheus.hpp).
+class MetricsRegistry {
+public:
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    /// Bounds are fixed at first creation.  A later lookup passing different
+    /// bounds is a call-site bug (the caller would silently record into
+    /// buckets it did not ask for) and throws std::invalid_argument.
+    Histogram& histogram(const std::string& name,
+                         std::vector<double> bounds = default_latency_buckets_ms());
+
+    /// Long-format export: metric,type,field,value — one row per scalar
+    /// field, histogram buckets included.  Rows are grouped by instrument
+    /// type (counters, gauges, histograms) and sorted by name within each.
+    [[nodiscard]] CsvWriter to_csv() const;
+
+    /// Terminal rendering: one aligned table row per instrument; histograms
+    /// additionally show their bucket distribution as a sparkline.
+    [[nodiscard]] std::string render() const;
+
+    /// Prometheus text exposition format (# TYPE comments, sanitized metric
+    /// names, cumulative histogram buckets).  Implemented in prometheus.cpp.
+    [[nodiscard]] std::string to_prometheus() const;
+
+private:
+    mutable std::mutex mutex_;
+    // std::map keeps export order deterministic (sorted by name).
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace atk::obs

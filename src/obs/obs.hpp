@@ -1,0 +1,12 @@
+#pragma once
+
+/// Umbrella header for the atk_obs observability layer: scoped span tracing
+/// with Chrome-trace export, the per-iteration decision audit trail, metric
+/// instruments with CSV / table / Prometheus exposition, and the background
+/// telemetry exporter.
+
+#include "obs/audit.hpp"
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/span.hpp"

@@ -1,0 +1,112 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+namespace atk::obs {
+
+std::string prometheus_metric_name(const std::string& name) {
+    std::string out = "atk_";
+    for (const char c : name) {
+        const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                           (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += legal ? c : '_';
+    }
+    return out;
+}
+
+namespace {
+
+std::string format_value(double value) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.10g", value);
+    return buf;
+}
+
+void append_type(std::string& out, const std::string& name, const char* type) {
+    out += "# TYPE " + name + " " + type + "\n";
+}
+
+} // namespace
+
+std::string MetricsRegistry::to_prometheus() const {
+    std::lock_guard lock(mutex_);
+    std::string out;
+    for (const auto& [name, counter] : counters_) {
+        const std::string prom = prometheus_metric_name(name);
+        append_type(out, prom, "counter");
+        out += prom + " " + std::to_string(counter->value()) + "\n";
+    }
+    for (const auto& [name, gauge] : gauges_) {
+        const std::string prom = prometheus_metric_name(name);
+        append_type(out, prom, "gauge");
+        out += prom + " " + format_value(gauge->value()) + "\n";
+    }
+    for (const auto& [name, histogram] : histograms_) {
+        const std::string prom = prometheus_metric_name(name);
+        append_type(out, prom, "histogram");
+        const auto counts = histogram->bucket_counts();  // per-bucket
+        const auto& bounds = histogram->bounds();
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < bounds.size(); ++b) {
+            cumulative += counts[b];
+            out += prom + "_bucket{le=\"" + format_value(bounds[b]) + "\"} " +
+                   std::to_string(cumulative) + "\n";
+        }
+        cumulative += counts.back();  // overflow bucket
+        out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+        out += prom + "_sum " + format_value(histogram->sum()) + "\n";
+        out += prom + "_count " + std::to_string(histogram->count()) + "\n";
+    }
+    return out;
+}
+
+bool is_valid_prometheus_line(const std::string& line) {
+    if (line.empty()) return true;
+    if (line.rfind("# ", 0) == 0) return true;
+    const char* cursor = line.c_str();
+    // Metric name: [a-zA-Z_:][a-zA-Z0-9_:]*
+    auto name_start = [](char c) {
+        return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+    };
+    auto name_char = [&](char c) {
+        return name_start(c) || std::isdigit(static_cast<unsigned char>(c));
+    };
+    if (!name_start(*cursor)) return false;
+    while (name_char(*cursor)) ++cursor;
+    // Optional label set {label="value",...}
+    if (*cursor == '{') {
+        ++cursor;
+        while (*cursor != '}') {
+            if (!name_start(*cursor)) return false;
+            while (name_char(*cursor)) ++cursor;
+            if (*cursor != '=') return false;
+            ++cursor;
+            if (*cursor != '"') return false;
+            ++cursor;
+            while (*cursor != '\0' && *cursor != '"') {
+                if (*cursor == '\\') ++cursor;
+                if (*cursor != '\0') ++cursor;
+            }
+            if (*cursor != '"') return false;
+            ++cursor;
+            if (*cursor == ',') ++cursor;
+        }
+        ++cursor;
+    }
+    if (*cursor != ' ') return false;
+    ++cursor;
+    // Value: a number strtod fully consumes, or the special IEEE spellings.
+    if (std::strcmp(cursor, "+Inf") == 0 || std::strcmp(cursor, "-Inf") == 0 ||
+        std::strcmp(cursor, "NaN") == 0)
+        return true;
+    char* end = nullptr;
+    std::strtod(cursor, &end);
+    return end != cursor && *end == '\0';
+}
+
+} // namespace atk::obs

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+namespace atk::obs {
+
+/// Sanitizes an internal metric name ("session.batch.selections.0") into a
+/// legal Prometheus metric name: every character outside [a-zA-Z0-9_:] maps
+/// to '_', a leading digit gets a '_' prefix, and the "atk_" namespace
+/// prefix is prepended.
+[[nodiscard]] std::string prometheus_metric_name(const std::string& name);
+
+/// One `name value` exposition line check: metric name chars, exactly one
+/// space, a parseable number (used by tests and atk_obs_inspect to validate
+/// exposition output line-by-line).  `# `-comments and blank lines pass.
+[[nodiscard]] bool is_valid_prometheus_line(const std::string& line);
+
+} // namespace atk::obs

@@ -1,0 +1,304 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace atk::obs {
+
+namespace {
+
+[[nodiscard]] std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/// Single-writer ring of completed spans.  Every field of a slot is an
+/// atomic so a concurrent snapshot() can only read a stale or mixed record
+/// (which it may drop), never invoke undefined behavior; name pointers are
+/// static-storage literals so any value read is printable.
+struct SpanRing {
+    struct Slot {
+        std::atomic<const char*> name{nullptr};
+        std::atomic<std::uint64_t> start_ns{0};
+        std::atomic<std::uint64_t> end_ns{0};
+        std::atomic<std::uint32_t> depth{0};
+    };
+
+    explicit SpanRing(std::size_t capacity, std::uint32_t thread_id)
+        : slots(capacity), thread_id(thread_id) {}
+
+    std::vector<Slot> slots;
+    std::atomic<std::uint64_t> total{0};  ///< spans ever pushed (head)
+    const std::uint32_t thread_id;
+
+    void push(const char* name, std::uint64_t start, std::uint64_t end,
+              std::uint32_t depth) noexcept {
+        const std::uint64_t n = total.load(std::memory_order_relaxed);
+        Slot& slot = slots[n % slots.size()];
+        slot.name.store(name, std::memory_order_relaxed);
+        slot.start_ns.store(start, std::memory_order_relaxed);
+        slot.end_ns.store(end, std::memory_order_relaxed);
+        slot.depth.store(depth, std::memory_order_relaxed);
+        total.store(n + 1, std::memory_order_release);
+    }
+};
+
+struct Registry {
+    std::mutex mutex;
+    std::vector<std::shared_ptr<SpanRing>> rings;  // survive thread exit
+    std::uint32_t next_thread_id = 0;
+    std::size_t ring_capacity = 4096;
+};
+
+Registry& registry() {
+    // Intentionally leaked: atexit handlers (e.g. the bench harness's
+    // ATK_TRACE dump) may snapshot after static destructors have run, so
+    // the registry must never be destroyed.  Still reachable via this
+    // pointer, so leak checkers stay quiet.
+    static Registry* instance = new Registry;
+    return *instance;
+}
+
+thread_local SpanRing* tls_ring = nullptr;
+thread_local std::uint32_t tls_depth = 0;
+
+SpanRing& thread_ring() {
+    if (tls_ring == nullptr) {
+        Registry& reg = registry();
+        std::lock_guard lock(reg.mutex);
+        auto ring = std::make_shared<SpanRing>(reg.ring_capacity, reg.next_thread_id++);
+        tls_ring = ring.get();
+        reg.rings.push_back(std::move(ring));
+    }
+    return *tls_ring;
+}
+
+} // namespace
+
+std::atomic<bool> Tracer::enabled_{false};
+
+void Tracer::enable(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+void Tracer::set_ring_capacity(std::size_t spans) {
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    reg.ring_capacity = std::max<std::size_t>(spans, 2);
+}
+
+std::size_t Tracer::ring_capacity() noexcept {
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    return reg.ring_capacity;
+}
+
+void Tracer::record(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+                    std::uint32_t depth) noexcept {
+    thread_ring().push(name, start_ns, end_ns, depth);
+}
+
+std::uint64_t Tracer::thread_span_count() noexcept {
+    return tls_ring == nullptr ? 0
+                               : tls_ring->total.load(std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> Tracer::snapshot() {
+    std::vector<std::shared_ptr<SpanRing>> rings;
+    {
+        Registry& reg = registry();
+        std::lock_guard lock(reg.mutex);
+        rings = reg.rings;
+    }
+    std::vector<SpanRecord> spans;
+    for (const auto& ring : rings) {
+        const std::uint64_t total = ring->total.load(std::memory_order_acquire);
+        const std::uint64_t capacity = ring->slots.size();
+        const std::uint64_t n = std::min(total, capacity);
+        for (std::uint64_t i = total - n; i < total; ++i) {
+            const auto& slot = ring->slots[i % capacity];
+            const char* name = slot.name.load(std::memory_order_relaxed);
+            if (name == nullptr) continue;  // racing overwrite: drop
+            SpanRecord record;
+            record.name = name;
+            record.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+            record.end_ns = slot.end_ns.load(std::memory_order_relaxed);
+            record.depth = slot.depth.load(std::memory_order_relaxed);
+            record.thread_id = ring->thread_id;
+            if (record.end_ns < record.start_ns) continue;  // mixed slot: drop
+            spans.push_back(std::move(record));
+        }
+    }
+    return spans;
+}
+
+void Tracer::clear() {
+    std::vector<std::shared_ptr<SpanRing>> rings;
+    {
+        Registry& reg = registry();
+        std::lock_guard lock(reg.mutex);
+        rings = reg.rings;
+    }
+    for (const auto& ring : rings) {
+        for (auto& slot : ring->slots) slot.name.store(nullptr, std::memory_order_relaxed);
+        ring->total.store(0, std::memory_order_release);
+    }
+}
+
+void Span::begin(const char* name) noexcept {
+    name_ = name;
+    depth_ = tls_depth++;
+    start_ns_ = now_ns();
+}
+
+void Span::finish() noexcept {
+    const std::uint64_t end = now_ns();
+    --tls_depth;
+    Tracer::record(name_, start_ns_, end, depth_);
+}
+
+std::vector<SpanStats> span_statistics(const std::vector<SpanRecord>& spans) {
+    std::map<std::string, SpanStats> by_name;
+    for (const auto& span : spans) {
+        const double ms =
+            static_cast<double>(span.end_ns - span.start_ns) / 1.0e6;
+        auto [it, inserted] = by_name.try_emplace(span.name);
+        SpanStats& stats = it->second;
+        if (inserted) {
+            stats.name = span.name;
+            stats.min_ms = ms;
+            stats.max_ms = ms;
+        }
+        ++stats.count;
+        stats.total_ms += ms;
+        stats.min_ms = std::min(stats.min_ms, ms);
+        stats.max_ms = std::max(stats.max_ms, ms);
+    }
+    std::vector<SpanStats> rows;
+    rows.reserve(by_name.size());
+    for (auto& [name, stats] : by_name) {
+        stats.mean_ms = stats.total_ms / static_cast<double>(stats.count);
+        rows.push_back(std::move(stats));
+    }
+    std::sort(rows.begin(), rows.end(), [](const SpanStats& a, const SpanStats& b) {
+        return a.total_ms > b.total_ms;
+    });
+    return rows;
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& text) {
+    out += '"';
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default: out += c; break;
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+std::string to_chrome_trace(const std::vector<SpanRecord>& spans) {
+    // One event object per line so the file is both valid JSON (an array of
+    // "X" complete events, what Perfetto's JSON importer expects) and
+    // greppable / parseable line-by-line by load_chrome_trace().
+    std::string out = "[\n";
+    char buf[160];
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        const SpanRecord& span = spans[i];
+        out += "{\"name\":";
+        append_json_string(out, span.name);
+        // Microsecond timestamps with 3 decimals keep full ns precision.
+        std::snprintf(buf, sizeof buf,
+                      ",\"cat\":\"atk\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                      "\"pid\":1,\"tid\":%u,\"args\":{\"depth\":%u}}",
+                      static_cast<double>(span.start_ns) / 1.0e3,
+                      static_cast<double>(span.end_ns - span.start_ns) / 1.0e3,
+                      span.thread_id, span.depth);
+        out += buf;
+        if (i + 1 < spans.size()) out += ',';
+        out += '\n';
+    }
+    out += "]\n";
+    return out;
+}
+
+bool write_chrome_trace(const std::string& path, const std::vector<SpanRecord>& spans) {
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file) return false;
+    file << to_chrome_trace(spans);
+    return static_cast<bool>(file);
+}
+
+namespace {
+
+/// Value of `"key":"..."` in a single-line JSON object; empty when absent.
+std::string extract_string(const std::string& line, const std::string& key) {
+    const std::string needle = "\"" + key + "\":\"";
+    const auto at = line.find(needle);
+    if (at == std::string::npos) return {};
+    std::string value;
+    for (std::size_t i = at + needle.size(); i < line.size(); ++i) {
+        const char c = line[i];
+        if (c == '\\' && i + 1 < line.size()) {
+            const char next = line[++i];
+            value += next == 'n' ? '\n' : next == 't' ? '\t' : next;
+        } else if (c == '"') {
+            return value;
+        } else {
+            value += c;
+        }
+    }
+    return value;
+}
+
+/// Value of `"key":<number>`; nullopt when absent.
+std::optional<double> extract_number(const std::string& line, const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    const auto at = line.find(needle);
+    if (at == std::string::npos) return std::nullopt;
+    return std::strtod(line.c_str() + at + needle.size(), nullptr);
+}
+
+} // namespace
+
+std::optional<std::vector<SpanRecord>> load_chrome_trace(const std::string& path) {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) return std::nullopt;
+    std::vector<SpanRecord> spans;
+    std::string line;
+    while (std::getline(file, line)) {
+        if (line.find("\"ph\":\"X\"") == std::string::npos) continue;
+        const std::string name = extract_string(line, "name");
+        const auto ts = extract_number(line, "ts");
+        const auto dur = extract_number(line, "dur");
+        if (name.empty() || !ts || !dur) continue;
+        SpanRecord span;
+        span.name = name;
+        span.start_ns = static_cast<std::uint64_t>(*ts * 1.0e3 + 0.5);
+        span.end_ns = span.start_ns + static_cast<std::uint64_t>(*dur * 1.0e3 + 0.5);
+        span.thread_id =
+            static_cast<std::uint32_t>(extract_number(line, "tid").value_or(0.0));
+        span.depth =
+            static_cast<std::uint32_t>(extract_number(line, "depth").value_or(0.0));
+        spans.push_back(std::move(span));
+    }
+    return spans;
+}
+
+} // namespace atk::obs

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace atk::obs {
+
+/// One completed span as drained from a thread's ring buffer.  Names are
+/// interned string literals on the hot path; the record carries a copy so
+/// snapshots survive library unload and file round-trips.
+struct SpanRecord {
+    std::string name;
+    std::uint64_t start_ns = 0;  ///< steady-clock nanoseconds
+    std::uint64_t end_ns = 0;
+    std::uint32_t thread_id = 0; ///< small dense id assigned per tracing thread
+    std::uint32_t depth = 0;     ///< nesting depth at entry (0 = top level)
+};
+
+/// Process-wide span collector.  Each tracing thread owns a fixed-capacity
+/// lock-free ring buffer (single writer, racing snapshot readers); when the
+/// ring wraps, the oldest spans are overwritten — tracing never blocks and
+/// never allocates on the hot path after the first span of a thread.
+///
+/// Tracing is off by default.  While disabled, constructing a Span costs a
+/// single relaxed atomic load and branch (verified by bench_obs_overhead);
+/// no ring is touched and no clock is read.
+class Tracer {
+public:
+    /// Turns span recording on/off globally.  Existing buffered spans are
+    /// kept; disable() only stops new recordings.
+    static void enable(bool on = true) noexcept;
+    [[nodiscard]] static bool enabled() noexcept {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /// Capacity (spans per thread) used for rings created after the call;
+    /// existing rings keep their size.  Minimum 2.
+    static void set_ring_capacity(std::size_t spans);
+    [[nodiscard]] static std::size_t ring_capacity() noexcept;
+
+    /// Best-effort snapshot of every thread's buffered spans, oldest first
+    /// per thread.  Safe to call while other threads keep tracing: a span
+    /// being overwritten concurrently may be dropped, never torn into
+    /// undefined behavior.
+    [[nodiscard]] static std::vector<SpanRecord> snapshot();
+
+    /// Discards all buffered spans (rings stay registered).
+    static void clear();
+
+    /// Spans recorded so far on the calling thread (including overwritten
+    /// ones) — monotonically increasing, for wraparound tests.
+    [[nodiscard]] static std::uint64_t thread_span_count() noexcept;
+
+private:
+    friend class Span;
+    static void record(const char* name, std::uint64_t start_ns,
+                       std::uint64_t end_ns, std::uint32_t depth) noexcept;
+
+    static std::atomic<bool> enabled_;
+};
+
+/// RAII scoped span.  `name` must be a string with static storage duration
+/// (a literal): only the pointer is stored on the hot path.
+///
+///     void TuningService::process(const Event& event) {
+///         obs::Span span("service.ingest");
+///         ...
+///     }
+class Span {
+public:
+    explicit Span(const char* name) noexcept {
+        if (!Tracer::enabled()) return;  // the single disabled-path branch
+        begin(name);
+    }
+    ~Span() {
+        if (name_ != nullptr) finish();
+    }
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+private:
+    void begin(const char* name) noexcept;
+    void finish() noexcept;
+
+    const char* name_ = nullptr;
+    std::uint64_t start_ns_ = 0;
+    std::uint32_t depth_ = 0;
+};
+
+/// Aggregate statistics over all spans sharing a name.
+struct SpanStats {
+    std::string name;
+    std::uint64_t count = 0;
+    double total_ms = 0.0;
+    double mean_ms = 0.0;
+    double min_ms = 0.0;
+    double max_ms = 0.0;
+};
+
+/// Groups a span snapshot by name; rows sorted by descending total time.
+[[nodiscard]] std::vector<SpanStats> span_statistics(
+    const std::vector<SpanRecord>& spans);
+
+/// Serializes spans as a Chrome trace-event JSON array ("X" complete
+/// events, microsecond timestamps) loadable in Perfetto / chrome://tracing.
+[[nodiscard]] std::string to_chrome_trace(const std::vector<SpanRecord>& spans);
+
+/// Writes to_chrome_trace() of the given spans to `path`; false on I/O error.
+bool write_chrome_trace(const std::string& path, const std::vector<SpanRecord>& spans);
+
+/// Parses a Chrome trace-event JSON file produced by write_chrome_trace()
+/// (one event object per line).  Returns std::nullopt when the file cannot
+/// be read; malformed event lines are skipped.
+[[nodiscard]] std::optional<std::vector<SpanRecord>> load_chrome_trace(
+    const std::string& path);
+
+} // namespace atk::obs

@@ -2,8 +2,11 @@
 
 /// Umbrella header for the atk_runtime serving layer: multi-session
 /// concurrent tuning service, async measurement ingestion, warm-start
-/// snapshot persistence, context keying and runtime metrics.
+/// snapshot persistence, context keying and runtime metrics.  The
+/// observability layer (span tracing, decision audit, Prometheus
+/// exposition, telemetry export) comes along via obs/obs.hpp.
 
+#include "obs/obs.hpp"
 #include "runtime/bounded_queue.hpp"
 #include "runtime/context.hpp"
 #include "runtime/metrics.hpp"

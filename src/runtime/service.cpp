@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/state_io.hpp"
+#include "obs/span.hpp"
 
 namespace atk::runtime {
 
@@ -46,7 +47,8 @@ std::shared_ptr<TuningSession> TuningService::session(const std::string& name) {
     if (it != shard.sessions.end()) return it->second;
     auto tuner = factory_(name);
     if (!tuner) throw std::invalid_argument("TuningService: factory returned null tuner");
-    auto created = std::make_shared<TuningSession>(name, std::move(tuner));
+    auto created = std::make_shared<TuningSession>(name, std::move(tuner),
+                                                   options_.audit_capacity);
     shard.sessions.emplace(name, created);
     metrics_.counter("sessions_created").increment();
     return created;
@@ -108,6 +110,7 @@ void TuningService::flush() {
 
 void TuningService::drain_loop() {
     while (auto event = queue_.pop()) {
+        obs::Span span("service.drain");
         if (options_.ingest_hook) options_.ingest_hook();
         process(*event);
         {
@@ -121,6 +124,7 @@ void TuningService::drain_loop() {
 }
 
 void TuningService::process(const Event& event) {
+    obs::Span span("service.ingest");
     metrics_.gauge("queue_depth").set(static_cast<double>(queue_.size()));
     const auto session_ptr = find(event.session);
     if (!session_ptr) {
@@ -147,6 +151,18 @@ void TuningService::process(const Event& event) {
     metrics_.histogram("ingest_latency_ms").observe(waited);
 }
 
+bool TuningService::write_audit_jsonl(const std::string& path) {
+    flush();
+    if (options_.audit_capacity == 0) return false;
+    std::string out;
+    for (const auto& name : session_names()) {
+        const auto session_ptr = find(name);
+        if (const obs::DecisionAuditTrail* trail = session_ptr->audit())
+            out += trail->to_jsonl();
+    }
+    return obs::write_audit_file(path, out);
+}
+
 bool TuningService::install(const InstallRecord& record) {
     const bool applied =
         session(record.session)->install(record.algorithm, record.config, record.cost);
@@ -156,6 +172,7 @@ bool TuningService::install(const InstallRecord& record) {
 
 bool TuningService::snapshot_to(const std::string& path) {
     flush();
+    obs::Span span("service.snapshot");
     StateWriter out;
     const auto names = session_names();
     write_snapshot_header(out, names.size(), 0);

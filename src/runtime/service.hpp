@@ -37,6 +37,12 @@ struct ServiceOptions {
     /// space (no sample loss); false → report() drops the measurement,
     /// bumps `reports_dropped` and returns false (hot path never stalls).
     bool block_when_full = false;
+    /// Decision-audit window per session: every tuning iteration's strategy
+    /// weights, selection probabilities, exploration roll and phase-one step
+    /// are kept for the last `audit_capacity` iterations (see obs/audit.hpp,
+    /// TuningService::write_audit_jsonl).  0 disables auditing, which also
+    /// skips the per-decision weights() copy on the aggregator path.
+    std::size_t audit_capacity = 0;
     /// Test hook: runs on the aggregator thread before each event is
     /// processed.  Lets tests stall ingestion deterministically to exercise
     /// backpressure; leave empty in production.
@@ -120,6 +126,12 @@ public:
     /// flush() + atomically writes all sessions to `path`.
     /// Returns false on I/O failure.
     bool snapshot_to(const std::string& path);
+
+    /// flush() + writes every audited session's decision window as JSON
+    /// Lines (one decision per line, sessions in name order) — the file
+    /// `atk_obs_inspect --audit` consumes.  Returns false on I/O failure or
+    /// when auditing is disabled (audit_capacity == 0).
+    bool write_audit_jsonl(const std::string& path);
 
     /// Restores sessions (and applies install records) from a snapshot
     /// written by snapshot_to() or write_install_snapshot().  Sessions are

@@ -3,12 +3,34 @@
 #include <stdexcept>
 
 #include "core/state_io.hpp"
+#include "obs/span.hpp"
 
 namespace atk::runtime {
 
-TuningSession::TuningSession(std::string name, std::unique_ptr<TwoPhaseTuner> tuner)
+TuningSession::TuningSession(std::string name, std::unique_ptr<TwoPhaseTuner> tuner,
+                             std::size_t audit_capacity)
     : name_(std::move(name)), tuner_(std::move(tuner)) {
     if (!tuner_) throw std::invalid_argument("TuningSession: null tuner");
+    if (audit_capacity > 0) {
+        audit_ = std::make_unique<obs::DecisionAuditTrail>(audit_capacity);
+        // The hook runs on whichever thread drives tuner_->next() — always
+        // under this session's mutex (constructor, ingest, restore), while
+        // the trail is additionally synchronized for lock-free readers.
+        tuner_->set_decision_hook([this](const DecisionEvent& event) {
+            obs::Decision decision;
+            decision.session = name_;
+            decision.iteration = event.iteration;
+            decision.algorithm = event.algorithm;
+            decision.algorithm_name = event.algorithm_name;
+            decision.explored = event.explored;
+            decision.step_kind = event.step_kind;
+            decision.weights = event.weights;
+            decision.config.reserve(event.config.size());
+            for (std::size_t i = 0; i < event.config.size(); ++i)
+                decision.config.push_back(event.config[i]);
+            audit_->record(std::move(decision));
+        });
+    }
     recommendation_ = tuner_->next();
     sequence_ = 1;
 }
@@ -19,6 +41,7 @@ Ticket TuningSession::begin() const {
 }
 
 IngestResult TuningSession::ingest(const Ticket& ticket, Cost cost) {
+    obs::Span span("session.ingest");
     std::lock_guard lock(mutex_);
     IngestResult result;
     result.algorithm = ticket.trial.algorithm;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/tuner.hpp"
+#include "obs/audit.hpp"
 
 namespace atk::runtime {
 
@@ -47,8 +48,12 @@ struct IngestResult {
 class TuningSession {
 public:
     /// Takes ownership of a freshly constructed tuner and immediately opens
-    /// the first recommendation.
-    TuningSession(std::string name, std::unique_ptr<TwoPhaseTuner> tuner);
+    /// the first recommendation.  `audit_capacity` > 0 attaches a decision
+    /// audit trail of that many entries before the first recommendation is
+    /// drawn, so even iteration 0 is explained; 0 disables auditing (no
+    /// per-decision weights copy).
+    TuningSession(std::string name, std::unique_ptr<TwoPhaseTuner> tuner,
+                  std::size_t audit_capacity = 0);
 
     TuningSession(const TuningSession&) = delete;
     TuningSession& operator=(const TuningSession&) = delete;
@@ -68,6 +73,12 @@ public:
     /// rejected (returns false) instead of poisoning the session.
     bool install(std::size_t algorithm, Configuration config, Cost cost);
 
+    /// The session's decision audit trail; nullptr when auditing is off.
+    /// The trail is internally synchronized and owned by the session.
+    [[nodiscard]] const obs::DecisionAuditTrail* audit() const noexcept {
+        return audit_.get();
+    }
+
     // ---- introspection (each takes the session lock briefly) ----
     [[nodiscard]] std::vector<double> strategy_weights() const;
     [[nodiscard]] std::size_t iterations() const;
@@ -86,6 +97,7 @@ public:
 private:
     const std::string name_;
     mutable std::mutex mutex_;
+    std::unique_ptr<obs::DecisionAuditTrail> audit_;  // before tuner_: hook target
     std::unique_ptr<TwoPhaseTuner> tuner_;
     std::uint64_t sequence_ = 0;
     Trial recommendation_;

@@ -136,6 +136,45 @@ TEST(TwoPhaseTuner, DeterministicForFixedSeed) {
     EXPECT_NE(run_once(5), run_once(6));
 }
 
+TEST(TwoPhaseTuner, DecisionHookSeesEveryTrialWithFullContext) {
+    TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.2), two_algorithms(), 9);
+    std::size_t calls = 0;
+    tuner.set_decision_hook([&](const DecisionEvent& event) {
+        EXPECT_EQ(event.iteration, tuner.iteration());
+        EXPECT_LT(event.algorithm, tuner.algorithm_count());
+        EXPECT_EQ(event.algorithm_name, tuner.algorithm(event.algorithm).name);
+        EXPECT_EQ(event.weights.size(), tuner.algorithm_count());
+        if (event.algorithm == 1)  // B is Nelder-Mead tuned
+            EXPECT_FALSE(event.step_kind.empty());
+        else  // A is untunable — FixedSearcher has no step label
+            EXPECT_TRUE(event.step_kind.empty());
+        ++calls;
+    });
+    std::vector<std::size_t> seen;
+    for (int i = 0; i < 50; ++i) {
+        const Trial trial = tuner.next();
+        tuner.report(trial, measure(trial));
+    }
+    EXPECT_EQ(calls, 50u);
+    tuner.set_decision_hook(nullptr);  // clearing must not break next()
+    const Trial trial = tuner.next();
+    tuner.report(trial, measure(trial));
+    EXPECT_EQ(calls, 50u);
+}
+
+TEST(TwoPhaseTuner, DecisionHookExploredMatchesTheEpsilonRoll) {
+    // ε = 0 can never explore; ε = 1 always explores.
+    TwoPhaseTuner greedy(std::make_unique<EpsilonGreedy>(0.0), two_algorithms(), 4);
+    greedy.set_decision_hook(
+        [](const DecisionEvent& event) { EXPECT_FALSE(event.explored); });
+    greedy.run(measure, 30);
+
+    TwoPhaseTuner explorer(std::make_unique<EpsilonGreedy>(1.0), two_algorithms(), 4);
+    explorer.set_decision_hook(
+        [](const DecisionEvent& event) { EXPECT_TRUE(event.explored); });
+    explorer.run(measure, 30);
+}
+
 TEST(TwoPhaseTuner, WorksWithEveryNominalStrategy) {
     std::vector<std::unique_ptr<NominalStrategy>> strategies;
     strategies.push_back(std::make_unique<EpsilonGreedy>(0.1));

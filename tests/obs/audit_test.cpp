@@ -1,0 +1,125 @@
+#include "obs/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+namespace atk::obs {
+namespace {
+
+Decision make_decision(std::size_t iteration, std::size_t algorithm,
+                       std::vector<double> weights) {
+    Decision decision;
+    decision.session = "sess";
+    decision.iteration = iteration;
+    decision.algorithm = algorithm;
+    decision.algorithm_name = "algo" + std::to_string(algorithm);
+    decision.explored = iteration % 2 == 0;
+    decision.step_kind = "reflect";
+    decision.weights = std::move(weights);
+    decision.config = {static_cast<std::int64_t>(iteration), -3};
+    return decision;
+}
+
+TEST(SelectionProbabilities, NormalizeToOne) {
+    const auto p = selection_probabilities({2.0, 6.0});
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_DOUBLE_EQ(p[0], 0.25);
+    EXPECT_DOUBLE_EQ(p[1], 0.75);
+}
+
+TEST(SelectionProbabilities, DegenerateWeightsFallBackToUniform) {
+    EXPECT_TRUE(selection_probabilities({}).empty());
+    const auto p = selection_probabilities({0.0, 0.0, 0.0});
+    ASSERT_EQ(p.size(), 3u);
+    for (const double v : p) EXPECT_DOUBLE_EQ(v, 1.0 / 3.0);
+}
+
+TEST(DecisionAuditTrail, DerivesProbabilitiesThatSumToOne) {
+    DecisionAuditTrail trail(16);
+    trail.record(make_decision(0, 1, {1.0, 3.0, 4.0}));
+    trail.record(make_decision(1, 0, {0.05, 0.9, 0.05}));  // ε-greedy shape
+    for (const auto& decision : trail.decisions()) {
+        ASSERT_EQ(decision.probabilities.size(), decision.weights.size());
+        double sum = 0.0;
+        for (const double p : decision.probabilities) {
+            EXPECT_GT(p, 0.0);
+            sum += p;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-12);
+    }
+}
+
+TEST(DecisionAuditTrail, BoundedWindowEvictsOldest) {
+    DecisionAuditTrail trail(4);
+    for (std::size_t i = 0; i < 10; ++i)
+        trail.record(make_decision(i, 0, {1.0}));
+    EXPECT_EQ(trail.size(), 4u);
+    EXPECT_EQ(trail.recorded_total(), 10u);
+    EXPECT_FALSE(trail.find(0).has_value());   // evicted
+    EXPECT_FALSE(trail.find(5).has_value());   // evicted
+    ASSERT_TRUE(trail.find(6).has_value());    // oldest survivor
+    ASSERT_TRUE(trail.find(9).has_value());
+    EXPECT_EQ(trail.decisions().front().iteration, 6u);
+}
+
+TEST(DecisionAuditTrail, ExplainRendersTheDecision) {
+    DecisionAuditTrail trail(8);
+    trail.record(make_decision(7, 1, {0.25, 0.75}));
+    const std::string text = trail.explain(7);
+    EXPECT_NE(text.find("iteration 7"), std::string::npos);
+    EXPECT_NE(text.find("algo1"), std::string::npos);
+    EXPECT_NE(text.find("phase-one step:        reflect"), std::string::npos);
+    EXPECT_NE(text.find("0.250000"), std::string::npos);  // weights row
+    EXPECT_NE(text.find("0.750000"), std::string::npos);
+
+    const std::string missing = trail.explain(99);
+    EXPECT_NE(missing.find("no decision recorded"), std::string::npos);
+}
+
+TEST(DecisionAuditTrail, JsonlRoundTripsDoublesExactly) {
+    DecisionAuditTrail trail(8);
+    // Weights that have no short decimal representation.
+    trail.record(make_decision(3, 1, {1.0 / 3.0, 2.0 / 3.0}));
+    trail.record(make_decision(4, 0, {0.1, 0.2, 0.7}));
+    const std::string path = ::testing::TempDir() + "audit_roundtrip.jsonl";
+    ASSERT_TRUE(write_audit_file(path, trail.to_jsonl()));
+
+    const auto loaded = load_audit_file(path);
+    ASSERT_TRUE(loaded.has_value());
+    const auto original = trail.decisions();
+    ASSERT_EQ(loaded->size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        const Decision& a = original[i];
+        const Decision& b = (*loaded)[i];
+        EXPECT_EQ(a.session, b.session);
+        EXPECT_EQ(a.iteration, b.iteration);
+        EXPECT_EQ(a.algorithm, b.algorithm);
+        EXPECT_EQ(a.algorithm_name, b.algorithm_name);
+        EXPECT_EQ(a.explored, b.explored);
+        EXPECT_EQ(a.step_kind, b.step_kind);
+        EXPECT_EQ(a.config, b.config);
+        // Bit-exact: %.17g + strtod round-trips every finite double.
+        EXPECT_EQ(a.weights, b.weights);
+        EXPECT_EQ(a.probabilities, b.probabilities);
+    }
+}
+
+TEST(DecisionAuditTrail, LoadSkipsMalformedLines) {
+    const std::string path = ::testing::TempDir() + "audit_malformed.jsonl";
+    ASSERT_TRUE(write_audit_file(
+        path,
+        "not json at all\n"
+        "{\"session\":\"s\",\"iteration\":1,\"algorithm\":0,\"algorithm_name\":"
+        "\"a\",\"explored\":false,\"step_kind\":\"\",\"weights\":[1],"
+        "\"probabilities\":[1],\"config\":[]}\n"
+        "{\"broken\":true}\n"));
+    const auto loaded = load_audit_file(path);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->size(), 1u);
+    EXPECT_EQ((*loaded)[0].iteration, 1u);
+}
+
+} // namespace
+} // namespace atk::obs

@@ -1,0 +1,103 @@
+#include "obs/exporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/prometheus.hpp"
+#include "obs/span.hpp"
+
+namespace atk::obs {
+namespace {
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(TelemetryExporter, FlushNowWritesMetricsAndTrace) {
+    Tracer::enable(false);
+    Tracer::clear();
+    MetricsRegistry registry;
+    registry.counter("exporter.test.total").increment(5);
+
+    Tracer::enable();
+    { Span span("exporter_test.span"); }
+    Tracer::enable(false);
+
+    TelemetryExporterOptions options;
+    options.interval = std::chrono::milliseconds(60'000);  // background idle
+    options.metrics_path = ::testing::TempDir() + "exporter_test.prom";
+    options.trace_path = ::testing::TempDir() + "exporter_test.trace.json";
+    TelemetryExporter exporter(&registry, options);
+    EXPECT_TRUE(exporter.flush_now());
+    exporter.stop();
+
+    const std::string prom = read_file(options.metrics_path);
+    EXPECT_NE(prom.find("atk_exporter_test_total 5"), std::string::npos);
+    std::istringstream stream(prom);
+    std::string line;
+    while (std::getline(stream, line))
+        EXPECT_TRUE(is_valid_prometheus_line(line)) << "bad line: " << line;
+
+    const auto trace = load_chrome_trace(options.trace_path);
+    ASSERT_TRUE(trace.has_value());
+    bool found = false;
+    for (const auto& span : *trace)
+        found = found || span.name == "exporter_test.span";
+    EXPECT_TRUE(found);
+    Tracer::clear();
+}
+
+TEST(TelemetryExporter, BackgroundThreadFlushesPeriodically) {
+    MetricsRegistry registry;
+    registry.gauge("exporter.bg").set(1.0);
+    TelemetryExporterOptions options;
+    options.interval = std::chrono::milliseconds(5);
+    options.metrics_path = ::testing::TempDir() + "exporter_bg.prom";
+    TelemetryExporter exporter(&registry, options);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (exporter.flush_count() < 2 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_GE(exporter.flush_count(), 2u);
+    exporter.stop();
+    EXPECT_NE(read_file(options.metrics_path).find("atk_exporter_bg 1"),
+              std::string::npos);
+}
+
+TEST(TelemetryExporter, StopIsIdempotentAndFlushesOnceMore) {
+    MetricsRegistry registry;
+    registry.counter("exporter.stop").increment(1);
+    TelemetryExporterOptions options;
+    options.interval = std::chrono::milliseconds(60'000);
+    options.metrics_path = ::testing::TempDir() + "exporter_stop.prom";
+    TelemetryExporter exporter(&registry, options);
+    exporter.stop();  // performs the final flush
+    EXPECT_GE(exporter.flush_count(), 1u);
+    const auto after_first_stop = exporter.flush_count();
+    exporter.stop();  // no-op
+    EXPECT_EQ(exporter.flush_count(), after_first_stop);
+    EXPECT_NE(read_file(options.metrics_path).find("atk_exporter_stop 1"),
+              std::string::npos);
+}
+
+TEST(TelemetryExporter, NullRegistryExportsTracesOnly) {
+    TelemetryExporterOptions options;
+    options.interval = std::chrono::milliseconds(60'000);
+    options.trace_path = ::testing::TempDir() + "exporter_null.trace.json";
+    TelemetryExporter exporter(nullptr, options);
+    EXPECT_TRUE(exporter.flush_now());
+    exporter.stop();
+    EXPECT_TRUE(load_chrome_trace(options.trace_path).has_value());
+}
+
+} // namespace
+} // namespace atk::obs

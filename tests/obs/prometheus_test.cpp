@@ -1,0 +1,85 @@
+#include "obs/prometheus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace atk::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+    std::vector<std::string> lines;
+    std::istringstream stream(text);
+    std::string line;
+    while (std::getline(stream, line)) lines.push_back(line);
+    return lines;
+}
+
+TEST(PrometheusName, SanitizesAndPrefixes) {
+    EXPECT_EQ(prometheus_metric_name("session.batch.selections.0"),
+              "atk_session_batch_selections_0");
+    EXPECT_EQ(prometheus_metric_name("ingest-latency ms"),
+              "atk_ingest_latency_ms");
+    EXPECT_EQ(prometheus_metric_name("already_fine:total"),
+              "atk_already_fine:total");
+}
+
+TEST(PrometheusLine, AcceptsWellFormedLinesOnly) {
+    EXPECT_TRUE(is_valid_prometheus_line("atk_reports_total 42"));
+    EXPECT_TRUE(is_valid_prometheus_line("atk_latency_ms_bucket{le=\"0.5\"} 7"));
+    EXPECT_TRUE(is_valid_prometheus_line("atk_latency_ms_bucket{le=\"+Inf\"} 9"));
+    EXPECT_TRUE(is_valid_prometheus_line("atk_queue_depth 1.5e-3"));
+    EXPECT_TRUE(is_valid_prometheus_line("# TYPE atk_reports_total counter"));
+    EXPECT_TRUE(is_valid_prometheus_line(""));
+
+    EXPECT_FALSE(is_valid_prometheus_line("9leading_digit 1"));
+    EXPECT_FALSE(is_valid_prometheus_line("bad-name 1"));
+    EXPECT_FALSE(is_valid_prometheus_line("no_value"));
+    EXPECT_FALSE(is_valid_prometheus_line("two  spaces 1"));
+    EXPECT_FALSE(is_valid_prometheus_line("not_a_number abc"));
+    EXPECT_FALSE(is_valid_prometheus_line("trailing_junk 1 extra"));
+}
+
+TEST(PrometheusExposition, EveryLinePassesTheLineCheck) {
+    MetricsRegistry registry;
+    registry.counter("service.reports.total").increment(42);
+    registry.gauge("service.queue.depth").set(3.5);
+    auto& histogram = registry.histogram("session.ingest.latency_ms", {1.0, 10.0});
+    histogram.observe(0.5);
+    histogram.observe(5.0);
+    histogram.observe(100.0);  // overflow bucket
+
+    const std::string text = registry.to_prometheus();
+    const auto lines = lines_of(text);
+    ASSERT_FALSE(lines.empty());
+    for (const auto& line : lines)
+        EXPECT_TRUE(is_valid_prometheus_line(line)) << "bad line: " << line;
+}
+
+TEST(PrometheusExposition, EmitsTypedCumulativeHistograms) {
+    MetricsRegistry registry;
+    registry.counter("reports").increment(7);
+    auto& histogram = registry.histogram("latency", {1.0, 10.0});
+    histogram.observe(0.5);
+    histogram.observe(5.0);
+    histogram.observe(100.0);
+
+    const std::string text = registry.to_prometheus();
+    EXPECT_NE(text.find("# TYPE atk_reports counter"), std::string::npos);
+    EXPECT_NE(text.find("atk_reports 7"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE atk_latency histogram"), std::string::npos);
+    // Buckets are cumulative: 1 at le=1, 2 at le=10, all 3 at +Inf.
+    EXPECT_NE(text.find("atk_latency_bucket{le=\"1\"} 1"), std::string::npos);
+    EXPECT_NE(text.find("atk_latency_bucket{le=\"10\"} 2"), std::string::npos);
+    EXPECT_NE(text.find("atk_latency_bucket{le=\"+Inf\"} 3"), std::string::npos);
+    EXPECT_NE(text.find("atk_latency_count 3"), std::string::npos);
+    EXPECT_NE(text.find("atk_latency_sum 105.5"), std::string::npos);
+}
+
+} // namespace
+} // namespace atk::obs

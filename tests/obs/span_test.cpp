@@ -1,0 +1,153 @@
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace atk::obs {
+namespace {
+
+std::vector<SpanRecord> named(const std::vector<SpanRecord>& spans,
+                              const std::string& name) {
+    std::vector<SpanRecord> out;
+    for (const auto& span : spans)
+        if (span.name == name) out.push_back(span);
+    return out;
+}
+
+class SpanTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        Tracer::enable(false);
+        Tracer::clear();
+    }
+    void TearDown() override {
+        Tracer::enable(false);
+        Tracer::clear();
+        Tracer::set_ring_capacity(4096);
+    }
+};
+
+TEST_F(SpanTest, DisabledTracingRecordsNothing) {
+    { Span span("span_test.disabled"); }
+    EXPECT_TRUE(named(Tracer::snapshot(), "span_test.disabled").empty());
+}
+
+TEST_F(SpanTest, EnableMidStreamOnlyAffectsNewSpans) {
+    { Span span("span_test.before"); }
+    Tracer::enable();
+    { Span span("span_test.after"); }
+    const auto spans = Tracer::snapshot();
+    EXPECT_TRUE(named(spans, "span_test.before").empty());
+    EXPECT_EQ(named(spans, "span_test.after").size(), 1u);
+}
+
+TEST_F(SpanTest, RecordsNestingDepthAndContainment) {
+    Tracer::enable();
+    {
+        Span outer("span_test.outer");
+        Span inner("span_test.inner");
+    }
+    const auto spans = Tracer::snapshot();
+    const auto outer = named(spans, "span_test.outer");
+    const auto inner = named(spans, "span_test.inner");
+    ASSERT_EQ(outer.size(), 1u);
+    ASSERT_EQ(inner.size(), 1u);
+    EXPECT_EQ(outer[0].depth, 0u);
+    EXPECT_EQ(inner[0].depth, 1u);
+    // The inner interval nests inside the outer one, on the same thread.
+    EXPECT_EQ(inner[0].thread_id, outer[0].thread_id);
+    EXPECT_GE(inner[0].start_ns, outer[0].start_ns);
+    EXPECT_LE(inner[0].end_ns, outer[0].end_ns);
+}
+
+TEST_F(SpanTest, AttributesSpansToTheirThreads) {
+    Tracer::enable();
+    { Span span("span_test.main"); }
+    std::thread worker([] { Span span("span_test.worker"); });
+    worker.join();
+    const auto spans = Tracer::snapshot();
+    const auto main_spans = named(spans, "span_test.main");
+    const auto worker_spans = named(spans, "span_test.worker");
+    ASSERT_EQ(main_spans.size(), 1u);
+    ASSERT_EQ(worker_spans.size(), 1u);
+    EXPECT_NE(main_spans[0].thread_id, worker_spans[0].thread_id);
+}
+
+TEST_F(SpanTest, RingBufferWrapsKeepingTheNewestSpans) {
+    Tracer::set_ring_capacity(8);
+    Tracer::enable();
+    std::atomic<std::uint64_t> produced{0};
+    std::thread worker([&] {
+        for (int i = 0; i < 20; ++i) { Span span("span_test.wrap"); }
+        produced = Tracer::thread_span_count();
+    });
+    worker.join();
+    EXPECT_EQ(produced.load(), 20u);  // total count keeps growing past capacity
+    const auto wrapped = named(Tracer::snapshot(), "span_test.wrap");
+    EXPECT_EQ(wrapped.size(), 8u);  // only the newest `capacity` retained
+    // The retained spans are the newest: strictly increasing start times and
+    // the last one ends after every other.
+    for (std::size_t i = 1; i < wrapped.size(); ++i)
+        EXPECT_GE(wrapped[i].start_ns, wrapped[i - 1].start_ns);
+}
+
+TEST_F(SpanTest, ChromeTraceRoundTrips) {
+    Tracer::enable();
+    {
+        Span outer("span_test.rt_outer");
+        Span inner("span_test.rt_inner");
+    }
+    const auto before = Tracer::snapshot();
+    const std::string path = ::testing::TempDir() + "span_test_trace.json";
+    ASSERT_TRUE(write_chrome_trace(path, before));
+
+    const auto loaded = load_chrome_trace(path);
+    ASSERT_TRUE(loaded.has_value());
+    const auto outer = named(*loaded, "span_test.rt_outer");
+    const auto inner = named(*loaded, "span_test.rt_inner");
+    ASSERT_EQ(outer.size(), 1u);
+    ASSERT_EQ(inner.size(), 1u);
+    const auto original = named(before, "span_test.rt_outer")[0];
+    // Microsecond serialization with 3 decimals keeps nanosecond precision.
+    EXPECT_NEAR(static_cast<double>(outer[0].start_ns),
+                static_cast<double>(original.start_ns), 1.0);
+    EXPECT_NEAR(static_cast<double>(outer[0].end_ns),
+                static_cast<double>(original.end_ns), 1.0);
+    EXPECT_EQ(outer[0].thread_id, original.thread_id);
+    EXPECT_EQ(outer[0].depth, 0u);
+    EXPECT_EQ(inner[0].depth, 1u);
+}
+
+TEST_F(SpanTest, TraceIsAValidJsonArrayOfCompleteEvents) {
+    Tracer::enable();
+    { Span span("span_test.json \"quoted\\name\""); }
+    const std::string json = to_chrome_trace(Tracer::snapshot());
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json[json.size() - 2], ']');
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\\\"quoted\\\\name\\\""), std::string::npos);
+}
+
+TEST_F(SpanTest, StatisticsAggregateByName) {
+    std::vector<SpanRecord> spans;
+    spans.push_back({"a", 0, 2'000'000, 0, 0});      // 2 ms
+    spans.push_back({"a", 0, 4'000'000, 1, 0});      // 4 ms
+    spans.push_back({"b", 0, 10'000'000, 0, 0});     // 10 ms
+    const auto stats = span_statistics(spans);
+    ASSERT_EQ(stats.size(), 2u);
+    EXPECT_EQ(stats[0].name, "b");  // sorted by descending total
+    EXPECT_DOUBLE_EQ(stats[0].total_ms, 10.0);
+    EXPECT_EQ(stats[1].name, "a");
+    EXPECT_EQ(stats[1].count, 2u);
+    EXPECT_DOUBLE_EQ(stats[1].mean_ms, 3.0);
+    EXPECT_DOUBLE_EQ(stats[1].min_ms, 2.0);
+    EXPECT_DOUBLE_EQ(stats[1].max_ms, 4.0);
+}
+
+} // namespace
+} // namespace atk::obs

@@ -69,6 +69,42 @@ TEST(Histogram, BucketsAndQuantiles) {
     EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 500.0);
 }
 
+TEST(Histogram, QuantileEdgeCases) {
+    // Empty: every quantile is the documented 0, including the extremes.
+    Histogram empty({1.0, 10.0});
+    EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+
+    // A single sample: q=0 and q=1 land in the same bucket.
+    Histogram single({1.0, 10.0});
+    single.observe(5.0);
+    EXPECT_DOUBLE_EQ(single.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(single.quantile(1.0), 10.0);
+
+    // Out-of-range q is clamped, not rejected.
+    EXPECT_DOUBLE_EQ(single.quantile(-3.0), single.quantile(0.0));
+    EXPECT_DOUBLE_EQ(single.quantile(7.0), single.quantile(1.0));
+}
+
+TEST(Histogram, OverflowBucketReportsObservedMax) {
+    // The documented contract: a quantile that lands in the overflow bucket
+    // has no upper bound to report, so it reports the observed maximum.
+    Histogram histogram({1.0, 10.0});
+    histogram.observe(400.0);
+    histogram.observe(900.0);
+    EXPECT_EQ(histogram.bucket_counts(), (std::vector<std::uint64_t>{0, 0, 2}));
+    EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 900.0);  // all mass in overflow
+    EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 900.0);
+    EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 900.0);
+
+    // Mixed: low quantiles still report bucket bounds, only the overflow
+    // tail reports the max.
+    histogram.observe(0.5);
+    histogram.observe(0.6);
+    EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 900.0);
+}
+
 TEST(Histogram, BoundaryValueLandsInItsBucket) {
     Histogram histogram({1.0, 10.0});
     histogram.observe(1.0);  // inclusive upper bound
@@ -84,10 +120,22 @@ TEST(MetricsRegistry, ReturnsStableReferences) {
     EXPECT_EQ(again.value(), 1u);
 
     Histogram& h = registry.histogram("h", {1.0, 2.0});
-    // Bounds are honored only on first creation.
-    Histogram& h_again = registry.histogram("h", {5.0});
+    // Same bounds: same instrument.
+    Histogram& h_again = registry.histogram("h", {1.0, 2.0});
     EXPECT_EQ(&h, &h_again);
     EXPECT_EQ(h_again.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsRegistry, HistogramBoundsMismatchThrows) {
+    MetricsRegistry registry;
+    Histogram& h = registry.histogram("h", {1.0, 2.0});
+    h.observe(1.5);
+    // A lookup asking for different buckets is a call-site bug, not a
+    // silent fallback to whatever was created first.
+    EXPECT_THROW(registry.histogram("h", {5.0}), std::invalid_argument);
+    EXPECT_THROW(registry.histogram("h"), std::invalid_argument);  // default bounds
+    // The existing instrument is untouched by the failed lookups.
+    EXPECT_EQ(registry.histogram("h", {1.0, 2.0}).count(), 1u);
 }
 
 TEST(MetricsRegistry, CsvExportIsLongFormatAndSorted) {

@@ -1,0 +1,168 @@
+/// Offline inspector for the observability layer's artifacts:
+///
+///     atk_obs_inspect --trace runtime_service.trace.json
+///         per-span statistics (count, total/mean/min/max ms) and
+///         per-thread span counts from a Chrome trace-event file
+///
+///     atk_obs_inspect --audit runtime_service.audit.jsonl
+///         per-algorithm decision statistics and the decision timeline
+///
+///     atk_obs_inspect --audit ... --explain 42 [--session interactive]
+///         full explanation of one tuning iteration: strategy weights,
+///         derived selection probabilities, the exploration roll, the
+///         chosen algorithm and the phase-one step
+///
+/// Both file formats are produced by atk_obs (obs/span.hpp, obs/audit.hpp);
+/// runtime_service --trace/--audit writes ready-made examples.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+using namespace atk;
+
+namespace {
+
+int inspect_trace(const std::string& path) {
+    const auto spans = obs::load_chrome_trace(path);
+    if (!spans) {
+        std::fprintf(stderr, "error: cannot read trace '%s'\n", path.c_str());
+        return 1;
+    }
+    std::printf("%zu spans in %s\n\n", spans->size(), path.c_str());
+    Table table({"span", "count", "total ms", "mean ms", "min ms", "max ms"});
+    for (const auto& stats : obs::span_statistics(*spans)) {
+        table.row()
+            .text(stats.name)
+            .integer(static_cast<long long>(stats.count))
+            .num(stats.total_ms, 3)
+            .num(stats.mean_ms, 4)
+            .num(stats.min_ms, 4)
+            .num(stats.max_ms, 4);
+    }
+    std::printf("%s\n", table.to_string().c_str());
+
+    std::map<std::uint32_t, std::size_t> by_thread;
+    for (const auto& span : *spans) ++by_thread[span.thread_id];
+    std::printf("threads:");
+    for (const auto& [tid, count] : by_thread)
+        std::printf("  tid %u: %zu spans", tid, count);
+    std::printf("\n");
+    return 0;
+}
+
+int explain_iteration(const std::vector<obs::Decision>& decisions,
+                      std::size_t iteration, const std::string& session) {
+    bool found = false;
+    for (const auto& decision : decisions) {
+        if (decision.iteration != iteration) continue;
+        if (!session.empty() && decision.session != session) continue;
+        std::printf("%s\n", obs::explain_decision(decision).c_str());
+        found = true;
+    }
+    if (!found) {
+        std::fprintf(stderr,
+                     "error: no decision for iteration %zu%s%s in the audit window\n",
+                     iteration, session.empty() ? "" : " of session ",
+                     session.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+int inspect_audit(const std::string& path, std::int64_t explain,
+                  const std::string& session, std::size_t limit) {
+    const auto decisions = obs::load_audit_file(path);
+    if (!decisions) {
+        std::fprintf(stderr, "error: cannot read audit file '%s'\n", path.c_str());
+        return 1;
+    }
+    if (explain >= 0)
+        return explain_iteration(*decisions, static_cast<std::size_t>(explain),
+                                 session);
+
+    std::printf("%zu decisions in %s\n\n", decisions->size(), path.c_str());
+
+    // Per-algorithm statistics, grouped per session.
+    struct AlgorithmStats {
+        std::size_t selections = 0;
+        std::size_t explored = 0;
+        double probability_sum = 0.0;
+    };
+    std::map<std::pair<std::string, std::string>, AlgorithmStats> stats;
+    for (const auto& decision : *decisions) {
+        if (!session.empty() && decision.session != session) continue;
+        auto& row = stats[{decision.session, decision.algorithm_name}];
+        ++row.selections;
+        if (decision.explored) ++row.explored;
+        if (decision.algorithm < decision.probabilities.size())
+            row.probability_sum += decision.probabilities[decision.algorithm];
+    }
+    Table per_algorithm(
+        {"session", "algorithm", "selections", "explored", "mean p(select)"});
+    for (const auto& [key, row] : stats) {
+        per_algorithm.row()
+            .text(key.first.empty() ? "-" : key.first)
+            .text(key.second)
+            .integer(static_cast<long long>(row.selections))
+            .integer(static_cast<long long>(row.explored))
+            .num(row.selections == 0
+                     ? 0.0
+                     : row.probability_sum / static_cast<double>(row.selections),
+                 4);
+    }
+    std::printf("%s\n", per_algorithm.to_string().c_str());
+
+    // Decision timeline (most recent `limit` rows).
+    Table timeline({"iter", "session", "algorithm", "roll", "step", "p(chosen)"});
+    const std::size_t start =
+        decisions->size() > limit ? decisions->size() - limit : 0;
+    for (std::size_t i = start; i < decisions->size(); ++i) {
+        const auto& d = (*decisions)[i];
+        if (!session.empty() && d.session != session) continue;
+        timeline.row()
+            .integer(static_cast<long long>(d.iteration))
+            .text(d.session.empty() ? "-" : d.session)
+            .text(d.algorithm_name)
+            .text(d.explored ? "explore" : "exploit")
+            .text(d.step_kind.empty() ? "-" : d.step_kind)
+            .num(d.algorithm < d.probabilities.size() ? d.probabilities[d.algorithm]
+                                                      : 0.0,
+                 4);
+    }
+    std::printf("timeline (last %zu):\n%s", limit, timeline.to_string().c_str());
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Cli cli("atk_obs_inspect",
+            "inspect span traces and decision audit logs of the tuning runtime");
+    cli.add_string("trace", "", "Chrome trace-event JSON to summarize")
+        .add_string("audit", "", "decision audit JSONL to summarize")
+        .add_int("explain", -1, "explain this tuning iteration (needs --audit)")
+        .add_string("session", "", "restrict --audit output to one session")
+        .add_int("limit", 40, "timeline rows to print");
+    if (!cli.parse(argc, argv)) return 1;
+
+    const std::string trace = cli.get_string("trace");
+    const std::string audit = cli.get_string("audit");
+    if (trace.empty() && audit.empty()) {
+        std::fprintf(stderr, "error: pass --trace and/or --audit\n");
+        cli.print_usage();
+        return 1;
+    }
+    int status = 0;
+    if (!trace.empty()) status = inspect_trace(trace);
+    if (!audit.empty() && status == 0)
+        status = inspect_audit(audit, cli.get_int("explain"),
+                               cli.get_string("session"),
+                               static_cast<std::size_t>(cli.get_int("limit")));
+    return status;
+}
