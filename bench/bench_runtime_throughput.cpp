@@ -59,7 +59,13 @@ Result run_once(std::size_t threads, std::size_t reports_per_thread,
     TuningService service(factory(), options);
 
     std::vector<std::string> names;
-    for (std::size_t s = 0; s < sessions; ++s) names.push_back("w" + std::to_string(s));
+    for (std::size_t s = 0; s < sessions; ++s) {
+        // prefix via insert, not const char* + string: GCC 12 -Wrestrict
+        // false positive (PR 105651) fires on the inlined concatenation.
+        std::string name = std::to_string(s);
+        name.insert(name.begin(), 'w');
+        names.push_back(std::move(name));
+    }
     for (const auto& name : names) (void)service.begin(name);  // warm the map
 
     Stopwatch watch;

@@ -1,0 +1,191 @@
+/// \file
+/// Standalone driver for the fuzz harnesses when libFuzzer is unavailable
+/// (GCC has no -fsanitize=fuzzer).  It replays every corpus input, then runs
+/// a deterministic mutation loop over the corpus for a time or iteration
+/// budget.  Coverage-guided it is not, but combined with a sanitizer build
+/// it exercises the same harness entry point with the same corpus, and the
+/// harness upgrades to real libFuzzer untouched under clang.
+///
+///   usage: <fuzzer> [-seconds=N] [-runs=N] [corpus file or dir]...
+///
+/// Exit code 0 means every executed input came back without the harness
+/// crashing (a harness failure aborts the process, which is the signal).
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "support/rng.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> load_corpus(const std::vector<std::string>& paths) {
+    std::vector<std::string> corpus;
+    auto add_file = [&corpus](const fs::path& path) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) return;
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        corpus.push_back(buffer.str());
+    };
+    for (const auto& path : paths) {
+        if (fs::is_directory(path)) {
+            std::vector<fs::path> entries;
+            for (const auto& entry : fs::recursive_directory_iterator(path))
+                if (entry.is_regular_file()) entries.push_back(entry.path());
+            std::sort(entries.begin(), entries.end());
+            for (const auto& entry : entries) add_file(entry);
+        } else {
+            add_file(path);
+        }
+    }
+    return corpus;
+}
+
+// Crash artifact, libFuzzer-style: when the harness brings the process down
+// (SIGSEGV/SIGABRT/...), the input being executed is written to
+// ./crash-artifact so the failure can be replayed with
+// `<fuzzer> crash-artifact`.  Only async-signal-safe calls in the handler.
+const std::string* g_current_input = nullptr;
+
+extern "C" void dump_artifact_and_die(int signal_number) {
+    const int fd = ::open("crash-artifact", O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0 && g_current_input != nullptr) {
+        const char* data = g_current_input->data();
+        std::size_t left = g_current_input->size();
+        while (left > 0) {
+            const ::ssize_t n = ::write(fd, data, left);
+            if (n <= 0) break;
+            data += n;
+            left -= static_cast<std::size_t>(n);
+        }
+        ::close(fd);
+    }
+    ::signal(signal_number, SIG_DFL);
+    ::raise(signal_number);
+}
+
+void install_crash_handler() {
+    for (const int s : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL})
+        ::signal(s, dump_artifact_and_die);
+}
+
+void run_one(const std::string& input) {
+    g_current_input = &input;
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(input.data()),
+                           input.size());
+    g_current_input = nullptr;
+}
+
+/// Apply 1–8 random edits to a corpus pick: bit flips, byte writes,
+/// insertions, erasures, truncation, block duplication, and splices with a
+/// second corpus entry.
+std::string mutate(const std::vector<std::string>& corpus, atk::Rng& rng) {
+    std::string out = corpus.empty() ? std::string() : corpus[rng.index(corpus.size())];
+    const std::size_t edits = 1 + rng.index(8);
+    for (std::size_t e = 0; e < edits; ++e) {
+        switch (rng.index(7)) {
+            case 0:  // bit flip
+                if (!out.empty()) {
+                    const std::size_t at = rng.index(out.size());
+                    out[at] = static_cast<char>(
+                        static_cast<unsigned char>(out[at]) ^
+                        (1u << rng.index(8)));
+                }
+                break;
+            case 1:  // byte write
+                if (!out.empty())
+                    out[rng.index(out.size())] =
+                        static_cast<char>(rng.index(256));
+                break;
+            case 2:  // insertion
+                out.insert(out.begin() + static_cast<std::ptrdiff_t>(
+                                             rng.index(out.size() + 1)),
+                           static_cast<char>(rng.index(256)));
+                break;
+            case 3:  // erasure
+                if (!out.empty())
+                    out.erase(out.begin() + static_cast<std::ptrdiff_t>(
+                                                rng.index(out.size())));
+                break;
+            case 4:  // truncation
+                if (!out.empty()) out.resize(rng.index(out.size()));
+                break;
+            case 5: {  // duplicate a block in place
+                if (out.empty()) break;
+                const std::size_t from = rng.index(out.size());
+                const std::size_t len =
+                    1 + rng.index(std::min<std::size_t>(64, out.size() - from));
+                out.insert(rng.index(out.size() + 1), out.substr(from, len));
+                break;
+            }
+            default: {  // splice with another corpus entry
+                if (corpus.empty()) break;
+                const std::string& other = corpus[rng.index(corpus.size())];
+                if (other.empty()) break;
+                const std::size_t cut = rng.index(out.size() + 1);
+                const std::size_t take = rng.index(other.size() + 1);
+                out = out.substr(0, cut) + other.substr(other.size() - take);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    double seconds = 0.0;
+    std::uint64_t runs = 0;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("-seconds=", 0) == 0) {
+            seconds = std::strtod(arg.c_str() + 9, nullptr);
+        } else if (arg.rfind("-runs=", 0) == 0) {
+            runs = std::strtoull(arg.c_str() + 6, nullptr, 10);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [-seconds=N] [-runs=N] [corpus]...\n", argv[0]);
+            return 0;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (seconds == 0.0 && runs == 0) runs = 1000;
+
+    install_crash_handler();
+    const std::vector<std::string> corpus = load_corpus(paths);
+    for (const auto& input : corpus) run_one(input);
+    std::printf("driver: replayed %zu corpus input(s)\n", corpus.size());
+
+    atk::Rng rng(0xa77e5eed);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(seconds);
+    std::uint64_t executed = 0;
+    while (true) {
+        if (runs != 0 && executed >= runs) break;
+        if (runs == 0 && std::chrono::steady_clock::now() >= deadline) break;
+        run_one(mutate(corpus, rng));
+        ++executed;
+    }
+    std::printf("driver: executed %llu mutated input(s), no crashes\n",
+                static_cast<unsigned long long>(executed));
+    return 0;
+}

@@ -1,0 +1,44 @@
+/// \file
+/// Fuzz harness for the Prometheus exposition validator and name sanitizer.
+///
+/// Three properties:
+///   1. is_valid_prometheus_line() terminates and never crashes on arbitrary
+///      bytes (it walks a raw char cursor — exactly the kind of code a
+///      fuzzer should lean on).
+///   2. prometheus_metric_name() output is always itself a valid metric
+///      name: "<sanitized> 1" must pass the line validator.
+///   3. A registry holding a counter and a gauge under the fuzzed name
+///      renders an exposition text whose every line passes the validator.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    const std::string input(reinterpret_cast<const char*>(data), size);
+
+    (void)atk::obs::is_valid_prometheus_line(input);
+
+    const std::string name = atk::obs::prometheus_metric_name(input);
+    if (!atk::obs::is_valid_prometheus_line(name + " 1")) __builtin_trap();
+
+    double value = 0.0;
+    if (size >= sizeof value) std::memcpy(&value, data, sizeof value);
+    atk::obs::MetricsRegistry registry;
+    registry.counter(input).increment();
+    registry.gauge(input).set(value);
+    const std::string text = registry.to_prometheus();
+    std::size_t start = 0;
+    while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos) end = text.size();
+        if (!atk::obs::is_valid_prometheus_line(text.substr(start, end - start)))
+            __builtin_trap();
+        start = end + 1;
+    }
+    return 0;
+}

@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# The tier-1 gate plus the concurrency gate, in one command:
+# The tier-1 gate plus the correctness gates, in one command:
 #
 #   1. plain build + full ctest suite (what CI treats as tier 1),
-#   2. a -DATK_SANITIZE=thread build running the runtime + obs tests —
+#   2. atk_lint over src/ — layering DAG, banned patterns, header
+#      hygiene — including its --self-test (the linter must still be
+#      able to catch seeded violations) and the slower self-contained
+#      header compile check,
+#   3. a -DATK_SANITIZE=thread build running the runtime + obs tests —
 #      the two layers with real cross-thread traffic (lock-free span
-#      rings, ingestion queues, the background telemetry exporter).
+#      rings, ingestion queues, the background telemetry exporter),
+#   4. a -DATK_SANITIZE=undefined build (non-recovering UBSan, with
+#      contracts and the fuzz harnesses enabled) running the full
+#      suite plus a short fuzz pass over the checked-in corpora.
 #
 # Usage:
-#   scripts/check.sh          # both stages
-#   scripts/check.sh --fast   # stage 1 only
+#   scripts/check.sh          # all stages
+#   scripts/check.sh --fast   # stages 1 + 2 only (no sanitizer builds)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -20,17 +27,31 @@ cmake -B "$repo/build" -S "$repo"
 cmake --build "$repo/build" -j "$jobs"
 (cd "$repo/build" && ctest --output-on-failure -j "$jobs")
 
+echo
+echo "== stage 2: atk_lint (self-test, tree, self-contained headers) =="
+"$repo/build/tools/atk_lint/atk_lint" --self-test
+"$repo/build/tools/atk_lint/atk_lint" --root "$repo/src" --self-contained
+
 if [[ "$fast" == "--fast" ]]; then
-    echo "ok (fast mode: thread-sanitizer stage skipped)"
+    echo "ok (fast mode: sanitizer stages skipped)"
     exit 0
 fi
 
 echo
-echo "== stage 2: ThreadSanitizer build, runtime + obs tests =="
+echo "== stage 3: ThreadSanitizer build, runtime + obs tests =="
 cmake -B "$repo/build-tsan" -S "$repo" -DATK_SANITIZE=thread
 cmake --build "$repo/build-tsan" -j "$jobs" --target test_runtime test_obs
 "$repo/build-tsan/tests/test_runtime"
 "$repo/build-tsan/tests/test_obs"
 
 echo
-echo "ok: tier-1 suite green, runtime+obs TSan-clean"
+echo "== stage 4: UBSan build, full suite + fuzz smoke =="
+cmake -B "$repo/build-ubsan" -S "$repo" -DATK_SANITIZE=undefined \
+      -DATK_CONTRACTS=ON -DATK_FUZZ=ON
+cmake --build "$repo/build-ubsan" -j "$jobs"
+(cd "$repo/build-ubsan" && ctest --output-on-failure -j "$jobs")
+"$repo/build-ubsan/fuzz/fuzz_state_io" -seconds=10 "$repo/fuzz/corpus/state_io"
+"$repo/build-ubsan/fuzz/fuzz_prometheus" -seconds=10 "$repo/fuzz/corpus/prometheus"
+
+echo
+echo "ok: tier-1 suite green, lint clean, runtime+obs TSan-clean, UBSan+fuzz clean"

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+/// Executable statements of the paper's core invariants, shared between the
+/// strategy/searcher implementations (which call them after every mutation
+/// in checked builds) and the contract tests (which violate them on purpose
+/// to prove the contracts fire).
+///
+/// The helpers are `static inline` deliberately: each translation unit gets
+/// its own copy whose checking follows that TU's ATK_CONTRACTS_ENABLED
+/// setting, so a contracts-enabled test TU observes real checks even when
+/// the library was compiled with contracts off (and there is no ODR
+/// mismatch between the two).  Bodies are guarded so unchecked builds pay
+/// nothing — not even the traversal.
+
+namespace atk::invariants {
+
+/// Paper Section III: every phase-two strategy must keep all selection
+/// weights strictly positive and finite — no algorithm is ever excluded.
+static inline void check_weights_positive(const std::vector<double>& weights) {
+#if defined(ATK_CONTRACTS_ENABLED)
+    ATK_ASSERT(!weights.empty(), "strategy weights must cover >= 1 choice");
+    for (const double w : weights) {
+        ATK_ASSERT(std::isfinite(w), "strategy weight must be finite");
+        ATK_ASSERT(w > 0.0, "strategy weight must be strictly positive");
+    }
+#else
+    (void)weights;
+#endif
+}
+
+/// P_A = w_A / Σ w_{A'} must form a probability distribution.  Takes the
+/// raw weights, normalizes, and checks the result sums to 1 within
+/// floating-point tolerance — exactly what Rng::weighted_index samples.
+/// Individual weights may be zero (ε-Greedy with ε = 0 is pure greedy);
+/// the strictly-positive guarantee is the weighted family's and is checked
+/// separately by check_weights_positive().
+static inline void check_selection_distribution(const std::vector<double>& weights) {
+#if defined(ATK_CONTRACTS_ENABLED)
+    ATK_ASSERT(!weights.empty(), "selection distribution must cover >= 1 choice");
+    double sum = 0.0;
+    for (const double w : weights) {
+        ATK_ASSERT(std::isfinite(w) && w >= 0.0, "selection weight must be finite and >= 0");
+        sum += w;
+    }
+    ATK_ASSERT(std::isfinite(sum) && sum > 0.0, "weight sum must be positive and finite");
+    double probability_sum = 0.0;
+    for (const double w : weights) {
+        const double p = w / sum;
+        ATK_ASSERT(p >= 0.0 && p <= 1.0 + 1e-9, "selection probability must be in [0, 1]");
+        probability_sum += p;
+    }
+    ATK_ASSERT(std::abs(probability_sum - 1.0) < 1e-9,
+               "selection probabilities must sum to 1");
+#else
+    (void)weights;
+#endif
+}
+
+/// A complete Nelder-Mead simplex over a d-dimensional unit space: exactly
+/// d+1 vertices, every coordinate finite and inside [0, 1], every cost
+/// finite (degenerate geometry shows up as NaN/inf propagation first).
+/// `Simplex` is any range of vertices with `.point` and `.cost` members.
+template <typename Simplex>
+static inline void check_simplex(const Simplex& simplex, std::size_t dimension) {
+#if defined(ATK_CONTRACTS_ENABLED)
+    ATK_ASSERT(simplex.size() == dimension + 1,
+               "Nelder-Mead simplex must have dimension+1 vertices");
+    for (const auto& vertex : simplex) {
+        ATK_ASSERT(vertex.point.size() == dimension,
+                   "simplex vertex dimension mismatch");
+        for (const double x : vertex.point) {
+            ATK_ASSERT(std::isfinite(x), "simplex coordinate must be finite");
+            ATK_ASSERT(x >= 0.0 && x <= 1.0, "simplex coordinate must be in unit space");
+        }
+        ATK_ASSERT(std::isfinite(vertex.cost), "simplex vertex cost must be finite");
+    }
+#else
+    (void)simplex;
+    (void)dimension;
+#endif
+}
+
+} // namespace atk::invariants

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/invariants.hpp"
 #include "core/state_io.hpp"
 
 namespace atk {
@@ -64,6 +65,7 @@ std::vector<double> GradientGreedy::weights() const {
     const std::size_t greedy =
         init_cursor_ < best_cost_.size() ? init_cursor_ : best_choice();
     w[greedy] += 1.0 - epsilon_;
+    invariants::check_selection_distribution(w);
     return w;
 }
 
@@ -159,6 +161,7 @@ std::vector<double> DecayingEpsilonGreedy::weights() const {
     std::vector<double> w(n, epsilon / static_cast<double>(n));
     const std::size_t greedy = init_cursor_ < n ? init_cursor_ : best_choice();
     w[greedy] += 1.0 - epsilon;
+    invariants::check_selection_distribution(w);
     return w;
 }
 

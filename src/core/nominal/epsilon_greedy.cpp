@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/invariants.hpp"
 #include "core/state_io.hpp"
 
 namespace atk {
@@ -16,7 +17,7 @@ EpsilonGreedy::EpsilonGreedy(double epsilon, std::size_t best_window)
 }
 
 std::string EpsilonGreedy::name() const {
-    char buf[48];
+    char buf[64];
     if (best_window_ == 0) {
         std::snprintf(buf, sizeof buf, "e-Greedy (%g%%)", epsilon_ * 100.0);
     } else {
@@ -108,6 +109,10 @@ void EpsilonGreedy::restore_state(StateReader& in) {
         tried_[c] = in.get_u64() != 0;
         best_cost_[c] = in.get_f64();
         recent_next_[c] = static_cast<std::size_t>(in.get_u64());
+        // The ring cursor indexes recent_[c] once the ring is full; a corrupt
+        // cursor would be an out-of-bounds write on the next report().
+        if (best_window_ > 0 && recent_next_[c] >= best_window_)
+            throw std::invalid_argument("EpsilonGreedy: snapshot ring cursor out of range");
         const std::uint64_t ring_size = in.get_u64();
         if (ring_size > best_window_)
             throw std::invalid_argument("EpsilonGreedy: snapshot window mismatch");
@@ -121,6 +126,9 @@ std::vector<double> EpsilonGreedy::weights() const {
     std::vector<double> w(n, epsilon_ / static_cast<double>(n));
     const std::size_t greedy = initializing() ? init_cursor_ : best_choice();
     w[greedy] += 1.0 - epsilon_;
+    // ε-Greedy weights ARE the selection probabilities: ε/n everywhere plus
+    // the greedy mass — they must already be normalized.
+    invariants::check_selection_distribution(w);
     return w;
 }
 

@@ -1,9 +1,11 @@
 #include "core/nominal/strategy.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
+#include "core/invariants.hpp"
 #include "core/state_io.hpp"
 
 namespace atk {
@@ -29,6 +31,7 @@ std::vector<double> WeightedStrategyBase::weights() const {
     const double untried = max_tried > 0.0 ? max_tried : 1.0;
     for (std::size_t c = 0; c < history_.size(); ++c)
         if (history_[c].empty()) w[c] = untried;
+    invariants::check_weights_positive(w);
     return w;
 }
 
@@ -36,6 +39,7 @@ std::size_t WeightedStrategyBase::select(Rng& rng) {
     if (history_.empty()) throw std::logic_error(name() + ": select() before reset()");
     if (iteration_ == 0) return 0;  // deterministic start, as in the paper
     const auto w = weights();
+    invariants::check_selection_distribution(w);
     return rng.weighted_index(w);
 }
 
@@ -67,12 +71,27 @@ void WeightedStrategyBase::restore_state(StateReader& in) {
                                     std::to_string(history_.size()));
     for (auto& samples : history_) {
         samples.clear();
-        const std::uint64_t count = in.get_u64();
+        const std::size_t count = in.get_count();
         samples.reserve(count);
         for (std::uint64_t i = 0; i < count; ++i) {
             TimedSample sample;
             sample.iteration = static_cast<std::size_t>(in.get_u64());
             sample.cost = in.get_f64();
+            // Mirror report()'s preconditions on the untrusted payload: every
+            // sample was a positive finite runtime recorded at a strictly
+            // increasing iteration before the saved iteration counter.  The
+            // weight formulas divide by these costs and iteration spans, so a
+            // corrupt sample would surface as inf/NaN weights — violating the
+            // strictly-positive-weights invariant — instead of a clean error.
+            if (!std::isfinite(sample.cost) || sample.cost <= 0.0)
+                throw std::invalid_argument(
+                    name() + ": snapshot sample cost must be a positive runtime");
+            if (!samples.empty() && sample.iteration <= samples.back().iteration)
+                throw std::invalid_argument(
+                    name() + ": snapshot sample iterations must increase");
+            if (sample.iteration >= iteration)
+                throw std::invalid_argument(
+                    name() + ": snapshot sample beyond the iteration counter");
             samples.push_back(sample);
         }
     }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/invariants.hpp"
 #include "core/search/unit_space.hpp"
 #include "core/state_io.hpp"
 
@@ -55,6 +56,7 @@ void NelderMeadSearcher::order_simplex() {
 }
 
 void NelderMeadSearcher::begin_iteration() {
+    invariants::check_simplex(simplex_, space().dimension());
     order_simplex();
     check_convergence();
     if (converged_flag_) return;
@@ -193,7 +195,7 @@ void save_unit_vector(StateWriter& out, const std::vector<double>& v) {
 }
 
 std::vector<double> restore_unit_vector(StateReader& in) {
-    std::vector<double> v(in.get_u64());
+    std::vector<double> v(in.get_count());
     for (auto& x : v) x = in.get_f64();
     return v;
 }
@@ -229,7 +231,7 @@ void NelderMeadSearcher::do_restore_state(StateReader& in) {
     pending_ = restore_unit_vector(in);
     reflected_point_ = restore_unit_vector(in);
     simplex_.clear();
-    const std::uint64_t vertices = in.get_u64();
+    const std::uint64_t vertices = in.get_count();
     if (vertices > space().dimension() + 1)
         throw std::invalid_argument("NelderMead: snapshot simplex larger than space");
     simplex_.reserve(vertices);
@@ -238,9 +240,58 @@ void NelderMeadSearcher::do_restore_state(StateReader& in) {
         vertex.point = restore_unit_vector(in);
         if (vertex.point.size() != space().dimension())
             throw std::invalid_argument("NelderMead: snapshot vertex dimension mismatch");
+        // Untrusted input is validated with throws (not contracts): every
+        // legitimately saved coordinate is clamped into [0, 1] and every
+        // cost is a finite measurement.
+        for (const double x : vertex.point)
+            if (!std::isfinite(x) || x < 0.0 || x > 1.0)
+                throw std::invalid_argument(
+                    "NelderMead: snapshot vertex coordinate outside unit space");
         vertex.cost = in.get_f64();
+        if (!std::isfinite(vertex.cost))
+            throw std::invalid_argument("NelderMead: snapshot vertex cost not finite");
         simplex_.push_back(std::move(vertex));
     }
+    // Shape validation: every phase past BuildSimplex walks the complete
+    // simplex and indexes the auxiliary vectors, so a corrupt snapshot that
+    // passed the token checks must still be rejected before it can cause an
+    // out-of-bounds access in the next propose()/feedback().
+    const std::size_t d = space().dimension();
+    auto dimensioned = [d](const std::vector<double>& v) {
+        return v.empty() || v.size() == d;
+    };
+    if (!dimensioned(centroid_) || !dimensioned(pending_) || !dimensioned(reflected_point_))
+        throw std::invalid_argument("NelderMead: snapshot auxiliary vector dimension mismatch");
+    if (phase_ == Phase::BuildSimplex) {
+        // While building, the cursor tracks the vertices built so far; the
+        // next propose() steps along axis build_index_ - 1, so a corrupt
+        // cursor is an out-of-bounds write.  build_index_ == d + 1 is
+        // legitimate only when convergence interrupted the build.
+        if (build_index_ != simplex_.size() ||
+            (build_index_ > d && !(build_index_ == d + 1 && converged_flag_)))
+            throw std::invalid_argument(
+                "NelderMead: snapshot build cursor out of range");
+    } else {
+        if (simplex_.size() != d + 1)
+            throw std::invalid_argument(
+                "NelderMead: snapshot phase requires a complete simplex");
+        if (centroid_.size() != d)
+            throw std::invalid_argument("NelderMead: snapshot centroid missing");
+        if ((phase_ == Phase::Expand || phase_ == Phase::ContractOutside) &&
+            reflected_point_.size() != d)
+            throw std::invalid_argument("NelderMead: snapshot reflected point missing");
+        // shrink_index_ == simplex_.size() is legitimate only when the
+        // searcher converged mid-shrink (begin_iteration() bailed before
+        // advancing the phase); any feedback would otherwise write past the
+        // simplex.
+        if (phase_ == Phase::Shrink &&
+            (shrink_index_ == 0 || shrink_index_ > simplex_.size() ||
+             (shrink_index_ == simplex_.size() && !converged_flag_)))
+            throw std::invalid_argument("NelderMead: snapshot shrink cursor out of range");
+    }
+    // A snapshot taken mid-build legitimately holds a partial simplex; a
+    // complete one must satisfy the full geometric invariant.
+    if (simplex_.size() == d + 1) invariants::check_simplex(simplex_, d);
 }
 
 bool NelderMeadSearcher::do_converged() const {

@@ -72,7 +72,7 @@ void Searcher::restore_state(StateReader& in) {
     has_best_ = in.get_u64() != 0;
     awaiting_feedback_ = in.get_u64() != 0;
     best_cost_ = in.get_f64();
-    const std::uint64_t dimension = in.get_u64();
+    const std::size_t dimension = in.get_count();
     std::vector<std::int64_t> values(dimension);
     for (auto& value : values) value = in.get_i64();
     best_ = Configuration(std::move(values));

@@ -60,6 +60,9 @@ public:
     [[nodiscard]] Cost best_cost() const noexcept { return best_cost_; }
     [[nodiscard]] std::size_t evaluations() const noexcept { return evaluations_; }
 
+    /// True between propose() and feedback() — the ask-tell cycle is open.
+    [[nodiscard]] bool awaiting_feedback() const noexcept { return awaiting_feedback_; }
+
     /// Serializes the search progress (best-known configuration, evaluation
     /// count, ask-tell phase) plus whatever internal state the concrete
     /// searcher exports via do_save_state().  Searchers that do not override

@@ -92,4 +92,13 @@ double StateReader::get_f64() {
 
 std::string StateReader::get_str() { return next_line('s'); }
 
+std::size_t StateReader::get_count() {
+    const std::uint64_t value = get_u64();
+    const std::size_t remaining = pos_ < text_.size() ? text_.size() - pos_ : 0;
+    if (value > remaining / 3 + 1)
+        malformed("element count " + std::to_string(value) +
+                  " exceeds what the remaining input could hold");
+    return static_cast<std::size_t>(value);
+}
+
 } // namespace atk

@@ -50,6 +50,15 @@ public:
     [[nodiscard]] double get_f64();
     [[nodiscard]] std::string get_str();
 
+    /// Reads a u64 that declares how many elements follow, validated
+    /// against the remaining input: every element needs at least one token
+    /// line ("s \n" — 3 bytes — is the shortest), so a count the rest of
+    /// the stream cannot possibly hold is corruption.  Restore paths size
+    /// their vectors with this instead of a raw get_u64(), which turns a
+    /// flipped length byte into a clean std::invalid_argument instead of a
+    /// multi-gigabyte allocation.
+    [[nodiscard]] std::size_t get_count();
+
     /// True when every token has been consumed.
     [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
 

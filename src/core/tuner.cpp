@@ -108,7 +108,7 @@ Trial restore_trial(StateReader& in, std::size_t algorithm_count) {
     trial.algorithm = static_cast<std::size_t>(in.get_u64());
     if (trial.algorithm >= algorithm_count)
         throw std::invalid_argument("TwoPhaseTuner: snapshot trial algorithm out of range");
-    std::vector<std::int64_t> values(in.get_u64());
+    std::vector<std::int64_t> values(in.get_count());
     for (auto& value : values) value = in.get_i64();
     trial.config = Configuration(std::move(values));
     return trial;
@@ -157,6 +157,18 @@ void TwoPhaseTuner::restore_state(StateReader& in) {
                                         algorithm_name + "' does not match '" +
                                         algorithm.name + "'");
         algorithm.searcher->restore_state(in);
+    }
+    // Cross-field consistency: exactly the pending trial's searcher may have
+    // an open ask-tell cycle, and only while the tuner itself awaits a
+    // report.  A snapshot that desyncs the two flags would make the next
+    // next()/report() throw logic_error deep inside a searcher instead of
+    // failing the restore.
+    for (std::size_t a = 0; a < algorithms_.size(); ++a) {
+        const bool should_wait = awaiting && pending.algorithm == a;
+        if (algorithms_[a].searcher->awaiting_feedback() != should_wait)
+            throw std::invalid_argument(
+                "TwoPhaseTuner: snapshot searcher ask-tell state inconsistent "
+                "with the pending trial");
     }
     rng_.set_state(rng_state);
     iteration_ = iteration;

@@ -33,8 +33,8 @@ struct SpanRing {
         std::atomic<std::uint32_t> depth{0};
     };
 
-    explicit SpanRing(std::size_t capacity, std::uint32_t thread_id)
-        : slots(capacity), thread_id(thread_id) {}
+    explicit SpanRing(std::size_t capacity, std::uint32_t owner)
+        : slots(capacity), thread_id(owner) {}
 
     std::vector<Slot> slots;
     std::atomic<std::uint64_t> total{0};  ///< spans ever pushed (head)
@@ -64,7 +64,7 @@ Registry& registry() {
     // ATK_TRACE dump) may snapshot after static destructors have run, so
     // the registry must never be destroyed.  Still reachable via this
     // pointer, so leak checkers stay quiet.
-    static Registry* instance = new Registry;
+    static Registry* instance = new Registry;  // atk-lint: allow(naked-new)
     return *instance;
 }
 

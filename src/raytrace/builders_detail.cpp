@@ -70,8 +70,8 @@ std::unique_ptr<TempNode> build_recursive(std::vector<std::uint32_t> prims,
     node->axis = split.axis;
     node->split = split.position;
 
-    const bool spawn = !options.data_parallel_binning && options.pool != nullptr &&
-                       depth < options.parallel_depth;
+    const bool spawn = options.node_tasks && !options.data_parallel_binning &&
+                       options.pool != nullptr && depth < options.parallel_depth;
     if (spawn) {
         // Nested parallelism: each child subtree is a pool task (the
         // Wald-Havran and Nested builders' "tree nodes to tasks" mapping).
@@ -130,6 +130,7 @@ KdTree build_binned_tree(const Scene& scene, const BuildConfig& config, ThreadPo
     options.min_prims = config.min_prims;
     options.parallel_depth = config.parallel_depth;
     options.data_parallel_binning = data_parallel_binning;
+    options.node_tasks = node_tasks;
     options.lazy_cutoff = lazy ? config.eager_cutoff : -1;
     options.pool = &pool;
 

@@ -44,6 +44,7 @@ struct RecursiveOptions {
     int min_prims = 4;
     int parallel_depth = 0;            ///< spawn subtree tasks above this depth
     bool data_parallel_binning = false;
+    bool node_tasks = false;           ///< map tree nodes to pool tasks
     int lazy_cutoff = -1;              ///< emit lazy nodes at this depth (-1: never)
     ThreadPool* pool = nullptr;        ///< required if any parallelism is on
 };

@@ -23,10 +23,10 @@ Camera::Camera(const Vec3& position, const Vec3& target, float vertical_fov_deg,
 }
 
 Ray Camera::primary_ray(int px, int py) const {
-    const float ndc_x = (2.0f * (static_cast<float>(px) + 0.5f) / width_ - 1.0f) *
+    const float ndc_x = (2.0f * (static_cast<float>(px) + 0.5f) / static_cast<float>(width_) - 1.0f) *
                         tan_half_fov_ * aspect_;
     const float ndc_y =
-        (1.0f - 2.0f * (static_cast<float>(py) + 0.5f) / height_) * tan_half_fov_;
+        (1.0f - 2.0f * (static_cast<float>(py) + 0.5f) / static_cast<float>(height_)) * tan_half_fov_;
     return Ray(position_, normalize(forward_ + right_ * ndc_x + up_ * ndc_y));
 }
 

@@ -60,13 +60,13 @@ Scene make_cathedral(const CathedralParams& p) {
 
     // Tessellated floor: floor_tiles x floor_tiles*(depth/width) quads.
     const int tiles_x = p.floor_tiles;
-    const int tiles_z = std::max(1, static_cast<int>(p.floor_tiles * p.depth / p.width));
+    const int tiles_z = std::max(1, static_cast<int>(static_cast<float>(p.floor_tiles) * p.depth / p.width));
     for (int i = 0; i < tiles_x; ++i) {
         for (int j = 0; j < tiles_z; ++j) {
-            const float x0 = -hw + p.width * static_cast<float>(i) / tiles_x;
-            const float x1 = -hw + p.width * static_cast<float>(i + 1) / tiles_x;
-            const float z0 = -hd + p.depth * static_cast<float>(j) / tiles_z;
-            const float z1 = -hd + p.depth * static_cast<float>(j + 1) / tiles_z;
+            const float x0 = -hw + p.width * static_cast<float>(i) / static_cast<float>(tiles_x);
+            const float x1 = -hw + p.width * static_cast<float>(i + 1) / static_cast<float>(tiles_x);
+            const float z0 = -hd + p.depth * static_cast<float>(j) / static_cast<float>(tiles_z);
+            const float z1 = -hd + p.depth * static_cast<float>(j + 1) / static_cast<float>(tiles_z);
             add_quad(tris, {x0, 0, z0}, {x1, 0, z0}, {x1, 0, z1}, {x0, 0, z1});
         }
     }
@@ -80,7 +80,7 @@ Scene make_cathedral(const CathedralParams& p) {
     // Two rows of columns (dense geometry).
     for (int c = 0; c < p.columns_per_side; ++c) {
         const float z =
-            -hd + p.depth * (static_cast<float>(c) + 0.5f) / p.columns_per_side;
+            -hd + p.depth * (static_cast<float>(c) + 0.5f) / static_cast<float>(p.columns_per_side);
         add_column(tris, {-hw * 0.55f, 0, z}, 0.45f, wall_h, p.column_segments);
         add_column(tris, {hw * 0.55f, 0, z}, 0.45f, wall_h, p.column_segments);
         // Capitals.
@@ -93,16 +93,16 @@ Scene make_cathedral(const CathedralParams& p) {
     // Vaulted ceiling: half-cylinder along z, tessellated.
     const float tau = std::numbers::pi_v<float>;
     for (int s = 0; s < p.vault_segments; ++s) {
-        const float a0 = tau * static_cast<float>(s) / p.vault_segments;
-        const float a1 = tau * static_cast<float>(s + 1) / p.vault_segments;
+        const float a0 = tau * static_cast<float>(s) / static_cast<float>(p.vault_segments);
+        const float a1 = tau * static_cast<float>(s + 1) / static_cast<float>(p.vault_segments);
         const float vault_r = hw;
         const float y0 = wall_h + (p.height - wall_h) * std::sin(a0);
         const float y1 = wall_h + (p.height - wall_h) * std::sin(a1);
         const float x0 = -vault_r * std::cos(a0);
         const float x1 = -vault_r * std::cos(a1);
         for (int j = 0; j < p.vault_segments; ++j) {
-            const float z0 = -hd + p.depth * static_cast<float>(j) / p.vault_segments;
-            const float z1 = -hd + p.depth * static_cast<float>(j + 1) / p.vault_segments;
+            const float z0 = -hd + p.depth * static_cast<float>(j) / static_cast<float>(p.vault_segments);
+            const float z1 = -hd + p.depth * static_cast<float>(j + 1) / static_cast<float>(p.vault_segments);
             add_quad(tris, {x0, y0, z0}, {x1, y1, z0}, {x1, y1, z1}, {x0, y0, z1});
         }
     }

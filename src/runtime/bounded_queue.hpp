@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "support/contracts.hpp"
+
 namespace atk::runtime {
 
 /// Bounded multi-producer / single-consumer (MPSC by use, MPMC by
@@ -39,6 +41,7 @@ public:
             std::lock_guard lock(mutex_);
             if (closed_ || items_.size() >= capacity_) return false;
             items_.push_back(std::move(value));
+            ATK_ASSERT(items_.size() <= capacity_, "bounded queue overflowed its capacity");
         }
         not_empty_.notify_one();
         return true;
@@ -52,6 +55,7 @@ public:
             not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
             if (closed_) return false;
             items_.push_back(std::move(value));
+            ATK_ASSERT(items_.size() <= capacity_, "bounded queue overflowed its capacity");
         }
         not_empty_.notify_one();
         return true;

@@ -54,6 +54,12 @@ std::shared_ptr<TuningSession> TuningService::session(const std::string& name) {
     return created;
 }
 
+void TuningService::drop_session(const std::string& name) {
+    Shard& shard = shard_for(name);
+    std::lock_guard lock(shard.mutex);
+    shard.sessions.erase(name);
+}
+
 std::shared_ptr<TuningSession> TuningService::find(const std::string& name) const {
     const Shard& shard = shard_for(name);
     std::lock_guard lock(shard.mutex);
@@ -191,11 +197,22 @@ std::size_t TuningService::restore_from(const std::string& path) {
     const SnapshotHeader header = read_snapshot_header(in);
     for (std::uint64_t s = 0; s < header.session_count; ++s) {
         const std::string name = in.get_str();
-        session(name)->restore_state(in);
+        try {
+            session(name)->restore_state(in);
+        } catch (...) {
+            // A corrupt or truncated snapshot must not leave a half-restored
+            // tuner serving traffic: discard the damaged session (the next
+            // access recreates it fresh through the factory) and fail loudly.
+            drop_session(name);
+            throw;
+        }
     }
     for (std::uint64_t r = 0; r < header.install_count; ++r) {
         install(read_install_record(in));
     }
+    if (!in.at_end())
+        throw std::invalid_argument(
+            "TuningService: trailing data after snapshot payload");
     metrics_.counter("snapshots_restored").increment();
     return static_cast<std::size_t>(header.session_count);
 }

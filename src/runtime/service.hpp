@@ -138,6 +138,13 @@ public:
     /// created through the factory, then overwritten with the persisted
     /// state.  Returns the number of sessions restored; throws
     /// std::invalid_argument on a malformed or mismatched snapshot.
+    ///
+    /// Corruption safety: a session whose persisted state turns out to be
+    /// truncated or corrupt mid-restore is dropped from the service before
+    /// the exception propagates, so no half-restored tuner ever serves
+    /// traffic — the next access recreates it fresh through the factory.
+    /// Call restore_from() at startup, before session handles are given
+    /// out; handles obtained earlier keep the old object alive.
     std::size_t restore_from(const std::string& path);
 
 private:
@@ -154,6 +161,7 @@ private:
     };
 
     [[nodiscard]] Shard& shard_for(const std::string& name) const;
+    void drop_session(const std::string& name);
     void drain_loop();
     void process(const Event& event);
 

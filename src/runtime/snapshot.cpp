@@ -41,7 +41,7 @@ InstallRecord read_install_record(StateReader& in) {
     InstallRecord record;
     record.session = in.get_str();
     record.algorithm = static_cast<std::size_t>(in.get_u64());
-    std::vector<std::int64_t> values(in.get_u64());
+    std::vector<std::int64_t> values(in.get_count());
     for (auto& value : values) value = in.get_i64();
     record.config = Configuration(std::move(values));
     record.cost = in.get_f64();

@@ -66,7 +66,9 @@ bool Cli::parse(int argc, const char* const* argv) {
                 std::fprintf(stderr, "error: flag '--%s' takes no value\n", name.c_str());
                 return false;
             }
-            opt.value = "1";
+            // assign(count, char) instead of = "1": the const char* overload
+            // trips GCC 12's spurious -Wrestrict when inlined (PR 105651).
+            opt.value.assign(1, '1');
             continue;
         }
         if (!has_value) {

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+/// Debug contract macros for the tuner's internal invariants.
+///
+/// The online tuner is only trustworthy if its invariants hold on every
+/// iteration — strictly positive strategy weights, selection probabilities
+/// that sum to one, a non-degenerate Nelder-Mead simplex, a bounded queue
+/// that never exceeds its capacity.  These macros make the invariants
+/// executable in checked builds and free in production builds:
+///
+///   ATK_ASSERT(cond, "msg")    internal invariant; prints file:line and
+///                              aborts when violated.  For conditions that
+///                              are bugs in *this* library.
+///   ATK_REQUIRE(cond, "msg")   precondition on caller-supplied data;
+///                              throws atk::ContractViolation.  For
+///                              conditions a (mis)using caller can trigger,
+///                              where a test wants to observe the failure.
+///   ATK_UNREACHABLE("msg")     marks a path the control flow can never
+///                              reach; aborts when checked, becomes
+///                              __builtin_unreachable() (an optimizer hint)
+///                              when unchecked.
+///
+/// Checking is controlled by ATK_CONTRACTS_ENABLED, defined globally by the
+/// CMake option -DATK_CONTRACTS=ON and left undefined otherwise — Release
+/// builds compile every contract out.  The compiled-out forms still *parse*
+/// their condition (via an unevaluated sizeof operand), so a contract that
+/// bit-rots fails to compile instead of silently disappearing, but no code
+/// is generated and side effects in the condition never run.
+///
+/// The message argument is optional and must be a string literal when
+/// present: ATK_ASSERT(x > 0) and ATK_ASSERT(x > 0, "x is a count") are
+/// both valid.
+
+namespace atk {
+
+/// Thrown by ATK_REQUIRE in checked builds.
+class ContractViolation : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_abort(const char* kind, const char* expr,
+                                        const char* file, int line,
+                                        const char* message) {
+    std::fprintf(stderr, "%s:%d: %s failed: %s%s%s\n", file, line, kind, expr,
+                 *message ? " — " : "", message);
+    std::fflush(stderr);
+    std::abort();
+}
+
+[[noreturn]] inline void contract_throw(const char* expr, const char* file, int line,
+                                        const char* message) {
+    std::string what = std::string(file) + ":" + std::to_string(line) +
+                       ": ATK_REQUIRE failed: " + expr;
+    if (*message) {
+        what += " — ";
+        what += message;
+    }
+    throw ContractViolation(what);
+}
+
+} // namespace detail
+} // namespace atk
+
+#if defined(ATK_CONTRACTS_ENABLED)
+
+#define ATK_ASSERT(cond, ...)                                                      \
+    ((cond) ? static_cast<void>(0)                                                 \
+            : ::atk::detail::contract_abort("ATK_ASSERT", #cond, __FILE__,         \
+                                            __LINE__, "" __VA_ARGS__))
+
+#define ATK_REQUIRE(cond, ...)                                                     \
+    ((cond) ? static_cast<void>(0)                                                 \
+            : ::atk::detail::contract_throw(#cond, __FILE__, __LINE__,             \
+                                            "" __VA_ARGS__))
+
+#define ATK_UNREACHABLE(...)                                                       \
+    ::atk::detail::contract_abort("ATK_UNREACHABLE", "control reached", __FILE__,  \
+                                  __LINE__, "" __VA_ARGS__)
+
+#else
+
+// Unchecked forms: the condition is an unevaluated operand of sizeof — it is
+// type-checked (so it cannot bit-rot) but never executed, and the whole
+// expression folds to nothing.  tests/support/contracts_test.cpp pins both
+// properties.
+#define ATK_ASSERT(cond, ...) (static_cast<void>(sizeof(!(cond))))
+#define ATK_REQUIRE(cond, ...) (static_cast<void>(sizeof(!(cond))))
+#define ATK_UNREACHABLE(...) __builtin_unreachable()
+
+#endif

@@ -11,26 +11,34 @@
 namespace atk {
 namespace {
 
+/// "p0", "l3", ... without the const char* + std::string concatenation that
+/// GCC 12 mis-diagnoses under -Wrestrict when fully inlined (PR 105651).
+std::string tag(char prefix, std::size_t i) {
+    std::string out = std::to_string(i);
+    out.insert(out.begin(), prefix);
+    return out;
+}
+
 /// Generates a random space of 1-4 parameters with mixed classes.
 SearchSpace random_space(Rng& rng, bool allow_nominal) {
     SearchSpace space;
     const std::size_t dims = 1 + rng.index(4);
     for (std::size_t d = 0; d < dims; ++d) {
-        const std::string name = "p" + std::to_string(d);
+        const std::string name = tag('p', d);
         const int kind = allow_nominal ? static_cast<int>(rng.index(4))
                                        : 2 + static_cast<int>(rng.index(2));
         switch (kind) {
             case 0: {
                 std::vector<std::string> labels;
                 for (std::size_t l = 0; l < 2 + rng.index(4); ++l)
-                    labels.push_back("l" + std::to_string(l));
+                    labels.push_back(tag('l', l));
                 space.add(Parameter::nominal(name, labels));
                 break;
             }
             case 1: {
                 std::vector<std::string> labels;
                 for (std::size_t l = 0; l < 2 + rng.index(4); ++l)
-                    labels.push_back("o" + std::to_string(l));
+                    labels.push_back(tag('o', l));
                 space.add(Parameter::ordinal(name, labels));
                 break;
             }
@@ -169,7 +177,7 @@ TEST_P(SearcherSweep, TunerAlwaysFindsTheDominantAlgorithm) {
 
     std::vector<TunableAlgorithm> algorithms;
     for (std::size_t a = 0; a < count; ++a)
-        algorithms.push_back(TunableAlgorithm::untunable("a" + std::to_string(a)));
+        algorithms.push_back(TunableAlgorithm::untunable(tag('a', a)));
     TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.1), std::move(algorithms),
                         GetParam());
     tuner.run([&](const Trial& t) { return base[t.algorithm]; }, 200);

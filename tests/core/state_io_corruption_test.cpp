@@ -1,0 +1,438 @@
+#include "core/state_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/autotune.hpp"
+#include "runtime/service.hpp"
+#include "runtime/snapshot.hpp"
+#include "support/rng.hpp"
+
+/// Regression tests for the hardened snapshot loader: every corruption class
+/// — truncation, tag flips, garbage payloads, absurd element counts, binary
+/// noise, trailing junk — must surface as a clean std::invalid_argument.
+/// No undefined behaviour, no multi-gigabyte allocation from a flipped
+/// length byte, and no partially-restored tuner left behind.
+
+namespace atk {
+namespace {
+
+std::vector<TunableAlgorithm> two_algorithms() {
+    std::vector<TunableAlgorithm> algorithms;
+    algorithms.push_back(TunableAlgorithm::untunable("A"));
+
+    TunableAlgorithm b;
+    b.name = "B";
+    b.space.add(Parameter::ratio("x", 0, 50));
+    b.initial = Configuration{{0}};
+    b.searcher = std::make_unique<NelderMeadSearcher>();
+    algorithms.push_back(std::move(b));
+    return algorithms;
+}
+
+Cost measure(const Trial& trial) {
+    if (trial.algorithm == 0) return 30.0;
+    return 10.0 + std::abs(static_cast<double>(trial.config[0]) - 40.0);
+}
+
+TwoPhaseTuner make_tuner() {
+    return TwoPhaseTuner(std::make_unique<GradientWeighted>(8), two_algorithms(),
+                         /*seed=*/123);
+}
+
+std::string tuned_snapshot(std::size_t iterations = 40) {
+    TwoPhaseTuner tuner = make_tuner();
+    tuner.run(measure, iterations);
+    StateWriter out;
+    tuner.save_state(out);
+    return out.str();
+}
+
+/// Restore must either succeed or throw std::invalid_argument; anything
+/// else (a crash, a different exception, an OOM) is a corruption-handling
+/// bug.  Returns true when the input restored cleanly.
+bool restore_is_clean(const std::string& text) {
+    TwoPhaseTuner tuner = make_tuner();
+    StateReader in(text);
+    try {
+        tuner.restore_state(in);
+        return true;
+    } catch (const std::invalid_argument&) {
+        return false;
+    }
+}
+
+// ------------------------------------------------------------- count guard
+
+TEST(StateIoCorruption, GetCountRejectsCountsTheInputCannotHold) {
+    StateWriter out;
+    out.put_u64(std::uint64_t{1} << 62);  // would be a 32-exabyte vector
+    StateReader in(out.str());
+    EXPECT_THROW((void)in.get_count(), std::invalid_argument);
+}
+
+TEST(StateIoCorruption, GetCountAcceptsPlausibleCounts) {
+    StateWriter out;
+    out.put_u64(3);
+    out.put_f64(1.0);
+    out.put_f64(2.0);
+    out.put_f64(3.0);
+    StateReader in(out.str());
+    EXPECT_EQ(in.get_count(), 3u);
+}
+
+// -------------------------------------------------------------- truncation
+
+TEST(StateIoCorruption, TruncationAtEveryLineBoundaryThrowsCleanly) {
+    const std::string full = tuned_snapshot();
+    ASSERT_TRUE(restore_is_clean(full));
+
+    std::size_t boundary = full.find('\n');
+    int truncations = 0;
+    while (boundary != std::string::npos && boundary + 1 < full.size()) {
+        const std::string truncated = full.substr(0, boundary + 1);
+        EXPECT_FALSE(restore_is_clean(truncated))
+            << "truncation at byte " << boundary + 1 << " restored silently";
+        boundary = full.find('\n', boundary + 1);
+        ++truncations;
+    }
+    EXPECT_GT(truncations, 20);  // the snapshot is genuinely multi-line
+}
+
+TEST(StateIoCorruption, EmptyInputThrowsCleanly) {
+    EXPECT_FALSE(restore_is_clean(""));
+}
+
+// ---------------------------------------------------------------- tag flips
+
+TEST(StateIoCorruption, FlippingAnyTagThrowsCleanly) {
+    const std::string full = tuned_snapshot();
+    std::size_t line_start = 0;
+    while (line_start < full.size()) {
+        std::string flipped = full;
+        // Rotate the tag to a different valid tag: u→i→f→s→u.  The reader
+        // expects a specific tag per field, so every flip must be caught.
+        switch (flipped[line_start]) {
+            case 'u': flipped[line_start] = 'i'; break;
+            case 'i': flipped[line_start] = 'f'; break;
+            case 'f': flipped[line_start] = 's'; break;
+            case 's': flipped[line_start] = 'u'; break;
+            default: FAIL() << "unexpected tag " << flipped[line_start];
+        }
+        EXPECT_FALSE(restore_is_clean(flipped))
+            << "tag flip at byte " << line_start << " restored silently";
+        const std::size_t eol = full.find('\n', line_start);
+        if (eol == std::string::npos) break;
+        line_start = eol + 1;
+    }
+}
+
+// ---------------------------------------------------------- garbage payload
+
+TEST(StateIoCorruption, GarbagePayloadsThrowCleanly) {
+    EXPECT_THROW((void)StateReader("u banana\n").get_u64(), std::invalid_argument);
+    EXPECT_THROW((void)StateReader("i \n").get_i64(), std::invalid_argument);
+    EXPECT_THROW((void)StateReader("f 0x1.9p\n").get_f64(), std::invalid_argument);
+    EXPECT_THROW((void)StateReader("u 123abc\n").get_u64(), std::invalid_argument);
+    EXPECT_THROW((void)StateReader("u 99999999999999999999999\n").get_u64(),
+                 std::invalid_argument);  // overflows u64
+    EXPECT_THROW((void)StateReader("no-tag-line\n").get_u64(), std::invalid_argument);
+    EXPECT_THROW((void)StateReader("u\n").get_u64(), std::invalid_argument);
+}
+
+TEST(StateIoCorruption, BinaryNoiseThrowsCleanly) {
+    std::string noise;
+    Rng rng(7);
+    for (int i = 0; i < 4096; ++i)
+        noise.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+    EXPECT_FALSE(restore_is_clean(noise));
+}
+
+// ----------------------------------------------- strategy-level shape checks
+
+TEST(StateIoCorruption, EpsilonGreedyRejectsOutOfRangeRingCursor) {
+    EpsilonGreedy strategy(0.1, /*best_window=*/4);
+    strategy.reset(2);
+
+    StateWriter out;
+    out.put_u64(2);   // choices
+    out.put_u64(0);   // init cursor
+    out.put_u64(0);   // exploring
+    // choice 0: tried, best cost, ring cursor BEYOND the window, empty ring
+    out.put_u64(1);
+    out.put_f64(12.5);
+    out.put_u64(9);   // corrupt: window is 4
+    out.put_u64(0);
+    // choice 1
+    out.put_u64(0);
+    out.put_f64(std::numeric_limits<double>::infinity());
+    out.put_u64(0);
+    out.put_u64(0);
+
+    StateReader in(out.str());
+    EXPECT_THROW(strategy.restore_state(in), std::invalid_argument);
+}
+
+/// Found by fuzz/fuzz_state_io.cpp: restored samples fed weight_of() without
+/// the preconditions report() enforces, so a corrupt cost (NaN/0/negative)
+/// or a non-monotonic iteration produced inf/NaN weights and tripped the
+/// strictly-positive-weights contract instead of a clean rejection.
+TEST(StateIoCorruption, WeightedStrategyRejectsCorruptSamples) {
+    auto stream_with_sample = [](std::size_t when, double cost) {
+        StateWriter out;
+        out.put_u64(5);   // iteration counter
+        out.put_u64(2);   // choices
+        out.put_u64(2);   // choice 0: two samples
+        out.put_u64(0);
+        out.put_f64(10.0);
+        out.put_u64(when);
+        out.put_f64(cost);
+        out.put_u64(0);   // choice 1: untried
+        return out.str();
+    };
+    auto restore = [](const std::string& text) {
+        GradientWeighted strategy(8);
+        strategy.reset(2);
+        StateReader in(text);
+        strategy.restore_state(in);
+        (void)strategy.weights();  // must hold the positive-weights invariant
+    };
+
+    restore(stream_with_sample(1, 12.0));  // well-formed: accepted
+    EXPECT_THROW(restore(stream_with_sample(1, -3.0)), std::invalid_argument);
+    EXPECT_THROW(restore(stream_with_sample(1, 0.0)), std::invalid_argument);
+    EXPECT_THROW(restore(stream_with_sample(
+                     1, std::numeric_limits<double>::quiet_NaN())),
+                 std::invalid_argument);
+    EXPECT_THROW(restore(stream_with_sample(
+                     1, std::numeric_limits<double>::infinity())),
+                 std::invalid_argument);
+    // Iterations must increase within a choice (weight_of subtracts them as
+    // unsigned) and stay below the saved iteration counter.
+    EXPECT_THROW(restore(stream_with_sample(0, 12.0)), std::invalid_argument);
+    EXPECT_THROW(restore(stream_with_sample(99, 12.0)), std::invalid_argument);
+}
+
+TEST(StateIoCorruption, NelderMeadRejectsOutOfRangeShrinkCursor) {
+    // Hand-built searcher stream for a 1-dimensional space: base searcher
+    // fields, then a Shrink-phase state whose cursor points past the simplex.
+    SearchSpace space;
+    space.add(Parameter::ratio("x", 0, 50));
+    const Configuration initial{{0}};
+    NelderMeadSearcher searcher;
+    searcher.reset(space, initial);
+
+    StateWriter out;
+    out.put_u64(5);       // evaluations
+    out.put_u64(1);       // has_best
+    out.put_u64(0);       // awaiting_feedback
+    out.put_f64(10.0);    // best_cost
+    out.put_u64(1);       // best dimension
+    out.put_i64(40);      // best value
+    out.put_u64(5);       // phase = Shrink
+    out.put_u64(2);       // build_index
+    out.put_u64(7);       // shrink_index — corrupt, simplex has 2 vertices
+    out.put_u64(0);       // converged
+    out.put_f64(11.0);    // reflected_cost
+    out.put_u64(1); out.put_f64(0.5);            // centroid
+    out.put_u64(1); out.put_f64(0.5);            // pending
+    out.put_u64(1); out.put_f64(0.5);            // reflected point
+    out.put_u64(2);                               // simplex vertex count
+    out.put_u64(1); out.put_f64(0.1); out.put_f64(10.0);
+    out.put_u64(1); out.put_f64(0.9); out.put_f64(12.0);
+
+    StateReader in(out.str());
+    EXPECT_THROW(searcher.restore_state(in), std::invalid_argument);
+}
+
+TEST(StateIoCorruption, NelderMeadRejectsNonFiniteVertex) {
+    SearchSpace space;
+    space.add(Parameter::ratio("x", 0, 50));
+    NelderMeadSearcher searcher;
+    searcher.reset(space, Configuration{{0}});
+
+    StateWriter out;
+    out.put_u64(5);
+    out.put_u64(1);
+    out.put_u64(0);
+    out.put_f64(10.0);
+    out.put_u64(1);
+    out.put_i64(40);
+    out.put_u64(0);       // phase = BuildSimplex (partial simplex is legal)
+    out.put_u64(1);
+    out.put_u64(0);
+    out.put_u64(0);
+    out.put_f64(11.0);
+    out.put_u64(0);       // centroid (empty)
+    out.put_u64(1); out.put_f64(0.5);  // pending
+    out.put_u64(0);       // reflected point (empty)
+    out.put_u64(1);       // one vertex...
+    out.put_u64(1); out.put_f64(std::numeric_limits<double>::quiet_NaN());
+    out.put_f64(10.0);
+
+    StateReader in(out.str());
+    EXPECT_THROW(searcher.restore_state(in), std::invalid_argument);
+}
+
+/// Found by fuzz/fuzz_state_io.cpp: a corrupt build cursor in a BuildSimplex
+/// snapshot made the next propose() write point[build_index - 1] out of
+/// bounds.  The cursor must match the vertices built so far.
+TEST(StateIoCorruption, NelderMeadRejectsBuildCursorOutOfRange) {
+    SearchSpace space;
+    space.add(Parameter::ratio("x", 0, 50));
+    NelderMeadSearcher searcher;
+    searcher.reset(space, Configuration{{0}});
+
+    StateWriter out;
+    out.put_u64(0);       // evaluations
+    out.put_u64(0);       // has_best
+    out.put_u64(0);       // awaiting_feedback
+    out.put_f64(std::numeric_limits<double>::infinity());
+    out.put_u64(1);       // best dimension
+    out.put_i64(0);       // best value
+    out.put_u64(0);       // phase = BuildSimplex
+    out.put_u64(99);      // build_index — corrupt, no vertices built yet
+    out.put_u64(0);       // shrink_index
+    out.put_u64(0);       // converged
+    out.put_f64(0.0);     // reflected_cost
+    out.put_u64(0);       // centroid (empty)
+    out.put_u64(0);       // pending (empty)
+    out.put_u64(0);       // reflected point (empty)
+    out.put_u64(0);       // simplex vertex count
+
+    StateReader in(out.str());
+    EXPECT_THROW(searcher.restore_state(in), std::invalid_argument);
+}
+
+// ------------------------------------------------- service-level atomicity
+
+/// A corrupt session payload inside a service snapshot must not leave a
+/// half-restored tuner serving traffic: the damaged session is dropped and
+/// the next access starts fresh.
+TEST(StateIoCorruption, ServiceDropsHalfRestoredSession) {
+    auto factory = [](const std::string&) {
+        return std::make_unique<TwoPhaseTuner>(std::make_unique<GradientWeighted>(8),
+                                               two_algorithms(), /*seed=*/123);
+    };
+
+    runtime::TuningService writer(factory);
+    for (int i = 0; i < 20; ++i) {
+        const runtime::Ticket ticket = writer.begin("hot");
+        ASSERT_TRUE(writer.report("hot", ticket, measure(ticket.trial)));
+    }
+    writer.flush();
+    const std::string path = ::testing::TempDir() + "atk_corrupt_service.state";
+    ASSERT_TRUE(writer.snapshot_to(path));
+
+    // Truncate the payload mid-session and try to restore it elsewhere.
+    const auto payload = runtime::read_state_file(path);
+    ASSERT_TRUE(payload.has_value());
+    ASSERT_TRUE(runtime::write_state_file(path, payload->substr(0, payload->size() / 2)));
+
+    runtime::TuningService reader(factory);
+    EXPECT_THROW((void)reader.restore_from(path), std::invalid_argument);
+    EXPECT_EQ(reader.find("hot"), nullptr) << "half-restored session left behind";
+    // The service keeps working: the session is recreated from scratch.
+    const runtime::Ticket fresh = reader.begin("hot");
+    EXPECT_TRUE(reader.report("hot", fresh, measure(fresh.trial)));
+}
+
+TEST(StateIoCorruption, ServiceRejectsTrailingJunk) {
+    auto factory = [](const std::string&) {
+        return std::make_unique<TwoPhaseTuner>(std::make_unique<GradientWeighted>(8),
+                                               two_algorithms(), /*seed=*/123);
+    };
+
+    runtime::TuningService writer(factory);
+    const runtime::Ticket ticket = writer.begin("s");
+    ASSERT_TRUE(writer.report("s", ticket, measure(ticket.trial)));
+    writer.flush();
+    const std::string path = ::testing::TempDir() + "atk_trailing_junk.state";
+    ASSERT_TRUE(writer.snapshot_to(path));
+
+    const auto payload = runtime::read_state_file(path);
+    ASSERT_TRUE(payload.has_value());
+    ASSERT_TRUE(runtime::write_state_file(path, *payload + "u 42\n"));
+
+    runtime::TuningService reader(factory);
+    EXPECT_THROW((void)reader.restore_from(path), std::invalid_argument);
+}
+
+// ------------------------------------------------------ ask-tell coherence
+
+/// Replaces 0-based line `index` of a line-oriented snapshot text.
+std::string with_line(const std::string& text, std::size_t index,
+                      const std::string& replacement) {
+    std::size_t start = 0;
+    for (std::size_t skipped = 0; skipped < index; ++skipped)
+        start = text.find('\n', start) + 1;
+    const std::size_t end = text.find('\n', start);
+    return text.substr(0, start) + replacement + text.substr(end);
+}
+
+/// The tuner-level awaiting_report flag and the searchers' per-algorithm
+/// ask-tell cycles are saved redundantly; a snapshot where they disagree
+/// would throw logic_error from deep inside a searcher on the next
+/// next()/report() — restore must reject it instead.  Found by
+/// fuzz/fuzz_state_io.cpp.
+TEST(StateIoCorruption, MidTrialSnapshotRestoresAndCompletes) {
+    TwoPhaseTuner tuner = make_tuner();
+    tuner.run(measure, 10);
+    const Trial open = tuner.next();  // leave a trial in flight
+    StateWriter out;
+    tuner.save_state(out);
+
+    TwoPhaseTuner resumed = make_tuner();
+    StateReader in(out.str());
+    resumed.restore_state(in);
+    ASSERT_TRUE(resumed.awaiting_report());
+    EXPECT_EQ(resumed.pending_trial().algorithm, open.algorithm);
+    resumed.report(resumed.pending_trial(), measure(resumed.pending_trial()));
+    resumed.run(measure, 5);  // and keeps tuning
+}
+
+TEST(StateIoCorruption, DesyncedAskTellStateIsRejected) {
+    // Saved mid-trial, then the tuner-level flag cleared: the pending
+    // algorithm's searcher still has an open cycle.
+    TwoPhaseTuner tuner = make_tuner();
+    tuner.run(measure, 10);
+    (void)tuner.next();
+    StateWriter mid;
+    tuner.save_state(mid);
+    // Line layout: 4 RNG words, iteration, then the awaiting flag.
+    EXPECT_FALSE(restore_is_clean(with_line(mid.str(), 5, "u 0")));
+
+    // Saved at rest, then the tuner-level flag set: no searcher has an open
+    // cycle for the claimed pending trial.
+    const std::string rest = tuned_snapshot(10);
+    EXPECT_FALSE(restore_is_clean(with_line(rest, 5, "u 1")));
+
+    // Unmodified, both snapshots are fine.
+    EXPECT_TRUE(restore_is_clean(mid.str()));
+    EXPECT_TRUE(restore_is_clean(rest));
+}
+
+// ----------------------------------------------------------- mutation sweep
+
+/// Deterministic single-byte mutation sweep: whatever byte is flipped, the
+/// restore must restore cleanly or throw std::invalid_argument — the unit
+/// suite's miniature of the fuzz harness in fuzz/fuzz_state_io.cpp.
+TEST(StateIoCorruption, SingleByteMutationsNeverCrash) {
+    const std::string full = tuned_snapshot(25);
+    Rng rng(42);
+    for (int round = 0; round < 300; ++round) {
+        std::string mutated = full;
+        const std::size_t at = rng.index(mutated.size());
+        mutated[at] = static_cast<char>(rng.uniform_int(0, 255));
+        (void)restore_is_clean(mutated);  // must not crash or leak UB
+    }
+}
+
+} // namespace
+} // namespace atk

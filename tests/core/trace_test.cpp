@@ -46,7 +46,7 @@ TEST(TuningTrace, IndexAccess) {
     const auto trace = sample_trace();
     EXPECT_EQ(trace[3].algorithm, 2u);
     EXPECT_DOUBLE_EQ(trace[3].cost, 30.0);
-    EXPECT_THROW(trace[99], std::out_of_range);
+    EXPECT_THROW((void)trace[99], std::out_of_range);
 }
 
 TEST(TuningTrace, IndexAccessIsCheckedAtTheBoundary) {
@@ -54,10 +54,10 @@ TEST(TuningTrace, IndexAccessIsCheckedAtTheBoundary) {
     // indexing at size() or beyond throws std::out_of_range instead of
     // returning a dangling reference, including on an empty trace.
     const auto trace = sample_trace();
-    EXPECT_NO_THROW(trace[trace.size() - 1]);
-    EXPECT_THROW(trace[trace.size()], std::out_of_range);
+    EXPECT_NO_THROW((void)trace[trace.size() - 1]);
+    EXPECT_THROW((void)trace[trace.size()], std::out_of_range);
     const TuningTrace empty;
-    EXPECT_THROW(empty[0], std::out_of_range);
+    EXPECT_THROW((void)empty[0], std::out_of_range);
 }
 
 } // namespace

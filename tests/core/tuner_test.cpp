@@ -118,7 +118,7 @@ TEST(TwoPhaseTuner, TraceRecordsEveryIteration) {
 
 TEST(TwoPhaseTuner, BestTrialThrowsBeforeFirstReport) {
     TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.1), two_algorithms());
-    EXPECT_THROW(tuner.best_trial(), std::logic_error);
+    EXPECT_THROW((void)tuner.best_trial(), std::logic_error);
 }
 
 TEST(TwoPhaseTuner, DeterministicForFixedSeed) {

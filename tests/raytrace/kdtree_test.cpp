@@ -47,7 +47,9 @@ protected:
             const Hit expected = brute_force(ray, scene.triangles);
             const Hit actual = tree.closest_hit(ray, scene.triangles);
             ASSERT_EQ(actual.valid(), expected.valid()) << "ray " << i;
-            if (expected.valid()) ASSERT_NEAR(actual.t, expected.t, 1e-3f) << "ray " << i;
+            if (expected.valid()) {
+                ASSERT_NEAR(actual.t, expected.t, 1e-3f) << "ray " << i;
+            }
             // any_hit must agree with existence of a closest hit.
             const bool any = tree.any_hit(ray, scene.triangles, 1e-4f,
                                           std::numeric_limits<float>::max());
@@ -85,7 +87,9 @@ TEST_P(KdTreePerBuilder, SequentialAndParallelBuildsTraverseIdentically) {
         const Hit a = sequential.closest_hit(ray, scene.triangles);
         const Hit b = parallel.closest_hit(ray, scene.triangles);
         ASSERT_EQ(a.valid(), b.valid());
-        if (a.valid()) ASSERT_NEAR(a.t, b.t, 1e-4f);
+        if (a.valid()) {
+            ASSERT_NEAR(a.t, b.t, 1e-4f);
+        }
     }
 }
 

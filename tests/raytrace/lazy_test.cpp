@@ -71,7 +71,9 @@ TEST(LazyBuilder, ExpandedTraversalMatchesEagerTree) {
         const Hit a = lazy.closest_hit(ray, scene.triangles);
         const Hit b = eager.closest_hit(ray, scene.triangles);
         ASSERT_EQ(a.valid(), b.valid()) << "ray " << i;
-        if (a.valid()) ASSERT_NEAR(a.t, b.t, 1e-4f);
+        if (a.valid()) {
+            ASSERT_NEAR(a.t, b.t, 1e-4f);
+        }
     }
 }
 

@@ -87,9 +87,9 @@ TEST(Cli, TypeMismatchOnAccessThrows) {
     Cli cli = make_cli();
     const char* argv[] = {"prog"};
     ASSERT_TRUE(cli.parse(1, argv));
-    EXPECT_THROW(cli.get_int("epsilon"), std::logic_error);
-    EXPECT_THROW(cli.get_flag("iters"), std::logic_error);
-    EXPECT_THROW(cli.get_string("nope"), std::logic_error);
+    EXPECT_THROW((void)cli.get_int("epsilon"), std::logic_error);
+    EXPECT_THROW((void)cli.get_flag("iters"), std::logic_error);
+    EXPECT_THROW((void)cli.get_string("nope"), std::logic_error);
 }
 
 TEST(Cli, NegativeNumbersParse) {

@@ -1,0 +1,61 @@
+// Force UNCHECKED contracts for this TU regardless of the build's global
+// -DATK_CONTRACTS setting: Release builds must compile every contract out,
+// and this TU proves the compiled-out forms are inert.
+#ifdef ATK_CONTRACTS_ENABLED
+#undef ATK_CONTRACTS_ENABLED
+#endif
+
+#include "support/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/invariants.hpp"
+
+namespace atk {
+namespace {
+
+TEST(ContractsDisabled, FalseConditionsAreIgnored) {
+    // Both would fire in a checked build; compiled out they must do nothing.
+    ATK_ASSERT(2 + 2 == 5, "never evaluated");
+    EXPECT_NO_THROW(ATK_REQUIRE(false, "never evaluated"));
+}
+
+TEST(ContractsDisabled, ConditionSideEffectsNeverRun) {
+    // The condition is an unevaluated sizeof operand: type-checked at
+    // compile time, never executed at run time.
+    int evaluations = 0;
+    auto touch = [&evaluations] {
+        ++evaluations;
+        return false;
+    };
+    ATK_ASSERT(touch());
+    ATK_REQUIRE(touch());
+    EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ContractsDisabled, ExpressionsFoldToNothing) {
+    // The unchecked macro body is sizeof-level: a constant expression with
+    // no code behind it.  If this stops being foldable the static_assert
+    // fails to compile.
+    static_assert((ATK_ASSERT(true), true), "unchecked ATK_ASSERT must fold");
+    static_assert((ATK_REQUIRE(true), true), "unchecked ATK_REQUIRE must fold");
+}
+
+TEST(ContractsDisabled, InvariantHelpersAreFreeAndSilent) {
+    // This TU's static inline copies of the invariant helpers follow the
+    // TU-local contract setting: violations pass straight through.
+    invariants::check_weights_positive({-1.0, 0.0});
+    invariants::check_selection_distribution({0.0, 0.0});
+    struct Vertex {
+        std::vector<double> point;
+        double cost;
+    };
+    const std::vector<Vertex> degenerate{{{2.0}, 1.0}};
+    invariants::check_simplex(degenerate, 4);
+    SUCCEED();
+}
+
+}  // namespace
+}  // namespace atk

@@ -1,0 +1,119 @@
+// Force checked contracts for this TU regardless of the build's global
+// -DATK_CONTRACTS setting: the invariant helpers are static inline, so this
+// TU gets its own checking copies (see core/invariants.hpp).
+#ifndef ATK_CONTRACTS_ENABLED
+#define ATK_CONTRACTS_ENABLED 1
+#endif
+
+#include "support/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "core/invariants.hpp"
+
+namespace atk {
+namespace {
+
+struct Vertex {
+    std::vector<double> point;
+    double cost = 0.0;
+};
+
+TEST(Contracts, AssertPassesOnTrueCondition) {
+    ATK_ASSERT(1 + 1 == 2);
+    ATK_ASSERT(true, "with a message");
+}
+
+TEST(ContractsDeathTest, AssertAbortsWithLocationAndMessage) {
+    EXPECT_DEATH(ATK_ASSERT(2 + 2 == 5, "arithmetic still works"),
+                 "ATK_ASSERT failed: 2 \\+ 2 == 5.*arithmetic still works");
+}
+
+TEST(ContractsDeathTest, UnreachableAborts) {
+    EXPECT_DEATH(ATK_UNREACHABLE("this path is a bug"), "ATK_UNREACHABLE");
+}
+
+TEST(Contracts, RequireThrowsContractViolationWithContext) {
+    try {
+        ATK_REQUIRE(false, "caller handed us junk");
+        FAIL() << "ATK_REQUIRE did not throw";
+    } catch (const ContractViolation& violation) {
+        const std::string what = violation.what();
+        EXPECT_NE(what.find("ATK_REQUIRE failed"), std::string::npos);
+        EXPECT_NE(what.find("caller handed us junk"), std::string::npos);
+        EXPECT_NE(what.find("contracts_test.cpp"), std::string::npos);
+    }
+}
+
+TEST(Contracts, RequireIsANoopOnTrueCondition) {
+    EXPECT_NO_THROW(ATK_REQUIRE(true));
+}
+
+// ---- the paper's invariants, violated on purpose ---------------------------
+
+TEST(ContractsDeathTest, NegativeStrategyWeightAborts) {
+    const std::vector<double> weights{0.5, -0.1, 0.6};
+    EXPECT_DEATH(invariants::check_weights_positive(weights),
+                 "strictly positive");
+}
+
+TEST(ContractsDeathTest, ZeroStrategyWeightAborts) {
+    // "No algorithm is ever excluded": a zero weight is exclusion.
+    const std::vector<double> weights{0.5, 0.0};
+    EXPECT_DEATH(invariants::check_weights_positive(weights),
+                 "strictly positive");
+}
+
+TEST(ContractsDeathTest, NonFiniteWeightAborts) {
+    const std::vector<double> weights{1.0,
+                                      std::numeric_limits<double>::infinity()};
+    EXPECT_DEATH(invariants::check_weights_positive(weights), "finite");
+}
+
+TEST(Contracts, PositiveWeightsPass) {
+    invariants::check_weights_positive({0.2, 1.0, 3.5});
+}
+
+TEST(ContractsDeathTest, AllZeroSelectionDistributionAborts) {
+    const std::vector<double> weights{0.0, 0.0};
+    EXPECT_DEATH(invariants::check_selection_distribution(weights),
+                 "weight sum must be positive");
+}
+
+TEST(Contracts, EpsilonZeroStyleDistributionPasses) {
+    // ε = 0 pure greedy: all mass on one choice is a legal distribution.
+    invariants::check_selection_distribution({0.0, 1.0, 0.0});
+}
+
+TEST(ContractsDeathTest, DegenerateSimplexAborts) {
+    // 2-dimensional space needs 3 vertices; two is a degenerate simplex.
+    const std::vector<Vertex> simplex{{{0.1, 0.2}, 1.0}, {{0.3, 0.4}, 2.0}};
+    EXPECT_DEATH(invariants::check_simplex(simplex, 2), "dimension\\+1 vertices");
+}
+
+TEST(ContractsDeathTest, SimplexVertexOutsideUnitSpaceAborts) {
+    const std::vector<Vertex> simplex{
+        {{0.1, 0.2}, 1.0}, {{0.3, 1.4}, 2.0}, {{0.5, 0.6}, 3.0}};
+    EXPECT_DEATH(invariants::check_simplex(simplex, 2), "unit space");
+}
+
+TEST(ContractsDeathTest, SimplexNaNCostAborts) {
+    const std::vector<Vertex> simplex{
+        {{0.1, 0.2}, 1.0},
+        {{0.3, 0.4}, std::numeric_limits<double>::quiet_NaN()},
+        {{0.5, 0.6}, 3.0}};
+    EXPECT_DEATH(invariants::check_simplex(simplex, 2), "cost must be finite");
+}
+
+TEST(Contracts, WellFormedSimplexPasses) {
+    const std::vector<Vertex> simplex{
+        {{0.1, 0.2}, 1.0}, {{0.3, 0.4}, 2.0}, {{0.5, 0.6}, 3.0}};
+    invariants::check_simplex(simplex, 2);
+}
+
+}  // namespace
+}  // namespace atk

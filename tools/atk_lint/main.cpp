@@ -1,0 +1,614 @@
+/// \file
+/// atk_lint — static layering and banned-pattern checker for the atk tree.
+///
+/// The checker parses every .hpp/.cpp under a source root (default: src/),
+/// extracts its quoted includes, and enforces the architectural rules that
+/// CMake target link lines cannot see (header-only dependencies compile fine
+/// against any include path):
+///
+///   layering        support → obs → core → runtime form a strict DAG: a
+///                   layer may include itself and anything below, never
+///                   above.  stringmatch/ and raytrace/ are leaf domains:
+///                   they may use every layer, but no layer or other domain
+///                   may include them.
+///   include-cycle   the quoted-include graph must be acyclic.
+///   banned-rand     std::rand/srand/rand anywhere outside support/rng —
+///                   reproducibility requires the seeded xoshiro Rng.
+///   naked-new       `new` expressions in library code; ownership must go
+///                   through containers or smart pointers.
+///   naked-delete    `delete` expressions (`= delete` declarations are fine).
+///   iostream        std::cout/cerr/clog in library code; libraries report
+///                   through return values and the obs layer, not terminals.
+///   pragma-once     every header starts with #pragma once.
+///   self-contained  (--self-contained) every header compiles alone.
+///
+/// Individual lines opt out with a trailing or preceding comment:
+///     // atk-lint: allow(naked-new)
+///
+/// `--self-test` seeds a temporary tree with one violation per rule plus a
+/// suppressed and a clean file, then asserts the analyzer flags exactly the
+/// seeded problems.  The build gate runs it before trusting a clean report.
+///
+/// Exit codes: 0 clean / self-test passed, 1 violations found, 2 usage or
+/// environment error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+struct Violation {
+    std::string file;      ///< path relative to the scanned root
+    std::size_t line = 0;  ///< 1-based; 0 when the finding is file-scoped
+    std::string rule;
+    std::string message;
+};
+
+struct SourceFile {
+    std::string rel;       ///< path relative to root, '/'-separated
+    std::string raw;       ///< file contents as read
+    std::string stripped;  ///< comments and literal bodies blanked, newlines kept
+    bool is_header = false;
+    /// line → rules allowed on that line (and the one after it).
+    std::map<std::size_t, std::set<std::string>> suppressions;
+    /// (line, include-path) for every `#include "..."`.
+    std::vector<std::pair<std::size_t, std::string>> includes;
+};
+
+/// Rank of the core layers, bottom-up.  Leaf domains have no rank.
+int layer_rank(std::string_view top) {
+    if (top == "support") return 0;
+    if (top == "obs") return 1;
+    if (top == "core") return 2;
+    if (top == "runtime") return 3;
+    return -1;
+}
+
+bool is_domain(std::string_view top) {
+    return top == "stringmatch" || top == "raytrace";
+}
+
+/// May a file under `from` include a header under `to`?
+bool include_allowed(std::string_view from, std::string_view to) {
+    if (from == to) return true;
+    if (is_domain(from)) return layer_rank(to) >= 0;  // any layer, no other domain
+    if (layer_rank(from) < 0 || layer_rank(to) < 0) return false;
+    return layer_rank(to) <= layer_rank(from);
+}
+
+// ---------------------------------------------------------------------------
+// Lexing helpers
+// ---------------------------------------------------------------------------
+
+bool ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Blank comments and the bodies of string/char literals with spaces,
+/// preserving newlines so line numbers survive.  Handles //, /* */, "...",
+/// '...', and R"delim(...)delim".
+std::string strip_comments_and_literals(const std::string& text) {
+    std::string out = text;
+    std::size_t i = 0;
+    const std::size_t n = text.size();
+    auto blank = [&](std::size_t at) {
+        if (out[at] != '\n') out[at] = ' ';
+    };
+    while (i < n) {
+        const char c = text[i];
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+            while (i < n && text[i] != '\n') blank(i++);
+        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+            blank(i++);
+            blank(i++);
+            while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) blank(i++);
+            if (i + 1 < n) { blank(i++); blank(i++); }
+        } else if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+                   (i == 0 || !ident_char(text[i - 1]))) {
+            std::size_t d = i + 2;
+            while (d < n && text[d] != '(') ++d;
+            const std::string close = ")" + text.substr(i + 2, d - (i + 2)) + "\"";
+            const std::size_t end = text.find(close, d);
+            const std::size_t stop = end == std::string::npos ? n : end + close.size();
+            while (i < stop) blank(i++);
+        } else if (c == '"' || c == '\'') {
+            // Skip digit separators (1'000) — a quote right after an
+            // identifier/digit character is not a literal delimiter.
+            if (c == '\'' && i > 0 && ident_char(text[i - 1])) {
+                ++i;
+                continue;
+            }
+            const char quote = c;
+            blank(i++);
+            while (i < n && text[i] != quote) {
+                if (text[i] == '\\' && i + 1 < n) blank(i++);
+                blank(i++);
+            }
+            if (i < n) blank(i++);
+        } else {
+            ++i;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string_view> split_lines(const std::string& text) {
+    std::vector<std::string_view> lines;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t end = text.find('\n', start);
+        if (end == std::string::npos) {
+            lines.emplace_back(text.data() + start, text.size() - start);
+            break;
+        }
+        lines.emplace_back(text.data() + start, end - start);
+        start = end + 1;
+    }
+    return lines;
+}
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())) != 0)
+        s.remove_prefix(1);
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0)
+        s.remove_suffix(1);
+    return s;
+}
+
+/// Find whole-word occurrences of `word` in `line`; returns column offsets.
+std::vector<std::size_t> find_word(std::string_view line, std::string_view word) {
+    std::vector<std::size_t> hits;
+    std::size_t pos = 0;
+    while ((pos = line.find(word, pos)) != std::string_view::npos) {
+        const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+        const std::size_t after = pos + word.size();
+        const bool right_ok = after >= line.size() || !ident_char(line[after]);
+        if (left_ok && right_ok) hits.push_back(pos);
+        pos = after;
+    }
+    return hits;
+}
+
+/// Last non-space character strictly before `col`, or '\0'.
+char prev_nonspace(std::string_view line, std::size_t col) {
+    while (col > 0) {
+        --col;
+        if (std::isspace(static_cast<unsigned char>(line[col])) == 0) return line[col];
+    }
+    return '\0';
+}
+
+/// The identifier immediately preceding column `col` (skipping spaces).
+std::string_view prev_word(std::string_view line, std::size_t col) {
+    while (col > 0 && std::isspace(static_cast<unsigned char>(line[col - 1])) != 0) --col;
+    std::size_t end = col;
+    while (col > 0 && ident_char(line[col - 1])) --col;
+    return line.substr(col, end - col);
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> read_file(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void collect_suppressions(SourceFile& file) {
+    const auto lines = split_lines(file.raw);
+    for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+        const std::string_view line = lines[ln];
+        std::size_t mark = line.find("atk-lint:");
+        if (mark == std::string_view::npos) continue;
+        mark = line.find("allow(", mark);
+        if (mark == std::string_view::npos) continue;
+        const std::size_t open = mark + 6;
+        const std::size_t close = line.find(')', open);
+        if (close == std::string_view::npos) continue;
+        std::string rules(line.substr(open, close - open));
+        std::replace(rules.begin(), rules.end(), ',', ' ');
+        std::istringstream tokens(rules);
+        std::string rule;
+        while (tokens >> rule) file.suppressions[ln + 1].insert(rule);
+    }
+}
+
+void collect_includes(SourceFile& file) {
+    const auto lines = split_lines(file.raw);
+    for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+        std::string_view line = trim(lines[ln]);
+        if (line.empty() || line.front() != '#') continue;
+        line.remove_prefix(1);
+        line = trim(line);
+        if (line.rfind("include", 0) != 0) continue;
+        line = trim(line.substr(7));
+        if (line.size() < 2 || line.front() != '"') continue;
+        const std::size_t close = line.find('"', 1);
+        if (close == std::string_view::npos) continue;
+        file.includes.emplace_back(ln + 1, std::string(line.substr(1, close - 1)));
+    }
+}
+
+std::optional<SourceFile> load_file(const fs::path& root, const fs::path& path) {
+    auto raw = read_file(path);
+    if (!raw) return std::nullopt;
+    SourceFile file;
+    file.rel = fs::relative(path, root).generic_string();
+    file.raw = std::move(*raw);
+    file.stripped = strip_comments_and_literals(file.raw);
+    file.is_header = path.extension() == ".hpp" || path.extension() == ".h";
+    collect_suppressions(file);
+    collect_includes(file);
+    return file;
+}
+
+std::string top_component(std::string_view rel) {
+    const std::size_t slash = rel.find('/');
+    return std::string(slash == std::string_view::npos ? std::string_view{}
+                                                       : rel.substr(0, slash));
+}
+
+bool suppressed(const SourceFile& file, const std::string& rule, std::size_t line) {
+    for (const std::size_t at : {line, line > 0 ? line - 1 : 0}) {
+        const auto it = file.suppressions.find(at);
+        if (it != file.suppressions.end() && it->second.count(rule) != 0) return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// Checks
+// ---------------------------------------------------------------------------
+
+class Linter {
+public:
+    explicit Linter(fs::path root) : root_(std::move(root)) {}
+
+    bool scan() {
+        std::vector<fs::path> paths;
+        for (const auto& entry : fs::recursive_directory_iterator(root_)) {
+            if (!entry.is_regular_file()) continue;
+            const auto ext = entry.path().extension();
+            if (ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc")
+                paths.push_back(entry.path());
+        }
+        std::sort(paths.begin(), paths.end());
+        for (const auto& path : paths) {
+            auto file = load_file(root_, path);
+            if (!file) {
+                report({path.generic_string(), 0, "io", "cannot read file"});
+                continue;
+            }
+            files_.push_back(std::move(*file));
+        }
+        for (const auto& file : files_) check_file(file);
+        check_cycles();
+        return violations_.empty();
+    }
+
+    void check_file(const SourceFile& file) {
+        check_layering(file);
+        check_patterns(file);
+        if (file.is_header) check_pragma_once(file);
+    }
+
+    void check_layering(const SourceFile& file) {
+        const std::string from = top_component(file.rel);
+        if (from.empty()) return;  // files directly under the root are unlayered
+        for (const auto& [line, path] : file.includes) {
+            const std::string to = top_component(path);
+            if (to.empty()) continue;  // relative include inside one directory
+            if (layer_rank(to) < 0 && !is_domain(to)) continue;  // not ours
+            if (include_allowed(from, to)) continue;
+            if (suppressed(file, "layering", line)) continue;
+            report({file.rel, line, "layering",
+                    "'" + from + "' must not include '" + path + "': the layer order is " +
+                        "support < obs < core < runtime, domains are leaves"});
+        }
+    }
+
+    void check_patterns(const SourceFile& file) {
+        const auto lines = split_lines(file.stripped);
+        const std::string stem = fs::path(file.rel).stem().string();
+        const bool rng_home = top_component(file.rel) == "support" && stem == "rng";
+        for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+            const std::string_view line = lines[ln];
+            const std::size_t lineno = ln + 1;
+            if (!rng_home) {
+                for (const char* word : {"rand", "srand"}) {
+                    for (const std::size_t col : find_word(line, word)) {
+                        if (suppressed(file, "banned-rand", lineno)) continue;
+                        (void)col;
+                        report({file.rel, lineno, "banned-rand",
+                                "C rand()/srand() is unseeded global state; use "
+                                "support/rng.hpp (atk::Rng)"});
+                    }
+                }
+            }
+            for (const std::size_t col : find_word(line, "new")) {
+                if (prev_word(line, col) == "operator") continue;
+                if (suppressed(file, "naked-new", lineno)) continue;
+                report({file.rel, lineno, "naked-new",
+                        "naked new in library code; use containers or make_unique/"
+                        "make_shared"});
+            }
+            for (const std::size_t col : find_word(line, "delete")) {
+                if (prev_nonspace(line, col) == '=') continue;  // = delete
+                if (prev_word(line, col) == "operator") continue;
+                if (suppressed(file, "naked-delete", lineno)) continue;
+                report({file.rel, lineno, "naked-delete",
+                        "naked delete in library code; ownership must be automatic"});
+            }
+            for (const char* stream : {"cout", "cerr", "clog"}) {
+                for (const std::size_t col : find_word(line, stream)) {
+                    // Only std::cout etc. — a local identifier `cout` is odd
+                    // but not what this rule is about.
+                    if (col < 2 || line.substr(col - 2, 2) != "::") continue;
+                    if (prev_word(line, col - 2) != "std") continue;
+                    if (suppressed(file, "iostream", lineno)) continue;
+                    report({file.rel, lineno, "iostream",
+                            "terminal output from library code; report through "
+                            "return values or the obs layer"});
+                }
+            }
+        }
+    }
+
+    void check_pragma_once(const SourceFile& file) {
+        for (const std::string_view line : split_lines(file.stripped)) {
+            const std::string_view content = trim(line);
+            if (content.empty()) continue;
+            if (content.rfind("#pragma once", 0) != 0)
+                report({file.rel, 1, "pragma-once",
+                        "header must start with #pragma once"});
+            return;
+        }
+        report({file.rel, 1, "pragma-once", "header is empty"});
+    }
+
+    void check_cycles() {
+        // Quoted-include graph over files that exist under the root.
+        std::map<std::string, std::vector<std::string>> graph;
+        std::set<std::string> known;
+        for (const auto& file : files_) known.insert(file.rel);
+        for (const auto& file : files_) {
+            for (const auto& [line, path] : file.includes) {
+                (void)line;
+                if (known.count(path) != 0) graph[file.rel].push_back(path);
+            }
+        }
+        std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+        std::vector<std::string> stack;
+        for (const auto& file : files_)
+            if (color[file.rel] == 0) dfs_cycle(file.rel, graph, color, stack);
+    }
+
+    void dfs_cycle(const std::string& node,
+                   const std::map<std::string, std::vector<std::string>>& graph,
+                   std::map<std::string, int>& color,
+                   std::vector<std::string>& stack) {
+        color[node] = 1;
+        stack.push_back(node);
+        const auto it = graph.find(node);
+        if (it != graph.end()) {
+            for (const auto& next : it->second) {
+                if (color[next] == 1) {
+                    std::string chain;
+                    const auto begin =
+                        std::find(stack.begin(), stack.end(), next);
+                    for (auto at = begin; at != stack.end(); ++at)
+                        chain += *at + " -> ";
+                    chain += next;
+                    report({node, 0, "include-cycle", "include cycle: " + chain});
+                } else if (color[next] == 0) {
+                    dfs_cycle(next, graph, color, stack);
+                }
+            }
+        }
+        stack.pop_back();
+        color[node] = 2;
+    }
+
+    /// Compile every header alone against the root include path.
+    void check_self_contained(const std::string& compiler) {
+        const fs::path scratch =
+            fs::temp_directory_path() / "atk_lint_tu";
+        fs::create_directories(scratch);
+        for (const auto& file : files_) {
+            if (!file.is_header) continue;
+            const fs::path tu = scratch / "self_contained.cpp";
+            {
+                std::ofstream out(tu);
+                out << "#include \"" << file.rel << "\"\n";
+            }
+            const std::string command = compiler + " -std=c++20 -fsyntax-only -I" +
+                                        root_.string() + " " + tu.string() +
+                                        " > " + (scratch / "log").string() + " 2>&1";
+            if (std::system(command.c_str()) != 0) {
+                std::string log = read_file(scratch / "log").value_or("");
+                if (log.size() > 400) log.resize(400);
+                report({file.rel, 1, "self-contained",
+                        "header does not compile on its own:\n" + log});
+            }
+        }
+        std::error_code ec;
+        fs::remove_all(scratch, ec);
+    }
+
+    void report(Violation v) { violations_.push_back(std::move(v)); }
+
+    const std::vector<Violation>& violations() const { return violations_; }
+    std::size_t file_count() const { return files_.size(); }
+
+private:
+    fs::path root_;
+    std::vector<SourceFile> files_;
+    std::vector<Violation> violations_;
+};
+
+void print_violations(const Linter& lint) {
+    for (const auto& v : lint.violations()) {
+        std::cout << v.file;
+        if (v.line != 0) std::cout << ":" << v.line;
+        std::cout << ": [" << v.rule << "] " << v.message << "\n";
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Self-test
+// ---------------------------------------------------------------------------
+
+void write_seed(const fs::path& path, const std::string& text) {
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path);
+    out << text;
+}
+
+int self_test() {
+    const fs::path root = fs::temp_directory_path() / "atk_lint_selftest";
+    std::error_code ec;
+    fs::remove_all(root, ec);
+
+    // One seeded violation per rule, plus a suppression and a clean file.
+    write_seed(root / "runtime/service.hpp", "#pragma once\nint service();\n");
+    write_seed(root / "support/bad_layer.hpp",
+               "#pragma once\n#include \"runtime/service.hpp\"\n");
+    write_seed(root / "core/uses_rand.cpp",
+               "#include <cstdlib>\nint f() { return std::rand(); }\n");
+    write_seed(root / "core/leak.cpp",
+               "int* make() { return new int(4); }\n"
+               "void drop(int* p) { delete p; }\n");
+    write_seed(root / "obs/noisy.cpp",
+               "#include <iostream>\nvoid shout() { std::cout << 1; }\n");
+    write_seed(root / "core/no_pragma.hpp", "int g();\n");
+    write_seed(root / "core/cycle_a.hpp",
+               "#pragma once\n#include \"core/cycle_b.hpp\"\n");
+    write_seed(root / "core/cycle_b.hpp",
+               "#pragma once\n#include \"core/cycle_a.hpp\"\n");
+    write_seed(root / "core/suppressed.cpp",
+               "// atk-lint: allow(naked-new)\n"
+               "int* keep() { return new int(2); }\n");
+    write_seed(root / "core/clean.cpp",
+               "// new and delete in comments are fine, so is \"std::cout\" in a\n"
+               "// string: the scanner must strip both before matching.\n"
+               "#include \"support/util.hpp\"\n"
+               "struct Holder {\n"
+               "    Holder(const Holder&) = delete;\n"
+               "};\n"
+               "const char* banner() { return \"no new delete std::rand here\"; }\n");
+    write_seed(root / "support/util.hpp", "#pragma once\nint util();\n");
+
+    Linter lint(root);
+    const bool clean = lint.scan();
+
+    std::map<std::string, std::size_t> by_rule;
+    std::set<std::string> flagged_files;
+    for (const auto& v : lint.violations()) {
+        ++by_rule[v.rule];
+        flagged_files.insert(v.file);
+    }
+
+    std::size_t failures = 0;
+    auto expect = [&](bool ok, const std::string& what) {
+        std::cout << (ok ? "  ok: " : "  FAIL: ") << what << "\n";
+        if (!ok) ++failures;
+    };
+
+    expect(!clean, "seeded tree is reported as failing");
+    expect(by_rule["layering"] == 1, "layering violation detected");
+    expect(by_rule["banned-rand"] == 1, "std::rand detected");
+    expect(by_rule["naked-new"] == 1, "naked new detected");
+    expect(by_rule["naked-delete"] == 1, "naked delete detected");
+    expect(by_rule["iostream"] == 1, "std::cout detected");
+    expect(by_rule["pragma-once"] == 1, "missing #pragma once detected");
+    expect(by_rule["include-cycle"] >= 1, "include cycle detected");
+    expect(flagged_files.count("core/suppressed.cpp") == 0,
+           "allow(naked-new) suppression honored");
+    expect(flagged_files.count("core/clean.cpp") == 0,
+           "clean file (comments, strings, = delete) not flagged");
+    expect(flagged_files.count("support/util.hpp") == 0, "clean header not flagged");
+
+    if (failures != 0) {
+        std::cout << "--- violations from the seeded tree ---\n";
+        print_violations(lint);
+    }
+    fs::remove_all(root, ec);
+    std::cout << "atk_lint --self-test: "
+              << (failures == 0 ? "PASS" : "FAIL") << "\n";
+    return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+int main(int argc, char** argv) {
+    fs::path root = "src";
+    bool self_contained = false;
+    bool run_self_test = false;
+    const char* env_cxx = std::getenv("CXX");
+    std::string compiler = env_cxx != nullptr && *env_cxx != '\0' ? env_cxx : "c++";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--compiler" && i + 1 < argc) {
+            compiler = argv[++i];
+        } else if (arg == "--self-contained") {
+            self_contained = true;
+        } else if (arg == "--self-test") {
+            run_self_test = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: atk_lint [--root <src-dir>] [--self-contained]"
+                         " [--compiler <cxx>] [--self-test]\n";
+            return 0;
+        } else {
+            std::cerr << "atk_lint: unknown argument '" << arg << "'\n";
+            return 2;
+        }
+    }
+
+    if (run_self_test) return self_test();
+
+    if (!fs::is_directory(root)) {
+        std::cerr << "atk_lint: source root '" << root.string()
+                  << "' is not a directory\n";
+        return 2;
+    }
+
+    Linter lint(root);
+    const bool clean = lint.scan();
+    if (self_contained) lint.check_self_contained(compiler);
+
+    if (!lint.violations().empty()) {
+        print_violations(lint);
+        std::cout << "atk_lint: " << lint.violations().size() << " violation(s) in "
+                  << lint.file_count() << " file(s)\n";
+        return 1;
+    }
+    (void)clean;
+    std::cout << "atk_lint: clean (" << lint.file_count() << " files)\n";
+    return 0;
+}
