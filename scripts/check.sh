@@ -11,11 +11,18 @@
 #      rings, ingestion queues, the background telemetry exporter),
 #   4. a -DATK_SANITIZE=undefined build (non-recovering UBSan, with
 #      contracts and the fuzz harnesses enabled) running the full
-#      suite plus a short fuzz pass over the checked-in corpora.
+#      suite plus a short fuzz pass over the checked-in corpora,
+#   5. the simulation gates: the paper's convergence / no-exclusion /
+#      re-convergence regressions plus a CLI smoke over every named
+#      scenario.  The tier-1 suite already runs the fast subset; with
+#      ATK_SIM_FULL=1 this stage reruns the statistical gates over the
+#      full 32-seed ensembles for every scenario x strategy pair and
+#      sweeps the CLI across all scenarios.
 #
 # Usage:
-#   scripts/check.sh          # all stages
-#   scripts/check.sh --fast   # stages 1 + 2 only (no sanitizer builds)
+#   scripts/check.sh               # all stages
+#   scripts/check.sh --fast        # stages 1 + 2 only (no sanitizer builds)
+#   ATK_SIM_FULL=1 scripts/check.sh   # stage 5 runs the full ensembles
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -38,11 +45,12 @@ if [[ "$fast" == "--fast" ]]; then
 fi
 
 echo
-echo "== stage 3: ThreadSanitizer build, runtime + obs tests =="
+echo "== stage 3: ThreadSanitizer build, runtime + obs + sim tests =="
 cmake -B "$repo/build-tsan" -S "$repo" -DATK_SANITIZE=thread
-cmake --build "$repo/build-tsan" -j "$jobs" --target test_runtime test_obs
+cmake --build "$repo/build-tsan" -j "$jobs" --target test_runtime test_obs test_sim
 "$repo/build-tsan/tests/test_runtime"
 "$repo/build-tsan/tests/test_obs"
+"$repo/build-tsan/tests/test_sim" --gtest_filter='FaultInjection.*'
 
 echo
 echo "== stage 4: UBSan build, full suite + fuzz smoke =="
@@ -54,4 +62,19 @@ cmake --build "$repo/build-ubsan" -j "$jobs"
 "$repo/build-ubsan/fuzz/fuzz_prometheus" -seconds=10 "$repo/fuzz/corpus/prometheus"
 
 echo
-echo "ok: tier-1 suite green, lint clean, runtime+obs TSan-clean, UBSan+fuzz clean"
+echo "== stage 5: simulation gates =="
+if [[ "${ATK_SIM_FULL:-0}" == "1" ]]; then
+    echo "(full mode: 32-seed ensembles, every scenario x strategy)"
+    "$repo/build/tests/test_sim" --gtest_filter='PaperGates.*:Determinism.*'
+    for scenario in static drift plateau sweep; do
+        "$repo/build/tools/atk_sim/atk_sim" --scenario "$scenario" \
+            --strategy all --seeds 32
+    done
+else
+    echo "(fast subset; set ATK_SIM_FULL=1 for the full ensembles)"
+    "$repo/build/tests/test_sim" --gtest_filter='PaperGates.NoStrategyEverExcludesAnAlgorithm:Determinism.SameSeedSameSimulation'
+    "$repo/build/tools/atk_sim/atk_sim" --scenario static --strategy e-greedy-5 --seeds 4
+fi
+
+echo
+echo "ok: tier-1 suite green, lint clean, runtime+obs+sim TSan-clean, UBSan+fuzz clean, sim gates green"

@@ -1,0 +1,165 @@
+#include "sim/fault.hpp"
+
+#include <cmath>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/sim_clock.hpp"
+
+namespace atk::sim {
+
+namespace {
+
+constexpr std::uint64_t kFaultStream = 0x6661756C74ULL;  // "fault"
+constexpr std::uint64_t kNoiseStream = 0x6E6F697365ULL;  // "noise"
+
+constexpr const char* kSessionName = "sim";
+
+struct PendingMeasurement {
+    runtime::Ticket ticket;
+    Cost cost = 0.0;
+    std::size_t due_cycle = 0;
+};
+
+} // namespace
+
+ServiceSimulator::ServiceSimulator(ScenarioSpec spec, std::uint64_t seed,
+                                   runtime::ServiceOptions options)
+    : spec_(std::move(spec)), seed_(seed), options_(std::move(options)) {
+    spec_.validate();
+}
+
+FaultReport ServiceSimulator::run(const StrategyFactory& make_strategy,
+                                  const FaultPlan& plan, std::size_t cycles) {
+    if (plan.drop_probability < 0.0 || plan.drop_probability > 1.0 ||
+        plan.duplicate_probability < 0.0 || plan.duplicate_probability > 1.0)
+        throw std::invalid_argument(
+            "FaultPlan: probabilities must be within [0, 1]");
+
+    // The factory must be deterministic per session name across service
+    // incarnations for snapshots to restore (see runtime::TunerFactory); the
+    // captured spec and seed make it so.
+    const ScenarioSpec& spec = spec_;
+    const std::uint64_t seed = seed_;
+    runtime::TunerFactory factory = [&spec, &make_strategy,
+                                     seed](const std::string&) {
+        return std::make_unique<TwoPhaseTuner>(make_strategy(),
+                                               spec.make_algorithms(), seed);
+    };
+
+    std::string snapshot_path = plan.snapshot_path;
+    if (snapshot_path.empty() && plan.snapshot_every != 0)
+        snapshot_path = (std::filesystem::temp_directory_path() /
+                         ("atk_sim_fault_" + std::to_string(seed_) + ".state"))
+                            .string();
+
+    auto service =
+        std::make_unique<runtime::TuningService>(factory, options_);
+    Rng faults(seed_ ^ kFaultStream);
+    Rng noise(seed_ ^ kNoiseStream);
+
+    FaultReport report;
+    report.cycles = cycles;
+
+    std::deque<PendingMeasurement> delayed;   // waiting for their due cycle
+    std::vector<PendingMeasurement> reorder;  // batch to shuffle and flush
+
+    const auto deliver = [&](const PendingMeasurement& m) {
+        ++report.delivered;
+        if (service->report(kSessionName, m.ticket, m.cost)) ++report.accepted;
+    };
+
+    const auto flush_reorder = [&] {
+        if (reorder.empty()) return;
+        faults.shuffle(reorder);
+        for (const auto& m : reorder) deliver(m);
+        reorder.clear();
+        ++report.reordered_batches;
+    };
+
+    const auto stage = [&](PendingMeasurement m) {
+        if (plan.reorder_window > 0) {
+            reorder.push_back(std::move(m));
+            if (reorder.size() >= plan.reorder_window) flush_reorder();
+        } else {
+            deliver(m);
+        }
+    };
+
+    for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+        // Measurements whose delay has elapsed re-enter the stream first, so
+        // they interleave with fresher ones exactly like a slow client's.
+        while (!delayed.empty() && delayed.front().due_cycle <= cycle) {
+            stage(std::move(delayed.front()));
+            delayed.pop_front();
+        }
+
+        const runtime::Ticket ticket = service->begin(kSessionName);
+        const Cost cost = spec.evaluate(ticket.trial, cycle, noise);
+
+        if (faults.chance(plan.drop_probability)) {
+            ++report.dropped_by_fault;
+        } else {
+            const bool duplicate = faults.chance(plan.duplicate_probability);
+            PendingMeasurement m{ticket, cost, cycle + plan.delay_cycles};
+            if (plan.delay_cycles > 0) {
+                delayed.push_back(m);
+                if (duplicate) {
+                    delayed.push_back(m);
+                    ++report.duplicated;
+                }
+            } else {
+                if (duplicate) {
+                    stage(m);
+                    ++report.duplicated;
+                }
+                stage(std::move(m));
+            }
+        }
+
+        if (plan.snapshot_every != 0 && (cycle + 1) % plan.snapshot_every == 0) {
+            // Simulated process restart: persist, tear the service down
+            // (stopping its aggregator), bring a fresh one up, restore.
+            // Measurements still buffered in the fault pipeline survive the
+            // restart and land as cross-incarnation late reports.
+            if (!service->snapshot_to(snapshot_path))
+                throw std::runtime_error("ServiceSimulator: snapshot_to failed at '" +
+                                         snapshot_path + "'");
+            ++report.snapshots_taken;
+            service = std::make_unique<runtime::TuningService>(factory, options_);
+            report.sessions_restored += service->restore_from(snapshot_path);
+        }
+    }
+
+    // Drain the fault pipeline: everything still in flight is delivered as a
+    // late report before the final health check.
+    while (!delayed.empty()) {
+        stage(std::move(delayed.front()));
+        delayed.pop_front();
+    }
+    flush_reorder();
+    service->flush();
+
+    const auto session = service->find(kSessionName);
+    if (session != nullptr) {
+        report.tuner_iterations = session->iterations();
+        report.final_weights = session->strategy_weights();
+        report.has_best = session->has_best();
+        if (report.has_best) report.best_cost = session->best_cost();
+    }
+    report.weights_healthy = !report.final_weights.empty();
+    for (const double w : report.final_weights)
+        if (!std::isfinite(w) || w <= 0.0) report.weights_healthy = false;
+
+    service->stop();
+    if (!snapshot_path.empty()) {
+        std::error_code ec;
+        std::filesystem::remove(snapshot_path, ec);
+    }
+    return report;
+}
+
+} // namespace atk::sim

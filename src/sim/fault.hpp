@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/service.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace atk::sim {
+
+/// What can go wrong between a client measuring and the aggregator learning
+/// from it.  Each knob models a real runtime pathology: lossy transports
+/// drop, retries duplicate, concurrent clients reorder, slow clients delay,
+/// and process restarts snapshot + restore mid-stream.  All randomness is
+/// seeded, so a failing chaos run replays exactly.
+struct FaultPlan {
+    double drop_probability = 0.0;      ///< measurement vanishes before report()
+    double duplicate_probability = 0.0; ///< measurement delivered twice
+    std::size_t reorder_window = 0;     ///< deliver in shuffled batches of N
+    std::size_t delay_cycles = 0;       ///< hold each measurement N begin-cycles
+    std::size_t snapshot_every = 0;     ///< snapshot→destroy→restore every N cycles
+    std::string snapshot_path;          ///< "" = auto temp file
+};
+
+/// What a fault-injected run did and how the service came out of it.  The
+/// gates assert `weights_healthy` (all strategy weights finite and strictly
+/// positive — no NaN poisoning, no exclusion) and that ingestion made
+/// progress despite the faults.
+struct FaultReport {
+    std::size_t cycles = 0;
+    std::size_t delivered = 0;           ///< report() calls that reached the service
+    std::size_t accepted = 0;            ///< report() calls that returned true
+    std::size_t dropped_by_fault = 0;
+    std::size_t duplicated = 0;
+    std::size_t reordered_batches = 0;
+    std::size_t snapshots_taken = 0;
+    std::size_t sessions_restored = 0;
+    std::size_t tuner_iterations = 0;    ///< session iteration count at the end
+    bool has_best = false;
+    Cost best_cost = 0.0;
+    std::vector<double> final_weights;
+    bool weights_healthy = false;
+};
+
+/// Drives a real TuningService (background aggregator thread included)
+/// against a scenario's cost model while a FaultPlan corrupts the
+/// measurement stream.  The service must degrade gracefully: late,
+/// duplicated and reordered measurements become stale observations, dropped
+/// ones are simply lost samples, and a snapshot/restore mid-scenario resumes
+/// with the exact persisted strategy state.
+class ServiceSimulator {
+public:
+    ServiceSimulator(ScenarioSpec spec, std::uint64_t seed,
+                     runtime::ServiceOptions options = {});
+
+    /// Runs `cycles` begin→measure→(faulty) report cycles, then drains every
+    /// buffered measurement and flushes the service.  Throws only on real
+    /// bugs (contract violations, snapshot I/O failure surfaces as a
+    /// std::runtime_error); fault-induced degradation is reported, not thrown.
+    FaultReport run(const StrategyFactory& make_strategy, const FaultPlan& plan,
+                    std::size_t cycles);
+
+    [[nodiscard]] const ScenarioSpec& spec() const noexcept { return spec_; }
+
+private:
+    ScenarioSpec spec_;
+    std::uint64_t seed_;
+    runtime::ServiceOptions options_;
+};
+
+} // namespace atk::sim

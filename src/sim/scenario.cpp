@@ -1,0 +1,293 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "core/search/nelder_mead.hpp"
+#include "support/contracts.hpp"
+
+namespace atk::sim {
+
+namespace {
+
+/// Noise can never push a measurement to or below zero; the clamp keeps the
+/// strategies' cost > 0 precondition intact even for adversarial specs.
+constexpr double kCostFloor = 1e-9;
+
+} // namespace
+
+AlgorithmModel AlgorithmModel::constant(std::string name, double base) {
+    AlgorithmModel model;
+    model.name = std::move(name);
+    model.base = base;
+    return model;
+}
+
+AlgorithmModel AlgorithmModel::bowl(std::string name, double base,
+                                    std::vector<double> optimum, double slope,
+                                    double curvature) {
+    AlgorithmModel model;
+    model.name = std::move(name);
+    model.base = base;
+    model.optimum = std::move(optimum);
+    model.slope = slope;
+    model.curvature = curvature;
+    return model;
+}
+
+AlgorithmModel AlgorithmModel::plateau(std::string name, double base,
+                                       std::vector<double> optimum, double radius,
+                                       double slope) {
+    AlgorithmModel model = bowl(std::move(name), base, std::move(optimum), slope);
+    model.plateau_radius = radius;
+    return model;
+}
+
+ScenarioSpec ScenarioSpec::named(std::string name) {
+    ScenarioSpec spec;
+    spec.name_ = std::move(name);
+    return spec;
+}
+
+ScenarioSpec& ScenarioSpec::algorithm(AlgorithmModel model) {
+    algorithms_.push_back(std::move(model));
+    return *this;
+}
+
+ScenarioSpec& ScenarioSpec::relative_noise(double magnitude) {
+    noise_ = NoiseModel{NoiseModel::Kind::Relative, magnitude};
+    return *this;
+}
+
+ScenarioSpec& ScenarioSpec::additive_noise(double magnitude) {
+    noise_ = NoiseModel{NoiseModel::Kind::Additive, magnitude};
+    return *this;
+}
+
+ScenarioSpec& ScenarioSpec::shift(std::size_t at_iteration, std::vector<double> bases,
+                                  std::vector<double> ramps) {
+    shifts_.push_back(PhaseShift{at_iteration, std::move(bases), std::move(ramps)});
+    return *this;
+}
+
+ScenarioSpec& ScenarioSpec::input_scale(std::size_t at_iteration, double scale) {
+    sizes_.push_back(SizeStep{at_iteration, scale});
+    return *this;
+}
+
+ScenarioSpec& ScenarioSpec::horizon(std::size_t iterations) {
+    iterations_ = iterations;
+    return *this;
+}
+
+void ScenarioSpec::validate() const {
+    if (algorithms_.empty())
+        throw std::invalid_argument("ScenarioSpec '" + name_ + "': no algorithms");
+    if (iterations_ == 0)
+        throw std::invalid_argument("ScenarioSpec '" + name_ + "': zero-iteration horizon");
+    for (const auto& model : algorithms_) {
+        if (model.name.empty())
+            throw std::invalid_argument("ScenarioSpec '" + name_ + "': unnamed algorithm");
+        if (!(model.base > 0.0) || !std::isfinite(model.base))
+            throw std::invalid_argument("ScenarioSpec '" + name_ + "': algorithm '" +
+                                        model.name + "' base must be a positive cost");
+        if (model.slope < 0.0 || model.plateau_radius < 0.0 || model.curvature <= 0.0)
+            throw std::invalid_argument("ScenarioSpec '" + name_ + "': algorithm '" +
+                                        model.name + "' has a negative surface shape");
+        if (model.lo > model.hi)
+            throw std::invalid_argument("ScenarioSpec '" + name_ + "': algorithm '" +
+                                        model.name + "' has an empty parameter range");
+        for (const double opt : model.optimum)
+            if (opt < static_cast<double>(model.lo) || opt > static_cast<double>(model.hi))
+                throw std::invalid_argument("ScenarioSpec '" + name_ + "': algorithm '" +
+                                            model.name + "' optimum outside [lo, hi]");
+    }
+    std::size_t previous = 0;
+    for (std::size_t s = 0; s < shifts_.size(); ++s) {
+        const auto& shift = shifts_[s];
+        if (s > 0 && shift.at_iteration <= previous)
+            throw std::invalid_argument("ScenarioSpec '" + name_ +
+                                        "': phase shifts must be strictly increasing");
+        previous = shift.at_iteration;
+        if (shift.bases.size() != algorithms_.size())
+            throw std::invalid_argument("ScenarioSpec '" + name_ +
+                                        "': phase shift base count != algorithm count");
+        if (!shift.ramps.empty() && shift.ramps.size() != algorithms_.size())
+            throw std::invalid_argument("ScenarioSpec '" + name_ +
+                                        "': phase shift ramp count != algorithm count");
+        for (const double base : shift.bases)
+            if (!(base > 0.0) || !std::isfinite(base))
+                throw std::invalid_argument("ScenarioSpec '" + name_ +
+                                            "': phase shift base must be positive");
+    }
+    previous = 0;
+    for (std::size_t s = 0; s < sizes_.size(); ++s) {
+        if (s > 0 && sizes_[s].at_iteration <= previous)
+            throw std::invalid_argument("ScenarioSpec '" + name_ +
+                                        "': size steps must be strictly increasing");
+        previous = sizes_[s].at_iteration;
+        if (!(sizes_[s].scale > 0.0))
+            throw std::invalid_argument("ScenarioSpec '" + name_ +
+                                        "': input scale must be positive");
+    }
+    if (noise_.kind == NoiseModel::Kind::Relative &&
+        (noise_.magnitude < 0.0 || noise_.magnitude >= 1.0))
+        throw std::invalid_argument("ScenarioSpec '" + name_ +
+                                    "': relative noise must be in [0, 1)");
+    if (noise_.kind == NoiseModel::Kind::Additive && noise_.magnitude < 0.0)
+        throw std::invalid_argument("ScenarioSpec '" + name_ +
+                                    "': additive noise must be non-negative");
+}
+
+double ScenarioSpec::base_at(std::size_t a, std::size_t i) const {
+    const AlgorithmModel& model = algorithms_.at(a);
+    double base = model.base;
+    double ramp = model.ramp;
+    std::size_t phase_start = 0;
+    for (const auto& shift : shifts_) {
+        if (shift.at_iteration > i) break;
+        base = shift.bases[a];
+        ramp = shift.ramps.empty() ? 0.0 : shift.ramps[a];
+        phase_start = shift.at_iteration;
+    }
+    return base + ramp * static_cast<double>(i - phase_start);
+}
+
+double ScenarioSpec::scale_at(std::size_t i) const {
+    double scale = 1.0;
+    for (const auto& step : sizes_) {
+        if (step.at_iteration > i) break;
+        scale = step.scale;
+    }
+    return scale;
+}
+
+double ScenarioSpec::ideal_cost(std::size_t a, std::size_t i) const {
+    return base_at(a, i) *
+           std::pow(scale_at(i), algorithms_.at(a).size_exponent);
+}
+
+std::size_t ScenarioSpec::best_algorithm(std::size_t i) const {
+    std::size_t best = 0;
+    double best_cost = ideal_cost(0, i);
+    for (std::size_t a = 1; a < algorithms_.size(); ++a) {
+        const double cost = ideal_cost(a, i);
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = a;
+        }
+    }
+    return best;
+}
+
+Cost ScenarioSpec::evaluate(const Trial& trial, std::size_t iteration,
+                            Rng& rng) const {
+    const AlgorithmModel& model = algorithms_.at(trial.algorithm);
+    double dist_sq = 0.0;
+    for (std::size_t d = 0; d < model.optimum.size(); ++d) {
+        const double delta =
+            static_cast<double>(trial.config[d]) - model.optimum[d];
+        dist_sq += delta * delta;
+    }
+    const double excess =
+        std::max(0.0, std::sqrt(dist_sq) - model.plateau_radius);
+    double cost = base_at(trial.algorithm, iteration) +
+                  model.slope * std::pow(excess, model.curvature);
+    cost *= std::pow(scale_at(iteration), model.size_exponent);
+    switch (noise_.kind) {
+    case NoiseModel::Kind::None:
+        break;
+    case NoiseModel::Kind::Relative:
+        cost *= 1.0 + noise_.magnitude * rng.uniform_real(-1.0, 1.0);
+        break;
+    case NoiseModel::Kind::Additive:
+        cost += noise_.magnitude * rng.uniform_real(-1.0, 1.0);
+        break;
+    }
+    cost = std::max(cost, kCostFloor);
+    ATK_ASSERT(std::isfinite(cost) && cost > 0.0,
+               "scenario surface produced a non-positive or non-finite cost");
+    return cost;
+}
+
+std::vector<TunableAlgorithm> ScenarioSpec::make_algorithms() const {
+    std::vector<TunableAlgorithm> algorithms;
+    algorithms.reserve(algorithms_.size());
+    for (const auto& model : algorithms_) {
+        if (model.optimum.empty()) {
+            algorithms.push_back(TunableAlgorithm::untunable(model.name));
+            continue;
+        }
+        TunableAlgorithm algorithm;
+        algorithm.name = model.name;
+        for (std::size_t d = 0; d < model.optimum.size(); ++d)
+            algorithm.space.add(
+                Parameter::ratio("x" + std::to_string(d), model.lo, model.hi));
+        algorithm.initial = algorithm.space.midpoint();
+        algorithm.searcher = std::make_unique<NelderMeadSearcher>();
+        algorithms.push_back(std::move(algorithm));
+    }
+    return algorithms;
+}
+
+std::vector<std::string> scenario_names() {
+    return {"static", "drift", "plateau", "sweep"};
+}
+
+ScenarioSpec make_scenario(const std::string& name) {
+    if (name == "static") {
+        // The paper's static setting: four algorithms, one clear winner after
+        // phase-one tuning, mild measurement noise (Section IV-A dynamics).
+        return ScenarioSpec::named("static")
+            .algorithm(AlgorithmModel::constant("slowflat", 40.0))
+            .algorithm(AlgorithmModel::bowl("winner", 8.0, {80.0}, 0.5))
+            .algorithm(AlgorithmModel::bowl("midrange", 20.0, {20.0}, 0.2))
+            .algorithm(AlgorithmModel::bowl("terrible", 120.0, {50.0}, 1.0))
+            .relative_noise(0.02)
+            .horizon(400);
+    }
+    if (name == "drift") {
+        // Online drift (paper §IV-C): the incumbent degrades, a previously
+        // uncompetitive algorithm becomes strictly faster than the incumbent
+        // ever was — every strategy, including best-ever trackers, can and
+        // must re-converge.  Noise-free so re-convergence gates are exact:
+        // the incumbent's post-shift ramp keeps its gradient strictly
+        // negative, which the Gradient-Weighted gate relies on.
+        return ScenarioSpec::named("drift")
+            .algorithm(AlgorithmModel::constant("incumbent", 10.0))
+            .algorithm(AlgorithmModel::constant("latebloomer", 30.0))
+            .shift(150, {30.0, 4.0}, {0.02, 0.0})
+            .horizon(450);
+    }
+    if (name == "plateau") {
+        // Flat-floor surfaces: inside the plateau every configuration looks
+        // identical, starving Nelder-Mead of gradient information.
+        return ScenarioSpec::named("plateau")
+            .algorithm(AlgorithmModel::plateau("mesa", 12.0, {30.0}, 15.0, 0.8))
+            .algorithm(AlgorithmModel::bowl("spike", 10.0, {70.0}, 0.05, 2.0))
+            .algorithm(AlgorithmModel::constant("flatline", 25.0))
+            .relative_noise(0.05)
+            .horizon(400);
+    }
+    if (name == "sweep") {
+        // Input-size sweep: a linear-cost algorithm wins small inputs, a
+        // sublinear one takes over as the simulated input grows 6×.
+        AlgorithmModel linear = AlgorithmModel::constant("linear", 5.0);
+        linear.size_exponent = 1.0;
+        AlgorithmModel sublinear = AlgorithmModel::constant("sublinear", 12.0);
+        sublinear.size_exponent = 0.3;
+        return ScenarioSpec::named("sweep")
+            .algorithm(std::move(linear))
+            .algorithm(std::move(sublinear))
+            .input_scale(150, 2.0)
+            .input_scale(300, 6.0)
+            .relative_noise(0.02)
+            .horizon(450);
+    }
+    throw std::invalid_argument("make_scenario: unknown scenario '" + name +
+                                "' (have: static, drift, plateau, sweep)");
+}
+
+} // namespace atk::sim

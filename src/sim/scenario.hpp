@@ -1,0 +1,161 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tuner.hpp"
+#include "support/rng.hpp"
+
+namespace atk::sim {
+
+/// Parametric cost surface of one simulated algorithm.  The surface is the
+/// controlled stand-in for "run algorithm A with configuration C and time
+/// it": a convex bowl (optionally flattened into a plateau) over A's own
+/// parameter space, whose floor can move over simulated time.
+///
+/// Cost of configuration x at tuning iteration i:
+///
+///   dist    = ‖x − optimum‖₂                     (0 for untunable algorithms)
+///   surface = base(i) + slope · max(0, dist − plateau_radius)^curvature
+///   cost    = surface · input_scale(i)^size_exponent
+///
+/// base(i) follows the scenario's phase schedule: each phase supplies a base
+/// and a per-iteration ramp (the paper's drifting-context setting, §IV-C).
+struct AlgorithmModel {
+    std::string name;
+    double base = 10.0;            ///< best achievable cost in phase 0
+    double ramp = 0.0;             ///< additive cost drift per iteration
+    double slope = 0.0;            ///< cost per unit distance beyond the plateau
+    double curvature = 1.0;        ///< distance exponent (2 = quadratic bowl)
+    double plateau_radius = 0.0;   ///< flat region around the optimum
+    std::vector<double> optimum;   ///< per-dimension optimum; empty = untunable
+    std::int64_t lo = 0;           ///< parameter range (each dimension)
+    std::int64_t hi = 100;
+    double size_exponent = 1.0;    ///< how cost scales with the input-size factor
+
+    /// Untunable algorithm with a constant surface (a fixed matcher).
+    static AlgorithmModel constant(std::string name, double base);
+
+    /// Convex bowl over `optimum.size()` ratio parameters — the landscape
+    /// Nelder-Mead is built for.
+    static AlgorithmModel bowl(std::string name, double base,
+                               std::vector<double> optimum, double slope,
+                               double curvature = 1.0);
+
+    /// Bowl with a flat floor of the given radius: inside the plateau every
+    /// configuration is equally good, which starves gradient information.
+    static AlgorithmModel plateau(std::string name, double base,
+                                  std::vector<double> optimum, double radius,
+                                  double slope);
+};
+
+/// Measurement noise applied on top of the surface.  Seeded from the
+/// scenario RNG, so two runs with the same seed observe identical noise.
+struct NoiseModel {
+    enum class Kind { None, Relative, Additive };
+    Kind kind = Kind::None;
+    double magnitude = 0.0;  ///< ±fraction (Relative) or ±ms (Additive)
+};
+
+/// One entry of the phase-change schedule: from `at_iteration` on, algorithm
+/// a's surface floor becomes bases[a] (+ ramps[a] per iteration since the
+/// shift).  Swapping which base is smallest swaps the best algorithm mid-run.
+struct PhaseShift {
+    std::size_t at_iteration = 0;
+    std::vector<double> bases;  ///< one per algorithm
+    std::vector<double> ramps;  ///< one per algorithm; empty = all zero
+};
+
+/// One entry of the input-size sweep: from `at_iteration` on, the simulated
+/// input is `scale`× the phase-0 size.  Algorithms feel it through their
+/// size_exponent, so complexity classes cross over as the input grows.
+struct SizeStep {
+    std::size_t at_iteration = 0;
+    double scale = 1.0;
+};
+
+/// A complete, self-contained description of one simulated tuning problem:
+/// the algorithm set with their cost surfaces, the noise model, the
+/// phase-change schedule and the input-size sweep.  Built fluently:
+///
+///     auto spec = ScenarioSpec::named("drift")
+///                     .algorithm(AlgorithmModel::constant("incumbent", 10))
+///                     .algorithm(AlgorithmModel::constant("latebloomer", 30))
+///                     .shift(200, {30.0, 4.0}, {0.02, 0.0})
+///                     .horizon(450);
+///
+/// A spec is pure data: evaluating it never touches a wall clock, and all
+/// randomness comes from the Rng the caller passes in.
+class ScenarioSpec {
+public:
+    static ScenarioSpec named(std::string name);
+
+    ScenarioSpec& algorithm(AlgorithmModel model);
+    ScenarioSpec& relative_noise(double magnitude);
+    ScenarioSpec& additive_noise(double magnitude);
+    ScenarioSpec& shift(std::size_t at_iteration, std::vector<double> bases,
+                        std::vector<double> ramps = {});
+    ScenarioSpec& input_scale(std::size_t at_iteration, double scale);
+    ScenarioSpec& horizon(std::size_t iterations);
+
+    /// Throws std::invalid_argument when the spec is inconsistent (no
+    /// algorithms, non-positive bases, shift shape mismatches, unsorted
+    /// schedules, optima outside [lo, hi], noise that could reach zero).
+    void validate() const;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] std::size_t algorithm_count() const noexcept { return algorithms_.size(); }
+    [[nodiscard]] const AlgorithmModel& model(std::size_t a) const {
+        return algorithms_.at(a);
+    }
+    [[nodiscard]] std::size_t iterations() const noexcept { return iterations_; }
+    [[nodiscard]] const NoiseModel& noise() const noexcept { return noise_; }
+
+    /// Surface floor of algorithm `a` at iteration `i` (phase schedule applied).
+    [[nodiscard]] double base_at(std::size_t a, std::size_t i) const;
+
+    /// Input-size factor at iteration `i` (1.0 before the first step).
+    [[nodiscard]] double scale_at(std::size_t i) const;
+
+    /// Cost of algorithm `a` tuned perfectly to its optimum, at iteration `i`
+    /// — the floor the tuner is converging toward, noise-free.
+    [[nodiscard]] double ideal_cost(std::size_t a, std::size_t i) const;
+
+    /// Algorithm with the lowest ideal cost at iteration `i`: the choice a
+    /// perfect phase-two strategy converges to.
+    [[nodiscard]] std::size_t best_algorithm(std::size_t i) const;
+
+    /// The measurement function: surface + schedules + seeded noise.  The
+    /// result is clamped to a small positive floor — strategies require
+    /// cost > 0.  Noise draws from `rng` only when the noise model is active,
+    /// so noise-free scenarios consume no random numbers here.
+    [[nodiscard]] Cost evaluate(const Trial& trial, std::size_t iteration,
+                                Rng& rng) const;
+
+    /// Materializes the tuner-side view: one TunableAlgorithm per model, with
+    /// a ratio parameter per optimum dimension (Nelder-Mead attached) or an
+    /// untunable fixed configuration when the model has no dimensions.
+    [[nodiscard]] std::vector<TunableAlgorithm> make_algorithms() const;
+
+private:
+    std::string name_;
+    std::vector<AlgorithmModel> algorithms_;
+    NoiseModel noise_;
+    std::vector<PhaseShift> shifts_;  ///< sorted by at_iteration
+    std::vector<SizeStep> sizes_;     ///< sorted by at_iteration
+    std::size_t iterations_ = 400;
+};
+
+/// Named scenario library used by tests/sim, tools/atk_sim and check.sh:
+///   static   the paper's static four-algorithm setting (bowls + noise)
+///   drift    phase change swaps the best algorithm mid-run
+///   plateau  flat-floor surfaces that starve gradient information
+///   sweep    input-size sweep crossing two complexity classes over
+[[nodiscard]] std::vector<std::string> scenario_names();
+
+/// Throws std::invalid_argument for an unknown name.
+[[nodiscard]] ScenarioSpec make_scenario(const std::string& name);
+
+} // namespace atk::sim

@@ -1,0 +1,12 @@
+#pragma once
+
+// Deterministic simulation harness for the autotuning kit: synthetic cost
+// surfaces (scenario.hpp), a seeded virtual clock (sim_clock.hpp), the
+// single-run and ensemble drivers (simulator.hpp), the statistical assertion
+// kit (stats.hpp) and runtime fault injection (fault.hpp).
+
+#include "sim/fault.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sim_clock.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"

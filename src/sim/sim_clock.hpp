@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "support/clock.hpp"
+#include "support/rng.hpp"
+
+namespace atk::sim {
+
+/// The simulation's time source: a virtual clock (same now()/advance()
+/// surface as support's VirtualClock) whose optional timing jitter is drawn
+/// from a seeded Rng, so an entire simulated timeline — every timestamp and
+/// every perturbed duration — is bit-reproducible from a single seed.
+///
+/// The harness advances it by simulated measurement durations instead of
+/// reading a wall clock; hardware noise becomes a seeded, replayable model.
+class SimClock {
+public:
+    explicit SimClock(std::uint64_t seed, double jitter = 0.0) noexcept
+        : jitter_(jitter < 0.0 ? 0.0 : jitter), rng_(seed) {}
+
+    [[nodiscard]] Millis now() const noexcept { return now_; }
+
+    /// Advances exactly `delta` milliseconds (no jitter).
+    void advance(Millis delta) noexcept { now_ += delta; }
+
+    /// Advances by `nominal` perturbed with ±jitter (relative), returning the
+    /// duration actually "measured".  With jitter 0 this is advance() that
+    /// reports back.  The result never drops to zero or below.
+    Millis tick(Millis nominal) noexcept {
+        Millis actual = nominal;
+        if (jitter_ > 0.0)
+            actual *= 1.0 + jitter_ * rng_.uniform_real(-1.0, 1.0);
+        if (actual < 1e-9) actual = 1e-9;
+        now_ += actual;
+        return actual;
+    }
+
+private:
+    Millis now_ = 0.0;
+    double jitter_;
+    Rng rng_;
+};
+
+} // namespace atk::sim

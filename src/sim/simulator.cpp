@@ -1,0 +1,100 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/audit.hpp"
+#include "sim/sim_clock.hpp"
+#include "support/contracts.hpp"
+
+namespace atk::sim {
+
+namespace {
+
+/// Seed-stream separation: the tuner, the noise model and the clock jitter
+/// each get an independent stream derived from the run seed, so adding noise
+/// draws never perturbs the tuner's selection stream.
+constexpr std::uint64_t kNoiseStream = 0x6E6F697365ULL;  // "noise"
+constexpr std::uint64_t kClockStream = 0x636C6F636BULL;  // "clock"
+
+} // namespace
+
+SimResult simulate(const ScenarioSpec& spec, const StrategyFactory& make_strategy,
+                   std::uint64_t seed, SimOptions options) {
+    spec.validate();
+    const std::size_t iterations =
+        options.iterations != 0 ? options.iterations : spec.iterations();
+
+    TwoPhaseTuner tuner(make_strategy(), spec.make_algorithms(), seed);
+    Rng noise(seed ^ kNoiseStream);
+    SimClock clock(seed ^ kClockStream, options.clock_jitter);
+
+    SimResult result;
+    result.algorithms = spec.algorithm_count();
+    result.min_weight = std::numeric_limits<double>::infinity();
+    result.min_probability = std::numeric_limits<double>::infinity();
+
+    std::unique_ptr<obs::DecisionAuditTrail> trail;
+    if (options.capture_audit)
+        trail = std::make_unique<obs::DecisionAuditTrail>(iterations);
+
+    tuner.set_decision_hook([&](const DecisionEvent& event) {
+        for (const double w : event.weights)
+            result.min_weight = std::min(result.min_weight, w);
+        const auto probabilities = obs::selection_probabilities(event.weights);
+        for (const double p : probabilities)
+            result.min_probability = std::min(result.min_probability, p);
+        if (trail != nullptr) {
+            obs::Decision decision;
+            decision.session = spec.name();
+            decision.iteration = event.iteration;
+            decision.algorithm = event.algorithm;
+            decision.algorithm_name = event.algorithm_name;
+            decision.explored = event.explored;
+            decision.step_kind = event.step_kind;
+            decision.weights = event.weights;
+            decision.probabilities = probabilities;
+            decision.config = event.config.values();
+            trail->record(std::move(decision));
+        }
+    });
+
+    for (std::size_t i = 0; i < iterations; ++i) {
+        const Trial trial = tuner.next();
+        const Cost cost = spec.evaluate(trial, i, noise);
+        clock.tick(cost);
+        tuner.report(trial, cost);
+    }
+
+    ATK_ASSERT(result.min_weight > 0.0,
+               "a strategy handed out a non-positive weight during simulation");
+
+    result.trace = tuner.trace();
+    result.final_weights = tuner.strategy().weights();
+    result.sim_time = clock.now();
+    result.best_algorithm = tuner.best_trial().algorithm;
+    result.best_cost = tuner.best_cost();
+    if (trail != nullptr) result.audit_jsonl = trail->to_jsonl();
+    return result;
+}
+
+std::vector<std::uint64_t> ensemble_seeds(std::uint64_t base_seed,
+                                          std::size_t count) {
+    std::vector<std::uint64_t> seeds(count);
+    for (std::size_t s = 0; s < count; ++s) seeds[s] = base_seed + s;
+    return seeds;
+}
+
+std::vector<SimResult> simulate_ensemble(const ScenarioSpec& spec,
+                                         const StrategyFactory& make_strategy,
+                                         std::uint64_t base_seed,
+                                         std::size_t seed_count,
+                                         SimOptions options) {
+    std::vector<SimResult> results;
+    results.reserve(seed_count);
+    for (const std::uint64_t seed : ensemble_seeds(base_seed, seed_count))
+        results.push_back(simulate(spec, make_strategy, seed, options));
+    return results;
+}
+
+} // namespace atk::sim

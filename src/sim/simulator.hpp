@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/nominal/strategy.hpp"
+#include "core/trace.hpp"
+#include "core/tuner.hpp"
+#include "sim/scenario.hpp"
+#include "support/clock.hpp"
+
+namespace atk::sim {
+
+/// Builds a fresh phase-two strategy for one simulated run.  Ensembles call
+/// it once per seed, so strategies never leak state across repetitions.
+using StrategyFactory = std::function<std::unique_ptr<NominalStrategy>()>;
+
+struct SimOptions {
+    std::size_t iterations = 0;  ///< 0 = the scenario's horizon
+    bool capture_audit = false;  ///< record the decision stream as JSONL
+    double clock_jitter = 0.0;   ///< SimClock timing jitter (seeded)
+};
+
+/// Everything one simulated tuning run produced, ready for the statistical
+/// assertion kit: the full trace, the strategy's final view, the worst-case
+/// weight/probability ever handed out (the no-exclusion invariant), and the
+/// deterministic simulated timeline.
+struct SimResult {
+    TuningTrace trace;
+    std::size_t algorithms = 0;
+    std::vector<double> final_weights;
+    double min_weight = 0.0;        ///< min over every decision and algorithm
+    double min_probability = 0.0;   ///< same, after normalization
+    Millis sim_time = 0.0;          ///< SimClock at the end of the run
+    std::size_t best_algorithm = 0; ///< tuner's best-known trial
+    Cost best_cost = 0.0;
+    std::string audit_jsonl;        ///< non-empty when capture_audit was set
+};
+
+/// Runs `spec` against a TwoPhaseTuner for the configured horizon on a
+/// deterministic virtual clock.  Identical (spec, factory, seed, options)
+/// produce bit-identical results — the property tests/sim/determinism_test
+/// pins down and every convergence gate relies on.
+[[nodiscard]] SimResult simulate(const ScenarioSpec& spec,
+                                 const StrategyFactory& make_strategy,
+                                 std::uint64_t seed, SimOptions options = {});
+
+/// The per-seed repetition set every statistical gate runs over: seeds
+/// base_seed, base_seed+1, ….  Kept explicit (not hidden inside ensemble
+/// runs) so a failing seed can be replayed alone.
+[[nodiscard]] std::vector<std::uint64_t> ensemble_seeds(std::uint64_t base_seed,
+                                                        std::size_t count);
+
+/// One simulate() per seed, in seed order (deterministic, single-threaded).
+[[nodiscard]] std::vector<SimResult> simulate_ensemble(
+    const ScenarioSpec& spec, const StrategyFactory& make_strategy,
+    std::uint64_t base_seed, std::size_t seed_count, SimOptions options = {});
+
+} // namespace atk::sim

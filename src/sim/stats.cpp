@@ -1,0 +1,136 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace atk::sim {
+
+std::vector<double> selection_share_curve(const TuningTrace& trace,
+                                          std::size_t algorithm,
+                                          std::size_t window) {
+    if (window == 0)
+        throw std::invalid_argument("selection_share_curve: window must be positive");
+    std::vector<double> curve(trace.size(), 0.0);
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (trace[i].algorithm == algorithm) ++hits;
+        if (i >= window && trace[i - window].algorithm == algorithm) --hits;
+        const std::size_t span = std::min(i + 1, window);
+        curve[i] = static_cast<double>(hits) / static_cast<double>(span);
+    }
+    return curve;
+}
+
+double selection_share(const TuningTrace& trace, std::size_t algorithm,
+                       std::size_t begin, std::size_t end) {
+    if (begin >= end || end > trace.size())
+        throw std::invalid_argument("selection_share: empty or out-of-range span");
+    std::size_t hits = 0;
+    for (std::size_t i = begin; i < end; ++i)
+        if (trace[i].algorithm == algorithm) ++hits;
+    return static_cast<double>(hits) / static_cast<double>(end - begin);
+}
+
+std::size_t modal_choice(const TuningTrace& trace, std::size_t algorithms,
+                         std::size_t begin, std::size_t end) {
+    if (begin >= end || end > trace.size())
+        throw std::invalid_argument("modal_choice: empty or out-of-range span");
+    std::vector<std::size_t> counts(algorithms, 0);
+    for (std::size_t i = begin; i < end; ++i) ++counts.at(trace[i].algorithm);
+    return static_cast<std::size_t>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+std::optional<std::size_t> convergence_iteration(const TuningTrace& trace,
+                                                 std::size_t algorithm,
+                                                 double share,
+                                                 std::size_t window) {
+    const auto curve = selection_share_curve(trace, algorithm, window);
+    for (std::size_t i = window > 0 ? window - 1 : 0; i < curve.size(); ++i)
+        if (curve[i] >= share) return i;
+    return std::nullopt;
+}
+
+std::vector<double> ensemble_convergence(std::span<const SimResult> ensemble,
+                                         std::size_t algorithm, double share,
+                                         std::size_t window,
+                                         std::size_t horizon) {
+    std::vector<double> iterations;
+    iterations.reserve(ensemble.size());
+    for (const SimResult& run : ensemble) {
+        const auto converged =
+            convergence_iteration(run.trace, algorithm, share, window);
+        iterations.push_back(static_cast<double>(converged.value_or(horizon)));
+    }
+    return iterations;
+}
+
+namespace {
+
+/// Φ(z), the standard normal CDF.
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+} // namespace
+
+WilcoxonResult wilcoxon_signed_rank(std::span<const double> a,
+                                    std::span<const double> b) {
+    if (a.size() != b.size())
+        throw std::invalid_argument("wilcoxon_signed_rank: paired spans differ in length");
+
+    struct Pair {
+        double magnitude;
+        bool positive;
+    };
+    std::vector<Pair> pairs;
+    pairs.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double diff = a[i] - b[i];
+        if (diff != 0.0) pairs.push_back({std::abs(diff), diff > 0.0});
+    }
+
+    WilcoxonResult result;
+    result.n = pairs.size();
+    if (pairs.empty()) return result;  // all ties: no evidence either way
+
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Pair& x, const Pair& y) { return x.magnitude < y.magnitude; });
+
+    // Average ranks within tie groups; accumulate the tie correction term.
+    double tie_correction = 0.0;
+    std::size_t i = 0;
+    while (i < pairs.size()) {
+        std::size_t j = i;
+        while (j < pairs.size() && pairs[j].magnitude == pairs[i].magnitude) ++j;
+        const double tied = static_cast<double>(j - i);
+        const double rank =
+            (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+        for (std::size_t k = i; k < j; ++k) {
+            if (pairs[k].positive)
+                result.w_plus += rank;
+            else
+                result.w_minus += rank;
+        }
+        tie_correction += tied * tied * tied - tied;
+        i = j;
+    }
+
+    const double n = static_cast<double>(result.n);
+    const double mean = n * (n + 1.0) / 4.0;
+    const double variance =
+        n * (n + 1.0) * (2.0 * n + 1.0) / 24.0 - tie_correction / 48.0;
+    if (variance <= 0.0) return result;  // degenerate: every magnitude tied away
+
+    // Continuity correction pulls W+ half a rank toward the mean.
+    double w = result.w_plus;
+    if (w > mean)
+        w -= 0.5;
+    else if (w < mean)
+        w += 0.5;
+    result.z = (w - mean) / std::sqrt(variance);
+    result.p_a_less_b = normal_cdf(result.z);
+    return result;
+}
+
+} // namespace atk::sim

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace atk::sim {
+
+/// Rolling selection share: share[i] = fraction of the `window` iterations
+/// ending at i (inclusive) that chose `algorithm`.  The first window-1
+/// entries use the shorter prefix window.  This is the curve behind the
+/// paper's Figure 4/8 histograms, unrolled over time.
+[[nodiscard]] std::vector<double> selection_share_curve(const TuningTrace& trace,
+                                                        std::size_t algorithm,
+                                                        std::size_t window);
+
+/// Fraction of iterations in [begin, end) that chose `algorithm`.
+/// Throws std::invalid_argument on an empty or out-of-range span.
+[[nodiscard]] double selection_share(const TuningTrace& trace,
+                                     std::size_t algorithm, std::size_t begin,
+                                     std::size_t end);
+
+/// Most frequently chosen algorithm in [begin, end) (lowest index wins ties).
+[[nodiscard]] std::size_t modal_choice(const TuningTrace& trace,
+                                       std::size_t algorithms, std::size_t begin,
+                                       std::size_t end);
+
+/// Convergence-iteration extraction: the first iteration i ≥ window-1 whose
+/// trailing `window` selection share of `algorithm` reaches `share`;
+/// nullopt when the trace never concentrates that far (the weighted
+/// strategies' deliberate spreading shows up exactly here).
+[[nodiscard]] std::optional<std::size_t> convergence_iteration(
+    const TuningTrace& trace, std::size_t algorithm, double share,
+    std::size_t window);
+
+/// Per-seed convergence iterations of an ensemble, with never-converged runs
+/// mapped to `horizon` so the values stay comparable (and Wilcoxon-rankable)
+/// across strategies that do and don't concentrate.
+[[nodiscard]] std::vector<double> ensemble_convergence(
+    std::span<const SimResult> ensemble, std::size_t algorithm, double share,
+    std::size_t window, std::size_t horizon);
+
+/// Wilcoxon signed-rank test over paired per-seed statistics (normal
+/// approximation with average ranks, tie correction and continuity
+/// correction) — the seed-ensemble comparison the convergence gates use.
+/// Zero differences are dropped per standard practice.
+struct WilcoxonResult {
+    std::size_t n = 0;         ///< pairs with a non-zero difference
+    double w_plus = 0.0;       ///< rank sum of pairs where a > b
+    double w_minus = 0.0;      ///< rank sum of pairs where a < b
+    double z = 0.0;            ///< standardized statistic (0 when n or var is 0)
+    double p_a_less_b = 0.5;   ///< one-sided P under H0 against "a shifted below b"
+};
+
+/// Throws std::invalid_argument when the spans' lengths differ.
+[[nodiscard]] WilcoxonResult wilcoxon_signed_rank(std::span<const double> a,
+                                                  std::span<const double> b);
+
+} // namespace atk::sim

@@ -102,6 +102,104 @@ TEST(BoundedQueue, ManyProducersAllItemsArrive) {
     for (int i = 0; i < kProducers * kPerProducer; ++i) EXPECT_EQ(seen[i], i);
 }
 
+/// Block-mode backpressure under real contention: a capacity-1 queue, eight
+/// producers and a deliberately slow consumer, so nearly every push() blocks.
+/// Every item must arrive exactly once and the bound must never be exceeded
+/// (the queue's own ATK_ASSERT guards the latter on every push).
+TEST(BoundedQueue, BlockModeManyProducersTinyCapacity) {
+    BoundedQueue<int> queue(1);
+    constexpr int kProducers = 8;
+    constexpr int kPerProducer = 100;
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&queue, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                EXPECT_TRUE(queue.push(p * kPerProducer + i));
+        });
+    }
+
+    std::vector<int> seen;
+    std::thread consumer([&] {
+        while (auto value = queue.pop()) {
+            EXPECT_LE(queue.size(), queue.capacity());
+            seen.push_back(*value);
+            // Stay slower than the producers so the queue is persistently
+            // full and push() exercises its wait path, not the fast path.
+            if (seen.size() % 64 == 0)
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    });
+
+    for (auto& producer : producers) producer.join();
+    queue.close();
+    consumer.join();
+
+    ASSERT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+    std::sort(seen.begin(), seen.end());
+    for (int i = 0; i < kProducers * kPerProducer; ++i) EXPECT_EQ(seen[i], i);
+}
+
+/// close() must wake every producer blocked on a full queue at once, and
+/// each must report failure (its value discarded) rather than hang.
+TEST(BoundedQueue, CloseWakesAllBlockedProducers) {
+    BoundedQueue<int> queue(1);
+    ASSERT_TRUE(queue.try_push(0));  // full from the start
+
+    constexpr int kProducers = 6;
+    std::atomic<int> rejected{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&queue, &rejected, p] {
+            if (!queue.push(p + 1)) rejected.fetch_add(1);
+        });
+    }
+
+    // Give the producers time to park on the full queue, then close.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+    for (auto& producer : producers) producer.join();
+
+    EXPECT_EQ(rejected.load(), kProducers);
+    EXPECT_EQ(queue.pop(), std::optional<int>(0));  // pre-close item survives
+    EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+/// Mixed policies under contention: blocking producers never lose items,
+/// try_push producers only ever fail cleanly — the accepted set still
+/// arrives exactly once.
+TEST(BoundedQueue, MixedBlockingAndDroppingProducers) {
+    BoundedQueue<int> queue(2);
+    constexpr int kPerProducer = 200;
+
+    std::atomic<int> dropped{0};
+    std::thread blocking_producer([&] {
+        for (int i = 0; i < kPerProducer; ++i) EXPECT_TRUE(queue.push(i));
+    });
+    std::thread dropping_producer([&] {
+        for (int i = 0; i < kPerProducer; ++i)
+            if (!queue.try_push(kPerProducer + i)) dropped.fetch_add(1);
+    });
+
+    std::vector<int> seen;
+    std::thread consumer([&] {
+        while (auto value = queue.pop()) seen.push_back(*value);
+    });
+
+    blocking_producer.join();
+    dropping_producer.join();
+    queue.close();
+    consumer.join();
+
+    ASSERT_EQ(seen.size(),
+              static_cast<std::size_t>(2 * kPerProducer - dropped.load()));
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+    // All blocking-producer items are present, exactly once.
+    for (int i = 0; i < kPerProducer; ++i)
+        EXPECT_TRUE(std::binary_search(seen.begin(), seen.end(), i));
+}
+
 std::vector<TunableAlgorithm> two_fixed_algorithms() {
     std::vector<TunableAlgorithm> algorithms;
     algorithms.push_back(TunableAlgorithm::untunable("A"));

@@ -1,0 +1,107 @@
+// Seed determinism (satellite of the sim-harness PR): identical seeds must
+// produce bit-identical traces and decision-audit streams, because every
+// statistical gate in this suite relies on exact replay.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/tuner.hpp"
+#include "obs/audit.hpp"
+#include "sim/sim.hpp"
+#include "sim_test_util.hpp"
+
+namespace atk::sim {
+namespace {
+
+void expect_identical_traces(const TuningTrace& a, const TuningTrace& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("iteration " + std::to_string(i));
+        EXPECT_EQ(a[i].iteration, b[i].iteration);
+        EXPECT_EQ(a[i].algorithm, b[i].algorithm);
+        EXPECT_EQ(a[i].config.values(), b[i].config.values());
+        // Bit-identical, not approximately equal: the whole pipeline is
+        // deterministic, so even the noisy costs must match exactly.
+        EXPECT_DOUBLE_EQ(a[i].cost, b[i].cost);
+    }
+}
+
+TEST(Determinism, SameSeedSameSimulation) {
+    for (const auto& scenario : scenario_names()) {
+        const auto spec = make_scenario(scenario);
+        for (const auto& strategy : testutil::all_strategies()) {
+            SCOPED_TRACE(scenario + "/" + strategy.name);
+            SimOptions options;
+            options.capture_audit = true;
+            options.clock_jitter = 0.05;
+            const auto first = simulate(spec, strategy.make, 99, options);
+            const auto second = simulate(spec, strategy.make, 99, options);
+
+            expect_identical_traces(first.trace, second.trace);
+            EXPECT_EQ(first.final_weights, second.final_weights);
+            EXPECT_DOUBLE_EQ(first.sim_time, second.sim_time);
+            EXPECT_EQ(first.best_algorithm, second.best_algorithm);
+            EXPECT_DOUBLE_EQ(first.best_cost, second.best_cost);
+
+            // The serialized decision-audit stream — weights, probabilities,
+            // exploration rolls, phase-one steps — matches byte for byte.
+            ASSERT_FALSE(first.audit_jsonl.empty());
+            EXPECT_EQ(first.audit_jsonl, second.audit_jsonl);
+        }
+    }
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+    const auto spec = make_scenario("static");
+    const auto a = simulate(spec, testutil::epsilon_greedy(0.05), 1);
+    const auto b = simulate(spec, testutil::epsilon_greedy(0.05), 2);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    bool diverged = false;
+    for (std::size_t i = 0; i < a.trace.size() && !diverged; ++i)
+        diverged = a.trace[i].algorithm != b.trace[i].algorithm ||
+                   a.trace[i].cost != b.trace[i].cost;
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Determinism, BareTunerRunsAreBitIdentical) {
+    // The same property straight on TwoPhaseTuner, without the sim driver in
+    // between: two tuners with one shared seed, fed by the same deterministic
+    // measurement function, produce identical traces and audit streams.
+    const auto spec = make_scenario("static");
+    const auto run_once = [&spec](std::uint64_t seed, std::string& audit_out) {
+        TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.05),
+                            spec.make_algorithms(), seed);
+        obs::DecisionAuditTrail trail(spec.iterations());
+        tuner.set_decision_hook([&trail, &spec](const DecisionEvent& event) {
+            obs::Decision decision;
+            decision.session = spec.name();
+            decision.iteration = event.iteration;
+            decision.algorithm = event.algorithm;
+            decision.algorithm_name = event.algorithm_name;
+            decision.explored = event.explored;
+            decision.step_kind = event.step_kind;
+            decision.weights = event.weights;
+            decision.probabilities = obs::selection_probabilities(event.weights);
+            decision.config = event.config.values();
+            trail.record(std::move(decision));
+        });
+        Rng noise(seed ^ 0x6E6F697365ULL);  // the sim driver's noise stream
+        for (std::size_t i = 0; i < spec.iterations(); ++i) {
+            const Trial trial = tuner.next();
+            tuner.report(trial, spec.evaluate(trial, i, noise));
+        }
+        audit_out = trail.to_jsonl();
+        return tuner.trace();
+    };
+
+    std::string audit_a, audit_b;
+    const TuningTrace trace_a = run_once(7, audit_a);
+    const TuningTrace trace_b = run_once(7, audit_b);
+    expect_identical_traces(trace_a, trace_b);
+    ASSERT_FALSE(audit_a.empty());
+    EXPECT_EQ(audit_a, audit_b);
+}
+
+} // namespace
+} // namespace atk::sim

@@ -1,0 +1,146 @@
+// Fault injection through the runtime path: a real TuningService (aggregator
+// thread, bounded queue, snapshots) fed a measurement stream that drops,
+// duplicates, reorders and delays — the service must degrade gracefully, and
+// strategy state must never be poisoned (weights finite and positive).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/sim.hpp"
+#include "sim_test_util.hpp"
+
+namespace atk::sim {
+namespace {
+
+constexpr std::uint64_t kSeed = 4242;
+constexpr std::size_t kCycles = 300;
+
+void expect_healthy(const FaultReport& report) {
+    EXPECT_TRUE(report.weights_healthy);
+    EXPECT_TRUE(report.has_best);
+    EXPECT_GT(report.best_cost, 0.0);
+    EXPECT_GT(report.tuner_iterations, 0u);
+    EXPECT_GT(report.accepted, 0u);
+}
+
+TEST(FaultInjection, CleanRunEstablishesTheBaseline) {
+    ServiceSimulator simulator(make_scenario("static"), kSeed);
+    const auto report =
+        simulator.run(testutil::epsilon_greedy(0.05), FaultPlan{}, kCycles);
+    expect_healthy(report);
+    EXPECT_EQ(report.delivered, kCycles);
+    EXPECT_EQ(report.dropped_by_fault, 0u);
+    EXPECT_EQ(report.duplicated, 0u);
+}
+
+TEST(FaultInjection, DroppedMeasurementsOnlyLoseSamples) {
+    ServiceSimulator simulator(make_scenario("static"), kSeed);
+    FaultPlan plan;
+    plan.drop_probability = 0.3;
+    const auto report =
+        simulator.run(testutil::epsilon_greedy(0.05), plan, kCycles);
+    expect_healthy(report);
+    EXPECT_GT(report.dropped_by_fault, 0u);
+    EXPECT_EQ(report.delivered + report.dropped_by_fault, kCycles);
+}
+
+TEST(FaultInjection, DuplicatedMeasurementsAreAbsorbed) {
+    ServiceSimulator simulator(make_scenario("static"), kSeed);
+    FaultPlan plan;
+    plan.duplicate_probability = 0.25;
+    const auto report =
+        simulator.run(testutil::optimum_weighted(), plan, kCycles);
+    expect_healthy(report);
+    EXPECT_GT(report.duplicated, 0u);
+    EXPECT_EQ(report.delivered, kCycles + report.duplicated);
+}
+
+TEST(FaultInjection, ReorderedBatchesDoNotPoisonTheSearcher) {
+    ServiceSimulator simulator(make_scenario("static"), kSeed);
+    FaultPlan plan;
+    plan.reorder_window = 8;
+    const auto report =
+        simulator.run(testutil::gradient_weighted(), plan, kCycles);
+    expect_healthy(report);
+    EXPECT_GT(report.reordered_batches, 0u);
+    EXPECT_EQ(report.delivered, kCycles);
+}
+
+TEST(FaultInjection, DelayedIngestionStillLearns) {
+    ServiceSimulator simulator(make_scenario("static"), kSeed);
+    FaultPlan plan;
+    plan.delay_cycles = 5;
+    const auto report =
+        simulator.run(testutil::sliding_auc(), plan, kCycles);
+    expect_healthy(report);
+    EXPECT_EQ(report.delivered, kCycles);  // the final drain catches the tail
+}
+
+TEST(FaultInjection, SnapshotRestoreMidScenarioKeepsTuning) {
+    ServiceSimulator simulator(make_scenario("static"), kSeed);
+    FaultPlan plan;
+    plan.snapshot_every = 60;
+    const auto report =
+        simulator.run(testutil::epsilon_greedy(0.05), plan, kCycles);
+    expect_healthy(report);
+    EXPECT_EQ(report.snapshots_taken, kCycles / 60);
+    EXPECT_EQ(report.sessions_restored, report.snapshots_taken);
+}
+
+TEST(FaultInjection, SnapshotRestoreAcrossAPhaseChange) {
+    // Restarting the process right around the drift's phase change must not
+    // stop the service from re-converging onto the new best algorithm.
+    const auto spec = make_scenario("drift");
+    ServiceSimulator simulator(spec, kSeed);
+    FaultPlan plan;
+    plan.snapshot_every = 100;
+    const auto report = simulator.run(testutil::epsilon_greedy(0.05), plan,
+                                      spec.iterations());
+    expect_healthy(report);
+    EXPECT_GT(report.snapshots_taken, 0u);
+}
+
+TEST(FaultInjection, CombinedChaosDegradesGracefully) {
+    for (const auto& strategy : testutil::all_strategies()) {
+        SCOPED_TRACE(strategy.name);
+        ServiceSimulator simulator(make_scenario("static"), kSeed);
+        FaultPlan plan;
+        plan.drop_probability = 0.15;
+        plan.duplicate_probability = 0.15;
+        plan.reorder_window = 4;
+        plan.delay_cycles = 3;
+        plan.snapshot_every = 80;
+        const auto report = simulator.run(strategy.make, plan, kCycles);
+        expect_healthy(report);
+        EXPECT_EQ(report.delivered + report.dropped_by_fault,
+                  kCycles + report.duplicated);
+    }
+}
+
+TEST(FaultInjection, ChaosIsReplayable) {
+    FaultPlan plan;
+    plan.drop_probability = 0.2;
+    plan.duplicate_probability = 0.2;
+    plan.reorder_window = 4;
+    ServiceSimulator first(make_scenario("static"), kSeed);
+    ServiceSimulator second(make_scenario("static"), kSeed);
+    const auto a = first.run(testutil::epsilon_greedy(0.05), plan, kCycles);
+    const auto b = second.run(testutil::epsilon_greedy(0.05), plan, kCycles);
+    // The fault stream is seeded, so the bookkeeping replays exactly.
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.dropped_by_fault, b.dropped_by_fault);
+    EXPECT_EQ(a.duplicated, b.duplicated);
+    EXPECT_EQ(a.reordered_batches, b.reordered_batches);
+}
+
+TEST(FaultInjection, RejectsMalformedPlans) {
+    ServiceSimulator simulator(make_scenario("static"), kSeed);
+    FaultPlan plan;
+    plan.drop_probability = 1.5;
+    EXPECT_THROW(simulator.run(testutil::epsilon_greedy(0.05), plan, 10),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace atk::sim

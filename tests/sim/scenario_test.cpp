@@ -1,0 +1,206 @@
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/sim_clock.hpp"
+#include "support/rng.hpp"
+
+namespace atk::sim {
+namespace {
+
+TEST(ScenarioSpec, ValidateRejectsInconsistentSpecs) {
+    EXPECT_THROW(ScenarioSpec::named("empty").validate(), std::invalid_argument);
+    EXPECT_THROW(ScenarioSpec::named("bad-base")
+                     .algorithm(AlgorithmModel::constant("a", 0.0))
+                     .validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(ScenarioSpec::named("shift-shape")
+                     .algorithm(AlgorithmModel::constant("a", 10.0))
+                     .shift(10, {5.0, 5.0})
+                     .validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(ScenarioSpec::named("unsorted")
+                     .algorithm(AlgorithmModel::constant("a", 10.0))
+                     .shift(20, {5.0})
+                     .shift(10, {6.0})
+                     .validate(),
+                 std::invalid_argument);
+    // Relative noise of 100% could produce a zero-cost measurement.
+    EXPECT_THROW(ScenarioSpec::named("noise")
+                     .algorithm(AlgorithmModel::constant("a", 10.0))
+                     .relative_noise(1.0)
+                     .validate(),
+                 std::invalid_argument);
+    AlgorithmModel outside = AlgorithmModel::bowl("b", 10.0, {150.0}, 1.0);
+    EXPECT_THROW(ScenarioSpec::named("optimum-outside")
+                     .algorithm(outside)
+                     .validate(),
+                 std::invalid_argument);
+}
+
+TEST(ScenarioSpec, PhaseScheduleSwapsBases) {
+    const auto spec = ScenarioSpec::named("two-phase")
+                          .algorithm(AlgorithmModel::constant("fast", 10.0))
+                          .algorithm(AlgorithmModel::constant("slow", 30.0))
+                          .shift(100, {30.0, 4.0})
+                          .horizon(200);
+    spec.validate();
+
+    EXPECT_DOUBLE_EQ(spec.base_at(0, 0), 10.0);
+    EXPECT_DOUBLE_EQ(spec.base_at(1, 0), 30.0);
+    EXPECT_DOUBLE_EQ(spec.base_at(0, 99), 10.0);
+    EXPECT_DOUBLE_EQ(spec.base_at(0, 100), 30.0);
+    EXPECT_DOUBLE_EQ(spec.base_at(1, 100), 4.0);
+
+    EXPECT_EQ(spec.best_algorithm(0), 0u);
+    EXPECT_EQ(spec.best_algorithm(150), 1u);
+}
+
+TEST(ScenarioSpec, RampDriftsBaseAfterShift) {
+    const auto spec = ScenarioSpec::named("ramp")
+                          .algorithm(AlgorithmModel::constant("a", 10.0))
+                          .shift(50, {20.0}, {0.5})
+                          .horizon(100);
+    spec.validate();
+    EXPECT_DOUBLE_EQ(spec.base_at(0, 50), 20.0);
+    EXPECT_DOUBLE_EQ(spec.base_at(0, 54), 22.0);  // 4 iterations × 0.5 ramp
+}
+
+TEST(ScenarioSpec, InputScaleAppliesThroughSizeExponent) {
+    AlgorithmModel linear = AlgorithmModel::constant("linear", 10.0);
+    linear.size_exponent = 1.0;
+    AlgorithmModel sublinear = AlgorithmModel::constant("sublinear", 20.0);
+    sublinear.size_exponent = 0.5;
+    const auto spec = ScenarioSpec::named("sizes")
+                          .algorithm(linear)
+                          .algorithm(sublinear)
+                          .input_scale(100, 4.0)
+                          .horizon(200);
+    spec.validate();
+
+    EXPECT_DOUBLE_EQ(spec.scale_at(0), 1.0);
+    EXPECT_DOUBLE_EQ(spec.scale_at(100), 4.0);
+    EXPECT_DOUBLE_EQ(spec.ideal_cost(0, 100), 40.0);
+    EXPECT_DOUBLE_EQ(spec.ideal_cost(1, 100), 40.0);  // 20 · 4^0.5
+    // Linear algorithm wins small inputs, loses once the input quadruples.
+    EXPECT_EQ(spec.best_algorithm(0), 0u);
+    EXPECT_DOUBLE_EQ(spec.ideal_cost(0, 150), spec.ideal_cost(1, 150));
+}
+
+TEST(ScenarioSpec, BowlCostGrowsWithDistanceFromOptimum) {
+    const auto spec = ScenarioSpec::named("bowl")
+                          .algorithm(AlgorithmModel::bowl("b", 10.0, {50.0}, 2.0))
+                          .horizon(10);
+    spec.validate();
+    Rng rng(1);
+    const Trial at_optimum{0, Configuration{{50}}};
+    const Trial off_by_ten{0, Configuration{{60}}};
+    EXPECT_DOUBLE_EQ(spec.evaluate(at_optimum, 0, rng), 10.0);
+    EXPECT_DOUBLE_EQ(spec.evaluate(off_by_ten, 0, rng), 30.0);
+}
+
+TEST(ScenarioSpec, PlateauIsFlatInsideTheRadius) {
+    const auto spec =
+        ScenarioSpec::named("mesa")
+            .algorithm(AlgorithmModel::plateau("m", 12.0, {50.0}, 15.0, 1.0))
+            .horizon(10);
+    spec.validate();
+    Rng rng(1);
+    EXPECT_DOUBLE_EQ(spec.evaluate({0, Configuration{{50}}}, 0, rng), 12.0);
+    EXPECT_DOUBLE_EQ(spec.evaluate({0, Configuration{{60}}}, 0, rng), 12.0);
+    EXPECT_DOUBLE_EQ(spec.evaluate({0, Configuration{{70}}}, 0, rng), 17.0);
+}
+
+TEST(ScenarioSpec, NoiseIsSeededAndCostsStayPositive) {
+    const auto spec = ScenarioSpec::named("noisy")
+                          .algorithm(AlgorithmModel::constant("a", 10.0))
+                          .relative_noise(0.5)
+                          .horizon(10);
+    spec.validate();
+    const Trial trial{0, Configuration{}};
+
+    Rng first(7);
+    Rng second(7);
+    for (std::size_t i = 0; i < 256; ++i) {
+        const Cost a = spec.evaluate(trial, i, first);
+        const Cost b = spec.evaluate(trial, i, second);
+        EXPECT_DOUBLE_EQ(a, b);
+        EXPECT_GT(a, 0.0);
+        EXPECT_TRUE(std::isfinite(a));
+    }
+
+    // Different seeds observe different noise.
+    Rng third(8);
+    bool differed = false;
+    Rng fourth(7);
+    for (std::size_t i = 0; i < 32 && !differed; ++i)
+        differed = spec.evaluate(trial, i, third) != spec.evaluate(trial, i, fourth);
+    EXPECT_TRUE(differed);
+}
+
+TEST(ScenarioSpec, MakeAlgorithmsMirrorsTheModels) {
+    const auto spec = ScenarioSpec::named("mixed")
+                          .algorithm(AlgorithmModel::constant("fixed", 10.0))
+                          .algorithm(AlgorithmModel::bowl("tuned", 8.0, {80.0, 20.0}, 0.5))
+                          .horizon(10);
+    spec.validate();
+    const auto algorithms = spec.make_algorithms();
+    ASSERT_EQ(algorithms.size(), 2u);
+    EXPECT_EQ(algorithms[0].name, "fixed");
+    EXPECT_EQ(algorithms[0].space.dimension(), 0u);
+    EXPECT_EQ(algorithms[1].name, "tuned");
+    EXPECT_EQ(algorithms[1].space.dimension(), 2u);
+    EXPECT_NE(algorithms[1].searcher, nullptr);
+}
+
+TEST(ScenarioLibrary, NamedScenariosValidateAndMatchTheirStories) {
+    for (const auto& name : scenario_names()) {
+        SCOPED_TRACE(name);
+        const auto spec = make_scenario(name);
+        EXPECT_NO_THROW(spec.validate());
+        EXPECT_GE(spec.algorithm_count(), 2u);
+        EXPECT_GT(spec.iterations(), 0u);
+    }
+    EXPECT_THROW((void)make_scenario("nope"), std::invalid_argument);
+
+    // drift: the best algorithm changes mid-run and the new best beats the
+    // old winner's historical best (so best-ever trackers must flip).
+    const auto drift = make_scenario("drift");
+    const std::size_t early_best = drift.best_algorithm(0);
+    const std::size_t late_best = drift.best_algorithm(drift.iterations() - 1);
+    EXPECT_NE(early_best, late_best);
+    EXPECT_LT(drift.ideal_cost(late_best, drift.iterations() - 1),
+              drift.ideal_cost(early_best, 0));
+
+    // sweep: the input-size schedule crosses the complexity classes over.
+    const auto sweep = make_scenario("sweep");
+    EXPECT_NE(sweep.best_algorithm(0),
+              sweep.best_algorithm(sweep.iterations() - 1));
+}
+
+TEST(SimClock, DeterministicAndMonotonic) {
+    SimClock a(42, 0.1);
+    SimClock b(42, 0.1);
+    double last = 0.0;
+    for (int i = 0; i < 100; ++i) {
+        const Millis ta = a.tick(5.0);
+        const Millis tb = b.tick(5.0);
+        EXPECT_DOUBLE_EQ(ta, tb);
+        EXPECT_GT(ta, 0.0);
+        EXPECT_GT(a.now(), last);
+        last = a.now();
+    }
+    EXPECT_DOUBLE_EQ(a.now(), b.now());
+
+    SimClock jitterless(42, 0.0);
+    jitterless.advance(2.5);
+    EXPECT_DOUBLE_EQ(jitterless.now(), 2.5);
+    EXPECT_DOUBLE_EQ(jitterless.tick(4.0), 4.0);
+    EXPECT_DOUBLE_EQ(jitterless.now(), 6.5);
+}
+
+} // namespace
+} // namespace atk::sim

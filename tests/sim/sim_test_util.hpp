@@ -1,0 +1,51 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/nominal/epsilon_greedy.hpp"
+#include "core/nominal/gradient_weighted.hpp"
+#include "core/nominal/optimum_weighted.hpp"
+#include "core/nominal/sliding_auc.hpp"
+#include "sim/simulator.hpp"
+
+namespace atk::sim::testutil {
+
+struct NamedStrategy {
+    std::string name;
+    StrategyFactory make;
+};
+
+inline StrategyFactory epsilon_greedy(double epsilon = 0.05) {
+    return [epsilon] { return std::make_unique<EpsilonGreedy>(epsilon); };
+}
+
+inline StrategyFactory gradient_weighted() {
+    return [] { return std::make_unique<GradientWeighted>(); };
+}
+
+inline StrategyFactory optimum_weighted() {
+    return [] { return std::make_unique<OptimumWeighted>(); };
+}
+
+inline StrategyFactory sliding_auc() {
+    return [] { return std::make_unique<SlidingWindowAuc>(); };
+}
+
+/// The paper's three weighted strategies, the comparison set of the
+/// convergence gates.
+inline std::vector<NamedStrategy> weighted_strategies() {
+    return {{"gradient", gradient_weighted()},
+            {"optimum", optimum_weighted()},
+            {"auc", sliding_auc()}};
+}
+
+/// All four strategies under test (ε-Greedy 5% + the weighted three).
+inline std::vector<NamedStrategy> all_strategies() {
+    auto strategies = weighted_strategies();
+    strategies.insert(strategies.begin(), {"e-greedy-5", epsilon_greedy(0.05)});
+    return strategies;
+}
+
+} // namespace atk::sim::testutil

@@ -1,0 +1,121 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/trace.hpp"
+
+namespace atk::sim {
+namespace {
+
+TuningTrace trace_of(const std::vector<std::size_t>& choices) {
+    TuningTrace trace;
+    for (std::size_t i = 0; i < choices.size(); ++i)
+        trace.record({i, choices[i], Configuration{}, 1.0});
+    return trace;
+}
+
+TEST(SelectionShare, CurveUsesPrefixThenRollingWindow) {
+    const auto trace = trace_of({0, 0, 1, 1, 1, 1});
+    const auto curve = selection_share_curve(trace, 1, 4);
+    ASSERT_EQ(curve.size(), 6u);
+    EXPECT_DOUBLE_EQ(curve[0], 0.0);        // prefix window of 1
+    EXPECT_DOUBLE_EQ(curve[2], 1.0 / 3.0);  // prefix window of 3
+    EXPECT_DOUBLE_EQ(curve[3], 2.0 / 4.0);  // full window from here on
+    EXPECT_DOUBLE_EQ(curve[4], 3.0 / 4.0);
+    EXPECT_DOUBLE_EQ(curve[5], 1.0);
+    EXPECT_THROW((void)selection_share_curve(trace, 1, 0), std::invalid_argument);
+}
+
+TEST(SelectionShare, SpanShareAndModalChoice) {
+    const auto trace = trace_of({0, 1, 1, 2, 1, 0});
+    EXPECT_DOUBLE_EQ(selection_share(trace, 1, 0, 6), 0.5);
+    EXPECT_DOUBLE_EQ(selection_share(trace, 1, 3, 5), 0.5);
+    EXPECT_EQ(modal_choice(trace, 3, 0, 6), 1u);
+    EXPECT_EQ(modal_choice(trace, 3, 5, 6), 0u);
+    EXPECT_THROW((void)selection_share(trace, 1, 4, 4), std::invalid_argument);
+    EXPECT_THROW((void)selection_share(trace, 1, 0, 7), std::invalid_argument);
+    EXPECT_THROW((void)modal_choice(trace, 3, 2, 1), std::invalid_argument);
+}
+
+TEST(Convergence, FirstIterationReachingTheShare) {
+    // Algorithm 1 takes over from iteration 4 on; with window 4 the trailing
+    // share first reaches 0.75 at iteration 6 (choices 4,5,6 plus one miss).
+    const auto trace = trace_of({0, 0, 0, 0, 1, 1, 1, 1, 1, 1});
+    const auto converged = convergence_iteration(trace, 1, 0.75, 4);
+    ASSERT_TRUE(converged.has_value());
+    EXPECT_EQ(*converged, 6u);
+
+    // Algorithm 0 holds the full window right at the first scanned index.
+    EXPECT_EQ(convergence_iteration(trace, 0, 0.75, 4), std::optional<std::size_t>{3});
+    EXPECT_FALSE(convergence_iteration(trace, 2, 0.1, 4).has_value());
+}
+
+TEST(Convergence, EnsembleMapsNeverConvergedToHorizon) {
+    SimResult fast;
+    fast.trace = trace_of({1, 1, 1, 1});
+    SimResult never;
+    never.trace = trace_of({0, 0, 0, 0});
+    const std::vector<SimResult> ensemble{fast, never};
+    const auto iterations = ensemble_convergence(ensemble, 1, 0.9, 2, 100);
+    ASSERT_EQ(iterations.size(), 2u);
+    EXPECT_DOUBLE_EQ(iterations[0], 1.0);
+    EXPECT_DOUBLE_EQ(iterations[1], 100.0);
+}
+
+TEST(Wilcoxon, AllTiesGiveNoEvidence) {
+    const std::vector<double> a{1.0, 2.0, 3.0};
+    const auto result = wilcoxon_signed_rank(a, a);
+    EXPECT_EQ(result.n, 0u);
+    EXPECT_DOUBLE_EQ(result.p_a_less_b, 0.5);
+}
+
+TEST(Wilcoxon, UniformShiftIsDetected) {
+    // a is consistently 1 below b: every difference is negative, so W+ = 0
+    // and the one-sided P(a < b) must be small.
+    std::vector<double> a, b;
+    for (int i = 0; i < 16; ++i) {
+        a.push_back(10.0 + i);
+        b.push_back(11.0 + i + 0.01 * i);  // break magnitude ties
+    }
+    const auto result = wilcoxon_signed_rank(a, b);
+    EXPECT_EQ(result.n, 16u);
+    EXPECT_DOUBLE_EQ(result.w_plus, 0.0);
+    EXPECT_DOUBLE_EQ(result.w_minus, 16.0 * 17.0 / 2.0);
+    EXPECT_LT(result.z, -3.0);
+    EXPECT_LT(result.p_a_less_b, 0.001);
+
+    const auto reversed = wilcoxon_signed_rank(b, a);
+    EXPECT_GT(reversed.p_a_less_b, 0.999);
+}
+
+TEST(Wilcoxon, SymmetricDifferencesAreInconclusive) {
+    const std::vector<double> a{1.0, 5.0, 2.0, 6.0};
+    const std::vector<double> b{2.0, 4.0, 3.0, 5.0};  // diffs -1, +1, -1, +1
+    const auto result = wilcoxon_signed_rank(a, b);
+    EXPECT_EQ(result.n, 4u);
+    EXPECT_DOUBLE_EQ(result.w_plus, result.w_minus);
+    EXPECT_GT(result.p_a_less_b, 0.3);
+    EXPECT_LT(result.p_a_less_b, 0.7);
+}
+
+TEST(Wilcoxon, TiedMagnitudesShareAverageRanks) {
+    // Diffs: -1, -1, +2 → ranks 1.5, 1.5, 3.
+    const std::vector<double> a{1.0, 1.0, 3.0};
+    const std::vector<double> b{2.0, 2.0, 1.0};
+    const auto result = wilcoxon_signed_rank(a, b);
+    EXPECT_EQ(result.n, 3u);
+    EXPECT_DOUBLE_EQ(result.w_plus, 3.0);
+    EXPECT_DOUBLE_EQ(result.w_minus, 3.0);
+}
+
+TEST(Wilcoxon, MismatchedLengthsThrow) {
+    const std::vector<double> a{1.0};
+    const std::vector<double> b{1.0, 2.0};
+    EXPECT_THROW((void)wilcoxon_signed_rank(a, b), std::invalid_argument);
+}
+
+} // namespace
+} // namespace atk::sim

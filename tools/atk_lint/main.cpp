@@ -6,9 +6,9 @@
 /// CMake target link lines cannot see (header-only dependencies compile fine
 /// against any include path):
 ///
-///   layering        support → obs → core → runtime form a strict DAG: a
-///                   layer may include itself and anything below, never
-///                   above.  stringmatch/ and raytrace/ are leaf domains:
+///   layering        support → obs → core → runtime → sim form a strict
+///                   DAG: a layer may include itself and anything below,
+///                   never above.  stringmatch/ and raytrace/ are leaf domains:
 ///                   they may use every layer, but no layer or other domain
 ///                   may include them.
 ///   include-cycle   the quoted-include graph must be acyclic.
@@ -78,6 +78,7 @@ int layer_rank(std::string_view top) {
     if (top == "obs") return 1;
     if (top == "core") return 2;
     if (top == "runtime") return 3;
+    if (top == "sim") return 4;
     return -1;
 }
 
@@ -324,7 +325,7 @@ public:
             if (suppressed(file, "layering", line)) continue;
             report({file.rel, line, "layering",
                     "'" + from + "' must not include '" + path + "': the layer order is " +
-                        "support < obs < core < runtime, domains are leaves"});
+                        "support < obs < core < runtime < sim, domains are leaves"});
         }
     }
 
@@ -494,6 +495,12 @@ int self_test() {
     write_seed(root / "runtime/service.hpp", "#pragma once\nint service();\n");
     write_seed(root / "support/bad_layer.hpp",
                "#pragma once\n#include \"runtime/service.hpp\"\n");
+    // sim sits on top of runtime: downward includes are clean, upward ones
+    // (runtime reaching into sim) violate the DAG.
+    write_seed(root / "sim/harness.hpp",
+               "#pragma once\n#include \"runtime/service.hpp\"\n");
+    write_seed(root / "runtime/uses_sim.hpp",
+               "#pragma once\n#include \"sim/harness.hpp\"\n");
     write_seed(root / "core/uses_rand.cpp",
                "#include <cstdlib>\nint f() { return std::rand(); }\n");
     write_seed(root / "core/leak.cpp",
@@ -536,7 +543,10 @@ int self_test() {
     };
 
     expect(!clean, "seeded tree is reported as failing");
-    expect(by_rule["layering"] == 1, "layering violation detected");
+    expect(by_rule["layering"] == 2,
+           "both layering violations detected (support->runtime, runtime->sim)");
+    expect(flagged_files.count("sim/harness.hpp") == 0,
+           "sim including runtime (downward) not flagged");
     expect(by_rule["banned-rand"] == 1, "std::rand detected");
     expect(by_rule["naked-new"] == 1, "naked new detected");
     expect(by_rule["naked-delete"] == 1, "naked delete detected");

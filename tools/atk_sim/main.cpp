@@ -1,0 +1,206 @@
+// atk_sim — runs named simulation scenarios against the phase-two strategies
+// and summarizes what the tuner did: convergence iterations, selection
+// shares, sparkline share curves, optional CSV / decision-audit JSONL /
+// Chrome-trace outputs.  Everything is deterministic per (scenario,
+// strategy, seed); the convergence gates in tests/sim run the same engine.
+//
+// Typical invocations:
+//
+//   atk_sim --list
+//   atk_sim --scenario static
+//   atk_sim --scenario drift --strategy e-greedy-5 --seeds 32
+//   atk_sim --scenario static --csv shares.csv --audit decisions.jsonl
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/nominal/epsilon_greedy.hpp"
+#include "core/nominal/gradient_weighted.hpp"
+#include "core/nominal/optimum_weighted.hpp"
+#include "core/nominal/sliding_auc.hpp"
+#include "obs/span.hpp"
+#include "sim/sim.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/sparkline.hpp"
+#include "support/statistics.hpp"
+
+namespace {
+
+using namespace atk;
+using namespace atk::sim;
+
+struct NamedStrategy {
+    std::string name;
+    StrategyFactory make;
+};
+
+std::vector<NamedStrategy> strategy_registry() {
+    return {
+        {"e-greedy-5", [] { return std::make_unique<EpsilonGreedy>(0.05); }},
+        {"e-greedy-10", [] { return std::make_unique<EpsilonGreedy>(0.10); }},
+        {"e-greedy-20", [] { return std::make_unique<EpsilonGreedy>(0.20); }},
+        {"gradient", [] { return std::make_unique<GradientWeighted>(); }},
+        {"optimum", [] { return std::make_unique<OptimumWeighted>(); }},
+        {"auc", [] { return std::make_unique<SlidingWindowAuc>(); }},
+    };
+}
+
+std::vector<NamedStrategy> resolve_strategies(const std::string& wanted) {
+    auto registry = strategy_registry();
+    if (wanted == "all") return registry;
+    for (auto& entry : registry)
+        if (entry.name == wanted) return {std::move(entry)};
+    std::cerr << "atk_sim: unknown strategy '" << wanted << "' (have: all";
+    for (const auto& entry : registry) std::cerr << ", " << entry.name;
+    std::cerr << ")\n";
+    return {};
+}
+
+void list_scenarios() {
+    std::cout << "scenarios:\n";
+    for (const auto& name : scenario_names()) {
+        const auto spec = make_scenario(name);
+        std::cout << "  " << name << "  (" << spec.algorithm_count()
+                  << " algorithms, horizon " << spec.iterations() << ")\n";
+        for (std::size_t a = 0; a < spec.algorithm_count(); ++a)
+            std::cout << "      [" << a << "] " << spec.model(a).name
+                      << (spec.best_algorithm(0) == a ? "  <- best at start" : "")
+                      << "\n";
+    }
+    std::cout << "strategies: all";
+    for (const auto& entry : strategy_registry()) std::cout << ", " << entry.name;
+    std::cout << "\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Cli cli("atk_sim",
+            "Run deterministic autotuning simulation scenarios and summarize "
+            "strategy convergence.");
+    cli.add_string("scenario", "static",
+                   "scenario to run (static, drift, plateau, sweep)")
+        .add_string("strategy", "all", "strategy name or 'all'")
+        .add_int("seed", 20170612, "base seed of the ensemble")
+        .add_int("seeds", 8, "ensemble size (runs per strategy)")
+        .add_int("iterations", 0, "override the scenario horizon (0 = default)")
+        .add_int("window", 50, "trailing window for selection-share curves")
+        .add_double("share", 0.9, "share threshold for convergence extraction")
+        .add_string("csv", "", "write per-seed convergence rows to this CSV file")
+        .add_string("audit", "",
+                    "write the first seed's decision stream as JSON Lines")
+        .add_string("trace", "", "write a Chrome trace of the simulated runs")
+        .add_flag("list", "list scenarios and strategies, then exit");
+    if (!cli.parse(argc, argv)) return 1;
+
+    if (cli.get_flag("list")) {
+        list_scenarios();
+        return 0;
+    }
+
+    const auto strategies = resolve_strategies(cli.get_string("strategy"));
+    if (strategies.empty()) return 1;
+
+    ScenarioSpec spec = make_scenario(cli.get_string("scenario"));
+    if (cli.get_int("iterations") > 0)
+        spec.horizon(static_cast<std::size_t>(cli.get_int("iterations")));
+    spec.validate();
+
+    const auto base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    const auto seed_count = static_cast<std::size_t>(cli.get_int("seeds"));
+    const auto window = static_cast<std::size_t>(cli.get_int("window"));
+    const double share = cli.get_double("share");
+    const std::size_t horizon = spec.iterations();
+    const std::size_t best_start = spec.best_algorithm(0);
+    const std::size_t best_end = spec.best_algorithm(horizon - 1);
+
+    const bool tracing = !cli.get_string("trace").empty();
+    if (tracing) obs::Tracer::enable();
+
+    std::cout << "scenario " << spec.name() << ": " << spec.algorithm_count()
+              << " algorithms, horizon " << horizon << ", best ["
+              << best_start << "] " << spec.model(best_start).name;
+    if (best_end != best_start)
+        std::cout << " -> [" << best_end << "] " << spec.model(best_end).name;
+    std::cout << ", " << seed_count << " seeds from " << base_seed << "\n\n";
+
+    CsvWriter csv({"scenario", "strategy", "seed", "converged_iteration",
+                   "final_share", "best_algorithm", "best_cost",
+                   "min_probability"});
+    std::vector<LabeledSeries> share_curves;
+    std::string audit_jsonl;
+
+    std::printf("%-12s %12s %12s %12s %14s\n", "strategy", "conv. median",
+                "conv. worst", "final share", "min probability");
+    for (const auto& strategy : strategies) {
+        obs::Span span("atk_sim.ensemble");
+        SimOptions options;
+        options.capture_audit = !cli.get_string("audit").empty();
+        const auto runs =
+            simulate_ensemble(spec, strategy.make, base_seed, seed_count, options);
+        const auto conv =
+            ensemble_convergence(runs, best_end, share, window, horizon);
+
+        std::vector<double> final_shares;
+        double min_probability = 1.0;
+        for (const auto& run : runs) {
+            final_shares.push_back(
+                selection_share(run.trace, best_end, horizon - window, horizon));
+            min_probability = std::min(min_probability, run.min_probability);
+        }
+        for (std::size_t s = 0; s < runs.size(); ++s)
+            csv.add_row({spec.name(), strategy.name,
+                         std::to_string(base_seed + s),
+                         std::to_string(static_cast<std::size_t>(conv[s])),
+                         std::to_string(final_shares[s]),
+                         std::to_string(runs[s].best_algorithm),
+                         std::to_string(runs[s].best_cost),
+                         std::to_string(runs[s].min_probability)});
+
+        share_curves.push_back(
+            {strategy.name,
+             selection_share_curve(runs.front().trace, best_end, window)});
+        if (audit_jsonl.empty()) audit_jsonl = runs.front().audit_jsonl;
+
+        std::printf("%-12s %12.0f %12.0f %12.3f %14.2e\n", strategy.name.c_str(),
+                    median(conv), *std::max_element(conv.begin(), conv.end()),
+                    median(final_shares), min_probability);
+    }
+
+    std::cout << "\nselection share of [" << best_end << "] "
+              << spec.model(best_end).name << " (window " << window
+              << ", seed " << base_seed << "):\n"
+              << sparkline_chart(share_curves, "share");
+
+    if (!cli.get_string("csv").empty()) {
+        if (!csv.write_file(cli.get_string("csv"))) {
+            std::cerr << "atk_sim: cannot write " << cli.get_string("csv") << "\n";
+            return 1;
+        }
+        std::cout << "wrote " << cli.get_string("csv") << "\n";
+    }
+    if (!cli.get_string("audit").empty()) {
+        FILE* out = std::fopen(cli.get_string("audit").c_str(), "w");
+        if (out == nullptr) {
+            std::cerr << "atk_sim: cannot write " << cli.get_string("audit") << "\n";
+            return 1;
+        }
+        std::fputs(audit_jsonl.c_str(), out);
+        std::fclose(out);
+        std::cout << "wrote " << cli.get_string("audit") << "\n";
+    }
+    if (tracing) {
+        if (!obs::write_chrome_trace(cli.get_string("trace"),
+                                     obs::Tracer::snapshot())) {
+            std::cerr << "atk_sim: cannot write " << cli.get_string("trace") << "\n";
+            return 1;
+        }
+        std::cout << "wrote " << cli.get_string("trace") << "\n";
+    }
+    return 0;
+}
