@@ -1,0 +1,134 @@
+/// Case study 1 served over the network: the text-search workload runs in
+/// this process, but algorithm selection lives in a remote TuningService
+/// behind the atk::net wire protocol — the deployment shape where one tuner
+/// process serves a fleet of workers that share what they learn.
+///
+///     ./net_client                          # self-contained loopback demo
+///     ./net_client --connect HOST:PORT      # against a running atk_serve
+///
+/// Each query asks the server to recommend() a matcher, runs the search
+/// locally, and streams the measured cost back with report_async() — the
+/// pipelined fire-and-forget path, so the hot loop never waits a round trip
+/// for an acknowledgement.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/autotune.hpp"
+#include "net/net.hpp"
+#include "stringmatch/corpus.hpp"
+#include "stringmatch/matcher.hpp"
+#include "stringmatch/parallel.hpp"
+#include "support/cli.hpp"
+#include "support/clock.hpp"
+
+using namespace atk;
+
+namespace {
+
+/// Mirrors atk_serve's factory for "stringmatch/..." sessions, so this
+/// example works identically against the in-process loopback server and a
+/// real atk_serve.
+runtime::TunerFactory make_factory() {
+    return [](const std::string& session) {
+        std::vector<TunableAlgorithm> algorithms;
+        for (const auto& matcher : sm::make_all_matchers_with_hybrid())
+            algorithms.push_back(TunableAlgorithm::untunable(matcher->name()));
+        return std::make_unique<TwoPhaseTuner>(std::make_unique<EpsilonGreedy>(0.10),
+                                               std::move(algorithms),
+                                               std::hash<std::string>{}(session));
+    };
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Cli cli("net_client", "network-tuned parallel text search (atk::net demo)");
+    cli.add_string("connect", "", "HOST:PORT of a running atk_serve ('' = loopback demo)")
+        .add_string("session", "stringmatch/bible/demo", "remote session name")
+        .add_int("corpus-bytes", 2 * 1024 * 1024, "corpus size")
+        .add_int("iterations", 60, "number of repeated queries")
+        .add_int("threads", 0, "worker threads (0 = hardware)");
+    if (!cli.parse(argc, argv)) return 1;
+
+    // Loopback mode: this process hosts the service too, so the example is
+    // self-contained.  The workload code below is identical either way.
+    std::unique_ptr<runtime::TuningService> local_service;
+    std::unique_ptr<net::TuningServer> local_server;
+    net::ClientOptions client_options;
+    const std::string connect = cli.get_string("connect");
+    if (connect.empty()) {
+        local_service = std::make_unique<runtime::TuningService>(make_factory());
+        local_server = std::make_unique<net::TuningServer>(*local_service);
+        local_server->start();
+        client_options.port = local_server->port();
+        std::printf("loopback server on 127.0.0.1:%u\n", local_server->port());
+    } else {
+        const auto colon = connect.rfind(':');
+        if (colon == std::string::npos) {
+            std::fprintf(stderr, "error: --connect wants HOST:PORT\n");
+            return 1;
+        }
+        client_options.host = connect.substr(0, colon);
+        client_options.port =
+            static_cast<std::uint16_t>(std::stoi(connect.substr(colon + 1)));
+    }
+    client_options.client_name = "net_client-example";
+
+    const std::string session = cli.get_string("session");
+    const std::string pattern{sm::query_phrase()};
+    const std::string corpus = sm::bible_like_corpus(
+        static_cast<std::size_t>(cli.get_int("corpus-bytes")), 2016, 3);
+    const auto matchers = sm::make_all_matchers_with_hybrid();
+    ThreadPool pool(static_cast<std::size_t>(cli.get_int("threads")));
+    std::printf("corpus: %zu bytes, query: \"%s\", session: %s\n\n", corpus.size(),
+                pattern.c_str(), session.c_str());
+
+    try {
+        net::TuningClient client(client_options);
+        const auto iterations = static_cast<std::size_t>(cli.get_int("iterations"));
+        std::size_t occurrences = 0;
+        for (std::size_t i = 0; i < iterations; ++i) {
+            const runtime::Ticket ticket = client.recommend(session);
+            const std::size_t algorithm = ticket.trial.algorithm;
+            if (algorithm >= matchers.size()) {
+                std::fprintf(stderr, "error: server recommended algorithm %zu but "
+                                     "only %zu matchers exist — factory mismatch?\n",
+                             algorithm, matchers.size());
+                return 1;
+            }
+            Stopwatch watch;
+            occurrences =
+                sm::parallel_count(*matchers[algorithm], corpus, pattern, pool);
+            const Millis elapsed = std::max(1e-6, watch.elapsed_ms());
+            client.report_async(session, ticket, elapsed);
+            if (i < 10 || i % 10 == 0)
+                std::printf("query %3zu: %-18s %8.3f ms (%zu occurrences)\n", i,
+                            matchers[algorithm]->name().c_str(), elapsed, occurrences);
+        }
+        client.flush_reports();
+
+        const runtime::ServiceStats stats = client.stats();
+        std::printf("\nserver after %zu queries: %zu session(s), "
+                    "%llu report(s) ingested, %llu lost client-side\n",
+                    iterations, stats.sessions,
+                    static_cast<unsigned long long>(stats.reports_enqueued),
+                    static_cast<unsigned long long>(client.reports_lost()));
+
+        // What did the fleet learn?  Pull a snapshot over the wire — any
+        // other worker could warm-start from these exact bytes.
+        const std::string snapshot = client.snapshot();
+        std::printf("remote snapshot: %zu bytes (restorable via "
+                    "TuningService::restore_payload or atk_serve --install)\n",
+                    snapshot.size());
+    } catch (const net::NetError& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+
+    if (local_server) local_server->stop();
+    if (local_service) local_service->stop();
+    return 0;
+}

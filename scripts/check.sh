@@ -6,9 +6,10 @@
 #      hygiene — including its --self-test (the linter must still be
 #      able to catch seeded violations) and the slower self-contained
 #      header compile check,
-#   3. a -DATK_SANITIZE=thread build running the runtime + obs tests —
-#      the two layers with real cross-thread traffic (lock-free span
-#      rings, ingestion queues, the background telemetry exporter),
+#   3. a -DATK_SANITIZE=thread build running the runtime + obs + net
+#      tests — the layers with real cross-thread traffic (lock-free
+#      span rings, ingestion queues, the background telemetry
+#      exporter, the epoll server workers),
 #   4. a -DATK_SANITIZE=undefined build (non-recovering UBSan, with
 #      contracts and the fuzz harnesses enabled) running the full
 #      suite plus a short fuzz pass over the checked-in corpora,
@@ -45,11 +46,12 @@ if [[ "$fast" == "--fast" ]]; then
 fi
 
 echo
-echo "== stage 3: ThreadSanitizer build, runtime + obs + sim tests =="
+echo "== stage 3: ThreadSanitizer build, runtime + obs + net + sim tests =="
 cmake -B "$repo/build-tsan" -S "$repo" -DATK_SANITIZE=thread
-cmake --build "$repo/build-tsan" -j "$jobs" --target test_runtime test_obs test_sim
+cmake --build "$repo/build-tsan" -j "$jobs" --target test_runtime test_obs test_net test_sim
 "$repo/build-tsan/tests/test_runtime"
 "$repo/build-tsan/tests/test_obs"
+"$repo/build-tsan/tests/test_net"
 "$repo/build-tsan/tests/test_sim" --gtest_filter='FaultInjection.*'
 
 echo
@@ -60,6 +62,7 @@ cmake --build "$repo/build-ubsan" -j "$jobs"
 (cd "$repo/build-ubsan" && ctest --output-on-failure -j "$jobs")
 "$repo/build-ubsan/fuzz/fuzz_state_io" -seconds=10 "$repo/fuzz/corpus/state_io"
 "$repo/build-ubsan/fuzz/fuzz_prometheus" -seconds=10 "$repo/fuzz/corpus/prometheus"
+"$repo/build-ubsan/fuzz/fuzz_frame_decoder" -seconds=10 "$repo/fuzz/corpus/frame_decoder"
 
 echo
 echo "== stage 5: simulation gates =="
@@ -77,4 +80,4 @@ else
 fi
 
 echo
-echo "ok: tier-1 suite green, lint clean, runtime+obs+sim TSan-clean, UBSan+fuzz clean, sim gates green"
+echo "ok: tier-1 suite green, lint clean, runtime+obs+net+sim TSan-clean, UBSan+fuzz clean, sim gates green"

@@ -1,0 +1,307 @@
+#include "net/client.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <sys/socket.h>
+#include <system_error>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+
+namespace atk::net {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// Hard reset: SO_LINGER with zero timeout makes close() send RST instead
+/// of FIN, which is what the fault injector wants the server to observe.
+void reset_socket(FdHandle& socket) {
+    if (!socket.valid()) return;
+    struct linger hard {};
+    hard.l_onoff = 1;
+    hard.l_linger = 0;
+    ::setsockopt(socket.get(), SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+    socket.reset();
+}
+
+} // namespace
+
+TuningClient::TuningClient(ClientOptions options)
+    : options_(std::move(options)), decoder_(options_.max_payload),
+      backoff_rng_(options_.backoff_seed) {
+    if (options_.port == 0)
+        throw std::invalid_argument("TuningClient: port must be set");
+    if (options_.max_attempts == 0)
+        throw std::invalid_argument("TuningClient: max_attempts must be positive");
+}
+
+TuningClient::~TuningClient() {
+    try {
+        flush_reports();
+    } catch (...) {
+        // Destructor: losses are already counted in reports_lost_.
+    }
+    disconnect();
+}
+
+void TuningClient::disconnect() noexcept {
+    socket_.reset();
+    decoder_ = FrameDecoder(options_.max_payload);
+}
+
+// ---------------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------------
+
+void TuningClient::backoff_sleep() {
+    const auto base = static_cast<double>(options_.backoff_base.count());
+    const auto cap = static_cast<double>(options_.backoff_cap.count());
+    // Decorrelated jitter: next ~ uniform(base, 3 × previous), capped.
+    const double previous = static_cast<double>(last_backoff_.count());
+    const double hi = std::max(base, previous * 3.0);
+    double next = base;
+    if (hi > base) next = base + backoff_rng_.uniform_real(0.0, hi - base);
+    next = std::min(next, cap);
+    last_backoff_ = std::chrono::milliseconds(static_cast<std::int64_t>(next));
+    std::this_thread::sleep_for(last_backoff_);
+}
+
+void TuningClient::connect_once() {
+    socket_ = connect_tcp(options_.host, options_.port, options_.request_timeout);
+    decoder_ = FrameDecoder(options_.max_payload);
+    send_frame(encode_hello({kProtocolVersion, options_.client_name}));
+    Frame reply = read_frame();
+    if (reply.type == FrameType::Error) {
+        ErrorMsg error;
+        try {
+            error = decode_error(reply);
+        } catch (const WireError&) {
+            error = {ErrorCode::Internal, "undecodable Error frame"};
+        }
+        disconnect();
+        // A version mismatch (or any handshake refusal) will not improve
+        // with retries, so surface it as final.
+        throw NetError("handshake refused: " + error.message);
+    }
+    try {
+        (void)decode_hello_ok(reply);
+    } catch (const WireError& e) {
+        disconnect();
+        throw NetError(std::string("handshake violated the protocol: ") + e.what());
+    }
+    last_backoff_ = std::chrono::milliseconds(0);
+}
+
+void TuningClient::ensure_connected() {
+    if (!socket_.valid()) connect_once();
+}
+
+void TuningClient::send_frame(const std::string& encoded) {
+    WireFaultInjector::FrameFate fate;
+    if (options_.fault) fate = options_.fault->plan_frame(encoded.size());
+
+    const auto write_all = [this](const char* data, std::size_t size) {
+        std::size_t at = 0;
+        while (at < size) {
+            const ::ssize_t sent =
+                ::send(socket_.get(), data + at, size - at, MSG_NOSIGNAL);
+            if (sent < 0) {
+                if (errno == EINTR) continue;
+                throw std::system_error(errno, std::generic_category(),
+                                        "net: send");
+            }
+            at += static_cast<std::size_t>(sent);
+        }
+    };
+
+    if (fate.reset) {
+        if (fate.reset_after > 0) write_all(encoded.data(), fate.reset_after);
+        reset_socket(socket_);
+        throw std::system_error(ECONNRESET, std::generic_category(),
+                                "net: injected connection reset");
+    }
+    if (!fate.chunk_sizes.empty()) {
+        std::size_t at = 0;
+        for (const std::size_t chunk : fate.chunk_sizes) {
+            write_all(encoded.data() + at, chunk);
+            at += chunk;
+        }
+        return;
+    }
+    write_all(encoded.data(), encoded.size());
+}
+
+Frame TuningClient::read_frame() {
+    const auto deadline = std::chrono::steady_clock::now() + options_.request_timeout;
+    char chunk[kReadChunk];
+    for (;;) {
+        if (auto frame = decoder_.next()) return std::move(*frame);
+        if (decoder_.error()) {
+            const std::string what = decoder_.error_message();
+            disconnect();
+            throw NetError("server sent a malformed frame: " + what);
+        }
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) {
+            ++timeouts_;
+            throw std::system_error(ETIMEDOUT, std::generic_category(),
+                                    "net: request timed out");
+        }
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+        if (!wait_readable(socket_.get(), std::max(left, std::chrono::milliseconds(1))))
+            continue;  // deadline recheck above
+        const ::ssize_t got = ::recv(socket_.get(), chunk, sizeof(chunk), 0);
+        if (got < 0) {
+            if (errno == EINTR) continue;
+            throw std::system_error(errno, std::generic_category(), "net: recv");
+        }
+        if (got == 0)
+            throw std::system_error(ECONNRESET, std::generic_category(),
+                                    "net: server closed the connection");
+        decoder_.feed(chunk, static_cast<std::size_t>(got));
+    }
+}
+
+Frame TuningClient::exchange(const std::string& encoded) {
+    std::string last_error;
+    for (std::size_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
+        if (attempt > 0) {
+            ++reconnects_;
+            backoff_sleep();
+        }
+        try {
+            ensure_connected();
+            send_frame(encoded);
+            return read_frame();
+        } catch (const std::system_error& e) {
+            last_error = e.what();
+            disconnect();
+        }
+    }
+    throw NetError("request failed after " + std::to_string(options_.max_attempts) +
+                   " attempt(s): " + last_error);
+}
+
+Frame TuningClient::reject_error(Frame frame) {
+    if (frame.type == FrameType::Error) {
+        const ErrorMsg error = decode_error(frame);
+        throw NetError("server error " + std::to_string(static_cast<unsigned>(error.code)) +
+                       ": " + error.message);
+    }
+    return frame;
+}
+
+// ---------------------------------------------------------------------------
+// Blocking API
+// ---------------------------------------------------------------------------
+
+runtime::Ticket TuningClient::recommend(const std::string& session) {
+    flush_reports();
+    const Frame reply = reject_error(exchange(encode_recommend({session})));
+    return decode_recommendation(reply).ticket;
+}
+
+std::vector<runtime::Ticket> TuningClient::recommend_many(
+    const std::vector<std::string>& sessions) {
+    flush_reports();
+    std::string last_error;
+    for (std::size_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
+        if (attempt > 0) {
+            ++reconnects_;
+            backoff_sleep();
+        }
+        try {
+            ensure_connected();
+            // The pipelined path: all requests on the wire before the first
+            // reply is read; replies come back in request order.
+            for (const std::string& session : sessions)
+                send_frame(encode_recommend({session}));
+            std::vector<runtime::Ticket> tickets;
+            tickets.reserve(sessions.size());
+            for (std::size_t i = 0; i < sessions.size(); ++i) {
+                const Frame reply = reject_error(read_frame());
+                tickets.push_back(decode_recommendation(reply).ticket);
+            }
+            return tickets;
+        } catch (const std::system_error& e) {
+            last_error = e.what();
+            disconnect();
+        }
+    }
+    throw NetError("pipelined recommend failed after " +
+                   std::to_string(options_.max_attempts) +
+                   " attempt(s): " + last_error);
+}
+
+bool TuningClient::report(const std::string& session, const runtime::Ticket& ticket,
+                          Cost cost) {
+    return report_batch(session, {{ticket, cost}}) == 1;
+}
+
+std::size_t TuningClient::report_batch(
+    const std::string& session, const std::vector<runtime::BatchedMeasurement>& batch) {
+    flush_reports();
+    const Frame reply = reject_error(
+        exchange(encode_report({session, batch}, /*ack_requested=*/true)));
+    return decode_report_ok(reply).accepted;
+}
+
+void TuningClient::report_async(const std::string& session,
+                                const runtime::Ticket& ticket, Cost cost) {
+    pending_.push_back({session, {ticket, cost}});
+    if (pending_.size() >= options_.async_batch_size) flush_reports();
+}
+
+void TuningClient::flush_reports() {
+    if (pending_.empty()) return;
+    std::vector<PendingReport> pending;
+    pending.swap(pending_);
+    try {
+        ensure_connected();
+        // One unacked frame per distinct session, original order preserved
+        // within each (the aggregator sees the same sequence the client
+        // measured).
+        std::vector<std::string> order;
+        for (const PendingReport& p : pending)
+            if (std::find(order.begin(), order.end(), p.session) == order.end())
+                order.push_back(p.session);
+        for (const std::string& session : order) {
+            ReportMsg msg;
+            msg.session = session;
+            for (const PendingReport& p : pending)
+                if (p.session == session) msg.batch.push_back(p.measurement);
+            send_frame(encode_report(msg, /*ack_requested=*/false));
+        }
+    } catch (const std::system_error&) {
+        // Fire-and-forget semantics: a dead connection costs the buffered
+        // reports (counted), never the caller's control flow.
+        reports_lost_ += pending.size();
+        disconnect();
+    } catch (const NetError&) {
+        reports_lost_ += pending.size();
+        disconnect();
+        throw;  // handshake-level refusals should be loud
+    }
+}
+
+std::string TuningClient::snapshot() {
+    flush_reports();
+    const Frame reply = reject_error(exchange(encode_snapshot_request()));
+    return decode_snapshot_ok(reply).payload;
+}
+
+std::size_t TuningClient::restore(const std::string& payload) {
+    flush_reports();
+    const Frame reply = reject_error(exchange(encode_restore({payload})));
+    return static_cast<std::size_t>(decode_restore_ok(reply).sessions_restored);
+}
+
+runtime::ServiceStats TuningClient::stats() {
+    flush_reports();
+    const Frame reply = reject_error(exchange(encode_stats_request()));
+    return decode_stats_ok(reply).stats;
+}
+
+} // namespace atk::net

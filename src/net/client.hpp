@@ -1,0 +1,156 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "net/wire_fault.hpp"
+#include "runtime/service.hpp"
+#include "support/rng.hpp"
+
+namespace atk::net {
+
+/// A request failed for good: connect/handshake/IO kept failing through the
+/// whole reconnect budget, the server answered with an Error frame, or a
+/// reply violated the protocol.
+class NetError : public std::runtime_error {
+public:
+    explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct ClientOptions {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::string client_name = "atk-client";
+    /// Per-request reply deadline (also the connect deadline).
+    std::chrono::milliseconds request_timeout{5000};
+    /// Reconnect budget per API call: how many connection attempts a single
+    /// blocking call may burn before it throws NetError.
+    std::size_t max_attempts = 5;
+    /// Exponential backoff with decorrelated jitter between reconnects:
+    /// sleep ~ uniform(backoff_base, 3 × previous), capped at backoff_cap.
+    std::chrono::milliseconds backoff_base{10};
+    std::chrono::milliseconds backoff_cap{2000};
+    /// Seed of the jitter stream (support Rng), so tests replay exactly.
+    std::uint64_t backoff_seed = 0x6A6974746572ULL;  // "jitter"
+    std::size_t max_payload = kDefaultMaxPayload;
+    /// Fire-and-forget reports buffered before flush_reports() triggers
+    /// itself automatically.
+    std::size_t async_batch_size = 64;
+    /// Optional seeded wire-fault injection (tests/chaos only): frames may
+    /// be split into fragments or the connection reset mid-frame.
+    std::shared_ptr<WireFaultInjector> fault;
+};
+
+/// Client library for the TuningServer wire protocol.
+///
+/// Blocking API: recommend()/report()/snapshot()/restore()/stats() each
+/// complete a request/reply exchange, transparently reconnecting (with
+/// exponential backoff and decorrelated jitter) when the connection drops,
+/// and throwing NetError once the attempt budget is spent.
+///
+/// Pipelined paths, for hot loops that must not pay a round trip per
+/// measurement:
+///   - report_async() queues measurements locally and ships them as one
+///     batched, unacknowledged Report frame per flush_reports() (automatic
+///     every async_batch_size entries) — the client-side twin of the
+///     service's bounded-queue ingestion;
+///   - recommend_many() writes N Recommend frames back-to-back and then
+///     collects the N replies in order.
+///
+/// Not thread-safe: one TuningClient per client thread (they can share a
+/// server).  Reconnecting drops any unflushed async reports of the dead
+/// connection — mirroring the runtime's drop-under-pressure policy; the
+/// dropped count lands in reports_lost().
+class TuningClient {
+public:
+    explicit TuningClient(ClientOptions options);
+    ~TuningClient();
+
+    TuningClient(const TuningClient&) = delete;
+    TuningClient& operator=(const TuningClient&) = delete;
+
+    /// Current recommendation for `session` (connects on first use).
+    [[nodiscard]] runtime::Ticket recommend(const std::string& session);
+
+    /// Pipelined: one Recommend frame per session, then all replies.
+    [[nodiscard]] std::vector<runtime::Ticket> recommend_many(
+        const std::vector<std::string>& sessions);
+
+    /// Acknowledged single report; true when the server accepted it.
+    bool report(const std::string& session, const runtime::Ticket& ticket, Cost cost);
+
+    /// Acknowledged batch; returns the server's accepted count.
+    std::size_t report_batch(const std::string& session,
+                             const std::vector<runtime::BatchedMeasurement>& batch);
+
+    /// Fire-and-forget: queue locally, ship on flush_reports() (called
+    /// automatically at async_batch_size, before any blocking call, and on
+    /// destruction).
+    void report_async(const std::string& session, const runtime::Ticket& ticket,
+                      Cost cost);
+
+    /// Ships the queued async reports now (one unacked frame per session).
+    void flush_reports();
+
+    /// Full service snapshot (core/state_io payload) — feed it to
+    /// TuningService::restore_payload or write it as a warm-start file.
+    [[nodiscard]] std::string snapshot();
+
+    /// Pushes a snapshot payload into the remote service; returns the
+    /// number of sessions restored.
+    std::size_t restore(const std::string& payload);
+
+    [[nodiscard]] runtime::ServiceStats stats();
+
+    /// Drops the connection; the next call reconnects from scratch.
+    void disconnect() noexcept;
+
+    [[nodiscard]] bool connected() const noexcept { return socket_.valid(); }
+
+    // ---- client-side health counters ----
+    [[nodiscard]] std::uint64_t reconnects() const noexcept { return reconnects_; }
+    [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+    /// Async reports that died with a connection before being flushed.
+    [[nodiscard]] std::uint64_t reports_lost() const noexcept { return reports_lost_; }
+
+private:
+    struct PendingReport {
+        std::string session;
+        runtime::BatchedMeasurement measurement;
+    };
+
+    /// Ensures a handshaken connection, reconnecting with backoff; throws
+    /// NetError when the attempt budget is exhausted.
+    void ensure_connected();
+    void connect_once();
+    void backoff_sleep();
+
+    /// Writes one encoded frame, honoring the fault injector; throws
+    /// std::system_error on transport failure.
+    void send_frame(const std::string& encoded);
+    /// Reads until one complete frame is decoded or the deadline passes.
+    [[nodiscard]] Frame read_frame();
+
+    /// One request/reply exchange with reconnect-and-retry around it.
+    [[nodiscard]] Frame exchange(const std::string& encoded);
+    /// Raises NetError for an Error frame, otherwise returns the frame.
+    [[nodiscard]] static Frame reject_error(Frame frame);
+
+    ClientOptions options_;
+    FdHandle socket_;
+    FrameDecoder decoder_;
+    Rng backoff_rng_;
+    std::chrono::milliseconds last_backoff_{0};
+    std::vector<PendingReport> pending_;
+    std::uint64_t reconnects_ = 0;
+    std::uint64_t timeouts_ = 0;
+    std::uint64_t reports_lost_ = 0;
+};
+
+} // namespace atk::net

@@ -1,0 +1,16 @@
+#pragma once
+
+/// atk::net — serving the tuning runtime over TCP.
+///
+/// A versioned, length-prefixed binary wire protocol (protocol.hpp) carried
+/// over non-blocking epoll servers (server.hpp) and blocking/pipelined
+/// clients (client.hpp), with seeded wire-fault injection for chaos tests
+/// (wire_fault.hpp).  net sits above runtime in the layer DAG and is a leaf
+/// like sim: the two never include each other.
+
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "net/wire_fault.hpp"

@@ -1,0 +1,399 @@
+#include "net/protocol.hpp"
+
+#include <utility>
+
+namespace atk::net {
+
+namespace {
+
+bool known_type(std::uint8_t byte) {
+    return byte >= static_cast<std::uint8_t>(FrameType::Hello) &&
+           byte <= static_cast<std::uint8_t>(FrameType::Error);
+}
+
+std::string finish_frame(FrameType type, std::uint8_t flags, WireWriter payload) {
+    Frame frame{type, flags, payload.take()};
+    return encode_frame(frame);
+}
+
+/// Every decode_* must consume the payload exactly: trailing bytes mean the
+/// peer and we disagree about the layout, which is as fatal as truncation.
+void expect_consumed(const WireReader& in, FrameType type) {
+    if (!in.at_end())
+        throw WireError(std::string("wire: trailing bytes after ") +
+                        frame_type_name(type) + " payload");
+}
+
+void expect_type(const Frame& frame, FrameType type) {
+    if (frame.type != type)
+        throw WireError(std::string("wire: expected ") + frame_type_name(type) +
+                        " frame, got " + frame_type_name(frame.type));
+}
+
+void put_config(WireWriter& out, const Configuration& config) {
+    if (config.size() > 0xFFFFFFFFu)
+        throw std::invalid_argument("wire: configuration exceeds u32 dimension");
+    out.put_u32(static_cast<std::uint32_t>(config.size()));
+    for (std::size_t i = 0; i < config.size(); ++i) out.put_i64(config[i]);
+}
+
+Configuration get_config(WireReader& in) {
+    const std::size_t dims = in.get_count(/*min_element_bytes=*/8);
+    std::vector<std::int64_t> values;
+    values.reserve(dims);
+    for (std::size_t i = 0; i < dims; ++i) values.push_back(in.get_i64());
+    return Configuration{std::move(values)};
+}
+
+} // namespace
+
+const char* frame_type_name(FrameType type) noexcept {
+    switch (type) {
+        case FrameType::Hello: return "Hello";
+        case FrameType::HelloOk: return "HelloOk";
+        case FrameType::Recommend: return "Recommend";
+        case FrameType::Recommendation: return "Recommendation";
+        case FrameType::Report: return "Report";
+        case FrameType::ReportOk: return "ReportOk";
+        case FrameType::Snapshot: return "Snapshot";
+        case FrameType::SnapshotOk: return "SnapshotOk";
+        case FrameType::Restore: return "Restore";
+        case FrameType::RestoreOk: return "RestoreOk";
+        case FrameType::Stats: return "Stats";
+        case FrameType::StatsOk: return "StatsOk";
+        case FrameType::Error: return "Error";
+    }
+    return "Unknown";
+}
+
+std::string encode_frame(const Frame& frame) {
+    if (frame.payload.size() > 0xFFFFFFFFu)
+        throw std::invalid_argument("wire: frame payload exceeds u32 length");
+    WireWriter header;
+    header.put_u32(static_cast<std::uint32_t>(frame.payload.size()));
+    header.put_u8(static_cast<std::uint8_t>(frame.type));
+    header.put_u8(frame.flags);
+    header.put_u16(0);  // reserved, must be zero
+    std::string out = header.take();
+    out += frame.payload;
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// FrameDecoder
+// ---------------------------------------------------------------------------
+
+FrameDecoder::FrameDecoder(std::size_t max_payload) : max_payload_(max_payload) {}
+
+bool FrameDecoder::parse_header() {
+    WireReader in(buffer_.data(), kFrameHeaderBytes);
+    pending_length_ = in.get_u32();
+    const std::uint8_t type_byte = in.get_u8();
+    pending_flags_ = in.get_u8();
+    const std::uint16_t reserved = in.get_u16();
+    if (pending_length_ > max_payload_) {
+        error_ = "frame length " + std::to_string(pending_length_) +
+                 " exceeds the payload cap of " + std::to_string(max_payload_);
+        return false;
+    }
+    if (!known_type(type_byte)) {
+        error_ = "unknown frame type " + std::to_string(type_byte);
+        return false;
+    }
+    if ((pending_flags_ & ~kFlagAckRequested) != 0) {
+        error_ = "unknown frame flags " + std::to_string(pending_flags_);
+        return false;
+    }
+    if (reserved != 0) {
+        error_ = "nonzero reserved header field";
+        return false;
+    }
+    pending_type_ = static_cast<FrameType>(type_byte);
+    return true;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t size) {
+    if (error()) return;  // poisoned stream: no frame boundary exists anymore
+    std::size_t at = 0;
+    while (at < size) {
+        if (!have_header_) {
+            const std::size_t want = kFrameHeaderBytes - buffer_.size();
+            const std::size_t take = std::min(want, size - at);
+            buffer_.append(data + at, take);
+            at += take;
+            if (buffer_.size() < kFrameHeaderBytes) return;
+            if (!parse_header()) {
+                buffer_.clear();
+                return;
+            }
+            have_header_ = true;
+            buffer_.clear();
+            // The declared length was validated against the cap above, so
+            // this is the only payload-sized allocation the peer can cause.
+            buffer_.reserve(pending_length_);
+        }
+        const std::size_t want = pending_length_ - buffer_.size();
+        const std::size_t take = std::min(want, size - at);
+        buffer_.append(data + at, take);
+        at += take;
+        if (buffer_.size() < pending_length_) return;
+        ready_.push_back(Frame{pending_type_, pending_flags_, std::move(buffer_)});
+        buffer_ = {};
+        have_header_ = false;
+        pending_length_ = 0;
+    }
+}
+
+std::optional<Frame> FrameDecoder::next() {
+    if (ready_at_ >= ready_.size()) {
+        ready_.clear();
+        ready_at_ = 0;
+        return std::nullopt;
+    }
+    Frame frame = std::move(ready_[ready_at_++]);
+    if (ready_at_ >= ready_.size()) {
+        ready_.clear();
+        ready_at_ = 0;
+    }
+    return frame;
+}
+
+// ---------------------------------------------------------------------------
+// Message encode/decode
+// ---------------------------------------------------------------------------
+
+std::string encode_hello(const HelloMsg& msg) {
+    WireWriter out;
+    out.put_u32(msg.version);
+    out.put_str(msg.client_name);
+    return finish_frame(FrameType::Hello, 0, std::move(out));
+}
+
+HelloMsg decode_hello(const Frame& frame) {
+    expect_type(frame, FrameType::Hello);
+    WireReader in(frame.payload);
+    HelloMsg msg;
+    msg.version = in.get_u32();
+    msg.client_name = in.get_str();
+    expect_consumed(in, frame.type);
+    return msg;
+}
+
+std::string encode_hello_ok(const HelloOkMsg& msg) {
+    WireWriter out;
+    out.put_u32(msg.version);
+    out.put_str(msg.server_name);
+    return finish_frame(FrameType::HelloOk, 0, std::move(out));
+}
+
+HelloOkMsg decode_hello_ok(const Frame& frame) {
+    expect_type(frame, FrameType::HelloOk);
+    WireReader in(frame.payload);
+    HelloOkMsg msg;
+    msg.version = in.get_u32();
+    msg.server_name = in.get_str();
+    expect_consumed(in, frame.type);
+    return msg;
+}
+
+std::string encode_recommend(const RecommendMsg& msg) {
+    WireWriter out;
+    out.put_str(msg.session);
+    return finish_frame(FrameType::Recommend, 0, std::move(out));
+}
+
+RecommendMsg decode_recommend(const Frame& frame) {
+    expect_type(frame, FrameType::Recommend);
+    WireReader in(frame.payload);
+    RecommendMsg msg;
+    msg.session = in.get_str();
+    expect_consumed(in, frame.type);
+    return msg;
+}
+
+std::string encode_recommendation(const RecommendationMsg& msg) {
+    WireWriter out;
+    out.put_str(msg.session);
+    out.put_u64(msg.ticket.sequence);
+    if (msg.ticket.trial.algorithm > 0xFFFFFFFFu)
+        throw std::invalid_argument("wire: algorithm index exceeds u32");
+    out.put_u32(static_cast<std::uint32_t>(msg.ticket.trial.algorithm));
+    put_config(out, msg.ticket.trial.config);
+    return finish_frame(FrameType::Recommendation, 0, std::move(out));
+}
+
+RecommendationMsg decode_recommendation(const Frame& frame) {
+    expect_type(frame, FrameType::Recommendation);
+    WireReader in(frame.payload);
+    RecommendationMsg msg;
+    msg.session = in.get_str();
+    msg.ticket.sequence = in.get_u64();
+    msg.ticket.trial.algorithm = in.get_u32();
+    msg.ticket.trial.config = get_config(in);
+    expect_consumed(in, frame.type);
+    return msg;
+}
+
+std::string encode_report(const ReportMsg& msg, bool ack_requested) {
+    WireWriter out;
+    out.put_str(msg.session);
+    if (msg.batch.size() > 0xFFFFFFFFu)
+        throw std::invalid_argument("wire: report batch exceeds u32 count");
+    out.put_u32(static_cast<std::uint32_t>(msg.batch.size()));
+    for (const runtime::BatchedMeasurement& m : msg.batch) {
+        out.put_u64(m.ticket.sequence);
+        if (m.ticket.trial.algorithm > 0xFFFFFFFFu)
+            throw std::invalid_argument("wire: algorithm index exceeds u32");
+        out.put_u32(static_cast<std::uint32_t>(m.ticket.trial.algorithm));
+        put_config(out, m.ticket.trial.config);
+        out.put_f64(m.cost);
+    }
+    return finish_frame(FrameType::Report, ack_requested ? kFlagAckRequested : 0,
+                        std::move(out));
+}
+
+ReportMsg decode_report(const Frame& frame) {
+    expect_type(frame, FrameType::Report);
+    WireReader in(frame.payload);
+    ReportMsg msg;
+    msg.session = in.get_str();
+    // seq(8) + alg(4) + config count(4) + cost(8) is the smallest entry.
+    const std::size_t count = in.get_count(/*min_element_bytes=*/24);
+    msg.batch.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        runtime::BatchedMeasurement m;
+        m.ticket.sequence = in.get_u64();
+        m.ticket.trial.algorithm = in.get_u32();
+        m.ticket.trial.config = get_config(in);
+        m.cost = in.get_f64();
+        msg.batch.push_back(std::move(m));
+    }
+    expect_consumed(in, frame.type);
+    return msg;
+}
+
+std::string encode_report_ok(const ReportOkMsg& msg) {
+    WireWriter out;
+    out.put_u32(msg.accepted);
+    out.put_u32(msg.dropped);
+    return finish_frame(FrameType::ReportOk, 0, std::move(out));
+}
+
+ReportOkMsg decode_report_ok(const Frame& frame) {
+    expect_type(frame, FrameType::ReportOk);
+    WireReader in(frame.payload);
+    ReportOkMsg msg;
+    msg.accepted = in.get_u32();
+    msg.dropped = in.get_u32();
+    expect_consumed(in, frame.type);
+    return msg;
+}
+
+std::string encode_snapshot_request() {
+    return encode_frame(Frame{FrameType::Snapshot, 0, {}});
+}
+
+std::string encode_snapshot_ok(const SnapshotOkMsg& msg) {
+    WireWriter out;
+    out.put_str(msg.payload);
+    return finish_frame(FrameType::SnapshotOk, 0, std::move(out));
+}
+
+SnapshotOkMsg decode_snapshot_ok(const Frame& frame) {
+    expect_type(frame, FrameType::SnapshotOk);
+    WireReader in(frame.payload);
+    SnapshotOkMsg msg;
+    msg.payload = in.get_str();
+    expect_consumed(in, frame.type);
+    return msg;
+}
+
+std::string encode_restore(const RestoreMsg& msg) {
+    WireWriter out;
+    out.put_str(msg.payload);
+    return finish_frame(FrameType::Restore, 0, std::move(out));
+}
+
+RestoreMsg decode_restore(const Frame& frame) {
+    expect_type(frame, FrameType::Restore);
+    WireReader in(frame.payload);
+    RestoreMsg msg;
+    msg.payload = in.get_str();
+    expect_consumed(in, frame.type);
+    return msg;
+}
+
+std::string encode_restore_ok(const RestoreOkMsg& msg) {
+    WireWriter out;
+    out.put_u64(msg.sessions_restored);
+    return finish_frame(FrameType::RestoreOk, 0, std::move(out));
+}
+
+RestoreOkMsg decode_restore_ok(const Frame& frame) {
+    expect_type(frame, FrameType::RestoreOk);
+    WireReader in(frame.payload);
+    RestoreOkMsg msg;
+    msg.sessions_restored = in.get_u64();
+    expect_consumed(in, frame.type);
+    return msg;
+}
+
+std::string encode_stats_request() {
+    return encode_frame(Frame{FrameType::Stats, 0, {}});
+}
+
+std::string encode_stats_ok(const StatsOkMsg& msg) {
+    WireWriter out;
+    const runtime::ServiceStats& s = msg.stats;
+    out.put_u64(s.sessions);
+    out.put_u64(s.queue_depth);
+    out.put_u64(s.queue_capacity);
+    out.put_u64(s.reports_enqueued);
+    out.put_u64(s.reports_dropped);
+    out.put_u64(s.reports_orphaned);
+    out.put_u64(s.reports_fresh);
+    out.put_u64(s.reports_stale);
+    out.put_u64(s.installs_applied);
+    out.put_u64(s.installs_rejected);
+    out.put_u64(s.snapshots_restored);
+    return finish_frame(FrameType::StatsOk, 0, std::move(out));
+}
+
+StatsOkMsg decode_stats_ok(const Frame& frame) {
+    expect_type(frame, FrameType::StatsOk);
+    WireReader in(frame.payload);
+    StatsOkMsg msg;
+    runtime::ServiceStats& s = msg.stats;
+    s.sessions = static_cast<std::size_t>(in.get_u64());
+    s.queue_depth = static_cast<std::size_t>(in.get_u64());
+    s.queue_capacity = static_cast<std::size_t>(in.get_u64());
+    s.reports_enqueued = in.get_u64();
+    s.reports_dropped = in.get_u64();
+    s.reports_orphaned = in.get_u64();
+    s.reports_fresh = in.get_u64();
+    s.reports_stale = in.get_u64();
+    s.installs_applied = in.get_u64();
+    s.installs_rejected = in.get_u64();
+    s.snapshots_restored = in.get_u64();
+    expect_consumed(in, frame.type);
+    return msg;
+}
+
+std::string encode_error(const ErrorMsg& msg) {
+    WireWriter out;
+    out.put_u32(static_cast<std::uint32_t>(msg.code));
+    out.put_str(msg.message);
+    return finish_frame(FrameType::Error, 0, std::move(out));
+}
+
+ErrorMsg decode_error(const Frame& frame) {
+    expect_type(frame, FrameType::Error);
+    WireReader in(frame.payload);
+    ErrorMsg msg;
+    msg.code = static_cast<ErrorCode>(in.get_u32());
+    msg.message = in.get_str();
+    expect_consumed(in, frame.type);
+    return msg;
+}
+
+} // namespace atk::net

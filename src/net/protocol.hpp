@@ -1,0 +1,204 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/search_space.hpp"
+#include "net/wire.hpp"
+#include "runtime/service.hpp"
+
+namespace atk::net {
+
+/// Version of the frame layout and message payloads.  Negotiated by the
+/// mandatory Hello/HelloOk exchange that opens every connection; a server
+/// refuses mismatched clients with Error{VersionMismatch} instead of
+/// guessing at payload layouts.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Hard ceiling on a frame payload (and therefore on every decoder
+/// allocation).  Snapshot payloads dominate; 16 MiB of text state covers
+/// thousands of sessions.  Both sides enforce it.
+inline constexpr std::size_t kDefaultMaxPayload = 16u << 20;
+
+/// Every frame on the wire, either direction.  Requests are client→server;
+/// each has exactly one reply type (server→client), except Report frames
+/// sent without the kFlagAckRequested bit, which have none.
+enum class FrameType : std::uint8_t {
+    Hello = 1,        ///< u32 version, str client_name
+    HelloOk = 2,      ///< u32 version, str server_name
+    Recommend = 3,    ///< str session
+    Recommendation = 4, ///< str session, u64 sequence, u32 algorithm, config
+    Report = 5,       ///< str session, u32 n, n × {u64 seq, u32 alg, config, f64 cost}
+    ReportOk = 6,     ///< u32 accepted, u32 dropped
+    Snapshot = 7,     ///< (empty)
+    SnapshotOk = 8,   ///< str state payload (core/state_io text)
+    Restore = 9,      ///< str state payload
+    RestoreOk = 10,   ///< u64 sessions_restored
+    Stats = 11,       ///< (empty)
+    StatsOk = 12,     ///< the runtime::ServiceStats scalars
+    Error = 13,       ///< u32 code, str message
+};
+
+/// Frame flags (bit set).  Only Report honors any today; unknown bits are
+/// rejected by the decoder so they stay available for future versions.
+inline constexpr std::uint8_t kFlagAckRequested = 0x01;
+
+/// Error frame codes.
+enum class ErrorCode : std::uint32_t {
+    BadFrame = 1,        ///< payload did not parse as the declared type
+    VersionMismatch = 2, ///< Hello version != server version
+    UnknownType = 3,     ///< frame type byte outside the enum
+    BadRequest = 4,      ///< well-formed but unserviceable (e.g. bad restore)
+    Internal = 5,        ///< server-side failure
+    Shutdown = 6,        ///< server is draining; reconnect later
+};
+
+/// One complete frame as it travels: 8-byte header (u32 payload length,
+/// u8 type, u8 flags, u16 reserved = 0) followed by `payload`.
+struct Frame {
+    FrameType type = FrameType::Error;
+    std::uint8_t flags = 0;
+    std::string payload;
+};
+
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Serializes a frame (header + payload) ready for the socket.
+[[nodiscard]] std::string encode_frame(const Frame& frame);
+
+/// Incremental, allocation-bounded decoder for a byte stream of frames.
+///
+/// feed() accepts whatever the socket produced; next() hands back complete
+/// frames in order.  The decoder validates the header *before* reserving
+/// payload space, so a hostile length field can never cause an allocation
+/// beyond `max_payload + one read chunk`.  The first malformed header
+/// (oversized length, unknown type, unknown flag bits, nonzero reserved
+/// field) poisons the stream: error() turns true and stays true, because a
+/// framing error leaves no way to find the next frame boundary — the
+/// connection must be dropped.
+class FrameDecoder {
+public:
+    explicit FrameDecoder(std::size_t max_payload = kDefaultMaxPayload);
+
+    /// Appends raw bytes.  Cheap for partial frames; no per-call scan of
+    /// data already buffered.  Bytes after a framing error are discarded.
+    void feed(const char* data, std::size_t size);
+
+    /// Next complete frame, if one is buffered.  The error state never
+    /// yields frames decoded after the poisoned header (frames completed
+    /// before it are still delivered).
+    [[nodiscard]] std::optional<Frame> next();
+
+    [[nodiscard]] bool error() const noexcept { return !error_.empty(); }
+    [[nodiscard]] const std::string& error_message() const noexcept { return error_; }
+
+    /// Bytes currently buffered (partial frame); bounded by
+    /// kFrameHeaderBytes + max_payload.
+    [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size(); }
+    [[nodiscard]] std::size_t max_payload() const noexcept { return max_payload_; }
+
+private:
+    /// True when the buffered header declares a valid frame; sets error_
+    /// otherwise.  Populates pending_* from the header bytes.
+    bool parse_header();
+
+    std::size_t max_payload_;
+    std::string buffer_;            ///< header-in-progress or payload-in-progress
+    bool have_header_ = false;
+    std::uint32_t pending_length_ = 0;
+    FrameType pending_type_ = FrameType::Error;
+    std::uint8_t pending_flags_ = 0;
+    std::vector<Frame> ready_;      ///< decoded ahead of next() calls
+    std::size_t ready_at_ = 0;      ///< consumed prefix of ready_
+    std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Message payloads.  encode_* returns a complete wire-ready frame;
+// decode_* parses a Frame's payload and throws WireError on any structural
+// defect (truncation, overrun, trailing bytes).
+// ---------------------------------------------------------------------------
+
+struct HelloMsg {
+    std::uint32_t version = kProtocolVersion;
+    std::string client_name;
+};
+
+struct HelloOkMsg {
+    std::uint32_t version = kProtocolVersion;
+    std::string server_name;
+};
+
+struct RecommendMsg {
+    std::string session;
+};
+
+struct RecommendationMsg {
+    std::string session;
+    runtime::Ticket ticket;
+};
+
+struct ReportMsg {
+    std::string session;
+    std::vector<runtime::BatchedMeasurement> batch;
+};
+
+struct ReportOkMsg {
+    std::uint32_t accepted = 0;
+    std::uint32_t dropped = 0;
+};
+
+struct SnapshotOkMsg {
+    std::string payload;  ///< runtime snapshot (core/state_io text format)
+};
+
+struct RestoreMsg {
+    std::string payload;
+};
+
+struct RestoreOkMsg {
+    std::uint64_t sessions_restored = 0;
+};
+
+struct StatsOkMsg {
+    runtime::ServiceStats stats;
+};
+
+struct ErrorMsg {
+    ErrorCode code = ErrorCode::Internal;
+    std::string message;
+};
+
+[[nodiscard]] std::string encode_hello(const HelloMsg& msg);
+[[nodiscard]] std::string encode_hello_ok(const HelloOkMsg& msg);
+[[nodiscard]] std::string encode_recommend(const RecommendMsg& msg);
+[[nodiscard]] std::string encode_recommendation(const RecommendationMsg& msg);
+[[nodiscard]] std::string encode_report(const ReportMsg& msg, bool ack_requested);
+[[nodiscard]] std::string encode_report_ok(const ReportOkMsg& msg);
+[[nodiscard]] std::string encode_snapshot_request();
+[[nodiscard]] std::string encode_snapshot_ok(const SnapshotOkMsg& msg);
+[[nodiscard]] std::string encode_restore(const RestoreMsg& msg);
+[[nodiscard]] std::string encode_restore_ok(const RestoreOkMsg& msg);
+[[nodiscard]] std::string encode_stats_request();
+[[nodiscard]] std::string encode_stats_ok(const StatsOkMsg& msg);
+[[nodiscard]] std::string encode_error(const ErrorMsg& msg);
+
+[[nodiscard]] HelloMsg decode_hello(const Frame& frame);
+[[nodiscard]] HelloOkMsg decode_hello_ok(const Frame& frame);
+[[nodiscard]] RecommendMsg decode_recommend(const Frame& frame);
+[[nodiscard]] RecommendationMsg decode_recommendation(const Frame& frame);
+[[nodiscard]] ReportMsg decode_report(const Frame& frame);
+[[nodiscard]] ReportOkMsg decode_report_ok(const Frame& frame);
+[[nodiscard]] SnapshotOkMsg decode_snapshot_ok(const Frame& frame);
+[[nodiscard]] RestoreMsg decode_restore(const Frame& frame);
+[[nodiscard]] RestoreOkMsg decode_restore_ok(const Frame& frame);
+[[nodiscard]] StatsOkMsg decode_stats_ok(const Frame& frame);
+[[nodiscard]] ErrorMsg decode_error(const Frame& frame);
+
+/// Human-readable frame type name for logs and error messages.
+[[nodiscard]] const char* frame_type_name(FrameType type) noexcept;
+
+} // namespace atk::net

@@ -1,0 +1,451 @@
+#include "net/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <system_error>
+#include <unistd.h>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/span.hpp"
+
+namespace atk::net {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+/// Epoll wait granularity: bounds how stale an idle sweep or a stop request
+/// can get without costing measurable idle CPU.
+constexpr int kTickMs = 50;
+
+[[noreturn]] void throw_errno(const char* what) {
+    throw std::system_error(errno, std::generic_category(), what);
+}
+
+} // namespace
+
+/// Per-connection state; owned by exactly one worker thread, so none of it
+/// is synchronized.
+struct TuningServer::Connection {
+    FdHandle fd;
+    FrameDecoder decoder;
+    std::string write_buf;
+    std::size_t write_at = 0;       ///< flushed prefix of write_buf
+    bool want_writable = false;     ///< EPOLLOUT currently registered
+    bool handshaken = false;
+    bool close_after_flush = false; ///< fatal reply queued; close once sent
+    std::chrono::steady_clock::time_point last_activity;
+
+    explicit Connection(FdHandle socket, std::size_t max_payload)
+        : fd(std::move(socket)), decoder(max_payload),
+          last_activity(std::chrono::steady_clock::now()) {}
+
+    [[nodiscard]] std::size_t unsent() const noexcept {
+        return write_buf.size() - write_at;
+    }
+};
+
+struct TuningServer::Worker {
+    FdHandle epoll;
+    FdHandle wake;  ///< eventfd the acceptor pings after filling the inbox
+    std::mutex inbox_mutex;
+    std::vector<FdHandle> inbox;  ///< accepted sockets awaiting adoption
+    std::unordered_map<int, std::unique_ptr<Connection>> connections;
+    std::thread thread;
+};
+
+TuningServer::TuningServer(runtime::TuningService& service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {
+    if (options_.worker_threads == 0)
+        throw std::invalid_argument("TuningServer: worker_threads must be positive");
+    if (options_.write_hard_cap < options_.write_high_watermark)
+        throw std::invalid_argument(
+            "TuningServer: write_hard_cap below write_high_watermark");
+}
+
+TuningServer::~TuningServer() { stop(); }
+
+void TuningServer::start() {
+    if (started_.exchange(true, std::memory_order_acq_rel))
+        throw std::logic_error("TuningServer: start() called twice");
+    auto [fd, port] = listen_tcp(options_.bind_address, options_.port);
+    listen_fd_ = std::move(fd);
+    port_ = port;
+    set_nonblocking(listen_fd_.get());
+
+    workers_.reserve(options_.worker_threads);
+    for (std::size_t w = 0; w < options_.worker_threads; ++w) {
+        auto worker = std::make_unique<Worker>();
+        worker->epoll = FdHandle(::epoll_create1(EPOLL_CLOEXEC));
+        if (!worker->epoll.valid()) throw_errno("net: epoll_create1");
+        worker->wake = FdHandle(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+        if (!worker->wake.valid()) throw_errno("net: eventfd");
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = worker->wake.get();
+        if (::epoll_ctl(worker->epoll.get(), EPOLL_CTL_ADD, worker->wake.get(), &ev) < 0)
+            throw_errno("net: epoll_ctl(wake)");
+        workers_.push_back(std::move(worker));
+    }
+    for (auto& worker : workers_)
+        worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
+    acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void TuningServer::stop() {
+    if (!started_.load(std::memory_order_acquire)) return;
+    if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+        // A second caller (or the destructor after an explicit stop) only
+        // needs the joins below to have finished; they are idempotent via
+        // joinable().
+    }
+    if (acceptor_.joinable()) acceptor_.join();
+    for (auto& worker : workers_) {
+        const std::uint64_t one = 1;
+        if (worker->wake.valid())
+            [[maybe_unused]] const auto n =
+                ::write(worker->wake.get(), &one, sizeof(one));
+        if (worker->thread.joinable()) worker->thread.join();
+    }
+}
+
+std::size_t TuningServer::active_connections() const {
+    return active_connections_.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor
+// ---------------------------------------------------------------------------
+
+void TuningServer::accept_loop() {
+    while (!stopping_.load(std::memory_order_acquire)) {
+        if (!wait_readable(listen_fd_.get(), std::chrono::milliseconds(kTickMs)))
+            continue;
+        for (;;) {
+            const int raw = ::accept4(listen_fd_.get(), nullptr, nullptr,
+                                      SOCK_NONBLOCK | SOCK_CLOEXEC);
+            if (raw < 0) {
+                if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+                if (errno == EINTR || errno == ECONNABORTED) continue;
+                break;  // transient accept failure; retry on the next tick
+            }
+            FdHandle socket(raw);
+            try {
+                set_tcp_nodelay(socket.get());
+            } catch (const std::system_error&) {
+                continue;  // peer vanished between accept and setsockopt
+            }
+            Worker& worker = *workers_[next_worker_];
+            next_worker_ = (next_worker_ + 1) % workers_.size();
+            {
+                std::lock_guard lock(worker.inbox_mutex);
+                worker.inbox.push_back(std::move(socket));
+            }
+            const std::uint64_t one = 1;
+            [[maybe_unused]] const auto n =
+                ::write(worker.wake.get(), &one, sizeof(one));
+            service_.metrics().counter("net_connections").increment();
+        }
+    }
+    listen_fd_.reset();  // stop owning the port as soon as draining begins
+}
+
+// ---------------------------------------------------------------------------
+// Worker event loop
+// ---------------------------------------------------------------------------
+
+void TuningServer::adopt_inbox(Worker& worker) {
+    std::vector<FdHandle> adopted;
+    {
+        std::lock_guard lock(worker.inbox_mutex);
+        adopted.swap(worker.inbox);
+    }
+    for (FdHandle& socket : adopted) {
+        const int fd = socket.get();
+        auto conn = std::make_unique<Connection>(std::move(socket), options_.max_payload);
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        if (::epoll_ctl(worker.epoll.get(), EPOLL_CTL_ADD, fd, &ev) < 0) continue;
+        worker.connections.emplace(fd, std::move(conn));
+        active_connections_.fetch_add(1, std::memory_order_relaxed);
+        service_.metrics().gauge("net_connections_active")
+            .set(static_cast<double>(active_connections_.load(std::memory_order_relaxed)));
+    }
+}
+
+void TuningServer::worker_loop(Worker& worker) {
+    std::chrono::steady_clock::time_point drain_deadline{};
+    bool draining = false;
+    epoll_event events[64];
+    for (;;) {
+        const int n = ::epoll_wait(worker.epoll.get(), events, 64, kTickMs);
+        const auto now = std::chrono::steady_clock::now();
+        if (stopping_.load(std::memory_order_acquire) && !draining) {
+            draining = true;
+            drain_deadline = now + options_.drain_timeout;
+        }
+        for (int i = 0; i < n; ++i) {
+            const int fd = events[i].data.fd;
+            if (fd == worker.wake.get()) {
+                std::uint64_t drained = 0;
+                [[maybe_unused]] const auto r =
+                    ::read(worker.wake.get(), &drained, sizeof(drained));
+                adopt_inbox(worker);
+                continue;
+            }
+            const auto it = worker.connections.find(fd);
+            if (it == worker.connections.end()) continue;
+            Connection& conn = *it->second;
+            if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+                close_connection(worker, conn);
+                continue;
+            }
+            if ((events[i].events & EPOLLOUT) != 0) flush_writes(worker, conn);
+            if ((events[i].events & EPOLLIN) != 0 &&
+                worker.connections.count(fd) != 0)
+                handle_readable(worker, conn);
+        }
+        adopt_inbox(worker);  // cover wake ticks coalesced with a burst of events
+        sweep(worker, now, drain_deadline);
+        if (draining && worker.connections.empty()) break;
+    }
+    worker.connections.clear();
+}
+
+void TuningServer::sweep(Worker& worker, std::chrono::steady_clock::time_point now,
+                         std::chrono::steady_clock::time_point drain_deadline) {
+    const bool draining = stopping_.load(std::memory_order_acquire);
+    std::vector<int> doomed;
+    for (auto& [fd, conn] : worker.connections) {
+        if (draining) {
+            // Drain policy: quiet connections leave now, everyone leaves at
+            // the deadline.  In between, reads keep being served so a
+            // request already on the wire still gets its reply.
+            if (now >= drain_deadline || (conn->unsent() == 0 && conn->decoder.buffered() == 0))
+                doomed.push_back(fd);
+            continue;
+        }
+        if (conn->close_after_flush && conn->unsent() == 0) {
+            doomed.push_back(fd);
+            continue;
+        }
+        if (options_.idle_timeout.count() > 0 &&
+            now - conn->last_activity > options_.idle_timeout) {
+            service_.metrics().counter("net_idle_closed").increment();
+            doomed.push_back(fd);
+        }
+    }
+    for (const int fd : doomed) {
+        const auto it = worker.connections.find(fd);
+        if (it != worker.connections.end()) close_connection(worker, *it->second);
+    }
+}
+
+void TuningServer::close_connection(Worker& worker, Connection& conn) {
+    const int fd = conn.fd.get();
+    ::epoll_ctl(worker.epoll.get(), EPOLL_CTL_DEL, fd, nullptr);
+    worker.connections.erase(fd);  // destroys conn; fd closes via FdHandle
+    active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    service_.metrics().gauge("net_connections_active")
+        .set(static_cast<double>(active_connections_.load(std::memory_order_relaxed)));
+}
+
+void TuningServer::update_epoll_interest(Worker& worker, Connection& conn) {
+    const bool want = conn.unsent() > 0;
+    if (want == conn.want_writable) return;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+    ev.data.fd = conn.fd.get();
+    if (::epoll_ctl(worker.epoll.get(), EPOLL_CTL_MOD, conn.fd.get(), &ev) == 0)
+        conn.want_writable = want;
+}
+
+void TuningServer::flush_writes(Worker& worker, Connection& conn) {
+    while (conn.unsent() > 0) {
+        const ::ssize_t sent =
+            ::send(conn.fd.get(), conn.write_buf.data() + conn.write_at,
+                   conn.unsent(), MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            if (errno == EINTR) continue;
+            close_connection(worker, conn);
+            return;
+        }
+        conn.write_at += static_cast<std::size_t>(sent);
+        conn.last_activity = std::chrono::steady_clock::now();
+    }
+    if (conn.unsent() == 0) {
+        conn.write_buf.clear();
+        conn.write_at = 0;
+        if (conn.close_after_flush) {
+            close_connection(worker, conn);
+            return;
+        }
+    } else if (conn.write_at > kReadChunk) {
+        conn.write_buf.erase(0, conn.write_at);
+        conn.write_at = 0;
+    }
+    update_epoll_interest(worker, conn);
+}
+
+void TuningServer::handle_readable(Worker& worker, Connection& conn) {
+    if (conn.close_after_flush) {  // fatal reply pending: ignore further input
+        flush_writes(worker, conn);
+        return;
+    }
+    char chunk[kReadChunk];
+    for (;;) {
+        const ::ssize_t got = ::recv(conn.fd.get(), chunk, sizeof(chunk), 0);
+        if (got < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            if (errno == EINTR) continue;
+            close_connection(worker, conn);
+            return;
+        }
+        if (got == 0) {  // orderly peer close
+            close_connection(worker, conn);
+            return;
+        }
+        conn.last_activity = std::chrono::steady_clock::now();
+        {
+            obs::Span span("net.decode");
+            conn.decoder.feed(chunk, static_cast<std::size_t>(got));
+        }
+        while (auto frame = conn.decoder.next()) {
+            service_.metrics().counter("net_frames_rx").increment();
+            if (!dispatch(conn, *frame)) {
+                conn.close_after_flush = true;
+                break;
+            }
+        }
+        if (conn.decoder.error() && !conn.close_after_flush) {
+            service_.metrics().counter("net_decode_errors").increment();
+            enqueue_reply(conn,
+                          encode_error({ErrorCode::BadFrame,
+                                        conn.decoder.error_message()}),
+                          /*droppable=*/false);
+            conn.close_after_flush = true;
+        }
+        if (conn.close_after_flush) break;
+    }
+    const int fd = conn.fd.get();
+    if (worker.connections.count(fd) == 0) return;  // closed above
+    flush_writes(worker, conn);  // may close (and free) conn — recheck by fd
+    if (worker.connections.count(fd) != 0 &&
+        conn.close_after_flush && conn.unsent() == 0)
+        close_connection(worker, conn);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+bool TuningServer::dispatch(Connection& conn, const Frame& frame) {
+    obs::Span span("net.dispatch");
+    bool close_after = false;
+    std::string reply;
+    try {
+        reply = make_reply(conn, frame, close_after);
+    } catch (const WireError& e) {
+        service_.metrics().counter("net_decode_errors").increment();
+        reply = encode_error({ErrorCode::BadFrame, e.what()});
+        close_after = true;
+    } catch (const std::invalid_argument& e) {
+        reply = encode_error({ErrorCode::BadRequest, e.what()});
+    } catch (const std::exception& e) {
+        reply = encode_error({ErrorCode::Internal, e.what()});
+    }
+    if (!reply.empty()) {
+        const bool droppable =
+            frame.type == FrameType::Report && !close_after;
+        enqueue_reply(conn, std::move(reply), droppable);
+    }
+    return !close_after;
+}
+
+std::string TuningServer::make_reply(Connection& conn, const Frame& frame,
+                                     bool& close_after) {
+    obs::Span span("net.encode");
+    if (!conn.handshaken) {
+        if (frame.type != FrameType::Hello) {
+            service_.metrics().counter("net_protocol_errors").increment();
+            close_after = true;
+            return encode_error({ErrorCode::BadRequest,
+                                 "connection must open with Hello"});
+        }
+        const HelloMsg hello = decode_hello(frame);
+        if (hello.version != kProtocolVersion) {
+            service_.metrics().counter("net_protocol_errors").increment();
+            close_after = true;
+            return encode_error(
+                {ErrorCode::VersionMismatch,
+                 "server speaks protocol version " +
+                     std::to_string(kProtocolVersion) + ", client sent " +
+                     std::to_string(hello.version)});
+        }
+        conn.handshaken = true;
+        return encode_hello_ok({kProtocolVersion, options_.server_name});
+    }
+    switch (frame.type) {
+        case FrameType::Recommend: {
+            const RecommendMsg msg = decode_recommend(frame);
+            RecommendationMsg reply{msg.session, service_.begin(msg.session)};
+            return encode_recommendation(reply);
+        }
+        case FrameType::Report: {
+            ReportMsg msg = decode_report(frame);
+            const std::size_t accepted =
+                service_.report_batch(msg.session, msg.batch);
+            if ((frame.flags & kFlagAckRequested) == 0) return {};
+            return encode_report_ok(
+                {static_cast<std::uint32_t>(accepted),
+                 static_cast<std::uint32_t>(msg.batch.size() - accepted)});
+        }
+        case FrameType::Snapshot: {
+            if (!frame.payload.empty())
+                throw WireError("wire: Snapshot carries no payload");
+            return encode_snapshot_ok({service_.snapshot_payload()});
+        }
+        case FrameType::Restore: {
+            const RestoreMsg msg = decode_restore(frame);
+            return encode_restore_ok({service_.restore_payload(msg.payload)});
+        }
+        case FrameType::Stats: {
+            if (!frame.payload.empty())
+                throw WireError("wire: Stats carries no payload");
+            return encode_stats_ok({service_.stats()});
+        }
+        default:
+            service_.metrics().counter("net_protocol_errors").increment();
+            close_after = true;
+            return encode_error({ErrorCode::BadRequest,
+                                 std::string("unexpected ") +
+                                     frame_type_name(frame.type) +
+                                     " frame from a client"});
+    }
+}
+
+void TuningServer::enqueue_reply(Connection& conn, std::string encoded,
+                                 bool droppable) {
+    if (droppable && conn.unsent() > options_.write_high_watermark) {
+        service_.metrics().counter("net_dropped_reports").increment();
+        return;
+    }
+    if (conn.unsent() + encoded.size() > options_.write_hard_cap) {
+        // A peer that stopped reading while requesting non-droppable
+        // replies: cut it loose rather than buffer without bound.
+        conn.close_after_flush = true;
+        service_.metrics().counter("net_overflow_closed").increment();
+        return;
+    }
+    conn.write_buf += encoded;
+    service_.metrics().counter("net_frames_tx").increment();
+}
+
+} // namespace atk::net

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "runtime/service.hpp"
+
+namespace atk::net {
+
+struct ServerOptions {
+    /// IPv4 literal to bind; loopback by default — exposing a tuner to a
+    /// fleet is an explicit decision.
+    std::string bind_address = "127.0.0.1";
+    /// 0 = ephemeral; the bound port is available from port() after start().
+    std::uint16_t port = 0;
+    /// Event-loop worker threads; connections are assigned round-robin at
+    /// accept time and never migrate, so each connection's state is only
+    /// ever touched by one thread.
+    std::size_t worker_threads = 2;
+    /// Frame payload cap enforced by every connection's decoder.
+    std::size_t max_payload = kDefaultMaxPayload;
+    /// Write-buffer high watermark: above this, replies to Report frames
+    /// are dropped (and counted in `net_dropped_reports`) instead of
+    /// buffered — the wire twin of the bounded queue's drop policy.  A
+    /// reader slow enough to trip it has already stopped consuming acks.
+    std::size_t write_high_watermark = 256 * 1024;
+    /// Absolute write-buffer cap.  Non-droppable replies (snapshots to a
+    /// reader that stopped reading) that would exceed it close the
+    /// connection — the server never buffers a slow peer unboundedly.
+    std::size_t write_hard_cap = 32u << 20;
+    /// Connections with no traffic for this long are closed (0 disables).
+    std::chrono::milliseconds idle_timeout{30000};
+    /// stop() keeps serving already-connected clients for at most this
+    /// long: reads continue (in-flight requests complete), no new
+    /// connections are accepted, and a connection departs as soon as it is
+    /// quiet.  At the deadline the rest are closed.
+    std::chrono::milliseconds drain_timeout{2000};
+    /// Name returned in HelloOk frames.
+    std::string server_name = "atk-serve";
+};
+
+/// Serves a TuningService over TCP: one non-blocking acceptor thread plus
+/// `worker_threads` epoll event loops.  The wire protocol is the versioned
+/// length-prefixed frame format of net/protocol.hpp; every connection must
+/// open with Hello and is refused on a version mismatch.
+///
+/// Threading: each connection lives on exactly one worker; the service's
+/// own thread safety covers the actual tuning work, so no lock is held
+/// around service calls.  Per-connection counters land in the service's
+/// MetricsRegistry (`net_*` instruments) and the decode→dispatch→encode
+/// path is span-traced.
+///
+/// The server borrows `service`; it must outlive the server.
+class TuningServer {
+public:
+    explicit TuningServer(runtime::TuningService& service, ServerOptions options = {});
+    ~TuningServer();
+
+    TuningServer(const TuningServer&) = delete;
+    TuningServer& operator=(const TuningServer&) = delete;
+
+    /// Binds, listens and spawns the threads.  Throws std::system_error on
+    /// bind/listen failure (port taken, privileged port, ...).
+    void start();
+
+    /// Graceful drain-then-shutdown (see ServerOptions::drain_timeout);
+    /// idempotent, implied by the destructor.
+    void stop();
+
+    /// The bound port (useful with options.port = 0); valid after start().
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+    [[nodiscard]] bool running() const noexcept {
+        return started_.load(std::memory_order_acquire) &&
+               !stopping_.load(std::memory_order_acquire);
+    }
+
+    /// Connections currently open across all workers.
+    [[nodiscard]] std::size_t active_connections() const;
+
+private:
+    struct Connection;
+    struct Worker;
+
+    void accept_loop();
+    void worker_loop(Worker& worker);
+    void adopt_inbox(Worker& worker);
+    void handle_readable(Worker& worker, Connection& conn);
+    void flush_writes(Worker& worker, Connection& conn);
+    void close_connection(Worker& worker, Connection& conn);
+    void sweep(Worker& worker, std::chrono::steady_clock::time_point now,
+               std::chrono::steady_clock::time_point drain_deadline);
+
+    /// Handles one decoded frame; returns false when the connection must
+    /// close after its write buffer drains.
+    bool dispatch(Connection& conn, const Frame& frame);
+    /// Builds the reply for one request frame (the pure part of dispatch).
+    [[nodiscard]] std::string make_reply(Connection& conn, const Frame& frame,
+                                         bool& close_after);
+    void enqueue_reply(Connection& conn, std::string encoded, bool droppable);
+    void update_epoll_interest(Worker& worker, Connection& conn);
+
+    runtime::TuningService& service_;
+    ServerOptions options_;
+    FdHandle listen_fd_;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::size_t> active_connections_{0};
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::thread acceptor_;
+    std::size_t next_worker_ = 0;  ///< round-robin cursor (acceptor thread only)
+};
+
+} // namespace atk::net

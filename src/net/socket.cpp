@@ -1,0 +1,116 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <system_error>
+#include <unistd.h>
+
+namespace atk::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_in make_addr(const std::string& address, std::uint16_t port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1)
+        throw std::invalid_argument("net: '" + address +
+                                    "' is not an IPv4 address literal");
+    return addr;
+}
+
+} // namespace
+
+void FdHandle::reset() noexcept {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+}
+
+void set_nonblocking(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        throw_errno("net: fcntl(O_NONBLOCK)");
+}
+
+void set_tcp_nodelay(int fd) {
+    const int one = 1;
+    if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0)
+        throw_errno("net: setsockopt(TCP_NODELAY)");
+}
+
+std::pair<FdHandle, std::uint16_t> listen_tcp(const std::string& address,
+                                              std::uint16_t port, int backlog) {
+    FdHandle fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid()) throw_errno("net: socket()");
+    const int one = 1;
+    if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0)
+        throw_errno("net: setsockopt(SO_REUSEADDR)");
+    sockaddr_in addr = make_addr(address, port);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0)
+        throw_errno("net: bind(" + address + ":" + std::to_string(port) + ")");
+    if (::listen(fd.get(), backlog) < 0) throw_errno("net: listen()");
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) < 0)
+        throw_errno("net: getsockname()");
+    return {std::move(fd), ntohs(bound.sin_port)};
+}
+
+FdHandle connect_tcp(const std::string& address, std::uint16_t port,
+                     std::chrono::milliseconds timeout) {
+    FdHandle fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid()) throw_errno("net: socket()");
+    set_nonblocking(fd.get());
+    sockaddr_in addr = make_addr(address, port);
+    const int rc =
+        ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (rc < 0 && errno != EINPROGRESS)
+        throw_errno("net: connect(" + address + ":" + std::to_string(port) + ")");
+    if (rc < 0) {
+        pollfd pfd{fd.get(), POLLOUT, 0};
+        const int ready =
+            ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+        if (ready < 0) throw_errno("net: poll(connect)");
+        if (ready == 0)
+            throw std::system_error(ETIMEDOUT, std::generic_category(),
+                                    "net: connect timed out after " +
+                                        std::to_string(timeout.count()) + " ms");
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0)
+            throw_errno("net: getsockopt(SO_ERROR)");
+        if (err != 0)
+            throw std::system_error(err, std::generic_category(),
+                                    "net: connect(" + address + ":" +
+                                        std::to_string(port) + ")");
+    }
+    // Back to blocking: the client API is synchronous and uses poll() for
+    // its own deadlines.
+    const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK) < 0)
+        throw_errno("net: fcntl(clear O_NONBLOCK)");
+    set_tcp_nodelay(fd.get());
+    return fd;
+}
+
+bool wait_readable(int fd, std::chrono::milliseconds timeout) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (ready < 0) throw_errno("net: poll(read)");
+    if (ready == 0) return false;
+    if ((pfd.revents & (POLLERR | POLLNVAL)) != 0)
+        throw std::system_error(EIO, std::generic_category(), "net: socket error");
+    return true;  // POLLIN or POLLHUP: either way read() will not block
+}
+
+} // namespace atk::net

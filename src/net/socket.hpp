@@ -1,0 +1,63 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace atk::net {
+
+/// Owning file-descriptor handle: closes on destruction, move-only.  The
+/// thin base every socket in the net layer sits on — raw fds never cross a
+/// function boundary unowned.
+class FdHandle {
+public:
+    FdHandle() = default;
+    explicit FdHandle(int fd) noexcept : fd_(fd) {}
+    ~FdHandle() { reset(); }
+
+    FdHandle(const FdHandle&) = delete;
+    FdHandle& operator=(const FdHandle&) = delete;
+    FdHandle(FdHandle&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+    FdHandle& operator=(FdHandle&& other) noexcept {
+        if (this != &other) {
+            reset();
+            fd_ = std::exchange(other.fd_, -1);
+        }
+        return *this;
+    }
+
+    [[nodiscard]] int get() const noexcept { return fd_; }
+    [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+    /// Releases ownership without closing.
+    [[nodiscard]] int release() noexcept { return std::exchange(fd_, -1); }
+    void reset() noexcept;
+
+private:
+    int fd_ = -1;
+};
+
+/// Marks the descriptor non-blocking (O_NONBLOCK); throws std::system_error.
+void set_nonblocking(int fd);
+
+/// Disables Nagle batching — the protocol is request/response with small
+/// frames, where coalescing costs a full RTT of latency per exchange.
+void set_tcp_nodelay(int fd);
+
+/// Creates a listening TCP socket bound to `address:port` (port 0 picks an
+/// ephemeral port).  SO_REUSEADDR is set so tests can rebind immediately.
+/// Returns the socket and the actually bound port.
+[[nodiscard]] std::pair<FdHandle, std::uint16_t> listen_tcp(
+    const std::string& address, std::uint16_t port, int backlog = 128);
+
+/// Blocking TCP connect with a deadline; throws std::system_error on
+/// failure or timeout.  The returned socket is in blocking mode with
+/// TCP_NODELAY set.
+[[nodiscard]] FdHandle connect_tcp(const std::string& address, std::uint16_t port,
+                                   std::chrono::milliseconds timeout);
+
+/// poll() the descriptor for readability until the deadline.  Returns false
+/// on timeout; throws std::system_error on poll failure or socket error.
+[[nodiscard]] bool wait_readable(int fd, std::chrono::milliseconds timeout);
+
+} // namespace atk::net

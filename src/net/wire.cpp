@@ -1,0 +1,85 @@
+#include "net/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace atk::net {
+
+namespace {
+
+template <typename T>
+void append_le(std::string& out, T value) {
+    char bytes[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        bytes[i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+    out.append(bytes, sizeof(T));
+}
+
+template <typename T>
+T read_le(const char* data) {
+    T value = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        value |= static_cast<T>(static_cast<unsigned char>(data[i])) << (8 * i);
+    return value;
+}
+
+} // namespace
+
+void WireWriter::put_u8(std::uint8_t value) { out_.push_back(static_cast<char>(value)); }
+void WireWriter::put_u16(std::uint16_t value) { append_le(out_, value); }
+void WireWriter::put_u32(std::uint32_t value) { append_le(out_, value); }
+void WireWriter::put_u64(std::uint64_t value) { append_le(out_, value); }
+void WireWriter::put_i64(std::int64_t value) {
+    append_le(out_, static_cast<std::uint64_t>(value));
+}
+void WireWriter::put_f64(double value) { append_le(out_, std::bit_cast<std::uint64_t>(value)); }
+
+void WireWriter::put_str(const std::string& value) {
+    if (value.size() > 0xFFFFFFFFu)
+        throw std::invalid_argument("WireWriter: string exceeds u32 length");
+    put_u32(static_cast<std::uint32_t>(value.size()));
+    out_.append(value);
+}
+
+const char* WireReader::require(std::size_t bytes) {
+    if (size_ - pos_ < bytes)
+        throw WireError("wire: payload truncated (" + std::to_string(bytes) +
+                        " bytes needed, " + std::to_string(size_ - pos_) + " left)");
+    const char* at = data_ + pos_;
+    pos_ += bytes;
+    return at;
+}
+
+std::uint8_t WireReader::get_u8() {
+    return static_cast<std::uint8_t>(*require(1));
+}
+std::uint16_t WireReader::get_u16() { return read_le<std::uint16_t>(require(2)); }
+std::uint32_t WireReader::get_u32() { return read_le<std::uint32_t>(require(4)); }
+std::uint64_t WireReader::get_u64() { return read_le<std::uint64_t>(require(8)); }
+std::int64_t WireReader::get_i64() {
+    return static_cast<std::int64_t>(read_le<std::uint64_t>(require(8)));
+}
+double WireReader::get_f64() {
+    return std::bit_cast<double>(read_le<std::uint64_t>(require(8)));
+}
+
+std::string WireReader::get_str() {
+    const std::uint32_t length = get_u32();
+    if (size_ - pos_ < length)
+        throw WireError("wire: string length " + std::to_string(length) +
+                        " overruns payload (" + std::to_string(size_ - pos_) +
+                        " bytes left)");
+    const char* at = require(length);
+    return std::string(at, length);
+}
+
+std::size_t WireReader::get_count(std::size_t min_element_bytes) {
+    const std::uint32_t count = get_u32();
+    if (min_element_bytes != 0 && count > remaining() / min_element_bytes)
+        throw WireError("wire: element count " + std::to_string(count) +
+                        " impossible for " + std::to_string(remaining()) +
+                        " remaining bytes");
+    return count;
+}
+
+} // namespace atk::net

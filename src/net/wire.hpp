@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace atk::net {
+
+/// Any structural defect in bytes received from a peer: truncated payload,
+/// length field overrunning the frame, string longer than the remaining
+/// bytes.  Peers are untrusted, so this is an expected runtime condition —
+/// the dispatcher answers with a typed error frame instead of crashing —
+/// and deliberately distinct from std::invalid_argument, which the codebase
+/// reserves for caller bugs.
+class WireError : public std::runtime_error {
+public:
+    explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends little-endian fixed-width primitives to a byte buffer.  All
+/// multi-byte integers on the wire are little-endian regardless of host
+/// order; doubles travel as their IEEE-754 bit pattern in a u64.
+class WireWriter {
+public:
+    void put_u8(std::uint8_t value);
+    void put_u16(std::uint16_t value);
+    void put_u32(std::uint32_t value);
+    void put_u64(std::uint64_t value);
+    void put_i64(std::int64_t value);
+    void put_f64(double value);
+    /// u32 byte count followed by the raw bytes (no terminator).
+    void put_str(const std::string& value);
+
+    [[nodiscard]] const std::string& str() const noexcept { return out_; }
+    [[nodiscard]] std::string take() noexcept { return std::move(out_); }
+    [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+
+private:
+    std::string out_;
+};
+
+/// Sequential reader over one frame payload.  Every getter throws WireError
+/// when the remaining bytes cannot satisfy the read — malformed input from
+/// the network must never turn into an over-read.
+class WireReader {
+public:
+    /// Reads from `data`, which must outlive the reader (it aliases the
+    /// frame's payload buffer; nothing is copied).
+    explicit WireReader(const std::string& data) noexcept
+        : data_(data.data()), size_(data.size()) {}
+    WireReader(const char* data, std::size_t size) noexcept
+        : data_(data), size_(size) {}
+
+    [[nodiscard]] std::uint8_t get_u8();
+    [[nodiscard]] std::uint16_t get_u16();
+    [[nodiscard]] std::uint32_t get_u32();
+    [[nodiscard]] std::uint64_t get_u64();
+    [[nodiscard]] std::int64_t get_i64();
+    [[nodiscard]] double get_f64();
+    [[nodiscard]] std::string get_str();
+
+    /// Reads a u32 element count and validates it against the bytes left:
+    /// each element needs at least `min_element_bytes`, so a count the rest
+    /// of the payload cannot hold is rejected before any allocation sized
+    /// by it — a flipped length byte must not become a giant reserve().
+    [[nodiscard]] std::size_t get_count(std::size_t min_element_bytes);
+
+    [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+    [[nodiscard]] bool at_end() const noexcept { return pos_ >= size_; }
+
+private:
+    const char* require(std::size_t bytes);
+
+    const char* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace atk::net

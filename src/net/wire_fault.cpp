@@ -1,0 +1,52 @@
+#include "net/wire_fault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace atk::net {
+
+WireFaultInjector::WireFaultInjector(const WireFaultPlan& plan)
+    : plan_(plan), rng_(plan.seed) {
+    if (plan_.split_probability < 0.0 || plan_.split_probability > 1.0 ||
+        plan_.reset_probability < 0.0 || plan_.reset_probability > 1.0)
+        throw std::invalid_argument("WireFaultPlan: probabilities must be in [0, 1]");
+    if (plan_.max_split_chunks < 2)
+        throw std::invalid_argument("WireFaultPlan: max_split_chunks must be >= 2");
+}
+
+WireFaultInjector::FrameFate WireFaultInjector::plan_frame(std::size_t frame_bytes) {
+    ++frames_;
+    FrameFate fate;
+    // Order matters for determinism: both rolls always happen, so the
+    // stream of random draws per frame is fixed regardless of outcomes.
+    const bool reset = rng_.chance(plan_.reset_probability);
+    const bool split = rng_.chance(plan_.split_probability);
+    if (reset) {
+        fate.reset = true;
+        // A prefix in [0, frame_bytes): the peer never sees a whole frame.
+        fate.reset_after = frame_bytes == 0 ? 0 : rng_.index(frame_bytes);
+        ++resets_;
+        return fate;
+    }
+    if (split && frame_bytes >= 2) {
+        const std::size_t chunks =
+            2 + rng_.index(std::min(plan_.max_split_chunks, frame_bytes) - 1);
+        // Carve `frame_bytes` into `chunks` nonempty runs via sorted cuts.
+        std::vector<std::size_t> cuts;
+        cuts.reserve(chunks - 1);
+        for (std::size_t c = 0; c + 1 < chunks; ++c)
+            cuts.push_back(1 + rng_.index(frame_bytes - 1));
+        std::sort(cuts.begin(), cuts.end());
+        cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+        std::size_t previous = 0;
+        for (const std::size_t cut : cuts) {
+            fate.chunk_sizes.push_back(cut - previous);
+            previous = cut;
+        }
+        fate.chunk_sizes.push_back(frame_bytes - previous);
+        ++splits_;
+    }
+    return fate;
+}
+
+} // namespace atk::net

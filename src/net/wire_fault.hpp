@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace atk::net {
+
+/// What can go wrong on the wire between a TuningClient and its server —
+/// the network twin of sim's FaultPlan.  All randomness is seeded, so a
+/// failing chaos run replays exactly; the injector lives client-side, which
+/// keeps the sequence of frames the server actually receives a pure
+/// function of the seed (TCP delivers the survivors in order).
+struct WireFaultPlan {
+    /// Per frame: the transport writes the frame in several small chunks
+    /// with a flush between each — a fragmenting middlebox or a tiny
+    /// send buffer.  The peer's decoder must reassemble split frames.
+    double split_probability = 0.0;
+    /// Chunks a split frame is carved into (at least 2; bounded by size).
+    std::size_t max_split_chunks = 5;
+    /// Per frame: the connection is reset after a seeded prefix of the
+    /// frame's bytes went out.  The peer sees a truncated frame followed by
+    /// a close; the client sees a dead socket and must reconnect.
+    double reset_probability = 0.0;
+    std::uint64_t seed = 0x77697265ULL;  // "wire"
+};
+
+/// Seeded decision stream for one faulty connection.  plan_frame() is
+/// consulted once per outgoing frame; the returned plan is deterministic in
+/// (seed, call index) and independent of timing.
+class WireFaultInjector {
+public:
+    explicit WireFaultInjector(const WireFaultPlan& plan);
+
+    struct FrameFate {
+        bool reset = false;              ///< kill the connection mid-frame
+        std::size_t reset_after = 0;     ///< bytes written before the reset
+        /// Chunk boundaries for a split write ({} = single write).
+        std::vector<std::size_t> chunk_sizes;
+    };
+
+    [[nodiscard]] FrameFate plan_frame(std::size_t frame_bytes);
+
+    [[nodiscard]] std::size_t frames_planned() const noexcept { return frames_; }
+    [[nodiscard]] std::size_t resets_injected() const noexcept { return resets_; }
+    [[nodiscard]] std::size_t splits_injected() const noexcept { return splits_; }
+
+private:
+    WireFaultPlan plan_;
+    Rng rng_;
+    std::size_t frames_ = 0;
+    std::size_t resets_ = 0;
+    std::size_t splits_ = 0;
+};
+
+} // namespace atk::net

@@ -107,6 +107,43 @@ bool TuningService::report(const std::string& session_name, const Ticket& ticket
     return true;
 }
 
+std::size_t TuningService::report_batch(const std::string& session_name,
+                                        const std::vector<BatchedMeasurement>& batch) {
+    std::size_t accepted = 0;
+    for (const BatchedMeasurement& m : batch) {
+        Event event{session_name, m.ticket, m.cost, std::chrono::steady_clock::now()};
+        enqueued_.fetch_add(1, std::memory_order_relaxed);
+        const bool ok = options_.block_when_full ? queue_.push(std::move(event))
+                                                 : queue_.try_push(std::move(event));
+        if (ok) {
+            ++accepted;
+        } else {
+            enqueued_.fetch_sub(1, std::memory_order_relaxed);
+        }
+    }
+    if (accepted != 0) metrics_.counter("reports_enqueued").increment(accepted);
+    if (accepted != batch.size())
+        metrics_.counter("reports_dropped").increment(batch.size() - accepted);
+    metrics_.gauge("queue_depth").set(static_cast<double>(queue_.size()));
+    return accepted;
+}
+
+ServiceStats TuningService::stats() {
+    ServiceStats s;
+    s.sessions = session_count();
+    s.queue_depth = queue_.size();
+    s.queue_capacity = options_.queue_capacity;
+    s.reports_enqueued = metrics_.counter("reports_enqueued").value();
+    s.reports_dropped = metrics_.counter("reports_dropped").value();
+    s.reports_orphaned = metrics_.counter("reports_orphaned").value();
+    s.reports_fresh = metrics_.counter("reports_fresh").value();
+    s.reports_stale = metrics_.counter("reports_stale").value();
+    s.installs_applied = metrics_.counter("installs_applied").value();
+    s.installs_rejected = metrics_.counter("installs_rejected").value();
+    s.snapshots_restored = metrics_.counter("snapshots_restored").value();
+    return s;
+}
+
 void TuningService::flush() {
     std::unique_lock lock(flush_mutex_);
     flush_cv_.wait(lock, [this] {
@@ -176,7 +213,7 @@ bool TuningService::install(const InstallRecord& record) {
     return applied;
 }
 
-bool TuningService::snapshot_to(const std::string& path) {
+std::string TuningService::snapshot_payload() {
     flush();
     obs::Span span("service.snapshot");
     StateWriter out;
@@ -186,14 +223,22 @@ bool TuningService::snapshot_to(const std::string& path) {
         out.put_str(name);
         find(name)->save_state(out);
     }
-    return write_state_file(path, out.str());
+    return out.str();
+}
+
+bool TuningService::snapshot_to(const std::string& path) {
+    return write_state_file(path, snapshot_payload());
 }
 
 std::size_t TuningService::restore_from(const std::string& path) {
     const auto payload = read_state_file(path);
     if (!payload)
         throw std::invalid_argument("TuningService: cannot read snapshot '" + path + "'");
-    StateReader in(*payload);
+    return restore_payload(*payload);
+}
+
+std::size_t TuningService::restore_payload(const std::string& payload) {
+    StateReader in(payload);
     const SnapshotHeader header = read_snapshot_header(in);
     for (std::uint64_t s = 0; s < header.session_count; ++s) {
         const std::string name = in.get_str();

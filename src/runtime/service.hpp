@@ -49,6 +49,32 @@ struct ServiceOptions {
     std::function<void()> ingest_hook;
 };
 
+/// Point-in-time view of the service's health, cheap enough to poll: the
+/// scalar counters a dashboard (or the net layer's `Stats` frame) needs
+/// without walking the MetricsRegistry.  Counters are monotonically
+/// increasing; queue_depth is instantaneous.
+struct ServiceStats {
+    std::size_t sessions = 0;
+    std::size_t queue_depth = 0;
+    std::size_t queue_capacity = 0;
+    std::uint64_t reports_enqueued = 0;
+    std::uint64_t reports_dropped = 0;
+    std::uint64_t reports_orphaned = 0;
+    std::uint64_t reports_fresh = 0;
+    std::uint64_t reports_stale = 0;
+    std::uint64_t installs_applied = 0;
+    std::uint64_t installs_rejected = 0;
+    std::uint64_t snapshots_restored = 0;
+};
+
+/// One measurement of a report_batch() call: the ticket the client ran plus
+/// the cost it measured.  A batch shares one session name — the common case
+/// for a remote worker streaming results of a single workload context.
+struct BatchedMeasurement {
+    Ticket ticket;
+    Cost cost = 0.0;
+};
+
 /// The serving core of the tuning runtime: owns many named TuningSessions
 /// behind a sharded mutex map, a bounded MPSC measurement queue, and one
 /// background aggregator (running on a support/thread_pool) that performs
@@ -96,6 +122,14 @@ public:
     /// aggregator (counted as `reports_orphaned`).
     bool report(const std::string& session, const Ticket& ticket, Cost cost);
 
+    /// Batched ingest: enqueues every measurement of `batch` for one
+    /// session and returns how many were accepted (the rest were dropped by
+    /// the full-queue policy or the stopped service).  One gauge update for
+    /// the whole batch instead of one per measurement — this is the path
+    /// the net layer's batched `Report` frames land on.
+    std::size_t report_batch(const std::string& session,
+                             const std::vector<BatchedMeasurement>& batch);
+
     /// Blocks until every measurement enqueued so far has been processed.
     void flush();
 
@@ -116,6 +150,11 @@ public:
     [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
     [[nodiscard]] const MetricsRegistry& metrics() const noexcept { return metrics_; }
 
+    /// Scalar health snapshot (session count, queue depth, drop counters).
+    /// Instruments are created on first access, so a freshly built service
+    /// reports zeros rather than missing fields.
+    [[nodiscard]] ServiceStats stats();
+
     /// Applies an offline-tuned seed measurement (creates the session if
     /// needed).  Returns false — and bumps `installs_rejected` — when the
     /// record does not fit the session's tuner; seeds are advisory, so a
@@ -126,6 +165,18 @@ public:
     /// flush() + atomically writes all sessions to `path`.
     /// Returns false on I/O failure.
     bool snapshot_to(const std::string& path);
+
+    /// flush() + serializes every session into an in-memory snapshot
+    /// payload (the exact bytes snapshot_to() writes) — the form the net
+    /// layer ships over a `Snapshot` frame.
+    [[nodiscard]] std::string snapshot_payload();
+
+    /// Restores sessions from an in-memory payload produced by
+    /// snapshot_payload() (or read from a snapshot_to() file).  Same
+    /// contract as restore_from(): returns the number of sessions restored,
+    /// throws std::invalid_argument on malformed or mismatched state, and
+    /// drops any half-restored session before the exception propagates.
+    std::size_t restore_payload(const std::string& payload);
 
     /// flush() + writes every audited session's decision window as JSON
     /// Lines (one decision per line, sessions in name order) — the file

@@ -1,0 +1,240 @@
+#include "net/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <vector>
+
+#include "net/server.hpp"
+#include "net_test_util.hpp"
+
+namespace atk::net {
+namespace {
+
+using testing::test_factory;
+
+ClientOptions fast_client(std::uint16_t port) {
+    ClientOptions options;
+    options.port = port;
+    options.request_timeout = std::chrono::milliseconds(2000);
+    options.backoff_base = std::chrono::milliseconds(1);
+    options.backoff_cap = std::chrono::milliseconds(20);
+    return options;
+}
+
+/// A port that was just bound and released — nothing listens on it.
+std::uint16_t dead_port() {
+    auto [listener, port] = listen_tcp("127.0.0.1", 0);
+    return port;  // listener closes here
+}
+
+TEST(TuningClient, RejectsBadConstruction) {
+    ClientOptions no_port;
+    EXPECT_THROW(TuningClient{no_port}, std::invalid_argument);
+    ClientOptions no_budget;
+    no_budget.port = 1;
+    no_budget.max_attempts = 0;
+    EXPECT_THROW(TuningClient{no_budget}, std::invalid_argument);
+}
+
+TEST(TuningClient, ExhaustsItsAttemptBudgetThenThrows) {
+    ClientOptions options = fast_client(dead_port());
+    options.max_attempts = 3;
+    TuningClient client(options);
+    EXPECT_THROW((void)client.recommend("s"), NetError);
+    // attempt 1 is free; every further attempt is a counted reconnect.
+    EXPECT_EQ(client.reconnects(), 2u);
+    EXPECT_FALSE(client.connected());
+}
+
+TEST(TuningClient, RequestTimeoutIsCountedPerAttempt) {
+    // A listener that never accepts: connects succeed (backlog) but no
+    // HelloOk ever arrives, so every attempt times out on the handshake.
+    auto [listener, port] = listen_tcp("127.0.0.1", 0);
+    ClientOptions options = fast_client(port);
+    options.request_timeout = std::chrono::milliseconds(100);
+    options.max_attempts = 2;
+    TuningClient client(options);
+    EXPECT_THROW((void)client.recommend("s"), NetError);
+    EXPECT_EQ(client.timeouts(), 2u);
+}
+
+TEST(TuningClient, HandshakeRefusalIsFinalNotRetried) {
+    // A fake server that answers every Hello with a VersionMismatch error.
+    auto [listener, port] = listen_tcp("127.0.0.1", 0);
+    std::atomic<int> hellos{0};
+    std::atomic<bool> stop{false};
+    std::thread impostor([&listener = listener, &hellos, &stop] {
+        while (!stop.load()) {
+            if (!wait_readable(listener.get(), std::chrono::milliseconds(50)))
+                continue;
+            FdHandle conn(::accept(listener.get(), nullptr, nullptr));
+            if (!conn.valid()) continue;
+            ++hellos;
+            try {
+                char drain[256];
+                if (wait_readable(conn.get(), std::chrono::milliseconds(500)))
+                    (void)!::recv(conn.get(), drain, sizeof(drain), 0);  // the Hello
+                const std::string refusal =
+                    encode_error({ErrorCode::VersionMismatch, "go away"});
+                (void)!::send(conn.get(), refusal.data(), refusal.size(),
+                              MSG_NOSIGNAL);
+                // Let the client close first — closing with the Hello
+                // half-read would RST the refusal out of its receive buffer.
+                for (int spin = 0; spin < 40; ++spin) {
+                    if (!wait_readable(conn.get(), std::chrono::milliseconds(50)))
+                        continue;
+                    if (::recv(conn.get(), drain, sizeof(drain), 0) <= 0) break;
+                }
+            } catch (const std::exception&) {
+                // A racing close is fine; the assertions below decide.
+            }
+        }
+    });
+
+    ClientOptions options = fast_client(port);
+    options.max_attempts = 5;
+    TuningClient client(options);
+    try {
+        (void)client.recommend("s");
+        FAIL() << "handshake refusal must throw";
+    } catch (const NetError& error) {
+        EXPECT_NE(std::string(error.what()).find("go away"), std::string::npos);
+    }
+    // One connection, zero retries: a refused version never improves.
+    EXPECT_EQ(hellos.load(), 1);
+    EXPECT_EQ(client.reconnects(), 0u);
+    stop.store(true);
+    impostor.join();
+}
+
+TEST(TuningClient, ReconnectsAcrossAServerRestart) {
+    runtime::TuningService service(test_factory());
+    ServerOptions sopt;
+    TuningServer first(service, sopt);
+    first.start();
+    const std::uint16_t port = first.port();
+
+    TuningClient client(fast_client(port));
+    (void)client.recommend("net/restart");
+    EXPECT_TRUE(client.connected());
+    first.stop();
+
+    ServerOptions reuse;
+    reuse.port = port;
+    TuningServer second(service, reuse);
+    second.start();
+
+    // The old connection is dead; the call must reconnect and succeed.
+    const runtime::Ticket ticket = client.recommend("net/restart");
+    EXPECT_LT(ticket.trial.algorithm, 2u);
+    EXPECT_GE(client.reconnects(), 1u);
+    second.stop();
+    service.stop();
+}
+
+TEST(TuningClient, RecommendManyPipelinesInOrder) {
+    runtime::TuningService service(test_factory());
+    TuningServer server(service, {});
+    server.start();
+
+    TuningClient client(fast_client(server.port()));
+    const std::vector<std::string> sessions{"p/0", "p/1", "p/2", "p/3", "p/4"};
+    const std::vector<runtime::Ticket> tickets = client.recommend_many(sessions);
+    ASSERT_EQ(tickets.size(), sessions.size());
+    for (const runtime::Ticket& ticket : tickets)
+        EXPECT_LT(ticket.trial.algorithm, 2u);
+    EXPECT_EQ(service.session_count(), sessions.size());
+
+    // Replies arrive in request order: each ticket is valid for its own
+    // session (report it back and confirm nothing lands as orphaned).
+    for (std::size_t i = 0; i < sessions.size(); ++i)
+        EXPECT_TRUE(client.report(sessions[i], tickets[i], 5.0));
+    service.flush();
+    EXPECT_EQ(service.stats().reports_orphaned, 0u);
+    server.stop();
+    service.stop();
+}
+
+TEST(TuningClient, AsyncReportsAreBatchedPerSession) {
+    runtime::TuningService service(test_factory());
+    TuningServer server(service, {});
+    server.start();
+
+    TuningClient client(fast_client(server.port()));
+    const runtime::Ticket a = client.recommend("async/a");
+    const runtime::Ticket b = client.recommend("async/b");
+    client.report_async("async/a", a, 5.0);
+    client.report_async("async/b", b, 6.0);
+    client.report_async("async/a", a, 7.0);
+    client.flush_reports();
+
+    // The unacked frames need a round trip to be visible server-side; a
+    // Stats exchange on the same connection sequences behind them.
+    (void)client.stats();
+    service.flush();
+    const runtime::ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.reports_enqueued, 3u);
+    EXPECT_EQ(stats.reports_orphaned, 0u);
+    EXPECT_EQ(client.reports_lost(), 0u);
+    server.stop();
+    service.stop();
+}
+
+TEST(TuningClient, AsyncReportsAutoFlushAtTheBatchSize) {
+    runtime::TuningService service(test_factory());
+    TuningServer server(service, {});
+    server.start();
+
+    ClientOptions options = fast_client(server.port());
+    options.async_batch_size = 2;
+    TuningClient client(options);
+    const runtime::Ticket ticket = client.recommend("async/auto");
+    client.report_async("async/auto", ticket, 5.0);
+    client.report_async("async/auto", ticket, 6.0);  // triggers the flush
+
+    (void)client.stats();  // sequence behind the flushed frame
+    service.flush();
+    EXPECT_EQ(service.stats().reports_enqueued, 2u);
+    server.stop();
+    service.stop();
+}
+
+TEST(TuningClient, AsyncReportsOnADeadConnectionAreCountedNotThrown) {
+    ClientOptions options = fast_client(dead_port());
+    options.max_attempts = 1;
+    TuningClient client(options);
+    runtime::Ticket ticket;
+    client.report_async("lost/a", ticket, 1.0);
+    client.report_async("lost/b", ticket, 2.0);
+    client.report_async("lost/a", ticket, 3.0);
+    EXPECT_NO_THROW(client.flush_reports());
+    EXPECT_EQ(client.reports_lost(), 3u);
+    EXPECT_FALSE(client.connected());
+}
+
+TEST(TuningClient, DisconnectForcesAFreshConnection) {
+    runtime::TuningService service(test_factory());
+    TuningServer server(service, {});
+    server.start();
+
+    TuningClient client(fast_client(server.port()));
+    (void)client.recommend("net/fresh");
+    EXPECT_TRUE(client.connected());
+    client.disconnect();
+    EXPECT_FALSE(client.connected());
+    (void)client.recommend("net/fresh");
+    EXPECT_TRUE(client.connected());
+    // An explicit disconnect is not a failure: no reconnect was counted
+    // because the first attempt of the next call succeeded.
+    EXPECT_EQ(client.reconnects(), 0u);
+    server.stop();
+    service.stop();
+}
+
+} // namespace
+} // namespace atk::net

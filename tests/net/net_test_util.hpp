@@ -1,0 +1,131 @@
+#pragma once
+
+/// Shared helpers for the net-layer tests: a deterministic tuner factory
+/// (same shape as the runtime tests use) and a raw TCP peer that speaks the
+/// frame protocol by hand, for probing server behavior the real client
+/// never exhibits (bad versions, malformed frames, half-written requests).
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <sys/socket.h>
+#include <vector>
+
+#include "core/autotune.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "runtime/service.hpp"
+
+namespace atk::net::testing {
+
+inline std::vector<TunableAlgorithm> two_algorithms() {
+    std::vector<TunableAlgorithm> algorithms;
+    algorithms.push_back(TunableAlgorithm::untunable("A"));
+    TunableAlgorithm b;
+    b.name = "B";
+    b.space.add(Parameter::ratio("x", 0, 50));
+    b.initial = Configuration{{0}};
+    b.searcher = std::make_unique<NelderMeadSearcher>();
+    algorithms.push_back(std::move(b));
+    return algorithms;
+}
+
+/// Deterministic per session name, as snapshot restores require.
+inline runtime::TunerFactory test_factory() {
+    return [](const std::string& session) {
+        return std::make_unique<TwoPhaseTuner>(
+            std::make_unique<EpsilonGreedy>(0.10), two_algorithms(),
+            /*seed=*/std::hash<std::string>{}(session));
+    };
+}
+
+/// A hand-driven protocol peer.  Unlike TuningClient it never retries,
+/// never reconnects and sends exactly the bytes the test asks for.
+class RawConn {
+public:
+    explicit RawConn(std::uint16_t port,
+                     std::chrono::milliseconds timeout = std::chrono::seconds(5))
+        : timeout_(timeout), fd_(connect_tcp("127.0.0.1", port, timeout)) {}
+
+    [[nodiscard]] int fd() const noexcept { return fd_.get(); }
+
+    void send_bytes(const std::string& bytes) {
+        std::size_t at = 0;
+        while (at < bytes.size()) {
+            const ::ssize_t sent = ::send(fd_.get(), bytes.data() + at,
+                                          bytes.size() - at, MSG_NOSIGNAL);
+            if (sent < 0) {
+                if (errno == EINTR) continue;
+                throw std::system_error(errno, std::generic_category(),
+                                        "RawConn: send");
+            }
+            at += static_cast<std::size_t>(sent);
+        }
+    }
+
+    /// Next frame, or nullopt when the peer closed (or the deadline passed)
+    /// first.  Decoder errors surface as WireError via gtest's exception
+    /// handling — the server must never send malformed frames.
+    std::optional<Frame> read_frame() {
+        const auto deadline = std::chrono::steady_clock::now() + timeout_;
+        char chunk[4096];
+        for (;;) {
+            if (auto frame = decoder_.next()) return frame;
+            if (decoder_.error())
+                throw WireError("RawConn: server sent a malformed frame: " +
+                                decoder_.error_message());
+            const auto now = std::chrono::steady_clock::now();
+            if (now >= deadline) return std::nullopt;
+            const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - now);
+            if (!wait_readable(fd_.get(), left)) return std::nullopt;
+            const ::ssize_t got = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+            if (got < 0) {
+                if (errno == EINTR) continue;
+                return std::nullopt;  // reset by peer counts as closed
+            }
+            if (got == 0) return std::nullopt;
+            decoder_.feed(chunk, static_cast<std::size_t>(got));
+        }
+    }
+
+    /// True when the server closes the connection before the deadline
+    /// without sending another frame.
+    bool closed_by_peer() {
+        const auto deadline = std::chrono::steady_clock::now() + timeout_;
+        char chunk[4096];
+        for (;;) {
+            const auto now = std::chrono::steady_clock::now();
+            if (now >= deadline) return false;
+            const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - now);
+            if (!wait_readable(fd_.get(), left)) continue;
+            const ::ssize_t got = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+            if (got < 0) {
+                if (errno == EINTR) continue;
+                return true;  // RST counts as closed
+            }
+            if (got == 0) return true;
+            // Stray bytes (e.g. a reply in flight) are fed and ignored.
+            decoder_.feed(chunk, static_cast<std::size_t>(got));
+        }
+    }
+
+    /// Performs the Hello/HelloOk handshake and returns the server name.
+    std::string handshake(std::uint32_t version = kProtocolVersion) {
+        send_bytes(encode_hello({version, "raw-test"}));
+        auto reply = read_frame();
+        if (!reply) throw std::runtime_error("RawConn: no handshake reply");
+        if (reply->type == FrameType::Error)
+            throw std::runtime_error("RawConn: handshake refused: " +
+                                     decode_error(*reply).message);
+        return decode_hello_ok(*reply).server_name;
+    }
+
+private:
+    std::chrono::milliseconds timeout_;
+    FdHandle fd_;
+    FrameDecoder decoder_;
+};
+
+} // namespace atk::net::testing

@@ -1,0 +1,437 @@
+#include "net/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "support/rng.hpp"
+
+namespace atk::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire primitives
+// ---------------------------------------------------------------------------
+
+TEST(Wire, PrimitivesRoundTrip) {
+    WireWriter writer;
+    writer.put_u8(0xAB);
+    writer.put_u16(0xBEEF);
+    writer.put_u32(0xDEADBEEFu);
+    writer.put_u64(0x0123456789ABCDEFull);
+    writer.put_i64(-42);
+    writer.put_f64(3.14159);
+    writer.put_str("hello \0 world");  // literal truncates at NUL — fine
+    std::string nul_str("a\0b", 3);
+    writer.put_str(nul_str);
+
+    WireReader reader(writer.str());
+    EXPECT_EQ(reader.get_u8(), 0xAB);
+    EXPECT_EQ(reader.get_u16(), 0xBEEF);
+    EXPECT_EQ(reader.get_u32(), 0xDEADBEEFu);
+    EXPECT_EQ(reader.get_u64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(reader.get_i64(), -42);
+    EXPECT_DOUBLE_EQ(reader.get_f64(), 3.14159);
+    (void)reader.get_str();
+    EXPECT_EQ(reader.get_str(), nul_str);  // embedded NUL survives
+    EXPECT_TRUE(reader.at_end());
+}
+
+TEST(Wire, FloatSpecialsSurviveBitExactly) {
+    for (const double value :
+         {0.0, -0.0, std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::denorm_min(),
+          std::numeric_limits<double>::max()}) {
+        WireWriter writer;
+        writer.put_f64(value);
+        WireReader reader(writer.str());
+        const double back = reader.get_f64();
+        EXPECT_EQ(std::signbit(back), std::signbit(value));
+        EXPECT_EQ(back, value);
+    }
+    WireWriter writer;
+    writer.put_f64(std::numeric_limits<double>::quiet_NaN());
+    WireReader reader(writer.str());
+    EXPECT_TRUE(std::isnan(reader.get_f64()));
+}
+
+TEST(Wire, IntegersAreLittleEndianOnTheWire) {
+    WireWriter writer;
+    writer.put_u32(0x04030201u);
+    const std::string& bytes = writer.str();
+    ASSERT_EQ(bytes.size(), 4u);
+    EXPECT_EQ(bytes[0], '\x01');
+    EXPECT_EQ(bytes[3], '\x04');
+}
+
+TEST(Wire, TruncatedReadsThrowNotOverread) {
+    WireWriter writer;
+    writer.put_u32(7);
+    const std::string bytes = writer.str();
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        WireReader reader(bytes.data(), cut);
+        EXPECT_THROW((void)reader.get_u32(), WireError) << "cut=" << cut;
+    }
+    // A string whose length field overruns the payload is rejected too.
+    WireWriter lying;
+    lying.put_u32(1000);  // claims 1000 bytes follow
+    WireReader reader(lying.str());
+    EXPECT_THROW((void)reader.get_str(), WireError);
+}
+
+TEST(Wire, CountValidatesAgainstRemainingBytes) {
+    WireWriter writer;
+    writer.put_u32(0xFFFFFFFFu);  // hostile element count
+    WireReader reader(writer.str());
+    // 8-byte elements: 4 remaining bytes can hold zero of them.
+    EXPECT_THROW((void)reader.get_count(8), WireError);
+
+    WireWriter fair;
+    fair.put_u32(2);
+    fair.put_u64(1);
+    fair.put_u64(2);
+    WireReader ok(fair.str());
+    EXPECT_EQ(ok.get_count(8), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Frame encoding / incremental decoding
+// ---------------------------------------------------------------------------
+
+TEST(FrameDecoder, SingleFrameRoundTrip) {
+    const std::string encoded = encode_recommend({"sessions/alpha"});
+    FrameDecoder decoder;
+    decoder.feed(encoded.data(), encoded.size());
+    auto frame = decoder.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, FrameType::Recommend);
+    EXPECT_EQ(decode_recommend(*frame).session, "sessions/alpha");
+    EXPECT_FALSE(decoder.next().has_value());
+    EXPECT_FALSE(decoder.error());
+    EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoder, ByteAtATimeReassembly) {
+    const std::string stream = encode_hello({kProtocolVersion, "client"}) +
+                               encode_stats_request() +
+                               encode_error({ErrorCode::Shutdown, "bye"});
+    FrameDecoder decoder;
+    std::vector<FrameType> seen;
+    for (const char byte : stream) {
+        decoder.feed(&byte, 1);
+        while (auto frame = decoder.next()) seen.push_back(frame->type);
+    }
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], FrameType::Hello);
+    EXPECT_EQ(seen[1], FrameType::Stats);
+    EXPECT_EQ(seen[2], FrameType::Error);
+}
+
+TEST(FrameDecoder, EmptyPayloadFrameCompletes) {
+    const std::string encoded = encode_snapshot_request();
+    EXPECT_EQ(encoded.size(), kFrameHeaderBytes);
+    FrameDecoder decoder;
+    decoder.feed(encoded.data(), encoded.size());
+    auto frame = decoder.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, FrameType::Snapshot);
+    EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(FrameDecoder, OversizedLengthPoisonsBeforeAllocating) {
+    FrameDecoder decoder(/*max_payload=*/64);
+    Frame big;
+    big.type = FrameType::SnapshotOk;
+    big.payload.assign(65, 'x');
+    const std::string encoded = encode_frame(big);
+    decoder.feed(encoded.data(), kFrameHeaderBytes);  // header alone trips it
+    EXPECT_FALSE(decoder.next().has_value());
+    EXPECT_TRUE(decoder.error());
+    EXPECT_NE(decoder.error_message().find("payload"), std::string::npos);
+    // Bounded: the poisoned decoder buffers nothing further.
+    decoder.feed(encoded.data() + kFrameHeaderBytes, 65);
+    EXPECT_EQ(decoder.buffered(), 0u);
+    EXPECT_FALSE(decoder.next().has_value());
+}
+
+/// Malformed-header table: each row corrupts one header field of an
+/// otherwise valid frame and must poison the stream permanently.
+TEST(FrameDecoder, MalformedHeaderTable) {
+    struct Row {
+        const char* what;
+        std::size_t offset;
+        char value;
+    };
+    const Row rows[] = {
+        {"type byte zero", 4, '\x00'},
+        {"type byte above last", 4, '\x0E'},
+        {"type byte wild", 4, '\x7F'},
+        {"unknown flag bits", 5, '\x02'},
+        {"reserved low byte", 6, '\x01'},
+        {"reserved high byte", 7, '\x01'},
+    };
+    for (const Row& row : rows) {
+        std::string encoded = encode_stats_request();
+        encoded[row.offset] = row.value;
+        FrameDecoder decoder;
+        decoder.feed(encoded.data(), encoded.size());
+        EXPECT_FALSE(decoder.next().has_value()) << row.what;
+        EXPECT_TRUE(decoder.error()) << row.what;
+
+        // Poisoned for good: even a pristine frame afterwards yields nothing.
+        const std::string clean = encode_stats_request();
+        decoder.feed(clean.data(), clean.size());
+        EXPECT_FALSE(decoder.next().has_value()) << row.what;
+        EXPECT_TRUE(decoder.error()) << row.what;
+    }
+}
+
+TEST(FrameDecoder, FramesBeforeThePoisonAreStillDelivered) {
+    std::string bad = encode_stats_request();
+    bad[4] = '\x7F';
+    const std::string stream = encode_stats_request() + bad;
+    FrameDecoder decoder;
+    decoder.feed(stream.data(), stream.size());
+    EXPECT_TRUE(decoder.next().has_value());   // the good frame
+    EXPECT_FALSE(decoder.next().has_value());  // then the poison
+    EXPECT_TRUE(decoder.error());
+}
+
+TEST(FrameDecoder, AckFlagOnlyValidOnItsFrame) {
+    // kFlagAckRequested is a defined bit, so the *decoder* accepts it on any
+    // frame; semantic checks live in the dispatcher.  This pins down that
+    // the flag round-trips.
+    ReportMsg msg;
+    msg.session = "s";
+    msg.batch.push_back({{}, 1.0});
+    const std::string acked = encode_report(msg, true);
+    const std::string fire = encode_report(msg, false);
+    FrameDecoder decoder;
+    decoder.feed(acked.data(), acked.size());
+    decoder.feed(fire.data(), fire.size());
+    auto first = decoder.next();
+    auto second = decoder.next();
+    ASSERT_TRUE(first.has_value());
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(first->flags & kFlagAckRequested, kFlagAckRequested);
+    EXPECT_EQ(second->flags & kFlagAckRequested, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Message round trips
+// ---------------------------------------------------------------------------
+
+runtime::Ticket make_ticket(std::uint64_t sequence, std::size_t algorithm,
+                            std::vector<std::int64_t> config) {
+    runtime::Ticket ticket;
+    ticket.sequence = sequence;
+    ticket.trial.algorithm = algorithm;
+    ticket.trial.config = Configuration{std::move(config)};
+    return ticket;
+}
+
+Frame decode_one(const std::string& encoded) {
+    FrameDecoder decoder;
+    decoder.feed(encoded.data(), encoded.size());
+    auto frame = decoder.next();
+    EXPECT_TRUE(frame.has_value());
+    EXPECT_FALSE(decoder.error());
+    return std::move(*frame);
+}
+
+TEST(Protocol, HelloRoundTrip) {
+    const Frame frame = decode_one(encode_hello({7, "worker-42"}));
+    const HelloMsg msg = decode_hello(frame);
+    EXPECT_EQ(msg.version, 7u);
+    EXPECT_EQ(msg.client_name, "worker-42");
+
+    const HelloOkMsg ok = decode_hello_ok(decode_one(encode_hello_ok({1, "srv"})));
+    EXPECT_EQ(ok.version, 1u);
+    EXPECT_EQ(ok.server_name, "srv");
+}
+
+TEST(Protocol, RecommendationRoundTripIncludingConfig) {
+    const auto ticket = make_ticket(99, 2, {7, -3, 1 << 20});
+    const RecommendationMsg msg =
+        decode_recommendation(decode_one(encode_recommendation({"sess", ticket})));
+    EXPECT_EQ(msg.session, "sess");
+    EXPECT_EQ(msg.ticket.sequence, 99u);
+    EXPECT_EQ(msg.ticket.trial.algorithm, 2u);
+    ASSERT_EQ(msg.ticket.trial.config.size(), 3u);
+    EXPECT_EQ(msg.ticket.trial.config[0], 7);
+    EXPECT_EQ(msg.ticket.trial.config[1], -3);
+    EXPECT_EQ(msg.ticket.trial.config[2], 1 << 20);
+}
+
+TEST(Protocol, ReportRoundTripPreservesBatchOrderAndCosts) {
+    ReportMsg msg;
+    msg.session = "stringmatch/8";
+    msg.batch.push_back({make_ticket(1, 0, {}), 12.5});
+    msg.batch.push_back({make_ticket(2, 1, {40}), 0.0625});
+    msg.batch.push_back({make_ticket(2, 1, {41}), 1e9});
+
+    const ReportMsg back = decode_report(decode_one(encode_report(msg, true)));
+    EXPECT_EQ(back.session, msg.session);
+    ASSERT_EQ(back.batch.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(back.batch[i].ticket.sequence, msg.batch[i].ticket.sequence);
+        EXPECT_EQ(back.batch[i].ticket.trial.algorithm,
+                  msg.batch[i].ticket.trial.algorithm);
+        EXPECT_EQ(back.batch[i].ticket.trial.config.values(),
+                  msg.batch[i].ticket.trial.config.values());
+        EXPECT_DOUBLE_EQ(back.batch[i].cost, msg.batch[i].cost);
+    }
+}
+
+TEST(Protocol, StatsRoundTripCarriesEveryCounter) {
+    runtime::ServiceStats stats;
+    stats.sessions = 3;
+    stats.queue_depth = 17;
+    stats.queue_capacity = 1024;
+    stats.reports_enqueued = 1001;
+    stats.reports_dropped = 2;
+    stats.reports_orphaned = 3;
+    stats.reports_fresh = 900;
+    stats.reports_stale = 96;
+    stats.installs_applied = 4;
+    stats.installs_rejected = 5;
+    stats.snapshots_restored = 6;
+    const StatsOkMsg back = decode_stats_ok(decode_one(encode_stats_ok({stats})));
+    EXPECT_EQ(back.stats.sessions, stats.sessions);
+    EXPECT_EQ(back.stats.queue_depth, stats.queue_depth);
+    EXPECT_EQ(back.stats.queue_capacity, stats.queue_capacity);
+    EXPECT_EQ(back.stats.reports_enqueued, stats.reports_enqueued);
+    EXPECT_EQ(back.stats.reports_dropped, stats.reports_dropped);
+    EXPECT_EQ(back.stats.reports_orphaned, stats.reports_orphaned);
+    EXPECT_EQ(back.stats.reports_fresh, stats.reports_fresh);
+    EXPECT_EQ(back.stats.reports_stale, stats.reports_stale);
+    EXPECT_EQ(back.stats.installs_applied, stats.installs_applied);
+    EXPECT_EQ(back.stats.installs_rejected, stats.installs_rejected);
+    EXPECT_EQ(back.stats.snapshots_restored, stats.snapshots_restored);
+}
+
+TEST(Protocol, RemainingMessagesRoundTrip) {
+    EXPECT_EQ(decode_recommend(decode_one(encode_recommend({"s"}))).session, "s");
+    const ReportOkMsg ok = decode_report_ok(decode_one(encode_report_ok({9, 4})));
+    EXPECT_EQ(ok.accepted, 9u);
+    EXPECT_EQ(ok.dropped, 4u);
+    const std::string state = "atk-state v1\nu iterations 3\n";
+    EXPECT_EQ(decode_snapshot_ok(decode_one(encode_snapshot_ok({state}))).payload,
+              state);
+    EXPECT_EQ(decode_restore(decode_one(encode_restore({state}))).payload, state);
+    EXPECT_EQ(decode_restore_ok(decode_one(encode_restore_ok({12}))).sessions_restored,
+              12u);
+    const ErrorMsg error =
+        decode_error(decode_one(encode_error({ErrorCode::Shutdown, "draining"})));
+    EXPECT_EQ(error.code, ErrorCode::Shutdown);
+    EXPECT_EQ(error.message, "draining");
+}
+
+/// Property: randomized messages survive encode → frame decode → decode for
+/// many shapes of session names, config dimensions and batch sizes.
+TEST(Protocol, RandomizedRoundTripProperty) {
+    Rng rng(0xF00DF00Dull);
+    for (int round = 0; round < 200; ++round) {
+        ReportMsg msg;
+        const std::size_t name_len = rng.index(40);
+        for (std::size_t i = 0; i < name_len; ++i)
+            msg.session.push_back(static_cast<char>(rng.index(256)));
+        const std::size_t batch = rng.index(8);
+        for (std::size_t b = 0; b < batch; ++b) {
+            std::vector<std::int64_t> config;
+            const std::size_t dim = rng.index(5);
+            for (std::size_t d = 0; d < dim; ++d)
+                config.push_back(static_cast<std::int64_t>(rng()));
+            msg.batch.push_back({make_ticket(rng(), rng.index(16),
+                                             std::move(config)),
+                                 rng.uniform_real(0.0, 1e6)});
+        }
+        const bool acked = rng.chance(0.5);
+        const std::string encoded = encode_report(msg, acked);
+        const Frame frame = decode_one(encoded);
+        EXPECT_EQ((frame.flags & kFlagAckRequested) != 0, acked);
+        const ReportMsg back = decode_report(frame);
+        EXPECT_EQ(back.session, msg.session);
+        ASSERT_EQ(back.batch.size(), msg.batch.size());
+        for (std::size_t b = 0; b < batch; ++b) {
+            EXPECT_EQ(back.batch[b].ticket.sequence, msg.batch[b].ticket.sequence);
+            EXPECT_EQ(back.batch[b].ticket.trial.config.values(),
+                      msg.batch[b].ticket.trial.config.values());
+            EXPECT_DOUBLE_EQ(back.batch[b].cost, msg.batch[b].cost);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed payloads
+// ---------------------------------------------------------------------------
+
+/// Property: every proper prefix of a valid payload is rejected with
+/// WireError — truncation can never crash or decode to garbage silently.
+TEST(Protocol, EveryTruncationIsRejectedCleanly) {
+    ReportMsg msg;
+    msg.session = "sess";
+    msg.batch.push_back({make_ticket(5, 1, {10, 20}), 2.5});
+    const Frame whole = decode_one(encode_report(msg, true));
+    for (std::size_t cut = 0; cut < whole.payload.size(); ++cut) {
+        Frame truncated = whole;
+        truncated.payload.resize(cut);
+        EXPECT_THROW((void)decode_report(truncated), WireError) << "cut=" << cut;
+    }
+
+    const Frame rec = decode_one(
+        encode_recommendation({"s", make_ticket(1, 0, {4})}));
+    for (std::size_t cut = 0; cut < rec.payload.size(); ++cut) {
+        Frame truncated = rec;
+        truncated.payload.resize(cut);
+        EXPECT_THROW((void)decode_recommendation(truncated), WireError);
+    }
+}
+
+TEST(Protocol, TrailingBytesAreRejected) {
+    Frame frame = decode_one(encode_recommend({"s"}));
+    frame.payload.push_back('\0');
+    EXPECT_THROW((void)decode_recommend(frame), WireError);
+}
+
+TEST(Protocol, WrongFrameTypeIsRejected) {
+    const Frame frame = decode_one(encode_recommend({"s"}));
+    EXPECT_THROW((void)decode_hello(frame), WireError);
+    EXPECT_THROW((void)decode_report(frame), WireError);
+}
+
+TEST(Protocol, HostileCountsAreRejectedBeforeAllocation) {
+    // Hand-build a Report payload whose batch count claims 2^31 entries.
+    WireWriter writer;
+    writer.put_str("s");
+    writer.put_u32(0x80000000u);
+    Frame frame;
+    frame.type = FrameType::Report;
+    frame.payload = writer.take();
+    EXPECT_THROW((void)decode_report(frame), WireError);
+
+    // Same for a Recommendation config dimension count.
+    WireWriter rec;
+    rec.put_str("s");
+    rec.put_u64(1);
+    rec.put_u32(0);
+    rec.put_u32(0xFFFFFFF0u);
+    Frame rec_frame;
+    rec_frame.type = FrameType::Recommendation;
+    rec_frame.payload = rec.take();
+    EXPECT_THROW((void)decode_recommendation(rec_frame), WireError);
+}
+
+TEST(Protocol, FrameTypeNamesAreStable) {
+    EXPECT_STREQ(frame_type_name(FrameType::Hello), "Hello");
+    EXPECT_STREQ(frame_type_name(FrameType::Error), "Error");
+    EXPECT_STREQ(frame_type_name(static_cast<FrameType>(0)), "Unknown");
+}
+
+} // namespace
+} // namespace atk::net

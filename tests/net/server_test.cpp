@@ -1,0 +1,383 @@
+#include "net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <netinet/in.h>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+
+#include "net/client.hpp"
+#include "net_test_util.hpp"
+
+namespace atk::net {
+namespace {
+
+using testing::RawConn;
+using testing::test_factory;
+
+ServerOptions quick_options() {
+    ServerOptions options;
+    options.port = 0;  // ephemeral
+    options.worker_threads = 2;
+    return options;
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(TuningServer, StartStopIsIdempotentAndReportsThePort) {
+    runtime::TuningService service(test_factory());
+    TuningServer server(service, quick_options());
+    EXPECT_FALSE(server.running());
+    server.start();
+    EXPECT_TRUE(server.running());
+    EXPECT_NE(server.port(), 0);
+    EXPECT_EQ(server.active_connections(), 0u);
+    server.stop();
+    EXPECT_FALSE(server.running());
+    server.stop();  // idempotent
+    service.stop();
+}
+
+TEST(TuningServer, StartThrowsWhenThePortIsTaken) {
+    runtime::TuningService service(test_factory());
+    TuningServer first(service, quick_options());
+    first.start();
+
+    ServerOptions clash = quick_options();
+    clash.port = first.port();
+    TuningServer second(service, clash);
+    EXPECT_THROW(second.start(), std::system_error);
+    first.stop();
+    service.stop();
+}
+
+TEST(TuningServer, DestructorStopsARunningServer) {
+    runtime::TuningService service(test_factory());
+    std::uint16_t port = 0;
+    {
+        TuningServer server(service, quick_options());
+        server.start();
+        port = server.port();
+    }
+    // The port is free again: a new server can bind it immediately.
+    ServerOptions reuse = quick_options();
+    reuse.port = port;
+    TuningServer next(service, reuse);
+    next.start();
+    next.stop();
+    service.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Request/reply surface over loopback (via the real client)
+// ---------------------------------------------------------------------------
+
+TEST(TuningServer, ServesTheFullRequestSurface) {
+    runtime::TuningService service(test_factory());
+    TuningServer server(service, quick_options());
+    server.start();
+
+    ClientOptions copt;
+    copt.port = server.port();
+    TuningClient client(copt);
+
+    // Recommend creates the session server-side.
+    const runtime::Ticket ticket = client.recommend("net/s0");
+    EXPECT_LT(ticket.trial.algorithm, 2u);
+    EXPECT_EQ(service.session_count(), 1u);
+
+    // Acked single report and batch land in the service queue.
+    EXPECT_TRUE(client.report("net/s0", ticket, 5.0));
+    std::vector<runtime::BatchedMeasurement> batch;
+    batch.push_back({ticket, 6.0});
+    batch.push_back({ticket, 7.0});
+    EXPECT_EQ(client.report_batch("net/s0", batch), 2u);
+    service.flush();
+
+    // Stats over the wire mirror the service's own view.
+    const runtime::ServiceStats remote = client.stats();
+    EXPECT_EQ(remote.sessions, 1u);
+    EXPECT_EQ(remote.reports_enqueued, 3u);
+    EXPECT_EQ(remote.queue_capacity, service.stats().queue_capacity);
+
+    // Snapshot over the wire restores into a *different* service.
+    const std::string payload = client.snapshot();
+    EXPECT_NE(payload.find("net/s0"), std::string::npos);
+    runtime::TuningService other(test_factory());
+    EXPECT_EQ(other.restore_payload(payload), 1u);
+    EXPECT_NE(other.find("net/s0"), nullptr);
+    other.stop();
+
+    // Restore over the wire: push the payload into a fresh service.
+    runtime::TuningService third(test_factory());
+    TuningServer third_server(third, quick_options());
+    third_server.start();
+    ClientOptions copt3;
+    copt3.port = third_server.port();
+    TuningClient client3(copt3);
+    EXPECT_EQ(client3.restore(payload), 1u);
+    EXPECT_NE(third.find("net/s0"), nullptr);
+    EXPECT_EQ(third.stats().snapshots_restored, 1u);
+    third_server.stop();
+    third.stop();
+
+    // Connection counters moved.
+    EXPECT_GE(service.metrics().counter("net_connections").value(), 1.0);
+    EXPECT_GE(service.metrics().counter("net_frames_rx").value(), 5.0);
+    server.stop();
+    service.stop();
+}
+
+TEST(TuningServer, BadRestorePayloadYieldsErrorFrameNotABrokenConnection) {
+    runtime::TuningService service(test_factory());
+    TuningServer server(service, quick_options());
+    server.start();
+
+    ClientOptions copt;
+    copt.port = server.port();
+    copt.max_attempts = 1;
+    TuningClient client(copt);
+    EXPECT_THROW((void)client.restore("this is not a snapshot"), NetError);
+    // The connection survived the BadRequest error: the next call works
+    // without a reconnect.
+    (void)client.recommend("net/alive");
+    EXPECT_EQ(client.reconnects(), 0u);
+    server.stop();
+    service.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Protocol enforcement (raw peer)
+// ---------------------------------------------------------------------------
+
+TEST(TuningServer, RefusesVersionMismatchAndCloses) {
+    runtime::TuningService service(test_factory());
+    TuningServer server(service, quick_options());
+    server.start();
+
+    RawConn raw(server.port());
+    raw.send_bytes(encode_hello({99, "time-traveler"}));
+    auto reply = raw.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, FrameType::Error);
+    const ErrorMsg error = decode_error(*reply);
+    EXPECT_EQ(error.code, ErrorCode::VersionMismatch);
+    EXPECT_NE(error.message.find("99"), std::string::npos);
+    EXPECT_TRUE(raw.closed_by_peer());
+    EXPECT_GE(service.metrics().counter("net_protocol_errors").value(), 1.0);
+    server.stop();
+    service.stop();
+}
+
+TEST(TuningServer, FirstFrameMustBeHello) {
+    runtime::TuningService service(test_factory());
+    TuningServer server(service, quick_options());
+    server.start();
+
+    RawConn raw(server.port());
+    raw.send_bytes(encode_recommend({"too-eager"}));
+    auto reply = raw.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, FrameType::Error);
+    EXPECT_EQ(decode_error(*reply).code, ErrorCode::BadRequest);
+    EXPECT_TRUE(raw.closed_by_peer());
+    EXPECT_EQ(service.session_count(), 0u);  // the request was not served
+    server.stop();
+    service.stop();
+}
+
+TEST(TuningServer, MalformedHeaderGetsErrorFrameAndClose) {
+    runtime::TuningService service(test_factory());
+    TuningServer server(service, quick_options());
+    server.start();
+
+    RawConn raw(server.port());
+    raw.handshake();
+    std::string garbage = encode_stats_request();
+    garbage[4] = '\x7F';  // unknown frame type
+    raw.send_bytes(garbage);
+    auto reply = raw.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, FrameType::Error);
+    EXPECT_EQ(decode_error(*reply).code, ErrorCode::BadFrame);
+    EXPECT_TRUE(raw.closed_by_peer());
+    EXPECT_GE(service.metrics().counter("net_decode_errors").value(), 1.0);
+    server.stop();
+    service.stop();
+}
+
+TEST(TuningServer, TruncatedPayloadGetsBadFrameError) {
+    runtime::TuningService service(test_factory());
+    TuningServer server(service, quick_options());
+    server.start();
+
+    RawConn raw(server.port());
+    raw.handshake();
+    // A Recommend frame whose header claims 2 payload bytes: framing is
+    // fine, but the payload cannot parse as a session string.
+    Frame lying;
+    lying.type = FrameType::Recommend;
+    lying.payload = "xy";
+    raw.send_bytes(encode_frame(lying));
+    auto reply = raw.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, FrameType::Error);
+    EXPECT_EQ(decode_error(*reply).code, ErrorCode::BadFrame);
+    EXPECT_TRUE(raw.closed_by_peer());
+    server.stop();
+    service.stop();
+}
+
+TEST(TuningServer, ServerOnlyFrameFromClientIsRejected) {
+    runtime::TuningService service(test_factory());
+    TuningServer server(service, quick_options());
+    server.start();
+
+    RawConn raw(server.port());
+    raw.handshake();
+    raw.send_bytes(encode_hello_ok({kProtocolVersion, "imposter"}));
+    auto reply = raw.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, FrameType::Error);
+    EXPECT_EQ(decode_error(*reply).code, ErrorCode::BadRequest);
+    EXPECT_TRUE(raw.closed_by_peer());
+    server.stop();
+    service.stop();
+}
+
+TEST(TuningServer, UnackedReportsGetNoReply) {
+    runtime::TuningService service(test_factory());
+    TuningServer server(service, quick_options());
+    server.start();
+
+    RawConn raw(server.port());
+    raw.handshake();
+    const runtime::Ticket ticket = service.begin("net/quiet");
+    ReportMsg msg;
+    msg.session = "net/quiet";
+    msg.batch.push_back({ticket, 4.0});
+    raw.send_bytes(encode_report(msg, /*ack_requested=*/false));
+    // A Stats request right behind it: its reply must be the *first* frame
+    // back — nothing was sent for the report.
+    raw.send_bytes(encode_stats_request());
+    auto reply = raw.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, FrameType::StatsOk);
+    service.flush();
+    EXPECT_EQ(service.stats().reports_enqueued, 1u);
+    server.stop();
+    service.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Timeouts, drain, backpressure
+// ---------------------------------------------------------------------------
+
+TEST(TuningServer, IdleConnectionsAreClosed) {
+    runtime::TuningService service(test_factory());
+    ServerOptions options = quick_options();
+    options.idle_timeout = std::chrono::milliseconds(150);
+    TuningServer server(service, options);
+    server.start();
+
+    RawConn raw(server.port());
+    raw.handshake();
+    EXPECT_TRUE(raw.closed_by_peer());  // within the 5 s RawConn deadline
+    EXPECT_GE(service.metrics().counter("net_idle_closed").value(), 1.0);
+    server.stop();
+    service.stop();
+}
+
+TEST(TuningServer, GracefulDrainCompletesInFlightRequests) {
+    runtime::TuningService service(test_factory());
+    TuningServer server(service, quick_options());
+    server.start();
+
+    RawConn raw(server.port());
+    raw.handshake();
+
+    // Half a Recommend frame on the wire: the connection is mid-request.
+    const std::string request = encode_recommend({"net/inflight"});
+    raw.send_bytes(request.substr(0, 5));
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+    std::thread stopper([&server] { server.stop(); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    // Drain keeps the mid-frame connection alive instead of cutting it off.
+    EXPECT_EQ(server.active_connections(), 1u);
+
+    raw.send_bytes(request.substr(5));
+    auto reply = raw.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, FrameType::Recommendation);
+    EXPECT_EQ(decode_recommendation(*reply).session, "net/inflight");
+    // Quiet now: drain lets the connection go.
+    EXPECT_TRUE(raw.closed_by_peer());
+    stopper.join();
+    service.stop();
+}
+
+TEST(TuningServer, BackpressureDropsAckRepliesNotTheConnection) {
+    runtime::TuningService service(test_factory());
+    ServerOptions options = quick_options();
+    options.write_high_watermark = 512;  // trip the drop path fast
+    TuningServer server(service, options);
+    server.start();
+
+    // A client that sends acked reports but never reads the replies, with a
+    // tiny receive buffer so the server's socket backs up quickly.
+    FdHandle fd = [&server] {
+        FdHandle sock(::socket(AF_INET, SOCK_STREAM, 0));
+        const int tiny = 1;  // kernel clamps to its minimum — still small
+        ::setsockopt(sock.get(), SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(server.port());
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        if (::connect(sock.get(), reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) != 0)
+            throw std::system_error(errno, std::generic_category(), "connect");
+        return sock;
+    }();
+
+    const auto send_all = [&fd](const std::string& bytes) {
+        std::size_t at = 0;
+        while (at < bytes.size()) {
+            const ::ssize_t sent = ::send(fd.get(), bytes.data() + at,
+                                          bytes.size() - at, MSG_NOSIGNAL);
+            if (sent < 0) {
+                if (errno == EINTR) continue;
+                return false;
+            }
+            at += static_cast<std::size_t>(sent);
+        }
+        return true;
+    };
+
+    ASSERT_TRUE(send_all(encode_hello({kProtocolVersion, "flooder"})));
+    const runtime::Ticket ticket = service.begin("net/flood");
+    ReportMsg msg;
+    msg.session = "net/flood";
+    msg.batch.push_back({ticket, 1.0});
+    std::string burst;
+    for (int i = 0; i < 64; ++i)
+        burst += encode_report(msg, /*ack_requested=*/true);
+
+    auto& dropped = service.metrics().counter("net_dropped_reports");
+    bool alive = true;
+    for (int round = 0; round < 8192 && dropped.value() == 0.0; ++round)
+        if (!(alive = send_all(burst))) break;
+
+    EXPECT_TRUE(alive);  // drops, not a close — the connection is kept
+    EXPECT_GT(dropped.value(), 0.0);
+    EXPECT_EQ(service.metrics().counter("net_overflow_closed").value(), 0.0);
+    server.stop();
+    service.stop();
+}
+
+} // namespace
+} // namespace atk::net

@@ -1,0 +1,208 @@
+#include "net/wire_fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net_test_util.hpp"
+
+namespace atk::net {
+namespace {
+
+using testing::test_factory;
+
+// ---------------------------------------------------------------------------
+// Injector unit behavior
+// ---------------------------------------------------------------------------
+
+TEST(WireFaultInjector, RejectsBadPlans) {
+    WireFaultPlan negative;
+    negative.reset_probability = -0.1;
+    EXPECT_THROW(WireFaultInjector{negative}, std::invalid_argument);
+    WireFaultPlan excessive;
+    excessive.split_probability = 1.5;
+    EXPECT_THROW(WireFaultInjector{excessive}, std::invalid_argument);
+    WireFaultPlan chunkless;
+    chunkless.max_split_chunks = 1;
+    EXPECT_THROW(WireFaultInjector{chunkless}, std::invalid_argument);
+}
+
+TEST(WireFaultInjector, SplitChunksPartitionTheFrameExactly) {
+    WireFaultPlan plan;
+    plan.split_probability = 1.0;
+    plan.max_split_chunks = 5;
+    plan.seed = 7;
+    WireFaultInjector injector(plan);
+    for (std::size_t size = 2; size < 200; ++size) {
+        const auto fate = injector.plan_frame(size);
+        ASSERT_FALSE(fate.reset);
+        ASSERT_GE(fate.chunk_sizes.size(), 2u) << "size=" << size;
+        for (const std::size_t chunk : fate.chunk_sizes) EXPECT_GT(chunk, 0u);
+        EXPECT_EQ(std::accumulate(fate.chunk_sizes.begin(), fate.chunk_sizes.end(),
+                                  std::size_t{0}),
+                  size);
+    }
+    EXPECT_EQ(injector.splits_injected(), 198u);
+    EXPECT_EQ(injector.resets_injected(), 0u);
+}
+
+TEST(WireFaultInjector, ResetPrefixNeverCoversTheWholeFrame) {
+    WireFaultPlan plan;
+    plan.reset_probability = 1.0;
+    plan.seed = 11;
+    WireFaultInjector injector(plan);
+    for (std::size_t size = 1; size < 100; ++size) {
+        const auto fate = injector.plan_frame(size);
+        ASSERT_TRUE(fate.reset);
+        EXPECT_LT(fate.reset_after, size);
+    }
+    EXPECT_EQ(injector.resets_injected(), 99u);
+}
+
+TEST(WireFaultInjector, SameSeedSameFates) {
+    WireFaultPlan plan;
+    plan.split_probability = 0.4;
+    plan.reset_probability = 0.2;
+    plan.seed = 0xC0FFEE;
+    WireFaultInjector first(plan);
+    WireFaultInjector second(plan);
+    bool any_fault = false;
+    for (std::size_t i = 0; i < 300; ++i) {
+        const std::size_t size = 1 + (i * 37) % 500;
+        const auto a = first.plan_frame(size);
+        const auto b = second.plan_frame(size);
+        EXPECT_EQ(a.reset, b.reset);
+        EXPECT_EQ(a.reset_after, b.reset_after);
+        EXPECT_EQ(a.chunk_sizes, b.chunk_sizes);
+        any_fault = any_fault || a.reset || !a.chunk_sizes.empty();
+    }
+    EXPECT_TRUE(any_fault);
+    EXPECT_EQ(first.resets_injected(), second.resets_injected());
+    EXPECT_EQ(first.splits_injected(), second.splits_injected());
+}
+
+TEST(WireFaultInjector, DifferentSeedDifferentStream) {
+    WireFaultPlan plan;
+    plan.split_probability = 0.5;
+    plan.reset_probability = 0.3;
+    plan.seed = 1;
+    WireFaultPlan other = plan;
+    other.seed = 2;
+    WireFaultInjector first(plan);
+    WireFaultInjector second(other);
+    bool differed = false;
+    for (std::size_t i = 0; i < 200 && !differed; ++i) {
+        const auto a = first.plan_frame(64);
+        const auto b = second.plan_frame(64);
+        differed = a.reset != b.reset || a.reset_after != b.reset_after ||
+                   a.chunk_sizes != b.chunk_sizes;
+    }
+    EXPECT_TRUE(differed);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos scenario: tuning over a faulty wire still converges, and the whole
+// run is a pure function of its seeds.
+// ---------------------------------------------------------------------------
+
+/// Deterministic cost surface (same shape as the runtime tests): algorithm
+/// A is flat-fast, B is slow with a tunable penalty — the tuner must learn
+/// to pick A.
+Cost chaos_cost(const Trial& trial) {
+    if (trial.algorithm == 0) return 5.0;
+    const double x =
+        trial.config.size() > 0 ? static_cast<double>(trial.config[0]) : 0.0;
+    return 25.0 + std::abs(x - 40.0);
+}
+
+struct ChaosOutcome {
+    std::size_t resets = 0;
+    std::size_t splits = 0;
+    std::uint64_t reconnects = 0;
+    std::size_t picked_a_late = 0;  ///< algorithm-A picks in the last 50 rounds
+    std::string snapshot;           ///< full service state after the run
+};
+
+ChaosOutcome run_chaos(std::uint64_t fault_seed) {
+    runtime::TuningService service(test_factory());
+    ServerOptions sopt;
+    sopt.worker_threads = 1;
+    TuningServer server(service, sopt);
+    server.start();
+
+    WireFaultPlan plan;
+    plan.split_probability = 0.30;
+    plan.reset_probability = 0.02;
+    plan.seed = fault_seed;
+    auto injector = std::make_shared<WireFaultInjector>(plan);
+
+    ClientOptions copt;
+    copt.port = server.port();
+    copt.request_timeout = std::chrono::milliseconds(2000);
+    copt.max_attempts = 8;
+    copt.backoff_base = std::chrono::milliseconds(1);
+    copt.backoff_cap = std::chrono::milliseconds(5);
+    copt.fault = injector;
+    TuningClient client(copt);
+
+    constexpr int kRounds = 200;
+    const std::string session = "chaos/s";
+    ChaosOutcome outcome;
+    for (int round = 0; round < kRounds; ++round) {
+        const runtime::Ticket ticket = client.recommend(session);
+        if (round >= kRounds - 50 && ticket.trial.algorithm == 0)
+            ++outcome.picked_a_late;
+        const bool accepted =
+            client.report(session, ticket, chaos_cost(ticket.trial));
+        EXPECT_TRUE(accepted);
+        // Pace the loop so every recommendation reflects the report before
+        // it — this is what makes the whole run replayable: the sequence the
+        // aggregator sees is then independent of scheduling.
+        service.flush();
+    }
+
+    outcome.resets = injector->resets_injected();
+    outcome.splits = injector->splits_injected();
+    outcome.reconnects = client.reconnects();
+    outcome.snapshot = service.snapshot_payload();
+    server.stop();
+    service.stop();
+    return outcome;
+}
+
+TEST(WireFaultScenario, ConvergesDespiteResetsAndSplitFrames) {
+    const ChaosOutcome outcome = run_chaos(/*fault_seed=*/0xDA7A);
+    // The chaos actually happened: frames were split and connections reset,
+    // which forced real reconnects.
+    EXPECT_GT(outcome.splits, 0u);
+    EXPECT_GT(outcome.resets, 0u);
+    EXPECT_GE(outcome.reconnects, outcome.resets);
+    // And the tuner still learned through it: with epsilon = 0.10, a
+    // converged session picks A ~95% of the time; 60% is a loose floor that
+    // only an unconverged session would miss.
+    EXPECT_GE(outcome.picked_a_late, 30u);
+    // No measurement was lost to the faults — reports are acked and retried.
+    EXPECT_NE(outcome.snapshot.find("chaos/s"), std::string::npos);
+}
+
+TEST(WireFaultScenario, IsBitIdenticalPerSeed) {
+    const ChaosOutcome first = run_chaos(/*fault_seed=*/42);
+    const ChaosOutcome second = run_chaos(/*fault_seed=*/42);
+    EXPECT_EQ(first.resets, second.resets);
+    EXPECT_EQ(first.splits, second.splits);
+    EXPECT_EQ(first.reconnects, second.reconnects);
+    EXPECT_EQ(first.picked_a_late, second.picked_a_late);
+    // The strongest claim: the *entire* final tuner state — weights, rng
+    // streams, iteration counters — is byte-identical across the two runs.
+    EXPECT_EQ(first.snapshot, second.snapshot);
+}
+
+} // namespace
+} // namespace atk::net

@@ -1,0 +1,144 @@
+#include "runtime/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/autotune.hpp"
+
+namespace atk::runtime {
+namespace {
+
+std::vector<TunableAlgorithm> stats_algorithms() {
+    std::vector<TunableAlgorithm> algorithms;
+    algorithms.push_back(TunableAlgorithm::untunable("A"));
+    TunableAlgorithm b;
+    b.name = "B";
+    b.space.add(Parameter::ratio("x", 0, 50));
+    b.initial = Configuration{{0}};
+    b.searcher = std::make_unique<NelderMeadSearcher>();
+    algorithms.push_back(std::move(b));
+    return algorithms;
+}
+
+TunerFactory stats_factory() {
+    return [](const std::string& session) {
+        return std::make_unique<TwoPhaseTuner>(
+            std::make_unique<EpsilonGreedy>(0.10), stats_algorithms(),
+            /*seed=*/std::hash<std::string>{}(session));
+    };
+}
+
+TEST(ServiceStats, FreshServiceReportsZerosNotMissingFields) {
+    ServiceOptions options;
+    options.queue_capacity = 37;
+    TuningService service(stats_factory(), options);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.sessions, 0u);
+    EXPECT_EQ(stats.queue_depth, 0u);
+    EXPECT_EQ(stats.queue_capacity, 37u);
+    EXPECT_EQ(stats.reports_enqueued, 0u);
+    EXPECT_EQ(stats.reports_dropped, 0u);
+    EXPECT_EQ(stats.reports_orphaned, 0u);
+    EXPECT_EQ(stats.reports_fresh, 0u);
+    EXPECT_EQ(stats.reports_stale, 0u);
+    EXPECT_EQ(stats.installs_applied, 0u);
+    EXPECT_EQ(stats.installs_rejected, 0u);
+    EXPECT_EQ(stats.snapshots_restored, 0u);
+    service.stop();
+}
+
+TEST(ServiceStats, CountersFollowTheReportLifecycle) {
+    TuningService service(stats_factory());
+    for (int i = 0; i < 20; ++i) {
+        const Ticket ticket = service.begin("stats/s");
+        ASSERT_TRUE(service.report("stats/s", ticket, 5.0));
+        service.flush();
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.sessions, 1u);
+    EXPECT_EQ(stats.reports_enqueued, 20u);
+    EXPECT_EQ(stats.queue_depth, 0u);  // flushed
+    // Every report was classified exactly once; pacing with flush() makes
+    // them all fresh.
+    EXPECT_EQ(stats.reports_fresh + stats.reports_stale, 20u);
+    EXPECT_EQ(stats.reports_fresh, 20u);
+    EXPECT_EQ(stats.reports_orphaned, 0u);
+    EXPECT_EQ(stats.reports_dropped, 0u);
+    service.stop();
+}
+
+TEST(ServiceStats, ReportBatchCountsAcceptsAndDropsUnderPressure) {
+    std::atomic<bool> release{false};
+    ServiceOptions options;
+    options.queue_capacity = 4;
+    options.block_when_full = false;
+    options.ingest_hook = [&release] {
+        while (!release.load(std::memory_order_acquire))
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    };
+    TuningService service(stats_factory(), options);
+
+    const Ticket ticket = service.begin("stats/pressure");
+    std::vector<BatchedMeasurement> batch;
+    for (int i = 0; i < 12; ++i) batch.push_back({ticket, 5.0 + i});
+
+    // The aggregator is stalled on the hook, so at most capacity (plus the
+    // one event already popped) fits; the rest must be dropped, not block.
+    const std::size_t accepted = service.report_batch("stats/pressure", batch);
+    EXPECT_GE(accepted, 4u);
+    EXPECT_LT(accepted, 12u);
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.reports_enqueued, accepted);
+    EXPECT_EQ(stats.reports_dropped, 12u - accepted);
+
+    release.store(true, std::memory_order_release);
+    service.flush();
+    stats = service.stats();
+    EXPECT_EQ(stats.queue_depth, 0u);
+    EXPECT_EQ(stats.reports_fresh + stats.reports_stale, accepted);
+    service.stop();
+}
+
+TEST(ServiceStats, ReportBatchToAStoppedServiceAcceptsNothing) {
+    TuningService service(stats_factory());
+    const Ticket ticket = service.begin("stats/late");
+    service.stop();
+    std::vector<BatchedMeasurement> batch{{ticket, 5.0}, {ticket, 6.0}};
+    EXPECT_EQ(service.report_batch("stats/late", batch), 0u);
+    EXPECT_EQ(service.stats().reports_dropped, 2u);
+}
+
+TEST(ServiceStats, SnapshotPayloadRoundTripsThroughRestorePayload) {
+    TuningService service(stats_factory());
+    for (int i = 0; i < 10; ++i) {
+        const Ticket ticket = service.begin("stats/persist");
+        service.report("stats/persist", ticket, 5.0);
+        service.flush();
+    }
+    const std::string payload = service.snapshot_payload();
+    EXPECT_NE(payload.find("stats/persist"), std::string::npos);
+
+    TuningService twin(stats_factory());
+    EXPECT_EQ(twin.restore_payload(payload), 1u);
+    EXPECT_NE(twin.find("stats/persist"), nullptr);
+    EXPECT_EQ(twin.stats().snapshots_restored, 1u);
+    // The restored service serializes back to the exact same bytes.
+    EXPECT_EQ(twin.snapshot_payload(), payload);
+    twin.stop();
+
+    TuningService unlucky(stats_factory());
+    EXPECT_THROW((void)unlucky.restore_payload("not a snapshot"),
+                 std::invalid_argument);
+    EXPECT_EQ(unlucky.stats().snapshots_restored, 0u);
+    unlucky.stop();
+    service.stop();
+}
+
+} // namespace
+} // namespace atk::runtime

@@ -6,10 +6,13 @@
 /// CMake target link lines cannot see (header-only dependencies compile fine
 /// against any include path):
 ///
-///   layering        support → obs → core → runtime → sim form a strict
-///                   DAG: a layer may include itself and anything below,
-///                   never above.  stringmatch/ and raytrace/ are leaf domains:
-///                   they may use every layer, but no layer or other domain
+///   layering        support → obs → core → runtime form a strict DAG: a
+///                   layer may include itself and anything below, never
+///                   above.  sim/ and net/ are leaf layers on top of
+///                   runtime: each may use every ranked layer but they must
+///                   not include each other, and nothing may include them.
+///                   stringmatch/ and raytrace/ are leaf domains: they may
+///                   use every ranked layer, but no layer or other domain
 ///                   may include them.
 ///   include-cycle   the quoted-include graph must be acyclic.
 ///   banned-rand     std::rand/srand/rand anywhere outside support/rng —
@@ -19,6 +22,8 @@
 ///   naked-delete    `delete` expressions (`= delete` declarations are fine).
 ///   iostream        std::cout/cerr/clog in library code; libraries report
 ///                   through return values and the obs layer, not terminals.
+///   banned-socket   raw send()/recv() family calls outside src/net/ — all
+///                   wire I/O goes through the net layer's framed transport.
 ///   pragma-once     every header starts with #pragma once.
 ///   self-contained  (--self-contained) every header compiles alone.
 ///
@@ -72,15 +77,19 @@ struct SourceFile {
     std::vector<std::pair<std::size_t, std::string>> includes;
 };
 
-/// Rank of the core layers, bottom-up.  Leaf domains have no rank.
+/// Rank of the core layers, bottom-up.  Leaf layers and domains have none.
 int layer_rank(std::string_view top) {
     if (top == "support") return 0;
     if (top == "obs") return 1;
     if (top == "core") return 2;
     if (top == "runtime") return 3;
-    if (top == "sim") return 4;
     return -1;
 }
+
+/// sim/ and net/ both sit directly on top of runtime as siblings: each may
+/// use every ranked layer, nothing may include them — including each other
+/// (a chaos scenario that needs both composes them at the test layer).
+bool is_leaf_layer(std::string_view top) { return top == "sim" || top == "net"; }
 
 bool is_domain(std::string_view top) {
     return top == "stringmatch" || top == "raytrace";
@@ -90,6 +99,7 @@ bool is_domain(std::string_view top) {
 bool include_allowed(std::string_view from, std::string_view to) {
     if (from == to) return true;
     if (is_domain(from)) return layer_rank(to) >= 0;  // any layer, no other domain
+    if (is_leaf_layer(from)) return layer_rank(to) >= 0;  // never the sibling leaf
     if (layer_rank(from) < 0 || layer_rank(to) < 0) return false;
     return layer_rank(to) <= layer_rank(from);
 }
@@ -320,12 +330,14 @@ public:
         for (const auto& [line, path] : file.includes) {
             const std::string to = top_component(path);
             if (to.empty()) continue;  // relative include inside one directory
-            if (layer_rank(to) < 0 && !is_domain(to)) continue;  // not ours
+            if (layer_rank(to) < 0 && !is_domain(to) && !is_leaf_layer(to))
+                continue;  // not ours
             if (include_allowed(from, to)) continue;
             if (suppressed(file, "layering", line)) continue;
             report({file.rel, line, "layering",
                     "'" + from + "' must not include '" + path + "': the layer order is " +
-                        "support < obs < core < runtime < sim, domains are leaves"});
+                        "support < obs < core < runtime; sim and net are sibling "
+                        "leaves on top, domains are leaves"});
         }
     }
 
@@ -360,6 +372,47 @@ public:
                 if (suppressed(file, "naked-delete", lineno)) continue;
                 report({file.rel, lineno, "naked-delete",
                         "naked delete in library code; ownership must be automatic"});
+            }
+            if (top_component(file.rel) != "net") {
+                for (const char* call : {"send", "recv", "sendto", "recvfrom",
+                                         "sendmsg", "recvmsg"}) {
+                    for (const std::size_t col : find_word(line, call)) {
+                        // Only call expressions: the next non-space character
+                        // must open the argument list.  Member calls
+                        // (queue.send(...)) are someone else's send.
+                        std::size_t after = col + std::string_view(call).size();
+                        while (after < line.size() &&
+                               std::isspace(static_cast<unsigned char>(line[after])) != 0)
+                            ++after;
+                        if (after >= line.size() || line[after] != '(') continue;
+                        std::size_t p = col;
+                        while (p > 0 && std::isspace(
+                                            static_cast<unsigned char>(line[p - 1])) != 0)
+                            --p;
+                        if (p >= 2 && line[p - 1] == ':' && line[p - 2] == ':') {
+                            // `Foo::send(` is a qualified member; only the
+                            // global-scope `::send(` is the libc call.
+                            std::size_t q = p - 2;
+                            while (q > 0 && std::isspace(static_cast<unsigned char>(
+                                                line[q - 1])) != 0)
+                                --q;
+                            if (q > 0 && ident_char(line[q - 1])) continue;
+                        } else {
+                            const char before = p > 0 ? line[p - 1] : '\0';
+                            if (before == '.' || before == '>') continue;  // member call
+                            // An identifier before the name means a
+                            // declaration (`ssize_t send(`) — except
+                            // `return send(...)`, which is a call.
+                            if (ident_char(before) &&
+                                prev_word(line, col) != "return")
+                                continue;
+                        }
+                        if (suppressed(file, "banned-socket", lineno)) continue;
+                        report({file.rel, lineno, "banned-socket",
+                                "raw socket I/O outside src/net/; all wire traffic "
+                                "goes through the net layer's framed transport"});
+                    }
+                }
             }
             for (const char* stream : {"cout", "cerr", "clog"}) {
                 for (const std::size_t col : find_word(line, stream)) {
@@ -495,12 +548,32 @@ int self_test() {
     write_seed(root / "runtime/service.hpp", "#pragma once\nint service();\n");
     write_seed(root / "support/bad_layer.hpp",
                "#pragma once\n#include \"runtime/service.hpp\"\n");
-    // sim sits on top of runtime: downward includes are clean, upward ones
-    // (runtime reaching into sim) violate the DAG.
+    // sim and net sit on top of runtime as sibling leaves: downward includes
+    // are clean, upward ones (runtime reaching into a leaf) and sideways
+    // ones (leaf to leaf, either direction) violate the DAG.
     write_seed(root / "sim/harness.hpp",
                "#pragma once\n#include \"runtime/service.hpp\"\n");
     write_seed(root / "runtime/uses_sim.hpp",
                "#pragma once\n#include \"sim/harness.hpp\"\n");
+    write_seed(root / "net/server.hpp",
+               "#pragma once\n#include \"runtime/service.hpp\"\n");
+    write_seed(root / "net/uses_sim.hpp",
+               "#pragma once\n#include \"sim/harness.hpp\"\n");
+    write_seed(root / "sim/uses_net.hpp",
+               "#pragma once\n#include \"net/server.hpp\"\n");
+    // Raw socket I/O belongs to net/: flagged elsewhere, clean inside it,
+    // and member calls named send/recv are not what the rule is about.
+    write_seed(root / "runtime/raw_socket.cpp",
+               "int leak_io(int fd, char* b, long n) {\n"
+               "    return static_cast<int>(recv(fd, b, n, 0));\n"
+               "}\n");
+    write_seed(root / "net/transport.cpp",
+               "int frame_io(int fd, const char* b, long n) {\n"
+               "    return static_cast<int>(send(fd, b, n, 0));\n"
+               "}\n");
+    write_seed(root / "core/channel.cpp",
+               "struct Chan { void send(int); };\n"
+               "void pump(Chan& c) { c.send(1); }\n");
     write_seed(root / "core/uses_rand.cpp",
                "#include <cstdlib>\nint f() { return std::rand(); }\n");
     write_seed(root / "core/leak.cpp",
@@ -543,10 +616,18 @@ int self_test() {
     };
 
     expect(!clean, "seeded tree is reported as failing");
-    expect(by_rule["layering"] == 2,
-           "both layering violations detected (support->runtime, runtime->sim)");
+    expect(by_rule["layering"] == 4,
+           "all four layering violations detected (support->runtime, "
+           "runtime->sim, net->sim, sim->net)");
     expect(flagged_files.count("sim/harness.hpp") == 0,
            "sim including runtime (downward) not flagged");
+    expect(flagged_files.count("net/server.hpp") == 0,
+           "net including runtime (downward) not flagged");
+    expect(by_rule["banned-socket"] == 1, "raw recv() outside net/ detected");
+    expect(flagged_files.count("net/transport.cpp") == 0,
+           "raw send() inside net/ not flagged");
+    expect(flagged_files.count("core/channel.cpp") == 0,
+           "member function named send not flagged");
     expect(by_rule["banned-rand"] == 1, "std::rand detected");
     expect(by_rule["naked-new"] == 1, "naked new detected");
     expect(by_rule["naked-delete"] == 1, "naked delete detected");

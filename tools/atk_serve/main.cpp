@@ -1,0 +1,232 @@
+// atk_serve — stands up a TuningService behind the atk::net wire protocol
+// so remote workloads (examples/net_client, bench_net_loopback, or your own
+// TuningClient) can be tuned over TCP.
+//
+// The tuner factory is keyed on the session-name prefix:
+//
+//   stringmatch/...  the eight parallel text matchers of case study 1
+//   raytrace/...     the kD-tree builder choice of case study 2
+//   anything else    the synthetic A-vs-B(block) pair of the runtime demo
+//
+// Typical invocations:
+//
+//   atk_serve --port 4077
+//   atk_serve --port 0                       # ephemeral; bound port printed
+//   atk_serve --install seed.state           # warm-start from a snapshot
+//   atk_serve --metrics-port 9100            # Prometheus text on /metrics
+//   atk_serve --duration 30 --snapshot-out final.state
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "core/autotune.hpp"
+#include "net/net.hpp"
+#include "raytrace/pipeline.hpp"
+#include "stringmatch/matcher.hpp"
+#include "support/cli.hpp"
+
+using namespace atk;
+using namespace atk::runtime;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+std::vector<TunableAlgorithm> make_default_algorithms() {
+    std::vector<TunableAlgorithm> algorithms;
+    algorithms.push_back(TunableAlgorithm::untunable("A"));
+    TunableAlgorithm b;
+    b.name = "B";
+    b.space.add(Parameter::ratio("block", 0, 80));
+    b.initial = Configuration{{0}};
+    b.searcher = std::make_unique<NelderMeadSearcher>();
+    algorithms.push_back(std::move(b));
+    return algorithms;
+}
+
+std::vector<TunableAlgorithm> make_stringmatch_algorithms() {
+    std::vector<TunableAlgorithm> algorithms;
+    for (const auto& matcher : sm::make_all_matchers_with_hybrid())
+        algorithms.push_back(TunableAlgorithm::untunable(matcher->name()));
+    return algorithms;
+}
+
+std::vector<TunableAlgorithm> make_raytrace_algorithms() {
+    std::vector<TunableAlgorithm> algorithms;
+    for (const auto& builder : rt::make_all_builders()) {
+        TunableAlgorithm algorithm;
+        algorithm.name = builder->name();
+        algorithm.space = builder->tuning_space();
+        algorithm.initial = builder->default_config();
+        algorithm.searcher = std::make_unique<NelderMeadSearcher>();
+        algorithms.push_back(std::move(algorithm));
+    }
+    return algorithms;
+}
+
+/// Deterministic per name, as snapshot restores require.
+TunerFactory make_factory(double epsilon) {
+    return [epsilon](const std::string& session) {
+        std::vector<TunableAlgorithm> algorithms;
+        if (session.rfind("stringmatch/", 0) == 0)
+            algorithms = make_stringmatch_algorithms();
+        else if (session.rfind("raytrace/", 0) == 0)
+            algorithms = make_raytrace_algorithms();
+        else
+            algorithms = make_default_algorithms();
+        return std::make_unique<TwoPhaseTuner>(std::make_unique<EpsilonGreedy>(epsilon),
+                                               std::move(algorithms),
+                                               std::hash<std::string>{}(session));
+    };
+}
+
+/// Minimal single-threaded Prometheus endpoint: every HTTP request gets the
+/// current MetricsRegistry rendering.  Deliberately tiny — one request per
+/// connection, no keep-alive, no routing — because scrapers need no more.
+void serve_metrics(net::FdHandle listener, MetricsRegistry& metrics,
+                   const std::atomic<bool>& stop) {
+    while (!stop.load(std::memory_order_relaxed)) {
+        if (!net::wait_readable(listener.get(), std::chrono::milliseconds(200)))
+            continue;
+        net::FdHandle conn(::accept(listener.get(), nullptr, nullptr));
+        if (!conn.valid()) continue;
+        char request[4096];
+        if (net::wait_readable(conn.get(), std::chrono::milliseconds(250))) {
+            [[maybe_unused]] const auto ignored =
+                ::read(conn.get(), request, sizeof(request));
+        }
+        const std::string body = metrics.to_prometheus();
+        std::string response = "HTTP/1.0 200 OK\r\n"
+                               "Content-Type: text/plain; version=0.0.4\r\n"
+                               "Content-Length: " +
+                               std::to_string(body.size()) + "\r\n\r\n" + body;
+        std::size_t at = 0;
+        while (at < response.size()) {
+            const auto wrote =
+                ::write(conn.get(), response.data() + at, response.size() - at);
+            if (wrote <= 0) break;
+            at += static_cast<std::size_t>(wrote);
+        }
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Cli cli("atk_serve", "serve a TuningService over the atk::net wire protocol");
+    cli.add_string("bind", "127.0.0.1", "address to listen on")
+        .add_int("port", 4077, "TCP port (0 = ephemeral, printed at startup)")
+        .add_int("workers", 2, "epoll event-loop worker threads")
+        .add_int("queue", 4096, "measurement queue capacity")
+        .add_double("epsilon", 0.10, "e-Greedy exploration rate of new sessions")
+        .add_string("install", "", "warm-start from this snapshot before serving")
+        .add_string("snapshot-out", "", "write a final snapshot here on shutdown")
+        .add_int("metrics-port", 0, "Prometheus text endpoint port (0 = disabled)")
+        .add_int("idle-timeout", 30000, "close idle connections after this many ms")
+        .add_int("duration", 0, "serve for this many seconds (0 = until SIGINT)");
+    if (!cli.parse(argc, argv)) return 1;
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+
+    ServiceOptions service_options;
+    service_options.queue_capacity = static_cast<std::size_t>(cli.get_int("queue"));
+    TuningService service(make_factory(cli.get_double("epsilon")), service_options);
+
+    const std::string install = cli.get_string("install");
+    if (!install.empty()) {
+        try {
+            const std::size_t restored = service.restore_from(install);
+            std::printf("warm-started %zu session(s) from %s\n", restored,
+                        install.c_str());
+        } catch (const std::exception& error) {
+            std::fprintf(stderr, "error: cannot restore %s: %s\n", install.c_str(),
+                         error.what());
+            return 1;
+        }
+    }
+
+    net::ServerOptions server_options;
+    server_options.bind_address = cli.get_string("bind");
+    server_options.port = static_cast<std::uint16_t>(cli.get_int("port"));
+    server_options.worker_threads = static_cast<std::size_t>(cli.get_int("workers"));
+    server_options.idle_timeout =
+        std::chrono::milliseconds(cli.get_int("idle-timeout"));
+
+    net::TuningServer server(service, server_options);
+    try {
+        server.start();
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "error: cannot listen on %s:%u: %s\n",
+                     server_options.bind_address.c_str(), server_options.port,
+                     error.what());
+        return 1;
+    }
+    std::printf("atk_serve: listening on %s:%u (%zu workers)\n",
+                server_options.bind_address.c_str(), server.port(),
+                server_options.worker_threads);
+    std::fflush(stdout);
+
+    std::atomic<bool> metrics_stop{false};
+    std::thread metrics_thread;
+    const auto metrics_port = static_cast<std::uint16_t>(cli.get_int("metrics-port"));
+    if (metrics_port != 0) {
+        try {
+            auto [listener, bound] =
+                net::listen_tcp(server_options.bind_address, metrics_port);
+            std::printf("atk_serve: metrics on http://%s:%u/metrics\n",
+                        server_options.bind_address.c_str(), bound);
+            std::fflush(stdout);
+            metrics_thread = std::thread(serve_metrics, std::move(listener),
+                                         std::ref(service.metrics()),
+                                         std::cref(metrics_stop));
+        } catch (const std::exception& error) {
+            std::fprintf(stderr, "error: metrics endpoint: %s\n", error.what());
+            server.stop();
+            return 1;
+        }
+    }
+
+    const auto duration = cli.get_int("duration");
+    const auto started = std::chrono::steady_clock::now();
+    while (g_stop == 0) {
+        if (duration > 0 && std::chrono::steady_clock::now() - started >=
+                                std::chrono::seconds(duration))
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+
+    std::printf("atk_serve: draining...\n");
+    server.stop();
+    metrics_stop.store(true, std::memory_order_relaxed);
+    if (metrics_thread.joinable()) metrics_thread.join();
+    service.flush();
+
+    const ServiceStats stats = service.stats();
+    std::printf("atk_serve: served %zu session(s), %llu report(s) ingested "
+                "(%llu dropped)\n",
+                stats.sessions,
+                static_cast<unsigned long long>(stats.reports_enqueued),
+                static_cast<unsigned long long>(stats.reports_dropped));
+
+    const std::string snapshot_out = cli.get_string("snapshot-out");
+    if (!snapshot_out.empty()) {
+        if (!service.snapshot_to(snapshot_out)) {
+            std::fprintf(stderr, "error: cannot write %s\n", snapshot_out.c_str());
+            return 1;
+        }
+        std::printf("atk_serve: snapshot written to %s\n", snapshot_out.c_str());
+    }
+    service.stop();
+    return 0;
+}
