@@ -1,0 +1,104 @@
+/// Per-block latency distribution of the three streaming convolution
+/// engines (case study 3): p50/p95/p99 wall-clock per block and the
+/// deadline-miss rate against the real-time audio budget, per algorithm
+/// across block sizes.  This is the measured surface the dsp tuning space
+/// exposes — direct wins tiny blocks, single-FFT overlap-add the middle,
+/// uniform partitioning the long-impulse regime — and the reason a tail
+/// objective can disagree with the paper's mean-time objective.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsp/dsp.hpp"
+#include "harness.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/rng.hpp"
+
+using namespace atk;
+
+namespace {
+
+/// Real-time budget of one block at 48 kHz, in milliseconds: a streaming
+/// convolver must finish a block before the next one arrives.
+double audio_budget_ms(std::size_t block) {
+    return static_cast<double>(block) / 48000.0 * 1000.0;
+}
+
+std::vector<std::unique_ptr<dsp::Convolver>> engines_for(
+    const std::vector<double>& impulse, std::size_t block) {
+    std::vector<std::unique_ptr<dsp::Convolver>> engines;
+    engines.push_back(std::make_unique<dsp::DirectConvolver>(impulse, block));
+    engines.push_back(std::make_unique<dsp::OverlapAddConvolver>(impulse, block));
+    const std::size_t partition = std::min<std::size_t>(block, 64);
+    engines.push_back(
+        std::make_unique<dsp::PartitionedConvolver>(impulse, block, partition));
+    return engines;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Cli cli("bench_dsp_stream",
+            "Per-block latency distribution of the streaming convolvers");
+    cli.add_int("ir", 1024, "impulse response length (samples)");
+    cli.add_int("blocks", 400, "blocks streamed per engine/block-size pair");
+    cli.add_int("warmup", 32, "untimed warm-up blocks per run");
+    if (!cli.parse(argc, argv)) return 0;
+
+    const auto ir_length = static_cast<std::size_t>(cli.get_int("ir"));
+    const auto blocks = static_cast<std::size_t>(cli.get_int("blocks"));
+    const auto warmup = static_cast<std::size_t>(cli.get_int("warmup"));
+
+    bench::print_header(
+        "DSP stream — per-block latency tails",
+        "p50/p95/p99 per block and 48 kHz deadline misses, per engine");
+
+    Table table({"engine", "block", "budget ms", "p50 ms", "p95 ms", "p99 ms",
+                 "miss %"});
+    CsvWriter csv({"engine", "block", "budget_ms", "p50_ms", "p95_ms", "p99_ms",
+                   "miss_rate"});
+
+    for (const std::size_t block : {64, 128, 256, 512, 1024}) {
+        dsp::StreamSpec spec;
+        spec.ir_length = ir_length;
+        spec.deadline_ms = audio_budget_ms(block);
+        dsp::StreamHarness harness(spec);
+        Rng ir_rng(spec.seed);
+        const std::vector<double> impulse =
+            dsp::make_impulse_response(ir_length, ir_rng);
+        for (const auto& engine : engines_for(impulse, block)) {
+            (void)harness.run(*engine, warmup);  // fault in caches/pages
+            const dsp::StreamReport report = harness.run(*engine, blocks);
+            table.row()
+                .text(engine->name())
+                .integer(static_cast<long long>(block))
+                .num(spec.deadline_ms, 3)
+                .num(report.p50(), 4)
+                .num(report.p95(), 4)
+                .num(report.p99(), 4)
+                .num(report.miss_rate() * 100.0, 1);
+            csv.add_row({engine->name(), std::to_string(block),
+                         std::to_string(spec.deadline_ms),
+                         std::to_string(report.p50()),
+                         std::to_string(report.p95()),
+                         std::to_string(report.p99()),
+                         std::to_string(report.miss_rate())});
+        }
+    }
+    table.print();
+
+    const std::string path = bench::results_path("dsp_stream.csv");
+    if (csv.write_file(path))
+        std::printf("\nraw series: %s\n", path.c_str());
+
+    std::printf(
+        "\nThe mean-fastest engine is not the tail-safest one: direct's p99\n"
+        "grows linearly with the impulse while partitioned amortizes it, which\n"
+        "is exactly the disagreement the quantile/deadline cost objectives\n"
+        "surface during online tuning (tests/sim/deadline_test.cpp).\n");
+    return 0;
+}

@@ -7,18 +7,21 @@
 #      able to catch seeded violations) and the slower self-contained
 #      header compile check,
 #   3. a -DATK_SANITIZE=thread build running the runtime + obs + net
-#      tests — the layers with real cross-thread traffic (lock-free
-#      span rings, ingestion queues, the background telemetry
-#      exporter, the epoll server workers),
+#      + dsp tests — the layers with real cross-thread traffic
+#      (lock-free span rings, ingestion queues, the background
+#      telemetry exporter, the epoll server workers) plus the
+#      streaming convolution engines under a real clock,
 #   4. a -DATK_SANITIZE=undefined build (non-recovering UBSan, with
 #      contracts and the fuzz harnesses enabled) running the full
 #      suite plus a short fuzz pass over the checked-in corpora,
 #   5. the simulation gates: the paper's convergence / no-exclusion /
-#      re-convergence regressions plus a CLI smoke over every named
-#      scenario.  The tier-1 suite already runs the fast subset; with
-#      ATK_SIM_FULL=1 this stage reruns the statistical gates over the
-#      full 32-seed ensembles for every scenario x strategy pair and
-#      sweeps the CLI across all scenarios.
+#      re-convergence regressions, the deadline-scenario objective
+#      gates (quantile/deadline cost beats mean time on the realized
+#      latency tail), plus a CLI smoke over every named scenario.  The
+#      tier-1 suite already runs the fast subset; with ATK_SIM_FULL=1
+#      this stage reruns the statistical gates over the full 32-seed
+#      ensembles for every scenario x strategy pair and sweeps the CLI
+#      across all scenarios.
 #
 # Usage:
 #   scripts/check.sh               # all stages
@@ -46,13 +49,14 @@ if [[ "$fast" == "--fast" ]]; then
 fi
 
 echo
-echo "== stage 3: ThreadSanitizer build, runtime + obs + net + sim tests =="
+echo "== stage 3: ThreadSanitizer build, runtime + obs + net + sim + dsp tests =="
 cmake -B "$repo/build-tsan" -S "$repo" -DATK_SANITIZE=thread
-cmake --build "$repo/build-tsan" -j "$jobs" --target test_runtime test_obs test_net test_sim
+cmake --build "$repo/build-tsan" -j "$jobs" --target test_runtime test_obs test_net test_sim test_dsp
 "$repo/build-tsan/tests/test_runtime"
 "$repo/build-tsan/tests/test_obs"
 "$repo/build-tsan/tests/test_net"
 "$repo/build-tsan/tests/test_sim" --gtest_filter='FaultInjection.*'
+"$repo/build-tsan/tests/test_dsp"
 
 echo
 echo "== stage 4: UBSan build, full suite + fuzz smoke =="
@@ -68,15 +72,16 @@ echo
 echo "== stage 5: simulation gates =="
 if [[ "${ATK_SIM_FULL:-0}" == "1" ]]; then
     echo "(full mode: 32-seed ensembles, every scenario x strategy)"
-    "$repo/build/tests/test_sim" --gtest_filter='PaperGates.*:Determinism.*'
-    for scenario in static drift plateau sweep; do
+    "$repo/build/tests/test_sim" --gtest_filter='PaperGates.*:Determinism.*:DeadlineGates.*:DeadlineScenario.*'
+    for scenario in static drift plateau sweep deadline; do
         "$repo/build/tools/atk_sim/atk_sim" --scenario "$scenario" \
             --strategy all --seeds 32
     done
 else
     echo "(fast subset; set ATK_SIM_FULL=1 for the full ensembles)"
-    "$repo/build/tests/test_sim" --gtest_filter='PaperGates.NoStrategyEverExcludesAnAlgorithm:Determinism.SameSeedSameSimulation'
+    "$repo/build/tests/test_sim" --gtest_filter='PaperGates.NoStrategyEverExcludesAnAlgorithm:Determinism.SameSeedSameSimulation:DeadlineGates.QuantileObjectiveBeatsMeanOnRealizedTail'
     "$repo/build/tools/atk_sim/atk_sim" --scenario static --strategy e-greedy-5 --seeds 4
+    "$repo/build/tools/atk_sim/atk_sim" --scenario deadline --strategy auc --seeds 4
 fi
 
 echo

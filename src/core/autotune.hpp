@@ -4,6 +4,7 @@
 /// the complete public API — parameter typology, search spaces, phase-one
 /// searchers, phase-two nominal strategies, and the two-phase online tuner.
 
+#include "core/cost_objective.hpp"
 #include "core/feature_model.hpp"
 #include "core/measurement.hpp"
 #include "core/nominal/combined.hpp"

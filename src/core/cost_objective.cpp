@@ -1,0 +1,96 @@
+#include "core/cost_objective.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "core/state_io.hpp"
+#include "support/statistics.hpp"
+
+namespace atk {
+
+namespace {
+
+void require_samples(const CostBatch& batch, const char* who) {
+    if (batch.samples.empty())
+        throw std::invalid_argument(std::string(who) + ": empty cost batch");
+}
+
+std::string format_parameter(double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", value);
+    return buf;
+}
+
+} // namespace
+
+void CostObjective::save_state(StateWriter&) const {}
+void CostObjective::restore_state(StateReader&) {}
+
+Cost MeanCost::score(const CostBatch& batch) const {
+    require_samples(batch, "MeanCost");
+    return mean(batch.samples);
+}
+
+QuantileCost::QuantileCost(double q) : q_(q) {
+    if (!(q > 0.0) || !(q < 1.0))
+        throw std::invalid_argument("QuantileCost: q must be in (0, 1)");
+}
+
+std::string QuantileCost::id() const { return "quantile:" + format_parameter(q_); }
+
+std::string QuantileCost::describe() const {
+    return "p" + format_parameter(q_ * 100.0) + " cost";
+}
+
+Cost QuantileCost::score(const CostBatch& batch) const {
+    require_samples(batch, "QuantileCost");
+    return quantile(batch.samples, q_);
+}
+
+DeadlineCost::DeadlineCost(double penalty) : penalty_(penalty) {
+    if (!(penalty > 0.0) || !std::isfinite(penalty))
+        throw std::invalid_argument("DeadlineCost: penalty must be positive");
+}
+
+std::string DeadlineCost::id() const {
+    return "deadline:" + format_parameter(penalty_);
+}
+
+std::string DeadlineCost::describe() const {
+    return "deadline miss rate (mean tiebreak)";
+}
+
+Cost DeadlineCost::score(const CostBatch& batch) const {
+    require_samples(batch, "DeadlineCost");
+    std::size_t misses = 0;
+    if (batch.deadline > 0.0)
+        for (const double sample : batch.samples)
+            if (sample > batch.deadline) ++misses;
+    const double miss_rate =
+        static_cast<double>(misses) / static_cast<double>(batch.samples.size());
+    return penalty_ * miss_rate + mean(batch.samples);
+}
+
+std::unique_ptr<CostObjective> make_cost_objective(const std::string& id) {
+    if (id == "mean") return std::make_unique<MeanCost>();
+    const auto parameter_of = [&id](const std::string& prefix) {
+        char* end = nullptr;
+        const double value = std::strtod(id.c_str() + prefix.size(), &end);
+        if (end == nullptr || *end != '\0')
+            throw std::invalid_argument("make_cost_objective: malformed id '" +
+                                        id + "'");
+        return value;
+    };
+    if (id.rfind("quantile:", 0) == 0)
+        return std::make_unique<QuantileCost>(parameter_of("quantile:"));
+    if (id == "deadline") return std::make_unique<DeadlineCost>();
+    if (id.rfind("deadline:", 0) == 0)
+        return std::make_unique<DeadlineCost>(parameter_of("deadline:"));
+    throw std::invalid_argument(
+        "make_cost_objective: unknown id '" + id +
+        "' (have: mean, quantile:<q>, deadline[:<penalty>])");
+}
+
+} // namespace atk

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/measurement.hpp"
+
+namespace atk {
+
+class StateWriter;
+class StateReader;
+
+/// Credit-assignment policy of the tuner: folds a CostBatch (the
+/// per-operation costs one trial produced, plus the deadline they ran
+/// under) into the scalar Cost > 0 that phase-one searchers and phase-two
+/// strategies consume.
+///
+/// The paper hard-codes mean time; latency-SLO workloads such as the
+/// streaming DSP substrate (src/dsp) care about tail latency and deadline
+/// misses, where the mean actively misleads — a fast-on-average algorithm
+/// with a heavy spike tail wins on mean and loses the SLO.  Keeping the
+/// fold pluggable (the adaptive-operator-selection framing) lets the same
+/// two-phase tuner optimize either.
+///
+/// Objectives carry a stable `id()` string ("mean", "quantile:0.95", ...)
+/// that snapshots embed: restoring onto a tuner constructed with a
+/// different objective fails loudly instead of silently re-scoring history.
+class CostObjective {
+public:
+    virtual ~CostObjective() = default;
+
+    /// Stable identity for serialization and factory lookup.
+    [[nodiscard]] virtual std::string id() const = 0;
+
+    /// Human-readable label for the decision audit trail ("p95 cost", ...).
+    [[nodiscard]] virtual std::string describe() const = 0;
+
+    /// Scores one batch; must return a positive finite Cost.  Throws
+    /// std::invalid_argument on an empty batch.
+    [[nodiscard]] virtual Cost score(const CostBatch& batch) const = 0;
+
+    /// Objectives are stateless by default; stateful ones override both.
+    virtual void save_state(StateWriter& out) const;
+    virtual void restore_state(StateReader& in);
+};
+
+/// The paper's objective: arithmetic mean of the batch.  A single-sample
+/// batch scores as the sample itself, so scalar report() paths are
+/// objective-independent.
+class MeanCost final : public CostObjective {
+public:
+    [[nodiscard]] std::string id() const override { return "mean"; }
+    [[nodiscard]] std::string describe() const override { return "mean cost"; }
+    [[nodiscard]] Cost score(const CostBatch& batch) const override;
+};
+
+/// Tail objective: the q-quantile (type-7 interpolation) of the batch —
+/// p95/p99 latency when the samples are per-block times.
+class QuantileCost final : public CostObjective {
+public:
+    /// `q` must lie inside (0, 1); throws std::invalid_argument.
+    explicit QuantileCost(double q);
+    [[nodiscard]] std::string id() const override;
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] Cost score(const CostBatch& batch) const override;
+    [[nodiscard]] double q() const noexcept { return q_; }
+
+private:
+    double q_;
+};
+
+/// SLO objective: deadline-miss rate with a mean-latency tiebreak,
+///
+///     score = penalty · (misses / samples) + mean(samples)
+///
+/// so two algorithms that both always meet the deadline are still ordered
+/// by latency, and any miss rate difference dominates (`penalty` should
+/// exceed the plausible mean latency).  With no deadline in the batch the
+/// miss term vanishes and the objective degrades to mean cost.
+class DeadlineCost final : public CostObjective {
+public:
+    explicit DeadlineCost(double penalty = 1000.0);
+    [[nodiscard]] std::string id() const override;
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] Cost score(const CostBatch& batch) const override;
+    [[nodiscard]] double penalty() const noexcept { return penalty_; }
+
+private:
+    double penalty_;
+};
+
+/// Builds an objective from its id(): "mean", "quantile:<q>",
+/// "deadline" / "deadline:<penalty>".  Throws std::invalid_argument on an
+/// unknown or malformed id — the inverse of CostObjective::id(), used by
+/// snapshot tooling and CLIs.
+[[nodiscard]] std::unique_ptr<CostObjective> make_cost_objective(
+    const std::string& id);
+
+} // namespace atk

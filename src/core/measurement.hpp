@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <vector>
 
 #include "core/search_space.hpp"
 
@@ -21,6 +22,16 @@ struct Sample {
     std::size_t iteration = 0;
     Configuration config;
     Cost cost = 0.0;
+};
+
+/// Every per-operation cost one trial produced while holding a single
+/// configuration — e.g. the per-block latencies of a streaming convolver —
+/// plus the deadline each operation had to meet (0 = none).  A CostObjective
+/// folds a batch into the scalar Cost the strategies and searchers consume;
+/// a batch of one sample with no deadline is equivalent to a scalar report.
+struct CostBatch {
+    std::vector<double> samples;  ///< strictly positive per-operation costs
+    double deadline = 0.0;        ///< per-operation budget in cost units
 };
 
 } // namespace atk

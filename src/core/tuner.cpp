@@ -18,8 +18,13 @@ TunableAlgorithm TunableAlgorithm::untunable(std::string name) {
 
 TwoPhaseTuner::TwoPhaseTuner(std::unique_ptr<NominalStrategy> strategy,
                              std::vector<TunableAlgorithm> algorithms,
-                             std::uint64_t seed)
-    : strategy_(std::move(strategy)), algorithms_(std::move(algorithms)), rng_(seed) {
+                             std::uint64_t seed,
+                             std::unique_ptr<CostObjective> objective)
+    : strategy_(std::move(strategy)),
+      objective_(objective ? std::move(objective) : std::make_unique<MeanCost>()),
+      objective_label_(objective_->describe()),
+      algorithms_(std::move(algorithms)),
+      rng_(seed) {
     if (!strategy_) throw std::invalid_argument("TwoPhaseTuner: null strategy");
     if (algorithms_.empty())
         throw std::invalid_argument("TwoPhaseTuner: need at least one algorithm");
@@ -52,7 +57,8 @@ Trial TwoPhaseTuner::next() {
         decision_hook_(DecisionEvent{iteration_, choice, algorithm.name,
                                      strategy_->last_select_explored(),
                                      algorithm.searcher->step_kind(),
-                                     strategy_->weights(), pending_.config});
+                                     strategy_->weights(), pending_.config,
+                                     objective_label_});
     }
     return pending_;
 }
@@ -79,6 +85,10 @@ void TwoPhaseTuner::report(const Trial& trial, Cost cost) {
     ++iteration_;
 }
 
+void TwoPhaseTuner::report(const Trial& trial, const CostBatch& batch) {
+    report(trial, objective_->score(batch));
+}
+
 void TwoPhaseTuner::observe(const Trial& trial, Cost cost) {
     if (trial.algorithm >= algorithms_.size())
         throw std::invalid_argument("TwoPhaseTuner: observe() of unknown algorithm");
@@ -93,6 +103,10 @@ void TwoPhaseTuner::observe(const Trial& trial, Cost cost) {
     }
     trace_.record(TraceEntry{iteration_, trial.algorithm, trial.config, cost});
     ++iteration_;
+}
+
+void TwoPhaseTuner::observe(const Trial& trial, const CostBatch& batch) {
+    observe(trial, objective_->score(batch));
 }
 
 namespace {
@@ -131,9 +145,16 @@ void TwoPhaseTuner::save_state(StateWriter& out) const {
         out.put_str(algorithm.name);
         algorithm.searcher->save_state(out);
     }
+    // Format 2 appends the objective last, so a format-1 reader stops cleanly
+    // before it and a format-2 reader of an old stream knows to skip it.
+    out.put_str(objective_->id());
+    objective_->save_state(out);
 }
 
-void TwoPhaseTuner::restore_state(StateReader& in) {
+void TwoPhaseTuner::restore_state(StateReader& in, std::uint64_t format) {
+    if (format < kTunerStateFormatV1 || format > kTunerStateFormat)
+        throw std::invalid_argument("TwoPhaseTuner: unsupported state format " +
+                                    std::to_string(format));
     std::array<std::uint64_t, 4> rng_state;
     for (auto& word : rng_state) word = in.get_u64();
     const auto iteration = static_cast<std::size_t>(in.get_u64());
@@ -157,6 +178,14 @@ void TwoPhaseTuner::restore_state(StateReader& in) {
                                         algorithm_name + "' does not match '" +
                                         algorithm.name + "'");
         algorithm.searcher->restore_state(in);
+    }
+    if (format >= kTunerStateFormat) {
+        const std::string objective_id = in.get_str();
+        if (objective_id != objective_->id())
+            throw std::invalid_argument("TwoPhaseTuner: snapshot objective is '" +
+                                        objective_id + "', tuner has '" +
+                                        objective_->id() + "'");
+        objective_->restore_state(in);
     }
     // Cross-field consistency: exactly the pending trial's searcher may have
     // an open ask-tell cycle, and only while the tuner itself awaits a

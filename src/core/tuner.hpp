@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cost_objective.hpp"
 #include "core/measurement.hpp"
 #include "core/nominal/strategy.hpp"
 #include "core/search/searcher.hpp"
@@ -34,6 +35,14 @@ struct Trial {
     Configuration config;
 };
 
+/// save_state() stream layout versions.  Format 1 (pre-CostObjective) ends
+/// after the per-algorithm searcher states; format 2 appends the cost
+/// objective's id and state.  restore_state() with format 1 therefore keeps
+/// the tuner's constructed objective untouched — old snapshots restore as
+/// the mean-time tuners they were saved from.
+inline constexpr std::uint64_t kTunerStateFormatV1 = 1;
+inline constexpr std::uint64_t kTunerStateFormat = 2;
+
 /// Everything next() decided in one tuning iteration, delivered to the
 /// decision hook the moment the trial is formed — the raw material of the
 /// observability layer's audit trail.  Reference members alias tuner
@@ -46,6 +55,7 @@ struct DecisionEvent {
     std::string step_kind;               ///< phase-one step label ("" = none)
     std::vector<double> weights;         ///< strategy weights() at decision time
     const Configuration& config;         ///< phase-one proposal
+    const std::string& objective;        ///< CostObjective::describe() label
 };
 
 /// The paper's two-phase online tuner (Section III).
@@ -69,9 +79,12 @@ struct DecisionEvent {
 ///     }
 class TwoPhaseTuner {
 public:
+    /// `objective` folds multi-sample measurements into the scalar the
+    /// strategies consume; nullptr selects MeanCost (the paper's setting).
     TwoPhaseTuner(std::unique_ptr<NominalStrategy> strategy,
                   std::vector<TunableAlgorithm> algorithms,
-                  std::uint64_t seed = 0x243F6A8885A308D3ULL);
+                  std::uint64_t seed = 0x243F6A8885A308D3ULL,
+                  std::unique_ptr<CostObjective> objective = nullptr);
 
     /// Phase-two selection followed by phase-one proposal.
     [[nodiscard]] Trial next();
@@ -79,6 +92,12 @@ public:
     /// Reports the measured cost (> 0) of the trial returned by the last
     /// next(). next()/report() must strictly alternate.
     void report(const Trial& trial, Cost cost);
+
+    /// Batch form: scores the per-operation samples with the tuner's
+    /// CostObjective and reports the resulting scalar.  A one-sample batch
+    /// without a deadline is equivalent to the scalar overload under every
+    /// shipped objective.
+    void report(const Trial& trial, const CostBatch& batch);
 
     /// Out-of-band observation: feeds a completed measurement of any
     /// (algorithm, configuration) pair into the phase-two strategy, the
@@ -92,6 +111,9 @@ public:
     /// Callable at any time, including between next() and report().
     void observe(const Trial& trial, Cost cost);
 
+    /// Batch form of observe(): scores with the CostObjective first.
+    void observe(const Trial& trial, const CostBatch& batch);
+
     /// Convenience: runs `iterations` complete tuning iterations against a
     /// measurement function and returns the recorded trace.
     TuningTrace run(const std::function<Cost(const Trial&)>& measure,
@@ -103,6 +125,7 @@ public:
         return algorithms_.at(i);
     }
     [[nodiscard]] const NominalStrategy& strategy() const noexcept { return *strategy_; }
+    [[nodiscard]] const CostObjective& objective() const noexcept { return *objective_; }
 
     /// Best trial observed so far (throws std::logic_error before the first
     /// report).
@@ -140,11 +163,17 @@ public:
 
     /// Restores state written by save_state() on a tuner constructed with
     /// the same strategy type/configuration and the same algorithm list.
-    /// Throws std::invalid_argument on shape mismatch.
-    void restore_state(StateReader& in);
+    /// `format` is the stream layout the snapshot was written with
+    /// (kTunerStateFormatV1 streams carry no objective tokens and leave the
+    /// constructed objective in place).  Throws std::invalid_argument on
+    /// shape, objective or format mismatch.
+    void restore_state(StateReader& in,
+                       std::uint64_t format = kTunerStateFormat);
 
 private:
     std::unique_ptr<NominalStrategy> strategy_;
+    std::unique_ptr<CostObjective> objective_;
+    std::string objective_label_;  ///< cached describe(); DecisionEvent aliases it
     std::vector<TunableAlgorithm> algorithms_;
     std::function<void(const DecisionEvent&)> decision_hook_;
     Rng rng_;

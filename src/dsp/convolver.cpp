@@ -1,0 +1,183 @@
+#include "dsp/convolver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace atk::dsp {
+
+namespace {
+
+void check_block_args(std::span<const double> in, std::span<double> out,
+                      std::size_t block) {
+    if (in.size() != block || out.size() != block)
+        throw std::invalid_argument("Convolver: block spans must match block_size()");
+}
+
+void check_ctor_args(const std::vector<double>& impulse, std::size_t block) {
+    if (impulse.empty())
+        throw std::invalid_argument("Convolver: impulse response must be non-empty");
+    if (block == 0)
+        throw std::invalid_argument("Convolver: block size must be positive");
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- direct
+
+DirectConvolver::DirectConvolver(std::vector<double> impulse, std::size_t block)
+    : name_("direct"), impulse_(std::move(impulse)), block_(block) {
+    check_ctor_args(impulse_, block_);
+    history_.assign(impulse_.size() - 1, 0.0);
+}
+
+void DirectConvolver::process(std::span<const double> in, std::span<double> out) {
+    check_block_args(in, out, block_);
+    const std::size_t length = impulse_.size();
+    for (std::size_t i = 0; i < block_; ++i) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < length; ++k) {
+            // x[i-k]: from this block when the index is non-negative,
+            // otherwise from the history of the previous blocks.
+            if (k <= i) {
+                acc += impulse_[k] * in[i - k];
+            } else {
+                const std::size_t back = k - i;  // in [1, L-1]
+                acc += impulse_[k] * history_[history_.size() - back];
+            }
+        }
+        out[i] = acc;
+    }
+    // Slide the history: it always holds the last L-1 input samples.
+    if (!history_.empty()) {
+        const std::size_t keep =
+            history_.size() > block_ ? history_.size() - block_ : 0;
+        std::move(history_.end() - static_cast<std::ptrdiff_t>(keep), history_.end(),
+                  history_.begin());
+        const std::size_t take = history_.size() - keep;
+        std::copy(in.end() - static_cast<std::ptrdiff_t>(take), in.end(),
+                  history_.begin() + static_cast<std::ptrdiff_t>(keep));
+    }
+}
+
+void DirectConvolver::reset() { std::fill(history_.begin(), history_.end(), 0.0); }
+
+// ----------------------------------------------------------- overlap-add
+
+OverlapAddConvolver::OverlapAddConvolver(std::vector<double> impulse,
+                                         std::size_t block)
+    : name_("overlap_add"), ir_length_(impulse.size()), block_(block) {
+    check_ctor_args(impulse, block_);
+    fft_size_ = next_pow2(block_ + ir_length_ - 1);
+    spectrum_ = real_fft(impulse, fft_size_);
+    work_.resize(fft_size_);
+    tail_.assign(fft_size_ - block_, 0.0);
+}
+
+void OverlapAddConvolver::process(std::span<const double> in, std::span<double> out) {
+    check_block_args(in, out, block_);
+    for (std::size_t i = 0; i < block_; ++i)
+        work_[i] = std::complex<double>(in[i], 0.0);
+    std::fill(work_.begin() + static_cast<std::ptrdiff_t>(block_), work_.end(),
+              std::complex<double>(0.0, 0.0));
+    fft(work_);
+    for (std::size_t i = 0; i < fft_size_; ++i) work_[i] *= spectrum_[i];
+    ifft(work_);
+    // Head of this block's convolution plus the previous blocks' tail.
+    for (std::size_t i = 0; i < block_; ++i) {
+        out[i] = work_[i].real();
+        if (i < tail_.size()) out[i] += tail_[i];
+    }
+    // New tail = this block's samples beyond B, plus whatever of the old
+    // tail reached past B.  Ascending j reads tail_[B+j] strictly ahead of
+    // the write index j, so the slide is safe in place.
+    for (std::size_t j = 0; j < tail_.size(); ++j) {
+        double carry = work_[block_ + j].real();
+        if (block_ + j < tail_.size()) carry += tail_[block_ + j];
+        tail_[j] = carry;
+    }
+}
+
+void OverlapAddConvolver::reset() { std::fill(tail_.begin(), tail_.end(), 0.0); }
+
+// ----------------------------------------------------------- partitioned
+
+PartitionedConvolver::PartitionedConvolver(std::vector<double> impulse,
+                                           std::size_t block, std::size_t partition)
+    : name_("partitioned"),
+      ir_length_(impulse.size()),
+      block_(block),
+      partition_(partition) {
+    check_ctor_args(impulse, block_);
+    if (!is_pow2(partition_))
+        throw std::invalid_argument(
+            "PartitionedConvolver: partition must be a power of two");
+    if (partition_ > block_ || block_ % partition_ != 0)
+        throw std::invalid_argument(
+            "PartitionedConvolver: partition must divide the block size");
+    const std::size_t count = (ir_length_ + partition_ - 1) / partition_;
+    spectra_.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+        const std::size_t begin = k * partition_;
+        const std::size_t end = std::min(begin + partition_, ir_length_);
+        spectra_.push_back(real_fft(
+            std::span<const double>(impulse.data() + begin, end - begin),
+            2 * partition_));
+    }
+    delay_.assign(count,
+                  std::vector<std::complex<double>>(2 * partition_,
+                                                    std::complex<double>(0.0, 0.0)));
+    prev_.assign(partition_, 0.0);
+    work_.resize(2 * partition_);
+    accum_.resize(2 * partition_);
+}
+
+void PartitionedConvolver::process(std::span<const double> in, std::span<double> out) {
+    check_block_args(in, out, block_);
+    const std::size_t count = spectra_.size();
+    for (std::size_t offset = 0; offset < block_; offset += partition_) {
+        // Overlap-save input frame: previous chunk then current chunk.
+        for (std::size_t i = 0; i < partition_; ++i) {
+            work_[i] = std::complex<double>(prev_[i], 0.0);
+            work_[partition_ + i] = std::complex<double>(in[offset + i], 0.0);
+        }
+        fft(work_);
+        // Push into the frequency-domain delay line (ring; head = newest).
+        head_ = (head_ + count - 1) % count;
+        delay_[head_] = work_;
+        // Y = Σ_k FDL[k] · H[k], where FDL[k] is the spectrum k chunks ago.
+        std::fill(accum_.begin(), accum_.end(), std::complex<double>(0.0, 0.0));
+        for (std::size_t k = 0; k < count; ++k) {
+            const auto& line = delay_[(head_ + k) % count];
+            const auto& spectrum = spectra_[k];
+            for (std::size_t i = 0; i < accum_.size(); ++i)
+                accum_[i] += line[i] * spectrum[i];
+        }
+        ifft(accum_);
+        // Overlap-save: only the second half of the frame is valid output.
+        for (std::size_t i = 0; i < partition_; ++i)
+            out[offset + i] = accum_[partition_ + i].real();
+        for (std::size_t i = 0; i < partition_; ++i) prev_[i] = in[offset + i];
+    }
+}
+
+void PartitionedConvolver::reset() {
+    for (auto& line : delay_)
+        std::fill(line.begin(), line.end(), std::complex<double>(0.0, 0.0));
+    std::fill(prev_.begin(), prev_.end(), 0.0);
+    head_ = 0;
+}
+
+// ------------------------------------------------------------- reference
+
+std::vector<double> convolve_reference(std::span<const double> x,
+                                       std::span<const double> h) {
+    if (x.empty() || h.empty()) return {};
+    std::vector<double> y(x.size() + h.size() - 1, 0.0);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        for (std::size_t k = 0; k < h.size(); ++k) y[i + k] += x[i] * h[k];
+    return y;
+}
+
+} // namespace atk::dsp

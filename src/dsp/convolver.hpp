@@ -1,0 +1,126 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace atk::dsp {
+
+/// One streaming FIR convolution engine: push fixed-size blocks of input,
+/// receive the same number of output samples per block, with the engine
+/// carrying whatever history/overlap state its algorithm needs between
+/// blocks.  All three implementations compute the *identical* linear
+/// convolution of the input stream with the impulse response (the
+/// cross-algorithm equivalence test pins them together to 1e-9) — what
+/// differs is the latency *distribution*: per-block cost, its variance and
+/// its tail, which is exactly the surface the deadline-aware objectives
+/// tune over.
+class Convolver {
+public:
+    virtual ~Convolver() = default;
+
+    [[nodiscard]] virtual const std::string& name() const noexcept = 0;
+    [[nodiscard]] virtual std::size_t block_size() const noexcept = 0;
+    [[nodiscard]] virtual std::size_t ir_length() const noexcept = 0;
+
+    /// Convolves one block.  in.size() and out.size() must equal
+    /// block_size(); throws std::invalid_argument otherwise.
+    virtual void process(std::span<const double> in, std::span<double> out) = 0;
+
+    /// Clears all inter-block state (history, overlap tails, delay lines).
+    virtual void reset() = 0;
+};
+
+/// Direct time-domain FIR: y[n] = Σ_k h[k]·x[n−k] with an explicit input
+/// history.  O(B·L) per block — slow for long responses but perfectly
+/// smooth: every block costs the same, so its latency tail is flat.
+class DirectConvolver final : public Convolver {
+public:
+    DirectConvolver(std::vector<double> impulse, std::size_t block);
+
+    [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+    [[nodiscard]] std::size_t block_size() const noexcept override { return block_; }
+    [[nodiscard]] std::size_t ir_length() const noexcept override {
+        return impulse_.size();
+    }
+    void process(std::span<const double> in, std::span<double> out) override;
+    void reset() override;
+
+private:
+    std::string name_;
+    std::vector<double> impulse_;
+    std::size_t block_;
+    std::vector<double> history_;  ///< last L−1 input samples, oldest first
+};
+
+/// Single-FFT overlap-add: each block is zero-padded to N = next_pow2(B+L−1),
+/// convolved in the frequency domain, and the tail beyond B is added into
+/// the next block.  O(N log N) per block — fast on average, but the whole
+/// FFT cost lands on every block at once.
+class OverlapAddConvolver final : public Convolver {
+public:
+    OverlapAddConvolver(std::vector<double> impulse, std::size_t block);
+
+    [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+    [[nodiscard]] std::size_t block_size() const noexcept override { return block_; }
+    [[nodiscard]] std::size_t ir_length() const noexcept override { return ir_length_; }
+    [[nodiscard]] std::size_t fft_size() const noexcept { return fft_size_; }
+    void process(std::span<const double> in, std::span<double> out) override;
+    void reset() override;
+
+private:
+    std::string name_;
+    std::size_t ir_length_;
+    std::size_t block_;
+    std::size_t fft_size_;
+    std::vector<std::complex<double>> spectrum_;  ///< FFT of the padded impulse
+    std::vector<std::complex<double>> work_;
+    std::vector<double> tail_;  ///< carry-over samples [B, N)
+};
+
+/// Uniformly-partitioned frequency-domain convolution (overlap-save with a
+/// frequency-domain delay line): the impulse response is split into K
+/// partitions of P samples; each incoming P-chunk is FFT'd once (size 2P)
+/// and combined with all K stored spectra.  Partition size trades FFT cost
+/// against spectra count — the classic real-time convolution knob, and this
+/// layer's genuinely two-dimensional tuning space.
+class PartitionedConvolver final : public Convolver {
+public:
+    /// `partition` must be a power of two and divide `block` (callers built
+    /// through convolver_for_trial() clamp it to <= block, which suffices
+    /// because both are powers of two).
+    PartitionedConvolver(std::vector<double> impulse, std::size_t block,
+                         std::size_t partition);
+
+    [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+    [[nodiscard]] std::size_t block_size() const noexcept override { return block_; }
+    [[nodiscard]] std::size_t ir_length() const noexcept override { return ir_length_; }
+    [[nodiscard]] std::size_t partition_size() const noexcept { return partition_; }
+    [[nodiscard]] std::size_t partition_count() const noexcept {
+        return spectra_.size();
+    }
+    void process(std::span<const double> in, std::span<double> out) override;
+    void reset() override;
+
+private:
+    std::string name_;
+    std::size_t ir_length_;
+    std::size_t block_;
+    std::size_t partition_;
+    std::vector<std::vector<std::complex<double>>> spectra_;  ///< H[k], size 2P
+    std::vector<std::vector<std::complex<double>>> delay_;    ///< FDL ring, size 2P
+    std::size_t head_ = 0;  ///< delay_ slot holding the newest input spectrum
+    std::vector<double> prev_;  ///< previous P input samples (overlap-save)
+    std::vector<std::complex<double>> work_;
+    std::vector<std::complex<double>> accum_;
+};
+
+/// Reference full-signal convolution, used by the equivalence tests as the
+/// ground truth all streaming engines must reproduce blockwise.
+[[nodiscard]] std::vector<double> convolve_reference(std::span<const double> x,
+                                                     std::span<const double> h);
+
+} // namespace atk::dsp

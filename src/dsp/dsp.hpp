@@ -1,0 +1,13 @@
+#pragma once
+
+/// Umbrella header for the streaming DSP domain (case study 3): block-based
+/// FIR convolution with genuine algorithmic choice — direct time-domain,
+/// single-FFT overlap-add and uniformly-partitioned frequency-domain — fed
+/// by a deadline-aware stream harness.  The three engines compute identical
+/// outputs; they differ in their per-block latency *distribution*, which is
+/// what the deadline-aware cost objectives (core/cost_objective.hpp) tune
+/// over.
+
+#include "dsp/convolver.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/stream.hpp"

@@ -1,0 +1,65 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+
+namespace atk::dsp {
+
+std::size_t next_pow2(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+void fft(std::span<std::complex<double>> data) {
+    const std::size_t n = data.size();
+    if (!is_pow2(n)) throw std::invalid_argument("fft: size must be a power of two");
+    if (n <= 1) return;
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j ^= bit;
+        if (i < j) std::swap(data[i], data[j]);
+    }
+
+    // Butterfly passes.  Twiddles are recomputed per pass from one root of
+    // unity — O(log n) trig calls total, plenty accurate for the 1e-9
+    // cross-convolver equivalence budget.
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+        const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const std::complex<double> u = data[i + k];
+                const std::complex<double> v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+}
+
+void ifft(std::span<std::complex<double>> data) {
+    // Conjugate trick: ifft(x) = conj(fft(conj(x))) / n.
+    for (auto& c : data) c = std::conj(c);
+    fft(data);
+    const double inv = 1.0 / static_cast<double>(data.empty() ? 1 : data.size());
+    for (auto& c : data) c = std::conj(c) * inv;
+}
+
+std::vector<std::complex<double>> real_fft(std::span<const double> x, std::size_t n) {
+    if (!is_pow2(n) || n < x.size())
+        throw std::invalid_argument("real_fft: n must be a power of two >= x.size()");
+    std::vector<std::complex<double>> data(n);
+    for (std::size_t i = 0; i < x.size(); ++i) data[i] = std::complex<double>(x[i], 0.0);
+    fft(data);
+    return data;
+}
+
+} // namespace atk::dsp

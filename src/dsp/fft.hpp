@@ -1,0 +1,34 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace atk::dsp {
+
+/// Power-of-two helpers shared by the FFT convolvers and their tuning
+/// spaces (block sizes and partition sizes are log2-parameterized).
+[[nodiscard]] constexpr bool is_pow2(std::size_t n) noexcept {
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n (n must be >= 1 and representable).
+[[nodiscard]] std::size_t next_pow2(std::size_t n) noexcept;
+
+/// In-place radix-2 Cooley-Tukey FFT.  data.size() must be a power of two;
+/// throws std::invalid_argument otherwise.  Deliberately the plain
+/// iterative bit-reversal formulation: the point of this layer is genuine
+/// algorithmic choice under a deadline, not peak FLOPs, and the simple
+/// kernel keeps the three convolvers bit-comparable.
+void fft(std::span<std::complex<double>> data);
+
+/// In-place inverse FFT, including the 1/N scaling (fft followed by ifft
+/// reproduces the input up to rounding).
+void ifft(std::span<std::complex<double>> data);
+
+/// FFT of a real signal zero-padded to `n` (a power of two, >= x.size()).
+[[nodiscard]] std::vector<std::complex<double>> real_fft(std::span<const double> x,
+                                                         std::size_t n);
+
+} // namespace atk::dsp

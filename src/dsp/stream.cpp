@@ -1,0 +1,177 @@
+#include "dsp/stream.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/search/nelder_mead.hpp"
+#include "support/statistics.hpp"
+
+namespace atk::dsp {
+
+namespace {
+
+/// Seed-stream separation, same discipline as the simulator: the impulse
+/// response and the input signal draw from independent streams of the spec
+/// seed, so changing one never perturbs the other.
+constexpr std::uint64_t kImpulseStream = 0x6972ULL;      // "ir"
+constexpr std::uint64_t kSignalStream = 0x7369676EULL;   // "sign"
+
+double steady_now_ms() {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- report
+
+double StreamReport::mean() const {
+    return block_ms.empty() ? 0.0 : atk::mean(block_ms);
+}
+
+double StreamReport::p50() const {
+    return block_ms.empty() ? 0.0 : atk::quantile(block_ms, 0.50);
+}
+
+double StreamReport::p95() const {
+    return block_ms.empty() ? 0.0 : atk::quantile(block_ms, 0.95);
+}
+
+double StreamReport::p99() const {
+    return block_ms.empty() ? 0.0 : atk::quantile(block_ms, 0.99);
+}
+
+double StreamReport::miss_rate() const {
+    return block_ms.empty()
+               ? 0.0
+               : static_cast<double>(misses) / static_cast<double>(block_ms.size());
+}
+
+CostBatch StreamReport::to_batch() const {
+    CostBatch batch;
+    batch.samples = block_ms;
+    batch.deadline = deadline_ms;
+    return batch;
+}
+
+// --------------------------------------------------------------- harness
+
+StreamHarness::StreamHarness(StreamSpec spec, ClockFn clock)
+    : spec_(spec), clock_(clock ? std::move(clock) : ClockFn(steady_now_ms)) {
+    if (spec_.ir_length == 0)
+        throw std::invalid_argument("StreamHarness: ir_length must be positive");
+    if (spec_.deadline_ms < 0.0)
+        throw std::invalid_argument("StreamHarness: deadline must be non-negative");
+    Rng rng(spec_.seed ^ kImpulseStream);
+    impulse_ = make_impulse_response(spec_.ir_length, rng);
+}
+
+StreamReport StreamHarness::run(Convolver& convolver, std::size_t blocks) const {
+    const std::size_t block = convolver.block_size();
+    convolver.reset();
+    Rng rng(spec_.seed ^ kSignalStream);
+    std::vector<double> in(block);
+    std::vector<double> out(block);
+    StreamReport report;
+    report.deadline_ms = spec_.deadline_ms;
+    report.block_ms.reserve(blocks);
+    for (std::size_t b = 0; b < blocks; ++b) {
+        for (double& sample : in) sample = rng.uniform_real(-1.0, 1.0);
+        const double start = clock_();
+        convolver.process(in, out);
+        const double elapsed = clock_() - start;
+        report.block_ms.push_back(elapsed);
+        if (spec_.deadline_ms > 0.0 && elapsed > spec_.deadline_ms) ++report.misses;
+    }
+    return report;
+}
+
+// ---------------------------------------------------------- test vectors
+
+std::vector<double> make_impulse_response(std::size_t length, Rng& rng) {
+    std::vector<double> impulse(length);
+    double magnitude = 0.0;
+    for (std::size_t i = 0; i < length; ++i) {
+        const double envelope =
+            std::exp(-3.0 * static_cast<double>(i) / static_cast<double>(length));
+        impulse[i] = rng.uniform_real(-1.0, 1.0) * envelope;
+        magnitude += std::abs(impulse[i]);
+    }
+    // Unit L1 norm keeps streamed outputs bounded regardless of length.
+    if (magnitude > 0.0)
+        for (double& tap : impulse) tap /= magnitude;
+    return impulse;
+}
+
+std::vector<double> make_signal(std::size_t length, Rng& rng) {
+    std::vector<double> signal(length);
+    for (double& sample : signal) sample = rng.uniform_real(-1.0, 1.0);
+    return signal;
+}
+
+// --------------------------------------------------------- tuner bridge
+
+std::vector<TunableAlgorithm> tunable_algorithms() {
+    std::vector<TunableAlgorithm> algorithms;
+
+    TunableAlgorithm direct;
+    direct.name = "direct";
+    direct.space.add(Parameter::ratio("block_log2", kMinBlockLog2, kMaxBlockLog2));
+    direct.initial = Configuration{{6}};
+    direct.searcher = std::make_unique<NelderMeadSearcher>();
+    algorithms.push_back(std::move(direct));
+
+    TunableAlgorithm overlap_add;
+    overlap_add.name = "overlap_add";
+    overlap_add.space.add(
+        Parameter::ratio("block_log2", kMinBlockLog2, kMaxBlockLog2));
+    overlap_add.initial = Configuration{{8}};
+    overlap_add.searcher = std::make_unique<NelderMeadSearcher>();
+    algorithms.push_back(std::move(overlap_add));
+
+    TunableAlgorithm partitioned;
+    partitioned.name = "partitioned";
+    partitioned.space.add(
+        Parameter::ratio("block_log2", kMinBlockLog2, kMaxBlockLog2));
+    partitioned.space.add(
+        Parameter::ratio("partition_log2", kMinPartitionLog2, kMaxBlockLog2));
+    partitioned.initial = Configuration{{8, 6}};
+    partitioned.searcher = std::make_unique<NelderMeadSearcher>();
+    algorithms.push_back(std::move(partitioned));
+
+    return algorithms;
+}
+
+std::size_t block_size_for_trial(const Trial& trial) {
+    if (trial.config.empty())
+        throw std::invalid_argument("dsp trial carries no block_log2 parameter");
+    const std::int64_t log2 = std::clamp(trial.config[0], kMinBlockLog2, kMaxBlockLog2);
+    return std::size_t{1} << static_cast<std::size_t>(log2);
+}
+
+std::unique_ptr<Convolver> convolver_for_trial(const Trial& trial,
+                                               const std::vector<double>& impulse) {
+    const std::size_t block = block_size_for_trial(trial);
+    switch (static_cast<Algo>(trial.algorithm)) {
+    case Algo::Direct:
+        return std::make_unique<DirectConvolver>(impulse, block);
+    case Algo::OverlapAdd:
+        return std::make_unique<OverlapAddConvolver>(impulse, block);
+    case Algo::Partitioned: {
+        if (trial.config.size() < 2)
+            throw std::invalid_argument(
+                "partitioned trial carries no partition_log2 parameter");
+        const std::int64_t log2 =
+            std::clamp(trial.config[1], kMinPartitionLog2, kMaxBlockLog2);
+        const std::size_t partition =
+            std::min(std::size_t{1} << static_cast<std::size_t>(log2), block);
+        return std::make_unique<PartitionedConvolver>(impulse, block, partition);
+    }
+    }
+    throw std::invalid_argument("dsp trial names an unknown algorithm index");
+}
+
+} // namespace atk::dsp

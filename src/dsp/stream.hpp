@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/measurement.hpp"
+#include "core/tuner.hpp"
+#include "dsp/convolver.hpp"
+#include "support/rng.hpp"
+
+namespace atk::dsp {
+
+/// Tuning-space bounds shared by the three convolvers.  Blocks and
+/// partitions are log2-parameterized so every lattice point is a valid
+/// power of two and Nelder-Mead moves in meaningful octave steps.
+inline constexpr std::int64_t kMinBlockLog2 = 5;       ///< 32-sample blocks
+inline constexpr std::int64_t kMaxBlockLog2 = 10;      ///< 1024-sample blocks
+inline constexpr std::int64_t kMinPartitionLog2 = 4;   ///< 16-sample partitions
+
+/// Names the per-algorithm config layout: every algorithm's parameter 0 is
+/// block_log2; the partitioned engine adds partition_log2 as parameter 1.
+enum class Algo : std::size_t { Direct = 0, OverlapAdd = 1, Partitioned = 2 };
+
+/// What one streaming run measures: the full per-block latency series plus
+/// the deadline it was run under.  The accessors are the latency-
+/// distribution views the deadline objectives and bench_dsp_stream report.
+struct StreamReport {
+    std::vector<double> block_ms;  ///< per-block processing latency
+    double deadline_ms = 0.0;      ///< budget each block was held to (0 = none)
+    std::size_t misses = 0;        ///< blocks with block_ms > deadline_ms
+
+    [[nodiscard]] double mean() const;
+    [[nodiscard]] double p50() const;
+    [[nodiscard]] double p95() const;
+    [[nodiscard]] double p99() const;
+    [[nodiscard]] double miss_rate() const;  ///< misses / blocks (0 when empty)
+
+    /// The tuner-side view: the same samples and deadline as a CostBatch,
+    /// ready for TwoPhaseTuner::report(trial, batch).
+    [[nodiscard]] CostBatch to_batch() const;
+};
+
+/// Workload description for a streaming run.
+struct StreamSpec {
+    std::size_t ir_length = 257;   ///< impulse-response taps
+    double deadline_ms = 0.0;      ///< per-block budget (0 = unconstrained)
+    std::uint64_t seed = 0x5D5BULL;///< drives the impulse response and signal
+};
+
+/// Millisecond clock used to time each block.  Injectable so tests can
+/// drive the harness with a deterministic virtual clock; the default reads
+/// std::chrono::steady_clock.
+using ClockFn = std::function<double()>;
+
+/// Feeds a deterministic noise signal through a convolver block by block,
+/// timing every block against the spec's deadline — the DSP analogue of
+/// the simulator's evaluate_batch(), but against real engines on a real
+/// (or injected) clock.  The same spec and seed always produce the same
+/// impulse response and input stream, so two engines run over a harness
+/// see bit-identical workloads.
+class StreamHarness {
+public:
+    explicit StreamHarness(StreamSpec spec, ClockFn clock = {});
+
+    [[nodiscard]] const StreamSpec& spec() const noexcept { return spec_; }
+
+    /// The impulse response every convolver under this harness should be
+    /// built with (derived deterministically from the spec seed).
+    [[nodiscard]] const std::vector<double>& impulse() const noexcept {
+        return impulse_;
+    }
+
+    /// Streams `blocks` blocks through the convolver and times each one.
+    /// The input signal restarts from the spec seed on every call, so
+    /// repeated runs measure the same workload.
+    [[nodiscard]] StreamReport run(Convolver& convolver, std::size_t blocks) const;
+
+private:
+    StreamSpec spec_;
+    ClockFn clock_;
+    std::vector<double> impulse_;
+};
+
+/// Deterministic test vectors: white noise in [-1, 1] with a decaying
+/// envelope (impulse) or flat (signal), fully determined by the Rng.
+[[nodiscard]] std::vector<double> make_impulse_response(std::size_t length, Rng& rng);
+[[nodiscard]] std::vector<double> make_signal(std::size_t length, Rng& rng);
+
+/// The DSP layer's algorithm set for a TwoPhaseTuner: direct (block_log2),
+/// overlap_add (block_log2) and partitioned (block_log2, partition_log2),
+/// each with a Nelder-Mead phase-one searcher.  Order matches enum Algo.
+[[nodiscard]] std::vector<TunableAlgorithm> tunable_algorithms();
+
+/// Materializes the convolver a tuner trial denotes, for the given impulse
+/// response.  The partitioned engine's partition is clamped to the block
+/// size, so every point of the tuning space is constructible.
+[[nodiscard]] std::unique_ptr<Convolver> convolver_for_trial(
+    const Trial& trial, const std::vector<double>& impulse);
+
+/// Block size a trial's configuration encodes (2^block_log2).
+[[nodiscard]] std::size_t block_size_for_trial(const Trial& trial);
+
+} // namespace atk::dsp

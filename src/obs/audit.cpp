@@ -70,6 +70,8 @@ std::string explain_decision(const Decision& decision) {
         << (decision.explored ? "explore (epsilon branch)" : "exploit (greedy/weighted)");
     if (!decision.step_kind.empty())
         out << "\n  phase-one step:        " << decision.step_kind;
+    if (!decision.objective.empty())
+        out << "\n  cost objective:        " << decision.objective;
     const auto row = [&](const char* label, const std::vector<double>& values) {
         out << "\n  " << label << "[";
         for (std::size_t i = 0; i < values.size(); ++i) {
@@ -144,6 +146,8 @@ std::string decisions_to_jsonl(const std::vector<Decision>& decisions) {
         out += d.explored ? ",\"explored\":true" : ",\"explored\":false";
         out += ",\"step_kind\":";
         append_json_string(out, d.step_kind);
+        out += ",\"objective\":";
+        append_json_string(out, d.objective);
         out += ",\"weights\":";
         append_double_array(out, d.weights);
         out += ",\"probabilities\":";
@@ -237,6 +241,7 @@ std::optional<std::vector<Decision>> load_audit_file(const std::string& path) {
         d.algorithm_name = extract_string(line, "algorithm_name");
         d.explored = extract_bool(line, "explored");
         d.step_kind = extract_string(line, "step_kind");
+        d.objective = extract_string(line, "objective");
         d.weights = extract_double_array(line, "weights");
         d.probabilities = extract_double_array(line, "probabilities");
         for (const double v : extract_double_array(line, "config"))

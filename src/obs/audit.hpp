@@ -18,6 +18,7 @@ struct Decision {
     std::string algorithm_name;
     bool explored = false;            ///< did the strategy take its exploration roll?
     std::string step_kind;            ///< phase-one step ("reflect", ...; "" = fixed)
+    std::string objective;            ///< cost objective label ("mean cost", "p95 cost", ...)
     std::vector<double> weights;      ///< strategy weights() at decision time
     std::vector<double> probabilities;///< weights normalized to sum 1
     std::vector<std::int64_t> config; ///< phase-one configuration values

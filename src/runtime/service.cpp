@@ -240,10 +240,13 @@ std::size_t TuningService::restore_from(const std::string& path) {
 std::size_t TuningService::restore_payload(const std::string& payload) {
     StateReader in(payload);
     const SnapshotHeader header = read_snapshot_header(in);
+    // Version-1 archives carry tuner streams without the cost objective.
+    const std::uint64_t tuner_format =
+        header.version >= 2 ? kTunerStateFormat : kTunerStateFormatV1;
     for (std::uint64_t s = 0; s < header.session_count; ++s) {
         const std::string name = in.get_str();
         try {
-            session(name)->restore_state(in);
+            session(name)->restore_state(in, tuner_format);
         } catch (...) {
             // A corrupt or truncated snapshot must not leave a half-restored
             // tuner serving traffic: discard the damaged session (the next

@@ -24,6 +24,7 @@ TuningSession::TuningSession(std::string name, std::unique_ptr<TwoPhaseTuner> tu
             decision.algorithm_name = event.algorithm_name;
             decision.explored = event.explored;
             decision.step_kind = event.step_kind;
+            decision.objective = event.objective;
             decision.weights = event.weights;
             decision.config.reserve(event.config.size());
             for (std::size_t i = 0; i < event.config.size(); ++i)
@@ -110,10 +111,10 @@ void TuningSession::save_state(StateWriter& out) const {
     tuner_->save_state(out);
 }
 
-void TuningSession::restore_state(StateReader& in) {
+void TuningSession::restore_state(StateReader& in, std::uint64_t tuner_format) {
     std::lock_guard lock(mutex_);
     sequence_ = in.get_u64();
-    tuner_->restore_state(in);
+    tuner_->restore_state(in, tuner_format);
     if (tuner_->awaiting_report()) {
         recommendation_ = tuner_->pending_trial();
     } else {

@@ -92,7 +92,11 @@ public:
     void save_state(StateWriter& out) const;
 
     /// Restores onto a session whose tuner was constructed identically.
-    void restore_state(StateReader& in);
+    /// `tuner_format` is the TwoPhaseTuner state-stream layout the snapshot
+    /// carries (kTunerStateFormatV1 for version-1 archives, which predate
+    /// the cost objective).
+    void restore_state(StateReader& in,
+                       std::uint64_t tuner_format = kTunerStateFormat);
 
 private:
     const std::string name_;

@@ -21,7 +21,7 @@ SnapshotHeader read_snapshot_header(StateReader& in) {
         throw std::invalid_argument("snapshot: bad magic '" + magic + "'");
     SnapshotHeader header;
     header.version = in.get_u64();
-    if (header.version != kSnapshotVersion)
+    if (header.version < kSnapshotMinVersion || header.version > kSnapshotVersion)
         throw std::invalid_argument("snapshot: unsupported version " +
                                     std::to_string(header.version));
     header.session_count = in.get_u64();

@@ -16,7 +16,7 @@ namespace atk::runtime {
 /// A snapshot archive is a StateWriter token stream:
 ///
 ///     s atk-runtime-snapshot        magic
-///     u <version>                   currently 1
+///     u <version>                   currently 2
 ///     u <session count>
 ///       per session: s <name> followed by TuningSession::save_state()
 ///     u <install count>
@@ -27,8 +27,14 @@ namespace atk::runtime {
 /// into the online runtime: at restore they are fed to the session as
 /// observed measurements, warm-starting both the phase-two strategy and the
 /// best-known configuration without fabricating tuner-internal state.
+/// Version history:
+///   1  original layout; tuner state ends after the searcher states
+///   2  tuner state additionally carries the cost objective (id + state);
+///      version-1 archives still restore — their tuners keep the objective
+///      they were constructed with (mean time, the only pre-2 behavior)
 inline constexpr char kSnapshotMagic[] = "atk-runtime-snapshot";
-inline constexpr std::uint64_t kSnapshotVersion = 1;
+inline constexpr std::uint64_t kSnapshotVersion = 2;
+inline constexpr std::uint64_t kSnapshotMinVersion = 1;
 
 /// One offline-installed seed measurement for a named session.
 struct InstallRecord {

@@ -34,6 +34,8 @@ struct AlgorithmModel {
     std::int64_t lo = 0;           ///< parameter range (each dimension)
     std::int64_t hi = 100;
     double size_exponent = 1.0;    ///< how cost scales with the input-size factor
+    double spike_prob = 0.0;       ///< chance a sample lands in the heavy tail
+    double spike_scale = 1.0;      ///< tail multiplier applied to such samples
 
     /// Untunable algorithm with a constant surface (a fixed matcher).
     static AlgorithmModel constant(std::string name, double base);
@@ -49,6 +51,13 @@ struct AlgorithmModel {
     static AlgorithmModel plateau(std::string name, double base,
                                   std::vector<double> optimum, double radius,
                                   double slope);
+
+    /// Constant surface with a heavy tail: each sample is `base`, inflated
+    /// by `spike_scale` with probability `spike_prob`.  The mean is
+    /// base·(1 + prob·(scale−1)) but high quantiles see the full spike —
+    /// the surface family where mean-time and tail objectives disagree.
+    static AlgorithmModel heavy_tail(std::string name, double base,
+                                     double spike_prob, double spike_scale);
 };
 
 /// Measurement noise applied on top of the surface.  Seeded from the
@@ -100,6 +109,14 @@ public:
     ScenarioSpec& input_scale(std::size_t at_iteration, double scale);
     ScenarioSpec& horizon(std::size_t iterations);
 
+    /// Per-operation deadline (cost units; 0 = none) carried into every
+    /// CostBatch evaluate_batch() produces.
+    ScenarioSpec& deadline(double cost_units);
+
+    /// Operations (blocks) measured per trial; evaluate_batch() draws this
+    /// many samples of the surface per iteration.  Default 1.
+    ScenarioSpec& blocks(std::size_t per_trial);
+
     /// Throws std::invalid_argument when the spec is inconsistent (no
     /// algorithms, non-positive bases, shift shape mismatches, unsorted
     /// schedules, optima outside [lo, hi], noise that could reach zero).
@@ -112,6 +129,8 @@ public:
     }
     [[nodiscard]] std::size_t iterations() const noexcept { return iterations_; }
     [[nodiscard]] const NoiseModel& noise() const noexcept { return noise_; }
+    [[nodiscard]] double deadline_cost() const noexcept { return deadline_; }
+    [[nodiscard]] std::size_t blocks_per_trial() const noexcept { return blocks_; }
 
     /// Surface floor of algorithm `a` at iteration `i` (phase schedule applied).
     [[nodiscard]] double base_at(std::size_t a, std::size_t i) const;
@@ -134,6 +153,13 @@ public:
     [[nodiscard]] Cost evaluate(const Trial& trial, std::size_t iteration,
                                 Rng& rng) const;
 
+    /// Batch form: blocks_per_trial() independent samples of the surface
+    /// (each with its own noise and heavy-tail draw) plus the deadline —
+    /// what a streaming workload hands to a CostObjective.
+    [[nodiscard]] CostBatch evaluate_batch(const Trial& trial,
+                                           std::size_t iteration,
+                                           Rng& rng) const;
+
     /// Materializes the tuner-side view: one TunableAlgorithm per model, with
     /// a ratio parameter per optimum dimension (Nelder-Mead attached) or an
     /// untunable fixed configuration when the model has no dimensions.
@@ -146,13 +172,17 @@ private:
     std::vector<PhaseShift> shifts_;  ///< sorted by at_iteration
     std::vector<SizeStep> sizes_;     ///< sorted by at_iteration
     std::size_t iterations_ = 400;
+    double deadline_ = 0.0;
+    std::size_t blocks_ = 1;
 };
 
 /// Named scenario library used by tests/sim, tools/atk_sim and check.sh:
-///   static   the paper's static four-algorithm setting (bowls + noise)
-///   drift    phase change swaps the best algorithm mid-run
-///   plateau  flat-floor surfaces that starve gradient information
-///   sweep    input-size sweep crossing two complexity classes over
+///   static    the paper's static four-algorithm setting (bowls + noise)
+///   drift     phase change swaps the best algorithm mid-run
+///   plateau   flat-floor surfaces that starve gradient information
+///   sweep     input-size sweep crossing two complexity classes over
+///   deadline  heavy-tailed latencies under a per-block SLO: mean-time and
+///             tail objectives pick different algorithms
 [[nodiscard]] std::vector<std::string> scenario_names();
 
 /// Throws std::invalid_argument for an unknown name.

@@ -25,7 +25,8 @@ SimResult simulate(const ScenarioSpec& spec, const StrategyFactory& make_strateg
     const std::size_t iterations =
         options.iterations != 0 ? options.iterations : spec.iterations();
 
-    TwoPhaseTuner tuner(make_strategy(), spec.make_algorithms(), seed);
+    TwoPhaseTuner tuner(make_strategy(), spec.make_algorithms(), seed,
+                        options.objective ? options.objective() : nullptr);
     Rng noise(seed ^ kNoiseStream);
     SimClock clock(seed ^ kClockStream, options.clock_jitter);
 
@@ -52,6 +53,7 @@ SimResult simulate(const ScenarioSpec& spec, const StrategyFactory& make_strateg
             decision.algorithm_name = event.algorithm_name;
             decision.explored = event.explored;
             decision.step_kind = event.step_kind;
+            decision.objective = event.objective;
             decision.weights = event.weights;
             decision.probabilities = probabilities;
             decision.config = event.config.values();
@@ -59,11 +61,31 @@ SimResult simulate(const ScenarioSpec& spec, const StrategyFactory& make_strateg
         }
     });
 
+    const bool batched = spec.blocks_per_trial() > 1 || spec.deadline_cost() > 0.0;
+    result.deadline = spec.deadline_cost();
+    if (batched)
+        result.block_costs.reserve(iterations * spec.blocks_per_trial());
     for (std::size_t i = 0; i < iterations; ++i) {
         const Trial trial = tuner.next();
-        const Cost cost = spec.evaluate(trial, i, noise);
-        clock.tick(cost);
-        tuner.report(trial, cost);
+        if (batched) {
+            // Streaming path: one trial = blocks_per_trial() blocks, scored
+            // through the tuner's CostObjective; simulated time advances by
+            // the whole batch.
+            const CostBatch batch = spec.evaluate_batch(trial, i, noise);
+            double total = 0.0;
+            for (const double block : batch.samples) {
+                total += block;
+                result.block_costs.push_back(block);
+                if (batch.deadline > 0.0 && block > batch.deadline)
+                    ++result.deadline_misses;
+            }
+            clock.tick(total);
+            tuner.report(trial, batch);
+        } else {
+            const Cost cost = spec.evaluate(trial, i, noise);
+            clock.tick(cost);
+            tuner.report(trial, cost);
+        }
     }
 
     ATK_ASSERT(result.min_weight > 0.0,

@@ -22,6 +22,9 @@ struct SimOptions {
     std::size_t iterations = 0;  ///< 0 = the scenario's horizon
     bool capture_audit = false;  ///< record the decision stream as JSONL
     double clock_jitter = 0.0;   ///< SimClock timing jitter (seeded)
+    /// Builds the tuner's cost objective for one run (same per-seed freshness
+    /// contract as StrategyFactory).  Null = the tuner's default (mean cost).
+    std::function<std::unique_ptr<CostObjective>()> objective;
 };
 
 /// Everything one simulated tuning run produced, ready for the statistical
@@ -38,6 +41,12 @@ struct SimResult {
     std::size_t best_algorithm = 0; ///< tuner's best-known trial
     Cost best_cost = 0.0;
     std::string audit_jsonl;        ///< non-empty when capture_audit was set
+    /// Batch scenarios (blocks_per_trial > 1 or a deadline set) also expose
+    /// the raw per-block cost stream in trial order — the realized latency
+    /// distribution the deadline gates assert on.  Empty for scalar runs.
+    std::vector<double> block_costs;
+    std::size_t deadline_misses = 0;///< blocks whose cost exceeded the deadline
+    double deadline = 0.0;          ///< the scenario's per-block budget (0 = none)
 };
 
 /// Runs `spec` against a TwoPhaseTuner for the configured horizon on a

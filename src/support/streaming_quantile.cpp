@@ -1,0 +1,94 @@
+#include "support/streaming_quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace atk {
+
+StreamingQuantile::StreamingQuantile(double q) : q_(q) {
+    if (!(q > 0.0) || !(q < 1.0))
+        throw std::invalid_argument("StreamingQuantile: q must be in (0, 1)");
+    increments_[0] = 0.0;
+    increments_[1] = q / 2.0;
+    increments_[2] = q;
+    increments_[3] = (1.0 + q) / 2.0;
+    increments_[4] = 1.0;
+    warmup_.reserve(5);
+}
+
+void StreamingQuantile::add(double x) {
+    ++count_;
+    if (warmup_.size() < 5) {
+        warmup_.insert(std::upper_bound(warmup_.begin(), warmup_.end(), x), x);
+        if (warmup_.size() == 5) {
+            for (int i = 0; i < 5; ++i) {
+                heights_[i] = warmup_[i];
+                positions_[i] = static_cast<double>(i + 1);
+                desired_[i] = 1.0 + 4.0 * increments_[i];
+            }
+        }
+        return;
+    }
+
+    // Locate the cell the observation falls into; the extreme markers track
+    // the running minimum and maximum exactly.
+    int cell;
+    if (x < heights_[0]) {
+        heights_[0] = x;
+        cell = 0;
+    } else if (x >= heights_[4]) {
+        heights_[4] = x;
+        cell = 3;
+    } else {
+        cell = 0;
+        while (cell < 3 && x >= heights_[cell + 1]) ++cell;
+    }
+
+    for (int i = cell + 1; i < 5; ++i) positions_[i] += 1.0;
+    for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+    // Nudge each interior marker toward its desired position, preferring the
+    // parabolic (P²) height update and falling back to linear interpolation
+    // whenever the parabola would break marker monotonicity.
+    for (int i = 1; i <= 3; ++i) {
+        const double drift = desired_[i] - positions_[i];
+        const bool up = drift >= 1.0 && positions_[i + 1] - positions_[i] > 1.0;
+        const bool down = drift <= -1.0 && positions_[i - 1] - positions_[i] < -1.0;
+        if (!up && !down) continue;
+        const double s = up ? 1.0 : -1.0;
+        const double np = positions_[i - 1];
+        const double nc = positions_[i];
+        const double nn = positions_[i + 1];
+        const double hp = heights_[i - 1];
+        const double hc = heights_[i];
+        const double hn = heights_[i + 1];
+        double candidate =
+            hc + s / (nn - np) *
+                     ((nc - np + s) * (hn - hc) / (nn - nc) +
+                      (nn - nc - s) * (hc - hp) / (nc - np));
+        if (!(hp < candidate && candidate < hn)) {
+            const int j = i + static_cast<int>(s);
+            candidate = hc + s * (heights_[j] - hc) / (positions_[j] - nc);
+        }
+        heights_[i] = candidate;
+        positions_[i] += s;
+    }
+}
+
+double StreamingQuantile::estimate() const {
+    if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+    if (warmup_.size() < 5 || count_ == 5) {
+        // Exact small-sample quantile (type-7 interpolation, matching
+        // support/statistics.hpp::quantile over the same values).
+        const double h = q_ * static_cast<double>(warmup_.size() - 1);
+        const auto lo = static_cast<std::size_t>(h);
+        const std::size_t hi = std::min(lo + 1, warmup_.size() - 1);
+        const double frac = h - static_cast<double>(lo);
+        return warmup_[lo] + frac * (warmup_[hi] - warmup_[lo]);
+    }
+    return heights_[2];
+}
+
+} // namespace atk

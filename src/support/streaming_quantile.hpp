@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace atk {
+
+/// Online quantile estimator — the P² algorithm (Jain & Chlamtac, CACM 1985).
+///
+/// Tracks a single quantile of an unbounded stream in O(1) memory by
+/// maintaining five markers (the minimum, the target quantile, the maximum
+/// and two midpoints) whose heights are nudged toward their ideal positions
+/// with a piecewise-parabolic fit after every observation.  The estimate is
+/// exact for the first five observations and converges to the true quantile
+/// as the stream grows; no samples are retained.
+///
+/// This is what lets the DSP stream harness and bench_dsp_stream report p95
+/// and p99 block latency over arbitrarily long runs without storing every
+/// block's timing.  Convergence on known distributions is pinned down by
+/// tests/support/streaming_quantile_test.cpp.
+class StreamingQuantile {
+public:
+    /// `q` must lie strictly inside (0, 1); throws std::invalid_argument.
+    explicit StreamingQuantile(double q);
+
+    /// Feeds one observation; O(1).
+    void add(double x);
+
+    /// Current estimate.  Exact (linearly interpolated over the sorted
+    /// buffer) while fewer than five observations were added; NaN before
+    /// the first.
+    [[nodiscard]] double estimate() const;
+
+    [[nodiscard]] double q() const noexcept { return q_; }
+    [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+private:
+    double q_;
+    std::size_t count_ = 0;
+    double heights_[5] = {};     ///< marker heights (order-statistic estimates)
+    double positions_[5] = {};   ///< actual marker positions (1-based ranks)
+    double desired_[5] = {};     ///< ideal marker positions for the current count
+    double increments_[5] = {};  ///< per-observation growth of desired_
+    std::vector<double> warmup_; ///< the first five observations, kept sorted
+};
+
+} // namespace atk

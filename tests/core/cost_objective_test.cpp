@@ -1,0 +1,192 @@
+#include "core/cost_objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/nominal/epsilon_greedy.hpp"
+#include "core/search/nelder_mead.hpp"
+#include "core/state_io.hpp"
+#include "core/tuner.hpp"
+
+namespace atk {
+namespace {
+
+CostBatch batch_of(std::vector<double> samples, double deadline = 0.0) {
+    CostBatch batch;
+    batch.samples = std::move(samples);
+    batch.deadline = deadline;
+    return batch;
+}
+
+std::vector<TunableAlgorithm> two_algorithms() {
+    std::vector<TunableAlgorithm> algorithms;
+    algorithms.push_back(TunableAlgorithm::untunable("A"));
+    TunableAlgorithm b;
+    b.name = "B";
+    b.space.add(Parameter::ratio("block", 0, 64));
+    b.initial = Configuration{{16}};
+    b.searcher = std::make_unique<NelderMeadSearcher>();
+    algorithms.push_back(std::move(b));
+    return algorithms;
+}
+
+TEST(MeanCost, ScoresTheArithmeticMean) {
+    MeanCost mean;
+    EXPECT_EQ(mean.id(), "mean");
+    EXPECT_DOUBLE_EQ(mean.score(batch_of({4.0})), 4.0);
+    EXPECT_DOUBLE_EQ(mean.score(batch_of({1.0, 2.0, 3.0, 10.0})), 4.0);
+    EXPECT_THROW(mean.score(batch_of({})), std::invalid_argument);
+}
+
+TEST(QuantileCost, ScoresTheTypeSevenQuantile) {
+    QuantileCost p95(0.95);
+    EXPECT_EQ(p95.id(), "quantile:0.95");
+    // A single sample is its own quantile: scalar reports stay meaningful.
+    EXPECT_DOUBLE_EQ(p95.score(batch_of({7.0})), 7.0);
+    // 16 identical samples plus spikes: the p95 sits in the interpolated
+    // upper tail, far above the mean.
+    std::vector<double> samples(20, 8.0);
+    samples[3] = 48.0;
+    samples[11] = 48.0;
+    const double scored = p95.score(batch_of(std::move(samples)));
+    EXPECT_GT(scored, 40.0);
+    EXPECT_THROW(QuantileCost(0.0), std::invalid_argument);
+    EXPECT_THROW(QuantileCost(1.0), std::invalid_argument);
+}
+
+TEST(DeadlineCost, PenalizesMissRateWithMeanTiebreak) {
+    DeadlineCost slo(1000.0);
+    EXPECT_EQ(slo.id(), "deadline:1000");
+    // No deadline in the batch: degrades to the mean.
+    EXPECT_DOUBLE_EQ(slo.score(batch_of({10.0, 20.0})), 15.0);
+    // 1 of 4 samples over the 20-unit budget: 1000 * 0.25 + mean.
+    const CostBatch missing = batch_of({10.0, 10.0, 10.0, 50.0}, 20.0);
+    EXPECT_DOUBLE_EQ(slo.score(missing), 250.0 + 20.0);
+    // All within budget: ordered purely by latency.
+    EXPECT_DOUBLE_EQ(slo.score(batch_of({10.0, 14.0}, 20.0)), 12.0);
+}
+
+TEST(CostObjectiveFactory, RoundTripsEveryShippedObjective) {
+    const std::unique_ptr<CostObjective> objectives[] = {
+        std::make_unique<MeanCost>(),
+        std::make_unique<QuantileCost>(0.95),
+        std::make_unique<QuantileCost>(0.5),
+        std::make_unique<DeadlineCost>(),
+        std::make_unique<DeadlineCost>(250.0),
+    };
+    for (const auto& objective : objectives) {
+        const auto rebuilt = make_cost_objective(objective->id());
+        EXPECT_EQ(rebuilt->id(), objective->id());
+        EXPECT_EQ(rebuilt->describe(), objective->describe());
+        const CostBatch batch = batch_of({5.0, 10.0, 60.0}, 20.0);
+        EXPECT_DOUBLE_EQ(rebuilt->score(batch), objective->score(batch));
+    }
+}
+
+TEST(CostObjectiveFactory, RejectsMalformedIds) {
+    EXPECT_THROW(make_cost_objective(""), std::invalid_argument);
+    EXPECT_THROW(make_cost_objective("median"), std::invalid_argument);
+    EXPECT_THROW(make_cost_objective("quantile:"), std::invalid_argument);
+    EXPECT_THROW(make_cost_objective("quantile:2"), std::invalid_argument);
+    EXPECT_THROW(make_cost_objective("quantile:0.5x"), std::invalid_argument);
+    EXPECT_THROW(make_cost_objective("deadline:-1x"), std::invalid_argument);
+}
+
+TEST(TwoPhaseTuner, DefaultsToMeanCostAndScoresBatches) {
+    TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.1), two_algorithms(), 7);
+    EXPECT_EQ(tuner.objective().id(), "mean");
+    const Trial trial = tuner.next();
+    tuner.report(trial, batch_of({10.0, 20.0, 30.0}));
+    EXPECT_DOUBLE_EQ(tuner.best_cost(), 20.0);
+}
+
+TEST(TwoPhaseTuner, BatchReportUsesTheConstructedObjective) {
+    TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.1), two_algorithms(), 7,
+                        std::make_unique<DeadlineCost>(100.0));
+    EXPECT_EQ(tuner.objective().id(), "deadline:100");
+    const Trial trial = tuner.next();
+    // 2 of 4 blocks miss the deadline: 100 * 0.5 + mean(25) = 75.
+    tuner.report(trial, batch_of({10.0, 10.0, 40.0, 40.0}, 20.0));
+    EXPECT_DOUBLE_EQ(tuner.best_cost(), 75.0);
+    // observe() scores through the same objective.
+    tuner.observe(Trial{0, Configuration{}}, batch_of({5.0, 5.0}, 20.0));
+    EXPECT_DOUBLE_EQ(tuner.best_cost(), 5.0);
+}
+
+TEST(TunerState, NonMeanObjectiveRoundTripsThroughSnapshots) {
+    TwoPhaseTuner original(std::make_unique<EpsilonGreedy>(0.1), two_algorithms(),
+                           11, std::make_unique<QuantileCost>(0.95));
+    for (int i = 0; i < 5; ++i) {
+        const Trial trial = original.next();
+        original.report(trial, batch_of({8.0, 8.0, 8.0, 48.0}));
+    }
+    StateWriter out;
+    original.save_state(out);
+
+    TwoPhaseTuner restored(std::make_unique<EpsilonGreedy>(0.1), two_algorithms(),
+                           99, std::make_unique<QuantileCost>(0.95));
+    StateReader in(out.str());
+    restored.restore_state(in);
+    EXPECT_TRUE(in.at_end());
+    EXPECT_EQ(restored.iteration(), original.iteration());
+    EXPECT_DOUBLE_EQ(restored.best_cost(), original.best_cost());
+    EXPECT_EQ(restored.objective().id(), "quantile:0.95");
+}
+
+TEST(TunerState, ObjectiveMismatchFailsLoudly) {
+    TwoPhaseTuner saver(std::make_unique<EpsilonGreedy>(0.1), two_algorithms(), 11,
+                        std::make_unique<QuantileCost>(0.95));
+    (void)saver.next();
+    StateWriter out;
+    saver.save_state(out);
+
+    TwoPhaseTuner loader(std::make_unique<EpsilonGreedy>(0.1), two_algorithms(),
+                         11);  // mean objective
+    StateReader in(out.str());
+    EXPECT_THROW(loader.restore_state(in), std::invalid_argument);
+}
+
+TEST(TunerState, FormatV1SnapshotsRestoreWithTheConstructedObjective) {
+    // Synthesize a version-1 stream: save from a mean-objective tuner and
+    // drop the trailing objective id token ("s mean" — MeanCost itself
+    // serializes no state), which is byte-identical to what a pre-objective
+    // build wrote.
+    TwoPhaseTuner saver(std::make_unique<EpsilonGreedy>(0.1), two_algorithms(), 3);
+    for (int i = 0; i < 4; ++i) {
+        const Trial trial = saver.next();
+        saver.report(trial, 10.0 + i);
+    }
+    StateWriter out;
+    saver.save_state(out);
+    std::string payload = out.str();
+    ASSERT_TRUE(payload.ends_with("s mean\n"));
+    payload.resize(payload.size() - std::string("s mean\n").size());
+
+    TwoPhaseTuner restored(std::make_unique<EpsilonGreedy>(0.1), two_algorithms(),
+                           77);
+    StateReader in(payload);
+    restored.restore_state(in, kTunerStateFormatV1);
+    EXPECT_TRUE(in.at_end());
+    EXPECT_EQ(restored.iteration(), saver.iteration());
+    EXPECT_DOUBLE_EQ(restored.best_cost(), saver.best_cost());
+    // The constructed (default mean) objective survives the v1 restore.
+    EXPECT_EQ(restored.objective().id(), "mean");
+}
+
+TEST(TunerState, RejectsUnknownFormats) {
+    TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.1), two_algorithms(), 3);
+    StateWriter out;
+    tuner.save_state(out);
+    StateReader in(out.str());
+    EXPECT_THROW(tuner.restore_state(in, 0), std::invalid_argument);
+    StateReader in2(out.str());
+    EXPECT_THROW(tuner.restore_state(in2, kTunerStateFormat + 1),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace atk

@@ -1,0 +1,126 @@
+#include "dsp/convolver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "dsp/stream.hpp"
+#include "support/rng.hpp"
+
+namespace atk::dsp {
+namespace {
+
+/// Streams `signal` through the convolver block by block and returns the
+/// concatenated output (signal length must be a multiple of the block).
+std::vector<double> stream_through(Convolver& convolver,
+                                   const std::vector<double>& signal) {
+    const std::size_t block = convolver.block_size();
+    std::vector<double> out(signal.size());
+    std::vector<double> chunk(block);
+    for (std::size_t offset = 0; offset < signal.size(); offset += block) {
+        convolver.process({signal.data() + offset, block}, chunk);
+        std::copy(chunk.begin(), chunk.end(),
+                  out.begin() + static_cast<std::ptrdiff_t>(offset));
+    }
+    return out;
+}
+
+std::vector<std::unique_ptr<Convolver>> all_engines(const std::vector<double>& ir,
+                                                    std::size_t block,
+                                                    std::size_t partition) {
+    std::vector<std::unique_ptr<Convolver>> engines;
+    engines.push_back(std::make_unique<DirectConvolver>(ir, block));
+    engines.push_back(std::make_unique<OverlapAddConvolver>(ir, block));
+    engines.push_back(std::make_unique<PartitionedConvolver>(ir, block, partition));
+    return engines;
+}
+
+/// The tentpole acceptance gate: all three engines reproduce the reference
+/// full-signal convolution blockwise, to 1e-9, across block sizes,
+/// partition counts and impulse lengths (shorter, equal to and longer than
+/// one block).
+TEST(ConvolverEquivalence, AllEnginesMatchReferenceWithin1e9) {
+    Rng rng(0xD5F);
+    struct Case {
+        std::size_t block, partition, ir_length;
+    };
+    const Case cases[] = {
+        {32, 16, 7},    {32, 32, 32},  {64, 16, 100},  {64, 64, 257},
+        {128, 32, 129}, {256, 64, 1},  {256, 256, 300}, {512, 128, 1000},
+    };
+    for (const Case& c : cases) {
+        const auto ir = make_impulse_response(c.ir_length, rng);
+        const auto signal = make_signal(c.block * 8, rng);
+        const auto reference = convolve_reference(signal, ir);
+        for (const auto& engine : all_engines(ir, c.block, c.partition)) {
+            const auto out = stream_through(*engine, signal);
+            for (std::size_t i = 0; i < out.size(); ++i)
+                ASSERT_NEAR(out[i], reference[i], 1e-9)
+                    << engine->name() << " block=" << c.block
+                    << " partition=" << c.partition << " L=" << c.ir_length
+                    << " sample " << i;
+        }
+    }
+}
+
+TEST(Convolver, ResetRestoresInitialState) {
+    Rng rng(11);
+    const auto ir = make_impulse_response(65, rng);
+    const auto signal = make_signal(256, rng);
+    for (const auto& engine : all_engines(ir, 64, 32)) {
+        const auto first = stream_through(*engine, signal);
+        engine->reset();
+        const auto second = stream_through(*engine, signal);
+        EXPECT_EQ(first, second) << engine->name();
+    }
+}
+
+TEST(Convolver, ReportsItsGeometry) {
+    const std::vector<double> ir(48, 0.25);
+    DirectConvolver direct(ir, 64);
+    EXPECT_EQ(direct.block_size(), 64u);
+    EXPECT_EQ(direct.ir_length(), 48u);
+    EXPECT_EQ(direct.name(), "direct");
+
+    OverlapAddConvolver ola(ir, 64);
+    EXPECT_EQ(ola.name(), "overlap_add");
+    // N = next_pow2(64 + 48 - 1) = 128.
+    EXPECT_EQ(ola.fft_size(), 128u);
+
+    PartitionedConvolver upc(ir, 64, 16);
+    EXPECT_EQ(upc.name(), "partitioned");
+    EXPECT_EQ(upc.partition_size(), 16u);
+    EXPECT_EQ(upc.partition_count(), 3u);  // ceil(48 / 16)
+}
+
+TEST(Convolver, RejectsBadConstruction) {
+    const std::vector<double> ir(8, 1.0);
+    EXPECT_THROW(DirectConvolver({}, 32), std::invalid_argument);
+    EXPECT_THROW(DirectConvolver(ir, 0), std::invalid_argument);
+    EXPECT_THROW(OverlapAddConvolver({}, 32), std::invalid_argument);
+    EXPECT_THROW(PartitionedConvolver(ir, 32, 12), std::invalid_argument);
+    EXPECT_THROW(PartitionedConvolver(ir, 32, 64), std::invalid_argument);
+}
+
+TEST(Convolver, RejectsMismatchedBlockSpans) {
+    const std::vector<double> ir(8, 1.0);
+    DirectConvolver direct(ir, 32);
+    std::vector<double> in(16), out(32);
+    EXPECT_THROW(direct.process(in, out), std::invalid_argument);
+}
+
+TEST(Convolver, IdentityImpulsePassesSignalThrough) {
+    const std::vector<double> ir = {1.0};
+    Rng rng(3);
+    const auto signal = make_signal(128, rng);
+    for (const auto& engine : all_engines(ir, 32, 16)) {
+        const auto out = stream_through(*engine, signal);
+        for (std::size_t i = 0; i < signal.size(); ++i)
+            ASSERT_NEAR(out[i], signal[i], 1e-12) << engine->name();
+    }
+}
+
+} // namespace
+} // namespace atk::dsp

@@ -1,0 +1,103 @@
+#include "dsp/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace atk::dsp {
+namespace {
+
+TEST(Fft, PowerOfTwoHelpers) {
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(2));
+    EXPECT_TRUE(is_pow2(1024));
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_FALSE(is_pow2(3));
+    EXPECT_FALSE(is_pow2(96));
+    EXPECT_EQ(next_pow2(1), 1u);
+    EXPECT_EQ(next_pow2(2), 2u);
+    EXPECT_EQ(next_pow2(3), 4u);
+    EXPECT_EQ(next_pow2(129), 256u);
+    EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+TEST(Fft, RejectsNonPowerOfTwoSizes) {
+    std::vector<std::complex<double>> data(3);
+    EXPECT_THROW(fft(data), std::invalid_argument);
+    EXPECT_THROW(ifft(data), std::invalid_argument);
+    const std::vector<double> x(5, 1.0);
+    EXPECT_THROW(real_fft(x, 6), std::invalid_argument);
+    EXPECT_THROW(real_fft(x, 4), std::invalid_argument);  // n < x.size()
+}
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+    std::vector<std::complex<double>> data(16, {0.0, 0.0});
+    data[0] = {1.0, 0.0};
+    fft(data);
+    for (const auto& bin : data) {
+        EXPECT_NEAR(bin.real(), 1.0, 1e-12);
+        EXPECT_NEAR(bin.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(Fft, DcSignalConcentratesInBinZero) {
+    std::vector<std::complex<double>> data(8, {2.0, 0.0});
+    fft(data);
+    EXPECT_NEAR(data[0].real(), 16.0, 1e-12);
+    for (std::size_t i = 1; i < data.size(); ++i)
+        EXPECT_NEAR(std::abs(data[i]), 0.0, 1e-12);
+}
+
+TEST(Fft, RoundTripRecoversRandomSignal) {
+    Rng rng(99);
+    for (const std::size_t n : {2u, 8u, 64u, 512u}) {
+        std::vector<std::complex<double>> data(n);
+        std::vector<std::complex<double>> original(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            data[i] = {rng.uniform_real(-1.0, 1.0), rng.uniform_real(-1.0, 1.0)};
+            original[i] = data[i];
+        }
+        fft(data);
+        ifft(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+            EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+        }
+    }
+}
+
+TEST(Fft, MatchesNaiveDft) {
+    Rng rng(7);
+    const std::size_t n = 32;
+    std::vector<double> x(n);
+    for (double& v : x) v = rng.uniform_real(-1.0, 1.0);
+    const auto spectrum = real_fft(x, n);
+    for (std::size_t k = 0; k < n; ++k) {
+        std::complex<double> expected(0.0, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double angle = -2.0 * std::numbers::pi *
+                                 static_cast<double>(k * i) / static_cast<double>(n);
+            expected += x[i] * std::complex<double>(std::cos(angle), std::sin(angle));
+        }
+        EXPECT_NEAR(spectrum[k].real(), expected.real(), 1e-9);
+        EXPECT_NEAR(spectrum[k].imag(), expected.imag(), 1e-9);
+    }
+}
+
+TEST(Fft, RealFftZeroPads) {
+    const std::vector<double> x = {1.0, -1.0, 0.5};
+    const auto spectrum = real_fft(x, 8);
+    ASSERT_EQ(spectrum.size(), 8u);
+    // Bin 0 is the plain sum of the (padded) signal.
+    EXPECT_NEAR(spectrum[0].real(), 0.5, 1e-12);
+    EXPECT_NEAR(spectrum[0].imag(), 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace atk::dsp

@@ -1,0 +1,174 @@
+#include "dsp/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/nominal/epsilon_greedy.hpp"
+#include "core/tuner.hpp"
+
+namespace atk::dsp {
+namespace {
+
+/// Virtual clock: each clock_() call returns the next scripted instant, so
+/// block latencies are fully deterministic (clock reads come in start/stop
+/// pairs — latency of block b is script[2b+1] - script[2b]).
+ClockFn scripted_clock(std::shared_ptr<std::vector<double>> script) {
+    auto cursor = std::make_shared<std::size_t>(0);
+    return [script, cursor] {
+        const double now = script->at(*cursor);
+        ++*cursor;
+        return now;
+    };
+}
+
+StreamSpec small_spec(double deadline_ms = 0.0) {
+    StreamSpec spec;
+    spec.ir_length = 33;
+    spec.deadline_ms = deadline_ms;
+    spec.seed = 17;
+    return spec;
+}
+
+TEST(StreamHarness, TimesEveryBlockAgainstTheDeadline) {
+    // Four blocks: latencies 1, 5, 2, 9 against a 4ms deadline → 2 misses.
+    auto script = std::make_shared<std::vector<double>>(
+        std::vector<double>{10, 11, 20, 25, 30, 32, 40, 49});
+    StreamHarness harness(small_spec(4.0), scripted_clock(script));
+    DirectConvolver convolver(harness.impulse(), 32);
+    const StreamReport report = harness.run(convolver, 4);
+    ASSERT_EQ(report.block_ms.size(), 4u);
+    EXPECT_DOUBLE_EQ(report.block_ms[0], 1.0);
+    EXPECT_DOUBLE_EQ(report.block_ms[1], 5.0);
+    EXPECT_DOUBLE_EQ(report.block_ms[2], 2.0);
+    EXPECT_DOUBLE_EQ(report.block_ms[3], 9.0);
+    EXPECT_EQ(report.misses, 2u);
+    EXPECT_DOUBLE_EQ(report.miss_rate(), 0.5);
+    EXPECT_DOUBLE_EQ(report.deadline_ms, 4.0);
+    EXPECT_DOUBLE_EQ(report.mean(), 4.25);
+}
+
+TEST(StreamHarness, ReportConvertsToCostBatch) {
+    auto script = std::make_shared<std::vector<double>>(
+        std::vector<double>{0, 2, 10, 13});
+    StreamHarness harness(small_spec(2.5), scripted_clock(script));
+    DirectConvolver convolver(harness.impulse(), 32);
+    const StreamReport report = harness.run(convolver, 2);
+    const CostBatch batch = report.to_batch();
+    EXPECT_EQ(batch.samples, report.block_ms);
+    EXPECT_DOUBLE_EQ(batch.deadline, 2.5);
+}
+
+TEST(StreamHarness, SameSpecProducesIdenticalWorkload) {
+    StreamHarness a(small_spec());
+    StreamHarness b(small_spec());
+    EXPECT_EQ(a.impulse(), b.impulse());
+    // Different seeds change the impulse response.
+    StreamSpec other = small_spec();
+    other.seed = 18;
+    StreamHarness c(other);
+    EXPECT_NE(a.impulse(), c.impulse());
+}
+
+TEST(StreamHarness, RejectsBadSpecs) {
+    StreamSpec zero_ir;
+    zero_ir.ir_length = 0;
+    EXPECT_THROW(StreamHarness{zero_ir}, std::invalid_argument);
+    StreamSpec negative_deadline;
+    negative_deadline.deadline_ms = -1.0;
+    EXPECT_THROW(StreamHarness{negative_deadline}, std::invalid_argument);
+}
+
+TEST(TunableAlgorithms, ExposeTheThreeEnginesInEnumOrder) {
+    const auto algorithms = tunable_algorithms();
+    ASSERT_EQ(algorithms.size(), 3u);
+    EXPECT_EQ(algorithms[0].name, "direct");
+    EXPECT_EQ(algorithms[1].name, "overlap_add");
+    EXPECT_EQ(algorithms[2].name, "partitioned");
+    EXPECT_EQ(algorithms[0].space.dimension(), 1u);
+    EXPECT_EQ(algorithms[1].space.dimension(), 1u);
+    EXPECT_EQ(algorithms[2].space.dimension(), 2u);
+    for (const auto& algorithm : algorithms) {
+        EXPECT_TRUE(algorithm.space.contains(algorithm.initial)) << algorithm.name;
+        EXPECT_TRUE(algorithm.space.all_have_distance()) << algorithm.name;
+        EXPECT_NE(algorithm.searcher, nullptr) << algorithm.name;
+    }
+}
+
+TEST(ConvolverForTrial, MaterializesEveryAlgorithm) {
+    const std::vector<double> ir(100, 0.01);
+    const auto direct = convolver_for_trial(
+        Trial{static_cast<std::size_t>(Algo::Direct), Configuration{{6}}}, ir);
+    EXPECT_EQ(direct->name(), "direct");
+    EXPECT_EQ(direct->block_size(), 64u);
+
+    const auto ola = convolver_for_trial(
+        Trial{static_cast<std::size_t>(Algo::OverlapAdd), Configuration{{8}}}, ir);
+    EXPECT_EQ(ola->name(), "overlap_add");
+    EXPECT_EQ(ola->block_size(), 256u);
+
+    const auto upc = convolver_for_trial(
+        Trial{static_cast<std::size_t>(Algo::Partitioned), Configuration{{7, 5}}},
+        ir);
+    EXPECT_EQ(upc->name(), "partitioned");
+    EXPECT_EQ(upc->block_size(), 128u);
+    EXPECT_EQ(static_cast<PartitionedConvolver&>(*upc).partition_size(), 32u);
+}
+
+TEST(ConvolverForTrial, ClampsPartitionToBlock) {
+    const std::vector<double> ir(10, 0.1);
+    // partition_log2 8 (256) > block_log2 5 (32): clamped to the block.
+    const auto upc = convolver_for_trial(
+        Trial{static_cast<std::size_t>(Algo::Partitioned), Configuration{{5, 8}}},
+        ir);
+    EXPECT_EQ(static_cast<PartitionedConvolver&>(*upc).partition_size(), 32u);
+}
+
+TEST(ConvolverForTrial, ValidatesTrialShape) {
+    const std::vector<double> ir(10, 0.1);
+    EXPECT_THROW(
+        convolver_for_trial(Trial{static_cast<std::size_t>(Algo::Direct),
+                                  Configuration{}},
+                            ir),
+        std::invalid_argument);
+    EXPECT_THROW(
+        convolver_for_trial(Trial{static_cast<std::size_t>(Algo::Partitioned),
+                                  Configuration{{6}}},
+                            ir),
+        std::invalid_argument);
+    EXPECT_THROW(convolver_for_trial(Trial{7, Configuration{{6}}}, ir),
+                 std::invalid_argument);
+}
+
+TEST(BlockSizeForTrial, ClampsToTheTuningRange) {
+    EXPECT_EQ(block_size_for_trial(Trial{0, Configuration{{5}}}), 32u);
+    EXPECT_EQ(block_size_for_trial(Trial{0, Configuration{{10}}}), 1024u);
+    EXPECT_EQ(block_size_for_trial(Trial{0, Configuration{{2}}}), 32u);
+    EXPECT_EQ(block_size_for_trial(Trial{0, Configuration{{99}}}), 1024u);
+}
+
+/// End-to-end: a TwoPhaseTuner over the real engines, fed through the
+/// harness with a deterministic clock, completes its next()/report(batch)
+/// cycles and lands on a valid configuration.
+TEST(StreamTuning, TunerDrivesRealConvolversThroughBatches) {
+    auto clock_state = std::make_shared<double>(0.0);
+    // Synthetic clock: every call advances 1ms, so every block "costs" 1ms.
+    ClockFn clock = [clock_state] { return (*clock_state)++; };
+    StreamHarness harness(small_spec(5.0), std::move(clock));
+
+    TwoPhaseTuner tuner(std::make_unique<EpsilonGreedy>(0.1), tunable_algorithms(),
+                        42, std::make_unique<QuantileCost>(0.95));
+    for (std::size_t i = 0; i < 20; ++i) {
+        const Trial trial = tuner.next();
+        const auto convolver = convolver_for_trial(trial, harness.impulse());
+        const StreamReport report = harness.run(*convolver, 8);
+        tuner.report(trial, report.to_batch());
+    }
+    EXPECT_EQ(tuner.iteration(), 20u);
+    EXPECT_GT(tuner.best_cost(), 0.0);
+}
+
+} // namespace
+} // namespace atk::dsp

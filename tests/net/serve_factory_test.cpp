@@ -1,0 +1,95 @@
+// Covers the atk_serve prefix-keyed tuner factory over the wire: every
+// session-name prefix ("stringmatch/", "raytrace/", "dsp/", default) must
+// stand up the production algorithm set, and the dsp/ sessions must speak
+// the full recommend/report cycle through a real server.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "runtime/service.hpp"
+#include "tools/atk_serve/factory.hpp"
+
+namespace atk::net {
+namespace {
+
+ServerOptions quick_options() {
+    ServerOptions options;
+    options.port = 0;  // ephemeral
+    options.worker_threads = 2;
+    return options;
+}
+
+ClientOptions client_for(std::uint16_t port) {
+    ClientOptions options;
+    options.port = port;
+    options.request_timeout = std::chrono::milliseconds(2000);
+    return options;
+}
+
+TEST(ServeFactory, KeysAlgorithmSetsOnTheSessionPrefix) {
+    const auto factory = serve::make_factory(0.1);
+    EXPECT_EQ(factory("dsp/reverb")->algorithm_count(), 3u);
+    EXPECT_EQ(factory("stringmatch/corpus")->algorithm_count(),
+              serve::make_stringmatch_algorithms().size());
+    EXPECT_EQ(factory("raytrace/scene")->algorithm_count(),
+              serve::make_raytrace_algorithms().size());
+    EXPECT_EQ(factory("anything-else")->algorithm_count(), 2u);
+    // Prefix must anchor at the start of the name.
+    EXPECT_EQ(factory("my-dsp/thing")->algorithm_count(), 2u);
+}
+
+TEST(ServeFactory, DspAlgorithmsAreTheStreamingEngines) {
+    const auto tuner = serve::make_factory(0.1)("dsp/session");
+    std::set<std::string> names;
+    for (std::size_t a = 0; a < tuner->algorithm_count(); ++a)
+        names.insert(tuner->algorithm(a).name);
+    EXPECT_EQ(names,
+              (std::set<std::string>{"direct", "overlap_add", "partitioned"}));
+    // Every engine's space is Nelder-Mead compatible (all-ratio parameters).
+    for (std::size_t a = 0; a < tuner->algorithm_count(); ++a)
+        EXPECT_TRUE(tuner->algorithm(a).space.all_have_distance());
+}
+
+TEST(ServeFactory, FactoryIsDeterministicPerSessionName) {
+    const auto factory = serve::make_factory(0.1);
+    auto first = factory("dsp/stream");
+    auto second = factory("dsp/stream");
+    const Trial a = first->next();
+    const Trial b = second->next();
+    EXPECT_EQ(a.algorithm, b.algorithm);
+    EXPECT_EQ(a.config, b.config);
+}
+
+TEST(ServeFactory, DspSessionsTuneOverTheWire) {
+    runtime::TuningService service(serve::make_factory(0.1));
+    TuningServer server(service, quick_options());
+    server.start();
+    {
+        TuningClient client(client_for(server.port()));
+        for (int i = 0; i < 10; ++i) {
+            const runtime::Ticket ticket = client.recommend("dsp/reverb");
+            EXPECT_LT(ticket.trial.algorithm, 3u);
+            EXPECT_FALSE(ticket.trial.config.empty());
+            // Pretend the partitioned engine is the clear winner.
+            const Cost cost = ticket.trial.algorithm == 2 ? 1.0 : 50.0;
+            EXPECT_TRUE(client.report("dsp/reverb", ticket, cost));
+        }
+    }
+    service.flush();
+    const auto session = service.find("dsp/reverb");
+    ASSERT_NE(session, nullptr);
+    EXPECT_EQ(session->algorithm_count(), 3u);
+    EXPECT_GE(session->iterations(), 10u);
+    EXPECT_GT(session->best_cost(), 0.0);
+    server.stop();
+    service.stop();
+}
+
+} // namespace
+} // namespace atk::net

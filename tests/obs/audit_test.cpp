@@ -22,6 +22,39 @@ Decision make_decision(std::size_t iteration, std::size_t algorithm,
     return decision;
 }
 
+TEST(DecisionAuditTrail, ExplainRendersTheCostObjective) {
+    DecisionAuditTrail trail(8);
+    Decision quantile = make_decision(1, 0, {0.5, 0.5});
+    quantile.objective = "p95 cost";
+    trail.record(quantile);
+    Decision slo = make_decision(2, 1, {0.5, 0.5});
+    slo.objective = "deadline miss rate (budget 20), mean tiebreak";
+    trail.record(slo);
+    EXPECT_NE(trail.explain(1).find("cost objective:        p95 cost"),
+              std::string::npos);
+    EXPECT_NE(trail.explain(2).find("deadline miss rate (budget 20)"),
+              std::string::npos);
+    // Legacy decisions without an objective stay silent rather than printing
+    // an empty field.
+    trail.record(make_decision(3, 0, {1.0}));
+    EXPECT_EQ(trail.explain(3).find("cost objective"), std::string::npos);
+}
+
+TEST(DecisionAuditTrail, ObjectiveSurvivesTheJsonlRoundTrip) {
+    DecisionAuditTrail trail(8);
+    Decision tail = make_decision(5, 1, {0.25, 0.75});
+    tail.objective = "p99 cost";
+    trail.record(tail);
+    trail.record(make_decision(6, 0, {1.0}));  // no objective recorded
+    const std::string path = ::testing::TempDir() + "audit_objective.jsonl";
+    ASSERT_TRUE(write_audit_file(path, trail.to_jsonl()));
+    const auto loaded = load_audit_file(path);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->size(), 2u);
+    EXPECT_EQ((*loaded)[0].objective, "p99 cost");
+    EXPECT_TRUE((*loaded)[1].objective.empty());
+}
+
 TEST(SelectionProbabilities, NormalizeToOne) {
     const auto p = selection_probabilities({2.0, 6.0});
     ASSERT_EQ(p.size(), 2u);

@@ -1,0 +1,114 @@
+#include "support/streaming_quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/statistics.hpp"
+
+namespace atk {
+namespace {
+
+TEST(StreamingQuantile, ValidatesTheQuantile) {
+    EXPECT_THROW(StreamingQuantile(0.0), std::invalid_argument);
+    EXPECT_THROW(StreamingQuantile(1.0), std::invalid_argument);
+    EXPECT_THROW(StreamingQuantile(-0.5), std::invalid_argument);
+    EXPECT_NO_THROW(StreamingQuantile(0.5));
+    EXPECT_DOUBLE_EQ(StreamingQuantile(0.95).q(), 0.95);
+}
+
+TEST(StreamingQuantile, NanBeforeFirstSampleThenExactUpToFive) {
+    StreamingQuantile median(0.5);
+    EXPECT_TRUE(std::isnan(median.estimate()));
+    EXPECT_EQ(median.count(), 0u);
+
+    // With <= 5 samples, the estimate is the exact type-7 quantile, the
+    // same convention as support::quantile.
+    std::vector<double> samples = {9.0, 1.0, 5.0, 3.0, 7.0};
+    std::vector<double> seen;
+    for (const double x : samples) {
+        median.add(x);
+        seen.push_back(x);
+        EXPECT_DOUBLE_EQ(median.estimate(), quantile(seen, 0.5))
+            << "after " << seen.size() << " samples";
+    }
+    EXPECT_EQ(median.count(), 5u);
+}
+
+/// Property: on known distributions, the P² estimate converges to the true
+/// quantile within a small relative tolerance.
+TEST(StreamingQuantile, ConvergesOnUniformDistribution) {
+    Rng rng(101);
+    for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+        StreamingQuantile estimator(q);
+        for (std::size_t i = 0; i < 20000; ++i)
+            estimator.add(rng.uniform_real(0.0, 1.0));
+        // True quantile of U(0,1) is q itself.
+        EXPECT_NEAR(estimator.estimate(), q, 0.02) << "q=" << q;
+    }
+}
+
+TEST(StreamingQuantile, ConvergesOnNormalDistribution) {
+    Rng rng(202);
+    StreamingQuantile p95(0.95);
+    StreamingQuantile median(0.5);
+    for (std::size_t i = 0; i < 50000; ++i) {
+        const double x = rng.normal(10.0, 2.0);
+        p95.add(x);
+        median.add(x);
+    }
+    // z(0.95) = 1.6449: the true p95 of N(10, 2) is 13.29.
+    EXPECT_NEAR(p95.estimate(), 10.0 + 1.6449 * 2.0, 0.15);
+    EXPECT_NEAR(median.estimate(), 10.0, 0.1);
+}
+
+TEST(StreamingQuantile, ConvergesOnHeavyTailedMixture) {
+    // The deadline scenario's surface family: base 8 with a 10% chance of a
+    // 6x spike.  True p95 sits in the spiked mass at 48.
+    Rng rng(303);
+    StreamingQuantile p95(0.95);
+    for (std::size_t i = 0; i < 50000; ++i) {
+        double x = 8.0 * (1.0 + 0.02 * rng.uniform_real(-1.0, 1.0));
+        if (rng.chance(0.10)) x *= 6.0;
+        p95.add(x);
+    }
+    EXPECT_NEAR(p95.estimate(), 48.0, 1.5);
+}
+
+TEST(StreamingQuantile, TracksAgainstExactQuantileOnAStream) {
+    // On a long adversarial (sorted-then-shuffled-ish) stream the running
+    // estimate stays close to the exact batch quantile.
+    Rng rng(404);
+    StreamingQuantile p90(0.9);
+    std::vector<double> all;
+    for (std::size_t i = 0; i < 10000; ++i) {
+        const double x = std::pow(rng.uniform_real(0.0, 1.0), 3.0) * 100.0;
+        p90.add(x);
+        all.push_back(x);
+    }
+    const double exact = quantile(all, 0.9);
+    EXPECT_NEAR(p90.estimate(), exact, 0.05 * exact);
+}
+
+TEST(StreamingQuantile, ExtremesAreTrackedExactly) {
+    // Marker 0 and 4 pin the running min/max; a min/near-one "quantile"
+    // estimator therefore cannot drift outside the observed range.
+    Rng rng(505);
+    StreamingQuantile p99(0.99);
+    double lo = 1e300, hi = -1e300;
+    for (std::size_t i = 0; i < 1000; ++i) {
+        const double x = rng.uniform_real(-50.0, 50.0);
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+        p99.add(x);
+    }
+    EXPECT_GE(p99.estimate(), lo);
+    EXPECT_LE(p99.estimate(), hi);
+}
+
+} // namespace
+} // namespace atk

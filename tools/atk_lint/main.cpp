@@ -11,9 +11,9 @@
 ///                   above.  sim/ and net/ are leaf layers on top of
 ///                   runtime: each may use every ranked layer but they must
 ///                   not include each other, and nothing may include them.
-///                   stringmatch/ and raytrace/ are leaf domains: they may
-///                   use every ranked layer, but no layer or other domain
-///                   may include them.
+///                   stringmatch/, raytrace/ and dsp/ are leaf domains:
+///                   they may use every ranked layer, but no layer or other
+///                   domain may include them.
 ///   include-cycle   the quoted-include graph must be acyclic.
 ///   banned-rand     std::rand/srand/rand anywhere outside support/rng —
 ///                   reproducibility requires the seeded xoshiro Rng.
@@ -92,7 +92,7 @@ int layer_rank(std::string_view top) {
 bool is_leaf_layer(std::string_view top) { return top == "sim" || top == "net"; }
 
 bool is_domain(std::string_view top) {
-    return top == "stringmatch" || top == "raytrace";
+    return top == "stringmatch" || top == "raytrace" || top == "dsp";
 }
 
 /// May a file under `from` include a header under `to`?
@@ -561,6 +561,14 @@ int self_test() {
                "#pragma once\n#include \"sim/harness.hpp\"\n");
     write_seed(root / "sim/uses_net.hpp",
                "#pragma once\n#include \"net/server.hpp\"\n");
+    // dsp is a domain: it may reach any ranked layer, but never a leaf, and
+    // no ranked layer may reach back into it.
+    write_seed(root / "dsp/engine.hpp",
+               "#pragma once\n#include \"runtime/service.hpp\"\n");
+    write_seed(root / "dsp/uses_net.hpp",
+               "#pragma once\n#include \"net/server.hpp\"\n");
+    write_seed(root / "core/uses_dsp.hpp",
+               "#pragma once\n#include \"dsp/engine.hpp\"\n");
     // Raw socket I/O belongs to net/: flagged elsewhere, clean inside it,
     // and member calls named send/recv are not what the rule is about.
     write_seed(root / "runtime/raw_socket.cpp",
@@ -616,13 +624,15 @@ int self_test() {
     };
 
     expect(!clean, "seeded tree is reported as failing");
-    expect(by_rule["layering"] == 4,
-           "all four layering violations detected (support->runtime, "
-           "runtime->sim, net->sim, sim->net)");
+    expect(by_rule["layering"] == 6,
+           "all six layering violations detected (support->runtime, "
+           "runtime->sim, net->sim, sim->net, dsp->net, core->dsp)");
     expect(flagged_files.count("sim/harness.hpp") == 0,
            "sim including runtime (downward) not flagged");
     expect(flagged_files.count("net/server.hpp") == 0,
            "net including runtime (downward) not flagged");
+    expect(flagged_files.count("dsp/engine.hpp") == 0,
+           "dsp domain including a ranked layer not flagged");
     expect(by_rule["banned-socket"] == 1, "raw recv() outside net/ detected");
     expect(flagged_files.count("net/transport.cpp") == 0,
            "raw send() inside net/ not flagged");

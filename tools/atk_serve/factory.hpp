@@ -1,0 +1,80 @@
+#pragma once
+
+// The atk_serve tuner factory, keyed on the session-name prefix:
+//
+//   stringmatch/...  the eight parallel text matchers of case study 1
+//   raytrace/...     the kD-tree builder choice of case study 2
+//   dsp/...          the streaming convolution engines of case study 3
+//   anything else    the synthetic A-vs-B(block) pair of the runtime demo
+//
+// Split out of main.cpp so tests/net can stand up a server with exactly the
+// production algorithm sets and exercise every prefix over the wire.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/autotune.hpp"
+#include "dsp/stream.hpp"
+#include "raytrace/pipeline.hpp"
+#include "runtime/service.hpp"
+#include "stringmatch/matcher.hpp"
+
+namespace atk::serve {
+
+inline std::vector<TunableAlgorithm> make_default_algorithms() {
+    std::vector<TunableAlgorithm> algorithms;
+    algorithms.push_back(TunableAlgorithm::untunable("A"));
+    TunableAlgorithm b;
+    b.name = "B";
+    b.space.add(Parameter::ratio("block", 0, 80));
+    b.initial = Configuration{{0}};
+    b.searcher = std::make_unique<NelderMeadSearcher>();
+    algorithms.push_back(std::move(b));
+    return algorithms;
+}
+
+inline std::vector<TunableAlgorithm> make_stringmatch_algorithms() {
+    std::vector<TunableAlgorithm> algorithms;
+    for (const auto& matcher : sm::make_all_matchers_with_hybrid())
+        algorithms.push_back(TunableAlgorithm::untunable(matcher->name()));
+    return algorithms;
+}
+
+inline std::vector<TunableAlgorithm> make_raytrace_algorithms() {
+    std::vector<TunableAlgorithm> algorithms;
+    for (const auto& builder : rt::make_all_builders()) {
+        TunableAlgorithm algorithm;
+        algorithm.name = builder->name();
+        algorithm.space = builder->tuning_space();
+        algorithm.initial = builder->default_config();
+        algorithm.searcher = std::make_unique<NelderMeadSearcher>();
+        algorithms.push_back(std::move(algorithm));
+    }
+    return algorithms;
+}
+
+inline std::vector<TunableAlgorithm> make_dsp_algorithms() {
+    return dsp::tunable_algorithms();
+}
+
+/// Deterministic per name, as snapshot restores require.
+inline runtime::TunerFactory make_factory(double epsilon) {
+    return [epsilon](const std::string& session) {
+        std::vector<TunableAlgorithm> algorithms;
+        if (session.rfind("stringmatch/", 0) == 0)
+            algorithms = make_stringmatch_algorithms();
+        else if (session.rfind("raytrace/", 0) == 0)
+            algorithms = make_raytrace_algorithms();
+        else if (session.rfind("dsp/", 0) == 0)
+            algorithms = make_dsp_algorithms();
+        else
+            algorithms = make_default_algorithms();
+        return std::make_unique<TwoPhaseTuner>(std::make_unique<EpsilonGreedy>(epsilon),
+                                               std::move(algorithms),
+                                               std::hash<std::string>{}(session));
+    };
+}
+
+} // namespace atk::serve

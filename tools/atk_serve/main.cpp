@@ -6,6 +6,7 @@
 //
 //   stringmatch/...  the eight parallel text matchers of case study 1
 //   raytrace/...     the kD-tree builder choice of case study 2
+//   dsp/...          the streaming convolution engines of case study 3
 //   anything else    the synthetic A-vs-B(block) pair of the runtime demo
 //
 // Typical invocations:
@@ -29,9 +30,8 @@
 
 #include "core/autotune.hpp"
 #include "net/net.hpp"
-#include "raytrace/pipeline.hpp"
-#include "stringmatch/matcher.hpp"
 #include "support/cli.hpp"
+#include "factory.hpp"
 
 using namespace atk;
 using namespace atk::runtime;
@@ -41,54 +41,6 @@ namespace {
 volatile std::sig_atomic_t g_stop = 0;
 
 void on_signal(int) { g_stop = 1; }
-
-std::vector<TunableAlgorithm> make_default_algorithms() {
-    std::vector<TunableAlgorithm> algorithms;
-    algorithms.push_back(TunableAlgorithm::untunable("A"));
-    TunableAlgorithm b;
-    b.name = "B";
-    b.space.add(Parameter::ratio("block", 0, 80));
-    b.initial = Configuration{{0}};
-    b.searcher = std::make_unique<NelderMeadSearcher>();
-    algorithms.push_back(std::move(b));
-    return algorithms;
-}
-
-std::vector<TunableAlgorithm> make_stringmatch_algorithms() {
-    std::vector<TunableAlgorithm> algorithms;
-    for (const auto& matcher : sm::make_all_matchers_with_hybrid())
-        algorithms.push_back(TunableAlgorithm::untunable(matcher->name()));
-    return algorithms;
-}
-
-std::vector<TunableAlgorithm> make_raytrace_algorithms() {
-    std::vector<TunableAlgorithm> algorithms;
-    for (const auto& builder : rt::make_all_builders()) {
-        TunableAlgorithm algorithm;
-        algorithm.name = builder->name();
-        algorithm.space = builder->tuning_space();
-        algorithm.initial = builder->default_config();
-        algorithm.searcher = std::make_unique<NelderMeadSearcher>();
-        algorithms.push_back(std::move(algorithm));
-    }
-    return algorithms;
-}
-
-/// Deterministic per name, as snapshot restores require.
-TunerFactory make_factory(double epsilon) {
-    return [epsilon](const std::string& session) {
-        std::vector<TunableAlgorithm> algorithms;
-        if (session.rfind("stringmatch/", 0) == 0)
-            algorithms = make_stringmatch_algorithms();
-        else if (session.rfind("raytrace/", 0) == 0)
-            algorithms = make_raytrace_algorithms();
-        else
-            algorithms = make_default_algorithms();
-        return std::make_unique<TwoPhaseTuner>(std::make_unique<EpsilonGreedy>(epsilon),
-                                               std::move(algorithms),
-                                               std::hash<std::string>{}(session));
-    };
-}
 
 /// Minimal single-threaded Prometheus endpoint: every HTTP request gets the
 /// current MetricsRegistry rendering.  Deliberately tiny — one request per
@@ -141,7 +93,8 @@ int main(int argc, char** argv) {
 
     ServiceOptions service_options;
     service_options.queue_capacity = static_cast<std::size_t>(cli.get_int("queue"));
-    TuningService service(make_factory(cli.get_double("epsilon")), service_options);
+    TuningService service(serve::make_factory(cli.get_double("epsilon")),
+                          service_options);
 
     const std::string install = cli.get_string("install");
     if (!install.empty()) {

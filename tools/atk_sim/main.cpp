@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
             "Run deterministic autotuning simulation scenarios and summarize "
             "strategy convergence.");
     cli.add_string("scenario", "static",
-                   "scenario to run (static, drift, plateau, sweep)")
+                   "scenario to run (static, drift, plateau, sweep, deadline)")
         .add_string("strategy", "all", "strategy name or 'all'")
         .add_int("seed", 20170612, "base seed of the ensemble")
         .add_int("seeds", 8, "ensemble size (runs per strategy)")
