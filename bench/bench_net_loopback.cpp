@@ -8,6 +8,11 @@
 ///
 /// The delta between in-process and loopback is the protocol + epoll + TCP
 /// overhead a remote worker pays per tuning decision.
+///
+/// A final section repeats the blocking recommend loop with distributed
+/// tracing enabled: the 16-byte trace-context wire extension plus client
+/// and server spans — the per-request tax of following a tuning decision
+/// across both processes.
 
 #include <cstdio>
 #include <string>
@@ -17,6 +22,7 @@
 #include "core/autotune.hpp"
 #include "harness.hpp"
 #include "net/net.hpp"
+#include "obs/span.hpp"
 #include "runtime/runtime.hpp"
 #include "support/cli.hpp"
 #include "support/clock.hpp"
@@ -204,6 +210,29 @@ int main(int argc, char** argv) {
     std::printf("%s\n", table.to_string().c_str());
     const std::string out = "results/net_loopback.csv";
     if (csv.write_file(out)) std::printf("wrote %s\n", out.c_str());
+
+    // Trace-context propagation tax: one client thread, blocking recommends,
+    // tracing off vs on.  "On" pays for the wire extension plus a span on
+    // each side of the socket; "off" must stay at the untraced floor (the
+    // extension is gated on Tracer::enabled(), not merely empty).
+    obs::Tracer::enable(false);
+    const Result untraced = run_net(server.port(), Mode::Recommend, 1, ops);
+    obs::Tracer::enable(true);
+    const Result traced = run_net(server.port(), Mode::Recommend, 1, ops);
+    obs::Tracer::enable(false);
+    obs::Tracer::clear();
+    Table trace_table({"tracing", "p50 [us]", "p99 [us]", "ops/s"});
+    trace_table.row()
+        .text("off")
+        .num(untraced.p50_us, 1)
+        .num(untraced.p99_us, 1)
+        .num(untraced.ops_per_second, 0);
+    trace_table.row()
+        .text("on (wire ext + spans)")
+        .num(traced.p50_us, 1)
+        .num(traced.p99_us, 1)
+        .num(traced.ops_per_second, 0);
+    std::printf("%s\n", trace_table.to_string().c_str());
 
     server.stop();
     service.stop();

@@ -4,7 +4,13 @@
 ///      path pays in production when nobody is tracing (the acceptance bar:
 ///      one relaxed atomic load + branch, low single-digit ns),
 ///   2. a Span while tracing is enabled (ring-buffer push + two clock reads),
-///   3. a full TwoPhaseTuner next()/report() iteration untraced, traced and
+///   3. the distributed-tracing additions: reading the current trace context
+///      (what the client does per request to fill the wire extension) and
+///      installing a remote parent context around a span (what a server
+///      worker does per traced frame),
+///   4. one TuningHealthMonitor::observe() — the per-measurement price of
+///      the online health detector stack,
+///   5. a full TwoPhaseTuner next()/report() iteration untraced, traced and
 ///      traced+audited, showing the end-to-end tax on the tuning loop.
 ///
 /// Numbers land in EXPERIMENTS.md ("Observability overhead").
@@ -73,8 +79,29 @@ int main(int argc, char** argv) {
     obs::Tracer::enable(true);
     const double span_enabled =
         ns_per_op(iterations, [] { obs::Span span("bench.span"); });
+
+    // The wire-extension hot paths.  Disabled first: recommend()/report()
+    // read the context once per request even when nobody traces.
+    obs::Tracer::enable(false);
+    const double context_read_disabled = ns_per_op(
+        iterations, [] { (void)obs::current_trace_context(); });
+    obs::Tracer::enable(true);
+    const double context_read = ns_per_op(
+        iterations, [] { (void)obs::current_trace_context(); });
+    const obs::TraceContext remote{0x1234567890ABCDEFull, 0x42ull};
+    const double remote_span = ns_per_op(iterations, [&] {
+        obs::ScopedTraceContext scope(remote);
+        obs::Span span("bench.span");
+    });
     obs::Tracer::enable(false);
     obs::Tracer::clear();
+
+    obs::TuningHealthMonitor monitor(2);
+    std::size_t tick = 0;
+    const double health_observe = ns_per_op(iterations, [&] {
+        monitor.observe(tick & 1, 1.0 + 0.001 * static_cast<double>(tick & 7), 1);
+        ++tick;
+    });
 
     auto plain = make_tuner();
     const double tuner_plain = tuner_iteration_ns(*plain, tuner_iterations);
@@ -106,6 +133,10 @@ int main(int argc, char** argv) {
     row("empty loop", baseline, baseline);
     row("span, tracing disabled", span_disabled, baseline);
     row("span, tracing enabled", span_enabled, baseline);
+    row("trace-context read, disabled", context_read_disabled, baseline);
+    row("trace-context read, enabled", context_read, baseline);
+    row("remote context + span, enabled", remote_span, baseline);
+    row("health monitor observe()", health_observe, baseline);
     row("tuner iteration, untraced", tuner_plain, tuner_plain);
     row("tuner iteration, traced", tuner_traced, tuner_plain);
     row("tuner iteration, traced+audited", tuner_audited, tuner_plain);

@@ -5,6 +5,10 @@
 ///
 ///     ./net_client                          # self-contained loopback demo
 ///     ./net_client --connect HOST:PORT      # against a running atk_serve
+///     ./net_client --connect HOST:PORT --trace client.trace.json
+///         # distributed tracing: the client's spans (pid lane 1) carry the
+///         # same trace ids as the server's (atk_serve --trace, lane 2) —
+///         # merge with atk_obs_inspect --trace client.json,server.json
 ///
 /// Each query asks the server to recommend() a matcher, runs the search
 /// locally, and streams the measured cost back with report_async() — the
@@ -18,6 +22,7 @@
 
 #include "core/autotune.hpp"
 #include "net/net.hpp"
+#include "obs/span.hpp"
 #include "stringmatch/corpus.hpp"
 #include "stringmatch/matcher.hpp"
 #include "stringmatch/parallel.hpp"
@@ -50,8 +55,13 @@ int main(int argc, char** argv) {
         .add_string("session", "stringmatch/bible/demo", "remote session name")
         .add_int("corpus-bytes", 2 * 1024 * 1024, "corpus size")
         .add_int("iterations", 60, "number of repeated queries")
-        .add_int("threads", 0, "worker threads (0 = hardware)");
+        .add_int("threads", 0, "worker threads (0 = hardware)")
+        .add_string("trace", "",
+                    "enable span tracing; write a Chrome/Perfetto trace here "
+                    "on exit (trace ids continue into the server's trace)");
     if (!cli.parse(argc, argv)) return 1;
+    const std::string trace_out = cli.get_string("trace");
+    if (!trace_out.empty()) obs::Tracer::enable();
 
     // Loopback mode: this process hosts the service too, so the example is
     // self-contained.  The workload code below is identical either way.
@@ -130,5 +140,19 @@ int main(int argc, char** argv) {
 
     if (local_server) local_server->stop();
     if (local_service) local_service->stop();
+
+    if (!trace_out.empty()) {
+        auto spans = obs::Tracer::snapshot();
+        // Client-side spans take pid lane 1 by convention (servers use 2),
+        // so the merged two-process timeline separates cleanly in Perfetto.
+        obs::set_process_id(spans, 1);
+        if (!obs::write_chrome_trace(trace_out, spans)) {
+            std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+            return 1;
+        }
+        std::printf("%zu span(s) written to %s (merge with the server's: "
+                    "atk_obs_inspect --trace %s,server.trace.json)\n",
+                    spans.size(), trace_out.c_str(), trace_out.c_str());
+    }
     return 0;
 }

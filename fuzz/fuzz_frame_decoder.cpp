@@ -31,7 +31,14 @@ void decode_message(const atk::net::Frame& frame) {
     switch (frame.type) {
     case FrameType::Hello: (void)decode_hello(frame); break;
     case FrameType::HelloOk: (void)decode_hello_ok(frame); break;
-    case FrameType::Recommend: (void)decode_recommend(frame); break;
+    case FrameType::Recommend: {
+        // Re-encode so the v2 trace-context extension round-trips: when the
+        // input carried kFlagTraceContext with a valid 16-byte suffix, the
+        // encoder must reproduce the flag; a truncated suffix must throw.
+        const RecommendMsg msg = decode_recommend(frame);
+        (void)encode_recommend(msg);
+        break;
+    }
     case FrameType::Recommendation: (void)decode_recommendation(frame); break;
     case FrameType::Report: {
         const ReportMsg msg = decode_report(frame);
@@ -46,6 +53,14 @@ void decode_message(const atk::net::Frame& frame) {
     case FrameType::Stats: break;  // no payload to parse
     case FrameType::StatsOk: (void)decode_stats_ok(frame); break;
     case FrameType::Error: (void)decode_error(frame); break;
+    case FrameType::Health: (void)decode_health(frame); break;
+    case FrameType::HealthOk: {
+        // Fuzzed snapshots (arbitrary doubles, hostile counts) must decode
+        // cleanly or throw WireError, and a decoded one must re-encode.
+        const HealthOkMsg msg = decode_health_ok(frame);
+        (void)encode_health_ok(msg);
+        break;
+    }
     }
 }
 

@@ -21,7 +21,13 @@
 #      tier-1 suite already runs the fast subset; with ATK_SIM_FULL=1
 #      this stage reruns the statistical gates over the full 32-seed
 #      ensembles for every scenario x strategy pair and sweeps the CLI
-#      across all scenarios.
+#      across all scenarios,
+#   6. the observability health gates: the tuning-health monitor's
+#      detector stack replayed against the sim scenarios (drift fires
+#      after the phase shift and never on static, plateau calls the
+#      starved mesa, deterministic per seed) and the end-to-end
+#      distributed-tracing tests (trace context across the wire into
+#      the tuner, two-process Perfetto merge, v1 downgrade).
 #
 # Usage:
 #   scripts/check.sh               # all stages
@@ -85,4 +91,10 @@ else
 fi
 
 echo
-echo "ok: tier-1 suite green, lint clean, runtime+obs+net+sim TSan-clean, UBSan+fuzz clean, sim gates green"
+echo "== stage 6: tuning-health + distributed-tracing gates =="
+"$repo/build/tests/test_sim" --gtest_filter='HealthGates.*'
+"$repo/build/tests/test_obs" --gtest_filter='HealthMonitor.*:HealthJson.*'
+"$repo/build/tests/test_net" --gtest_filter='TracePropagation.*'
+
+echo
+echo "ok: tier-1 suite green, lint clean, runtime+obs+net+sim TSan-clean, UBSan+fuzz clean, sim gates green, health+tracing gates green"

@@ -8,6 +8,8 @@
 #include <unistd.h>
 #include <utility>
 
+#include "obs/span.hpp"
+
 namespace atk::net {
 
 namespace {
@@ -48,6 +50,7 @@ TuningClient::~TuningClient() {
 void TuningClient::disconnect() noexcept {
     socket_.reset();
     decoder_ = FrameDecoder(options_.max_payload);
+    negotiated_version_ = 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -68,29 +71,42 @@ void TuningClient::backoff_sleep() {
 }
 
 void TuningClient::connect_once() {
-    socket_ = connect_tcp(options_.host, options_.port, options_.request_timeout);
-    decoder_ = FrameDecoder(options_.max_payload);
-    send_frame(encode_hello({kProtocolVersion, options_.client_name}));
-    Frame reply = read_frame();
-    if (reply.type == FrameType::Error) {
-        ErrorMsg error;
-        try {
-            error = decode_error(reply);
-        } catch (const WireError&) {
-            error = {ErrorCode::Internal, "undecodable Error frame"};
+    // Open at our newest version; a server refusing it with VersionMismatch
+    // (pre-v2 builds refuse anything but their own version) gets one
+    // downgrade retry at the oldest version we still speak.
+    for (const std::uint32_t version : {kProtocolVersion, kMinProtocolVersion}) {
+        socket_ = connect_tcp(options_.host, options_.port, options_.request_timeout);
+        decoder_ = FrameDecoder(options_.max_payload);
+        send_frame(encode_hello({version, options_.client_name}));
+        Frame reply = read_frame();
+        if (reply.type == FrameType::Error) {
+            ErrorMsg error;
+            try {
+                error = decode_error(reply);
+            } catch (const WireError&) {
+                error = {ErrorCode::Internal, "undecodable Error frame"};
+            }
+            disconnect();
+            if (error.code == ErrorCode::VersionMismatch &&
+                version != kMinProtocolVersion)
+                continue;  // downgrade and try again
+            // Any other handshake refusal (or a refusal of our oldest
+            // version) will not improve with retries: surface it as final.
+            throw NetError("handshake refused: " + error.message);
         }
-        disconnect();
-        // A version mismatch (or any handshake refusal) will not improve
-        // with retries, so surface it as final.
-        throw NetError("handshake refused: " + error.message);
+        HelloOkMsg ok;
+        try {
+            ok = decode_hello_ok(reply);
+        } catch (const WireError& e) {
+            disconnect();
+            throw NetError(std::string("handshake violated the protocol: ") +
+                           e.what());
+        }
+        // Never speak newer than what we offered, whatever the server says.
+        negotiated_version_ = std::min(ok.version, version);
+        last_backoff_ = std::chrono::milliseconds(0);
+        return;
     }
-    try {
-        (void)decode_hello_ok(reply);
-    } catch (const WireError& e) {
-        disconnect();
-        throw NetError(std::string("handshake violated the protocol: ") + e.what());
-    }
-    last_backoff_ = std::chrono::milliseconds(0);
 }
 
 void TuningClient::ensure_connected() {
@@ -164,7 +180,12 @@ Frame TuningClient::read_frame() {
     }
 }
 
-Frame TuningClient::exchange(const std::string& encoded) {
+obs::TraceContext TuningClient::wire_trace() const noexcept {
+    if (negotiated_version_ < 2 || !obs::Tracer::enabled()) return {};
+    return obs::current_trace_context();
+}
+
+Frame TuningClient::exchange(const std::function<std::string()>& encode) {
     std::string last_error;
     for (std::size_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
         if (attempt > 0) {
@@ -173,7 +194,9 @@ Frame TuningClient::exchange(const std::string& encoded) {
         }
         try {
             ensure_connected();
-            send_frame(encoded);
+            // Encoded only now: the frame layout may depend on the protocol
+            // version this (re)connection negotiated.
+            send_frame(encode());
             return read_frame();
         } catch (const std::system_error& e) {
             last_error = e.what();
@@ -199,7 +222,11 @@ Frame TuningClient::reject_error(Frame frame) {
 
 runtime::Ticket TuningClient::recommend(const std::string& session) {
     flush_reports();
-    const Frame reply = reject_error(exchange(encode_recommend({session})));
+    // The span covers the whole round trip and is the parent the server's
+    // worker adopts when the frame carries our trace context.
+    obs::Span span("client.recommend");
+    const Frame reply = reject_error(
+        exchange([&] { return encode_recommend({session, wire_trace()}); }));
     return decode_recommendation(reply).ticket;
 }
 
@@ -214,10 +241,11 @@ std::vector<runtime::Ticket> TuningClient::recommend_many(
         }
         try {
             ensure_connected();
+            obs::Span span("client.recommend_many");
             // The pipelined path: all requests on the wire before the first
             // reply is read; replies come back in request order.
             for (const std::string& session : sessions)
-                send_frame(encode_recommend({session}));
+                send_frame(encode_recommend({session, wire_trace()}));
             std::vector<runtime::Ticket> tickets;
             tickets.reserve(sessions.size());
             for (std::size_t i = 0; i < sessions.size(); ++i) {
@@ -243,8 +271,11 @@ bool TuningClient::report(const std::string& session, const runtime::Ticket& tic
 std::size_t TuningClient::report_batch(
     const std::string& session, const std::vector<runtime::BatchedMeasurement>& batch) {
     flush_reports();
-    const Frame reply = reject_error(
-        exchange(encode_report({session, batch}, /*ack_requested=*/true)));
+    obs::Span span("client.report");
+    const Frame reply = reject_error(exchange([&] {
+        return encode_report({session, batch, wire_trace()},
+                             /*ack_requested=*/true);
+    }));
     return decode_report_ok(reply).accepted;
 }
 
@@ -260,6 +291,7 @@ void TuningClient::flush_reports() {
     pending.swap(pending_);
     try {
         ensure_connected();
+        obs::Span span("client.flush_reports");
         // One unacked frame per distinct session, original order preserved
         // within each (the aggregator sees the same sequence the client
         // measured).
@@ -270,6 +302,7 @@ void TuningClient::flush_reports() {
         for (const std::string& session : order) {
             ReportMsg msg;
             msg.session = session;
+            msg.trace = wire_trace();
             for (const PendingReport& p : pending)
                 if (p.session == session) msg.batch.push_back(p.measurement);
             send_frame(encode_report(msg, /*ack_requested=*/false));
@@ -288,20 +321,35 @@ void TuningClient::flush_reports() {
 
 std::string TuningClient::snapshot() {
     flush_reports();
-    const Frame reply = reject_error(exchange(encode_snapshot_request()));
+    const Frame reply =
+        reject_error(exchange([] { return encode_snapshot_request(); }));
     return decode_snapshot_ok(reply).payload;
 }
 
 std::size_t TuningClient::restore(const std::string& payload) {
     flush_reports();
-    const Frame reply = reject_error(exchange(encode_restore({payload})));
+    const Frame reply =
+        reject_error(exchange([&] { return encode_restore({payload}); }));
     return static_cast<std::size_t>(decode_restore_ok(reply).sessions_restored);
 }
 
 runtime::ServiceStats TuningClient::stats() {
     flush_reports();
-    const Frame reply = reject_error(exchange(encode_stats_request()));
+    const Frame reply =
+        reject_error(exchange([] { return encode_stats_request(); }));
     return decode_stats_ok(reply).stats;
+}
+
+std::vector<SessionHealthEntry> TuningClient::health(const std::string& session) {
+    flush_reports();
+    const Frame reply = reject_error(exchange([&] {
+        if (negotiated_version_ < 2)
+            throw NetError("server negotiated protocol version " +
+                           std::to_string(negotiated_version_) +
+                           "; Health frames need version 2");
+        return encode_health({session});
+    }));
+    return decode_health_ok(reply).sessions;
 }
 
 } // namespace atk::net

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -63,6 +64,14 @@ struct ClientOptions {
 ///   - recommend_many() writes N Recommend frames back-to-back and then
 ///     collects the N replies in order.
 ///
+/// Version negotiation: the client opens with its newest protocol version
+/// and, refused with VersionMismatch, retries the handshake once at
+/// kMinProtocolVersion — so it interoperates with older servers by simply
+/// not using v2 constructs on that connection.  When the negotiated version
+/// is >= 2 and the Tracer is enabled, recommend/report frames carry the
+/// calling thread's trace context, so server-side spans (worker dispatch
+/// through tuner phase2_select) join this client's distributed trace.
+///
 /// Not thread-safe: one TuningClient per client thread (they can share a
 /// server).  Reconnecting drops any unflushed async reports of the dead
 /// connection — mirroring the runtime's drop-under-pressure policy; the
@@ -108,10 +117,21 @@ public:
 
     [[nodiscard]] runtime::ServiceStats stats();
 
+    /// Per-session tuning-health snapshots ("" = every session).  Requires
+    /// a v2 server: throws NetError when the connection negotiated v1.
+    [[nodiscard]] std::vector<SessionHealthEntry> health(
+        const std::string& session = "");
+
     /// Drops the connection; the next call reconnects from scratch.
     void disconnect() noexcept;
 
     [[nodiscard]] bool connected() const noexcept { return socket_.valid(); }
+
+    /// Protocol version negotiated on the current connection; 0 while
+    /// disconnected (the next call reconnects and re-negotiates).
+    [[nodiscard]] std::uint32_t negotiated_version() const noexcept {
+        return negotiated_version_;
+    }
 
     // ---- client-side health counters ----
     [[nodiscard]] std::uint64_t reconnects() const noexcept { return reconnects_; }
@@ -137,14 +157,23 @@ private:
     /// Reads until one complete frame is decoded or the deadline passes.
     [[nodiscard]] Frame read_frame();
 
-    /// One request/reply exchange with reconnect-and-retry around it.
-    [[nodiscard]] Frame exchange(const std::string& encoded);
+    /// One request/reply exchange with reconnect-and-retry around it.  The
+    /// frame is encoded *inside* the loop, after the connection (and thus
+    /// the negotiated protocol version) is established — a frame built for
+    /// v2 must not survive a reconnect that lands on a v1 server.
+    [[nodiscard]] Frame exchange(const std::function<std::string()>& encode);
+
+    /// Trace context to inject into an outgoing frame: the calling thread's
+    /// active span when tracing is on and the connection negotiated v2,
+    /// invalid (encodes as a plain v1 frame) otherwise.
+    [[nodiscard]] obs::TraceContext wire_trace() const noexcept;
     /// Raises NetError for an Error frame, otherwise returns the frame.
     [[nodiscard]] static Frame reject_error(Frame frame);
 
     ClientOptions options_;
     FdHandle socket_;
     FrameDecoder decoder_;
+    std::uint32_t negotiated_version_ = 0;  ///< 0 = not connected
     Rng backoff_rng_;
     std::chrono::milliseconds last_backoff_{0};
     std::vector<PendingReport> pending_;

@@ -8,7 +8,7 @@ namespace {
 
 bool known_type(std::uint8_t byte) {
     return byte >= static_cast<std::uint8_t>(FrameType::Hello) &&
-           byte <= static_cast<std::uint8_t>(FrameType::Error);
+           byte <= static_cast<std::uint8_t>(FrameType::HealthOk);
 }
 
 std::string finish_frame(FrameType type, std::uint8_t flags, WireWriter payload) {
@@ -45,6 +45,29 @@ Configuration get_config(WireReader& in) {
     return Configuration{std::move(values)};
 }
 
+/// v2 trace-context payload extension: appended *after* the base payload so
+/// a v1 decoder (which never sees the flag) parses the same bytes
+/// unchanged.  Returns the flag bit to OR into the frame header, 0 when the
+/// context is invalid (frame encodes byte-identically to v1).
+std::uint8_t put_trace(WireWriter& out, const obs::TraceContext& trace) {
+    if (!trace.valid()) return 0;
+    out.put_u64(trace.trace_id);
+    out.put_u64(trace.span_id);
+    return kFlagTraceContext;
+}
+
+/// Reads the extension iff the frame's header carried kFlagTraceContext; a
+/// flagged frame whose payload is too short for the 16 extension bytes is a
+/// WireError (truncated extension), same as any other short payload.
+obs::TraceContext get_trace(WireReader& in, const Frame& frame) {
+    obs::TraceContext trace;
+    if ((frame.flags & kFlagTraceContext) != 0) {
+        trace.trace_id = in.get_u64();
+        trace.span_id = in.get_u64();
+    }
+    return trace;
+}
+
 } // namespace
 
 const char* frame_type_name(FrameType type) noexcept {
@@ -62,6 +85,8 @@ const char* frame_type_name(FrameType type) noexcept {
         case FrameType::Stats: return "Stats";
         case FrameType::StatsOk: return "StatsOk";
         case FrameType::Error: return "Error";
+        case FrameType::Health: return "Health";
+        case FrameType::HealthOk: return "HealthOk";
     }
     return "Unknown";
 }
@@ -100,7 +125,7 @@ bool FrameDecoder::parse_header() {
         error_ = "unknown frame type " + std::to_string(type_byte);
         return false;
     }
-    if ((pending_flags_ & ~kFlagAckRequested) != 0) {
+    if ((pending_flags_ & ~(kFlagAckRequested | kFlagTraceContext)) != 0) {
         error_ = "unknown frame flags " + std::to_string(pending_flags_);
         return false;
     }
@@ -199,7 +224,8 @@ HelloOkMsg decode_hello_ok(const Frame& frame) {
 std::string encode_recommend(const RecommendMsg& msg) {
     WireWriter out;
     out.put_str(msg.session);
-    return finish_frame(FrameType::Recommend, 0, std::move(out));
+    const std::uint8_t flags = put_trace(out, msg.trace);
+    return finish_frame(FrameType::Recommend, flags, std::move(out));
 }
 
 RecommendMsg decode_recommend(const Frame& frame) {
@@ -207,6 +233,7 @@ RecommendMsg decode_recommend(const Frame& frame) {
     WireReader in(frame.payload);
     RecommendMsg msg;
     msg.session = in.get_str();
+    msg.trace = get_trace(in, frame);
     expect_consumed(in, frame.type);
     return msg;
 }
@@ -248,8 +275,9 @@ std::string encode_report(const ReportMsg& msg, bool ack_requested) {
         put_config(out, m.ticket.trial.config);
         out.put_f64(m.cost);
     }
-    return finish_frame(FrameType::Report, ack_requested ? kFlagAckRequested : 0,
-                        std::move(out));
+    std::uint8_t flags = ack_requested ? kFlagAckRequested : 0;
+    flags |= put_trace(out, msg.trace);
+    return finish_frame(FrameType::Report, flags, std::move(out));
 }
 
 ReportMsg decode_report(const Frame& frame) {
@@ -268,6 +296,7 @@ ReportMsg decode_report(const Frame& frame) {
         m.cost = in.get_f64();
         msg.batch.push_back(std::move(m));
     }
+    msg.trace = get_trace(in, frame);
     expect_consumed(in, frame.type);
     return msg;
 }
@@ -392,6 +421,119 @@ ErrorMsg decode_error(const Frame& frame) {
     ErrorMsg msg;
     msg.code = static_cast<ErrorCode>(in.get_u32());
     msg.message = in.get_str();
+    expect_consumed(in, frame.type);
+    return msg;
+}
+
+std::string encode_health(const HealthMsg& msg) {
+    WireWriter out;
+    out.put_str(msg.session);
+    return finish_frame(FrameType::Health, 0, std::move(out));
+}
+
+HealthMsg decode_health(const Frame& frame) {
+    expect_type(frame, FrameType::Health);
+    WireReader in(frame.payload);
+    HealthMsg msg;
+    msg.session = in.get_str();
+    expect_consumed(in, frame.type);
+    return msg;
+}
+
+namespace {
+
+// A leader is a small algorithm index; this sentinel encodes "no leader yet"
+// without a separate presence byte.
+constexpr std::uint64_t kNoLeader = 0xFFFFFFFFFFFFFFFFull;
+
+void put_health_snapshot(WireWriter& out, const obs::HealthSnapshot& h) {
+    out.put_u64(h.samples);
+    out.put_u64(h.leader ? static_cast<std::uint64_t>(*h.leader) : kNoLeader);
+    out.put_f64(h.leader_share);
+    out.put_u8(h.converged ? 1 : 0);
+    out.put_u64(h.converged_at);
+    out.put_u64(h.drift_events);
+    out.put_u64(h.last_drift_sample);
+    out.put_u64(h.crossover_events);
+    out.put_u8(h.plateau ? 1 : 0);
+    out.put_u64(h.plateau_events);
+    out.put_f64(h.regret);
+    out.put_f64(h.recent_cost);
+    out.put_f64(h.baseline_cost);
+    if (h.algorithms.size() > 0xFFFFFFFFu)
+        throw std::invalid_argument("wire: health algorithm rows exceed u32");
+    out.put_u32(static_cast<std::uint32_t>(h.algorithms.size()));
+    for (const obs::AlgorithmHealth& a : h.algorithms) {
+        out.put_u64(a.samples);
+        out.put_f64(a.mean_cost);
+        out.put_f64(a.best_cost);
+        out.put_f64(a.tuning_yield);
+        out.put_f64(a.recent_cv);
+        out.put_u8(a.plateau ? 1 : 0);
+        out.put_u64(a.drift_events);
+    }
+}
+
+obs::HealthSnapshot get_health_snapshot(WireReader& in) {
+    obs::HealthSnapshot h;
+    h.samples = in.get_u64();
+    const std::uint64_t leader = in.get_u64();
+    if (leader != kNoLeader) h.leader = static_cast<std::size_t>(leader);
+    h.leader_share = in.get_f64();
+    h.converged = in.get_u8() != 0;
+    h.converged_at = in.get_u64();
+    h.drift_events = in.get_u64();
+    h.last_drift_sample = in.get_u64();
+    h.crossover_events = in.get_u64();
+    h.plateau = in.get_u8() != 0;
+    h.plateau_events = in.get_u64();
+    h.regret = in.get_f64();
+    h.recent_cost = in.get_f64();
+    h.baseline_cost = in.get_f64();
+    // samples(8)+mean(8)+best(8)+yield(8)+cv(8)+plateau(1)+drift(8) per row.
+    const std::size_t rows = in.get_count(/*min_element_bytes=*/49);
+    h.algorithms.reserve(rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+        obs::AlgorithmHealth a;
+        a.samples = in.get_u64();
+        a.mean_cost = in.get_f64();
+        a.best_cost = in.get_f64();
+        a.tuning_yield = in.get_f64();
+        a.recent_cv = in.get_f64();
+        a.plateau = in.get_u8() != 0;
+        a.drift_events = in.get_u64();
+        h.algorithms.push_back(a);
+    }
+    return h;
+}
+
+} // namespace
+
+std::string encode_health_ok(const HealthOkMsg& msg) {
+    WireWriter out;
+    if (msg.sessions.size() > 0xFFFFFFFFu)
+        throw std::invalid_argument("wire: health session count exceeds u32");
+    out.put_u32(static_cast<std::uint32_t>(msg.sessions.size()));
+    for (const SessionHealthEntry& entry : msg.sessions) {
+        out.put_str(entry.session);
+        put_health_snapshot(out, entry.health);
+    }
+    return finish_frame(FrameType::HealthOk, 0, std::move(out));
+}
+
+HealthOkMsg decode_health_ok(const Frame& frame) {
+    expect_type(frame, FrameType::HealthOk);
+    WireReader in(frame.payload);
+    HealthOkMsg msg;
+    // str len(4) + snapshot scalars dominate; 4 is a safe per-entry floor.
+    const std::size_t count = in.get_count(/*min_element_bytes=*/4);
+    msg.sessions.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        SessionHealthEntry entry;
+        entry.session = in.get_str();
+        entry.health = get_health_snapshot(in);
+        msg.sessions.push_back(std::move(entry));
+    }
     expect_consumed(in, frame.type);
     return msg;
 }

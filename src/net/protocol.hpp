@@ -8,15 +8,30 @@
 
 #include "core/search_space.hpp"
 #include "net/wire.hpp"
+#include "obs/health.hpp"
+#include "obs/span.hpp"
 #include "runtime/service.hpp"
 
 namespace atk::net {
 
 /// Version of the frame layout and message payloads.  Negotiated by the
-/// mandatory Hello/HelloOk exchange that opens every connection; a server
-/// refuses mismatched clients with Error{VersionMismatch} instead of
-/// guessing at payload layouts.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// mandatory Hello/HelloOk exchange that opens every connection: the server
+/// replies HelloOk carrying min(client version, server version) as long as
+/// the client is no older than kMinProtocolVersion, and refuses anything
+/// else with Error{VersionMismatch} instead of guessing at payload layouts.
+///
+/// v2 adds (all invisible to v1 peers):
+///   - an optional trace-context payload extension on Recommend/Report
+///     frames (kFlagTraceContext), carrying the sender's distributed-trace
+///     identity so server-side spans join the client's timeline;
+///   - the Health/HealthOk frame pair exposing per-session
+///     obs::TuningHealthMonitor snapshots.
+inline constexpr std::uint32_t kProtocolVersion = 2;
+
+/// Oldest protocol version this build still speaks.  v1 frames are a strict
+/// subset of v2 (no trace extensions, no Health frames), so compatibility is
+/// "don't send the new things", not a separate codec.
+inline constexpr std::uint32_t kMinProtocolVersion = 1;
 
 /// Hard ceiling on a frame payload (and therefore on every decoder
 /// allocation).  Snapshot payloads dominate; 16 MiB of text state covers
@@ -40,11 +55,21 @@ enum class FrameType : std::uint8_t {
     Stats = 11,       ///< (empty)
     StatsOk = 12,     ///< the runtime::ServiceStats scalars
     Error = 13,       ///< u32 code, str message
+    Health = 14,      ///< str session ("" = every session)        [v2]
+    HealthOk = 15,    ///< u32 n, n × {str session, health snapshot} [v2]
 };
 
-/// Frame flags (bit set).  Only Report honors any today; unknown bits are
-/// rejected by the decoder so they stay available for future versions.
+/// Frame flags (bit set).  Unknown bits are rejected by the decoder so they
+/// stay available for future versions.
+///
+/// kFlagAckRequested: Report frames only — the sender wants a ReportOk.
 inline constexpr std::uint8_t kFlagAckRequested = 0x01;
+
+/// kFlagTraceContext (v2): the Recommend/Report payload ends with a 16-byte
+/// trace-context extension — u64 trace_id, u64 parent span_id — linking the
+/// work the frame triggers into the sender's distributed trace.  v1 peers
+/// never see the bit: clients only inject it once HelloOk negotiated v2.
+inline constexpr std::uint8_t kFlagTraceContext = 0x02;
 
 /// Error frame codes.
 enum class ErrorCode : std::uint32_t {
@@ -134,6 +159,9 @@ struct HelloOkMsg {
 
 struct RecommendMsg {
     std::string session;
+    /// When valid, encoded as the kFlagTraceContext payload extension (v2);
+    /// invalid contexts encode byte-identically to a v1 frame.
+    obs::TraceContext trace;
 };
 
 struct RecommendationMsg {
@@ -144,6 +172,8 @@ struct RecommendationMsg {
 struct ReportMsg {
     std::string session;
     std::vector<runtime::BatchedMeasurement> batch;
+    /// See RecommendMsg::trace; one context covers the whole batch.
+    obs::TraceContext trace;
 };
 
 struct ReportOkMsg {
@@ -172,6 +202,19 @@ struct ErrorMsg {
     std::string message;
 };
 
+struct HealthMsg {
+    std::string session;  ///< "" requests every session's health
+};
+
+struct SessionHealthEntry {
+    std::string session;
+    obs::HealthSnapshot health;
+};
+
+struct HealthOkMsg {
+    std::vector<SessionHealthEntry> sessions;
+};
+
 [[nodiscard]] std::string encode_hello(const HelloMsg& msg);
 [[nodiscard]] std::string encode_hello_ok(const HelloOkMsg& msg);
 [[nodiscard]] std::string encode_recommend(const RecommendMsg& msg);
@@ -185,6 +228,8 @@ struct ErrorMsg {
 [[nodiscard]] std::string encode_stats_request();
 [[nodiscard]] std::string encode_stats_ok(const StatsOkMsg& msg);
 [[nodiscard]] std::string encode_error(const ErrorMsg& msg);
+[[nodiscard]] std::string encode_health(const HealthMsg& msg);
+[[nodiscard]] std::string encode_health_ok(const HealthOkMsg& msg);
 
 [[nodiscard]] HelloMsg decode_hello(const Frame& frame);
 [[nodiscard]] HelloOkMsg decode_hello_ok(const Frame& frame);
@@ -197,6 +242,8 @@ struct ErrorMsg {
 [[nodiscard]] RestoreOkMsg decode_restore_ok(const Frame& frame);
 [[nodiscard]] StatsOkMsg decode_stats_ok(const Frame& frame);
 [[nodiscard]] ErrorMsg decode_error(const Frame& frame);
+[[nodiscard]] HealthMsg decode_health(const Frame& frame);
+[[nodiscard]] HealthOkMsg decode_health_ok(const Frame& frame);
 
 /// Human-readable frame type name for logs and error messages.
 [[nodiscard]] const char* frame_type_name(FrameType type) noexcept;

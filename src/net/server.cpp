@@ -1,5 +1,6 @@
 #include "net/server.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <mutex>
@@ -38,6 +39,9 @@ struct TuningServer::Connection {
     std::size_t write_at = 0;       ///< flushed prefix of write_buf
     bool want_writable = false;     ///< EPOLLOUT currently registered
     bool handshaken = false;
+    /// Protocol version negotiated at Hello: min(client, server).  v2-only
+    /// requests (Health) from an older peer are protocol errors.
+    std::uint32_t version = kProtocolVersion;
     bool close_after_flush = false; ///< fatal reply queued; close once sent
     std::chrono::steady_clock::time_point last_activity;
 
@@ -380,32 +384,56 @@ std::string TuningServer::make_reply(Connection& conn, const Frame& frame,
                                  "connection must open with Hello"});
         }
         const HelloMsg hello = decode_hello(frame);
-        if (hello.version != kProtocolVersion) {
+        if (hello.version < kMinProtocolVersion) {
             service_.metrics().counter("net_protocol_errors").increment();
             close_after = true;
             return encode_error(
                 {ErrorCode::VersionMismatch,
-                 "server speaks protocol version " +
+                 "server speaks protocol versions " +
+                     std::to_string(kMinProtocolVersion) + ".." +
                      std::to_string(kProtocolVersion) + ", client sent " +
                      std::to_string(hello.version)});
         }
+        // A newer client downgrades to us, an older (but >= min) client is
+        // served at its own version: we just never send it v2 constructs.
+        conn.version = std::min(hello.version, kProtocolVersion);
         conn.handshaken = true;
-        return encode_hello_ok({kProtocolVersion, options_.server_name});
+        return encode_hello_ok({conn.version, options_.server_name});
     }
     switch (frame.type) {
         case FrameType::Recommend: {
             const RecommendMsg msg = decode_recommend(frame);
+            // Adopt the client's trace context (when the frame carried the
+            // v2 extension) so this span — and the tuner spans begin() opens
+            // for a new session — land in the caller's distributed trace.
+            obs::ScopedTraceContext trace_scope(msg.trace);
+            obs::Span work("server.recommend");
             RecommendationMsg reply{msg.session, service_.begin(msg.session)};
             return encode_recommendation(reply);
         }
         case FrameType::Report: {
             ReportMsg msg = decode_report(frame);
+            obs::ScopedTraceContext trace_scope(msg.trace);
+            obs::Span work("server.report");
             const std::size_t accepted =
                 service_.report_batch(msg.session, msg.batch);
             if ((frame.flags & kFlagAckRequested) == 0) return {};
             return encode_report_ok(
                 {static_cast<std::uint32_t>(accepted),
                  static_cast<std::uint32_t>(msg.batch.size() - accepted)});
+        }
+        case FrameType::Health: {
+            if (conn.version < 2) {
+                service_.metrics().counter("net_protocol_errors").increment();
+                close_after = true;
+                return encode_error({ErrorCode::BadRequest,
+                                     "Health frames need protocol version 2"});
+            }
+            const HealthMsg msg = decode_health(frame);
+            HealthOkMsg reply;
+            for (auto& [name, snapshot] : service_.health(msg.session))
+                reply.sessions.push_back({name, std::move(snapshot)});
+            return encode_health_ok(reply);
         }
         case FrameType::Snapshot: {
             if (!frame.payload.empty())

@@ -1,0 +1,414 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace atk::obs {
+namespace {
+
+double clamp_unit(double x) { return std::min(std::max(x, 0.0), 1.0); }
+
+} // namespace
+
+const char* health_signal_name(HealthSignal signal) noexcept {
+    switch (signal) {
+    case HealthSignal::Converged: return "converged";
+    case HealthSignal::Drift: return "drift";
+    case HealthSignal::Crossover: return "crossover";
+    case HealthSignal::Plateau: return "plateau";
+    }
+    return "unknown";
+}
+
+TuningHealthMonitor::TuningHealthMonitor(std::size_t algorithm_count,
+                                         HealthOptions options)
+    : options_(options),
+      algorithms_(algorithm_count),
+      window_counts_(algorithm_count, 0),
+      baseline_(clamp_unit(options.regret_quantile) > 0.0 &&
+                        clamp_unit(options.regret_quantile) < 1.0
+                    ? options.regret_quantile
+                    : 0.10) {
+    options_.share_window = std::max<std::size_t>(options_.share_window, 1);
+    options_.plateau_window = std::max<std::size_t>(options_.plateau_window, 2);
+    options_.yield_window = std::max<std::size_t>(options_.yield_window, 1);
+    options_.drift_warmup = std::max<std::size_t>(options_.drift_warmup, 2);
+}
+
+void TuningHealthMonitor::observe(std::size_t algorithm, double cost,
+                                  std::size_t config_dims) {
+    if (algorithm >= algorithms_.size()) return;
+    if (!std::isfinite(cost) || cost <= 0.0) return;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++samples_;
+    AlgoState& algo = algorithms_[algorithm];
+    algo.config_dims = std::max(algo.config_dims, config_dims);
+    ++algo.count;
+
+    // --- per-algorithm cost mean: arithmetic during warmup (an unbiased
+    // baseline for Page-Hinkley), slow EWMA after (tracks gentle seasonal
+    // movement without chasing a genuine shift).
+    if (algo.count <= options_.drift_warmup) {
+        algo.mean += (cost - algo.mean) / static_cast<double>(algo.count);
+    } else {
+        algo.mean += options_.mean_alpha * (cost - algo.mean);
+    }
+    if (algo.best == 0.0 || cost < algo.best) algo.best = cost;
+    if (algo.early_count < options_.yield_window) {
+        algo.early_sum += cost;
+        ++algo.early_count;
+    }
+
+    // --- trailing cost window (plateau CV).
+    algo.recent.push_back(cost);
+    algo.recent_sum += cost;
+    algo.recent_sq_sum += cost * cost;
+    if (algo.recent.size() > options_.plateau_window) {
+        const double old = algo.recent.front();
+        algo.recent.pop_front();
+        algo.recent_sum -= old;
+        algo.recent_sq_sum -= old * old;
+    }
+
+    // --- one-sided Page-Hinkley: accumulate relative cost *increases* over
+    // the established mean.  Decreases are tuning progress, not drift — a
+    // downward crossover is the crossover detector's job.
+    if (algo.count > options_.drift_warmup && algo.mean > 0.0) {
+        const double residual =
+            std::min(cost / algo.mean - 1.0 - options_.drift_delta,
+                     options_.drift_clamp);
+        algo.ph_m += residual;
+        algo.ph_min = std::min(algo.ph_min, algo.ph_m);
+        if (algo.ph_m - algo.ph_min > options_.drift_lambda) {
+            ++algo.drift_events;
+            ++drift_events_;
+            last_drift_sample_ = samples_;
+            // Re-baseline on the post-shift regime so a second, later shift
+            // can alarm again instead of drowning in the old mean.
+            algo.mean = algo.recent_sum / static_cast<double>(algo.recent.size());
+            algo.ph_m = 0.0;
+            algo.ph_min = 0.0;
+            emit(HealthSignal::Drift);
+        }
+    }
+
+    // --- trailing selection window + convergence criterion.
+    selections_.push_back(algorithm);
+    ++window_counts_[algorithm];
+    if (selections_.size() > options_.share_window) {
+        --window_counts_[selections_.front()];
+        selections_.pop_front();
+    }
+    if (converged_at_ == 0 && selections_.size() == options_.share_window) {
+        const std::uint64_t leader_count =
+            *std::max_element(window_counts_.begin(), window_counts_.end());
+        const double share = static_cast<double>(leader_count) /
+                             static_cast<double>(selections_.size());
+        if (share >= options_.converged_share) {
+            converged_at_ = samples_;
+            emit(HealthSignal::Converged);
+        }
+    }
+
+    // --- crossover: identity change of the cheapest sufficiently-sampled
+    // mean.  The latebloomer overtaking the incumbent in the drift scenario
+    // shows up here, not in the (increase-only) drift detector.
+    const std::optional<std::size_t> cheapest = cheapest_locked();
+    if (cheapest && cheapest_ && *cheapest != *cheapest_) {
+        ++crossover_events_;
+        cheapest_ = cheapest;
+        emit(HealthSignal::Crossover);
+    } else if (cheapest) {
+        cheapest_ = cheapest;
+    }
+
+    // --- plateau: the *current leader* is flat and never tuned well.
+    bool plateau_now = false;
+    if (!selections_.empty()) {
+        const std::size_t leader = static_cast<std::size_t>(
+            std::max_element(window_counts_.begin(), window_counts_.end()) -
+            window_counts_.begin());
+        plateau_now = plateau_of(algorithms_[leader]);
+    }
+    if (plateau_now && !plateau_) {
+        ++plateau_events_;
+        plateau_ = true;
+        emit(HealthSignal::Plateau);
+    } else if (!plateau_now) {
+        plateau_ = false;
+    }
+
+    // --- streaming regret estimate.
+    baseline_.add(cost);
+    if (recent_cost_ == 0.0) {
+        recent_cost_ = cost;
+    } else {
+        recent_cost_ += options_.regret_alpha * (cost - recent_cost_);
+    }
+}
+
+std::optional<std::size_t> TuningHealthMonitor::cheapest_locked() const {
+    std::optional<std::size_t> winner;
+    for (std::size_t i = 0; i < algorithms_.size(); ++i) {
+        const AlgoState& algo = algorithms_[i];
+        if (algo.count < options_.crossover_min_samples) continue;
+        if (!winner || algo.mean < algorithms_[*winner].mean) winner = i;
+    }
+    return winner;
+}
+
+double TuningHealthMonitor::yield_of(const AlgoState& algo) {
+    if (algo.early_count == 0 || algo.best <= 0.0) return 0.0;
+    const double early_mean =
+        algo.early_sum / static_cast<double>(algo.early_count);
+    if (early_mean <= 0.0) return 0.0;
+    return std::max(0.0, 1.0 - algo.best / early_mean);
+}
+
+double TuningHealthMonitor::cv_of(const AlgoState& algo) {
+    const std::size_t n = algo.recent.size();
+    if (n < 2) return 0.0;
+    const double mean = algo.recent_sum / static_cast<double>(n);
+    if (mean <= 0.0) return 0.0;
+    const double var = std::max(
+        0.0, algo.recent_sq_sum / static_cast<double>(n) - mean * mean);
+    return std::sqrt(var) / mean;
+}
+
+bool TuningHealthMonitor::plateau_of(const AlgoState& algo) const {
+    if (algo.config_dims == 0) return false;  // nothing to tune
+    if (algo.recent.size() < options_.plateau_window) return false;
+    if (cv_of(algo) > options_.plateau_cv) return false;
+    return yield_of(algo) < options_.plateau_min_yield;
+}
+
+HealthSnapshot TuningHealthMonitor::snapshot_locked() const {
+    HealthSnapshot snap;
+    snap.samples = samples_;
+    if (!selections_.empty()) {
+        const auto leader_it =
+            std::max_element(window_counts_.begin(), window_counts_.end());
+        snap.leader =
+            static_cast<std::size_t>(leader_it - window_counts_.begin());
+        snap.leader_share = static_cast<double>(*leader_it) /
+                            static_cast<double>(selections_.size());
+    }
+    snap.converged = converged_at_ != 0;
+    snap.converged_at = converged_at_;
+    snap.drift_events = drift_events_;
+    snap.last_drift_sample = last_drift_sample_;
+    snap.crossover_events = crossover_events_;
+    snap.plateau = plateau_;
+    snap.plateau_events = plateau_events_;
+    snap.recent_cost = recent_cost_;
+    const double baseline = baseline_.estimate();
+    snap.baseline_cost = std::isfinite(baseline) ? baseline : 0.0;
+    snap.regret = std::max(0.0, snap.recent_cost - snap.baseline_cost);
+    snap.algorithms.reserve(algorithms_.size());
+    for (const AlgoState& algo : algorithms_) {
+        AlgorithmHealth row;
+        row.samples = algo.count;
+        row.mean_cost = algo.mean;
+        row.best_cost = algo.best;
+        row.tuning_yield = yield_of(algo);
+        row.recent_cv = cv_of(algo);
+        row.plateau = plateau_of(algo);
+        row.drift_events = algo.drift_events;
+        snap.algorithms.push_back(row);
+    }
+    return snap;
+}
+
+HealthSnapshot TuningHealthMonitor::snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return snapshot_locked();
+}
+
+void TuningHealthMonitor::subscribe(
+    std::function<void(HealthSignal, const HealthSnapshot&)> handler) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    handlers_.push_back(std::move(handler));
+}
+
+void TuningHealthMonitor::emit(HealthSignal signal) {
+    if (handlers_.empty()) return;
+    const HealthSnapshot snap = snapshot_locked();
+    for (const auto& handler : handlers_) handler(signal, snap);
+}
+
+// ---------------------------------------------------------------------------
+// JSON line round-trip.  Same hand-rolled style as the audit trail: %.17g
+// doubles so a parse re-serializes bit-identically, flat key space, one
+// object per line.
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& value) {
+    for (const char c : value) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+void append_f64(std::string& out, const char* key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ",\"%s\":%.17g", key, value);
+    out += buf;
+}
+
+void append_u64(std::string& out, const char* key, std::uint64_t value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ",\"%s\":%llu", key,
+                  static_cast<unsigned long long>(value));
+    out += buf;
+}
+
+// Minimal extractors over the flat object (keys are unique per line).
+bool extract_u64(const std::string& line, const std::string& key,
+                 std::uint64_t& out) {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos) return false;
+    out = std::strtoull(line.c_str() + pos + needle.size(), nullptr, 10);
+    return true;
+}
+
+bool extract_f64(const std::string& line, const std::string& key, double& out) {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos) return false;
+    out = std::strtod(line.c_str() + pos + needle.size(), nullptr);
+    return true;
+}
+
+bool extract_str(const std::string& line, const std::string& key,
+                 std::string& out) {
+    const std::string needle = "\"" + key + "\":\"";
+    const std::size_t start = line.find(needle);
+    if (start == std::string::npos) return false;
+    std::size_t pos = start + needle.size();
+    out.clear();
+    while (pos < line.size() && line[pos] != '"') {
+        if (line[pos] == '\\' && pos + 1 < line.size()) {
+            ++pos;
+            switch (line[pos]) {
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            default: out += line[pos];
+            }
+        } else {
+            out += line[pos];
+        }
+        ++pos;
+    }
+    return pos < line.size();
+}
+
+} // namespace
+
+std::string health_to_json(const std::string& session,
+                           const HealthSnapshot& snapshot) {
+    std::string out = "{\"session\":\"";
+    append_escaped(out, session);
+    out += "\"";
+    append_u64(out, "samples", snapshot.samples);
+    append_u64(out, "leader",
+               snapshot.leader ? static_cast<std::uint64_t>(*snapshot.leader)
+                               : std::numeric_limits<std::uint64_t>::max());
+    append_f64(out, "leader_share", snapshot.leader_share);
+    append_u64(out, "converged", snapshot.converged ? 1 : 0);
+    append_u64(out, "converged_at", snapshot.converged_at);
+    append_u64(out, "drift_events", snapshot.drift_events);
+    append_u64(out, "last_drift_sample", snapshot.last_drift_sample);
+    append_u64(out, "crossover_events", snapshot.crossover_events);
+    append_u64(out, "plateau", snapshot.plateau ? 1 : 0);
+    append_u64(out, "plateau_events", snapshot.plateau_events);
+    append_f64(out, "regret", snapshot.regret);
+    append_f64(out, "recent_cost", snapshot.recent_cost);
+    append_f64(out, "baseline_cost", snapshot.baseline_cost);
+    out += ",\"algorithms\":[";
+    for (std::size_t i = 0; i < snapshot.algorithms.size(); ++i) {
+        const AlgorithmHealth& row = snapshot.algorithms[i];
+        if (i != 0) out += ",";
+        out += "{\"index\":" + std::to_string(i);
+        append_u64(out, "samples", row.samples);
+        append_f64(out, "mean_cost", row.mean_cost);
+        append_f64(out, "best_cost", row.best_cost);
+        append_f64(out, "tuning_yield", row.tuning_yield);
+        append_f64(out, "recent_cv", row.recent_cv);
+        append_u64(out, "plateau", row.plateau ? 1 : 0);
+        append_u64(out, "drift_events", row.drift_events);
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::optional<std::pair<std::string, HealthSnapshot>>
+health_from_json(const std::string& line) {
+    std::string session;
+    if (!extract_str(line, "session", session)) return std::nullopt;
+    HealthSnapshot snap;
+    // The session-level scalars live before the algorithms array; parse them
+    // off the prefix so per-algorithm keys (same names) cannot shadow them.
+    const std::size_t array_pos = line.find(",\"algorithms\":[");
+    if (array_pos == std::string::npos) return std::nullopt;
+    const std::string head = line.substr(0, array_pos);
+    std::uint64_t u = 0;
+    if (!extract_u64(head, "samples", snap.samples)) return std::nullopt;
+    if (extract_u64(head, "leader", u) &&
+        u != std::numeric_limits<std::uint64_t>::max()) {
+        snap.leader = static_cast<std::size_t>(u);
+    }
+    extract_f64(head, "leader_share", snap.leader_share);
+    if (extract_u64(head, "converged", u)) snap.converged = u != 0;
+    extract_u64(head, "converged_at", snap.converged_at);
+    extract_u64(head, "drift_events", snap.drift_events);
+    extract_u64(head, "last_drift_sample", snap.last_drift_sample);
+    extract_u64(head, "crossover_events", snap.crossover_events);
+    if (extract_u64(head, "plateau", u)) snap.plateau = u != 0;
+    extract_u64(head, "plateau_events", snap.plateau_events);
+    extract_f64(head, "regret", snap.regret);
+    extract_f64(head, "recent_cost", snap.recent_cost);
+    extract_f64(head, "baseline_cost", snap.baseline_cost);
+
+    // Per-algorithm rows: split on "},{" within the array body.
+    std::size_t pos = array_pos + std::strlen(",\"algorithms\":[");
+    while (pos < line.size() && line[pos] == '{') {
+        std::size_t end = line.find('}', pos);
+        if (end == std::string::npos) return std::nullopt;
+        const std::string obj = line.substr(pos, end - pos + 1);
+        AlgorithmHealth row;
+        extract_u64(obj, "samples", row.samples);
+        extract_f64(obj, "mean_cost", row.mean_cost);
+        extract_f64(obj, "best_cost", row.best_cost);
+        extract_f64(obj, "tuning_yield", row.tuning_yield);
+        extract_f64(obj, "recent_cv", row.recent_cv);
+        if (extract_u64(obj, "plateau", u)) row.plateau = u != 0;
+        extract_u64(obj, "drift_events", row.drift_events);
+        snap.algorithms.push_back(row);
+        pos = end + 1;
+        if (pos < line.size() && line[pos] == ',') ++pos;
+    }
+    return std::make_pair(std::move(session), std::move(snap));
+}
+
+} // namespace atk::obs

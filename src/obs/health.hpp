@@ -1,0 +1,201 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/streaming_quantile.hpp"
+
+namespace atk::obs {
+
+/// Detector thresholds of a TuningHealthMonitor.  The defaults are
+/// calibrated against the sim layer's named scenarios (tests/sim/
+/// health_gate_test.cpp): the drift detector fires within a bounded number
+/// of iterations after the `drift` scenario's phase change and never on
+/// `static`; the plateau detector mirrors the `plateau` scenario.
+struct HealthOptions {
+    /// Trailing selection window for leader share / convergence tracking.
+    std::size_t share_window = 50;
+    /// Leader share that counts as converged (the paper's 90% criterion).
+    double converged_share = 0.9;
+
+    /// Samples an algorithm needs before its Page-Hinkley detector arms —
+    /// the running mean must be established before residuals mean anything.
+    std::size_t drift_warmup = 15;
+    /// PH tolerance: relative cost increases below this are ambient noise.
+    double drift_delta = 0.15;
+    /// PH alarm threshold on the accumulated (clamped) residual excess.
+    double drift_lambda = 2.5;
+    /// Per-sample residual cap, so one wild outlier (a cold cache, a page
+    /// fault) cannot fire the alarm alone: at least lambda/clamp sustained
+    /// elevated samples are required.
+    double drift_clamp = 0.5;
+    /// EWMA factor of the per-algorithm cost mean once warmup completed.
+    /// Slow on purpose: the mean is the drift baseline and must not chase
+    /// the very shift it is there to expose.
+    double mean_alpha = 0.05;
+
+    /// Samples an algorithm needs before it can win the cheapest-mean
+    /// comparison — crossovers between barely-sampled algorithms are noise.
+    std::size_t crossover_min_samples = 8;
+
+    /// Trailing per-algorithm cost window for the plateau detector.
+    std::size_t plateau_window = 60;
+    /// Baseline horizon for the tuning yield: the algorithm's first
+    /// `yield_window` costs, before phase-one converges.  Kept short on
+    /// purpose — a searcher that converges within a long baseline would
+    /// dilute its own earned improvement down to "no yield".
+    std::size_t yield_window = 10;
+    /// Plateau needs the leader's recent costs this flat (coefficient of
+    /// variation) ...
+    double plateau_cv = 0.12;
+    /// ... while phase-one never earned more than this relative improvement
+    /// over the algorithm's own early costs.  A converged searcher that
+    /// genuinely optimized (static's winner gains ~65%) stays healthy; a
+    /// searcher wandering a flat mesa never clears the bar.
+    double plateau_min_yield = 0.30;
+
+    /// Quantile of the all-time cost stream used as the regret baseline.
+    double regret_quantile = 0.10;
+    /// EWMA factor of the recent-cost estimate regret compares against.
+    double regret_alpha = 0.10;
+};
+
+/// Signals published to subscribers the moment a detector fires — the bus a
+/// future StrategyWizard (ROADMAP: meta-tuning) will switch strategies on.
+enum class HealthSignal {
+    Converged,  ///< leader share first crossed converged_share
+    Drift,      ///< an algorithm's cost mean shifted up (Page-Hinkley alarm)
+    Crossover,  ///< the cheapest-mean algorithm changed identity
+    Plateau,    ///< leader flat-lined without ever having tuned well
+};
+
+[[nodiscard]] const char* health_signal_name(HealthSignal signal) noexcept;
+
+/// Per-algorithm detector state as exposed in snapshots.
+struct AlgorithmHealth {
+    std::uint64_t samples = 0;
+    double mean_cost = 0.0;    ///< running/EWMA mean (the drift baseline)
+    double best_cost = 0.0;    ///< 0 until the first sample
+    double tuning_yield = 0.0; ///< 1 - best/early_mean: what phase-one earned
+    double recent_cv = 0.0;    ///< coefficient of variation over the window
+    bool plateau = false;
+    std::uint64_t drift_events = 0;
+};
+
+/// Point-in-time view of one session's tuning health.
+struct HealthSnapshot {
+    std::uint64_t samples = 0;
+    /// Algorithm leading the trailing selection window; nullopt before the
+    /// first sample.
+    std::optional<std::size_t> leader;
+    double leader_share = 0.0;
+    bool converged = false;
+    std::uint64_t converged_at = 0;  ///< sample index of first convergence (0 = never)
+    std::uint64_t drift_events = 0;
+    std::uint64_t last_drift_sample = 0;
+    std::uint64_t crossover_events = 0;
+    bool plateau = false;
+    std::uint64_t plateau_events = 0;  ///< rising edges of the plateau flag
+    double regret = 0.0;          ///< recent mean cost minus the baseline (>= 0)
+    double recent_cost = 0.0;     ///< EWMA of all ingested costs
+    double baseline_cost = 0.0;   ///< streaming regret_quantile estimate
+    std::vector<AlgorithmHealth> algorithms;
+};
+
+/// Online per-session tuning-health detector stack, fed one measurement per
+/// tuning iteration (the aggregator's ingest path):
+///
+///   - convergence: leader share over a trailing selection window, plus the
+///     iteration the 90% criterion was first met;
+///   - drift: one-sided Page-Hinkley on each algorithm's relative cost
+///     residuals — sustained cost *increases* alarm; decreases are tuning
+///     progress by definition and are covered by the crossover detector;
+///   - crossover: identity changes of the cheapest-mean algorithm;
+///   - plateau: the leader's recent costs are flat while phase-one never
+///     achieved real improvement over the algorithm's early costs;
+///   - regret: EWMA of recent cost against a streaming low-quantile
+///     baseline of everything seen (support/streaming_quantile).
+///
+/// observe() is O(algorithms) worst case and allocation-free after warmup;
+/// snapshot() is safe from any thread (internal mutex).  Subscribers run
+/// inline on the observing thread and must be cheap.
+class TuningHealthMonitor {
+public:
+    explicit TuningHealthMonitor(std::size_t algorithm_count,
+                                 HealthOptions options = {});
+
+    /// Feeds one measurement: which algorithm ran, what it cost, and how
+    /// many tunable dimensions its configuration has (0 = untunable, which
+    /// exempts it from the plateau detector — nothing to tune cannot
+    /// plateau).  Ignores non-finite or non-positive costs and algorithm
+    /// indices out of range.
+    void observe(std::size_t algorithm, double cost, std::size_t config_dims);
+
+    [[nodiscard]] HealthSnapshot snapshot() const;
+
+    /// Registers a signal handler (the StrategyWizard bus).  Handlers run
+    /// inline under the monitor lock — do not call back into the monitor.
+    void subscribe(std::function<void(HealthSignal, const HealthSnapshot&)> handler);
+
+    [[nodiscard]] std::size_t algorithm_count() const noexcept {
+        return algorithms_.size();
+    }
+
+private:
+    struct AlgoState {
+        std::uint64_t count = 0;
+        double mean = 0.0;
+        double best = 0.0;
+        double early_sum = 0.0;        ///< sum of the first `yield_window` costs
+        std::uint64_t early_count = 0;
+        double ph_m = 0.0;             ///< Page-Hinkley cumulative residual
+        double ph_min = 0.0;           ///< running minimum of ph_m
+        std::uint64_t drift_events = 0;
+        std::size_t config_dims = 0;
+        std::deque<double> recent;     ///< last plateau_window costs
+        double recent_sum = 0.0;
+        double recent_sq_sum = 0.0;
+    };
+
+    [[nodiscard]] HealthSnapshot snapshot_locked() const;
+    void emit(HealthSignal signal);
+    [[nodiscard]] std::optional<std::size_t> cheapest_locked() const;
+    [[nodiscard]] static double yield_of(const AlgoState& algo);
+    [[nodiscard]] static double cv_of(const AlgoState& algo);
+    [[nodiscard]] bool plateau_of(const AlgoState& algo) const;
+
+    mutable std::mutex mutex_;
+    HealthOptions options_;
+    std::vector<AlgoState> algorithms_;
+    std::deque<std::size_t> selections_;      ///< trailing share window
+    std::vector<std::uint64_t> window_counts_; ///< per-algorithm count in window
+    std::uint64_t samples_ = 0;
+    std::uint64_t converged_at_ = 0;
+    std::uint64_t drift_events_ = 0;
+    std::uint64_t last_drift_sample_ = 0;
+    std::uint64_t crossover_events_ = 0;
+    std::optional<std::size_t> cheapest_;
+    bool plateau_ = false;
+    std::uint64_t plateau_events_ = 0;
+    double recent_cost_ = 0.0;
+    StreamingQuantile baseline_;
+    std::vector<std::function<void(HealthSignal, const HealthSnapshot&)>> handlers_;
+};
+
+/// One session's health snapshot as a single JSON object line — the format
+/// `atk_serve --health` writes (one line per session) and
+/// `atk_obs_inspect --health` reads back.
+[[nodiscard]] std::string health_to_json(const std::string& session,
+                                         const HealthSnapshot& snapshot);
+
+/// Parses a health_to_json() line; nullopt on malformed input.
+[[nodiscard]] std::optional<std::pair<std::string, HealthSnapshot>>
+health_from_json(const std::string& line);
+
+} // namespace atk::obs

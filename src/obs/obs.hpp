@@ -1,12 +1,14 @@
 #pragma once
 
 /// Umbrella header for the atk_obs observability layer: scoped span tracing
-/// with Chrome-trace export, the per-iteration decision audit trail, metric
-/// instruments with CSV / table / Prometheus exposition, and the background
-/// telemetry exporter.
+/// with Chrome-trace export and cross-process trace-context propagation, the
+/// per-iteration decision audit trail, the online tuning-health monitor,
+/// metric instruments with CSV / table / Prometheus exposition, and the
+/// background telemetry exporter.
 
 #include "obs/audit.hpp"
 #include "obs/exporter.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/span.hpp"

@@ -31,6 +31,9 @@ struct SpanRing {
         std::atomic<std::uint64_t> start_ns{0};
         std::atomic<std::uint64_t> end_ns{0};
         std::atomic<std::uint32_t> depth{0};
+        std::atomic<std::uint64_t> trace_id{0};
+        std::atomic<std::uint64_t> span_id{0};
+        std::atomic<std::uint64_t> parent_span_id{0};
     };
 
     explicit SpanRing(std::size_t capacity, std::uint32_t owner)
@@ -41,13 +44,17 @@ struct SpanRing {
     const std::uint32_t thread_id;
 
     void push(const char* name, std::uint64_t start, std::uint64_t end,
-              std::uint32_t depth) noexcept {
+              std::uint32_t depth, std::uint64_t trace_id, std::uint64_t span_id,
+              std::uint64_t parent_span_id) noexcept {
         const std::uint64_t n = total.load(std::memory_order_relaxed);
         Slot& slot = slots[n % slots.size()];
         slot.name.store(name, std::memory_order_relaxed);
         slot.start_ns.store(start, std::memory_order_relaxed);
         slot.end_ns.store(end, std::memory_order_relaxed);
         slot.depth.store(depth, std::memory_order_relaxed);
+        slot.trace_id.store(trace_id, std::memory_order_relaxed);
+        slot.span_id.store(span_id, std::memory_order_relaxed);
+        slot.parent_span_id.store(parent_span_id, std::memory_order_relaxed);
         total.store(n + 1, std::memory_order_release);
     }
 };
@@ -70,6 +77,20 @@ Registry& registry() {
 
 thread_local SpanRing* tls_ring = nullptr;
 thread_local std::uint32_t tls_depth = 0;
+thread_local TraceContext tls_context;
+
+/// Best-effort globally unique span ids: a per-thread 32-bit nonce (wall
+/// entropy mixed with the TLS slot's address, so two processes — or two
+/// threads — starting the same nanosecond still diverge) over a per-thread
+/// counter.  Uniqueness is probabilistic, which is all a trace viewer
+/// needs; ids are never 0 (0 means "no span").
+std::uint64_t next_span_id() noexcept {
+    thread_local std::uint64_t counter = 0;
+    thread_local const std::uint64_t nonce =
+        ((now_ns() * 0x9E3779B97F4A7C15ull) ^
+         reinterpret_cast<std::uintptr_t>(&counter)) << 32;
+    return nonce | (++counter & 0xFFFFFFFFull);
+}
 
 SpanRing& thread_ring() {
     if (tls_ring == nullptr) {
@@ -103,9 +124,20 @@ std::size_t Tracer::ring_capacity() noexcept {
 }
 
 void Tracer::record(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
-                    std::uint32_t depth) noexcept {
-    thread_ring().push(name, start_ns, end_ns, depth);
+                    std::uint32_t depth, std::uint64_t trace_id,
+                    std::uint64_t span_id, std::uint64_t parent_span_id) noexcept {
+    thread_ring().push(name, start_ns, end_ns, depth, trace_id, span_id,
+                       parent_span_id);
 }
+
+TraceContext current_trace_context() noexcept { return tls_context; }
+
+ScopedTraceContext::ScopedTraceContext(TraceContext context) noexcept
+    : saved_(tls_context) {
+    tls_context = context;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { tls_context = saved_; }
 
 std::uint64_t Tracer::thread_span_count() noexcept {
     return tls_ring == nullptr ? 0
@@ -133,6 +165,10 @@ std::vector<SpanRecord> Tracer::snapshot() {
             record.start_ns = slot.start_ns.load(std::memory_order_relaxed);
             record.end_ns = slot.end_ns.load(std::memory_order_relaxed);
             record.depth = slot.depth.load(std::memory_order_relaxed);
+            record.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+            record.span_id = slot.span_id.load(std::memory_order_relaxed);
+            record.parent_span_id =
+                slot.parent_span_id.load(std::memory_order_relaxed);
             record.thread_id = ring->thread_id;
             if (record.end_ns < record.start_ns) continue;  // mixed slot: drop
             spans.push_back(std::move(record));
@@ -157,13 +193,23 @@ void Tracer::clear() {
 void Span::begin(const char* name) noexcept {
     name_ = name;
     depth_ = tls_depth++;
+    // Adopt the thread's current context as the parent (an enclosing Span,
+    // a ScopedTraceContext carrying a remote caller, or nothing — in which
+    // case this span roots a fresh trace) and install ourselves for any
+    // children opened before finish().
+    saved_ = tls_context;
+    span_id_ = next_span_id();
+    trace_id_ = saved_.valid() ? saved_.trace_id : span_id_;
+    tls_context = TraceContext{trace_id_, span_id_};
     start_ns_ = now_ns();
 }
 
 void Span::finish() noexcept {
     const std::uint64_t end = now_ns();
     --tls_depth;
-    Tracer::record(name_, start_ns_, end, depth_);
+    tls_context = saved_;
+    Tracer::record(name_, start_ns_, end, depth_, trace_id_, span_id_,
+                   saved_.span_id);
 }
 
 std::vector<SpanStats> span_statistics(const std::vector<SpanRecord>& spans) {
@@ -218,7 +264,7 @@ std::string to_chrome_trace(const std::vector<SpanRecord>& spans) {
     // "X" complete events, what Perfetto's JSON importer expects) and
     // greppable / parseable line-by-line by load_chrome_trace().
     std::string out = "[\n";
-    char buf[160];
+    char buf[320];
     for (std::size_t i = 0; i < spans.size(); ++i) {
         const SpanRecord& span = spans[i];
         out += "{\"name\":";
@@ -226,11 +272,22 @@ std::string to_chrome_trace(const std::vector<SpanRecord>& spans) {
         // Microsecond timestamps with 3 decimals keep full ns precision.
         std::snprintf(buf, sizeof buf,
                       ",\"cat\":\"atk\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
-                      "\"pid\":1,\"tid\":%u,\"args\":{\"depth\":%u}}",
+                      "\"pid\":%u,\"tid\":%u,\"args\":{\"depth\":%u",
                       static_cast<double>(span.start_ns) / 1.0e3,
                       static_cast<double>(span.end_ns - span.start_ns) / 1.0e3,
-                      span.thread_id, span.depth);
+                      span.process_id, span.thread_id, span.depth);
         out += buf;
+        if (span.span_id != 0) {
+            // Ids as hex strings: u64 does not survive a JSON double.
+            std::snprintf(buf, sizeof buf,
+                          ",\"trace\":\"%016llx\",\"span\":\"%016llx\","
+                          "\"parent\":\"%016llx\"",
+                          static_cast<unsigned long long>(span.trace_id),
+                          static_cast<unsigned long long>(span.span_id),
+                          static_cast<unsigned long long>(span.parent_span_id));
+            out += buf;
+        }
+        out += "}}";
         if (i + 1 < spans.size()) out += ',';
         out += '\n';
     }
@@ -275,6 +332,13 @@ std::optional<double> extract_number(const std::string& line, const std::string&
     return std::strtod(line.c_str() + at + needle.size(), nullptr);
 }
 
+/// Value of `"key":"<hex>"` as a u64; 0 when absent or unparsable.
+std::uint64_t extract_hex(const std::string& line, const std::string& key) {
+    const std::string text = extract_string(line, key);
+    if (text.empty()) return 0;
+    return std::strtoull(text.c_str(), nullptr, 16);
+}
+
 } // namespace
 
 std::optional<std::vector<SpanRecord>> load_chrome_trace(const std::string& path) {
@@ -296,9 +360,33 @@ std::optional<std::vector<SpanRecord>> load_chrome_trace(const std::string& path
             static_cast<std::uint32_t>(extract_number(line, "tid").value_or(0.0));
         span.depth =
             static_cast<std::uint32_t>(extract_number(line, "depth").value_or(0.0));
+        span.process_id =
+            static_cast<std::uint32_t>(extract_number(line, "pid").value_or(1.0));
+        span.trace_id = extract_hex(line, "trace");
+        span.span_id = extract_hex(line, "span");
+        span.parent_span_id = extract_hex(line, "parent");
         spans.push_back(std::move(span));
     }
     return spans;
+}
+
+void set_process_id(std::vector<SpanRecord>& spans, std::uint32_t process_id) {
+    for (SpanRecord& span : spans) span.process_id = process_id;
+}
+
+std::vector<SpanRecord> merge_traces(
+    const std::vector<std::vector<SpanRecord>>& traces) {
+    std::vector<SpanRecord> merged;
+    std::size_t total = 0;
+    for (const auto& trace : traces) total += trace.size();
+    merged.reserve(total);
+    for (const auto& trace : traces)
+        merged.insert(merged.end(), trace.begin(), trace.end());
+    std::sort(merged.begin(), merged.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                  return a.start_ns < b.start_ns;
+              });
+    return merged;
 }
 
 } // namespace atk::obs

@@ -17,6 +17,41 @@ struct SpanRecord {
     std::uint64_t end_ns = 0;
     std::uint32_t thread_id = 0; ///< small dense id assigned per tracing thread
     std::uint32_t depth = 0;     ///< nesting depth at entry (0 = top level)
+    std::uint64_t trace_id = 0;  ///< distributed trace this span belongs to
+    std::uint64_t span_id = 0;   ///< this span's own id (0 = pre-trace record)
+    std::uint64_t parent_span_id = 0;  ///< 0 = root of its trace
+    std::uint32_t process_id = 1;      ///< Perfetto pid lane; rewritten on merge
+};
+
+/// The identity a span propagates to its children — across threads when
+/// installed with ScopedTraceContext, and across processes when carried in a
+/// wire frame's trace-context extension (net/protocol.hpp).  trace_id groups
+/// every span of one logical request; span_id names the would-be parent.
+struct TraceContext {
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    [[nodiscard]] bool valid() const noexcept { return trace_id != 0; }
+};
+
+/// The calling thread's active trace context: the innermost live Span (or
+/// the installed ScopedTraceContext) while tracing is enabled, invalid
+/// otherwise.  This is what a client injects into outgoing frames.
+[[nodiscard]] TraceContext current_trace_context() noexcept;
+
+/// Installs a trace context (typically one decoded off the wire) as the
+/// calling thread's current parent, so spans opened in scope join the
+/// remote caller's trace instead of starting fresh ones.  Restores the
+/// previous context on destruction; an invalid context installs "no parent".
+class ScopedTraceContext {
+public:
+    explicit ScopedTraceContext(TraceContext context) noexcept;
+    ~ScopedTraceContext();
+
+    ScopedTraceContext(const ScopedTraceContext&) = delete;
+    ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+private:
+    TraceContext saved_;
 };
 
 /// Process-wide span collector.  Each tracing thread owns a fixed-capacity
@@ -57,7 +92,9 @@ public:
 private:
     friend class Span;
     static void record(const char* name, std::uint64_t start_ns,
-                       std::uint64_t end_ns, std::uint32_t depth) noexcept;
+                       std::uint64_t end_ns, std::uint32_t depth,
+                       std::uint64_t trace_id, std::uint64_t span_id,
+                       std::uint64_t parent_span_id) noexcept;
 
     static std::atomic<bool> enabled_;
 };
@@ -89,6 +126,9 @@ private:
     const char* name_ = nullptr;
     std::uint64_t start_ns_ = 0;
     std::uint32_t depth_ = 0;
+    std::uint64_t trace_id_ = 0;
+    std::uint64_t span_id_ = 0;
+    TraceContext saved_;  ///< thread context to restore on finish
 };
 
 /// Aggregate statistics over all spans sharing a name.
@@ -107,6 +147,9 @@ struct SpanStats {
 
 /// Serializes spans as a Chrome trace-event JSON array ("X" complete
 /// events, microsecond timestamps) loadable in Perfetto / chrome://tracing.
+/// Each event carries its record's process_id as the Perfetto pid and, when
+/// the span belongs to a trace, hex trace/span/parent ids in args — so
+/// traces from several processes merge into one timeline keyed by trace_id.
 [[nodiscard]] std::string to_chrome_trace(const std::vector<SpanRecord>& spans);
 
 /// Writes to_chrome_trace() of the given spans to `path`; false on I/O error.
@@ -117,5 +160,15 @@ bool write_chrome_trace(const std::string& path, const std::vector<SpanRecord>& 
 /// be read; malformed event lines are skipped.
 [[nodiscard]] std::optional<std::vector<SpanRecord>> load_chrome_trace(
     const std::string& path);
+
+/// Stamps every record with `process_id` (its Perfetto pid lane).  Merging
+/// traces from N processes = one set_process_id per loaded file (distinct
+/// pids), concatenate, export — cross-process spans stay linked by trace_id.
+void set_process_id(std::vector<SpanRecord>& spans, std::uint32_t process_id);
+
+/// Concatenates per-process span sets into one merged timeline, sorted by
+/// start time.  Each input keeps the process_id already stamped on it.
+[[nodiscard]] std::vector<SpanRecord> merge_traces(
+    const std::vector<std::vector<SpanRecord>>& traces);
 
 } // namespace atk::obs

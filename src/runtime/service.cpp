@@ -47,8 +47,10 @@ std::shared_ptr<TuningSession> TuningService::session(const std::string& name) {
     if (it != shard.sessions.end()) return it->second;
     auto tuner = factory_(name);
     if (!tuner) throw std::invalid_argument("TuningService: factory returned null tuner");
-    auto created = std::make_shared<TuningSession>(name, std::move(tuner),
-                                                   options_.audit_capacity);
+    auto created = std::make_shared<TuningSession>(
+        name, std::move(tuner), options_.audit_capacity,
+        options_.health_enabled ? std::optional<obs::HealthOptions>(options_.health)
+                                : std::nullopt);
     shard.sessions.emplace(name, created);
     metrics_.counter("sessions_created").increment();
     return created;
@@ -92,7 +94,8 @@ Ticket TuningService::begin(const std::string& session_name) {
 
 bool TuningService::report(const std::string& session_name, const Ticket& ticket,
                            Cost cost) {
-    Event event{session_name, ticket, cost, std::chrono::steady_clock::now()};
+    Event event{session_name, ticket, cost, std::chrono::steady_clock::now(),
+                obs::current_trace_context()};
     enqueued_.fetch_add(1, std::memory_order_relaxed);
     const bool accepted =
         options_.block_when_full ? queue_.push(std::move(event))
@@ -110,8 +113,10 @@ bool TuningService::report(const std::string& session_name, const Ticket& ticket
 std::size_t TuningService::report_batch(const std::string& session_name,
                                         const std::vector<BatchedMeasurement>& batch) {
     std::size_t accepted = 0;
+    const obs::TraceContext trace = obs::current_trace_context();
     for (const BatchedMeasurement& m : batch) {
-        Event event{session_name, m.ticket, m.cost, std::chrono::steady_clock::now()};
+        Event event{session_name, m.ticket, m.cost, std::chrono::steady_clock::now(),
+                    trace};
         enqueued_.fetch_add(1, std::memory_order_relaxed);
         const bool ok = options_.block_when_full ? queue_.push(std::move(event))
                                                  : queue_.try_push(std::move(event));
@@ -167,6 +172,9 @@ void TuningService::drain_loop() {
 }
 
 void TuningService::process(const Event& event) {
+    // Rejoin the reporting thread's distributed trace (a remote client's,
+    // when the event came in over the wire) before opening our own spans.
+    obs::ScopedTraceContext trace_scope(event.trace);
     obs::Span span("service.ingest");
     metrics_.gauge("queue_depth").set(static_cast<double>(queue_.size()));
     const auto session_ptr = find(event.session);
@@ -192,6 +200,49 @@ void TuningService::process(const Event& event) {
                             std::chrono::steady_clock::now() - event.enqueued)
                             .count();
     metrics_.histogram("ingest_latency_ms").observe(waited);
+
+    if (const obs::TuningHealthMonitor* monitor = session_ptr->health()) {
+        const obs::HealthSnapshot h = monitor->snapshot();
+        const std::string prefix = "session." + event.session + ".health.";
+        metrics_.gauge(prefix + "leader_share").set(h.leader_share);
+        metrics_.gauge(prefix + "converged").set(h.converged ? 1.0 : 0.0);
+        metrics_.gauge(prefix + "converged_at")
+            .set(static_cast<double>(h.converged_at));
+        metrics_.gauge(prefix + "drift_events")
+            .set(static_cast<double>(h.drift_events));
+        metrics_.gauge(prefix + "crossover_events")
+            .set(static_cast<double>(h.crossover_events));
+        metrics_.gauge(prefix + "plateau").set(h.plateau ? 1.0 : 0.0);
+        metrics_.gauge(prefix + "regret").set(h.regret);
+    }
+}
+
+std::vector<std::pair<std::string, obs::HealthSnapshot>>
+TuningService::health(const std::string& filter) {
+    flush();
+    std::vector<std::pair<std::string, obs::HealthSnapshot>> out;
+    const auto collect = [&](const std::string& name) {
+        const auto session_ptr = find(name);
+        if (!session_ptr) return;
+        if (const obs::TuningHealthMonitor* monitor = session_ptr->health())
+            out.emplace_back(name, monitor->snapshot());
+    };
+    if (!filter.empty()) {
+        collect(filter);
+    } else {
+        for (const auto& name : session_names()) collect(name);
+    }
+    return out;
+}
+
+bool TuningService::write_health_json(const std::string& path) {
+    if (!options_.health_enabled) return false;
+    std::string out;
+    for (const auto& [name, snapshot] : health()) {
+        out += obs::health_to_json(name, snapshot);
+        out += '\n';
+    }
+    return obs::write_audit_file(path, out);
 }
 
 bool TuningService::write_audit_jsonl(const std::string& path) {

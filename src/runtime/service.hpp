@@ -9,8 +9,10 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "runtime/bounded_queue.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/session.hpp"
@@ -43,6 +45,15 @@ struct ServiceOptions {
     /// TuningService::write_audit_jsonl).  0 disables auditing, which also
     /// skips the per-decision weights() copy on the aggregator path.
     std::size_t audit_capacity = 0;
+    /// Attaches an online obs::TuningHealthMonitor to every session, fed by
+    /// the aggregator: convergence / drift / crossover / plateau detectors
+    /// plus a streaming regret estimate, exported per session as
+    /// `session.<name>.health.*` gauges and served over the net layer's
+    /// Health frame.  Off by default — enabling it adds a per-ingest
+    /// detector update and health-gauge refresh on the aggregator thread.
+    bool health_enabled = false;
+    /// Detector thresholds used when health_enabled is set.
+    obs::HealthOptions health;
     /// Test hook: runs on the aggregator thread before each event is
     /// processed.  Lets tests stall ingestion deterministically to exercise
     /// backpressure; leave empty in production.
@@ -155,6 +166,19 @@ public:
     /// reports zeros rather than missing fields.
     [[nodiscard]] ServiceStats stats();
 
+    /// Per-session tuning-health snapshots, name-sorted.  `filter` narrows
+    /// to one session ("" = all); unknown names and disabled monitors yield
+    /// an empty vector.  flush()es first so the snapshot reflects every
+    /// measurement already reported.
+    [[nodiscard]] std::vector<std::pair<std::string, obs::HealthSnapshot>>
+    health(const std::string& filter = "");
+
+    /// flush() + writes every monitored session's health as JSON Lines (one
+    /// obs::health_to_json object per session, name order) — the file
+    /// `atk_obs_inspect --health` consumes.  Returns false on I/O failure
+    /// or when health monitoring is disabled.
+    bool write_health_json(const std::string& path);
+
     /// Applies an offline-tuned seed measurement (creates the session if
     /// needed).  Returns false — and bumps `installs_rejected` — when the
     /// record does not fit the session's tuner; seeds are advisory, so a
@@ -209,6 +233,10 @@ private:
         Ticket ticket;
         Cost cost = 0.0;
         std::chrono::steady_clock::time_point enqueued;
+        /// Distributed-trace identity captured at enqueue (the reporting
+        /// thread's context, e.g. a server worker's remote parent), so the
+        /// aggregator's ingest spans join the originating trace.
+        obs::TraceContext trace;
     };
 
     [[nodiscard]] Shard& shard_for(const std::string& name) const;

@@ -8,9 +8,14 @@
 namespace atk::runtime {
 
 TuningSession::TuningSession(std::string name, std::unique_ptr<TwoPhaseTuner> tuner,
-                             std::size_t audit_capacity)
+                             std::size_t audit_capacity,
+                             std::optional<obs::HealthOptions> health)
     : name_(std::move(name)), tuner_(std::move(tuner)) {
     if (!tuner_) throw std::invalid_argument("TuningSession: null tuner");
+    if (health) {
+        health_ = std::make_unique<obs::TuningHealthMonitor>(
+            tuner_->algorithm_count(), *health);
+    }
     if (audit_capacity > 0) {
         audit_ = std::make_unique<obs::DecisionAuditTrail>(audit_capacity);
         // The hook runs on whichever thread drives tuner_->next() — always
@@ -62,6 +67,12 @@ IngestResult TuningSession::ingest(const Ticket& ticket, Cost cost) {
     }
     result.improved = !had_best || tuner_->best_cost() < previous_best;
     result.iteration = tuner_->iteration();
+    if (health_) {
+        // The monitor's mutex nests strictly inside the session mutex; its
+        // subscribers run inline here and must not call back into the session.
+        health_->observe(ticket.trial.algorithm, cost,
+                         ticket.trial.config.size());
+    }
     return result;
 }
 

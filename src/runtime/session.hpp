@@ -3,11 +3,13 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/tuner.hpp"
 #include "obs/audit.hpp"
+#include "obs/health.hpp"
 
 namespace atk::runtime {
 
@@ -51,9 +53,11 @@ public:
     /// the first recommendation.  `audit_capacity` > 0 attaches a decision
     /// audit trail of that many entries before the first recommendation is
     /// drawn, so even iteration 0 is explained; 0 disables auditing (no
-    /// per-decision weights copy).
+    /// per-decision weights copy).  A `health` options block attaches an
+    /// online obs::TuningHealthMonitor fed by every ingested measurement.
     TuningSession(std::string name, std::unique_ptr<TwoPhaseTuner> tuner,
-                  std::size_t audit_capacity = 0);
+                  std::size_t audit_capacity = 0,
+                  std::optional<obs::HealthOptions> health = std::nullopt);
 
     TuningSession(const TuningSession&) = delete;
     TuningSession& operator=(const TuningSession&) = delete;
@@ -79,6 +83,13 @@ public:
         return audit_.get();
     }
 
+    /// The session's online health monitor; nullptr when disabled.  The
+    /// monitor is internally synchronized — snapshot() from any thread,
+    /// subscribe() for the drift/plateau/crossover signal bus.
+    [[nodiscard]] obs::TuningHealthMonitor* health() const noexcept {
+        return health_.get();
+    }
+
     // ---- introspection (each takes the session lock briefly) ----
     [[nodiscard]] std::vector<double> strategy_weights() const;
     [[nodiscard]] std::size_t iterations() const;
@@ -102,6 +113,7 @@ private:
     const std::string name_;
     mutable std::mutex mutex_;
     std::unique_ptr<obs::DecisionAuditTrail> audit_;  // before tuner_: hook target
+    std::unique_ptr<obs::TuningHealthMonitor> health_;
     std::unique_ptr<TwoPhaseTuner> tuner_;
     std::uint64_t sequence_ = 0;
     Trial recommendation_;

@@ -105,8 +105,10 @@ TEST(TuningClient, HandshakeRefusalIsFinalNotRetried) {
     } catch (const NetError& error) {
         EXPECT_NE(std::string(error.what()).find("go away"), std::string::npos);
     }
-    // One connection, zero retries: a refused version never improves.
-    EXPECT_EQ(hellos.load(), 1);
+    // Exactly two connections: the v2 offer plus the single downgrade
+    // retry at v1.  A server refusing the oldest version we speak never
+    // improves, so no reconnect loop is entered.
+    EXPECT_EQ(hellos.load(), 2);
     EXPECT_EQ(client.reconnects(), 0u);
     stop.store(true);
     impostor.join();

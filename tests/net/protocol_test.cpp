@@ -169,9 +169,9 @@ TEST(FrameDecoder, MalformedHeaderTable) {
     };
     const Row rows[] = {
         {"type byte zero", 4, '\x00'},
-        {"type byte above last", 4, '\x0E'},
+        {"type byte above last", 4, '\x10'},
         {"type byte wild", 4, '\x7F'},
-        {"unknown flag bits", 5, '\x02'},
+        {"unknown flag bits", 5, '\x04'},
         {"reserved low byte", 6, '\x01'},
         {"reserved high byte", 7, '\x01'},
     };
@@ -427,9 +427,145 @@ TEST(Protocol, HostileCountsAreRejectedBeforeAllocation) {
     EXPECT_THROW((void)decode_recommendation(rec_frame), WireError);
 }
 
+// ---------------------------------------------------------------------------
+// v2 trace-context extension
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, TraceContextExtensionRoundTrips) {
+    const obs::TraceContext trace{0x1122334455667788ull, 0x99AABBCCDDEEFF00ull};
+    const Frame rec = decode_one(encode_recommend({"sess", trace}));
+    EXPECT_EQ(rec.flags & kFlagTraceContext, kFlagTraceContext);
+    const RecommendMsg back = decode_recommend(rec);
+    EXPECT_EQ(back.session, "sess");
+    EXPECT_EQ(back.trace.trace_id, trace.trace_id);
+    EXPECT_EQ(back.trace.span_id, trace.span_id);
+
+    ReportMsg report;
+    report.session = "sess";
+    report.batch.push_back({make_ticket(1, 0, {3}), 2.0});
+    report.trace = trace;
+    const Frame rep = decode_one(encode_report(report, true));
+    EXPECT_EQ(rep.flags, kFlagAckRequested | kFlagTraceContext);
+    const ReportMsg report_back = decode_report(rep);
+    EXPECT_EQ(report_back.trace.trace_id, trace.trace_id);
+    EXPECT_EQ(report_back.trace.span_id, trace.span_id);
+    ASSERT_EQ(report_back.batch.size(), 1u);
+}
+
+TEST(Protocol, FramesWithoutTraceContextStayByteIdenticalToV1) {
+    // An invalid (absent) trace context must not change the wire format at
+    // all: no flag, no payload suffix — exactly what a v1 peer expects.
+    const Frame frame = decode_one(encode_recommend({"legacy-session"}));
+    EXPECT_EQ(frame.flags & kFlagTraceContext, 0);
+    // Payload is exactly `str session`: length prefix + bytes, nothing after.
+    EXPECT_EQ(frame.payload.size(), 4u + std::string("legacy-session").size());
+    const RecommendMsg back = decode_recommend(frame);
+    EXPECT_FALSE(back.trace.valid());
+}
+
+TEST(Protocol, TruncatedTraceExtensionIsRejected) {
+    Frame frame = decode_one(
+        encode_recommend({"s", {0xAAAAAAAAAAAAAAAAull, 0xBBBBBBBBBBBBBBBBull}}));
+    frame.payload.resize(frame.payload.size() - 8);  // half the extension gone
+    EXPECT_THROW((void)decode_recommend(frame), WireError);
+}
+
+TEST(Protocol, TraceBytesWithoutTheFlagAreTrailingGarbage) {
+    // The 16 extension bytes are only legal when the header flag announces
+    // them; otherwise the strict length check must fire.
+    Frame frame = decode_one(
+        encode_recommend({"s", {0xAAAAAAAAAAAAAAAAull, 0xBBBBBBBBBBBBBBBBull}}));
+    frame.flags = 0;
+    EXPECT_THROW((void)decode_recommend(frame), WireError);
+}
+
+// ---------------------------------------------------------------------------
+// Health frames (v2)
+// ---------------------------------------------------------------------------
+
+obs::HealthSnapshot sample_snapshot() {
+    obs::HealthSnapshot snap;
+    snap.samples = 450;
+    snap.leader = 2;
+    snap.leader_share = 0.94;
+    snap.converged = true;
+    snap.converged_at = 120;
+    snap.drift_events = 2;
+    snap.last_drift_sample = 310;
+    snap.crossover_events = 1;
+    snap.plateau = true;
+    snap.plateau_events = 3;
+    snap.regret = 0.25;
+    snap.recent_cost = 1.5;
+    snap.baseline_cost = 1.25;
+    obs::AlgorithmHealth row;
+    row.samples = 300;
+    row.mean_cost = 1.45;
+    row.best_cost = 1.1;
+    row.tuning_yield = 0.4;
+    row.recent_cv = 0.08;
+    row.plateau = true;
+    row.drift_events = 2;
+    snap.algorithms.push_back(row);
+    return snap;
+}
+
+TEST(Protocol, HealthRequestRoundTrips) {
+    EXPECT_EQ(decode_health(decode_one(encode_health({"dsp/conv"}))).session,
+              "dsp/conv");
+    EXPECT_EQ(decode_health(decode_one(encode_health({""}))).session, "");
+}
+
+TEST(Protocol, HealthOkRoundTripsSnapshotsAndLeaderSentinel) {
+    HealthOkMsg msg;
+    msg.sessions.push_back({"dsp/conv", sample_snapshot()});
+    obs::HealthSnapshot fresh;  // leaderless: exercises the sentinel
+    msg.sessions.push_back({"raytrace/fresh", fresh});
+
+    const HealthOkMsg back = decode_health_ok(decode_one(encode_health_ok(msg)));
+    ASSERT_EQ(back.sessions.size(), 2u);
+    const obs::HealthSnapshot& h = back.sessions[0].health;
+    EXPECT_EQ(back.sessions[0].session, "dsp/conv");
+    EXPECT_EQ(h.samples, 450u);
+    ASSERT_TRUE(h.leader.has_value());
+    EXPECT_EQ(*h.leader, 2u);
+    EXPECT_DOUBLE_EQ(h.leader_share, 0.94);
+    EXPECT_TRUE(h.converged);
+    EXPECT_EQ(h.converged_at, 120u);
+    EXPECT_EQ(h.drift_events, 2u);
+    EXPECT_EQ(h.last_drift_sample, 310u);
+    EXPECT_EQ(h.crossover_events, 1u);
+    EXPECT_TRUE(h.plateau);
+    EXPECT_EQ(h.plateau_events, 3u);
+    EXPECT_DOUBLE_EQ(h.regret, 0.25);
+    EXPECT_DOUBLE_EQ(h.recent_cost, 1.5);
+    EXPECT_DOUBLE_EQ(h.baseline_cost, 1.25);
+    ASSERT_EQ(h.algorithms.size(), 1u);
+    EXPECT_EQ(h.algorithms[0].samples, 300u);
+    EXPECT_DOUBLE_EQ(h.algorithms[0].mean_cost, 1.45);
+    EXPECT_DOUBLE_EQ(h.algorithms[0].best_cost, 1.1);
+    EXPECT_DOUBLE_EQ(h.algorithms[0].tuning_yield, 0.4);
+    EXPECT_DOUBLE_EQ(h.algorithms[0].recent_cv, 0.08);
+    EXPECT_TRUE(h.algorithms[0].plateau);
+    EXPECT_EQ(h.algorithms[0].drift_events, 2u);
+    EXPECT_FALSE(back.sessions[1].health.leader.has_value());
+}
+
+TEST(Protocol, HealthOkHostileCountsAreRejectedBeforeAllocation) {
+    WireWriter writer;
+    writer.put_u32(0xFFFFFFFFu);  // 4 billion sessions in a 9-byte payload
+    writer.put_str("x");
+    Frame frame;
+    frame.type = FrameType::HealthOk;
+    frame.payload = writer.str();
+    EXPECT_THROW((void)decode_health_ok(frame), WireError);
+}
+
 TEST(Protocol, FrameTypeNamesAreStable) {
     EXPECT_STREQ(frame_type_name(FrameType::Hello), "Hello");
     EXPECT_STREQ(frame_type_name(FrameType::Error), "Error");
+    EXPECT_STREQ(frame_type_name(FrameType::Health), "Health");
+    EXPECT_STREQ(frame_type_name(FrameType::HealthOk), "HealthOk");
     EXPECT_STREQ(frame_type_name(static_cast<FrameType>(0)), "Unknown");
 }
 

@@ -154,21 +154,70 @@ TEST(TuningServer, BadRestorePayloadYieldsErrorFrameNotABrokenConnection) {
 // Protocol enforcement (raw peer)
 // ---------------------------------------------------------------------------
 
-TEST(TuningServer, RefusesVersionMismatchAndCloses) {
+TEST(TuningServer, RefusesPreHistoricVersionAndCloses) {
     runtime::TuningService service(test_factory());
     TuningServer server(service, quick_options());
     server.start();
 
+    // Below kMinProtocolVersion there is nothing to negotiate down to.
     RawConn raw(server.port());
-    raw.send_bytes(encode_hello({99, "time-traveler"}));
+    raw.send_bytes(encode_hello({0, "time-traveler"}));
     auto reply = raw.read_frame();
     ASSERT_TRUE(reply.has_value());
     ASSERT_EQ(reply->type, FrameType::Error);
     const ErrorMsg error = decode_error(*reply);
     EXPECT_EQ(error.code, ErrorCode::VersionMismatch);
-    EXPECT_NE(error.message.find("99"), std::string::npos);
+    EXPECT_NE(error.message.find("0"), std::string::npos);
     EXPECT_TRUE(raw.closed_by_peer());
     EXPECT_GE(service.metrics().counter("net_protocol_errors").value(), 1.0);
+    server.stop();
+    service.stop();
+}
+
+TEST(TuningServer, NegotiatesFutureVersionsDownToItsOwn) {
+    runtime::TuningService service(test_factory());
+    TuningServer server(service, quick_options());
+    server.start();
+
+    // A client from the future is served at our newest version instead of
+    // being turned away — it is expected to downgrade.
+    RawConn raw(server.port());
+    raw.send_bytes(encode_hello({99, "time-traveler"}));
+    auto reply = raw.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, FrameType::HelloOk);
+    EXPECT_EQ(decode_hello_ok(*reply).version, kProtocolVersion);
+    server.stop();
+    service.stop();
+}
+
+TEST(TuningServer, ServesV1ClientsAtTheirOwnVersion) {
+    runtime::TuningService service(test_factory());
+    TuningServer server(service, quick_options());
+    server.start();
+
+    RawConn raw(server.port());
+    raw.send_bytes(encode_hello({kMinProtocolVersion, "legacy"}));
+    auto reply = raw.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, FrameType::HelloOk);
+    EXPECT_EQ(decode_hello_ok(*reply).version, kMinProtocolVersion);
+
+    // v1 requests are served exactly as before the version bump...
+    raw.send_bytes(encode_recommend({"net/v1-session"}));
+    auto rec = raw.read_frame();
+    ASSERT_TRUE(rec.has_value());
+    ASSERT_EQ(rec->type, FrameType::Recommendation);
+    // ... and the frame carries no v2 flags a v1 decoder would choke on.
+    EXPECT_EQ(rec->flags & kFlagTraceContext, 0);
+
+    // v2-only requests on a v1 connection are a protocol error.
+    raw.send_bytes(encode_health({""}));
+    auto health = raw.read_frame();
+    ASSERT_TRUE(health.has_value());
+    ASSERT_EQ(health->type, FrameType::Error);
+    EXPECT_EQ(decode_error(*health).code, ErrorCode::BadRequest);
+    EXPECT_TRUE(raw.closed_by_peer());
     server.stop();
     service.stop();
 }

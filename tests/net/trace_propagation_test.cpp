@@ -1,0 +1,339 @@
+/// The distributed-tracing acceptance test: a client and an (in-process)
+/// server each collect their own spans, the wire carries the trace-context
+/// extension between them, and the two exported files merge into one
+/// Perfetto timeline where a single trace_id links the client's recommend
+/// span through the server worker down into the tuner's phase-two
+/// selection.  Plus the protocol-version negotiation the extension rides on.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net_test_util.hpp"
+#include "obs/span.hpp"
+
+namespace atk::net {
+namespace {
+
+using testing::test_factory;
+
+ServerOptions quick_options() {
+    ServerOptions options;
+    options.port = 0;
+    options.worker_threads = 2;
+    return options;
+}
+
+std::vector<obs::SpanRecord> named(const std::vector<obs::SpanRecord>& spans,
+                                   const std::string& name) {
+    std::vector<obs::SpanRecord> out;
+    for (const auto& span : spans)
+        if (span.name == name) out.push_back(span);
+    return out;
+}
+
+class TracePropagation : public ::testing::Test {
+protected:
+    void SetUp() override {
+        obs::Tracer::enable(false);
+        obs::Tracer::clear();
+    }
+    void TearDown() override {
+        obs::Tracer::enable(false);
+        obs::Tracer::clear();
+    }
+};
+
+TEST_F(TracePropagation, ClientTraceReachesTheTunerThroughTheWire) {
+    runtime::TuningService service(test_factory());
+    TuningServer server(service, quick_options());
+    server.start();
+
+    obs::Tracer::enable();
+    ClientOptions copt;
+    copt.port = server.port();
+    TuningClient client(copt);
+
+    // One full tuning interaction: the recommend creates the session (the
+    // tuner's first phase2_select runs inside the server worker), the
+    // report travels through the ingestion queue into the aggregator.
+    const runtime::Ticket ticket = client.recommend("net/traced");
+    ASSERT_TRUE(client.report("net/traced", ticket, 1.5));
+    service.flush();
+    server.stop();
+    obs::Tracer::enable(false);
+
+    const auto spans = obs::Tracer::snapshot();
+    const auto client_rec = named(spans, "client.recommend");
+    const auto server_rec = named(spans, "server.recommend");
+    const auto phase2 = named(spans, "tuner.phase2_select");
+    ASSERT_EQ(client_rec.size(), 1u);
+    ASSERT_EQ(server_rec.size(), 1u);
+    ASSERT_GE(phase2.size(), 1u);
+
+    // The wire extension made the server span a *child* of the client span
+    // in the same trace, despite running on a different thread behind a
+    // socket.
+    const std::uint64_t trace_id = client_rec[0].trace_id;
+    ASSERT_NE(trace_id, 0u);
+    EXPECT_EQ(server_rec[0].trace_id, trace_id);
+    EXPECT_EQ(server_rec[0].parent_span_id, client_rec[0].span_id);
+    EXPECT_NE(server_rec[0].thread_id, client_rec[0].thread_id);
+
+    // The session's first phase-two selection happened while serving the
+    // recommend: it belongs to the same distributed trace, parented inside
+    // the server's span tree.
+    bool phase2_in_trace = false;
+    for (const auto& span : phase2)
+        phase2_in_trace |= span.trace_id == trace_id;
+    EXPECT_TRUE(phase2_in_trace);
+
+    // The report's trace crossed one more hop: worker enqueue ->
+    // aggregator thread.  service.ingest re-installs the event's context.
+    const auto client_rep = named(spans, "client.report");
+    const auto ingest = named(spans, "service.ingest");
+    ASSERT_EQ(client_rep.size(), 1u);
+    bool ingest_in_report_trace = false;
+    for (const auto& span : ingest)
+        ingest_in_report_trace |= span.trace_id == client_rep[0].trace_id;
+    EXPECT_TRUE(ingest_in_report_trace);
+}
+
+TEST_F(TracePropagation, TwoProcessFilesMergeIntoOneTimeline) {
+    runtime::TuningService service(test_factory());
+    TuningServer server(service, quick_options());
+    server.start();
+
+    obs::Tracer::enable();
+    ClientOptions copt;
+    copt.port = server.port();
+    {
+        TuningClient client(copt);
+        const runtime::Ticket ticket = client.recommend("net/merged");
+        ASSERT_TRUE(client.report("net/merged", ticket, 2.0));
+    }
+    service.flush();
+    server.stop();
+    obs::Tracer::enable(false);
+
+    // Emulate the two-process deployment: the client's spans go into one
+    // trace file (pid lane 1), everything server-side into another (lane
+    // 2) — exactly what examples/net_client --trace and atk_serve --trace
+    // produce on separate machines.
+    std::vector<obs::SpanRecord> client_side;
+    std::vector<obs::SpanRecord> server_side;
+    for (const auto& span : obs::Tracer::snapshot()) {
+        if (span.name.rfind("client.", 0) == 0)
+            client_side.push_back(span);
+        else
+            server_side.push_back(span);
+    }
+    obs::set_process_id(client_side, 1);
+    obs::set_process_id(server_side, 2);
+    const std::string client_path = ::testing::TempDir() + "trace_client.json";
+    const std::string server_path = ::testing::TempDir() + "trace_server.json";
+    ASSERT_TRUE(obs::write_chrome_trace(client_path, client_side));
+    ASSERT_TRUE(obs::write_chrome_trace(server_path, server_side));
+
+    // Load both files back (what atk_obs_inspect --trace a,b does) and
+    // merge.
+    const auto client_loaded = obs::load_chrome_trace(client_path);
+    const auto server_loaded = obs::load_chrome_trace(server_path);
+    ASSERT_TRUE(client_loaded.has_value());
+    ASSERT_TRUE(server_loaded.has_value());
+    const auto merged = obs::merge_traces({*client_loaded, *server_loaded});
+
+    // At least one trace id spans both process lanes, and that trace
+    // contains the full chain: client recommend -> server worker -> tuner
+    // phase-two selection.
+    std::map<std::uint64_t, std::set<std::uint32_t>> pids_by_trace;
+    std::map<std::uint64_t, std::set<std::string>> names_by_trace;
+    for (const auto& span : merged) {
+        if (span.trace_id == 0) continue;
+        pids_by_trace[span.trace_id].insert(span.process_id);
+        names_by_trace[span.trace_id].insert(span.name);
+    }
+    bool full_chain = false;
+    for (const auto& [trace_id, pids] : pids_by_trace) {
+        if (pids.size() < 2) continue;
+        const auto& names = names_by_trace[trace_id];
+        full_chain |= names.count("client.recommend") == 1 &&
+                      names.count("server.recommend") == 1 &&
+                      names.count("tuner.phase2_select") == 1;
+    }
+    EXPECT_TRUE(full_chain);
+
+    // Timestamps stay ordered in the merged timeline.
+    for (std::size_t i = 1; i < merged.size(); ++i)
+        EXPECT_GE(merged[i].start_ns, merged[i - 1].start_ns);
+}
+
+TEST_F(TracePropagation, DisabledTracerSendsPlainV1Frames) {
+    runtime::TuningService service(test_factory());
+    TuningServer server(service, quick_options());
+    server.start();
+
+    ClientOptions copt;
+    copt.port = server.port();
+    TuningClient client(copt);
+    const runtime::Ticket ticket = client.recommend("net/untraced");
+    ASSERT_TRUE(client.report("net/untraced", ticket, 1.0));
+    EXPECT_EQ(client.negotiated_version(), kProtocolVersion);
+
+    // Tracing was never enabled: nothing recorded anywhere, and the frames
+    // went out without the extension (the server would have recorded child
+    // spans otherwise).
+    EXPECT_TRUE(obs::Tracer::snapshot().empty());
+    server.stop();
+    service.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Version negotiation against an old server
+// ---------------------------------------------------------------------------
+
+/// A minimal v1-only server: refuses any other hello version with
+/// VersionMismatch (exactly what the pre-v2 TuningServer did), then answers
+/// one Recommendation per Recommend.
+class V1OnlyServer {
+public:
+    V1OnlyServer() {
+        auto [listener, port] = listen_tcp("127.0.0.1", 0);
+        listener_ = std::move(listener);
+        port_ = port;
+        thread_ = std::thread([this] { run(); });
+    }
+
+    ~V1OnlyServer() {
+        stop_.store(true);
+        if (thread_.joinable()) thread_.join();
+    }
+
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+private:
+    void run() {
+        while (!stop_.load()) {
+            if (!wait_readable(listener_.get(), std::chrono::milliseconds(50)))
+                continue;
+            FdHandle conn(::accept(listener_.get(), nullptr, nullptr));
+            if (!conn.valid()) continue;
+            serve(conn);
+        }
+    }
+
+    void serve(FdHandle& conn) {
+        FrameDecoder decoder;
+        bool handshaken = false;
+        char chunk[4096];
+        while (!stop_.load()) {
+            if (auto frame = decoder.next()) {
+                std::string reply;
+                if (!handshaken) {
+                    const HelloMsg hello = decode_hello(*frame);
+                    if (hello.version != 1) {
+                        reply = encode_error({ErrorCode::VersionMismatch,
+                                              "v1 only, client sent " +
+                                                  std::to_string(hello.version)});
+                        send(conn, reply);
+                        return;  // close, like the old server did
+                    }
+                    handshaken = true;
+                    reply = encode_hello_ok({1, "v1-relic"});
+                } else if (frame->type == FrameType::Recommend) {
+                    const RecommendMsg msg = decode_recommend(*frame);
+                    reply = encode_recommendation({msg.session, {}});
+                } else {
+                    return;
+                }
+                send(conn, reply);
+                continue;
+            }
+            if (decoder.error()) return;
+            if (!wait_readable(conn.get(), std::chrono::milliseconds(50)))
+                continue;
+            const ::ssize_t got = ::recv(conn.get(), chunk, sizeof(chunk), 0);
+            if (got <= 0) return;
+            decoder.feed(chunk, static_cast<std::size_t>(got));
+        }
+    }
+
+    static void send(FdHandle& conn, const std::string& bytes) {
+        std::size_t at = 0;
+        while (at < bytes.size()) {
+            const ::ssize_t sent = ::send(conn.get(), bytes.data() + at,
+                                          bytes.size() - at, MSG_NOSIGNAL);
+            if (sent <= 0) return;
+            at += static_cast<std::size_t>(sent);
+        }
+    }
+
+    FdHandle listener_;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+TEST_F(TracePropagation, ClientDowngradesToV1AndGatesV2Features) {
+    V1OnlyServer relic;
+    ClientOptions copt;
+    copt.port = relic.port();
+    TuningClient client(copt);
+
+    // Tracing on: against a v2 server this would add the extension — but
+    // the downgraded connection must not emit v2 constructs.
+    obs::Tracer::enable();
+    (void)client.recommend("net/legacy");
+    EXPECT_EQ(client.negotiated_version(), 1u);
+
+    // v2-only request surfaces are refused locally, before any bytes move.
+    EXPECT_THROW((void)client.health(), NetError);
+}
+
+// ---------------------------------------------------------------------------
+// Health over the wire
+// ---------------------------------------------------------------------------
+
+TEST_F(TracePropagation, HealthFramesServePerSessionSnapshots) {
+    runtime::ServiceOptions sopt;
+    sopt.health_enabled = true;
+    runtime::TuningService service(test_factory(), sopt);
+    TuningServer server(service, quick_options());
+    server.start();
+
+    ClientOptions copt;
+    copt.port = server.port();
+    TuningClient client(copt);
+    for (int i = 0; i < 20; ++i) {
+        const runtime::Ticket ticket = client.recommend("net/healthy");
+        ASSERT_TRUE(client.report("net/healthy", ticket, 1.0 + 0.01 * i));
+    }
+
+    // "" asks for every session; the reply carries live detector state.
+    const auto all = client.health();
+    ASSERT_EQ(all.size(), 1u);
+    EXPECT_EQ(all[0].session, "net/healthy");
+    EXPECT_EQ(all[0].health.samples, 20u);
+    ASSERT_EQ(all[0].health.algorithms.size(), 2u);
+
+    // Filtered requests return just the named session; unknown names are
+    // simply absent.
+    const auto one = client.health("net/healthy");
+    ASSERT_EQ(one.size(), 1u);
+    const auto none = client.health("net/unknown");
+    EXPECT_TRUE(none.empty());
+
+    server.stop();
+    service.stop();
+}
+
+} // namespace
+} // namespace atk::net

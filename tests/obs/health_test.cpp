@@ -1,0 +1,273 @@
+#include "obs/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace atk::obs {
+namespace {
+
+/// Small windows so every detector can be driven with a handful of samples.
+HealthOptions fast_options() {
+    HealthOptions options;
+    options.share_window = 10;
+    options.drift_warmup = 5;
+    options.plateau_window = 10;
+    options.yield_window = 10;
+    options.crossover_min_samples = 4;
+    return options;
+}
+
+TEST(HealthMonitor, StartsEmpty) {
+    TuningHealthMonitor monitor(3, fast_options());
+    const HealthSnapshot snap = monitor.snapshot();
+    EXPECT_EQ(snap.samples, 0u);
+    EXPECT_FALSE(snap.leader.has_value());
+    EXPECT_FALSE(snap.converged);
+    EXPECT_EQ(snap.drift_events, 0u);
+    EXPECT_EQ(snap.crossover_events, 0u);
+    EXPECT_FALSE(snap.plateau);
+    EXPECT_DOUBLE_EQ(snap.regret, 0.0);
+    ASSERT_EQ(snap.algorithms.size(), 3u);
+    EXPECT_EQ(monitor.algorithm_count(), 3u);
+}
+
+TEST(HealthMonitor, IgnoresGarbageSamples) {
+    TuningHealthMonitor monitor(2, fast_options());
+    monitor.observe(7, 1.0, 0);  // algorithm out of range
+    monitor.observe(0, std::numeric_limits<double>::quiet_NaN(), 0);
+    monitor.observe(0, std::numeric_limits<double>::infinity(), 0);
+    monitor.observe(0, -1.0, 0);
+    monitor.observe(0, 0.0, 0);
+    EXPECT_EQ(monitor.snapshot().samples, 0u);
+}
+
+TEST(HealthMonitor, ConvergenceFiresOnceAtTheShareCriterion) {
+    TuningHealthMonitor monitor(2, fast_options());
+    // Perfectly alternating selections: share 50%, never converged.
+    for (int i = 0; i < 40; ++i)
+        monitor.observe(static_cast<std::size_t>(i % 2), 1.0, 1);
+    EXPECT_FALSE(monitor.snapshot().converged);
+
+    // One algorithm takes over: once it holds >= 90% of the trailing
+    // window the criterion fires, and the sample index sticks.
+    for (int i = 0; i < 20; ++i) monitor.observe(0, 1.0, 1);
+    const HealthSnapshot snap = monitor.snapshot();
+    EXPECT_TRUE(snap.converged);
+    EXPECT_GT(snap.converged_at, 40u);
+    ASSERT_TRUE(snap.leader.has_value());
+    EXPECT_EQ(*snap.leader, 0u);
+    EXPECT_GE(snap.leader_share, 0.9);
+
+    const std::uint64_t first = snap.converged_at;
+    for (int i = 0; i < 20; ++i) monitor.observe(0, 1.0, 1);
+    EXPECT_EQ(monitor.snapshot().converged_at, first);  // latched, not moving
+}
+
+TEST(HealthMonitor, DriftFiresOnSustainedCostIncrease) {
+    TuningHealthMonitor monitor(1, fast_options());
+    for (int i = 0; i < 30; ++i) monitor.observe(0, 1.0, 0);
+    EXPECT_EQ(monitor.snapshot().drift_events, 0u);
+
+    // Costs double: the Page-Hinkley residual is clamped at drift_clamp,
+    // so the alarm needs at least lambda/clamp sustained samples — and
+    // must have fired well within 30.
+    for (int i = 0; i < 30; ++i) monitor.observe(0, 2.0, 0);
+    const HealthSnapshot after = monitor.snapshot();
+    EXPECT_EQ(after.drift_events, 1u);
+    EXPECT_GT(after.last_drift_sample, 30u);
+    EXPECT_LE(after.last_drift_sample, 45u);  // bounded detection delay
+    ASSERT_EQ(after.algorithms.size(), 1u);
+    EXPECT_EQ(after.algorithms[0].drift_events, 1u);
+
+    // Re-baselined on the new regime: a second, later shift alarms again.
+    for (int i = 0; i < 30; ++i) monitor.observe(0, 4.0, 0);
+    EXPECT_EQ(monitor.snapshot().drift_events, 2u);
+}
+
+TEST(HealthMonitor, NoDriftOnStableOrImprovingCosts) {
+    TuningHealthMonitor monitor(1, fast_options());
+    // Steady, then steadily improving: cost *decreases* are tuning
+    // progress, never drift.
+    for (int i = 0; i < 40; ++i) monitor.observe(0, 1.0, 0);
+    for (int i = 0; i < 40; ++i)
+        monitor.observe(0, 1.0 - 0.01 * static_cast<double>(i), 0);
+    EXPECT_EQ(monitor.snapshot().drift_events, 0u);
+}
+
+TEST(HealthMonitor, CrossoverWhenTheCheapestAlgorithmChanges) {
+    TuningHealthMonitor monitor(2, fast_options());
+    for (int i = 0; i < 10; ++i) monitor.observe(0, 1.0, 0);
+    for (int i = 0; i < 10; ++i) monitor.observe(1, 2.0, 0);
+    EXPECT_EQ(monitor.snapshot().crossover_events, 0u);
+
+    // Algorithm 1 becomes dramatically cheaper; its (slow) mean crosses
+    // below algorithm 0's eventually — exactly one identity change.
+    for (int i = 0; i < 60; ++i) monitor.observe(1, 0.2, 0);
+    EXPECT_EQ(monitor.snapshot().crossover_events, 1u);
+}
+
+TEST(HealthMonitor, PlateauNeedsFlatCostsLowYieldAndTunableDims) {
+    // A tunable algorithm stuck on a flat cost surface: no yield, no
+    // variation -> plateau.
+    TuningHealthMonitor flat(1, fast_options());
+    for (int i = 0; i < 30; ++i) flat.observe(0, 1.0, 2);
+    const HealthSnapshot stuck = flat.snapshot();
+    EXPECT_TRUE(stuck.plateau);
+    EXPECT_EQ(stuck.plateau_events, 1u);  // rising edge counted once
+    ASSERT_EQ(stuck.algorithms.size(), 1u);
+    EXPECT_TRUE(stuck.algorithms[0].plateau);
+
+    // Same costs but zero tunable dimensions: nothing to tune cannot
+    // plateau.
+    TuningHealthMonitor untunable(1, fast_options());
+    for (int i = 0; i < 30; ++i) untunable.observe(0, 1.0, 0);
+    EXPECT_FALSE(untunable.snapshot().plateau);
+
+    // Flat *after a real improvement* (yield 50%): converged, not stuck.
+    TuningHealthMonitor tuned(1, fast_options());
+    for (int i = 0; i < 10; ++i) tuned.observe(0, 2.0, 2);
+    for (int i = 0; i < 30; ++i) tuned.observe(0, 1.0, 2);
+    EXPECT_FALSE(tuned.snapshot().plateau);
+}
+
+TEST(HealthMonitor, PlateauClearsWhenCostsMoveAgain) {
+    TuningHealthMonitor monitor(1, fast_options());
+    for (int i = 0; i < 30; ++i) monitor.observe(0, 1.0, 2);
+    ASSERT_TRUE(monitor.snapshot().plateau);
+    // High variation breaks the flatness criterion; the edge counter
+    // keeps its history.
+    for (int i = 0; i < 20; ++i)
+        monitor.observe(0, i % 2 == 0 ? 0.5 : 1.5, 2);
+    const HealthSnapshot snap = monitor.snapshot();
+    EXPECT_FALSE(snap.plateau);
+    EXPECT_EQ(snap.plateau_events, 1u);
+}
+
+TEST(HealthMonitor, RegretGrowsWhenRecentCostsLeaveTheBaseline) {
+    TuningHealthMonitor monitor(1, fast_options());
+    for (int i = 0; i < 100; ++i) monitor.observe(0, 1.0, 0);
+    const double settled = monitor.snapshot().regret;
+    EXPECT_LT(settled, 0.1);  // recent ~ baseline while nothing changes
+
+    for (int i = 0; i < 60; ++i) monitor.observe(0, 3.0, 0);
+    const HealthSnapshot snap = monitor.snapshot();
+    // The EWMA chased the new cost while the low-quantile baseline stayed
+    // near the old one: regret ~ the 2.0 gap.
+    EXPECT_GT(snap.regret, 1.0);
+    EXPECT_GT(snap.recent_cost, 2.5);
+    EXPECT_LT(snap.baseline_cost, 1.5);
+}
+
+TEST(HealthMonitor, SignalBusDeliversDetectorEvents) {
+    TuningHealthMonitor monitor(1, fast_options());
+    std::vector<std::pair<HealthSignal, std::uint64_t>> events;
+    monitor.subscribe([&](HealthSignal signal, const HealthSnapshot& snap) {
+        events.emplace_back(signal, snap.samples);
+    });
+    for (int i = 0; i < 30; ++i) monitor.observe(0, 1.0, 0);
+    for (int i = 0; i < 30; ++i) monitor.observe(0, 2.0, 0);
+
+    ASSERT_GE(events.size(), 2u);
+    // A single algorithm converges as soon as the window fills, then the
+    // cost shift raises Drift; each event carries the snapshot at fire time.
+    EXPECT_EQ(events[0].first, HealthSignal::Converged);
+    EXPECT_EQ(events[0].second, 10u);
+    bool drift_seen = false;
+    for (const auto& [signal, at] : events)
+        if (signal == HealthSignal::Drift) {
+            drift_seen = true;
+            EXPECT_GT(at, 30u);
+        }
+    EXPECT_TRUE(drift_seen);
+}
+
+TEST(HealthMonitor, SignalNamesAreStable) {
+    EXPECT_STREQ(health_signal_name(HealthSignal::Converged), "converged");
+    EXPECT_STREQ(health_signal_name(HealthSignal::Drift), "drift");
+    EXPECT_STREQ(health_signal_name(HealthSignal::Crossover), "crossover");
+    EXPECT_STREQ(health_signal_name(HealthSignal::Plateau), "plateau");
+}
+
+// ---------------------------------------------------------------------------
+// JSON line round-trip
+
+TEST(HealthJson, RoundTripsASnapshotExactly) {
+    TuningHealthMonitor monitor(2, fast_options());
+    for (int i = 0; i < 25; ++i) monitor.observe(0, 1.0 + 0.01 * i, 2);
+    for (int i = 0; i < 40; ++i) monitor.observe(0, 2.5, 2);  // drift
+    for (int i = 0; i < 10; ++i) monitor.observe(1, 0.5, 1);
+    const HealthSnapshot before = monitor.snapshot();
+
+    const std::string line = health_to_json("stringmatch/dna", before);
+    const auto parsed = health_from_json(line);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->first, "stringmatch/dna");
+
+    const HealthSnapshot& after = parsed->second;
+    EXPECT_EQ(after.samples, before.samples);
+    ASSERT_EQ(after.leader.has_value(), before.leader.has_value());
+    EXPECT_EQ(*after.leader, *before.leader);
+    EXPECT_DOUBLE_EQ(after.leader_share, before.leader_share);
+    EXPECT_EQ(after.converged, before.converged);
+    EXPECT_EQ(after.converged_at, before.converged_at);
+    EXPECT_EQ(after.drift_events, before.drift_events);
+    EXPECT_EQ(after.last_drift_sample, before.last_drift_sample);
+    EXPECT_EQ(after.crossover_events, before.crossover_events);
+    EXPECT_EQ(after.plateau, before.plateau);
+    EXPECT_EQ(after.plateau_events, before.plateau_events);
+    EXPECT_DOUBLE_EQ(after.regret, before.regret);
+    EXPECT_DOUBLE_EQ(after.recent_cost, before.recent_cost);
+    EXPECT_DOUBLE_EQ(after.baseline_cost, before.baseline_cost);
+    ASSERT_EQ(after.algorithms.size(), before.algorithms.size());
+    for (std::size_t i = 0; i < before.algorithms.size(); ++i) {
+        EXPECT_EQ(after.algorithms[i].samples, before.algorithms[i].samples);
+        EXPECT_DOUBLE_EQ(after.algorithms[i].mean_cost,
+                         before.algorithms[i].mean_cost);
+        EXPECT_DOUBLE_EQ(after.algorithms[i].best_cost,
+                         before.algorithms[i].best_cost);
+        EXPECT_DOUBLE_EQ(after.algorithms[i].tuning_yield,
+                         before.algorithms[i].tuning_yield);
+        EXPECT_DOUBLE_EQ(after.algorithms[i].recent_cv,
+                         before.algorithms[i].recent_cv);
+        EXPECT_EQ(after.algorithms[i].plateau, before.algorithms[i].plateau);
+        EXPECT_EQ(after.algorithms[i].drift_events,
+                  before.algorithms[i].drift_events);
+    }
+}
+
+TEST(HealthJson, EscapesHostileSessionNames) {
+    HealthSnapshot snap;
+    snap.samples = 1;
+    const std::string session = "a\"b\\c\nd\te";
+    const auto parsed = health_from_json(health_to_json(session, snap));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->first, session);
+}
+
+TEST(HealthJson, LeaderlessSnapshotUsesTheSentinel) {
+    HealthSnapshot snap;  // no samples yet: leader is nullopt
+    const auto parsed = health_from_json(health_to_json("s", snap));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_FALSE(parsed->second.leader.has_value());
+}
+
+TEST(HealthJson, RejectsMalformedLines) {
+    EXPECT_FALSE(health_from_json("").has_value());
+    EXPECT_FALSE(health_from_json("{}").has_value());
+    EXPECT_FALSE(health_from_json("not json at all").has_value());
+    // A session but no samples / algorithms array.
+    EXPECT_FALSE(health_from_json("{\"session\":\"x\"}").has_value());
+    // Unterminated algorithm row.
+    EXPECT_FALSE(
+        health_from_json("{\"session\":\"x\",\"samples\":3,"
+                         "\"algorithms\":[{\"index\":0")
+            .has_value());
+}
+
+} // namespace
+} // namespace atk::obs

@@ -133,6 +133,104 @@ TEST_F(SpanTest, TraceIsAValidJsonArrayOfCompleteEvents) {
     EXPECT_NE(json.find("\\\"quoted\\\\name\\\""), std::string::npos);
 }
 
+TEST_F(SpanTest, SpansCarryTraceIdentity) {
+    Tracer::enable();
+    {
+        Span outer("span_test.trace_outer");
+        Span inner("span_test.trace_inner");
+    }
+    const auto spans = Tracer::snapshot();
+    const auto outer = named(spans, "span_test.trace_outer");
+    const auto inner = named(spans, "span_test.trace_inner");
+    ASSERT_EQ(outer.size(), 1u);
+    ASSERT_EQ(inner.size(), 1u);
+    // The root span starts a fresh trace named after its own span id; the
+    // child joins it with the root as parent.
+    EXPECT_NE(outer[0].span_id, 0u);
+    EXPECT_EQ(outer[0].trace_id, outer[0].span_id);
+    EXPECT_EQ(outer[0].parent_span_id, 0u);
+    EXPECT_EQ(inner[0].trace_id, outer[0].trace_id);
+    EXPECT_EQ(inner[0].parent_span_id, outer[0].span_id);
+    EXPECT_NE(inner[0].span_id, outer[0].span_id);
+}
+
+TEST_F(SpanTest, CurrentTraceContextFollowsTheInnermostSpan) {
+    Tracer::enable();
+    EXPECT_FALSE(current_trace_context().valid());
+    {
+        Span outer("span_test.ctx_outer");
+        const TraceContext at_outer = current_trace_context();
+        EXPECT_TRUE(at_outer.valid());
+        {
+            Span inner("span_test.ctx_inner");
+            const TraceContext at_inner = current_trace_context();
+            EXPECT_EQ(at_inner.trace_id, at_outer.trace_id);
+            EXPECT_NE(at_inner.span_id, at_outer.span_id);
+        }
+        EXPECT_EQ(current_trace_context().span_id, at_outer.span_id);
+    }
+    EXPECT_FALSE(current_trace_context().valid());
+}
+
+TEST_F(SpanTest, ScopedTraceContextAdoptsARemoteParent) {
+    Tracer::enable();
+    const TraceContext remote{0xABCDEF0012345678ull, 0x1111222233334444ull};
+    {
+        // What a server worker does with the context decoded off the wire:
+        // spans opened in scope join the remote caller's trace.
+        ScopedTraceContext scope(remote);
+        EXPECT_EQ(current_trace_context().trace_id, remote.trace_id);
+        Span span("span_test.remote_child");
+    }
+    EXPECT_FALSE(current_trace_context().valid());  // restored on scope exit
+    const auto spans = named(Tracer::snapshot(), "span_test.remote_child");
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].trace_id, remote.trace_id);
+    EXPECT_EQ(spans[0].parent_span_id, remote.span_id);
+    EXPECT_NE(spans[0].span_id, remote.span_id);
+}
+
+TEST_F(SpanTest, ChromeTraceRoundTripsTraceIdsAndProcessLanes) {
+    Tracer::enable();
+    {
+        ScopedTraceContext scope({0xFFEEDDCCBBAA0099ull, 0x42ull});
+        Span span("span_test.rt_ids");
+    }
+    auto before = Tracer::snapshot();
+    set_process_id(before, 7);
+    const std::string path = ::testing::TempDir() + "span_test_ids.json";
+    ASSERT_TRUE(write_chrome_trace(path, before));
+    const auto loaded = load_chrome_trace(path);
+    ASSERT_TRUE(loaded.has_value());
+    const auto spans = named(*loaded, "span_test.rt_ids");
+    ASSERT_EQ(spans.size(), 1u);
+    const auto original = named(before, "span_test.rt_ids")[0];
+    // Hex-string serialization keeps all 64 bits (a JSON double would not).
+    EXPECT_EQ(spans[0].trace_id, original.trace_id);
+    EXPECT_EQ(spans[0].span_id, original.span_id);
+    EXPECT_EQ(spans[0].parent_span_id, 0x42ull);
+    EXPECT_EQ(spans[0].process_id, 7u);
+}
+
+TEST_F(SpanTest, MergeTracesInterleavesProcessesByStartTime) {
+    std::vector<SpanRecord> client;
+    client.push_back({"c.request", 100, 900, 0, 0, 0xAA, 1, 0, 1});
+    std::vector<SpanRecord> server;
+    server.push_back({"s.work", 300, 700, 0, 0, 0xAA, 2, 1, 2});
+    server.push_back({"s.other", 50, 60, 0, 0, 0xBB, 3, 0, 2});
+    const auto merged = merge_traces({client, server});
+    ASSERT_EQ(merged.size(), 3u);
+    // Sorted by start time, process lanes preserved.
+    EXPECT_EQ(merged[0].name, "s.other");
+    EXPECT_EQ(merged[1].name, "c.request");
+    EXPECT_EQ(merged[2].name, "s.work");
+    EXPECT_EQ(merged[1].process_id, 1u);
+    EXPECT_EQ(merged[2].process_id, 2u);
+    // The cross-process pair stays linked by trace id and parent span.
+    EXPECT_EQ(merged[2].trace_id, merged[1].trace_id);
+    EXPECT_EQ(merged[2].parent_span_id, merged[1].span_id);
+}
+
 TEST_F(SpanTest, StatisticsAggregateByName) {
     std::vector<SpanRecord> spans;
     spans.push_back({"a", 0, 2'000'000, 0, 0});      // 2 ms

@@ -561,6 +561,11 @@ int self_test() {
                "#pragma once\n#include \"sim/harness.hpp\"\n");
     write_seed(root / "sim/uses_net.hpp",
                "#pragma once\n#include \"net/server.hpp\"\n");
+    // The health monitor lives in obs and is *fed by* runtime and *served
+    // by* net — obs reaching up into net (e.g. to define the Health frame
+    // there instead of in net/protocol) would invert the whole DAG.
+    write_seed(root / "obs/uses_net.hpp",
+               "#pragma once\n#include \"net/server.hpp\"\n");
     // dsp is a domain: it may reach any ranked layer, but never a leaf, and
     // no ranked layer may reach back into it.
     write_seed(root / "dsp/engine.hpp",
@@ -624,9 +629,11 @@ int self_test() {
     };
 
     expect(!clean, "seeded tree is reported as failing");
-    expect(by_rule["layering"] == 6,
-           "all six layering violations detected (support->runtime, "
-           "runtime->sim, net->sim, sim->net, dsp->net, core->dsp)");
+    expect(by_rule["layering"] == 7,
+           "all seven layering violations detected (support->runtime, "
+           "runtime->sim, net->sim, sim->net, obs->net, dsp->net, core->dsp)");
+    expect(flagged_files.count("obs/uses_net.hpp") == 1,
+           "obs including net (upward into a leaf) flagged");
     expect(flagged_files.count("sim/harness.hpp") == 0,
            "sim including runtime (downward) not flagged");
     expect(flagged_files.count("net/server.hpp") == 0,

@@ -4,6 +4,13 @@
 ///         per-span statistics (count, total/mean/min/max ms) and
 ///         per-thread span counts from a Chrome trace-event file
 ///
+///     atk_obs_inspect --trace client.trace.json,server.trace.json
+///                     --merge-out merged.trace.json
+///         merges traces from several processes into one Perfetto timeline
+///         (each file gets its own pid lane; spans stay linked across
+///         processes by their shared trace_id) and summarizes the
+///         distributed traces that span more than one process
+///
 ///     atk_obs_inspect --audit runtime_service.audit.jsonl
 ///         per-algorithm decision statistics and the decision timeline
 ///
@@ -12,11 +19,19 @@
 ///         derived selection probabilities, the exploration roll, the
 ///         chosen algorithm and the phase-one step
 ///
-/// Both file formats are produced by atk_obs (obs/span.hpp, obs/audit.hpp);
-/// runtime_service --trace/--audit writes ready-made examples.
+///     atk_obs_inspect --health health.jsonl
+///         per-session tuning-health table (convergence, drift, plateau,
+///         regret) from the JSON lines `atk_serve --health` writes
+///
+/// All file formats are produced by atk_obs (obs/span.hpp, obs/audit.hpp,
+/// obs/health.hpp); runtime_service --trace/--audit and atk_serve
+/// --health/--trace write ready-made examples.
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -28,15 +43,41 @@ using namespace atk;
 
 namespace {
 
-int inspect_trace(const std::string& path) {
-    const auto spans = obs::load_chrome_trace(path);
-    if (!spans) {
-        std::fprintf(stderr, "error: cannot read trace '%s'\n", path.c_str());
-        return 1;
+std::vector<std::string> split_paths(const std::string& list) {
+    std::vector<std::string> paths;
+    std::size_t at = 0;
+    while (at <= list.size()) {
+        const std::size_t comma = list.find(',', at);
+        const std::size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > at) paths.push_back(list.substr(at, end - at));
+        if (comma == std::string::npos) break;
+        at = comma + 1;
     }
-    std::printf("%zu spans in %s\n\n", spans->size(), path.c_str());
+    return paths;
+}
+
+int inspect_trace(const std::string& path_list, const std::string& merge_out) {
+    // Comma-separated files = one process each; stamp pid lanes 1..N and
+    // merge, so spans sharing a trace_id line up across processes.
+    const std::vector<std::string> paths = split_paths(path_list);
+    std::vector<std::vector<obs::SpanRecord>> per_process;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        auto spans = obs::load_chrome_trace(paths[i]);
+        if (!spans) {
+            std::fprintf(stderr, "error: cannot read trace '%s'\n",
+                         paths[i].c_str());
+            return 1;
+        }
+        if (paths.size() > 1)
+            obs::set_process_id(*spans, static_cast<std::uint32_t>(i + 1));
+        std::printf("%zu spans in %s\n", spans->size(), paths[i].c_str());
+        per_process.push_back(std::move(*spans));
+    }
+    const std::vector<obs::SpanRecord> spans = obs::merge_traces(per_process);
+    std::printf("\n");
+
     Table table({"span", "count", "total ms", "mean ms", "min ms", "max ms"});
-    for (const auto& stats : obs::span_statistics(*spans)) {
+    for (const auto& stats : obs::span_statistics(spans)) {
         table.row()
             .text(stats.name)
             .integer(static_cast<long long>(stats.count))
@@ -48,11 +89,110 @@ int inspect_trace(const std::string& path) {
     std::printf("%s\n", table.to_string().c_str());
 
     std::map<std::uint32_t, std::size_t> by_thread;
-    for (const auto& span : *spans) ++by_thread[span.thread_id];
+    for (const auto& span : spans) ++by_thread[span.thread_id];
     std::printf("threads:");
     for (const auto& [tid, count] : by_thread)
         std::printf("  tid %u: %zu spans", tid, count);
     std::printf("\n");
+
+    // Distributed traces: group by trace_id, call out the ones that cross a
+    // process boundary (a recommend visible client → wire → worker → tuner).
+    struct TraceGroup {
+        std::size_t spans = 0;
+        std::set<std::uint32_t> pids;
+    };
+    std::map<std::uint64_t, TraceGroup> traces;
+    for (const auto& span : spans) {
+        if (span.trace_id == 0) continue;
+        auto& group = traces[span.trace_id];
+        ++group.spans;
+        group.pids.insert(span.process_id);
+    }
+    if (!traces.empty()) {
+        std::size_t cross = 0;
+        for (const auto& [id, group] : traces)
+            if (group.pids.size() > 1) ++cross;
+        std::printf("distributed traces: %zu total, %zu spanning processes\n",
+                    traces.size(), cross);
+        for (const auto& [id, group] : traces) {
+            if (group.pids.size() < 2) continue;
+            std::printf("  trace %016llx: %zu spans across %zu processes\n",
+                        static_cast<unsigned long long>(id), group.spans,
+                        group.pids.size());
+        }
+    }
+
+    if (!merge_out.empty()) {
+        if (!obs::write_chrome_trace(merge_out, spans)) {
+            std::fprintf(stderr, "error: cannot write '%s'\n", merge_out.c_str());
+            return 1;
+        }
+        std::printf("merged timeline written to %s (open in ui.perfetto.dev)\n",
+                    merge_out.c_str());
+    }
+    return 0;
+}
+
+int inspect_health(const std::string& path, const std::string& session) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "error: cannot read health file '%s'\n", path.c_str());
+        return 1;
+    }
+    std::vector<std::pair<std::string, obs::HealthSnapshot>> sessions;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        auto parsed = obs::health_from_json(line);
+        if (!parsed) {
+            std::fprintf(stderr, "warning: skipping malformed health line\n");
+            continue;
+        }
+        if (!session.empty() && parsed->first != session) continue;
+        sessions.push_back(std::move(*parsed));
+    }
+    if (sessions.empty()) {
+        std::fprintf(stderr, "error: no health records%s%s in '%s'\n",
+                     session.empty() ? "" : " for session ", session.c_str(),
+                     path.c_str());
+        return 1;
+    }
+    std::printf("%zu session(s) in %s\n\n", sessions.size(), path.c_str());
+    Table table({"session", "samples", "leader", "share", "converged@", "drift",
+                 "crossover", "plateau", "regret"});
+    for (const auto& [name, h] : sessions) {
+        table.row()
+            .text(name.empty() ? "-" : name)
+            .integer(static_cast<long long>(h.samples))
+            .text(h.leader ? std::to_string(*h.leader) : "-")
+            .num(h.leader_share, 3)
+            .text(h.converged ? std::to_string(h.converged_at) : "never")
+            .integer(static_cast<long long>(h.drift_events))
+            .integer(static_cast<long long>(h.crossover_events))
+            .text(h.plateau ? "YES" : "no")
+            .num(h.regret, 4);
+    }
+    std::printf("%s\n", table.to_string().c_str());
+
+    // Per-algorithm detail of each (or the selected) session.
+    Table detail({"session", "alg", "samples", "mean cost", "best cost", "yield",
+                  "recent cv", "plateau", "drift"});
+    for (const auto& [name, h] : sessions) {
+        for (std::size_t i = 0; i < h.algorithms.size(); ++i) {
+            const auto& a = h.algorithms[i];
+            detail.row()
+                .text(name.empty() ? "-" : name)
+                .integer(static_cast<long long>(i))
+                .integer(static_cast<long long>(a.samples))
+                .num(a.mean_cost, 4)
+                .num(a.best_cost, 4)
+                .num(a.tuning_yield, 3)
+                .num(a.recent_cv, 3)
+                .text(a.plateau ? "YES" : "no")
+                .integer(static_cast<long long>(a.drift_events));
+        }
+    }
+    std::printf("per-algorithm:\n%s", detail.to_string().c_str());
     return 0;
 }
 
@@ -143,26 +283,37 @@ int inspect_audit(const std::string& path, std::int64_t explain,
 
 int main(int argc, char** argv) {
     Cli cli("atk_obs_inspect",
-            "inspect span traces and decision audit logs of the tuning runtime");
-    cli.add_string("trace", "", "Chrome trace-event JSON to summarize")
+            "inspect span traces, decision audit logs and tuning health of "
+            "the tuning runtime");
+    cli.add_string("trace", "",
+                   "Chrome trace-event JSON to summarize; comma-separated "
+                   "files merge into one multi-process timeline")
+        .add_string("merge-out", "",
+                    "write the merged --trace timeline here (Perfetto-ready)")
         .add_string("audit", "", "decision audit JSONL to summarize")
+        .add_string("health", "", "tuning-health JSONL to summarize")
         .add_int("explain", -1, "explain this tuning iteration (needs --audit)")
-        .add_string("session", "", "restrict --audit output to one session")
+        .add_string("session", "",
+                    "restrict --audit/--health output to one session")
         .add_int("limit", 40, "timeline rows to print");
     if (!cli.parse(argc, argv)) return 1;
 
     const std::string trace = cli.get_string("trace");
     const std::string audit = cli.get_string("audit");
-    if (trace.empty() && audit.empty()) {
-        std::fprintf(stderr, "error: pass --trace and/or --audit\n");
+    const std::string health = cli.get_string("health");
+    if (trace.empty() && audit.empty() && health.empty()) {
+        std::fprintf(stderr, "error: pass --trace, --audit and/or --health\n");
         cli.print_usage();
         return 1;
     }
     int status = 0;
-    if (!trace.empty()) status = inspect_trace(trace);
+    if (!trace.empty())
+        status = inspect_trace(trace, cli.get_string("merge-out"));
     if (!audit.empty() && status == 0)
         status = inspect_audit(audit, cli.get_int("explain"),
                                cli.get_string("session"),
                                static_cast<std::size_t>(cli.get_int("limit")));
+    if (!health.empty() && status == 0)
+        status = inspect_health(health, cli.get_string("session"));
     return status;
 }

@@ -16,6 +16,9 @@
 //   atk_serve --install seed.state           # warm-start from a snapshot
 //   atk_serve --metrics-port 9100            # Prometheus text on /metrics
 //   atk_serve --duration 30 --snapshot-out final.state
+//   atk_serve --health health.jsonl          # per-session tuning health
+//   atk_serve --trace server.trace.json      # span trace (merge with the
+//                                            # client's via atk_obs_inspect)
 
 #include <atomic>
 #include <chrono>
@@ -30,6 +33,7 @@
 
 #include "core/autotune.hpp"
 #include "net/net.hpp"
+#include "obs/span.hpp"
 #include "support/cli.hpp"
 #include "factory.hpp"
 
@@ -85,14 +89,25 @@ int main(int argc, char** argv) {
         .add_string("snapshot-out", "", "write a final snapshot here on shutdown")
         .add_int("metrics-port", 0, "Prometheus text endpoint port (0 = disabled)")
         .add_int("idle-timeout", 30000, "close idle connections after this many ms")
-        .add_int("duration", 0, "serve for this many seconds (0 = until SIGINT)");
+        .add_int("duration", 0, "serve for this many seconds (0 = until SIGINT)")
+        .add_string("health", "",
+                    "enable the tuning-health monitor; write per-session JSON "
+                    "lines here on shutdown")
+        .add_string("trace", "",
+                    "enable span tracing; write a Chrome/Perfetto trace here "
+                    "on shutdown");
     if (!cli.parse(argc, argv)) return 1;
 
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
 
+    const std::string health_out = cli.get_string("health");
+    const std::string trace_out = cli.get_string("trace");
+    if (!trace_out.empty()) obs::Tracer::enable();
+
     ServiceOptions service_options;
     service_options.queue_capacity = static_cast<std::size_t>(cli.get_int("queue"));
+    service_options.health_enabled = !health_out.empty();
     TuningService service(serve::make_factory(cli.get_double("epsilon")),
                           service_options);
 
@@ -179,6 +194,28 @@ int main(int argc, char** argv) {
             return 1;
         }
         std::printf("atk_serve: snapshot written to %s\n", snapshot_out.c_str());
+    }
+
+    if (!health_out.empty()) {
+        if (!service.write_health_json(health_out)) {
+            std::fprintf(stderr, "error: cannot write %s\n", health_out.c_str());
+            return 1;
+        }
+        std::printf("atk_serve: health written to %s "
+                    "(inspect with atk_obs_inspect --health)\n",
+                    health_out.c_str());
+    }
+    if (!trace_out.empty()) {
+        auto spans = obs::Tracer::snapshot();
+        // Server-side spans take pid lane 2 by convention (clients use 1),
+        // so a merged two-process timeline separates cleanly in Perfetto.
+        obs::set_process_id(spans, 2);
+        if (!obs::write_chrome_trace(trace_out, spans)) {
+            std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+            return 1;
+        }
+        std::printf("atk_serve: %zu span(s) written to %s\n", spans.size(),
+                    trace_out.c_str());
     }
     service.stop();
     return 0;
