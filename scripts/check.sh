@@ -3,18 +3,30 @@
 #
 #   1. plain build + full ctest suite (what CI treats as tier 1),
 #   2. atk_lint over src/ — layering DAG, banned patterns, header
-#      hygiene — including its --self-test (the linter must still be
-#      able to catch seeded violations) and the slower self-contained
-#      header compile check,
-#   3. a -DATK_SANITIZE=thread build running the runtime + obs + net
+#      hygiene, and the lock-discipline rules (unguarded-mutex,
+#      blocking-under-lock, banned-detach, unjoined-thread, relaxed)
+#      — including its --self-test (the linter must still be able to
+#      catch seeded violations) and the slower self-contained header
+#      compile check,
+#   3. the clang thread-safety gate: a -DATK_THREAD_SAFETY=ON
+#      -DATK_WERROR=ON build under clang++, promoting every
+#      -Wthread-safety finding over the capability annotations in
+#      support/thread_annotations.hpp to an error.  Skipped with a
+#      warning when no clang++ is on PATH (gcc compiles the
+#      annotations as no-ops, so there is nothing to check),
+#   4. a -DATK_SANITIZE=thread build running the runtime + obs + net
 #      + dsp tests — the layers with real cross-thread traffic
 #      (lock-free span rings, ingestion queues, the background
 #      telemetry exporter, the epoll server workers) plus the
 #      streaming convolution engines under a real clock,
-#   4. a -DATK_SANITIZE=undefined build (non-recovering UBSan, with
+#   5. a -DATK_SANITIZE=address build with leak detection running the
+#      full suite, plus the frame-decoder fuzz corpus replayed under
+#      ASan (heap overreads in the wire decoder are exactly what ASan
+#      sees and UBSan does not),
+#   6. a -DATK_SANITIZE=undefined build (non-recovering UBSan, with
 #      contracts and the fuzz harnesses enabled) running the full
 #      suite plus a short fuzz pass over the checked-in corpora,
-#   5. the simulation gates: the paper's convergence / no-exclusion /
+#   7. the simulation gates: the paper's convergence / no-exclusion /
 #      re-convergence regressions, the deadline-scenario objective
 #      gates (quantile/deadline cost beats mean time on the realized
 #      latency tail), plus a CLI smoke over every named scenario.  The
@@ -22,7 +34,7 @@
 #      this stage reruns the statistical gates over the full 32-seed
 #      ensembles for every scenario x strategy pair and sweeps the CLI
 #      across all scenarios,
-#   6. the observability health gates: the tuning-health monitor's
+#   8. the observability health gates: the tuning-health monitor's
 #      detector stack replayed against the sim scenarios (drift fires
 #      after the phase shift and never on static, plateau calls the
 #      starved mesa, deterministic per seed) and the end-to-end
@@ -31,8 +43,8 @@
 #
 # Usage:
 #   scripts/check.sh               # all stages
-#   scripts/check.sh --fast        # stages 1 + 2 only (no sanitizer builds)
-#   ATK_SIM_FULL=1 scripts/check.sh   # stage 5 runs the full ensembles
+#   scripts/check.sh --fast        # stages 1 + 2 only (no extra builds)
+#   ATK_SIM_FULL=1 scripts/check.sh   # stage 7 runs the full ensembles
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -50,12 +62,23 @@ echo "== stage 2: atk_lint (self-test, tree, self-contained headers) =="
 "$repo/build/tools/atk_lint/atk_lint" --root "$repo/src" --self-contained
 
 if [[ "$fast" == "--fast" ]]; then
-    echo "ok (fast mode: sanitizer stages skipped)"
+    echo "ok (fast mode: thread-safety and sanitizer stages skipped)"
     exit 0
 fi
 
 echo
-echo "== stage 3: ThreadSanitizer build, runtime + obs + net + sim + dsp tests =="
+echo "== stage 3: clang -Wthread-safety gate (-DATK_THREAD_SAFETY=ON -DATK_WERROR=ON) =="
+if command -v clang++ >/dev/null 2>&1; then
+    cmake -B "$repo/build-tsa" -S "$repo" -DCMAKE_CXX_COMPILER=clang++ \
+          -DATK_THREAD_SAFETY=ON -DATK_WERROR=ON
+    cmake --build "$repo/build-tsa" -j "$jobs"
+else
+    echo "warning: clang++ not on PATH; skipping the -Wthread-safety build"
+    echo "         (gcc compiles the capability annotations as no-ops)"
+fi
+
+echo
+echo "== stage 4: ThreadSanitizer build, runtime + obs + net + sim + dsp tests =="
 cmake -B "$repo/build-tsan" -S "$repo" -DATK_SANITIZE=thread
 cmake --build "$repo/build-tsan" -j "$jobs" --target test_runtime test_obs test_net test_sim test_dsp
 "$repo/build-tsan/tests/test_runtime"
@@ -65,7 +88,15 @@ cmake --build "$repo/build-tsan" -j "$jobs" --target test_runtime test_obs test_
 "$repo/build-tsan/tests/test_dsp"
 
 echo
-echo "== stage 4: UBSan build, full suite + fuzz smoke =="
+echo "== stage 5: AddressSanitizer + leak build, full suite + frame-decoder corpus =="
+cmake -B "$repo/build-asan" -S "$repo" -DATK_SANITIZE=address -DATK_FUZZ=ON
+cmake --build "$repo/build-asan" -j "$jobs"
+(cd "$repo/build-asan" && ASAN_OPTIONS=detect_leaks=1 ctest --output-on-failure -j "$jobs")
+ASAN_OPTIONS=detect_leaks=1 "$repo/build-asan/fuzz/fuzz_frame_decoder" \
+    -seconds=10 "$repo/fuzz/corpus/frame_decoder"
+
+echo
+echo "== stage 6: UBSan build, full suite + fuzz smoke =="
 cmake -B "$repo/build-ubsan" -S "$repo" -DATK_SANITIZE=undefined \
       -DATK_CONTRACTS=ON -DATK_FUZZ=ON
 cmake --build "$repo/build-ubsan" -j "$jobs"
@@ -75,7 +106,7 @@ cmake --build "$repo/build-ubsan" -j "$jobs"
 "$repo/build-ubsan/fuzz/fuzz_frame_decoder" -seconds=10 "$repo/fuzz/corpus/frame_decoder"
 
 echo
-echo "== stage 5: simulation gates =="
+echo "== stage 7: simulation gates =="
 if [[ "${ATK_SIM_FULL:-0}" == "1" ]]; then
     echo "(full mode: 32-seed ensembles, every scenario x strategy)"
     "$repo/build/tests/test_sim" --gtest_filter='PaperGates.*:Determinism.*:DeadlineGates.*:DeadlineScenario.*'
@@ -91,10 +122,10 @@ else
 fi
 
 echo
-echo "== stage 6: tuning-health + distributed-tracing gates =="
+echo "== stage 8: tuning-health + distributed-tracing gates =="
 "$repo/build/tests/test_sim" --gtest_filter='HealthGates.*'
 "$repo/build/tests/test_obs" --gtest_filter='HealthMonitor.*:HealthJson.*'
 "$repo/build/tests/test_net" --gtest_filter='TracePropagation.*'
 
 echo
-echo "ok: tier-1 suite green, lint clean, runtime+obs+net+sim TSan-clean, UBSan+fuzz clean, sim gates green, health+tracing gates green"
+echo "ok: tier-1 suite green, lint clean, thread-safety gate done, runtime+obs+net+sim TSan-clean, ASan+leak clean, UBSan+fuzz clean, sim gates green, health+tracing gates green"

@@ -41,7 +41,12 @@ QuantileCost::QuantileCost(double q) : q_(q) {
 std::string QuantileCost::id() const { return "quantile:" + format_parameter(q_); }
 
 std::string QuantileCost::describe() const {
-    return "p" + format_parameter(q_ * 100.0) + " cost";
+    // Built up in place: `"p" + std::string&&` trips gcc 12's -Wrestrict
+    // false positive (PR 105651) under -Werror.
+    std::string out = "p";
+    out += format_parameter(q_ * 100.0);
+    out += " cost";
+    return out;
 }
 
 Cost QuantileCost::score(const CostBatch& batch) const {

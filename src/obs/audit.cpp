@@ -29,24 +29,24 @@ DecisionAuditTrail::DecisionAuditTrail(std::size_t capacity)
 void DecisionAuditTrail::record(Decision decision) {
     if (decision.probabilities.empty() && !decision.weights.empty())
         decision.probabilities = selection_probabilities(decision.weights);
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     window_.push_back(std::move(decision));
     if (window_.size() > capacity_) window_.pop_front();
     ++recorded_;
 }
 
 std::size_t DecisionAuditTrail::size() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return window_.size();
 }
 
 std::uint64_t DecisionAuditTrail::recorded_total() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return recorded_;
 }
 
 std::optional<Decision> DecisionAuditTrail::find(std::size_t iteration) const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     // Iterations are recorded in increasing order; newest are at the back.
     for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
         if (it->iteration == iteration) return *it;
@@ -55,7 +55,7 @@ std::optional<Decision> DecisionAuditTrail::find(std::size_t iteration) const {
 }
 
 std::vector<Decision> DecisionAuditTrail::decisions() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return {window_.begin(), window_.end()};
 }
 

@@ -2,10 +2,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace atk::obs {
 
@@ -64,9 +65,9 @@ public:
 
 private:
     const std::size_t capacity_;
-    mutable std::mutex mutex_;
-    std::deque<Decision> window_;
-    std::uint64_t recorded_ = 0;
+    mutable Mutex mutex_;
+    std::deque<Decision> window_ ATK_GUARDED_BY(mutex_);
+    std::uint64_t recorded_ ATK_GUARDED_BY(mutex_) = 0;
 };
 
 /// Renders one decision the way DecisionAuditTrail::explain does.

@@ -27,36 +27,48 @@ bool TelemetryExporter::flush_now() {
         ok = write_chrome_trace(options_.trace_path, Tracer::snapshot()) && ok;
     }
     {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         ++flushes_;
     }
     return ok;
 }
 
 void TelemetryExporter::loop() {
-    std::unique_lock lock(mutex_);
-    while (!stopping_) {
-        if (cv_.wait_for(lock, options_.interval, [this] { return stopping_; }))
-            break;
-        lock.unlock();
+    for (;;) {
+        {
+            MutexLock lock(mutex_);
+            const auto deadline =
+                std::chrono::steady_clock::now() + options_.interval;
+            while (!stopping_) {
+                if (cv_.wait_until(lock.native(), deadline) ==
+                    std::cv_status::timeout)
+                    break;
+            }
+            if (stopping_) return;
+        }
         flush_now();
-        lock.lock();
     }
 }
 
 void TelemetryExporter::stop() {
+    // stop_mutex_ serializes entire stop() calls: two concurrent callers
+    // used to be able to both observe thread_ joinable and both call
+    // join() — a double join, which is undefined behavior.  The second
+    // caller now waits for the first to finish joining and flushing, so
+    // "stop() returned" still implies the final state reached the files.
+    MutexLock stop_lock(stop_mutex_);
     {
-        std::lock_guard lock(mutex_);
-        if (stopping_ && !thread_.joinable()) return;
+        MutexLock lock(mutex_);
+        if (stopping_) return;  // a prior stop() already joined and flushed
         stopping_ = true;
     }
     cv_.notify_all();
-    if (thread_.joinable()) thread_.join();
+    thread_.join();
     flush_now();  // the final state always reaches the files
 }
 
 std::uint64_t TelemetryExporter::flush_count() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return flushes_;
 }
 

@@ -3,11 +3,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace atk::obs {
 
@@ -51,10 +51,15 @@ private:
 
     const MetricsRegistry* metrics_;
     TelemetryExporterOptions options_;
-    mutable std::mutex mutex_;
+    /// Serializes whole stop() calls; without it two concurrent stop()s
+    /// could both reach thread_.join() (a double join is UB).  Ordering:
+    /// stop_mutex_ is always taken before mutex_, never the reverse.  It
+    /// guards a critical section, not data: atk-lint: allow(unguarded-mutex)
+    Mutex stop_mutex_;
+    mutable Mutex mutex_;
     std::condition_variable cv_;
-    bool stopping_ = false;
-    std::uint64_t flushes_ = 0;
+    bool stopping_ ATK_GUARDED_BY(mutex_) = false;
+    std::uint64_t flushes_ ATK_GUARDED_BY(mutex_) = 0;
     std::thread thread_;
 };
 

@@ -26,7 +26,8 @@ const char* health_signal_name(HealthSignal signal) noexcept {
 
 TuningHealthMonitor::TuningHealthMonitor(std::size_t algorithm_count,
                                          HealthOptions options)
-    : options_(options),
+    : algorithm_count_(algorithm_count),
+      options_(options),
       algorithms_(algorithm_count),
       window_counts_(algorithm_count, 0),
       baseline_(clamp_unit(options.regret_quantile) > 0.0 &&
@@ -41,10 +42,12 @@ TuningHealthMonitor::TuningHealthMonitor(std::size_t algorithm_count,
 
 void TuningHealthMonitor::observe(std::size_t algorithm, double cost,
                                   std::size_t config_dims) {
-    if (algorithm >= algorithms_.size()) return;
+    // The bounds check reads the construction-time count, not the guarded
+    // vector: observe() must stay cheap to reject before taking the lock.
+    if (algorithm >= algorithm_count_) return;
     if (!std::isfinite(cost) || cost <= 0.0) return;
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++samples_;
     AlgoState& algo = algorithms_[algorithm];
     algo.config_dims = std::max(algo.config_dims, config_dims);
@@ -225,13 +228,13 @@ HealthSnapshot TuningHealthMonitor::snapshot_locked() const {
 }
 
 HealthSnapshot TuningHealthMonitor::snapshot() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return snapshot_locked();
 }
 
 void TuningHealthMonitor::subscribe(
     std::function<void(HealthSignal, const HealthSnapshot&)> handler) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     handlers_.push_back(std::move(handler));
 }
 

@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "support/streaming_quantile.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace atk::obs {
 
@@ -144,7 +144,7 @@ public:
     void subscribe(std::function<void(HealthSignal, const HealthSnapshot&)> handler);
 
     [[nodiscard]] std::size_t algorithm_count() const noexcept {
-        return algorithms_.size();
+        return algorithm_count_;  // fixed at construction; lock-free read
     }
 
 private:
@@ -163,29 +163,33 @@ private:
         double recent_sq_sum = 0.0;
     };
 
-    [[nodiscard]] HealthSnapshot snapshot_locked() const;
-    void emit(HealthSignal signal);
-    [[nodiscard]] std::optional<std::size_t> cheapest_locked() const;
+    [[nodiscard]] HealthSnapshot snapshot_locked() const ATK_REQUIRES(mutex_);
+    void emit(HealthSignal signal) ATK_REQUIRES(mutex_);
+    [[nodiscard]] std::optional<std::size_t> cheapest_locked() const
+        ATK_REQUIRES(mutex_);
     [[nodiscard]] static double yield_of(const AlgoState& algo);
     [[nodiscard]] static double cv_of(const AlgoState& algo);
-    [[nodiscard]] bool plateau_of(const AlgoState& algo) const;
+    [[nodiscard]] bool plateau_of(const AlgoState& algo) const
+        ATK_REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
-    HealthOptions options_;
-    std::vector<AlgoState> algorithms_;
-    std::deque<std::size_t> selections_;      ///< trailing share window
-    std::vector<std::uint64_t> window_counts_; ///< per-algorithm count in window
-    std::uint64_t samples_ = 0;
-    std::uint64_t converged_at_ = 0;
-    std::uint64_t drift_events_ = 0;
-    std::uint64_t last_drift_sample_ = 0;
-    std::uint64_t crossover_events_ = 0;
-    std::optional<std::size_t> cheapest_;
-    bool plateau_ = false;
-    std::uint64_t plateau_events_ = 0;
-    double recent_cost_ = 0.0;
-    StreamingQuantile baseline_;
-    std::vector<std::function<void(HealthSignal, const HealthSnapshot&)>> handlers_;
+    mutable Mutex mutex_;
+    const std::size_t algorithm_count_;  ///< == algorithms_.size(), lock-free
+    HealthOptions options_;  // written only in the constructor, then read-only
+    std::vector<AlgoState> algorithms_ ATK_GUARDED_BY(mutex_);
+    std::deque<std::size_t> selections_ ATK_GUARDED_BY(mutex_);  ///< trailing share window
+    std::vector<std::uint64_t> window_counts_ ATK_GUARDED_BY(mutex_);  ///< per-algorithm count in window
+    std::uint64_t samples_ ATK_GUARDED_BY(mutex_) = 0;
+    std::uint64_t converged_at_ ATK_GUARDED_BY(mutex_) = 0;
+    std::uint64_t drift_events_ ATK_GUARDED_BY(mutex_) = 0;
+    std::uint64_t last_drift_sample_ ATK_GUARDED_BY(mutex_) = 0;
+    std::uint64_t crossover_events_ ATK_GUARDED_BY(mutex_) = 0;
+    std::optional<std::size_t> cheapest_ ATK_GUARDED_BY(mutex_);
+    bool plateau_ ATK_GUARDED_BY(mutex_) = false;
+    std::uint64_t plateau_events_ ATK_GUARDED_BY(mutex_) = 0;
+    double recent_cost_ ATK_GUARDED_BY(mutex_) = 0.0;
+    StreamingQuantile baseline_ ATK_GUARDED_BY(mutex_);
+    std::vector<std::function<void(HealthSignal, const HealthSnapshot&)>>
+        handlers_ ATK_GUARDED_BY(mutex_);
 };
 
 /// One session's health snapshot as a single JSON object line — the format

@@ -20,7 +20,7 @@ Histogram::Histogram(std::vector<double> bounds)
 }
 
 void Histogram::observe(double value) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
     ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
     ++count_;
@@ -30,33 +30,33 @@ void Histogram::observe(double value) {
 }
 
 std::uint64_t Histogram::count() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return count_;
 }
 
 double Histogram::sum() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return sum_;
 }
 
 double Histogram::min() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return min_;
 }
 
 double Histogram::max() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return max_;
 }
 
 double Histogram::mean() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
 double Histogram::quantile(double q) const {
     q = std::clamp(q, 0.0, 1.0);
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (count_ == 0) return 0.0;
     const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
     std::uint64_t cumulative = 0;
@@ -70,7 +70,7 @@ double Histogram::quantile(double q) const {
 }
 
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return counts_;
 }
 
@@ -81,14 +81,14 @@ std::vector<double> default_latency_buckets_ms() {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto& slot = counters_[name];
     if (!slot) slot = std::make_unique<Counter>();
     return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto& slot = gauges_[name];
     if (!slot) slot = std::make_unique<Gauge>();
     return *slot;
@@ -96,7 +96,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto& slot = histograms_[name];
     if (!slot) {
         slot = std::make_unique<Histogram>(std::move(bounds));
@@ -108,7 +108,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 CsvWriter MetricsRegistry::to_csv() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     CsvWriter csv({"metric", "type", "field", "value"});
     for (const auto& [name, counter] : counters_) {
         csv.add_row({name, "counter", "value", std::to_string(counter->value())});
@@ -139,7 +139,7 @@ CsvWriter MetricsRegistry::to_csv() const {
 }
 
 std::string MetricsRegistry::render() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     Table table({"metric", "type", "value", "detail"});
     for (const auto& [name, counter] : counters_) {
         table.row().text(name).text("counter").integer(

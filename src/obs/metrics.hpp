@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "support/csv.hpp"
 #include "support/table.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace atk::obs {
 
@@ -18,10 +18,11 @@ namespace atk::obs {
 class Counter {
 public:
     void increment(std::uint64_t delta = 1) noexcept {
-        value_.fetch_add(delta, std::memory_order_relaxed);
+        // Pure event count, never used to order other memory.
+        value_.fetch_add(delta, std::memory_order_relaxed);  // atk-lint: allow(relaxed)
     }
     [[nodiscard]] std::uint64_t value() const noexcept {
-        return value_.load(std::memory_order_relaxed);
+        return value_.load(std::memory_order_relaxed);  // atk-lint: allow(relaxed)
     }
 
 private:
@@ -31,9 +32,12 @@ private:
 /// Last-written instantaneous value (queue depth, iteration counts).
 class Gauge {
 public:
-    void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+    void set(double value) noexcept {
+        // Last-writer-wins scalar, no ordering dependents.
+        value_.store(value, std::memory_order_relaxed);  // atk-lint: allow(relaxed)
+    }
     [[nodiscard]] double value() const noexcept {
-        return value_.load(std::memory_order_relaxed);
+        return value_.load(std::memory_order_relaxed);  // atk-lint: allow(relaxed)
     }
 
 private:
@@ -66,13 +70,13 @@ public:
     [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
 
 private:
-    std::vector<double> bounds_;
-    mutable std::mutex mutex_;
-    std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow)
-    std::uint64_t count_ = 0;
-    double sum_ = 0.0;
-    double min_;
-    double max_;
+    std::vector<double> bounds_;  // immutable after construction, unguarded
+    mutable Mutex mutex_;
+    std::vector<std::uint64_t> counts_ ATK_GUARDED_BY(mutex_);  // bounds_.size() + 1 (overflow)
+    std::uint64_t count_ ATK_GUARDED_BY(mutex_) = 0;
+    double sum_ ATK_GUARDED_BY(mutex_) = 0.0;
+    double min_ ATK_GUARDED_BY(mutex_);
+    double max_ ATK_GUARDED_BY(mutex_);
 };
 
 /// Exponential default buckets for millisecond latencies: 0.001 .. ~4000.
@@ -108,11 +112,13 @@ public:
     [[nodiscard]] std::string to_prometheus() const;
 
 private:
-    mutable std::mutex mutex_;
-    // std::map keeps export order deterministic (sorted by name).
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    mutable Mutex mutex_;
+    // std::map keeps export order deterministic (sorted by name).  The maps
+    // are guarded; the instruments they point to are internally synchronized
+    // and never move, which is what lets callers cache references.
+    std::map<std::string, std::unique_ptr<Counter>> counters_ ATK_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_ ATK_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_ ATK_GUARDED_BY(mutex_);
 };
 
 } // namespace atk::obs

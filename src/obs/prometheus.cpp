@@ -34,7 +34,7 @@ void append_type(std::string& out, const std::string& name, const char* type) {
 } // namespace
 
 std::string MetricsRegistry::to_prometheus() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     std::string out;
     for (const auto& [name, counter] : counters_) {
         const std::string prom = prometheus_metric_name(name);

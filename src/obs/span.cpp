@@ -7,8 +7,9 @@
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
+
+#include "support/thread_annotations.hpp"
 
 namespace atk::obs {
 
@@ -46,24 +47,28 @@ struct SpanRing {
     void push(const char* name, std::uint64_t start, std::uint64_t end,
               std::uint32_t depth, std::uint64_t trace_id, std::uint64_t span_id,
               std::uint64_t parent_span_id) noexcept {
+        // Single-writer ring: the owning thread is the only mutator, and
+        // the trailing release-store on `total` publishes the slot fields to
+        // snapshot()'s acquire-load.  atk-lint: allow(relaxed)
         const std::uint64_t n = total.load(std::memory_order_relaxed);
         Slot& slot = slots[n % slots.size()];
-        slot.name.store(name, std::memory_order_relaxed);
-        slot.start_ns.store(start, std::memory_order_relaxed);
-        slot.end_ns.store(end, std::memory_order_relaxed);
-        slot.depth.store(depth, std::memory_order_relaxed);
-        slot.trace_id.store(trace_id, std::memory_order_relaxed);
-        slot.span_id.store(span_id, std::memory_order_relaxed);
-        slot.parent_span_id.store(parent_span_id, std::memory_order_relaxed);
+        slot.name.store(name, std::memory_order_relaxed);            // atk-lint: allow(relaxed)
+        slot.start_ns.store(start, std::memory_order_relaxed);       // atk-lint: allow(relaxed)
+        slot.end_ns.store(end, std::memory_order_relaxed);           // atk-lint: allow(relaxed)
+        slot.depth.store(depth, std::memory_order_relaxed);          // atk-lint: allow(relaxed)
+        slot.trace_id.store(trace_id, std::memory_order_relaxed);    // atk-lint: allow(relaxed)
+        slot.span_id.store(span_id, std::memory_order_relaxed);      // atk-lint: allow(relaxed)
+        slot.parent_span_id.store(parent_span_id, std::memory_order_relaxed);  // atk-lint: allow(relaxed)
         total.store(n + 1, std::memory_order_release);
     }
 };
 
 struct Registry {
-    std::mutex mutex;
-    std::vector<std::shared_ptr<SpanRing>> rings;  // survive thread exit
-    std::uint32_t next_thread_id = 0;
-    std::size_t ring_capacity = 4096;
+    Mutex mutex;
+    std::vector<std::shared_ptr<SpanRing>> rings
+        ATK_GUARDED_BY(mutex);  // survive thread exit
+    std::uint32_t next_thread_id ATK_GUARDED_BY(mutex) = 0;
+    std::size_t ring_capacity ATK_GUARDED_BY(mutex) = 4096;
 };
 
 Registry& registry() {
@@ -95,7 +100,7 @@ std::uint64_t next_span_id() noexcept {
 SpanRing& thread_ring() {
     if (tls_ring == nullptr) {
         Registry& reg = registry();
-        std::lock_guard lock(reg.mutex);
+        MutexLock lock(reg.mutex);
         auto ring = std::make_shared<SpanRing>(reg.ring_capacity, reg.next_thread_id++);
         tls_ring = ring.get();
         reg.rings.push_back(std::move(ring));
@@ -108,18 +113,20 @@ SpanRing& thread_ring() {
 std::atomic<bool> Tracer::enabled_{false};
 
 void Tracer::enable(bool on) noexcept {
+    // A stale enabled flag only delays when tracing starts/stops; no data
+    // is published through it.  atk-lint: allow(relaxed)
     enabled_.store(on, std::memory_order_relaxed);
 }
 
 void Tracer::set_ring_capacity(std::size_t spans) {
     Registry& reg = registry();
-    std::lock_guard lock(reg.mutex);
+    MutexLock lock(reg.mutex);
     reg.ring_capacity = std::max<std::size_t>(spans, 2);
 }
 
 std::size_t Tracer::ring_capacity() noexcept {
     Registry& reg = registry();
-    std::lock_guard lock(reg.mutex);
+    MutexLock lock(reg.mutex);
     return reg.ring_capacity;
 }
 
@@ -140,15 +147,16 @@ ScopedTraceContext::ScopedTraceContext(TraceContext context) noexcept
 ScopedTraceContext::~ScopedTraceContext() { tls_context = saved_; }
 
 std::uint64_t Tracer::thread_span_count() noexcept {
-    return tls_ring == nullptr ? 0
-                               : tls_ring->total.load(std::memory_order_relaxed);
+    if (tls_ring == nullptr) return 0;
+    // Own thread's counter: no cross-thread ordering.  atk-lint: allow(relaxed)
+    return tls_ring->total.load(std::memory_order_relaxed);
 }
 
 std::vector<SpanRecord> Tracer::snapshot() {
     std::vector<std::shared_ptr<SpanRing>> rings;
     {
         Registry& reg = registry();
-        std::lock_guard lock(reg.mutex);
+        MutexLock lock(reg.mutex);
         rings = reg.rings;
     }
     std::vector<SpanRecord> spans;
@@ -158,17 +166,20 @@ std::vector<SpanRecord> Tracer::snapshot() {
         const std::uint64_t n = std::min(total, capacity);
         for (std::uint64_t i = total - n; i < total; ++i) {
             const auto& slot = ring->slots[i % capacity];
+            // Slot fields below `total`'s acquire fence are settled; a slot
+            // racing an overwrite yields a stale-or-mixed record that the
+            // sanity checks drop.  atk-lint: allow(relaxed)
             const char* name = slot.name.load(std::memory_order_relaxed);
             if (name == nullptr) continue;  // racing overwrite: drop
             SpanRecord record;
             record.name = name;
-            record.start_ns = slot.start_ns.load(std::memory_order_relaxed);
-            record.end_ns = slot.end_ns.load(std::memory_order_relaxed);
-            record.depth = slot.depth.load(std::memory_order_relaxed);
-            record.trace_id = slot.trace_id.load(std::memory_order_relaxed);
-            record.span_id = slot.span_id.load(std::memory_order_relaxed);
+            record.start_ns = slot.start_ns.load(std::memory_order_relaxed);  // atk-lint: allow(relaxed)
+            record.end_ns = slot.end_ns.load(std::memory_order_relaxed);      // atk-lint: allow(relaxed)
+            record.depth = slot.depth.load(std::memory_order_relaxed);        // atk-lint: allow(relaxed)
+            record.trace_id = slot.trace_id.load(std::memory_order_relaxed);  // atk-lint: allow(relaxed)
+            record.span_id = slot.span_id.load(std::memory_order_relaxed);    // atk-lint: allow(relaxed)
             record.parent_span_id =
-                slot.parent_span_id.load(std::memory_order_relaxed);
+                slot.parent_span_id.load(std::memory_order_relaxed);  // atk-lint: allow(relaxed)
             record.thread_id = ring->thread_id;
             if (record.end_ns < record.start_ns) continue;  // mixed slot: drop
             spans.push_back(std::move(record));
@@ -181,10 +192,12 @@ void Tracer::clear() {
     std::vector<std::shared_ptr<SpanRing>> rings;
     {
         Registry& reg = registry();
-        std::lock_guard lock(reg.mutex);
+        MutexLock lock(reg.mutex);
         rings = reg.rings;
     }
     for (const auto& ring : rings) {
+        // A cleared name is the "drop this slot" sentinel snapshot() checks.
+        // atk-lint: allow(relaxed)
         for (auto& slot : ring->slots) slot.name.store(nullptr, std::memory_order_relaxed);
         ring->total.store(0, std::memory_order_release);
     }

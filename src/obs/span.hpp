@@ -68,6 +68,8 @@ public:
     /// kept; disable() only stops new recordings.
     static void enable(bool on = true) noexcept;
     [[nodiscard]] static bool enabled() noexcept {
+        // The disabled-path cost budget (one load + branch) rules out any
+        // stronger ordering; see Tracer::enable().  atk-lint: allow(relaxed)
         return enabled_.load(std::memory_order_relaxed);
     }
 

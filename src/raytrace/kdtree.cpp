@@ -61,7 +61,9 @@ const KdTree& KdTree::expand(const KdNode& node) const {
     LazySlot& slot = *slots_[node.lazy_slot];
     const KdTree* built = slot.built.load(std::memory_order_acquire);
     if (built != nullptr) return *built;
-    const std::lock_guard guard(slot.build_mutex);
+    const MutexLock guard(slot.build_mutex);
+    // Double-checked recheck: the winning expander published with release
+    // under this same mutex, which already orders us.  atk-lint: allow(relaxed)
     built = slot.built.load(std::memory_order_relaxed);
     if (built != nullptr) return *built;
     if (!expander_)

@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "raytrace/geometry.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace atk::rt {
 
@@ -19,13 +19,17 @@ class KdTree;
 /// contact (double-checked locking; concurrent rendering threads block only
 /// while the expansion they need is running).
 struct LazySlot {
+    // prims/bounds/depth are written during the (single-threaded) build and
+    // consumed exactly once by the expansion that owns build_mutex; they are
+    // deliberately not annotated as guarded.
     std::vector<std::uint32_t> prims;
     Aabb bounds;
     int depth = 0;
 
-    std::mutex build_mutex;
+    Mutex build_mutex;
     std::atomic<const KdTree*> built{nullptr};
-    std::unique_ptr<KdTree> subtree;  // owned storage behind `built`
+    std::unique_ptr<KdTree> subtree
+        ATK_GUARDED_BY(build_mutex);  // owned storage behind `built`
 };
 
 /// One node of the kD-tree; a tagged plain struct (clarity over packing —

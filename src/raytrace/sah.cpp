@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
+
+#include "support/thread_annotations.hpp"
 
 namespace atk::rt {
 
@@ -73,13 +74,13 @@ SplitDecision find_best_split_binned(std::span<const std::uint32_t> prims,
         };
         if (pool != nullptr && prims.size() >= 4096) {
             // Data-parallel binning: per-chunk histograms, merged under a lock.
-            std::mutex merge_mutex;
+            Mutex merge_mutex;
             pool->parallel_for(
                 0, prims.size(),
                 [&](std::size_t begin, std::size_t end) {
                     Histogram local(bins);
                     accumulate(local, begin, end);
-                    const std::lock_guard guard(merge_mutex);
+                    const MutexLock guard(merge_mutex);
                     histogram.merge(local);
                 },
                 2048);

@@ -3,12 +3,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "support/contracts.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace atk::runtime {
 
@@ -38,7 +38,7 @@ public:
     /// Non-blocking producer; false when full or closed.
     bool try_push(T value) {
         {
-            std::lock_guard lock(mutex_);
+            MutexLock lock(mutex_);
             if (closed_ || items_.size() >= capacity_) return false;
             items_.push_back(std::move(value));
             ATK_ASSERT(items_.size() <= capacity_, "bounded queue overflowed its capacity");
@@ -51,8 +51,9 @@ public:
     /// (the value is discarded).
     bool push(T value) {
         {
-            std::unique_lock lock(mutex_);
-            not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+            MutexLock lock(mutex_);
+            while (!closed_ && items_.size() >= capacity_)
+                not_full_.wait(lock.native());
             if (closed_) return false;
             items_.push_back(std::move(value));
             ATK_ASSERT(items_.size() <= capacity_, "bounded queue overflowed its capacity");
@@ -65,8 +66,8 @@ public:
     std::optional<T> pop() {
         std::optional<T> value;
         {
-            std::unique_lock lock(mutex_);
-            not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+            MutexLock lock(mutex_);
+            while (!closed_ && items_.empty()) not_empty_.wait(lock.native());
             if (items_.empty()) return std::nullopt;  // closed and drained
             value.emplace(std::move(items_.front()));
             items_.pop_front();
@@ -79,7 +80,7 @@ public:
     std::optional<T> try_pop() {
         std::optional<T> value;
         {
-            std::lock_guard lock(mutex_);
+            MutexLock lock(mutex_);
             if (items_.empty()) return std::nullopt;
             value.emplace(std::move(items_.front()));
             items_.pop_front();
@@ -91,7 +92,7 @@ public:
     /// Ends the stream: producers fail, the consumer drains then stops.
     void close() {
         {
-            std::lock_guard lock(mutex_);
+            MutexLock lock(mutex_);
             closed_ = true;
         }
         not_empty_.notify_all();
@@ -99,12 +100,12 @@ public:
     }
 
     [[nodiscard]] bool closed() const {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         return closed_;
     }
 
     [[nodiscard]] std::size_t size() const {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         return items_.size();
     }
 
@@ -112,11 +113,11 @@ public:
 
 private:
     const std::size_t capacity_;
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_;
     std::condition_variable not_empty_;
     std::condition_variable not_full_;
-    std::deque<T> items_;
-    bool closed_ = false;
+    std::deque<T> items_ ATK_GUARDED_BY(mutex_);
+    bool closed_ ATK_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace atk::runtime

@@ -27,7 +27,7 @@ TuningService::~TuningService() { stop(); }
 
 void TuningService::stop() {
     {
-        std::lock_guard lock(flush_mutex_);
+        MutexLock lock(flush_mutex_);
         if (stopped_) return;
         stopped_ = true;
     }
@@ -42,7 +42,7 @@ TuningService::Shard& TuningService::shard_for(const std::string& name) const {
 
 std::shared_ptr<TuningSession> TuningService::session(const std::string& name) {
     Shard& shard = shard_for(name);
-    std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     auto it = shard.sessions.find(name);
     if (it != shard.sessions.end()) return it->second;
     auto tuner = factory_(name);
@@ -58,13 +58,13 @@ std::shared_ptr<TuningSession> TuningService::session(const std::string& name) {
 
 void TuningService::drop_session(const std::string& name) {
     Shard& shard = shard_for(name);
-    std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     shard.sessions.erase(name);
 }
 
 std::shared_ptr<TuningSession> TuningService::find(const std::string& name) const {
     const Shard& shard = shard_for(name);
-    std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     const auto it = shard.sessions.find(name);
     return it == shard.sessions.end() ? nullptr : it->second;
 }
@@ -72,7 +72,7 @@ std::shared_ptr<TuningSession> TuningService::find(const std::string& name) cons
 std::vector<std::string> TuningService::session_names() const {
     std::vector<std::string> names;
     for (const auto& shard : shards_) {
-        std::lock_guard lock(shard->mutex);
+        MutexLock lock(shard->mutex);
         for (const auto& [name, unused] : shard->sessions) names.push_back(name);
     }
     std::sort(names.begin(), names.end());
@@ -82,7 +82,7 @@ std::vector<std::string> TuningService::session_names() const {
 std::size_t TuningService::session_count() const {
     std::size_t count = 0;
     for (const auto& shard : shards_) {
-        std::lock_guard lock(shard->mutex);
+        MutexLock lock(shard->mutex);
         count += shard->sessions.size();
     }
     return count;
@@ -96,12 +96,15 @@ bool TuningService::report(const std::string& session_name, const Ticket& ticket
                            Cost cost) {
     Event event{session_name, ticket, cost, std::chrono::steady_clock::now(),
                 obs::current_trace_context()};
+    // Relaxed is enough for the enqueue counter: flush() compares it against
+    // processed_ under flush_mutex_, and the queue push/pop pair orders the
+    // count against the event it counts.  atk-lint: allow(relaxed)
     enqueued_.fetch_add(1, std::memory_order_relaxed);
     const bool accepted =
         options_.block_when_full ? queue_.push(std::move(event))
                                  : queue_.try_push(std::move(event));
     if (!accepted) {
-        enqueued_.fetch_sub(1, std::memory_order_relaxed);
+        enqueued_.fetch_sub(1, std::memory_order_relaxed);  // atk-lint: allow(relaxed)
         metrics_.counter("reports_dropped").increment();
         return false;
     }
@@ -117,13 +120,14 @@ std::size_t TuningService::report_batch(const std::string& session_name,
     for (const BatchedMeasurement& m : batch) {
         Event event{session_name, m.ticket, m.cost, std::chrono::steady_clock::now(),
                     trace};
+        // Same counter discipline as report().  atk-lint: allow(relaxed)
         enqueued_.fetch_add(1, std::memory_order_relaxed);
         const bool ok = options_.block_when_full ? queue_.push(std::move(event))
                                                  : queue_.try_push(std::move(event));
         if (ok) {
             ++accepted;
         } else {
-            enqueued_.fetch_sub(1, std::memory_order_relaxed);
+            enqueued_.fetch_sub(1, std::memory_order_relaxed);  // atk-lint: allow(relaxed)
         }
     }
     if (accepted != 0) metrics_.counter("reports_enqueued").increment(accepted);
@@ -150,10 +154,10 @@ ServiceStats TuningService::stats() {
 }
 
 void TuningService::flush() {
-    std::unique_lock lock(flush_mutex_);
-    flush_cv_.wait(lock, [this] {
-        return processed_ >= enqueued_.load(std::memory_order_relaxed) || stopped_;
-    });
+    MutexLock lock(flush_mutex_);
+    // atk-lint: allow(relaxed) — see the enqueue-side comment in report().
+    while (processed_ < enqueued_.load(std::memory_order_relaxed) && !stopped_)
+        flush_cv_.wait(lock.native());
 }
 
 void TuningService::drain_loop() {
@@ -162,7 +166,7 @@ void TuningService::drain_loop() {
         if (options_.ingest_hook) options_.ingest_hook();
         process(*event);
         {
-            std::lock_guard lock(flush_mutex_);
+            MutexLock lock(flush_mutex_);
             ++processed_;
         }
         flush_cv_.notify_all();
@@ -250,7 +254,10 @@ bool TuningService::write_audit_jsonl(const std::string& path) {
     if (options_.audit_capacity == 0) return false;
     std::string out;
     for (const auto& name : session_names()) {
+        // find() can return null: a concurrent restore_payload() that hits
+        // corrupt state drops the session between the name scan and here.
         const auto session_ptr = find(name);
+        if (!session_ptr) continue;
         if (const obs::DecisionAuditTrail* trail = session_ptr->audit())
             out += trail->to_jsonl();
     }
@@ -267,12 +274,20 @@ bool TuningService::install(const InstallRecord& record) {
 std::string TuningService::snapshot_payload() {
     flush();
     obs::Span span("service.snapshot");
+    // Pin every session before writing the header: a session dropped
+    // concurrently (restore_payload() discarding corrupt state) would
+    // otherwise null-deref here *and* desync the header's session count
+    // from the records that follow.
+    std::vector<std::pair<std::string, std::shared_ptr<TuningSession>>> pinned;
+    for (const auto& name : session_names()) {
+        if (auto session_ptr = find(name))
+            pinned.emplace_back(name, std::move(session_ptr));
+    }
     StateWriter out;
-    const auto names = session_names();
-    write_snapshot_header(out, names.size(), 0);
-    for (const auto& name : names) {
+    write_snapshot_header(out, pinned.size(), 0);
+    for (const auto& [name, session_ptr] : pinned) {
         out.put_str(name);
-        find(name)->save_state(out);
+        session_ptr->save_state(out);
     }
     return out.str();
 }

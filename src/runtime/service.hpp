@@ -6,7 +6,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -17,6 +16,7 @@
 #include "runtime/metrics.hpp"
 #include "runtime/session.hpp"
 #include "runtime/snapshot.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/thread_pool.hpp"
 
 namespace atk::runtime {
@@ -224,8 +224,9 @@ public:
 
 private:
     struct Shard {
-        mutable std::mutex mutex;
-        std::unordered_map<std::string, std::shared_ptr<TuningSession>> sessions;
+        mutable Mutex mutex;
+        std::unordered_map<std::string, std::shared_ptr<TuningSession>> sessions
+            ATK_GUARDED_BY(mutex);
     };
 
     struct Event {
@@ -254,11 +255,11 @@ private:
     // flush() coordination: producers count enqueues, the aggregator
     // publishes its progress under flush_mutex_.
     std::atomic<std::uint64_t> enqueued_{0};
-    std::mutex flush_mutex_;
+    Mutex flush_mutex_;
     std::condition_variable flush_cv_;
-    std::uint64_t processed_ = 0;  // guarded by flush_mutex_
+    std::uint64_t processed_ ATK_GUARDED_BY(flush_mutex_) = 0;
 
-    bool stopped_ = false;  // guarded by flush_mutex_
+    bool stopped_ ATK_GUARDED_BY(flush_mutex_) = false;
 
     // Declared last so the pool outlives nothing it needs; the aggregator
     // task is joined explicitly in stop() before members are destroyed.

@@ -42,13 +42,13 @@ TuningSession::TuningSession(std::string name, std::unique_ptr<TwoPhaseTuner> tu
 }
 
 Ticket TuningSession::begin() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return Ticket{sequence_, recommendation_};
 }
 
 IngestResult TuningSession::ingest(const Ticket& ticket, Cost cost) {
     obs::Span span("session.ingest");
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     IngestResult result;
     result.algorithm = ticket.trial.algorithm;
     const Cost previous_best = tuner_->best_cost();
@@ -77,7 +77,7 @@ IngestResult TuningSession::ingest(const Ticket& ticket, Cost cost) {
 }
 
 bool TuningSession::install(std::size_t algorithm, Configuration config, Cost cost) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (algorithm >= tuner_->algorithm_count() || cost <= 0.0 ||
         !tuner_->algorithm(algorithm).space.contains(config))
         return false;
@@ -86,44 +86,44 @@ bool TuningSession::install(std::size_t algorithm, Configuration config, Cost co
 }
 
 std::vector<double> TuningSession::strategy_weights() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return tuner_->strategy().weights();
 }
 
 std::size_t TuningSession::iterations() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return tuner_->iteration();
 }
 
 bool TuningSession::has_best() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     // Costs are strictly positive, so a zero best marks "nothing reported".
     return tuner_->best_cost() > 0.0;
 }
 
 Cost TuningSession::best_cost() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return tuner_->best_cost();
 }
 
 Trial TuningSession::best_trial() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return tuner_->best_trial();
 }
 
 std::size_t TuningSession::algorithm_count() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return tuner_->algorithm_count();
 }
 
 void TuningSession::save_state(StateWriter& out) const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     out.put_u64(sequence_);
     tuner_->save_state(out);
 }
 
 void TuningSession::restore_state(StateReader& in, std::uint64_t tuner_format) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     sequence_ = in.get_u64();
     tuner_->restore_state(in, tuner_format);
     if (tuner_->awaiting_report()) {

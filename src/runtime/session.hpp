@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -10,6 +9,7 @@
 #include "core/tuner.hpp"
 #include "obs/audit.hpp"
 #include "obs/health.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace atk::runtime {
 
@@ -111,12 +111,15 @@ public:
 
 private:
     const std::string name_;
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_;
+    // audit_/health_ are internally synchronized (set once in the
+    // constructor, never reseated) — only the tuner and the recommendation
+    // protocol live under the session mutex.
     std::unique_ptr<obs::DecisionAuditTrail> audit_;  // before tuner_: hook target
     std::unique_ptr<obs::TuningHealthMonitor> health_;
-    std::unique_ptr<TwoPhaseTuner> tuner_;
-    std::uint64_t sequence_ = 0;
-    Trial recommendation_;
+    std::unique_ptr<TwoPhaseTuner> tuner_ ATK_GUARDED_BY(mutex_);
+    std::uint64_t sequence_ ATK_GUARDED_BY(mutex_) = 0;
+    Trial recommendation_ ATK_GUARDED_BY(mutex_);
 };
 
 } // namespace atk::runtime

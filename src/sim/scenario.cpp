@@ -266,9 +266,13 @@ std::vector<TunableAlgorithm> ScenarioSpec::make_algorithms() const {
         }
         TunableAlgorithm algorithm;
         algorithm.name = model.name;
-        for (std::size_t d = 0; d < model.optimum.size(); ++d)
-            algorithm.space.add(
-                Parameter::ratio("x" + std::to_string(d), model.lo, model.hi));
+        for (std::size_t d = 0; d < model.optimum.size(); ++d) {
+            // Built up in place: `"x" + std::string&&` trips gcc 12's
+            // -Wrestrict false positive (PR 105651) under -Werror.
+            std::string axis = "x";
+            axis += std::to_string(d);
+            algorithm.space.add(Parameter::ratio(axis, model.lo, model.hi));
+        }
         algorithm.initial = algorithm.space.midpoint();
         algorithm.searcher = std::make_unique<NelderMeadSearcher>();
         algorithms.push_back(std::move(algorithm));

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <mutex>
+
+/// \file
+/// Clang thread-safety (capability) annotations for the atk tree, plus the
+/// annotated mutex/lock wrappers the analysis needs to type-check lock
+/// scopes.
+///
+/// The macros expand to Clang `capability` attributes when compiling with
+/// clang and to nothing everywhere else, so gcc builds are unaffected.  The
+/// analysis itself is opt-in: configure with `-DATK_THREAD_SAFETY=ON`, which
+/// adds `-Wthread-safety` (and, with `-DATK_WERROR=ON`, promotes every
+/// finding to an error).  See DESIGN.md "Concurrency static analysis" for
+/// the annotation conventions and the suppression policy.
+///
+/// Conventions, in brief:
+///
+///   - every mutex member is an `atk::Mutex` (or carries an explicit
+///     `// atk-lint: allow(unguarded-mutex)` justification);
+///   - every piece of state a mutex protects is `ATK_GUARDED_BY(mutex_)`;
+///   - private helpers that assume the lock say so with
+///     `ATK_REQUIRES(mutex_)` instead of re-locking;
+///   - lock scopes use `atk::MutexLock` (an annotated
+///     `std::unique_lock<std::mutex>`), and condition variables wait on
+///     `lock.native()`;
+///   - condition-variable waits are written as explicit `while` loops, not
+///     predicate lambdas: the analysis treats a lambda body as a separate
+///     unannotated function, so a predicate touching guarded state would be
+///     a false positive.
+///
+/// `ATK_NO_THREAD_SAFETY_ANALYSIS` is the escape hatch of last resort for
+/// patterns the analysis cannot express (e.g. a guard expression that
+/// aliases `this` through another object, see ThreadPool::finish); every
+/// use carries a comment explaining why the code is nevertheless correct.
+
+#if defined(__clang__) && !defined(SWIG)
+#define ATK_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ATK_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Marks a class as a capability (a lockable resource).  The string names
+/// the capability kind in diagnostics ("mutex", "role", ...).
+#define ATK_CAPABILITY(x) ATK_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (std::lock_guard-style).
+#define ATK_SCOPED_CAPABILITY ATK_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member is protected by the given capability: reads require the
+/// capability held at least shared, writes require it held exclusively.
+#define ATK_GUARDED_BY(x) ATK_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define ATK_PT_GUARDED_BY(x) ATK_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability (or capabilities) to be held by the
+/// caller — it neither acquires nor releases them.
+#define ATK_REQUIRES(...) \
+    ATK_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ATK_REQUIRES_SHARED(...) \
+    ATK_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the capability and holds it past the call
+/// boundary (lock() / unlock()).
+#define ATK_ACQUIRE(...) ATK_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ATK_ACQUIRE_SHARED(...) \
+    ATK_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define ATK_RELEASE(...) ATK_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define ATK_RELEASE_SHARED(...) \
+    ATK_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts to acquire the capability; the first argument is the
+/// return value that means success.
+#define ATK_TRY_ACQUIRE(...) \
+    ATK_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention on re-entrant
+/// entry points).
+#define ATK_EXCLUDES(...) ATK_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define ATK_RETURN_CAPABILITY(x) ATK_THREAD_ANNOTATION(lock_returned(x))
+
+/// Assert-style: the capability is known (dynamically) to be held here.
+#define ATK_ASSERT_CAPABILITY(x) \
+    ATK_THREAD_ANNOTATION(assert_capability(x))
+
+/// Disables the analysis for one function.  Last resort; say why.
+#define ATK_NO_THREAD_SAFETY_ANALYSIS \
+    ATK_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace atk {
+
+/// `std::mutex` wrapped as an annotated capability.  libstdc++'s std::mutex
+/// carries no capability attributes, so locking it directly is invisible to
+/// the analysis; this wrapper is what makes ATK_GUARDED_BY enforceable.
+/// Same cost, same semantics — it *is* a std::mutex underneath, and
+/// `native()` hands the raw mutex to condition variables.
+class ATK_CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() ATK_ACQUIRE() { m_.lock(); }
+    void unlock() ATK_RELEASE() { m_.unlock(); }
+    [[nodiscard]] bool try_lock() ATK_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+    /// The raw mutex, for std::condition_variable::wait(lock.native()).
+    /// Locking the result directly bypasses the analysis — don't.
+    [[nodiscard]] std::mutex& native() noexcept { return m_; }
+
+private:
+    // The wrapper *is* the capability; there is nothing to guard the raw
+    // mutex with.  atk-lint: allow(unguarded-mutex)
+    std::mutex m_;
+};
+
+/// Scoped lock over atk::Mutex — an annotated std::unique_lock.  Constructed
+/// locked; the destructor releases.  `native()` exposes the underlying
+/// unique_lock for condition-variable waits, which release and re-acquire
+/// internally (invisible to — and fine with — the analysis: the capability
+/// is held again before control returns).
+class ATK_SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex& mutex) ATK_ACQUIRE(mutex) : lock_(mutex.native()) {}
+    ~MutexLock() ATK_RELEASE() {}
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+    /// The underlying unique_lock, for cv.wait(lock.native()).
+    [[nodiscard]] std::unique_lock<std::mutex>& native() noexcept { return lock_; }
+
+private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+} // namespace atk

@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     wake_.notify_all();
@@ -34,7 +34,7 @@ ThreadPool::TaskGroup::~TaskGroup() {
 
 void ThreadPool::TaskGroup::submit(std::function<void()> task) {
     {
-        std::lock_guard lock(pool_.mutex_);
+        MutexLock lock(pool_.mutex_);
         ++pending_;
         pool_.queue_.push_back(Task{std::move(task), this});
     }
@@ -42,26 +42,27 @@ void ThreadPool::TaskGroup::submit(std::function<void()> task) {
 }
 
 void ThreadPool::TaskGroup::wait_all() {
-    std::unique_lock lock(pool_.mutex_);
-    while (pending_ > 0) {
-        // Help drain the queue instead of sleeping: with nested submission
-        // this thread may be the only one able to make progress.
-        if (!pool_.run_one(lock)) {
-            // Note submit() notifies wake_ (the workers), not done_, so the
-            // queue clause below can miss a wakeup — that is fine: it is
-            // only an opportunistic "help out" fast path, and a worker will
-            // take the task instead.  The wakeup this wait *depends* on —
-            // pending_ reaching 0 — is always delivered by finish().
-            done_.wait(lock, [this, &lock]() -> bool {
-                return pending_ == 0 || !pool_.queue_.empty();
-            });
+    std::exception_ptr error;
+    {
+        MutexLock lock(pool_.mutex_);
+        while (pending_ > 0) {
+            // Help drain the queue instead of sleeping: with nested
+            // submission this thread may be the only one able to make
+            // progress.
+            if (!pool_.run_one(lock.native())) {
+                // Note submit() notifies wake_ (the workers), not done_, so
+                // the queue clause below can miss a wakeup — that is fine:
+                // it is only an opportunistic "help out" fast path, and a
+                // worker will take the task instead.  The wakeup this wait
+                // *depends* on — pending_ reaching 0 — is always delivered
+                // by finish().
+                while (pending_ != 0 && pool_.queue_.empty())
+                    done_.wait(lock.native());
+            }
         }
+        error = std::exchange(first_error_, nullptr);
     }
-    if (first_error_) {
-        const std::exception_ptr error = std::exchange(first_error_, nullptr);
-        lock.unlock();
-        std::rethrow_exception(error);
-    }
+    if (error) std::rethrow_exception(error);
 }
 
 bool ThreadPool::run_one(std::unique_lock<std::mutex>& lock) {
@@ -84,16 +85,16 @@ bool ThreadPool::run_one(std::unique_lock<std::mutex>& lock) {
 }
 
 void ThreadPool::finish(TaskGroup* group) {
-    // Caller holds mutex_.
+    // Caller holds mutex_ (enforced by ATK_REQUIRES at the call sites).
     if (--group->pending_ == 0) group->done_.notify_all();
 }
 
 void ThreadPool::worker_loop() {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     for (;;) {
-        wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        while (!stop_ && queue_.empty()) wake_.wait(lock.native());
         if (stop_ && queue_.empty()) return;
-        run_one(lock);
+        run_one(lock.native());
     }
 }
 

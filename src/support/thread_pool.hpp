@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "support/thread_annotations.hpp"
+
 namespace atk {
 
 /// Fixed-size worker pool.
@@ -61,8 +63,8 @@ public:
     private:
         friend class ThreadPool;
         ThreadPool& pool_;
-        std::size_t pending_ = 0;  // guarded by pool_.mutex_
-        std::exception_ptr first_error_;  // guarded by pool_.mutex_
+        std::size_t pending_ ATK_GUARDED_BY(pool_.mutex_) = 0;
+        std::exception_ptr first_error_ ATK_GUARDED_BY(pool_.mutex_);
         std::condition_variable done_;
     };
 
@@ -81,14 +83,25 @@ private:
     };
 
     void worker_loop();
-    bool run_one(std::unique_lock<std::mutex>& lock);
-    void finish(TaskGroup* group);
+    /// Pops and runs one queued task; `lock` must hold mutex_ on entry and
+    /// holds it again on return (dropped around the task body).  The raw
+    /// unique_lock comes from MutexLock::native() — the unlock/relock dance
+    /// and the cross-object TaskGroup bookkeeping are beyond the static
+    /// analysis, so the body is exempted; ATK_REQUIRES still checks callers.
+    bool run_one(std::unique_lock<std::mutex>& lock)
+        ATK_REQUIRES(mutex_) ATK_NO_THREAD_SAFETY_ANALYSIS;
+    /// Decrements `group`'s pending count, waking waiters at zero.  The
+    /// analysis cannot prove group->pool_ aliases *this, so the guarded
+    /// TaskGroup members are accessed under an exemption; ATK_REQUIRES
+    /// still checks that callers hold the (one and only) pool mutex.
+    void finish(TaskGroup* group)
+        ATK_REQUIRES(mutex_) ATK_NO_THREAD_SAFETY_ANALYSIS;
 
-    std::mutex mutex_;
+    Mutex mutex_;
     std::condition_variable wake_;
-    std::deque<Task> queue_;
+    std::deque<Task> queue_ ATK_GUARDED_BY(mutex_);
     std::vector<std::thread> workers_;
-    bool stop_ = false;
+    bool stop_ ATK_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace atk

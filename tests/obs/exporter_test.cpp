@@ -7,6 +7,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "obs/prometheus.hpp"
 #include "obs/span.hpp"
@@ -87,6 +88,26 @@ TEST(TelemetryExporter, StopIsIdempotentAndFlushesOnceMore) {
     EXPECT_EQ(exporter.flush_count(), after_first_stop);
     EXPECT_NE(read_file(options.metrics_path).find("atk_exporter_stop 1"),
               std::string::npos);
+}
+
+// Regression: stop() used to check `stopping_` and then join unconditionally,
+// so two concurrent stop() calls could both reach thread_.join() — a double
+// join is undefined behavior (in practice std::terminate).  The fix
+// serializes whole stop() calls behind a dedicated mutex.
+TEST(TelemetryExporter, ConcurrentStopJoinsExactlyOnce) {
+    for (int round = 0; round < 20; ++round) {
+        MetricsRegistry registry;
+        TelemetryExporterOptions options;
+        options.interval = std::chrono::milliseconds(60'000);
+        options.metrics_path = ::testing::TempDir() + "exporter_race.prom";
+        TelemetryExporter exporter(&registry, options);
+
+        std::vector<std::thread> stoppers;
+        for (int t = 0; t < 4; ++t)
+            stoppers.emplace_back([&exporter] { exporter.stop(); });
+        for (auto& stopper : stoppers) stopper.join();
+        EXPECT_GE(exporter.flush_count(), 1u);  // exactly one final flush ran
+    }
 }
 
 TEST(TelemetryExporter, NullRegistryExportsTracesOnly) {

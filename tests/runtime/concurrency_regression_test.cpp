@@ -1,0 +1,128 @@
+/// Regression tests for lock-discipline findings surfaced by the concurrency
+/// static-analysis pass (clang -Wthread-safety + atk_lint lock rules):
+///
+///  1. snapshot_payload() pinned nothing: it wrote the session count first,
+///     then re-resolved each name — a session dropped by a concurrent
+///     restore_payload() between the two steps meant a null deref (or a
+///     header count that disagreed with the records that followed, poisoning
+///     every later restore of that payload).
+///  2. write_audit_jsonl() had the same TOCTOU shape on its audit() call.
+///
+/// These tests hammer the racy interleavings; the fixed code pins sessions
+/// via shared_ptr before writing anything and skips sessions that vanish.
+
+#include "runtime/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/autotune.hpp"
+
+namespace atk::runtime {
+namespace {
+
+std::vector<TunableAlgorithm> two_algorithms() {
+    std::vector<TunableAlgorithm> algorithms;
+    algorithms.push_back(TunableAlgorithm::untunable("A"));
+    TunableAlgorithm b;
+    b.name = "B";
+    b.space.add(Parameter::ratio("x", 0, 50));
+    b.initial = Configuration{{0}};
+    b.searcher = std::make_unique<NelderMeadSearcher>();
+    algorithms.push_back(std::move(b));
+    return algorithms;
+}
+
+TunerFactory deterministic_factory() {
+    return [](const std::string& session) {
+        return std::make_unique<TwoPhaseTuner>(
+            std::make_unique<EpsilonGreedy>(0.10), two_algorithms(),
+            /*seed=*/std::hash<std::string>{}(session));
+    };
+}
+
+ServiceOptions audited_options() {
+    ServiceOptions options;
+    options.audit_capacity = 16;
+    return options;
+}
+
+/// Seeds a few sessions with enough traffic that snapshots and audit
+/// windows have real content.
+void warm_up(TuningService& service, int iterations) {
+    for (const std::string name : {"s0", "s1", "s2", "s3"}) {
+        for (int i = 0; i < iterations; ++i) {
+            const Ticket ticket = service.begin(name);
+            service.report(name, ticket, ticket.trial.algorithm == 0 ? 5.0 : 25.0);
+        }
+    }
+    service.flush();
+}
+
+TEST(ConcurrencyRegression, SnapshotPayloadStaysConsistentUnderRestore) {
+    TuningService service(deterministic_factory(), audited_options());
+    warm_up(service, 20);
+    const std::string baseline = service.snapshot_payload();
+    ASSERT_FALSE(baseline.empty());
+
+    std::atomic<bool> done{false};
+    std::atomic<int> restores{0};
+
+    // Restorer: repeatedly drops and recreates every session underneath the
+    // snapshotters — the interleaving that used to null-deref.
+    std::thread restorer([&] {
+        while (!done.load()) {
+            service.restore_payload(baseline);
+            restores.fetch_add(1);
+        }
+    });
+
+    // Snapshotters: every payload must restore cleanly into a fresh service —
+    // a header count that disagrees with the records throws invalid_argument.
+    std::vector<std::thread> snapshotters;
+    for (int t = 0; t < 3; ++t) {
+        snapshotters.emplace_back([&] {
+            for (int i = 0; i < 40; ++i) {
+                const std::string payload = service.snapshot_payload();
+                TuningService validator(deterministic_factory(), audited_options());
+                EXPECT_NO_THROW((void)validator.restore_payload(payload));
+                validator.stop();
+            }
+        });
+    }
+    for (auto& thread : snapshotters) thread.join();
+    done.store(true);
+    restorer.join();
+
+    EXPECT_GT(restores.load(), 0);
+    EXPECT_EQ(service.session_count(), 4u);
+    service.stop();
+}
+
+TEST(ConcurrencyRegression, AuditExportSurvivesConcurrentRestore) {
+    TuningService service(deterministic_factory(), audited_options());
+    warm_up(service, 20);
+    const std::string baseline = service.snapshot_payload();
+    const std::string path = ::testing::TempDir() + "atk_audit_race.jsonl";
+
+    std::atomic<bool> done{false};
+    std::thread restorer([&] {
+        while (!done.load()) service.restore_payload(baseline);
+    });
+
+    // The exporter re-resolved each audited session by name after listing
+    // the names; a session dropped in between dereferenced null.
+    for (int i = 0; i < 60; ++i) (void)service.write_audit_jsonl(path);
+
+    done.store(true);
+    restorer.join();
+    service.stop();
+}
+
+} // namespace
+} // namespace atk::runtime

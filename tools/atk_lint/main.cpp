@@ -27,6 +27,31 @@
 ///   pragma-once     every header starts with #pragma once.
 ///   self-contained  (--self-contained) every header compiles alone.
 ///
+/// Lock discipline (token-level, brace-aware scope tracking — the static
+/// companion of the clang -Wthread-safety gate, see
+/// support/thread_annotations.hpp):
+///
+///   unguarded-mutex      every std::mutex / std::shared_mutex / Mutex
+///                        *member* must be referenced from a capability
+///                        annotation (ATK_GUARDED_BY and friends, in the
+///                        file or its .hpp/.cpp pair) or carry an explicit
+///                        suppression.  Function-local mutexes are exempt.
+///   blocking-under-lock  no blocking calls (send/recv family, poll/select/
+///                        epoll_wait/accept/connect, sleep_for/sleep_until/
+///                        usleep/nanosleep) while a lock_guard/scoped_lock/
+///                        unique_lock/MutexLock scope is open; a
+///                        condition-variable wait()/wait_for()/wait_until()
+///                        is flagged when a non-CV-capable lock (lock_guard,
+///                        scoped_lock, shared_lock) is held or two or more
+///                        locks are held at once.
+///   banned-detach        std::thread::detach() tree-wide — every thread
+///                        must have a joining owner.
+///   unjoined-thread      a std::thread member requires a join( call in the
+///                        same file or its header/impl pair (std::jthread
+///                        joins itself and is exempt).
+///   relaxed              memory_order_relaxed requires an adjacent
+///                        `// atk-lint: allow(relaxed)` justification.
+///
 /// Individual lines opt out with a trailing or preceding comment:
 ///     // atk-lint: allow(naked-new)
 ///
@@ -289,6 +314,148 @@ bool suppressed(const SourceFile& file, const std::string& rule, std::size_t lin
 }
 
 // ---------------------------------------------------------------------------
+// Lock discipline: tokens and classification tables
+// ---------------------------------------------------------------------------
+
+struct Token {
+    std::string text;
+    std::size_t line = 0;  ///< 1-based
+};
+
+/// Tokenize stripped source: identifiers (with immediately adjacent `::`
+/// qualifiers merged, so `std::this_thread::sleep_for` is one token), the
+/// `::` and `->` digraphs, and single punctuation characters.
+std::vector<Token> tokenize(const std::string& stripped) {
+    std::vector<Token> out;
+    std::size_t line = 1;
+    std::size_t i = 0;
+    const std::size_t n = stripped.size();
+    while (i < n) {
+        const char c = stripped[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+            ++i;
+            continue;
+        }
+        if (ident_char(c)) {
+            const std::size_t start = i;
+            while (i < n && ident_char(stripped[i])) ++i;
+            while (i + 2 < n && stripped[i] == ':' && stripped[i + 1] == ':' &&
+                   ident_char(stripped[i + 2])) {
+                i += 2;
+                while (i < n && ident_char(stripped[i])) ++i;
+            }
+            out.push_back({stripped.substr(start, i - start), line});
+            continue;
+        }
+        if (c == ':' && i + 1 < n && stripped[i + 1] == ':') {
+            out.push_back({"::", line});
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && stripped[i + 1] == '>') {
+            out.push_back({"->", line});
+            i += 2;
+            continue;
+        }
+        out.push_back({std::string(1, c), line});
+        ++i;
+    }
+    return out;
+}
+
+/// The component after the last `::` of a (possibly qualified) token.
+std::string_view last_component(std::string_view token) {
+    const std::size_t pos = token.rfind("::");
+    return pos == std::string_view::npos ? token : token.substr(pos + 2);
+}
+
+bool is_identifier_token(const std::string& t) {
+    return !t.empty() &&
+           (std::isalpha(static_cast<unsigned char>(t[0])) != 0 || t[0] == '_');
+}
+
+bool is_mutex_type(const std::string& t) {
+    return t == "std::mutex" || t == "std::shared_mutex" ||
+           t == "std::timed_mutex" || t == "std::recursive_mutex" ||
+           t == "Mutex" || t == "atk::Mutex";
+}
+
+bool is_lock_type(const std::string& t) {
+    return t == "std::lock_guard" || t == "std::scoped_lock" ||
+           t == "std::unique_lock" || t == "std::shared_lock" ||
+           t == "MutexLock" || t == "atk::MutexLock";
+}
+
+/// unique_lock — and the MutexLock wrapper, whose native() hands the wait a
+/// unique_lock — is released and reacquired by a condition-variable wait;
+/// lock_guard/scoped_lock/shared_lock are not.
+bool is_cv_capable_lock(const std::string& t) {
+    return t == "std::unique_lock" || t == "MutexLock" || t == "atk::MutexLock";
+}
+
+/// Everything inside the parentheses of capability annotations, concatenated
+/// so a mutex member can be matched against the guards that reference it.
+std::string annotation_arguments(const SourceFile& file) {
+    static constexpr const char* kMacros[] = {
+        "ATK_GUARDED_BY",    "ATK_PT_GUARDED_BY",    "ATK_REQUIRES",
+        "ATK_REQUIRES_SHARED", "ATK_ACQUIRE",        "ATK_ACQUIRE_SHARED",
+        "ATK_RELEASE",       "ATK_RELEASE_SHARED",   "ATK_EXCLUDES",
+        "ATK_RETURN_CAPABILITY", "ATK_ASSERT_CAPABILITY"};
+    std::string args;
+    const std::string& text = file.stripped;
+    for (const char* macro : kMacros) {
+        const std::string_view name(macro);
+        std::size_t pos = 0;
+        while ((pos = text.find(macro, pos)) != std::string::npos) {
+            const std::size_t after = pos + name.size();
+            if ((pos > 0 && ident_char(text[pos - 1])) ||
+                (after < text.size() && ident_char(text[after]))) {
+                pos = after;
+                continue;
+            }
+            std::size_t open = after;
+            while (open < text.size() &&
+                   std::isspace(static_cast<unsigned char>(text[open])) != 0)
+                ++open;
+            if (open >= text.size() || text[open] != '(') {
+                pos = after;
+                continue;
+            }
+            int depth = 1;
+            std::size_t close = open + 1;
+            while (close < text.size() && depth > 0) {
+                if (text[close] == '(') ++depth;
+                if (text[close] == ')') --depth;
+                ++close;
+            }
+            args += text.substr(open + 1, close - open - (depth == 0 ? 2 : 1));
+            args += ' ';
+            pos = close;
+        }
+    }
+    return args;
+}
+
+/// Whether a `join(` call expression appears anywhere in the file.
+bool has_join_call(const SourceFile& file) {
+    for (const std::string_view line : split_lines(file.stripped)) {
+        for (const std::size_t col : find_word(line, "join")) {
+            std::size_t after = col + 4;
+            while (after < line.size() &&
+                   std::isspace(static_cast<unsigned char>(line[after])) != 0)
+                ++after;
+            if (after < line.size() && line[after] == '(') return true;
+        }
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------------
 // Checks
 // ---------------------------------------------------------------------------
 
@@ -321,7 +488,211 @@ public:
     void check_file(const SourceFile& file) {
         check_layering(file);
         check_patterns(file);
+        check_lock_discipline(file);
         if (file.is_header) check_pragma_once(file);
+    }
+
+    /// The other half of a header/implementation pair, if it was scanned.
+    const SourceFile* pair_of(const SourceFile& file) const {
+        fs::path alt(file.rel);
+        alt.replace_extension(file.is_header ? ".cpp" : ".hpp");
+        const std::string want = alt.generic_string();
+        for (const auto& candidate : files_)
+            if (candidate.rel == want) return &candidate;
+        return nullptr;
+    }
+
+    /// Token-level lock-discipline pass; the rules are documented in the
+    /// file header.  Tracks brace scopes (namespace / class / block) and the
+    /// set of RAII lock guards currently in scope.
+    void check_lock_discipline(const SourceFile& file) {
+        const std::vector<Token> tokens = tokenize(file.stripped);
+        const SourceFile* pair = pair_of(file);
+        const std::string guards =
+            annotation_arguments(file) +
+            (pair != nullptr ? annotation_arguments(*pair) : "");
+        const bool joins =
+            has_join_call(file) || (pair != nullptr && has_join_call(*pair));
+
+        struct HeldLock {
+            std::size_t depth;    ///< scope depth the guard was declared at
+            bool cv_capable;
+        };
+        std::vector<char> scopes;  // 'n' namespace, 'c' class, 'b' block
+        std::vector<HeldLock> locks;
+        std::vector<std::size_t> header;  // token indices since the last ; { }
+        int parens = 0;
+
+        // What kind of scope does the brace whose statement prefix is
+        // `header` open?  Tokens inside parentheses (parameter lists,
+        // attribute arguments) are not part of the prefix.
+        auto classify = [&]() -> char {
+            bool found_class = false;
+            for (const std::size_t h : header) {
+                const std::string& t = tokens[h].text;
+                if (t == "namespace") return 'n';
+                if (t == "enum") return 'b';  // enumerators, not members
+                if (t == "class" || t == "struct" || t == "union")
+                    found_class = true;
+            }
+            if (!found_class || header.empty()) return 'b';
+            const std::string& tail = tokens[header.back()].text;
+            // `T f(struct timespec*) const {` is a function, not a class.
+            if (tail == "const" || tail == "noexcept" || tail == "override" ||
+                tail == ")")
+                return 'b';
+            return 'c';
+        };
+
+        // Member declarations: every mutex member must be referenced from a
+        // capability annotation; every std::thread member needs a join(.
+        auto member_decl_checks = [&]() {
+            if (scopes.empty() || scopes.back() != 'c') return;
+            for (std::size_t h = 0; h + 1 < header.size(); ++h) {
+                const Token& t = tokens[header[h]];
+                const Token& after = tokens[header[h + 1]];
+                if (is_mutex_type(t.text) && is_identifier_token(after.text)) {
+                    if (find_word(guards, after.text).empty() &&
+                        !suppressed(file, "unguarded-mutex", t.line))
+                        report({file.rel, t.line, "unguarded-mutex",
+                                "mutex member '" + after.text +
+                                    "' is referenced by no capability annotation; "
+                                    "add ATK_GUARDED_BY on the data it protects or "
+                                    "an explicit allow(unguarded-mutex)"});
+                }
+                if (t.text == "std::thread") {
+                    std::size_t k = h + 1;
+                    while (k < header.size() && tokens[header[k]].text == ">") ++k;
+                    if (k < header.size() &&
+                        is_identifier_token(tokens[header[k]].text) && !joins &&
+                        !suppressed(file, "unjoined-thread", t.line))
+                        report({file.rel, t.line, "unjoined-thread",
+                                "std::thread member '" + tokens[header[k]].text +
+                                    "' has no join( in this file or its header/"
+                                    "impl pair; every thread needs a joining "
+                                    "owner (or use std::jthread)"});
+                }
+            }
+        };
+
+        // `MutexLock lock(m);` and friends open a held-lock region that lasts
+        // until the enclosing brace closes.
+        auto lock_registration = [&]() {
+            if (scopes.empty() || scopes.back() != 'b') return;
+            for (std::size_t h = 0; h < header.size(); ++h) {
+                const std::string& t = tokens[header[h]].text;
+                if (!is_lock_type(t)) continue;
+                std::size_t k = h + 1;
+                if (k < header.size() && tokens[header[k]].text == "<") {
+                    while (k < header.size() && tokens[header[k]].text != ">") ++k;
+                    ++k;
+                }
+                if (k < header.size() && is_identifier_token(tokens[header[k]].text))
+                    locks.push_back({scopes.size(), is_cv_capable_lock(t)});
+                return;
+            }
+        };
+
+        for (std::size_t i = 0; i < tokens.size(); ++i) {
+            const Token& t = tokens[i];
+            const std::string* prev = i > 0 ? &tokens[i - 1].text : nullptr;
+            const std::string* next =
+                i + 1 < tokens.size() ? &tokens[i + 1].text : nullptr;
+
+            if (t.text == "(") {
+                ++parens;
+                continue;
+            }
+            if (t.text == ")") {
+                if (parens > 0) --parens;
+                continue;
+            }
+            if (t.text == "{") {
+                scopes.push_back(classify());
+                header.clear();
+                parens = 0;
+                continue;
+            }
+            if (t.text == "}") {
+                if (!scopes.empty()) scopes.pop_back();
+                while (!locks.empty() && locks.back().depth > scopes.size())
+                    locks.pop_back();
+                header.clear();
+                parens = 0;
+                continue;
+            }
+            if (t.text == ";") {
+                member_decl_checks();
+                lock_registration();
+                header.clear();
+                parens = 0;
+                continue;
+            }
+            if (parens == 0) header.push_back(i);
+
+            if (t.text == "std::memory_order_relaxed" ||
+                t.text == "memory_order_relaxed") {
+                if (!suppressed(file, "relaxed", t.line))
+                    report({file.rel, t.line, "relaxed",
+                            "memory_order_relaxed without an adjacent "
+                            "`atk-lint: allow(relaxed)` justification"});
+                continue;
+            }
+            if (t.text == "detach" && prev != nullptr && next != nullptr &&
+                (*prev == "." || *prev == "->") && *next == "(") {
+                if (!suppressed(file, "banned-detach", t.line))
+                    report({file.rel, t.line, "banned-detach",
+                            "thread detach() is banned tree-wide; every thread "
+                            "needs a joining owner"});
+                continue;
+            }
+
+            if (locks.empty() || next == nullptr || *next != "(") continue;
+            const std::string_view call = last_component(t.text);
+            const bool member_call =
+                prev != nullptr && (*prev == "." || *prev == "->");
+
+            if ((call == "wait" || call == "wait_for" || call == "wait_until") &&
+                member_call) {
+                // A CV wait releases exactly the lock it is handed; holding a
+                // second lock (or a guard the wait cannot release) across the
+                // sleep is a latent deadlock.
+                bool non_cv = false;
+                for (const HeldLock& held : locks) non_cv |= !held.cv_capable;
+                if ((locks.size() >= 2 || non_cv) &&
+                    !suppressed(file, "blocking-under-lock", t.line))
+                    report({file.rel, t.line, "blocking-under-lock",
+                            "condition-variable wait while holding " +
+                                std::to_string(locks.size()) +
+                                " lock(s), at least one of which the wait cannot "
+                                "release"});
+                continue;
+            }
+
+            bool blocking = false;
+            for (const std::string_view name :
+                 {"sleep_for", "sleep_until", "usleep", "nanosleep"})
+                blocking = blocking || call == name;
+            if (!blocking) {
+                // Socket syscalls: only bare (or `::`-global) call
+                // expressions; member calls and declarations are not libc.
+                const bool qualified = t.text.find("::") != std::string::npos;
+                const bool declaration = prev != nullptr &&
+                                         is_identifier_token(*prev) &&
+                                         *prev != "return";
+                if (!qualified && !member_call && !declaration)
+                    for (const std::string_view name :
+                         {"send", "recv", "sendto", "recvfrom", "sendmsg",
+                          "recvmsg", "poll", "epoll_wait", "select", "accept",
+                          "connect"})
+                        blocking = blocking || t.text == name;
+            }
+            if (blocking && !suppressed(file, "blocking-under-lock", t.line))
+                report({file.rel, t.line, "blocking-under-lock",
+                        "blocking call '" + t.text + "' while holding " +
+                            std::to_string(locks.size()) +
+                            " lock(s); release the lock first"});
+        }
     }
 
     void check_layering(const SourceFile& file) {
@@ -611,6 +982,91 @@ int self_test() {
                "};\n"
                "const char* banner() { return \"no new delete std::rand here\"; }\n");
     write_seed(root / "support/util.hpp", "#pragma once\nint util();\n");
+    // --- lock discipline ---------------------------------------------------
+    // Mutex members must be referenced from a capability annotation (or carry
+    // an explicit suppression); function-local mutexes are exempt.
+    write_seed(root / "core/locks_bad.hpp",
+               "#pragma once\n"
+               "#include <mutex>\n"
+               "struct BadLocks {\n"
+               "    std::mutex plain_;\n"
+               "    std::shared_mutex rw_;\n"
+               "};\n");
+    write_seed(root / "core/locks_good.hpp",
+               "#pragma once\n"
+               "struct GoodLocks {\n"
+               "    Mutex mutex_;\n"
+               "    int data_ ATK_GUARDED_BY(mutex_) = 0;\n"
+               "};\n");
+    write_seed(root / "core/locks_suppressed.hpp",
+               "#pragma once\n"
+               "struct Quiet {\n"
+               "    std::mutex free_;  // atk-lint: allow(unguarded-mutex)\n"
+               "};\n");
+    write_seed(root / "core/locks_local.cpp",
+               "#include \"core/locks_good.hpp\"\n"
+               "void local_only() {\n"
+               "    std::mutex m;\n"
+               "    std::lock_guard g(m);\n"
+               "}\n");
+    // Blocking under a held lock: raw socket I/O (inside net/, so the
+    // banned-socket rule stays quiet), sleeping, and a CV wait under a guard
+    // the wait cannot release.  The lock-free / post-release twins are clean.
+    write_seed(root / "net/blocking_lock.cpp",
+               "void hot_send(int fd, const char* b, long n) {\n"
+               "    std::mutex m;\n"
+               "    std::lock_guard<std::mutex> g(m);\n"
+               "    ::send(fd, b, n, 0);\n"
+               "}\n");
+    write_seed(root / "core/sleepy.cpp",
+               "void nap(std::mutex& m) {\n"
+               "    std::unique_lock<std::mutex> lk(m);\n"
+               "    std::this_thread::sleep_for(interval);\n"
+               "}\n"
+               "void nap_after(std::mutex& m) {\n"
+               "    {\n"
+               "        std::unique_lock<std::mutex> lk(m);\n"
+               "    }\n"
+               "    std::this_thread::sleep_for(interval);\n"
+               "}\n");
+    write_seed(root / "core/cv_wait.cpp",
+               "void bad_wait(std::mutex& m, std::condition_variable& cv) {\n"
+               "    std::lock_guard<std::mutex> g(m);\n"
+               "    cv.wait(g);\n"
+               "}\n"
+               "void good_wait(std::mutex& m, std::condition_variable& cv) {\n"
+               "    std::unique_lock<std::mutex> lk(m);\n"
+               "    cv.wait(lk);\n"
+               "}\n");
+    // detach() is banned tree-wide; a std::thread *member* needs a join( in
+    // its own file or the header/impl pair.
+    write_seed(root / "core/detach.cpp",
+               "void orphan(std::thread& t) { t.detach(); }\n");
+    write_seed(root / "core/unjoined.hpp",
+               "#pragma once\n"
+               "struct Runner {\n"
+               "    void start();\n"
+               "    std::thread worker_;\n"
+               "};\n");
+    write_seed(root / "core/joined.hpp",
+               "#pragma once\n"
+               "struct Joiner {\n"
+               "    ~Joiner();\n"
+               "    std::thread worker_;\n"
+               "};\n");
+    write_seed(root / "core/joined.cpp",
+               "#include \"core/joined.hpp\"\n"
+               "Joiner::~Joiner() { if (worker_.joinable()) worker_.join(); }\n");
+    // memory_order_relaxed needs an adjacent written justification.
+    write_seed(root / "core/relaxed.cpp",
+               "#include <atomic>\n"
+               "int peek(std::atomic<int>& v) {\n"
+               "    return v.load(std::memory_order_relaxed);\n"
+               "}\n"
+               "int peek_ok(std::atomic<int>& v) {\n"
+               "    // monitoring counter, no ordering needed  atk-lint: allow(relaxed)\n"
+               "    return v.load(std::memory_order_relaxed);\n"
+               "}\n");
 
     Linter lint(root);
     const bool clean = lint.scan();
@@ -656,6 +1112,25 @@ int self_test() {
     expect(flagged_files.count("core/clean.cpp") == 0,
            "clean file (comments, strings, = delete) not flagged");
     expect(flagged_files.count("support/util.hpp") == 0, "clean header not flagged");
+    expect(by_rule["unguarded-mutex"] == 2,
+           "both unannotated mutex members detected (std::mutex and "
+           "std::shared_mutex)");
+    expect(flagged_files.count("core/locks_good.hpp") == 0,
+           "ATK_GUARDED_BY-referenced mutex member not flagged");
+    expect(flagged_files.count("core/locks_suppressed.hpp") == 0,
+           "allow(unguarded-mutex) suppression honored");
+    expect(flagged_files.count("core/locks_local.cpp") == 0,
+           "function-local mutex not flagged");
+    expect(by_rule["blocking-under-lock"] == 3,
+           "all three blocking-under-lock violations detected (raw send, "
+           "sleep_for, CV wait under lock_guard)");
+    expect(by_rule["banned-detach"] == 1, "thread detach() detected");
+    expect(by_rule["unjoined-thread"] == 1, "unjoined std::thread member detected");
+    expect(flagged_files.count("core/joined.hpp") == 0,
+           "thread member joined in the paired .cpp not flagged");
+    expect(by_rule["relaxed"] == 1,
+           "unjustified memory_order_relaxed detected (and the justified "
+           "one passed)");
 
     if (failures != 0) {
         std::cout << "--- violations from the seeded tree ---\n";
