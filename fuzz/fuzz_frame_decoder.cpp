@@ -32,9 +32,11 @@ void decode_message(const atk::net::Frame& frame) {
     case FrameType::Hello: (void)decode_hello(frame); break;
     case FrameType::HelloOk: (void)decode_hello_ok(frame); break;
     case FrameType::Recommend: {
-        // Re-encode so the v2 trace-context extension round-trips: when the
-        // input carried kFlagTraceContext with a valid 16-byte suffix, the
-        // encoder must reproduce the flag; a truncated suffix must throw.
+        // Re-encode so the v2 trace-context and v3 feature-vector payload
+        // extensions round-trip: when the input carried kFlagTraceContext /
+        // kFlagFeatureVector with a well-formed suffix, the encoder must
+        // reproduce the flags; hostile feature counts and truncated vectors
+        // must throw before allocating.
         const RecommendMsg msg = decode_recommend(frame);
         (void)encode_recommend(msg);
         break;

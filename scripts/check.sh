@@ -29,11 +29,13 @@
 #   7. the simulation gates: the paper's convergence / no-exclusion /
 #      re-convergence regressions, the deadline-scenario objective
 #      gates (quantile/deadline cost beats mean time on the realized
-#      latency tail), plus a CLI smoke over every named scenario.  The
-#      tier-1 suite already runs the fast subset; with ATK_SIM_FULL=1
-#      this stage reruns the statistical gates over the full 32-seed
-#      ensembles for every scenario x strategy pair and sweeps the CLI
-#      across all scenarios,
+#      latency tail), the three-way contextual race (context-blind
+#      ε-Greedy vs offline feature model vs online LinUCB over the
+#      sweep/mixed scenarios), plus a CLI smoke over every named
+#      scenario.  The tier-1 suite already runs the fast subset; with
+#      ATK_SIM_FULL=1 this stage reruns the statistical gates over the
+#      full 32-seed ensembles for every scenario x strategy pair and
+#      sweeps the CLI across all scenarios,
 #   8. the observability health gates: the tuning-health monitor's
 #      detector stack replayed against the sim scenarios (drift fires
 #      after the phase shift and never on static, plateau calls the
@@ -109,16 +111,17 @@ echo
 echo "== stage 7: simulation gates =="
 if [[ "${ATK_SIM_FULL:-0}" == "1" ]]; then
     echo "(full mode: 32-seed ensembles, every scenario x strategy)"
-    "$repo/build/tests/test_sim" --gtest_filter='PaperGates.*:Determinism.*:DeadlineGates.*:DeadlineScenario.*'
-    for scenario in static drift plateau sweep deadline; do
+    "$repo/build/tests/test_sim" --gtest_filter='PaperGates.*:Determinism.*:DeadlineGates.*:DeadlineScenario.*:ContextualRace.*'
+    for scenario in static drift plateau sweep mixed deadline; do
         "$repo/build/tools/atk_sim/atk_sim" --scenario "$scenario" \
             --strategy all --seeds 32
     done
 else
     echo "(fast subset; set ATK_SIM_FULL=1 for the full ensembles)"
-    "$repo/build/tests/test_sim" --gtest_filter='PaperGates.NoStrategyEverExcludesAnAlgorithm:Determinism.SameSeedSameSimulation:DeadlineGates.QuantileObjectiveBeatsMeanOnRealizedTail'
+    "$repo/build/tests/test_sim" --gtest_filter='PaperGates.NoStrategyEverExcludesAnAlgorithm:Determinism.SameSeedSameSimulation:DeadlineGates.QuantileObjectiveBeatsMeanOnRealizedTail:ContextualRace.ContextualRunsAreBitIdenticalPerSeed'
     "$repo/build/tools/atk_sim/atk_sim" --scenario static --strategy e-greedy-5 --seeds 4
     "$repo/build/tools/atk_sim/atk_sim" --scenario deadline --strategy auc --seeds 4
+    "$repo/build/tools/atk_sim/atk_sim" --scenario mixed --strategy contextual --seeds 4
 fi
 
 echo

@@ -7,9 +7,12 @@
 #include "core/cost_objective.hpp"
 #include "core/feature_model.hpp"
 #include "core/measurement.hpp"
+#include "core/nominal/bucketed.hpp"
 #include "core/nominal/combined.hpp"
 #include "core/nominal/epsilon_greedy.hpp"
+#include "core/nominal/feature_policy.hpp"
 #include "core/nominal/gradient_weighted.hpp"
+#include "core/nominal/linucb.hpp"
 #include "core/nominal/optimum_weighted.hpp"
 #include "core/nominal/sliding_auc.hpp"
 #include "core/nominal/softmax.hpp"

@@ -9,12 +9,9 @@
 
 namespace atk {
 
-/// Workload description for input-sensitive algorithm selection: a vector
-/// of user-defined numeric features (pattern length, matrix sparsity, ...),
-/// the device the Nitro framework and PetaBricks use to turn the *nominal*
-/// algorithmic choice into something a model can handle (paper Sections
-/// II-B and V).
-using FeatureVector = std::vector<double>;
+// FeatureVector — the workload description for input-sensitive algorithm
+// selection (pattern length, matrix sparsity, ...) — lives in
+// core/measurement.hpp so strategies can consume it without this header.
 
 /// The state-of-the-art baseline the paper positions itself against:
 /// an offline-trained input-feature classifier (k-nearest-neighbor over

@@ -12,6 +12,12 @@ namespace atk {
 /// any cost to be minimized works (energy, failure rate, ...).
 using Cost = double;
 
+/// Input features describing one tuning context K (paper Section II-B):
+/// problem size, sparsity, alphabet size — whatever lets a context-aware
+/// strategy tell workloads apart.  Empty means "no context": every
+/// consumer treats a missing vector as context-blind operation.
+using FeatureVector = std::vector<double>;
+
 /// The measurement function m_K: T → R for a fixed context K. In online
 /// tuning this is "run the operation with configuration C and time it"; in
 /// tests it is a synthetic function.

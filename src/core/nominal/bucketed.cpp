@@ -1,0 +1,166 @@
+#include "core/nominal/bucketed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/state_io.hpp"
+
+namespace atk {
+
+FeatureBucketizer::FeatureBucketizer(std::vector<std::vector<double>> edges)
+    : edges_(std::move(edges)) {
+    for (const auto& dimension : edges_) {
+        for (std::size_t i = 0; i < dimension.size(); ++i) {
+            if (!std::isfinite(dimension[i]))
+                throw std::invalid_argument("FeatureBucketizer: edge not finite");
+            if (i > 0 && !(dimension[i - 1] < dimension[i]))
+                throw std::invalid_argument(
+                    "FeatureBucketizer: edges must be strictly increasing");
+        }
+    }
+}
+
+std::size_t FeatureBucketizer::bucket_count() const noexcept {
+    std::size_t count = 1;
+    for (const auto& dimension : edges_) count *= dimension.size() + 1;
+    return count;
+}
+
+std::size_t FeatureBucketizer::bucket_of(const FeatureVector& features) const {
+    std::size_t id = 0;
+    for (std::size_t d = 0; d < edges_.size(); ++d) {
+        double value = d < features.size() ? features[d] : 0.0;
+        if (!std::isfinite(value)) value = 0.0;
+        const auto& dimension = edges_[d];
+        const std::size_t interval = static_cast<std::size_t>(
+            std::lower_bound(dimension.begin(), dimension.end(), value) -
+            dimension.begin());
+        id = id * (dimension.size() + 1) + interval;
+    }
+    return id;
+}
+
+BucketedStrategy::BucketedStrategy(InnerFactory factory,
+                                   FeatureBucketizer bucketizer)
+    : factory_(std::move(factory)), bucketizer_(std::move(bucketizer)) {
+    if (!factory_)
+        throw std::invalid_argument("BucketedStrategy: null inner factory");
+    const auto prototype = factory_();
+    if (!prototype)
+        throw std::invalid_argument("BucketedStrategy: factory returned nullptr");
+    inner_name_ = prototype->name();
+}
+
+std::string BucketedStrategy::name() const {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "Bucketed[%zu](%s)",
+                  bucketizer_.bucket_count(), inner_name_.c_str());
+    return buf;
+}
+
+void BucketedStrategy::reset(std::size_t choices) {
+    if (choices == 0)
+        throw std::invalid_argument("BucketedStrategy: need at least one choice");
+    choices_ = choices;
+    buckets_.clear();
+    last_bucket_ = 0;
+}
+
+NominalStrategy& BucketedStrategy::bucket(std::size_t id) {
+    auto it = buckets_.find(id);
+    if (it == buckets_.end()) {
+        auto inner = factory_();
+        if (!inner)
+            throw std::logic_error("BucketedStrategy: factory returned nullptr");
+        inner->reset(choices_);
+        it = buckets_.emplace(id, std::move(inner)).first;
+    }
+    return *it->second;
+}
+
+const NominalStrategy* BucketedStrategy::current() const {
+    const auto it = buckets_.find(last_bucket_);
+    return it == buckets_.end() ? nullptr : it->second.get();
+}
+
+std::size_t BucketedStrategy::select(Rng& rng) {
+    return select(rng, FeatureVector{});
+}
+
+std::size_t BucketedStrategy::select(Rng& rng, const FeatureVector& features) {
+    if (choices_ == 0)
+        throw std::logic_error("BucketedStrategy: select() before reset()");
+    last_bucket_ = bucketizer_.bucket_of(features);
+    // Features are forwarded so a contextual inner strategy (LinUCB per
+    // bucket) still sees the within-bucket variation.
+    return bucket(last_bucket_).select(rng, features);
+}
+
+void BucketedStrategy::report(std::size_t choice, Cost cost) {
+    if (choices_ == 0)
+        throw std::logic_error("BucketedStrategy: report() before reset()");
+    bucket(last_bucket_).report(choice, cost);
+}
+
+void BucketedStrategy::report(std::size_t choice, Cost cost,
+                              const FeatureVector& features) {
+    if (choices_ == 0)
+        throw std::logic_error("BucketedStrategy: report() before reset()");
+    // Routed by the features the measurement was taken under, not by the
+    // last select() — out-of-band observe() traffic trains the right bucket.
+    bucket(bucketizer_.bucket_of(features)).report(choice, cost, features);
+}
+
+std::vector<double> BucketedStrategy::weights() const {
+    if (const NominalStrategy* inner = current()) return inner->weights();
+    return std::vector<double>(choices_, 1.0 / static_cast<double>(choices_));
+}
+
+bool BucketedStrategy::last_select_explored() const noexcept {
+    const NominalStrategy* inner = current();
+    return inner != nullptr && inner->last_select_explored();
+}
+
+std::vector<double> BucketedStrategy::last_scores() const {
+    if (const NominalStrategy* inner = current()) return inner->last_scores();
+    return {};
+}
+
+void BucketedStrategy::save_state(StateWriter& out) const {
+    out.put_u64(choices_);
+    out.put_u64(last_bucket_);
+    out.put_u64(buckets_.size());
+    // std::map iteration is id-ordered, so the layout is deterministic.
+    for (const auto& [id, inner] : buckets_) {
+        out.put_u64(id);
+        inner->save_state(out);
+    }
+}
+
+void BucketedStrategy::restore_state(StateReader& in) {
+    if (in.get_u64() != choices_)
+        throw std::invalid_argument("BucketedStrategy: snapshot choice count mismatch");
+    const auto last = static_cast<std::size_t>(in.get_u64());
+    if (last >= bucketizer_.bucket_count())
+        throw std::invalid_argument("BucketedStrategy: snapshot bucket out of range");
+    const std::uint64_t count = in.get_u64();
+    std::map<std::size_t, std::unique_ptr<NominalStrategy>> restored;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const auto id = static_cast<std::size_t>(in.get_u64());
+        if (id >= bucketizer_.bucket_count())
+            throw std::invalid_argument(
+                "BucketedStrategy: snapshot bucket out of range");
+        if (restored.count(id) != 0)
+            throw std::invalid_argument("BucketedStrategy: duplicate snapshot bucket");
+        auto inner = factory_();
+        inner->reset(choices_);
+        inner->restore_state(in);
+        restored.emplace(id, std::move(inner));
+    }
+    buckets_ = std::move(restored);
+    last_bucket_ = last;
+}
+
+} // namespace atk

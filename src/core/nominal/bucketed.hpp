@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/nominal/strategy.hpp"
+
+namespace atk {
+
+/// Maps a feature vector to a discrete bucket id via per-dimension sorted
+/// edge lists (mixed-radix over the per-dimension intervals).  A dimension
+/// with edges {e0 < e1 < ...} splits into len+1 intervals:
+/// (-inf, e0], (e0, e1], ..., (e_last, +inf).  Missing or non-finite
+/// feature entries count as 0.  A default-constructed bucketizer has no
+/// edges and maps everything to bucket 0.
+class FeatureBucketizer {
+public:
+    FeatureBucketizer() = default;
+
+    /// `edges[d]` are the cut points for feature dimension d; each list
+    /// must be strictly increasing (throws std::invalid_argument otherwise).
+    explicit FeatureBucketizer(std::vector<std::vector<double>> edges);
+
+    [[nodiscard]] std::size_t bucket_count() const noexcept;
+    [[nodiscard]] std::size_t bucket_of(const FeatureVector& features) const;
+    [[nodiscard]] const std::vector<std::vector<double>>& edges() const noexcept {
+        return edges_;
+    }
+
+private:
+    std::vector<std::vector<double>> edges_;
+};
+
+/// Per-feature-bucket phase-two wrapper: partitions the context space with
+/// a FeatureBucketizer and runs an independent instance of the wrapped
+/// strategy inside every bucket.  This is the cheapest road from a
+/// context-blind strategy to a contextual one — ε-Greedy that keeps a
+/// separate best-ever table per input-size regime no longer forgets the
+/// small-input winner when the large inputs arrive (the sweep scenario's
+/// standing failure mode).
+///
+/// Inner instances are created lazily on the first decision or report that
+/// lands in their bucket, with no RNG involved, so instantiation order
+/// cannot perturb determinism.  Snapshots persist exactly the instantiated
+/// buckets.
+class BucketedStrategy final : public NominalStrategy {
+public:
+    using InnerFactory = std::function<std::unique_ptr<NominalStrategy>()>;
+
+    /// `factory` builds one identically-configured inner strategy per
+    /// bucket (must be deterministic and never return nullptr).
+    BucketedStrategy(InnerFactory factory, FeatureBucketizer bucketizer);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] const FeatureBucketizer& bucketizer() const noexcept {
+        return bucketizer_;
+    }
+    /// Buckets that have actually been instantiated so far.
+    [[nodiscard]] std::size_t active_buckets() const noexcept {
+        return buckets_.size();
+    }
+
+    void reset(std::size_t choices) override;
+    std::size_t select(Rng& rng) override;
+    std::size_t select(Rng& rng, const FeatureVector& features) override;
+    void report(std::size_t choice, Cost cost) override;
+    void report(std::size_t choice, Cost cost,
+                const FeatureVector& features) override;
+
+    /// The current bucket's inner weights (uniform before any decision).
+    [[nodiscard]] std::vector<double> weights() const override;
+
+    [[nodiscard]] bool contextual() const noexcept override { return true; }
+    [[nodiscard]] bool last_select_explored() const noexcept override;
+    [[nodiscard]] std::vector<double> last_scores() const override;
+
+    /// Persists the set of instantiated buckets (id + inner state) and the
+    /// current bucket cursor.
+    void save_state(StateWriter& out) const override;
+    void restore_state(StateReader& in) override;
+
+private:
+    [[nodiscard]] NominalStrategy& bucket(std::size_t id);
+    [[nodiscard]] const NominalStrategy* current() const;
+
+    InnerFactory factory_;
+    FeatureBucketizer bucketizer_;
+    std::string inner_name_;
+    std::size_t choices_ = 0;
+    std::map<std::size_t, std::unique_ptr<NominalStrategy>> buckets_;
+    std::size_t last_bucket_ = 0;
+};
+
+} // namespace atk

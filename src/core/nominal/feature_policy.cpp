@@ -1,0 +1,68 @@
+#include "core/nominal/feature_policy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/invariants.hpp"
+#include "core/state_io.hpp"
+
+namespace atk {
+
+FeatureModelPolicy::FeatureModelPolicy(FeatureModel model, double floor)
+    : model_(std::move(model)), floor_(floor) {
+    if (model_.sample_count() == 0)
+        throw std::invalid_argument("FeatureModelPolicy: model is untrained");
+    // Strictly positive: the no-exclusion invariant is checked on weights(),
+    // so even this deterministic policy must leave mass on every arm.
+    if (!(floor > 0.0) || floor >= 1.0)
+        throw std::invalid_argument("FeatureModelPolicy: floor must be in (0, 1)");
+}
+
+std::string FeatureModelPolicy::name() const { return "FeatureModel policy"; }
+
+void FeatureModelPolicy::reset(std::size_t choices) {
+    if (choices == 0)
+        throw std::invalid_argument("FeatureModelPolicy: need at least one choice");
+    choices_ = choices;
+    last_choice_ = 0;
+}
+
+std::size_t FeatureModelPolicy::select(Rng& rng) {
+    return select(rng, FeatureVector{});
+}
+
+std::size_t FeatureModelPolicy::select(Rng&, const FeatureVector& features) {
+    if (choices_ == 0)
+        throw std::logic_error("FeatureModelPolicy: select() before reset()");
+    // The model has a fixed training dimensionality; pad or truncate the
+    // incoming context so an off-shape vector degrades instead of throwing.
+    FeatureVector query(model_.dimension(), 0.0);
+    for (std::size_t i = 0; i < query.size() && i < features.size(); ++i)
+        query[i] = std::isfinite(features[i]) ? features[i] : 0.0;
+    const std::size_t predicted = model_.predict(query);
+    // A model trained with more algorithms than this tuner has clamps to
+    // the available range rather than crashing the decision loop.
+    last_choice_ = predicted < choices_ ? predicted : choices_ - 1;
+    return last_choice_;
+}
+
+std::vector<double> FeatureModelPolicy::weights() const {
+    const std::size_t n = choices_;
+    std::vector<double> w(n, floor_ / static_cast<double>(n));
+    w[last_choice_] += 1.0 - floor_;
+    invariants::check_selection_distribution(w);
+    return w;
+}
+
+void FeatureModelPolicy::save_state(StateWriter& out) const {
+    out.put_u64(last_choice_);
+}
+
+void FeatureModelPolicy::restore_state(StateReader& in) {
+    const auto last = static_cast<std::size_t>(in.get_u64());
+    if (last >= choices_)
+        throw std::invalid_argument("FeatureModelPolicy: snapshot choice out of range");
+    last_choice_ = last;
+}
+
+} // namespace atk

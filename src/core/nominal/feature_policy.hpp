@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/feature_model.hpp"
+#include "core/nominal/strategy.hpp"
+
+namespace atk {
+
+/// The offline baseline as a phase-two strategy: wraps a trained
+/// FeatureModel (paper Section II-B, the Nitro/PetaBricks philosophy) and
+/// always plays whatever algorithm the model predicts for the current
+/// features.  It never learns online — report() is a no-op — which makes
+/// it exactly the contender the three-way race needs: instant on inputs it
+/// was trained for, blind to everything its training distribution missed.
+///
+/// weights() carries a small ε floor so the audit-trail invariant (every
+/// algorithm keeps positive mass) holds even though the policy itself is
+/// deterministic.
+class FeatureModelPolicy final : public NominalStrategy {
+public:
+    /// `model` must be trained (at least one sample); throws otherwise.
+    explicit FeatureModelPolicy(FeatureModel model, double floor = 0.02);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] const FeatureModel& model() const noexcept { return model_; }
+
+    void reset(std::size_t choices) override;
+    std::size_t select(Rng& rng) override;
+    std::size_t select(Rng& rng, const FeatureVector& features) override;
+    void report(std::size_t, Cost) override {}  // offline: never learns
+
+    /// 1−ε mass on the predicted algorithm, ε spread uniformly.
+    [[nodiscard]] std::vector<double> weights() const override;
+
+    [[nodiscard]] bool contextual() const noexcept override { return true; }
+
+    /// Persists the last prediction (what weights() reflects); the model
+    /// itself is construction state and is not serialized.
+    void save_state(StateWriter& out) const override;
+    void restore_state(StateReader& in) override;
+
+private:
+    FeatureModel model_;
+    double floor_;
+    std::size_t choices_ = 0;
+    std::size_t last_choice_ = 0;
+};
+
+} // namespace atk

@@ -1,0 +1,233 @@
+#include "core/nominal/linucb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/invariants.hpp"
+#include "core/state_io.hpp"
+
+namespace atk {
+
+namespace {
+
+/// Solves A·y = rhs for the small (dim ≤ ~10) SPD ridge Gram matrices this
+/// strategy builds, via Gaussian elimination with partial pivoting on a
+/// copy.  A (near-)singular system — only reachable through a corrupted
+/// snapshot, since ridge > 0 keeps live matrices positive definite —
+/// degrades to the zero vector instead of dividing by zero.
+std::vector<double> solve(std::vector<double> a, std::vector<double> rhs) {
+    const std::size_t n = rhs.size();
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < n; ++row)
+            if (std::fabs(a[row * n + col]) > std::fabs(a[pivot * n + col]))
+                pivot = row;
+        if (std::fabs(a[pivot * n + col]) < 1e-300)
+            return std::vector<double>(n, 0.0);
+        if (pivot != col) {
+            for (std::size_t k = col; k < n; ++k)
+                std::swap(a[col * n + k], a[pivot * n + k]);
+            std::swap(rhs[col], rhs[pivot]);
+        }
+        for (std::size_t row = col + 1; row < n; ++row) {
+            const double factor = a[row * n + col] / a[col * n + col];
+            if (factor == 0.0) continue;
+            for (std::size_t k = col; k < n; ++k)
+                a[row * n + k] -= factor * a[col * n + k];
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    std::vector<double> y(n, 0.0);
+    for (std::size_t row = n; row-- > 0;) {
+        double sum = rhs[row];
+        for (std::size_t k = row + 1; k < n; ++k) sum -= a[row * n + k] * y[k];
+        y[row] = sum / a[row * n + row];
+    }
+    return y;
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+    return sum;
+}
+
+} // namespace
+
+LinUcb::LinUcb(std::size_t dimension, double alpha, double ridge, double epsilon,
+               double gamma)
+    : dimension_(dimension), alpha_(alpha), ridge_(ridge), epsilon_(epsilon),
+      gamma_(gamma) {
+    if (!(alpha >= 0.0) || !std::isfinite(alpha))
+        throw std::invalid_argument("LinUcb: alpha must be finite and >= 0");
+    if (!(ridge > 0.0) || !std::isfinite(ridge))
+        throw std::invalid_argument("LinUcb: ridge must be finite and > 0");
+    if (epsilon < 0.0 || epsilon > 1.0)
+        throw std::invalid_argument("LinUcb: epsilon must be in [0, 1]");
+    if (!(gamma > 0.0) || gamma > 1.0)
+        throw std::invalid_argument("LinUcb: gamma must be in (0, 1]");
+}
+
+std::string LinUcb::name() const {
+    char buf[96];
+    if (gamma_ < 1.0) {
+        std::snprintf(buf, sizeof buf, "LinUCB (d=%zu, a=%g, e=%g%%, g=%g)",
+                      dimension_, alpha_, epsilon_ * 100.0, gamma_);
+    } else {
+        std::snprintf(buf, sizeof buf, "LinUCB (d=%zu, a=%g, e=%g%%)", dimension_,
+                      alpha_, epsilon_ * 100.0);
+    }
+    return buf;
+}
+
+void LinUcb::reset(std::size_t choices) {
+    if (choices == 0) throw std::invalid_argument("LinUcb: need at least one choice");
+    const std::size_t d = padded();
+    arms_.assign(choices, Arm{});
+    for (auto& arm : arms_) {
+        arm.a.assign(d * d, 0.0);
+        for (std::size_t i = 0; i < d; ++i) arm.a[i * d + i] = ridge_;
+        arm.b.assign(d, 0.0);
+    }
+    last_scores_.clear();
+    exploring_ = false;
+}
+
+std::vector<double> LinUcb::embed(const FeatureVector& features) const {
+    std::vector<double> x(padded(), 0.0);
+    x[0] = 1.0;  // bias: an all-zero context still trains the intercept
+    for (std::size_t i = 0; i < dimension_; ++i) {
+        const double value = i < features.size() ? features[i] : 0.0;
+        x[i + 1] = std::isfinite(value) ? value : 0.0;
+    }
+    return x;
+}
+
+void LinUcb::score_arms(const std::vector<double>& x) {
+    last_scores_.assign(arms_.size(), 0.0);
+    for (std::size_t c = 0; c < arms_.size(); ++c) {
+        const Arm& arm = arms_[c];
+        const std::vector<double> theta = solve(arm.a, arm.b);
+        const std::vector<double> inv_x = solve(arm.a, x);
+        const double variance = std::max(0.0, dot(x, inv_x));
+        // Lower confidence bound: predicted cost minus the optimism bonus.
+        last_scores_[c] = dot(theta, x) - alpha_ * std::sqrt(variance);
+    }
+}
+
+std::size_t LinUcb::select(Rng& rng) { return select(rng, FeatureVector{}); }
+
+std::size_t LinUcb::select(Rng& rng, const FeatureVector& features) {
+    if (arms_.empty()) throw std::logic_error("LinUcb: select() before reset()");
+    score_arms(embed(features));
+    exploring_ = rng.chance(epsilon_);
+    if (exploring_) return rng.index(arms_.size());
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < arms_.size(); ++c)
+        if (last_scores_[c] < last_scores_[best]) best = c;
+    return best;
+}
+
+void LinUcb::report(std::size_t choice, Cost cost) {
+    report(choice, cost, FeatureVector{});
+}
+
+void LinUcb::report(std::size_t choice, Cost cost,
+                    const FeatureVector& features) {
+    Arm& chosen = arms_.at(choice);
+    const std::vector<double> x = embed(features);
+    const std::size_t d = padded();
+    if (gamma_ < 1.0) {
+        // Discounted variant: one global decay step per report, every arm.
+        // The Gram matrix relaxes toward the ridge prior and the response
+        // vector toward zero, so an arm that stops being played drifts back
+        // to "unknown" (θ→0, variance up) and gets re-explored — the
+        // mechanism that re-detects a shifted cost surface.
+        for (Arm& arm : arms_) {
+            for (std::size_t i = 0; i < d; ++i) {
+                for (std::size_t j = 0; j < d; ++j) {
+                    const double prior = i == j ? ridge_ : 0.0;
+                    arm.a[i * d + j] =
+                        prior + gamma_ * (arm.a[i * d + j] - prior);
+                }
+                arm.b[i] *= gamma_;
+            }
+        }
+    }
+    for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = 0; j < d; ++j) chosen.a[i * d + j] += x[i] * x[j];
+        chosen.b[i] += cost * x[i];
+    }
+    ++chosen.pulls;
+}
+
+std::vector<double> LinUcb::weights() const {
+    const std::size_t n = arms_.size();
+    std::vector<double> w(n, 1.0 / static_cast<double>(n));
+    if (last_scores_.size() != n) return w;  // before the first select()
+    // Softmax over negated scores, shifted so the best arm's exponent is 0
+    // and clamped so no arm's mass underflows to zero — the no-exclusion
+    // invariant must hold in the weights as well as in the ε floor.
+    const double best = *std::min_element(last_scores_.begin(), last_scores_.end());
+    double mass = 0.0;
+    std::vector<double> soft(n, 0.0);
+    for (std::size_t c = 0; c < n; ++c) {
+        const double exponent = std::max(-30.0, best - last_scores_[c]);
+        soft[c] = std::exp(exponent);
+        mass += soft[c];
+    }
+    const double floor = epsilon_ / static_cast<double>(n);
+    for (std::size_t c = 0; c < n; ++c)
+        w[c] = floor + (1.0 - epsilon_) * soft[c] / mass;
+    invariants::check_selection_distribution(w);
+    return w;
+}
+
+void LinUcb::save_state(StateWriter& out) const {
+    const std::size_t d = padded();
+    out.put_u64(arms_.size());
+    out.put_u64(d);
+    out.put_u64(exploring_ ? 1 : 0);
+    out.put_u64(last_scores_.size());
+    for (const double score : last_scores_) out.put_f64(score);
+    for (const Arm& arm : arms_) {
+        out.put_u64(arm.pulls);
+        for (const double value : arm.a) out.put_f64(value);
+        for (const double value : arm.b) out.put_f64(value);
+    }
+}
+
+void LinUcb::restore_state(StateReader& in) {
+    const std::size_t d = padded();
+    if (in.get_u64() != arms_.size())
+        throw std::invalid_argument("LinUcb: snapshot choice count mismatch");
+    if (in.get_u64() != d)
+        throw std::invalid_argument("LinUcb: snapshot dimension mismatch");
+    exploring_ = in.get_u64() != 0;
+    const std::uint64_t score_count = in.get_u64();
+    if (score_count != 0 && score_count != arms_.size())
+        throw std::invalid_argument("LinUcb: snapshot score count mismatch");
+    last_scores_.assign(score_count, 0.0);
+    for (auto& score : last_scores_) {
+        score = in.get_f64();
+        if (!std::isfinite(score))
+            throw std::invalid_argument("LinUcb: snapshot score not finite");
+    }
+    for (Arm& arm : arms_) {
+        arm.pulls = static_cast<std::size_t>(in.get_u64());
+        for (auto& value : arm.a) {
+            value = in.get_f64();
+            if (!std::isfinite(value))
+                throw std::invalid_argument("LinUcb: snapshot matrix not finite");
+        }
+        for (auto& value : arm.b) {
+            value = in.get_f64();
+            if (!std::isfinite(value))
+                throw std::invalid_argument("LinUcb: snapshot vector not finite");
+        }
+    }
+}
+
+} // namespace atk

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/nominal/strategy.hpp"
+
+namespace atk {
+
+/// Online contextual bandit over the algorithmic choice: disjoint-arm
+/// LinUCB (Li et al., "A Contextual-Bandit Approach to Personalized News
+/// Article Recommendation") specialized to cost minimization.
+///
+/// Each arm a keeps a ridge regression of observed cost against the input
+/// features x (plus a bias term): A_a = ridge·I + Σ x xᵀ, b_a = Σ cost·x,
+/// θ_a = A_a⁻¹ b_a.  select() picks the arm with the smallest *lower*
+/// confidence bound  θ_aᵀx − alpha·√(xᵀA_a⁻¹x)  — optimism under
+/// uncertainty, mirrored for minimization.  An untried arm's bound is
+/// −alpha·√(xᵀA⁻¹x) < 0 < any real cost, so every arm is tried before the
+/// model is trusted.
+///
+/// This is the online answer to the offline FeatureModel baseline (paper
+/// Section II-B): it learns the feature→algorithm map *during* the run,
+/// needs no training phase, and keeps adapting when the workload leaves
+/// the distribution any offline model was fitted on.
+///
+/// An ε exploration floor keeps the paper's no-exclusion invariant honest:
+/// every arm retains a genuinely positive selection probability at every
+/// decision, so a drifting cost surface can always be re-detected.
+class LinUcb final : public NominalStrategy {
+public:
+    /// `dimension` = number of input features consumed (shorter feature
+    /// vectors are zero-padded, longer ones truncated; a bias term is
+    /// always appended internally).  `alpha` scales the confidence bonus,
+    /// `ridge` the regularization, `epsilon` the uniform exploration floor.
+    /// `gamma` < 1 selects the discounted variant (D-LinUCB, Russac et
+    /// al.): every report decays all arms' statistics toward the ridge
+    /// prior, so stale estimates fade and a drifting cost surface is
+    /// re-detected instead of being pinned by early history.  γ = 1 is the
+    /// classic stationary bandit.
+    explicit LinUcb(std::size_t dimension, double alpha = 1.0,
+                    double ridge = 1.0, double epsilon = 0.02,
+                    double gamma = 1.0);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
+    [[nodiscard]] double alpha() const noexcept { return alpha_; }
+    [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
+    [[nodiscard]] double gamma() const noexcept { return gamma_; }
+
+    void reset(std::size_t choices) override;
+    std::size_t select(Rng& rng) override;
+    std::size_t select(Rng& rng, const FeatureVector& features) override;
+    void report(std::size_t choice, Cost cost) override;
+    void report(std::size_t choice, Cost cost,
+                const FeatureVector& features) override;
+
+    /// ε/n exploration floor plus (1−ε) distributed by a softmax over the
+    /// negated arm scores of the most recent select() — strictly positive
+    /// everywhere, and peaked on the arm the model currently believes in.
+    [[nodiscard]] std::vector<double> weights() const override;
+
+    [[nodiscard]] bool contextual() const noexcept override { return true; }
+    [[nodiscard]] bool last_select_explored() const noexcept override {
+        return exploring_;
+    }
+
+    /// Per-arm lower-confidence-bound scores of the most recent select()
+    /// (smaller = more attractive); what explain() renders as UCB terms.
+    [[nodiscard]] std::vector<double> last_scores() const override {
+        return last_scores_;
+    }
+
+    /// Persists every arm's A matrix, b vector and pull count plus the
+    /// last-decision diagnostics; weights() round-trips bit-exactly.
+    void save_state(StateWriter& out) const override;
+    void restore_state(StateReader& in) override;
+
+private:
+    struct Arm {
+        std::vector<double> a;  ///< (dim+1)² ridge Gram matrix, row-major
+        std::vector<double> b;  ///< dim+1 response vector
+        std::size_t pulls = 0;
+    };
+
+    [[nodiscard]] std::size_t padded() const noexcept { return dimension_ + 1; }
+    [[nodiscard]] std::vector<double> embed(const FeatureVector& features) const;
+    void score_arms(const std::vector<double>& x);
+
+    std::size_t dimension_;
+    double alpha_;
+    double ridge_;
+    double epsilon_;
+    double gamma_;
+    std::vector<Arm> arms_;
+    std::vector<double> last_scores_;
+    bool exploring_ = false;
+};
+
+} // namespace atk

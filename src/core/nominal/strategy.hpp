@@ -33,8 +33,37 @@ public:
     /// Chooses the algorithm for this iteration.
     virtual std::size_t select(Rng& rng) = 0;
 
+    /// Context-aware selection: chooses the algorithm given the input
+    /// features of the workload about to run.  Context-blind strategies
+    /// keep the default, which ignores the features — so the tuner can
+    /// always pass whatever context it has without changing behaviour
+    /// (or RNG consumption) of the classic strategies.
+    virtual std::size_t select(Rng& rng, const FeatureVector& features) {
+        (void)features;
+        return select(rng);
+    }
+
     /// Reports the cost observed for `choice` in the iteration it was selected.
     virtual void report(std::size_t choice, Cost cost) = 0;
+
+    /// Context-aware report: the features `choice` was selected under.
+    /// Context-blind strategies keep the default (drops the features).
+    virtual void report(std::size_t choice, Cost cost,
+                        const FeatureVector& features) {
+        (void)features;
+        report(choice, cost);
+    }
+
+    /// True for strategies whose decisions depend on the feature vector.
+    /// Consumed by the audit trail (to know whether to record features)
+    /// and by tests.
+    [[nodiscard]] virtual bool contextual() const noexcept { return false; }
+
+    /// Per-arm diagnostic scores behind the most recent select() — for
+    /// LinUCB the lower-confidence-bound value of each arm (smaller is
+    /// better).  Empty for strategies that do not score arms; consumed by
+    /// the decision audit trail's explain().
+    [[nodiscard]] virtual std::vector<double> last_scores() const { return {}; }
 
     /// Current selection weights (uniform for strategies without weights);
     /// exposed for tests and the bench harnesses. All entries are > 0 —

@@ -37,15 +37,20 @@ TwoPhaseTuner::TwoPhaseTuner(std::unique_ptr<NominalStrategy> strategy,
     strategy_->reset(algorithms_.size());
 }
 
-Trial TwoPhaseTuner::next() {
+Trial TwoPhaseTuner::next() { return next(FeatureVector{}); }
+
+Trial TwoPhaseTuner::next(const FeatureVector& features) {
     if (awaiting_report_)
         throw std::logic_error("TwoPhaseTuner: next() called twice without report()");
     awaiting_report_ = true;
+    pending_features_ = features;
     std::size_t choice;
     {
-        // Phase two: nominal selection of the algorithm.
+        // Phase two: nominal selection of the algorithm.  The contextual
+        // overload defaults to the context-blind select(), so classic
+        // strategies draw exactly the same RNG stream they always did.
         obs::Span span("tuner.phase2_select");
-        choice = strategy_->select(rng_);
+        choice = strategy_->select(rng_, pending_features_);
     }
     {
         // Phase one: configuration proposal inside the chosen algorithm's space.
@@ -58,7 +63,8 @@ Trial TwoPhaseTuner::next() {
                                      strategy_->last_select_explored(),
                                      algorithm.searcher->step_kind(),
                                      strategy_->weights(), pending_.config,
-                                     objective_label_});
+                                     objective_label_, pending_features_,
+                                     strategy_->last_scores()});
     }
     return pending_;
 }
@@ -74,7 +80,7 @@ void TwoPhaseTuner::report(const Trial& trial, Cost cost) {
 
     obs::Span span("tuner.report");
     algorithms_.at(trial.algorithm).searcher->feedback(trial.config, cost);
-    strategy_->report(trial.algorithm, cost);
+    strategy_->report(trial.algorithm, cost, pending_features_);
 
     if (!has_best_ || cost < best_cost_) {
         best_trial_ = trial;
@@ -90,12 +96,17 @@ void TwoPhaseTuner::report(const Trial& trial, const CostBatch& batch) {
 }
 
 void TwoPhaseTuner::observe(const Trial& trial, Cost cost) {
+    observe(trial, cost, FeatureVector{});
+}
+
+void TwoPhaseTuner::observe(const Trial& trial, Cost cost,
+                            const FeatureVector& features) {
     if (trial.algorithm >= algorithms_.size())
         throw std::invalid_argument("TwoPhaseTuner: observe() of unknown algorithm");
     if (!(cost > 0.0))
         throw std::invalid_argument("TwoPhaseTuner: cost must be positive");
     obs::Span span("tuner.observe");
-    strategy_->report(trial.algorithm, cost);
+    strategy_->report(trial.algorithm, cost, features);
     if (!has_best_ || cost < best_cost_) {
         best_trial_ = trial;
         best_cost_ = cost;
@@ -130,7 +141,10 @@ Trial restore_trial(StateReader& in, std::size_t algorithm_count) {
 
 } // namespace
 
-void TwoPhaseTuner::save_state(StateWriter& out) const {
+void TwoPhaseTuner::save_state(StateWriter& out, std::uint64_t format) const {
+    if (format < kTunerStateFormatV1 || format > kTunerStateFormat)
+        throw std::invalid_argument("TwoPhaseTuner: unsupported state format " +
+                                    std::to_string(format));
     for (const std::uint64_t word : rng_.state()) out.put_u64(word);
     out.put_u64(iteration_);
     out.put_u64(awaiting_report_ ? 1 : 0);
@@ -145,10 +159,17 @@ void TwoPhaseTuner::save_state(StateWriter& out) const {
         out.put_str(algorithm.name);
         algorithm.searcher->save_state(out);
     }
-    // Format 2 appends the objective last, so a format-1 reader stops cleanly
-    // before it and a format-2 reader of an old stream knows to skip it.
-    out.put_str(objective_->id());
-    objective_->save_state(out);
+    // Each format appends its fields after the previous format's last token,
+    // so an old reader stops cleanly before them: format 2 adds the cost
+    // objective, format 3 the pending feature vector.
+    if (format >= kTunerStateFormatV2) {
+        out.put_str(objective_->id());
+        objective_->save_state(out);
+    }
+    if (format >= kTunerStateFormat) {
+        out.put_u64(pending_features_.size());
+        for (const double value : pending_features_) out.put_f64(value);
+    }
 }
 
 void TwoPhaseTuner::restore_state(StateReader& in, std::uint64_t format) {
@@ -179,13 +200,18 @@ void TwoPhaseTuner::restore_state(StateReader& in, std::uint64_t format) {
                                         algorithm.name + "'");
         algorithm.searcher->restore_state(in);
     }
-    if (format >= kTunerStateFormat) {
+    if (format >= kTunerStateFormatV2) {
         const std::string objective_id = in.get_str();
         if (objective_id != objective_->id())
             throw std::invalid_argument("TwoPhaseTuner: snapshot objective is '" +
                                         objective_id + "', tuner has '" +
                                         objective_->id() + "'");
         objective_->restore_state(in);
+    }
+    FeatureVector pending_features;
+    if (format >= kTunerStateFormat) {
+        pending_features.resize(in.get_count());
+        for (auto& value : pending_features) value = in.get_f64();
     }
     // Cross-field consistency: exactly the pending trial's searcher may have
     // an open ask-tell cycle, and only while the tuner itself awaits a
@@ -203,6 +229,7 @@ void TwoPhaseTuner::restore_state(StateReader& in, std::uint64_t format) {
     iteration_ = iteration;
     awaiting_report_ = awaiting;
     pending_ = std::move(pending);
+    pending_features_ = std::move(pending_features);
     has_best_ = has_best;
     best_cost_ = best_cost;
     best_trial_ = std::move(best_trial);

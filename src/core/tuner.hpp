@@ -37,11 +37,14 @@ struct Trial {
 
 /// save_state() stream layout versions.  Format 1 (pre-CostObjective) ends
 /// after the per-algorithm searcher states; format 2 appends the cost
-/// objective's id and state.  restore_state() with format 1 therefore keeps
-/// the tuner's constructed objective untouched — old snapshots restore as
-/// the mean-time tuners they were saved from.
+/// objective's id and state; format 3 appends the pending trial's feature
+/// vector.  restore_state() with an older format keeps the absent fields at
+/// their constructed values — old snapshots restore as the context-blind
+/// mean-time tuners they were saved from.  save_state() can write any
+/// supported format, which is how snapshot tests produce genuine v2 streams.
 inline constexpr std::uint64_t kTunerStateFormatV1 = 1;
-inline constexpr std::uint64_t kTunerStateFormat = 2;
+inline constexpr std::uint64_t kTunerStateFormatV2 = 2;
+inline constexpr std::uint64_t kTunerStateFormat = 3;
 
 /// Everything next() decided in one tuning iteration, delivered to the
 /// decision hook the moment the trial is formed — the raw material of the
@@ -56,6 +59,8 @@ struct DecisionEvent {
     std::vector<double> weights;         ///< strategy weights() at decision time
     const Configuration& config;         ///< phase-one proposal
     const std::string& objective;        ///< CostObjective::describe() label
+    const FeatureVector& features;       ///< context of this iteration ([] = none)
+    std::vector<double> scores;          ///< strategy last_scores() ([] = unscored)
 };
 
 /// The paper's two-phase online tuner (Section III).
@@ -89,6 +94,13 @@ public:
     /// Phase-two selection followed by phase-one proposal.
     [[nodiscard]] Trial next();
 
+    /// Context-aware form: `features` describe the workload the trial will
+    /// run against (paper Section II-B).  Context-blind strategies ignore
+    /// them — with such a strategy this is bit-identical to plain next().
+    /// The features are retained as the pending context: report() hands
+    /// them back to the strategy alongside the measured cost.
+    [[nodiscard]] Trial next(const FeatureVector& features);
+
     /// Reports the measured cost (> 0) of the trial returned by the last
     /// next(). next()/report() must strictly alternate.
     void report(const Trial& trial, Cost cost);
@@ -113,6 +125,11 @@ public:
 
     /// Batch form of observe(): scores with the CostObjective first.
     void observe(const Trial& trial, const CostBatch& batch);
+
+    /// Context-aware observe(): also hands the features the measurement was
+    /// taken under to the phase-two strategy, so late or out-of-band
+    /// measurements still train a contextual model.
+    void observe(const Trial& trial, Cost cost, const FeatureVector& features);
 
     /// Convenience: runs `iterations` complete tuning iterations against a
     /// measurement function and returns the recorded trace.
@@ -152,6 +169,12 @@ public:
     /// The outstanding trial (valid only while awaiting_report()).
     [[nodiscard]] const Trial& pending_trial() const noexcept { return pending_; }
 
+    /// Features the outstanding trial was selected under (empty when the
+    /// last next() was context-blind; valid only while awaiting_report()).
+    [[nodiscard]] const FeatureVector& pending_features() const noexcept {
+        return pending_features_;
+    }
+
     /// Serializes the complete tuning state — RNG stream, iteration count,
     /// pending trial, best-known trial, phase-two strategy state and each
     /// algorithm's phase-one searcher state — so a restarted process resumes
@@ -159,7 +182,11 @@ public:
     /// NOT serialized (it grows without bound and is re-derivable from
     /// logged measurements); a restored tuner starts with an empty trace
     /// but a non-zero iteration().  May be called while awaiting_report().
-    void save_state(StateWriter& out) const;
+    /// `format` selects the stream layout (older formats drop the fields
+    /// they predate — format 2 omits the pending feature vector); writing
+    /// anything but the current format is for compatibility tests.
+    void save_state(StateWriter& out,
+                    std::uint64_t format = kTunerStateFormat) const;
 
     /// Restores state written by save_state() on a tuner constructed with
     /// the same strategy type/configuration and the same algorithm list.
@@ -180,6 +207,7 @@ private:
     std::size_t iteration_ = 0;
     bool awaiting_report_ = false;
     Trial pending_;
+    FeatureVector pending_features_;
     Trial best_trial_;
     Cost best_cost_ = 0.0;
     bool has_best_ = false;

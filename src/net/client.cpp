@@ -185,6 +185,11 @@ obs::TraceContext TuningClient::wire_trace() const noexcept {
     return obs::current_trace_context();
 }
 
+FeatureVector TuningClient::wire_features(const FeatureVector& features) const {
+    if (negotiated_version_ < 3) return {};
+    return features;
+}
+
 Frame TuningClient::exchange(const std::function<std::string()>& encode) {
     std::string last_error;
     for (std::size_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
@@ -221,12 +226,18 @@ Frame TuningClient::reject_error(Frame frame) {
 // ---------------------------------------------------------------------------
 
 runtime::Ticket TuningClient::recommend(const std::string& session) {
+    return recommend(session, FeatureVector{});
+}
+
+runtime::Ticket TuningClient::recommend(const std::string& session,
+                                        const FeatureVector& features) {
     flush_reports();
     // The span covers the whole round trip and is the parent the server's
     // worker adopts when the frame carries our trace context.
     obs::Span span("client.recommend");
-    const Frame reply = reject_error(
-        exchange([&] { return encode_recommend({session, wire_trace()}); }));
+    const Frame reply = reject_error(exchange([&] {
+        return encode_recommend({session, wire_features(features), wire_trace()});
+    }));
     return decode_recommendation(reply).ticket;
 }
 
@@ -245,7 +256,7 @@ std::vector<runtime::Ticket> TuningClient::recommend_many(
             // The pipelined path: all requests on the wire before the first
             // reply is read; replies come back in request order.
             for (const std::string& session : sessions)
-                send_frame(encode_recommend({session, wire_trace()}));
+                send_frame(encode_recommend({session, {}, wire_trace()}));
             std::vector<runtime::Ticket> tickets;
             tickets.reserve(sessions.size());
             for (std::size_t i = 0; i < sessions.size(); ++i) {
@@ -268,12 +279,18 @@ bool TuningClient::report(const std::string& session, const runtime::Ticket& tic
     return report_batch(session, {{ticket, cost}}) == 1;
 }
 
+bool TuningClient::report(const std::string& session, const runtime::Ticket& ticket,
+                          Cost cost, const FeatureVector& features) {
+    return report_batch(session, {{ticket, cost}}, features) == 1;
+}
+
 std::size_t TuningClient::report_batch(
-    const std::string& session, const std::vector<runtime::BatchedMeasurement>& batch) {
+    const std::string& session, const std::vector<runtime::BatchedMeasurement>& batch,
+    const FeatureVector& features) {
     flush_reports();
     obs::Span span("client.report");
     const Frame reply = reject_error(exchange([&] {
-        return encode_report({session, batch, wire_trace()},
+        return encode_report({session, batch, wire_features(features), wire_trace()},
                              /*ack_requested=*/true);
     }));
     return decode_report_ok(reply).accepted;

@@ -87,6 +87,14 @@ public:
     /// Current recommendation for `session` (connects on first use).
     [[nodiscard]] runtime::Ticket recommend(const std::string& session);
 
+    /// Context-aware recommend(): announces `features` (the workload the
+    /// client is about to run) alongside the request.  Sent as the v3
+    /// feature-vector extension when the connection negotiated version 3;
+    /// silently elided on older servers, which degrades the session to
+    /// context-blind tuning rather than failing.
+    [[nodiscard]] runtime::Ticket recommend(const std::string& session,
+                                            const FeatureVector& features);
+
     /// Pipelined: one Recommend frame per session, then all replies.
     [[nodiscard]] std::vector<runtime::Ticket> recommend_many(
         const std::vector<std::string>& sessions);
@@ -94,9 +102,17 @@ public:
     /// Acknowledged single report; true when the server accepted it.
     bool report(const std::string& session, const runtime::Ticket& ticket, Cost cost);
 
-    /// Acknowledged batch; returns the server's accepted count.
+    /// Context-aware report(): `features` describe the workload the
+    /// measurement was taken under.  Same v3 negotiation rule as the
+    /// recommend() overload.
+    bool report(const std::string& session, const runtime::Ticket& ticket, Cost cost,
+                const FeatureVector& features);
+
+    /// Acknowledged batch; returns the server's accepted count.  `features`
+    /// (may be empty) apply to the whole batch.
     std::size_t report_batch(const std::string& session,
-                             const std::vector<runtime::BatchedMeasurement>& batch);
+                             const std::vector<runtime::BatchedMeasurement>& batch,
+                             const FeatureVector& features = {});
 
     /// Fire-and-forget: queue locally, ship on flush_reports() (called
     /// automatically at async_batch_size, before any blocking call, and on
@@ -167,6 +183,10 @@ private:
     /// active span when tracing is on and the connection negotiated v2,
     /// invalid (encodes as a plain v1 frame) otherwise.
     [[nodiscard]] obs::TraceContext wire_trace() const noexcept;
+    /// Feature vector to inject into an outgoing frame: `features` when the
+    /// connection negotiated v3, empty (encodes as a plain v2 frame)
+    /// otherwise.
+    [[nodiscard]] FeatureVector wire_features(const FeatureVector& features) const;
     /// Raises NetError for an Error frame, otherwise returns the frame.
     [[nodiscard]] static Frame reject_error(Frame frame);
 

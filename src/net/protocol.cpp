@@ -68,6 +68,32 @@ obs::TraceContext get_trace(WireReader& in, const Frame& frame) {
     return trace;
 }
 
+/// v3 feature-vector payload extension (u32 count + count × f64), appended
+/// after the base payload and before the trace extension.  Returns the flag
+/// bit to OR into the frame header; an empty vector encodes nothing (frame
+/// is byte-identical to v2).
+std::uint8_t put_features(WireWriter& out, const FeatureVector& features) {
+    if (features.empty()) return 0;
+    if (features.size() > 0xFFFFFFFFu)
+        throw std::invalid_argument("wire: feature vector exceeds u32 count");
+    out.put_u32(static_cast<std::uint32_t>(features.size()));
+    for (const double f : features) out.put_f64(f);
+    return kFlagFeatureVector;
+}
+
+/// Reads the extension iff the frame's header carried kFlagFeatureVector; a
+/// hostile count is bounded by get_count's remaining-bytes check, so the
+/// allocation can never exceed the frame payload itself.
+FeatureVector get_features(WireReader& in, const Frame& frame) {
+    FeatureVector features;
+    if ((frame.flags & kFlagFeatureVector) != 0) {
+        const std::size_t count = in.get_count(/*min_element_bytes=*/8);
+        features.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) features.push_back(in.get_f64());
+    }
+    return features;
+}
+
 } // namespace
 
 const char* frame_type_name(FrameType type) noexcept {
@@ -125,7 +151,8 @@ bool FrameDecoder::parse_header() {
         error_ = "unknown frame type " + std::to_string(type_byte);
         return false;
     }
-    if ((pending_flags_ & ~(kFlagAckRequested | kFlagTraceContext)) != 0) {
+    if ((pending_flags_ &
+         ~(kFlagAckRequested | kFlagTraceContext | kFlagFeatureVector)) != 0) {
         error_ = "unknown frame flags " + std::to_string(pending_flags_);
         return false;
     }
@@ -224,7 +251,8 @@ HelloOkMsg decode_hello_ok(const Frame& frame) {
 std::string encode_recommend(const RecommendMsg& msg) {
     WireWriter out;
     out.put_str(msg.session);
-    const std::uint8_t flags = put_trace(out, msg.trace);
+    std::uint8_t flags = put_features(out, msg.features);
+    flags |= put_trace(out, msg.trace);
     return finish_frame(FrameType::Recommend, flags, std::move(out));
 }
 
@@ -233,6 +261,7 @@ RecommendMsg decode_recommend(const Frame& frame) {
     WireReader in(frame.payload);
     RecommendMsg msg;
     msg.session = in.get_str();
+    msg.features = get_features(in, frame);
     msg.trace = get_trace(in, frame);
     expect_consumed(in, frame.type);
     return msg;
@@ -276,6 +305,7 @@ std::string encode_report(const ReportMsg& msg, bool ack_requested) {
         out.put_f64(m.cost);
     }
     std::uint8_t flags = ack_requested ? kFlagAckRequested : 0;
+    flags |= put_features(out, msg.features);
     flags |= put_trace(out, msg.trace);
     return finish_frame(FrameType::Report, flags, std::move(out));
 }
@@ -296,6 +326,7 @@ ReportMsg decode_report(const Frame& frame) {
         m.cost = in.get_f64();
         msg.batch.push_back(std::move(m));
     }
+    msg.features = get_features(in, frame);
     msg.trace = get_trace(in, frame);
     expect_consumed(in, frame.type);
     return msg;

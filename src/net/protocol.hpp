@@ -26,10 +26,18 @@ namespace atk::net {
 ///     identity so server-side spans join the client's timeline;
 ///   - the Health/HealthOk frame pair exposing per-session
 ///     obs::TuningHealthMonitor snapshots.
-inline constexpr std::uint32_t kProtocolVersion = 2;
+///
+/// v3 adds (invisible to v1/v2 peers):
+///   - an optional feature-vector payload extension on Recommend/Report
+///     frames (kFlagFeatureVector), carrying the client's workload features
+///     so server-side contextual strategies (LinUCB, bucketed phase-two)
+///     learn per-context costs.  Clients only emit it once HelloOk
+///     negotiated v3; a context-blind client's frames are byte-identical to
+///     v2 ones.
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 /// Oldest protocol version this build still speaks.  v1 frames are a strict
-/// subset of v2 (no trace extensions, no Health frames), so compatibility is
+/// subset of v2, and v2 of v3 (no feature extensions), so compatibility is
 /// "don't send the new things", not a separate codec.
 inline constexpr std::uint32_t kMinProtocolVersion = 1;
 
@@ -70,6 +78,15 @@ inline constexpr std::uint8_t kFlagAckRequested = 0x01;
 /// work the frame triggers into the sender's distributed trace.  v1 peers
 /// never see the bit: clients only inject it once HelloOk negotiated v2.
 inline constexpr std::uint8_t kFlagTraceContext = 0x02;
+
+/// kFlagFeatureVector (v3): the Recommend/Report payload carries a
+/// feature-vector extension — u32 count, count × f64 — describing the
+/// workload the client is about to run (Recommend) or measured under
+/// (Report; one context covers the whole batch).  Extensions stack in flag
+/// order: features are appended directly after the base payload, *before*
+/// the trace-context extension.  v1/v2 peers never see the bit: clients
+/// only inject it once HelloOk negotiated v3.
+inline constexpr std::uint8_t kFlagFeatureVector = 0x04;
 
 /// Error frame codes.
 enum class ErrorCode : std::uint32_t {
@@ -159,6 +176,9 @@ struct HelloOkMsg {
 
 struct RecommendMsg {
     std::string session;
+    /// When non-empty, encoded as the kFlagFeatureVector payload extension
+    /// (v3); empty vectors encode byte-identically to a v2 frame.
+    FeatureVector features;
     /// When valid, encoded as the kFlagTraceContext payload extension (v2);
     /// invalid contexts encode byte-identically to a v1 frame.
     obs::TraceContext trace;
@@ -172,6 +192,9 @@ struct RecommendationMsg {
 struct ReportMsg {
     std::string session;
     std::vector<runtime::BatchedMeasurement> batch;
+    /// See RecommendMsg::features; one feature vector covers the whole
+    /// batch (a batch is one workload context by construction).
+    FeatureVector features;
     /// See RecommendMsg::trace; one context covers the whole batch.
     obs::TraceContext trace;
 };

@@ -417,7 +417,8 @@ std::string TuningServer::make_reply(Connection& conn, const Frame& frame,
             // for a new session — land in the caller's distributed trace.
             obs::ScopedTraceContext trace_scope(msg.trace);
             obs::Span work("server.recommend");
-            RecommendationMsg reply{msg.session, service_.begin(msg.session)};
+            RecommendationMsg reply{msg.session,
+                                    service_.begin(msg.session, msg.features)};
             return encode_recommendation(reply);
         }
         case FrameType::Report: {
@@ -425,7 +426,7 @@ std::string TuningServer::make_reply(Connection& conn, const Frame& frame,
             obs::ScopedTraceContext trace_scope(msg.trace);
             obs::Span work("server.report");
             const std::size_t accepted =
-                service_.report_batch(msg.session, msg.batch);
+                service_.report_batch(msg.session, msg.batch, msg.features);
             if ((frame.flags & kFlagAckRequested) == 0) return {};
             return encode_report_ok(
                 {static_cast<std::uint32_t>(accepted),

@@ -80,8 +80,14 @@ std::string explain_decision(const Decision& decision) {
         }
         out << "]";
     };
+    if (!decision.features.empty())
+        row("input features:        ", decision.features);
     row("strategy weights:      ", decision.weights);
     row("selection probability: ", decision.probabilities);
+    // Contextual bandits score every arm before choosing; the chosen arm is
+    // the one whose confidence bound was smallest at these features.
+    if (!decision.scores.empty())
+        row("per-arm UCB score:     ", decision.scores);
     if (!decision.config.empty()) {
         out << "\n  configuration:         [";
         for (std::size_t i = 0; i < decision.config.size(); ++i)
@@ -158,7 +164,18 @@ std::string decisions_to_jsonl(const std::vector<Decision>& decisions) {
                           static_cast<long long>(d.config[i]));
             out += buf;
         }
-        out += "]}\n";
+        out += ']';
+        // Context fields are emitted only when present so context-blind
+        // audit lines stay byte-identical to what older runs produced.
+        if (!d.features.empty()) {
+            out += ",\"features\":";
+            append_double_array(out, d.features);
+        }
+        if (!d.scores.empty()) {
+            out += ",\"scores\":";
+            append_double_array(out, d.scores);
+        }
+        out += "}\n";
     }
     return out;
 }
@@ -244,6 +261,8 @@ std::optional<std::vector<Decision>> load_audit_file(const std::string& path) {
         d.objective = extract_string(line, "objective");
         d.weights = extract_double_array(line, "weights");
         d.probabilities = extract_double_array(line, "probabilities");
+        d.features = extract_double_array(line, "features");
+        d.scores = extract_double_array(line, "scores");
         for (const double v : extract_double_array(line, "config"))
             d.config.push_back(static_cast<std::int64_t>(v));
         decisions.push_back(std::move(d));

@@ -23,6 +23,8 @@ struct Decision {
     std::vector<double> weights;      ///< strategy weights() at decision time
     std::vector<double> probabilities;///< weights normalized to sum 1
     std::vector<std::int64_t> config; ///< phase-one configuration values
+    std::vector<double> features;     ///< input-feature context ([] = context-blind)
+    std::vector<double> scores;       ///< per-arm UCB terms ([] = unscored strategy)
 };
 
 /// Normalizes strategy weights into selection probabilities.  Weights are

@@ -92,10 +92,20 @@ Ticket TuningService::begin(const std::string& session_name) {
     return session(session_name)->begin();
 }
 
+Ticket TuningService::begin(const std::string& session_name,
+                            const FeatureVector& features) {
+    return session(session_name)->begin(features);
+}
+
 bool TuningService::report(const std::string& session_name, const Ticket& ticket,
                            Cost cost) {
-    Event event{session_name, ticket, cost, std::chrono::steady_clock::now(),
-                obs::current_trace_context()};
+    return report(session_name, ticket, cost, FeatureVector{});
+}
+
+bool TuningService::report(const std::string& session_name, const Ticket& ticket,
+                           Cost cost, const FeatureVector& features) {
+    Event event{session_name, ticket, cost, features,
+                std::chrono::steady_clock::now(), obs::current_trace_context()};
     // Relaxed is enough for the enqueue counter: flush() compares it against
     // processed_ under flush_mutex_, and the queue push/pop pair orders the
     // count against the event it counts.  atk-lint: allow(relaxed)
@@ -114,12 +124,13 @@ bool TuningService::report(const std::string& session_name, const Ticket& ticket
 }
 
 std::size_t TuningService::report_batch(const std::string& session_name,
-                                        const std::vector<BatchedMeasurement>& batch) {
+                                        const std::vector<BatchedMeasurement>& batch,
+                                        const FeatureVector& features) {
     std::size_t accepted = 0;
     const obs::TraceContext trace = obs::current_trace_context();
     for (const BatchedMeasurement& m : batch) {
-        Event event{session_name, m.ticket, m.cost, std::chrono::steady_clock::now(),
-                    trace};
+        Event event{session_name, m.ticket, m.cost, features,
+                    std::chrono::steady_clock::now(), trace};
         // Same counter discipline as report().  atk-lint: allow(relaxed)
         enqueued_.fetch_add(1, std::memory_order_relaxed);
         const bool ok = options_.block_when_full ? queue_.push(std::move(event))
@@ -187,7 +198,8 @@ void TuningService::process(const Event& event) {
         metrics_.counter("reports_orphaned").increment();
         return;
     }
-    const IngestResult result = session_ptr->ingest(event.ticket, event.cost);
+    const IngestResult result =
+        session_ptr->ingest(event.ticket, event.cost, event.features);
     metrics_.counter(result.fresh ? "reports_fresh" : "reports_stale").increment();
     metrics_.counter("session." + event.session + ".selections." +
                      std::to_string(result.algorithm))
@@ -306,9 +318,12 @@ std::size_t TuningService::restore_from(const std::string& path) {
 std::size_t TuningService::restore_payload(const std::string& payload) {
     StateReader in(payload);
     const SnapshotHeader header = read_snapshot_header(in);
-    // Version-1 archives carry tuner streams without the cost objective.
+    // Snapshot version maps 1:1 onto the tuner state-stream format it was
+    // written with: v1 predates the cost objective, v2 predates the pending
+    // feature vector.  Newer-than-known versions were already rejected by
+    // read_snapshot_header().
     const std::uint64_t tuner_format =
-        header.version >= 2 ? kTunerStateFormat : kTunerStateFormatV1;
+        std::min<std::uint64_t>(header.version, kTunerStateFormat);
     for (std::uint64_t s = 0; s < header.session_count; ++s) {
         const std::string name = in.get_str();
         try {

@@ -126,6 +126,11 @@ public:
     /// use via the factory.
     Ticket begin(const std::string& session);
 
+    /// Context-aware begin(): additionally announces the client's current
+    /// workload features to the session (steers the next recommendation
+    /// generation; see TuningSession::begin(features)).
+    Ticket begin(const std::string& session, const FeatureVector& features);
+
     /// Enqueues a completed measurement (cost > 0, in ms or any positive
     /// unit).  Returns false when the measurement was dropped: full queue
     /// under the drop policy, or stopped service.  A ticket for a session
@@ -133,13 +138,23 @@ public:
     /// aggregator (counted as `reports_orphaned`).
     bool report(const std::string& session, const Ticket& ticket, Cost cost);
 
+    /// Context-aware report(): `features` describe the workload the
+    /// measurement was taken under; they ride the event queue to the
+    /// aggregator and train contextual strategies (see
+    /// TuningSession::ingest(ticket, cost, features)).
+    bool report(const std::string& session, const Ticket& ticket, Cost cost,
+                const FeatureVector& features);
+
     /// Batched ingest: enqueues every measurement of `batch` for one
     /// session and returns how many were accepted (the rest were dropped by
     /// the full-queue policy or the stopped service).  One gauge update for
     /// the whole batch instead of one per measurement — this is the path
-    /// the net layer's batched `Report` frames land on.
+    /// the net layer's batched `Report` frames land on.  `features` (may be
+    /// empty) apply to every measurement of the batch: a batch is one
+    /// workload context by construction.
     std::size_t report_batch(const std::string& session,
-                             const std::vector<BatchedMeasurement>& batch);
+                             const std::vector<BatchedMeasurement>& batch,
+                             const FeatureVector& features = {});
 
     /// Blocks until every measurement enqueued so far has been processed.
     void flush();
@@ -233,6 +248,9 @@ private:
         std::string session;
         Ticket ticket;
         Cost cost = 0.0;
+        /// Workload features the measurement was taken under (empty =
+        /// context-blind client); forwarded to the session's ingest.
+        FeatureVector features;
         std::chrono::steady_clock::time_point enqueued;
         /// Distributed-trace identity captured at enqueue (the reporting
         /// thread's context, e.g. a server worker's remote parent), so the

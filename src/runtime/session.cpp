@@ -34,6 +34,8 @@ TuningSession::TuningSession(std::string name, std::unique_ptr<TwoPhaseTuner> tu
             decision.config.reserve(event.config.size());
             for (std::size_t i = 0; i < event.config.size(); ++i)
                 decision.config.push_back(event.config[i]);
+            decision.features = event.features;
+            decision.scores = event.scores;
             audit_->record(std::move(decision));
         });
     }
@@ -46,7 +48,18 @@ Ticket TuningSession::begin() const {
     return Ticket{sequence_, recommendation_};
 }
 
+Ticket TuningSession::begin(const FeatureVector& features) {
+    MutexLock lock(mutex_);
+    context_ = features;
+    return Ticket{sequence_, recommendation_};
+}
+
 IngestResult TuningSession::ingest(const Ticket& ticket, Cost cost) {
+    return ingest(ticket, cost, FeatureVector{});
+}
+
+IngestResult TuningSession::ingest(const Ticket& ticket, Cost cost,
+                                   const FeatureVector& features) {
     obs::Span span("session.ingest");
     MutexLock lock(mutex_);
     IngestResult result;
@@ -55,15 +68,18 @@ IngestResult TuningSession::ingest(const Ticket& ticket, Cost cost) {
     const bool had_best = previous_best > 0.0;
     if (ticket.sequence == sequence_) {
         // First measurement of the current generation: complete the strict
-        // next()/report() cycle and open the next recommendation.
+        // next()/report() cycle (the tuner pairs the cost with its pending
+        // trial's features) and open the next recommendation under the
+        // latest context the clients have announced.
         tuner_->report(recommendation_, cost);
-        recommendation_ = tuner_->next();
+        recommendation_ = tuner_->next(context_);
         ++sequence_;
         result.fresh = true;
     } else {
         // A concurrent client raced us, or the report arrived late: the
-        // sample is still a valid measurement of (algorithm, config).
-        tuner_->observe(ticket.trial, cost);
+        // sample is still a valid measurement of (algorithm, config) —
+        // taken under the features the reporting client announced.
+        tuner_->observe(ticket.trial, cost, features);
     }
     result.improved = !had_best || tuner_->best_cost() < previous_best;
     result.iteration = tuner_->iteration();
@@ -126,6 +142,10 @@ void TuningSession::restore_state(StateReader& in, std::uint64_t tuner_format) {
     MutexLock lock(mutex_);
     sequence_ = in.get_u64();
     tuner_->restore_state(in, tuner_format);
+    // The session context is reconstructed from the pending trial's
+    // features (format >= 3 archives carry them; older ones restore as
+    // context-blind, which is what they were).
+    context_ = tuner_->pending_features();
     if (tuner_->awaiting_report()) {
         recommendation_ = tuner_->pending_trial();
     } else {

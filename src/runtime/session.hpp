@@ -67,8 +67,23 @@ public:
     /// Current recommendation; cheap (one uncontended lock, no tuner work).
     [[nodiscard]] Ticket begin() const;
 
+    /// Context-aware begin(): records `features` as the session's current
+    /// workload context.  The recommendation handed back was drawn under
+    /// the previous context (it is shared across clients and generations);
+    /// the new features steer the NEXT generation — the one opened when the
+    /// current recommendation's first measurement lands.
+    [[nodiscard]] Ticket begin(const FeatureVector& features);
+
     /// Feeds one completed measurement back (aggregator side).
     IngestResult ingest(const Ticket& ticket, Cost cost);
+
+    /// Context-aware ingest(): `features` describe the workload the
+    /// measurement was taken under.  Fresh measurements close the cycle as
+    /// usual (the tuner pairs the cost with the features of its pending
+    /// trial); stale ones train the contextual strategy out-of-band with
+    /// exactly these features.
+    IngestResult ingest(const Ticket& ticket, Cost cost,
+                        const FeatureVector& features);
 
     /// Warm-start seed: records (algorithm, config, cost) as an observed
     /// measurement, e.g. from an offline install snapshot.  Seeds are
@@ -120,6 +135,7 @@ private:
     std::unique_ptr<TwoPhaseTuner> tuner_ ATK_GUARDED_BY(mutex_);
     std::uint64_t sequence_ ATK_GUARDED_BY(mutex_) = 0;
     Trial recommendation_ ATK_GUARDED_BY(mutex_);
+    FeatureVector context_ ATK_GUARDED_BY(mutex_);  ///< latest begin() features
 };
 
 } // namespace atk::runtime

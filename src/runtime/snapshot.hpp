@@ -16,7 +16,7 @@ namespace atk::runtime {
 /// A snapshot archive is a StateWriter token stream:
 ///
 ///     s atk-runtime-snapshot        magic
-///     u <version>                   currently 2
+///     u <version>                   currently 3
 ///     u <session count>
 ///       per session: s <name> followed by TuningSession::save_state()
 ///     u <install count>
@@ -32,8 +32,11 @@ namespace atk::runtime {
 ///   2  tuner state additionally carries the cost objective (id + state);
 ///      version-1 archives still restore — their tuners keep the objective
 ///      they were constructed with (mean time, the only pre-2 behavior)
+///   3  tuner state additionally carries the pending trial's feature vector
+///      (contextual tuning); version-1/2 archives still restore — their
+///      sessions come back context-blind, which is what they were
 inline constexpr char kSnapshotMagic[] = "atk-runtime-snapshot";
-inline constexpr std::uint64_t kSnapshotVersion = 2;
+inline constexpr std::uint64_t kSnapshotVersion = 3;
 inline constexpr std::uint64_t kSnapshotMinVersion = 1;
 
 /// One offline-installed seed measurement for a named session.

@@ -1,0 +1,81 @@
+#include "sim/contextual.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/nominal/bucketed.hpp"
+#include "core/nominal/epsilon_greedy.hpp"
+#include "core/nominal/feature_policy.hpp"
+#include "core/nominal/linucb.hpp"
+
+namespace atk::sim {
+
+StrategyFactory contextual_strategy(std::size_t dimension, double alpha,
+                                    double epsilon, double gamma) {
+    return [dimension, alpha, epsilon, gamma] {
+        return std::make_unique<LinUcb>(dimension, alpha, /*ridge=*/1.0,
+                                        epsilon, gamma);
+    };
+}
+
+StrategyFactory bucketed_strategy(std::vector<double> edges, double epsilon) {
+    return [edges = std::move(edges), epsilon] {
+        return std::make_unique<BucketedStrategy>(
+            [epsilon] { return std::make_unique<EpsilonGreedy>(epsilon); },
+            FeatureBucketizer({edges}));
+    };
+}
+
+FeatureModel train_scenario_feature_model(const ScenarioSpec& spec,
+                                          std::size_t points, std::size_t k) {
+    spec.validate();
+    if (points == 0)
+        throw std::invalid_argument(
+            "train_scenario_feature_model: need at least one training point");
+    std::vector<TrainingWorkload> workloads;
+    workloads.reserve(points);
+    const std::size_t horizon = spec.iterations();
+    for (std::size_t t = 0; t < points; ++t) {
+        // Evenly spaced training iterations across the horizon, so every
+        // input-size regime the schedule visits appears in training.
+        const std::size_t i =
+            points == 1 ? 0 : t * (horizon - 1) / (points - 1);
+        TrainingWorkload workload;
+        workload.features = spec.features_at(i);
+        workload.measure = [&spec, i](std::size_t algorithm) {
+            return spec.ideal_cost(algorithm, i);
+        };
+        workloads.push_back(std::move(workload));
+    }
+    return train_feature_model(workloads, spec.algorithm_count(), k);
+}
+
+StrategyFactory feature_model_strategy(const ScenarioSpec& spec) {
+    // Trained once, copied into every tuner instance: the offline phase
+    // happens before deployment, exactly as in the Nitro workflow.
+    FeatureModel model = train_scenario_feature_model(spec);
+    return [model = std::move(model)] {
+        return std::make_unique<FeatureModelPolicy>(model);
+    };
+}
+
+double mean_trace_cost(const SimResult& run) {
+    if (run.trace.size() == 0) return 0.0;
+    double total = 0.0;
+    for (std::size_t i = 0; i < run.trace.size(); ++i)
+        total += run.trace[i].cost;
+    return total / static_cast<double>(run.trace.size());
+}
+
+double best_tracking_share(const ScenarioSpec& spec, const SimResult& run,
+                           std::size_t begin, std::size_t end) {
+    if (begin >= end || end > run.trace.size())
+        throw std::invalid_argument("best_tracking_share: bad window");
+    std::size_t hits = 0;
+    for (std::size_t i = begin; i < end; ++i)
+        if (run.trace[i].algorithm == spec.best_algorithm(run.trace[i].iteration))
+            ++hits;
+    return static_cast<double>(hits) / static_cast<double>(end - begin);
+}
+
+} // namespace atk::sim

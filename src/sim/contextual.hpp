@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/feature_model.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace atk::sim {
+
+/// The three-way-race contenders (shared by tests/sim/contextual_race_test
+/// and tools/atk_sim), built with one configuration so the gated numbers
+/// and the CLI's numbers are the same experiment.
+
+/// Online contextual: discounted LinUCB over the scenario library's single
+/// size feature.  γ < 1 keeps the bandit honest under drift (stale arms
+/// decay back to "unknown" and are re-explored).
+[[nodiscard]] StrategyFactory contextual_strategy(std::size_t dimension = 1,
+                                                  double alpha = 1.0,
+                                                  double epsilon = 0.05,
+                                                  double gamma = 0.99);
+
+/// Per-feature-bucket ε-Greedy: independent best-ever tables per input-size
+/// regime, split at the given size-feature edges.
+[[nodiscard]] StrategyFactory bucketed_strategy(std::vector<double> edges,
+                                                double epsilon = 0.05);
+
+/// Offline training à la Nitro against the scenario's own noise-free cost
+/// surfaces: `points` workloads sampled evenly across the horizon, each
+/// labeled with its ideal best algorithm.  This is the strongest version of
+/// the offline baseline — its training distribution IS the test
+/// distribution.
+[[nodiscard]] FeatureModel train_scenario_feature_model(const ScenarioSpec& spec,
+                                                        std::size_t points = 24,
+                                                        std::size_t k = 3);
+
+/// The offline FeatureModel baseline as a race contender.
+[[nodiscard]] StrategyFactory feature_model_strategy(const ScenarioSpec& spec);
+
+/// Mean observed cost per iteration of one run — the per-seed statistic the
+/// race's Wilcoxon gates compare.
+[[nodiscard]] double mean_trace_cost(const SimResult& run);
+
+/// Fraction of iterations in [begin, end) whose choice was the scenario's
+/// ideal best algorithm *at that iteration* — unlike selection_share this
+/// follows the moving target, so it is the right leader-share metric for
+/// sweep/mixed scenarios where the best algorithm changes mid-run.
+[[nodiscard]] double best_tracking_share(const ScenarioSpec& spec,
+                                         const SimResult& run,
+                                         std::size_t begin, std::size_t end);
+
+} // namespace atk::sim

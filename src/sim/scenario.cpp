@@ -194,6 +194,10 @@ double ScenarioSpec::scale_at(std::size_t i) const {
     return scale;
 }
 
+FeatureVector ScenarioSpec::features_at(std::size_t i) const {
+    return FeatureVector{scale_at(i)};
+}
+
 double ScenarioSpec::ideal_cost(std::size_t a, std::size_t i) const {
     return base_at(a, i) *
            std::pow(scale_at(i), algorithms_.at(a).size_exponent);
@@ -281,7 +285,7 @@ std::vector<TunableAlgorithm> ScenarioSpec::make_algorithms() const {
 }
 
 std::vector<std::string> scenario_names() {
-    return {"static", "drift", "plateau", "sweep", "deadline"};
+    return {"static", "drift", "plateau", "sweep", "deadline", "mixed"};
 }
 
 ScenarioSpec make_scenario(const std::string& name) {
@@ -351,9 +355,31 @@ ScenarioSpec make_scenario(const std::string& name) {
             .blocks(16)
             .horizon(400);
     }
+    if (name == "mixed") {
+        // Mixed workload: the input size flips between small and large every
+        // 30 iterations, so the best algorithm alternates all run long.  A
+        // context-blind strategy can only average over both regimes (or
+        // thrash between them); anything that keys its choice off the size
+        // feature wins both.  At scale 1 "linear" costs 5 vs "sublinear" 12;
+        // at scale 8 linear is 40 vs sublinear 12·8^0.3 ≈ 22.4.
+        AlgorithmModel linear = AlgorithmModel::constant("linear", 5.0);
+        linear.size_exponent = 1.0;
+        AlgorithmModel sublinear = AlgorithmModel::constant("sublinear", 12.0);
+        sublinear.size_exponent = 0.3;
+        ScenarioSpec spec = ScenarioSpec::named("mixed")
+                                .algorithm(std::move(linear))
+                                .algorithm(std::move(sublinear))
+                                .relative_noise(0.02)
+                                .horizon(480);
+        for (std::size_t start = 30; start < 480; start += 60) {
+            spec.input_scale(start, 8.0);
+            spec.input_scale(start + 30, 1.0);
+        }
+        return spec;
+    }
     throw std::invalid_argument(
         "make_scenario: unknown scenario '" + name +
-        "' (have: static, drift, plateau, sweep, deadline)");
+        "' (have: static, drift, plateau, sweep, deadline, mixed)");
 }
 
 } // namespace atk::sim

@@ -138,6 +138,13 @@ public:
     /// Input-size factor at iteration `i` (1.0 before the first step).
     [[nodiscard]] double scale_at(std::size_t i) const;
 
+    /// The workload descriptor a context-aware strategy sees at iteration
+    /// `i` — what an application would compute from the actual input before
+    /// asking the tuner.  Currently the input-size factor; scenarios where
+    /// size never varies still expose it (constant features carry no
+    /// signal, which is exactly the honest baseline for those scenarios).
+    [[nodiscard]] FeatureVector features_at(std::size_t i) const;
+
     /// Cost of algorithm `a` tuned perfectly to its optimum, at iteration `i`
     /// — the floor the tuner is converging toward, noise-free.
     [[nodiscard]] double ideal_cost(std::size_t a, std::size_t i) const;

@@ -5,6 +5,7 @@
 // single-run and ensemble drivers (simulator.hpp), the statistical assertion
 // kit (stats.hpp) and runtime fault injection (fault.hpp).
 
+#include "sim/contextual.hpp"
 #include "sim/fault.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sim_clock.hpp"

@@ -57,6 +57,8 @@ SimResult simulate(const ScenarioSpec& spec, const StrategyFactory& make_strateg
             decision.weights = event.weights;
             decision.probabilities = probabilities;
             decision.config = event.config.values();
+            decision.features = event.features;
+            decision.scores = event.scores;
             trail->record(std::move(decision));
         }
     });
@@ -66,7 +68,10 @@ SimResult simulate(const ScenarioSpec& spec, const StrategyFactory& make_strateg
     if (batched)
         result.block_costs.reserve(iterations * spec.blocks_per_trial());
     for (std::size_t i = 0; i < iterations; ++i) {
-        const Trial trial = tuner.next();
+        // Every run is feature-driven; context-blind strategies ignore the
+        // vector (and draw identical RNG streams), contextual ones see the
+        // same workload descriptor the cost surface is computed from.
+        const Trial trial = tuner.next(spec.features_at(i));
         if (batched) {
             // Streaming path: one trial = blocks_per_trial() blocks, scored
             // through the tuner's CostObjective; simulated time advances by

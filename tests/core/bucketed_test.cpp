@@ -1,0 +1,156 @@
+#include "core/nominal/bucketed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/nominal/epsilon_greedy.hpp"
+#include "core/state_io.hpp"
+
+namespace atk {
+namespace {
+
+using Edges = std::vector<std::vector<double>>;
+
+BucketedStrategy::InnerFactory greedy_factory(double epsilon = 0.0) {
+    return [epsilon] { return std::make_unique<EpsilonGreedy>(epsilon); };
+}
+
+TEST(FeatureBucketizer, ValidatesEdges) {
+    EXPECT_THROW(FeatureBucketizer(Edges{{2.0, 1.0}}), std::invalid_argument);
+    EXPECT_THROW(FeatureBucketizer(Edges{{1.0, 1.0}}), std::invalid_argument);
+    EXPECT_THROW(FeatureBucketizer(Edges{{std::nan("")}}), std::invalid_argument);
+    EXPECT_NO_THROW(FeatureBucketizer(Edges{{1.0, 2.0, 3.0}}));
+}
+
+TEST(FeatureBucketizer, DefaultMapsEverythingToBucketZero) {
+    const FeatureBucketizer bucketizer;
+    EXPECT_EQ(bucketizer.bucket_count(), 1u);
+    EXPECT_EQ(bucketizer.bucket_of({}), 0u);
+    EXPECT_EQ(bucketizer.bucket_of({123.0, -5.0}), 0u);
+}
+
+TEST(FeatureBucketizer, SplitsOneDimensionAtItsEdges) {
+    // Edges {e0 < e1} → intervals (-inf, e0], (e0, e1], (e1, +inf).
+    const FeatureBucketizer bucketizer(Edges{{10.0, 20.0}});
+    EXPECT_EQ(bucketizer.bucket_count(), 3u);
+    EXPECT_EQ(bucketizer.bucket_of({-100.0}), 0u);
+    EXPECT_EQ(bucketizer.bucket_of({10.0}), 0u);  // edges are inclusive left
+    EXPECT_EQ(bucketizer.bucket_of({10.5}), 1u);
+    EXPECT_EQ(bucketizer.bucket_of({20.0}), 1u);
+    EXPECT_EQ(bucketizer.bucket_of({20.5}), 2u);
+}
+
+TEST(FeatureBucketizer, MixedRadixOverMultipleDimensions) {
+    const FeatureBucketizer bucketizer(Edges{{5.0}, {1.0, 2.0}});
+    EXPECT_EQ(bucketizer.bucket_count(), 6u);  // 2 × 3
+    // Every (interval0, interval1) pair lands in a distinct bucket.
+    std::vector<bool> seen(6, false);
+    for (const double a : {0.0, 9.0}) {
+        for (const double b : {0.5, 1.5, 2.5}) {
+            const std::size_t id = bucketizer.bucket_of({a, b});
+            ASSERT_LT(id, 6u);
+            EXPECT_FALSE(seen[id]);
+            seen[id] = true;
+        }
+    }
+}
+
+TEST(FeatureBucketizer, MissingAndNonFiniteFeaturesCountAsZero) {
+    const FeatureBucketizer bucketizer(Edges{{-1.0}});
+    // 0.0 falls above the -1 edge → interval 1.
+    EXPECT_EQ(bucketizer.bucket_of({}), 1u);
+    EXPECT_EQ(bucketizer.bucket_of({std::nan("")}), 1u);
+    EXPECT_EQ(bucketizer.bucket_of({-2.0}), 0u);
+}
+
+TEST(BucketedStrategy, NameReportsBucketCountAndInner) {
+    BucketedStrategy strategy(greedy_factory(0.05), FeatureBucketizer(Edges{{4.0}}));
+    EXPECT_EQ(strategy.name(), "Bucketed[2](e-Greedy (5%))");
+}
+
+TEST(BucketedStrategy, KeepsIndependentBestsPerBucket) {
+    // The sweep failure mode in miniature: algorithm 0 wins small inputs,
+    // algorithm 1 wins large ones.  One ε-Greedy forgets the small-input
+    // winner; one per bucket remembers both.
+    BucketedStrategy strategy(greedy_factory(0.0), FeatureBucketizer(Edges{{4.0}}));
+    strategy.reset(2);
+    Rng rng(3);
+    for (int pass = 0; pass < 4; ++pass) {
+        for (const double x : {1.0, 8.0}) {
+            const std::size_t c = strategy.select(rng, {x});
+            const double cost = (x < 4.0) == (c == 0) ? 1.0 : 9.0;
+            strategy.report(c, cost, {x});
+        }
+    }
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(strategy.select(rng, {1.0}), 0u);
+        strategy.report(0, 1.0, {1.0});
+        EXPECT_EQ(strategy.select(rng, {8.0}), 1u);
+        strategy.report(1, 1.0, {8.0});
+    }
+    EXPECT_EQ(strategy.active_buckets(), 2u);
+}
+
+TEST(BucketedStrategy, ContextBlindReportLandsInTheCurrentBucket) {
+    // The 2-argument report() (the strict next()/report() cycle) must train
+    // the bucket the preceding select() routed to.
+    BucketedStrategy strategy(greedy_factory(0.0), FeatureBucketizer(Edges{{4.0}}));
+    strategy.reset(2);
+    Rng rng(5);
+    // Initialize both algorithms inside bucket 1 (large inputs).
+    for (int i = 0; i < 2; ++i) {
+        const std::size_t c = strategy.select(rng, {8.0});
+        strategy.report(c, c == 0 ? 9.0 : 1.0);
+    }
+    EXPECT_EQ(strategy.select(rng, {8.0}), 1u);
+    // Bucket 0 was never touched: it starts fresh (initializing order).
+    EXPECT_EQ(strategy.select(rng, {1.0}), 0u);
+}
+
+TEST(BucketedStrategy, WeightsTrackTheCurrentBucket) {
+    BucketedStrategy strategy(greedy_factory(0.1), FeatureBucketizer(Edges{{4.0}}));
+    strategy.reset(2);
+    // Before any decision: uniform.
+    for (const double w : strategy.weights()) EXPECT_DOUBLE_EQ(w, 0.5);
+    // Train bucket 0 out of band, then route a decision into it.
+    strategy.report(0, 1.0, {1.0});
+    strategy.report(1, 9.0, {1.0});
+    Rng rng(7);
+    (void)strategy.select(rng, {1.0});
+    const auto weights = strategy.weights();
+    EXPECT_GT(weights[0], weights[1]);
+    for (const double w : weights) EXPECT_GT(w, 0.0);  // no exclusion
+}
+
+TEST(BucketedStrategy, StateRoundTripsAcrossBuckets) {
+    BucketedStrategy original(greedy_factory(0.1), FeatureBucketizer(Edges{{4.0}}));
+    original.reset(3);
+    Rng rng(11);
+    for (int i = 0; i < 30; ++i) {
+        const FeatureVector features{static_cast<double>(i % 8)};
+        const std::size_t c = original.select(rng, features);
+        original.report(c, 1.0 + static_cast<double>((i * 3) % 7), features);
+    }
+    StateWriter out;
+    original.save_state(out);
+
+    BucketedStrategy restored(greedy_factory(0.1), FeatureBucketizer(Edges{{4.0}}));
+    restored.reset(3);
+    StateReader in(out.str());
+    restored.restore_state(in);
+    EXPECT_TRUE(in.at_end());
+
+    EXPECT_EQ(restored.active_buckets(), original.active_buckets());
+    EXPECT_EQ(restored.weights(), original.weights());
+    Rng rng_a(42), rng_b(42);
+    for (int i = 0; i < 20; ++i) {
+        const FeatureVector features{static_cast<double>(i % 8)};
+        EXPECT_EQ(original.select(rng_a, features),
+                  restored.select(rng_b, features));
+    }
+}
+
+} // namespace
+} // namespace atk

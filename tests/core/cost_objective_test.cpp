@@ -151,17 +151,17 @@ TEST(TunerState, ObjectiveMismatchFailsLoudly) {
 }
 
 TEST(TunerState, FormatV1SnapshotsRestoreWithTheConstructedObjective) {
-    // Synthesize a version-1 stream: save from a mean-objective tuner and
-    // drop the trailing objective id token ("s mean" — MeanCost itself
-    // serializes no state), which is byte-identical to what a pre-objective
-    // build wrote.
+    // Synthesize a version-1 stream: save the pre-feature format-2 layout
+    // from a mean-objective tuner and drop the trailing objective id token
+    // ("s mean" — MeanCost itself serializes no state), which is
+    // byte-identical to what a pre-objective build wrote.
     TwoPhaseTuner saver(std::make_unique<EpsilonGreedy>(0.1), two_algorithms(), 3);
     for (int i = 0; i < 4; ++i) {
         const Trial trial = saver.next();
         saver.report(trial, 10.0 + i);
     }
     StateWriter out;
-    saver.save_state(out);
+    saver.save_state(out, kTunerStateFormatV2);
     std::string payload = out.str();
     ASSERT_TRUE(payload.ends_with("s mean\n"));
     payload.resize(payload.size() - std::string("s mean\n").size());

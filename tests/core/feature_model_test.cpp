@@ -82,6 +82,56 @@ TEST(FeatureModel, SelfAccuracyOnRandomLabelsIsPoor) {
     EXPECT_LT(model.self_accuracy(), 0.6);
 }
 
+TEST(FeatureModel, TieBreaksTowardTheLowestLabel) {
+    // With k = 2 and two exactly equidistant neighbors the vote is 1-1;
+    // the first maximum wins, i.e. the lowest algorithm index.  Pinned so
+    // a refactor cannot silently flip tied predictions between builds.
+    FeatureModel model(2);
+    model.add_sample({0.0}, 1);
+    model.add_sample({2.0}, 0);
+    EXPECT_EQ(model.predict({1.0}), 0u);
+
+    // Same geometry shifted to labels {2, 1}: the lowest *involved* label
+    // wins — the rule is "first max", not "label 0 by fiat".
+    FeatureModel shifted(2);
+    shifted.add_sample({0.0}, 2);
+    shifted.add_sample({2.0}, 1);
+    EXPECT_EQ(shifted.predict({1.0}), 1u);
+}
+
+TEST(FeatureModel, KLargerThanSampleCountUsesEverySample) {
+    FeatureModel model(5);  // k exceeds the 3 samples below
+    model.add_sample({0.0}, 0);
+    model.add_sample({10.0}, 1);
+    model.add_sample({11.0}, 1);
+    // All three vote everywhere: majority label 1 even right on top of the
+    // lone label-0 sample.
+    EXPECT_EQ(model.predict({0.0}), 1u);
+}
+
+TEST(FeatureModel, OutOfRangeQueriesSnapToTheNearestRegime) {
+    // Queries far outside the training range (the paper's "contexts outside
+    // the training distribution") still resolve to the nearest regime —
+    // min-max normalization uses the *training* range, never the query.
+    FeatureModel model(3);
+    for (double x = 0.0; x < 10.0; x += 1.0) model.add_sample({x}, 0);
+    for (double x = 100.0; x < 110.0; x += 1.0) model.add_sample({x}, 1);
+    EXPECT_EQ(model.predict({-1.0e6}), 0u);
+    EXPECT_EQ(model.predict({1.0e9}), 1u);
+}
+
+TEST(FeatureModel, ConstantDimensionsAreIgnored) {
+    // A zero-range dimension carries no information; its normalized delta
+    // is defined as 0, so wild query values there cannot poison distances.
+    FeatureModel model(3);
+    model.add_sample({0.0, 5.0}, 0);
+    model.add_sample({1.0, 5.0}, 0);
+    model.add_sample({9.0, 5.0}, 1);
+    model.add_sample({10.0, 5.0}, 1);
+    EXPECT_EQ(model.predict({0.5, 999.0}), 0u);
+    EXPECT_EQ(model.predict({9.5, -999.0}), 1u);
+}
+
 TEST(TrainFeatureModel, LabelsEachWorkloadWithItsFastestAlgorithm) {
     // Three algorithms; algorithm a is best iff features[0] falls in its
     // third of [0, 30).

@@ -1,0 +1,200 @@
+#include "core/nominal/linucb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/state_io.hpp"
+
+namespace atk {
+namespace {
+
+TEST(LinUcb, ValidatesConstruction) {
+    EXPECT_THROW(LinUcb(1, -0.1), std::invalid_argument);
+    EXPECT_THROW(LinUcb(1, 1.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(LinUcb(1, 1.0, -1.0), std::invalid_argument);
+    EXPECT_THROW(LinUcb(1, 1.0, 1.0, -0.1), std::invalid_argument);
+    EXPECT_THROW(LinUcb(1, 1.0, 1.0, 1.1), std::invalid_argument);
+    EXPECT_THROW(LinUcb(1, 1.0, 1.0, 0.05, 0.0), std::invalid_argument);
+    EXPECT_THROW(LinUcb(1, 1.0, 1.0, 0.05, 1.5), std::invalid_argument);
+    EXPECT_NO_THROW(LinUcb(0));  // bias-only: a plain stochastic bandit
+    EXPECT_NO_THROW(LinUcb(3, 0.0, 1.0, 0.0, 1.0));
+}
+
+TEST(LinUcb, NameEncodesTheConfiguration) {
+    EXPECT_EQ(LinUcb(1, 1.0, 1.0, 0.05).name(), "LinUCB (d=1, a=1, e=5%)");
+    EXPECT_EQ(LinUcb(2, 0.5, 1.0, 0.1, 0.99).name(),
+              "LinUCB (d=2, a=0.5, e=10%, g=0.99)");
+}
+
+TEST(LinUcb, SelectBeforeResetThrows) {
+    LinUcb strategy(1);
+    Rng rng(1);
+    EXPECT_THROW((void)strategy.select(rng), std::logic_error);
+}
+
+TEST(LinUcb, UntriedArmsAreOptimisticallyPreferred) {
+    // An untried arm's lower bound is −alpha·√(xᵀA⁻¹x) < 0 < any real cost:
+    // with ε = 0, every arm gets tried before the model is trusted.
+    LinUcb strategy(1, /*alpha=*/1.0, /*ridge=*/1.0, /*epsilon=*/0.0);
+    strategy.reset(3);
+    Rng rng(1);
+    std::vector<int> tried(3, 0);
+    for (int i = 0; i < 3; ++i) {
+        const std::size_t c = strategy.select(rng, {1.0});
+        ++tried[c];
+        strategy.report(c, 10.0, {1.0});
+    }
+    for (const int count : tried) EXPECT_EQ(count, 1);
+}
+
+TEST(LinUcb, LearnsAFeatureDependentCrossover) {
+    // Arm 0 costs x, arm 1 costs 10 − x: below x = 5 arm 0 wins, above it
+    // arm 1 does.  A context-blind bandit cannot represent that; LinUCB's
+    // per-arm linear model nails it once both arms have seen the range.
+    // Training goes through the out-of-band report() path so the test pins
+    // the *model* — coverage under greedy selection is the ε floor's job
+    // (and the sim race's to verify).
+    LinUcb strategy(1, 1.0, 1.0, /*epsilon=*/0.0);
+    strategy.reset(2);
+    for (int pass = 0; pass < 10; ++pass) {
+        for (const double x : {1.0, 2.0, 8.0, 9.0}) {
+            strategy.report(0, x, {x});
+            strategy.report(1, 10.0 - x, {x});
+        }
+    }
+    Rng rng(7);
+    EXPECT_EQ(strategy.select(rng, {1.5}), 0u);
+    EXPECT_EQ(strategy.select(rng, {8.5}), 1u);
+}
+
+TEST(LinUcb, WeightsAreAStrictlyPositiveDistribution) {
+    LinUcb strategy(1, 1.0, 1.0, 0.05);
+    strategy.reset(4);
+    Rng rng(3);
+    // Before any select(): uniform.
+    for (const double w : strategy.weights()) EXPECT_DOUBLE_EQ(w, 0.25);
+    for (int i = 0; i < 40; ++i) {
+        const std::size_t c = strategy.select(rng, {2.0});
+        strategy.report(c, 1.0 + static_cast<double>(c), {2.0});
+        double sum = 0.0;
+        for (const double w : strategy.weights()) {
+            EXPECT_GT(w, 0.0);  // the no-exclusion invariant
+            sum += w;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-12);
+    }
+    // After training, the cheapest arm carries the most mass.
+    const auto weights = strategy.weights();
+    for (std::size_t c = 1; c < weights.size(); ++c)
+        EXPECT_GT(weights[0], weights[c]);
+}
+
+TEST(LinUcb, LastScoresExposeTheDecision) {
+    LinUcb strategy(1, 1.0, 1.0, 0.0);
+    strategy.reset(2);
+    Rng rng(1);
+    EXPECT_TRUE(strategy.last_scores().empty());  // before the first select()
+    for (int i = 0; i < 10; ++i) {
+        const std::size_t c = strategy.select(rng, {3.0});
+        strategy.report(c, c == 0 ? 1.0 : 5.0, {3.0});
+    }
+    const std::size_t c = strategy.select(rng, {3.0});
+    EXPECT_EQ(c, 0u);
+    const auto scores = strategy.last_scores();
+    ASSERT_EQ(scores.size(), 2u);
+    EXPECT_LT(scores[0], scores[1]);  // smaller LCB = the arm it picked
+}
+
+TEST(LinUcb, HostileFeaturesAreSanitized) {
+    LinUcb strategy(2, 1.0, 1.0, 0.0);
+    strategy.reset(2);
+    Rng rng(5);
+    // Short, long, NaN and infinite feature vectors must not poison state.
+    const FeatureVector hostile[] = {
+        {},
+        {1.0},
+        {1.0, 2.0, 3.0, 4.0},
+        {std::nan(""), 2.0},
+        {std::numeric_limits<double>::infinity()},
+    };
+    for (const auto& features : hostile) {
+        const std::size_t c = strategy.select(rng, features);
+        strategy.report(c, 1.0, features);
+        for (const double w : strategy.weights()) EXPECT_TRUE(std::isfinite(w));
+        for (const double s : strategy.last_scores())
+            EXPECT_TRUE(std::isfinite(s));
+    }
+}
+
+TEST(LinUcb, DiscountForgetsAStaleRegime) {
+    // Phase 1 trains arm 0 as clearly best; phase 2 flips the costs.  The
+    // discounted bandit must re-converge onto arm 1, and quickly: all 20
+    // final decisions (ε = 0, so no exploration noise) pick the new winner.
+    LinUcb strategy(1, 1.0, 1.0, /*epsilon=*/0.0, /*gamma=*/0.95);
+    strategy.reset(2);
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+        const std::size_t c = strategy.select(rng, {1.0});
+        strategy.report(c, c == 0 ? 1.0 : 10.0, {1.0});
+    }
+    EXPECT_EQ(strategy.select(rng, {1.0}), 0u);
+    int new_best_wins = 0;
+    for (int i = 0; i < 120; ++i) {
+        const std::size_t c = strategy.select(rng, {1.0});
+        strategy.report(c, c == 0 ? 10.0 : 1.0, {1.0});
+        if (i >= 100 && c == 1) ++new_best_wins;
+    }
+    EXPECT_EQ(new_best_wins, 20);
+}
+
+TEST(LinUcb, StateRoundTripsBitExactly) {
+    LinUcb original(2, 1.5, 1.0, 0.1, 0.99);
+    original.reset(3);
+    Rng rng(13);
+    for (int i = 0; i < 50; ++i) {
+        const FeatureVector features{static_cast<double>(i % 7),
+                                     static_cast<double>(i % 3)};
+        const std::size_t c = original.select(rng, features);
+        original.report(c, 1.0 + static_cast<double>((i * 5) % 11), features);
+    }
+    StateWriter out;
+    original.save_state(out);
+
+    LinUcb restored(2, 1.5, 1.0, 0.1, 0.99);
+    restored.reset(3);
+    StateReader in(out.str());
+    restored.restore_state(in);
+    EXPECT_TRUE(in.at_end());
+
+    EXPECT_EQ(original.weights(), restored.weights());
+    EXPECT_EQ(original.last_scores(), restored.last_scores());
+    // And the restored copy keeps making the same decisions.
+    Rng rng_a(99), rng_b(99);
+    for (int i = 0; i < 20; ++i) {
+        const FeatureVector features{static_cast<double>(i)};
+        EXPECT_EQ(original.select(rng_a, features),
+                  restored.select(rng_b, features));
+    }
+}
+
+TEST(LinUcb, RestoreRejectsMismatchedShapes) {
+    LinUcb original(1);
+    original.reset(2);
+    StateWriter out;
+    original.save_state(out);
+
+    LinUcb wrong_choices(1);
+    wrong_choices.reset(3);
+    StateReader in_a(out.str());
+    EXPECT_THROW(wrong_choices.restore_state(in_a), std::invalid_argument);
+
+    LinUcb wrong_dimension(2);
+    wrong_dimension.reset(2);
+    StateReader in_b(out.str());
+    EXPECT_THROW(wrong_dimension.restore_state(in_b), std::invalid_argument);
+}
+
+} // namespace
+} // namespace atk

@@ -171,7 +171,7 @@ TEST(FrameDecoder, MalformedHeaderTable) {
         {"type byte zero", 4, '\x00'},
         {"type byte above last", 4, '\x10'},
         {"type byte wild", 4, '\x7F'},
-        {"unknown flag bits", 5, '\x04'},
+        {"unknown flag bits", 5, '\x08'},
         {"reserved low byte", 6, '\x01'},
         {"reserved high byte", 7, '\x01'},
     };
@@ -433,7 +433,7 @@ TEST(Protocol, HostileCountsAreRejectedBeforeAllocation) {
 
 TEST(Protocol, TraceContextExtensionRoundTrips) {
     const obs::TraceContext trace{0x1122334455667788ull, 0x99AABBCCDDEEFF00ull};
-    const Frame rec = decode_one(encode_recommend({"sess", trace}));
+    const Frame rec = decode_one(encode_recommend({"sess", {}, trace}));
     EXPECT_EQ(rec.flags & kFlagTraceContext, kFlagTraceContext);
     const RecommendMsg back = decode_recommend(rec);
     EXPECT_EQ(back.session, "sess");
@@ -464,8 +464,8 @@ TEST(Protocol, FramesWithoutTraceContextStayByteIdenticalToV1) {
 }
 
 TEST(Protocol, TruncatedTraceExtensionIsRejected) {
-    Frame frame = decode_one(
-        encode_recommend({"s", {0xAAAAAAAAAAAAAAAAull, 0xBBBBBBBBBBBBBBBBull}}));
+    Frame frame = decode_one(encode_recommend(
+        {"s", {}, {0xAAAAAAAAAAAAAAAAull, 0xBBBBBBBBBBBBBBBBull}}));
     frame.payload.resize(frame.payload.size() - 8);  // half the extension gone
     EXPECT_THROW((void)decode_recommend(frame), WireError);
 }
@@ -473,9 +473,89 @@ TEST(Protocol, TruncatedTraceExtensionIsRejected) {
 TEST(Protocol, TraceBytesWithoutTheFlagAreTrailingGarbage) {
     // The 16 extension bytes are only legal when the header flag announces
     // them; otherwise the strict length check must fire.
-    Frame frame = decode_one(
-        encode_recommend({"s", {0xAAAAAAAAAAAAAAAAull, 0xBBBBBBBBBBBBBBBBull}}));
+    Frame frame = decode_one(encode_recommend(
+        {"s", {}, {0xAAAAAAAAAAAAAAAAull, 0xBBBBBBBBBBBBBBBBull}}));
     frame.flags = 0;
+    EXPECT_THROW((void)decode_recommend(frame), WireError);
+}
+
+// ---------------------------------------------------------------------------
+// v3 feature-vector extension
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, FeatureVectorExtensionRoundTrips) {
+    const FeatureVector features{1024.0, 0.25, -3.5};
+    const Frame rec = decode_one(encode_recommend({"sess", features, {}}));
+    EXPECT_EQ(rec.flags, kFlagFeatureVector);
+    const RecommendMsg back = decode_recommend(rec);
+    EXPECT_EQ(back.session, "sess");
+    EXPECT_EQ(back.features, features);
+    EXPECT_FALSE(back.trace.valid());
+
+    ReportMsg report;
+    report.session = "sess";
+    report.batch.push_back({make_ticket(1, 0, {3}), 2.0});
+    report.features = features;
+    const Frame rep = decode_one(encode_report(report, true));
+    EXPECT_EQ(rep.flags, kFlagAckRequested | kFlagFeatureVector);
+    const ReportMsg report_back = decode_report(rep);
+    EXPECT_EQ(report_back.features, features);
+    ASSERT_EQ(report_back.batch.size(), 1u);
+}
+
+TEST(Protocol, FramesWithoutFeaturesStayByteIdenticalToV2) {
+    // An empty feature vector must not change the wire format at all: no
+    // flag, no payload suffix — exactly what a v2 (or v1) peer expects.
+    EXPECT_EQ(encode_recommend({"legacy", {}, {}}), encode_recommend({"legacy"}));
+    const Frame frame = decode_one(encode_recommend({"legacy"}));
+    EXPECT_EQ(frame.flags & kFlagFeatureVector, 0);
+    EXPECT_TRUE(decode_recommend(frame).features.empty());
+}
+
+TEST(Protocol, FeatureAndTraceExtensionsStackInFlagOrder) {
+    // Both extensions together: features directly after the base payload,
+    // then the 16 trace bytes — the layout the flag-order rule promises.
+    const FeatureVector features{7.0};
+    const obs::TraceContext trace{0x1111111111111111ull, 0x2222222222222222ull};
+    const Frame frame = decode_one(encode_recommend({"s", features, trace}));
+    EXPECT_EQ(frame.flags, kFlagFeatureVector | kFlagTraceContext);
+    const RecommendMsg back = decode_recommend(frame);
+    EXPECT_EQ(back.features, features);
+    EXPECT_EQ(back.trace.trace_id, trace.trace_id);
+    EXPECT_EQ(back.trace.span_id, trace.span_id);
+    // The final 16 payload bytes are the trace ids, little-endian — so the
+    // feature block really does sit before the trace block.
+    ASSERT_GE(frame.payload.size(), 16u);
+    EXPECT_EQ(frame.payload[frame.payload.size() - 16], '\x11');
+    EXPECT_EQ(frame.payload[frame.payload.size() - 8], '\x22');
+}
+
+TEST(Protocol, TruncatedFeatureExtensionIsRejected) {
+    const Frame whole =
+        decode_one(encode_recommend({"s", {1.0, 2.0, 3.0}, {}}));
+    for (std::size_t cut = 1; cut <= whole.payload.size(); ++cut) {
+        Frame truncated = whole;
+        truncated.payload.resize(whole.payload.size() - cut);
+        EXPECT_THROW((void)decode_recommend(truncated), WireError)
+            << "cut=" << cut;
+    }
+}
+
+TEST(Protocol, FeatureBytesWithoutTheFlagAreTrailingGarbage) {
+    Frame frame = decode_one(encode_recommend({"s", {4.0, 5.0}, {}}));
+    frame.flags = 0;
+    EXPECT_THROW((void)decode_recommend(frame), WireError);
+}
+
+TEST(Protocol, HostileFeatureCountsAreRejectedBeforeAllocation) {
+    // Hand-built Recommend payload claiming 2^32-1 features in 4 bytes.
+    WireWriter writer;
+    writer.put_str("s");
+    writer.put_u32(0xFFFFFFFFu);
+    Frame frame;
+    frame.type = FrameType::Recommend;
+    frame.flags = kFlagFeatureVector;
+    frame.payload = writer.take();
     EXPECT_THROW((void)decode_recommend(frame), WireError);
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/autotune.hpp"
+#include "runtime/service.hpp"
 #include "runtime/session.hpp"
 
 namespace atk::runtime {
@@ -272,6 +273,114 @@ TEST(SessionState, StaleTicketsAreObservedNotLost) {
     const IngestResult late = session.ingest(stale, measure(stale.trial));
     EXPECT_FALSE(late.fresh);
     EXPECT_EQ(session.iterations(), before + 1);
+}
+
+// ------------------------------------------------ snapshot format versions
+
+TEST(SnapshotArchive, EveryOlderVersionIsStillAccepted) {
+    for (const std::uint64_t version : {std::uint64_t{1}, std::uint64_t{2},
+                                        kSnapshotVersion}) {
+        StateWriter out;
+        out.put_str(kSnapshotMagic);
+        out.put_u64(version);
+        out.put_u64(0);
+        out.put_u64(0);
+        StateReader in(out.str());
+        const SnapshotHeader header = read_snapshot_header(in);
+        EXPECT_EQ(header.version, version);
+    }
+}
+
+TEST(TunerState, FormatV2StreamsDropThePendingContext) {
+    // A v2 stream has no slot for the pending feature vector: writing one
+    // must drop it, and reading it back must come up context-blind — the
+    // exact behavior of the build that introduced format 2.
+    TwoPhaseTuner original = make_tuner();
+    original.run(measure, 20);
+    const Trial pending = original.next({42.0});
+
+    StateWriter out;
+    original.save_state(out, kTunerStateFormatV2);
+
+    TwoPhaseTuner restored = make_tuner();
+    StateReader in(out.str());
+    restored.restore_state(in, kTunerStateFormatV2);
+    EXPECT_TRUE(in.at_end());
+
+    ASSERT_TRUE(restored.awaiting_report());
+    EXPECT_EQ(restored.pending_trial().algorithm, pending.algorithm);
+    EXPECT_EQ(restored.pending_trial().config, pending.config);
+    EXPECT_TRUE(restored.pending_features().empty());
+}
+
+TEST(TunerState, FormatV3CarriesThePendingContext) {
+    TwoPhaseTuner original = make_tuner();
+    original.run(measure, 10);
+    (void)original.next({7.0, 0.5});
+
+    StateWriter out;
+    original.save_state(out);
+
+    TwoPhaseTuner restored = make_tuner();
+    StateReader in(out.str());
+    restored.restore_state(in);
+    EXPECT_TRUE(in.at_end());
+
+    ASSERT_TRUE(restored.awaiting_report());
+    EXPECT_EQ(restored.pending_features(), (FeatureVector{7.0, 0.5}));
+}
+
+TunerFactory snapshot_factory() {
+    return [](const std::string&) {
+        return std::make_unique<TwoPhaseTuner>(std::make_unique<GradientWeighted>(8),
+                                               two_algorithms(), /*seed=*/123);
+    };
+}
+
+TEST(ServiceSnapshot, Version2ArchivesStillRestore) {
+    // A genuine version-2 archive, hand-built the way the previous release
+    // wrote them: v2 header plus one session record in tuner format 2.
+    TwoPhaseTuner writer = TwoPhaseTuner(std::make_unique<GradientWeighted>(8),
+                                         two_algorithms(), /*seed=*/123);
+    writer.run(measure, 25);
+    StateWriter out;
+    out.put_str(kSnapshotMagic);
+    out.put_u64(2);
+    out.put_u64(1);
+    out.put_u64(0);
+    out.put_str("legacy");
+    out.put_u64(/*sequence=*/25);
+    writer.save_state(out, kTunerStateFormatV2);
+
+    TuningService service(snapshot_factory());
+    EXPECT_EQ(service.restore_payload(out.str()), 1u);
+    const auto session = service.find("legacy");
+    ASSERT_NE(session, nullptr);
+    EXPECT_EQ(session->iterations(), 25u);
+    EXPECT_LT(service.begin("legacy").trial.algorithm, 2u);
+    service.stop();
+}
+
+TEST(ServiceSnapshot, CurrentFormatRoundTripsContextByteExactly) {
+    // End-to-end v3 round trip without reaching into session internals:
+    // a context-aware session snapshotted and restored must re-serialize to
+    // the *identical* payload — sequence, tuner state and the pending
+    // feature vector all survive.
+    TuningService service(snapshot_factory());
+    Ticket ticket = service.begin("s", FeatureVector{3.0});
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(service.report("s", ticket, measure(ticket.trial),
+                                   FeatureVector{3.0}));
+        service.flush();
+        ticket = service.begin("s", FeatureVector{3.0});
+    }
+    const std::string payload = service.snapshot_payload();
+    service.stop();
+
+    TuningService restored(snapshot_factory());
+    EXPECT_EQ(restored.restore_payload(payload), 1u);
+    EXPECT_EQ(restored.snapshot_payload(), payload);
+    restored.stop();
 }
 
 TEST(InstallSnapshot, SeedsSessionsThroughObserve) {

@@ -59,9 +59,25 @@ inline std::vector<TunableAlgorithm> make_dsp_algorithms() {
     return dsp::tunable_algorithms();
 }
 
+/// Phase-two strategy chosen by atk_serve's --strategy flag.  "e-greedy" is
+/// the context-blind default; "contextual" serves a discounted LinUCB over
+/// the single size feature v3 clients announce with begin()/report() —
+/// context-blind clients on the same server degrade gracefully (empty
+/// feature vectors embed as bias-only contexts).
+inline std::unique_ptr<NominalStrategy> make_strategy(const std::string& strategy,
+                                                      double epsilon) {
+    if (strategy == "contextual")
+        return std::make_unique<LinUcb>(/*dimension=*/1, /*alpha=*/1.0,
+                                        /*ridge=*/1.0, epsilon, /*gamma=*/0.99);
+    if (strategy == "e-greedy") return std::make_unique<EpsilonGreedy>(epsilon);
+    throw std::invalid_argument("atk_serve: unknown strategy '" + strategy +
+                                "' (have: e-greedy, contextual)");
+}
+
 /// Deterministic per name, as snapshot restores require.
-inline runtime::TunerFactory make_factory(double epsilon) {
-    return [epsilon](const std::string& session) {
+inline runtime::TunerFactory make_factory(double epsilon,
+                                          std::string strategy = "e-greedy") {
+    return [epsilon, strategy = std::move(strategy)](const std::string& session) {
         std::vector<TunableAlgorithm> algorithms;
         if (session.rfind("stringmatch/", 0) == 0)
             algorithms = make_stringmatch_algorithms();
@@ -71,7 +87,7 @@ inline runtime::TunerFactory make_factory(double epsilon) {
             algorithms = make_dsp_algorithms();
         else
             algorithms = make_default_algorithms();
-        return std::make_unique<TwoPhaseTuner>(std::make_unique<EpsilonGreedy>(epsilon),
+        return std::make_unique<TwoPhaseTuner>(make_strategy(strategy, epsilon),
                                                std::move(algorithms),
                                                std::hash<std::string>{}(session));
     };

@@ -84,7 +84,9 @@ int main(int argc, char** argv) {
         .add_int("port", 4077, "TCP port (0 = ephemeral, printed at startup)")
         .add_int("workers", 2, "epoll event-loop worker threads")
         .add_int("queue", 4096, "measurement queue capacity")
-        .add_double("epsilon", 0.10, "e-Greedy exploration rate of new sessions")
+        .add_double("epsilon", 0.10, "exploration rate of new sessions")
+        .add_string("strategy", "e-greedy",
+                    "phase-two strategy of new sessions (e-greedy, contextual)")
         .add_string("install", "", "warm-start from this snapshot before serving")
         .add_string("snapshot-out", "", "write a final snapshot here on shutdown")
         .add_int("metrics-port", 0, "Prometheus text endpoint port (0 = disabled)")
@@ -108,7 +110,17 @@ int main(int argc, char** argv) {
     ServiceOptions service_options;
     service_options.queue_capacity = static_cast<std::size_t>(cli.get_int("queue"));
     service_options.health_enabled = !health_out.empty();
-    TuningService service(serve::make_factory(cli.get_double("epsilon")),
+    try {
+        // The factory resolves the strategy lazily (per session); validate
+        // the name now so a typo fails at startup, not at first begin().
+        (void)serve::make_strategy(cli.get_string("strategy"),
+                                   cli.get_double("epsilon"));
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+    TuningService service(serve::make_factory(cli.get_double("epsilon"),
+                                              cli.get_string("strategy")),
                           service_options);
 
     const std::string install = cli.get_string("install");

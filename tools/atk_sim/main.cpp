@@ -39,7 +39,10 @@ struct NamedStrategy {
     StrategyFactory make;
 };
 
-std::vector<NamedStrategy> strategy_registry() {
+/// `spec` parameterizes the contextual contenders: the offline feature-model
+/// baseline trains against the scenario's own cost surfaces, and the
+/// bucketed/contextual strategies read the scenario's size feature.
+std::vector<NamedStrategy> strategy_registry(const ScenarioSpec& spec) {
     return {
         {"e-greedy-5", [] { return std::make_unique<EpsilonGreedy>(0.05); }},
         {"e-greedy-10", [] { return std::make_unique<EpsilonGreedy>(0.10); }},
@@ -47,11 +50,15 @@ std::vector<NamedStrategy> strategy_registry() {
         {"gradient", [] { return std::make_unique<GradientWeighted>(); }},
         {"optimum", [] { return std::make_unique<OptimumWeighted>(); }},
         {"auc", [] { return std::make_unique<SlidingWindowAuc>(); }},
+        {"contextual", contextual_strategy()},
+        {"bucketed", bucketed_strategy({4.0})},
+        {"feature-model", feature_model_strategy(spec)},
     };
 }
 
-std::vector<NamedStrategy> resolve_strategies(const std::string& wanted) {
-    auto registry = strategy_registry();
+std::vector<NamedStrategy> resolve_strategies(const std::string& wanted,
+                                              const ScenarioSpec& spec) {
+    auto registry = strategy_registry(spec);
     if (wanted == "all") return registry;
     for (auto& entry : registry)
         if (entry.name == wanted) return {std::move(entry)};
@@ -73,7 +80,8 @@ void list_scenarios() {
                       << "\n";
     }
     std::cout << "strategies: all";
-    for (const auto& entry : strategy_registry()) std::cout << ", " << entry.name;
+    for (const auto& entry : strategy_registry(make_scenario("static")))
+        std::cout << ", " << entry.name;
     std::cout << "\n";
 }
 
@@ -84,7 +92,8 @@ int main(int argc, char** argv) {
             "Run deterministic autotuning simulation scenarios and summarize "
             "strategy convergence.");
     cli.add_string("scenario", "static",
-                   "scenario to run (static, drift, plateau, sweep, deadline)")
+                   "scenario to run (static, drift, plateau, sweep, deadline, "
+                   "mixed)")
         .add_string("strategy", "all", "strategy name or 'all'")
         .add_int("seed", 20170612, "base seed of the ensemble")
         .add_int("seeds", 8, "ensemble size (runs per strategy)")
@@ -103,13 +112,13 @@ int main(int argc, char** argv) {
         return 0;
     }
 
-    const auto strategies = resolve_strategies(cli.get_string("strategy"));
-    if (strategies.empty()) return 1;
-
     ScenarioSpec spec = make_scenario(cli.get_string("scenario"));
     if (cli.get_int("iterations") > 0)
         spec.horizon(static_cast<std::size_t>(cli.get_int("iterations")));
     spec.validate();
+
+    const auto strategies = resolve_strategies(cli.get_string("strategy"), spec);
+    if (strategies.empty()) return 1;
 
     const auto base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     const auto seed_count = static_cast<std::size_t>(cli.get_int("seeds"));
