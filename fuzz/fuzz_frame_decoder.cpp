@@ -63,6 +63,29 @@ void decode_message(const atk::net::Frame& frame) {
         (void)encode_health_ok(msg);
         break;
     }
+    case FrameType::PeerHello: (void)decode_peer_hello(frame); break;
+    case FrameType::PeerHelloOk: (void)decode_peer_hello_ok(frame); break;
+    case FrameType::SnapshotPush: {
+        // Replica lists carry attacker-lengthed session names and blobs; a
+        // hostile entry count must throw before any vector reservation, and
+        // a surviving message (arbitrary blob bytes) must re-encode.
+        const SnapshotPushMsg msg = decode_snapshot_push(frame);
+        (void)encode_snapshot_push(msg);
+        break;
+    }
+    case FrameType::SnapshotPushOk: (void)decode_snapshot_push_ok(frame); break;
+    case FrameType::SnapshotPull: (void)decode_snapshot_pull(frame); break;
+    case FrameType::SnapshotPullOk: {
+        const SnapshotPullOkMsg msg = decode_snapshot_pull_ok(frame);
+        (void)encode_snapshot_pull_ok(msg);
+        break;
+    }
+    case FrameType::PeerStats: break;  // no payload to parse
+    case FrameType::PeerStatsOk: {
+        const PeerStatsOkMsg msg = decode_peer_stats_ok(frame);
+        (void)encode_peer_stats_ok(msg);
+        break;
+    }
     }
 }
 

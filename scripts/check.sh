@@ -41,18 +41,42 @@
 #      after the phase shift and never on static, plateau calls the
 #      starved mesa, deterministic per seed) and the end-to-end
 #      distributed-tracing tests (trace context across the wire into
-#      the tuner, two-process Perfetto merge, v1 downgrade).
+#      the tuner, two-process Perfetto merge, v1 downgrade),
+#   9. the fleet chaos gate: a three-node loopback ring driven through
+#      a node kill under seeded wire faults — zero lost sessions,
+#      failed-over sessions warm-start from replicas, and the entire
+#      surviving tuner state replays bit-identically per seed.  The
+#      tier-1 suite runs a 4-seed subset; ATK_SIM_FULL=1 runs the
+#      full 32-seed kill matrix.
+#
+# A stage 0 guard also refuses to run if stray runtime_service.*
+# artifacts (snapshot/trace/audit/prom outputs of the runtime example)
+# sit in the repo root.
 #
 # Usage:
 #   scripts/check.sh               # all stages
 #   scripts/check.sh --fast        # stages 1 + 2 only (no extra builds)
-#   ATK_SIM_FULL=1 scripts/check.sh   # stage 7 runs the full ensembles
+#   ATK_SIM_FULL=1 scripts/check.sh   # stages 7 + 9 run the full ensembles
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 fast="${1:-}"
 
+echo "== stage 0: workspace hygiene =="
+# examples/runtime_service writes its snapshot/trace/audit/prom outputs to
+# relative default paths; run from the repo root they land next to the
+# sources and have been committed by accident before.  Fail fast instead.
+stray=$(find "$repo" -maxdepth 1 -name 'runtime_service.*' \
+            ! -name '*.cpp' -print)
+if [[ -n "$stray" ]]; then
+    echo "error: stray runtime artifacts in the repo root (delete or rerun" >&2
+    echo "       the example with explicit output paths):" >&2
+    echo "$stray" >&2
+    exit 1
+fi
+
+echo
 echo "== stage 1: tier-1 build + full test suite =="
 cmake -B "$repo/build" -S "$repo"
 cmake --build "$repo/build" -j "$jobs"
@@ -80,12 +104,13 @@ else
 fi
 
 echo
-echo "== stage 4: ThreadSanitizer build, runtime + obs + net + sim + dsp tests =="
+echo "== stage 4: ThreadSanitizer build, runtime + obs + net + fleet + sim + dsp tests =="
 cmake -B "$repo/build-tsan" -S "$repo" -DATK_SANITIZE=thread
-cmake --build "$repo/build-tsan" -j "$jobs" --target test_runtime test_obs test_net test_sim test_dsp
+cmake --build "$repo/build-tsan" -j "$jobs" --target test_runtime test_obs test_net test_fleet test_sim test_dsp
 "$repo/build-tsan/tests/test_runtime"
 "$repo/build-tsan/tests/test_obs"
 "$repo/build-tsan/tests/test_net"
+"$repo/build-tsan/tests/test_fleet"
 "$repo/build-tsan/tests/test_sim" --gtest_filter='FaultInjection.*'
 "$repo/build-tsan/tests/test_dsp"
 
@@ -131,4 +156,14 @@ echo "== stage 8: tuning-health + distributed-tracing gates =="
 "$repo/build/tests/test_net" --gtest_filter='TracePropagation.*'
 
 echo
-echo "ok: tier-1 suite green, lint clean, thread-safety gate done, runtime+obs+net+sim TSan-clean, ASan+leak clean, UBSan+fuzz clean, sim gates green, health+tracing gates green"
+echo "== stage 9: fleet chaos gate =="
+if [[ "${ATK_SIM_FULL:-0}" == "1" ]]; then
+    echo "(full mode: 32-seed kill matrix, seeded wire faults)"
+    ATK_SIM_FULL=1 "$repo/build/tests/test_fleet" --gtest_filter='FleetChaos.*'
+else
+    echo "(fast subset; set ATK_SIM_FULL=1 for the 32-seed kill matrix)"
+    "$repo/build/tests/test_fleet" --gtest_filter='FleetChaos.*'
+fi
+
+echo
+echo "ok: tier-1 suite green, lint clean, thread-safety gate done, runtime+obs+net+fleet+sim TSan-clean, ASan+leak clean, UBSan+fuzz clean, sim gates green, health+tracing gates green, fleet chaos green"

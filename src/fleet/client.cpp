@@ -1,0 +1,159 @@
+#include "fleet/client.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/span.hpp"
+
+namespace atk::fleet {
+
+FleetClient::FleetClient(FleetClientOptions options)
+    : options_(std::move(options)), ring_(options_.ring) {
+    if (options_.nodes.empty())
+        throw std::invalid_argument("FleetClient: no nodes configured");
+    for (const FleetNodeSpec& spec : options_.nodes) {
+        if (ring_.contains(spec.name))
+            throw std::invalid_argument("FleetClient: duplicate node '" +
+                                        spec.name + "'");
+        ring_.add_node(spec.name);
+        net::ClientOptions opts = options_.client;
+        opts.host = spec.host;
+        opts.port = spec.port;
+        NodeState node;
+        node.spec = spec;
+        node.client = std::make_unique<net::TuningClient>(opts);
+        nodes_.push_back(std::move(node));
+    }
+}
+
+FleetClient::NodeState& FleetClient::state_for(const std::string& name) {
+    for (NodeState& node : nodes_)
+        if (node.spec.name == name) return node;
+    throw std::out_of_range("FleetClient: unknown node '" + name + "'");
+}
+
+bool FleetClient::usable(NodeState& node) {
+    if (!node.down) return true;
+    if (options_.retry_down_after.count() > 0 &&
+        std::chrono::steady_clock::now() - node.down_since <
+            options_.retry_down_after)
+        return false;
+    // Blacklist expired: risk the next request against it.  Success marks
+    // the recovery; failure re-arms the timer.
+    node.down = false;
+    node.recovering = true;
+    return true;
+}
+
+void FleetClient::mark_down(NodeState& node) {
+    node.down = true;
+    node.recovering = false;
+    node.down_since = std::chrono::steady_clock::now();
+}
+
+runtime::Ticket FleetClient::recommend(const std::string& session) {
+    obs::Span span("fleet.recommend");
+    return with_failover(session, [&](net::TuningClient& client) {
+        return client.recommend(session);
+    });
+}
+
+runtime::Ticket FleetClient::recommend(const std::string& session,
+                                       const FeatureVector& features) {
+    obs::Span span("fleet.recommend");
+    return with_failover(session, [&](net::TuningClient& client) {
+        return client.recommend(session, features);
+    });
+}
+
+bool FleetClient::report(const std::string& session,
+                         const runtime::Ticket& ticket, Cost cost) {
+    obs::Span span("fleet.report");
+    return with_failover(session, [&](net::TuningClient& client) {
+        return client.report(session, ticket, cost);
+    });
+}
+
+bool FleetClient::report(const std::string& session,
+                         const runtime::Ticket& ticket, Cost cost,
+                         const FeatureVector& features) {
+    obs::Span span("fleet.report");
+    return with_failover(session, [&](net::TuningClient& client) {
+        return client.report(session, ticket, cost, features);
+    });
+}
+
+std::size_t FleetClient::report_batch(
+    const std::string& session,
+    const std::vector<runtime::BatchedMeasurement>& batch,
+    const FeatureVector& features) {
+    obs::Span span("fleet.report_batch");
+    return with_failover(session, [&](net::TuningClient& client) {
+        return client.report_batch(session, batch, features);
+    });
+}
+
+void FleetClient::report_async(const std::string& session,
+                               const runtime::Ticket& ticket, Cost cost) {
+    // Fire-and-forget keeps its contract under failover too: pick the
+    // session's current route and enqueue there; an auto-flush failure
+    // surfaces as NetError, which just marks the node down (the reports
+    // are counted lost by the node client, same as a dropped connection).
+    const auto prefs = ring_.preference(session, ring_.size());
+    for (const std::string& name : prefs) {
+        NodeState& node = state_for(name);
+        if (!usable(node)) continue;
+        try {
+            node.client->report_async(session, ticket, cost);
+            if (node.recovering) {
+                node.recovering = false;
+                ++recoveries_;
+            }
+            return;
+        } catch (const net::NetError&) {
+            mark_down(node);
+        }
+    }
+    throw FleetError("fleet: all " + std::to_string(prefs.size()) +
+                     " candidate nodes down for session '" + session + "'");
+}
+
+runtime::ServiceStats FleetClient::stats(const std::string& session) {
+    obs::Span span("fleet.stats");
+    return with_failover(session, [&](net::TuningClient& client) {
+        return client.stats();
+    });
+}
+
+void FleetClient::flush() {
+    for (NodeState& node : nodes_) {
+        if (node.down) continue;
+        try {
+            node.client->flush_reports();
+        } catch (const net::NetError&) {
+            mark_down(node);
+        }
+    }
+}
+
+const std::string& FleetClient::route(const std::string& session) {
+    const auto prefs = ring_.preference(session, ring_.size());
+    for (const std::string& name : prefs) {
+        NodeState& node = state_for(name);
+        if (usable(node)) return node.spec.name;
+    }
+    throw FleetError("fleet: all " + std::to_string(prefs.size()) +
+                     " candidate nodes down for session '" + session + "'");
+}
+
+bool FleetClient::node_up(const std::string& name) const {
+    for (const NodeState& node : nodes_)
+        if (node.spec.name == name) return !node.down;
+    throw std::out_of_range("FleetClient: unknown node '" + name + "'");
+}
+
+net::TuningClient& FleetClient::node_client(const std::string& name) {
+    return *state_for(name).client;
+}
+
+} // namespace atk::fleet

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/ring.hpp"
+#include "net/client.hpp"
+
+namespace atk::fleet {
+
+/// Every candidate node for a request failed transport-level; carries the
+/// last node tried.  RemoteError (the server refused the request) is never
+/// wrapped — refusals propagate immediately, they are not failover events.
+class FleetError : public net::NetError {
+public:
+    explicit FleetError(const std::string& what) : net::NetError(what) {}
+};
+
+/// One fleet member's address, as the client sees it.
+struct FleetNodeSpec {
+    std::string name;
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+};
+
+struct FleetClientOptions {
+    std::vector<FleetNodeSpec> nodes;
+    /// Must match the fleet's ring geometry or sessions land on the wrong
+    /// owners (still correct, just cold).
+    RingOptions ring;
+    /// Template for per-node connections; host/port overwritten per node.
+    /// Keep max_attempts low — failover to the ring successor beats
+    /// grinding a backoff ladder against a dead node.
+    net::ClientOptions client;
+    /// How long a node stays blacklisted after a transport failure before
+    /// a request is risked against it again; 0 retries it every request.
+    std::chrono::milliseconds retry_down_after{1000};
+};
+
+/// Client-side fleet routing: a TuningClient per node behind a seeded
+/// consistent-hash ring.  Requests route to the session's owner and fail
+/// over along the preference list when the owner is down; a node that
+/// fails transport-level is marked down and re-probed after
+/// retry_down_after, so a restarted node rejoins the rotation without any
+/// client restart.
+///
+/// The ring is fixed at construction (same static membership as the
+/// nodes); liveness is per-node state, not ring membership, so a revived
+/// node reclaims exactly its old ranges.
+///
+/// Not thread-safe — one FleetClient per thread, like TuningClient.
+class FleetClient {
+public:
+    explicit FleetClient(FleetClientOptions options);
+
+    /// Routed equivalents of the TuningClient calls, keyed by session name.
+    [[nodiscard]] runtime::Ticket recommend(const std::string& session);
+    [[nodiscard]] runtime::Ticket recommend(const std::string& session,
+                                            const FeatureVector& features);
+    bool report(const std::string& session, const runtime::Ticket& ticket,
+                Cost cost);
+    bool report(const std::string& session, const runtime::Ticket& ticket,
+                Cost cost, const FeatureVector& features);
+    std::size_t report_batch(const std::string& session,
+                             const std::vector<runtime::BatchedMeasurement>& batch,
+                             const FeatureVector& features = {});
+    /// Fire-and-forget report, buffered on the session's current route; a
+    /// flush failure drops that link's batch (counted by the node client)
+    /// and marks the node down.
+    void report_async(const std::string& session, const runtime::Ticket& ticket,
+                      Cost cost);
+    /// Service stats of the node currently serving `session`.
+    [[nodiscard]] runtime::ServiceStats stats(const std::string& session);
+
+    /// Flushes buffered async reports on every live link.
+    void flush();
+
+    /// The node a session routes to right now (first up node on its
+    /// preference list); throws FleetError when all are down.
+    [[nodiscard]] const std::string& route(const std::string& session);
+
+    [[nodiscard]] const HashRing& ring() const noexcept { return ring_; }
+    [[nodiscard]] bool node_up(const std::string& name) const;
+
+    /// Requests that landed on a non-owner because the owner was down.
+    [[nodiscard]] std::uint64_t failovers() const noexcept { return failovers_; }
+    /// Down→up transitions observed (a marked-down node answered again).
+    [[nodiscard]] std::uint64_t recoveries() const noexcept { return recoveries_; }
+
+    /// Direct access to one node's link (tests, admin commands).  Throws
+    /// std::out_of_range for unknown names.
+    [[nodiscard]] net::TuningClient& node_client(const std::string& name);
+
+private:
+    struct NodeState {
+        FleetNodeSpec spec;
+        std::unique_ptr<net::TuningClient> client;
+        bool down = false;
+        /// Blacklist expired but no success observed yet — the next
+        /// successful call counts as the recovery.
+        bool recovering = false;
+        std::chrono::steady_clock::time_point down_since{};
+    };
+
+    NodeState& state_for(const std::string& name);
+    [[nodiscard]] bool usable(NodeState& node);
+    void mark_down(NodeState& node);
+
+    /// Runs `op(client)` against the session's preference list in order:
+    /// transport failure (NetError) marks the node down and falls over to
+    /// the next; RemoteError and everything else propagate.  Throws
+    /// FleetError when every candidate fails.
+    template <typename Op>
+    auto with_failover(const std::string& session, Op&& op) {
+        const auto prefs = ring_.preference(session, ring_.size());
+        bool first_choice = true;
+        for (const std::string& name : prefs) {
+            NodeState& node = state_for(name);
+            if (!usable(node)) {
+                first_choice = false;
+                continue;
+            }
+            try {
+                auto result = op(*node.client);
+                if (node.recovering) {
+                    node.recovering = false;
+                    ++recoveries_;
+                }
+                if (!first_choice) ++failovers_;
+                return result;
+            } catch (const net::RemoteError&) {
+                throw;  // the node answered; routing elsewhere won't help
+            } catch (const net::NetError&) {
+                mark_down(node);
+                first_choice = false;
+            }
+        }
+        throw FleetError("fleet: all " + std::to_string(prefs.size()) +
+                         " candidate nodes down for session '" + session + "'");
+    }
+
+    FleetClientOptions options_;
+    HashRing ring_;
+    std::vector<NodeState> nodes_;  ///< parallel to ring membership
+    std::uint64_t failovers_ = 0;
+    std::uint64_t recoveries_ = 0;
+};
+
+} // namespace atk::fleet

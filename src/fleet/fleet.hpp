@@ -1,0 +1,14 @@
+#pragma once
+
+/// Umbrella header for the fleet layer: multi-node tuning built from the
+/// net transport and the runtime service.
+///
+///   - HashRing      seeded consistent hashing (ring.hpp)
+///   - ReplicaStore  blobs held for peers (replica_store.hpp)
+///   - FleetNode     server-side peer ops + replication (node.hpp)
+///   - FleetClient   client-side routing + failover (client.hpp)
+
+#include "fleet/client.hpp"
+#include "fleet/node.hpp"
+#include "fleet/replica_store.hpp"
+#include "fleet/ring.hpp"

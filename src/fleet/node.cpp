@@ -1,0 +1,314 @@
+#include "fleet/node.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/span.hpp"
+
+namespace atk::fleet {
+
+runtime::SessionHydrator replica_hydrator(ReplicaStore& store) {
+    // Called with a service shard lock held: a pure store lookup, no
+    // service re-entry, no I/O.
+    return [&store](const std::string& name) { return store.blob(name); };
+}
+
+FleetNode::FleetNode(runtime::TuningService& service, ReplicaStore& store,
+                     FleetNodeOptions options)
+    : service_(service),
+      store_(store),
+      options_(std::move(options)),
+      ring_(options_.ring),
+      replicate_pool_(1) {
+    if (options_.node_name.empty())
+        throw std::invalid_argument("FleetNode: node_name must be set");
+    if (options_.replicas == 0)
+        throw std::invalid_argument("FleetNode: replicas must be positive");
+    ring_.add_node(options_.node_name);
+    for (const PeerSpec& peer : options_.peers) {
+        if (peer.name == options_.node_name)
+            throw std::invalid_argument("FleetNode: peer '" + peer.name +
+                                        "' collides with node_name");
+        if (ring_.contains(peer.name))
+            throw std::invalid_argument("FleetNode: duplicate peer '" +
+                                        peer.name + "'");
+        ring_.add_node(peer.name);
+    }
+}
+
+FleetNode::~FleetNode() { stop(); }
+
+net::PeerOps FleetNode::peer_ops() {
+    net::PeerOps ops;
+    ops.hello = [this](const net::PeerHelloMsg& msg) {
+        service_.metrics().counter("fleet_hellos_rx").increment();
+        if (msg.ring_seed != ring_.options().seed ||
+            msg.virtual_nodes != ring_.options().virtual_nodes)
+            throw std::invalid_argument(
+                "ring geometry mismatch: peer '" + msg.node + "' has seed/" +
+                "vnodes " + std::to_string(msg.ring_seed) + "/" +
+                std::to_string(msg.virtual_nodes) + ", ours are " +
+                std::to_string(ring_.options().seed) + "/" +
+                std::to_string(ring_.options().virtual_nodes));
+        if (!ring_.contains(msg.node))
+            throw std::invalid_argument("unknown fleet member '" + msg.node +
+                                        "'");
+        return net::PeerHelloOkMsg{options_.node_name,
+                                   service_.session_count()};
+    };
+    ops.push = [this](const net::SnapshotPushMsg& msg) {
+        obs::Span span("fleet.push_rx");
+        auto& metrics = service_.metrics();
+        metrics.counter("fleet_pushes_rx").increment();
+        std::uint64_t stored = 0;
+        for (const net::ReplicaEntry& entry : msg.entries) {
+            metrics.counter("fleet_push_bytes_rx").increment(entry.blob.size());
+            if (store_.put(entry.session, entry.version, entry.blob)) ++stored;
+        }
+        metrics.counter("fleet_replicas_stored").increment(stored);
+        refresh_replica_gauges();
+        return net::SnapshotPushOkMsg{stored};
+    };
+    ops.pull = [this](const net::SnapshotPullMsg& msg) {
+        obs::Span span("fleet.pull_rx");
+        auto& metrics = service_.metrics();
+        metrics.counter("fleet_pulls_rx").increment();
+        if (!ring_.contains(msg.node))
+            throw std::invalid_argument("unknown fleet member '" + msg.node +
+                                        "'");
+        net::SnapshotPullOkMsg reply;
+        // Live sessions the requester owns win over parked replicas of the
+        // same name: the service state is at least as fresh (the replica
+        // was pushed from it or predates it).
+        for (const std::string& name : service_.session_names()) {
+            if (!ring_.owns(msg.node, name)) continue;
+            auto session = service_.find(name);
+            auto blob = service_.session_snapshot(name);
+            if (!session || !blob) continue;
+            reply.entries.push_back(net::ReplicaEntry{
+                name, static_cast<std::uint64_t>(session->iterations()),
+                std::move(*blob)});
+        }
+        for (auto& [name, entry] : store_.owned_by(ring_, msg.node)) {
+            bool live = false;
+            for (const net::ReplicaEntry& have : reply.entries)
+                if (have.session == name) { live = true; break; }
+            if (live) continue;
+            reply.entries.push_back(
+                net::ReplicaEntry{name, entry.version, std::move(entry.blob)});
+        }
+        metrics.counter("fleet_pull_sessions_tx").increment(reply.entries.size());
+        return reply;
+    };
+    ops.stats = [this]() {
+        net::PeerStatsOkMsg msg;
+        msg.node = options_.node_name;
+        msg.replicas_held = store_.size();
+        msg.replica_bytes = store_.bytes();
+        auto& metrics = service_.metrics();
+        msg.pushes_rx = metrics.counter("fleet_pushes_rx").value();
+        msg.pulls_rx = metrics.counter("fleet_pulls_rx").value();
+        msg.sessions_live = service_.session_count();
+        msg.sessions_evicted = service_.stats().sessions_evicted;
+        return msg;
+    };
+    return ops;
+}
+
+void FleetNode::start() {
+    if (options_.replicate_every.count() <= 0) return;
+    MutexLock lock(state_mutex_);
+    if (running_) return;
+    running_ = true;
+    replicate_group_ =
+        std::make_unique<ThreadPool::TaskGroup>(replicate_pool_);
+    replicate_group_->submit([this] { replicate_loop(); });
+}
+
+void FleetNode::stop() {
+    {
+        MutexLock lock(state_mutex_);
+        if (!running_) return;
+        running_ = false;
+    }
+    state_cv_.notify_all();
+    if (replicate_group_) {
+        replicate_group_->wait_all();
+        replicate_group_.reset();
+    }
+}
+
+void FleetNode::replicate_loop() {
+    for (;;) {
+        {
+            MutexLock lock(state_mutex_);
+            const auto deadline =
+                std::chrono::steady_clock::now() + options_.replicate_every;
+            while (running_ &&
+                   state_cv_.wait_until(lock.native(), deadline) !=
+                       std::cv_status::timeout) {
+            }
+            if (!running_) return;
+        }
+        replicate_now();
+    }
+}
+
+FleetNode::PeerLink* FleetNode::link_for(const std::string& peer) {
+    auto it = links_.find(peer);
+    if (it != links_.end()) return &it->second;
+    for (const PeerSpec& spec : options_.peers) {
+        if (spec.name != peer) continue;
+        net::ClientOptions opts = options_.peer_client;
+        opts.host = spec.host;
+        opts.port = spec.port;
+        opts.client_name = options_.node_name;
+        PeerLink link;
+        link.spec = spec;
+        link.client = std::make_unique<net::TuningClient>(opts);
+        return &links_.emplace(peer, std::move(link)).first->second;
+    }
+    return nullptr;
+}
+
+void FleetNode::ensure_peer_hello(PeerLink& link) {
+    if (link.hello_done) return;
+    try {
+        const auto ok = link.client->peer_hello(
+            {options_.node_name, ring_.options().seed,
+             static_cast<std::uint32_t>(ring_.options().virtual_nodes)});
+        if (ok.node != link.spec.name)
+            throw net::NetError("peer '" + link.spec.name +
+                                "' identifies as '" + ok.node + "'");
+        link.hello_done = true;
+    } catch (const net::RemoteError&) {
+        // The peer understood us and said no (geometry mismatch, not a
+        // fleet node): a config error, not a transient — stop asking.
+        link.incompatible = true;
+        service_.metrics().counter("fleet_peers_incompatible").increment();
+        throw;
+    } catch (const net::NetError&) {
+        if (link.client->negotiated_version() != 0 &&
+            link.client->negotiated_version() < 4) {
+            // Old peer: it negotiated down below the peer frame family.
+            // It keeps serving plain clients; we just never replicate to it.
+            link.incompatible = true;
+            service_.metrics().counter("fleet_peers_incompatible").increment();
+        }
+        throw;
+    }
+}
+
+std::size_t FleetNode::push_to_peer(PeerLink& link,
+                                    std::vector<net::ReplicaEntry> entries) {
+    std::size_t bytes = 0;
+    for (const net::ReplicaEntry& entry : entries) bytes += entry.blob.size();
+    auto& metrics = service_.metrics();
+    try {
+        ensure_peer_hello(link);
+        const auto ok =
+            link.client->snapshot_push({options_.node_name, std::move(entries)});
+        metrics.counter("fleet_pushes_tx").increment();
+        metrics.counter("fleet_push_sessions_tx").increment(ok.stored);
+        metrics.counter("fleet_push_bytes_tx").increment(bytes);
+        return ok.stored;
+    } catch (const net::NetError&) {
+        // Transient (dead peer, fault injection) or incompatible — either
+        // way this round moves on; the next round retries unless the link
+        // was marked incompatible.
+        metrics.counter("fleet_push_failures").increment();
+        return 0;
+    }
+}
+
+std::size_t FleetNode::replicate_now() {
+    MutexLock lock(replicate_mutex_);
+    obs::Span span("fleet.replicate");
+    // Group entries per successor so each peer gets one SnapshotPush per
+    // round (map: deterministic target order for the tests).
+    std::map<std::string, std::vector<net::ReplicaEntry>> per_target;
+    for (const std::string& name : service_.session_names()) {
+        const auto prefs = ring_.preference(name, options_.replicas + 1);
+        if (prefs.empty() || prefs.front() != options_.node_name) continue;
+        auto session = service_.find(name);
+        auto blob = service_.session_snapshot(name);
+        if (!session || !blob) continue;
+        const net::ReplicaEntry entry{
+            name, static_cast<std::uint64_t>(session->iterations()),
+            std::move(*blob)};
+        for (std::size_t r = 1; r < prefs.size(); ++r)
+            per_target[prefs[r]].push_back(entry);
+    }
+    std::size_t accepted = 0;
+    for (auto& [target, entries] : per_target) {
+        PeerLink* link = link_for(target);
+        if (link == nullptr || link->incompatible) continue;
+        accepted += push_to_peer(*link, std::move(entries));
+    }
+    return accepted;
+}
+
+std::size_t FleetNode::pull_now() {
+    MutexLock lock(replicate_mutex_);
+    obs::Span span("fleet.pull");
+    auto& metrics = service_.metrics();
+    std::size_t stored_total = 0;
+    for (const PeerSpec& peer : options_.peers) {
+        PeerLink* link = link_for(peer.name);
+        if (link == nullptr || link->incompatible) continue;
+        try {
+            ensure_peer_hello(*link);
+            auto ok = link->client->snapshot_pull(options_.node_name);
+            std::size_t stored = 0;
+            for (net::ReplicaEntry& entry : ok.entries)
+                if (store_.put(entry.session, entry.version,
+                               std::move(entry.blob)))
+                    ++stored;
+            metrics.counter("fleet_pulls_tx").increment();
+            metrics.counter("fleet_pull_sessions_rx").increment(stored);
+            stored_total += stored;
+        } catch (const net::NetError&) {
+            metrics.counter("fleet_pull_failures").increment();
+        }
+    }
+    refresh_replica_gauges();
+    return stored_total;
+}
+
+void FleetNode::set_peer_port(const std::string& peer, std::uint16_t port) {
+    MutexLock lock(replicate_mutex_);
+    for (PeerSpec& spec : options_.peers) {
+        if (spec.name != peer) continue;
+        spec.port = port;
+        links_.erase(peer);  // redial with the new address on next use
+        return;
+    }
+    throw std::invalid_argument("FleetNode: unknown peer '" + peer + "'");
+}
+
+void FleetNode::refresh_replica_gauges() {
+    auto& metrics = service_.metrics();
+    metrics.gauge("fleet_replica_sessions")
+        .set(static_cast<double>(store_.size()));
+    metrics.gauge("fleet_replica_bytes").set(static_cast<double>(store_.bytes()));
+}
+
+FleetNodeStats FleetNode::stats() const {
+    auto& metrics = service_.metrics();
+    FleetNodeStats out;
+    out.pushes_tx = metrics.counter("fleet_pushes_tx").value();
+    out.push_sessions = metrics.counter("fleet_push_sessions_tx").value();
+    out.push_bytes = metrics.counter("fleet_push_bytes_tx").value();
+    out.push_failures = metrics.counter("fleet_push_failures").value();
+    out.pulls_tx = metrics.counter("fleet_pulls_tx").value();
+    out.pull_sessions = metrics.counter("fleet_pull_sessions_rx").value();
+    out.pushes_rx = metrics.counter("fleet_pushes_rx").value();
+    out.pulls_rx = metrics.counter("fleet_pulls_rx").value();
+    out.peers_incompatible = metrics.counter("fleet_peers_incompatible").value();
+    out.replicas_held = store_.size();
+    out.replica_bytes = store_.bytes();
+    return out;
+}
+
+} // namespace atk::fleet

@@ -1,0 +1,168 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fleet/replica_store.hpp"
+#include "fleet/ring.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "runtime/service.hpp"
+#include "support/thread_annotations.hpp"
+#include "support/thread_pool.hpp"
+
+namespace atk::fleet {
+
+/// One peer node's address.
+struct PeerSpec {
+    std::string name;
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+};
+
+struct FleetNodeOptions {
+    /// This node's ring name; must differ from every peer's.
+    std::string node_name;
+    /// The other fleet members.  Every node lists every other node — the
+    /// ring is static configuration, identical fleet-wide.
+    std::vector<PeerSpec> peers;
+    RingOptions ring;
+    /// Ring successors each owned session is replicated to.  1 survives a
+    /// single node loss; more buys wider failure domains for proportional
+    /// push traffic.
+    std::size_t replicas = 1;
+    /// Replication cadence; 0 = only explicit replicate_now() calls (tests
+    /// drive replication deterministically this way).
+    std::chrono::milliseconds replicate_every{0};
+    /// Template for peer links; host/port/client_name overwritten per peer.
+    /// Keep max_attempts small: a dead peer should cost one cheap failure
+    /// per round, not a long backoff ladder.
+    net::ClientOptions peer_client;
+};
+
+/// Aggregate view of the node's replication counters (also exported as
+/// `fleet_*` instruments in the service's MetricsRegistry).
+struct FleetNodeStats {
+    std::uint64_t pushes_tx = 0;       ///< SnapshotPush frames sent
+    std::uint64_t push_sessions = 0;   ///< replica entries accepted by peers
+    std::uint64_t push_bytes = 0;      ///< blob bytes shipped
+    std::uint64_t push_failures = 0;   ///< transport failures while pushing
+    std::uint64_t pulls_tx = 0;        ///< SnapshotPull requests sent
+    std::uint64_t pull_sessions = 0;   ///< replica entries stored from pulls
+    std::uint64_t pushes_rx = 0;       ///< SnapshotPush frames handled
+    std::uint64_t pulls_rx = 0;        ///< SnapshotPull requests handled
+    std::uint64_t peers_incompatible = 0;  ///< peers refused or ≤v3 (skipped)
+    std::size_t replicas_held = 0;     ///< entries in the replica store
+    std::size_t replica_bytes = 0;     ///< bytes in the replica store
+};
+
+/// The server-side half of fleet operation, composed around a
+/// TuningService: answers the v4 peer frames (plug peer_ops() into
+/// ServerOptions), pushes warm-start snapshots of the sessions this node
+/// owns to their ring successors — on a cadence or on demand — and pulls
+/// this node's owned ranges from peers at (re)join.
+///
+/// Ownership: borrows the service and the replica store; both must outlive
+/// the node.  Construct the store first, wire replica_hydrator(store) into
+/// ServiceOptions::hydrator, then the service, then the node — the lazy
+/// hydration path is how pulled/pushed replicas actually reach sessions.
+///
+/// The ring is fixed at construction (static fleet membership); a dead
+/// peer is skipped per round, a ≤v3 or geometry-mismatched peer is marked
+/// incompatible once and never pushed to again.
+class FleetNode {
+public:
+    FleetNode(runtime::TuningService& service, ReplicaStore& store,
+              FleetNodeOptions options);
+    ~FleetNode();
+
+    FleetNode(const FleetNode&) = delete;
+    FleetNode& operator=(const FleetNode&) = delete;
+
+    /// Handlers for ServerOptions::peer_ops.  Safe to call before start();
+    /// the handlers are valid for the node's lifetime.
+    [[nodiscard]] net::PeerOps peer_ops();
+
+    /// Starts the background replication thread (no-op when
+    /// replicate_every is 0).
+    void start();
+    /// Stops the replication thread; idempotent, implied by destruction.
+    void stop();
+
+    /// One replication round, synchronously: snapshot every live session
+    /// this node owns and push it to the session's ring successors.
+    /// Returns replica entries accepted by peers.  Thread-safe.
+    std::size_t replicate_now();
+
+    /// Catch-up at (re)join: asks every reachable peer for this node's
+    /// owned sessions and parks the blobs in the replica store, where lazy
+    /// hydration restores them on first client touch.  All peers are
+    /// queried — a session's replica lives on *its* ring successor, so no
+    /// single peer holds the whole range.  Returns entries stored (the
+    /// freshest version wins when peers disagree).  Thread-safe.
+    std::size_t pull_now();
+
+    /// Late-binds a peer's port (ephemeral ports are only known once the
+    /// peer's server is up).  Drops any open link to that peer; the next
+    /// round redials.  Throws std::invalid_argument for unknown peers.
+    void set_peer_port(const std::string& peer, std::uint16_t port);
+
+    [[nodiscard]] const HashRing& ring() const noexcept { return ring_; }
+    [[nodiscard]] const std::string& name() const noexcept {
+        return options_.node_name;
+    }
+
+    [[nodiscard]] FleetNodeStats stats() const;
+
+private:
+    struct PeerLink {
+        PeerSpec spec;
+        std::unique_ptr<net::TuningClient> client;
+        bool hello_done = false;
+        /// Peer negotiated ≤v3 or refused our ring geometry: permanently
+        /// skipped (it still serves plain clients fine).
+        bool incompatible = false;
+    };
+
+    /// Lazily opens the link (nullptr for unknown names).
+    PeerLink* link_for(const std::string& peer)
+        ATK_REQUIRES(replicate_mutex_);
+    /// First contact: verify ring geometry via PeerHello.  Marks the link
+    /// incompatible on version/geometry refusal; throws NetError on
+    /// transport failure.
+    void ensure_peer_hello(PeerLink& link) ATK_REQUIRES(replicate_mutex_);
+    std::size_t push_to_peer(PeerLink& link,
+                             std::vector<net::ReplicaEntry> entries)
+        ATK_REQUIRES(replicate_mutex_);
+    void refresh_replica_gauges();
+    void replicate_loop();
+
+    runtime::TuningService& service_;
+    ReplicaStore& store_;
+    FleetNodeOptions options_;
+    HashRing ring_;  ///< fixed after construction: shared read is safe
+
+    mutable Mutex replicate_mutex_;  ///< serializes replication/pull rounds
+    std::unordered_map<std::string, PeerLink> links_
+        ATK_GUARDED_BY(replicate_mutex_);
+
+    Mutex state_mutex_;
+    std::condition_variable state_cv_;
+    bool running_ ATK_GUARDED_BY(state_mutex_) = false;
+
+    ThreadPool replicate_pool_;
+    std::unique_ptr<ThreadPool::TaskGroup> replicate_group_;
+};
+
+/// The glue between a ReplicaStore and a TuningService: a hydrator that
+/// serves held replica blobs to the service's lazy session creation.  Bind
+/// it into ServiceOptions::hydrator before constructing the service; the
+/// store must outlive the service.
+[[nodiscard]] runtime::SessionHydrator replica_hydrator(ReplicaStore& store);
+
+} // namespace atk::fleet

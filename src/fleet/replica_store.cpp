@@ -1,0 +1,72 @@
+#include "fleet/replica_store.hpp"
+
+#include <algorithm>
+
+namespace atk::fleet {
+
+bool ReplicaStore::put(const std::string& session, std::uint64_t version,
+                       std::string blob) {
+    MutexLock lock(mutex_);
+    auto it = entries_.find(session);
+    if (it == entries_.end()) {
+        bytes_ += blob.size();
+        entries_.emplace(session, Entry{version, std::move(blob)});
+        return true;
+    }
+    // Same-version pushes are idempotent re-deliveries; only strictly newer
+    // state replaces what we hold.
+    if (version <= it->second.version) return false;
+    bytes_ += blob.size();
+    bytes_ -= it->second.blob.size();
+    it->second = Entry{version, std::move(blob)};
+    return true;
+}
+
+std::optional<std::string> ReplicaStore::blob(const std::string& session) const {
+    MutexLock lock(mutex_);
+    const auto it = entries_.find(session);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second.blob;
+}
+
+std::optional<ReplicaStore::Entry> ReplicaStore::get(
+    const std::string& session) const {
+    MutexLock lock(mutex_);
+    const auto it = entries_.find(session);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+}
+
+bool ReplicaStore::erase(const std::string& session) {
+    MutexLock lock(mutex_);
+    const auto it = entries_.find(session);
+    if (it == entries_.end()) return false;
+    bytes_ -= it->second.blob.size();
+    entries_.erase(it);
+    return true;
+}
+
+std::vector<std::pair<std::string, ReplicaStore::Entry>> ReplicaStore::owned_by(
+    const HashRing& ring, const std::string& node) const {
+    std::vector<std::pair<std::string, Entry>> owned;
+    {
+        MutexLock lock(mutex_);
+        for (const auto& [session, entry] : entries_)
+            if (ring.owns(node, session)) owned.emplace_back(session, entry);
+    }
+    std::sort(owned.begin(), owned.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return owned;
+}
+
+std::size_t ReplicaStore::size() const {
+    MutexLock lock(mutex_);
+    return entries_.size();
+}
+
+std::size_t ReplicaStore::bytes() const {
+    MutexLock lock(mutex_);
+    return bytes_;
+}
+
+} // namespace atk::fleet

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "fleet/ring.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace atk::fleet {
+
+/// What a node holds on a peer's behalf: single-session snapshot blobs
+/// (runtime::TuningService::session_snapshot() bytes) pushed by the ring
+/// predecessor, versioned so reordered pushes keep the freshest copy.
+///
+/// Thread-safe: SnapshotPush handlers run on net worker threads while the
+/// service's hydrator reads on session-creating threads.  Construct the
+/// store *before* the TuningService so its hydrator (see
+/// replica_hydrator()) can be wired into ServiceOptions; the store must
+/// outlive the service.
+class ReplicaStore {
+public:
+    struct Entry {
+        std::uint64_t version = 0;
+        std::string blob;
+    };
+
+    /// Stores `blob` for `session` unless a same-or-newer version is
+    /// already held.  Returns true when stored.
+    bool put(const std::string& session, std::uint64_t version, std::string blob);
+
+    /// Copy of the freshest blob; nullopt when the session is unknown.  The
+    /// entry stays (a node that fails again re-hydrates from it until a
+    /// fresher push supersedes it).
+    [[nodiscard]] std::optional<std::string> blob(const std::string& session) const;
+
+    [[nodiscard]] std::optional<Entry> get(const std::string& session) const;
+
+    bool erase(const std::string& session);
+
+    /// The held replicas owned by `node` under `ring`, session-name sorted
+    /// — what a SnapshotPull for `node` returns.
+    [[nodiscard]] std::vector<std::pair<std::string, Entry>> owned_by(
+        const HashRing& ring, const std::string& node) const;
+
+    [[nodiscard]] std::size_t size() const;
+    /// Total blob bytes held — the memory the node spends on peers.
+    [[nodiscard]] std::size_t bytes() const;
+
+private:
+    mutable Mutex mutex_;
+    std::unordered_map<std::string, Entry> entries_ ATK_GUARDED_BY(mutex_);
+    std::size_t bytes_ ATK_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace atk::fleet

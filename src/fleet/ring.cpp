@@ -1,0 +1,118 @@
+#include "fleet/ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace atk::fleet {
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed, and stable everywhere.
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/// Seeded FNV-1a over the bytes, finished through splitmix64 so short keys
+/// (session names share long prefixes) still spread over the whole ring.
+std::uint64_t hash_bytes(std::uint64_t seed, const std::string& bytes) {
+    std::uint64_t hash = 1469598103934665603ULL ^ mix64(seed);
+    for (const unsigned char c : bytes) {
+        hash ^= c;
+        hash *= 1099511628211ULL;
+    }
+    return mix64(hash);
+}
+
+} // namespace
+
+HashRing::HashRing(RingOptions options) : options_(options) {
+    if (options_.virtual_nodes == 0)
+        throw std::invalid_argument("HashRing: virtual_nodes must be positive");
+}
+
+std::uint64_t HashRing::hash_key(const std::string& key) const {
+    return hash_bytes(options_.seed, key);
+}
+
+void HashRing::add_node(const std::string& name) {
+    if (name.empty()) throw std::invalid_argument("HashRing: empty node name");
+    const auto at = std::lower_bound(names_.begin(), names_.end(), name);
+    if (at != names_.end() && *at == name) return;  // already a member
+    names_.insert(at, name);
+    rebuild();
+}
+
+bool HashRing::remove_node(const std::string& name) {
+    const auto at = std::lower_bound(names_.begin(), names_.end(), name);
+    if (at == names_.end() || *at != name) return false;
+    names_.erase(at);
+    rebuild();
+    return true;
+}
+
+bool HashRing::contains(const std::string& name) const {
+    return std::binary_search(names_.begin(), names_.end(), name);
+}
+
+std::vector<std::string> HashRing::nodes() const { return names_; }
+
+void HashRing::rebuild() {
+    points_.clear();
+    points_.reserve(names_.size() * options_.virtual_nodes);
+    for (std::uint32_t n = 0; n < names_.size(); ++n) {
+        for (std::size_t v = 0; v < options_.virtual_nodes; ++v) {
+            // Each virtual point gets its own derived seed; hashing the name
+            // under seed ^ mix(v) is equivalent to hashing (name, v) but
+            // avoids building a composite key string per point.
+            const std::uint64_t point =
+                hash_bytes(options_.seed ^ mix64(v + 1), names_[n]);
+            points_.push_back({point, n});
+        }
+    }
+    std::sort(points_.begin(), points_.end(), [&](const Point& a, const Point& b) {
+        // Name-ordered tie break keeps placement deterministic even in the
+        // astronomically unlikely event of a point-hash collision.
+        if (a.hash != b.hash) return a.hash < b.hash;
+        return names_[a.node] < names_[b.node];
+    });
+}
+
+const std::string& HashRing::owner(const std::string& key) const {
+    if (empty()) throw std::logic_error("HashRing: owner() on an empty ring");
+    const std::uint64_t hash = hash_key(key);
+    auto at = std::lower_bound(
+        points_.begin(), points_.end(), hash,
+        [](const Point& p, std::uint64_t h) { return p.hash < h; });
+    if (at == points_.end()) at = points_.begin();  // wrap around
+    return names_[at->node];
+}
+
+std::vector<std::string> HashRing::preference(const std::string& key,
+                                              std::size_t count) const {
+    std::vector<std::string> order;
+    if (empty() || count == 0) return order;
+    count = std::min(count, names_.size());
+    order.reserve(count);
+    const std::uint64_t hash = hash_key(key);
+    auto at = std::lower_bound(
+        points_.begin(), points_.end(), hash,
+        [](const Point& p, std::uint64_t h) { return p.hash < h; });
+    std::vector<bool> seen(names_.size(), false);
+    for (std::size_t step = 0; step < points_.size() && order.size() < count;
+         ++step, ++at) {
+        if (at == points_.end()) at = points_.begin();
+        if (seen[at->node]) continue;
+        seen[at->node] = true;
+        order.push_back(names_[at->node]);
+    }
+    return order;
+}
+
+bool HashRing::owns(const std::string& node, const std::string& key) const {
+    return !empty() && owner(key) == node;
+}
+
+} // namespace atk::fleet

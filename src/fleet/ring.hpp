@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atk::fleet {
+
+struct RingOptions {
+    /// Seed folded into every point and key hash.  All nodes of a fleet
+    /// must agree on it (PeerHello verifies) — two seeds are two different
+    /// rings that route the same session to different owners.
+    std::uint64_t seed = 0x666c656574ULL;  // "fleet"
+    /// Points each node contributes.  More virtual nodes smooth the load
+    /// split (stddev ~ 1/sqrt(virtual_nodes)) at the price of a larger
+    /// sorted array; 64 keeps a 3-node ring within a few percent of even.
+    std::size_t virtual_nodes = 64;
+};
+
+/// Seeded consistent-hash ring with virtual nodes: the client-side routing
+/// table of the fleet and the server-side ownership oracle for replication.
+///
+/// Determinism is the whole point: every node and every client build
+/// byte-identical rings from (seed, virtual_nodes, member names) alone — no
+/// coordination service, no gossip.  Hashes are a seeded FNV-1a/splitmix64
+/// mix, so placement is stable across platforms and process runs (never
+/// std::hash, whose layout is implementation-defined).
+///
+/// Not internally synchronized: FleetClient and FleetNode each own their
+/// ring and mutate it from one thread (or under their own lock).
+class HashRing {
+public:
+    explicit HashRing(RingOptions options = {});
+
+    void add_node(const std::string& name);
+    /// False when the node was not a member.
+    bool remove_node(const std::string& name);
+    [[nodiscard]] bool contains(const std::string& name) const;
+
+    /// Member names, sorted (not ring order).
+    [[nodiscard]] std::vector<std::string> nodes() const;
+    [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return names_.empty(); }
+
+    /// The node owning `key`: the first point at or clockwise after the
+    /// key's hash.  Throws std::logic_error on an empty ring.
+    [[nodiscard]] const std::string& owner(const std::string& key) const;
+
+    /// The first `count` *distinct* nodes in ring order starting at the
+    /// key's owner — the key's preference list.  preference(key, n)[0] is
+    /// owner(key); [1..] are the failover/replication successors.  Shorter
+    /// than `count` when the ring has fewer nodes.
+    [[nodiscard]] std::vector<std::string> preference(const std::string& key,
+                                                      std::size_t count) const;
+
+    [[nodiscard]] bool owns(const std::string& node, const std::string& key) const;
+
+    [[nodiscard]] const RingOptions& options() const noexcept { return options_; }
+
+private:
+    struct Point {
+        std::uint64_t hash = 0;
+        std::uint32_t node = 0;  ///< index into names_
+    };
+
+    [[nodiscard]] std::uint64_t hash_key(const std::string& key) const;
+    void rebuild();
+
+    RingOptions options_;
+    std::vector<std::string> names_;  ///< sorted member names
+    std::vector<Point> points_;       ///< sorted by (hash, member name)
+};
+
+} // namespace atk::fleet

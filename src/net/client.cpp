@@ -215,8 +215,13 @@ Frame TuningClient::exchange(const std::function<std::string()>& encode) {
 Frame TuningClient::reject_error(Frame frame) {
     if (frame.type == FrameType::Error) {
         const ErrorMsg error = decode_error(frame);
-        throw NetError("server error " + std::to_string(static_cast<unsigned>(error.code)) +
-                       ": " + error.message);
+        // Typed: the request reached a live server and was refused.  Callers
+        // that route around dead nodes (FleetClient) must not fail over on
+        // this — every node would refuse the same request.
+        throw RemoteError(error.code,
+                          "server error " +
+                              std::to_string(static_cast<unsigned>(error.code)) +
+                              ": " + error.message);
     }
     return frame;
 }
@@ -367,6 +372,64 @@ std::vector<SessionHealthEntry> TuningClient::health(const std::string& session)
         return encode_health({session});
     }));
     return decode_health_ok(reply).sessions;
+}
+
+// ---------------------------------------------------------------------------
+// Peer (fleet) exchanges, v4
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shared guard for the peer methods: encode only once the connection
+/// negotiated v4, so a v3-only peer yields a clean NetError (with
+/// negotiated_version() telling the caller why) instead of a protocol
+/// violation on the wire.
+void require_v4(std::uint32_t negotiated) {
+    if (negotiated < 4)
+        throw NetError("server negotiated protocol version " +
+                       std::to_string(negotiated) +
+                       "; peer frames need version 4");
+}
+
+} // namespace
+
+PeerHelloOkMsg TuningClient::peer_hello(const PeerHelloMsg& msg) {
+    flush_reports();
+    obs::Span span("client.peer_hello");
+    const Frame reply = reject_error(exchange([&] {
+        require_v4(negotiated_version_);
+        return encode_peer_hello(msg);
+    }));
+    return decode_peer_hello_ok(reply);
+}
+
+SnapshotPushOkMsg TuningClient::snapshot_push(const SnapshotPushMsg& msg) {
+    flush_reports();
+    obs::Span span("client.snapshot_push");
+    const Frame reply = reject_error(exchange([&] {
+        require_v4(negotiated_version_);
+        return encode_snapshot_push(msg);
+    }));
+    return decode_snapshot_push_ok(reply);
+}
+
+SnapshotPullOkMsg TuningClient::snapshot_pull(const std::string& node) {
+    flush_reports();
+    obs::Span span("client.snapshot_pull");
+    const Frame reply = reject_error(exchange([&] {
+        require_v4(negotiated_version_);
+        return encode_snapshot_pull({node});
+    }));
+    return decode_snapshot_pull_ok(reply);
+}
+
+PeerStatsOkMsg TuningClient::peer_stats() {
+    flush_reports();
+    const Frame reply = reject_error(exchange([&] {
+        require_v4(negotiated_version_);
+        return encode_peer_stats_request();
+    }));
+    return decode_peer_stats_ok(reply);
 }
 
 } // namespace atk::net

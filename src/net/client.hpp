@@ -24,6 +24,21 @@ public:
     explicit NetError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// The server itself answered with an Error frame: the request reached a
+/// live, speaking peer and was refused.  Distinguished from transport-level
+/// NetError so routing layers (FleetClient) know retrying another node is
+/// pointless — the refusal is about the request, not the path.
+class RemoteError : public NetError {
+public:
+    RemoteError(ErrorCode code, const std::string& what)
+        : NetError(what), code_(code) {}
+
+    [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+private:
+    ErrorCode code_;
+};
+
 struct ClientOptions {
     std::string host = "127.0.0.1";
     std::uint16_t port = 0;
@@ -137,6 +152,23 @@ public:
     /// a v2 server: throws NetError when the connection negotiated v1.
     [[nodiscard]] std::vector<SessionHealthEntry> health(
         const std::string& session = "");
+
+    // ---- peer (fleet) exchanges, v4 ----
+    // Each requires a v4 fleet peer: throws NetError when the connection
+    // negotiated an older version (check negotiated_version() to tell a
+    // v3-only peer from a transport failure), RemoteError when the peer
+    // refused (e.g. ring-geometry mismatch, not a fleet node).
+
+    /// Identifies this node to a peer and verifies ring geometry.
+    [[nodiscard]] PeerHelloOkMsg peer_hello(const PeerHelloMsg& msg);
+
+    /// Ships replica snapshots; returns the peer's accepted count.
+    [[nodiscard]] SnapshotPushOkMsg snapshot_push(const SnapshotPushMsg& msg);
+
+    /// Catch-up pull: every session `node` owns that the peer knows about.
+    [[nodiscard]] SnapshotPullOkMsg snapshot_pull(const std::string& node);
+
+    [[nodiscard]] PeerStatsOkMsg peer_stats();
 
     /// Drops the connection; the next call reconnects from scratch.
     void disconnect() noexcept;

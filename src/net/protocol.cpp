@@ -8,7 +8,7 @@ namespace {
 
 bool known_type(std::uint8_t byte) {
     return byte >= static_cast<std::uint8_t>(FrameType::Hello) &&
-           byte <= static_cast<std::uint8_t>(FrameType::HealthOk);
+           byte <= static_cast<std::uint8_t>(FrameType::PeerStatsOk);
 }
 
 std::string finish_frame(FrameType type, std::uint8_t flags, WireWriter payload) {
@@ -113,6 +113,14 @@ const char* frame_type_name(FrameType type) noexcept {
         case FrameType::Error: return "Error";
         case FrameType::Health: return "Health";
         case FrameType::HealthOk: return "HealthOk";
+        case FrameType::PeerHello: return "PeerHello";
+        case FrameType::PeerHelloOk: return "PeerHelloOk";
+        case FrameType::SnapshotPush: return "SnapshotPush";
+        case FrameType::SnapshotPushOk: return "SnapshotPushOk";
+        case FrameType::SnapshotPull: return "SnapshotPull";
+        case FrameType::SnapshotPullOk: return "SnapshotPullOk";
+        case FrameType::PeerStats: return "PeerStats";
+        case FrameType::PeerStatsOk: return "PeerStatsOk";
     }
     return "Unknown";
 }
@@ -402,7 +410,7 @@ std::string encode_stats_request() {
     return encode_frame(Frame{FrameType::Stats, 0, {}});
 }
 
-std::string encode_stats_ok(const StatsOkMsg& msg) {
+std::string encode_stats_ok(const StatsOkMsg& msg, std::uint32_t version) {
     WireWriter out;
     const runtime::ServiceStats& s = msg.stats;
     out.put_u64(s.sessions);
@@ -416,6 +424,14 @@ std::string encode_stats_ok(const StatsOkMsg& msg) {
     out.put_u64(s.installs_applied);
     out.put_u64(s.installs_rejected);
     out.put_u64(s.snapshots_restored);
+    if (version >= 4) {
+        // v4 appends the eviction/quota counters; a ≤v3 connection gets the
+        // 11-scalar layout its decoder expects, byte-identical to a v3 build.
+        out.put_u64(s.sessions_evicted);
+        out.put_u64(s.sessions_rehydrated);
+        out.put_u64(s.quota_rejected);
+        out.put_u64(s.evicted_held);
+    }
     return finish_frame(FrameType::StatsOk, 0, std::move(out));
 }
 
@@ -435,6 +451,14 @@ StatsOkMsg decode_stats_ok(const Frame& frame) {
     s.installs_applied = in.get_u64();
     s.installs_rejected = in.get_u64();
     s.snapshots_restored = in.get_u64();
+    if (!in.at_end()) {
+        // v4 layout: four appended counters.  Anything else (one trailing
+        // scalar, three, garbage) still fails expect_consumed below.
+        s.sessions_evicted = in.get_u64();
+        s.sessions_rehydrated = in.get_u64();
+        s.quota_rejected = in.get_u64();
+        s.evicted_held = in.get_u64();
+    }
     expect_consumed(in, frame.type);
     return msg;
 }
@@ -565,6 +589,175 @@ HealthOkMsg decode_health_ok(const Frame& frame) {
         entry.health = get_health_snapshot(in);
         msg.sessions.push_back(std::move(entry));
     }
+    expect_consumed(in, frame.type);
+    return msg;
+}
+
+// ---------------------------------------------------------------------------
+// Peer (fleet) frames, v4
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void put_replica_entry(WireWriter& out, const ReplicaEntry& entry) {
+    out.put_str(entry.session);
+    out.put_u64(entry.version);
+    out.put_str(entry.blob);
+}
+
+ReplicaEntry get_replica_entry(WireReader& in) {
+    ReplicaEntry entry;
+    entry.session = in.get_str();
+    entry.version = in.get_u64();
+    entry.blob = in.get_str();
+    return entry;
+}
+
+void put_replica_list(WireWriter& out, const std::vector<ReplicaEntry>& entries) {
+    if (entries.size() > 0xFFFFFFFFu)
+        throw std::invalid_argument("wire: replica entry count exceeds u32");
+    out.put_u32(static_cast<std::uint32_t>(entries.size()));
+    for (const ReplicaEntry& entry : entries) put_replica_entry(out, entry);
+}
+
+std::vector<ReplicaEntry> get_replica_list(WireReader& in) {
+    // session len(4) + version(8) + blob len(4) is the smallest entry, so a
+    // hostile count field can never reserve more than the payload holds.
+    const std::size_t count = in.get_count(/*min_element_bytes=*/16);
+    std::vector<ReplicaEntry> entries;
+    entries.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        entries.push_back(get_replica_entry(in));
+    return entries;
+}
+
+} // namespace
+
+std::string encode_peer_hello(const PeerHelloMsg& msg) {
+    WireWriter out;
+    out.put_str(msg.node);
+    out.put_u64(msg.ring_seed);
+    out.put_u32(msg.virtual_nodes);
+    return finish_frame(FrameType::PeerHello, 0, std::move(out));
+}
+
+PeerHelloMsg decode_peer_hello(const Frame& frame) {
+    expect_type(frame, FrameType::PeerHello);
+    WireReader in(frame.payload);
+    PeerHelloMsg msg;
+    msg.node = in.get_str();
+    msg.ring_seed = in.get_u64();
+    msg.virtual_nodes = in.get_u32();
+    expect_consumed(in, frame.type);
+    return msg;
+}
+
+std::string encode_peer_hello_ok(const PeerHelloOkMsg& msg) {
+    WireWriter out;
+    out.put_str(msg.node);
+    out.put_u64(msg.live_sessions);
+    return finish_frame(FrameType::PeerHelloOk, 0, std::move(out));
+}
+
+PeerHelloOkMsg decode_peer_hello_ok(const Frame& frame) {
+    expect_type(frame, FrameType::PeerHelloOk);
+    WireReader in(frame.payload);
+    PeerHelloOkMsg msg;
+    msg.node = in.get_str();
+    msg.live_sessions = in.get_u64();
+    expect_consumed(in, frame.type);
+    return msg;
+}
+
+std::string encode_snapshot_push(const SnapshotPushMsg& msg) {
+    WireWriter out;
+    out.put_str(msg.from_node);
+    put_replica_list(out, msg.entries);
+    return finish_frame(FrameType::SnapshotPush, 0, std::move(out));
+}
+
+SnapshotPushMsg decode_snapshot_push(const Frame& frame) {
+    expect_type(frame, FrameType::SnapshotPush);
+    WireReader in(frame.payload);
+    SnapshotPushMsg msg;
+    msg.from_node = in.get_str();
+    msg.entries = get_replica_list(in);
+    expect_consumed(in, frame.type);
+    return msg;
+}
+
+std::string encode_snapshot_push_ok(const SnapshotPushOkMsg& msg) {
+    WireWriter out;
+    out.put_u64(msg.stored);
+    return finish_frame(FrameType::SnapshotPushOk, 0, std::move(out));
+}
+
+SnapshotPushOkMsg decode_snapshot_push_ok(const Frame& frame) {
+    expect_type(frame, FrameType::SnapshotPushOk);
+    WireReader in(frame.payload);
+    SnapshotPushOkMsg msg;
+    msg.stored = in.get_u64();
+    expect_consumed(in, frame.type);
+    return msg;
+}
+
+std::string encode_snapshot_pull(const SnapshotPullMsg& msg) {
+    WireWriter out;
+    out.put_str(msg.node);
+    return finish_frame(FrameType::SnapshotPull, 0, std::move(out));
+}
+
+SnapshotPullMsg decode_snapshot_pull(const Frame& frame) {
+    expect_type(frame, FrameType::SnapshotPull);
+    WireReader in(frame.payload);
+    SnapshotPullMsg msg;
+    msg.node = in.get_str();
+    expect_consumed(in, frame.type);
+    return msg;
+}
+
+std::string encode_snapshot_pull_ok(const SnapshotPullOkMsg& msg) {
+    WireWriter out;
+    put_replica_list(out, msg.entries);
+    return finish_frame(FrameType::SnapshotPullOk, 0, std::move(out));
+}
+
+SnapshotPullOkMsg decode_snapshot_pull_ok(const Frame& frame) {
+    expect_type(frame, FrameType::SnapshotPullOk);
+    WireReader in(frame.payload);
+    SnapshotPullOkMsg msg;
+    msg.entries = get_replica_list(in);
+    expect_consumed(in, frame.type);
+    return msg;
+}
+
+std::string encode_peer_stats_request() {
+    return encode_frame(Frame{FrameType::PeerStats, 0, {}});
+}
+
+std::string encode_peer_stats_ok(const PeerStatsOkMsg& msg) {
+    WireWriter out;
+    out.put_str(msg.node);
+    out.put_u64(msg.replicas_held);
+    out.put_u64(msg.replica_bytes);
+    out.put_u64(msg.pushes_rx);
+    out.put_u64(msg.pulls_rx);
+    out.put_u64(msg.sessions_live);
+    out.put_u64(msg.sessions_evicted);
+    return finish_frame(FrameType::PeerStatsOk, 0, std::move(out));
+}
+
+PeerStatsOkMsg decode_peer_stats_ok(const Frame& frame) {
+    expect_type(frame, FrameType::PeerStatsOk);
+    WireReader in(frame.payload);
+    PeerStatsOkMsg msg;
+    msg.node = in.get_str();
+    msg.replicas_held = in.get_u64();
+    msg.replica_bytes = in.get_u64();
+    msg.pushes_rx = in.get_u64();
+    msg.pulls_rx = in.get_u64();
+    msg.sessions_live = in.get_u64();
+    msg.sessions_evicted = in.get_u64();
     expect_consumed(in, frame.type);
     return msg;
 }

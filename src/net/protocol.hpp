@@ -34,7 +34,20 @@ namespace atk::net {
 ///     learn per-context costs.  Clients only emit it once HelloOk
 ///     negotiated v3; a context-blind client's frames are byte-identical to
 ///     v2 ones.
-inline constexpr std::uint32_t kProtocolVersion = 3;
+///
+/// v4 adds (invisible to v1–v3 peers):
+///   - the peer frame family for fleet operation (PeerHello, SnapshotPush,
+///     SnapshotPull, PeerStats + their Ok replies), carrying single-session
+///     warm-start snapshot blobs between nodes so tuning state survives
+///     node churn.  A node only sends peer frames once HelloOk negotiated
+///     v4; a v3-only peer simply never replicates and keeps serving the
+///     client frames unchanged;
+///   - four eviction/quota counters appended to the StatsOk payload (a v4
+///     server encodes them only on v4 connections, so v3 clients keep
+///     parsing the 11-scalar layout they expect);
+///   - ErrorCode::QuotaExceeded, the typed reply when a tenant is at its
+///     session quota.
+inline constexpr std::uint32_t kProtocolVersion = 4;
 
 /// Oldest protocol version this build still speaks.  v1 frames are a strict
 /// subset of v2, and v2 of v3 (no feature extensions), so compatibility is
@@ -65,6 +78,14 @@ enum class FrameType : std::uint8_t {
     Error = 13,       ///< u32 code, str message
     Health = 14,      ///< str session ("" = every session)        [v2]
     HealthOk = 15,    ///< u32 n, n × {str session, health snapshot} [v2]
+    PeerHello = 16,   ///< str node, u64 ring_seed, u32 virtual_nodes [v4]
+    PeerHelloOk = 17, ///< str node, u64 live_sessions               [v4]
+    SnapshotPush = 18,///< str from_node, u32 n, n × ReplicaEntry    [v4]
+    SnapshotPushOk = 19, ///< u64 stored                             [v4]
+    SnapshotPull = 20,///< str node (requesting its owned ranges)    [v4]
+    SnapshotPullOk = 21, ///< u32 n, n × ReplicaEntry                [v4]
+    PeerStats = 22,   ///< (empty)                                   [v4]
+    PeerStatsOk = 23, ///< the fleet-replication scalars             [v4]
 };
 
 /// Frame flags (bit set).  Unknown bits are rejected by the decoder so they
@@ -96,6 +117,7 @@ enum class ErrorCode : std::uint32_t {
     BadRequest = 4,      ///< well-formed but unserviceable (e.g. bad restore)
     Internal = 5,        ///< server-side failure
     Shutdown = 6,        ///< server is draining; reconnect later
+    QuotaExceeded = 7,   ///< tenant at its session quota (v4; non-fatal)
 };
 
 /// One complete frame as it travels: 8-byte header (u32 payload length,
@@ -238,6 +260,62 @@ struct HealthOkMsg {
     std::vector<SessionHealthEntry> sessions;
 };
 
+// ---- peer (fleet) messages, v4 ----
+
+/// Opens a peer link: identifies the sending node and its ring geometry.
+/// The receiver refuses (BadRequest) when the geometry disagrees — two
+/// nodes hashing sessions differently would replicate to the wrong owners.
+struct PeerHelloMsg {
+    std::string node;
+    std::uint64_t ring_seed = 0;
+    std::uint32_t virtual_nodes = 0;
+};
+
+struct PeerHelloOkMsg {
+    std::string node;
+    std::uint64_t live_sessions = 0;
+};
+
+/// One replicated session: a standalone single-session snapshot blob (the
+/// bytes runtime::TuningService::session_snapshot() produces) plus a
+/// monotonic version (the session's tuner iteration count at snapshot
+/// time) so receivers keep the freshest copy under reordered pushes.
+struct ReplicaEntry {
+    std::string session;
+    std::uint64_t version = 0;
+    std::string blob;
+};
+
+struct SnapshotPushMsg {
+    std::string from_node;
+    std::vector<ReplicaEntry> entries;
+};
+
+struct SnapshotPushOkMsg {
+    std::uint64_t stored = 0;  ///< entries accepted (stale versions skipped)
+};
+
+/// A rejoining node catching up: asks the peer for every session the
+/// requester owns under the shared ring (live sessions the peer absorbed
+/// via failover plus replicas it holds on the requester's behalf).
+struct SnapshotPullMsg {
+    std::string node;
+};
+
+struct SnapshotPullOkMsg {
+    std::vector<ReplicaEntry> entries;
+};
+
+struct PeerStatsOkMsg {
+    std::string node;
+    std::uint64_t replicas_held = 0;
+    std::uint64_t replica_bytes = 0;
+    std::uint64_t pushes_rx = 0;
+    std::uint64_t pulls_rx = 0;
+    std::uint64_t sessions_live = 0;
+    std::uint64_t sessions_evicted = 0;
+};
+
 [[nodiscard]] std::string encode_hello(const HelloMsg& msg);
 [[nodiscard]] std::string encode_hello_ok(const HelloOkMsg& msg);
 [[nodiscard]] std::string encode_recommend(const RecommendMsg& msg);
@@ -249,10 +327,22 @@ struct HealthOkMsg {
 [[nodiscard]] std::string encode_restore(const RestoreMsg& msg);
 [[nodiscard]] std::string encode_restore_ok(const RestoreOkMsg& msg);
 [[nodiscard]] std::string encode_stats_request();
-[[nodiscard]] std::string encode_stats_ok(const StatsOkMsg& msg);
+/// `version` is the connection's negotiated protocol version: v4 appends
+/// the eviction/quota scalars, older versions encode the 11-scalar layout
+/// byte-identically to a v3 build.
+[[nodiscard]] std::string encode_stats_ok(const StatsOkMsg& msg,
+                                          std::uint32_t version = kProtocolVersion);
 [[nodiscard]] std::string encode_error(const ErrorMsg& msg);
 [[nodiscard]] std::string encode_health(const HealthMsg& msg);
 [[nodiscard]] std::string encode_health_ok(const HealthOkMsg& msg);
+[[nodiscard]] std::string encode_peer_hello(const PeerHelloMsg& msg);
+[[nodiscard]] std::string encode_peer_hello_ok(const PeerHelloOkMsg& msg);
+[[nodiscard]] std::string encode_snapshot_push(const SnapshotPushMsg& msg);
+[[nodiscard]] std::string encode_snapshot_push_ok(const SnapshotPushOkMsg& msg);
+[[nodiscard]] std::string encode_snapshot_pull(const SnapshotPullMsg& msg);
+[[nodiscard]] std::string encode_snapshot_pull_ok(const SnapshotPullOkMsg& msg);
+[[nodiscard]] std::string encode_peer_stats_request();
+[[nodiscard]] std::string encode_peer_stats_ok(const PeerStatsOkMsg& msg);
 
 [[nodiscard]] HelloMsg decode_hello(const Frame& frame);
 [[nodiscard]] HelloOkMsg decode_hello_ok(const Frame& frame);
@@ -263,10 +353,19 @@ struct HealthOkMsg {
 [[nodiscard]] SnapshotOkMsg decode_snapshot_ok(const Frame& frame);
 [[nodiscard]] RestoreMsg decode_restore(const Frame& frame);
 [[nodiscard]] RestoreOkMsg decode_restore_ok(const Frame& frame);
+/// Accepts both the 11-scalar (≤v3) and the extended (v4) layout, keyed by
+/// the payload itself — a v3 peer's frame leaves the new counters zero.
 [[nodiscard]] StatsOkMsg decode_stats_ok(const Frame& frame);
 [[nodiscard]] ErrorMsg decode_error(const Frame& frame);
 [[nodiscard]] HealthMsg decode_health(const Frame& frame);
 [[nodiscard]] HealthOkMsg decode_health_ok(const Frame& frame);
+[[nodiscard]] PeerHelloMsg decode_peer_hello(const Frame& frame);
+[[nodiscard]] PeerHelloOkMsg decode_peer_hello_ok(const Frame& frame);
+[[nodiscard]] SnapshotPushMsg decode_snapshot_push(const Frame& frame);
+[[nodiscard]] SnapshotPushOkMsg decode_snapshot_push_ok(const Frame& frame);
+[[nodiscard]] SnapshotPullMsg decode_snapshot_pull(const Frame& frame);
+[[nodiscard]] SnapshotPullOkMsg decode_snapshot_pull_ok(const Frame& frame);
+[[nodiscard]] PeerStatsOkMsg decode_peer_stats_ok(const Frame& frame);
 
 /// Human-readable frame type name for logs and error messages.
 [[nodiscard]] const char* frame_type_name(FrameType type) noexcept;

@@ -371,6 +371,11 @@ bool TuningServer::dispatch(Connection& conn, const Frame& frame) {
         close_after = true;
     } catch (const std::invalid_argument& e) {
         reply = encode_error({ErrorCode::BadRequest, e.what()});
+    } catch (const runtime::QuotaExceededError& e) {
+        // Typed, non-fatal: the tenant is over its session quota.  The
+        // connection stays up — other tenants' sessions are unaffected.
+        service_.metrics().counter("net_quota_rejections").increment();
+        reply = encode_error({ErrorCode::QuotaExceeded, e.what()});
     } catch (const std::exception& e) {
         reply = encode_error({ErrorCode::Internal, e.what()});
     }
@@ -457,7 +462,39 @@ std::string TuningServer::make_reply(Connection& conn, const Frame& frame,
         case FrameType::Stats: {
             if (!frame.payload.empty())
                 throw WireError("wire: Stats carries no payload");
-            return encode_stats_ok({service_.stats()});
+            // The negotiated version picks the StatsOk layout: v4 peers get
+            // the eviction/quota counters, older peers the 11-scalar form.
+            return encode_stats_ok({service_.stats()}, conn.version);
+        }
+        case FrameType::PeerHello:
+        case FrameType::SnapshotPush:
+        case FrameType::SnapshotPull:
+        case FrameType::PeerStats: {
+            if (conn.version < 4) {
+                // Mirrors the Health-below-v2 gate: a peer that negotiated
+                // an older version has no business sending v4 frames.
+                service_.metrics().counter("net_protocol_errors").increment();
+                close_after = true;
+                return encode_error({ErrorCode::BadRequest,
+                                     "peer frames need protocol version 4"});
+            }
+            if (!options_.peer_ops.enabled())
+                return encode_error(
+                    {ErrorCode::BadRequest,
+                     "not a fleet node: no peer handlers installed"});
+            obs::Span work("server.peer");
+            if (frame.type == FrameType::PeerHello)
+                return encode_peer_hello_ok(
+                    options_.peer_ops.hello(decode_peer_hello(frame)));
+            if (frame.type == FrameType::SnapshotPush)
+                return encode_snapshot_push_ok(
+                    options_.peer_ops.push(decode_snapshot_push(frame)));
+            if (frame.type == FrameType::SnapshotPull)
+                return encode_snapshot_pull_ok(
+                    options_.peer_ops.pull(decode_snapshot_pull(frame)));
+            if (!frame.payload.empty())
+                throw WireError("wire: PeerStats carries no payload");
+            return encode_peer_stats_ok(options_.peer_ops.stats());
         }
         default:
             service_.metrics().counter("net_protocol_errors").increment();

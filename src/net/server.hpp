@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -13,6 +14,24 @@
 #include "runtime/service.hpp"
 
 namespace atk::net {
+
+/// Handlers for the v4 peer frame family.  The net layer cannot depend on
+/// src/fleet (layering: fleet composes net, never the reverse), so a fleet
+/// node injects its replication logic here; a server with no handlers
+/// installed refuses peer frames with BadRequest ("not a fleet node").
+/// Handlers run on server worker threads and must be thread-safe; throwing
+/// std::invalid_argument maps to a BadRequest reply (e.g. ring-geometry
+/// mismatch in PeerHello).
+struct PeerOps {
+    std::function<PeerHelloOkMsg(const PeerHelloMsg&)> hello;
+    std::function<SnapshotPushOkMsg(const SnapshotPushMsg&)> push;
+    std::function<SnapshotPullOkMsg(const SnapshotPullMsg&)> pull;
+    std::function<PeerStatsOkMsg()> stats;
+
+    [[nodiscard]] bool enabled() const noexcept {
+        return hello && push && pull && stats;
+    }
+};
 
 struct ServerOptions {
     /// IPv4 literal to bind; loopback by default — exposing a tuner to a
@@ -44,6 +63,8 @@ struct ServerOptions {
     std::chrono::milliseconds drain_timeout{2000};
     /// Name returned in HelloOk frames.
     std::string server_name = "atk-serve";
+    /// Fleet peer-frame handlers; default-empty = not a fleet node.
+    PeerOps peer_ops;
 };
 
 /// Serves a TuningService over TCP: one non-blocking acceptor thread plus

@@ -1,12 +1,18 @@
 #include "runtime/service.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 #include "core/state_io.hpp"
 #include "obs/span.hpp"
 
 namespace atk::runtime {
+
+std::string session_tenant(const std::string& session) {
+    const std::size_t slash = session.find('/');
+    return slash == std::string::npos ? session : session.substr(0, slash);
+}
 
 TuningService::TuningService(TunerFactory factory, ServiceOptions options)
     : factory_(std::move(factory)),
@@ -41,19 +47,239 @@ TuningService::Shard& TuningService::shard_for(const std::string& name) const {
 }
 
 std::shared_ptr<TuningSession> TuningService::session(const std::string& name) {
+    auto created = materialize(name, /*resurrect_only=*/false);
+    enforce_session_cap(name);
+    return created;
+}
+
+std::shared_ptr<TuningSession> TuningService::materialize(const std::string& name,
+                                                          bool resurrect_only) {
     Shard& shard = shard_for(name);
     MutexLock lock(shard.mutex);
     auto it = shard.sessions.find(name);
-    if (it != shard.sessions.end()) return it->second;
-    auto tuner = factory_(name);
-    if (!tuner) throw std::invalid_argument("TuningService: factory returned null tuner");
+    if (it != shard.sessions.end()) {
+        touch_lru(name);
+        return it->second;
+    }
+    if (resurrect_only) {
+        MutexLock lru_lock(lru_.mutex);
+        if (lru_.evicted.find(name) == lru_.evicted.end()) return nullptr;
+    }
+    // Admission (quota check, eviction-blob claim, LRU/tenant registration)
+    // happens under the shard lock so two racing creators cannot both claim
+    // the same parked blob or double-count a tenant name.
+    Admission admission = admit(name);
+    const bool from_eviction = admission.blob.has_value();
+    if (!admission.blob && options_.hydrator) {
+        obs::Span span("service.hydrate");
+        admission.blob = options_.hydrator(name);
+    }
+    std::unique_ptr<TwoPhaseTuner> tuner;
+    try {
+        tuner = factory_(name);
+        if (!tuner)
+            throw std::invalid_argument("TuningService: factory returned null tuner");
+    } catch (...) {
+        unadmit(name, admission);
+        throw;
+    }
     auto created = std::make_shared<TuningSession>(
         name, std::move(tuner), options_.audit_capacity,
         options_.health_enabled ? std::optional<obs::HealthOptions>(options_.health)
                                 : std::nullopt);
+    if (admission.blob) {
+        try {
+            restore_single(*created, name, *admission.blob);
+            metrics_.counter("sessions_rehydrated").increment();
+        } catch (...) {
+            if (from_eviction) {
+                // An evicted session's parked state is authoritative; losing
+                // it is a bug worth failing loudly over, and the name must
+                // not come back as a silently fresh session.
+                unadmit(name, admission);
+                throw;
+            }
+            // Hydrator blobs (peer replicas) are advisory warm starts: a
+            // mismatched or corrupt one degrades to a fresh session.
+            metrics_.counter("rehydrations_rejected").increment();
+        }
+    }
     shard.sessions.emplace(name, created);
     metrics_.counter("sessions_created").increment();
     return created;
+}
+
+TuningService::Admission TuningService::admit(const std::string& name) {
+    Admission admission;
+    admission.tenant = session_tenant(name);
+    bool spilled = false;
+    {
+        MutexLock lock(lru_.mutex);
+        const auto evicted_it = lru_.evicted.find(name);
+        const bool known =
+            evicted_it != lru_.evicted.end() || lru_.where.count(name) != 0;
+        if (!known && options_.tenant_quota != 0) {
+            const auto tenant_it = lru_.tenant_names.find(admission.tenant);
+            if (tenant_it != lru_.tenant_names.end() &&
+                tenant_it->second >= options_.tenant_quota) {
+                metrics_.counter("quota_rejected").increment();
+                throw QuotaExceededError(admission.tenant, options_.tenant_quota);
+            }
+        }
+        if (!known) {
+            ++lru_.tenant_names[admission.tenant];
+            admission.counted_new_name = true;
+        }
+        if (evicted_it != lru_.evicted.end()) {
+            if (evicted_it->second.empty()) {
+                spilled = true;
+            } else {
+                admission.blob = std::move(evicted_it->second);
+            }
+            lru_.evicted.erase(evicted_it);
+        }
+        if (lru_.where.count(name) == 0) {
+            lru_.order.push_back(name);
+            lru_.where[name] = std::prev(lru_.order.end());
+        }
+    }
+    if (spilled) {
+        // The blob lives in a spill file; read it outside the LRU lock.  A
+        // missing/unreadable file — or a claim that raced the evictor before
+        // it finished spilling — degrades to a fresh session (counted).
+        if (!options_.spill_dir.empty())
+            admission.blob = read_state_file(spill_path(name));
+        if (!admission.blob) metrics_.counter("evictions_lost").increment();
+    }
+    return admission;
+}
+
+void TuningService::unadmit(const std::string& name, const Admission& admission) {
+    MutexLock lock(lru_.mutex);
+    const auto it = lru_.where.find(name);
+    if (it != lru_.where.end()) {
+        lru_.order.erase(it->second);
+        lru_.where.erase(it);
+    }
+    if (admission.counted_new_name) {
+        const auto tenant_it = lru_.tenant_names.find(admission.tenant);
+        if (tenant_it != lru_.tenant_names.end() && --tenant_it->second == 0)
+            lru_.tenant_names.erase(tenant_it);
+    }
+}
+
+void TuningService::touch_lru(const std::string& name) {
+    if (options_.max_sessions == 0) return;  // tracking only matters for caps
+    MutexLock lock(lru_.mutex);
+    const auto it = lru_.where.find(name);
+    // Absent = mid-eviction (the evictor already unlinked it); the next
+    // materialize() re-registers, so approximate recency is preserved.
+    if (it == lru_.where.end()) return;
+    lru_.order.splice(lru_.order.end(), lru_.order, it->second);
+}
+
+void TuningService::enforce_session_cap(const std::string& protect) {
+    if (options_.max_sessions == 0) return;
+    for (;;) {
+        std::string victim;
+        {
+            MutexLock lock(lru_.mutex);
+            if (lru_.order.size() <= options_.max_sessions) return;
+            for (const std::string& candidate : lru_.order) {
+                if (candidate != protect) {
+                    victim = candidate;
+                    break;
+                }
+            }
+            if (victim.empty()) return;
+            const auto it = lru_.where.find(victim);
+            lru_.order.erase(it->second);
+            lru_.where.erase(it);
+            // Park a placeholder in the same critical section: the victim is
+            // never in neither map, so a concurrent admit() always sees it
+            // as known (no tenant double-count, no quota re-check).
+            lru_.evicted.emplace(victim, std::string());
+        }
+        evict_session(victim);
+    }
+}
+
+void TuningService::evict_session(const std::string& name) {
+    obs::Span span("service.evict");
+    std::string blob;
+    if (const auto session_ptr = find(name)) {
+        StateWriter out;
+        write_snapshot_header(out, 1, 0);
+        out.put_str(name);
+        session_ptr->save_state(out);
+        blob = out.str();
+    }
+    drop_session(name);
+    if (!options_.spill_dir.empty() && !blob.empty() &&
+        write_state_file(spill_path(name), blob)) {
+        blob.clear();  // "" marks the state as living in the spill file
+    }
+    {
+        MutexLock lock(lru_.mutex);
+        const auto it = lru_.evicted.find(name);
+        // A concurrent materialize() may have claimed the placeholder and
+        // revived the name as a live session; in that case the snapshot is
+        // stale — discard it instead of parking state for a live session.
+        if (it != lru_.evicted.end() && it->second.empty())
+            it->second = std::move(blob);
+    }
+    metrics_.counter("sessions_evicted").increment();
+}
+
+std::string TuningService::spill_path(const std::string& name) const {
+    // Hash-keyed file name: session names carry '/', which must not become
+    // directory structure under spill_dir.
+    std::uint64_t hash = 1469598103934665603ull;  // FNV-1a 64
+    for (const unsigned char c : name) {
+        hash ^= c;
+        hash *= 1099511628211ull;
+    }
+    std::ostringstream path;
+    path << options_.spill_dir << "/atk-evict-" << std::hex << hash << ".state";
+    return path.str();
+}
+
+void TuningService::restore_single(TuningSession& session, const std::string& name,
+                                   const std::string& blob) {
+    StateReader in(blob);
+    const SnapshotHeader header = read_snapshot_header(in);
+    if (header.session_count != 1 || header.install_count != 0)
+        throw std::invalid_argument(
+            "TuningService: not a single-session snapshot");
+    const std::string stored = in.get_str();
+    if (stored != name)
+        throw std::invalid_argument("TuningService: snapshot names session '" +
+                                    stored + "', expected '" + name + "'");
+    session.restore_state(in,
+                          std::min<std::uint64_t>(header.version, kTunerStateFormat));
+    if (!in.at_end())
+        throw std::invalid_argument(
+            "TuningService: trailing data after single-session snapshot");
+}
+
+std::optional<std::string> TuningService::session_snapshot(const std::string& name) {
+    if (const auto session_ptr = find(name)) {
+        StateWriter out;
+        write_snapshot_header(out, 1, 0);
+        out.put_str(name);
+        session_ptr->save_state(out);
+        return out.str();
+    }
+    bool spilled = false;
+    {
+        MutexLock lock(lru_.mutex);
+        const auto it = lru_.evicted.find(name);
+        if (it == lru_.evicted.end()) return std::nullopt;
+        if (!it->second.empty()) return it->second;
+        spilled = true;
+    }
+    if (!spilled || options_.spill_dir.empty()) return std::nullopt;
+    return read_state_file(spill_path(name));
 }
 
 void TuningService::drop_session(const std::string& name) {
@@ -161,6 +387,13 @@ ServiceStats TuningService::stats() {
     s.installs_applied = metrics_.counter("installs_applied").value();
     s.installs_rejected = metrics_.counter("installs_rejected").value();
     s.snapshots_restored = metrics_.counter("snapshots_restored").value();
+    s.sessions_evicted = metrics_.counter("sessions_evicted").value();
+    s.sessions_rehydrated = metrics_.counter("sessions_rehydrated").value();
+    s.quota_rejected = metrics_.counter("quota_rejected").value();
+    {
+        MutexLock lock(lru_.mutex);
+        s.evicted_held = lru_.evicted.size();
+    }
     return s;
 }
 
@@ -192,9 +425,22 @@ void TuningService::process(const Event& event) {
     obs::ScopedTraceContext trace_scope(event.trace);
     obs::Span span("service.ingest");
     metrics_.gauge("queue_depth").set(static_cast<double>(queue_.size()));
-    const auto session_ptr = find(event.session);
+    auto session_ptr = find(event.session);
     if (!session_ptr) {
-        // Possible only for hand-built tickets: begin() always creates.
+        // The session may have been LRU-evicted after this event was queued:
+        // restore it lazily so the measurement still lands (its ticket is
+        // from the parked generation, so it classifies exactly as it would
+        // have).  Names with no parked state stay orphaned — possible only
+        // for hand-built tickets, since begin() always creates.
+        session_ptr = materialize(event.session, /*resurrect_only=*/true);
+        if (session_ptr) enforce_session_cap(event.session);
+    } else {
+        // A processed measurement is activity: it must refresh recency, or a
+        // session that only ever reports (begin long past) looks idle to the
+        // evictor while it is the hottest name on the node.
+        touch_lru(event.session);
+    }
+    if (!session_ptr) {
         metrics_.counter("reports_orphaned").increment();
         return;
     }

@@ -5,7 +5,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -28,6 +31,40 @@ namespace atk::runtime {
 /// configuration, same algorithm list) across process runs.
 using TunerFactory =
     std::function<std::unique_ptr<TwoPhaseTuner>(const std::string& session)>;
+
+/// External warm-start source consulted when a never-seen session is first
+/// touched: given the session name, returns a single-session snapshot blob
+/// (the bytes TuningService::session_snapshot() produces) or nullopt.  The
+/// fleet layer plugs a peer-replica store in here so a failed-over session
+/// resumes from its replicated state instead of re-exploring.  Called with
+/// a shard lock held — the hydrator must not call back into the service.
+using SessionHydrator =
+    std::function<std::optional<std::string>(const std::string& session)>;
+
+/// Thrown by session-creating entry points (begin/report/session) when a
+/// tenant is at its `ServiceOptions::tenant_quota` of distinct session
+/// names.  Typed so the net layer can map it to a dedicated wire error
+/// instead of a generic bad-request.
+class QuotaExceededError : public std::runtime_error {
+public:
+    QuotaExceededError(std::string tenant, std::size_t quota)
+        : std::runtime_error("TuningService: tenant '" + tenant +
+                             "' is at its session quota of " +
+                             std::to_string(quota)),
+          tenant_(std::move(tenant)),
+          quota_(quota) {}
+
+    [[nodiscard]] const std::string& tenant() const noexcept { return tenant_; }
+    [[nodiscard]] std::size_t quota() const noexcept { return quota_; }
+
+private:
+    std::string tenant_;
+    std::size_t quota_;
+};
+
+/// The tenant of a session name: the prefix up to the first '/', or the
+/// whole name when it has no '/'.  "stringmatch/8/21" → "stringmatch".
+[[nodiscard]] std::string session_tenant(const std::string& session);
 
 struct ServiceOptions {
     /// Bound of the measurement queue — the backpressure knob.
@@ -58,6 +95,26 @@ struct ServiceOptions {
     /// processed.  Lets tests stall ingestion deterministically to exercise
     /// backpressure; leave empty in production.
     std::function<void()> ingest_hook;
+    /// Ceiling on concurrently *live* sessions (0 = unbounded).  When a new
+    /// session would exceed it, the least-recently-touched live session is
+    /// evicted: its state is snapshotted (to `spill_dir` when set, in-memory
+    /// otherwise) and the object dropped.  The next touch of an evicted name
+    /// restores it byte-identically — eviction trades latency for memory,
+    /// never tuning progress.  This is how one node survives millions of
+    /// named sessions.
+    std::size_t max_sessions = 0;
+    /// Cap on distinct session names per tenant (0 = none), where the
+    /// tenant is the name prefix before the first '/'.  Exceeding it throws
+    /// QuotaExceededError from the creating call.  Evicted sessions still
+    /// count — the quota bounds state held on behalf of a tenant, not just
+    /// live objects.
+    std::size_t tenant_quota = 0;
+    /// Directory evicted-session snapshots spill to; "" keeps the blobs in
+    /// memory (still a large saving: a snapshot is far smaller than a live
+    /// tuner + audit trail + metrics, and spilling makes it disk-priced).
+    std::string spill_dir;
+    /// Warm-start hook for never-seen sessions; see SessionHydrator.
+    SessionHydrator hydrator;
 };
 
 /// Point-in-time view of the service's health, cheap enough to poll: the
@@ -76,6 +133,13 @@ struct ServiceStats {
     std::uint64_t installs_applied = 0;
     std::uint64_t installs_rejected = 0;
     std::uint64_t snapshots_restored = 0;
+    // Eviction/quota counters (0 on services without caps).  Wire note:
+    // protocol v4 appends these to the StatsOk frame; v3 peers never see
+    // them (see net/protocol.hpp).
+    std::uint64_t sessions_evicted = 0;    ///< LRU evictions performed
+    std::uint64_t sessions_rehydrated = 0; ///< evicted/replica restores
+    std::uint64_t quota_rejected = 0;      ///< creations refused by quota
+    std::uint64_t evicted_held = 0;        ///< evicted names currently parked
 };
 
 /// One measurement of a report_batch() call: the ticket the client ran plus
@@ -164,11 +228,24 @@ public:
     /// report() returns false and begin() keeps serving recommendations.
     void stop();
 
-    /// Session lookup; nullptr when the name was never begun/restored.
+    /// Session lookup; nullptr when the name was never begun/restored (or
+    /// is currently evicted — find() never resurrects, session() does).
     [[nodiscard]] std::shared_ptr<TuningSession> find(const std::string& name) const;
 
-    /// Find-or-create (what begin() uses internally).
+    /// Find-or-create (what begin() uses internally).  Restores an evicted
+    /// session from its parked snapshot, consults the hydrator for
+    /// never-seen names, and enforces the tenant quota (throws
+    /// QuotaExceededError) and the live-session cap (evicting the LRU
+    /// victim) when configured.
     std::shared_ptr<TuningSession> session(const std::string& name);
+
+    /// Serializes one session into a standalone single-session snapshot
+    /// (same header/format as snapshot_payload(), session count 1) — the
+    /// unit of eviction spill, peer replication, and lazy rehydration.
+    /// Works for live *and* currently evicted sessions; nullopt when the
+    /// name is unknown.  Does not flush(): the blob reflects measurements
+    /// processed so far, which is what a warm-start consumer wants.
+    [[nodiscard]] std::optional<std::string> session_snapshot(const std::string& name);
 
     [[nodiscard]] std::vector<std::string> session_names() const;
     [[nodiscard]] std::size_t session_count() const;
@@ -258,15 +335,58 @@ private:
         obs::TraceContext trace;
     };
 
+    /// LRU + eviction bookkeeping, one lock for all shards (touches are a
+    /// list splice; creation/eviction are rare).  Lock ordering: a shard
+    /// mutex may be held when taking lru_.mutex, never the reverse.
+    struct Lru {
+        mutable Mutex mutex;
+        /// Live sessions, least-recently-touched first.
+        std::list<std::string> order ATK_GUARDED_BY(mutex);
+        std::unordered_map<std::string, std::list<std::string>::iterator> where
+            ATK_GUARDED_BY(mutex);
+        /// Evicted name → parked snapshot blob ("" = spilled to disk).
+        std::unordered_map<std::string, std::string> evicted ATK_GUARDED_BY(mutex);
+        /// Distinct session names (live + evicted) per tenant.
+        std::unordered_map<std::string, std::size_t> tenant_names
+            ATK_GUARDED_BY(mutex);
+    };
+
+    /// What admit() decided, so a failed creation can be rolled back.
+    struct Admission {
+        std::optional<std::string> blob;  ///< parked state to restore from
+        bool counted_new_name = false;    ///< tenant accounting was bumped
+        std::string tenant;
+    };
+
     [[nodiscard]] Shard& shard_for(const std::string& name) const;
     void drop_session(const std::string& name);
     void drain_loop();
     void process(const Event& event);
 
+    /// Find-or-create with the shard lock held throughout creation; the
+    /// heart of session().  `resurrect_only` = only proceed for names with
+    /// parked evicted state (the aggregator's lazy-restore path, which must
+    /// keep orphaning never-seen names).
+    std::shared_ptr<TuningSession> materialize(const std::string& name,
+                                               bool resurrect_only);
+    /// Quota check + eviction-blob claim + LRU/tenant registration for a
+    /// new live session.  Throws QuotaExceededError.
+    Admission admit(const std::string& name);
+    void unadmit(const std::string& name, const Admission& admission);
+    void touch_lru(const std::string& name);
+    /// Evicts least-recently-touched sessions (never `protect`) until the
+    /// live count is back under max_sessions.
+    void enforce_session_cap(const std::string& protect);
+    void evict_session(const std::string& name);
+    [[nodiscard]] std::string spill_path(const std::string& name) const;
+    static void restore_single(TuningSession& session, const std::string& name,
+                               const std::string& blob);
+
     TunerFactory factory_;
     ServiceOptions options_;
     MetricsRegistry metrics_;
     std::vector<std::unique_ptr<Shard>> shards_;
+    Lru lru_;
 
     BoundedQueue<Event> queue_;
 

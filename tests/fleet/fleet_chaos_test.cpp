@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fleet/client.hpp"
+#include "fleet/node.hpp"
+#include "fleet/replica_store.hpp"
+#include "net/server.hpp"
+#include "net/wire_fault.hpp"
+#include "net_test_util.hpp"
+#include "runtime/service.hpp"
+
+namespace atk::fleet {
+namespace {
+
+using net::testing::test_factory;
+
+/// One in-process fleet member: replica store → service (hydrating from the
+/// store) → fleet node → server with peer ops.  Declaration order is the
+/// construction contract — see FleetNode's docs.
+struct Member {
+    ReplicaStore store;
+    runtime::TuningService service;
+    FleetNode node;
+    std::unique_ptr<net::TuningServer> server;
+
+    Member(const std::string& name, std::vector<PeerSpec> peers)
+        : service(test_factory(), service_options(store)),
+          node(service, store, node_options(name, std::move(peers))) {
+        net::ServerOptions options;
+        options.port = 0;
+        options.worker_threads = 2;
+        options.peer_ops = node.peer_ops();
+        server = std::make_unique<net::TuningServer>(service, options);
+        server->start();
+    }
+    ~Member() {
+        kill();
+        service.stop();
+    }
+
+    void kill() {
+        if (server) {
+            server->stop();
+            server.reset();
+        }
+    }
+    [[nodiscard]] bool alive() const { return server != nullptr; }
+
+    static runtime::ServiceOptions service_options(ReplicaStore& store) {
+        runtime::ServiceOptions options;
+        options.hydrator = replica_hydrator(store);
+        return options;
+    }
+    static FleetNodeOptions node_options(const std::string& name,
+                                         std::vector<PeerSpec> peers) {
+        FleetNodeOptions options;
+        options.node_name = name;
+        options.peers = std::move(peers);
+        options.peer_client.request_timeout = std::chrono::milliseconds(2000);
+        options.peer_client.max_attempts = 1;
+        options.peer_client.backoff_base = std::chrono::milliseconds(1);
+        options.peer_client.backoff_cap = std::chrono::milliseconds(5);
+        return options;
+    }
+};
+
+/// A three-member loopback fleet.  Ephemeral ports are only known after
+/// each server binds, but FleetNode takes its peer list at construction —
+/// so members are built with port-0 placeholders and the real ports are
+/// late-bound via set_peer_port() before any peer link is dialed (links
+/// open lazily on the first replication round).
+struct Fleet {
+    std::vector<std::string> names{"node-a", "node-b", "node-c"};
+    std::vector<std::unique_ptr<Member>> members;
+
+    Fleet() {
+        std::vector<std::uint16_t> ports(3, 0);
+        for (std::size_t i = 0; i < 3; ++i) {
+            std::vector<PeerSpec> peers;
+            for (std::size_t j = 0; j < 3; ++j)
+                if (j != i) peers.push_back({names[j], "127.0.0.1", 0});
+            members.push_back(std::make_unique<Member>(names[i], peers));
+            ports[i] = members[i]->server->port();
+        }
+        for (std::size_t i = 0; i < 3; ++i)
+            for (std::size_t j = 0; j < 3; ++j)
+                if (j != i)
+                    members[i]->node.set_peer_port(names[j], ports[j]);
+    }
+
+    [[nodiscard]] FleetClientOptions client_options(std::uint64_t fault_seed,
+                                                    bool faults) const {
+        FleetClientOptions options;
+        for (std::size_t i = 0; i < 3; ++i)
+            options.nodes.push_back(
+                {names[i], "127.0.0.1", members[i]->server
+                                            ? members[i]->server->port()
+                                            : std::uint16_t{1}});
+        options.client.request_timeout = std::chrono::milliseconds(2000);
+        // Injected faults must be absorbed by the retry budget; only a dead
+        // node (refused connections) exhausts it and triggers failover.
+        options.client.max_attempts = faults ? 6 : 2;
+        options.client.backoff_base = std::chrono::milliseconds(1);
+        options.client.backoff_cap = std::chrono::milliseconds(5);
+        if (faults) {
+            net::WireFaultPlan plan;
+            plan.split_probability = 0.25;
+            plan.reset_probability = 0.02;
+            plan.seed = fault_seed;
+            options.client.fault = std::make_shared<net::WireFaultInjector>(plan);
+        }
+        // A node that fails stays blacklisted for the whole scenario —
+        // keeps routing a pure function of the seed, not of elapsed time.
+        options.retry_down_after = std::chrono::hours(1);
+        return options;
+    }
+
+    void flush_alive() {
+        for (auto& member : members)
+            if (member->alive()) member->service.flush();
+    }
+
+    std::size_t replicate_alive() {
+        std::size_t accepted = 0;
+        for (auto& member : members)
+            if (member->alive()) accepted += member->node.replicate_now();
+        return accepted;
+    }
+};
+
+std::vector<std::string> session_names() {
+    std::vector<std::string> names;
+    for (int i = 0; i < 12; ++i)
+        names.push_back("chaos/" + std::to_string(i % 3) + "/s" +
+                        std::to_string(i));
+    return names;
+}
+
+Cost deterministic_cost(const std::string& session, const runtime::Ticket& t) {
+    if (t.trial.algorithm == 0) return 5.0 + (session.back() % 3);
+    const double x = t.trial.config.empty() ? 0.0
+                                            : static_cast<double>(t.trial.config[0]);
+    return 12.0 + x * 0.25;
+}
+
+struct Outcome {
+    std::string state;        ///< per-session snapshots, sorted, from survivors
+    std::uint64_t failovers = 0;
+    std::size_t replicated = 0;
+    bool operator==(const Outcome& other) const {
+        return state == other.state && failovers == other.failovers &&
+               replicated == other.replicated;
+    }
+};
+
+/// The scenario: warm traffic → replicate → kill a seed-chosen node →
+/// finish traffic through failover.  Every request must succeed; the
+/// return value captures the fleet's complete end state.
+Outcome run_chaos(std::uint64_t seed) {
+    Fleet fleet;
+    FleetClient client(fleet.client_options(seed, /*faults=*/true));
+    const auto sessions = session_names();
+
+    Outcome outcome;
+    const auto drive_round = [&](const std::string& label) {
+        for (const auto& session : sessions) {
+            const auto ticket = client.recommend(session);
+            const bool accepted =
+                client.report(session, ticket, deterministic_cost(session, ticket));
+            EXPECT_TRUE(accepted) << label << " " << session;
+            // Flush after every acked report: each service's aggregator sees
+            // a deterministic event sequence, the bit-identity requirement.
+            fleet.flush_alive();
+        }
+    };
+
+    for (int round = 0; round < 5; ++round) drive_round("warm");
+    outcome.replicated = fleet.replicate_alive();
+
+    const std::size_t victim = seed % fleet.members.size();
+    fleet.members[victim]->kill();
+
+    for (int round = 0; round < 5; ++round) drive_round("failover");
+
+    // Zero lost sessions: every name must be live on some survivor (the
+    // victim's sessions warm-started on their successors via replicas).
+    std::ostringstream state;
+    for (const auto& session : sessions) {
+        bool found = false;
+        for (std::size_t i = 0; i < fleet.members.size(); ++i) {
+            auto& member = *fleet.members[i];
+            if (!member.alive()) continue;
+            if (member.service.find(session) == nullptr) continue;
+            const auto snapshot = member.service.session_snapshot(session);
+            EXPECT_TRUE(snapshot.has_value());
+            state << fleet.names[i] << "|" << session << "|"
+                  << (snapshot ? *snapshot : "") << "\n";
+            found = true;
+        }
+        EXPECT_TRUE(found) << "session lost: " << session;
+    }
+    outcome.state = state.str();
+    outcome.failovers = client.failovers();
+    return outcome;
+}
+
+std::vector<std::uint64_t> chaos_seeds() {
+    // Fast tier-1 subset by default; the full 32-seed kill matrix runs when
+    // ATK_SIM_FULL=1 (check.sh's fleet chaos stage).
+    const char* full = std::getenv("ATK_SIM_FULL");
+    const std::size_t count =
+        (full != nullptr && std::string(full) == "1") ? 32 : 4;
+    std::vector<std::uint64_t> seeds;
+    for (std::size_t i = 0; i < count; ++i)
+        seeds.push_back(0xF1EE7000ULL + i);
+    return seeds;
+}
+
+TEST(FleetChaos, KillANodeMidScenarioLosesNothingAndReplaysBitIdentically) {
+    for (const std::uint64_t seed : chaos_seeds()) {
+        SCOPED_TRACE("seed=" + std::to_string(seed));
+        const Outcome first = run_chaos(seed);
+        EXPECT_FALSE(first.state.empty());
+        EXPECT_GT(first.replicated, 0u);
+        const Outcome second = run_chaos(seed);
+        // The whole end state — every surviving session's serialized tuner,
+        // the failover count, the replication volume — must replay exactly.
+        EXPECT_EQ(first.state, second.state);
+        EXPECT_EQ(first.failovers, second.failovers);
+        EXPECT_EQ(first.replicated, second.replicated);
+    }
+}
+
+TEST(FleetChaos, FailedOverSessionsWarmStartFromReplicas) {
+    Fleet fleet;
+    FleetClient client(fleet.client_options(0, /*faults=*/false));
+    const auto sessions = session_names();
+
+    for (int round = 0; round < 6; ++round) {
+        for (const auto& session : sessions) {
+            const auto ticket = client.recommend(session);
+            ASSERT_TRUE(client.report(session, ticket,
+                                      deterministic_cost(session, ticket)));
+            fleet.flush_alive();
+        }
+    }
+    ASSERT_GT(fleet.replicate_alive(), 0u);
+
+    // Find a victim that owns at least one session, note the iteration
+    // counts its sessions reached, then kill it.
+    const std::string victim = client.ring().owner(sessions.front());
+    std::size_t victim_index = 0;
+    while (fleet.names[victim_index] != victim) ++victim_index;
+    std::map<std::string, std::size_t> iterations_before;
+    for (const auto& session : sessions)
+        if (client.ring().owner(session) == victim)
+            iterations_before[session] =
+                fleet.members[victim_index]->service.find(session)->iterations();
+    ASSERT_FALSE(iterations_before.empty());
+    fleet.members[victim_index]->kill();
+
+    for (const auto& [session, before] : iterations_before) {
+        (void)client.recommend(session);
+        // The successor materialized the session from its replica: it
+        // resumes at the replicated iteration count instead of exploring
+        // from zero.
+        bool resumed = false;
+        for (auto& member : fleet.members) {
+            if (!member->alive()) continue;
+            const auto live = member->service.find(session);
+            if (live == nullptr) continue;
+            EXPECT_GE(live->iterations(), before) << session;
+            EXPECT_GE(member->service.stats().sessions_rehydrated, 1u);
+            resumed = true;
+        }
+        EXPECT_TRUE(resumed) << session;
+    }
+}
+
+TEST(FleetChaos, RejoiningNodePullsItsOwnedRangesFromAPeer) {
+    Fleet fleet;
+    FleetClient client(fleet.client_options(0, /*faults=*/false));
+    const auto sessions = session_names();
+    for (int round = 0; round < 4; ++round) {
+        for (const auto& session : sessions) {
+            const auto ticket = client.recommend(session);
+            ASSERT_TRUE(client.report(session, ticket,
+                                      deterministic_cost(session, ticket)));
+            fleet.flush_alive();
+        }
+    }
+    ASSERT_GT(fleet.replicate_alive(), 0u);
+
+    // "Restart" node-a as a blank member reusing the same ring name: fresh
+    // store, fresh service, no sessions.  pull_now() must recover every
+    // session node-a owns — the live ones its peers absorbed and the
+    // replicas they hold on its behalf.
+    std::size_t index = 0;  // node-a
+    std::vector<std::string> owned;
+    for (const auto& session : sessions)
+        if (client.ring().owner(session) == fleet.names[index])
+            owned.push_back(session);
+    ASSERT_FALSE(owned.empty());
+
+    fleet.members[index]->kill();
+    std::vector<PeerSpec> peers;
+    for (std::size_t j = 0; j < 3; ++j)
+        if (j != index)
+            peers.push_back({fleet.names[j], "127.0.0.1",
+                             fleet.members[j]->server->port()});
+    Member rejoined(fleet.names[index], std::move(peers));
+
+    EXPECT_GT(rejoined.node.pull_now(), 0u);
+    for (const auto& session : owned) {
+        EXPECT_TRUE(rejoined.store.blob(session).has_value()) << session;
+        // First touch hydrates from the pulled replica.
+        (void)rejoined.service.begin(session);
+        EXPECT_NE(rejoined.service.find(session), nullptr);
+        EXPECT_GT(rejoined.service.find(session)->iterations(), 0u) << session;
+    }
+    EXPECT_GE(rejoined.service.stats().sessions_rehydrated, owned.size());
+}
+
+} // namespace
+} // namespace atk::fleet

@@ -1,0 +1,236 @@
+#include "fleet/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/server.hpp"
+#include "net_test_util.hpp"
+#include "runtime/service.hpp"
+
+namespace atk::fleet {
+namespace {
+
+using net::testing::test_factory;
+
+/// A live fleet member for client tests: service + server, no FleetNode
+/// (routing needs servers, not replication).
+struct Member {
+    runtime::TuningService service;
+    net::TuningServer server;
+
+    explicit Member(runtime::ServiceOptions service_options = {})
+        : service(test_factory(), std::move(service_options)),
+          server(service, server_options()) {
+        server.start();
+    }
+    ~Member() {
+        server.stop();
+        service.stop();
+    }
+
+    static net::ServerOptions server_options() {
+        net::ServerOptions options;
+        options.port = 0;
+        options.worker_threads = 2;
+        return options;
+    }
+};
+
+FleetClientOptions client_options(
+    const std::vector<std::pair<std::string, std::uint16_t>>& nodes) {
+    FleetClientOptions options;
+    for (const auto& [name, port] : nodes)
+        options.nodes.push_back({name, "127.0.0.1", port});
+    options.client.request_timeout = std::chrono::milliseconds(2000);
+    options.client.max_attempts = 1;  // fail over, don't grind backoff
+    options.client.backoff_base = std::chrono::milliseconds(1);
+    options.client.backoff_cap = std::chrono::milliseconds(5);
+    // Long blacklist: a node marked down stays down for the test's duration
+    // (individual tests override for recovery behavior).
+    options.retry_down_after = std::chrono::seconds(10);
+    return options;
+}
+
+TEST(FleetClient, RejectsBadConfiguration) {
+    EXPECT_THROW(FleetClient({}), std::invalid_argument);
+    FleetClientOptions dup = client_options({{"a", 1}, {"a", 2}});
+    EXPECT_THROW(FleetClient(std::move(dup)), std::invalid_argument);
+}
+
+TEST(FleetClient, RoutesEverySessionToItsRingOwner) {
+    Member a;
+    Member b;
+    FleetClient client(client_options(
+        {{"node-a", a.server.port()}, {"node-b", b.server.port()}}));
+
+    std::map<std::string, std::string> expected;
+    for (int i = 0; i < 24; ++i) {
+        const std::string session = "w/" + std::to_string(i);
+        expected[session] = client.ring().owner(session);
+        (void)client.recommend(session);
+    }
+    // Each session must have materialized on exactly its owner.
+    for (const auto& [session, owner] : expected) {
+        auto& owning = owner == "node-a" ? a.service : b.service;
+        auto& other = owner == "node-a" ? b.service : a.service;
+        EXPECT_NE(owning.find(session), nullptr) << session;
+        EXPECT_EQ(other.find(session), nullptr) << session;
+    }
+    EXPECT_EQ(client.failovers(), 0u);
+}
+
+TEST(FleetClient, FailsOverToTheSuccessorWhenTheOwnerDies) {
+    auto a = std::make_unique<Member>();
+    Member b;
+    FleetClient client(client_options(
+        {{"node-a", a->server.port()}, {"node-b", b.server.port()}}));
+
+    // A session owned by node-a, served normally first.
+    std::string session;
+    for (int i = 0;; ++i) {
+        session = "w/" + std::to_string(i);
+        if (client.ring().owner(session) == "node-a") break;
+    }
+    const auto ticket = client.recommend(session);
+    EXPECT_TRUE(client.report(session, ticket, 5.0));
+    EXPECT_EQ(client.route(session), "node-a");
+
+    a.reset();  // kill the owner
+
+    // The same calls keep working, now served by the successor.
+    const auto failover_ticket = client.recommend(session);
+    EXPECT_TRUE(client.report(session, failover_ticket, 5.0));
+    EXPECT_GE(client.failovers(), 1u);
+    EXPECT_FALSE(client.node_up("node-a"));
+    EXPECT_EQ(client.route(session), "node-b");
+    b.service.flush();
+    EXPECT_NE(b.service.find(session), nullptr);
+}
+
+TEST(FleetClient, MarkedDownNodeRecoversAfterRestart) {
+    Member b;
+    std::unique_ptr<Member> a = std::make_unique<Member>();
+    const std::uint16_t port_a = a->server.port();
+    FleetClientOptions options =
+        client_options({{"node-a", port_a}, {"node-b", b.server.port()}});
+    options.retry_down_after = std::chrono::milliseconds(0);  // probe eagerly
+    FleetClient client(std::move(options));
+
+    std::string session;
+    for (int i = 0;; ++i) {
+        session = "w/" + std::to_string(i);
+        if (client.ring().owner(session) == "node-a") break;
+    }
+    (void)client.recommend(session);
+    a.reset();
+    (void)client.recommend(session);  // fails over, marks node-a down
+    ASSERT_FALSE(client.node_up("node-a"));
+
+    // Restart node-a on the same port; retry_down_after=0 probes it on the
+    // next request, which routes home again.
+    net::ServerOptions reuse = Member::server_options();
+    reuse.port = port_a;
+    runtime::TuningService revived_service(test_factory());
+    net::TuningServer revived(revived_service, reuse);
+    revived.start();
+
+    (void)client.recommend(session);
+    EXPECT_TRUE(client.node_up("node-a"));
+    EXPECT_GE(client.recoveries(), 1u);
+    EXPECT_EQ(client.route(session), "node-a");
+    revived.stop();
+    revived_service.stop();
+}
+
+TEST(FleetClient, QuotaRefusalIsRemoteAndNeverFailsOver) {
+    runtime::ServiceOptions quota;
+    quota.tenant_quota = 1;
+    Member a(quota);
+
+    runtime::ServiceOptions quota_b;
+    quota_b.tenant_quota = 1;
+    Member b(quota_b);
+
+    FleetClient client(client_options(
+        {{"node-a", a.server.port()}, {"node-b", b.server.port()}}));
+
+    // Two sessions of one tenant that land on the same node: the second
+    // must be refused with the typed remote error, not retried elsewhere.
+    std::string first;
+    std::string second;
+    for (int i = 0; second.empty(); ++i) {
+        const std::string session = "ten/" + std::to_string(i);
+        if (first.empty()) {
+            first = session;
+            continue;
+        }
+        if (client.ring().owner(session) == client.ring().owner(first))
+            second = session;
+    }
+    (void)client.recommend(first);
+    try {
+        (void)client.recommend(second);
+        FAIL() << "expected RemoteError";
+    } catch (const net::RemoteError& e) {
+        EXPECT_EQ(e.code(), net::ErrorCode::QuotaExceeded);
+    }
+    EXPECT_EQ(client.failovers(), 0u);
+    // Neither service materialized the refused session.
+    EXPECT_EQ(a.service.find(second), nullptr);
+    EXPECT_EQ(b.service.find(second), nullptr);
+    // Both nodes stay up: a refusal is not a transport failure.
+    EXPECT_TRUE(client.node_up("node-a"));
+    EXPECT_TRUE(client.node_up("node-b"));
+}
+
+TEST(FleetClient, AsyncReportsLandViaTheRoute) {
+    Member a;
+    Member b;
+    FleetClient client(client_options(
+        {{"node-a", a.server.port()}, {"node-b", b.server.port()}}));
+
+    const std::string session = "w/async";
+    const auto ticket = client.recommend(session);
+    client.report_async(session, ticket, 5.0);
+    client.flush();
+    auto& owner = client.ring().owner(session) == "node-a" ? a.service
+                                                           : b.service;
+    // flush() ships the frame but (by design) gets no ack, so poll: the
+    // server ingests it as soon as the bytes arrive.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (owner.stats().reports_enqueued == 0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    owner.flush();
+    EXPECT_GE(owner.stats().reports_enqueued, 1u);
+}
+
+TEST(FleetClient, AllNodesDownIsAFleetError) {
+    auto a = std::make_unique<Member>();
+    FleetClient client(client_options({{"node-a", a->server.port()}}));
+    (void)client.recommend("w/1");
+    a.reset();
+    EXPECT_THROW((void)client.recommend("w/1"), FleetError);
+    EXPECT_THROW((void)client.route("w/1"), FleetError);
+    EXPECT_THROW(client.report_async("w/1", {}, 1.0), FleetError);
+}
+
+TEST(FleetClient, NodeIntrospection) {
+    Member a;
+    FleetClient client(client_options({{"node-a", a.server.port()}}));
+    EXPECT_THROW((void)client.node_up("stranger"), std::out_of_range);
+    EXPECT_THROW((void)client.node_client("stranger"), std::out_of_range);
+    EXPECT_EQ(client.node_client("node-a").negotiated_version(), 0u);
+    (void)client.stats("w/1");
+    EXPECT_EQ(client.node_client("node-a").negotiated_version(), 4u);
+}
+
+} // namespace
+} // namespace atk::fleet

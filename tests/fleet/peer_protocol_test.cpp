@@ -1,0 +1,358 @@
+#include "net/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <vector>
+
+#include "fleet/node.hpp"
+#include "fleet/replica_store.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "net_test_util.hpp"
+#include "runtime/service.hpp"
+
+namespace atk::net {
+namespace {
+
+using testing::RawConn;
+using testing::test_factory;
+
+Frame decode_one(const std::string& encoded) {
+    FrameDecoder decoder;
+    decoder.feed(encoded.data(), encoded.size());
+    auto frame = decoder.next();
+    EXPECT_TRUE(frame.has_value());
+    return *frame;
+}
+
+std::vector<ReplicaEntry> sample_entries() {
+    std::vector<ReplicaEntry> entries;
+    entries.push_back({"stringmatch/8/21", 42, std::string("blob\0with nul", 13)});
+    entries.push_back({"raytrace/lo", 7, ""});
+    return entries;
+}
+
+// ---------------------------------------------------------------------------
+// Codec round trips
+// ---------------------------------------------------------------------------
+
+TEST(PeerProtocol, PeerHelloRoundTrips) {
+    const auto back = decode_peer_hello(
+        decode_one(encode_peer_hello({"node-a", 0xDEADBEEFCAFEull, 64})));
+    EXPECT_EQ(back.node, "node-a");
+    EXPECT_EQ(back.ring_seed, 0xDEADBEEFCAFEull);
+    EXPECT_EQ(back.virtual_nodes, 64u);
+
+    const auto ok = decode_peer_hello_ok(
+        decode_one(encode_peer_hello_ok({"node-b", 17})));
+    EXPECT_EQ(ok.node, "node-b");
+    EXPECT_EQ(ok.live_sessions, 17u);
+}
+
+TEST(PeerProtocol, SnapshotPushRoundTrips) {
+    const auto back = decode_snapshot_push(
+        decode_one(encode_snapshot_push({"node-a", sample_entries()})));
+    EXPECT_EQ(back.from_node, "node-a");
+    ASSERT_EQ(back.entries.size(), 2u);
+    EXPECT_EQ(back.entries[0].session, "stringmatch/8/21");
+    EXPECT_EQ(back.entries[0].version, 42u);
+    EXPECT_EQ(back.entries[0].blob, std::string("blob\0with nul", 13));
+    EXPECT_EQ(back.entries[1].session, "raytrace/lo");
+    EXPECT_EQ(back.entries[1].blob, "");
+
+    const auto ok =
+        decode_snapshot_push_ok(decode_one(encode_snapshot_push_ok({2})));
+    EXPECT_EQ(ok.stored, 2u);
+}
+
+TEST(PeerProtocol, EmptyPushRoundTrips) {
+    const auto back =
+        decode_snapshot_push(decode_one(encode_snapshot_push({"a", {}})));
+    EXPECT_TRUE(back.entries.empty());
+}
+
+TEST(PeerProtocol, SnapshotPullRoundTrips) {
+    EXPECT_EQ(decode_snapshot_pull(decode_one(encode_snapshot_pull({"node-c"})))
+                  .node,
+              "node-c");
+    const auto ok = decode_snapshot_pull_ok(
+        decode_one(encode_snapshot_pull_ok({sample_entries()})));
+    ASSERT_EQ(ok.entries.size(), 2u);
+    EXPECT_EQ(ok.entries[0].version, 42u);
+}
+
+TEST(PeerProtocol, PeerStatsRoundTrips) {
+    const Frame request = decode_one(encode_peer_stats_request());
+    EXPECT_EQ(request.type, FrameType::PeerStats);
+    EXPECT_TRUE(request.payload.empty());
+
+    const auto ok = decode_peer_stats_ok(decode_one(
+        encode_peer_stats_ok({"node-a", 1, 2, 3, 4, 5, 6})));
+    EXPECT_EQ(ok.node, "node-a");
+    EXPECT_EQ(ok.replicas_held, 1u);
+    EXPECT_EQ(ok.replica_bytes, 2u);
+    EXPECT_EQ(ok.pushes_rx, 3u);
+    EXPECT_EQ(ok.pulls_rx, 4u);
+    EXPECT_EQ(ok.sessions_live, 5u);
+    EXPECT_EQ(ok.sessions_evicted, 6u);
+}
+
+TEST(PeerProtocol, DecodersRejectTheWrongFrameType) {
+    const Frame hello = decode_one(encode_peer_hello({"a", 1, 2}));
+    EXPECT_THROW((void)decode_snapshot_push(hello), WireError);
+    EXPECT_THROW((void)decode_peer_stats_ok(hello), WireError);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile payloads — must fail before any allocation is sized by them
+// ---------------------------------------------------------------------------
+
+TEST(PeerProtocol, HostileEntryCountIsRejectedBeforeAllocation) {
+    WireWriter writer;
+    writer.put_str("evil-node");
+    writer.put_u32(0x40000000u);  // ~1G entries in a tiny payload
+    Frame frame;
+    frame.type = FrameType::SnapshotPush;
+    frame.payload = writer.take();
+    EXPECT_THROW((void)decode_snapshot_push(frame), WireError);
+
+    WireWriter pull;
+    pull.put_u32(0xFFFFFFFFu);
+    Frame pull_frame;
+    pull_frame.type = FrameType::SnapshotPullOk;
+    pull_frame.payload = pull.take();
+    EXPECT_THROW((void)decode_snapshot_pull_ok(pull_frame), WireError);
+}
+
+TEST(PeerProtocol, TruncatedPushPayloadIsAWireError) {
+    const std::string good = encode_snapshot_push({"node-a", sample_entries()});
+    // Chop the payload (not the header): re-frame a truncated payload so the
+    // decoder sees a complete frame whose contents end mid-entry.
+    Frame frame = decode_one(good);
+    ASSERT_GT(frame.payload.size(), 8u);
+    for (const std::size_t keep : {frame.payload.size() - 7, std::size_t{6}}) {
+        Frame cut = frame;
+        cut.payload.resize(keep);
+        EXPECT_THROW((void)decode_snapshot_push(cut), WireError) << keep;
+    }
+}
+
+TEST(PeerProtocol, TrailingGarbageIsAWireError) {
+    Frame frame = decode_one(encode_peer_hello({"a", 1, 2}));
+    frame.payload.push_back('\0');
+    EXPECT_THROW((void)decode_peer_hello(frame), WireError);
+}
+
+// ---------------------------------------------------------------------------
+// Server integration: versioning and dispatch
+// ---------------------------------------------------------------------------
+
+struct FleetFixture {
+    runtime::TuningService service;
+    fleet::ReplicaStore store;
+    fleet::FleetNode node;
+    TuningServer server;
+
+    explicit FleetFixture(const std::string& name = "peer-a")
+        : service(test_factory()),
+          node(service, store, make_node_options(name)),
+          server(service, make_server_options(node)) {
+        server.start();
+    }
+    ~FleetFixture() {
+        server.stop();
+        service.stop();
+    }
+
+    static fleet::FleetNodeOptions make_node_options(const std::string& name) {
+        fleet::FleetNodeOptions options;
+        options.node_name = name;
+        // One nominal peer so the ring has a successor; never dialed here.
+        options.peers.push_back({"peer-z", "127.0.0.1", 1});
+        return options;
+    }
+    static ServerOptions make_server_options(fleet::FleetNode& node) {
+        ServerOptions options;
+        options.port = 0;
+        options.worker_threads = 2;
+        options.peer_ops = node.peer_ops();
+        return options;
+    }
+
+    ClientOptions client_options() const {
+        ClientOptions options;
+        options.port = server.port();
+        options.request_timeout = std::chrono::milliseconds(2000);
+        options.max_attempts = 2;
+        return options;
+    }
+};
+
+TEST(PeerProtocol, V3ConnectionsGetPeerFramesRefusedAndClosed) {
+    FleetFixture fixture;
+    RawConn conn(fixture.server.port());
+    conn.handshake(3);
+    conn.send_bytes(encode_peer_stats_request());
+    const auto reply = conn.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, FrameType::Error);
+    EXPECT_EQ(decode_error(*reply).code, ErrorCode::BadRequest);
+    EXPECT_TRUE(conn.closed_by_peer());  // protocol violation: hard close
+}
+
+TEST(PeerProtocol, NonFleetServersRefusePeerFramesWithoutClosing) {
+    runtime::TuningService service(test_factory());
+    ServerOptions options;
+    options.port = 0;
+    TuningServer server(service, options);  // no peer_ops
+    server.start();
+
+    RawConn conn(server.port());
+    conn.handshake(4);
+    conn.send_bytes(encode_peer_stats_request());
+    const auto reply = conn.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, FrameType::Error);
+    EXPECT_EQ(decode_error(*reply).code, ErrorCode::BadRequest);
+    // The connection stays usable for ordinary traffic.
+    RecommendMsg recommend;
+    recommend.session = "s";
+    conn.send_bytes(encode_recommend(recommend));
+    const auto rec = conn.read_frame();
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->type, FrameType::Recommendation);
+    server.stop();
+    service.stop();
+}
+
+TEST(PeerProtocol, PeerExchangeOverLoopback) {
+    FleetFixture fixture;
+    // Grow a little service state so stats have something to say.
+    (void)fixture.service.begin("w/1");
+
+    TuningClient client(fixture.client_options());
+    const auto hello =
+        client.peer_hello({"peer-z", fleet::RingOptions{}.seed,
+                           static_cast<std::uint32_t>(
+                               fleet::RingOptions{}.virtual_nodes)});
+    EXPECT_EQ(hello.node, "peer-a");
+    EXPECT_EQ(hello.live_sessions, 1u);
+
+    SnapshotPushMsg push;
+    push.from_node = "peer-z";
+    push.entries.push_back({"w/replica", 3, "not-a-real-blob"});
+    EXPECT_EQ(client.snapshot_push(push).stored, 1u);
+    // Same version again: idempotent re-delivery, not stored.
+    EXPECT_EQ(client.snapshot_push(push).stored, 0u);
+
+    const auto stats = client.peer_stats();
+    EXPECT_EQ(stats.node, "peer-a");
+    EXPECT_EQ(stats.replicas_held, 1u);
+    EXPECT_EQ(stats.pushes_rx, 2u);
+    EXPECT_EQ(stats.sessions_live, 1u);
+}
+
+TEST(PeerProtocol, GeometryMismatchIsARemoteErrorNotATransportError) {
+    FleetFixture fixture;
+    TuningClient client(fixture.client_options());
+    try {
+        (void)client.peer_hello({"peer-z", /*ring_seed=*/12345, 64});
+        FAIL() << "expected RemoteError";
+    } catch (const RemoteError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::BadRequest);
+    }
+    // Unknown members are refused the same way.
+    EXPECT_THROW((void)client.peer_hello(
+                     {"stranger", fleet::RingOptions{}.seed,
+                      static_cast<std::uint32_t>(
+                          fleet::RingOptions{}.virtual_nodes)}),
+                 RemoteError);
+}
+
+TEST(PeerProtocol, ClientRefusesPeerCallsOnDowngradedConnections) {
+    // A fake server that only speaks v3: accept, negotiate down, hold.
+    auto [listener, port] = listen_tcp("127.0.0.1", 0);
+    std::atomic<bool> stop{false};
+    std::thread v3_server([&listener = listener, &stop] {
+        while (!stop.load()) {
+            if (!wait_readable(listener.get(), std::chrono::milliseconds(50)))
+                continue;
+            FdHandle conn(::accept(listener.get(), nullptr, nullptr));
+            if (!conn.valid()) continue;
+            char drain[512];
+            if (wait_readable(conn.get(), std::chrono::milliseconds(500)))
+                (void)!::recv(conn.get(), drain, sizeof(drain), 0);  // Hello
+            const std::string ok = encode_hello_ok({3, "old-timer"});
+            (void)!::send(conn.get(), ok.data(), ok.size(), MSG_NOSIGNAL);
+            // Hold the connection until the client is done with it.
+            while (!stop.load()) {
+                if (!wait_readable(conn.get(), std::chrono::milliseconds(50)))
+                    continue;
+                if (::recv(conn.get(), drain, sizeof(drain), 0) <= 0) break;
+            }
+        }
+    });
+
+    ClientOptions options;
+    options.port = port;
+    options.request_timeout = std::chrono::milliseconds(2000);
+    options.max_attempts = 1;
+    TuningClient client(options);
+    try {
+        (void)client.peer_stats();
+        FAIL() << "peer frames must be refused below v4";
+    } catch (const NetError& e) {
+        EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+    }
+    EXPECT_EQ(client.negotiated_version(), 3u);
+    stop.store(true);
+    v3_server.join();
+}
+
+// ---------------------------------------------------------------------------
+// StatsOk versioning: v4 appends eviction counters, v3 layout is unchanged
+// ---------------------------------------------------------------------------
+
+TEST(PeerProtocol, StatsOkCarriesEvictionCountersOnlyOnV4) {
+    runtime::ServiceStats stats;
+    stats.sessions = 3;
+    stats.sessions_evicted = 7;
+    stats.sessions_rehydrated = 5;
+    stats.quota_rejected = 2;
+    stats.evicted_held = 4;
+
+    const auto v4 = decode_stats_ok(decode_one(encode_stats_ok({stats}, 4)));
+    EXPECT_EQ(v4.stats.sessions_evicted, 7u);
+    EXPECT_EQ(v4.stats.sessions_rehydrated, 5u);
+    EXPECT_EQ(v4.stats.quota_rejected, 2u);
+    EXPECT_EQ(v4.stats.evicted_held, 4u);
+
+    const std::string v3_bytes = encode_stats_ok({stats}, 3);
+    EXPECT_LT(v3_bytes.size(), encode_stats_ok({stats}, 4).size());
+    const auto v3 = decode_stats_ok(decode_one(v3_bytes));
+    EXPECT_EQ(v3.stats.sessions, 3u);
+    EXPECT_EQ(v3.stats.sessions_evicted, 0u);  // absent on the old layout
+}
+
+TEST(PeerProtocol, V3ClientsStillParseStatsFromAFleetServer) {
+    FleetFixture fixture;
+    (void)fixture.service.begin("w/1");
+
+    RawConn conn(fixture.server.port());
+    conn.handshake(3);
+    conn.send_bytes(encode_stats_request());
+    const auto reply = conn.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, FrameType::StatsOk);
+    const auto stats = decode_stats_ok(*reply);
+    EXPECT_EQ(stats.stats.sessions, 1u);
+}
+
+} // namespace
+} // namespace atk::net

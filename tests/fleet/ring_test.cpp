@@ -1,0 +1,155 @@
+#include "fleet/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace atk::fleet {
+namespace {
+
+std::vector<std::string> keys(std::size_t count) {
+    std::vector<std::string> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back("tenant/" + std::to_string(i % 7) + "/session-" +
+                      std::to_string(i));
+    return out;
+}
+
+HashRing three_nodes(RingOptions options = {}) {
+    HashRing ring(options);
+    ring.add_node("alpha");
+    ring.add_node("beta");
+    ring.add_node("gamma");
+    return ring;
+}
+
+// ---------------------------------------------------------------------------
+// Membership
+// ---------------------------------------------------------------------------
+
+TEST(HashRing, MembershipBasics) {
+    HashRing ring;
+    EXPECT_TRUE(ring.empty());
+    ring.add_node("alpha");
+    ring.add_node("beta");
+    ring.add_node("alpha");  // idempotent
+    EXPECT_EQ(ring.size(), 2u);
+    EXPECT_TRUE(ring.contains("alpha"));
+    EXPECT_FALSE(ring.contains("gamma"));
+    EXPECT_EQ(ring.nodes(), (std::vector<std::string>{"alpha", "beta"}));
+    EXPECT_TRUE(ring.remove_node("alpha"));
+    EXPECT_FALSE(ring.remove_node("alpha"));
+    EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(HashRing, ConstructionAndEmptyRingErrors) {
+    EXPECT_THROW(HashRing({0x1234, /*virtual_nodes=*/0}), std::invalid_argument);
+    HashRing ring;
+    EXPECT_THROW(ring.add_node(""), std::invalid_argument);
+    EXPECT_THROW((void)ring.owner("key"), std::logic_error);
+    EXPECT_TRUE(ring.preference("key", 3).empty());
+    EXPECT_FALSE(ring.owns("alpha", "key"));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism — the property everything else in the fleet leans on
+// ---------------------------------------------------------------------------
+
+TEST(HashRing, IdenticalConfigBuildsIdenticalRouting) {
+    const auto ring_a = three_nodes();
+    // Same members added in a different order: same routing.
+    HashRing ring_b;
+    ring_b.add_node("gamma");
+    ring_b.add_node("alpha");
+    ring_b.add_node("beta");
+    for (const auto& key : keys(300)) {
+        EXPECT_EQ(ring_a.owner(key), ring_b.owner(key)) << key;
+        EXPECT_EQ(ring_a.preference(key, 3), ring_b.preference(key, 3)) << key;
+    }
+}
+
+TEST(HashRing, DifferentSeedsAreDifferentRings) {
+    const auto ring_a = three_nodes({/*seed=*/1, /*virtual_nodes=*/64});
+    const auto ring_b = three_nodes({/*seed=*/2, /*virtual_nodes=*/64});
+    std::size_t moved = 0;
+    for (const auto& key : keys(300))
+        if (ring_a.owner(key) != ring_b.owner(key)) ++moved;
+    // Independent placements agree ~1/3 of the time on 3 nodes; a seed that
+    // does not reshuffle the ring would leave moved == 0.
+    EXPECT_GT(moved, 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Preference lists
+// ---------------------------------------------------------------------------
+
+TEST(HashRing, PreferenceListsAreDistinctAndOwnerFirst) {
+    const auto ring = three_nodes();
+    for (const auto& key : keys(100)) {
+        const auto prefs = ring.preference(key, 3);
+        ASSERT_EQ(prefs.size(), 3u);
+        EXPECT_EQ(prefs.front(), ring.owner(key));
+        const std::set<std::string> distinct(prefs.begin(), prefs.end());
+        EXPECT_EQ(distinct.size(), 3u) << key;
+    }
+}
+
+TEST(HashRing, PreferenceIsCappedByMembership) {
+    const auto ring = three_nodes();
+    EXPECT_EQ(ring.preference("some/key", 10).size(), 3u);
+    EXPECT_EQ(ring.preference("some/key", 1).size(), 1u);
+    EXPECT_TRUE(ring.preference("some/key", 0).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Consistent-hashing properties
+// ---------------------------------------------------------------------------
+
+TEST(HashRing, RemovingANodeOnlyMovesItsOwnKeys) {
+    auto ring = three_nodes();
+    std::map<std::string, std::string> before;
+    for (const auto& key : keys(400)) before[key] = ring.owner(key);
+    ring.remove_node("beta");
+    for (const auto& [key, owner] : before) {
+        if (owner == "beta") {
+            EXPECT_NE(ring.owner(key), "beta");
+        } else {
+            // Keys not owned by the removed node keep their owner — this is
+            // what makes failover cheap: only the dead node's load moves.
+            EXPECT_EQ(ring.owner(key), owner) << key;
+        }
+    }
+}
+
+TEST(HashRing, FailoverTargetIsTheSecondPreference) {
+    auto ring = three_nodes();
+    std::map<std::string, std::vector<std::string>> prefs;
+    for (const auto& key : keys(200)) prefs[key] = ring.preference(key, 3);
+    ring.remove_node("gamma");
+    for (const auto& [key, order] : prefs) {
+        // The shrunken ring's owner is the first surviving entry of the old
+        // preference list — so a client that walks its preference list and a
+        // fleet that replicates to successors agree on where state lands.
+        const std::string expect = order[0] != "gamma" ? order[0] : order[1];
+        EXPECT_EQ(ring.owner(key), expect) << key;
+    }
+}
+
+TEST(HashRing, VirtualNodesKeepTheSplitRoughlyEven) {
+    const auto ring = three_nodes();
+    std::map<std::string, std::size_t> load;
+    const auto all = keys(3000);
+    for (const auto& key : all) ++load[ring.owner(key)];
+    for (const auto& [node, count] : load) {
+        EXPECT_GT(count, all.size() / 6) << node;   // > half of fair share
+        EXPECT_LT(count, all.size() / 2) << node;   // < 1.5× fair share
+    }
+}
+
+} // namespace
+} // namespace atk::fleet

@@ -169,7 +169,7 @@ TEST(FrameDecoder, MalformedHeaderTable) {
     };
     const Row rows[] = {
         {"type byte zero", 4, '\x00'},
-        {"type byte above last", 4, '\x10'},
+        {"type byte above last", 4, '\x18'},  // first value past PeerStatsOk
         {"type byte wild", 4, '\x7F'},
         {"unknown flag bits", 5, '\x08'},
         {"reserved low byte", 6, '\x01'},

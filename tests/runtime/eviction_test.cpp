@@ -1,0 +1,278 @@
+#include "runtime/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/autotune.hpp"
+
+namespace atk::runtime {
+namespace {
+
+std::vector<TunableAlgorithm> two_algorithms() {
+    std::vector<TunableAlgorithm> algorithms;
+    algorithms.push_back(TunableAlgorithm::untunable("A"));
+    TunableAlgorithm b;
+    b.name = "B";
+    b.space.add(Parameter::ratio("x", 0, 50));
+    b.initial = Configuration{{0}};
+    b.searcher = std::make_unique<NelderMeadSearcher>();
+    algorithms.push_back(std::move(b));
+    return algorithms;
+}
+
+/// Deterministic per name — the restore contract evicted sessions rely on.
+TunerFactory factory() {
+    return [](const std::string& session) {
+        return std::make_unique<TwoPhaseTuner>(
+            std::make_unique<EpsilonGreedy>(0.10), two_algorithms(),
+            /*seed=*/std::hash<std::string>{}(session));
+    };
+}
+
+/// Drives `rounds` full begin/report/flush iterations so the session
+/// accumulates observable tuner state.
+void exercise(TuningService& service, const std::string& name,
+              std::size_t rounds) {
+    for (std::size_t i = 0; i < rounds; ++i) {
+        const Ticket ticket = service.begin(name);
+        const Cost cost = ticket.trial.algorithm == 0 ? 5.0 : 20.0;
+        ASSERT_TRUE(service.report(name, ticket, cost));
+        service.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tenant parsing
+// ---------------------------------------------------------------------------
+
+TEST(SessionTenant, PrefixBeforeFirstSlash) {
+    EXPECT_EQ(session_tenant("stringmatch/8/21"), "stringmatch");
+    EXPECT_EQ(session_tenant("solo"), "solo");
+    EXPECT_EQ(session_tenant("/odd"), "");
+    EXPECT_EQ(session_tenant(""), "");
+}
+
+// ---------------------------------------------------------------------------
+// LRU order
+// ---------------------------------------------------------------------------
+
+TEST(TuningServiceEviction, EvictsTheLeastRecentlyTouchedSession) {
+    ServiceOptions options;
+    options.max_sessions = 3;
+    TuningService service(factory(), options);
+
+    exercise(service, "t/a", 2);
+    exercise(service, "t/b", 2);
+    exercise(service, "t/c", 2);
+    // Interleaved touches: "t/a" is refreshed, so "t/b" is now the LRU.
+    (void)service.begin("t/a");
+    (void)service.begin("t/c");
+
+    exercise(service, "t/d", 1);  // forces one eviction
+
+    EXPECT_EQ(service.session_count(), 3u);
+    EXPECT_EQ(service.find("t/b"), nullptr);  // the victim; find() never revives
+    EXPECT_NE(service.find("t/a"), nullptr);
+    EXPECT_NE(service.find("t/c"), nullptr);
+    EXPECT_NE(service.find("t/d"), nullptr);
+
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.sessions_evicted, 1u);
+    EXPECT_EQ(stats.evicted_held, 1u);
+    service.stop();
+}
+
+TEST(TuningServiceEviction, ReportTouchesKeepASessionLive) {
+    ServiceOptions options;
+    options.max_sessions = 2;
+    TuningService service(factory(), options);
+
+    const Ticket ticket_a = service.begin("t/a");
+    exercise(service, "t/b", 1);
+    // Reporting on "t/a" must count as a touch: its processing order in the
+    // aggregator revives the name even though begin() was long ago.
+    ASSERT_TRUE(service.report("t/a", ticket_a, 5.0));
+    service.flush();
+
+    exercise(service, "t/c", 1);
+    EXPECT_EQ(service.session_count(), 2u);
+    EXPECT_NE(service.find("t/a"), nullptr);
+    EXPECT_EQ(service.find("t/b"), nullptr);
+    service.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Quotas
+// ---------------------------------------------------------------------------
+
+TEST(TuningServiceQuota, ThrowsTypedErrorWithTenantAndLimit) {
+    ServiceOptions options;
+    options.tenant_quota = 2;
+    TuningService service(factory(), options);
+
+    (void)service.begin("ten/a");
+    (void)service.begin("ten/b");
+    (void)service.begin("other/a");  // different tenant, unaffected
+
+    try {
+        (void)service.begin("ten/c");
+        FAIL() << "expected QuotaExceededError";
+    } catch (const QuotaExceededError& e) {
+        EXPECT_EQ(e.tenant(), "ten");
+        EXPECT_EQ(e.quota(), 2u);
+    }
+    // Existing names keep working at the quota.
+    (void)service.begin("ten/a");
+    EXPECT_EQ(service.stats().quota_rejected, 1u);
+    service.stop();
+}
+
+TEST(TuningServiceQuota, EvictedSessionsStillCountTowardTheQuota) {
+    ServiceOptions options;
+    options.max_sessions = 1;
+    options.tenant_quota = 2;
+    TuningService service(factory(), options);
+
+    exercise(service, "ten/a", 1);
+    exercise(service, "ten/b", 1);  // evicts ten/a, which stays on the books
+    EXPECT_THROW((void)service.begin("ten/c"), QuotaExceededError);
+    // The evicted name is not "new": touching it is allowed and revives it.
+    (void)service.begin("ten/a");
+    service.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Restore fidelity
+// ---------------------------------------------------------------------------
+
+TEST(TuningServiceEviction, EvictedThenTouchedRestoresByteIdenticalState) {
+    ServiceOptions options;
+    options.max_sessions = 2;
+    TuningService service(factory(), options);
+
+    exercise(service, "t/a", 6);
+    const auto before = service.session_snapshot("t/a");
+    ASSERT_TRUE(before.has_value());
+
+    exercise(service, "t/b", 1);
+    exercise(service, "t/c", 1);  // evicts t/a
+    ASSERT_EQ(service.find("t/a"), nullptr);
+
+    // begin() revives it; the tuner state must be exactly what was evicted.
+    (void)service.begin("t/a");
+    const auto after = service.session_snapshot("t/a");
+    ASSERT_TRUE(after.has_value());
+    EXPECT_EQ(*before, *after);
+    EXPECT_GE(service.stats().sessions_rehydrated, 1u);
+    service.stop();
+}
+
+TEST(TuningServiceEviction, SpillsToDiskAndRestoresLazily) {
+    const std::string dir = ::testing::TempDir() + "atk_spill_test";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    ServiceOptions options;
+    options.max_sessions = 1;
+    options.spill_dir = dir;
+    TuningService service(factory(), options);
+
+    exercise(service, "t/a", 5);
+    const auto before = service.session_snapshot("t/a");
+    ASSERT_TRUE(before.has_value());
+
+    exercise(service, "t/b", 1);  // evicts t/a to disk
+    EXPECT_FALSE(std::filesystem::is_empty(dir));
+
+    (void)service.begin("t/a");
+    const auto after = service.session_snapshot("t/a");
+    ASSERT_TRUE(after.has_value());
+    EXPECT_EQ(*before, *after);
+    service.stop();
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TuningServiceEviction, SnapshotOfAnEvictedSessionIsServedFromTheBlob) {
+    ServiceOptions options;
+    options.max_sessions = 1;
+    TuningService service(factory(), options);
+
+    exercise(service, "t/a", 4);
+    const auto live = service.session_snapshot("t/a");
+    ASSERT_TRUE(live.has_value());
+    exercise(service, "t/b", 1);  // evicts t/a
+
+    ASSERT_EQ(service.find("t/a"), nullptr);
+    const auto parked = service.session_snapshot("t/a");
+    ASSERT_TRUE(parked.has_value());
+    EXPECT_EQ(*live, *parked);  // serving the parked blob, no resurrection
+    EXPECT_EQ(service.find("t/a"), nullptr);
+    service.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Hydrator (the fleet warm-start hook)
+// ---------------------------------------------------------------------------
+
+TEST(TuningServiceEviction, HydratorSeedsNeverSeenSessions) {
+    // Grow a donor session, snapshot it, then hand that blob to a second
+    // service via the hydrator: the new service's session must resume from
+    // the donor's state, not from scratch.
+    TuningService donor(factory());
+    exercise(donor, "t/a", 6);
+    const auto blob = donor.session_snapshot("t/a");
+    ASSERT_TRUE(blob.has_value());
+    donor.stop();
+
+    ServiceOptions options;
+    options.hydrator = [&](const std::string& name)
+        -> std::optional<std::string> {
+        if (name == "t/a") return *blob;
+        return std::nullopt;
+    };
+    TuningService service(factory(), options);
+    (void)service.begin("t/a");
+    const auto restored = service.session_snapshot("t/a");
+    ASSERT_TRUE(restored.has_value());
+    EXPECT_EQ(*restored, *blob);
+    EXPECT_EQ(service.stats().sessions_rehydrated, 1u);
+
+    // Unknown names fall through to the factory.
+    (void)service.begin("t/fresh");
+    EXPECT_NE(service.find("t/fresh"), nullptr);
+    service.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Capacity: a capped service serves an order of magnitude more names
+// ---------------------------------------------------------------------------
+
+TEST(TuningServiceEviction, CappedServiceServesTenTimesItsCapacity) {
+    ServiceOptions options;
+    options.max_sessions = 4;
+    TuningService service(factory(), options);
+
+    const std::size_t names = 40;  // 10× the live cap
+    for (std::size_t i = 0; i < names; ++i) {
+        const std::string name = "t/" + std::to_string(i);
+        const Ticket ticket = service.begin(name);
+        ASSERT_TRUE(service.report(name, ticket, 5.0));
+    }
+    service.flush();
+    EXPECT_LE(service.session_count(), 4u);
+
+    // Every name is still serviceable and its state still on the books.
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.evicted_held, names - service.session_count());
+    for (std::size_t i = 0; i < names; ++i)
+        (void)service.begin("t/" + std::to_string(i));
+    EXPECT_LE(service.session_count(), 4u);
+    service.stop();
+}
+
+} // namespace
+} // namespace atk::runtime

@@ -11,6 +11,10 @@
 ///                   above.  sim/ and net/ are leaf layers on top of
 ///                   runtime: each may use every ranked layer but they must
 ///                   not include each other, and nothing may include them.
+///                   fleet/ is the composition layer above net: it may use
+///                   net plus every ranked layer — but never sim (chaos
+///                   scenarios that need both compose them at the test
+///                   layer) — and nothing may include fleet.
 ///                   stringmatch/, raytrace/ and dsp/ are leaf domains:
 ///                   they may use every ranked layer, but no layer or other
 ///                   domain may include them.
@@ -116,6 +120,12 @@ int layer_rank(std::string_view top) {
 /// (a chaos scenario that needs both composes them at the test layer).
 bool is_leaf_layer(std::string_view top) { return top == "sim" || top == "net"; }
 
+/// fleet/ composes net + runtime into multi-node operation, so it sits above
+/// the leaves: it may use net and every ranked layer, never sim (the mutual
+/// exclusivity keeps deterministic replay and real sockets apart), and
+/// nothing may include it.
+bool is_fleet_layer(std::string_view top) { return top == "fleet"; }
+
 bool is_domain(std::string_view top) {
     return top == "stringmatch" || top == "raytrace" || top == "dsp";
 }
@@ -123,6 +133,8 @@ bool is_domain(std::string_view top) {
 /// May a file under `from` include a header under `to`?
 bool include_allowed(std::string_view from, std::string_view to) {
     if (from == to) return true;
+    if (is_fleet_layer(from))
+        return layer_rank(to) >= 0 || to == "net";  // everything but sim/domains
     if (is_domain(from)) return layer_rank(to) >= 0;  // any layer, no other domain
     if (is_leaf_layer(from)) return layer_rank(to) >= 0;  // never the sibling leaf
     if (layer_rank(from) < 0 || layer_rank(to) < 0) return false;
@@ -701,14 +713,16 @@ public:
         for (const auto& [line, path] : file.includes) {
             const std::string to = top_component(path);
             if (to.empty()) continue;  // relative include inside one directory
-            if (layer_rank(to) < 0 && !is_domain(to) && !is_leaf_layer(to))
+            if (layer_rank(to) < 0 && !is_domain(to) && !is_leaf_layer(to) &&
+                !is_fleet_layer(to))
                 continue;  // not ours
             if (include_allowed(from, to)) continue;
             if (suppressed(file, "layering", line)) continue;
             report({file.rel, line, "layering",
                     "'" + from + "' must not include '" + path + "': the layer order is " +
                         "support < obs < core < runtime; sim and net are sibling "
-                        "leaves on top, domains are leaves"});
+                        "leaves on top, fleet composes net above them, domains "
+                        "are leaves"});
         }
     }
 
@@ -932,6 +946,18 @@ int self_test() {
                "#pragma once\n#include \"sim/harness.hpp\"\n");
     write_seed(root / "sim/uses_net.hpp",
                "#pragma once\n#include \"net/server.hpp\"\n");
+    // fleet composes net above the leaves: fleet→net is the point of the
+    // layer, fleet→sim and any reach back into fleet invert it, and the
+    // sim/fleet pair is mutually exclusive in both directions.
+    write_seed(root / "fleet/node.hpp",
+               "#pragma once\n#include \"net/server.hpp\"\n"
+               "#include \"runtime/service.hpp\"\n");
+    write_seed(root / "fleet/uses_sim.hpp",
+               "#pragma once\n#include \"sim/harness.hpp\"\n");
+    write_seed(root / "sim/uses_fleet.hpp",
+               "#pragma once\n#include \"fleet/node.hpp\"\n");
+    write_seed(root / "runtime/uses_fleet.hpp",
+               "#pragma once\n#include \"fleet/node.hpp\"\n");
     // The health monitor lives in obs and is *fed by* runtime and *served
     // by* net — obs reaching up into net (e.g. to define the Health frame
     // there instead of in net/protocol) would invert the whole DAG.
@@ -1085,11 +1111,20 @@ int self_test() {
     };
 
     expect(!clean, "seeded tree is reported as failing");
-    expect(by_rule["layering"] == 7,
-           "all seven layering violations detected (support->runtime, "
-           "runtime->sim, net->sim, sim->net, obs->net, dsp->net, core->dsp)");
+    expect(by_rule["layering"] == 10,
+           "all ten layering violations detected (support->runtime, "
+           "runtime->sim, net->sim, sim->net, obs->net, dsp->net, core->dsp, "
+           "fleet->sim, sim->fleet, runtime->fleet)");
     expect(flagged_files.count("obs/uses_net.hpp") == 1,
            "obs including net (upward into a leaf) flagged");
+    expect(flagged_files.count("fleet/node.hpp") == 0,
+           "fleet including net and runtime (its whole point) not flagged");
+    expect(flagged_files.count("fleet/uses_sim.hpp") == 1,
+           "fleet including sim (mutual exclusivity) flagged");
+    expect(flagged_files.count("sim/uses_fleet.hpp") == 1,
+           "sim including fleet (mutual exclusivity) flagged");
+    expect(flagged_files.count("runtime/uses_fleet.hpp") == 1,
+           "runtime reaching up into fleet flagged");
     expect(flagged_files.count("sim/harness.hpp") == 0,
            "sim including runtime (downward) not flagged");
     expect(flagged_files.count("net/server.hpp") == 0,

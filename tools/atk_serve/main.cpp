@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/autotune.hpp"
+#include "fleet/fleet.hpp"
 #include "net/net.hpp"
 #include "obs/span.hpp"
 #include "support/cli.hpp"
@@ -45,6 +46,35 @@ namespace {
 volatile std::sig_atomic_t g_stop = 0;
 
 void on_signal(int) { g_stop = 1; }
+
+/// Parses "--peers name=host:port,name=host:port" into PeerSpecs.  Throws
+/// std::invalid_argument on malformed entries.
+std::vector<fleet::PeerSpec> parse_peers(const std::string& spec) {
+    std::vector<fleet::PeerSpec> peers;
+    std::size_t at = 0;
+    while (at < spec.size()) {
+        std::size_t comma = spec.find(',', at);
+        if (comma == std::string::npos) comma = spec.size();
+        const std::string entry = spec.substr(at, comma - at);
+        at = comma + 1;
+        if (entry.empty()) continue;
+        const std::size_t eq = entry.find('=');
+        const std::size_t colon = entry.rfind(':');
+        if (eq == std::string::npos || colon == std::string::npos || colon < eq)
+            throw std::invalid_argument("--peers entry '" + entry +
+                                        "' is not name=host:port");
+        fleet::PeerSpec peer;
+        peer.name = entry.substr(0, eq);
+        peer.host = entry.substr(eq + 1, colon - eq - 1);
+        const int port = std::stoi(entry.substr(colon + 1));
+        if (peer.name.empty() || peer.host.empty() || port <= 0 || port > 65535)
+            throw std::invalid_argument("--peers entry '" + entry +
+                                        "' is not name=host:port");
+        peer.port = static_cast<std::uint16_t>(port);
+        peers.push_back(std::move(peer));
+    }
+    return peers;
+}
 
 /// Minimal single-threaded Prometheus endpoint: every HTTP request gets the
 /// current MetricsRegistry rendering.  Deliberately tiny — one request per
@@ -97,7 +127,24 @@ int main(int argc, char** argv) {
                     "lines here on shutdown")
         .add_string("trace", "",
                     "enable span tracing; write a Chrome/Perfetto trace here "
-                    "on shutdown");
+                    "on shutdown")
+        .add_string("node-name", "",
+                    "fleet ring name of this node (enables fleet mode)")
+        .add_string("peers", "",
+                    "fleet members as name=host:port,name=host:port")
+        .add_int("replicate-every", 2000,
+                 "fleet snapshot replication cadence in ms (0 = never)")
+        .add_int("replicas", 1, "ring successors each owned session copies to")
+        .add_int("ring-seed", 0, "consistent-hash ring seed (0 = built-in)")
+        .add_int("vnodes", 64, "virtual nodes per fleet member")
+        .add_int("max-sessions", 0,
+                 "evict least-recently-touched sessions beyond this many "
+                 "(0 = unbounded)")
+        .add_int("quota", 0,
+                 "max distinct session names per tenant prefix (0 = none)")
+        .add_string("spill-dir", "",
+                    "directory evicted-session snapshots spill to "
+                    "(default: hold them in memory)");
     if (!cli.parse(argc, argv)) return 1;
 
     std::signal(SIGINT, on_signal);
@@ -107,9 +154,29 @@ int main(int argc, char** argv) {
     const std::string trace_out = cli.get_string("trace");
     if (!trace_out.empty()) obs::Tracer::enable();
 
+    const std::string node_name = cli.get_string("node-name");
+    std::vector<fleet::PeerSpec> peers;
+    try {
+        peers = parse_peers(cli.get_string("peers"));
+        if (!peers.empty() && node_name.empty())
+            throw std::invalid_argument("--peers requires --node-name");
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+
+    // The replica store outlives the service: its hydrator is how replicated
+    // and pulled snapshots reach lazily-created sessions.
+    fleet::ReplicaStore replica_store;
+
     ServiceOptions service_options;
     service_options.queue_capacity = static_cast<std::size_t>(cli.get_int("queue"));
     service_options.health_enabled = !health_out.empty();
+    service_options.max_sessions = static_cast<std::size_t>(cli.get_int("max-sessions"));
+    service_options.tenant_quota = static_cast<std::size_t>(cli.get_int("quota"));
+    service_options.spill_dir = cli.get_string("spill-dir");
+    if (!node_name.empty())
+        service_options.hydrator = fleet::replica_hydrator(replica_store);
     try {
         // The factory resolves the strategy lazily (per session); validate
         // the name now so a typo fails at startup, not at first begin().
@@ -143,6 +210,32 @@ int main(int argc, char** argv) {
     server_options.idle_timeout =
         std::chrono::milliseconds(cli.get_int("idle-timeout"));
 
+    std::unique_ptr<fleet::FleetNode> fleet_node;
+    if (!node_name.empty()) {
+        fleet::FleetNodeOptions fleet_options;
+        fleet_options.node_name = node_name;
+        fleet_options.peers = peers;
+        if (cli.get_int("ring-seed") != 0)
+            fleet_options.ring.seed =
+                static_cast<std::uint64_t>(cli.get_int("ring-seed"));
+        fleet_options.ring.virtual_nodes =
+            static_cast<std::size_t>(cli.get_int("vnodes"));
+        fleet_options.replicas = static_cast<std::size_t>(cli.get_int("replicas"));
+        fleet_options.replicate_every =
+            std::chrono::milliseconds(cli.get_int("replicate-every"));
+        fleet_options.peer_client.request_timeout = std::chrono::milliseconds(2000);
+        fleet_options.peer_client.max_attempts = 1;  // dead peer = one cheap miss
+        try {
+            fleet_node = std::make_unique<fleet::FleetNode>(
+                service, replica_store, std::move(fleet_options));
+        } catch (const std::exception& error) {
+            std::fprintf(stderr, "error: fleet: %s\n", error.what());
+            return 1;
+        }
+        server_options.peer_ops = fleet_node->peer_ops();
+        server_options.server_name = node_name;
+    }
+
     net::TuningServer server(service, server_options);
     try {
         server.start();
@@ -156,6 +249,21 @@ int main(int argc, char** argv) {
                 server_options.bind_address.c_str(), server.port(),
                 server_options.worker_threads);
     std::fflush(stdout);
+
+    if (fleet_node) {
+        // Catch-up first (a rejoining node reclaims its owned ranges from
+        // whichever peers are up), then the steady-state replication cadence.
+        const std::size_t pulled = fleet_node->pull_now();
+        fleet_node->start();
+        std::printf("atk_serve: fleet node '%s' on a %zu-member ring "
+                    "(%zu replica(s), every %lld ms); pulled %zu session "
+                    "snapshot(s) from peers\n",
+                    node_name.c_str(), fleet_node->ring().size(),
+                    static_cast<std::size_t>(cli.get_int("replicas")),
+                    static_cast<long long>(cli.get_int("replicate-every")),
+                    pulled);
+        std::fflush(stdout);
+    }
 
     std::atomic<bool> metrics_stop{false};
     std::thread metrics_thread;
@@ -187,6 +295,19 @@ int main(int argc, char** argv) {
     }
 
     std::printf("atk_serve: draining...\n");
+    if (fleet_node) {
+        // One last push so successors hold this node's freshest state before
+        // the socket closes — the cheap half of a graceful handover.
+        fleet_node->stop();
+        (void)fleet_node->replicate_now();
+        const fleet::FleetNodeStats fleet_stats = fleet_node->stats();
+        std::printf("atk_serve: fleet: %llu push(es) shipped %llu session "
+                    "snapshot(s) / %llu byte(s); holding %zu replica(s)\n",
+                    static_cast<unsigned long long>(fleet_stats.pushes_tx),
+                    static_cast<unsigned long long>(fleet_stats.push_sessions),
+                    static_cast<unsigned long long>(fleet_stats.push_bytes),
+                    fleet_stats.replicas_held);
+    }
     server.stop();
     metrics_stop.store(true, std::memory_order_relaxed);
     if (metrics_thread.joinable()) metrics_thread.join();
